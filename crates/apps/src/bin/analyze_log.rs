@@ -1,0 +1,212 @@
+//! `analyze_log` — the downstream-user tool: point it at a SQL query log
+//! (one statement per line; `#` comments and blank lines ignored) and get
+//! the paper's full analysis: extraction stats, clustered access areas,
+//! and aggregated hotspot descriptions.
+//!
+//! ```text
+//! cargo run --release -p aa-apps --bin analyze_log -- LOG_FILE \
+//!     [--eps 0.06] [--min-pts 8] [--optics] [--mode literal|dissim]
+//! ```
+//!
+//! Without a database to sample, `access(a)` ranges are bootstrapped from
+//! the log itself (the paper's Section 5.3 fallback (2)).
+
+use aa_core::{AccessArea, AccessRanges, DistanceMode, Pipeline, QueryDistance};
+use aa_dbscan::{DbscanParams, Label};
+use std::process::ExitCode;
+
+struct Args {
+    path: String,
+    eps: f64,
+    min_pts: usize,
+    use_optics: bool,
+    mode: DistanceMode,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    let mut eps = 0.06;
+    let mut min_pts = 8;
+    let mut use_optics = false;
+    let mut mode = DistanceMode::Dissimilarity;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--eps" => {
+                eps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--eps expects a number")?;
+            }
+            "--min-pts" => {
+                min_pts = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--min-pts expects an integer")?;
+            }
+            "--optics" => use_optics = true,
+            "--mode" => {
+                mode = match args.next().as_deref() {
+                    Some("literal") => DistanceMode::PaperLiteral,
+                    Some("dissim") | Some("dissimilarity") => DistanceMode::Dissimilarity,
+                    other => return Err(format!("--mode expects literal|dissim, got {other:?}")),
+                };
+            }
+            "--help" | "-h" => {
+                return Err("usage: analyze_log LOG_FILE [--eps F] [--min-pts N] [--optics] [--mode literal|dissim]".into());
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(Args {
+        path: path.ok_or("missing LOG_FILE (use --help)")?,
+        eps,
+        min_pts,
+        use_optics,
+        mode,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let raw = match std::fs::read_to_string(&args.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let queries: Vec<&str> = raw
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#') && !l.starts_with("--"))
+        .collect();
+    if queries.is_empty() {
+        eprintln!("no queries in {}", args.path);
+        return ExitCode::FAILURE;
+    }
+
+    // 1. Extraction.
+    let provider = aa_core::NoSchema;
+    let pipeline = Pipeline::new(&provider);
+    let (extracted, failed, stats) = pipeline.process_log(queries.iter().copied());
+    println!(
+        "extracted {}/{} queries ({:.2}%) in {:.2?}",
+        stats.extracted,
+        stats.total,
+        100.0 * stats.extraction_rate(),
+        stats.wall
+    );
+    if !failed.is_empty() {
+        println!(
+            "failures: {} syntax, {} UDF, {} non-SELECT, {} unsupported",
+            stats.syntax_errors, stats.udf, stats.not_select, stats.unsupported
+        );
+    }
+
+    // 2. access(a) from the log (Section 5.3 fallback).
+    let areas: Vec<AccessArea> = extracted.iter().map(|q| q.area.clone()).collect();
+    let mut ranges = AccessRanges::new();
+    ranges.observe_all(areas.iter());
+    // No database to sample: widen observed ranges by the paper's
+    // doubling rule so clipped one-sided predicates keep their overlap.
+    ranges.apply_doubling();
+
+    // 3. Clustering.
+    let metric = QueryDistance::with_mode(&ranges, args.mode);
+    let distance = |a: &AccessArea, b: &AccessArea| metric.distance(a, b);
+    let params = DbscanParams {
+        eps: args.eps,
+        min_pts: args.min_pts,
+    };
+    let result = if args.use_optics {
+        let ordering = aa_dbscan::optics(&areas, &params, distance);
+        print_reachability(&ordering, args.eps);
+        ordering.extract_clustering(args.eps, args.min_pts)
+    } else {
+        aa_dbscan::dbscan(&areas, &params, distance)
+    };
+    println!(
+        "{}: {} clusters, {} noise queries\n",
+        if args.use_optics { "OPTICS" } else { "DBSCAN" },
+        result.cluster_count,
+        result.noise_count()
+    );
+
+    // 4. Aggregated hotspots, largest first.
+    let mut clusters: Vec<(usize, Vec<usize>)> = result
+        .clusters()
+        .into_iter()
+        .enumerate()
+        .filter(|(_, m)| !m.is_empty())
+        .collect();
+    clusters.sort_by_key(|(_, m)| std::cmp::Reverse(m.len()));
+    for (cid, members) in clusters {
+        let member_areas: Vec<&AccessArea> = members.iter().map(|&i| &areas[i]).collect();
+        let agg = aa_bench::aggregate_cluster(cid, &member_areas);
+        let dc = aa_bench::density_contrast(&agg, &areas, &ranges, 3.0);
+        let density = if dc.ratio.is_infinite() {
+            "isolated".to_string()
+        } else {
+            format!("{:.0}x", dc.ratio)
+        };
+        let tables: Vec<&str> = agg.tables.iter().map(String::as_str).collect();
+        println!(
+            "cluster {:>3}: {:>5} queries | density {:>8} | {} | {}",
+            cid,
+            agg.cardinality,
+            density,
+            tables.join(","),
+            agg
+        );
+    }
+
+    let _ = extracted
+        .iter()
+        .filter(|q| matches!(result.labels.get(q.log_index), Some(Label::Noise)))
+        .count();
+    ExitCode::SUCCESS
+}
+
+/// ASCII reachability plot: the OPTICS signature chart — valleys are
+/// clusters, peaks are separations (downsampled to at most 100 bars).
+fn print_reachability(ordering: &aa_dbscan::OpticsResult, eps: f64) {
+    const HEIGHT: usize = 8;
+    let n = ordering.reachability.len();
+    if n == 0 {
+        return;
+    }
+    let stride = n.div_ceil(100);
+    let bars: Vec<f64> = ordering
+        .reachability
+        .chunks(stride)
+        .map(|c| {
+            let m = c.iter().copied().fold(0.0f64, |a, b| a.max(b.min(eps * 1.2)));
+            m
+        })
+        .collect();
+    println!("reachability plot (valleys = clusters; cut at eps = {eps}):");
+    for level in (0..HEIGHT).rev() {
+        let threshold = eps * 1.2 * (level as f64 + 0.5) / HEIGHT as f64;
+        let mut line = String::from("  ");
+        for &b in &bars {
+            line.push(if b >= threshold { '#' } else { ' ' });
+        }
+        let marker = if (eps >= eps * 1.2 * level as f64 / HEIGHT as f64)
+            && (eps < eps * 1.2 * (level as f64 + 1.0) / HEIGHT as f64)
+        {
+            "  <- eps"
+        } else {
+            ""
+        };
+        println!("{line}{marker}");
+    }
+    println!("  {}", "-".repeat(bars.len()));
+}

@@ -1,0 +1,10 @@
+//! # aa-apps — workspace examples, integration tests, and the CLI
+//!
+//! This crate exists to host the repository-level `examples/` and
+//! `tests/` directories as cargo targets (see `Cargo.toml`'s `[[example]]`
+//! and `[[test]]` sections) plus the [`analyze_log`](../analyze_log/index.html)
+//! binary — the standalone tool for running the paper's pipeline over an
+//! arbitrary SQL query log.
+//!
+//! There is no library API here; depend on `aa-core` (and friends)
+//! directly instead.

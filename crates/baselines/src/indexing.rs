@@ -1,0 +1,68 @@
+//! Shared blocking-index construction for access-area clustering.
+//!
+//! All clustering runs (the paper's method and both OLAPClus variants)
+//! block on the table set: `d = d_tables + d_conj ≥ d_tables`, and
+//! `d_tables` is a pure function of the two table sets, so it serves as an
+//! exact lower bound for pruning whole buckets.
+
+use aa_core::AccessArea;
+use aa_dbscan::{GroupedIndex, KeyedBuckets};
+use std::collections::BTreeSet;
+
+/// Jaccard distance between two table sets.
+pub fn jaccard_tables(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = a.union(b).count() as f64;
+    1.0 - inter / union
+}
+
+/// Builds the table-set blocking index over a slice of access areas.
+pub fn table_set_index(
+    areas: &[AccessArea],
+) -> GroupedIndex<impl Fn(usize, usize) -> f64> {
+    let (buckets, keys) = KeyedBuckets::build(areas, |a: &AccessArea| {
+        a.table_keys().map(str::to_string).collect::<BTreeSet<String>>()
+    });
+    GroupedIndex::new(buckets, move |ka: usize, kb: usize| {
+        jaccard_tables(&keys[ka], &keys[kb])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_core::extract::{Extractor, NoSchema};
+    use aa_dbscan::NeighborIndex;
+
+    #[test]
+    fn index_prunes_cross_table_pairs() {
+        let ex = Extractor::new(&NoSchema);
+        let areas: Vec<AccessArea> = [
+            "SELECT * FROM A WHERE x > 1",
+            "SELECT * FROM A WHERE x > 2",
+            "SELECT * FROM B WHERE y > 1",
+        ]
+        .iter()
+        .map(|s| ex.extract_sql(s).unwrap())
+        .collect();
+        let index = table_set_index(&areas);
+        assert_eq!(index.bucket_count(), 2);
+        // With eps < 1, the B bucket is pruned for an A query even under a
+        // distance function that would claim everything is close.
+        let zero = |_: &AccessArea, _: &AccessArea| 0.0;
+        let neigh = index.neighbors(&areas, 0, 0.5, &zero);
+        assert_eq!(neigh, vec![0, 1]);
+    }
+
+    #[test]
+    fn jaccard_edge_cases() {
+        let empty = BTreeSet::new();
+        let a: BTreeSet<String> = ["t".to_string()].into();
+        assert_eq!(jaccard_tables(&empty, &empty), 0.0);
+        assert_eq!(jaccard_tables(&a, &empty), 1.0);
+        assert_eq!(jaccard_tables(&a, &a), 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # aa-baselines — the paper's comparators
+//!
+//! Three baselines the evaluation compares against:
+//!
+//! * [`olapclus`] — OLAPClus with exact atomic-predicate matching
+//!   (Section 6.4): shatters point-lookup clusters into one cluster per
+//!   distinct constant;
+//! * [`olapclus_raw`] — the paper's own overlap distance applied to
+//!   *naively* extracted (as-is) predicates (Section 6.5): breaks the
+//!   clusters containing Section 4.3-form queries;
+//! * [`requery`] — re-issuing queries against a database state and using
+//!   result-set MBRs as areas (Section 6.6): slow, blind to empty areas,
+//!   and tripped up by SkyServer's operational limits.
+//!
+//! Plus [`indexing`], the shared table-set blocking index.
+
+pub mod indexing;
+pub mod olapclus;
+pub mod olapclus_raw;
+pub mod requery;
+
+pub use indexing::{jaccard_tables, table_set_index};
+pub use olapclus::{cluster_olapclus, olapclus_distance};
+pub use olapclus_raw::{cluster_raw, naive_areas};
+pub use requery::{
+    requery_log, MbrDim, RequeryConfig, RequeryFailure, RequeryOutcome, RequeryStats, ResultMbr,
+};

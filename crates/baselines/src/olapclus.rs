@@ -1,0 +1,172 @@
+//! OLAPClus baseline (Aligon et al., "Similarity measures for OLAP
+//! sessions") as used in the paper's Section 6.4 comparison.
+//!
+//! OLAPClus measures query similarity *structurally*: two atomic
+//! predicates contribute similarity only when they match **exactly**.
+//! Applied to access areas this means `Photoz.objid = c₁` and
+//! `Photoz.objid = c₂` with `c₁ ≠ c₂` are maximally distant — which is why
+//! the paper reports ~100,000 OLAPClus clusters where its own method finds
+//! the single Cluster 1.
+
+use aa_core::{AccessArea, Cnf, Disjunction};
+use aa_dbscan::{DbscanParams, DbscanResult, NeighborIndex};
+use std::collections::BTreeSet;
+
+/// The OLAPClus distance: Jaccard over tables plus min-matching over
+/// clauses with *exact* predicate equality.
+pub fn olapclus_distance(a: &AccessArea, b: &AccessArea) -> f64 {
+    d_tables(a, b) + d_conj_exact(&a.constraint, &b.constraint)
+}
+
+fn d_tables(a: &AccessArea, b: &AccessArea) -> f64 {
+    let sa: BTreeSet<&str> = a.table_keys().collect();
+    let sb: BTreeSet<&str> = b.table_keys().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    1.0 - inter / union
+}
+
+fn d_conj_exact(b1: &Cnf, b2: &Cnf) -> f64 {
+    match (b1.is_empty(), b2.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return 1.0,
+        _ => {}
+    }
+    let sum1: f64 = b1
+        .clauses
+        .iter()
+        .map(|o1| {
+            b2.clauses
+                .iter()
+                .map(|o2| d_disj_exact(o1, o2))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    let sum2: f64 = b2
+        .clauses
+        .iter()
+        .map(|o2| {
+            b1.clauses
+                .iter()
+                .map(|o1| d_disj_exact(o1, o2))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    (sum1 + sum2) / (b1.len() + b2.len()) as f64
+}
+
+fn d_disj_exact(o1: &Disjunction, o2: &Disjunction) -> f64 {
+    match (o1.is_empty(), o2.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return 1.0,
+        _ => {}
+    }
+    let pred = |p1: &aa_core::AtomicPredicate, p2: &aa_core::AtomicPredicate| -> f64 {
+        // Exact matching: this is the whole difference from the paper's
+        // overlap-based d_pred.
+        if p1 == p2 {
+            0.0
+        } else {
+            1.0
+        }
+    };
+    let sum1: f64 = o1
+        .atoms
+        .iter()
+        .map(|p1| {
+            o2.atoms
+                .iter()
+                .map(|p2| pred(p1, p2))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    let sum2: f64 = o2
+        .atoms
+        .iter()
+        .map(|p2| {
+            o1.atoms
+                .iter()
+                .map(|p1| pred(p1, p2))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    (sum1 + sum2) / (o1.len() + o2.len()) as f64
+}
+
+/// Clusters access areas under the OLAPClus distance (DBSCAN, same
+/// parameters as the main method, table-set blocking index).
+pub fn cluster_olapclus(areas: &[AccessArea], params: &DbscanParams) -> DbscanResult {
+    let index = crate::indexing::table_set_index(areas);
+    aa_dbscan::dbscan_with_index(areas, params, &olapclus_distance, &index)
+}
+
+/// Convenience: a neighbour count sanity-check used by tests.
+pub fn exact_neighbors(areas: &[AccessArea], i: usize, eps: f64) -> usize {
+    aa_dbscan::BruteForceIndex
+        .neighbors(areas, i, eps, &olapclus_distance)
+        .len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_core::extract::{Extractor, NoSchema};
+
+    fn area(sql: &str) -> AccessArea {
+        Extractor::new(&NoSchema).extract_sql(sql).unwrap()
+    }
+
+    #[test]
+    fn exact_matching_separates_point_queries() {
+        // Constants must differ by more than the f64 ulp at the 1.2e18
+        // scale (~256) to stay distinct after numeric folding.
+        let a = area("SELECT * FROM Photoz WHERE objid = 1237657855534432934");
+        let b = area("SELECT * FROM Photoz WHERE objid = 1237657855539432934");
+        let c = area("SELECT * FROM Photoz WHERE objid = 1237657855534432934");
+        assert_eq!(olapclus_distance(&a, &c), 0.0);
+        assert_eq!(olapclus_distance(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn olapclus_shatters_cluster1_style_queries() {
+        // 60 point queries with distinct constants: every one its own
+        // (min_pts=1) cluster — the Section 6.4 explosion in miniature.
+        let areas: Vec<AccessArea> = (0..60)
+            .map(|i| area(&format!("SELECT * FROM Photoz WHERE objid = {}", 10_000 + i)))
+            .collect();
+        let r = cluster_olapclus(
+            &areas,
+            &DbscanParams {
+                eps: 0.2,
+                min_pts: 1,
+            },
+        );
+        assert_eq!(r.cluster_count, 60);
+    }
+
+    #[test]
+    fn identical_structures_do_cluster() {
+        let areas: Vec<AccessArea> = (0..10)
+            .map(|_| area("SELECT * FROM SpecObjAll WHERE class = 'star'"))
+            .collect();
+        let r = cluster_olapclus(
+            &areas,
+            &DbscanParams {
+                eps: 0.2,
+                min_pts: 3,
+            },
+        );
+        assert_eq!(r.cluster_count, 1);
+        assert_eq!(r.noise_count(), 0);
+    }
+
+    #[test]
+    fn different_tables_are_maximally_distant() {
+        let a = area("SELECT * FROM Photoz WHERE z > 1");
+        let b = area("SELECT * FROM SpecObjAll WHERE z > 1");
+        assert!(olapclus_distance(&a, &b) >= 1.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! "Modified OLAPClus on raw queries" (Section 6.5): the paper's own
+//! `d_conj` overlap distance, but computed on access areas extracted
+//! *naively* — predicates taken as-is, without the Section 4
+//! transformations.
+//!
+//! The paper shows this breaks Clusters 2, 5, 8, 9, 11, 12, 18, 19, 20 and
+//! 22: those clusters contain aggregate-form queries (Section 4.3) whose
+//! as-is predicates (`HAVING SUM(x) > c` → spurious `x > c`) land far from
+//! the cluster's plain-range members, and Lemma-5-shaped EXISTS pairs turn
+//! into contradictions.
+
+use aa_core::extract::naive::naive_extractor;
+use aa_core::{AccessArea, AccessRanges, DistanceMode, QueryDistance, SchemaProvider};
+use aa_dbscan::{DbscanParams, DbscanResult};
+
+/// Extracts access areas with the naive extractor; unparseable entries
+/// yield `None` (so indexes stay aligned with the input log).
+pub fn naive_areas<S: AsRef<str>>(
+    log: impl IntoIterator<Item = S>,
+    provider: &dyn SchemaProvider,
+) -> Vec<Option<AccessArea>> {
+    let extractor = naive_extractor(provider);
+    log.into_iter()
+        .map(|sql| extractor.extract_sql(sql.as_ref()).ok())
+        .collect()
+}
+
+/// Clusters naive areas with the paper's overlap distance — the fair
+/// comparison of Section 6.5 ("we replace the exact matching of atomic
+/// predicates in OLAPClus by our d_conj").
+pub fn cluster_raw(
+    areas: &[AccessArea],
+    ranges: &AccessRanges,
+    params: &DbscanParams,
+) -> DbscanResult {
+    let metric = QueryDistance::with_mode(ranges, DistanceMode::Dissimilarity);
+    let index = crate::indexing::table_set_index(areas);
+    let distance = |a: &AccessArea, b: &AccessArea| metric.distance(a, b);
+    aa_dbscan::dbscan_with_index(areas, params, &distance, &index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_core::NoSchema;
+
+    #[test]
+    fn naive_extraction_keeps_log_alignment() {
+        let log = vec![
+            "SELECT * FROM T WHERE u > 1",
+            "garbage(",
+            "SELECT * FROM S WHERE v < 2",
+        ];
+        let areas = naive_areas(log, &NoSchema);
+        assert!(areas[0].is_some());
+        assert!(areas[1].is_none());
+        assert!(areas[2].is_some());
+    }
+
+    #[test]
+    fn naive_aggregate_areas_differ_from_faithful() {
+        use aa_core::extract::Extractor;
+        let sql = "SELECT class, SUM(z) FROM SpecObjAll \
+                   WHERE specobjid BETWEEN 100 AND 900 \
+                   GROUP BY class HAVING SUM(z) > 5000";
+        let naive = naive_areas([sql], &NoSchema).pop().flatten().unwrap();
+        let faithful = Extractor::new(&NoSchema).extract_sql(sql).unwrap();
+        // Naive picks up the spurious z > 5000 predicate.
+        assert!(naive.constraint.to_string().contains("z > 5000"));
+        assert!(!faithful.constraint.to_string().contains("5000"));
+    }
+
+    #[test]
+    fn raw_clustering_splits_mixed_forms() {
+        // 20 plain range queries + 10 aggregate-form queries over the same
+        // range. Faithful areas are identical; naive areas fall apart.
+        let mut log: Vec<String> = Vec::new();
+        for i in 0..20 {
+            log.push(format!(
+                "SELECT * FROM T WHERE T.u >= {} AND T.u <= {}",
+                100 + i,
+                900 - i
+            ));
+        }
+        for i in 0..10 {
+            log.push(format!(
+                "SELECT T.g, SUM(T.flux) FROM T WHERE T.u >= {} AND T.u <= {} \
+                 GROUP BY T.g HAVING SUM(T.flux) > {}",
+                100 + i,
+                900 - i,
+                50_000 + i * 1000,
+            ));
+        }
+        let provider = NoSchema;
+        let areas: Vec<AccessArea> = naive_areas(&log, &provider)
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut ranges = AccessRanges::new();
+        ranges.observe_all(&areas);
+        let params = DbscanParams {
+            eps: 0.15,
+            min_pts: 4,
+        };
+        let raw = cluster_raw(&areas, &ranges, &params);
+        // Faithful extraction of the same log clusters as one blob.
+        let faithful: Vec<AccessArea> = log
+            .iter()
+            .map(|s| {
+                aa_core::extract::Extractor::new(&provider)
+                    .extract_sql(s)
+                    .unwrap()
+            })
+            .collect();
+        let mut f_ranges = AccessRanges::new();
+        f_ranges.observe_all(&faithful);
+        let f_result = cluster_raw(&faithful, &f_ranges, &params);
+        assert_eq!(f_result.cluster_count, 1, "faithful forms one cluster");
+        assert_eq!(f_result.noise_count(), 0);
+        // Naive: the aggregate variants do not merge with the plain blob.
+        let plain_label = raw.labels[0];
+        let agg_labels: Vec<_> = raw.labels[20..].to_vec();
+        assert!(
+            agg_labels.iter().any(|l| *l != plain_label),
+            "naive extraction should push aggregate variants out of the cluster"
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! E10 (timing half): cost of the two d_pred readings and of the OLAPClus
+//! exact-matching distance on identical inputs. The *quality* half of the
+//! ablation is the `ablation` binary.
+
+use aa_baselines::olapclus_distance;
+use aa_core::extract::{Extractor, NoSchema};
+use aa_core::{AccessArea, AccessRanges, DistanceMode, QueryDistance};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_modes(c: &mut Criterion) {
+    let ex = Extractor::new(&NoSchema);
+    let a = ex
+        .extract_sql(
+            "SELECT * FROM SpecObjAll WHERE class = 'star' \
+             AND mjd BETWEEN 51578 AND 52178 AND plate BETWEEN 296 AND 3200",
+        )
+        .unwrap();
+    let b = ex
+        .extract_sql(
+            "SELECT * FROM SpecObjAll WHERE class = 'star' \
+             AND mjd BETWEEN 51600 AND 52150 AND plate BETWEEN 310 AND 3150",
+        )
+        .unwrap();
+    let mut ranges = AccessRanges::new();
+    ranges.observe_all([&a, &b]);
+
+    let mut g = c.benchmark_group("ablation_distance");
+    for mode in [DistanceMode::Dissimilarity, DistanceMode::PaperLiteral] {
+        let metric = QueryDistance::with_mode(&ranges, mode);
+        g.bench_function(format!("{mode:?}"), |bench| {
+            bench.iter(|| metric.distance(black_box(&a), black_box(&b)))
+        });
+    }
+    g.bench_function("OlapClusExact", |bench| {
+        bench.iter(|| olapclus_distance(black_box(&a), black_box(&b)))
+    });
+    g.finish();
+
+    let _unused: Vec<AccessArea> = vec![];
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E11: clustering scalability — DBSCAN over growing access-area samples,
+//! with and without the table-set blocking index, single- and
+//! multi-threaded. The paper reports "severe performance problems" with
+//! its off-the-shelf DBSCAN; the blocking index is our answer.
+
+use aa_bench::cluster_areas;
+use aa_core::{AccessArea, AccessRanges, DistanceMode, Pipeline, QueryDistance};
+use aa_dbscan::{dbscan, DbscanParams};
+use aa_skyserver::{generate_log, Dr9Schema, LogConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn sample(n: usize) -> (Vec<AccessArea>, AccessRanges) {
+    let provider = Dr9Schema::new();
+    let pipeline = Pipeline::new(&provider);
+    let log = generate_log(&LogConfig {
+        total: n,
+        seed: 17,
+        min_cluster_size: 10,
+        ..LogConfig::default()
+    });
+    let (extracted, _, _) = pipeline.process_log(log.iter().map(|e| e.sql.as_str()));
+    let areas: Vec<AccessArea> = extracted.into_iter().map(|q| q.area).collect();
+    let mut ranges = AccessRanges::new();
+    ranges.observe_all(areas.iter());
+    (areas, ranges)
+}
+
+fn bench_dbscan(c: &mut Criterion) {
+    let params = DbscanParams {
+        eps: 0.06,
+        min_pts: 8,
+    };
+    let mut g = c.benchmark_group("dbscan");
+    g.sample_size(10);
+    for n in [500usize, 1_000, 2_000] {
+        let (areas, ranges) = sample(n);
+        g.bench_with_input(BenchmarkId::new("brute_force", n), &n, |b, _| {
+            let metric = QueryDistance::with_mode(&ranges, DistanceMode::Dissimilarity);
+            b.iter(|| {
+                dbscan(&areas, &params, |x: &AccessArea, y: &AccessArea| {
+                    metric.distance(x, y)
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("blocked_parallel", n), &n, |b, _| {
+            b.iter(|| cluster_areas(&areas, &ranges, &params, DistanceMode::Dissimilarity, 4))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dbscan);
+criterion_main!(benches);

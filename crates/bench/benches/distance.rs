@@ -1,0 +1,56 @@
+//! Microbenchmarks for the query distance (Section 5): per-pair cost for
+//! the predicate shapes that dominate the SkyServer log.
+
+use aa_core::extract::{Extractor, NoSchema};
+use aa_core::{AccessArea, AccessRanges, DistanceMode, QueryDistance};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn areas(sqls: &[&str]) -> Vec<AccessArea> {
+    let ex = Extractor::new(&NoSchema);
+    sqls.iter().map(|s| ex.extract_sql(s).unwrap()).collect()
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let pairs = [
+        (
+            "point_vs_point",
+            "SELECT * FROM Photoz WHERE objid = 1237657855534432934",
+            "SELECT * FROM Photoz WHERE objid = 1237666210342830434",
+        ),
+        (
+            "range_vs_range",
+            "SELECT * FROM PhotoObjAll WHERE ra <= 210 AND dec <= 10",
+            "SELECT * FROM PhotoObjAll WHERE ra <= 205 AND dec <= 9",
+        ),
+        (
+            "mixed_with_class",
+            "SELECT * FROM SpecObjAll WHERE class = 'star' AND mjd BETWEEN 51578 AND 52178 AND plate BETWEEN 296 AND 3200",
+            "SELECT * FROM SpecObjAll WHERE class = 'star' AND mjd BETWEEN 51600 AND 52100 AND plate BETWEEN 300 AND 3100",
+        ),
+        (
+            "cross_table",
+            "SELECT * FROM Photoz WHERE z < 0.1",
+            "SELECT * FROM SpecObjAll WHERE z < 0.1",
+        ),
+    ];
+    let mut ranges = AccessRanges::new();
+    for (_, a, b) in &pairs {
+        let list = areas(&[a, b]);
+        ranges.observe_all(list.iter());
+    }
+
+    for mode in [DistanceMode::Dissimilarity, DistanceMode::PaperLiteral] {
+        let metric = QueryDistance::with_mode(&ranges, mode);
+        let mut g = c.benchmark_group(format!("distance_{mode:?}"));
+        for (name, a, b) in &pairs {
+            let list = areas(&[a, b]);
+            g.bench_function(*name, |bencher| {
+                bencher.iter(|| metric.distance(black_box(&list[0]), black_box(&list[1])))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_distance);
+criterion_main!(benches);

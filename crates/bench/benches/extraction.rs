@@ -1,0 +1,88 @@
+//! Microbenchmarks for the extraction pipeline stages (supports E8):
+//! parse / lower / CNF / consolidate, per query category.
+
+use aa_core::extract::{Extractor, NoSchema};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const SIMPLE: &str = "SELECT u FROM T WHERE u >= 1 AND u <= 8 AND s > 5";
+const JOIN: &str =
+    "SELECT * FROM T INNER JOIN S ON T.u = S.u WHERE T.v > 2 AND S.w BETWEEN 1 AND 9";
+const AGGREGATE: &str =
+    "SELECT T.u, SUM(T.v) FROM T WHERE T.v < 3 GROUP BY T.u HAVING SUM(T.v) > 100";
+const NESTED: &str = "SELECT * FROM T WHERE T.u > 7 AND EXISTS \
+     (SELECT * FROM S WHERE S.u = T.u AND S.v < 3 AND EXISTS \
+      (SELECT * FROM R WHERE R.v = S.v AND R.x < 9))";
+
+fn wide_query(atoms: usize) -> String {
+    let preds: Vec<String> = (0..atoms).map(|i| format!("c{i} > {i}")).collect();
+    format!("SELECT * FROM T WHERE {}", preds.join(" AND "))
+}
+
+fn deep_or_query(pairs: usize) -> String {
+    let ors: Vec<String> = (0..pairs)
+        .map(|i| format!("(a{i} > {i} AND b{i} < {i})"))
+        .collect();
+    format!("SELECT * FROM T WHERE {}", ors.join(" OR "))
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parse");
+    for (name, sql) in [
+        ("simple", SIMPLE),
+        ("join", JOIN),
+        ("aggregate", AGGREGATE),
+        ("nested", NESTED),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| aa_sql::parse_select(black_box(sql)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let provider = NoSchema;
+    let extractor = Extractor::new(&provider);
+    let mut g = c.benchmark_group("stages");
+    for (name, sql) in [
+        ("simple", SIMPLE),
+        ("join", JOIN),
+        ("aggregate", AGGREGATE),
+        ("nested", NESTED),
+    ] {
+        let parsed = aa_sql::parse_select(sql).unwrap();
+        g.bench_function(format!("lower/{name}"), |b| {
+            b.iter(|| extractor.lower(black_box(&parsed)).unwrap())
+        });
+        let lowered = extractor.lower(&parsed).unwrap();
+        g.bench_function(format!("cnf/{name}"), |b| {
+            b.iter(|| extractor.convert(black_box(lowered.clone())))
+        });
+        let (converted, _) = extractor.convert(lowered);
+        g.bench_function(format!("consolidate/{name}"), |b| {
+            b.iter(|| extractor.consolidate(black_box(converted.clone())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let provider = NoSchema;
+    let extractor = Extractor::new(&provider);
+    let mut g = c.benchmark_group("end_to_end");
+    for (name, sql) in [
+        ("simple", SIMPLE.to_string()),
+        ("nested", NESTED.to_string()),
+        ("wide_30_atoms", wide_query(30)),
+        // The CNF pathology kept finite by the 35-atom cap.
+        ("deep_or_24_pairs_capped", deep_or_query(24)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| extractor.extract_sql(black_box(&sql)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_stages, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E9 (efficiency half): per-query cost of log-only extraction vs
+//! re-issuing the query against the database.
+
+use aa_baselines::{requery_log, RequeryConfig};
+use aa_core::Pipeline;
+use aa_engine::ExecOptions;
+use aa_skyserver::{build_catalog, generate_log, LogConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_extract_vs_requery(c: &mut Criterion) {
+    let catalog = build_catalog(0.05, 3);
+    let log = generate_log(&LogConfig {
+        total: 200,
+        seed: 23,
+        pathological_fraction: 0.0,
+        min_cluster_size: 5,
+        ..LogConfig::default()
+    });
+    let sqls: Vec<&str> = log.iter().map(|e| e.sql.as_str()).collect();
+
+    let mut g = c.benchmark_group("extract_vs_requery");
+    g.sample_size(10);
+    g.bench_function("extract_200_queries", |b| {
+        let pipeline = Pipeline::new(&catalog);
+        b.iter(|| pipeline.process_log(sqls.iter().copied()))
+    });
+    g.bench_function("requery_200_queries", |b| {
+        let config = RequeryConfig {
+            arrival_per_minute: f64::INFINITY, // don't block on the limiter
+            server_per_minute: u32::MAX,
+            exec: ExecOptions::default(),
+        };
+        b.iter(|| requery_log(&catalog, sqls.iter().copied(), &config))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_extract_vs_requery);
+criterion_main!(benches);

@@ -1,0 +1,279 @@
+//! Cluster aggregation (Section 6.2): from a DBSCAN cluster of access
+//! areas to one aggregated access area — the minimum bounding
+//! hyper-rectangle of the members' boxes, with the paper's 3-standard-
+//! deviation trim on range bounds.
+
+use aa_core::{AccessArea, AtomicPredicate, Interval, QualifiedColumn};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An aggregated access area for one cluster.
+#[derive(Debug, Clone)]
+pub struct AggregatedArea {
+    /// DBSCAN cluster id.
+    pub cluster_id: usize,
+    /// Number of member queries.
+    pub cardinality: usize,
+    /// Tables of the members' universal relations (display names).
+    pub tables: BTreeSet<String>,
+    /// Per-column aggregated numeric ranges.
+    pub numeric: Vec<(QualifiedColumn, Interval)>,
+    /// Per-column aggregated categorical value sets.
+    pub categorical: Vec<(QualifiedColumn, BTreeSet<String>)>,
+    /// Join predicates present in at least half the members.
+    pub joins: Vec<AtomicPredicate>,
+}
+
+/// Drops values outside mean ± 3σ ("we leave out extreme range bounds by
+/// applying the 3-standard deviation rule").
+fn three_sigma_trim(values: &[f64]) -> Vec<f64> {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.len() < 3 {
+        return finite;
+    }
+    let n = finite.len() as f64;
+    let mean = finite.iter().sum::<f64>() / n;
+    let var = finite.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    let sd = var.sqrt();
+    if sd == 0.0 {
+        return finite;
+    }
+    finite
+        .into_iter()
+        .filter(|v| (v - mean).abs() <= 3.0 * sd)
+        .collect()
+}
+
+/// Aggregates the access areas of one cluster.
+pub fn aggregate_cluster(
+    cluster_id: usize,
+    members: &[&AccessArea],
+) -> AggregatedArea {
+    let mut tables: BTreeSet<String> = BTreeSet::new();
+    let mut los: BTreeMap<QualifiedColumn, Vec<f64>> = BTreeMap::new();
+    let mut his: BTreeMap<QualifiedColumn, Vec<f64>> = BTreeMap::new();
+    let mut cats: BTreeMap<QualifiedColumn, BTreeSet<String>> = BTreeMap::new();
+    let mut join_counts: BTreeMap<String, (AtomicPredicate, usize)> = BTreeMap::new();
+
+    for area in members {
+        tables.extend(area.table_names().map(str::to_string));
+        for (col, iv) in area.conjunctive_intervals() {
+            los.entry(col.clone()).or_default().push(iv.lo);
+            his.entry(col).or_default().push(iv.hi);
+        }
+        for (col, values) in area.categorical_values() {
+            cats.entry(col).or_default().extend(values);
+        }
+        for join in area.join_atoms() {
+            let key = join.to_string().to_lowercase();
+            join_counts
+                .entry(key)
+                .and_modify(|(_, n)| *n += 1)
+                .or_insert(((*join).clone(), 1));
+        }
+    }
+
+    let mut numeric = Vec::new();
+    for (col, lo_vals) in &los {
+        let hi_vals = &his[col];
+        // Unbounded members keep the aggregated side unbounded.
+        let lo_unbounded = lo_vals.contains(&f64::NEG_INFINITY);
+        let hi_unbounded = hi_vals.contains(&f64::INFINITY);
+        let lo_trimmed = three_sigma_trim(lo_vals);
+        let hi_trimmed = three_sigma_trim(hi_vals);
+        let lo = if lo_unbounded {
+            f64::NEG_INFINITY
+        } else {
+            lo_trimmed.iter().copied().fold(f64::INFINITY, f64::min)
+        };
+        let hi = if hi_unbounded {
+            f64::INFINITY
+        } else {
+            hi_trimmed.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        };
+        if lo == f64::INFINITY && hi == f64::NEG_INFINITY {
+            continue; // everything trimmed away
+        }
+        numeric.push((
+            col.clone(),
+            Interval {
+                lo,
+                hi,
+                lo_open: false,
+                hi_open: false,
+            },
+        ));
+    }
+
+    let half = members.len().div_ceil(2);
+    let joins = join_counts
+        .into_values()
+        .filter(|(_, n)| *n >= half)
+        .map(|(p, _)| p)
+        .collect();
+
+    AggregatedArea {
+        cluster_id,
+        cardinality: members.len(),
+        tables,
+        numeric,
+        categorical: cats.into_iter().collect(),
+        joins,
+    }
+}
+
+impl std::fmt::Display for AggregatedArea {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        for (col, iv) in &self.numeric {
+            let part = match (iv.lo.is_finite(), iv.hi.is_finite()) {
+                (true, true) if iv.lo == iv.hi => format!("{col} = {}", fmt_num(iv.lo)),
+                (true, true) => {
+                    format!("{} <= {col} <= {}", fmt_num(iv.lo), fmt_num(iv.hi))
+                }
+                (true, false) => format!("{col} >= {}", fmt_num(iv.lo)),
+                (false, true) => format!("{col} <= {}", fmt_num(iv.hi)),
+                (false, false) => continue,
+            };
+            parts.push(part);
+        }
+        for (col, values) in &self.categorical {
+            if values.len() == 1 {
+                parts.push(format!(
+                    "{col} = '{}'",
+                    values.iter().next().expect("len 1")
+                ));
+            } else {
+                let alts: Vec<String> =
+                    values.iter().map(|v| format!("{col} = '{v}'")).collect();
+                parts.push(format!("({})", alts.join(" OR ")));
+            }
+        }
+        for join in &self.joins {
+            parts.push(join.to_string());
+        }
+        if parts.is_empty() {
+            write!(f, "TRUE")
+        } else {
+            write!(f, "{}", parts.join(" AND "))
+        }
+    }
+}
+
+/// Formats a bound with thousands separators for id-scale integers.
+fn fmt_num(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 9.3e18 {
+        let i = x as i64;
+        if i.abs() >= 10_000 {
+            // Group digits by threes, as Table 1 prints ids.
+            let s = i.abs().to_string();
+            let mut grouped = String::new();
+            for (idx, ch) in s.chars().enumerate() {
+                if idx > 0 && (s.len() - idx).is_multiple_of(3) {
+                    grouped.push(',');
+                }
+                grouped.push(ch);
+            }
+            if i < 0 {
+                format!("-{grouped}")
+            } else {
+                grouped
+            }
+        } else {
+            i.to_string()
+        }
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_core::extract::{Extractor, NoSchema};
+
+    fn areas(sqls: &[String]) -> Vec<AccessArea> {
+        let ex = Extractor::new(&NoSchema);
+        sqls.iter().map(|s| ex.extract_sql(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn aggregates_point_queries_into_a_range() {
+        let sqls: Vec<String> = (0..20)
+            .map(|i| format!("SELECT * FROM Photoz WHERE objid = {}", 1000 + i * 10))
+            .collect();
+        let list = areas(&sqls);
+        let refs: Vec<&AccessArea> = list.iter().collect();
+        let agg = aggregate_cluster(0, &refs);
+        assert_eq!(agg.cardinality, 20);
+        let (_, iv) = &agg.numeric[0];
+        assert_eq!((iv.lo, iv.hi), (1000.0, 1190.0));
+    }
+
+    #[test]
+    fn three_sigma_drops_extreme_bounds() {
+        // 30 tight ranges plus one wild outlier bound.
+        let mut sqls: Vec<String> = (0..30)
+            .map(|i| {
+                format!(
+                    "SELECT * FROM T WHERE u >= {} AND u <= {}",
+                    100 + i,
+                    200 + i
+                )
+            })
+            .collect();
+        sqls.push("SELECT * FROM T WHERE u >= -1000000 AND u <= 200".to_string());
+        let list = areas(&sqls);
+        let refs: Vec<&AccessArea> = list.iter().collect();
+        let agg = aggregate_cluster(0, &refs);
+        let (_, iv) = &agg.numeric[0];
+        assert_eq!(iv.lo, 100.0, "outlier bound trimmed");
+        assert_eq!(iv.hi, 229.0);
+    }
+
+    #[test]
+    fn one_sided_ranges_stay_one_sided() {
+        let sqls: Vec<String> = (0..10)
+            .map(|i| format!("SELECT * FROM PhotoObjAll WHERE ra <= {}", 200 + i))
+            .collect();
+        let list = areas(&sqls);
+        let refs: Vec<&AccessArea> = list.iter().collect();
+        let agg = aggregate_cluster(0, &refs);
+        let (_, iv) = &agg.numeric[0];
+        assert!(iv.lo == f64::NEG_INFINITY);
+        assert_eq!(iv.hi, 209.0);
+        assert!(agg.to_string().contains("ra <= 209"));
+    }
+
+    #[test]
+    fn categorical_and_joins_aggregate() {
+        let sqls: Vec<String> = (0..6)
+            .map(|i| {
+                format!(
+                    "SELECT * FROM A, B WHERE A.class IN ('star', 'qso') \
+                     AND A.id = B.id AND A.x > {i}"
+                )
+            })
+            .collect();
+        let list = areas(&sqls);
+        let refs: Vec<&AccessArea> = list.iter().collect();
+        let agg = aggregate_cluster(0, &refs);
+        assert_eq!(agg.categorical.len(), 1);
+        assert_eq!(agg.categorical[0].1.len(), 2);
+        assert_eq!(agg.joins.len(), 1);
+        let shown = agg.to_string();
+        assert!(shown.contains("A.id = B.id"), "{shown}");
+        assert!(shown.contains("A.class = 'qso'"), "{shown}");
+    }
+
+    #[test]
+    fn id_bounds_format_with_separators() {
+        // (the id rounds to the nearest f64-representable integer)
+        assert_eq!(
+            fmt_num(1_237_657_855_534_432_934f64.round()),
+            "1,237,657,855,534,433,024"
+        );
+        assert_eq!(fmt_num(209.0), "209");
+        assert_eq!(fmt_num(0.1), "0.1");
+        assert_eq!(fmt_num(-12_345.0), "-12,345");
+    }
+}

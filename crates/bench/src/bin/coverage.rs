@@ -1,0 +1,101 @@
+//! **E5 — Section 6.1**: extraction coverage and failure taxonomy.
+//!
+//! The paper: 12,442,989 log entries, 12,375,426 extracted (99.46%);
+//! the 67,563 failures "(a) contain errors, (b) use user-defined
+//! SkyServer-specific functions, or (c) are not SELECT queries".
+
+use aa_bench::{banner, prepare, ExperimentConfig, TextTable};
+use aa_skyserver::{GroundTruth, PathologicalKind};
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    banner("Section 6.1 reproduction: extraction coverage");
+    let data = prepare(&config);
+
+    let paper_total = 12_442_989u64;
+    let paper_extracted = 12_375_426u64;
+
+    let mut table = TextTable::new(&["Metric", "Paper", "Ours"]);
+    table.row(vec![
+        "log entries".into(),
+        paper_total.to_string(),
+        data.stats.total.to_string(),
+    ]);
+    table.row(vec![
+        "areas extracted".into(),
+        paper_extracted.to_string(),
+        data.stats.extracted.to_string(),
+    ]);
+    table.row(vec![
+        "extraction rate".into(),
+        format!("{:.2}%", 100.0 * paper_extracted as f64 / paper_total as f64),
+        format!("{:.2}%", 100.0 * data.stats.extraction_rate()),
+    ]);
+    print!("{}", table.render());
+
+    banner("Failure taxonomy (the paper's classes (a)/(b)/(c))");
+    let mut fails = TextTable::new(&["Class", "Count", "Expected (ground truth)"]);
+    let truth_count = |kind: PathologicalKind| {
+        data.log
+            .iter()
+            .filter(|e| e.truth == GroundTruth::Pathological(kind))
+            .count()
+    };
+    fails.row(vec![
+        "(a) syntax errors".into(),
+        data.stats.syntax_errors.to_string(),
+        truth_count(PathologicalKind::SyntaxError).to_string(),
+    ]);
+    fails.row(vec![
+        "(b) user-defined functions".into(),
+        data.stats.udf.to_string(),
+        truth_count(PathologicalKind::UserDefinedFunction).to_string(),
+    ]);
+    fails.row(vec![
+        "(c) non-SELECT statements".into(),
+        data.stats.not_select.to_string(),
+        truth_count(PathologicalKind::AdminStatement).to_string(),
+    ]);
+    fails.row(vec![
+        "other unsupported".into(),
+        data.stats.unsupported.to_string(),
+        "0".into(),
+    ]);
+    print!("{}", fails.render());
+
+    banner("Extraction quality flags");
+    println!(
+        "approximate areas      : {} ({:.2}% of extracted)",
+        data.stats.approximate,
+        100.0 * data.stats.approximate as f64 / data.stats.extracted.max(1) as f64
+    );
+    println!(
+        "provably empty areas   : {}",
+        data.stats.provably_empty
+    );
+    println!(
+        "MySQL-dialect queries  : {} (parsed and extracted despite being MSSQL-invalid)",
+        data.stats.mysql_dialect
+    );
+    println!(
+        "pipeline wall time     : {:.2?} for {} entries ({:.0} queries/s)",
+        data.stats.wall,
+        data.stats.total,
+        data.stats.total as f64 / data.stats.wall.as_secs_f64()
+    );
+
+    // Cross-check: every failure should be a planted pathological entry.
+    let misclassified = data
+        .failed
+        .iter()
+        .filter(|f| {
+            !matches!(
+                data.log[f.log_index].truth,
+                GroundTruth::Pathological(_)
+            )
+        })
+        .count();
+    println!(
+        "\nnon-pathological entries that failed extraction: {misclassified} (should be 0)"
+    );
+}

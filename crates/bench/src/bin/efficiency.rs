@@ -1,0 +1,122 @@
+//! **E8 — Section 6.6 (efficiency)**: extraction throughput and per-step
+//! timings, including the CNF-blowup pathology and its 35-predicate cap.
+//!
+//! The paper: "Our method processes 100,000 queries in about 45 seconds"
+//! (2009-era Intel i5-750); per-step times — Parsing <1–94 ms, Extraction
+//! <1–1333 ms, CNF <1 ms–hours (unbounded without the cap), Consolidation
+//! <1–95 ms; "only 471 queries with more than 35 predicates".
+
+use aa_bench::{banner, ExperimentConfig, TextTable};
+use aa_core::{ExtractConfig, Pipeline};
+use aa_skyserver::{generate_log, Dr9Schema, LogConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    let total = if std::env::var("AA_LOG_TOTAL").is_ok() {
+        config.log.total
+    } else {
+        100_000 // the paper's headline batch size
+    };
+    banner("Section 6.6 reproduction: extraction efficiency");
+
+    let log_config = LogConfig {
+        total,
+        ..config.log.clone()
+    };
+    let log = generate_log(&log_config);
+    let provider = Dr9Schema::new();
+    let pipeline = Pipeline::new(&provider);
+
+    let (extracted, _failed, stats) =
+        pipeline.process_log(log.iter().map(|e| e.sql.as_str()));
+    println!(
+        "processed {} queries in {:.2?} ({:.0} queries/s); extracted {}",
+        stats.total,
+        stats.wall,
+        stats.total as f64 / stats.wall.as_secs_f64(),
+        stats.extracted,
+    );
+    println!(
+        "paper: 100,000 queries ≈ 45 s on an Intel i5-750 (≈2,200 queries/s)"
+    );
+
+    banner("Per-step timings (min .. max over the batch)");
+    let mut table = TextTable::new(&["Step", "Ours min", "Ours max", "Paper min", "Paper max"]);
+    let fmt = |d: Duration| format!("{:.3} ms", d.as_secs_f64() * 1e3);
+    let row = |name: &str,
+               range: Option<(Duration, Duration)>,
+               paper: (&str, &str),
+               table: &mut TextTable| {
+        let (lo, hi) = range.unwrap_or_default();
+        table.row(vec![
+            name.into(),
+            fmt(lo),
+            fmt(hi),
+            paper.0.into(),
+            paper.1.into(),
+        ]);
+    };
+    row("Parsing", stats.parse_range, ("<1 ms", "94 ms"), &mut table);
+    row(
+        "Extraction",
+        stats.extract_range,
+        ("<1 ms", "1333 ms"),
+        &mut table,
+    );
+    row("CNF", stats.cnf_range, ("<1 ms", "undefined"), &mut table);
+    row(
+        "Consolidation",
+        stats.consolidate_range,
+        ("<1 ms", "95 ms"),
+        &mut table,
+    );
+    print!("{}", table.render());
+
+    // The CNF pathology: queries whose OR-of-AND structure explodes under
+    // distribution. With the paper's 35-atom cap the conversion stays
+    // bounded; uncapped it blows past the clause guard.
+    banner("CNF blowup pathology (the paper's 471 >35-predicate queries)");
+    let mut rng = StdRng::seed_from_u64(9);
+    let adversarial: Vec<String> = (0..20).map(|_| adversarial_query(&mut rng)).collect();
+
+    for (name, cfg) in [
+        ("with 35-atom cap (paper's workaround)", ExtractConfig::default()),
+        (
+            "uncapped atoms (clause guard only)",
+            ExtractConfig {
+                atom_cap: usize::MAX,
+                ..ExtractConfig::default()
+            },
+        ),
+    ] {
+        let pipeline = Pipeline::with_config(&provider, cfg);
+        let start = std::time::Instant::now();
+        let (ok, _, s) = pipeline.process_log(adversarial.iter().map(String::as_str));
+        let approx = ok.iter().filter(|q| !q.area.exact).count();
+        println!(
+            "  {name}: {} queries in {:.2?} ({} flagged approximate), max CNF step {:.3} ms",
+            s.total,
+            start.elapsed(),
+            approx,
+            s.cnf_range.map_or(0.0, |(_, hi)| hi.as_secs_f64() * 1e3),
+        );
+    }
+
+    // Keep the extracted areas alive so the optimizer cannot drop the work.
+    assert!(extracted.len() > total / 2);
+}
+
+/// An OR-of-ANDs WHERE clause with ~48 predicates: CNF has 2^24 clauses
+/// uncapped.
+fn adversarial_query(rng: &mut StdRng) -> String {
+    let mut ors = Vec::new();
+    for i in 0..24 {
+        let a = rng.gen_range(0..1000);
+        let b = rng.gen_range(0..1000);
+        ors.push(format!("(c{i} > {a} AND d{i} < {b})"));
+    }
+    format!("SELECT * FROM PhotoObjAll WHERE {}", ors.join(" OR "))
+}

@@ -1,0 +1,210 @@
+//! **E2–E4 — Figure 1**: access areas vs database content in three 2-D
+//! subspaces of the data space:
+//!
+//! * (a) `SpecObjAll.plate × SpecObjAll.mjd` — accessed box inside the
+//!   content (Example 1 / Cluster 9);
+//! * (b) `PhotoObjAll.ra × PhotoObjAll.dec` — access spans the content
+//!   *and* a contiguous empty area (Clusters 5 + 18);
+//! * (c) `zooSpec.ra × zooSpec.dec` — non-contiguous empty areas larger
+//!   than the content (Clusters 14 + 22).
+//!
+//! Prints the numeric boxes (the figure's data) and an ASCII rendering.
+//! Pass `a`, `b`, or `c` to select one panel; default renders all three.
+
+use aa_bench::{aggregate_cluster, banner, cluster_areas, prepare, ExperimentConfig};
+use aa_core::{AccessArea, Interval, QualifiedColumn};
+use aa_engine::{exact_column_content, ColumnContent};
+
+struct Panel {
+    name: &'static str,
+    table: &'static str,
+    x: &'static str,
+    y: &'static str,
+    /// Domain shown on the plot (the data space).
+    x_domain: (f64, f64),
+    y_domain: (f64, f64),
+}
+
+const PANELS: &[Panel] = &[
+    Panel {
+        name: "a",
+        table: "SpecObjAll",
+        x: "plate",
+        y: "mjd",
+        x_domain: (0.0, 10_000.0),
+        y_domain: (50_000.0, 60_000.0),
+    },
+    Panel {
+        name: "b",
+        table: "PhotoObjAll",
+        x: "ra",
+        y: "dec",
+        x_domain: (0.0, 360.0),
+        y_domain: (-90.0, 90.0),
+    },
+    Panel {
+        name: "c",
+        table: "zooSpec",
+        x: "ra",
+        y: "dec",
+        x_domain: (0.0, 360.0),
+        y_domain: (-100.0, 90.0),
+    },
+];
+
+fn main() {
+    let selected: Option<String> = std::env::args().nth(1);
+    let config = ExperimentConfig::from_env();
+    banner("Figure 1 reproduction: subspace content vs clustered access areas");
+    let data = prepare(&config);
+    let areas: Vec<AccessArea> = data.extracted.iter().map(|q| q.area.clone()).collect();
+    let result = cluster_areas(
+        &areas,
+        &data.ranges,
+        &config.dbscan,
+        config.distance_mode,
+        config.threads,
+    );
+    let clusters = result.clusters();
+
+    for panel in PANELS {
+        if let Some(sel) = &selected {
+            if !sel.eq_ignore_ascii_case(panel.name) {
+                continue;
+            }
+        }
+        render_panel(panel, &data, &areas, &clusters);
+    }
+}
+
+fn render_panel(
+    panel: &Panel,
+    data: &aa_bench::ExperimentData,
+    areas: &[AccessArea],
+    clusters: &[Vec<usize>],
+) {
+    banner(&format!(
+        "Figure 1({}): {}.{} vs {}.{}",
+        panel.name, panel.table, panel.x, panel.table, panel.y
+    ));
+
+    // Content box of the subspace.
+    let table = data.catalog.table(panel.table).expect("table exists");
+    let content_x = content_interval(exact_column_content(table, panel.x));
+    let content_y = content_interval(exact_column_content(table, panel.y));
+    println!(
+        "data space : {} in [{}, {}], {} in [{}, {}]",
+        panel.x, panel.x_domain.0, panel.x_domain.1, panel.y, panel.y_domain.0, panel.y_domain.1
+    );
+    println!(
+        "content box: {} in [{:.0}, {:.0}], {} in [{:.0}, {:.0}]",
+        panel.x, content_x.lo, content_x.hi, panel.y, content_y.lo, content_y.hi
+    );
+
+    // Aggregated cluster boxes constraining both axes of this subspace.
+    let x_col = QualifiedColumn::new(panel.table, panel.x);
+    let y_col = QualifiedColumn::new(panel.table, panel.y);
+    let mut boxes: Vec<(usize, Interval, Interval, bool)> = Vec::new();
+    for (cid, members) in clusters.iter().enumerate() {
+        if members.len() < 3 {
+            continue;
+        }
+        let member_areas: Vec<&AccessArea> = members.iter().map(|&i| &areas[i]).collect();
+        if !member_areas[0].has_table(panel.table) {
+            continue;
+        }
+        let agg = aggregate_cluster(cid, &member_areas);
+        let bx = agg.numeric.iter().find(|(c, _)| *c == x_col).map(|(_, iv)| *iv);
+        let by = agg.numeric.iter().find(|(c, _)| *c == y_col).map(|(_, iv)| *iv);
+        if bx.is_none() && by.is_none() {
+            continue;
+        }
+        // Unconstrained axes span the subspace's domain.
+        let bx = clamp_domain(bx.unwrap_or(Interval::all()), panel.x_domain);
+        let by = clamp_domain(by.unwrap_or(Interval::all()), panel.y_domain);
+        let empty = !bx.overlaps(&content_x) || !by.overlaps(&content_y);
+        boxes.push((cid, bx, by, empty));
+    }
+    boxes.sort_by(|a, b| (b.1.width() * b.2.width()).total_cmp(&(a.1.width() * a.2.width())));
+
+    println!("\naccessed cluster boxes in this subspace:");
+    for (cid, bx, by, empty) in &boxes {
+        println!(
+            "  cluster {:>3} ({} members): {} in [{:.0}, {:.0}], {} in [{:.0}, {:.0}]{}",
+            cid,
+            clusters[*cid].len(),
+            panel.x,
+            bx.lo,
+            bx.hi,
+            panel.y,
+            by.lo,
+            by.hi,
+            if *empty { "  <- EMPTY AREA" } else { "" }
+        );
+    }
+
+    // ASCII rendering: '.' content, letters for access boxes, '#' overlap.
+    const W: usize = 72;
+    const H: usize = 22;
+    let mut grid = vec![vec![' '; W]; H];
+    let to_cell = |x: f64, y: f64| -> (usize, usize) {
+        let cx = ((x - panel.x_domain.0) / (panel.x_domain.1 - panel.x_domain.0)
+            * (W as f64 - 1.0))
+            .clamp(0.0, W as f64 - 1.0) as usize;
+        let cy = ((y - panel.y_domain.0) / (panel.y_domain.1 - panel.y_domain.0)
+            * (H as f64 - 1.0))
+            .clamp(0.0, H as f64 - 1.0) as usize;
+        (cx, H - 1 - cy)
+    };
+    // Content region.
+    let (cx0, cy1) = to_cell(content_x.lo, content_y.lo);
+    let (cx1, cy0) = to_cell(content_x.hi, content_y.hi);
+    for row in grid.iter_mut().take(cy1 + 1).skip(cy0) {
+        for cell in row.iter_mut().take(cx1 + 1).skip(cx0) {
+            *cell = '.';
+        }
+    }
+    // Access boxes (largest first so small ones stay visible).
+    for (i, (_, bx, by, _)) in boxes.iter().enumerate().take(8) {
+        let label = (b'A' + i as u8) as char;
+        let (x0, y1) = to_cell(bx.lo.max(panel.x_domain.0), by.lo.max(panel.y_domain.0));
+        let (x1, y0) = to_cell(bx.hi.min(panel.x_domain.1), by.hi.min(panel.y_domain.1));
+        for row in grid.iter_mut().take(y1 + 1).skip(y0) {
+            for cell in row.iter_mut().take(x1 + 1).skip(x0) {
+                *cell = if *cell == '.' || *cell == '#' { '#' } else { label };
+            }
+        }
+    }
+    println!(
+        "\n  legend: '.' content, '#' accessed content, letters = accessed empty area\n"
+    );
+    println!(
+        "  ^ {} = {:.0}",
+        panel.y, panel.y_domain.1
+    );
+    for row in &grid {
+        println!("  |{}", row.iter().collect::<String>());
+    }
+    println!(
+        "  +{} > {} = {:.0}",
+        "-".repeat(W),
+        panel.x,
+        panel.x_domain.1
+    );
+}
+
+fn content_interval(content: ColumnContent) -> Interval {
+    match content {
+        ColumnContent::Numeric { min, max } => Interval::closed(min, max),
+        _ => Interval::closed(0.0, 0.0),
+    }
+}
+
+fn clamp_domain(iv: Interval, domain: (f64, f64)) -> Interval {
+    Interval {
+        lo: iv.lo.max(domain.0),
+        hi: iv.hi.min(domain.1),
+        lo_open: false,
+        hi_open: false,
+    }
+}

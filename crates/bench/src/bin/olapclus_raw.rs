@@ -1,0 +1,119 @@
+//! **E7 — Section 6.5**: the paper's own overlap distance applied to
+//! *raw* (as-is) predicates breaks Clusters 2, 5, 8, 9, 11, 12, 18, 19,
+//! 20 and 22 — exactly the clusters containing Section 4.3-form queries.
+//!
+//! Here "raw" means the naive extractor: outer-join conditions kept,
+//! `HAVING AGG(a) θ c` mapped to `a θ c`, EXISTS subqueries ungrouped.
+
+use aa_bench::{banner, cluster_areas, prepare, ExperimentConfig, TextTable};
+use aa_core::AccessArea;
+use aa_skyserver::{evaluate, TABLE1};
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    banner("Section 6.5 reproduction: faithful vs as-is predicate extraction");
+    let data = prepare(&config);
+
+    // Faithful areas come from `prepare`; naive areas from the naive
+    // extractor over the same log (aligned via log_index).
+    let naive_all = aa_baselines::naive_areas(
+        data.log.iter().map(|e| e.sql.as_str()),
+        &data.catalog,
+    );
+    let mut naive_areas: Vec<AccessArea> = Vec::new();
+    let mut naive_truths = Vec::new();
+    for (i, area) in naive_all.into_iter().enumerate() {
+        if let Some(a) = area {
+            naive_areas.push(a);
+            naive_truths.push(data.log[i].truth);
+        }
+    }
+    let mut naive_ranges = aa_core::AccessRanges::from_catalog(&data.catalog, 100);
+    naive_ranges.observe_all(naive_areas.iter());
+
+    let faithful_areas: Vec<AccessArea> =
+        data.extracted.iter().map(|q| q.area.clone()).collect();
+
+    let faithful = cluster_areas(
+        &faithful_areas,
+        &data.ranges,
+        &config.dbscan,
+        config.distance_mode,
+        config.threads,
+    );
+    let naive = cluster_areas(
+        &naive_areas,
+        &naive_ranges,
+        &config.dbscan,
+        config.distance_mode,
+        config.threads,
+    );
+
+    let faithful_report = evaluate(&data.truths, &faithful.labels, faithful.cluster_count);
+    let naive_report = evaluate(&naive_truths, &naive.labels, naive.cluster_count);
+
+    let mut table = TextTable::new(&[
+        "Cluster",
+        "Aggregate-form share",
+        "Faithful recall",
+        "Naive recall",
+        "Broken by naive",
+        "Paper says broken",
+    ]);
+    let mut broken_matches = 0usize;
+    let mut broken_total = 0usize;
+    for spec in TABLE1 {
+        let f = faithful_report
+            .per_cluster
+            .iter()
+            .find(|c| c.planted == spec.id);
+        let n = naive_report
+            .per_cluster
+            .iter()
+            .find(|c| c.planted == spec.id);
+        let f_ok = f.is_some_and(|c| c.is_recovered());
+        let n_ok = n.is_some_and(|c| c.is_recovered());
+        // Broken: the naive cluster sheds a meaningful share of its
+        // queries (the as-is-extracted variants drift away), or is no
+        // longer recovered at all.
+        let f_recall = f.map_or(0.0, |c| c.recall);
+        let n_recall = n.map_or(0.0, |c| c.recall);
+        let broken = f_ok && (!n_ok || n_recall < f_recall - 0.05);
+        if spec.breakable {
+            broken_total += 1;
+            if broken {
+                broken_matches += 1;
+            }
+        }
+        table.row(vec![
+            spec.id.to_string(),
+            if spec.breakable {
+                format!("{:.0}%", 100.0 * aa_skyserver::AGGREGATE_VARIANT_SHARE)
+            } else {
+                "0%".into()
+            },
+            f.map_or("0.00".into(), |c| format!("{:.2}", c.recall)),
+            n.map_or("0.00".into(), |c| format!("{:.2}", c.recall)),
+            if broken { "YES" } else { "no" }.into(),
+            if spec.breakable { "YES" } else { "no" }.into(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!(
+        "\nfaithful: {} clusters, {}/24 recovered; naive: {} clusters, {}/24 recovered",
+        faithful.cluster_count,
+        faithful_report.recovered_count(),
+        naive.cluster_count,
+        naive_report.recovered_count()
+    );
+    println!(
+        "clusters the paper lists as broken that we also break: {broken_matches}/{broken_total}"
+    );
+    println!(
+        "\nNote: 'broken' here means the planted cluster is no longer recovered as one \
+         coherent DBSCAN cluster once predicates are used as-is — the aggregate-form \
+         share of its queries acquires spurious `a θ c` atoms (or Lemma-5 contradictions) \
+         and drifts out of the cluster, mirroring the paper's observation."
+    );
+}

@@ -1,0 +1,173 @@
+//! **E1 — Table 1**: the paper's 24 aggregated access areas.
+//!
+//! Pipeline: synthetic DR9 catalog + calibrated log → parse/extract →
+//! `access(a)` tracking → DBSCAN under the overlap distance → per-cluster
+//! MBR aggregation (3σ rule) → area/object coverage against the content.
+//!
+//! Environment knobs: `AA_LOG_TOTAL` (default 20000), `AA_SEED`,
+//! `AA_SCALE`, `AA_EPS`, `AA_MINPTS`.
+
+use aa_bench::{
+    aggregate_cluster, banner, cluster_areas, coverage, density_contrast, fmt_coverage,
+    prepare, ExperimentConfig, TextTable,
+};
+use aa_core::AccessArea;
+use aa_skyserver::{GroundTruth, TABLE1};
+use std::collections::HashMap;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    banner("Table 1 reproduction: aggregated access areas from the query log");
+    println!(
+        "log: {} entries (seed {}), catalog scale {}, DBSCAN eps={} minPts={}",
+        config.log.total,
+        config.log.seed,
+        config.catalog_scale,
+        config.dbscan.eps,
+        config.dbscan.min_pts
+    );
+
+    let data = prepare(&config);
+    println!(
+        "extracted {} / {} queries ({:.2}%)",
+        data.stats.extracted,
+        data.stats.total,
+        100.0 * data.stats.extraction_rate()
+    );
+
+    let areas: Vec<AccessArea> = data.extracted.iter().map(|q| q.area.clone()).collect();
+    let result = cluster_areas(
+        &areas,
+        &data.ranges,
+        &config.dbscan,
+        config.distance_mode,
+        config.threads,
+    );
+    println!(
+        "DBSCAN: {} clusters, {} noise points (paper: 403 clusters on the full 5.6M sample)",
+        result.cluster_count,
+        result.noise_count()
+    );
+
+    // Aggregate every cluster and attach ground truth by plurality.
+    let clusters = result.clusters();
+    let mut rows: Vec<(Option<u8>, aa_bench::AggregatedArea, aa_bench::Coverage)> = Vec::new();
+    for (cid, members) in clusters.iter().enumerate() {
+        if members.is_empty() {
+            continue;
+        }
+        let member_areas: Vec<&AccessArea> = members.iter().map(|&i| &areas[i]).collect();
+        let agg = aggregate_cluster(cid, &member_areas);
+        let cov = coverage(&agg, &data.catalog);
+        // Plurality ground-truth label.
+        let mut hist: HashMap<Option<u8>, usize> = HashMap::new();
+        for &i in members {
+            let key = match data.truths[i] {
+                GroundTruth::Cluster(id) => Some(id),
+                _ => None,
+            };
+            *hist.entry(key).or_default() += 1;
+        }
+        let plurality = hist
+            .into_iter()
+            .max_by_key(|(_, n)| *n)
+            .and_then(|(k, _)| k);
+        rows.push((plurality, agg, cov));
+    }
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1.cardinality));
+
+    banner("Recovered clusters (sorted by cardinality; Planted = Table 1 id)");
+    // "Density" answers the Section 6.3 expert question: how much denser
+    // is the cluster than its immediate surroundings (3x inflated ring)?
+    let mut table = TextTable::new(&[
+        "Planted", "Cardinality", "Users", "AreaCov", "ObjCov", "Density", "Access area",
+    ]);
+    // Distinct users per DBSCAN cluster (the paper: "most queries in each
+    // cluster are issued by different users").
+    let users_of = |cid: usize| -> usize {
+        clusters[cid]
+            .iter()
+            .map(|&i| data.log[data.extracted[i].log_index].user)
+            .collect::<std::collections::HashSet<u32>>()
+            .len()
+    };
+    for (planted, agg, cov) in rows.iter().take(40) {
+        let dc = density_contrast(agg, &areas, &data.ranges, 3.0);
+        let density = if dc.ratio.is_infinite() {
+            "isolated".to_string()
+        } else {
+            format!("{:.0}x", dc.ratio)
+        };
+        table.row(vec![
+            planted.map_or("-".to_string(), |id| id.to_string()),
+            agg.cardinality.to_string(),
+            users_of(agg.cluster_id).to_string(),
+            fmt_coverage(cov.area),
+            fmt_coverage(cov.object),
+            density,
+            truncate(&agg.to_string(), 85),
+        ]);
+    }
+    print!("{}", table.render());
+
+    // Side-by-side with the paper.
+    banner("Paper vs measured, per Table 1 cluster");
+    let report = aa_skyserver::evaluate(&data.truths, &result.labels, result.cluster_count);
+    let mut cmp = TextTable::new(&[
+        "Cluster",
+        "Recovered",
+        "Recall",
+        "Precision",
+        "AreaCov paper",
+        "AreaCov ours",
+        "ObjCov paper",
+        "ObjCov ours",
+    ]);
+    let by_planted: HashMap<u8, &(Option<u8>, aa_bench::AggregatedArea, aa_bench::Coverage)> =
+        rows.iter().filter_map(|r| r.0.map(|id| (id, r))).collect();
+    for spec in TABLE1 {
+        let rec = report
+            .per_cluster
+            .iter()
+            .find(|c| c.planted == spec.id);
+        let found = by_planted.get(&spec.id);
+        cmp.row(vec![
+            spec.id.to_string(),
+            rec.map_or("no".into(), |r| {
+                if r.is_recovered() { "yes".into() } else { "no".to_string() }
+            }),
+            rec.map_or("0.00".into(), |r| format!("{:.2}", r.recall)),
+            rec.map_or("0.00".into(), |r| format!("{:.2}", r.precision)),
+            fmt_coverage(spec.area_coverage),
+            found.map_or("-".into(), |(_, _, cov)| fmt_coverage(cov.area)),
+            fmt_coverage(spec.object_coverage),
+            found.map_or("-".into(), |(_, _, cov)| fmt_coverage(cov.object)),
+        ]);
+    }
+    print!("{}", cmp.render());
+
+    println!(
+        "\nrecovered {}/24 planted clusters; background noise rate {:.2} \
+         (the exploratory background mostly forms diffuse whole-range clusters — \
+         the analogue of the paper's 403 - 24 clusters it left uninterpreted)",
+        report.recovered_count(),
+        report.background_noise_rate
+    );
+    let empty_recovered = report
+        .per_cluster
+        .iter()
+        .filter(|c| c.is_recovered() && TABLE1.iter().any(|s| s.id == c.planted && s.empty_area))
+        .count();
+    println!(
+        "empty-area clusters (18-24) recovered: {empty_recovered}/7 \
+         — these are invisible to result-set-based methods"
+    );
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        format!("{}...", &s[..max])
+    }
+}

@@ -1,0 +1,247 @@
+//! Area and object coverage of aggregated access areas (Table 1 columns
+//! "Area Coverage" and "Object Coverage").
+//!
+//! * **Area coverage** `v_access / v_content`: over the *constrained*
+//!   dimensions, the fraction of the content bounding box the aggregated
+//!   box overlaps (categorical dimensions count as `|values| / |content
+//!   values|` — this is what makes Cluster 9's `class = 'star'`
+//!   contribute a factor ≈ 1/3).
+//! * **Object coverage** `n_access / n_content`: the fraction of database
+//!   objects inside the aggregated box; for multi-table areas the
+//!   per-table fractions multiply (fraction of the universal relation).
+
+use crate::aggregate::AggregatedArea;
+use aa_core::Interval;
+use aa_engine::{exact_column_content, Catalog, ColumnContent, Value};
+
+/// Coverage of one aggregated area against the database content.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coverage {
+    pub area: f64,
+    pub object: f64,
+}
+
+/// Computes both coverages.
+pub fn coverage(agg: &AggregatedArea, catalog: &Catalog) -> Coverage {
+    Coverage {
+        area: area_coverage(agg, catalog),
+        object: object_coverage(agg, catalog),
+    }
+}
+
+/// Area coverage: product of per-constrained-dimension content fractions.
+pub fn area_coverage(agg: &AggregatedArea, catalog: &Catalog) -> f64 {
+    let mut fraction = 1.0;
+    let mut constrained = false;
+
+    for (col, iv) in &agg.numeric {
+        let Ok(table) = catalog.table(&col.table) else {
+            continue;
+        };
+        let ColumnContent::Numeric { min, max } = exact_column_content(table, &col.column)
+        else {
+            continue;
+        };
+        constrained = true;
+        let content = Interval::closed(min, max);
+        let width = content.width();
+        if width == 0.0 {
+            // Degenerate content: covered iff the single point is inside.
+            fraction *= if iv.contains(min) { 1.0 } else { 0.0 };
+            continue;
+        }
+        fraction *= (iv.intersect(&content).width() / width).clamp(0.0, 1.0);
+    }
+
+    for (col, values) in &agg.categorical {
+        let Ok(table) = catalog.table(&col.table) else {
+            continue;
+        };
+        let ColumnContent::Categorical(content) = exact_column_content(table, &col.column)
+        else {
+            continue;
+        };
+        if content.is_empty() {
+            continue;
+        }
+        constrained = true;
+        let hits = values.iter().filter(|v| content.contains(*v)).count() as f64;
+        fraction *= hits / content.len() as f64;
+    }
+
+    if constrained {
+        fraction
+    } else {
+        // An unconstrained area covers its whole content.
+        1.0
+    }
+}
+
+/// Object coverage: per-table satisfying-row fractions, multiplied.
+pub fn object_coverage(agg: &AggregatedArea, catalog: &Catalog) -> f64 {
+    let mut fraction = 1.0;
+    let mut any = false;
+
+    for table_name in &agg.tables {
+        let Ok(table) = catalog.table(table_name) else {
+            continue;
+        };
+        if table.rows.is_empty() {
+            continue;
+        }
+        // Constraints on this table's columns.
+        let numeric: Vec<(usize, &Interval)> = agg
+            .numeric
+            .iter()
+            .filter(|(c, _)| c.table.eq_ignore_ascii_case(table_name))
+            .filter_map(|(c, iv)| table.schema.column_index(&c.column).map(|i| (i, iv)))
+            .collect();
+        let categorical: Vec<(usize, &std::collections::BTreeSet<String>)> = agg
+            .categorical
+            .iter()
+            .filter(|(c, _)| c.table.eq_ignore_ascii_case(table_name))
+            .filter_map(|(c, vs)| table.schema.column_index(&c.column).map(|i| (i, vs)))
+            .collect();
+        if numeric.is_empty() && categorical.is_empty() {
+            continue;
+        }
+        any = true;
+        let matching = table
+            .rows
+            .iter()
+            .filter(|row| {
+                numeric.iter().all(|(i, iv)| match row[*i].as_f64() {
+                    Some(x) => iv.contains(x),
+                    None => false,
+                }) && categorical.iter().all(|(i, vs)| match &row[*i] {
+                    Value::Str(s) => vs.contains(&s.to_lowercase()),
+                    _ => false,
+                })
+            })
+            .count();
+        fraction *= matching as f64 / table.rows.len() as f64;
+    }
+
+    if any {
+        fraction
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_core::QualifiedColumn;
+    use aa_engine::{ColumnDef, DataType, Table, TableSchema};
+    use std::collections::BTreeSet;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mut t = Table::new(TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::new("u", DataType::Float),
+                ColumnDef::new("class", DataType::Text),
+            ],
+        ));
+        // Content: u in [0, 100], uniform-ish; classes star/galaxy.
+        for i in 0..100 {
+            t.insert(vec![
+                Value::Float(i as f64),
+                if i < 30 { "star" } else { "galaxy" }.into(),
+            ])
+            .unwrap();
+        }
+        c.add_table(t);
+        c
+    }
+
+    fn agg(
+        numeric: Vec<(QualifiedColumn, Interval)>,
+        categorical: Vec<(QualifiedColumn, BTreeSet<String>)>,
+    ) -> AggregatedArea {
+        AggregatedArea {
+            cluster_id: 0,
+            cardinality: 10,
+            tables: ["T".to_string()].into(),
+            numeric,
+            categorical,
+            joins: vec![],
+        }
+    }
+
+    #[test]
+    fn numeric_area_and_object_coverage() {
+        let a = agg(
+            vec![(QualifiedColumn::new("T", "u"), Interval::closed(0.0, 24.75))],
+            vec![],
+        );
+        let c = catalog();
+        let cov = coverage(&a, &c);
+        // Content width 99; overlap 24.75 -> 0.25.
+        assert!((cov.area - 0.25).abs() < 0.01, "{}", cov.area);
+        // Rows 0..=24 match -> 0.25.
+        assert!((cov.object - 0.25).abs() < 0.01, "{}", cov.object);
+    }
+
+    #[test]
+    fn categorical_dimension_multiplies() {
+        let a = agg(
+            vec![(QualifiedColumn::new("T", "u"), Interval::closed(0.0, 49.5))],
+            vec![(
+                QualifiedColumn::new("T", "class"),
+                ["star".to_string()].into(),
+            )],
+        );
+        let c = catalog();
+        let cov = coverage(&a, &c);
+        // area: 0.5 * (1 of 2 classes) = 0.25.
+        assert!((cov.area - 0.25).abs() < 0.01, "{}", cov.area);
+        // objects: rows with u <= 49.5 AND star = rows 0..30 -> 0.30.
+        assert!((cov.object - 0.30).abs() < 0.01, "{}", cov.object);
+    }
+
+    #[test]
+    fn empty_area_has_zero_coverage() {
+        let a = agg(
+            vec![(
+                QualifiedColumn::new("T", "u"),
+                Interval::closed(500.0, 900.0),
+            )],
+            vec![],
+        );
+        let c = catalog();
+        let cov = coverage(&a, &c);
+        assert_eq!(cov.area, 0.0);
+        assert_eq!(cov.object, 0.0);
+    }
+
+    #[test]
+    fn unconstrained_area_covers_everything() {
+        let a = agg(vec![], vec![]);
+        let c = catalog();
+        let cov = coverage(&a, &c);
+        assert_eq!(cov.area, 1.0);
+        assert_eq!(cov.object, 1.0);
+    }
+
+    #[test]
+    fn one_sided_range_clips_to_content() {
+        let a = agg(
+            vec![(
+                QualifiedColumn::new("T", "u"),
+                Interval {
+                    lo: f64::NEG_INFINITY,
+                    hi: 49.5,
+                    lo_open: true,
+                    hi_open: false,
+                },
+            )],
+            vec![],
+        );
+        let c = catalog();
+        let cov = coverage(&a, &c);
+        assert!((cov.area - 0.5).abs() < 0.01, "{}", cov.area);
+    }
+}

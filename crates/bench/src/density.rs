@@ -1,0 +1,208 @@
+//! Density contrast of an aggregated access area vs its surroundings.
+//!
+//! Section 6.3 (expert feedback): *"it would be interesting to know how
+//! much denser each cluster is, in contrast to its immediate
+//! surroundings"* — the paper leaves this as a refinement; we implement
+//! it. For a cluster's aggregated box `B` we compare the query density
+//! inside `B` with the density in the inflated ring around it
+//! (`inflate(B, factor) \ B`), both normalised by box volume measured in
+//! `access(a)` fractions.
+
+use crate::aggregate::AggregatedArea;
+use aa_core::{AccessArea, AccessRanges, Interval, QualifiedColumn};
+
+/// Density-contrast report for one cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct DensityContrast {
+    /// Queries whose per-column boxes intersect the cluster box.
+    pub inside: usize,
+    /// Queries intersecting the inflated ring but not counted inside.
+    pub ring: usize,
+    /// Density ratio inside/ring (volume-normalised); `inf` when the ring
+    /// is empty of queries — an isolated hotspot.
+    pub ratio: f64,
+}
+
+/// Inflates an interval symmetrically by `factor` of its width (or by an
+/// absolute epsilon of the access range for degenerate boxes).
+fn inflate(iv: &Interval, factor: f64, access_width: f64) -> Interval {
+    let pad = if iv.width().is_finite() && iv.width() > 0.0 {
+        iv.width() * factor
+    } else {
+        access_width * 0.05
+    };
+    Interval {
+        lo: if iv.lo.is_finite() { iv.lo - pad } else { iv.lo },
+        hi: if iv.hi.is_finite() { iv.hi + pad } else { iv.hi },
+        lo_open: false,
+        hi_open: false,
+    }
+}
+
+/// Fraction of `access(col)` covered by `iv` (1.0 when unbounded /
+/// untracked — conservative).
+fn volume_fraction(iv: &Interval, col: &QualifiedColumn, ranges: &AccessRanges) -> f64 {
+    let Some(access) = ranges.numeric(col) else {
+        return 1.0;
+    };
+    let w = access.width();
+    if w == 0.0 || !w.is_finite() {
+        return 1.0;
+    }
+    (iv.intersect(&access).width() / w).clamp(1e-6, 1.0)
+}
+
+/// Computes the density contrast of `agg` against all `areas` (members
+/// and non-members alike; `member_count` = the cluster's cardinality).
+pub fn density_contrast(
+    agg: &AggregatedArea,
+    areas: &[AccessArea],
+    ranges: &AccessRanges,
+    inflate_factor: f64,
+) -> DensityContrast {
+    if agg.numeric.is_empty() {
+        return DensityContrast {
+            inside: agg.cardinality,
+            ring: 0,
+            ratio: f64::INFINITY,
+        };
+    }
+
+    let inflated: Vec<(QualifiedColumn, Interval, Interval)> = agg
+        .numeric
+        .iter()
+        .map(|(col, iv)| {
+            let access_w = ranges.numeric(col).map(|a| a.width()).unwrap_or(1.0);
+            (col.clone(), *iv, inflate(iv, inflate_factor, access_w))
+        })
+        .collect();
+
+    let mut inside = 0usize;
+    let mut ring = 0usize;
+    for area in areas {
+        // Candidate must touch the same table set on the constrained cols.
+        let cols = area.conjunctive_intervals();
+        let mut relevant = false;
+        let mut in_box = true;
+        let mut in_ring = true;
+        for (col, bx, big) in &inflated {
+            let Some(qiv) = cols.get(col) else {
+                continue;
+            };
+            relevant = true;
+            if !qiv.overlaps(bx) {
+                in_box = false;
+            }
+            if !qiv.overlaps(big) {
+                in_ring = false;
+            }
+        }
+        if !relevant {
+            continue;
+        }
+        if in_box {
+            inside += 1;
+        } else if in_ring {
+            ring += 1;
+        }
+    }
+
+    // Volume-normalised densities.
+    let box_vol: f64 = inflated
+        .iter()
+        .map(|(col, bx, _)| volume_fraction(bx, col, ranges))
+        .product();
+    let big_vol: f64 = inflated
+        .iter()
+        .map(|(col, _, big)| volume_fraction(big, col, ranges))
+        .product();
+    let ring_vol = (big_vol - box_vol).max(1e-9);
+
+    let inside_density = inside as f64 / box_vol.max(1e-9);
+    let ring_density = ring as f64 / ring_vol;
+    let ratio = if ring == 0 {
+        f64::INFINITY
+    } else {
+        inside_density / ring_density
+    };
+    DensityContrast {
+        inside,
+        ring,
+        ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::aggregate_cluster;
+    use aa_core::extract::{Extractor, NoSchema};
+
+    fn areas(sqls: &[String]) -> Vec<AccessArea> {
+        let ex = Extractor::new(&NoSchema);
+        sqls.iter().map(|s| ex.extract_sql(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn dense_cluster_against_sparse_surroundings() {
+        // 40 queries packed in [100, 110], 5 stragglers spread over the
+        // neighbouring [80, 140] ring.
+        let mut sqls: Vec<String> = (0..40)
+            .map(|i| {
+                format!(
+                    "SELECT * FROM T WHERE u >= {} AND u <= {}",
+                    100 + (i % 5),
+                    105 + (i % 5)
+                )
+            })
+            .collect();
+        for i in 0..5 {
+            sqls.push(format!(
+                "SELECT * FROM T WHERE u >= {} AND u <= {}",
+                130 + i,
+                132 + i
+            ));
+        }
+        // Far-away queries that must not count at all.
+        for i in 0..10 {
+            sqls.push(format!("SELECT * FROM T WHERE u = {}", 500 + i));
+        }
+        let all = areas(&sqls);
+        let members: Vec<&AccessArea> = all[..40].iter().collect();
+        let agg = aggregate_cluster(0, &members);
+
+        let mut ranges = AccessRanges::new();
+        ranges.observe_all(all.iter());
+        let dc = density_contrast(&agg, &all, &ranges, 3.0);
+        assert_eq!(dc.inside, 40);
+        assert!(dc.ring >= 1, "{dc:?}");
+        assert!(dc.ratio > 1.0, "cluster should be denser: {dc:?}");
+    }
+
+    #[test]
+    fn isolated_cluster_reports_infinite_contrast() {
+        let sqls: Vec<String> = (0..10)
+            .map(|i| format!("SELECT * FROM T WHERE u = {}", 100 + i))
+            .collect();
+        let all = areas(&sqls);
+        let members: Vec<&AccessArea> = all.iter().collect();
+        let agg = aggregate_cluster(0, &members);
+        let mut ranges = AccessRanges::new();
+        ranges.observe_all(all.iter());
+        let dc = density_contrast(&agg, &all, &ranges, 0.5);
+        assert_eq!(dc.inside, 10);
+        assert_eq!(dc.ring, 0);
+        assert!(dc.ratio.is_infinite());
+    }
+
+    #[test]
+    fn unconstrained_cluster_is_degenerate() {
+        let sqls: Vec<String> = (0..5).map(|_| "SELECT * FROM T".to_string()).collect();
+        let all = areas(&sqls);
+        let members: Vec<&AccessArea> = all.iter().collect();
+        let agg = aggregate_cluster(0, &members);
+        let ranges = AccessRanges::new();
+        let dc = density_contrast(&agg, &all, &ranges, 1.0);
+        assert!(dc.ratio.is_infinite());
+    }
+}

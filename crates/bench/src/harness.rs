@@ -1,0 +1,201 @@
+//! Shared experiment harness: build catalog + log, run the pipeline,
+//! track ranges, cluster with the blocking index.
+
+use aa_core::{
+    AccessArea, AccessRanges, DistanceMode, ExtractedQuery, FailedQuery, Pipeline,
+    PipelineStats, QueryDistance,
+};
+use aa_dbscan::parallel::PrecomputedNeighbors;
+use aa_dbscan::{dbscan_with_index, DbscanParams, DbscanResult, KeyedBuckets};
+use aa_engine::Catalog;
+use aa_skyserver::{build_catalog, generate_log, GroundTruth, LogConfig, LogEntry};
+use std::collections::BTreeSet;
+
+/// Configuration shared by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    pub log: LogConfig,
+    /// Row-count multiplier for the synthetic catalog.
+    pub catalog_scale: f64,
+    pub catalog_seed: u64,
+    /// Sample size for the Section 5.3 content estimator.
+    pub stat_sample_rows: usize,
+    pub dbscan: DbscanParams,
+    pub distance_mode: DistanceMode,
+    /// Worker threads for neighbour precomputation.
+    pub threads: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            log: LogConfig::default(),
+            catalog_scale: 0.2,
+            catalog_seed: 1337,
+            stat_sample_rows: 100,
+            dbscan: DbscanParams {
+                eps: 0.06,
+                min_pts: 8,
+            },
+            distance_mode: DistanceMode::Dissimilarity,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Reads `AA_LOG_TOTAL`, `AA_SEED`, `AA_SCALE`, `AA_EPS`, `AA_MINPTS`
+    /// from the environment so the binaries are tunable without flags.
+    pub fn from_env() -> Self {
+        let mut cfg = ExperimentConfig::default();
+        if let Some(v) = env_parse::<usize>("AA_LOG_TOTAL") {
+            cfg.log.total = v;
+        }
+        if let Some(v) = env_parse::<u64>("AA_SEED") {
+            cfg.log.seed = v;
+            cfg.catalog_seed = v.wrapping_mul(31).wrapping_add(7);
+        }
+        if let Some(v) = env_parse::<f64>("AA_SCALE") {
+            cfg.catalog_scale = v;
+        }
+        if let Some(v) = env_parse::<f64>("AA_EPS") {
+            cfg.dbscan.eps = v;
+        }
+        if let Some(v) = env_parse::<usize>("AA_MINPTS") {
+            cfg.dbscan.min_pts = v;
+        }
+        cfg
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(key: &str) -> Option<T> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
+}
+
+/// Everything a table/figure binary needs.
+pub struct ExperimentData {
+    pub catalog: Catalog,
+    pub log: Vec<LogEntry>,
+    pub extracted: Vec<ExtractedQuery>,
+    pub failed: Vec<FailedQuery>,
+    pub stats: PipelineStats,
+    pub ranges: AccessRanges,
+    /// Ground truth parallel to `extracted`.
+    pub truths: Vec<GroundTruth>,
+}
+
+impl ExperimentData {
+    /// The extracted areas (parallel to `truths`).
+    pub fn areas(&self) -> Vec<&AccessArea> {
+        self.extracted.iter().map(|q| &q.area).collect()
+    }
+}
+
+/// Builds the catalog, generates the log, runs the pipeline, and prepares
+/// `access(a)` ranges (content sample + log observation, Section 5.3).
+pub fn prepare(config: &ExperimentConfig) -> ExperimentData {
+    let catalog = build_catalog(config.catalog_scale, config.catalog_seed);
+    let log = generate_log(&config.log);
+
+    // The engine catalog doubles as the schema provider: it knows column
+    // lists and domains.
+    let pipeline = Pipeline::new(&catalog);
+    let (extracted, failed, stats) = pipeline.process_log(log.iter().map(|e| e.sql.as_str()));
+
+    let mut ranges = AccessRanges::from_catalog(&catalog, config.stat_sample_rows);
+    for q in &extracted {
+        ranges.observe_area(&q.area);
+    }
+
+    let truths: Vec<GroundTruth> = extracted.iter().map(|q| log[q.log_index].truth).collect();
+
+    ExperimentData {
+        catalog,
+        log,
+        extracted,
+        failed,
+        stats,
+        ranges,
+        truths,
+    }
+}
+
+/// Clusters areas under the paper's distance with table-set blocking and
+/// parallel neighbour precomputation.
+pub fn cluster_areas(
+    areas: &[AccessArea],
+    ranges: &AccessRanges,
+    params: &DbscanParams,
+    mode: DistanceMode,
+    threads: usize,
+) -> DbscanResult {
+    let metric = QueryDistance::with_mode(ranges, mode);
+    let distance = |a: &AccessArea, b: &AccessArea| metric.distance(a, b);
+
+    // Blocking: bucket by table set; only buckets within eps Jaccard are
+    // candidate neighbours (d >= d_tables).
+    let (buckets, keys) = KeyedBuckets::build(areas, |a: &AccessArea| {
+        a.table_keys().map(str::to_string).collect::<BTreeSet<String>>()
+    });
+    let k = buckets.bucket_count();
+    // Precompute per-key candidate lists.
+    let mut allowed: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (ka, av) in allowed.iter_mut().enumerate() {
+        for kb in 0..k {
+            if aa_baselines::jaccard_tables(&keys[ka], &keys[kb]) <= params.eps {
+                av.extend_from_slice(buckets.bucket(kb));
+            }
+        }
+    }
+    let candidates = |i: usize| allowed[buckets.key_of_item(i)].clone();
+    let pre =
+        PrecomputedNeighbors::compute(areas, params.eps, &distance, threads, Some(&candidates));
+    dbscan_with_index(areas, params, &distance, &pre)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            log: LogConfig::small(1_200, 5),
+            catalog_scale: 0.02,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn prepare_runs_end_to_end() {
+        let data = prepare(&tiny_config());
+        assert!(data.stats.extraction_rate() > 0.98, "{:?}", data.stats);
+        assert_eq!(data.extracted.len(), data.truths.len());
+        assert!(!data.ranges.is_empty());
+        assert!(data.catalog.has_table("Photoz"));
+    }
+
+    #[test]
+    fn clustering_recovers_some_planted_clusters() {
+        let config = tiny_config();
+        let data = prepare(&config);
+        let areas: Vec<AccessArea> =
+            data.extracted.iter().map(|q| q.area.clone()).collect();
+        let result = cluster_areas(
+            &areas,
+            &data.ranges,
+            &config.dbscan,
+            DistanceMode::Dissimilarity,
+            2,
+        );
+        assert!(result.cluster_count >= 10, "{}", result.cluster_count);
+        let report = aa_skyserver::evaluate(&data.truths, &result.labels, result.cluster_count);
+        assert!(
+            report.recovered_count() >= 12,
+            "only {} of 24 clusters recovered ({} dbscan clusters)",
+            report.recovered_count(),
+            result.cluster_count
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # aa-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md
+//! §3 for the experiment index) plus Criterion microbenches:
+//!
+//! | binary            | reproduces                                       |
+//! |-------------------|--------------------------------------------------|
+//! | `table1`          | Table 1 (24 aggregated access areas)             |
+//! | `figure1`         | Figure 1(a)/(b)/(c) subspace geometry            |
+//! | `coverage`        | Section 6.1 extraction-rate breakdown            |
+//! | `olapclus_exact`  | Section 6.4 OLAPClus cluster explosion           |
+//! | `olapclus_raw`    | Section 6.5 naive-extraction cluster breakage    |
+//! | `efficiency`      | Section 6.6 throughput & per-step timings        |
+//! | `requery_quality` | Section 6.6 re-querying quality comparison       |
+//! | `ablation`        | DESIGN.md §2.1 distance-mode ablation            |
+//!
+//! The shared machinery lives here: [`harness`] (catalog + log + pipeline +
+//! blocked clustering), [`aggregate`] (cluster → MBR with the 3σ rule),
+//! [`coverage`](mod@crate::coverage) (area/object coverage), and [`report`] (text tables).
+
+pub mod aggregate;
+pub mod coverage;
+pub mod density;
+pub mod harness;
+pub mod report;
+
+pub use aggregate::{aggregate_cluster, AggregatedArea};
+pub use coverage::{area_coverage, coverage, object_coverage, Coverage};
+pub use density::{density_contrast, DensityContrast};
+pub use harness::{cluster_areas, prepare, ExperimentConfig, ExperimentData};
+pub use report::{banner, fmt_coverage, TextTable};

@@ -1,0 +1,112 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// A simple aligned text table.
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new(headers: &[&str]) -> Self {
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders with column alignment; numeric-looking cells right-align.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let is_numeric: Vec<bool> = (0..cols)
+            .map(|i| {
+                !self.rows.is_empty()
+                    && self.rows.iter().all(|r| {
+                        let c = r[i].trim().trim_start_matches('-');
+                        !c.is_empty()
+                            && c.chars().all(|ch| {
+                                ch.is_ascii_digit() || ch == '.' || ch == ',' || ch == '%'
+                            })
+                    })
+            })
+            .collect();
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if is_numeric[i] {
+                    out.push_str(&format!("{cell:>width$}", width = widths[i]));
+                } else {
+                    out.push_str(&format!("{cell:<width$}", width = widths[i]));
+                }
+            }
+            // No trailing spaces.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a coverage value like Table 1 (`< 0.001` below the threshold).
+pub fn fmt_coverage(v: f64) -> String {
+    if v == 0.0 {
+        "0.0".to_string()
+    } else if v < 0.001 {
+        "< 0.001".to_string()
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Section-header banner used by all binaries.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TextTable::new(&["Cluster", "Cardinality", "Area"]);
+        t.row(vec!["1".into(), "179,072".into(), "Photoz.objid ...".into()]);
+        t.row(vec!["24".into(), "217".into(), "Photoz.z ...".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Cardinality"));
+        // Numeric columns right-align.
+        assert!(lines[2].contains("179,072"));
+        assert!(lines[3].contains("    217"));
+    }
+
+    #[test]
+    fn coverage_formatting() {
+        assert_eq!(fmt_coverage(0.0), "0.0");
+        assert_eq!(fmt_coverage(0.0004), "< 0.001");
+        assert_eq!(fmt_coverage(0.24), "0.24");
+    }
+}

@@ -1,0 +1,259 @@
+//! The access area of a query (Definition 4) in intermediate format
+//! (Section 2.4): a universal relation `U = R₁ × … × R_N` plus a CNF
+//! constraint `F(p₁, …, p_K)`.
+
+use crate::cnf::Cnf;
+use crate::predicate::{Constant, QualifiedColumn};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An extracted access area.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessArea {
+    /// Relations of the universal relation, keyed by lower-cased name
+    /// (alphabetical, as the paper's cleanup step orders them), mapped to a
+    /// display spelling.
+    tables: BTreeMap<String, String>,
+    /// The constraint on `U`, in conjunctive normal form.
+    pub constraint: Cnf,
+    /// False when any transformation had to approximate (CNF truncation,
+    /// unsupported predicate mapped to TRUE, ...). Approximations are
+    /// always over-approximations: the reported area contains the true one.
+    pub exact: bool,
+    /// True when the lemma case-analysis proved the access area empty
+    /// (e.g. `HAVING SUM(v) > c` with `sup(dom(v)) ≤ 0 ∧ c > sup`).
+    pub provably_empty: bool,
+}
+
+impl AccessArea {
+    /// Creates an area over the given relations with no constraint.
+    pub fn new(tables: impl IntoIterator<Item = String>) -> Self {
+        let mut map = BTreeMap::new();
+        for t in tables {
+            map.entry(t.to_lowercase()).or_insert(t);
+        }
+        AccessArea {
+            tables: map,
+            constraint: Cnf::top(),
+            exact: true,
+            provably_empty: false,
+        }
+    }
+
+    /// Adds a relation to the universal relation.
+    pub fn add_table(&mut self, name: &str) {
+        self.tables
+            .entry(name.to_lowercase())
+            .or_insert_with(|| name.to_string());
+    }
+
+    /// True when `name` is part of the universal relation.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_lowercase())
+    }
+
+    /// Lower-cased table names, alphabetically ordered.
+    pub fn table_keys(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Display spellings, alphabetically ordered by key.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.values().map(String::as_str)
+    }
+
+    /// Number of relations in the universal relation.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Membership test: does the universal-relation tuple described by
+    /// `lookup` fall inside this access area? Returns `None` when a needed
+    /// column value is unavailable.
+    pub fn contains(
+        &self,
+        lookup: &dyn Fn(&QualifiedColumn) -> Option<Constant>,
+    ) -> Option<bool> {
+        if self.provably_empty {
+            return Some(false);
+        }
+        self.constraint.evaluate(lookup)
+    }
+
+    /// Renders the intermediate-format query `q̄` of Section 2.4:
+    /// `SELECT * FROM R₁, …, R_N WHERE F(p₁, …, p_K)`.
+    pub fn to_intermediate_sql(&self) -> String {
+        let mut sql = String::from("SELECT *");
+        if !self.tables.is_empty() {
+            sql.push_str(" FROM ");
+            let names: Vec<&str> = self.table_names().collect();
+            sql.push_str(&names.join(", "));
+        }
+        if self.provably_empty {
+            sql.push_str(" WHERE FALSE");
+        } else if !self.constraint.is_empty() {
+            sql.push_str(" WHERE ");
+            sql.push_str(&self.constraint.to_string());
+        }
+        sql
+    }
+
+    /// Per-column conjunctive intervals: for every column constrained by
+    /// *singleton* numeric clauses (i.e. conjunctively), the intersection
+    /// of those atoms' satisfying intervals. This is the per-query box the
+    /// aggregation step (Section 6.2) builds cluster MBRs from.
+    pub fn conjunctive_intervals(
+        &self,
+    ) -> std::collections::BTreeMap<QualifiedColumn, crate::interval::Interval> {
+        let mut out: std::collections::BTreeMap<QualifiedColumn, crate::interval::Interval> =
+            std::collections::BTreeMap::new();
+        for clause in &self.constraint.clauses {
+            if clause.len() != 1 {
+                continue;
+            }
+            if let Some((col, iv)) = clause.atoms[0].satisfying_interval() {
+                // Skip the vacuous full-line interval of `<>` atoms.
+                if iv.is_all() {
+                    continue;
+                }
+                out.entry(col)
+                    .and_modify(|e| *e = e.intersect(&iv))
+                    .or_insert(iv);
+            }
+        }
+        out
+    }
+
+    /// Per-column categorical value sets implied conjunctively: a clause
+    /// whose atoms are all `col = 'v'` on one column contributes its value
+    /// set (singleton `=` atoms and IN-list expansions alike).
+    pub fn categorical_values(
+        &self,
+    ) -> std::collections::BTreeMap<QualifiedColumn, std::collections::BTreeSet<String>> {
+        use crate::predicate::{AtomicPredicate, CmpOp, Constant};
+        let mut out: std::collections::BTreeMap<
+            QualifiedColumn,
+            std::collections::BTreeSet<String>,
+        > = std::collections::BTreeMap::new();
+        for clause in &self.constraint.clauses {
+            let mut col: Option<QualifiedColumn> = None;
+            let mut values = std::collections::BTreeSet::new();
+            let mut uniform = !clause.atoms.is_empty();
+            for atom in &clause.atoms {
+                match atom {
+                    AtomicPredicate::ColumnConstant {
+                        column,
+                        op: CmpOp::Eq,
+                        value: Constant::Str(s),
+                    } => {
+                        if col.get_or_insert_with(|| column.clone()) != column {
+                            uniform = false;
+                            break;
+                        }
+                        values.insert(s.to_lowercase());
+                    }
+                    _ => {
+                        uniform = false;
+                        break;
+                    }
+                }
+            }
+            if uniform {
+                if let Some(c) = col {
+                    out.entry(c).or_default().extend(values);
+                }
+            }
+        }
+        out
+    }
+
+    /// The column-column (join) atoms appearing as singleton clauses.
+    pub fn join_atoms(&self) -> Vec<&crate::predicate::AtomicPredicate> {
+        self.constraint
+            .clauses
+            .iter()
+            .filter(|c| c.len() == 1)
+            .map(|c| &c.atoms[0])
+            .filter(|a| matches!(a, crate::predicate::AtomicPredicate::ColumnColumn { .. }))
+            .collect()
+    }
+
+    /// All column-constant predicate columns mentioned in the constraint.
+    pub fn constrained_columns(&self) -> Vec<QualifiedColumn> {
+        let mut cols: Vec<QualifiedColumn> = self
+            .constraint
+            .atoms()
+            .flat_map(|a| a.columns().into_iter().cloned())
+            .collect();
+        cols.sort();
+        cols.dedup();
+        cols
+    }
+}
+
+impl fmt::Display for AccessArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_intermediate_sql())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Disjunction;
+    use crate::predicate::{AtomicPredicate, CmpOp};
+
+    #[test]
+    fn tables_are_alphabetical_and_case_folded() {
+        let mut area = AccessArea::new(vec!["SpecObjAll".to_string(), "Photoz".to_string()]);
+        area.add_table("photoz"); // duplicate under case folding
+        let names: Vec<&str> = area.table_names().collect();
+        assert_eq!(names, vec!["Photoz", "SpecObjAll"]);
+        assert_eq!(area.table_count(), 2);
+        assert!(area.has_table("SPECOBJALL"));
+    }
+
+    #[test]
+    fn intermediate_sql_rendering() {
+        let mut area = AccessArea::new(vec!["T".to_string()]);
+        area.constraint = Cnf::new(vec![
+            Disjunction::new(vec![
+                AtomicPredicate::cc(
+                    QualifiedColumn::new("T", "u"),
+                    CmpOp::LtEq,
+                    Constant::Num(5.0),
+                ),
+                AtomicPredicate::cc(
+                    QualifiedColumn::new("T", "u"),
+                    CmpOp::GtEq,
+                    Constant::Num(10.0),
+                ),
+            ]),
+            Disjunction::singleton(AtomicPredicate::cc(
+                QualifiedColumn::new("T", "v"),
+                CmpOp::LtEq,
+                Constant::Num(5.0),
+            )),
+        ]);
+        assert_eq!(
+            area.to_intermediate_sql(),
+            "SELECT * FROM T WHERE (T.u <= 5 OR T.u >= 10) AND T.v <= 5"
+        );
+    }
+
+    #[test]
+    fn provably_empty_renders_false_and_contains_nothing() {
+        let mut area = AccessArea::new(vec!["T".to_string()]);
+        area.provably_empty = true;
+        assert!(area.to_intermediate_sql().ends_with("WHERE FALSE"));
+        assert_eq!(area.contains(&|_| Some(Constant::Num(0.0))), Some(false));
+    }
+
+    #[test]
+    fn unconstrained_area_contains_everything() {
+        let area = AccessArea::new(vec!["T".to_string()]);
+        assert_eq!(area.contains(&|_| None), Some(true));
+        assert_eq!(area.to_intermediate_sql(), "SELECT * FROM T");
+    }
+}

@@ -1,0 +1,496 @@
+//! Boolean expressions over atomic predicates, with NNF/CNF conversion.
+//!
+//! The extractor lowers each query's constraint `P` into a [`BoolExpr`],
+//! pushes `NOT` down to the atoms (inverting their operators, Section 4.1),
+//! and converts to conjunctive normal form (Section 2.4). CNF conversion by
+//! distribution is worst-case exponential; the paper's workaround —
+//! "only consider the first 35 predicates of any query" — is reproduced by
+//! [`BoolExpr::truncate_atoms`], plus an additional clause-count cap as an
+//! engineering guard (results are then flagged as approximate).
+
+use crate::cnf::{Cnf, Disjunction};
+use crate::predicate::{AtomicPredicate, Constant, QualifiedColumn};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's predicate cap for CNF conversion (Section 6.6: only 471 of
+/// 12.4M queries exceed it).
+pub const DEFAULT_ATOM_CAP: usize = 35;
+
+/// Engineering guard on the number of CNF clauses produced by distribution.
+pub const DEFAULT_CLAUSE_CAP: usize = 4096;
+
+/// A boolean combination of atomic predicates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BoolExpr {
+    /// Always true (no constraint).
+    True,
+    /// Always false (empty access area).
+    False,
+    Atom(AtomicPredicate),
+    Not(Box<BoolExpr>),
+    And(Vec<BoolExpr>),
+    Or(Vec<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Smart AND: flattens nested ANDs, drops `True`, collapses on `False`.
+    pub fn and(parts: impl IntoIterator<Item = BoolExpr>) -> BoolExpr {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                BoolExpr::True => {}
+                BoolExpr::False => return BoolExpr::False,
+                BoolExpr::And(xs) => out.extend(xs),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => BoolExpr::True,
+            1 => out.pop().expect("len checked"),
+            _ => BoolExpr::And(out),
+        }
+    }
+
+    /// Smart OR: flattens nested ORs, drops `False`, collapses on `True`.
+    pub fn or(parts: impl IntoIterator<Item = BoolExpr>) -> BoolExpr {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                BoolExpr::False => {}
+                BoolExpr::True => return BoolExpr::True,
+                BoolExpr::Or(xs) => out.extend(xs),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => BoolExpr::False,
+            1 => out.pop().expect("len checked"),
+            _ => BoolExpr::Or(out),
+        }
+    }
+
+    /// Logical negation (not yet pushed down).
+    #[allow(clippy::should_implement_trait)] // logical negation, not std::ops::Not
+    pub fn not(self) -> BoolExpr {
+        match self {
+            BoolExpr::True => BoolExpr::False,
+            BoolExpr::False => BoolExpr::True,
+            BoolExpr::Not(inner) => *inner,
+            other => BoolExpr::Not(Box::new(other)),
+        }
+    }
+
+    /// Negation normal form: `NOT` pushed to the atoms via De Morgan and
+    /// operator inversion (`NOT (u > 5 AND v <= 10)` → `u <= 5 OR v > 10`,
+    /// the paper's Section 4.1 example).
+    pub fn to_nnf(&self) -> BoolExpr {
+        fn go(e: &BoolExpr, negated: bool) -> BoolExpr {
+            match e {
+                BoolExpr::True => {
+                    if negated {
+                        BoolExpr::False
+                    } else {
+                        BoolExpr::True
+                    }
+                }
+                BoolExpr::False => {
+                    if negated {
+                        BoolExpr::True
+                    } else {
+                        BoolExpr::False
+                    }
+                }
+                BoolExpr::Atom(p) => {
+                    if negated {
+                        BoolExpr::Atom(p.negate())
+                    } else {
+                        BoolExpr::Atom(p.clone())
+                    }
+                }
+                BoolExpr::Not(inner) => go(inner, !negated),
+                BoolExpr::And(xs) => {
+                    let parts = xs.iter().map(|x| go(x, negated));
+                    if negated {
+                        BoolExpr::or(parts)
+                    } else {
+                        BoolExpr::and(parts)
+                    }
+                }
+                BoolExpr::Or(xs) => {
+                    let parts = xs.iter().map(|x| go(x, negated));
+                    if negated {
+                        BoolExpr::and(parts)
+                    } else {
+                        BoolExpr::or(parts)
+                    }
+                }
+            }
+        }
+        go(self, false)
+    }
+
+    /// Number of atom occurrences.
+    pub fn atom_count(&self) -> usize {
+        match self {
+            BoolExpr::True | BoolExpr::False => 0,
+            BoolExpr::Atom(_) => 1,
+            BoolExpr::Not(inner) => inner.atom_count(),
+            BoolExpr::And(xs) | BoolExpr::Or(xs) => xs.iter().map(BoolExpr::atom_count).sum(),
+        }
+    }
+
+    /// Collects all atoms, left to right.
+    pub fn atoms(&self) -> Vec<&AtomicPredicate> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a BoolExpr, out: &mut Vec<&'a AtomicPredicate>) {
+            match e {
+                BoolExpr::Atom(p) => out.push(p),
+                BoolExpr::Not(inner) => walk(inner, out),
+                BoolExpr::And(xs) | BoolExpr::Or(xs) => {
+                    for x in xs {
+                        walk(x, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Keeps only the first `max` atoms (left-to-right), replacing the rest
+    /// with `True` — the paper's CNF-blowup workaround. Returns the
+    /// truncated expression and whether anything was dropped.
+    pub fn truncate_atoms(&self, max: usize) -> (BoolExpr, bool) {
+        fn go(e: &BoolExpr, budget: &mut usize, dropped: &mut bool) -> BoolExpr {
+            match e {
+                BoolExpr::Atom(p) => {
+                    if *budget > 0 {
+                        *budget -= 1;
+                        BoolExpr::Atom(p.clone())
+                    } else {
+                        *dropped = true;
+                        BoolExpr::True
+                    }
+                }
+                BoolExpr::Not(inner) => go(inner, budget, dropped).not(),
+                BoolExpr::And(xs) => {
+                    BoolExpr::and(xs.iter().map(|x| go(x, budget, dropped)).collect::<Vec<_>>())
+                }
+                BoolExpr::Or(xs) => {
+                    BoolExpr::or(xs.iter().map(|x| go(x, budget, dropped)).collect::<Vec<_>>())
+                }
+                other => other.clone(),
+            }
+        }
+        let mut budget = max;
+        let mut dropped = false;
+        let out = go(self, &mut budget, &mut dropped);
+        (out, dropped)
+    }
+
+    /// Evaluates the expression given a value lookup for columns.
+    /// Returns `None` if any needed column value is unavailable.
+    pub fn evaluate(
+        &self,
+        lookup: &dyn Fn(&QualifiedColumn) -> Option<Constant>,
+    ) -> Option<bool> {
+        match self {
+            BoolExpr::True => Some(true),
+            BoolExpr::False => Some(false),
+            BoolExpr::Atom(p) => p.evaluate(lookup),
+            BoolExpr::Not(inner) => inner.evaluate(lookup).map(|b| !b),
+            BoolExpr::And(xs) => {
+                let mut all = true;
+                for x in xs {
+                    match x.evaluate(lookup) {
+                        Some(false) => return Some(false),
+                        Some(true) => {}
+                        None => all = false,
+                    }
+                }
+                if all {
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+            BoolExpr::Or(xs) => {
+                let mut any_unknown = false;
+                for x in xs {
+                    match x.evaluate(lookup) {
+                        Some(true) => return Some(true),
+                        Some(false) => {}
+                        None => any_unknown = true,
+                    }
+                }
+                if any_unknown {
+                    None
+                } else {
+                    Some(false)
+                }
+            }
+        }
+    }
+
+    /// Converts to CNF. Atoms beyond `atom_cap` are dropped first (paper's
+    /// 35-predicate workaround); `clause_cap` bounds distribution blowup.
+    /// The `exact` flag in the result is `false` when either cap fired.
+    pub fn to_cnf_capped(&self, atom_cap: usize, clause_cap: usize) -> CnfConversion {
+        let (bounded, truncated) = self.to_nnf().truncate_atoms(atom_cap);
+        let nnf = bounded.to_nnf(); // truncation may reintroduce Not via smart ctors; renormalise
+        let mut capped = false;
+        let clauses = distribute(&nnf, clause_cap, &mut capped);
+        let mut cnf = Cnf::new(clauses.into_iter().map(Disjunction::new).collect());
+        cnf.dedup();
+        CnfConversion {
+            cnf,
+            exact: !truncated && !capped,
+        }
+    }
+
+    /// CNF conversion with the default caps.
+    pub fn to_cnf(&self) -> CnfConversion {
+        self.to_cnf_capped(DEFAULT_ATOM_CAP, DEFAULT_CLAUSE_CAP)
+    }
+}
+
+/// Result of CNF conversion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CnfConversion {
+    pub cnf: Cnf,
+    /// False when an atom/clause cap truncated the constraint (the area is
+    /// then an over-approximation of the true access area).
+    pub exact: bool,
+}
+
+/// Distributes an NNF expression into clause lists (each clause a vector of
+/// atoms). `capped` is set when the clause cap truncates the result.
+fn distribute(
+    e: &BoolExpr,
+    clause_cap: usize,
+    capped: &mut bool,
+) -> Vec<Vec<AtomicPredicate>> {
+    match e {
+        BoolExpr::True => vec![],
+        // An unsatisfiable constraint is the empty clause.
+        BoolExpr::False => vec![vec![]],
+        BoolExpr::Atom(p) => vec![vec![p.clone()]],
+        BoolExpr::Not(inner) => {
+            // NNF guarantees Not only wraps atoms.
+            match inner.as_ref() {
+                BoolExpr::Atom(p) => vec![vec![p.negate()]],
+                other => distribute(&other.clone().not().to_nnf(), clause_cap, capped),
+            }
+        }
+        BoolExpr::And(xs) => {
+            let mut out = Vec::new();
+            for x in xs {
+                out.extend(distribute(x, clause_cap, capped));
+                if out.len() > clause_cap {
+                    out.truncate(clause_cap);
+                    *capped = true;
+                    break;
+                }
+            }
+            out
+        }
+        BoolExpr::Or(xs) => {
+            // CNF(a OR b): cross product of a's clauses with b's clauses.
+            let mut acc: Vec<Vec<AtomicPredicate>> = vec![vec![]];
+            for x in xs {
+                let clauses = distribute(x, clause_cap, capped);
+                if clauses.is_empty() {
+                    // x is True: the whole disjunction is True.
+                    return vec![];
+                }
+                let mut next = Vec::with_capacity(acc.len() * clauses.len());
+                'outer: for a in &acc {
+                    for c in &clauses {
+                        let mut merged = a.clone();
+                        merged.extend(c.iter().cloned());
+                        next.push(merged);
+                        if next.len() > clause_cap {
+                            *capped = true;
+                            break 'outer;
+                        }
+                    }
+                }
+                next.truncate(clause_cap);
+                acc = next;
+            }
+            acc
+        }
+    }
+}
+
+impl fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolExpr::True => write!(f, "TRUE"),
+            BoolExpr::False => write!(f, "FALSE"),
+            BoolExpr::Atom(p) => write!(f, "{p}"),
+            BoolExpr::Not(inner) => write!(f, "NOT ({inner})"),
+            BoolExpr::And(xs) => {
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    match x {
+                        BoolExpr::Or(_) => write!(f, "({x})")?,
+                        _ => write!(f, "{x}")?,
+                    }
+                }
+                Ok(())
+            }
+            BoolExpr::Or(xs) => {
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+
+    fn atom(col: &str, op: CmpOp, v: f64) -> BoolExpr {
+        BoolExpr::Atom(AtomicPredicate::cc(
+            QualifiedColumn::new("T", col),
+            op,
+            Constant::Num(v),
+        ))
+    }
+
+    #[test]
+    fn smart_constructors_simplify() {
+        assert_eq!(BoolExpr::and([]), BoolExpr::True);
+        assert_eq!(BoolExpr::or([]), BoolExpr::False);
+        assert_eq!(
+            BoolExpr::and([BoolExpr::True, atom("u", CmpOp::Gt, 1.0)]),
+            atom("u", CmpOp::Gt, 1.0)
+        );
+        assert_eq!(
+            BoolExpr::and([BoolExpr::False, atom("u", CmpOp::Gt, 1.0)]),
+            BoolExpr::False
+        );
+        assert_eq!(
+            BoolExpr::or([BoolExpr::True, atom("u", CmpOp::Gt, 1.0)]),
+            BoolExpr::True
+        );
+    }
+
+    #[test]
+    fn nnf_pushes_not_to_atoms() {
+        // NOT (u > 5 AND v <= 10)  ->  u <= 5 OR v > 10 (paper example)
+        let e = BoolExpr::and([atom("u", CmpOp::Gt, 5.0), atom("v", CmpOp::LtEq, 10.0)]).not();
+        let nnf = e.to_nnf();
+        assert_eq!(
+            nnf,
+            BoolExpr::or([atom("u", CmpOp::LtEq, 5.0), atom("v", CmpOp::Gt, 10.0)])
+        );
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let e = atom("u", CmpOp::Lt, 3.0).not().not();
+        assert_eq!(e.to_nnf(), atom("u", CmpOp::Lt, 3.0));
+    }
+
+    #[test]
+    fn cnf_of_dnf_distributes() {
+        // (a AND b) OR c  ->  (a OR c) AND (b OR c)
+        let a = atom("a", CmpOp::Gt, 1.0);
+        let b = atom("b", CmpOp::Gt, 2.0);
+        let c = atom("c", CmpOp::Gt, 3.0);
+        let e = BoolExpr::or([BoolExpr::and([a, b]), c]);
+        let conv = e.to_cnf();
+        assert!(conv.exact);
+        assert_eq!(conv.cnf.clauses.len(), 2);
+        for clause in &conv.cnf.clauses {
+            assert_eq!(clause.atoms.len(), 2);
+        }
+    }
+
+    #[test]
+    fn cnf_of_true_and_false() {
+        assert!(BoolExpr::True.to_cnf().cnf.clauses.is_empty());
+        let f = BoolExpr::False.to_cnf().cnf;
+        assert_eq!(f.clauses.len(), 1);
+        assert!(f.clauses[0].atoms.is_empty());
+        assert!(f.is_unsatisfiable_form());
+    }
+
+    #[test]
+    fn atom_cap_truncates_and_flags() {
+        let atoms: Vec<BoolExpr> = (0..50)
+            .map(|i| atom(&format!("c{i}"), CmpOp::Gt, i as f64))
+            .collect();
+        let e = BoolExpr::and(atoms);
+        let conv = e.to_cnf_capped(35, usize::MAX);
+        assert!(!conv.exact);
+        assert_eq!(conv.cnf.clauses.len(), 35);
+    }
+
+    #[test]
+    fn clause_cap_fires_on_blowup() {
+        // OR of 2-atom ANDs: CNF has 2^n clauses.
+        let mut ors = Vec::new();
+        for i in 0..16 {
+            ors.push(BoolExpr::and([
+                atom(&format!("a{i}"), CmpOp::Gt, 0.0),
+                atom(&format!("b{i}"), CmpOp::Lt, 1.0),
+            ]));
+        }
+        let e = BoolExpr::or(ors);
+        let conv = e.to_cnf_capped(100, 256);
+        assert!(!conv.exact);
+        assert!(conv.cnf.clauses.len() <= 256);
+    }
+
+    #[test]
+    fn evaluate_with_unknowns() {
+        let e = BoolExpr::or([atom("u", CmpOp::Gt, 5.0), atom("missing", CmpOp::Lt, 0.0)]);
+        // u=10 makes the OR true regardless of the unknown second atom.
+        let lookup = |c: &QualifiedColumn| {
+            if c.column == "u" {
+                Some(Constant::Num(10.0))
+            } else {
+                None
+            }
+        };
+        assert_eq!(e.evaluate(&lookup), Some(true));
+        // u=1 leaves the OR unknown.
+        let lookup = |c: &QualifiedColumn| {
+            if c.column == "u" {
+                Some(Constant::Num(1.0))
+            } else {
+                None
+            }
+        };
+        assert_eq!(e.evaluate(&lookup), None);
+    }
+
+    #[test]
+    fn truncate_atoms_counts_left_to_right() {
+        let e = BoolExpr::and([
+            atom("a", CmpOp::Gt, 1.0),
+            atom("b", CmpOp::Gt, 2.0),
+            atom("c", CmpOp::Gt, 3.0),
+        ]);
+        let (t, dropped) = e.truncate_atoms(2);
+        assert!(dropped);
+        assert_eq!(
+            t,
+            BoolExpr::and([atom("a", CmpOp::Gt, 1.0), atom("b", CmpOp::Gt, 2.0)])
+        );
+    }
+}

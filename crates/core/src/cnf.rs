@@ -1,0 +1,286 @@
+//! Conjunctive normal form: the constraint representation of the
+//! intermediate query format (Section 2.4).
+//!
+//! A [`Cnf`] is a conjunction of [`Disjunction`]s of atomic predicates —
+//! the `F(p₁, …, p_K)` of the paper. The empty CNF is `TRUE` (no
+//! constraint); a CNF containing an empty disjunction is unsatisfiable.
+
+use crate::predicate::{AtomicPredicate, Constant, QualifiedColumn};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One disjunction (OR) of atomic predicates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Disjunction {
+    pub atoms: Vec<AtomicPredicate>,
+}
+
+impl Disjunction {
+    /// Creates a disjunction, dropping duplicate atoms.
+    pub fn new(atoms: Vec<AtomicPredicate>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        let atoms = atoms
+            .into_iter()
+            .filter(|a| seen.insert(a.clone()))
+            .collect();
+        Disjunction { atoms }
+    }
+
+    /// A singleton disjunction.
+    pub fn singleton(atom: AtomicPredicate) -> Self {
+        Disjunction { atoms: vec![atom] }
+    }
+
+    /// Number of atoms (`|o|` in the paper's `d_disj`).
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True for the empty disjunction (unsatisfiable clause).
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Evaluates under a value lookup (`None` = value unavailable).
+    pub fn evaluate(
+        &self,
+        lookup: &dyn Fn(&QualifiedColumn) -> Option<Constant>,
+    ) -> Option<bool> {
+        let mut unknown = false;
+        for atom in &self.atoms {
+            match atom.evaluate(lookup) {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => unknown = true,
+            }
+        }
+        if unknown {
+            None
+        } else {
+            Some(false)
+        }
+    }
+
+    /// True when every atom of `self` also appears in `other` — then
+    /// `other` (as a disjunction) is implied by `self`, so in a CNF the
+    /// clause `other` is redundant next to `self`.
+    pub fn subsumes(&self, other: &Disjunction) -> bool {
+        self.atoms.iter().all(|a| other.atoms.contains(a))
+    }
+
+    /// A canonical sorted key (for dedup across clause orderings).
+    fn canonical_key(&self) -> Vec<String> {
+        let mut key: Vec<String> = self.atoms.iter().map(|a| a.to_string().to_lowercase()).collect();
+        key.sort();
+        key
+    }
+}
+
+impl fmt::Display for Disjunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "FALSE");
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " OR ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A conjunction of disjunctions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Cnf {
+    pub clauses: Vec<Disjunction>,
+}
+
+impl Cnf {
+    pub fn new(clauses: Vec<Disjunction>) -> Self {
+        Cnf { clauses }
+    }
+
+    /// The unconstrained CNF (`TRUE`).
+    pub fn top() -> Self {
+        Cnf {
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Number of clauses (`|b|` in the paper's `d_conj`).
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// True when there is no constraint at all.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// True when the CNF contains an empty clause, i.e. is syntactically
+    /// unsatisfiable. (Semantic contradictions like `a < 0 AND a > 1` are
+    /// detected by consolidation, not here.)
+    pub fn is_unsatisfiable_form(&self) -> bool {
+        self.clauses.iter().any(Disjunction::is_empty)
+    }
+
+    /// All atoms across all clauses.
+    pub fn atoms(&self) -> impl Iterator<Item = &AtomicPredicate> {
+        self.clauses.iter().flat_map(|c| c.atoms.iter())
+    }
+
+    /// The set of tables mentioned (lower-cased).
+    pub fn tables(&self) -> BTreeSet<String> {
+        self.atoms().flat_map(|a| a.tables()).collect()
+    }
+
+    /// Evaluates under a value lookup.
+    pub fn evaluate(
+        &self,
+        lookup: &dyn Fn(&QualifiedColumn) -> Option<Constant>,
+    ) -> Option<bool> {
+        let mut unknown = false;
+        for clause in &self.clauses {
+            match clause.evaluate(lookup) {
+                Some(false) => return Some(false),
+                Some(true) => {}
+                None => unknown = true,
+            }
+        }
+        if unknown {
+            None
+        } else {
+            Some(true)
+        }
+    }
+
+    /// Removes duplicate clauses (order-insensitive within each clause).
+    pub fn dedup(&mut self) {
+        let mut seen = std::collections::HashSet::new();
+        self.clauses.retain(|c| seen.insert(c.canonical_key()));
+    }
+
+    /// Removes clauses subsumed by another clause (a clause with a subset
+    /// of atoms implies any superset clause).
+    pub fn remove_subsumed(&mut self) {
+        let clauses = std::mem::take(&mut self.clauses);
+        let mut kept: Vec<Disjunction> = Vec::with_capacity(clauses.len());
+        for c in clauses {
+            if kept.iter().any(|k| k.subsumes(&c) && k.len() < c.len()) {
+                continue;
+            }
+            kept.retain(|k| !(c.subsumes(k) && c.len() < k.len()));
+            kept.push(c);
+        }
+        self.clauses = kept;
+    }
+
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "TRUE");
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " AND ")?;
+            }
+            if c.len() > 1 {
+                write!(f, "({c})")?;
+            } else {
+                write!(f, "{c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+
+    fn p(col: &str, op: CmpOp, v: f64) -> AtomicPredicate {
+        AtomicPredicate::cc(QualifiedColumn::new("T", col), op, Constant::Num(v))
+    }
+
+    #[test]
+    fn disjunction_dedups_atoms() {
+        let d = Disjunction::new(vec![p("u", CmpOp::Gt, 1.0), p("u", CmpOp::Gt, 1.0)]);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn cnf_dedup_ignores_clause_order() {
+        let mut cnf = Cnf::new(vec![
+            Disjunction::new(vec![p("u", CmpOp::Gt, 1.0), p("v", CmpOp::Lt, 2.0)]),
+            Disjunction::new(vec![p("v", CmpOp::Lt, 2.0), p("u", CmpOp::Gt, 1.0)]),
+        ]);
+        cnf.dedup();
+        assert_eq!(cnf.len(), 1);
+    }
+
+    #[test]
+    fn subsumption_removal() {
+        let mut cnf = Cnf::new(vec![
+            Disjunction::new(vec![p("u", CmpOp::Gt, 1.0)]),
+            Disjunction::new(vec![p("u", CmpOp::Gt, 1.0), p("v", CmpOp::Lt, 2.0)]),
+        ]);
+        cnf.remove_subsumed();
+        assert_eq!(cnf.len(), 1);
+        assert_eq!(cnf.clauses[0].len(), 1);
+    }
+
+    #[test]
+    fn evaluation_semantics() {
+        let cnf = Cnf::new(vec![
+            Disjunction::new(vec![p("u", CmpOp::Gt, 1.0), p("u", CmpOp::Lt, -1.0)]),
+            Disjunction::singleton(p("v", CmpOp::LtEq, 5.0)),
+        ]);
+        let lookup = |c: &QualifiedColumn| {
+            Some(Constant::Num(match c.column.as_str() {
+                "u" => 3.0,
+                "v" => 4.0,
+                _ => return None,
+            }))
+        };
+        assert_eq!(cnf.evaluate(&lookup), Some(true));
+        let lookup_fail = |c: &QualifiedColumn| {
+            Some(Constant::Num(match c.column.as_str() {
+                "u" => 0.0,
+                "v" => 4.0,
+                _ => return None,
+            }))
+        };
+        assert_eq!(cnf.evaluate(&lookup_fail), Some(false));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Cnf::top().to_string(), "TRUE");
+        let cnf = Cnf::new(vec![
+            Disjunction::new(vec![p("u", CmpOp::LtEq, 5.0), p("u", CmpOp::GtEq, 10.0)]),
+            Disjunction::singleton(p("v", CmpOp::LtEq, 5.0)),
+        ]);
+        assert_eq!(
+            cnf.to_string(),
+            "(T.u <= 5 OR T.u >= 10) AND T.v <= 5"
+        );
+    }
+
+    #[test]
+    fn tables_collects_all_mentioned() {
+        let cnf = Cnf::new(vec![Disjunction::singleton(AtomicPredicate::join(
+            QualifiedColumn::new("T", "u"),
+            CmpOp::Eq,
+            QualifiedColumn::new("S", "u"),
+        ))]);
+        let tables = cnf.tables();
+        assert!(tables.contains("t"));
+        assert!(tables.contains("s"));
+    }
+}

@@ -1,0 +1,445 @@
+//! Constraint consolidation — the cleanup step of Section 4.5: "we remove
+//! redundant constraints, merge overlapping constraints, and check the set
+//! of constraints for contradictions."
+
+use crate::cnf::{Cnf, Disjunction};
+use crate::interval::Interval;
+use crate::predicate::{AtomicPredicate, CmpOp, Constant, QualifiedColumn};
+use std::collections::BTreeMap;
+
+/// What consolidation discovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConsolidateOutcome {
+    /// The conjunction of constraints is unsatisfiable (e.g. `a < 0 AND
+    /// a > 1`, or `class = 'star' AND class = 'galaxy'`).
+    pub contradiction: bool,
+}
+
+/// Consolidates a CNF in place.
+pub fn consolidate(cnf: &mut Cnf) -> ConsolidateOutcome {
+    let mut outcome = ConsolidateOutcome::default();
+
+    // 1. Simplify each disjunction (merge same-column interval atoms).
+    let clauses = std::mem::take(&mut cnf.clauses);
+    let mut simplified = Vec::with_capacity(clauses.len());
+    for clause in clauses {
+        match simplify_disjunction(clause) {
+            DisjOutcome::Tautology => {} // drop always-true clauses
+            DisjOutcome::Clause(c) => simplified.push(c),
+        }
+    }
+    cnf.clauses = simplified;
+
+    // 2. Structural dedup + subsumption. Subsumption checking is
+    // quadratic in clauses and atoms; skip it for pathological CNFs (the
+    // clause-capped blowup queries) where it would dominate the pipeline.
+    cnf.dedup();
+    if cnf.len() <= 512 {
+        cnf.remove_subsumed();
+    }
+
+    // 3. Merge singleton numeric clauses per column, detect contradictions.
+    merge_singletons(cnf, &mut outcome);
+
+    if cnf.is_unsatisfiable_form() {
+        outcome.contradiction = true;
+    }
+    // A detected contradiction must leave the CNF itself unsatisfiable —
+    // the per-column merge drops the conflicting atoms, so without this
+    // the constraint would degrade to TRUE.
+    if outcome.contradiction {
+        cnf.clauses = vec![Disjunction::new(Vec::new())];
+    }
+    outcome
+}
+
+enum DisjOutcome {
+    Tautology,
+    Clause(Disjunction),
+}
+
+/// Within one disjunction: merge same-column numeric atoms whose intervals
+/// union contiguously (`a < 3 OR a < 5` → `a < 5`; `a < 2 OR a >= 2` →
+/// tautology), and drop atoms subsumed by another atom.
+fn simplify_disjunction(clause: Disjunction) -> DisjOutcome {
+    // Group numeric atoms per column; keep everything else verbatim.
+    let mut numeric: BTreeMap<QualifiedColumn, Vec<(Interval, AtomicPredicate)>> = BTreeMap::new();
+    let mut rest: Vec<AtomicPredicate> = Vec::new();
+    for atom in clause.atoms {
+        match atom.satisfying_interval() {
+            // `Neq` is handled conservatively as "whole line" by
+            // satisfying_interval; keep it verbatim instead.
+            Some((col, iv))
+                if !matches!(
+                    atom,
+                    AtomicPredicate::ColumnConstant {
+                        op: CmpOp::Neq,
+                        ..
+                    }
+                ) =>
+            {
+                numeric.entry(col).or_default().push((iv, atom));
+            }
+            _ => rest.push(atom),
+        }
+    }
+
+    let mut out: Vec<AtomicPredicate> = Vec::new();
+    for (col, mut atoms) in numeric {
+        // Repeatedly merge contiguous unions.
+        let mut merged: Vec<Interval> = Vec::new();
+        atoms.sort_by(|a, b| a.0.lo.total_cmp(&b.0.lo));
+        for (iv, _) in &atoms {
+            if let Some(last) = merged.last_mut() {
+                if let Some(u) = last.union(iv) {
+                    *last = u;
+                    continue;
+                }
+            }
+            merged.push(*iv);
+        }
+        if merged.iter().any(Interval::is_all) {
+            return DisjOutcome::Tautology;
+        }
+        for iv in merged {
+            out.extend(interval_to_atoms(&col, &iv));
+        }
+    }
+    out.extend(rest);
+    DisjOutcome::Clause(Disjunction::new(out))
+}
+
+/// Renders an interval back into canonical atoms on a column.
+///
+/// Intervals bounded on both sides need two atoms; in a *disjunction* that
+/// changes semantics (OR of the bounds is weaker than their AND), so this
+/// is only safe when the original atoms were half-lines or points — which
+/// is the case for atoms produced from single comparisons. Double-bounded
+/// intervals only arise in `merge_singletons`, which installs the atoms as
+/// separate conjunctive clauses. Within a disjunction, a double-bounded
+/// merge result can only come from merging half-lines that already covered
+/// it, so the wider of the two originals is reproduced instead.
+fn interval_to_atoms(col: &QualifiedColumn, iv: &Interval) -> Vec<AtomicPredicate> {
+    let mut atoms = Vec::new();
+    if iv.is_empty() {
+        return atoms;
+    }
+    if iv.lo == iv.hi {
+        atoms.push(AtomicPredicate::cc(
+            col.clone(),
+            CmpOp::Eq,
+            Constant::Num(iv.lo),
+        ));
+        return atoms;
+    }
+    let lo_finite = iv.lo.is_finite();
+    let hi_finite = iv.hi.is_finite();
+    if lo_finite && hi_finite {
+        // Double-bounded inside a disjunction: emit both atoms; callers in
+        // conjunctive position (merge_singletons) rely on exactly this.
+        atoms.push(AtomicPredicate::cc(
+            col.clone(),
+            if iv.lo_open { CmpOp::Gt } else { CmpOp::GtEq },
+            Constant::Num(iv.lo),
+        ));
+        atoms.push(AtomicPredicate::cc(
+            col.clone(),
+            if iv.hi_open { CmpOp::Lt } else { CmpOp::LtEq },
+            Constant::Num(iv.hi),
+        ));
+    } else if lo_finite {
+        atoms.push(AtomicPredicate::cc(
+            col.clone(),
+            if iv.lo_open { CmpOp::Gt } else { CmpOp::GtEq },
+            Constant::Num(iv.lo),
+        ));
+    } else if hi_finite {
+        atoms.push(AtomicPredicate::cc(
+            col.clone(),
+            if iv.hi_open { CmpOp::Lt } else { CmpOp::LtEq },
+            Constant::Num(iv.hi),
+        ));
+    }
+    atoms
+}
+
+/// Merges singleton clauses (conjunctive atoms): numeric intervals per
+/// column intersect; categorical equalities must agree. Original clause
+/// order is preserved — each column's merged constraint is emitted at the
+/// position of its first occurrence, so the paper's worked examples print
+/// in their original shape.
+fn merge_singletons(cnf: &mut Cnf, outcome: &mut ConsolidateOutcome) {
+    // Pass 1: accumulate per-column conjunctive facts.
+    let mut numeric: BTreeMap<QualifiedColumn, Interval> = BTreeMap::new();
+    let mut cat_eq: BTreeMap<QualifiedColumn, String> = BTreeMap::new();
+    for clause in &cnf.clauses {
+        if clause.len() != 1 {
+            continue;
+        }
+        match &clause.atoms[0] {
+            atom @ AtomicPredicate::ColumnConstant {
+                column,
+                op,
+                value: Constant::Num(_),
+            } if *op != CmpOp::Neq => {
+                let iv = atom
+                    .satisfying_interval()
+                    .map(|(_, iv)| iv)
+                    .unwrap_or_else(Interval::all);
+                numeric
+                    .entry(column.clone())
+                    .and_modify(|e| *e = e.intersect(&iv))
+                    .or_insert(iv);
+            }
+            AtomicPredicate::ColumnConstant {
+                column,
+                op: CmpOp::Eq,
+                value: Constant::Str(s),
+            } => {
+                if let Some(prev) = cat_eq.get(column) {
+                    if !prev.eq_ignore_ascii_case(s) {
+                        outcome.contradiction = true;
+                    }
+                } else {
+                    cat_eq.insert(column.clone(), s.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+    for iv in numeric.values() {
+        if iv.is_empty() {
+            outcome.contradiction = true;
+        }
+    }
+
+    // Pass 2: re-emit clauses in order; merged columns appear once, at
+    // their first occurrence.
+    let clauses = std::mem::take(&mut cnf.clauses);
+    let mut emitted_num: std::collections::HashSet<QualifiedColumn> =
+        std::collections::HashSet::new();
+    let mut emitted_cat: std::collections::HashSet<QualifiedColumn> =
+        std::collections::HashSet::new();
+    let mut kept: Vec<Disjunction> = Vec::with_capacity(clauses.len());
+
+    for clause in clauses {
+        if clause.len() != 1 {
+            kept.push(clause);
+            continue;
+        }
+        match &clause.atoms[0] {
+            AtomicPredicate::ColumnConstant {
+                column,
+                op,
+                value: Constant::Num(c),
+            } => {
+                if *op == CmpOp::Neq {
+                    // `a <> c`: redundant when c is outside the merged
+                    // interval; contradictory when the interval is {c}.
+                    let iv = numeric.get(column).copied().unwrap_or_else(Interval::all);
+                    if iv.lo == *c && iv.hi == *c {
+                        outcome.contradiction = true;
+                    }
+                    if iv.contains(*c) {
+                        kept.push(clause);
+                    }
+                } else if emitted_num.insert(column.clone()) {
+                    let iv = numeric.get(column).copied().unwrap_or_else(Interval::all);
+                    for atom in interval_to_atoms(column, &iv) {
+                        kept.push(Disjunction::singleton(atom));
+                    }
+                }
+            }
+            AtomicPredicate::ColumnConstant {
+                column,
+                op: CmpOp::Eq,
+                value: Constant::Str(_),
+            } => {
+                if emitted_cat.insert(column.clone()) {
+                    if let Some(s) = cat_eq.get(column) {
+                        kept.push(Disjunction::singleton(AtomicPredicate::cc(
+                            column.clone(),
+                            CmpOp::Eq,
+                            Constant::Str(s.clone()),
+                        )));
+                    }
+                }
+            }
+            AtomicPredicate::ColumnConstant {
+                column,
+                op: CmpOp::Neq,
+                value: Constant::Str(s),
+            } => match cat_eq.get(column) {
+                Some(eq) if eq.eq_ignore_ascii_case(s) => outcome.contradiction = true,
+                Some(_) => {} // already pinned to a different value
+                None => kept.push(clause),
+            },
+            _ => kept.push(clause),
+        }
+    }
+
+    cnf.clauses = kept;
+    cnf.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(c: &str) -> QualifiedColumn {
+        QualifiedColumn::new("T", c)
+    }
+
+    fn num(c: &str, op: CmpOp, v: f64) -> AtomicPredicate {
+        AtomicPredicate::cc(col(c), op, Constant::Num(v))
+    }
+
+    fn cat(c: &str, op: CmpOp, v: &str) -> AtomicPredicate {
+        AtomicPredicate::cc(col(c), op, Constant::Str(v.into()))
+    }
+
+    #[test]
+    fn merges_redundant_conjunctive_bounds() {
+        // u < 5 AND u < 3  ->  u < 3
+        let mut cnf = Cnf::new(vec![
+            Disjunction::singleton(num("u", CmpOp::Lt, 5.0)),
+            Disjunction::singleton(num("u", CmpOp::Lt, 3.0)),
+        ]);
+        let out = consolidate(&mut cnf);
+        assert!(!out.contradiction);
+        assert_eq!(cnf.to_string(), "T.u < 3");
+    }
+
+    #[test]
+    fn between_style_bounds_survive() {
+        let mut cnf = Cnf::new(vec![
+            Disjunction::singleton(num("u", CmpOp::GtEq, 1.0)),
+            Disjunction::singleton(num("u", CmpOp::LtEq, 8.0)),
+        ]);
+        consolidate(&mut cnf);
+        assert_eq!(cnf.to_string(), "T.u >= 1 AND T.u <= 8");
+    }
+
+    #[test]
+    fn detects_numeric_contradiction() {
+        let mut cnf = Cnf::new(vec![
+            Disjunction::singleton(num("u", CmpOp::Lt, 0.0)),
+            Disjunction::singleton(num("u", CmpOp::Gt, 1.0)),
+        ]);
+        let out = consolidate(&mut cnf);
+        assert!(out.contradiction);
+    }
+
+    #[test]
+    fn open_closed_boundary_contradictions() {
+        // u < 3 AND u > 3 contradicts; u <= 3 AND u >= 3 pins u = 3.
+        let mut c1 = Cnf::new(vec![
+            Disjunction::singleton(num("u", CmpOp::Lt, 3.0)),
+            Disjunction::singleton(num("u", CmpOp::Gt, 3.0)),
+        ]);
+        assert!(consolidate(&mut c1).contradiction);
+        let mut c2 = Cnf::new(vec![
+            Disjunction::singleton(num("u", CmpOp::LtEq, 3.0)),
+            Disjunction::singleton(num("u", CmpOp::GtEq, 3.0)),
+        ]);
+        let out = consolidate(&mut c2);
+        assert!(!out.contradiction);
+        assert_eq!(c2.to_string(), "T.u = 3");
+    }
+
+    #[test]
+    fn detects_categorical_contradiction() {
+        let mut cnf = Cnf::new(vec![
+            Disjunction::singleton(cat("class", CmpOp::Eq, "star")),
+            Disjunction::singleton(cat("class", CmpOp::Eq, "galaxy")),
+        ]);
+        assert!(consolidate(&mut cnf).contradiction);
+        // Same value twice is fine (and deduped).
+        let mut ok = Cnf::new(vec![
+            Disjunction::singleton(cat("class", CmpOp::Eq, "star")),
+            Disjunction::singleton(cat("class", CmpOp::Eq, "STAR")),
+        ]);
+        let out = consolidate(&mut ok);
+        assert!(!out.contradiction);
+        assert_eq!(ok.len(), 1);
+    }
+
+    #[test]
+    fn eq_and_neq_same_value_contradicts() {
+        let mut cnf = Cnf::new(vec![
+            Disjunction::singleton(cat("class", CmpOp::Eq, "star")),
+            Disjunction::singleton(cat("class", CmpOp::Neq, "star")),
+        ]);
+        assert!(consolidate(&mut cnf).contradiction);
+        let mut num_case = Cnf::new(vec![
+            Disjunction::singleton(num("u", CmpOp::Eq, 3.0)),
+            Disjunction::singleton(num("u", CmpOp::Neq, 3.0)),
+        ]);
+        assert!(consolidate(&mut num_case).contradiction);
+    }
+
+    #[test]
+    fn disjunction_merges_overlapping_atoms() {
+        // (u < 3 OR u < 5) -> u < 5
+        let mut cnf = Cnf::new(vec![Disjunction::new(vec![
+            num("u", CmpOp::Lt, 3.0),
+            num("u", CmpOp::Lt, 5.0),
+        ])]);
+        consolidate(&mut cnf);
+        assert_eq!(cnf.to_string(), "T.u < 5");
+    }
+
+    #[test]
+    fn covering_disjunction_is_dropped() {
+        // (u < 3 OR u >= 2) covers the line -> clause is a tautology.
+        let mut cnf = Cnf::new(vec![
+            Disjunction::new(vec![num("u", CmpOp::Lt, 3.0), num("u", CmpOp::GtEq, 2.0)]),
+            Disjunction::singleton(num("v", CmpOp::Gt, 0.0)),
+        ]);
+        consolidate(&mut cnf);
+        assert_eq!(cnf.to_string(), "T.v > 0");
+    }
+
+    #[test]
+    fn disjoint_disjunction_atoms_are_kept() {
+        // (u <= 5 OR u >= 10) must survive as-is — the paper's running
+        // intermediate-format example.
+        let mut cnf = Cnf::new(vec![Disjunction::new(vec![
+            num("u", CmpOp::LtEq, 5.0),
+            num("u", CmpOp::GtEq, 10.0),
+        ])]);
+        let out = consolidate(&mut cnf);
+        assert!(!out.contradiction);
+        assert_eq!(cnf.to_string(), "(T.u <= 5 OR T.u >= 10)");
+    }
+
+    #[test]
+    fn redundant_neq_is_dropped() {
+        // u < 5 AND u <> 100: the exclusion is outside the interval.
+        let mut cnf = Cnf::new(vec![
+            Disjunction::singleton(num("u", CmpOp::Lt, 5.0)),
+            Disjunction::singleton(num("u", CmpOp::Neq, 100.0)),
+        ]);
+        consolidate(&mut cnf);
+        assert_eq!(cnf.to_string(), "T.u < 5");
+        // But a relevant exclusion is kept.
+        let mut cnf = Cnf::new(vec![
+            Disjunction::singleton(num("u", CmpOp::Lt, 5.0)),
+            Disjunction::singleton(num("u", CmpOp::Neq, 2.0)),
+        ]);
+        consolidate(&mut cnf);
+        assert!(cnf.to_string().contains("<> 2"));
+    }
+
+    #[test]
+    fn join_predicates_pass_through() {
+        let mut cnf = Cnf::new(vec![Disjunction::singleton(AtomicPredicate::join(
+            col("u"),
+            CmpOp::Eq,
+            QualifiedColumn::new("S", "u"),
+        ))]);
+        let out = consolidate(&mut cnf);
+        assert!(!out.contradiction);
+        assert_eq!(cnf.len(), 1);
+    }
+}

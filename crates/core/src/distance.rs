@@ -1,0 +1,511 @@
+//! The query distance function (Section 5):
+//! `d(q₁,q₂) = d_tables(q₁.FROM, q₂.FROM) + d_conj(q₁.WHERE, q₂.WHERE)`.
+//!
+//! ## The `d_pred` ambiguity, and why two modes exist
+//!
+//! Section 5.2 defines the same-column predicate distance as the
+//! *normalized overlap* `|i₁ ∩ i₂| / |access(a)|` (worked example: `a < 3`
+//! vs `a > 2` on `access = [0,5]` gives 0.2). Read literally, two
+//! *identical* predicates are then far apart (large overlap = large
+//! distance) and two *disjoint* predicates are at distance 0 — the exact
+//! opposite of the stated goal ("overlap as our main objective of
+//! similarity") and unable to produce Table 1's range-query clusters.
+//!
+//! [`DistanceMode::PaperLiteral`] implements the formulas exactly as
+//! printed, for the ablation experiment. The default
+//! [`DistanceMode::Dissimilarity`] uses the natural reading that is
+//! consistent with every cluster in Table 1:
+//!
+//! ```text
+//! d_pred(p₁,p₂) = (|hull(i₁,i₂)| − |i₁ ∩ i₂|) / |access(a)|
+//! ```
+//!
+//! which equals `1 − (normalized overlap)` whenever the two intervals
+//! jointly span `access(a)` — exactly the paper's worked example
+//! (`1 − 0.2 = 0.8`) — and degrades gracefully for point predicates:
+//! `objid = c₁` vs `objid = c₂` are at distance `|c₁−c₂| / |access|`,
+//! which is what lets DBSCAN chain the id-lookup queries of Clusters 1–4
+//! into contiguous ranges while OLAPClus (exact matching) shatters them
+//! into ~100,000 singleton clusters (Section 6.4).
+
+use crate::area::AccessArea;
+use crate::cnf::{Cnf, Disjunction};
+use crate::interval::Interval;
+use crate::predicate::{AtomicPredicate, CmpOp, Constant};
+use crate::ranges::AccessRanges;
+use std::collections::BTreeSet;
+
+/// Which reading of Section 5.2 to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DistanceMode {
+    /// The formulas exactly as printed in the paper (ablation only).
+    PaperLiteral,
+    /// The overlap-based *dissimilarity* consistent with Table 1 (default).
+    #[default]
+    Dissimilarity,
+}
+
+/// The distance function, bound to the `access(a)` tracker it normalises
+/// against.
+pub struct QueryDistance<'a> {
+    ranges: &'a AccessRanges,
+    mode: DistanceMode,
+}
+
+impl<'a> QueryDistance<'a> {
+    pub fn new(ranges: &'a AccessRanges) -> Self {
+        QueryDistance {
+            ranges,
+            mode: DistanceMode::default(),
+        }
+    }
+
+    pub fn with_mode(ranges: &'a AccessRanges, mode: DistanceMode) -> Self {
+        QueryDistance { ranges, mode }
+    }
+
+    /// `d(q₁, q₂) = d_tables + d_conj` (Equation 1).
+    pub fn distance(&self, a: &AccessArea, b: &AccessArea) -> f64 {
+        self.d_tables(a, b) + self.d_conj(&a.constraint, &b.constraint)
+    }
+
+    /// Jaccard distance between the table sets (Section 5.1).
+    pub fn d_tables(&self, a: &AccessArea, b: &AccessArea) -> f64 {
+        let sa: BTreeSet<&str> = a.table_keys().collect();
+        let sb: BTreeSet<&str> = b.table_keys().collect();
+        if sa.is_empty() && sb.is_empty() {
+            // Corner case the paper defines: queries over constants only.
+            return 0.0;
+        }
+        let inter = sa.intersection(&sb).count() as f64;
+        let union = sa.union(&sb).count() as f64;
+        1.0 - inter / union
+    }
+
+    /// Distance of two CNF constraints (Section 5.2).
+    pub fn d_conj(&self, b1: &Cnf, b2: &Cnf) -> f64 {
+        match (b1.is_empty(), b2.is_empty()) {
+            (true, true) => return 0.0,
+            // One side unconstrained: maximal clause mismatch.
+            (true, false) | (false, true) => return 1.0,
+            _ => {}
+        }
+        let sum1: f64 = b1
+            .clauses
+            .iter()
+            .map(|o1| {
+                b2.clauses
+                    .iter()
+                    .map(|o2| self.d_disj(o1, o2))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        let sum2: f64 = b2
+            .clauses
+            .iter()
+            .map(|o2| {
+                b1.clauses
+                    .iter()
+                    .map(|o1| self.d_disj(o1, o2))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        (sum1 + sum2) / (b1.len() + b2.len()) as f64
+    }
+
+    /// Distance of two disjunctions.
+    pub fn d_disj(&self, o1: &Disjunction, o2: &Disjunction) -> f64 {
+        match (o1.is_empty(), o2.is_empty()) {
+            (true, true) => return 0.0,
+            (true, false) | (false, true) => return 1.0,
+            _ => {}
+        }
+        let sum1: f64 = o1
+            .atoms
+            .iter()
+            .map(|p1| {
+                o2.atoms
+                    .iter()
+                    .map(|p2| self.d_pred(p1, p2))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        let sum2: f64 = o2
+            .atoms
+            .iter()
+            .map(|p2| {
+                o1.atoms
+                    .iter()
+                    .map(|p1| self.d_pred(p1, p2))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        (sum1 + sum2) / (o1.len() + o2.len()) as f64
+    }
+
+    /// Distance of two atomic predicates.
+    pub fn d_pred(&self, p1: &AtomicPredicate, p2: &AtomicPredicate) -> f64 {
+        use AtomicPredicate::*;
+        match (p1, p2) {
+            // Join predicates compare structurally (orientation-agnostic).
+            (
+                ColumnColumn {
+                    left: l1,
+                    op: op1,
+                    right: r1,
+                },
+                ColumnColumn {
+                    left: l2,
+                    op: op2,
+                    right: r2,
+                },
+            ) => {
+                let same = (l1 == l2 && r1 == r2 && op1 == op2)
+                    || (l1 == r2 && r1 == l2 && *op1 == op2.flip());
+                match self.mode {
+                    DistanceMode::Dissimilarity => {
+                        if same {
+                            0.0
+                        } else {
+                            1.0
+                        }
+                    }
+                    // Literal mode: "overlap" of identical joins is total.
+                    DistanceMode::PaperLiteral => {
+                        if same {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                }
+            }
+            (
+                ColumnConstant {
+                    column: c1,
+                    op: op1,
+                    value: v1,
+                },
+                ColumnConstant {
+                    column: c2,
+                    op: op2,
+                    value: v2,
+                },
+            ) => {
+                if c1 == c2 {
+                    self.d_pred_same_column(p1, p2, c1, op1, v1, op2, v2)
+                } else {
+                    self.d_pred_cross_column(p1, p2)
+                }
+            }
+            // A join predicate against a column-constant predicate: no
+            // meaningful overlap.
+            _ => match self.mode {
+                DistanceMode::Dissimilarity => 1.0,
+                DistanceMode::PaperLiteral => 0.0,
+            },
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn d_pred_same_column(
+        &self,
+        p1: &AtomicPredicate,
+        p2: &AtomicPredicate,
+        col: &crate::predicate::QualifiedColumn,
+        op1: &CmpOp,
+        v1: &Constant,
+        op2: &CmpOp,
+        v2: &Constant,
+    ) -> f64 {
+        match (v1, v2) {
+            (Constant::Num(_), Constant::Num(_)) => {
+                let i1 = p1.interval().expect("numeric cc");
+                let i2 = p2.interval().expect("numeric cc");
+                // access(a), widened to include both predicates so clipping
+                // never empties them (the pipeline's observe pass normally
+                // guarantees this already).
+                let mut access = self
+                    .ranges
+                    .numeric(col)
+                    .unwrap_or_else(|| Interval::closed(0.0, 0.0));
+                for c in [v1.as_num(), v2.as_num()].into_iter().flatten() {
+                    access = access.hull(&Interval::point(c));
+                }
+                let a1 = i1.intersect(&access);
+                let a2 = i2.intersect(&access);
+                let width = access.width();
+                if width == 0.0 {
+                    // Degenerate access range: compare structurally.
+                    return match self.mode {
+                        DistanceMode::Dissimilarity => {
+                            if op1 == op2 && v1 == v2 {
+                                0.0
+                            } else {
+                                1.0
+                            }
+                        }
+                        DistanceMode::PaperLiteral => {
+                            if op1 == op2 && v1 == v2 {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        }
+                    };
+                }
+                let overlap = a1.overlap_width(&a2);
+                match self.mode {
+                    DistanceMode::PaperLiteral => overlap / width,
+                    DistanceMode::Dissimilarity => {
+                        let hull = a1.hull(&a2).width();
+                        ((hull - overlap) / width).clamp(0.0, 1.0)
+                    }
+                }
+            }
+            (Constant::Str(_), Constant::Str(_)) => {
+                // Value sets over the categorical access set.
+                let access = self
+                    .ranges
+                    .categorical(col)
+                    .cloned()
+                    .unwrap_or_default();
+                let set_of = |op: &CmpOp, v: &Constant| -> BTreeSet<String> {
+                    let Constant::Str(s) = v else {
+                        return BTreeSet::new();
+                    };
+                    let s = s.to_lowercase();
+                    match op {
+                        CmpOp::Eq => std::iter::once(s).collect(),
+                        CmpOp::Neq => access.iter().filter(|x| **x != s).cloned().collect(),
+                        // Ordered string comparisons are rare; approximate
+                        // with the singleton.
+                        _ => std::iter::once(s).collect(),
+                    }
+                };
+                let s1 = set_of(op1, v1);
+                let s2 = set_of(op2, v2);
+                let common = s1.intersection(&s2).count() as f64;
+                match self.mode {
+                    DistanceMode::PaperLiteral => {
+                        let denom = access.len().max(1) as f64;
+                        common / denom
+                    }
+                    DistanceMode::Dissimilarity => {
+                        let union = s1.union(&s2).count() as f64;
+                        if union == 0.0 {
+                            0.0
+                        } else {
+                            1.0 - common / union
+                        }
+                    }
+                }
+            }
+            // Mixed numeric/categorical on one column: disjoint.
+            _ => match self.mode {
+                DistanceMode::Dissimilarity => 1.0,
+                DistanceMode::PaperLiteral => 0.0,
+            },
+        }
+    }
+
+    /// Different columns: "the proportion of the joint space of the
+    /// involved columns occupied by p₁ and p₂" (paper example: `a₁ < 3`,
+    /// `a₂ > 2` on `[0,5]²` → 9/25 = 0.36).
+    ///
+    /// In `Dissimilarity` mode this is a constant 1: predicates that
+    /// constrain *different* dimensions never describe the same area, and
+    /// a graded value (e.g. `1 − proportion`) would rate two wide
+    /// predicates on unrelated columns as near-identical, merging clusters
+    /// that Table 1 keeps separate.
+    fn d_pred_cross_column(&self, p1: &AtomicPredicate, p2: &AtomicPredicate) -> f64 {
+        if self.mode == DistanceMode::Dissimilarity {
+            return 1.0;
+        }
+        let frac = |p: &AtomicPredicate| -> f64 {
+            let AtomicPredicate::ColumnConstant { column, value, .. } = p else {
+                return 1.0;
+            };
+            match value {
+                Constant::Num(c) => {
+                    let Some(iv) = p.interval() else {
+                        return 1.0;
+                    };
+                    let mut access = self
+                        .ranges
+                        .numeric(column)
+                        .unwrap_or_else(|| Interval::closed(0.0, 0.0));
+                    access = access.hull(&Interval::point(*c));
+                    let w = access.width();
+                    if w == 0.0 {
+                        return 1.0;
+                    }
+                    (iv.intersect(&access).width() / w).clamp(0.0, 1.0)
+                }
+                Constant::Str(_) => {
+                    let denom = self
+                        .ranges
+                        .categorical(column)
+                        .map(|s| s.len())
+                        .unwrap_or(1)
+                        .max(1) as f64;
+                    (1.0 / denom).clamp(0.0, 1.0)
+                }
+            }
+        };
+        frac(p1) * frac(p2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{Extractor, NoSchema};
+    use crate::predicate::QualifiedColumn;
+
+    fn area(sql: &str) -> AccessArea {
+        Extractor::new(&NoSchema).extract_sql(sql).unwrap()
+    }
+
+    fn ranges() -> AccessRanges {
+        let mut r = AccessRanges::new();
+        r.set_numeric(&QualifiedColumn::new("T", "a"), 0.0, 5.0);
+        r.set_numeric(&QualifiedColumn::new("T", "a1"), 0.0, 5.0);
+        r.set_numeric(&QualifiedColumn::new("T", "a2"), 0.0, 5.0);
+        r.set_numeric(&QualifiedColumn::new("T", "u"), 0.0, 100.0);
+        r.set_categorical(
+            &QualifiedColumn::new("T", "class"),
+            ["star".to_string(), "galaxy".to_string(), "qso".to_string()],
+        );
+        r
+    }
+
+    fn pred(sql_where: &str) -> AtomicPredicate {
+        let a = area(&format!("SELECT * FROM T WHERE {sql_where}"));
+        assert_eq!(a.constraint.len(), 1, "{sql_where}");
+        a.constraint.clauses[0].atoms[0].clone()
+    }
+
+    #[test]
+    fn paper_literal_reproduces_worked_examples() {
+        let r = ranges();
+        let d = QueryDistance::with_mode(&r, DistanceMode::PaperLiteral);
+        // Example 1: p1 = a < 3, p2 = a > 2, access = [0,5] -> 0.2.
+        let dp = d.d_pred(&pred("a < 3"), &pred("a > 2"));
+        assert!((dp - 0.2).abs() < 1e-12, "{dp}");
+        // Example 2: a1 < 3 vs a2 > 2 -> (3*3)/(5*5) = 0.36.
+        let dp = d.d_pred(&pred("a1 < 3"), &pred("a2 > 2"));
+        assert!((dp - 0.36).abs() < 1e-12, "{dp}");
+    }
+
+    #[test]
+    fn dissimilarity_is_complementary_on_spanning_example() {
+        let r = ranges();
+        let d = QueryDistance::new(&r);
+        // hull([0,3),(2,5]) = [0,5] width 5; overlap 1 -> (5-1)/5 = 0.8.
+        let dp = d.d_pred(&pred("a < 3"), &pred("a > 2"));
+        assert!((dp - 0.8).abs() < 1e-12, "{dp}");
+    }
+
+    #[test]
+    fn identical_predicates_are_at_distance_zero() {
+        let r = ranges();
+        let d = QueryDistance::new(&r);
+        assert_eq!(d.d_pred(&pred("a < 3"), &pred("a < 3")), 0.0);
+        assert_eq!(d.d_pred(&pred("class = 'star'"), &pred("class = 'STAR'")), 0.0);
+    }
+
+    #[test]
+    fn point_predicates_scale_with_constant_distance() {
+        // The Cluster 1 mechanism: objid = c queries chain when constants
+        // are near on the access range.
+        let r = ranges();
+        let d = QueryDistance::new(&r);
+        let near = d.d_pred(&pred("u = 10"), &pred("u = 12"));
+        let far = d.d_pred(&pred("u = 10"), &pred("u = 90"));
+        assert!((near - 0.02).abs() < 1e-12, "{near}");
+        assert!((far - 0.8).abs() < 1e-12, "{far}");
+        assert!(near < far);
+    }
+
+    #[test]
+    fn d_tables_jaccard() {
+        let r = ranges();
+        let d = QueryDistance::new(&r);
+        let a = area("SELECT * FROM T WHERE u > 1");
+        let b = area("SELECT * FROM T, S WHERE u > 1 AND S.x > 0");
+        let c = area("SELECT * FROM R WHERE y > 0");
+        assert_eq!(d.d_tables(&a, &a), 0.0);
+        assert!((d.d_tables(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(d.d_tables(&a, &c), 1.0);
+        // Constants-only corner case.
+        let k1 = area("SELECT 1");
+        let k2 = area("SELECT 2");
+        assert_eq!(d.d_tables(&k1, &k2), 0.0);
+    }
+
+    #[test]
+    fn full_distance_orders_clusters_sensibly() {
+        let r = ranges();
+        let d = QueryDistance::new(&r);
+        let q1 = area("SELECT * FROM T WHERE a <= 2 AND class = 'star'");
+        let q2 = area("SELECT * FROM T WHERE a <= 2.2 AND class = 'star'");
+        let q3 = area("SELECT * FROM T WHERE a >= 4 AND class = 'qso'");
+        let near = d.distance(&q1, &q2);
+        let far = d.distance(&q1, &q3);
+        assert!(near < far, "near={near} far={far}");
+        assert!(near < 0.1, "near={near}");
+        // Same query -> distance 0.
+        assert_eq!(d.distance(&q1, &q1), 0.0);
+    }
+
+    #[test]
+    fn categorical_jaccard() {
+        let r = ranges();
+        let d = QueryDistance::new(&r);
+        assert_eq!(
+            d.d_pred(&pred("class = 'star'"), &pred("class = 'galaxy'")),
+            1.0
+        );
+        // star vs NOT galaxy: {star} vs {star, qso} -> 1 - 1/2.
+        let dp = d.d_pred(&pred("class = 'star'"), &pred("class <> 'galaxy'"));
+        assert!((dp - 0.5).abs() < 1e-12, "{dp}");
+    }
+
+    #[test]
+    fn join_predicate_distances() {
+        let r = ranges();
+        let d = QueryDistance::new(&r);
+        let j1 = area("SELECT * FROM T, S WHERE T.u = S.u").constraint.clauses[0].atoms[0].clone();
+        let j2 = area("SELECT * FROM S, T WHERE S.u = T.u").constraint.clauses[0].atoms[0].clone();
+        let j3 = area("SELECT * FROM T, S WHERE T.u = S.w").constraint.clauses[0].atoms[0].clone();
+        assert_eq!(d.d_pred(&j1, &j2), 0.0, "orientation-insensitive");
+        assert_eq!(d.d_pred(&j1, &j3), 1.0);
+        assert_eq!(d.d_pred(&j1, &pred("u = 10")), 1.0);
+    }
+
+    #[test]
+    fn d_conj_handles_empty_sides() {
+        let r = ranges();
+        let d = QueryDistance::new(&r);
+        let unconstrained = area("SELECT * FROM T");
+        let constrained = area("SELECT * FROM T WHERE u > 1");
+        assert_eq!(
+            d.d_conj(&unconstrained.constraint, &unconstrained.constraint),
+            0.0
+        );
+        assert_eq!(
+            d.d_conj(&unconstrained.constraint, &constrained.constraint),
+            1.0
+        );
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let r = ranges();
+        let d = QueryDistance::new(&r);
+        let q1 = area("SELECT * FROM T WHERE a < 3 AND u > 10");
+        let q2 = area("SELECT * FROM T WHERE a > 2");
+        assert_eq!(d.distance(&q1, &q2), d.distance(&q2, &q1));
+    }
+}

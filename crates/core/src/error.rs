@@ -1,0 +1,36 @@
+//! Extraction errors.
+
+use aa_sql::ParseError;
+use std::fmt;
+
+/// Why an access area could not be extracted from a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExtractError {
+    /// The statement did not parse (carries the parser's classification:
+    /// syntax error / non-SELECT / unsupported construct — Section 6.1's
+    /// failure taxonomy).
+    Parse(ParseError),
+    /// Parsed, but contains a construct the extractor cannot map to an
+    /// access area even approximately.
+    Unsupported(String),
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::Parse(e) => write!(f, "parse: {e}"),
+            ExtractError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+impl From<ParseError> for ExtractError {
+    fn from(e: ParseError) -> Self {
+        ExtractError::Parse(e)
+    }
+}
+
+/// Result alias for extraction.
+pub type ExtractResult<T> = Result<T, ExtractError>;

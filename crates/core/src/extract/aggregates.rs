@@ -1,0 +1,455 @@
+//! Aggregate queries: mapping `HAVING AGG(a) θ c` to access-area
+//! constraints (Section 4.3, Lemmas 1–3, generalised).
+//!
+//! ## The unified case analysis
+//!
+//! The paper proves three lemmas for `SUM` under different `WHERE`
+//! constraints on the aggregated column, plus (in the companion thesis) the
+//! cases for `COUNT`/`MIN`/`MAX`/`AVG`. All of them are instances of one
+//! question: *given that every group member's value must come from the
+//! **effective domain** `D = dom(a) ∩ (WHERE-interval on a)`, for which
+//! values `v ∈ D` of the candidate tuple does a schema-allowed state exist
+//! whose group satisfies `AGG θ c`?*
+//!
+//! Running the analysis on `D` instead of `dom(a)` recovers each lemma:
+//!
+//! * Lemma 1 (`SUM > c`, no WHERE): `D = dom(a)`; `sup D > 0` → every tuple
+//!   qualifies (pad the group with positive values); `sup D ≤ 0` → the
+//!   best achievable sum is the tuple's own value, giving `σ_{a>c}`, empty
+//!   when even that is impossible.
+//! * Lemma 2 (`WHERE a < c₁`, `SUM > c₂`): `D = (-∞, c₁)`; `c₁ > 0` → no
+//!   extra constraint; `c₁ ≤ 0 ∧ c₂ ≥ 0` → empty; `c₁ ≤ 0 ∧ c₂ < 0` →
+//!   `σ_{a > c₂}` when `c₂ < c₁`, else empty.
+//! * Lemma 3 (`WHERE a > c₁`, `SUM > c₂`): `sup D = +∞` → no extra
+//!   constraint.
+
+use crate::boolexpr::BoolExpr;
+use crate::error::ExtractResult;
+use crate::interval::Interval;
+use crate::predicate::{AtomicPredicate, CmpOp, Constant, QualifiedColumn};
+use aa_sql::{AggFunc, BinaryOp, Expr, Select};
+
+use super::{Ctx, Extractor, State};
+
+/// The outcome of analysing one `AGG(a) θ c` condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HavingOutcome {
+    /// Every tuple of the (WHERE-constrained) space can influence the
+    /// result: no additional constraint.
+    Top,
+    /// No tuple can: the access area is provably empty.
+    Empty,
+    /// The additional constraint `a θ' c'`.
+    Pred(AtomicPredicate),
+}
+
+impl<'a> Extractor<'a> {
+    /// Lowers a HAVING clause. Conjunctions of `AGG(a) θ c` terms are
+    /// analysed term-wise; plain (non-aggregate) predicates lower like
+    /// WHERE predicates; anything else approximates to `TRUE`.
+    pub(crate) fn lower_having(
+        &self,
+        having: &Expr,
+        query: &Select,
+        ctx: &Ctx<'_>,
+        state: &mut State,
+    ) -> ExtractResult<BoolExpr> {
+        let mut conjuncts = Vec::new();
+        flatten_and(having, &mut conjuncts);
+
+        let mut parts = Vec::new();
+        for term in conjuncts {
+            parts.push(self.lower_having_term(term, query, ctx, state)?);
+        }
+        Ok(BoolExpr::and(parts))
+    }
+
+    fn lower_having_term(
+        &self,
+        term: &Expr,
+        query: &Select,
+        ctx: &Ctx<'_>,
+        state: &mut State,
+    ) -> ExtractResult<BoolExpr> {
+        // Recognise `AGG(a) θ c` / `c θ AGG(a)`.
+        if let Expr::Binary { left, op, right } = term {
+            if op.is_comparison() {
+                let shaped = match (left.as_ref(), right.as_ref()) {
+                    (Expr::Aggregate { func, arg, .. }, rhs) if is_constant(rhs) => {
+                        Some((*func, arg.as_deref(), *op, rhs))
+                    }
+                    (lhs, Expr::Aggregate { func, arg, .. }) if is_constant(lhs) => {
+                        Some((*func, arg.as_deref(), flip_binop(*op), lhs))
+                    }
+                    _ => None,
+                };
+                if let Some((func, arg, op, const_expr)) = shaped {
+                    return self.lower_agg_comparison(func, arg, op, const_expr, query, ctx, state);
+                }
+            }
+        }
+        if term.has_aggregate() {
+            // An aggregate shape outside the supported format (the paper
+            // confines itself to one aggregate per HAVING): approximate.
+            state.approximate();
+            return Ok(BoolExpr::True);
+        }
+        // Plain predicate on grouping columns: same mapping as WHERE.
+        self.lower_expr(term, ctx, state)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lower_agg_comparison(
+        &self,
+        func: AggFunc,
+        arg: Option<&Expr>,
+        op: BinaryOp,
+        const_expr: &Expr,
+        query: &Select,
+        ctx: &Ctx<'_>,
+        state: &mut State,
+    ) -> ExtractResult<BoolExpr> {
+        let Some(c) = constant_value(const_expr) else {
+            state.approximate();
+            return Ok(BoolExpr::True);
+        };
+        let cmp = match op {
+            BinaryOp::Eq => CmpOp::Eq,
+            BinaryOp::Neq => CmpOp::Neq,
+            BinaryOp::Lt => CmpOp::Lt,
+            BinaryOp::LtEq => CmpOp::LtEq,
+            BinaryOp::Gt => CmpOp::Gt,
+            BinaryOp::GtEq => CmpOp::GtEq,
+            _ => {
+                state.approximate();
+                return Ok(BoolExpr::True);
+            }
+        };
+
+        // COUNT is column-independent: a group containing the tuple can
+        // always be padded to any cardinality ≥ 1.
+        if func == AggFunc::Count {
+            return Ok(match count_outcome(cmp, c) {
+                HavingOutcome::Top => BoolExpr::True,
+                HavingOutcome::Empty => {
+                    state.provably_empty = true;
+                    BoolExpr::False
+                }
+                HavingOutcome::Pred(_) => unreachable!("COUNT yields no predicate"),
+            });
+        }
+
+        // Resolve the aggregated column; "if it does not [belong to a FROM
+        // relation], we ignore it" (Section 4.3).
+        let Some(Expr::Column(cref)) = arg else {
+            state.approximate();
+            return Ok(BoolExpr::True);
+        };
+        let Some(col) = self.resolve_column_pub(cref, ctx, state)? else {
+            state.approximate();
+            return Ok(BoolExpr::True);
+        };
+
+        // Naive mode (Section 6.5): take the predicate as-is — `AGG(a) θ c`
+        // becomes `a θ c`, skipping the lemma case analysis entirely.
+        if self.config.naive {
+            return Ok(BoolExpr::Atom(AtomicPredicate::cc(
+                col,
+                cmp,
+                Constant::Num(c),
+            )));
+        }
+
+        // Effective domain: schema domain ∩ WHERE-interval on the column.
+        let schema_dom = self
+            .provider
+            .column_domain(&col.table, &col.column)
+            .unwrap_or_else(Interval::all);
+        let where_iv = query
+            .selection
+            .as_ref()
+            .map(|w| self.conjunctive_interval(w, &col, ctx, state))
+            .transpose()?
+            .unwrap_or_else(Interval::all);
+        let eff = schema_dom.intersect(&where_iv);
+
+        let outcome = aggregate_outcome(func, cmp, c, &col, &eff, state);
+        Ok(match outcome {
+            HavingOutcome::Top => BoolExpr::True,
+            HavingOutcome::Empty => {
+                state.provably_empty = true;
+                BoolExpr::False
+            }
+            HavingOutcome::Pred(p) => BoolExpr::Atom(p),
+        })
+    }
+
+    /// Interval implied on `col` by the top-level conjuncts of the WHERE
+    /// clause (predicates under OR are ignored — they do not constrain
+    /// every group member).
+    fn conjunctive_interval(
+        &self,
+        where_expr: &Expr,
+        col: &QualifiedColumn,
+        ctx: &Ctx<'_>,
+        state: &mut State,
+    ) -> ExtractResult<Interval> {
+        let mut conjuncts = Vec::new();
+        flatten_and(where_expr, &mut conjuncts);
+        let mut iv = Interval::all();
+        for term in conjuncts {
+            // Lower each conjunct independently; only definite atoms on the
+            // target column tighten the interval.
+            let lowered = self.lower_expr(term, ctx, state)?;
+            if let BoolExpr::Atom(atom) = &lowered {
+                if let Some((atom_col, atom_iv)) = atom.satisfying_interval() {
+                    if atom_col == *col {
+                        iv = iv.intersect(&atom_iv);
+                    }
+                }
+            } else if let BoolExpr::And(parts) = &lowered {
+                for p in parts {
+                    if let BoolExpr::Atom(atom) = p {
+                        if let Some((atom_col, atom_iv)) = atom.satisfying_interval() {
+                            if atom_col == *col {
+                                iv = iv.intersect(&atom_iv);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(iv)
+    }
+
+    /// Column resolution exposed to this module.
+    fn resolve_column_pub(
+        &self,
+        cref: &aa_sql::ColumnRef,
+        ctx: &Ctx<'_>,
+        state: &mut State,
+    ) -> ExtractResult<Option<QualifiedColumn>> {
+        self.resolve_column(cref, ctx, state)
+    }
+}
+
+/// `COUNT θ c`: group cardinality ranges over `{1, 2, 3, …}`.
+fn count_outcome(cmp: CmpOp, c: f64) -> HavingOutcome {
+    let satisfiable = match cmp {
+        CmpOp::Gt | CmpOp::GtEq | CmpOp::Neq => true, // unbounded above
+        CmpOp::Lt => c > 1.0,
+        CmpOp::LtEq => c >= 1.0,
+        CmpOp::Eq => c >= 1.0 && c.fract() == 0.0,
+    };
+    if satisfiable {
+        HavingOutcome::Top
+    } else {
+        HavingOutcome::Empty
+    }
+}
+
+/// The per-function case analysis over the effective domain `eff`.
+fn aggregate_outcome(
+    func: AggFunc,
+    cmp: CmpOp,
+    c: f64,
+    col: &QualifiedColumn,
+    eff: &Interval,
+    state: &mut State,
+) -> HavingOutcome {
+    // Helper: is there any domain value strictly above / below c?
+    let exists_above = |strict: bool| !eff.intersect(&Interval::above(c, strict)).is_empty();
+    let exists_below = |strict: bool| !eff.intersect(&Interval::below(c, strict)).is_empty();
+    let pred = |op: CmpOp| {
+        HavingOutcome::Pred(AtomicPredicate::cc(col.clone(), op, Constant::Num(c)))
+    };
+
+    match func {
+        AggFunc::Count => count_outcome(cmp, c),
+        AggFunc::Sum => match cmp {
+            CmpOp::Gt | CmpOp::GtEq => {
+                let strict = cmp == CmpOp::Gt;
+                if eff.intersect(&Interval::above(0.0, true)).is_empty() {
+                    // All addable values ≤ 0: best sum is the tuple's own
+                    // value (Lemma 1, case supp ≤ 0).
+                    if exists_above(strict) {
+                        pred(cmp)
+                    } else {
+                        HavingOutcome::Empty
+                    }
+                } else {
+                    // Positive values available: pad the group (Lemma 1
+                    // case supp > 0 / Lemma 3).
+                    HavingOutcome::Top
+                }
+            }
+            CmpOp::Lt | CmpOp::LtEq => {
+                let strict = cmp == CmpOp::Lt;
+                if eff.intersect(&Interval::below(0.0, true)).is_empty() {
+                    if exists_below(strict) {
+                        pred(cmp)
+                    } else {
+                        HavingOutcome::Empty
+                    }
+                } else {
+                    HavingOutcome::Top
+                }
+            }
+            CmpOp::Eq | CmpOp::Neq => {
+                // Exact-sum reachability needs a finer analysis (the
+                // companion thesis's cases); approximate safely upward.
+                state.approximate();
+                HavingOutcome::Top
+            }
+        },
+        AggFunc::Min => match cmp {
+            // MIN over a group containing the tuple is at most the tuple's
+            // value and can be pushed down to inf(eff).
+            CmpOp::Gt | CmpOp::GtEq => {
+                if exists_above(cmp == CmpOp::Gt) {
+                    pred(cmp)
+                } else {
+                    HavingOutcome::Empty
+                }
+            }
+            CmpOp::Lt | CmpOp::LtEq => {
+                if exists_below(cmp == CmpOp::Lt) {
+                    HavingOutcome::Top
+                } else {
+                    HavingOutcome::Empty
+                }
+            }
+            CmpOp::Eq => {
+                if eff.contains(c) {
+                    pred(CmpOp::GtEq)
+                } else {
+                    HavingOutcome::Empty
+                }
+            }
+            CmpOp::Neq => {
+                if exists_below(true) {
+                    HavingOutcome::Top
+                } else {
+                    // All values ≥ c: a tuple with value exactly c pins
+                    // MIN = c; tuples above c can avoid it.
+                    pred(CmpOp::Gt)
+                }
+            }
+        },
+        AggFunc::Max => match cmp {
+            CmpOp::Lt | CmpOp::LtEq => {
+                if exists_below(cmp == CmpOp::Lt) {
+                    pred(cmp)
+                } else {
+                    HavingOutcome::Empty
+                }
+            }
+            CmpOp::Gt | CmpOp::GtEq => {
+                if exists_above(cmp == CmpOp::Gt) {
+                    HavingOutcome::Top
+                } else {
+                    HavingOutcome::Empty
+                }
+            }
+            CmpOp::Eq => {
+                if eff.contains(c) {
+                    pred(CmpOp::LtEq)
+                } else {
+                    HavingOutcome::Empty
+                }
+            }
+            CmpOp::Neq => {
+                if exists_above(true) {
+                    HavingOutcome::Top
+                } else {
+                    pred(CmpOp::Lt)
+                }
+            }
+        },
+        AggFunc::Avg => match cmp {
+            CmpOp::Gt | CmpOp::GtEq => {
+                // Dragging the average up needs values *strictly* above c:
+                // padding with values equal to c only approaches c from
+                // below when the tuple itself sits below it.
+                if exists_above(true) {
+                    HavingOutcome::Top
+                } else if cmp == CmpOp::GtEq && eff.contains(c) {
+                    // AVG = c only when every member equals c.
+                    pred(CmpOp::GtEq)
+                } else {
+                    HavingOutcome::Empty
+                }
+            }
+            CmpOp::Lt | CmpOp::LtEq => {
+                if exists_below(true) {
+                    HavingOutcome::Top
+                } else if cmp == CmpOp::LtEq && eff.contains(c) {
+                    pred(CmpOp::LtEq)
+                } else {
+                    HavingOutcome::Empty
+                }
+            }
+            CmpOp::Eq => {
+                if exists_above(true) && exists_below(true) {
+                    HavingOutcome::Top
+                } else if eff.contains(c) {
+                    pred(CmpOp::Eq)
+                } else {
+                    HavingOutcome::Empty
+                }
+            }
+            CmpOp::Neq => {
+                if eff.width() > 0.0 {
+                    HavingOutcome::Top
+                } else {
+                    state.approximate();
+                    HavingOutcome::Top
+                }
+            }
+        },
+    }
+}
+
+/// Mirrors a comparison operator (`c θ AGG` → `AGG θ' c`).
+fn flip_binop(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        other => other,
+    }
+}
+
+/// Flattens an AND chain.
+fn flatten_and<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match expr {
+        Expr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => {
+            flatten_and(left, out);
+            flatten_and(right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn is_constant(expr: &Expr) -> bool {
+    constant_value(expr).is_some()
+}
+
+/// Numeric constant folding for HAVING thresholds.
+fn constant_value(expr: &Expr) -> Option<f64> {
+    match expr {
+        Expr::Literal(aa_sql::Literal::Int(i)) => Some(*i as f64),
+        Expr::Literal(aa_sql::Literal::Float(f)) => Some(*f),
+        Expr::Unary {
+            op: aa_sql::UnaryOp::Neg,
+            expr,
+        } => constant_value(expr).map(|v| -v),
+        _ => None,
+    }
+}
+

@@ -1,0 +1,592 @@
+//! Expression lowering: from `aa_sql::Expr` to [`BoolExpr`] over atomic
+//! predicates, including the nested-query lemmas of Section 4.4.
+
+use super::*;
+
+/// A resolved comparison operand.
+enum Operand {
+    Col(QualifiedColumn),
+    Const(Constant),
+    /// `col * mul + add` — lets `ra + 10 < 20` normalise to `ra < 10`.
+    Affine {
+        col: QualifiedColumn,
+        mul: f64,
+        add: f64,
+    },
+    /// A scalar subquery (handled by the nested-query machinery).
+    Subquery(Box<Select>),
+    /// Anything the normaliser cannot reduce.
+    Opaque,
+}
+
+impl<'a> Extractor<'a> {
+    /// Lowers a predicate expression to a boolean combination of atoms.
+    pub(crate) fn lower_expr(
+        &self,
+        expr: &Expr,
+        ctx: &Ctx<'_>,
+        state: &mut State,
+    ) -> ExtractResult<BoolExpr> {
+        match expr {
+            Expr::Binary {
+                left,
+                op: BinaryOp::And,
+                right,
+            } => {
+                // Flatten the AND chain so EXISTS grouping (Lemma 5) sees
+                // all conjuncts at once.
+                let mut conjuncts = Vec::new();
+                flatten_chain(expr, BinaryOp::And, &mut conjuncts);
+                debug_assert!(conjuncts.len() >= 2, "{left:?} {right:?}");
+                self.lower_uniform_level(&conjuncts, true, ctx, state)
+            }
+            Expr::Binary {
+                op: BinaryOp::Or, ..
+            } => {
+                let mut disjuncts = Vec::new();
+                flatten_chain(expr, BinaryOp::Or, &mut disjuncts);
+                self.lower_uniform_level(&disjuncts, false, ctx, state)
+            }
+            Expr::Binary { left, op, right } if op.is_comparison() => {
+                self.lower_comparison(left, *op, right, ctx, state)
+            }
+            Expr::Binary { .. } => {
+                // Bare arithmetic in predicate position (e.g. `WHERE u + v`)
+                // carries no extractable constraint.
+                state.approximate();
+                Ok(BoolExpr::True)
+            }
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr: inner,
+            } => {
+                if inner.has_subquery() {
+                    // NOT EXISTS / NOT IN (subquery): the area *inspected*
+                    // is that of the positive form (the influencing tuples
+                    // are those matching the inner predicate); the paper
+                    // defers these to its approximation scheme.
+                    state.approximate();
+                    self.lower_expr(inner, ctx, state)
+                } else {
+                    Ok(self.lower_expr(inner, ctx, state)?.not())
+                }
+            }
+            Expr::Unary { expr: inner, .. } => {
+                // +e / -e in boolean position: no constraint.
+                let _ = inner;
+                state.approximate();
+                Ok(BoolExpr::True)
+            }
+            Expr::Between {
+                expr,
+                negated,
+                low,
+                high,
+            } => {
+                // BETWEEN expands into two predicates (Section 4.1).
+                let ge = self.lower_comparison(expr, BinaryOp::GtEq, low, ctx, state)?;
+                let le = self.lower_comparison(expr, BinaryOp::LtEq, high, ctx, state)?;
+                let both = BoolExpr::and([ge, le]);
+                Ok(if *negated { both.not() } else { both })
+            }
+            Expr::InList {
+                expr,
+                negated,
+                list,
+            } => {
+                let mut alts = Vec::with_capacity(list.len());
+                for item in list {
+                    alts.push(self.lower_comparison(expr, BinaryOp::Eq, item, ctx, state)?);
+                }
+                let any = BoolExpr::or(alts);
+                Ok(if *negated { any.not() } else { any })
+            }
+            Expr::InSubquery {
+                expr,
+                negated,
+                subquery,
+            } => {
+                if *negated {
+                    state.approximate();
+                }
+                self.lower_in_subquery(expr, subquery, BinaryOp::Eq, ctx, state)
+            }
+            Expr::Exists { negated, subquery } => {
+                if *negated {
+                    state.approximate();
+                }
+                self.lower_select(subquery, Some(ctx), state)
+            }
+            Expr::Quantified {
+                left,
+                op,
+                quantifier,
+                subquery,
+            } => match quantifier {
+                // `x θ ANY (SELECT c FROM S WHERE w)` is
+                // `EXISTS (SELECT * FROM S WHERE w AND x θ c)`.
+                Quantifier::Any => self.lower_in_subquery(left, subquery, *op, ctx, state),
+                // `x θ ALL (...)` constrains via the *violating* tuples:
+                // `NOT EXISTS (... AND NOT(x θ c))`; the inspected area
+                // carries the negated comparison.
+                Quantifier::All => {
+                    state.approximate();
+                    let negated_op = negate_cmp(*op);
+                    self.lower_in_subquery(left, subquery, negated_op, ctx, state)
+                }
+            },
+            Expr::IsNull { .. } => {
+                // NULL lies outside the data-space model (domains of real
+                // columns); no spatial constraint.
+                Ok(BoolExpr::True)
+            }
+            Expr::Like {
+                expr,
+                negated,
+                pattern,
+            } => {
+                // LIKE without wildcards is equality; with wildcards it
+                // does not map to a column-constant predicate.
+                if let Expr::Literal(Literal::String(p)) = pattern.as_ref() {
+                    if !p.contains(['%', '_']) {
+                        let eq = self.lower_comparison(expr, BinaryOp::Eq, pattern, ctx, state)?;
+                        return Ok(if *negated { eq.not() } else { eq });
+                    }
+                }
+                state.approximate();
+                Ok(BoolExpr::True)
+            }
+            Expr::Literal(Literal::Bool(b)) => Ok(if *b { BoolExpr::True } else { BoolExpr::False }),
+            Expr::Literal(Literal::Int(i)) => {
+                Ok(if *i != 0 { BoolExpr::True } else { BoolExpr::False })
+            }
+            Expr::Function { name, .. } => Err(ExtractError::Unsupported(format!(
+                "user-defined function {name}"
+            ))),
+            Expr::Aggregate { .. } => {
+                // Aggregates outside HAVING carry no selection constraint.
+                state.approximate();
+                Ok(BoolExpr::True)
+            }
+            Expr::ScalarSubquery(sub) => {
+                // A bare subquery in boolean position: contribute its area.
+                state.approximate();
+                self.lower_select(sub, Some(ctx), state)
+            }
+            _ => {
+                state.approximate();
+                Ok(BoolExpr::True)
+            }
+        }
+    }
+
+    /// Lowers the children of one uniform AND/OR level, grouping EXISTS
+    /// subqueries that refer to the same relation (Lemmas 5 and 6): the
+    /// group is replaced by the OR of the members' WHERE parts.
+    fn lower_uniform_level(
+        &self,
+        children: &[&Expr],
+        is_and: bool,
+        ctx: &Ctx<'_>,
+        state: &mut State,
+    ) -> ExtractResult<BoolExpr> {
+        // Partition EXISTS children by the (single) relation they access.
+        // Naive mode (Section 6.5) skips the grouping, conjoining the
+        // subquery constraints directly — which turns Lemma 5's
+        // `(S.v < β OR S.v >= γ)` into the contradiction
+        // `S.v < β AND S.v >= γ`.
+        let mut groups: BTreeMap<String, Vec<&Select>> = BTreeMap::new();
+        let mut rest: Vec<&Expr> = Vec::new();
+        for child in children {
+            match child {
+                Expr::Exists {
+                    negated: false,
+                    subquery,
+                } if !self.config.naive => match single_relation(subquery) {
+                    Some(rel) => groups.entry(rel).or_default().push(subquery),
+                    None => rest.push(child),
+                },
+                _ => rest.push(child),
+            }
+        }
+
+        let mut parts: Vec<BoolExpr> = Vec::new();
+        for child in rest {
+            parts.push(self.lower_expr(child, ctx, state)?);
+        }
+        for (_rel, subs) in groups {
+            let mut alts = Vec::with_capacity(subs.len());
+            for sub in subs {
+                alts.push(self.lower_select(sub, Some(ctx), state)?);
+            }
+            parts.push(BoolExpr::or(alts));
+        }
+        Ok(if is_and {
+            BoolExpr::and(parts)
+        } else {
+            BoolExpr::or(parts)
+        })
+    }
+
+    /// Lowers `outer θ (SELECT inner FROM ... WHERE w)`-style constructs
+    /// (`IN`, `ANY`, scalar comparison): the subquery's constraint plus the
+    /// linking predicate `outer θ inner`.
+    fn lower_in_subquery(
+        &self,
+        outer: &Expr,
+        subquery: &Select,
+        op: BinaryOp,
+        ctx: &Ctx<'_>,
+        state: &mut State,
+    ) -> ExtractResult<BoolExpr> {
+        // Build the subquery scope relative to the current one so the link
+        // predicate resolves both sides.
+        let mut sub_ctx = Ctx::new(Some(ctx));
+        let mut join_parts = Vec::new();
+        for twj in &subquery.from {
+            self.register_factor(&twj.base, &mut sub_ctx, state, &mut join_parts)?;
+            for join in &twj.joins {
+                self.register_factor(&join.factor, &mut sub_ctx, state, &mut join_parts)?;
+            }
+        }
+        let mut parts = join_parts;
+        for twj in &subquery.from {
+            for join in &twj.joins {
+                parts.push(self.lower_join(join.op, &join.constraint, twj, &sub_ctx, state)?);
+            }
+        }
+        if let Some(w) = &subquery.selection {
+            parts.push(self.lower_expr(w, &sub_ctx, state)?);
+        }
+        if let Some(h) = &subquery.having {
+            parts.push(self.lower_having(h, subquery, &sub_ctx, state)?);
+        }
+
+        // The linking predicate: outer θ (first projected column).
+        match subquery.projection.first() {
+            Some(SelectItem::Expr { expr: inner, .. }) if matches!(inner, Expr::Column(_)) => {
+                // Resolve the inner column in the subquery scope and the
+                // outer operand in the outer scope.
+                parts.push(self.lower_comparison_scoped(
+                    outer, ctx, op, inner, &sub_ctx, state,
+                )?);
+            }
+            Some(SelectItem::Expr { expr: inner, .. }) if inner.has_aggregate() => {
+                // `x > (SELECT AVG(v) FROM S WHERE ...)`: the aggregate's
+                // value is state-dependent; keep the subquery constraint,
+                // drop the comparison.
+                state.approximate();
+            }
+            _ => {
+                state.approximate();
+            }
+        }
+        Ok(BoolExpr::and(parts))
+    }
+
+    /// Lowers a comparison whose sides live in different scopes (outer
+    /// expression vs. subquery projection).
+    #[allow(clippy::too_many_arguments)]
+    fn lower_comparison_scoped(
+        &self,
+        left: &Expr,
+        left_ctx: &Ctx<'_>,
+        op: BinaryOp,
+        right: &Expr,
+        right_ctx: &Ctx<'_>,
+        state: &mut State,
+    ) -> ExtractResult<BoolExpr> {
+        let l = self.resolve_operand(left, left_ctx, state)?;
+        let r = self.resolve_operand(right, right_ctx, state)?;
+        self.combine_operands(l, op, r, left_ctx, state)
+    }
+
+    /// Lowers `left θ right` in a single scope.
+    pub(crate) fn lower_comparison(
+        &self,
+        left: &Expr,
+        op: BinaryOp,
+        right: &Expr,
+        ctx: &Ctx<'_>,
+        state: &mut State,
+    ) -> ExtractResult<BoolExpr> {
+        let l = self.resolve_operand(left, ctx, state)?;
+        let r = self.resolve_operand(right, ctx, state)?;
+        self.combine_operands(l, op, r, ctx, state)
+    }
+
+    fn combine_operands(
+        &self,
+        left: Operand,
+        op: BinaryOp,
+        right: Operand,
+        ctx: &Ctx<'_>,
+        state: &mut State,
+    ) -> ExtractResult<BoolExpr> {
+        let cmp = to_cmp(op).ok_or_else(|| {
+            ExtractError::Unsupported(format!("non-comparison operator {op} in predicate"))
+        })?;
+        Ok(match (left, right) {
+            (Operand::Const(a), Operand::Const(b)) => {
+                if crate::predicate::compare_constants(&a, cmp, &b) {
+                    BoolExpr::True
+                } else {
+                    BoolExpr::False
+                }
+            }
+            (Operand::Col(c), Operand::Const(v)) => {
+                BoolExpr::Atom(AtomicPredicate::cc(c, cmp, v))
+            }
+            (Operand::Const(v), Operand::Col(c)) => {
+                BoolExpr::Atom(AtomicPredicate::cc(c, cmp.flip(), v))
+            }
+            (Operand::Col(a), Operand::Col(b)) => BoolExpr::Atom(AtomicPredicate::join(a, cmp, b)),
+            (Operand::Affine { col, mul, add }, Operand::Const(v)) => {
+                affine_atom(col, mul, add, cmp, v, state)
+            }
+            (Operand::Const(v), Operand::Affine { col, mul, add }) => {
+                affine_atom(col, mul, add, cmp.flip(), v, state)
+            }
+            (Operand::Affine { col, mul, add }, Operand::Col(other))
+            | (Operand::Col(other), Operand::Affine { col, mul, add }) => {
+                // `T.u + 1 = S.u`: approximately the join itself.
+                let _ = (mul, add);
+                state.approximate();
+                BoolExpr::Atom(AtomicPredicate::join(col, cmp, other))
+            }
+            (Operand::Subquery(sub), other) | (other, Operand::Subquery(sub)) => {
+                // Scalar subquery on one side: nested handling.
+                let outer_expr = match other {
+                    Operand::Col(c) => Some(Expr::Column(aa_sql::ColumnRef {
+                        qualifier: Some(c.table.clone()),
+                        column: c.column.clone(),
+                    })),
+                    Operand::Const(Constant::Num(x)) => Some(Expr::Literal(Literal::Float(x))),
+                    Operand::Const(Constant::Str(s)) => Some(Expr::Literal(Literal::String(s))),
+                    _ => None,
+                };
+                match outer_expr {
+                    Some(oe) => {
+                        // Column refs here are pre-resolved (table.column),
+                        // which the scope chain resolves again harmlessly.
+                        self.lower_in_subquery(&oe, &sub, op, ctx, state)?
+                    }
+                    None => {
+                        state.approximate();
+                        self.lower_select(&sub, Some(ctx), state)?
+                    }
+                }
+            }
+            _ => {
+                state.approximate();
+                BoolExpr::True
+            }
+        })
+    }
+
+    /// Resolves one comparison operand.
+    fn resolve_operand(
+        &self,
+        expr: &Expr,
+        ctx: &Ctx<'_>,
+        state: &mut State,
+    ) -> ExtractResult<Operand> {
+        Ok(match expr {
+            Expr::Column(cref) => match self.resolve_column(cref, ctx, state)? {
+                Some(qc) => Operand::Col(qc),
+                None => Operand::Opaque,
+            },
+            Expr::Literal(lit) => match lit {
+                Literal::Int(i) => Operand::Const(Constant::Num(*i as f64)),
+                Literal::Float(f) => Operand::Const(Constant::Num(*f)),
+                Literal::String(s) => Operand::Const(Constant::Str(s.clone())),
+                Literal::Bool(b) => Operand::Const(Constant::Num(*b as i64 as f64)),
+                Literal::Null => Operand::Opaque,
+            },
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: inner,
+            } => match self.resolve_operand(inner, ctx, state)? {
+                Operand::Const(Constant::Num(x)) => Operand::Const(Constant::Num(-x)),
+                Operand::Col(col) => Operand::Affine {
+                    col,
+                    mul: -1.0,
+                    add: 0.0,
+                },
+                Operand::Affine { col, mul, add } => Operand::Affine {
+                    col,
+                    mul: -mul,
+                    add: -add,
+                },
+                _ => Operand::Opaque,
+            },
+            Expr::Unary {
+                op: UnaryOp::Plus,
+                expr: inner,
+            } => self.resolve_operand(inner, ctx, state)?,
+            Expr::Binary { left, op, right } if !op.is_comparison() && !op.is_logical() => {
+                let l = self.resolve_operand(left, ctx, state)?;
+                let r = self.resolve_operand(right, ctx, state)?;
+                combine_affine(l, *op, r)
+            }
+            Expr::ScalarSubquery(sub) => Operand::Subquery(sub.clone()),
+            Expr::Cast { expr: inner, .. } => self.resolve_operand(inner, ctx, state)?,
+            Expr::Function { name, .. } => {
+                return Err(ExtractError::Unsupported(format!(
+                    "user-defined function {name}"
+                )))
+            }
+            _ => Operand::Opaque,
+        })
+    }
+}
+
+/// Flattens `a AND b AND c` / `a OR b OR c` chains into child lists.
+fn flatten_chain<'e>(expr: &'e Expr, op: BinaryOp, out: &mut Vec<&'e Expr>) {
+    match expr {
+        Expr::Binary {
+            left,
+            op: node_op,
+            right,
+        } if *node_op == op => {
+            flatten_chain(left, op, out);
+            flatten_chain(right, op, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// The relation accessed by a subquery, when it is exactly one base table
+/// (the shape the paper's EXISTS lemmas assume).
+fn single_relation(sub: &Select) -> Option<String> {
+    if sub.from.len() != 1 {
+        return None;
+    }
+    let twj = &sub.from[0];
+    if !twj.joins.is_empty() {
+        return None;
+    }
+    match &twj.base {
+        TableFactor::Table { name, .. } => Some(name.base_name().to_lowercase()),
+        TableFactor::Derived { .. } => None,
+    }
+}
+
+/// Converts a comparison `BinaryOp` to a `CmpOp`.
+fn to_cmp(op: BinaryOp) -> Option<CmpOp> {
+    Some(match op {
+        BinaryOp::Eq => CmpOp::Eq,
+        BinaryOp::Neq => CmpOp::Neq,
+        BinaryOp::Lt => CmpOp::Lt,
+        BinaryOp::LtEq => CmpOp::LtEq,
+        BinaryOp::Gt => CmpOp::Gt,
+        BinaryOp::GtEq => CmpOp::GtEq,
+        _ => return None,
+    })
+}
+
+/// Negates a comparison operator at the `BinaryOp` level.
+fn negate_cmp(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Eq => BinaryOp::Neq,
+        BinaryOp::Neq => BinaryOp::Eq,
+        BinaryOp::Lt => BinaryOp::GtEq,
+        BinaryOp::LtEq => BinaryOp::Gt,
+        BinaryOp::Gt => BinaryOp::LtEq,
+        BinaryOp::GtEq => BinaryOp::Lt,
+        other => other,
+    }
+}
+
+/// Solves `col*mul + add  θ  c` for `col`.
+fn affine_atom(
+    col: QualifiedColumn,
+    mul: f64,
+    add: f64,
+    cmp: CmpOp,
+    v: Constant,
+    state: &mut State,
+) -> BoolExpr {
+    let Some(c) = v.as_num() else {
+        state.approximate();
+        return BoolExpr::True;
+    };
+    if mul == 0.0 {
+        return if cmp.eval_f64(add, c) {
+            BoolExpr::True
+        } else {
+            BoolExpr::False
+        };
+    }
+    let solved = (c - add) / mul;
+    let cmp = if mul < 0.0 { cmp.flip() } else { cmp };
+    BoolExpr::Atom(AtomicPredicate::cc(col, cmp, Constant::Num(solved)))
+}
+
+/// Combines two operands under an arithmetic operator, preserving affine
+/// forms over a single column where possible.
+fn combine_affine(left: Operand, op: BinaryOp, right: Operand) -> Operand {
+    use Operand::*;
+    let as_affine = |o: Operand| -> Operand {
+        match o {
+            Col(c) => Affine {
+                col: c,
+                mul: 1.0,
+                add: 0.0,
+            },
+            other => other,
+        }
+    };
+    let (l, r) = (as_affine(left), as_affine(right));
+    match (l, op, r) {
+        (Const(Constant::Num(a)), _, Const(Constant::Num(b))) => {
+            let v = match op {
+                BinaryOp::Plus => a + b,
+                BinaryOp::Minus => a - b,
+                BinaryOp::Mul => a * b,
+                BinaryOp::Div => {
+                    if b == 0.0 {
+                        return Opaque;
+                    }
+                    a / b
+                }
+                BinaryOp::Mod => {
+                    if b == 0.0 {
+                        return Opaque;
+                    }
+                    a % b
+                }
+                _ => return Opaque,
+            };
+            Const(Constant::Num(v))
+        }
+        (Affine { col, mul, add }, BinaryOp::Plus, Const(Constant::Num(c)))
+        | (Const(Constant::Num(c)), BinaryOp::Plus, Affine { col, mul, add }) => Affine {
+            col,
+            mul,
+            add: add + c,
+        },
+        (Affine { col, mul, add }, BinaryOp::Minus, Const(Constant::Num(c))) => Affine {
+            col,
+            mul,
+            add: add - c,
+        },
+        (Const(Constant::Num(c)), BinaryOp::Minus, Affine { col, mul, add }) => Affine {
+            col,
+            mul: -mul,
+            add: c - add,
+        },
+        (Affine { col, mul, add }, BinaryOp::Mul, Const(Constant::Num(c)))
+        | (Const(Constant::Num(c)), BinaryOp::Mul, Affine { col, mul, add }) => Affine {
+            col,
+            mul: mul * c,
+            add: add * c,
+        },
+        (Affine { col, mul, add }, BinaryOp::Div, Const(Constant::Num(c))) if c != 0.0 => Affine {
+            col,
+            mul: mul / c,
+            add: add / c,
+        },
+        _ => Opaque,
+    }
+}

@@ -1,0 +1,70 @@
+//! The *naive* extractor used by the Section 6.5 comparison: predicates
+//! are used as-is, without the paper's transformations.
+
+use super::{ExtractConfig, Extractor, SchemaProvider};
+
+/// Builds an extractor in naive (as-is predicate) mode.
+///
+/// Differences from the faithful extractor:
+/// * `FULL OUTER JOIN ... ON cond` keeps `cond` (should contribute none);
+/// * `HAVING AGG(a) θ c` becomes `a θ c` (should run the lemma analysis);
+/// * AND-connected `EXISTS` subqueries over the same relation are conjoined
+///   instead of OR-grouped (Lemma 5 violation, producing contradictions).
+///
+/// The paper reports that clustering on these areas breaks Clusters 2, 5,
+/// 8, 9, 11, 12, 18, 19, 20 and 22 of Table 1.
+pub fn naive_extractor(provider: &dyn SchemaProvider) -> Extractor<'_> {
+    Extractor::with_config(
+        provider,
+        ExtractConfig {
+            naive: true,
+            ..ExtractConfig::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::NoSchema;
+
+    #[test]
+    fn naive_keeps_full_outer_condition() {
+        let provider = NoSchema;
+        let naive = naive_extractor(&provider);
+        let faithful = Extractor::new(&provider);
+        let sql = "SELECT * FROM T FULL OUTER JOIN S ON T.u = S.u";
+        let naive_area = naive.extract_sql(sql).unwrap();
+        let faithful_area = faithful.extract_sql(sql).unwrap();
+        // Faithful: no constraint (Example 2). Naive: keeps T.u = S.u.
+        assert!(faithful_area.constraint.is_empty());
+        assert_eq!(naive_area.constraint.len(), 1);
+    }
+
+    #[test]
+    fn naive_maps_having_directly() {
+        let provider = NoSchema;
+        let naive = naive_extractor(&provider);
+        // SUM(v) > 10 with unbounded domain: faithful extraction yields no
+        // constraint (Lemma 1, supp > 0); naive yields v > 10.
+        let sql = "SELECT u, SUM(v) FROM T GROUP BY u HAVING SUM(v) > 10";
+        let area = naive.extract_sql(sql).unwrap();
+        assert_eq!(area.constraint.to_string(), "T.v > 10");
+        let faithful = Extractor::new(&provider).extract_sql(sql).unwrap();
+        assert!(faithful.constraint.is_empty());
+    }
+
+    #[test]
+    fn naive_breaks_lemma5_grouping() {
+        let provider = NoSchema;
+        let sql = "SELECT * FROM T WHERE T.u > 1 \
+                   AND EXISTS (SELECT * FROM S WHERE S.v < 2 AND S.u = T.u) \
+                   AND EXISTS (SELECT * FROM S WHERE S.v > 5 AND S.u = T.u)";
+        // Faithful: S.v < 2 OR S.v > 5 (satisfiable).
+        let faithful = Extractor::new(&provider).extract_sql(sql).unwrap();
+        assert!(!faithful.provably_empty);
+        // Naive: S.v < 2 AND S.v > 5 (contradiction).
+        let naive = naive_extractor(&provider).extract_sql(sql).unwrap();
+        assert!(naive.provably_empty);
+    }
+}

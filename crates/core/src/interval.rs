@@ -1,0 +1,284 @@
+//! Interval algebra over column domains.
+//!
+//! Atomic predicates on numeric columns denote half-lines or intervals;
+//! consolidation (merging/contradiction detection) and the `d_pred`
+//! distance (normalized overlap, Section 5.2) both reduce to interval
+//! operations implemented here. Bounds carry open/closed flags so that
+//! `a < 3 AND a > 3` is recognised as a contradiction while
+//! `a <= 3 AND a >= 3` collapses to the point `{3}`.
+
+use serde::{Deserialize, Serialize};
+
+/// A (possibly unbounded, possibly empty) numeric interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    pub lo: f64,
+    pub hi: f64,
+    pub lo_open: bool,
+    pub hi_open: bool,
+}
+
+impl Interval {
+    /// The full real line.
+    pub fn all() -> Interval {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+            lo_open: true,
+            hi_open: true,
+        }
+    }
+
+    /// Closed interval `[lo, hi]`.
+    pub fn closed(lo: f64, hi: f64) -> Interval {
+        Interval {
+            lo,
+            hi,
+            lo_open: false,
+            hi_open: false,
+        }
+    }
+
+    /// The single point `{x}`.
+    pub fn point(x: f64) -> Interval {
+        Interval::closed(x, x)
+    }
+
+    /// `(-inf, x)` or `(-inf, x]`.
+    pub fn below(x: f64, open: bool) -> Interval {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            hi: x,
+            lo_open: true,
+            hi_open: open,
+        }
+    }
+
+    /// `(x, +inf)` or `[x, +inf)`.
+    pub fn above(x: f64, open: bool) -> Interval {
+        Interval {
+            lo: x,
+            hi: f64::INFINITY,
+            lo_open: open,
+            hi_open: true,
+        }
+    }
+
+    /// True when the interval contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi || (self.lo == self.hi && (self.lo_open || self.hi_open))
+    }
+
+    /// True when the interval is the whole line.
+    pub fn is_all(&self) -> bool {
+        self.lo == f64::NEG_INFINITY && self.hi == f64::INFINITY
+    }
+
+    /// True when `x` lies inside.
+    pub fn contains(&self, x: f64) -> bool {
+        let lo_ok = if self.lo_open { x > self.lo } else { x >= self.lo };
+        let hi_ok = if self.hi_open { x < self.hi } else { x <= self.hi };
+        lo_ok && hi_ok
+    }
+
+    /// Interval length (0 for empty or point; +inf when unbounded).
+    pub fn width(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            (self.hi - self.lo).max(0.0)
+        }
+    }
+
+    /// Intersection.
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        let (lo, lo_open) = match self.lo.partial_cmp(&other.lo) {
+            Some(std::cmp::Ordering::Greater) => (self.lo, self.lo_open),
+            Some(std::cmp::Ordering::Less) => (other.lo, other.lo_open),
+            _ => (self.lo, self.lo_open || other.lo_open),
+        };
+        let (hi, hi_open) = match self.hi.partial_cmp(&other.hi) {
+            Some(std::cmp::Ordering::Less) => (self.hi, self.hi_open),
+            Some(std::cmp::Ordering::Greater) => (other.hi, other.hi_open),
+            _ => (self.hi, self.hi_open || other.hi_open),
+        };
+        Interval {
+            lo,
+            hi,
+            lo_open,
+            hi_open,
+        }
+    }
+
+    /// Length of the intersection with `other` — the "overlap of intervals"
+    /// of the paper's `d_pred`.
+    pub fn overlap_width(&self, other: &Interval) -> f64 {
+        self.intersect(other).width()
+    }
+
+    /// True when the intervals share at least one point.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// True when the union of the two intervals is one contiguous interval
+    /// (they overlap or touch at a closed endpoint).
+    pub fn touches_or_overlaps(&self, other: &Interval) -> bool {
+        if self.overlaps(other) {
+            return true;
+        }
+        // Adjacent: e.g. (-inf, 3] and (3, inf) touch at 3 iff one side is
+        // closed there.
+        let touch = |a: &Interval, b: &Interval| {
+            a.hi == b.lo && (!a.hi_open || !b.lo_open)
+        };
+        touch(self, other) || touch(other, self)
+    }
+
+    /// Smallest interval containing both (convex hull).
+    pub fn hull(&self, other: &Interval) -> Interval {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        let (lo, lo_open) = if self.lo < other.lo {
+            (self.lo, self.lo_open)
+        } else if other.lo < self.lo {
+            (other.lo, other.lo_open)
+        } else {
+            (self.lo, self.lo_open && other.lo_open)
+        };
+        let (hi, hi_open) = if self.hi > other.hi {
+            (self.hi, self.hi_open)
+        } else if other.hi > self.hi {
+            (other.hi, other.hi_open)
+        } else {
+            (self.hi, self.hi_open && other.hi_open)
+        };
+        Interval {
+            lo,
+            hi,
+            lo_open,
+            hi_open,
+        }
+    }
+
+    /// Union when contiguous; `None` when the union is disconnected.
+    pub fn union(&self, other: &Interval) -> Option<Interval> {
+        if self.is_empty() {
+            return Some(*other);
+        }
+        if other.is_empty() {
+            return Some(*self);
+        }
+        if self.touches_or_overlaps(other) {
+            Some(self.hull(other))
+        } else {
+            None
+        }
+    }
+
+    /// True when `self` is a subset of `other`.
+    pub fn subset_of(&self, other: &Interval) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        let lo_ok = other.lo < self.lo
+            || (other.lo == self.lo && (!other.lo_open || self.lo_open));
+        let hi_ok = other.hi > self.hi
+            || (other.hi == self.hi && (!other.hi_open || self.hi_open));
+        lo_ok && hi_ok
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return write!(f, "∅");
+        }
+        write!(
+            f,
+            "{}{}, {}{}",
+            if self.lo_open { "(" } else { "[" },
+            self.lo,
+            self.hi,
+            if self.hi_open { ")" } else { "]" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emptiness() {
+        assert!(Interval::closed(5.0, 3.0).is_empty());
+        assert!(!Interval::point(3.0).is_empty());
+        // a < 3 AND a > 3
+        let contradiction = Interval::below(3.0, true).intersect(&Interval::above(3.0, true));
+        assert!(contradiction.is_empty());
+        // a <= 3 AND a >= 3 -> the point 3
+        let point = Interval::below(3.0, false).intersect(&Interval::above(3.0, false));
+        assert!(!point.is_empty());
+        assert_eq!(point, Interval::point(3.0));
+    }
+
+    #[test]
+    fn paper_example_overlap() {
+        // Section 5.2: p1 is a < 3, p2 is a > 2, access(a) = [0, 5]
+        // overlap of (2,3) with width 1, normalised by 5 -> 0.2.
+        let p1 = Interval::below(3.0, true);
+        let p2 = Interval::above(2.0, true);
+        let access = Interval::closed(0.0, 5.0);
+        let overlap = p1.intersect(&p2).intersect(&access).width();
+        assert!((overlap / access.width() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_respects_openness() {
+        let i = Interval::above(2.0, true);
+        assert!(!i.contains(2.0));
+        assert!(i.contains(2.0001));
+        let j = Interval::above(2.0, false);
+        assert!(j.contains(2.0));
+    }
+
+    #[test]
+    fn hull_and_union() {
+        let a = Interval::closed(0.0, 2.0);
+        let b = Interval::closed(1.0, 5.0);
+        assert_eq!(a.hull(&b), Interval::closed(0.0, 5.0));
+        assert_eq!(a.union(&b), Some(Interval::closed(0.0, 5.0)));
+        let c = Interval::closed(10.0, 11.0);
+        assert_eq!(a.union(&c), None);
+    }
+
+    #[test]
+    fn touching_intervals_union() {
+        // (-inf, 3] U (3, inf) = everything
+        let a = Interval::below(3.0, false);
+        let b = Interval::above(3.0, true);
+        let u = a.union(&b).unwrap();
+        assert!(u.is_all());
+        // (-inf, 3) and (3, inf) do NOT union (3 missing).
+        let a = Interval::below(3.0, true);
+        assert_eq!(a.union(&b), None);
+    }
+
+    #[test]
+    fn subset() {
+        assert!(Interval::closed(1.0, 2.0).subset_of(&Interval::closed(0.0, 5.0)));
+        assert!(Interval::below(3.0, true).subset_of(&Interval::below(3.0, false)));
+        assert!(!Interval::below(3.0, false).subset_of(&Interval::below(3.0, true)));
+        assert!(Interval::point(3.0).subset_of(&Interval::all()));
+    }
+
+    #[test]
+    fn width_of_unbounded_is_infinite() {
+        assert!(Interval::above(0.0, true).width().is_infinite());
+        assert_eq!(Interval::point(2.0).width(), 0.0);
+    }
+}

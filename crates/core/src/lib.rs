@@ -1,0 +1,61 @@
+//! # aa-core — access-area extraction and query distance
+//!
+//! The primary contribution of *"Identifying User Interests within the
+//! Data Space — a Case Study with SkyServer"* (Nguyen et al., EDBT 2015),
+//! reimplemented from scratch in Rust:
+//!
+//! * **Access areas** (Section 2): a query's access area is the set of
+//!   universal-relation tuples that influence its result in *some*
+//!   schema-allowed database state — independent of the current content,
+//!   which is what lets the method discover heavily-queried *empty* areas
+//!   of the data space.
+//! * **Extraction** (Section 4): the mapping from every query type in the
+//!   log to its access area — simple queries, all join flavours, aggregate
+//!   `HAVING` queries via the Lemma 1–3 case analysis, and nested
+//!   `EXISTS`/`IN`/`ANY`/`ALL` queries via the Lemma 4–6 transformations —
+//!   producing the intermediate format `SELECT * FROM R₁,…,R_N WHERE
+//!   CNF(p₁,…,p_K)`.
+//! * **Distance** (Section 5): `d = d_tables + d_conj` over table sets and
+//!   CNF constraints, normalised by the tracked `access(a)` ranges.
+//! * **Pipeline** (Section 4.5): parse → extract → CNF → consolidate with
+//!   per-step timings and the Section 6.1 failure taxonomy.
+//!
+//! ```
+//! use aa_core::extract::{Extractor, NoSchema};
+//!
+//! let provider = NoSchema;
+//! let area = Extractor::new(&provider)
+//!     .extract_sql("SELECT * FROM T WHERE u BETWEEN 1 AND 8")
+//!     .unwrap();
+//! assert_eq!(
+//!     area.to_intermediate_sql(),
+//!     "SELECT * FROM T WHERE T.u >= 1 AND T.u <= 8"
+//! );
+//! ```
+
+
+
+pub mod area;
+pub mod boolexpr;
+pub mod cnf;
+pub mod consolidate;
+pub mod distance;
+pub mod error;
+pub mod extract;
+pub mod interval;
+pub mod pipeline;
+pub mod predicate;
+pub mod ranges;
+
+pub use area::AccessArea;
+pub use boolexpr::{BoolExpr, CnfConversion};
+pub use cnf::{Cnf, Disjunction};
+pub use distance::{DistanceMode, QueryDistance};
+pub use error::{ExtractError, ExtractResult};
+pub use extract::{ExtractConfig, Extractor, NoSchema, SchemaProvider};
+pub use interval::Interval;
+pub use pipeline::{
+    ExtractedQuery, FailedQuery, FailureKind, Pipeline, PipelineStats, StepTimings,
+};
+pub use predicate::{AtomicPredicate, CmpOp, Constant, QualifiedColumn};
+pub use ranges::{AccessRanges, ColumnAccess};

@@ -1,0 +1,442 @@
+//! Atomic predicates — the building blocks of access areas (Section 2.1).
+//!
+//! Two shapes occur in the clustering sample the paper uses (Section 6.2):
+//! *column-constant* predicates `a θ c` and *column-column* predicates
+//! `a₁ θ a₂` (join conditions). Both compare with one of the six operators
+//! `< ≤ = > ≥ <>`.
+
+use crate::interval::Interval;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fully resolved column: real (unaliased) table name plus column name.
+/// Equality and hashing are case-insensitive, matching SQL Server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QualifiedColumn {
+    pub table: String,
+    pub column: String,
+}
+
+impl QualifiedColumn {
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
+        QualifiedColumn {
+            table: table.into(),
+            column: column.into(),
+        }
+    }
+
+    /// Lower-cased `(table, column)` key for maps.
+    pub fn key(&self) -> (String, String) {
+        (self.table.to_lowercase(), self.column.to_lowercase())
+    }
+}
+
+impl PartialEq for QualifiedColumn {
+    fn eq(&self, other: &Self) -> bool {
+        self.table.eq_ignore_ascii_case(&other.table)
+            && self.column.eq_ignore_ascii_case(&other.column)
+    }
+}
+
+impl Eq for QualifiedColumn {}
+
+impl std::hash::Hash for QualifiedColumn {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Case-insensitive, allocation-free: this hash runs once per
+        // range lookup in the distance hot path.
+        for b in self.table.bytes() {
+            state.write_u8(b.to_ascii_lowercase());
+        }
+        state.write_u8(0xff); // separator
+        for b in self.column.bytes() {
+            state.write_u8(b.to_ascii_lowercase());
+        }
+    }
+}
+
+impl PartialOrd for QualifiedColumn {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QualifiedColumn {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+impl fmt::Display for QualifiedColumn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// Comparison operators `θ` of atomic predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CmpOp {
+    Eq,
+    Neq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl CmpOp {
+    /// Logical negation (for NOT push-down, Section 4.1): `NOT (a > c)`
+    /// becomes `a <= c`, and so on.
+    pub fn negate(&self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Neq,
+            CmpOp::Neq => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::GtEq,
+            CmpOp::LtEq => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::LtEq,
+            CmpOp::GtEq => CmpOp::Lt,
+        }
+    }
+
+    /// Mirror image (for flipping `c θ a` into `a θ' c`).
+    pub fn flip(&self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Neq => CmpOp::Neq,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::LtEq => CmpOp::GtEq,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::GtEq => CmpOp::LtEq,
+        }
+    }
+
+    /// SQL spelling.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::LtEq => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::GtEq => ">=",
+        }
+    }
+
+    /// Applies the comparison to two floats.
+    pub fn eval_f64(&self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Neq => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::LtEq => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::GtEq => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// A constant appearing in a column-constant predicate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Constant {
+    Num(f64),
+    Str(String),
+}
+
+impl Constant {
+    /// Numeric view.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Constant::Num(x) => Some(*x),
+            Constant::Str(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Constant {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Constant::Num(a), Constant::Num(b)) => a == b || (a.is_nan() && b.is_nan()),
+            (Constant::Str(a), Constant::Str(b)) => a.eq_ignore_ascii_case(b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Constant {}
+
+impl std::hash::Hash for Constant {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Constant::Num(x) => {
+                0u8.hash(state);
+                // Canonicalise -0.0 and NaN.
+                let bits = if *x == 0.0 {
+                    0f64.to_bits()
+                } else if x.is_nan() {
+                    f64::NAN.to_bits()
+                } else {
+                    x.to_bits()
+                };
+                bits.hash(state);
+            }
+            Constant::Str(s) => {
+                1u8.hash(state);
+                s.to_lowercase().hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Num(x) => {
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e18 {
+                    write!(f, "{}", *x as i64)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Constant::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+/// An atomic predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AtomicPredicate {
+    /// `a θ c`.
+    ColumnConstant {
+        column: QualifiedColumn,
+        op: CmpOp,
+        value: Constant,
+    },
+    /// `a₁ θ a₂` (typically a join condition).
+    ColumnColumn {
+        left: QualifiedColumn,
+        op: CmpOp,
+        right: QualifiedColumn,
+    },
+}
+
+impl AtomicPredicate {
+    pub fn cc(column: QualifiedColumn, op: CmpOp, value: Constant) -> Self {
+        AtomicPredicate::ColumnConstant { column, op, value }
+    }
+
+    pub fn join(left: QualifiedColumn, op: CmpOp, right: QualifiedColumn) -> Self {
+        AtomicPredicate::ColumnColumn { left, op, right }
+    }
+
+    /// Negates the predicate by inverting the operator (Section 4.1).
+    pub fn negate(&self) -> AtomicPredicate {
+        match self {
+            AtomicPredicate::ColumnConstant { column, op, value } => {
+                AtomicPredicate::ColumnConstant {
+                    column: column.clone(),
+                    op: op.negate(),
+                    value: value.clone(),
+                }
+            }
+            AtomicPredicate::ColumnColumn { left, op, right } => AtomicPredicate::ColumnColumn {
+                left: left.clone(),
+                op: op.negate(),
+                right: right.clone(),
+            },
+        }
+    }
+
+    /// The columns this predicate mentions.
+    pub fn columns(&self) -> Vec<&QualifiedColumn> {
+        match self {
+            AtomicPredicate::ColumnConstant { column, .. } => vec![column],
+            AtomicPredicate::ColumnColumn { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// The tables this predicate mentions (lower-cased).
+    pub fn tables(&self) -> Vec<String> {
+        self.columns()
+            .into_iter()
+            .map(|c| c.table.to_lowercase())
+            .collect()
+    }
+
+    /// For a numeric column-constant predicate, the interval of satisfying
+    /// values. `Neq` returns the full line (its complement is measure-zero;
+    /// consolidation tracks exclusions separately).
+    pub fn satisfying_interval(&self) -> Option<(QualifiedColumn, Interval)> {
+        let AtomicPredicate::ColumnConstant { column, .. } = self else {
+            return None;
+        };
+        Some((column.clone(), self.interval()?))
+    }
+
+    /// The satisfying interval alone, without cloning the column — the
+    /// allocation-free variant for the distance hot path (a clustering run
+    /// evaluates `d_pred` hundreds of millions of times).
+    pub fn interval(&self) -> Option<Interval> {
+        let AtomicPredicate::ColumnConstant { op, value, .. } = self else {
+            return None;
+        };
+        let c = value.as_num()?;
+        Some(match op {
+            CmpOp::Eq => Interval::point(c),
+            CmpOp::Neq => Interval::all(),
+            CmpOp::Lt => Interval::below(c, true),
+            CmpOp::LtEq => Interval::below(c, false),
+            CmpOp::Gt => Interval::above(c, true),
+            CmpOp::GtEq => Interval::above(c, false),
+        })
+    }
+
+    /// Evaluates the predicate given a lookup for column values.
+    /// Returns `None` when a column value is unavailable.
+    pub fn evaluate(
+        &self,
+        lookup: &dyn Fn(&QualifiedColumn) -> Option<Constant>,
+    ) -> Option<bool> {
+        match self {
+            AtomicPredicate::ColumnConstant { column, op, value } => {
+                let v = lookup(column)?;
+                Some(compare_constants(&v, *op, value))
+            }
+            AtomicPredicate::ColumnColumn { left, op, right } => {
+                let l = lookup(left)?;
+                let r = lookup(right)?;
+                Some(compare_constants(&l, *op, &r))
+            }
+        }
+    }
+}
+
+/// Compares two constants under an operator (numeric when both numeric,
+/// case-insensitive string otherwise).
+pub fn compare_constants(a: &Constant, op: CmpOp, b: &Constant) -> bool {
+    match (a, b) {
+        (Constant::Num(x), Constant::Num(y)) => op.eval_f64(*x, *y),
+        (Constant::Str(x), Constant::Str(y)) => {
+            let (x, y) = (x.to_lowercase(), y.to_lowercase());
+            match op {
+                CmpOp::Eq => x == y,
+                CmpOp::Neq => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::LtEq => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::GtEq => x >= y,
+            }
+        }
+        // Mixed types never compare equal.
+        _ => op == CmpOp::Neq,
+    }
+}
+
+impl fmt::Display for AtomicPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtomicPredicate::ColumnConstant { column, op, value } => {
+                write!(f, "{column} {op} {value}")
+            }
+            AtomicPredicate::ColumnColumn { left, op, right } => {
+                write!(f, "{left} {op} {right}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(t: &str, c: &str) -> QualifiedColumn {
+        QualifiedColumn::new(t, c)
+    }
+
+    #[test]
+    fn qualified_column_case_insensitive() {
+        assert_eq!(col("PhotoObjAll", "RA"), col("photoobjall", "ra"));
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(col("T", "u"));
+        assert!(set.contains(&col("t", "U")));
+    }
+
+    #[test]
+    fn op_negation_is_involutive() {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::LtEq,
+            CmpOp::Gt,
+            CmpOp::GtEq,
+        ] {
+            assert_eq!(op.negate().negate(), op);
+            assert_eq!(op.flip().flip(), op);
+        }
+    }
+
+    #[test]
+    fn not_pushdown_example_from_paper() {
+        // NOT (T.u > 5) becomes T.u <= 5.
+        let p = AtomicPredicate::cc(col("T", "u"), CmpOp::Gt, Constant::Num(5.0));
+        let n = p.negate();
+        assert_eq!(
+            n,
+            AtomicPredicate::cc(col("T", "u"), CmpOp::LtEq, Constant::Num(5.0))
+        );
+    }
+
+    #[test]
+    fn satisfying_intervals() {
+        let p = AtomicPredicate::cc(col("T", "u"), CmpOp::Lt, Constant::Num(3.0));
+        let (_, i) = p.satisfying_interval().unwrap();
+        assert!(i.contains(2.9));
+        assert!(!i.contains(3.0));
+        let p = AtomicPredicate::cc(col("T", "u"), CmpOp::GtEq, Constant::Num(1.0));
+        let (_, i) = p.satisfying_interval().unwrap();
+        assert!(i.contains(1.0));
+        // categorical predicates have no interval
+        let p = AtomicPredicate::cc(col("T", "class"), CmpOp::Eq, Constant::Str("star".into()));
+        assert!(p.satisfying_interval().is_none());
+    }
+
+    #[test]
+    fn evaluation() {
+        let p = AtomicPredicate::cc(col("T", "u"), CmpOp::GtEq, Constant::Num(1.0));
+        let lookup = |_: &QualifiedColumn| Some(Constant::Num(5.0));
+        assert_eq!(p.evaluate(&lookup), Some(true));
+        let join = AtomicPredicate::join(col("T", "u"), CmpOp::Eq, col("S", "u"));
+        let lookup = |c: &QualifiedColumn| {
+            Some(Constant::Num(if c.table.eq_ignore_ascii_case("t") {
+                1.0
+            } else {
+                2.0
+            }))
+        };
+        assert_eq!(join.evaluate(&lookup), Some(false));
+    }
+
+    #[test]
+    fn string_constants_compare_case_insensitively() {
+        assert!(compare_constants(
+            &Constant::Str("STAR".into()),
+            CmpOp::Eq,
+            &Constant::Str("star".into())
+        ));
+        assert_eq!(Constant::Str("A".into()), Constant::Str("a".into()));
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        let p = AtomicPredicate::cc(col("SpecObjAll", "plate"), CmpOp::LtEq, Constant::Num(3200.0));
+        assert_eq!(p.to_string(), "SpecObjAll.plate <= 3200");
+        let j = AtomicPredicate::join(col("T", "u"), CmpOp::Eq, col("S", "u"));
+        assert_eq!(j.to_string(), "T.u = S.u");
+    }
+}

@@ -1,0 +1,259 @@
+//! `access(a)` tracking (Section 5.3).
+//!
+//! The distance function normalises predicate overlap by the width of
+//! `access(a) = content(a) ∪ MBR(a)` — the column's (estimated) content
+//! range united with everything queries in the log have touched. The paper
+//! estimates `content(a)` by sampling ~100 rows and doubling the sampled
+//! range, then widens `access(a)` whenever a processed query steps outside.
+
+use crate::area::AccessArea;
+use crate::interval::Interval;
+use crate::predicate::{AtomicPredicate, Constant, QualifiedColumn};
+use std::collections::{BTreeSet, HashMap};
+
+/// Map key type: [`QualifiedColumn`] hashes and compares
+/// case-insensitively without allocating, which matters because the
+/// distance function consults the ranges once per predicate pair.
+type Key = QualifiedColumn;
+
+/// Tracked access range of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnAccess {
+    /// Numeric interval (always finite, per the paper's data-type
+    /// argument).
+    Numeric(Interval),
+    /// Set of accessed/contained categorical values (lower-cased).
+    Categorical(BTreeSet<String>),
+}
+
+/// Per-column `access(a)` estimates for a whole database.
+#[derive(Debug, Clone, Default)]
+pub struct AccessRanges {
+    map: HashMap<Key, ColumnAccess>,
+}
+
+impl AccessRanges {
+    pub fn new() -> Self {
+        AccessRanges::default()
+    }
+
+    /// Initialises from sampled content statistics of an engine catalog,
+    /// applying the paper's doubling rule to numeric columns.
+    pub fn from_catalog(catalog: &aa_engine::Catalog, sample_size: usize) -> Self {
+        let mut ranges = AccessRanges::new();
+        for stats in aa_engine::sample_catalog(catalog, sample_size) {
+            for (column, content) in &stats.columns {
+                let key = QualifiedColumn::new(stats.table.clone(), column.clone());
+                match content {
+                    aa_engine::ColumnContent::Numeric { .. } => {
+                        let (lo, hi) = content.doubled_range().expect("numeric");
+                        ranges
+                            .map
+                            .insert(key, ColumnAccess::Numeric(Interval::closed(lo, hi)));
+                    }
+                    aa_engine::ColumnContent::Categorical(values) => {
+                        ranges
+                            .map
+                            .insert(key, ColumnAccess::Categorical(values.clone()));
+                    }
+                    aa_engine::ColumnContent::Empty => {}
+                }
+            }
+        }
+        ranges
+    }
+
+    /// Seeds a numeric column directly (tests, schema-only setups).
+    pub fn set_numeric(&mut self, col: &QualifiedColumn, lo: f64, hi: f64) {
+        self.map
+            .insert(col.clone(), ColumnAccess::Numeric(Interval::closed(lo, hi)));
+    }
+
+    /// Seeds a categorical column directly.
+    pub fn set_categorical(
+        &mut self,
+        col: &QualifiedColumn,
+        values: impl IntoIterator<Item = String>,
+    ) {
+        self.map.insert(
+            col.clone(),
+            ColumnAccess::Categorical(values.into_iter().map(|v| v.to_lowercase()).collect()),
+        );
+    }
+
+    /// Widens ranges with the constants a processed query accesses
+    /// ("if it accesses data not falling into access(a), we update this
+    /// range accordingly" — Section 5.3).
+    pub fn observe_area(&mut self, area: &AccessArea) {
+        for atom in area.constraint.atoms() {
+            let AtomicPredicate::ColumnConstant { column, value, .. } = atom else {
+                continue;
+            };
+            match value {
+                Constant::Num(c) => {
+                    if !c.is_finite() {
+                        continue;
+                    }
+                    match self.map.get_mut(column) {
+                        Some(ColumnAccess::Numeric(iv)) => {
+                            *iv = iv.hull(&Interval::point(*c));
+                        }
+                        Some(ColumnAccess::Categorical(_)) => {}
+                        None => {
+                            self.map.insert(
+                                column.clone(),
+                                ColumnAccess::Numeric(Interval::point(*c)),
+                            );
+                        }
+                    }
+                }
+                Constant::Str(s) => match self.map.get_mut(column) {
+                    Some(ColumnAccess::Categorical(set)) => {
+                        set.insert(s.to_lowercase());
+                    }
+                    Some(ColumnAccess::Numeric(_)) => {}
+                    None => {
+                        let mut set = BTreeSet::new();
+                        set.insert(s.to_lowercase());
+                        self.map
+                            .insert(column.clone(), ColumnAccess::Categorical(set));
+                    }
+                },
+            }
+        }
+    }
+
+    /// Processes a whole collection of areas.
+    pub fn observe_all<'a>(&mut self, areas: impl IntoIterator<Item = &'a AccessArea>) {
+        for area in areas {
+            self.observe_area(area);
+        }
+    }
+
+    /// Applies the paper's doubling rule to every numeric range: each
+    /// interval is widened symmetrically to twice its width. Use this when
+    /// `access(a)` was bootstrapped from log observations alone (no
+    /// database to sample): without the headroom, one-sided predicates
+    /// with nearby cutoffs would appear maximally distant after clipping.
+    pub fn apply_doubling(&mut self) {
+        for access in self.map.values_mut() {
+            if let ColumnAccess::Numeric(iv) = access {
+                let half = iv.width() / 2.0;
+                if half.is_finite() && half > 0.0 {
+                    *iv = Interval::closed(iv.lo - half, iv.hi + half);
+                }
+            }
+        }
+    }
+
+    /// The tracked access interval of a numeric column.
+    pub fn numeric(&self, col: &QualifiedColumn) -> Option<Interval> {
+        match self.map.get(col) {
+            Some(ColumnAccess::Numeric(iv)) => Some(*iv),
+            _ => None,
+        }
+    }
+
+    /// The tracked value set of a categorical column.
+    pub fn categorical(&self, col: &QualifiedColumn) -> Option<&BTreeSet<String>> {
+        match self.map.get(col) {
+            Some(ColumnAccess::Categorical(set)) => Some(set),
+            _ => None,
+        }
+    }
+
+    /// Width of `access(a)` for normalisation; `None` when untracked.
+    pub fn width(&self, col: &QualifiedColumn) -> Option<f64> {
+        match self.map.get(col) {
+            Some(ColumnAccess::Numeric(iv)) => Some(iv.width()),
+            Some(ColumnAccess::Categorical(set)) => Some(set.len() as f64),
+            None => None,
+        }
+    }
+
+    /// Number of tracked columns.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{Extractor, NoSchema};
+
+    fn area(sql: &str) -> AccessArea {
+        Extractor::new(&NoSchema).extract_sql(sql).unwrap()
+    }
+
+    #[test]
+    fn observe_widens_numeric_range() {
+        let mut ranges = AccessRanges::new();
+        let col = QualifiedColumn::new("zooSpec", "dec");
+        ranges.set_numeric(&col, -90.0, 90.0);
+        // The paper's anomaly: users query zooSpec.dec = -100 although the
+        // domain floor is -90; access(a) must widen to include it.
+        let a = area("SELECT * FROM zooSpec WHERE dec >= -100 AND dec <= -15");
+        ranges.observe_area(&a);
+        let iv = ranges.numeric(&col).unwrap();
+        assert_eq!(iv.lo, -100.0);
+        assert_eq!(iv.hi, 90.0);
+    }
+
+    #[test]
+    fn observe_adds_categorical_values() {
+        let mut ranges = AccessRanges::new();
+        let col = QualifiedColumn::new("SpecObjAll", "class");
+        ranges.set_categorical(&col, ["star".to_string(), "galaxy".to_string()]);
+        let a = area("SELECT * FROM SpecObjAll WHERE class = 'QSO'");
+        ranges.observe_area(&a);
+        assert_eq!(ranges.width(&col), Some(3.0));
+        assert!(ranges.categorical(&col).unwrap().contains("qso"));
+    }
+
+    #[test]
+    fn untracked_columns_bootstrap_from_observations() {
+        let mut ranges = AccessRanges::new();
+        let a = area("SELECT * FROM T WHERE u >= 1 AND u <= 9");
+        ranges.observe_area(&a);
+        let iv = ranges.numeric(&QualifiedColumn::new("T", "u")).unwrap();
+        assert_eq!((iv.lo, iv.hi), (1.0, 9.0));
+    }
+
+    #[test]
+    fn manual_doubling_widens_observed_ranges() {
+        let mut ranges = AccessRanges::new();
+        let col = QualifiedColumn::new("T", "ra");
+        ranges.set_numeric(&col, 207.0, 211.0);
+        ranges.apply_doubling();
+        let iv = ranges.numeric(&col).unwrap();
+        assert_eq!((iv.lo, iv.hi), (205.0, 213.0));
+        // Degenerate (point) ranges stay put.
+        let p = QualifiedColumn::new("T", "x");
+        ranges.set_numeric(&p, 5.0, 5.0);
+        ranges.apply_doubling();
+        assert_eq!(ranges.numeric(&p).unwrap(), Interval::point(5.0));
+    }
+
+    #[test]
+    fn from_catalog_applies_doubling_rule() {
+        use aa_engine::{Catalog, ColumnDef, DataType, Table, TableSchema, Value};
+        let mut catalog = Catalog::new();
+        let mut t = Table::new(TableSchema::new(
+            "T",
+            vec![ColumnDef::new("u", DataType::Float)],
+        ));
+        t.insert(vec![Value::Float(10.0)]).unwrap();
+        t.insert(vec![Value::Float(30.0)]).unwrap();
+        catalog.add_table(t);
+        let ranges = AccessRanges::from_catalog(&catalog, 100);
+        let iv = ranges.numeric(&QualifiedColumn::new("T", "u")).unwrap();
+        // Sampled [10, 30], doubled -> [0, 40].
+        assert_eq!((iv.lo, iv.hi), (0.0, 40.0));
+    }
+}

@@ -1,0 +1,747 @@
+//! Extractor conformance tests against the paper's worked examples and
+//! lemmas (Sections 2.4, 4.1–4.4).
+
+use aa_core::extract::{ExtractConfig, Extractor, NoSchema, SchemaProvider};
+use aa_core::{AccessArea, Interval};
+
+fn extract(sql: &str) -> AccessArea {
+    Extractor::new(&NoSchema)
+        .extract_sql(sql)
+        .unwrap_or_else(|e| panic!("{sql}: {e}"))
+}
+
+/// A provider that knows two tables T(u, v, class) and S(u, v, w) with a
+/// configurable domain for T.v (used by the aggregate lemma tests).
+struct TestSchema {
+    t_v_domain: Option<(f64, f64)>,
+}
+
+impl SchemaProvider for TestSchema {
+    fn table_columns(&self, table: &str) -> Option<Vec<String>> {
+        match table.to_lowercase().as_str() {
+            "t" => Some(vec!["u".into(), "v".into(), "class".into()]),
+            "s" => Some(vec!["u".into(), "v".into(), "w".into()]),
+            "r" => Some(vec!["v".into(), "x".into()]),
+            _ => None,
+        }
+    }
+
+    fn column_domain(&self, table: &str, column: &str) -> Option<Interval> {
+        if table.eq_ignore_ascii_case("t") && column.eq_ignore_ascii_case("v") {
+            self.t_v_domain.map(|(lo, hi)| Interval::closed(lo, hi))
+        } else {
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------- simple --
+
+#[test]
+fn simple_query_exact_area() {
+    // Section 4.1's example.
+    let area = extract("SELECT u FROM T WHERE u >= 1 AND u <= 8 AND s > 5");
+    assert!(area.exact);
+    assert_eq!(
+        area.to_intermediate_sql(),
+        "SELECT * FROM T WHERE T.u >= 1 AND T.u <= 8 AND T.s > 5"
+    );
+}
+
+#[test]
+fn intermediate_format_passthrough() {
+    // Section 2.4's example is already in intermediate format.
+    let area = extract("SELECT * FROM T WHERE (T.u <= 5 OR T.u >= 10) AND T.v <= 5");
+    assert_eq!(
+        area.to_intermediate_sql(),
+        "SELECT * FROM T WHERE (T.u <= 5 OR T.u >= 10) AND T.v <= 5"
+    );
+}
+
+#[test]
+fn between_expands_to_two_predicates() {
+    // Section 2.3's example: u BETWEEN 1 AND 8.
+    let area = extract("SELECT * FROM T WHERE u BETWEEN 1 AND 8");
+    assert_eq!(
+        area.to_intermediate_sql(),
+        "SELECT * FROM T WHERE T.u >= 1 AND T.u <= 8"
+    );
+}
+
+#[test]
+fn not_is_pushed_down_with_operator_inversion() {
+    // Section 4.1: NOT (T.u > 5 AND T.v <= 10) -> T.u <= 5 OR T.v > 10.
+    let area = extract("SELECT * FROM T WHERE NOT (T.u > 5 AND T.v <= 10)");
+    assert_eq!(
+        area.to_intermediate_sql(),
+        "SELECT * FROM T WHERE (T.u <= 5 OR T.v > 10)"
+    );
+}
+
+#[test]
+fn not_between_inverts() {
+    let area = extract("SELECT * FROM T WHERE T.u NOT BETWEEN 5 AND 10");
+    assert_eq!(
+        area.to_intermediate_sql(),
+        "SELECT * FROM T WHERE (T.u < 5 OR T.u > 10)"
+    );
+}
+
+#[test]
+fn in_list_becomes_disjunction() {
+    let area = extract("SELECT * FROM T WHERE class IN ('star', 'galaxy')");
+    assert_eq!(
+        area.to_intermediate_sql(),
+        "SELECT * FROM T WHERE (T.class = 'star' OR T.class = 'galaxy')"
+    );
+}
+
+#[test]
+fn constants_flip_onto_columns() {
+    let area = extract("SELECT * FROM T WHERE 5 < u");
+    assert_eq!(area.to_intermediate_sql(), "SELECT * FROM T WHERE T.u > 5");
+}
+
+#[test]
+fn affine_arithmetic_normalises() {
+    let area = extract("SELECT * FROM T WHERE u + 10 < 20");
+    assert_eq!(area.to_intermediate_sql(), "SELECT * FROM T WHERE T.u < 10");
+    let area = extract("SELECT * FROM T WHERE 2 * u >= 30");
+    assert_eq!(
+        area.to_intermediate_sql(),
+        "SELECT * FROM T WHERE T.u >= 15"
+    );
+    // Negative multiplier flips the comparison.
+    let area = extract("SELECT * FROM T WHERE -u < 5");
+    assert_eq!(area.to_intermediate_sql(), "SELECT * FROM T WHERE T.u > -5");
+}
+
+#[test]
+fn contradictions_are_detected() {
+    let area = extract("SELECT * FROM T WHERE u < 0 AND u > 10");
+    assert!(area.provably_empty);
+}
+
+#[test]
+fn aliases_are_resolved_to_real_names() {
+    // Section 4.5: "we replace any remaining alias with the real name".
+    let area = extract("SELECT * FROM SpecObjAll AS s WHERE s.plate > 296");
+    assert_eq!(
+        area.to_intermediate_sql(),
+        "SELECT * FROM SpecObjAll WHERE SpecObjAll.plate > 296"
+    );
+}
+
+#[test]
+fn tables_are_ordered_alphabetically() {
+    let area = extract("SELECT * FROM Zoo, Alpha, M WHERE Zoo.x > 1");
+    let names: Vec<&str> = area.table_names().collect();
+    assert_eq!(names, vec!["Alpha", "M", "Zoo"]);
+}
+
+// ----------------------------------------------------------------- joins --
+
+#[test]
+fn inner_join_condition_moves_to_where() {
+    let area = extract("SELECT * FROM T INNER JOIN S ON T.u = S.u WHERE T.v > 2");
+    assert_eq!(
+        area.to_intermediate_sql(),
+        "SELECT * FROM S, T WHERE T.u = S.u AND T.v > 2"
+    );
+}
+
+#[test]
+fn full_outer_join_drops_constraint() {
+    // Example 2: access area is the whole T x S.
+    let area = extract("SELECT * FROM T FULL OUTER JOIN S ON (T.u = S.u)");
+    assert_eq!(area.to_intermediate_sql(), "SELECT * FROM S, T");
+    assert!(area.constraint.is_empty());
+}
+
+#[test]
+fn right_outer_join_keeps_linking_constraint() {
+    // Example 3: reduces to T.u IN (SELECT S.u FROM S), i.e. T.u = S.u.
+    let area = extract("SELECT * FROM T RIGHT OUTER JOIN S ON (T.u = S.u)");
+    assert_eq!(
+        area.to_intermediate_sql(),
+        "SELECT * FROM S, T WHERE T.u = S.u"
+    );
+}
+
+#[test]
+fn natural_join_uses_schema_common_columns() {
+    let provider = TestSchema { t_v_domain: None };
+    let area = Extractor::new(&provider)
+        .extract_sql("SELECT * FROM T NATURAL JOIN S")
+        .unwrap();
+    // Common columns of T and S are u and v.
+    let sql = area.to_intermediate_sql();
+    assert!(sql.contains("T.u = S.u"), "{sql}");
+    assert!(sql.contains("T.v = S.v"), "{sql}");
+}
+
+#[test]
+fn cross_join_and_comma_are_unconstrained() {
+    for sql in ["SELECT * FROM T CROSS JOIN S", "SELECT * FROM T, S"] {
+        let area = extract(sql);
+        assert_eq!(area.to_intermediate_sql(), "SELECT * FROM S, T", "{sql}");
+    }
+}
+
+// ------------------------------------------------------------ aggregates --
+
+#[test]
+fn lemma1_sum_with_positive_domain_is_unconstrained() {
+    // Lemma 1, supp > 0: access area is T.
+    let provider = TestSchema {
+        t_v_domain: Some((-100.0, 100.0)),
+    };
+    let area = Extractor::new(&provider)
+        .extract_sql("SELECT T.u, SUM(T.v) FROM T GROUP BY T.u HAVING SUM(T.v) > 5")
+        .unwrap();
+    assert!(area.constraint.is_empty(), "{}", area.constraint);
+    assert!(!area.provably_empty);
+}
+
+#[test]
+fn lemma1_sum_with_nonpositive_domain_constrains() {
+    // Lemma 1, supp <= 0, c in dom: access area is sigma_{v > c}.
+    let provider = TestSchema {
+        t_v_domain: Some((-100.0, 0.0)),
+    };
+    let area = Extractor::new(&provider)
+        .extract_sql("SELECT T.u, SUM(T.v) FROM T GROUP BY T.u HAVING SUM(T.v) > -5")
+        .unwrap();
+    assert_eq!(area.constraint.to_string(), "T.v > -5");
+}
+
+#[test]
+fn lemma1_sum_impossible_threshold_is_empty() {
+    // Lemma 1, supp <= 0 and c > supp: empty access area.
+    let provider = TestSchema {
+        t_v_domain: Some((-100.0, 0.0)),
+    };
+    let area = Extractor::new(&provider)
+        .extract_sql("SELECT T.u, SUM(T.v) FROM T GROUP BY T.u HAVING SUM(T.v) > 5")
+        .unwrap();
+    assert!(area.provably_empty);
+}
+
+#[test]
+fn lemma2_where_upper_bound_interacts_with_having() {
+    let provider = TestSchema { t_v_domain: None }; // dom = (-inf, inf)
+    let ex = Extractor::new(&provider);
+    // c1 > 0: no extra constraint beyond WHERE (Lemma 2 case 1).
+    let area = ex
+        .extract_sql(
+            "SELECT T.u, SUM(T.v) FROM T WHERE T.v < 3 GROUP BY T.u HAVING SUM(T.v) > 100",
+        )
+        .unwrap();
+    assert_eq!(area.constraint.to_string(), "T.v < 3");
+    // c1 <= 0, c2 >= 0: empty (Lemma 2 case 2).
+    let area = ex
+        .extract_sql(
+            "SELECT T.u, SUM(T.v) FROM T WHERE T.v < -1 GROUP BY T.u HAVING SUM(T.v) > 0",
+        )
+        .unwrap();
+    assert!(area.provably_empty);
+    // c1 <= 0, c2 < 0, c2 < c1: sigma_{c2 < v < c1} (Lemma 2 case 3).
+    let area = ex
+        .extract_sql(
+            "SELECT T.u, SUM(T.v) FROM T WHERE T.v < -1 GROUP BY T.u HAVING SUM(T.v) > -10",
+        )
+        .unwrap();
+    let sql = area.constraint.to_string();
+    assert!(sql.contains("T.v < -1"), "{sql}");
+    assert!(sql.contains("T.v > -10"), "{sql}");
+    // c2 >= c1: empty.
+    let area = ex
+        .extract_sql(
+            "SELECT T.u, SUM(T.v) FROM T WHERE T.v < -10 GROUP BY T.u HAVING SUM(T.v) > -5",
+        )
+        .unwrap();
+    assert!(area.provably_empty);
+}
+
+#[test]
+fn lemma3_where_lower_bound_gives_where_only() {
+    // Lemma 3: WHERE v > c1, HAVING SUM(v) > c2 -> sigma_{v > c1}.
+    let provider = TestSchema { t_v_domain: None };
+    let area = Extractor::new(&provider)
+        .extract_sql(
+            "SELECT T.u, SUM(T.v) FROM T WHERE T.v > -7 GROUP BY T.u HAVING SUM(T.v) > 1000",
+        )
+        .unwrap();
+    assert_eq!(area.constraint.to_string(), "T.v > -7");
+}
+
+#[test]
+fn count_having_is_unconstrained_or_empty() {
+    let provider = TestSchema { t_v_domain: None };
+    let ex = Extractor::new(&provider);
+    let area = ex
+        .extract_sql("SELECT u, COUNT(*) FROM T GROUP BY u HAVING COUNT(*) > 100")
+        .unwrap();
+    assert!(area.constraint.is_empty());
+    // COUNT(*) < 1 is unsatisfiable for a group containing the tuple.
+    let area = ex
+        .extract_sql("SELECT u, COUNT(*) FROM T GROUP BY u HAVING COUNT(*) < 1")
+        .unwrap();
+    assert!(area.provably_empty);
+}
+
+#[test]
+fn min_max_having_cases() {
+    let provider = TestSchema { t_v_domain: None };
+    let ex = Extractor::new(&provider);
+    // MIN(v) > c: only tuples with v > c can be in such a group.
+    let area = ex
+        .extract_sql("SELECT u, MIN(v) FROM T GROUP BY u HAVING MIN(v) > 4")
+        .unwrap();
+    assert_eq!(area.constraint.to_string(), "T.v > 4");
+    // MIN(v) < c with unbounded domain: any tuple (pad with small value).
+    let area = ex
+        .extract_sql("SELECT u, MIN(v) FROM T GROUP BY u HAVING MIN(v) < 4")
+        .unwrap();
+    assert!(area.constraint.is_empty());
+    // MAX(v) < c mirrors MIN(v) > c.
+    let area = ex
+        .extract_sql("SELECT u, MAX(v) FROM T GROUP BY u HAVING MAX(v) < 4")
+        .unwrap();
+    assert_eq!(area.constraint.to_string(), "T.v < 4");
+}
+
+#[test]
+fn avg_having_cases() {
+    let provider = TestSchema {
+        t_v_domain: Some((0.0, 10.0)),
+    };
+    let ex = Extractor::new(&provider);
+    // AVG(v) > 5 with domain [0,10]: achievable for any tuple.
+    let area = ex
+        .extract_sql("SELECT u, AVG(v) FROM T GROUP BY u HAVING AVG(v) > 5")
+        .unwrap();
+    assert!(area.constraint.is_empty());
+    // AVG(v) > 20: impossible.
+    let area = ex
+        .extract_sql("SELECT u, AVG(v) FROM T GROUP BY u HAVING AVG(v) > 20")
+        .unwrap();
+    assert!(area.provably_empty);
+}
+
+// ---------------------------------------------------------------- nested --
+
+#[test]
+fn lemma4_exists_pulls_up_subquery_where() {
+    let area = extract(
+        "SELECT * FROM T WHERE T.u > 7 AND EXISTS \
+         (SELECT * FROM S WHERE S.u = T.u AND S.v < 3)",
+    );
+    assert_eq!(
+        area.to_intermediate_sql(),
+        "SELECT * FROM S, T WHERE T.u > 7 AND S.u = T.u AND S.v < 3"
+    );
+    assert!(area.exact);
+}
+
+#[test]
+fn lemma5_and_connected_exists_on_same_relation_or_their_wheres() {
+    let area = extract(
+        "SELECT * FROM T WHERE T.u > 1 \
+         AND EXISTS (SELECT * FROM S WHERE S.v < 2 AND S.u = T.u) \
+         AND EXISTS (SELECT * FROM S WHERE S.v >= 5 AND S.u = T.u)",
+    );
+    assert!(!area.provably_empty);
+    let sql = area.to_intermediate_sql();
+    // The two subquery WHEREs are OR-ed: (v<2 AND u=T.u) OR (v>=5 AND u=T.u),
+    // which in CNF contains the clause (S.v < 2 OR S.v >= 5).
+    assert!(
+        sql.contains("S.v < 2 OR S.v >= 5") || sql.contains("S.v >= 5 OR S.v < 2"),
+        "{sql}"
+    );
+    assert!(sql.contains("S.u = T.u"), "{sql}");
+}
+
+#[test]
+fn lemma6_or_connected_exists() {
+    let area = extract(
+        "SELECT * FROM T WHERE T.u > 1 \
+         OR EXISTS (SELECT * FROM S WHERE S.v < 2 AND S.u = T.u) \
+         OR EXISTS (SELECT * FROM S WHERE S.v >= 5 AND S.u = T.u)",
+    );
+    let sql = area.to_intermediate_sql();
+    // CNF of T.u>1 OR (S.u=T.u AND (S.v<2 OR S.v>=5)):
+    // (T.u>1 OR S.u=T.u) AND (T.u>1 OR S.v<2 OR S.v>=5).
+    assert!(sql.contains("T.u > 1 OR S.u = T.u") || sql.contains("S.u = T.u OR T.u > 1"), "{sql}");
+}
+
+#[test]
+fn example4_multi_level_nesting() {
+    let area = extract(
+        "SELECT * FROM T WHERE T.u > 7 AND EXISTS \
+         (SELECT * FROM S WHERE S.u = T.u AND S.v < 3 AND EXISTS \
+          (SELECT * FROM R WHERE R.v = S.v AND R.x < 9))",
+    );
+    assert_eq!(
+        area.to_intermediate_sql(),
+        "SELECT * FROM R, S, T WHERE T.u > 7 AND S.u = T.u AND S.v < 3 AND R.v = S.v AND R.x < 9"
+    );
+}
+
+#[test]
+fn in_subquery_reduces_to_exists_form() {
+    let area = extract("SELECT * FROM T WHERE T.u IN (SELECT S.u FROM S WHERE S.v = 12)");
+    assert_eq!(
+        area.to_intermediate_sql(),
+        "SELECT * FROM S, T WHERE S.v = 12 AND T.u = S.u"
+    );
+}
+
+#[test]
+fn scalar_subquery_comparison() {
+    // The implicit nested form of Section 4.4's intro.
+    let area = extract("SELECT * FROM T WHERE T.u = (SELECT S.u FROM S WHERE S.v = 12)");
+    assert_eq!(
+        area.to_intermediate_sql(),
+        "SELECT * FROM S, T WHERE S.v = 12 AND T.u = S.u"
+    );
+}
+
+#[test]
+fn any_quantifier() {
+    let area = extract("SELECT * FROM T WHERE T.u > ANY (SELECT S.u FROM S WHERE S.v < 4)");
+    assert_eq!(
+        area.to_intermediate_sql(),
+        "SELECT * FROM S, T WHERE S.v < 4 AND T.u > S.u"
+    );
+}
+
+#[test]
+fn all_quantifier_uses_violating_form() {
+    let area = extract("SELECT * FROM T WHERE T.u > ALL (SELECT S.u FROM S WHERE S.v < 4)");
+    let sql = area.to_intermediate_sql();
+    assert!(sql.contains("S.v < 4"), "{sql}");
+    assert!(sql.contains("T.u <= S.u"), "{sql}");
+    assert!(!area.exact, "ALL handling is an approximation");
+}
+
+#[test]
+fn not_exists_keeps_inspected_area() {
+    let area = extract("SELECT * FROM T WHERE NOT EXISTS (SELECT * FROM S WHERE S.u = T.u)");
+    let sql = area.to_intermediate_sql();
+    assert!(sql.contains("S.u = T.u"), "{sql}");
+    assert!(!area.exact);
+}
+
+#[test]
+fn derived_table_is_inlined() {
+    let area = extract("SELECT * FROM (SELECT u FROM T WHERE T.v > 3) AS sub WHERE sub.u < 9");
+    assert_eq!(
+        area.to_intermediate_sql(),
+        "SELECT * FROM T WHERE T.v > 3 AND T.u < 9"
+    );
+}
+
+#[test]
+fn projection_scalar_subquery_contributes_area() {
+    let area = extract("SELECT (SELECT MAX(S.w) FROM S WHERE S.v > 2) FROM T WHERE T.u = 1");
+    let sql = area.to_intermediate_sql();
+    assert!(area.has_table("S"), "{sql}");
+    assert!(sql.contains("S.v > 2"), "{sql}");
+    assert!(sql.contains("T.u = 1"), "{sql}");
+}
+
+// -------------------------------------------------------------- failures --
+
+#[test]
+fn udf_queries_fail_extraction() {
+    let err = Extractor::new(&NoSchema)
+        .extract_sql("SELECT * FROM T WHERE dbo.fGetNearbyObjEq(185.0, -0.5, 1.0) = 1")
+        .unwrap_err();
+    assert!(err.to_string().contains("function"));
+}
+
+#[test]
+fn error_queries_still_extract() {
+    // Section 6.6: access areas are extracted even from queries that error
+    // on SkyServer (rate limit / row cap) or use the MySQL dialect.
+    let area = extract("SELECT objid FROM Galaxies LIMIT 10");
+    assert_eq!(area.to_intermediate_sql(), "SELECT * FROM Galaxies");
+}
+
+#[test]
+fn predicate_cap_truncates_large_queries() {
+    let mut clauses: Vec<String> = Vec::new();
+    for i in 0..50 {
+        clauses.push(format!("c{i} > {i}"));
+    }
+    let sql = format!("SELECT * FROM T WHERE {}", clauses.join(" AND "));
+    let area = Extractor::with_config(
+        &NoSchema,
+        ExtractConfig {
+            atom_cap: 35,
+            ..ExtractConfig::default()
+        },
+    )
+    .extract_sql(&sql)
+    .unwrap();
+    assert!(!area.exact);
+    assert_eq!(area.constraint.len(), 35);
+}
+
+#[test]
+fn order_by_and_top_do_not_affect_area() {
+    let a = extract("SELECT * FROM T WHERE u > 1");
+    let b = extract("SELECT TOP 10 * FROM T WHERE u > 1 ORDER BY v DESC");
+    assert_eq!(a.to_intermediate_sql(), b.to_intermediate_sql());
+}
+
+// ------------------------------------------------------- extension cases --
+
+#[test]
+fn having_with_conjunction_of_aggregates() {
+    // Extension beyond the paper's one-aggregate-per-HAVING restriction:
+    // AND-connected AGG terms are analysed term-wise.
+    let provider = TestSchema {
+        t_v_domain: Some((-100.0, 0.0)),
+    };
+    let area = Extractor::new(&provider)
+        .extract_sql(
+            "SELECT u, SUM(v) FROM T GROUP BY u \
+             HAVING SUM(v) > -5 AND COUNT(*) > 3",
+        )
+        .unwrap();
+    // SUM case constrains v > -5; COUNT case adds nothing.
+    assert_eq!(area.constraint.to_string(), "T.v > -5");
+}
+
+#[test]
+fn having_mixing_aggregate_and_plain_predicate() {
+    let provider = TestSchema { t_v_domain: None };
+    let area = Extractor::new(&provider)
+        .extract_sql("SELECT u, COUNT(*) FROM T GROUP BY u HAVING COUNT(*) > 2 AND u > 7")
+        .unwrap();
+    // COUNT adds nothing; the plain group-key predicate constrains u.
+    assert_eq!(area.constraint.to_string(), "T.u > 7");
+}
+
+#[test]
+fn having_with_flipped_constant_side() {
+    let provider = TestSchema { t_v_domain: None };
+    let area = Extractor::new(&provider)
+        .extract_sql("SELECT u, MIN(v) FROM T GROUP BY u HAVING 4 < MIN(v)")
+        .unwrap();
+    assert_eq!(area.constraint.to_string(), "T.v > 4");
+}
+
+#[test]
+fn affine_division_normalises() {
+    let area = extract("SELECT * FROM T WHERE u / 4 >= 5");
+    assert_eq!(area.to_intermediate_sql(), "SELECT * FROM T WHERE T.u >= 20");
+    // Division by a negative flips.
+    let area = extract("SELECT * FROM T WHERE u / -2 < 3");
+    assert_eq!(area.to_intermediate_sql(), "SELECT * FROM T WHERE T.u > -6");
+}
+
+#[test]
+fn constant_folding_in_comparisons() {
+    let area = extract("SELECT * FROM T WHERE 1 + 1 = 2 AND u > 3");
+    assert_eq!(area.to_intermediate_sql(), "SELECT * FROM T WHERE T.u > 3");
+    // A constant contradiction empties the area.
+    let area = extract("SELECT * FROM T WHERE 1 = 2 AND u > 3");
+    assert!(area.provably_empty);
+}
+
+#[test]
+fn like_without_wildcards_is_equality() {
+    let area = extract("SELECT * FROM T WHERE class LIKE 'star'");
+    assert_eq!(
+        area.to_intermediate_sql(),
+        "SELECT * FROM T WHERE T.class = 'star'"
+    );
+    // With wildcards it constrains nothing (approximation).
+    let area = extract("SELECT * FROM T WHERE name LIKE 'NGC%'");
+    assert!(area.constraint.is_empty());
+    assert!(!area.exact);
+}
+
+#[test]
+fn not_in_list_inverts_each_alternative() {
+    let area = extract("SELECT * FROM T WHERE class NOT IN ('star', 'qso')");
+    // NOT(a OR b) -> NOT a AND NOT b.
+    assert_eq!(
+        area.to_intermediate_sql(),
+        "SELECT * FROM T WHERE T.class <> 'star' AND T.class <> 'qso'"
+    );
+}
+
+#[test]
+fn cast_is_transparent_for_extraction() {
+    let area = extract("SELECT * FROM T WHERE CAST(u AS float) > 5");
+    assert_eq!(area.to_intermediate_sql(), "SELECT * FROM T WHERE T.u > 5");
+}
+
+#[test]
+fn in_subquery_with_local_where_and_outer_between() {
+    let area = extract(
+        "SELECT * FROM T WHERE T.u BETWEEN 1 AND 9 \
+         AND T.v IN (SELECT S.v FROM S WHERE S.w >= 100)",
+    );
+    let sql = area.to_intermediate_sql();
+    assert!(sql.contains("T.u >= 1"), "{sql}");
+    assert!(sql.contains("S.w >= 100"), "{sql}");
+    assert!(sql.contains("T.v = S.v"), "{sql}");
+}
+
+#[test]
+fn duplicate_table_mentions_collapse_in_universal_relation() {
+    // The same relation via subquery and FROM: table set stays deduped.
+    let area = extract("SELECT * FROM S WHERE S.u IN (SELECT S.u FROM S WHERE S.v > 1)");
+    assert_eq!(area.table_count(), 1);
+}
+
+#[test]
+fn empty_in_list_never_matches() {
+    // `IN ()` is not legal SQL and the parser rejects it.
+    assert!(Extractor::new(&NoSchema)
+        .extract_sql("SELECT * FROM T WHERE u IN ()")
+        .is_err());
+}
+
+#[test]
+fn three_level_nesting() {
+    let area = extract(
+        "SELECT * FROM A WHERE A.x > 1 AND EXISTS (\
+           SELECT * FROM B WHERE B.x = A.x AND EXISTS (\
+             SELECT * FROM C WHERE C.x = B.x AND EXISTS (\
+               SELECT * FROM D WHERE D.x = C.x AND D.y < 0)))",
+    );
+    assert_eq!(area.table_count(), 4);
+    let sql = area.to_intermediate_sql();
+    assert!(sql.contains("D.y < 0"), "{sql}");
+    assert!(sql.contains("C.x = B.x"), "{sql}");
+}
+
+// --------------------------------------------- full aggregate case matrix --
+
+#[test]
+fn sum_less_than_mirrors_lemma1() {
+    // Mirror of Lemma 1 for `SUM(v) < c`: with negative values available
+    // the sum can be dragged down for any tuple.
+    let provider = TestSchema {
+        t_v_domain: Some((-100.0, 100.0)),
+    };
+    let area = Extractor::new(&provider)
+        .extract_sql("SELECT u, SUM(v) FROM T GROUP BY u HAVING SUM(v) < -5")
+        .unwrap();
+    assert!(area.constraint.is_empty());
+    // All values >= 0: best (lowest) sum is the tuple's own value.
+    let provider = TestSchema {
+        t_v_domain: Some((0.0, 100.0)),
+    };
+    let area = Extractor::new(&provider)
+        .extract_sql("SELECT u, SUM(v) FROM T GROUP BY u HAVING SUM(v) < 5")
+        .unwrap();
+    assert_eq!(area.constraint.to_string(), "T.v < 5");
+    // ... and an impossible threshold empties the area.
+    let area = Extractor::new(&provider)
+        .extract_sql("SELECT u, SUM(v) FROM T GROUP BY u HAVING SUM(v) < -1")
+        .unwrap();
+    assert!(area.provably_empty);
+}
+
+#[test]
+fn min_eq_and_max_eq_cases() {
+    let provider = TestSchema {
+        t_v_domain: Some((0.0, 10.0)),
+    };
+    let ex = Extractor::new(&provider);
+    // MIN(v) = 4: only tuples with v >= 4 can sit in such a group.
+    let area = ex
+        .extract_sql("SELECT u, MIN(v) FROM T GROUP BY u HAVING MIN(v) = 4")
+        .unwrap();
+    assert_eq!(area.constraint.to_string(), "T.v >= 4");
+    // MIN(v) = 40 is outside the domain: empty.
+    let area = ex
+        .extract_sql("SELECT u, MIN(v) FROM T GROUP BY u HAVING MIN(v) = 40")
+        .unwrap();
+    assert!(area.provably_empty);
+    // MAX(v) = 4 mirrors: v <= 4.
+    let area = ex
+        .extract_sql("SELECT u, MAX(v) FROM T GROUP BY u HAVING MAX(v) = 4")
+        .unwrap();
+    assert_eq!(area.constraint.to_string(), "T.v <= 4");
+}
+
+#[test]
+fn min_neq_with_bounded_domain() {
+    // All values >= c: a tuple at exactly c pins MIN = c, so only v > c
+    // survives MIN <> c.
+    let provider = TestSchema {
+        t_v_domain: Some((4.0, 10.0)),
+    };
+    let area = Extractor::new(&provider)
+        .extract_sql("SELECT u, MIN(v) FROM T GROUP BY u HAVING MIN(v) <> 4")
+        .unwrap();
+    assert_eq!(area.constraint.to_string(), "T.v > 4");
+    // With room below c any tuple works.
+    let provider = TestSchema {
+        t_v_domain: Some((0.0, 10.0)),
+    };
+    let area = Extractor::new(&provider)
+        .extract_sql("SELECT u, MIN(v) FROM T GROUP BY u HAVING MIN(v) <> 4")
+        .unwrap();
+    assert!(area.constraint.is_empty());
+}
+
+#[test]
+fn avg_boundary_cases() {
+    let provider = TestSchema {
+        t_v_domain: Some((0.0, 10.0)),
+    };
+    let ex = Extractor::new(&provider);
+    // AVG(v) >= 10 (the supremum): every member must equal 10.
+    let area = ex
+        .extract_sql("SELECT u, AVG(v) FROM T GROUP BY u HAVING AVG(v) >= 10")
+        .unwrap();
+    assert_eq!(area.constraint.to_string(), "T.v >= 10");
+    // AVG(v) = 5 (interior): reachable for any tuple.
+    let area = ex
+        .extract_sql("SELECT u, AVG(v) FROM T GROUP BY u HAVING AVG(v) = 5")
+        .unwrap();
+    assert!(area.constraint.is_empty());
+    // AVG(v) = 12 (outside): empty.
+    let area = ex
+        .extract_sql("SELECT u, AVG(v) FROM T GROUP BY u HAVING AVG(v) = 12")
+        .unwrap();
+    assert!(area.provably_empty);
+}
+
+#[test]
+fn count_eq_and_lteq_cases() {
+    let provider = TestSchema { t_v_domain: None };
+    let ex = Extractor::new(&provider);
+    for (sql, empty) in [
+        ("SELECT u, COUNT(*) FROM T GROUP BY u HAVING COUNT(*) = 3", false),
+        ("SELECT u, COUNT(*) FROM T GROUP BY u HAVING COUNT(*) = 0", true),
+        ("SELECT u, COUNT(*) FROM T GROUP BY u HAVING COUNT(*) <= 5", false),
+        ("SELECT u, COUNT(*) FROM T GROUP BY u HAVING COUNT(*) <= 0", true),
+        ("SELECT u, COUNT(*) FROM T GROUP BY u HAVING COUNT(*) <> 7", false),
+    ] {
+        let area = ex.extract_sql(sql).unwrap();
+        assert_eq!(area.provably_empty, empty, "{sql}");
+        if !empty {
+            assert!(area.constraint.is_empty(), "{sql}");
+        }
+    }
+}
+
+#[test]
+fn count_column_behaves_like_count_star() {
+    let provider = TestSchema { t_v_domain: None };
+    let area = Extractor::new(&provider)
+        .extract_sql("SELECT u, COUNT(v) FROM T GROUP BY u HAVING COUNT(v) > 10")
+        .unwrap();
+    assert!(area.constraint.is_empty());
+    assert!(!area.provably_empty);
+}

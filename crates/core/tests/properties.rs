@@ -1,0 +1,319 @@
+//! Property tests for the core transformation machinery:
+//!
+//! * CNF conversion preserves logical equivalence (checked by exhaustive
+//!   assignment over independent categorical atoms);
+//! * consolidation preserves the satisfying set;
+//! * interval algebra laws;
+//! * NNF conversion is involutive on negations.
+
+use aa_core::boolexpr::BoolExpr;
+use aa_core::consolidate::consolidate;
+use aa_core::{AtomicPredicate, CmpOp, Constant, Interval, QualifiedColumn};
+use proptest::prelude::*;
+
+// ---- random boolean expressions over independent atoms --------------------
+
+/// Atom i is the categorical predicate `T.c{i} = 'x'`; assignments set
+/// each column independently to 'x' or 'y', making atoms independent
+/// boolean variables.
+fn atom(i: usize) -> BoolExpr {
+    BoolExpr::Atom(AtomicPredicate::cc(
+        QualifiedColumn::new("T", format!("c{i}")),
+        CmpOp::Eq,
+        Constant::Str("x".into()),
+    ))
+}
+
+fn expr_strategy(num_atoms: usize) -> impl Strategy<Value = BoolExpr> {
+    let leaf = prop_oneof![
+        (0..num_atoms).prop_map(atom),
+        Just(BoolExpr::True),
+        Just(BoolExpr::False),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(BoolExpr::and),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(BoolExpr::or),
+            inner.prop_map(BoolExpr::not),
+        ]
+    })
+}
+
+/// Evaluates an expression or CNF under a bitmask assignment.
+fn lookup_for(mask: u32) -> impl Fn(&QualifiedColumn) -> Option<Constant> {
+    move |col: &QualifiedColumn| {
+        let idx: usize = col.column.trim_start_matches('c').parse().ok()?;
+        Some(Constant::Str(
+            if mask & (1 << idx) != 0 { "x" } else { "y" }.into(),
+        ))
+    }
+}
+
+const NUM_ATOMS: usize = 6;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// CNF conversion (uncapped) is logically equivalent to the input.
+    #[test]
+    fn cnf_preserves_equivalence(expr in expr_strategy(NUM_ATOMS)) {
+        let conv = expr.to_cnf_capped(usize::MAX, usize::MAX);
+        prop_assert!(conv.exact);
+        for mask in 0..(1u32 << NUM_ATOMS) {
+            let lookup = lookup_for(mask);
+            let original = expr.evaluate(&lookup);
+            let converted = conv.cnf.evaluate(&lookup);
+            prop_assert_eq!(original, converted,
+                "mask {:06b}: {} vs CNF {}", mask, expr, conv.cnf);
+        }
+    }
+
+    /// NNF conversion is logically equivalent and free of Not nodes.
+    #[test]
+    fn nnf_preserves_equivalence(expr in expr_strategy(NUM_ATOMS)) {
+        let nnf = expr.to_nnf();
+        fn has_not(e: &BoolExpr) -> bool {
+            match e {
+                BoolExpr::Not(_) => true,
+                BoolExpr::And(xs) | BoolExpr::Or(xs) => xs.iter().any(has_not),
+                _ => false,
+            }
+        }
+        prop_assert!(!has_not(&nnf), "NNF still contains NOT: {}", nnf);
+        for mask in 0..(1u32 << NUM_ATOMS) {
+            let lookup = lookup_for(mask);
+            prop_assert_eq!(expr.evaluate(&lookup), nnf.evaluate(&lookup));
+        }
+    }
+
+    /// Consolidation never changes the satisfying set of a CNF (checked on
+    /// numeric single-column constraints over a small grid).
+    #[test]
+    fn consolidation_preserves_satisfying_set(
+        constraints in proptest::collection::vec(
+            (
+                0usize..2, // column u or v
+                prop_oneof![
+                    Just(CmpOp::Eq), Just(CmpOp::Neq), Just(CmpOp::Lt),
+                    Just(CmpOp::LtEq), Just(CmpOp::Gt), Just(CmpOp::GtEq)
+                ],
+                -3i64..8,
+            ),
+            1..6,
+        )
+    ) {
+        use aa_core::{Cnf, Disjunction};
+        let cols = ["u", "v"];
+        let clauses: Vec<Disjunction> = constraints
+            .iter()
+            .map(|(c, op, k)| {
+                Disjunction::singleton(AtomicPredicate::cc(
+                    QualifiedColumn::new("T", cols[*c]),
+                    *op,
+                    Constant::Num(*k as f64),
+                ))
+            })
+            .collect();
+        let original = Cnf::new(clauses);
+        let mut consolidated = original.clone();
+        let outcome = consolidate(&mut consolidated);
+
+        let mut any_sat = false;
+        for u in -5i64..10 {
+            for v in -5i64..10 {
+                let lookup = |col: &QualifiedColumn| -> Option<Constant> {
+                    Some(Constant::Num(match col.column.as_str() {
+                        "u" => u as f64,
+                        "v" => v as f64,
+                        _ => return None,
+                    }))
+                };
+                let before = original.evaluate(&lookup);
+                let after = consolidated.evaluate(&lookup);
+                prop_assert_eq!(before, after,
+                    "({}, {}): {} vs {}", u, v, original, consolidated);
+                if before == Some(true) {
+                    any_sat = true;
+                }
+            }
+        }
+        // A detected contradiction implies nothing on the grid satisfies
+        // the constraint (the converse need not hold: satisfying points
+        // may lie off-grid, and detection is best-effort anyway).
+        if outcome.contradiction {
+            prop_assert!(!any_sat, "contradiction claimed but {} satisfiable", original);
+        }
+    }
+
+    // ---- interval algebra laws ---------------------------------------------
+
+    #[test]
+    fn interval_intersection_laws(
+        (a_lo, a_w) in (-50.0..50.0f64, 0.0..40.0f64),
+        (b_lo, b_w) in (-50.0..50.0f64, 0.0..40.0f64),
+        probe in -100.0..100.0f64,
+    ) {
+        let a = Interval::closed(a_lo, a_lo + a_w);
+        let b = Interval::closed(b_lo, b_lo + b_w);
+        let i = a.intersect(&b);
+        // Commutativity.
+        prop_assert_eq!(i, b.intersect(&a));
+        // Membership: x in a∩b iff x in a and x in b.
+        prop_assert_eq!(i.contains(probe), a.contains(probe) && b.contains(probe));
+        // Idempotence and identity.
+        prop_assert_eq!(a.intersect(&a), a);
+        prop_assert_eq!(a.intersect(&Interval::all()), a);
+        // Intersection is a subset of both.
+        prop_assert!(i.subset_of(&a));
+        prop_assert!(i.subset_of(&b));
+    }
+
+    #[test]
+    fn interval_hull_laws(
+        (a_lo, a_w) in (-50.0..50.0f64, 0.0..40.0f64),
+        (b_lo, b_w) in (-50.0..50.0f64, 0.0..40.0f64),
+        probe in -100.0..100.0f64,
+    ) {
+        let a = Interval::closed(a_lo, a_lo + a_w);
+        let b = Interval::closed(b_lo, b_lo + b_w);
+        let h = a.hull(&b);
+        prop_assert_eq!(h, b.hull(&a));
+        prop_assert!(a.subset_of(&h));
+        prop_assert!(b.subset_of(&h));
+        // Hull width >= overlap width, and their difference is what the
+        // dissimilarity d_pred normalises.
+        prop_assert!(h.width() + 1e-12 >= a.overlap_width(&b));
+        if a.contains(probe) || b.contains(probe) {
+            prop_assert!(h.contains(probe));
+        }
+        // Union agrees with hull exactly when defined.
+        if let Some(u) = a.union(&b) {
+            prop_assert_eq!(u, h);
+        }
+    }
+
+    #[test]
+    fn predicate_negation_flips_satisfaction(
+        op in prop_oneof![
+            Just(CmpOp::Eq), Just(CmpOp::Neq), Just(CmpOp::Lt),
+            Just(CmpOp::LtEq), Just(CmpOp::Gt), Just(CmpOp::GtEq)
+        ],
+        c in -10i64..10,
+        x in -15i64..15,
+    ) {
+        let p = AtomicPredicate::cc(
+            QualifiedColumn::new("T", "u"),
+            op,
+            Constant::Num(c as f64),
+        );
+        let lookup = |_: &QualifiedColumn| Some(Constant::Num(x as f64));
+        let sat = p.evaluate(&lookup).unwrap();
+        let neg_sat = p.negate().evaluate(&lookup).unwrap();
+        prop_assert_ne!(sat, neg_sat);
+    }
+}
+
+// ---- extractor robustness over generated SQL -------------------------------
+
+/// Random valid-looking SELECT statements covering the grammar: joins,
+/// aggregates, nesting, NOT, BETWEEN, IN-lists.
+fn sql_strategy() -> impl Strategy<Value = String> {
+    let table = prop_oneof![Just("T"), Just("S"), Just("R")];
+    let column = prop_oneof![Just("u"), Just("v"), Just("w")];
+    let op = prop_oneof![Just("="), Just("<>"), Just("<"), Just("<="), Just(">"), Just(">=")];
+    let pred = (table.clone(), column.clone(), op, -100i64..100)
+        .prop_map(|(t, c, o, k)| format!("{t}.{c} {o} {k}"));
+    let clause = pred.clone().prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} AND {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} OR {b})")),
+            inner.prop_map(|a| format!("NOT ({a})")),
+        ]
+    });
+    (clause, 0u8..6, -50i64..50).prop_map(|(where_clause, shape, k)| match shape {
+        0 => format!("SELECT * FROM T, S, R WHERE {where_clause}"),
+        1 => format!("SELECT * FROM T INNER JOIN S ON T.u = S.u WHERE {where_clause}"),
+        2 => format!("SELECT * FROM T FULL OUTER JOIN S ON T.u = S.u WHERE {where_clause}"),
+        3 => format!(
+            "SELECT T.u, SUM(T.v) FROM T, S, R WHERE {where_clause} \
+             GROUP BY T.u HAVING SUM(T.v) > {k}"
+        ),
+        4 => format!(
+            "SELECT * FROM T WHERE T.u > {k} AND EXISTS \
+             (SELECT * FROM S WHERE S.u = T.u AND ({where_clause}))"
+        ),
+        _ => format!(
+            "SELECT * FROM T WHERE T.v IN (SELECT S.v FROM S WHERE {where_clause})"
+        ),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The extractor never panics on grammar-valid queries, and the
+    /// universal relation always contains every FROM-clause table.
+    #[test]
+    fn extractor_is_total_over_generated_sql(sql in sql_strategy()) {
+        use aa_core::extract::{Extractor, NoSchema};
+        let parsed = aa_sql::parse_select(&sql).expect("generator emits valid SQL");
+        let area = Extractor::new(&NoSchema)
+            .extract(&parsed)
+            .unwrap_or_else(|e| panic!("{sql}: {e}"));
+        prop_assert!(area.has_table("T"), "{}", sql);
+        // Consolidated constraints never mention unknown tables.
+        for atom in area.constraint.atoms() {
+            for col in atom.columns() {
+                prop_assert!(
+                    area.has_table(&col.table),
+                    "atom {} references table outside U in {}",
+                    atom,
+                    sql
+                );
+            }
+        }
+        // Display of the intermediate form is itself parseable SQL.
+        let rendered = area.to_intermediate_sql();
+        aa_sql::parse_select(&rendered)
+            .unwrap_or_else(|e| panic!("rendered `{rendered}` unparseable: {e}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// On queries without aggregates, outer joins, or subqueries, the
+    /// naive (Section 6.5) extractor and the faithful one must agree —
+    /// the transformations only differ on the Section 4.2-4.4 shapes.
+    #[test]
+    fn naive_equals_faithful_on_simple_queries(
+        preds in proptest::collection::vec(
+            (
+                prop_oneof![Just("u"), Just("v")],
+                prop_oneof![Just("="), Just("<>"), Just("<"), Just("<="), Just(">"), Just(">=")],
+                -50i64..50,
+            ),
+            1..5,
+        ),
+        connector_mask in 0u8..16,
+    ) {
+        use aa_core::extract::naive::naive_extractor;
+        use aa_core::extract::{Extractor, NoSchema};
+        let mut clause = String::new();
+        for (i, (c, o, k)) in preds.iter().enumerate() {
+            if i > 0 {
+                clause.push_str(if connector_mask & (1 << i) != 0 { " AND " } else { " OR " });
+            }
+            clause.push_str(&format!("T.{c} {o} {k}"));
+        }
+        let sql = format!("SELECT * FROM T WHERE {clause}");
+        let provider = NoSchema;
+        let faithful = Extractor::new(&provider).extract_sql(&sql).unwrap();
+        let naive = naive_extractor(&provider).extract_sql(&sql).unwrap();
+        prop_assert_eq!(
+            faithful.to_intermediate_sql(),
+            naive.to_intermediate_sql(),
+            "{}", sql
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! Neighbour-search indexes for DBSCAN.
+
+/// Produces the `eps`-neighbourhood of item `i` (including `i` itself).
+pub trait NeighborIndex<T> {
+    /// Indices of all items within `eps` of `items[i]` under `distance`.
+    fn neighbors<D>(&self, items: &[T], i: usize, eps: f64, distance: &D) -> Vec<usize>
+    where
+        D: Fn(&T, &T) -> f64;
+}
+
+/// O(n) scan per query.
+pub struct BruteForceIndex;
+
+impl<T> NeighborIndex<T> for BruteForceIndex {
+    fn neighbors<D>(&self, items: &[T], i: usize, eps: f64, distance: &D) -> Vec<usize>
+    where
+        D: Fn(&T, &T) -> f64,
+    {
+        let q = &items[i];
+        items
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| distance(q, x) <= eps)
+            .map(|(j, _)| j)
+            .collect()
+    }
+}
+
+/// Interned item keys and their buckets — phase 1 of building a
+/// [`GroupedIndex`]. Split out so the lower-bound closure of phase 2 can
+/// close over the interned key list this phase returns.
+#[derive(Debug, Clone)]
+pub struct KeyedBuckets {
+    /// Key id per item.
+    keys: Vec<usize>,
+    /// Items per key id.
+    buckets: Vec<Vec<usize>>,
+}
+
+impl KeyedBuckets {
+    /// Buckets `items` by `key_of`; returns the buckets plus the distinct
+    /// keys in first-seen order (key id = position in that vector).
+    pub fn build<T, K, KF>(items: &[T], key_of: KF) -> (Self, Vec<K>)
+    where
+        K: std::hash::Hash + Eq + Clone,
+        KF: Fn(&T) -> K,
+    {
+        let mut key_index: std::collections::HashMap<K, usize> = std::collections::HashMap::new();
+        let mut distinct: Vec<K> = Vec::new();
+        let mut keys = Vec::with_capacity(items.len());
+        let mut buckets: Vec<Vec<usize>> = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            let k = key_of(item);
+            let id = *key_index.entry(k.clone()).or_insert_with(|| {
+                distinct.push(k.clone());
+                buckets.push(Vec::new());
+                distinct.len() - 1
+            });
+            keys.push(id);
+            buckets[id].push(i);
+        }
+        (KeyedBuckets { keys, buckets }, distinct)
+    }
+
+    /// Key id of an item.
+    pub fn key_of_item(&self, i: usize) -> usize {
+        self.keys[i]
+    }
+
+    /// Number of distinct keys.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Items holding key id `k`.
+    pub fn bucket(&self, k: usize) -> &[usize] {
+        &self.buckets[k]
+    }
+}
+
+/// A blocking index: items are bucketed by a discrete key, and a cheap
+/// *lower bound* on the distance between two keys prunes whole buckets.
+///
+/// For the paper's distance `d = d_tables + d_conj`, the key is the table
+/// set and the lower bound is the Jaccard distance `d_tables` itself:
+/// whenever `d_tables(A, B) > eps`, no pair across those buckets can be
+/// within `eps`, so `d_conj` (the expensive part) is never evaluated.
+pub struct GroupedIndex<KD> {
+    buckets: KeyedBuckets,
+    /// Lower bound on the full distance given two key ids.
+    key_lower_bound: KD,
+}
+
+impl<KD> GroupedIndex<KD>
+where
+    KD: Fn(usize, usize) -> f64,
+{
+    /// Combines pre-built buckets with a key-distance lower bound.
+    pub fn new(buckets: KeyedBuckets, key_lower_bound: KD) -> Self {
+        GroupedIndex {
+            buckets,
+            key_lower_bound,
+        }
+    }
+
+    /// One-shot build when the lower bound doesn't need the key list.
+    pub fn build<T, K, KF>(items: &[T], key_of: KF, key_lower_bound: KD) -> (Self, Vec<K>)
+    where
+        K: std::hash::Hash + Eq + Clone,
+        KF: Fn(&T) -> K,
+    {
+        let (buckets, distinct) = KeyedBuckets::build(items, key_of);
+        (GroupedIndex::new(buckets, key_lower_bound), distinct)
+    }
+
+    /// Key id of an item.
+    pub fn key_of_item(&self, i: usize) -> usize {
+        self.buckets.key_of_item(i)
+    }
+
+    /// Number of distinct keys.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.bucket_count()
+    }
+}
+
+impl<T, KD> NeighborIndex<T> for GroupedIndex<KD>
+where
+    KD: Fn(usize, usize) -> f64,
+{
+    fn neighbors<D>(&self, items: &[T], i: usize, eps: f64, distance: &D) -> Vec<usize>
+    where
+        D: Fn(&T, &T) -> f64,
+    {
+        let q = &items[i];
+        let qk = self.buckets.key_of_item(i);
+        let mut out = Vec::new();
+        for bk in 0..self.buckets.bucket_count() {
+            if (self.key_lower_bound)(qk, bk) > eps {
+                continue;
+            }
+            for &j in self.buckets.bucket(bk) {
+                if distance(q, &items[j]) <= eps {
+                    out.push(j);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dbscan, dbscan_with_index, DbscanParams};
+
+    /// 2D points keyed by an integer "table set" id; cross-key distance 1.
+    #[derive(Clone, Copy)]
+    struct P {
+        key: usize,
+        x: f64,
+    }
+
+    fn dist(a: &P, b: &P) -> f64 {
+        let table_part = if a.key == b.key { 0.0 } else { 1.0 };
+        table_part + (a.x - b.x).abs()
+    }
+
+    fn dataset() -> Vec<P> {
+        let mut pts = Vec::new();
+        for k in 0..3 {
+            for i in 0..10 {
+                pts.push(P {
+                    key: k,
+                    x: i as f64 * 0.05,
+                });
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn grouped_index_matches_brute_force() {
+        let items = dataset();
+        let params = DbscanParams {
+            eps: 0.2,
+            min_pts: 3,
+        };
+        let brute = dbscan(&items, &params, dist);
+        let (index, _keys) = GroupedIndex::build(
+            &items,
+            |p: &P| p.key,
+            |a, b| if a == b { 0.0 } else { 1.0 },
+        );
+        let fast = dbscan_with_index(&items, &params, &dist, &index);
+        assert_eq!(brute, fast);
+        assert_eq!(fast.cluster_count, 3);
+    }
+
+    #[test]
+    fn lower_bound_prunes_buckets() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items = dataset();
+        let calls = AtomicUsize::new(0);
+        let counting_dist = |a: &P, b: &P| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            dist(a, b)
+        };
+        let (index, _) = GroupedIndex::build(
+            &items,
+            |p: &P| p.key,
+            |a, b| if a == b { 0.0 } else { 1.0 },
+        );
+        let params = DbscanParams {
+            eps: 0.2,
+            min_pts: 3,
+        };
+        dbscan_with_index(&items, &params, &counting_dist, &index);
+        let with_index = calls.swap(0, Ordering::Relaxed);
+        dbscan(&items, &params, counting_dist);
+        let brute_force = calls.load(Ordering::Relaxed);
+        assert!(
+            with_index * 2 <= brute_force,
+            "index {with_index} vs brute {brute_force}"
+        );
+    }
+
+    #[test]
+    fn build_reports_distinct_keys() {
+        let items = dataset();
+        let (index, keys) = GroupedIndex::build(
+            &items,
+            |p: &P| p.key,
+            |_, _| 0.0,
+        );
+        assert_eq!(index.bucket_count(), 3);
+        assert_eq!(keys, vec![0, 1, 2]);
+        assert_eq!(index.key_of_item(0), 0);
+        assert_eq!(index.key_of_item(29), 2);
+    }
+}

@@ -1,0 +1,303 @@
+//! OPTICS (Ankerst et al., SIGMOD 1999) — the density-based ordering
+//! generalisation of DBSCAN.
+//!
+//! The paper's future work proposes "experiment[ing] with different
+//! clustering techniques on our data sets of extracted access areas";
+//! OPTICS is the canonical next step from DBSCAN because it removes the
+//! single-`eps` commitment: one run produces a *reachability ordering*
+//! from which clusterings for every `eps' ≤ eps` can be extracted.
+
+use crate::index::NeighborIndex;
+use crate::{BruteForceIndex, DbscanParams, DbscanResult, Label};
+
+/// Output of an OPTICS run: the visit order and per-point reachability
+/// distances (`f64::INFINITY` for points starting a new component).
+#[derive(Debug, Clone)]
+pub struct OpticsResult {
+    /// Point indices in visit order.
+    pub ordering: Vec<usize>,
+    /// Reachability distance of each point, parallel to `ordering`.
+    pub reachability: Vec<f64>,
+}
+
+impl OpticsResult {
+    /// Extracts a DBSCAN-equivalent clustering at `eps_prime ≤ eps` from
+    /// the ordering (the classic ExtractDBSCAN-Clustering procedure).
+    pub fn extract_clustering(&self, eps_prime: f64, min_pts: usize) -> DbscanResult {
+        let n = self.ordering.len();
+        let mut labels = vec![Label::Noise; n];
+        let mut cluster: Option<usize> = None;
+        let mut next_cluster = 0usize;
+        // Count how many points in each tentative cluster to enforce
+        // min_pts on tiny fragments.
+        let mut counts: Vec<usize> = Vec::new();
+
+        for (pos, &point) in self.ordering.iter().enumerate() {
+            let r = self.reachability[pos];
+            if r > eps_prime {
+                // Unreachable at eps'; it may still seed a new cluster if
+                // its own neighbourhood is dense (approximated by the next
+                // point's reachability).
+                let starts_cluster = pos + 1 < n && self.reachability[pos + 1] <= eps_prime;
+                if starts_cluster {
+                    cluster = Some(next_cluster);
+                    next_cluster += 1;
+                    counts.push(1);
+                    labels[point] = Label::Cluster(next_cluster - 1);
+                } else {
+                    cluster = None;
+                }
+            } else if let Some(c) = cluster {
+                labels[point] = Label::Cluster(c);
+                counts[c] += 1;
+            }
+        }
+
+        // Demote clusters smaller than min_pts to noise and re-densify ids.
+        let mut remap: Vec<Option<usize>> = vec![None; next_cluster];
+        let mut dense = 0usize;
+        for (c, &count) in counts.iter().enumerate() {
+            if count >= min_pts {
+                remap[c] = Some(dense);
+                dense += 1;
+            }
+        }
+        for label in &mut labels {
+            *label = match label {
+                Label::Cluster(c) => match remap[*c] {
+                    Some(new) => Label::Cluster(new),
+                    None => Label::Noise,
+                },
+                Label::Noise => Label::Noise,
+            };
+        }
+        DbscanResult {
+            labels,
+            cluster_count: dense,
+        }
+    }
+
+    /// The reachability value of each point by original index.
+    pub fn reachability_by_index(&self) -> Vec<f64> {
+        let mut out = vec![f64::INFINITY; self.ordering.len()];
+        for (pos, &p) in self.ordering.iter().enumerate() {
+            out[p] = self.reachability[pos];
+        }
+        out
+    }
+}
+
+/// Runs OPTICS with a brute-force neighbour search.
+pub fn optics<T, D>(items: &[T], params: &DbscanParams, distance: D) -> OpticsResult
+where
+    D: Fn(&T, &T) -> f64 + Sync,
+    T: Sync,
+{
+    optics_with_index(items, params, &distance, &BruteForceIndex)
+}
+
+/// Runs OPTICS over a custom neighbour index.
+pub fn optics_with_index<T, D, I>(
+    items: &[T],
+    params: &DbscanParams,
+    distance: &D,
+    index: &I,
+) -> OpticsResult
+where
+    D: Fn(&T, &T) -> f64 + Sync,
+    I: NeighborIndex<T> + Sync,
+    T: Sync,
+{
+    let n = items.len();
+    let mut processed = vec![false; n];
+    let mut ordering = Vec::with_capacity(n);
+    let mut reach_out = Vec::with_capacity(n);
+    // Current best reachability per point.
+    let mut reach = vec![f64::INFINITY; n];
+
+    // Core distance: distance to the min_pts-th neighbour (incl. self).
+    let core_distance = |i: usize, neighbors: &[usize]| -> Option<f64> {
+        if neighbors.len() < params.min_pts {
+            return None;
+        }
+        let mut dists: Vec<f64> = neighbors
+            .iter()
+            .map(|&j| distance(&items[i], &items[j]))
+            .collect();
+        dists.sort_by(f64::total_cmp);
+        Some(dists[params.min_pts - 1])
+    };
+
+    for start in 0..n {
+        if processed[start] {
+            continue;
+        }
+        // Begin a new component at `start`.
+        processed[start] = true;
+        ordering.push(start);
+        reach_out.push(f64::INFINITY);
+        let neighbors = index.neighbors(items, start, params.eps, distance);
+        let mut seeds: Vec<usize> = Vec::new();
+        if let Some(core) = core_distance(start, &neighbors) {
+            update_seeds(
+                items, start, core, &neighbors, &processed, &mut reach, &mut seeds, distance,
+            );
+        }
+        while !seeds.is_empty() {
+            // Pop the seed with the smallest reachability (linear scan —
+            // seed lists stay small relative to n).
+            let best = seeds
+                .iter()
+                .enumerate()
+                .min_by(|a, b| reach[*a.1].total_cmp(&reach[*b.1]))
+                .map(|(pos, _)| pos)
+                .expect("non-empty");
+            let point = seeds.swap_remove(best);
+            if processed[point] {
+                continue;
+            }
+            processed[point] = true;
+            ordering.push(point);
+            reach_out.push(reach[point]);
+            let neighbors = index.neighbors(items, point, params.eps, distance);
+            if let Some(core) = core_distance(point, &neighbors) {
+                update_seeds(
+                    items, point, core, &neighbors, &processed, &mut reach, &mut seeds, distance,
+                );
+            }
+        }
+    }
+
+    OpticsResult {
+        ordering,
+        reachability: reach_out,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn update_seeds<T, D>(
+    items: &[T],
+    center: usize,
+    core: f64,
+    neighbors: &[usize],
+    processed: &[bool],
+    reach: &mut [f64],
+    seeds: &mut Vec<usize>,
+    distance: &D,
+) where
+    D: Fn(&T, &T) -> f64,
+{
+    for &q in neighbors {
+        if processed[q] {
+            continue;
+        }
+        let new_reach = core.max(distance(&items[center], &items[q]));
+        if new_reach < reach[q] {
+            if reach[q] == f64::INFINITY {
+                seeds.push(q);
+            }
+            reach[q] = new_reach;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbscan;
+
+    fn d1(a: &f64, b: &f64) -> f64 {
+        (a - b).abs()
+    }
+
+    fn blobs() -> Vec<f64> {
+        let mut pts = Vec::new();
+        for i in 0..15 {
+            pts.push(i as f64 * 0.05); // blob at 0.0..0.75
+        }
+        for i in 0..15 {
+            pts.push(10.0 + i as f64 * 0.05); // blob at 10.0..
+        }
+        pts.push(50.0); // outlier
+        pts
+    }
+
+    #[test]
+    fn ordering_visits_every_point_once() {
+        let pts = blobs();
+        let r = optics(&pts, &DbscanParams { eps: 0.5, min_pts: 3 }, d1);
+        assert_eq!(r.ordering.len(), pts.len());
+        let mut seen = vec![false; pts.len()];
+        for &p in &r.ordering {
+            assert!(!seen[p], "point visited twice");
+            seen[p] = true;
+        }
+    }
+
+    #[test]
+    fn reachability_valleys_match_blobs() {
+        let pts = blobs();
+        let r = optics(&pts, &DbscanParams { eps: 1.0, min_pts: 3 }, d1);
+        // Points inside blobs have small reachability; component starts
+        // and the outlier are infinite.
+        let infinite = r
+            .reachability
+            .iter()
+            .filter(|x| x.is_infinite())
+            .count();
+        assert_eq!(infinite, 3, "two blob starts + isolated outlier");
+        let finite_max = r
+            .reachability
+            .iter()
+            .filter(|x| x.is_finite())
+            .fold(0.0f64, |a, &b| a.max(b));
+        assert!(finite_max <= 0.11, "{finite_max}");
+    }
+
+    #[test]
+    fn extraction_matches_dbscan_structure() {
+        let pts = blobs();
+        let params = DbscanParams { eps: 0.5, min_pts: 3 };
+        let r = optics(&pts, &params, d1);
+        let extracted = r.extract_clustering(0.5, params.min_pts);
+        let reference = dbscan(&pts, &params, d1);
+        assert_eq!(extracted.cluster_count, reference.cluster_count);
+        // Same partition up to id permutation: compare co-membership on a
+        // sample of pairs.
+        for i in (0..pts.len()).step_by(3) {
+            for j in (0..pts.len()).step_by(5) {
+                let same_a = extracted.labels[i] == extracted.labels[j]
+                    && extracted.labels[i] != Label::Noise;
+                let same_b = reference.labels[i] == reference.labels[j]
+                    && reference.labels[i] != Label::Noise;
+                assert_eq!(same_a, same_b, "pair ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn one_run_yields_multiple_granularities() {
+        // Hierarchical blobs: two sub-blobs 1.0 apart inside a super-blob.
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(i as f64 * 0.05);
+        }
+        for i in 0..10 {
+            pts.push(2.0 + i as f64 * 0.05);
+        }
+        let r = optics(&pts, &DbscanParams { eps: 5.0, min_pts: 3 }, d1);
+        // Coarse cut: one cluster; fine cut: two.
+        let coarse = r.extract_clustering(3.0, 3);
+        let fine = r.extract_clustering(0.2, 3);
+        assert_eq!(coarse.cluster_count, 1);
+        assert_eq!(fine.cluster_count, 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let pts: Vec<f64> = Vec::new();
+        let r = optics(&pts, &DbscanParams { eps: 1.0, min_pts: 2 }, d1);
+        assert!(r.ordering.is_empty());
+        assert_eq!(r.extract_clustering(1.0, 2).cluster_count, 0);
+    }
+}

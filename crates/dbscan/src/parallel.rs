@@ -1,0 +1,170 @@
+//! Parallel neighbour precomputation.
+//!
+//! For large inputs the dominant cost of DBSCAN is the O(n²) distance
+//! evaluation. This module precomputes every point's `eps`-neighbourhood
+//! across threads (crossbeam scoped threads, chunked by point index) and
+//! exposes the result as a [`NeighborIndex`] whose queries are O(1).
+
+use crate::index::NeighborIndex;
+use crate::{dbscan_with_index, DbscanParams, DbscanResult};
+
+/// A fully materialised neighbourhood table.
+pub struct PrecomputedNeighbors {
+    lists: Vec<Vec<usize>>,
+}
+
+impl PrecomputedNeighbors {
+    /// Computes all `eps`-neighbourhoods with `threads` worker threads.
+    /// `candidates(i)` optionally restricts which pairs are evaluated
+    /// (e.g. bucket members from a blocking scheme); pass `None` for all.
+    pub fn compute<T, D>(
+        items: &[T],
+        eps: f64,
+        distance: &D,
+        threads: usize,
+        candidates: Option<&(dyn Fn(usize) -> Vec<usize> + Sync)>,
+    ) -> Self
+    where
+        T: Sync,
+        D: Fn(&T, &T) -> f64 + Sync,
+    {
+        let n = items.len();
+        let threads = threads.max(1);
+        let mut lists: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+        let chunk = n.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            let mut remaining: &mut [Vec<usize>] = &mut lists;
+            let mut start = 0usize;
+            let mut handles = Vec::new();
+            while !remaining.is_empty() {
+                let take = chunk.min(remaining.len());
+                let (head, tail) = remaining.split_at_mut(take);
+                remaining = tail;
+                let lo = start;
+                start += take;
+                handles.push(scope.spawn(move |_| {
+                    for (off, list) in head.iter_mut().enumerate() {
+                        let i = lo + off;
+                        let q = &items[i];
+                        match candidates {
+                            Some(cand) => {
+                                for j in cand(i) {
+                                    if distance(q, &items[j]) <= eps {
+                                        list.push(j);
+                                    }
+                                }
+                            }
+                            None => {
+                                for (j, x) in items.iter().enumerate() {
+                                    if distance(q, x) <= eps {
+                                        list.push(j);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("worker panicked");
+            }
+        })
+        .expect("scope failed");
+
+        PrecomputedNeighbors { lists }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+
+    /// Total number of neighbour entries (for diagnostics).
+    pub fn total_edges(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+}
+
+impl<T> NeighborIndex<T> for PrecomputedNeighbors {
+    fn neighbors<D>(&self, _items: &[T], i: usize, _eps: f64, _distance: &D) -> Vec<usize>
+    where
+        D: Fn(&T, &T) -> f64,
+    {
+        self.lists[i].clone()
+    }
+}
+
+/// DBSCAN with parallel neighbourhood precomputation.
+pub fn dbscan_parallel<T, D>(
+    items: &[T],
+    params: &DbscanParams,
+    distance: &D,
+    threads: usize,
+) -> DbscanResult
+where
+    T: Sync,
+    D: Fn(&T, &T) -> f64 + Sync,
+{
+    let pre = PrecomputedNeighbors::compute(items, params.eps, distance, threads, None);
+    dbscan_with_index(items, params, distance, &pre)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbscan;
+
+    fn d1(a: &f64, b: &f64) -> f64 {
+        (a - b).abs()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let pts: Vec<f64> = (0..500)
+            .map(|i| if i % 2 == 0 { i as f64 * 0.01 } else { 100.0 + i as f64 * 0.01 })
+            .collect();
+        let params = DbscanParams {
+            eps: 0.3,
+            min_pts: 4,
+        };
+        let seq = dbscan(&pts, &params, d1);
+        for threads in [1, 2, 8] {
+            let par = dbscan_parallel(&pts, &params, &d1, threads);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn candidate_restriction_is_honoured() {
+        let pts = vec![0.0, 0.05, 0.1, 0.15];
+        // Restrict every point's candidates to itself: all noise.
+        let only_self = |i: usize| vec![i];
+        let pre = PrecomputedNeighbors::compute(&pts, 0.5, &d1, 2, Some(&only_self));
+        assert_eq!(pre.total_edges(), 4);
+        let r = dbscan_with_index(
+            &pts,
+            &DbscanParams {
+                eps: 0.5,
+                min_pts: 2,
+            },
+            &d1,
+            &pre,
+        );
+        assert_eq!(r.noise_count(), 4);
+    }
+
+    #[test]
+    fn edge_counts() {
+        let pts = vec![0.0, 0.1, 10.0];
+        let pre = PrecomputedNeighbors::compute(&pts, 0.5, &d1, 3, None);
+        assert_eq!(pre.len(), 3);
+        // 0 and 1 see each other + themselves; 2 sees itself: 2+2+1.
+        assert_eq!(pre.total_edges(), 5);
+    }
+}

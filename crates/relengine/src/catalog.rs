@@ -1,0 +1,158 @@
+//! The catalog: named tables with rows.
+
+use crate::error::{EngineError, EngineResult};
+use crate::schema::TableSchema;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A table: schema plus row storage.
+///
+/// Row-oriented storage is deliberate — the executor materialises joined
+/// tuples anyway, and the synthetic databases used in the experiments are
+/// in the 10⁴–10⁶ row range where simplicity wins.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub schema: Arc<TableSchema>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    pub fn new(schema: TableSchema) -> Self {
+        Table {
+            schema: Arc::new(schema),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row after validating it against the schema. This is how
+    /// "states allowed by the database schema" (Definition 3 of the paper)
+    /// are enforced.
+    pub fn insert(&mut self, row: Vec<Value>) -> EngineResult<()> {
+        self.schema
+            .validate_row(&row)
+            .map_err(EngineError::Schema)?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Appends a row without domain validation (used by generators that
+    /// deliberately write values outside the advertised content box).
+    pub fn insert_unchecked(&mut self, row: Vec<Value>) {
+        debug_assert_eq!(row.len(), self.schema.arity());
+        self.rows.push(row);
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// A database: a set of tables addressed case-insensitively (SQL Server
+/// collation, which SkyServer uses, is case-insensitive).
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    /// Registers a table, replacing any previous one with the same name.
+    pub fn add_table(&mut self, table: Table) {
+        self.tables
+            .insert(Self::key(&table.schema.name), table);
+    }
+
+    /// Creates and registers an empty table from a schema.
+    pub fn create_table(&mut self, schema: TableSchema) {
+        self.add_table(Table::new(schema));
+    }
+
+    /// Case-insensitive lookup.
+    pub fn table(&self, name: &str) -> EngineResult<&Table> {
+        self.tables
+            .get(&Self::key(name))
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// Case-insensitive mutable lookup.
+    pub fn table_mut(&mut self, name: &str) -> EngineResult<&mut Table> {
+        self.tables
+            .get_mut(&Self::key(name))
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// True if the table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&Self::key(name))
+    }
+
+    /// All tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::row_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, DataType};
+
+    fn t_schema() -> TableSchema {
+        TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::numeric("u", DataType::Int, 0.0, 100.0),
+                ColumnDef::new("v", DataType::Float),
+            ],
+        )
+    }
+
+    #[test]
+    fn insert_validates_domain() {
+        let mut t = Table::new(t_schema());
+        assert!(t.insert(vec![Value::Int(5), Value::Float(1.0)]).is_ok());
+        assert!(t.insert(vec![Value::Int(500), Value::Float(1.0)]).is_err());
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn catalog_lookup_is_case_insensitive() {
+        let mut c = Catalog::new();
+        c.create_table(t_schema());
+        assert!(c.table("t").is_ok());
+        assert!(c.table("T").is_ok());
+        assert!(matches!(
+            c.table("missing"),
+            Err(EngineError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn total_rows_sums_tables() {
+        let mut c = Catalog::new();
+        c.create_table(t_schema());
+        c.table_mut("T")
+            .unwrap()
+            .insert(vec![Value::Int(1), Value::Float(0.5)])
+            .unwrap();
+        let mut s = TableSchema::new("S", vec![ColumnDef::new("w", DataType::Int)]);
+        s.name = "S".into();
+        c.create_table(s);
+        c.table_mut("S").unwrap().insert(vec![Value::Int(2)]).unwrap();
+        c.table_mut("S").unwrap().insert(vec![Value::Int(3)]).unwrap();
+        assert_eq!(c.total_rows(), 3);
+    }
+}

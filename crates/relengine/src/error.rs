@@ -1,0 +1,69 @@
+//! Engine error types, including the SkyServer operational-limit errors
+//! that the paper's re-querying comparison runs into (Section 6.6).
+
+use std::fmt;
+
+/// Errors produced while executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Referenced table does not exist.
+    UnknownTable(String),
+    /// Referenced column cannot be resolved in any visible scope.
+    UnknownColumn(String),
+    /// An unqualified column name matches more than one table in scope.
+    AmbiguousColumn(String),
+    /// Schema violation on insert.
+    Schema(String),
+    /// Construct the executor does not support.
+    Unsupported(String),
+    /// A scalar subquery returned more than one row.
+    ScalarSubqueryCardinality,
+    /// SkyServer-style row cap: "limit is top 500000".
+    RowLimitExceeded { limit: u64 },
+    /// SkyServer-style rate cap: "Maximum 60 queries allowed per minute".
+    RateLimited { per_minute: u32 },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            EngineError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            EngineError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            EngineError::Schema(msg) => write!(f, "schema violation: {msg}"),
+            EngineError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            EngineError::ScalarSubqueryCardinality => {
+                write!(f, "scalar subquery returned more than one row")
+            }
+            EngineError::RowLimitExceeded { limit } => {
+                // Matches the wording the paper quotes from SkyServer.
+                write!(f, "limit is top {limit}")
+            }
+            EngineError::RateLimited { per_minute } => {
+                write!(f, "Maximum {per_minute} queries allowed per minute")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Result alias for engine operations.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skyserver_error_wording_matches_paper_quotes() {
+        assert_eq!(
+            EngineError::RowLimitExceeded { limit: 500000 }.to_string(),
+            "limit is top 500000"
+        );
+        assert_eq!(
+            EngineError::RateLimited { per_minute: 60 }.to_string(),
+            "Maximum 60 queries allowed per minute"
+        );
+    }
+}

@@ -1,0 +1,436 @@
+//! Expression evaluation over row scopes, with correlated subqueries.
+
+use crate::catalog::Catalog;
+use crate::error::{EngineError, EngineResult};
+use crate::exec::{ExecOptions, Executor, Scope};
+use crate::value::{ArithOp, Truth, Value};
+use aa_sql::{BinaryOp, ColumnRef, Expr, Literal, Quantifier, Select, UnaryOp};
+
+/// An evaluation environment: a stack of (scope, row) frames, outermost
+/// first. Correlated subqueries push their own frame and fall back to outer
+/// frames for unresolved columns — exactly the scoping the paper's nested
+/// query lemmas (Section 4.4) rely on.
+#[derive(Clone, Copy)]
+pub struct Env<'a> {
+    frames: &'a [Frame<'a>],
+}
+
+/// One visible scope with the row currently bound to it.
+#[derive(Clone, Copy)]
+pub struct Frame<'a> {
+    pub scope: &'a Scope,
+    pub row: &'a [Value],
+}
+
+impl<'a> Env<'a> {
+    /// The empty environment (top-level query).
+    pub fn empty() -> Env<'static> {
+        Env { frames: &[] }
+    }
+
+    /// Wraps an explicit frame stack.
+    pub fn with_frames(frames: &'a [Frame<'a>]) -> Env<'a> {
+        Env { frames }
+    }
+
+    /// Resolves a column reference, innermost frame first.
+    pub fn resolve(&self, col: &ColumnRef) -> EngineResult<Value> {
+        for frame in self.frames.iter().rev() {
+            match frame.scope.resolve(col) {
+                Ok(Some(idx)) => return Ok(frame.row[idx].clone()),
+                Ok(None) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(EngineError::UnknownColumn(format!("{col}")))
+    }
+
+    /// The frame stack (for pushing in subqueries).
+    pub fn frames(&self) -> &'a [Frame<'a>] {
+        self.frames
+    }
+}
+
+/// Expression evaluator bound to a catalog.
+pub struct Evaluator<'a> {
+    pub catalog: &'a Catalog,
+    pub opts: &'a ExecOptions,
+}
+
+impl<'a> Evaluator<'a> {
+    pub fn new(catalog: &'a Catalog, opts: &'a ExecOptions) -> Self {
+        Evaluator { catalog, opts }
+    }
+
+    /// Evaluates an expression to a value.
+    pub fn eval(&self, expr: &Expr, env: Env<'_>) -> EngineResult<Value> {
+        match expr {
+            Expr::Column(c) => env.resolve(c),
+            Expr::Literal(l) => Ok(literal_value(l)),
+            Expr::Variable(v) => Err(EngineError::Unsupported(format!("variable @{v}"))),
+            Expr::Unary { op, expr } => {
+                let v = self.eval(expr, env)?;
+                Ok(match op {
+                    UnaryOp::Not => truth_to_value(self.value_truth(&v).not()),
+                    UnaryOp::Neg => match v {
+                        Value::Int(i) => Value::Int(-i),
+                        Value::Float(f) => Value::Float(-f),
+                        Value::Null => Value::Null,
+                        other => {
+                            return Err(EngineError::Unsupported(format!(
+                                "negation of {other}"
+                            )))
+                        }
+                    },
+                    UnaryOp::Plus => v,
+                })
+            }
+            Expr::Binary { left, op, right } => {
+                if op.is_logical() || op.is_comparison() {
+                    return Ok(truth_to_value(self.eval_truth(expr, env)?));
+                }
+                let l = self.eval(left, env)?;
+                let r = self.eval(right, env)?;
+                let arith = match op {
+                    BinaryOp::Plus => ArithOp::Add,
+                    BinaryOp::Minus => ArithOp::Sub,
+                    BinaryOp::Mul => ArithOp::Mul,
+                    BinaryOp::Div => ArithOp::Div,
+                    BinaryOp::Mod => ArithOp::Mod,
+                    _ => unreachable!("logical/comparison handled above"),
+                };
+                Ok(l.arith(arith, &r))
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
+                for (when, then) in branches {
+                    let matched = match operand {
+                        Some(op_expr) => {
+                            let lhs = self.eval(op_expr, env)?;
+                            let rhs = self.eval(when, env)?;
+                            lhs.sql_eq(&rhs)
+                        }
+                        None => self.eval_truth(when, env)?,
+                    };
+                    if matched.is_true() {
+                        return self.eval(then, env);
+                    }
+                }
+                match else_result {
+                    Some(e) => self.eval(e, env),
+                    None => Ok(Value::Null),
+                }
+            }
+            Expr::Cast { expr, data_type } => {
+                let v = self.eval(expr, env)?;
+                Ok(cast_value(v, data_type))
+            }
+            Expr::ScalarSubquery(sub) => self.eval_scalar_subquery(sub, env),
+            Expr::Aggregate { .. } => Err(EngineError::Unsupported(
+                "aggregate outside GROUP BY context".into(),
+            )),
+            Expr::Function { name, .. } => {
+                Err(EngineError::Unsupported(format!("function {name}")))
+            }
+            // Predicates evaluate to boolean values.
+            Expr::Between { .. }
+            | Expr::InList { .. }
+            | Expr::InSubquery { .. }
+            | Expr::Exists { .. }
+            | Expr::Quantified { .. }
+            | Expr::IsNull { .. }
+            | Expr::Like { .. } => Ok(truth_to_value(self.eval_truth(expr, env)?)),
+        }
+    }
+
+    /// Evaluates an expression as a predicate under three-valued logic.
+    pub fn eval_truth(&self, expr: &Expr, env: Env<'_>) -> EngineResult<Truth> {
+        match expr {
+            Expr::Binary { left, op, right } if op.is_logical() => {
+                let l = self.eval_truth(left, env)?;
+                // Short-circuit where 3VL allows it.
+                match op {
+                    BinaryOp::And if l == Truth::False => return Ok(Truth::False),
+                    BinaryOp::Or if l == Truth::True => return Ok(Truth::True),
+                    _ => {}
+                }
+                let r = self.eval_truth(right, env)?;
+                Ok(match op {
+                    BinaryOp::And => l.and(r),
+                    BinaryOp::Or => l.or(r),
+                    _ => unreachable!(),
+                })
+            }
+            Expr::Binary { left, op, right } if op.is_comparison() => {
+                let l = self.eval(left, env)?;
+                let r = self.eval(right, env)?;
+                Ok(compare(&l, *op, &r))
+            }
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => Ok(self.eval_truth(expr, env)?.not()),
+            Expr::Between {
+                expr,
+                negated,
+                low,
+                high,
+            } => {
+                let v = self.eval(expr, env)?;
+                let lo = self.eval(low, env)?;
+                let hi = self.eval(high, env)?;
+                let t = compare(&v, BinaryOp::GtEq, &lo).and(compare(&v, BinaryOp::LtEq, &hi));
+                Ok(if *negated { t.not() } else { t })
+            }
+            Expr::InList {
+                expr,
+                negated,
+                list,
+            } => {
+                let v = self.eval(expr, env)?;
+                let mut acc = Truth::False;
+                for item in list {
+                    let w = self.eval(item, env)?;
+                    acc = acc.or(v.sql_eq(&w));
+                    if acc == Truth::True {
+                        break;
+                    }
+                }
+                Ok(if *negated { acc.not() } else { acc })
+            }
+            Expr::InSubquery {
+                expr,
+                negated,
+                subquery,
+            } => {
+                let v = self.eval(expr, env)?;
+                let rows = self.run_subquery(subquery, env)?;
+                let mut acc = Truth::False;
+                for row in &rows {
+                    let w = row.first().cloned().unwrap_or(Value::Null);
+                    acc = acc.or(v.sql_eq(&w));
+                    if acc == Truth::True {
+                        break;
+                    }
+                }
+                Ok(if *negated { acc.not() } else { acc })
+            }
+            Expr::Exists { negated, subquery } => {
+                let rows = self.run_subquery(subquery, env)?;
+                let t = Truth::from_bool(!rows.is_empty());
+                Ok(if *negated { t.not() } else { t })
+            }
+            Expr::Quantified {
+                left,
+                op,
+                quantifier,
+                subquery,
+            } => {
+                let v = self.eval(left, env)?;
+                let rows = self.run_subquery(subquery, env)?;
+                let mut acc = match quantifier {
+                    Quantifier::Any => Truth::False,
+                    Quantifier::All => Truth::True,
+                };
+                for row in &rows {
+                    let w = row.first().cloned().unwrap_or(Value::Null);
+                    let t = compare(&v, *op, &w);
+                    acc = match quantifier {
+                        Quantifier::Any => acc.or(t),
+                        Quantifier::All => acc.and(t),
+                    };
+                }
+                Ok(acc)
+            }
+            Expr::IsNull { expr, negated } => {
+                let v = self.eval(expr, env)?;
+                let t = Truth::from_bool(v.is_null());
+                Ok(if *negated { t.not() } else { t })
+            }
+            Expr::Like {
+                expr,
+                negated,
+                pattern,
+            } => {
+                let v = self.eval(expr, env)?;
+                let p = self.eval(pattern, env)?;
+                let t = match (&v, &p) {
+                    (Value::Null, _) | (_, Value::Null) => Truth::Unknown,
+                    (Value::Str(s), Value::Str(pat)) => Truth::from_bool(like_match(s, pat)),
+                    _ => Truth::False,
+                };
+                Ok(if *negated { t.not() } else { t })
+            }
+            other => {
+                let v = self.eval(other, env)?;
+                Ok(self.value_truth(&v))
+            }
+        }
+    }
+
+    fn value_truth(&self, v: &Value) -> Truth {
+        match v {
+            Value::Null => Truth::Unknown,
+            Value::Bool(b) => Truth::from_bool(*b),
+            Value::Int(i) => Truth::from_bool(*i != 0),
+            Value::Float(f) => Truth::from_bool(*f != 0.0),
+            Value::Str(_) => Truth::False,
+        }
+    }
+
+    fn eval_scalar_subquery(&self, sub: &Select, env: Env<'_>) -> EngineResult<Value> {
+        let rows = self.run_subquery(sub, env)?;
+        match rows.len() {
+            0 => Ok(Value::Null),
+            1 => Ok(rows[0].first().cloned().unwrap_or(Value::Null)),
+            _ => Err(EngineError::ScalarSubqueryCardinality),
+        }
+    }
+
+    fn run_subquery(&self, sub: &Select, env: Env<'_>) -> EngineResult<Vec<Vec<Value>>> {
+        let exec = Executor::with_options(self.catalog, self.opts.clone());
+        Ok(exec.execute_with_env(sub, env)?.rows)
+    }
+}
+
+/// Evaluates `left op right` under SQL comparison semantics.
+pub fn compare(left: &Value, op: BinaryOp, right: &Value) -> Truth {
+    use std::cmp::Ordering::*;
+    if left.is_null() || right.is_null() {
+        return Truth::Unknown;
+    }
+    match op {
+        BinaryOp::Eq => left.sql_eq(right),
+        BinaryOp::Neq => left.sql_eq(right).not(),
+        _ => {
+            let Some(ord) = left.sql_cmp(right) else {
+                return Truth::False;
+            };
+            Truth::from_bool(match op {
+                BinaryOp::Lt => ord == Less,
+                BinaryOp::LtEq => ord != Greater,
+                BinaryOp::Gt => ord == Greater,
+                BinaryOp::GtEq => ord != Less,
+                _ => unreachable!("non-comparison op"),
+            })
+        }
+    }
+}
+
+/// Converts a parsed literal into a runtime value.
+pub fn literal_value(l: &Literal) -> Value {
+    match l {
+        Literal::Int(i) => Value::Int(*i),
+        Literal::Float(f) => Value::Float(*f),
+        Literal::String(s) => Value::Str(s.clone()),
+        Literal::Bool(b) => Value::Bool(*b),
+        Literal::Null => Value::Null,
+    }
+}
+
+fn truth_to_value(t: Truth) -> Value {
+    match t {
+        Truth::True => Value::Bool(true),
+        Truth::False => Value::Bool(false),
+        Truth::Unknown => Value::Null,
+    }
+}
+
+/// Best-effort `CAST`.
+fn cast_value(v: Value, data_type: &str) -> Value {
+    let ty = data_type
+        .split('(')
+        .next()
+        .unwrap_or("")
+        .to_ascii_lowercase();
+    match ty.as_str() {
+        "int" | "bigint" | "smallint" | "tinyint" => match &v {
+            Value::Int(_) => v,
+            Value::Float(f) => Value::Int(*f as i64),
+            Value::Str(s) => s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+            Value::Bool(b) => Value::Int(*b as i64),
+            Value::Null => Value::Null,
+        },
+        "float" | "real" | "numeric" | "decimal" | "double" => match &v {
+            Value::Float(_) => v,
+            Value::Int(i) => Value::Float(*i as f64),
+            Value::Str(s) => s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .unwrap_or(Value::Null),
+            Value::Bool(b) => Value::Float(*b as i64 as f64),
+            Value::Null => Value::Null,
+        },
+        "varchar" | "nvarchar" | "char" | "text" => match &v {
+            Value::Str(_) => v,
+            Value::Null => Value::Null,
+            other => Value::Str(other.to_string()),
+        },
+        _ => Value::Null,
+    }
+}
+
+/// SQL `LIKE` matching with `%` (any run) and `_` (any single char),
+/// case-insensitive per SQL Server's default collation.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // Try consuming 0..=len chars.
+                (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    let s: Vec<char> = s.to_lowercase().chars().collect();
+    let p: Vec<char> = pattern.to_lowercase().chars().collect();
+    rec(&s, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_matching() {
+        assert!(like_match("NGC1234", "NGC%"));
+        assert!(like_match("ngc1234", "NGC%"));
+        assert!(like_match("star", "st_r"));
+        assert!(!like_match("star", "st_"));
+        assert!(like_match("", "%"));
+        assert!(like_match("abc", "%c"));
+        assert!(!like_match("abc", "%d"));
+        assert!(like_match("a%b", "a%b"));
+    }
+
+    #[test]
+    fn compare_semantics() {
+        assert_eq!(
+            compare(&Value::Int(3), BinaryOp::Lt, &Value::Float(3.5)),
+            Truth::True
+        );
+        assert_eq!(
+            compare(&Value::Null, BinaryOp::Eq, &Value::Int(1)),
+            Truth::Unknown
+        );
+        assert_eq!(
+            compare(&Value::Str("a".into()), BinaryOp::Neq, &Value::Str("A".into())),
+            Truth::False
+        );
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(cast_value(Value::Float(3.9), "int"), Value::Int(3));
+        assert_eq!(cast_value(Value::Str(" 7 ".into()), "bigint"), Value::Int(7));
+        assert_eq!(cast_value(Value::Int(2), "float"), Value::Float(2.0));
+        assert!(cast_value(Value::Str("xyz".into()), "int").is_null());
+        assert!(cast_value(Value::Int(1), "datetime").is_null());
+    }
+}

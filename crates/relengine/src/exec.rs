@@ -1,0 +1,885 @@
+//! Query execution: FROM/JOIN assembly, filtering, grouping, projection.
+//!
+//! The executor is a straightforward tuple-at-a-time interpreter. It exists
+//! to support the paper's *re-querying* baseline (Section 6.6), the
+//! `content(a)` statistics of Section 5.3, and the influence-semantics
+//! property tests — not to win benchmarks — so clarity beats cleverness
+//! throughout.
+
+use crate::catalog::Catalog;
+use crate::error::{EngineError, EngineResult};
+use crate::eval::{Env, Evaluator, Frame};
+use crate::schema::{ColumnDef, DataType, TableSchema};
+use crate::value::{GroupKey, Truth, Value};
+use aa_sql::{
+    AggFunc, ColumnRef, Expr, JoinConstraint, JoinOperator, Literal, Select, SelectItem,
+    TableFactor, TableWithJoins,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Execution limits, modelling SkyServer's operational constraints.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Hard cap on result rows; exceeding it is an *error* ("limit is top
+    /// 500000"), mirroring SkyServer's behaviour that the paper quotes.
+    pub max_output_rows: Option<u64>,
+    /// Safety valve on intermediate join sizes.
+    pub max_intermediate_rows: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            max_output_rows: None,
+            max_intermediate_rows: 10_000_000,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// The limits of the real SkyServer public interface.
+    pub fn skyserver() -> Self {
+        ExecOptions {
+            max_output_rows: Some(500_000),
+            max_intermediate_rows: 10_000_000,
+        }
+    }
+}
+
+/// One visible table (or derived table) in a query scope.
+#[derive(Debug, Clone)]
+pub struct ScopeEntry {
+    /// Name the factor is visible under (alias or base table name).
+    pub name: String,
+    pub schema: Arc<TableSchema>,
+    /// Offset of this entry's first column within the combined row.
+    pub offset: usize,
+}
+
+/// The column scope of a FROM clause: a sequence of entries laid out
+/// contiguously in each combined row.
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    pub entries: Vec<ScopeEntry>,
+    width: usize,
+}
+
+impl Scope {
+    /// Appends an entry, returning its offset.
+    pub fn push(&mut self, name: String, schema: Arc<TableSchema>) -> usize {
+        let offset = self.width;
+        self.width += schema.arity();
+        self.entries.push(ScopeEntry {
+            name,
+            schema,
+            offset,
+        });
+        offset
+    }
+
+    /// Total number of columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Resolves a column to an index in the combined row.
+    ///
+    /// Returns `Ok(None)` when the reference cannot be resolved in this
+    /// scope at all (the caller then tries outer scopes — correlation).
+    pub fn resolve(&self, col: &ColumnRef) -> EngineResult<Option<usize>> {
+        if let Some(q) = &col.qualifier {
+            let Some(entry) = self
+                .entries
+                .iter()
+                .find(|e| e.name.eq_ignore_ascii_case(q))
+            else {
+                return Ok(None);
+            };
+            return match entry.schema.column_index(&col.column) {
+                Some(i) => Ok(Some(entry.offset + i)),
+                None => Err(EngineError::UnknownColumn(format!("{col}"))),
+            };
+        }
+        let mut found = None;
+        for entry in &self.entries {
+            if let Some(i) = entry.schema.column_index(&col.column) {
+                if found.is_some() {
+                    return Err(EngineError::AmbiguousColumn(col.column.clone()));
+                }
+                found = Some(entry.offset + i);
+            }
+        }
+        Ok(found)
+    }
+
+    /// Flattened column names, used for `SELECT *`.
+    pub fn column_names(&self) -> Vec<String> {
+        let mut names = Vec::with_capacity(self.width);
+        for entry in &self.entries {
+            for col in &entry.schema.columns {
+                names.push(col.name.clone());
+            }
+        }
+        names
+    }
+
+    /// Merges `other` after `self`, shifting offsets.
+    fn join(&self, other: &Scope) -> Scope {
+        let mut merged = self.clone();
+        for entry in &other.entries {
+            merged.entries.push(ScopeEntry {
+                name: entry.name.clone(),
+                schema: Arc::clone(&entry.schema),
+                offset: merged.width + entry.offset,
+            });
+        }
+        merged.width += other.width;
+        merged
+    }
+}
+
+/// An intermediate relation: a scope plus materialised rows.
+#[derive(Debug, Clone)]
+struct Relation {
+    scope: Scope,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    fn unit() -> Relation {
+        Relation {
+            scope: Scope::default(),
+            rows: vec![Vec::new()],
+        }
+    }
+}
+
+/// The result of executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// The query executor.
+pub struct Executor<'a> {
+    catalog: &'a Catalog,
+    opts: ExecOptions,
+}
+
+impl<'a> Executor<'a> {
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Executor {
+            catalog,
+            opts: ExecOptions::default(),
+        }
+    }
+
+    pub fn with_options(catalog: &'a Catalog, opts: ExecOptions) -> Self {
+        Executor { catalog, opts }
+    }
+
+    /// Parses and executes a SQL string.
+    pub fn execute_sql(&self, sql: &str) -> EngineResult<ResultSet> {
+        let select = aa_sql::parse_select(sql)
+            .map_err(|e| EngineError::Unsupported(format!("parse error: {e}")))?;
+        self.execute(&select)
+    }
+
+    /// Executes a parsed query at the top level.
+    pub fn execute(&self, query: &Select) -> EngineResult<ResultSet> {
+        self.execute_with_env(query, Env::empty())
+    }
+
+    /// Executes a query under an outer environment (correlated subqueries).
+    pub fn execute_with_env(&self, query: &Select, env: Env<'_>) -> EngineResult<ResultSet> {
+        let evaluator = Evaluator::new(self.catalog, &self.opts);
+
+        // 1. FROM
+        let mut relation = self.build_from(&query.from, env)?;
+
+        // 2. WHERE
+        if let Some(pred) = &query.selection {
+            let mut kept = Vec::new();
+            for row in relation.rows {
+                let mut frames = env.frames().to_vec();
+                frames.push(Frame {
+                    scope: &relation.scope,
+                    row: &row,
+                });
+                let t = evaluator.eval_truth(pred, Env::with_frames(&frames))?;
+                if t.is_true() {
+                    kept.push(row);
+                }
+            }
+            relation.rows = kept;
+        }
+
+        // 3. GROUP BY / aggregates / HAVING / projection
+        let needs_grouping = !query.group_by.is_empty()
+            || query.having.is_some()
+            || query.projection.iter().any(|item| match item {
+                SelectItem::Expr { expr, .. } => expr.has_aggregate(),
+                _ => false,
+            });
+
+        let (columns, mut out_rows, mut order_keys) = if needs_grouping {
+            self.execute_grouped(query, &relation, env, &evaluator)?
+        } else {
+            self.execute_plain(query, &relation, env, &evaluator)?
+        };
+
+        // 4. DISTINCT
+        if query.distinct {
+            let mut seen = std::collections::HashSet::new();
+            let mut deduped_rows = Vec::new();
+            let mut deduped_keys = Vec::new();
+            for (i, row) in out_rows.iter().enumerate() {
+                let key: Vec<GroupKey> = row.iter().map(Value::group_key).collect();
+                if seen.insert(key) {
+                    deduped_rows.push(row.clone());
+                    if !order_keys.is_empty() {
+                        deduped_keys.push(order_keys[i].clone());
+                    }
+                }
+            }
+            out_rows = deduped_rows;
+            order_keys = deduped_keys;
+        }
+
+        // 5. ORDER BY
+        if !query.order_by.is_empty() {
+            let descs: Vec<bool> = query.order_by.iter().map(|o| o.desc).collect();
+            let mut indexed: Vec<usize> = (0..out_rows.len()).collect();
+            indexed.sort_by(|&a, &b| {
+                for (k, desc) in descs.iter().enumerate() {
+                    let ord = order_keys[a][k].total_cmp(&order_keys[b][k]);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            out_rows = indexed.into_iter().map(|i| out_rows[i].clone()).collect();
+        }
+
+        // 6. TOP / LIMIT
+        if let Some(limit) = &query.limit {
+            let n = if limit.percent {
+                let pct = limit.rows.min(100) as f64 / 100.0;
+                (out_rows.len() as f64 * pct).ceil() as usize
+            } else {
+                limit.rows as usize
+            };
+            out_rows.truncate(n);
+        }
+
+        // 7. Operational row cap (SkyServer-style hard error).
+        if let Some(cap) = self.opts.max_output_rows {
+            if out_rows.len() as u64 > cap {
+                return Err(EngineError::RowLimitExceeded { limit: cap });
+            }
+        }
+
+        Ok(ResultSet {
+            columns,
+            rows: out_rows,
+        })
+    }
+
+    // ---- FROM clause -------------------------------------------------------
+
+    fn build_from(&self, from: &[TableWithJoins], env: Env<'_>) -> EngineResult<Relation> {
+        if from.is_empty() {
+            return Ok(Relation::unit());
+        }
+        let mut acc: Option<Relation> = None;
+        for twj in from {
+            let rel = self.build_table_with_joins(twj, env)?;
+            acc = Some(match acc {
+                None => rel,
+                Some(prev) => self.cross(prev, rel)?,
+            });
+        }
+        Ok(acc.expect("non-empty FROM"))
+    }
+
+    fn build_table_with_joins(
+        &self,
+        twj: &TableWithJoins,
+        env: Env<'_>,
+    ) -> EngineResult<Relation> {
+        let mut rel = self.build_factor(&twj.base, env)?;
+        for join in &twj.joins {
+            let right = self.build_factor(&join.factor, env)?;
+            rel = self.apply_join(rel, right, join.op, &join.constraint, env)?;
+        }
+        Ok(rel)
+    }
+
+    fn build_factor(&self, factor: &TableFactor, env: Env<'_>) -> EngineResult<Relation> {
+        match factor {
+            TableFactor::Table { name, alias } => {
+                let table = self.catalog.table(name.base_name())?;
+                let mut scope = Scope::default();
+                let visible = alias
+                    .clone()
+                    .unwrap_or_else(|| name.base_name().to_string());
+                scope.push(visible, Arc::clone(&table.schema));
+                Ok(Relation {
+                    scope,
+                    rows: table.rows.clone(),
+                })
+            }
+            TableFactor::Derived { subquery, alias } => {
+                let result = self.execute_with_env(subquery, env)?;
+                // Infer a schema for the derived table from the result.
+                let columns = result
+                    .columns
+                    .iter()
+                    .enumerate()
+                    .map(|(i, name)| {
+                        let dtype = result
+                            .rows
+                            .iter()
+                            .find_map(|r| match &r[i] {
+                                Value::Int(_) => Some(DataType::Int),
+                                Value::Float(_) => Some(DataType::Float),
+                                Value::Str(_) => Some(DataType::Text),
+                                Value::Bool(_) => Some(DataType::Bool),
+                                Value::Null => None,
+                            })
+                            .unwrap_or(DataType::Text);
+                        ColumnDef::new(name.clone(), dtype)
+                    })
+                    .collect();
+                let visible = alias.clone().unwrap_or_else(|| "_derived".to_string());
+                let schema = TableSchema::new(visible.clone(), columns);
+                let mut scope = Scope::default();
+                scope.push(visible, Arc::new(schema));
+                Ok(Relation {
+                    scope,
+                    rows: result.rows,
+                })
+            }
+        }
+    }
+
+    fn cross(&self, left: Relation, right: Relation) -> EngineResult<Relation> {
+        let total = left.rows.len().saturating_mul(right.rows.len());
+        if total > self.opts.max_intermediate_rows {
+            return Err(EngineError::Unsupported(format!(
+                "intermediate cross product of {total} rows exceeds cap"
+            )));
+        }
+        let scope = left.scope.join(&right.scope);
+        let mut rows = Vec::with_capacity(total);
+        for l in &left.rows {
+            for r in &right.rows {
+                let mut row = Vec::with_capacity(l.len() + r.len());
+                row.extend_from_slice(l);
+                row.extend_from_slice(r);
+                rows.push(row);
+            }
+        }
+        Ok(Relation { scope, rows })
+    }
+
+    fn apply_join(
+        &self,
+        left: Relation,
+        right: Relation,
+        op: JoinOperator,
+        constraint: &JoinConstraint,
+        env: Env<'_>,
+    ) -> EngineResult<Relation> {
+        let scope = left.scope.join(&right.scope);
+        let evaluator = Evaluator::new(self.catalog, &self.opts);
+
+        // Resolve the effective join predicate.
+        let natural_pairs: Vec<(usize, usize)> = match constraint {
+            JoinConstraint::Natural => {
+                let mut pairs = Vec::new();
+                for le in &left.scope.entries {
+                    for re in &right.scope.entries {
+                        for common in le.schema.common_columns(&re.schema) {
+                            let li = le.offset + le.schema.column_index(&common).unwrap();
+                            let ri = re.offset + re.schema.column_index(&common).unwrap();
+                            pairs.push((li, ri));
+                        }
+                    }
+                }
+                pairs
+            }
+            _ => Vec::new(),
+        };
+
+        let matches = |l: &[Value], r: &[Value]| -> EngineResult<bool> {
+            match constraint {
+                JoinConstraint::None => Ok(true),
+                JoinConstraint::Natural => Ok(natural_pairs
+                    .iter()
+                    .all(|(li, ri)| l[*li].sql_eq(&r[*ri]) == Truth::True)),
+                JoinConstraint::On(cond) => {
+                    let mut combined = Vec::with_capacity(l.len() + r.len());
+                    combined.extend_from_slice(l);
+                    combined.extend_from_slice(r);
+                    let mut frames = env.frames().to_vec();
+                    frames.push(Frame {
+                        scope: &scope,
+                        row: &combined,
+                    });
+                    Ok(evaluator
+                        .eval_truth(cond, Env::with_frames(&frames))?
+                        .is_true())
+                }
+            }
+        };
+
+        let left_width = left.scope.width();
+        let right_width = right.scope.width();
+        let mut rows = Vec::new();
+        let mut right_matched = vec![false; right.rows.len()];
+
+        for l in &left.rows {
+            let mut l_matched = false;
+            for (ri, r) in right.rows.iter().enumerate() {
+                if matches(l, r)? {
+                    l_matched = true;
+                    right_matched[ri] = true;
+                    let mut row = Vec::with_capacity(left_width + right_width);
+                    row.extend_from_slice(l);
+                    row.extend_from_slice(r);
+                    rows.push(row);
+                    if rows.len() > self.opts.max_intermediate_rows {
+                        return Err(EngineError::Unsupported(
+                            "join result exceeds intermediate row cap".into(),
+                        ));
+                    }
+                }
+            }
+            // Left/full outer: pad unmatched left rows with NULLs.
+            if !l_matched && matches!(op, JoinOperator::LeftOuter | JoinOperator::FullOuter) {
+                let mut row = Vec::with_capacity(left_width + right_width);
+                row.extend_from_slice(l);
+                row.extend(std::iter::repeat_n(Value::Null, right_width));
+                rows.push(row);
+            }
+        }
+        // Right/full outer: pad unmatched right rows.
+        if matches!(op, JoinOperator::RightOuter | JoinOperator::FullOuter) {
+            for (ri, r) in right.rows.iter().enumerate() {
+                if !right_matched[ri] {
+                    let mut row = Vec::with_capacity(left_width + right_width);
+                    row.extend(std::iter::repeat_n(Value::Null, left_width));
+                    row.extend_from_slice(r);
+                    rows.push(row);
+                }
+            }
+        }
+        Ok(Relation { scope, rows })
+    }
+
+    // ---- plain projection ---------------------------------------------------
+
+    #[allow(clippy::type_complexity)]
+    fn execute_plain(
+        &self,
+        query: &Select,
+        relation: &Relation,
+        env: Env<'_>,
+        evaluator: &Evaluator<'_>,
+    ) -> EngineResult<(Vec<String>, Vec<Vec<Value>>, Vec<Vec<Value>>)> {
+        let columns = self.projection_names(&query.projection, &relation.scope);
+        let mut out_rows = Vec::with_capacity(relation.rows.len());
+        let mut order_keys = Vec::new();
+        for row in &relation.rows {
+            let mut frames = env.frames().to_vec();
+            frames.push(Frame {
+                scope: &relation.scope,
+                row,
+            });
+            let inner = Env::with_frames(&frames);
+            let mut out = Vec::with_capacity(columns.len());
+            for item in &query.projection {
+                match item {
+                    SelectItem::Wildcard => out.extend_from_slice(row),
+                    SelectItem::QualifiedWildcard(q) => {
+                        let entry = relation
+                            .scope
+                            .entries
+                            .iter()
+                            .find(|e| e.name.eq_ignore_ascii_case(q))
+                            .ok_or_else(|| EngineError::UnknownTable(q.clone()))?;
+                        out.extend_from_slice(
+                            &row[entry.offset..entry.offset + entry.schema.arity()],
+                        );
+                    }
+                    SelectItem::Expr { expr, .. } => out.push(evaluator.eval(expr, inner)?),
+                }
+            }
+            if !query.order_by.is_empty() {
+                let keys = query
+                    .order_by
+                    .iter()
+                    .map(|o| evaluator.eval(&o.expr, inner))
+                    .collect::<EngineResult<Vec<_>>>()?;
+                order_keys.push(keys);
+            }
+            out_rows.push(out);
+        }
+        Ok((columns, out_rows, order_keys))
+    }
+
+    // ---- grouped execution ---------------------------------------------------
+
+    #[allow(clippy::type_complexity)]
+    fn execute_grouped(
+        &self,
+        query: &Select,
+        relation: &Relation,
+        env: Env<'_>,
+        evaluator: &Evaluator<'_>,
+    ) -> EngineResult<(Vec<String>, Vec<Vec<Value>>, Vec<Vec<Value>>)> {
+        // Partition rows into groups.
+        let mut groups: Vec<Vec<&Vec<Value>>> = Vec::new();
+        if query.group_by.is_empty() {
+            // Single implicit group (possibly empty: COUNT(*) over no rows).
+            groups.push(relation.rows.iter().collect());
+        } else {
+            let mut index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+            for row in &relation.rows {
+                let mut frames = env.frames().to_vec();
+                frames.push(Frame {
+                    scope: &relation.scope,
+                    row,
+                });
+                let inner = Env::with_frames(&frames);
+                let key = query
+                    .group_by
+                    .iter()
+                    .map(|g| evaluator.eval(g, inner).map(|v| v.group_key()))
+                    .collect::<EngineResult<Vec<_>>>()?;
+                let slot = *index.entry(key).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[slot].push(row);
+            }
+        }
+
+        let columns = self.projection_names(&query.projection, &relation.scope);
+        let mut out_rows = Vec::new();
+        let mut order_keys = Vec::new();
+
+        for group in &groups {
+            // Evaluate HAVING on the group.
+            if let Some(having) = &query.having {
+                let substituted =
+                    self.substitute_aggregates(having, group, relation, env, evaluator)?;
+                let t = self.eval_on_representative(
+                    &substituted,
+                    group,
+                    relation,
+                    env,
+                    evaluator,
+                    true,
+                )?;
+                if t != Value::Bool(true) {
+                    continue;
+                }
+            }
+            let mut out = Vec::new();
+            for item in &query.projection {
+                match item {
+                    SelectItem::Wildcard => {
+                        // `SELECT *` with GROUP BY: emit the representative
+                        // row (lenient, like MySQL's historical behaviour).
+                        if let Some(rep) = group.first() {
+                            out.extend_from_slice(rep);
+                        } else {
+                            out.extend(
+                                std::iter::repeat_n(Value::Null, relation.scope.width()),
+                            );
+                        }
+                    }
+                    SelectItem::QualifiedWildcard(q) => {
+                        let entry = relation
+                            .scope
+                            .entries
+                            .iter()
+                            .find(|e| e.name.eq_ignore_ascii_case(q))
+                            .ok_or_else(|| EngineError::UnknownTable(q.clone()))?;
+                        if let Some(rep) = group.first() {
+                            out.extend_from_slice(
+                                &rep[entry.offset..entry.offset + entry.schema.arity()],
+                            );
+                        } else {
+                            out.extend(
+                                std::iter::repeat_n(Value::Null, entry.schema.arity()),
+                            );
+                        }
+                    }
+                    SelectItem::Expr { expr, .. } => {
+                        let substituted =
+                            self.substitute_aggregates(expr, group, relation, env, evaluator)?;
+                        out.push(self.eval_on_representative(
+                            &substituted,
+                            group,
+                            relation,
+                            env,
+                            evaluator,
+                            false,
+                        )?);
+                    }
+                }
+            }
+            if !query.order_by.is_empty() {
+                let mut keys = Vec::new();
+                for o in &query.order_by {
+                    let substituted =
+                        self.substitute_aggregates(&o.expr, group, relation, env, evaluator)?;
+                    keys.push(self.eval_on_representative(
+                        &substituted,
+                        group,
+                        relation,
+                        env,
+                        evaluator,
+                        false,
+                    )?);
+                }
+                order_keys.push(keys);
+            }
+            out_rows.push(out);
+        }
+        Ok((columns, out_rows, order_keys))
+    }
+
+    /// Evaluates an (aggregate-free) expression on the group's first row.
+    fn eval_on_representative(
+        &self,
+        expr: &Expr,
+        group: &[&Vec<Value>],
+        relation: &Relation,
+        env: Env<'_>,
+        evaluator: &Evaluator<'_>,
+        as_truth: bool,
+    ) -> EngineResult<Value> {
+        let empty_row: Vec<Value> = vec![Value::Null; relation.scope.width()];
+        let row: &Vec<Value> = group.first().copied().unwrap_or(&empty_row);
+        let mut frames = env.frames().to_vec();
+        frames.push(Frame {
+            scope: &relation.scope,
+            row,
+        });
+        let inner = Env::with_frames(&frames);
+        if as_truth {
+            Ok(match evaluator.eval_truth(expr, inner)? {
+                Truth::True => Value::Bool(true),
+                Truth::False => Value::Bool(false),
+                Truth::Unknown => Value::Null,
+            })
+        } else {
+            evaluator.eval(expr, inner)
+        }
+    }
+
+    /// Rewrites every `Aggregate` node in `expr` into a literal holding the
+    /// aggregate's value over `group`.
+    fn substitute_aggregates(
+        &self,
+        expr: &Expr,
+        group: &[&Vec<Value>],
+        relation: &Relation,
+        env: Env<'_>,
+        evaluator: &Evaluator<'_>,
+    ) -> EngineResult<Expr> {
+        Ok(match expr {
+            Expr::Aggregate {
+                func,
+                arg,
+                distinct,
+            } => {
+                let v = self.compute_aggregate(
+                    *func,
+                    arg.as_deref(),
+                    *distinct,
+                    group,
+                    relation,
+                    env,
+                    evaluator,
+                )?;
+                Expr::Literal(value_to_literal(&v))
+            }
+            Expr::Unary { op, expr } => Expr::Unary {
+                op: *op,
+                expr: Box::new(
+                    self.substitute_aggregates(expr, group, relation, env, evaluator)?,
+                ),
+            },
+            Expr::Binary { left, op, right } => Expr::Binary {
+                left: Box::new(
+                    self.substitute_aggregates(left, group, relation, env, evaluator)?,
+                ),
+                op: *op,
+                right: Box::new(
+                    self.substitute_aggregates(right, group, relation, env, evaluator)?,
+                ),
+            },
+            Expr::Between {
+                expr,
+                negated,
+                low,
+                high,
+            } => Expr::Between {
+                expr: Box::new(
+                    self.substitute_aggregates(expr, group, relation, env, evaluator)?,
+                ),
+                negated: *negated,
+                low: Box::new(self.substitute_aggregates(low, group, relation, env, evaluator)?),
+                high: Box::new(
+                    self.substitute_aggregates(high, group, relation, env, evaluator)?,
+                ),
+            },
+            // Other node kinds either cannot contain aggregates in the
+            // supported grammar or carry their own scope (subqueries).
+            other => other.clone(),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn compute_aggregate(
+        &self,
+        func: AggFunc,
+        arg: Option<&Expr>,
+        distinct: bool,
+        group: &[&Vec<Value>],
+        relation: &Relation,
+        env: Env<'_>,
+        evaluator: &Evaluator<'_>,
+    ) -> EngineResult<Value> {
+        // COUNT(*) counts rows including NULLs.
+        if func == AggFunc::Count && arg.is_none() {
+            return Ok(Value::Int(group.len() as i64));
+        }
+        let arg = arg.ok_or_else(|| {
+            EngineError::Unsupported(format!("{}(*) is only valid for COUNT", func.name()))
+        })?;
+
+        let mut values = Vec::with_capacity(group.len());
+        for row in group {
+            let mut frames = env.frames().to_vec();
+            frames.push(Frame {
+                scope: &relation.scope,
+                row,
+            });
+            let v = evaluator.eval(arg, Env::with_frames(&frames))?;
+            if !v.is_null() {
+                values.push(v);
+            }
+        }
+        if distinct {
+            let mut seen = std::collections::HashSet::new();
+            values.retain(|v| seen.insert(v.group_key()));
+        }
+
+        Ok(match func {
+            AggFunc::Count => Value::Int(values.len() as i64),
+            AggFunc::Sum => {
+                if values.is_empty() {
+                    Value::Null
+                } else if values.iter().all(|v| matches!(v, Value::Int(_))) {
+                    Value::Int(
+                        values
+                            .iter()
+                            .map(|v| match v {
+                                Value::Int(i) => *i,
+                                _ => unreachable!(),
+                            })
+                            .sum(),
+                    )
+                } else {
+                    Value::Float(values.iter().filter_map(Value::as_f64).sum())
+                }
+            }
+            AggFunc::Avg => {
+                if values.is_empty() {
+                    Value::Null
+                } else {
+                    let sum: f64 = values.iter().filter_map(Value::as_f64).sum();
+                    Value::Float(sum / values.len() as f64)
+                }
+            }
+            AggFunc::Min => values
+                .into_iter()
+                .reduce(|a, b| {
+                    if a.total_cmp(&b) == std::cmp::Ordering::Greater {
+                        b
+                    } else {
+                        a
+                    }
+                })
+                .unwrap_or(Value::Null),
+            AggFunc::Max => values
+                .into_iter()
+                .reduce(|a, b| {
+                    if a.total_cmp(&b) == std::cmp::Ordering::Less {
+                        b
+                    } else {
+                        a
+                    }
+                })
+                .unwrap_or(Value::Null),
+        })
+    }
+
+    fn projection_names(&self, projection: &[SelectItem], scope: &Scope) -> Vec<String> {
+        let mut names = Vec::new();
+        for item in projection {
+            match item {
+                SelectItem::Wildcard => names.extend(scope.column_names()),
+                SelectItem::QualifiedWildcard(q) => {
+                    if let Some(entry) = scope
+                        .entries
+                        .iter()
+                        .find(|e| e.name.eq_ignore_ascii_case(q))
+                    {
+                        names.extend(entry.schema.columns.iter().map(|c| c.name.clone()));
+                    }
+                }
+                SelectItem::Expr { expr, alias } => names.push(
+                    alias
+                        .clone()
+                        .unwrap_or_else(|| expr.to_string()),
+                ),
+            }
+        }
+        names
+    }
+}
+
+/// Converts a runtime value back into an AST literal (for aggregate
+/// substitution).
+fn value_to_literal(v: &Value) -> Literal {
+    match v {
+        Value::Null => Literal::Null,
+        Value::Int(i) => Literal::Int(*i),
+        Value::Float(f) => Literal::Float(*f),
+        Value::Str(s) => Literal::String(s.clone()),
+        Value::Bool(b) => Literal::Bool(*b),
+    }
+}

@@ -1,0 +1,63 @@
+//! # aa-engine — in-memory relational engine substrate
+//!
+//! A small but complete relational engine for the SQL subset that the
+//! SkyServer access-area pipeline deals with: typed values with SQL
+//! three-valued NULL semantics, a catalog of schema-validated tables, and a
+//! tuple-at-a-time executor covering selection, projection, every join
+//! flavour (inner / left / right / full outer / cross / natural),
+//! `GROUP BY` with the five standard aggregates, `HAVING`, `DISTINCT`,
+//! `ORDER BY`, `TOP`/`LIMIT`, and correlated subqueries (`IN`, `EXISTS`,
+//! `ANY`/`ALL`, scalar).
+//!
+//! ## Why this exists
+//!
+//! The paper (*Identifying User Interests within the Data Space*, EDBT
+//! 2015) needs a database in three places, all substituted here because the
+//! real SDSS SkyServer (Microsoft SQL Server) is not available:
+//!
+//! 1. the **re-querying baseline** of Section 6.6, which executes log
+//!    queries against a sampled database state — including SkyServer's
+//!    operational errors (row cap, rate limit), which this engine emulates;
+//! 2. the **`content(a)` estimator** of Section 5.3 (sampled min/max with
+//!    range doubling);
+//! 3. the **influence-semantics ground truth** for property-testing the
+//!    extractor against Definition 3/4 witness states.
+//!
+//! ```
+//! use aa_engine::{Catalog, Executor, Table, TableSchema, ColumnDef, DataType, Value};
+//!
+//! let mut catalog = Catalog::new();
+//! let mut t = Table::new(TableSchema::new("T", vec![
+//!     ColumnDef::new("u", DataType::Int),
+//!     ColumnDef::new("v", DataType::Float),
+//! ]));
+//! t.insert(vec![Value::Int(4), Value::Float(0.5)]).unwrap();
+//! t.insert(vec![Value::Int(9), Value::Float(1.5)]).unwrap();
+//! catalog.add_table(t);
+//!
+//! let result = Executor::new(&catalog)
+//!     .execute_sql("SELECT u FROM T WHERE u BETWEEN 1 AND 8")
+//!     .unwrap();
+//! assert_eq!(result.rows, vec![vec![Value::Int(4)]]);
+//! ```
+
+
+
+pub mod catalog;
+pub mod error;
+pub mod eval;
+pub mod exec;
+pub mod influence;
+pub mod ratelimit;
+pub mod schema;
+pub mod stats;
+pub mod value;
+
+pub use catalog::{Catalog, Table};
+pub use error::{EngineError, EngineResult};
+pub use eval::{compare, like_match, literal_value, Env, Evaluator, Frame};
+pub use exec::{ExecOptions, Executor, ResultSet, Scope, ScopeEntry};
+pub use ratelimit::SimRateLimiter;
+pub use schema::{ColumnDef, DataType, Domain, TableSchema};
+pub use stats::{exact_column_content, sample_catalog, sample_table, ColumnContent, TableStats};
+pub use value::{ArithOp, GroupKey, Truth, Value};

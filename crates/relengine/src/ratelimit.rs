@@ -1,0 +1,90 @@
+//! Simulated-time rate limiter modelling SkyServer's public query cap
+//! ("Maximum 60 queries allowed per minute").
+//!
+//! The limiter runs on *simulated* seconds supplied by the caller (the
+//! re-querying experiment replays a log with synthetic timestamps), not on
+//! wall-clock time, keeping experiments deterministic and fast.
+
+use crate::error::{EngineError, EngineResult};
+
+/// Sliding-window rate limiter over simulated time.
+#[derive(Debug, Clone)]
+pub struct SimRateLimiter {
+    per_minute: u32,
+    /// Timestamps (simulated seconds) of accepted queries in the last 60 s.
+    window: std::collections::VecDeque<f64>,
+}
+
+impl SimRateLimiter {
+    /// Creates a limiter allowing `per_minute` queries per sliding minute.
+    pub fn new(per_minute: u32) -> Self {
+        SimRateLimiter {
+            per_minute,
+            window: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// SkyServer's public limit.
+    pub fn skyserver() -> Self {
+        SimRateLimiter::new(60)
+    }
+
+    /// Attempts to admit a query at simulated time `now` (seconds). Times
+    /// must be non-decreasing across calls.
+    pub fn try_acquire(&mut self, now: f64) -> EngineResult<()> {
+        while let Some(&front) = self.window.front() {
+            if now - front >= 60.0 {
+                self.window.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.window.len() as u32 >= self.per_minute {
+            return Err(EngineError::RateLimited {
+                per_minute: self.per_minute,
+            });
+        }
+        self.window.push_back(now);
+        Ok(())
+    }
+
+    /// Number of queries currently inside the window.
+    pub fn in_flight(&self) -> usize {
+        self.window.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_limit_then_rejects() {
+        let mut rl = SimRateLimiter::new(3);
+        assert!(rl.try_acquire(0.0).is_ok());
+        assert!(rl.try_acquire(1.0).is_ok());
+        assert!(rl.try_acquire(2.0).is_ok());
+        let err = rl.try_acquire(3.0).unwrap_err();
+        assert!(matches!(err, EngineError::RateLimited { per_minute: 3 }));
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut rl = SimRateLimiter::new(2);
+        rl.try_acquire(0.0).unwrap();
+        rl.try_acquire(10.0).unwrap();
+        assert!(rl.try_acquire(30.0).is_err());
+        // At t=61 the first acquisition has left the window.
+        assert!(rl.try_acquire(61.0).is_ok());
+        assert_eq!(rl.in_flight(), 2);
+    }
+
+    #[test]
+    fn skyserver_preset_is_sixty() {
+        let mut rl = SimRateLimiter::skyserver();
+        for i in 0..60 {
+            rl.try_acquire(i as f64 * 0.5).unwrap();
+        }
+        assert!(rl.try_acquire(30.0).is_err());
+    }
+}

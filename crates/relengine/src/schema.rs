@@ -1,0 +1,258 @@
+//! Table schemas, column types, and column domains.
+//!
+//! Domains matter beyond type checking here: the aggregate-query lemmas of
+//! the paper (Section 4.3) case-split on `dom(T.v) = [inf, sup]`, so the
+//! schema carries explicit domain bounds that the extractor can query.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Column data types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    Int,
+    Float,
+    Text,
+    Bool,
+}
+
+impl DataType {
+    /// True for Int / Float.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+}
+
+/// The domain of a column — the set of values the schema admits, which
+/// spans the *data space* of the paper (Section 2.1) together with the
+/// other columns. Not to be confused with the current *content*.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Domain {
+    /// Numeric interval `[lo, hi]` (use infinities for open-ended).
+    Numeric { lo: f64, hi: f64 },
+    /// Enumerated categorical values.
+    Categorical(Vec<String>),
+    /// No restriction beyond the data type.
+    Unbounded,
+}
+
+impl Domain {
+    /// Numeric bounds, defaulting to `(-inf, +inf)` for unbounded columns —
+    /// the assumption the paper makes for Lemmas 2 and 3.
+    pub fn numeric_bounds(&self) -> (f64, f64) {
+        match self {
+            Domain::Numeric { lo, hi } => (*lo, *hi),
+            _ => (f64::NEG_INFINITY, f64::INFINITY),
+        }
+    }
+
+    /// True if `v` lies inside the domain.
+    pub fn contains(&self, v: &Value) -> bool {
+        match self {
+            Domain::Unbounded => true,
+            Domain::Numeric { lo, hi } => v
+                .as_f64()
+                .map(|x| x >= *lo && x <= *hi)
+                .unwrap_or(v.is_null()),
+            Domain::Categorical(items) => match v {
+                Value::Str(s) => items.iter().any(|i| i.eq_ignore_ascii_case(s)),
+                Value::Null => true,
+                _ => false,
+            },
+        }
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    pub name: String,
+    pub data_type: DataType,
+    pub domain: Domain,
+}
+
+impl ColumnDef {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            data_type,
+            domain: Domain::Unbounded,
+        }
+    }
+
+    pub fn with_domain(mut self, domain: Domain) -> Self {
+        self.domain = domain;
+        self
+    }
+
+    /// Shorthand for a numeric column with interval domain.
+    pub fn numeric(name: impl Into<String>, data_type: DataType, lo: f64, hi: f64) -> Self {
+        ColumnDef::new(name, data_type).with_domain(Domain::Numeric { lo, hi })
+    }
+
+    /// Shorthand for a categorical text column.
+    pub fn categorical(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = &'static str>,
+    ) -> Self {
+        ColumnDef::new(name, DataType::Text).with_domain(Domain::Categorical(
+            values.into_iter().map(str::to_string).collect(),
+        ))
+    }
+}
+
+/// A table schema: an ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns,
+        }
+    }
+
+    /// Case-insensitive column lookup, returning the positional index.
+    pub fn column_index(&self, column: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(column))
+    }
+
+    /// Case-insensitive column lookup.
+    pub fn column(&self, column: &str) -> Option<&ColumnDef> {
+        self.column_index(column).map(|i| &self.columns[i])
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names shared with `other`, in this schema's order — the join
+    /// columns of a `NATURAL JOIN`.
+    pub fn common_columns(&self, other: &TableSchema) -> Vec<String> {
+        self.columns
+            .iter()
+            .filter(|c| other.column(&c.name).is_some())
+            .map(|c| c.name.clone())
+            .collect()
+    }
+
+    /// Validates a row against arity and per-column domains.
+    pub fn validate_row(&self, row: &[Value]) -> Result<(), String> {
+        if row.len() != self.arity() {
+            return Err(format!(
+                "table {}: row arity {} != schema arity {}",
+                self.name,
+                row.len(),
+                self.arity()
+            ));
+        }
+        for (col, val) in self.columns.iter().zip(row) {
+            if !col.domain.contains(val) {
+                return Err(format!(
+                    "table {}: value {val} outside domain of column {}",
+                    self.name, col.name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "SpecObjAll",
+            vec![
+                ColumnDef::numeric("plate", DataType::Int, 0.0, 10000.0),
+                ColumnDef::numeric("mjd", DataType::Int, 50000.0, 60000.0),
+                ColumnDef::categorical("class", ["star", "galaxy", "qso"]),
+            ],
+        )
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.column_index("PLATE"), Some(0));
+        assert_eq!(s.column_index("Class"), Some(2));
+        assert_eq!(s.column_index("nope"), None);
+    }
+
+    #[test]
+    fn domains_contain() {
+        let s = schema();
+        assert!(s.column("plate").unwrap().domain.contains(&Value::Int(296)));
+        assert!(!s
+            .column("plate")
+            .unwrap()
+            .domain
+            .contains(&Value::Int(20000)));
+        assert!(s
+            .column("class")
+            .unwrap()
+            .domain
+            .contains(&Value::Str("STAR".into())));
+        assert!(!s
+            .column("class")
+            .unwrap()
+            .domain
+            .contains(&Value::Str("planet".into())));
+    }
+
+    #[test]
+    fn nulls_are_inside_every_domain() {
+        let s = schema();
+        for col in &s.columns {
+            assert!(col.domain.contains(&Value::Null), "{}", col.name);
+        }
+    }
+
+    #[test]
+    fn validate_row_checks_arity_and_domain() {
+        let s = schema();
+        assert!(s
+            .validate_row(&[Value::Int(296), Value::Int(51578), "star".into()])
+            .is_ok());
+        assert!(s.validate_row(&[Value::Int(296)]).is_err());
+        assert!(s
+            .validate_row(&[Value::Int(296), Value::Int(51578), "planet".into()])
+            .is_err());
+    }
+
+    #[test]
+    fn common_columns_for_natural_join() {
+        let t = TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::new("u", DataType::Int),
+                ColumnDef::new("v", DataType::Int),
+            ],
+        );
+        let s = TableSchema::new(
+            "S",
+            vec![
+                ColumnDef::new("u", DataType::Int),
+                ColumnDef::new("w", DataType::Int),
+            ],
+        );
+        assert_eq!(t.common_columns(&s), vec!["u".to_string()]);
+    }
+
+    #[test]
+    fn unbounded_numeric_bounds_are_infinite() {
+        let c = ColumnDef::new("x", DataType::Float);
+        let (lo, hi) = c.domain.numeric_bounds();
+        assert!(lo.is_infinite() && lo < 0.0);
+        assert!(hi.is_infinite() && hi > 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Content statistics: sampling-based estimation of `content(a)`.
+//!
+//! Section 5.3 of the paper: querying exact min/max of large SkyServer
+//! relations times out, so the authors sample ~100 rows per column, take
+//! the sampled range `[m, M]`, and *double* it around its centre to obtain
+//! the initial `access(a)` estimate. This module reproduces that estimator
+//! against the in-memory engine.
+
+use crate::catalog::{Catalog, Table};
+use crate::value::Value;
+use std::collections::BTreeSet;
+
+/// Estimated content of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnContent {
+    /// Numeric: the sampled min/max.
+    Numeric { min: f64, max: f64 },
+    /// Categorical: the sampled distinct values (lower-cased).
+    Categorical(BTreeSet<String>),
+    /// Column had no non-null values in the sample.
+    Empty,
+}
+
+impl ColumnContent {
+    /// The paper's doubling rule: `[m - (M-m)/2, M + (M-m)/2]`.
+    pub fn doubled_range(&self) -> Option<(f64, f64)> {
+        match self {
+            ColumnContent::Numeric { min, max } => {
+                let half = (max - min) / 2.0;
+                Some((min - half, max + half))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Per-table, per-column content statistics.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    pub table: String,
+    /// Parallel to the table's column list.
+    pub columns: Vec<(String, ColumnContent)>,
+}
+
+/// Samples up to `sample_size` rows of `table` (deterministic prefix — the
+/// generators already shuffle their output, and determinism keeps the
+/// experiments reproducible) and derives per-column content estimates.
+pub fn sample_table(table: &Table, sample_size: usize) -> TableStats {
+    let n = table.rows.len().min(sample_size);
+    let mut columns = Vec::with_capacity(table.schema.arity());
+    for (ci, col) in table.schema.columns.iter().enumerate() {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut cats: BTreeSet<String> = BTreeSet::new();
+        let mut any_num = false;
+        let mut any_cat = false;
+        for row in &table.rows[..n] {
+            match &row[ci] {
+                Value::Int(_) | Value::Float(_) => {
+                    let x = row[ci].as_f64().expect("numeric");
+                    min = min.min(x);
+                    max = max.max(x);
+                    any_num = true;
+                }
+                Value::Str(s) => {
+                    cats.insert(s.to_lowercase());
+                    any_cat = true;
+                }
+                Value::Bool(b) => {
+                    cats.insert(b.to_string());
+                    any_cat = true;
+                }
+                Value::Null => {}
+            }
+        }
+        let content = if any_num {
+            ColumnContent::Numeric { min, max }
+        } else if any_cat {
+            ColumnContent::Categorical(cats)
+        } else {
+            ColumnContent::Empty
+        };
+        columns.push((col.name.clone(), content));
+    }
+    TableStats {
+        table: table.schema.name.clone(),
+        columns,
+    }
+}
+
+/// Exact (full-scan) content of a column — used by experiments to compute
+/// true area/object coverage, where the paper would query the database.
+pub fn exact_column_content(table: &Table, column: &str) -> ColumnContent {
+    let Some(ci) = table.schema.column_index(column) else {
+        return ColumnContent::Empty;
+    };
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut cats = BTreeSet::new();
+    let mut any_num = false;
+    let mut any_cat = false;
+    for row in &table.rows {
+        match &row[ci] {
+            Value::Int(_) | Value::Float(_) => {
+                let x = row[ci].as_f64().expect("numeric");
+                min = min.min(x);
+                max = max.max(x);
+                any_num = true;
+            }
+            Value::Str(s) => {
+                cats.insert(s.to_lowercase());
+                any_cat = true;
+            }
+            Value::Bool(b) => {
+                cats.insert(b.to_string());
+                any_cat = true;
+            }
+            Value::Null => {}
+        }
+    }
+    if any_num {
+        ColumnContent::Numeric { min, max }
+    } else if any_cat {
+        ColumnContent::Categorical(cats)
+    } else {
+        ColumnContent::Empty
+    }
+}
+
+/// Samples every table in the catalog.
+pub fn sample_catalog(catalog: &Catalog, sample_size: usize) -> Vec<TableStats> {
+    catalog
+        .tables()
+        .map(|t| sample_table(t, sample_size))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, DataType, TableSchema};
+
+    fn table_with(values: Vec<(i64, &str)>) -> Table {
+        let mut t = Table::new(TableSchema::new(
+            "T",
+            vec![
+                ColumnDef::new("u", DataType::Int),
+                ColumnDef::new("class", DataType::Text),
+            ],
+        ));
+        for (u, c) in values {
+            t.insert(vec![Value::Int(u), c.into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn sampling_derives_numeric_and_categorical_content() {
+        let t = table_with(vec![(5, "star"), (10, "galaxy"), (7, "Star")]);
+        let stats = sample_table(&t, 100);
+        assert_eq!(
+            stats.columns[0].1,
+            ColumnContent::Numeric { min: 5.0, max: 10.0 }
+        );
+        match &stats.columns[1].1 {
+            ColumnContent::Categorical(set) => {
+                assert_eq!(set.len(), 2, "case-insensitive dedup");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn doubling_rule_matches_paper() {
+        let c = ColumnContent::Numeric {
+            min: 10.0,
+            max: 30.0,
+        };
+        // range 20, half 10 -> [0, 40]
+        assert_eq!(c.doubled_range(), Some((0.0, 40.0)));
+    }
+
+    #[test]
+    fn sample_respects_size() {
+        let t = table_with((0..50).map(|i| (i, "x")).collect());
+        let stats = sample_table(&t, 10);
+        // Only the first 10 rows are sampled: max is 9, not 49.
+        assert_eq!(
+            stats.columns[0].1,
+            ColumnContent::Numeric { min: 0.0, max: 9.0 }
+        );
+        let exact = exact_column_content(&t, "u");
+        assert_eq!(exact, ColumnContent::Numeric { min: 0.0, max: 49.0 });
+    }
+
+    #[test]
+    fn empty_table_yields_empty_content() {
+        let t = table_with(vec![]);
+        let stats = sample_table(&t, 10);
+        assert_eq!(stats.columns[0].1, ColumnContent::Empty);
+    }
+}

@@ -1,0 +1,370 @@
+//! Runtime values and SQL comparison / arithmetic semantics.
+//!
+//! The engine follows SQL's three-valued logic: any comparison involving
+//! `NULL` is [`Truth::Unknown`], and `WHERE` keeps only rows whose predicate
+//! is [`Truth::True`].
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl Value {
+    /// True if this is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (Int and Float coerce to f64); `None` otherwise.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison. Returns `None` when either side is NULL or the types
+    /// are incomparable (e.g. a string against a number — SQL Server would
+    /// attempt a cast; the log's well-formed queries never rely on that, so
+    /// we treat it as unknown rather than erroring the whole query).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => {
+                // SQL Server default collation is case-insensitive.
+                Some(a.to_lowercase().cmp(&b.to_lowercase()))
+            }
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// Equality under SQL semantics (NULL = anything → unknown).
+    pub fn sql_eq(&self, other: &Value) -> Truth {
+        match self.sql_cmp(other) {
+            Some(Ordering::Equal) => Truth::True,
+            Some(_) => Truth::False,
+            None => {
+                if self.is_null() || other.is_null() {
+                    Truth::Unknown
+                } else {
+                    Truth::False
+                }
+            }
+        }
+    }
+
+    /// A total ordering for ORDER BY / GROUP BY purposes: NULLs first, then
+    /// by type, then by value. Unlike [`Value::sql_cmp`] this never fails.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) if rank(a) == 2 && rank(b) == 2 => {
+                let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+                x.total_cmp(&y)
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// SQL arithmetic; NULL propagates, division by zero yields NULL (the
+    /// engine is deliberately non-aborting so a bad log query cannot take
+    /// down a batch run).
+    pub fn arith(&self, op: ArithOp, other: &Value) -> Value {
+        if self.is_null() || other.is_null() {
+            return Value::Null;
+        }
+        // Integer op integer stays integer (except division by zero).
+        if let (Value::Int(a), Value::Int(b)) = (self, other) {
+            return match op {
+                ArithOp::Add => Value::Int(a.wrapping_add(*b)),
+                ArithOp::Sub => Value::Int(a.wrapping_sub(*b)),
+                ArithOp::Mul => Value::Int(a.wrapping_mul(*b)),
+                ArithOp::Div => {
+                    if *b == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(a.wrapping_div(*b))
+                    }
+                }
+                ArithOp::Mod => {
+                    if *b == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(a.wrapping_rem(*b))
+                    }
+                }
+            };
+        }
+        let (Some(a), Some(b)) = (self.as_f64(), other.as_f64()) else {
+            return Value::Null;
+        };
+        let r = match op {
+            ArithOp::Add => a + b,
+            ArithOp::Sub => a - b,
+            ArithOp::Mul => a * b,
+            ArithOp::Div => {
+                if b == 0.0 {
+                    return Value::Null;
+                }
+                a / b
+            }
+            ArithOp::Mod => {
+                if b == 0.0 {
+                    return Value::Null;
+                }
+                a % b
+            }
+        };
+        Value::Float(r)
+    }
+
+    /// A hashable, equality-canonical key for GROUP BY / DISTINCT, where
+    /// NULL groups with NULL and `1` groups with `1.0`.
+    pub fn group_key(&self) -> GroupKey {
+        match self {
+            Value::Null => GroupKey::Null,
+            Value::Bool(b) => GroupKey::Bool(*b),
+            Value::Int(i) => GroupKey::Num(canonical_f64_bits(*i as f64)),
+            Value::Float(f) => GroupKey::Num(canonical_f64_bits(*f)),
+            Value::Str(s) => GroupKey::Str(s.to_lowercase()),
+        }
+    }
+}
+
+/// Canonical bit pattern for a float: `-0.0` folds to `0.0` and all NaNs
+/// fold to one NaN, so that group keys behave like SQL equality.
+fn canonical_f64_bits(f: f64) -> u64 {
+    if f == 0.0 {
+        0f64.to_bits()
+    } else if f.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        f.to_bits()
+    }
+}
+
+/// Hashable canonical form of a [`Value`] used as a grouping key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GroupKey {
+    Null,
+    Bool(bool),
+    Num(u64),
+    Str(String),
+}
+
+/// Arithmetic operators supported by [`Value::arith`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+/// SQL three-valued logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    True,
+    False,
+    Unknown,
+}
+
+impl Truth {
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+
+    /// Kleene AND.
+    pub fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// Kleene OR.
+    pub fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::True, _) | (_, Truth::True) => Truth::True,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// Kleene NOT.
+    #[allow(clippy::should_implement_trait)] // Kleene negation, not std::ops::Not
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// `WHERE` keeps a row only when the predicate is definitely true.
+    pub fn is_true(self) -> bool {
+        self == Truth::True
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    /// Structural equality used in tests; distinct from SQL equality
+    /// ([`Value::sql_eq`]). Numeric types cross-compare (`1 == 1.0`), NULL
+    /// equals NULL.
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Null.sql_eq(&Value::Null), Truth::Unknown);
+    }
+
+    #[test]
+    fn numeric_coercion_in_comparisons() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn string_comparison_is_case_insensitive() {
+        assert_eq!(
+            Value::Str("STAR".into()).sql_eq(&Value::Str("star".into())),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn mixed_type_comparison_is_false_not_unknown() {
+        assert_eq!(
+            Value::Str("a".into()).sql_eq(&Value::Int(1)),
+            Truth::False
+        );
+    }
+
+    #[test]
+    fn kleene_logic_tables() {
+        use Truth::*;
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(Unknown.not(), Unknown);
+    }
+
+    #[test]
+    fn arithmetic_propagates_null_and_handles_div_zero() {
+        assert!(Value::Int(1).arith(ArithOp::Add, &Value::Null).is_null());
+        assert!(Value::Int(1).arith(ArithOp::Div, &Value::Int(0)).is_null());
+        assert_eq!(
+            Value::Int(7).arith(ArithOp::Div, &Value::Int(2)),
+            Value::Int(3)
+        );
+        assert_eq!(
+            Value::Float(7.0).arith(ArithOp::Div, &Value::Int(2)),
+            Value::Float(3.5)
+        );
+    }
+
+    #[test]
+    fn group_keys_canonicalise() {
+        assert_eq!(Value::Int(1).group_key(), Value::Float(1.0).group_key());
+        assert_eq!(
+            Value::Float(0.0).group_key(),
+            Value::Float(-0.0).group_key()
+        );
+        assert_eq!(Value::Null.group_key(), Value::Null.group_key());
+        assert_eq!(
+            Value::Str("Star".into()).group_key(),
+            Value::Str("STAR".into()).group_key()
+        );
+    }
+
+    #[test]
+    fn total_cmp_orders_nulls_first() {
+        let mut vals = [Value::Int(2), Value::Null, Value::Float(1.5)];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Float(1.5));
+    }
+}

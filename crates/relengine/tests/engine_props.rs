@@ -1,0 +1,240 @@
+//! Property tests for the executor: random WHERE clauses against a
+//! reference row-filter oracle, aggregate identities, and join algebra.
+
+use aa_engine::{
+    compare, Catalog, ColumnDef, DataType, Executor, Table, TableSchema, Truth, Value,
+};
+use aa_sql::{parse_select, BinaryOp};
+use proptest::prelude::*;
+
+fn t_catalog(rows: &[(i64, i64)]) -> Catalog {
+    let mut catalog = Catalog::new();
+    let mut t = Table::new(TableSchema::new(
+        "T",
+        vec![
+            ColumnDef::new("u", DataType::Int),
+            ColumnDef::new("v", DataType::Int),
+        ],
+    ));
+    for (u, v) in rows {
+        t.insert(vec![Value::Int(*u), Value::Int(*v)]).unwrap();
+    }
+    catalog.add_table(t);
+    catalog
+}
+
+/// Reference oracle: evaluates a parsed WHERE AST on a (u, v) pair using
+/// only `compare` and Kleene logic — structurally independent of the
+/// executor's evaluation path.
+fn oracle(expr: &aa_sql::Expr, u: i64, v: i64) -> Truth {
+    use aa_sql::{Expr, Literal, UnaryOp};
+    match expr {
+        Expr::Binary { left, op, right } if op.is_logical() => {
+            let l = oracle(left, u, v);
+            let r = oracle(right, u, v);
+            match op {
+                BinaryOp::And => l.and(r),
+                BinaryOp::Or => l.or(r),
+                _ => unreachable!(),
+            }
+        }
+        Expr::Binary { left, op, right } if op.is_comparison() => {
+            let val = |e: &Expr| -> Value {
+                match e {
+                    Expr::Column(c) if c.column == "u" => Value::Int(u),
+                    Expr::Column(c) if c.column == "v" => Value::Int(v),
+                    Expr::Literal(Literal::Int(i)) => Value::Int(*i),
+                    other => panic!("oracle: unexpected {other:?}"),
+                }
+            };
+            compare(&val(left), *op, &val(right))
+        }
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => oracle(expr, u, v).not(),
+        Expr::Between {
+            expr,
+            negated,
+            low,
+            high,
+        } => {
+            let inner = oracle(
+                &aa_sql::Expr::and(
+                    aa_sql::Expr::binary((**expr).clone(), BinaryOp::GtEq, (**low).clone()),
+                    aa_sql::Expr::binary((**expr).clone(), BinaryOp::LtEq, (**high).clone()),
+                ),
+                u,
+                v,
+            );
+            if *negated {
+                inner.not()
+            } else {
+                inner
+            }
+        }
+        other => panic!("oracle: unexpected {other:?}"),
+    }
+}
+
+fn atom_sql() -> impl Strategy<Value = String> {
+    (
+        prop_oneof![Just("u"), Just("v")],
+        prop_oneof![Just("="), Just("<>"), Just("<"), Just("<="), Just(">"), Just(">=")],
+        -8i64..16,
+    )
+        .prop_map(|(c, op, k)| format!("{c} {op} {k}"))
+}
+
+fn where_sql() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        atom_sql(),
+        (prop_oneof![Just("u"), Just("v")], -8i64..8, 0i64..8)
+            .prop_map(|(c, lo, w)| format!("{c} BETWEEN {lo} AND {}", lo + w)),
+    ];
+    leaf.prop_recursive(3, 10, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} AND {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} OR {b})")),
+            inner.prop_map(|a| format!("NOT ({a})")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The executor returns exactly the rows the oracle accepts.
+    #[test]
+    fn where_filtering_matches_oracle(
+        clause in where_sql(),
+        rows in proptest::collection::vec((-10i64..20, -10i64..20), 0..12),
+    ) {
+        let sql = format!("SELECT u, v FROM T WHERE {clause}");
+        let parsed = parse_select(&sql).unwrap();
+        let pred = parsed.selection.as_ref().unwrap();
+
+        let catalog = t_catalog(&rows);
+        let result = Executor::new(&catalog).execute(&parsed).unwrap();
+        let expected: Vec<(i64, i64)> = rows
+            .iter()
+            .copied()
+            .filter(|(u, v)| oracle(pred, *u, *v).is_true())
+            .collect();
+        let got: Vec<(i64, i64)> = result
+            .rows
+            .iter()
+            .map(|r| match (&r[0], &r[1]) {
+                (Value::Int(a), Value::Int(b)) => (*a, *b),
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        prop_assert_eq!(got, expected, "{}", sql);
+    }
+
+    /// SUM/COUNT/AVG/MIN/MAX identities over random data.
+    #[test]
+    fn aggregate_identities(rows in proptest::collection::vec((-20i64..20, -20i64..20), 1..15)) {
+        let catalog = t_catalog(&rows);
+        let exec = Executor::new(&catalog);
+        let r = exec
+            .execute_sql("SELECT COUNT(*), SUM(u), MIN(u), MAX(u), AVG(u) FROM T")
+            .unwrap();
+        let row = &r.rows[0];
+        let us: Vec<i64> = rows.iter().map(|(u, _)| *u).collect();
+        prop_assert_eq!(&row[0], &Value::Int(us.len() as i64));
+        prop_assert_eq!(&row[1], &Value::Int(us.iter().sum::<i64>()));
+        prop_assert_eq!(&row[2], &Value::Int(*us.iter().min().unwrap()));
+        prop_assert_eq!(&row[3], &Value::Int(*us.iter().max().unwrap()));
+        let avg = us.iter().sum::<i64>() as f64 / us.len() as f64;
+        match &row[4] {
+            Value::Float(a) => prop_assert!((a - avg).abs() < 1e-9),
+            other => prop_assert!(false, "avg: {other:?}"),
+        }
+    }
+
+    /// GROUP BY partitions: group counts sum to the table size, and
+    /// HAVING keeps a subset of the groups.
+    #[test]
+    fn group_by_partitions(rows in proptest::collection::vec((0i64..5, -20i64..20), 1..20)) {
+        let catalog = t_catalog(&rows);
+        let exec = Executor::new(&catalog);
+        let grouped = exec
+            .execute_sql("SELECT u, COUNT(*) FROM T GROUP BY u")
+            .unwrap();
+        let distinct: std::collections::BTreeSet<i64> =
+            rows.iter().map(|(u, _)| *u).collect();
+        prop_assert_eq!(grouped.len(), distinct.len());
+        let total: i64 = grouped
+            .rows
+            .iter()
+            .map(|r| match &r[1] {
+                Value::Int(n) => *n,
+                other => panic!("{other:?}"),
+            })
+            .sum();
+        prop_assert_eq!(total, rows.len() as i64);
+
+        let filtered = exec
+            .execute_sql("SELECT u, COUNT(*) FROM T GROUP BY u HAVING COUNT(*) >= 2")
+            .unwrap();
+        prop_assert!(filtered.len() <= grouped.len());
+    }
+
+    /// INNER JOIN cardinality equals the pair count under the predicate,
+    /// and LEFT JOIN row count >= left table size.
+    #[test]
+    fn join_cardinalities(
+        t_rows in proptest::collection::vec((0i64..6, -5i64..5), 0..8),
+        s_keys in proptest::collection::vec(0i64..6, 0..8),
+    ) {
+        let mut catalog = t_catalog(&t_rows);
+        let mut s = Table::new(TableSchema::new(
+            "S",
+            vec![ColumnDef::new("k", DataType::Int)],
+        ));
+        for k in &s_keys {
+            s.insert(vec![Value::Int(*k)]).unwrap();
+        }
+        catalog.add_table(s);
+        let exec = Executor::new(&catalog);
+
+        let inner = exec
+            .execute_sql("SELECT * FROM T INNER JOIN S ON T.u = S.k")
+            .unwrap();
+        let expected: usize = t_rows
+            .iter()
+            .map(|(u, _)| s_keys.iter().filter(|k| *k == u).count())
+            .sum();
+        prop_assert_eq!(inner.len(), expected);
+
+        let left = exec
+            .execute_sql("SELECT * FROM T LEFT OUTER JOIN S ON T.u = S.k")
+            .unwrap();
+        prop_assert!(left.len() >= t_rows.len());
+        // Full outer covers both unmatched sides.
+        let full = exec
+            .execute_sql("SELECT * FROM T FULL OUTER JOIN S ON T.u = S.k")
+            .unwrap();
+        prop_assert!(full.len() >= left.len());
+        prop_assert!(full.len() >= s_keys.len());
+    }
+
+    /// DISTINCT never increases cardinality and ORDER BY sorts.
+    #[test]
+    fn distinct_and_order_by(rows in proptest::collection::vec((-10i64..10, 0i64..3), 0..15)) {
+        let catalog = t_catalog(&rows);
+        let exec = Executor::new(&catalog);
+        let all = exec.execute_sql("SELECT v FROM T").unwrap();
+        let distinct = exec.execute_sql("SELECT DISTINCT v FROM T").unwrap();
+        prop_assert!(distinct.len() <= all.len());
+
+        let ordered = exec.execute_sql("SELECT u FROM T ORDER BY u DESC").unwrap();
+        let mut prev = i64::MAX;
+        for r in &ordered.rows {
+            let Value::Int(x) = r[0] else { panic!() };
+            prop_assert!(x <= prev);
+            prev = x;
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! Executor conformance tests: each test executes SQL against a small
+//! hand-built catalog and checks exact results.
+
+use aa_engine::{
+    Catalog, ColumnDef, DataType, EngineError, ExecOptions, Executor, Table, TableSchema, Value,
+};
+
+/// T(u int, v float, class text): 5 rows; S(u int, w int): 3 rows.
+fn fixture() -> Catalog {
+    let mut catalog = Catalog::new();
+    let mut t = Table::new(TableSchema::new(
+        "T",
+        vec![
+            ColumnDef::new("u", DataType::Int),
+            ColumnDef::new("v", DataType::Float),
+            ColumnDef::new("class", DataType::Text),
+        ],
+    ));
+    for (u, v, c) in [
+        (1, 10.0, "star"),
+        (2, 20.0, "galaxy"),
+        (3, 30.0, "star"),
+        (4, 40.0, "qso"),
+        (5, 50.0, "star"),
+    ] {
+        t.insert(vec![Value::Int(u), Value::Float(v), c.into()])
+            .unwrap();
+    }
+    catalog.add_table(t);
+
+    let mut s = Table::new(TableSchema::new(
+        "S",
+        vec![
+            ColumnDef::new("u", DataType::Int),
+            ColumnDef::new("w", DataType::Int),
+        ],
+    ));
+    for (u, w) in [(2, 200), (3, 300), (9, 900)] {
+        s.insert(vec![Value::Int(u), Value::Int(w)]).unwrap();
+    }
+    catalog.add_table(s);
+    catalog
+}
+
+fn run(sql: &str) -> aa_engine::ResultSet {
+    let catalog = fixture();
+    Executor::new(&catalog)
+        .execute_sql(sql)
+        .unwrap_or_else(|e| panic!("{sql}: {e}"))
+}
+
+fn ints(result: &aa_engine::ResultSet, col: usize) -> Vec<i64> {
+    result
+        .rows
+        .iter()
+        .map(|r| match &r[col] {
+            Value::Int(i) => *i,
+            other => panic!("expected int, got {other}"),
+        })
+        .collect()
+}
+
+#[test]
+fn select_star_returns_all_rows() {
+    let r = run("SELECT * FROM T");
+    assert_eq!(r.len(), 5);
+    assert_eq!(r.columns, vec!["u", "v", "class"]);
+}
+
+#[test]
+fn where_filters() {
+    let r = run("SELECT u FROM T WHERE u >= 2 AND u <= 4");
+    assert_eq!(ints(&r, 0), vec![2, 3, 4]);
+}
+
+#[test]
+fn where_with_or_and_parens() {
+    let r = run("SELECT u FROM T WHERE (u <= 1 OR u >= 5) AND v > 0");
+    assert_eq!(ints(&r, 0), vec![1, 5]);
+}
+
+#[test]
+fn between_and_in_list() {
+    let r = run("SELECT u FROM T WHERE u BETWEEN 2 AND 3");
+    assert_eq!(ints(&r, 0), vec![2, 3]);
+    let r = run("SELECT u FROM T WHERE class IN ('qso', 'galaxy')");
+    assert_eq!(ints(&r, 0), vec![2, 4]);
+    let r = run("SELECT u FROM T WHERE class NOT IN ('star')");
+    assert_eq!(ints(&r, 0), vec![2, 4]);
+}
+
+#[test]
+fn string_comparison_case_insensitive() {
+    let r = run("SELECT u FROM T WHERE class = 'STAR'");
+    assert_eq!(ints(&r, 0), vec![1, 3, 5]);
+}
+
+#[test]
+fn projection_expressions_and_aliases() {
+    let r = run("SELECT u + 1 AS up, v * 2 FROM T WHERE u = 1");
+    assert_eq!(r.columns[0], "up");
+    assert_eq!(r.rows[0], vec![Value::Int(2), Value::Float(20.0)]);
+}
+
+#[test]
+fn order_by_desc_and_top() {
+    let r = run("SELECT TOP 2 u FROM T ORDER BY u DESC");
+    assert_eq!(ints(&r, 0), vec![5, 4]);
+}
+
+#[test]
+fn order_by_column_not_in_projection() {
+    let r = run("SELECT class FROM T ORDER BY u DESC");
+    assert_eq!(r.rows[0][0], Value::Str("star".into()));
+    assert_eq!(r.len(), 5);
+}
+
+#[test]
+fn limit_mysql_dialect_executes() {
+    let r = run("SELECT u FROM T LIMIT 3");
+    assert_eq!(r.len(), 3);
+}
+
+#[test]
+fn top_percent() {
+    let r = run("SELECT TOP 40 PERCENT u FROM T");
+    assert_eq!(r.len(), 2); // ceil(5 * 0.4)
+}
+
+#[test]
+fn distinct_dedups() {
+    let r = run("SELECT DISTINCT class FROM T");
+    assert_eq!(r.len(), 3);
+}
+
+#[test]
+fn inner_join_on() {
+    let r = run("SELECT T.u, S.w FROM T INNER JOIN S ON T.u = S.u ORDER BY T.u");
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows[0], vec![Value::Int(2), Value::Int(200)]);
+    assert_eq!(r.rows[1], vec![Value::Int(3), Value::Int(300)]);
+}
+
+#[test]
+fn comma_join_is_cross_product() {
+    let r = run("SELECT * FROM T, S");
+    assert_eq!(r.len(), 15);
+}
+
+#[test]
+fn left_outer_join_pads_nulls() {
+    let r = run("SELECT T.u, S.w FROM T LEFT OUTER JOIN S ON T.u = S.u ORDER BY T.u");
+    assert_eq!(r.len(), 5);
+    assert!(r.rows[0][1].is_null()); // u=1 unmatched
+    assert_eq!(r.rows[1][1], Value::Int(200));
+}
+
+#[test]
+fn right_outer_join_keeps_unmatched_right() {
+    let r = run("SELECT T.u, S.u, S.w FROM T RIGHT OUTER JOIN S ON T.u = S.u");
+    assert_eq!(r.len(), 3);
+    let unmatched = r.rows.iter().find(|row| row[0].is_null()).unwrap();
+    assert_eq!(unmatched[2], Value::Int(900)); // S.u=9 has no T match
+}
+
+#[test]
+fn full_outer_join_keeps_both_sides() {
+    let r = run("SELECT T.u, S.u FROM T FULL OUTER JOIN S ON T.u = S.u");
+    // 2 matches + 3 unmatched T rows + 1 unmatched S row.
+    assert_eq!(r.len(), 6);
+}
+
+#[test]
+fn natural_join_uses_common_columns() {
+    let r = run("SELECT w FROM T NATURAL JOIN S ORDER BY w");
+    assert_eq!(ints(&r, 0), vec![200, 300]);
+}
+
+#[test]
+fn group_by_with_aggregates() {
+    let r = run("SELECT class, COUNT(*), SUM(u), AVG(v) FROM T GROUP BY class ORDER BY class");
+    assert_eq!(r.len(), 3);
+    // galaxy: 1 row (u=2,v=20); qso: 1 row; star: 3 rows (u=1+3+5, v avg 30).
+    let star = r
+        .rows
+        .iter()
+        .find(|row| row[0] == Value::Str("star".into()))
+        .unwrap();
+    assert_eq!(star[1], Value::Int(3));
+    assert_eq!(star[2], Value::Int(9));
+    assert_eq!(star[3], Value::Float(30.0));
+}
+
+#[test]
+fn having_filters_groups() {
+    let r = run("SELECT class, COUNT(*) FROM T GROUP BY class HAVING COUNT(*) > 1");
+    assert_eq!(r.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Str("star".into()));
+}
+
+#[test]
+fn having_with_sum_threshold() {
+    let r = run("SELECT class, SUM(v) FROM T GROUP BY class HAVING SUM(v) > 50");
+    // star: 90, galaxy: 20, qso: 40.
+    assert_eq!(r.len(), 1);
+    assert_eq!(r.rows[0][1], Value::Float(90.0));
+}
+
+#[test]
+fn aggregate_without_group_by() {
+    let r = run("SELECT COUNT(*), MIN(u), MAX(u) FROM T");
+    assert_eq!(r.rows, vec![vec![Value::Int(5), Value::Int(1), Value::Int(5)]]);
+}
+
+#[test]
+fn aggregates_over_empty_input() {
+    let r = run("SELECT COUNT(*), SUM(u) FROM T WHERE u > 100");
+    assert_eq!(r.len(), 1);
+    assert_eq!(r.rows[0][0], Value::Int(0));
+    assert!(r.rows[0][1].is_null());
+}
+
+#[test]
+fn count_distinct() {
+    let r = run("SELECT COUNT(DISTINCT class) FROM T");
+    assert_eq!(r.rows[0][0], Value::Int(3));
+}
+
+#[test]
+fn exists_correlated_subquery() {
+    let r = run("SELECT u FROM T WHERE EXISTS (SELECT * FROM S WHERE S.u = T.u)");
+    assert_eq!(ints(&r, 0), vec![2, 3]);
+}
+
+#[test]
+fn not_exists_correlated() {
+    let r = run("SELECT u FROM T WHERE NOT EXISTS (SELECT * FROM S WHERE S.u = T.u)");
+    assert_eq!(ints(&r, 0), vec![1, 4, 5]);
+}
+
+#[test]
+fn in_subquery() {
+    let r = run("SELECT u FROM T WHERE u IN (SELECT u FROM S)");
+    assert_eq!(ints(&r, 0), vec![2, 3]);
+}
+
+#[test]
+fn quantified_any_and_all() {
+    let r = run("SELECT u FROM T WHERE u > ANY (SELECT u FROM S WHERE u < 5)");
+    assert_eq!(ints(&r, 0), vec![3, 4, 5]);
+    let r = run("SELECT u FROM T WHERE u < ALL (SELECT u FROM S)");
+    assert_eq!(ints(&r, 0), vec![1]);
+}
+
+#[test]
+fn scalar_subquery_comparison() {
+    let r = run("SELECT u FROM T WHERE u = (SELECT MIN(u) FROM S)");
+    assert_eq!(ints(&r, 0), vec![2]);
+}
+
+#[test]
+fn scalar_subquery_cardinality_error() {
+    let catalog = fixture();
+    let err = Executor::new(&catalog)
+        .execute_sql("SELECT u FROM T WHERE u = (SELECT u FROM S)")
+        .unwrap_err();
+    assert_eq!(err, EngineError::ScalarSubqueryCardinality);
+}
+
+#[test]
+fn derived_table() {
+    let r = run("SELECT big.u FROM (SELECT u FROM T WHERE u > 3) AS big ORDER BY big.u");
+    assert_eq!(ints(&r, 0), vec![4, 5]);
+}
+
+#[test]
+fn case_expression_in_projection() {
+    let r = run("SELECT CASE WHEN u > 3 THEN 'high' ELSE 'low' END FROM T WHERE u IN (1, 5)");
+    assert_eq!(r.rows[0][0], Value::Str("low".into()));
+    assert_eq!(r.rows[1][0], Value::Str("high".into()));
+}
+
+#[test]
+fn like_predicate() {
+    let r = run("SELECT u FROM T WHERE class LIKE 'g%'");
+    assert_eq!(ints(&r, 0), vec![2]);
+}
+
+#[test]
+fn unknown_table_and_column_errors() {
+    let catalog = fixture();
+    let exec = Executor::new(&catalog);
+    assert!(matches!(
+        exec.execute_sql("SELECT * FROM Missing"),
+        Err(EngineError::UnknownTable(_))
+    ));
+    assert!(matches!(
+        exec.execute_sql("SELECT nope FROM T"),
+        Err(EngineError::UnknownColumn(_))
+    ));
+}
+
+#[test]
+fn ambiguous_column_errors() {
+    let catalog = fixture();
+    let err = Executor::new(&catalog)
+        .execute_sql("SELECT u FROM T, S")
+        .unwrap_err();
+    assert!(matches!(err, EngineError::AmbiguousColumn(_)));
+}
+
+#[test]
+fn udf_calls_are_unsupported() {
+    let catalog = fixture();
+    let err = Executor::new(&catalog)
+        .execute_sql("SELECT * FROM T WHERE dbo.fGetNearbyObjEq(1.0, 2.0, 3.0) = 1")
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Unsupported(_)));
+}
+
+#[test]
+fn row_cap_is_a_hard_error() {
+    let catalog = fixture();
+    let exec = Executor::with_options(
+        &catalog,
+        ExecOptions {
+            max_output_rows: Some(3),
+            ..ExecOptions::default()
+        },
+    );
+    let err = exec.execute_sql("SELECT * FROM T").unwrap_err();
+    assert_eq!(err, EngineError::RowLimitExceeded { limit: 3 });
+    // Queries under the cap still work.
+    assert!(exec.execute_sql("SELECT TOP 2 * FROM T").is_ok());
+}
+
+#[test]
+fn select_without_from() {
+    let r = run("SELECT 1 + 2");
+    assert_eq!(r.rows, vec![vec![Value::Int(3)]]);
+}
+
+#[test]
+fn null_semantics_in_where() {
+    let mut catalog = Catalog::new();
+    let mut t = Table::new(TableSchema::new(
+        "N",
+        vec![ColumnDef::new("x", DataType::Int)],
+    ));
+    t.insert(vec![Value::Int(1)]).unwrap();
+    t.insert(vec![Value::Null]).unwrap();
+    catalog.add_table(t);
+    let exec = Executor::new(&catalog);
+    // NULL rows satisfy neither x=1 nor x<>1.
+    assert_eq!(exec.execute_sql("SELECT x FROM N WHERE x = 1").unwrap().len(), 1);
+    assert_eq!(
+        exec.execute_sql("SELECT x FROM N WHERE x <> 1").unwrap().len(),
+        0
+    );
+    assert_eq!(
+        exec.execute_sql("SELECT x FROM N WHERE x IS NULL").unwrap().len(),
+        1
+    );
+    assert_eq!(
+        exec.execute_sql("SELECT x FROM N WHERE x IS NOT NULL")
+            .unwrap()
+            .len(),
+        1
+    );
+}
+
+#[test]
+fn qualified_wildcard_projection() {
+    let r = run("SELECT S.* FROM T INNER JOIN S ON T.u = S.u");
+    assert_eq!(r.columns, vec!["u", "w"]);
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn table_alias_scoping() {
+    let r = run("SELECT a.u FROM T AS a WHERE a.u = 4");
+    assert_eq!(ints(&r, 0), vec![4]);
+    // The original name is shadowed by the alias.
+    let catalog = fixture();
+    let err = Executor::new(&catalog)
+        .execute_sql("SELECT T.u FROM T AS a")
+        .unwrap_err();
+    assert!(matches!(err, EngineError::UnknownColumn(_)));
+}
+
+#[test]
+fn not_in_subquery_with_nulls_matches_sql_semantics() {
+    // The classic SQL trap: `x NOT IN (subquery)` returns UNKNOWN (not
+    // TRUE) for every row once the subquery yields a NULL — so the filter
+    // keeps nothing.
+    let mut catalog = Catalog::new();
+    let mut t = Table::new(TableSchema::new(
+        "T2",
+        vec![ColumnDef::new("x", DataType::Int)],
+    ));
+    t.insert(vec![Value::Int(1)]).unwrap();
+    t.insert(vec![Value::Int(2)]).unwrap();
+    catalog.add_table(t);
+    let mut n = Table::new(TableSchema::new(
+        "N2",
+        vec![ColumnDef::new("y", DataType::Int)],
+    ));
+    n.insert(vec![Value::Int(1)]).unwrap();
+    n.insert(vec![Value::Null]).unwrap();
+    catalog.add_table(n);
+    let exec = Executor::new(&catalog);
+    let with_null = exec
+        .execute_sql("SELECT x FROM T2 WHERE x NOT IN (SELECT y FROM N2)")
+        .unwrap();
+    assert!(with_null.is_empty(), "NULL poisons NOT IN");
+    // Without the NULL row the semantics are the intuitive ones.
+    catalog.table_mut("N2").unwrap().rows.retain(|r| !r[0].is_null());
+    let exec = Executor::new(&catalog);
+    let without_null = exec
+        .execute_sql("SELECT x FROM T2 WHERE x NOT IN (SELECT y FROM N2)")
+        .unwrap();
+    assert_eq!(without_null.rows, vec![vec![Value::Int(2)]]);
+}
+
+#[test]
+fn correlated_subquery_sees_outer_alias() {
+    let catalog = fixture();
+    let exec = Executor::new(&catalog);
+    let r = exec
+        .execute_sql(
+            "SELECT a.u FROM T AS a WHERE EXISTS (SELECT * FROM S WHERE S.u = a.u)",
+        )
+        .unwrap();
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn aggregate_in_order_by_sorts_groups() {
+    let catalog = fixture();
+    let exec = Executor::new(&catalog);
+    let r = exec
+        .execute_sql("SELECT class, COUNT(*) FROM T GROUP BY class ORDER BY COUNT(*) DESC")
+        .unwrap();
+    assert_eq!(r.rows[0][1], Value::Int(3)); // star first
+}
+
+#[test]
+fn arithmetic_on_nullable_columns_propagates() {
+    let mut catalog = Catalog::new();
+    let mut t = Table::new(TableSchema::new(
+        "NN",
+        vec![ColumnDef::new("x", DataType::Int)],
+    ));
+    t.insert(vec![Value::Null]).unwrap();
+    catalog.add_table(t);
+    let r = Executor::new(&catalog)
+        .execute_sql("SELECT x + 1 FROM NN")
+        .unwrap();
+    assert!(r.rows[0][0].is_null());
+}

@@ -1,0 +1,195 @@
+//! Seeded synthetic data generation for the DR9 schema.
+
+use crate::schema::{dr9_tables, Dist, TableSpec};
+use aa_engine::{Catalog, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the full synthetic catalog. `scale` multiplies every table's
+/// base row count (0.1 → 10% of rows); generation is deterministic in
+/// `seed`.
+pub fn build_catalog(scale: f64, seed: u64) -> Catalog {
+    let mut catalog = Catalog::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for spec in dr9_tables() {
+        catalog.add_table(generate_table(&spec, scale, &mut rng));
+    }
+    catalog
+}
+
+/// Generates one table.
+pub fn generate_table(spec: &TableSpec, scale: f64, rng: &mut StdRng) -> Table {
+    let rows = ((spec.base_rows as f64 * scale).round() as usize).max(1);
+    let mut table = Table::new(spec.to_schema());
+    for _ in 0..rows {
+        let row = generate_row(spec, rng);
+        // Content may deliberately exceed conservative domains in stress
+        // setups; bypass validation for speed and flexibility.
+        table.insert_unchecked(row);
+    }
+    table
+}
+
+fn generate_row(spec: &TableSpec, rng: &mut StdRng) -> Vec<Value> {
+    let mut row: Vec<Value> = Vec::with_capacity(spec.columns.len());
+    for (idx, col) in spec.columns.iter().enumerate() {
+        let value = match &col.dist {
+            Dist::Uniform(lo, hi) => Value::Float(rng.gen_range(*lo..=*hi)),
+            Dist::UniformInt(lo, hi) => Value::Int(rng.gen_range(*lo..=*hi)),
+            Dist::Mixture(parts) => {
+                let total: f64 = parts.iter().map(|(w, _, _)| w).sum();
+                let mut pick = rng.gen_range(0.0..total);
+                let mut chosen = parts.last().expect("non-empty mixture");
+                for part in *parts {
+                    if pick < part.0 {
+                        chosen = part;
+                        break;
+                    }
+                    pick -= part.0;
+                }
+                Value::Float(rng.gen_range(chosen.1..=chosen.2))
+            }
+            Dist::MixtureInt(parts) => {
+                let total: f64 = parts.iter().map(|(w, _, _)| w).sum();
+                let mut pick = rng.gen_range(0.0..total);
+                let mut chosen = parts.last().expect("non-empty mixture");
+                for part in *parts {
+                    if pick < part.0 {
+                        chosen = part;
+                        break;
+                    }
+                    pick -= part.0;
+                }
+                Value::Int(rng.gen_range(chosen.1..=chosen.2))
+            }
+            Dist::Cat(values) => {
+                let total: f64 = values.iter().map(|(_, w)| w).sum();
+                let mut pick = rng.gen_range(0.0..total);
+                let mut chosen = values.last().expect("non-empty cat").0;
+                for (v, w) in *values {
+                    if pick < *w {
+                        chosen = v;
+                        break;
+                    }
+                    pick -= w;
+                }
+                Value::Str(chosen.to_string())
+            }
+            Dist::LinkedLinear {
+                base,
+                scale,
+                offset,
+                noise,
+            } => {
+                // The base column must have been generated earlier in the
+                // column list.
+                let base_val = spec.columns[..idx]
+                    .iter()
+                    .zip(row.iter())
+                    .find(|(c, _)| c.name.eq_ignore_ascii_case(base))
+                    .and_then(|(_, v)| v.as_f64())
+                    .unwrap_or(0.0);
+                let jitter = rng.gen_range(-*noise..=*noise);
+                let v = offset + scale * base_val + jitter;
+                match col.dtype {
+                    aa_engine::DataType::Int => Value::Int(v.round() as i64),
+                    _ => Value::Float(v),
+                }
+            }
+        };
+        row.push(value);
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::table_spec;
+    use aa_engine::{exact_column_content, ColumnContent};
+
+    #[test]
+    fn catalog_builds_all_tables_scaled() {
+        let catalog = build_catalog(0.01, 42);
+        assert!(catalog.has_table("PhotoObjAll"));
+        assert!(catalog.has_table("zooSpec"));
+        let photo = catalog.table("PhotoObjAll").unwrap();
+        assert_eq!(photo.row_count(), 300); // 30_000 * 0.01
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let a = build_catalog(0.005, 7);
+        let b = build_catalog(0.005, 7);
+        let ta = a.table("Photoz").unwrap();
+        let tb = b.table("Photoz").unwrap();
+        assert_eq!(ta.rows, tb.rows);
+        let c = build_catalog(0.005, 8);
+        assert_ne!(c.table("Photoz").unwrap().rows, ta.rows);
+    }
+
+    #[test]
+    fn content_respects_calibrated_boxes() {
+        let catalog = build_catalog(0.05, 1);
+        // PhotoObjAll.dec content stays in [-25, 85] (empty below -25).
+        let photo = catalog.table("PhotoObjAll").unwrap();
+        match exact_column_content(photo, "dec") {
+            ColumnContent::Numeric { min, max } => {
+                assert!(min >= -25.0, "{min}");
+                assert!(max <= 85.0, "{max}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Photoz.z content stays in [0, 1].
+        let photoz = catalog.table("Photoz").unwrap();
+        match exact_column_content(photoz, "z") {
+            ColumnContent::Numeric { min, max } => {
+                assert!(min >= 0.0 && max <= 1.0, "{min} {max}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // galSpecLine.specobjid content ends before Cluster 19's range.
+        let gsl = catalog.table("galSpecLine").unwrap();
+        match exact_column_content(gsl, "specobjid") {
+            ColumnContent::Numeric { max, .. } => {
+                assert!(max < 3.52e18, "{max}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plate_tracks_mjd() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = table_spec("SpecObjAll").unwrap();
+        let table = generate_table(&spec, 0.05, &mut rng);
+        let schema = &table.schema;
+        let (pi, mi) = (
+            schema.column_index("plate").unwrap(),
+            schema.column_index("mjd").unwrap(),
+        );
+        for row in &table.rows {
+            let plate = row[pi].as_f64().unwrap();
+            let mjd = row[mi].as_f64().unwrap();
+            let expected = 266.0 + (mjd - 51_578.0) * (4875.0 / 4174.0);
+            assert!(
+                (plate - expected).abs() <= 150.5,
+                "plate {plate} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn categorical_weights_roughly_hold() {
+        let catalog = build_catalog(0.5, 11);
+        let spec_obj = catalog.table("SpecObjAll").unwrap();
+        let ci = spec_obj.schema.column_index("class").unwrap();
+        let stars = spec_obj
+            .rows
+            .iter()
+            .filter(|r| matches!(&r[ci], Value::Str(s) if s == "star"))
+            .count() as f64;
+        let frac = stars / spec_obj.row_count() as f64;
+        assert!((frac - 0.25).abs() < 0.05, "{frac}");
+    }
+}

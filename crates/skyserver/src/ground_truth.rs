@@ -1,0 +1,198 @@
+//! Scoring clustering output against the generator's ground truth.
+
+use crate::loggen::GroundTruth;
+use aa_dbscan::Label;
+use std::collections::HashMap;
+
+/// Recovery of one planted Table 1 cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterRecovery {
+    /// Planted cluster id (1–24).
+    pub planted: u8,
+    /// Number of its queries in the clustered sample.
+    pub planted_size: usize,
+    /// The DBSCAN cluster holding the plurality of them, if any.
+    pub found_cluster: Option<usize>,
+    /// Fraction of the planted queries inside `found_cluster`.
+    pub recall: f64,
+    /// Fraction of `found_cluster` that comes from this planted cluster.
+    pub precision: f64,
+}
+
+impl ClusterRecovery {
+    /// The criterion used by the integration tests: the planted cluster is
+    /// considered recovered when most of it lands in one DBSCAN cluster
+    /// that is not dominated by foreign queries.
+    pub fn is_recovered(&self) -> bool {
+        self.found_cluster.is_some() && self.recall >= 0.7 && self.precision >= 0.5
+    }
+}
+
+/// Full recovery report.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    pub per_cluster: Vec<ClusterRecovery>,
+    /// Fraction of background queries labelled noise.
+    pub background_noise_rate: f64,
+    /// Total DBSCAN clusters.
+    pub dbscan_clusters: usize,
+}
+
+impl RecoveryReport {
+    /// Number of planted clusters recovered.
+    pub fn recovered_count(&self) -> usize {
+        self.per_cluster
+            .iter()
+            .filter(|c| c.is_recovered())
+            .count()
+    }
+}
+
+/// Scores DBSCAN labels against ground truth. `truths` and `labels` are
+/// parallel (one entry per clustered item).
+pub fn evaluate(truths: &[GroundTruth], labels: &[Label], dbscan_clusters: usize) -> RecoveryReport {
+    assert_eq!(truths.len(), labels.len());
+
+    // Sizes of each DBSCAN cluster.
+    let mut dbscan_sizes: HashMap<usize, usize> = HashMap::new();
+    for label in labels {
+        if let Label::Cluster(id) = label {
+            *dbscan_sizes.entry(*id).or_default() += 1;
+        }
+    }
+
+    // For each planted cluster: histogram over DBSCAN labels.
+    let mut planted: HashMap<u8, HashMap<Option<usize>, usize>> = HashMap::new();
+    let mut planted_sizes: HashMap<u8, usize> = HashMap::new();
+    let mut background_total = 0usize;
+    let mut background_noise = 0usize;
+    for (truth, label) in truths.iter().zip(labels) {
+        match truth {
+            GroundTruth::Cluster(id) => {
+                let id_v = *id;
+                *planted_sizes.entry(id_v).or_default() += 1;
+                *planted
+                    .entry(id_v)
+                    .or_default()
+                    .entry(label.cluster())
+                    .or_default() += 1;
+            }
+            GroundTruth::Background | GroundTruth::MySqlDialect => {
+                background_total += 1;
+                if *label == Label::Noise {
+                    background_noise += 1;
+                }
+            }
+            GroundTruth::Pathological(_) => {}
+        }
+    }
+
+    let mut per_cluster: Vec<ClusterRecovery> = Vec::new();
+    let mut ids: Vec<u8> = planted_sizes.keys().copied().collect();
+    ids.sort_unstable();
+    for id in ids {
+        let size = planted_sizes[&id];
+        let hist = &planted[&id];
+        // Plurality DBSCAN cluster among the *clustered* queries.
+        let best = hist
+            .iter()
+            .filter_map(|(label, n)| label.map(|l| (l, *n)))
+            .max_by_key(|(_, n)| *n);
+        let (found_cluster, recall, precision) = match best {
+            Some((label, n)) => {
+                let cluster_size = dbscan_sizes.get(&label).copied().unwrap_or(1);
+                (
+                    Some(label),
+                    n as f64 / size as f64,
+                    n as f64 / cluster_size as f64,
+                )
+            }
+            None => (None, 0.0, 0.0),
+        };
+        per_cluster.push(ClusterRecovery {
+            planted: id,
+            planted_size: size,
+            found_cluster,
+            recall,
+            precision,
+        });
+    }
+
+    RecoveryReport {
+        per_cluster,
+        background_noise_rate: if background_total == 0 {
+            1.0
+        } else {
+            background_noise as f64 / background_total as f64
+        },
+        dbscan_clusters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_recovery_scores_one() {
+        let truths = vec![
+            GroundTruth::Cluster(1),
+            GroundTruth::Cluster(1),
+            GroundTruth::Cluster(2),
+            GroundTruth::Cluster(2),
+            GroundTruth::Background,
+        ];
+        let labels = vec![
+            Label::Cluster(0),
+            Label::Cluster(0),
+            Label::Cluster(1),
+            Label::Cluster(1),
+            Label::Noise,
+        ];
+        let report = evaluate(&truths, &labels, 2);
+        assert_eq!(report.recovered_count(), 2);
+        assert_eq!(report.background_noise_rate, 1.0);
+        for c in &report.per_cluster {
+            assert_eq!(c.recall, 1.0);
+            assert_eq!(c.precision, 1.0);
+        }
+    }
+
+    #[test]
+    fn shattered_cluster_is_not_recovered() {
+        // Cluster 1's four queries land in four different DBSCAN clusters.
+        let truths = vec![GroundTruth::Cluster(1); 4];
+        let labels = vec![
+            Label::Cluster(0),
+            Label::Cluster(1),
+            Label::Cluster(2),
+            Label::Cluster(3),
+        ];
+        let report = evaluate(&truths, &labels, 4);
+        assert_eq!(report.recovered_count(), 0);
+        assert_eq!(report.per_cluster[0].recall, 0.25);
+    }
+
+    #[test]
+    fn merged_foreign_cluster_hurts_precision() {
+        // One DBSCAN cluster swallows cluster 1 and lots of background.
+        let mut truths = vec![GroundTruth::Cluster(1); 5];
+        truths.extend(vec![GroundTruth::Background; 15]);
+        let labels = vec![Label::Cluster(0); 20];
+        let report = evaluate(&truths, &labels, 1);
+        let c = &report.per_cluster[0];
+        assert_eq!(c.recall, 1.0);
+        assert_eq!(c.precision, 0.25);
+        assert!(!c.is_recovered());
+        assert_eq!(report.background_noise_rate, 0.0);
+    }
+
+    #[test]
+    fn all_noise_cluster_reports_zero() {
+        let truths = vec![GroundTruth::Cluster(3); 3];
+        let labels = vec![Label::Noise; 3];
+        let report = evaluate(&truths, &labels, 0);
+        assert!(report.per_cluster[0].found_cluster.is_none());
+        assert!(!report.per_cluster[0].is_recovered());
+    }
+}

@@ -1,0 +1,108 @@
+//! # aa-skyserver — synthetic SkyServer DR9 substrate
+//!
+//! The paper's evaluation runs on the proprietary SDSS DR9 database and
+//! its 12.4M-query log; neither is available, so this crate simulates
+//! both (see DESIGN.md §1 row 6 for the substitution argument):
+//!
+//! * [`schema`]: the 16 relations the evaluation mentions, with realistic
+//!   domains and content boxes calibrated to Table 1's coverage numbers;
+//! * [`datagen`]: a seeded data generator producing an
+//!   [`aa_engine::Catalog`] whose content reproduces the Figure 1 geometry
+//!   (empty areas included);
+//! * [`templates`]: one query template per Table 1 cluster (constants
+//!   jittered per query), plus background/pathological/dialect templates;
+//! * [`loggen`]: a deterministic log generator with ground-truth labels;
+//! * [`ground_truth`]: recovery scoring of clustering output.
+
+pub mod datagen;
+pub mod ground_truth;
+pub mod loggen;
+pub mod schema;
+pub mod templates;
+
+pub use datagen::build_catalog;
+pub use ground_truth::{evaluate, ClusterRecovery, RecoveryReport};
+pub use loggen::{generate_log, GroundTruth, LogConfig, LogEntry};
+pub use schema::{dr9_tables, table_spec, ColumnSpec, Dist, TableSpec};
+pub use templates::{
+    background_query, cluster_query, mysql_dialect_query, pathological_query, ClusterSpec,
+    PathologicalKind, AGGREGATE_VARIANT_SHARE, TABLE1,
+};
+
+use aa_core::extract::SchemaProvider;
+use aa_core::Interval;
+
+/// A [`SchemaProvider`] backed by the static DR9 schema — lets the
+/// extractor resolve unqualified columns and consult domains without
+/// materialising any data.
+pub struct Dr9Schema {
+    tables: Vec<TableSpec>,
+}
+
+impl Dr9Schema {
+    /// Builds the provider from the static schema.
+    pub fn new() -> Self {
+        Dr9Schema {
+            tables: dr9_tables(),
+        }
+    }
+}
+
+impl Default for Dr9Schema {
+    fn default() -> Self {
+        Dr9Schema::new()
+    }
+}
+
+impl SchemaProvider for Dr9Schema {
+    fn table_columns(&self, table: &str) -> Option<Vec<String>> {
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(table))
+            .map(|t| t.columns.iter().map(|c| c.name.to_lowercase()).collect())
+    }
+
+    fn column_domain(&self, table: &str, column: &str) -> Option<Interval> {
+        let t = self
+            .tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(table))?;
+        let c = t
+            .columns
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(column))?;
+        match &c.domain {
+            aa_engine::Domain::Numeric { lo, hi } => Some(Interval::closed(*lo, *hi)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dr9_schema_provider_resolves() {
+        let p = Dr9Schema::new();
+        let cols = p.table_columns("photoobjall").unwrap();
+        assert!(cols.contains(&"ra".to_string()));
+        assert!(cols.contains(&"dec".to_string()));
+        let dom = p.column_domain("zooSpec", "dec").unwrap();
+        assert_eq!((dom.lo, dom.hi), (-90.0, 90.0));
+        assert!(p.table_columns("nope").is_none());
+    }
+
+    #[test]
+    fn provider_lets_extractor_resolve_unqualified_columns() {
+        use aa_core::extract::Extractor;
+        let p = Dr9Schema::new();
+        let area = Extractor::new(&p)
+            .extract_sql("SELECT * FROM PhotoObjAll, SpecObjAll WHERE plate > 296 AND mode = 1")
+            .unwrap();
+        let sql = area.to_intermediate_sql();
+        // `plate` only exists in SpecObjAll, `mode` only in PhotoObjAll.
+        assert!(sql.contains("SpecObjAll.plate > 296"), "{sql}");
+        assert!(sql.contains("PhotoObjAll.mode = 1"), "{sql}");
+    }
+}

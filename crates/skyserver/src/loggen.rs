@@ -1,0 +1,249 @@
+//! Synthetic query-log generation with ground-truth labels.
+//!
+//! The real 12.4M-entry DR9 log is not public; this generator reproduces
+//! its *composition* as reported by the paper: the Table 1 cluster mix
+//! (cardinality-proportional), a large exploratory background, the ~0.54%
+//! of entries the parser rejects (Section 6.1), and the MySQL-dialect
+//! queries of Section 6.6. Every entry carries its ground truth so the
+//! clustering-recovery experiments can score themselves.
+
+use crate::templates::{
+    background_query, cluster_query, mysql_dialect_query, pathological_query, ClusterSpec,
+    PathologicalKind, TABLE1,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// What generated a log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroundTruth {
+    /// Table 1 cluster 1–24.
+    Cluster(u8),
+    /// Exploratory background (should mostly be DBSCAN noise).
+    Background,
+    /// MySQL-dialect query (parses, errors on the real server).
+    MySqlDialect,
+    /// Unparseable entry.
+    Pathological(PathologicalKind),
+}
+
+/// One log entry.
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    pub sql: String,
+    pub truth: GroundTruth,
+    /// Simulated user id. The paper observes that "the cardinality of
+    /// each cluster is approximately equal to the number of users":
+    /// cluster queries come from a broad user base, so each entry draws a
+    /// fresh user with high probability (a small share are repeats).
+    pub user: u32,
+}
+
+/// Log composition knobs.
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// Total number of entries.
+    pub total: usize,
+    /// RNG seed (the log is fully deterministic given the config).
+    pub seed: u64,
+    /// Fraction of entries drawn from the Table 1 cluster templates.
+    pub cluster_fraction: f64,
+    /// Fraction of unparseable entries (paper: 67,563 / 12,442,989).
+    pub pathological_fraction: f64,
+    /// Fraction of MySQL-dialect entries.
+    pub mysql_fraction: f64,
+    /// Floor on per-cluster query counts so small clusters (e.g. Cluster
+    /// 24 with 217 of 5.6M) survive down-scaling past DBSCAN's `min_pts`.
+    pub min_cluster_size: usize,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig {
+            total: 20_000,
+            seed: 42,
+            cluster_fraction: 0.5,
+            pathological_fraction: 67_563.0 / 12_442_989.0,
+            mysql_fraction: 0.01,
+            min_cluster_size: 30,
+        }
+    }
+}
+
+impl LogConfig {
+    /// A small config for tests.
+    pub fn small(total: usize, seed: u64) -> Self {
+        LogConfig {
+            total,
+            seed,
+            min_cluster_size: 10,
+            ..LogConfig::default()
+        }
+    }
+}
+
+/// Per-cluster planned counts for a config.
+pub fn planned_cluster_counts(config: &LogConfig) -> Vec<(&'static ClusterSpec, usize)> {
+    let budget = (config.total as f64 * config.cluster_fraction).round() as usize;
+    let total_card: u64 = TABLE1.iter().map(|c| c.cardinality).sum();
+    TABLE1
+        .iter()
+        .map(|spec| {
+            let raw =
+                (budget as f64 * spec.cardinality as f64 / total_card as f64).round() as usize;
+            (spec, raw.max(config.min_cluster_size))
+        })
+        .collect()
+}
+
+/// Generates the log (shuffled, deterministic in the seed).
+pub fn generate_log(config: &LogConfig) -> Vec<LogEntry> {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut entries: Vec<LogEntry> = Vec::with_capacity(config.total);
+    let mut next_user: u32 = 0;
+    // ~90% of queries come from a fresh user; 10% are repeat visitors.
+    let mut draw_user = |rng: &mut StdRng| -> u32 {
+        if next_user > 0 && rng.gen_bool(0.1) {
+            rng.gen_range(0..next_user)
+        } else {
+            next_user += 1;
+            next_user - 1
+        }
+    };
+
+    for (spec, count) in planned_cluster_counts(config) {
+        for _ in 0..count {
+            let user = draw_user(&mut rng);
+            entries.push(LogEntry {
+                sql: cluster_query(spec.id, &mut rng),
+                truth: GroundTruth::Cluster(spec.id),
+                user,
+            });
+        }
+    }
+
+    let n_path = (config.total as f64 * config.pathological_fraction).round() as usize;
+    for i in 0..n_path {
+        // Section 6.1's split: errors, UDFs, admin statements.
+        let kind = match i % 3 {
+            0 => PathologicalKind::SyntaxError,
+            1 => PathologicalKind::UserDefinedFunction,
+            _ => PathologicalKind::AdminStatement,
+        };
+        let user = draw_user(&mut rng);
+        entries.push(LogEntry {
+            sql: pathological_query(kind, &mut rng),
+            truth: GroundTruth::Pathological(kind),
+            user,
+        });
+    }
+
+    let n_mysql = (config.total as f64 * config.mysql_fraction).round() as usize;
+    for _ in 0..n_mysql {
+        let user = draw_user(&mut rng);
+        entries.push(LogEntry {
+            sql: mysql_dialect_query(&mut rng),
+            truth: GroundTruth::MySqlDialect,
+            user,
+        });
+    }
+
+    while entries.len() < config.total {
+        let user = draw_user(&mut rng);
+        entries.push(LogEntry {
+            sql: background_query(&mut rng),
+            truth: GroundTruth::Background,
+            user,
+        });
+    }
+
+    entries.shuffle(&mut rng);
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_has_requested_composition() {
+        let config = LogConfig::small(5_000, 7);
+        let log = generate_log(&config);
+        assert!(log.len() >= config.total);
+        let clusters = log
+            .iter()
+            .filter(|e| matches!(e.truth, GroundTruth::Cluster(_)))
+            .count();
+        // cluster_fraction 0.5 plus per-cluster floors.
+        assert!(clusters >= 2_400, "{clusters}");
+        let path = log
+            .iter()
+            .filter(|e| matches!(e.truth, GroundTruth::Pathological(_)))
+            .count();
+        assert_eq!(path, 27); // round(5000 * 0.00543)
+        let mysql = log
+            .iter()
+            .filter(|e| e.truth == GroundTruth::MySqlDialect)
+            .count();
+        assert_eq!(mysql, 50);
+    }
+
+    #[test]
+    fn every_cluster_meets_its_floor() {
+        let config = LogConfig::small(3_000, 9);
+        let log = generate_log(&config);
+        for spec in TABLE1 {
+            let n = log
+                .iter()
+                .filter(|e| e.truth == GroundTruth::Cluster(spec.id))
+                .count();
+            assert!(
+                n >= config.min_cluster_size,
+                "cluster {} has only {n}",
+                spec.id
+            );
+        }
+    }
+
+    #[test]
+    fn log_is_deterministic() {
+        let config = LogConfig::small(1_000, 3);
+        let a = generate_log(&config);
+        let b = generate_log(&config);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.sql, y.sql);
+            assert_eq!(x.truth, y.truth);
+        }
+    }
+
+    #[test]
+    fn users_are_broadly_distributed() {
+        // The paper: cluster cardinality ~ number of distinct users.
+        let log = generate_log(&LogConfig::small(2_000, 13));
+        let users: std::collections::HashSet<u32> = log.iter().map(|e| e.user).collect();
+        assert!(
+            users.len() as f64 > 0.8 * log.len() as f64,
+            "{} users for {} queries",
+            users.len(),
+            log.len()
+        );
+    }
+
+    #[test]
+    fn cluster_counts_follow_cardinality_order() {
+        let config = LogConfig {
+            total: 50_000,
+            ..LogConfig::default()
+        };
+        let counts = planned_cluster_counts(&config);
+        let c1 = counts.iter().find(|(s, _)| s.id == 1).unwrap().1;
+        let c7 = counts.iter().find(|(s, _)| s.id == 7).unwrap().1;
+        let c24 = counts.iter().find(|(s, _)| s.id == 24).unwrap().1;
+        assert!(c1 > c7);
+        assert!(c7 > c24);
+        assert_eq!(c24, config.min_cluster_size);
+    }
+}

@@ -1,0 +1,515 @@
+//! Query templates calibrated to Table 1 of the paper.
+//!
+//! Each of the paper's 24 representative clusters becomes a template that
+//! emits SQL whose *faithfully extracted* access area falls inside the
+//! cluster's reported bounds (constants are jittered per query, so DBSCAN
+//! has to chain them — exactly the aggregation the paper performs).
+//!
+//! Clusters 2, 5, 8, 9, 11, 12, 18, 19, 20 and 22 — the ones Section 6.5
+//! reports broken by as-is predicate handling — emit a share of
+//! *aggregate-form* variants (`GROUP BY … HAVING SUM(x) > c`): the lemma
+//! analysis maps the `HAVING` to no constraint (Lemma 1, `sup > 0`), so
+//! the faithful area equals the plain variant's, while naive extraction
+//! injects a spurious `x > c` predicate that pushes the query out of the
+//! cluster.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Paper-reported numbers for one Table 1 cluster (the targets the
+/// reproduction is compared against in EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSpec {
+    /// Cluster id, 1–24 as in Table 1.
+    pub id: u8,
+    /// Reported number of queries.
+    pub cardinality: u64,
+    /// Reported area coverage.
+    pub area_coverage: f64,
+    /// Reported object coverage.
+    pub object_coverage: f64,
+    /// Reported access-area description.
+    pub description: &'static str,
+    /// Clusters 18–24 lie in empty areas of the data space.
+    pub empty_area: bool,
+    /// Listed as broken by OLAPClus-on-raw-queries in Section 6.5.
+    pub breakable: bool,
+}
+
+/// Table 1 of the paper, verbatim.
+pub const TABLE1: &[ClusterSpec] = &[
+    ClusterSpec { id: 1,  cardinality: 179_072, area_coverage: 0.24, object_coverage: 0.36, description: "1237657855534432934 <= Photoz.objid <= 1237666210342830434", empty_area: false, breakable: false },
+    ClusterSpec { id: 2,  cardinality: 121_311, area_coverage: 0.19, object_coverage: 0.22, description: "1115887524498139136 <= SpecObjAll.specobjid <= 2183177975464224768", empty_area: false, breakable: true },
+    ClusterSpec { id: 3,  cardinality: 92_177,  area_coverage: 0.22, object_coverage: 0.21, description: "1345591721622267904 <= galSpecLine.specobjid <= 2007633797213874176", empty_area: false, breakable: false },
+    ClusterSpec { id: 4,  cardinality: 90_047,  area_coverage: 0.25, object_coverage: 0.25, description: "1416192325597030400 <= galSpecInfo.specobjid <= 2183213984470034432", empty_area: false, breakable: false },
+    ClusterSpec { id: 5,  cardinality: 90_015,  area_coverage: 0.19, object_coverage: 0.25, description: "PhotoObjAll.ra <= 210 AND PhotoObjAll.dec <= 10", empty_area: false, breakable: true },
+    ClusterSpec { id: 6,  cardinality: 82_196,  area_coverage: 0.23, object_coverage: 0.24, description: "1228357946564438016 <= sppLines.specobjid <= 2069493422263134208", empty_area: false, breakable: false },
+    ClusterSpec { id: 7,  cardinality: 23_021,  area_coverage: 0.17, object_coverage: 0.04, description: "54 <= SpecObjAll.ra <= 115", empty_area: false, breakable: false },
+    ClusterSpec { id: 8,  cardinality: 23_021,  area_coverage: 0.23, object_coverage: 0.09, description: "60 <= SpecPhotoAll.ra <= 124", empty_area: false, breakable: true },
+    ClusterSpec { id: 9,  cardinality: 18_904,  area_coverage: 0.03, object_coverage: 0.01, description: "SpecObjAll.class = 'star' AND 51578 <= SpecObjAll.mjd <= 52178 AND 296 <= SpecObjAll.plate <= 3200", empty_area: false, breakable: true },
+    ClusterSpec { id: 10, cardinality: 10_141,  area_coverage: 0.26, object_coverage: 0.27, description: "DBObjects.access = 'U' AND (DBObjects.type = 'V' OR DBObjects.type = 'U')", empty_area: false, breakable: false },
+    ClusterSpec { id: 11, cardinality: 4_006,   area_coverage: 0.24, object_coverage: 0.18, description: "55 <= emissionLinesPort.ra <= 141", empty_area: false, breakable: true },
+    ClusterSpec { id: 12, cardinality: 3_785,   area_coverage: 0.21, object_coverage: 0.17, description: "62 <= stellarMassPCAWisc.ra <= 138", empty_area: false, breakable: true },
+    ClusterSpec { id: 13, cardinality: 1_622,   area_coverage: 0.12, object_coverage: 0.11, description: "AtlasOutline.objid > 1237676243900255188", empty_area: false, breakable: false },
+    ClusterSpec { id: 14, cardinality: 1_371,   area_coverage: 0.16, object_coverage: 0.01, description: "2 <= zooSpec.ra <= 120 AND 30 <= zooSpec.dec <= 70", empty_area: false, breakable: false },
+    ClusterSpec { id: 15, cardinality: 1_141,   area_coverage: 0.10, object_coverage: 0.05, description: "0 <= Photoz.z <= 0.1", empty_area: false, breakable: false },
+    ClusterSpec { id: 16, cardinality: 1_102,   area_coverage: 0.25, object_coverage: 0.17, description: "0 <= galSpecExtra.bptclass <= 3 AND galSpecExtra.specobjid = galSpecIndx.specObjID", empty_area: false, breakable: false },
+    ClusterSpec { id: 17, cardinality: 1_035,   area_coverage: 0.0009, object_coverage: 0.0009, description: "sppLines.gwholemask = 0 AND 0 <= sppLines.gwholeside <= 50 AND sppLines.specobjid = sppParams.specobjid AND -0.3 <= sppParams.fehadop <= 0.5 AND 2 <= sppParams.loggadop <= 3", empty_area: false, breakable: false },
+    ClusterSpec { id: 18, cardinality: 48_470,  area_coverage: 0.0, object_coverage: 0.0, description: "10 <= PhotoObjAll.ra <= 120 AND -90 <= PhotoObjAll.dec <= -50", empty_area: true, breakable: true },
+    ClusterSpec { id: 19, cardinality: 41_599,  area_coverage: 0.0, object_coverage: 0.0, description: "3519644828126257152 <= galSpecLine.specobjid <= 5788299621113984000", empty_area: true, breakable: true },
+    ClusterSpec { id: 20, cardinality: 18_444,  area_coverage: 0.0, object_coverage: 0.0, description: "3519644828126257152 <= galSpecInfo.specobjid <= 5788299621113984000", empty_area: true, breakable: true },
+    ClusterSpec { id: 21, cardinality: 18_043,  area_coverage: 0.0, object_coverage: 0.0, description: "4037480726273651712 <= sppLines.specobjid <= 5788299621113984000", empty_area: true, breakable: false },
+    ClusterSpec { id: 22, cardinality: 1_358,   area_coverage: 0.0, object_coverage: 0.0, description: "6 <= zooSpec.ra <= 115 AND -100 <= zooSpec.dec <= -15", empty_area: true, breakable: true },
+    ClusterSpec { id: 23, cardinality: 422,     area_coverage: 0.0, object_coverage: 0.0, description: "-0.98 <= Photoz.z <= -0.1", empty_area: true, breakable: false },
+    ClusterSpec { id: 24, cardinality: 217,     area_coverage: 0.0, object_coverage: 0.0, description: "3.0 <= Photoz.z <= 6.5", empty_area: true, breakable: false },
+];
+
+/// Fraction of a breakable cluster's queries emitted in aggregate form.
+pub const AGGREGATE_VARIANT_SHARE: f64 = 0.25;
+
+/// Draws a range `[lo', hi']` jittered inward from `[lo, hi]` so that the
+/// union over many draws reconstructs `[lo, hi]` as the aggregated MBR.
+fn jitter_range(rng: &mut StdRng, lo: f64, hi: f64) -> (f64, f64) {
+    let span = hi - lo;
+    let l = lo + rng.gen_range(0.0..=span * 0.08);
+    let h = hi - rng.gen_range(0.0..=span * 0.08);
+    (l, h.max(l))
+}
+
+fn jitter_range_i(rng: &mut StdRng, lo: i64, hi: i64) -> (i64, i64) {
+    let (l, h) = jitter_range(rng, lo as f64, hi as f64);
+    (l.round() as i64, h.round() as i64)
+}
+
+/// Emits a range predicate in one of the syntactic variants users write.
+fn range_pred(rng: &mut StdRng, col: &str, lo: &str, hi: &str) -> String {
+    match rng.gen_range(0..3) {
+        0 => format!("{col} BETWEEN {lo} AND {hi}"),
+        1 => format!("{col} >= {lo} AND {col} <= {hi}"),
+        _ => format!("{lo} <= {col} AND {col} <= {hi}"),
+    }
+}
+
+/// Optionally wraps a plain query into the breakable aggregate form.
+fn maybe_aggregate(
+    rng: &mut StdRng,
+    breakable: bool,
+    table: &str,
+    group_col: &str,
+    sum_col: &str,
+    preds: &str,
+    plain: String,
+) -> String {
+    if breakable && rng.gen_bool(AGGREGATE_VARIANT_SHARE) {
+        let threshold = rng.gen_range(100..100_000);
+        format!(
+            "SELECT {table}.{group_col}, SUM({table}.{sum_col}) FROM {table} \
+             WHERE {preds} GROUP BY {table}.{group_col} \
+             HAVING SUM({table}.{sum_col}) > {threshold}"
+        )
+    } else {
+        plain
+    }
+}
+
+/// Generates one query belonging to Table 1 cluster `id` (1–24).
+pub fn cluster_query(id: u8, rng: &mut StdRng) -> String {
+    match id {
+        // Point lookups on Photoz.objid.
+        1 => {
+            let c = rng.gen_range(1_237_657_855_534_432_934i64..=1_237_666_210_342_830_434);
+            match rng.gen_range(0..3) {
+                0 => format!("SELECT z FROM Photoz WHERE objid = {c}"),
+                1 => format!("SELECT * FROM Photoz WHERE Photoz.objid = {c}"),
+                _ => format!("SELECT z, zerr FROM Photoz WHERE objid = {c} ORDER BY z"),
+            }
+        }
+        2 => {
+            let (l, h) =
+                jitter_range_i(rng, 1_115_887_524_498_139_136, 2_183_177_975_464_224_768);
+            let preds = range_pred(rng, "SpecObjAll.specobjid", &l.to_string(), &h.to_string());
+            let plain = format!("SELECT * FROM SpecObjAll WHERE {preds}");
+            maybe_aggregate(rng, true, "SpecObjAll", "class", "z", &preds, plain)
+        }
+        3 => {
+            let (l, h) =
+                jitter_range_i(rng, 1_345_591_721_622_267_904, 2_007_633_797_213_874_176);
+            let preds = range_pred(rng, "galSpecLine.specobjid", &l.to_string(), &h.to_string());
+            format!("SELECT h_alpha_flux FROM galSpecLine WHERE {preds}")
+        }
+        4 => {
+            let (l, h) =
+                jitter_range_i(rng, 1_416_192_325_597_030_400, 2_183_213_984_470_034_432);
+            let preds = range_pred(rng, "galSpecInfo.specobjid", &l.to_string(), &h.to_string());
+            format!("SELECT * FROM galSpecInfo WHERE {preds}")
+        }
+        5 => {
+            let ra = 210.0 - rng.gen_range(0.0..=8.0);
+            let dec = 10.0 - rng.gen_range(0.0..=0.8);
+            let preds = format!("PhotoObjAll.ra <= {ra:.2} AND PhotoObjAll.dec <= {dec:.2}");
+            let plain = match rng.gen_range(0..3) {
+                0 => format!("SELECT ra, dec FROM PhotoObjAll WHERE {preds}"),
+                1 => format!("SELECT TOP 1000 * FROM PhotoObjAll WHERE {preds}"),
+                _ => format!("SELECT objid FROM PhotoObjAll WHERE {preds} ORDER BY ra"),
+            };
+            maybe_aggregate(rng, true, "PhotoObjAll", "type", "r", &preds, plain)
+        }
+        6 => {
+            let (l, h) =
+                jitter_range_i(rng, 1_228_357_946_564_438_016, 2_069_493_422_263_134_208);
+            let preds = range_pred(rng, "sppLines.specobjid", &l.to_string(), &h.to_string());
+            format!("SELECT * FROM sppLines WHERE {preds}")
+        }
+        7 => {
+            let (l, h) = jitter_range(rng, 54.0, 115.0);
+            let preds = range_pred(rng, "SpecObjAll.ra", &format!("{l:.2}"), &format!("{h:.2}"));
+            format!("SELECT ra, dec, z FROM SpecObjAll WHERE {preds}")
+        }
+        8 => {
+            let (l, h) = jitter_range(rng, 60.0, 124.0);
+            let preds =
+                range_pred(rng, "SpecPhotoAll.ra", &format!("{l:.2}"), &format!("{h:.2}"));
+            let plain = format!("SELECT * FROM SpecPhotoAll WHERE {preds}");
+            maybe_aggregate(rng, true, "SpecPhotoAll", "class", "dec", &preds, plain)
+        }
+        9 => {
+            let (ml, mh) = jitter_range_i(rng, 51_578, 52_178);
+            let (pl, ph) = jitter_range_i(rng, 296, 3_200);
+            let preds = format!(
+                "SpecObjAll.class = 'star' AND {} AND {}",
+                range_pred(rng, "SpecObjAll.mjd", &ml.to_string(), &mh.to_string()),
+                range_pred(rng, "SpecObjAll.plate", &pl.to_string(), &ph.to_string()),
+            );
+            let plain = format!("SELECT plate, mjd FROM SpecObjAll WHERE {preds}");
+            maybe_aggregate(rng, true, "SpecObjAll", "plate", "z", &preds, plain)
+        }
+        10 => {
+            format!(
+                "SELECT name FROM DBObjects WHERE access = 'U' AND (type = 'V' OR type = 'U'){}",
+                if rng.gen_bool(0.3) { " ORDER BY name" } else { "" }
+            )
+        }
+        11 => {
+            let (l, h) = jitter_range(rng, 55.0, 141.0);
+            let preds = range_pred(
+                rng,
+                "emissionLinesPort.ra",
+                &format!("{l:.2}"),
+                &format!("{h:.2}"),
+            );
+            let plain = format!("SELECT * FROM emissionLinesPort WHERE {preds}");
+            maybe_aggregate(rng, true, "emissionLinesPort", "bpt", "dec", &preds, plain)
+        }
+        12 => {
+            let (l, h) = jitter_range(rng, 62.0, 138.0);
+            let preds = range_pred(
+                rng,
+                "stellarMassPCAWisc.ra",
+                &format!("{l:.2}"),
+                &format!("{h:.2}"),
+            );
+            let plain = format!("SELECT mstellar_median FROM stellarMassPCAWisc WHERE {preds}");
+            maybe_aggregate(
+                rng,
+                true,
+                "stellarMassPCAWisc",
+                "specobjid",
+                "mstellar_median",
+                &preds,
+                plain,
+            )
+        }
+        13 => {
+            let c = 1_237_676_243_900_255_188i64 + rng.gen_range(0..2_000_000_000_000i64);
+            format!("SELECT * FROM AtlasOutline WHERE objid > {c}")
+        }
+        14 => {
+            let (rl, rh) = jitter_range(rng, 2.0, 120.0);
+            let (dl, dh) = jitter_range(rng, 30.0, 70.0);
+            format!(
+                "SELECT * FROM zooSpec WHERE {} AND {}",
+                range_pred(rng, "zooSpec.ra", &format!("{rl:.2}"), &format!("{rh:.2}")),
+                range_pred(rng, "zooSpec.dec", &format!("{dl:.2}"), &format!("{dh:.2}")),
+            )
+        }
+        15 => {
+            let h = 0.1 - rng.gen_range(0.0..=0.008);
+            format!(
+                "SELECT objid FROM Photoz WHERE {}",
+                range_pred(rng, "Photoz.z", "0", &format!("{h:.4}"))
+            )
+        }
+        16 => {
+            let (bl, bh) = jitter_range_i(rng, 0, 3);
+            format!(
+                "SELECT galSpecExtra.bptclass FROM galSpecExtra, galSpecIndx \
+                 WHERE galSpecExtra.bptclass >= {bl} AND galSpecExtra.bptclass <= {bh} \
+                 AND galSpecExtra.specobjid = galSpecIndx.specObjID"
+            )
+        }
+        17 => {
+            let (gl, gh) = jitter_range(rng, 0.0, 50.0);
+            let (fl, fh) = jitter_range(rng, -0.3, 0.5);
+            let (ll, lh) = jitter_range(rng, 2.0, 3.0);
+            format!(
+                "SELECT * FROM sppLines, sppParams WHERE sppLines.gwholemask = 0 \
+                 AND sppLines.gwholeside >= {gl:.2} AND sppLines.gwholeside <= {gh:.2} \
+                 AND sppLines.specobjid = sppParams.specobjid \
+                 AND sppParams.fehadop >= {fl:.3} AND sppParams.fehadop <= {fh:.3} \
+                 AND sppParams.loggadop >= {ll:.2} AND sppParams.loggadop <= {lh:.2}"
+            )
+        }
+        // Empty-area clusters (18–24).
+        18 => {
+            let (rl, rh) = jitter_range(rng, 10.0, 120.0);
+            let (dl, dh) = jitter_range(rng, -90.0, -50.0);
+            let preds = format!(
+                "{} AND {}",
+                range_pred(rng, "PhotoObjAll.ra", &format!("{rl:.2}"), &format!("{rh:.2}")),
+                range_pred(rng, "PhotoObjAll.dec", &format!("{dl:.2}"), &format!("{dh:.2}")),
+            );
+            let plain = format!("SELECT ra, dec FROM PhotoObjAll WHERE {preds}");
+            maybe_aggregate(rng, true, "PhotoObjAll", "mode", "g", &preds, plain)
+        }
+        19 => {
+            let (l, h) =
+                jitter_range_i(rng, 3_519_644_828_126_257_152, 5_788_299_621_113_984_000);
+            let preds = range_pred(rng, "galSpecLine.specobjid", &l.to_string(), &h.to_string());
+            let plain = format!("SELECT * FROM galSpecLine WHERE {preds}");
+            maybe_aggregate(rng, true, "galSpecLine", "specobjid", "h_alpha_flux", &preds, plain)
+        }
+        20 => {
+            let (l, h) =
+                jitter_range_i(rng, 3_519_644_828_126_257_152, 5_788_299_621_113_984_000);
+            let preds = range_pred(rng, "galSpecInfo.specobjid", &l.to_string(), &h.to_string());
+            let plain = format!("SELECT * FROM galSpecInfo WHERE {preds}");
+            maybe_aggregate(rng, true, "galSpecInfo", "targettype", "v_disp", &preds, plain)
+        }
+        21 => {
+            let (l, h) =
+                jitter_range_i(rng, 4_037_480_726_273_651_712, 5_788_299_621_113_984_000);
+            format!(
+                "SELECT * FROM sppLines WHERE {}",
+                range_pred(rng, "sppLines.specobjid", &l.to_string(), &h.to_string())
+            )
+        }
+        22 => {
+            let (rl, rh) = jitter_range(rng, 6.0, 115.0);
+            let (dl, dh) = jitter_range(rng, -100.0, -15.0);
+            let preds = format!(
+                "{} AND {}",
+                range_pred(rng, "zooSpec.ra", &format!("{rl:.2}"), &format!("{rh:.2}")),
+                range_pred(rng, "zooSpec.dec", &format!("{dl:.2}"), &format!("{dh:.2}")),
+            );
+            let plain = format!("SELECT * FROM zooSpec WHERE {preds}");
+            maybe_aggregate(rng, true, "zooSpec", "specobjid", "p_el", &preds, plain)
+        }
+        23 => {
+            let (l, h) = jitter_range(rng, -0.98, -0.1);
+            format!(
+                "SELECT objid FROM Photoz WHERE {}",
+                range_pred(rng, "Photoz.z", &format!("{l:.3}"), &format!("{h:.3}"))
+            )
+        }
+        24 => {
+            let (l, h) = jitter_range(rng, 3.0, 6.5);
+            format!(
+                "SELECT objid FROM Photoz WHERE {}",
+                range_pred(rng, "Photoz.z", &format!("{l:.2}"), &format!("{h:.2}"))
+            )
+        }
+        other => panic!("no such Table 1 cluster: {other}"),
+    }
+}
+
+/// Background queries: exploratory one-offs spread across the data space,
+/// which DBSCAN should largely label as noise.
+pub fn background_query(rng: &mut StdRng) -> String {
+    const CHOICES: &[(&str, &str, f64, f64)] = &[
+        ("PhotoObjAll", "r", 10.0, 30.0),
+        ("PhotoObjAll", "ra", 0.0, 360.0),
+        ("SpecObjAll", "z", 0.0, 5.0),
+        ("SpecObjAll", "dec", -25.0, 85.0),
+        ("Photoz", "zerr", 0.0, 0.2),
+        ("galSpecLine", "h_beta_flux", -50.0, 2000.0),
+        ("zooSpec", "p_el", 0.0, 1.0),
+        ("sppParams", "fehadop", -3.0, 0.6),
+        ("emissionLinesPort", "dec", -25.0, 85.0),
+        ("stellarMassPCAWisc", "mstellar_median", 7.0, 12.0),
+    ];
+    let (table, col, lo, hi) = CHOICES[rng.gen_range(0..CHOICES.len())];
+    let a = rng.gen_range(lo..hi);
+    let b = rng.gen_range(lo..hi);
+    let (a, b) = (a.min(b), a.max(b));
+    match rng.gen_range(0..4) {
+        0 => format!("SELECT * FROM {table} WHERE {col} > {a:.4}"),
+        1 => format!("SELECT * FROM {table} WHERE {col} < {b:.4}"),
+        2 => format!("SELECT * FROM {table} WHERE {col} BETWEEN {a:.4} AND {b:.4}"),
+        _ => format!("SELECT TOP 100 * FROM {table} WHERE {col} >= {a:.4} AND {col} <= {b:.4}"),
+    }
+}
+
+/// Pathological log entries — the ~0.54% the paper's parser rejects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathologicalKind {
+    /// Plain syntax errors.
+    SyntaxError,
+    /// SkyServer UDF calls (JSqlParser rejected these; we reject them in
+    /// the extractor).
+    UserDefinedFunction,
+    /// Admin DDL (`CREATE TABLE`, `DECLARE`).
+    AdminStatement,
+}
+
+/// Generates a pathological entry of the given kind.
+pub fn pathological_query(kind: PathologicalKind, rng: &mut StdRng) -> String {
+    match kind {
+        PathologicalKind::SyntaxError => {
+            const BROKEN: &[&str] = &[
+                "SELEC * FORM PhotoObjAll",
+                "SELECT * FROM WHERE ra > 10",
+                "SELECT ra dec FROM PhotoObjAll WHERE (ra > 10",
+                "SELECT * FROM PhotoObjAll WHERE ra >> 10",
+                "FROM PhotoObjAll SELECT *",
+            ];
+            BROKEN[rng.gen_range(0..BROKEN.len())].to_string()
+        }
+        PathologicalKind::UserDefinedFunction => {
+            let ra = rng.gen_range(0.0..360.0);
+            let dec = rng.gen_range(-25.0..85.0);
+            match rng.gen_range(0..2) {
+                0 => format!(
+                    "SELECT p.objid FROM PhotoObjAll p, dbo.fGetNearbyObjEq({ra:.2}, {dec:.2}, 1.0) n WHERE p.objid = n.objid"
+                ),
+                _ => format!(
+                    "SELECT * FROM PhotoObjAll WHERE dbo.fDistanceArcMinEq(ra, dec, {ra:.2}, {dec:.2}) < 2.0"
+                ),
+            }
+        }
+        PathologicalKind::AdminStatement => {
+            const ADMIN: &[&str] = &[
+                "CREATE TABLE #tmpResults (objid bigint, ra float)",
+                "DECLARE @count int",
+                "INSERT INTO weblog VALUES (1, 'hit')",
+                "DROP TABLE #tmpResults",
+            ];
+            ADMIN[rng.gen_range(0..ADMIN.len())].to_string()
+        }
+    }
+}
+
+/// MySQL-dialect queries users paste into the MS-SQL-only interface
+/// (Section 6.6's `SELECT Galaxies.objid FROM Galaxies LIMIT 10`).
+pub fn mysql_dialect_query(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(5..500);
+    match rng.gen_range(0..2) {
+        0 => format!("SELECT Galaxies.objid FROM Galaxies LIMIT {n}"),
+        _ => {
+            let ra = rng.gen_range(0.0..300.0);
+            format!("SELECT objid FROM Galaxies WHERE ra > {ra:.2} LIMIT {n}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table1_matches_paper_shape() {
+        assert_eq!(TABLE1.len(), 24);
+        // Cardinalities are strictly ordered within clusters 1..17 as in
+        // the table, and 18-24 are the empty-area block.
+        assert_eq!(TABLE1[0].cardinality, 179_072);
+        assert_eq!(TABLE1[23].cardinality, 217);
+        assert_eq!(TABLE1.iter().filter(|c| c.empty_area).count(), 7);
+        let breakable: Vec<u8> = TABLE1.iter().filter(|c| c.breakable).map(|c| c.id).collect();
+        assert_eq!(breakable, vec![2, 5, 8, 9, 11, 12, 18, 19, 20, 22]);
+    }
+
+    #[test]
+    fn every_cluster_query_parses() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for spec in TABLE1 {
+            for _ in 0..20 {
+                let sql = cluster_query(spec.id, &mut rng);
+                aa_sql::parse_select(&sql)
+                    .unwrap_or_else(|e| panic!("cluster {}: {sql}: {e}", spec.id));
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_queries_extract_into_reported_bounds() {
+        use aa_core::extract::{Extractor, NoSchema};
+        let mut rng = StdRng::seed_from_u64(2);
+        let ex = Extractor::new(&NoSchema);
+        // Cluster 1: every extracted area constrains Photoz.objid within
+        // the reported range.
+        for _ in 0..50 {
+            let sql = cluster_query(1, &mut rng);
+            let area = ex.extract_sql(&sql).unwrap();
+            assert!(area.has_table("Photoz"));
+            let atom = area.constraint.atoms().next().unwrap();
+            let (_, iv) = atom.satisfying_interval().unwrap();
+            assert!(iv.lo >= 1_237_657_855_534_432_934f64);
+            assert!(iv.hi <= 1_237_666_210_342_830_435f64);
+        }
+    }
+
+    #[test]
+    fn aggregate_variants_extract_to_same_table_and_range() {
+        use aa_core::extract::{Extractor, NoSchema};
+        let mut rng = StdRng::seed_from_u64(3);
+        let ex = Extractor::new(&NoSchema);
+        let mut saw_aggregate = false;
+        for _ in 0..100 {
+            let sql = cluster_query(19, &mut rng);
+            if sql.contains("HAVING") {
+                saw_aggregate = true;
+                let area = ex.extract_sql(&sql).unwrap();
+                // Faithful extraction: the HAVING adds nothing; only the
+                // specobjid range remains.
+                assert!(area.has_table("galSpecLine"), "{sql}");
+                for atom in area.constraint.atoms() {
+                    assert!(
+                        atom.to_string().contains("specobjid"),
+                        "unexpected atom in {sql}: {atom}"
+                    );
+                }
+            }
+        }
+        assert!(saw_aggregate, "aggregate share never sampled");
+    }
+
+    #[test]
+    fn pathological_queries_fail_as_expected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            let sql = pathological_query(PathologicalKind::SyntaxError, &mut rng);
+            assert!(aa_sql::parse_select(&sql).is_err(), "{sql}");
+            let sql = pathological_query(PathologicalKind::AdminStatement, &mut rng);
+            assert!(aa_sql::parse_select(&sql).is_err(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn mysql_queries_parse_but_flag_dialect() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let sql = mysql_dialect_query(&mut rng);
+            let q = aa_sql::parse_select(&sql).unwrap();
+            assert!(q.uses_mysql_dialect(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn background_queries_parse() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let sql = background_query(&mut rng);
+            aa_sql::parse_select(&sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        }
+    }
+}

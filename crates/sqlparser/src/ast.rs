@@ -1,0 +1,612 @@
+//! Abstract syntax tree for the supported SQL subset.
+//!
+//! The shape mirrors what the access-area pipeline needs (Section 2 of the
+//! paper): a `SELECT` statement with `FROM`/`WHERE`/`GROUP BY`/`HAVING`
+//! clauses, all join flavours, and nested subqueries via `IN`, `EXISTS`,
+//! `ANY`/`SOME`/`ALL` and scalar positions. `ORDER BY` and `TOP`/`LIMIT` are
+//! parsed (they occur constantly in the log) but are irrelevant to access
+//! areas and are ignored downstream.
+
+use serde::{Deserialize, Serialize};
+
+/// A possibly multi-part object name such as `PhotoObjAll` or
+/// `BESTDR9..PhotoObjAll`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ObjectName {
+    pub parts: Vec<String>,
+}
+
+impl ObjectName {
+    pub fn simple(name: impl Into<String>) -> Self {
+        ObjectName {
+            parts: vec![name.into()],
+        }
+    }
+
+    /// The unqualified relation name (last path segment). SkyServer queries
+    /// qualify tables with database/schema prefixes that are irrelevant to
+    /// the data space, so extraction works on the base name.
+    pub fn base_name(&self) -> &str {
+        self.parts.last().map(String::as_str).unwrap_or("")
+    }
+}
+
+/// A column reference, optionally qualified by a table name or alias.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColumnRef {
+    pub qualifier: Option<String>,
+    pub column: String,
+}
+
+impl ColumnRef {
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColumnRef {
+            qualifier: None,
+            column: column.into(),
+        }
+    }
+
+    pub fn qualified(qualifier: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            qualifier: Some(qualifier.into()),
+            column: column.into(),
+        }
+    }
+}
+
+/// Literal values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Literal {
+    Int(i64),
+    Float(f64),
+    String(String),
+    Bool(bool),
+    Null,
+}
+
+/// Binary operators, including the boolean connectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinaryOp {
+    And,
+    Or,
+    Eq,
+    Neq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Plus,
+    Minus,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl BinaryOp {
+    /// True for the six comparison operators `θ` of the paper's
+    /// column-constant atomic predicates.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::Neq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        )
+    }
+
+    /// True for `AND` / `OR`.
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinaryOp::And | BinaryOp::Or)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+    Plus,
+}
+
+/// The five aggregate functions covered by the paper (Section 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// `ANY`/`SOME` vs `ALL` quantifier for quantified comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Quantifier {
+    Any,
+    All,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    Column(ColumnRef),
+    Literal(Literal),
+    /// A T-SQL `@variable`; treated as an opaque constant downstream.
+    Variable(String),
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        left: Box<Expr>,
+        op: BinaryOp,
+        right: Box<Expr>,
+    },
+    Between {
+        expr: Box<Expr>,
+        negated: bool,
+        low: Box<Expr>,
+        high: Box<Expr>,
+    },
+    InList {
+        expr: Box<Expr>,
+        negated: bool,
+        list: Vec<Expr>,
+    },
+    InSubquery {
+        expr: Box<Expr>,
+        negated: bool,
+        subquery: Box<Select>,
+    },
+    Exists {
+        negated: bool,
+        subquery: Box<Select>,
+    },
+    /// `left θ ANY (subquery)` / `left θ ALL (subquery)`.
+    Quantified {
+        left: Box<Expr>,
+        op: BinaryOp,
+        quantifier: Quantifier,
+        subquery: Box<Select>,
+    },
+    /// A subquery in a scalar position, e.g. `T.u = (SELECT ...)`.
+    ScalarSubquery(Box<Select>),
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<Expr>,
+        negated: bool,
+        pattern: Box<Expr>,
+    },
+    /// Aggregate function application; `arg == None` encodes `COUNT(*)`.
+    Aggregate {
+        func: AggFunc,
+        arg: Option<Box<Expr>>,
+        distinct: bool,
+    },
+    /// Any other function call (SkyServer UDFs such as `fGetNearbyObjEq`
+    /// reach the parser but are rejected later by the extractor).
+    Function {
+        name: String,
+        args: Vec<Expr>,
+    },
+    Case {
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_result: Option<Box<Expr>>,
+    },
+    Cast {
+        expr: Box<Expr>,
+        data_type: String,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for `left op right`.
+    pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Expr {
+        Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
+    }
+
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinaryOp::And, right)
+    }
+
+    pub fn or(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinaryOp::Or, right)
+    }
+
+    #[allow(clippy::should_implement_trait)] // semantic negation, not std::ops::Not
+    pub fn not(expr: Expr) -> Expr {
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(expr),
+        }
+    }
+
+    /// Folds a non-empty iterator of expressions with `AND`; returns `None`
+    /// for an empty iterator.
+    pub fn conjoin(exprs: impl IntoIterator<Item = Expr>) -> Option<Expr> {
+        exprs.into_iter().reduce(Expr::and)
+    }
+
+    /// Folds a non-empty iterator of expressions with `OR`.
+    pub fn disjoin(exprs: impl IntoIterator<Item = Expr>) -> Option<Expr> {
+        exprs.into_iter().reduce(Expr::or)
+    }
+
+    /// True if the expression contains any subquery.
+    pub fn has_subquery(&self) -> bool {
+        match self {
+            Expr::InSubquery { .. }
+            | Expr::Exists { .. }
+            | Expr::Quantified { .. }
+            | Expr::ScalarSubquery(_) => true,
+            Expr::Unary { expr, .. } => expr.has_subquery(),
+            Expr::Binary { left, right, .. } => left.has_subquery() || right.has_subquery(),
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.has_subquery() || low.has_subquery() || high.has_subquery(),
+            Expr::InList { expr, list, .. } => {
+                expr.has_subquery() || list.iter().any(Expr::has_subquery)
+            }
+            Expr::IsNull { expr, .. } => expr.has_subquery(),
+            Expr::Like { expr, pattern, .. } => expr.has_subquery() || pattern.has_subquery(),
+            Expr::Aggregate { arg, .. } => {
+                arg.as_deref().is_some_and(Expr::has_subquery)
+            }
+            Expr::Function { args, .. } => args.iter().any(Expr::has_subquery),
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
+                operand.as_deref().is_some_and(Expr::has_subquery)
+                    || branches
+                        .iter()
+                        .any(|(w, t)| w.has_subquery() || t.has_subquery())
+                    || else_result.as_deref().is_some_and(Expr::has_subquery)
+            }
+            Expr::Cast { expr, .. } => expr.has_subquery(),
+            Expr::Column(_) | Expr::Literal(_) | Expr::Variable(_) => false,
+        }
+    }
+
+    /// True if the expression contains an aggregate function call at any
+    /// depth that is not inside a subquery (those belong to the subquery).
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Unary { expr, .. } => expr.has_aggregate(),
+            Expr::Binary { left, right, .. } => left.has_aggregate() || right.has_aggregate(),
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.has_aggregate() || low.has_aggregate() || high.has_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.has_aggregate() || list.iter().any(Expr::has_aggregate)
+            }
+            Expr::IsNull { expr, .. } => expr.has_aggregate(),
+            Expr::Like { expr, pattern, .. } => expr.has_aggregate() || pattern.has_aggregate(),
+            Expr::Function { args, .. } => args.iter().any(Expr::has_aggregate),
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
+                operand.as_deref().is_some_and(Expr::has_aggregate)
+                    || branches
+                        .iter()
+                        .any(|(w, t)| w.has_aggregate() || t.has_aggregate())
+                    || else_result.as_deref().is_some_and(Expr::has_aggregate)
+            }
+            Expr::Cast { expr, .. } => expr.has_aggregate(),
+            _ => false,
+        }
+    }
+
+    /// Collects every column reference in the expression, excluding those
+    /// inside subqueries (a subquery has its own scope).
+    pub fn collect_columns(&self, out: &mut Vec<ColumnRef>) {
+        match self {
+            Expr::Column(c) => out.push(c.clone()),
+            Expr::Unary { expr, .. } => expr.collect_columns(out),
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.collect_columns(out);
+                low.collect_columns(out);
+                high.collect_columns(out);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.collect_columns(out);
+                for e in list {
+                    e.collect_columns(out);
+                }
+            }
+            Expr::InSubquery { expr, .. } => expr.collect_columns(out),
+            Expr::Quantified { left, .. } => left.collect_columns(out),
+            Expr::IsNull { expr, .. } => expr.collect_columns(out),
+            Expr::Like { expr, pattern, .. } => {
+                expr.collect_columns(out);
+                pattern.collect_columns(out);
+            }
+            Expr::Aggregate { arg, .. } => {
+                if let Some(a) = arg {
+                    a.collect_columns(out);
+                }
+            }
+            Expr::Function { args, .. } => {
+                for a in args {
+                    a.collect_columns(out);
+                }
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
+                if let Some(o) = operand {
+                    o.collect_columns(out);
+                }
+                for (w, t) in branches {
+                    w.collect_columns(out);
+                    t.collect_columns(out);
+                }
+                if let Some(e) = else_result {
+                    e.collect_columns(out);
+                }
+            }
+            Expr::Cast { expr, .. } => expr.collect_columns(out),
+            Expr::Exists { .. }
+            | Expr::ScalarSubquery(_)
+            | Expr::Literal(_)
+            | Expr::Variable(_) => {}
+        }
+    }
+}
+
+/// One item of the projection list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `T.*`
+    QualifiedWildcard(String),
+    /// An expression with an optional `AS` alias.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A table or derived table in the `FROM` clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TableFactor {
+    Table {
+        name: ObjectName,
+        alias: Option<String>,
+    },
+    Derived {
+        subquery: Box<Select>,
+        alias: Option<String>,
+    },
+}
+
+impl TableFactor {
+    /// The name this factor is visible under in the query's scope.
+    pub fn scope_name(&self) -> Option<&str> {
+        match self {
+            TableFactor::Table { name, alias } => {
+                Some(alias.as_deref().unwrap_or(name.base_name()))
+            }
+            TableFactor::Derived { alias, .. } => alias.as_deref(),
+        }
+    }
+}
+
+/// Join flavours (Section 4.2 of the paper handles each differently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JoinOperator {
+    Inner,
+    LeftOuter,
+    RightOuter,
+    FullOuter,
+    Cross,
+}
+
+/// The join condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JoinConstraint {
+    On(Expr),
+    /// `NATURAL JOIN` — equality over the common columns, resolved during
+    /// extraction/execution where schemas are known.
+    Natural,
+    /// `CROSS JOIN` / comma syntax.
+    None,
+}
+
+/// A single join step applied to the preceding factor chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Join {
+    pub op: JoinOperator,
+    pub factor: TableFactor,
+    pub constraint: JoinConstraint,
+}
+
+/// A `FROM`-clause element: a base factor plus zero or more joins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableWithJoins {
+    pub base: TableFactor,
+    pub joins: Vec<Join>,
+}
+
+/// `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderByItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+/// Row-limiting clause and which dialect spelled it.
+///
+/// T-SQL uses `SELECT TOP n ...`; MySQL (which SkyServer does *not* accept,
+/// but users submit anyway — Section 6.6) uses `... LIMIT n`. Recording the
+/// syntax lets the coverage experiment count dialect-mismatch queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowLimit {
+    pub rows: u64,
+    pub percent: bool,
+    pub syntax: LimitSyntax,
+}
+
+/// Which spelling produced the [`RowLimit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LimitSyntax {
+    Top,
+    Limit,
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Select {
+    pub distinct: bool,
+    pub projection: Vec<SelectItem>,
+    pub from: Vec<TableWithJoins>,
+    pub selection: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderByItem>,
+    pub limit: Option<RowLimit>,
+    /// `SELECT ... INTO #temp` target, parsed and ignored downstream.
+    pub into: Option<ObjectName>,
+}
+
+impl Select {
+    /// An empty `SELECT *` skeleton, useful for constructing intermediate
+    /// queries programmatically.
+    pub fn star_from(tables: impl IntoIterator<Item = ObjectName>) -> Select {
+        Select {
+            distinct: false,
+            projection: vec![SelectItem::Wildcard],
+            from: tables
+                .into_iter()
+                .map(|name| TableWithJoins {
+                    base: TableFactor::Table { name, alias: None },
+                    joins: Vec::new(),
+                })
+                .collect(),
+            selection: None,
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+            limit: None,
+            into: None,
+        }
+    }
+
+    /// True when the statement uses MySQL-only syntax that the real
+    /// SkyServer (MS SQL Server) would reject with an execution error.
+    pub fn uses_mysql_dialect(&self) -> bool {
+        self.limit
+            .as_ref()
+            .is_some_and(|l| l.syntax == LimitSyntax::Limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_name_base() {
+        let n = ObjectName {
+            parts: vec!["BESTDR9".into(), "dbo".into(), "PhotoObjAll".into()],
+        };
+        assert_eq!(n.base_name(), "PhotoObjAll");
+        assert_eq!(ObjectName::simple("T").base_name(), "T");
+    }
+
+    #[test]
+    fn conjoin_and_disjoin() {
+        let a = Expr::Column(ColumnRef::bare("a"));
+        let b = Expr::Column(ColumnRef::bare("b"));
+        let c = Expr::Column(ColumnRef::bare("c"));
+        let conj = Expr::conjoin([a.clone(), b.clone(), c.clone()]).unwrap();
+        match conj {
+            Expr::Binary {
+                op: BinaryOp::And, ..
+            } => {}
+            other => panic!("expected AND, got {other:?}"),
+        }
+        assert_eq!(Expr::conjoin(std::iter::empty()), None);
+        assert!(Expr::disjoin([a]).is_some());
+    }
+
+    #[test]
+    fn has_subquery_sees_through_nesting() {
+        let sub = Select::star_from([ObjectName::simple("S")]);
+        let e = Expr::not(Expr::Exists {
+            negated: false,
+            subquery: Box::new(sub),
+        });
+        assert!(e.has_subquery());
+        assert!(!Expr::Literal(Literal::Int(1)).has_subquery());
+    }
+
+    #[test]
+    fn collect_columns_skips_subquery_scope() {
+        let sub = Select::star_from([ObjectName::simple("S")]);
+        let e = Expr::and(
+            Expr::binary(
+                Expr::Column(ColumnRef::qualified("T", "u")),
+                BinaryOp::Gt,
+                Expr::Literal(Literal::Int(5)),
+            ),
+            Expr::Exists {
+                negated: false,
+                subquery: Box::new(sub),
+            },
+        );
+        let mut cols = Vec::new();
+        e.collect_columns(&mut cols);
+        assert_eq!(cols, vec![ColumnRef::qualified("T", "u")]);
+    }
+
+    #[test]
+    fn mysql_dialect_detection() {
+        let mut q = Select::star_from([ObjectName::simple("Galaxies")]);
+        assert!(!q.uses_mysql_dialect());
+        q.limit = Some(RowLimit {
+            rows: 10,
+            percent: false,
+            syntax: LimitSyntax::Limit,
+        });
+        assert!(q.uses_mysql_dialect());
+        q.limit = Some(RowLimit {
+            rows: 10,
+            percent: false,
+            syntax: LimitSyntax::Top,
+        });
+        assert!(!q.uses_mysql_dialect());
+    }
+}

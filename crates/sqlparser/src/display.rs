@@ -1,0 +1,478 @@
+//! Pretty-printing of AST nodes back to SQL text.
+//!
+//! The printer emits canonical SQL that re-parses to an equal AST
+//! (`parse(display(ast)) == ast`), which the property tests rely on, and
+//! which the intermediate-format machinery in `aa-core` uses to render
+//! transformed queries for reports.
+
+use crate::ast::*;
+use std::fmt;
+
+impl fmt::Display for ObjectName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, part) in self.parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{part}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(q) = &self.qualifier {
+            write!(f, "{q}.")?;
+        }
+        write!(f, "{}", self.column)
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                    // Keep a decimal point so the literal re-parses as Float.
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Literal::String(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Literal::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl BinaryOp {
+    /// SQL spelling of the operator.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Eq => "=",
+            BinaryOp::Neq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::Plus => "+",
+            BinaryOp::Minus => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+        }
+    }
+
+    /// Binding strength used by the printer to decide where parentheses are
+    /// required. Larger binds tighter.
+    fn precedence(&self) -> u8 {
+        match self {
+            BinaryOp::Or => 1,
+            BinaryOp::And => 2,
+            BinaryOp::Eq
+            | BinaryOp::Neq
+            | BinaryOp::Lt
+            | BinaryOp::LtEq
+            | BinaryOp::Gt
+            | BinaryOp::GtEq => 4,
+            BinaryOp::Plus | BinaryOp::Minus => 5,
+            BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => 6,
+        }
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// Precedence of an expression node, for parenthesisation.
+fn expr_precedence(e: &Expr) -> u8 {
+    match e {
+        Expr::Binary { op, .. } => op.precedence(),
+        Expr::Unary {
+            op: UnaryOp::Not, ..
+        } => 3,
+        // BETWEEN/IN/LIKE/IS sit at comparison level.
+        Expr::Between { .. }
+        | Expr::InList { .. }
+        | Expr::InSubquery { .. }
+        | Expr::Quantified { .. }
+        | Expr::IsNull { .. }
+        | Expr::Like { .. } => 4,
+        _ => 10,
+    }
+}
+
+/// Writes `child` parenthesised if it binds looser than `parent_prec`.
+fn write_child(f: &mut fmt::Formatter<'_>, child: &Expr, parent_prec: u8) -> fmt::Result {
+    if expr_precedence(child) < parent_prec {
+        write!(f, "({child})")
+    } else {
+        write!(f, "{child}")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Variable(v) => write!(f, "@{v}"),
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Not => {
+                    write!(f, "NOT ")?;
+                    write_child(f, expr, 3 + 1)
+                }
+                UnaryOp::Neg => {
+                    write!(f, "-")?;
+                    write_child(f, expr, 7)
+                }
+                UnaryOp::Plus => {
+                    write!(f, "+")?;
+                    write_child(f, expr, 7)
+                }
+            },
+            Expr::Binary { left, op, right } => {
+                let prec = op.precedence();
+                write_child(f, left, prec)?;
+                write!(f, " {op} ")?;
+                // The right child needs parens at *equal* precedence to
+                // preserve the tree shape: the parser is left-associative,
+                // so `a OR (b OR c)` and `a - (b - c)` must keep their
+                // explicit grouping through a round trip.
+                if expr_precedence(right) <= prec {
+                    write!(f, "({right})")
+                } else {
+                    write!(f, "{right}")
+                }
+            }
+            Expr::Between {
+                expr,
+                negated,
+                low,
+                high,
+            } => {
+                write_child(f, expr, 5)?;
+                if *negated {
+                    write!(f, " NOT")?;
+                }
+                write!(f, " BETWEEN ")?;
+                write_child(f, low, 5)?;
+                write!(f, " AND ")?;
+                write_child(f, high, 5)
+            }
+            Expr::InList {
+                expr,
+                negated,
+                list,
+            } => {
+                write_child(f, expr, 5)?;
+                if *negated {
+                    write!(f, " NOT")?;
+                }
+                write!(f, " IN (")?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::InSubquery {
+                expr,
+                negated,
+                subquery,
+            } => {
+                write_child(f, expr, 5)?;
+                if *negated {
+                    write!(f, " NOT")?;
+                }
+                write!(f, " IN ({subquery})")
+            }
+            Expr::Exists { negated, subquery } => {
+                if *negated {
+                    write!(f, "NOT ")?;
+                }
+                write!(f, "EXISTS ({subquery})")
+            }
+            Expr::Quantified {
+                left,
+                op,
+                quantifier,
+                subquery,
+            } => {
+                write_child(f, left, 5)?;
+                let q = match quantifier {
+                    Quantifier::Any => "ANY",
+                    Quantifier::All => "ALL",
+                };
+                write!(f, " {op} {q} ({subquery})")
+            }
+            Expr::ScalarSubquery(subquery) => write!(f, "({subquery})"),
+            Expr::IsNull { expr, negated } => {
+                write_child(f, expr, 5)?;
+                write!(f, " IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::Like {
+                expr,
+                negated,
+                pattern,
+            } => {
+                write_child(f, expr, 5)?;
+                if *negated {
+                    write!(f, " NOT")?;
+                }
+                write!(f, " LIKE ")?;
+                write_child(f, pattern, 5)
+            }
+            Expr::Aggregate {
+                func,
+                arg,
+                distinct,
+            } => {
+                write!(f, "{}(", func.name())?;
+                if *distinct {
+                    write!(f, "DISTINCT ")?;
+                }
+                match arg {
+                    Some(a) => write!(f, "{a}")?,
+                    None => write!(f, "*")?,
+                }
+                write!(f, ")")
+            }
+            Expr::Function { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
+                write!(f, "CASE")?;
+                if let Some(o) = operand {
+                    write!(f, " {o}")?;
+                }
+                for (w, t) in branches {
+                    write!(f, " WHEN {w} THEN {t}")?;
+                }
+                if let Some(e) = else_result {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            Expr::Cast { expr, data_type } => write!(f, "CAST({expr} AS {data_type})"),
+        }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::QualifiedWildcard(t) => write!(f, "{t}.*"),
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableFactor::Table { name, alias } => {
+                write!(f, "{name}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            TableFactor::Derived { subquery, alias } => {
+                write!(f, "({subquery})")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableWithJoins {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.base)?;
+        for join in &self.joins {
+            match (&join.op, &join.constraint) {
+                (JoinOperator::Cross, JoinConstraint::None) => {
+                    write!(f, " CROSS JOIN {}", join.factor)?
+                }
+                (op, JoinConstraint::Natural) => {
+                    debug_assert_eq!(*op, JoinOperator::Inner);
+                    write!(f, " NATURAL JOIN {}", join.factor)?;
+                }
+                (op, JoinConstraint::On(cond)) => {
+                    let kw = match op {
+                        JoinOperator::Inner => "INNER JOIN",
+                        JoinOperator::LeftOuter => "LEFT OUTER JOIN",
+                        JoinOperator::RightOuter => "RIGHT OUTER JOIN",
+                        JoinOperator::FullOuter => "FULL OUTER JOIN",
+                        JoinOperator::Cross => "CROSS JOIN",
+                    };
+                    write!(f, " {kw} {} ON {cond}", join.factor)?;
+                }
+                (op, JoinConstraint::None) => {
+                    let kw = match op {
+                        JoinOperator::Cross => "CROSS JOIN",
+                        // Shouldn't happen out of the parser; render
+                        // something re-parseable anyway.
+                        _ => "CROSS JOIN",
+                    };
+                    write!(f, " {kw} {}", join.factor)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        if let Some(limit) = &self.limit {
+            if limit.syntax == LimitSyntax::Top {
+                write!(f, "TOP {}", limit.rows)?;
+                if limit.percent {
+                    write!(f, " PERCENT")?;
+                }
+                write!(f, " ")?;
+            }
+        }
+        for (i, item) in self.projection.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if let Some(into) = &self.into {
+            write!(f, " INTO {into}")?;
+        }
+        if !self.from.is_empty() {
+            write!(f, " FROM ")?;
+            for (i, t) in self.from.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+        }
+        if let Some(w) = &self.selection {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", o.expr)?;
+                if o.desc {
+                    write!(f, " DESC")?;
+                }
+            }
+        }
+        if let Some(limit) = &self.limit {
+            if limit.syntax == LimitSyntax::Limit {
+                write!(f, " LIMIT {}", limit.rows)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::Parser;
+
+    /// Round-trip helper: parse, print, re-parse, and require equality.
+    fn round_trip(sql: &str) {
+        let ast = Parser::parse_statement(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let printed = ast.to_string();
+        let reparsed = Parser::parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("printed `{printed}` failed to parse: {e}"));
+        assert_eq!(ast, reparsed, "round trip changed AST for `{sql}` -> `{printed}`");
+    }
+
+    #[test]
+    fn round_trips_representative_queries() {
+        for sql in [
+            "SELECT * FROM T",
+            "SELECT u FROM T WHERE u >= 1 AND u <= 8 AND s > 5",
+            "SELECT * FROM T WHERE (T.u <= 5 OR T.u >= 10) AND T.v <= 5",
+            "SELECT * FROM T WHERE u BETWEEN 1 AND 8",
+            "SELECT * FROM T WHERE NOT (T.u > 5 AND T.v <= 10)",
+            "SELECT * FROM T FULL OUTER JOIN S ON T.u = S.u",
+            "SELECT * FROM T RIGHT OUTER JOIN S ON T.u = S.u",
+            "SELECT * FROM T NATURAL JOIN S",
+            "SELECT T.u, SUM(T.v) FROM T GROUP BY T.u HAVING SUM(T.v) > 10",
+            "SELECT * FROM T WHERE T.u > 5 AND EXISTS (SELECT * FROM S WHERE S.u = T.u AND S.v < 3)",
+            "SELECT * FROM T WHERE u IN (SELECT u FROM S)",
+            "SELECT * FROM T WHERE class IN ('star', 'galaxy', 'qso')",
+            "SELECT * FROM T WHERE u > ANY (SELECT u FROM S)",
+            "SELECT * FROM T WHERE u = (SELECT s FROM S WHERE S.v = 12)",
+            "SELECT TOP 10 ra, dec FROM PhotoObjAll WHERE ra <= 210.0 AND dec <= 10.0 ORDER BY ra",
+            "SELECT objid FROM Galaxies LIMIT 10",
+            "SELECT DISTINCT class FROM SpecObjAll",
+            "SELECT COUNT(*) FROM T",
+            "SELECT u, CASE WHEN v > 0 THEN 1 ELSE 0 END FROM T",
+            "SELECT * FROM (SELECT u FROM T WHERE u > 1) AS sub WHERE sub.u < 5",
+            "SELECT * FROM T WHERE z IS NOT NULL",
+            "SELECT * FROM T WHERE name LIKE 'NGC%'",
+            "SELECT * FROM T WHERE u = 1 OR v = 2 AND w = 3",
+            "SELECT * FROM T WHERE (u = 1 OR v = 2) AND w = 3",
+            "SELECT * FROM T WHERE dec >= -90 AND dec <= -50.5",
+            "SELECT * FROM BESTDR9..PhotoObjAll WHERE ra < 1",
+        ] {
+            round_trip(sql);
+        }
+    }
+
+    #[test]
+    fn printed_sql_is_canonical() {
+        let ast = Parser::parse_statement("select   u from t where u>=1").unwrap();
+        assert_eq!(ast.to_string(), "SELECT u FROM t WHERE u >= 1");
+    }
+}

@@ -1,0 +1,551 @@
+//! A hand-written SQL lexer.
+//!
+//! Supports the lexical features seen in the SkyServer query log:
+//!
+//! * `--` line comments and `/* ... */` block comments (nesting tolerated),
+//! * single-quoted strings with `''` escapes,
+//! * bracketed identifiers `[Name]` (T-SQL), double-quoted identifiers, and
+//!   backtick identifiers (MySQL dialect statements users paste in),
+//! * integer, decimal and scientific-notation number literals,
+//! * `@variables` from admin scripts,
+//! * the operator set `= <> != < <= > >= + - * / %`.
+
+use crate::error::{ParseError, ParseResult};
+use crate::token::{Keyword, Span, SpannedToken, Token};
+
+/// Streaming lexer over a SQL string.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Lexes the whole input into a token vector terminated by [`Token::Eof`].
+    pub fn tokenize(src: &'a str) -> ParseResult<Vec<SpannedToken>> {
+        let mut lexer = Lexer::new(src);
+        let mut out = Vec::with_capacity(src.len() / 4 + 4);
+        loop {
+            let tok = lexer.next_token()?;
+            let is_eof = tok.token == Token::Eof;
+            out.push(tok);
+            if is_eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) -> ParseResult<()> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                depth -= 1;
+                                self.pos += 2;
+                            }
+                            (Some(b'/'), Some(b'*')) => {
+                                depth += 1;
+                                self.pos += 2;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(ParseError::syntax(
+                                    "unterminated block comment",
+                                    Span::new(start, self.pos),
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Produces the next token (skipping whitespace and comments).
+    pub fn next_token(&mut self) -> ParseResult<SpannedToken> {
+        self.skip_trivia()?;
+        let start = self.pos;
+        let Some(b) = self.peek() else {
+            return Ok(SpannedToken {
+                token: Token::Eof,
+                span: Span::new(start, start),
+            });
+        };
+
+        let token = match b {
+            b'\'' => return self.lex_string(start),
+            b'[' => return self.lex_bracketed(start),
+            b'"' => return self.lex_quoted(start, b'"'),
+            b'`' => return self.lex_quoted(start, b'`'),
+            b'@' => return self.lex_variable(start),
+            b'0'..=b'9' => return self.lex_number(start),
+            // `.5` style decimals.
+            b'.' if self.peek2().is_some_and(|c| c.is_ascii_digit()) => {
+                return self.lex_number(start)
+            }
+            b',' => {
+                self.pos += 1;
+                Token::Comma
+            }
+            b'.' => {
+                self.pos += 1;
+                Token::Dot
+            }
+            b'(' => {
+                self.pos += 1;
+                Token::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Token::RParen
+            }
+            b'+' => {
+                self.pos += 1;
+                Token::Plus
+            }
+            b'-' => {
+                self.pos += 1;
+                Token::Minus
+            }
+            b'*' => {
+                self.pos += 1;
+                Token::Star
+            }
+            b'/' => {
+                self.pos += 1;
+                Token::Slash
+            }
+            b'%' => {
+                self.pos += 1;
+                Token::Percent
+            }
+            b';' => {
+                self.pos += 1;
+                Token::Semicolon
+            }
+            b'=' => {
+                self.pos += 1;
+                // Tolerate `==`, which shows up in copy-pasted code.
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                }
+                Token::Eq
+            }
+            b'<' => {
+                self.pos += 1;
+                match self.peek() {
+                    Some(b'=') => {
+                        self.pos += 1;
+                        Token::LtEq
+                    }
+                    Some(b'>') => {
+                        self.pos += 1;
+                        Token::Neq
+                    }
+                    _ => Token::Lt,
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    Token::GtEq
+                } else {
+                    Token::Gt
+                }
+            }
+            b'!' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    Token::Neq
+                } else {
+                    return Err(ParseError::syntax(
+                        "unexpected character '!'",
+                        Span::new(start, self.pos),
+                    ));
+                }
+            }
+            b if b.is_ascii_alphabetic() || b == b'_' || b == b'#' => {
+                return self.lex_word(start)
+            }
+            other => {
+                return Err(ParseError::syntax(
+                    format!("unexpected character '{}'", other as char),
+                    Span::new(start, start + 1),
+                ))
+            }
+        };
+        Ok(SpannedToken {
+            token,
+            span: Span::new(start, self.pos),
+        })
+    }
+
+    fn lex_word(&mut self, start: usize) -> ParseResult<SpannedToken> {
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'#' || b == b'$' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let word = &self.src[start..self.pos];
+        let token = match Keyword::from_word(word) {
+            Some(kw) => Token::Keyword(kw),
+            None => Token::Ident {
+                value: word.to_string(),
+                quoted: false,
+            },
+        };
+        Ok(SpannedToken {
+            token,
+            span: Span::new(start, self.pos),
+        })
+    }
+
+    fn lex_number(&mut self, start: usize) -> ParseResult<SpannedToken> {
+        let mut seen_dot = false;
+        let mut seen_exp = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' if !seen_dot && !seen_exp => {
+                    // Don't swallow `1..2` (not valid SQL, but fail later).
+                    seen_dot = true;
+                    self.pos += 1;
+                }
+                b'e' | b'E' if !seen_exp => {
+                    let next = self.peek2();
+                    let is_exp = match next {
+                        Some(c) if c.is_ascii_digit() => true,
+                        Some(b'+') | Some(b'-') => self
+                            .bytes
+                            .get(self.pos + 2)
+                            .is_some_and(|c| c.is_ascii_digit()),
+                        _ => false,
+                    };
+                    if !is_exp {
+                        break;
+                    }
+                    seen_exp = true;
+                    self.pos += 1; // e
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = &self.src[start..self.pos];
+        Ok(SpannedToken {
+            token: Token::Number(text.to_string()),
+            span: Span::new(start, self.pos),
+        })
+    }
+
+    fn lex_string(&mut self, start: usize) -> ParseResult<SpannedToken> {
+        debug_assert_eq!(self.peek(), Some(b'\''));
+        self.pos += 1;
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    if self.peek() == Some(b'\'') {
+                        value.push('\'');
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Some(b) => value.push(b as char),
+                None => {
+                    return Err(ParseError::syntax(
+                        "unterminated string literal",
+                        Span::new(start, self.pos),
+                    ))
+                }
+            }
+        }
+        Ok(SpannedToken {
+            token: Token::String(value),
+            span: Span::new(start, self.pos),
+        })
+    }
+
+    fn lex_bracketed(&mut self, start: usize) -> ParseResult<SpannedToken> {
+        debug_assert_eq!(self.peek(), Some(b'['));
+        self.pos += 1;
+        let content_start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b']' {
+                let value = self.src[content_start..self.pos].to_string();
+                self.pos += 1;
+                return Ok(SpannedToken {
+                    token: Token::Ident {
+                        value,
+                        quoted: true,
+                    },
+                    span: Span::new(start, self.pos),
+                });
+            }
+            self.pos += 1;
+        }
+        Err(ParseError::syntax(
+            "unterminated bracketed identifier",
+            Span::new(start, self.pos),
+        ))
+    }
+
+    fn lex_variable(&mut self, start: usize) -> ParseResult<SpannedToken> {
+        debug_assert_eq!(self.peek(), Some(b'@'));
+        self.pos += 1;
+        // `@@rowcount`-style globals keep the second `@` in the name.
+        if self.peek() == Some(b'@') {
+            self.pos += 1;
+        }
+        let name_start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == name_start {
+            return Err(ParseError::syntax(
+                "expected variable name after '@'",
+                Span::new(start, self.pos),
+            ));
+        }
+        Ok(SpannedToken {
+            token: Token::Variable(self.src[name_start..self.pos].to_string()),
+            span: Span::new(start, self.pos),
+        })
+    }
+
+    fn lex_quoted(&mut self, start: usize, quote: u8) -> ParseResult<SpannedToken> {
+        debug_assert_eq!(self.peek(), Some(quote));
+        self.pos += 1;
+        let content_start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let value = self.src[content_start..self.pos].to_string();
+                self.pos += 1;
+                return Ok(SpannedToken {
+                    token: Token::Ident {
+                        value,
+                        quoted: true,
+                    },
+                    span: Span::new(start, self.pos),
+                });
+            }
+            self.pos += 1;
+        }
+        Err(ParseError::syntax(
+            "unterminated quoted identifier",
+            Span::new(start, self.pos),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        Lexer::tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        let t = toks("SELECT u FROM T WHERE u >= 1");
+        assert_eq!(
+            t,
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Ident {
+                    value: "u".into(),
+                    quoted: false
+                },
+                Token::Keyword(Keyword::From),
+                Token::Ident {
+                    value: "T".into(),
+                    quoted: false
+                },
+                Token::Keyword(Keyword::Where),
+                Token::Ident {
+                    value: "u".into(),
+                    quoted: false
+                },
+                Token::GtEq,
+                Token::Number("1".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let t = toks("= <> != < <= > >= + - * / %");
+        assert_eq!(
+            t,
+            vec![
+                Token::Eq,
+                Token::Neq,
+                Token::Neq,
+                Token::Lt,
+                Token::LtEq,
+                Token::Gt,
+                Token::GtEq,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Percent,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        let t = toks("1 3.25 .5 1e9 6.02e23 1E-3 1237657855534432934");
+        let nums: Vec<String> = t
+            .into_iter()
+            .filter_map(|t| match t {
+                Token::Number(n) => Some(n),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            nums,
+            vec![
+                "1",
+                "3.25",
+                ".5",
+                "1e9",
+                "6.02e23",
+                "1E-3",
+                "1237657855534432934"
+            ]
+        );
+    }
+
+    #[test]
+    fn number_followed_by_ident_does_not_eat_e() {
+        // `2east` is nonsense, but `1e` must not swallow a non-exponent.
+        let t = toks("1e x");
+        assert_eq!(t[0], Token::Number("1".into()));
+        assert_eq!(
+            t[1],
+            Token::Ident {
+                value: "e".into(),
+                quoted: false
+            }
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        let t = toks("'star' 'it''s'");
+        assert_eq!(t[0], Token::String("star".into()));
+        assert_eq!(t[1], Token::String("it's".into()));
+    }
+
+    #[test]
+    fn lexes_bracketed_and_quoted_identifiers() {
+        let t = toks("[PhotoObjAll] \"dec\" `objid`");
+        for (tok, expect) in t.iter().zip(["PhotoObjAll", "dec", "objid"]) {
+            assert_eq!(
+                tok,
+                &Token::Ident {
+                    value: expect.into(),
+                    quoted: true
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn skips_comments() {
+        let t = toks("SELECT -- trailing\n/* block /* nested */ */ 1");
+        assert_eq!(
+            t,
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Number("1".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_unterminated_string() {
+        let err = Lexer::tokenize("SELECT 'oops").unwrap_err();
+        assert!(err.message.contains("unterminated string"));
+    }
+
+    #[test]
+    fn reports_unterminated_comment() {
+        let err = Lexer::tokenize("SELECT /* oops").unwrap_err();
+        assert!(err.message.contains("block comment"));
+    }
+
+    #[test]
+    fn lexes_variables() {
+        let t = toks("DECLARE @x");
+        assert_eq!(t[1], Token::Variable("x".into()));
+    }
+
+    #[test]
+    fn spans_point_into_source() {
+        let src = "SELECT plate FROM SpecObjAll";
+        let spanned = Lexer::tokenize(src).unwrap();
+        let plate = &spanned[1];
+        assert_eq!(&src[plate.span.start..plate.span.end], "plate");
+    }
+}

@@ -1,0 +1,727 @@
+//! Expression parsing with precedence climbing.
+//!
+//! Precedence, loosest first: `OR` < `AND` < `NOT` < comparisons /
+//! `BETWEEN` / `IN` / `LIKE` / `IS` < `+ -` < `* / %` < unary sign.
+
+use crate::ast::*;
+use crate::error::{ParseError, ParseResult};
+use crate::token::{Keyword, Token};
+
+use super::Parser;
+
+impl Parser {
+    /// Parses a full boolean/value expression.
+    pub fn parse_expr(&mut self) -> ParseResult<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> ParseResult<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword(Keyword::Or) {
+            let right = self.parse_and()?;
+            left = Expr::or(left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> ParseResult<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword(Keyword::And) {
+            let right = self.parse_not()?;
+            left = Expr::and(left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> ParseResult<Expr> {
+        if self.eat_keyword(Keyword::Not) {
+            let inner = self.parse_not()?;
+            return Ok(Expr::not(inner));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> ParseResult<Expr> {
+        let left = self.parse_additive()?;
+
+        // Postfix predicates, possibly preceded by NOT.
+        let negated = if self.peek().keyword() == Some(Keyword::Not)
+            && matches!(
+                self.peek_ahead(1).keyword(),
+                Some(Keyword::Between | Keyword::In | Keyword::Like)
+            ) {
+            self.advance();
+            true
+        } else {
+            false
+        };
+
+        if self.eat_keyword(Keyword::Between) {
+            let low = self.parse_additive()?;
+            self.expect_keyword(Keyword::And)?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                negated,
+                low: Box::new(low),
+                high: Box::new(high),
+            });
+        }
+
+        if self.eat_keyword(Keyword::In) {
+            self.expect(&Token::LParen)?;
+            if self.peek().keyword() == Some(Keyword::Select) {
+                let subquery = Box::new(self.parse_select()?);
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    negated,
+                    subquery,
+                });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_additive()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                negated,
+                list,
+            });
+        }
+
+        if self.eat_keyword(Keyword::Like) {
+            let pattern = self.parse_additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                negated,
+                pattern: Box::new(pattern),
+            });
+        }
+
+        if negated {
+            return Err(ParseError::syntax(
+                "expected BETWEEN, IN or LIKE after NOT",
+                self.peek_span(),
+            ));
+        }
+
+        if self.eat_keyword(Keyword::Is) {
+            let negated = self.eat_keyword(Keyword::Not);
+            self.expect_keyword(Keyword::Null)?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+
+        let op = match self.peek() {
+            Token::Eq => BinaryOp::Eq,
+            Token::Neq => BinaryOp::Neq,
+            Token::Lt => BinaryOp::Lt,
+            Token::LtEq => BinaryOp::LtEq,
+            Token::Gt => BinaryOp::Gt,
+            Token::GtEq => BinaryOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.advance();
+
+        // Quantified comparison: `θ ANY (SELECT ...)` / `θ ALL (SELECT ...)`.
+        if let Some(kw) = self.peek().keyword() {
+            if matches!(kw, Keyword::Any | Keyword::Some | Keyword::All) {
+                self.advance();
+                let quantifier = if kw == Keyword::All {
+                    Quantifier::All
+                } else {
+                    Quantifier::Any
+                };
+                self.expect(&Token::LParen)?;
+                let subquery = Box::new(self.parse_select()?);
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::Quantified {
+                    left: Box::new(left),
+                    op,
+                    quantifier,
+                    subquery,
+                });
+            }
+        }
+
+        let right = self.parse_additive()?;
+        Ok(Expr::binary(left, op, right))
+    }
+
+    fn parse_additive(&mut self) -> ParseResult<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinaryOp::Plus,
+                Token::Minus => BinaryOp::Minus,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> ParseResult<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinaryOp::Mul,
+                Token::Slash => BinaryOp::Div,
+                Token::Percent => BinaryOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_unary()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> ParseResult<Expr> {
+        match self.peek() {
+            Token::Minus => {
+                self.advance();
+                // Fold the sign into numeric literals so that `-5` is a
+                // constant (the paper's atomic predicates compare against
+                // constants; keeping `-5` as Neg(5) would obscure that).
+                let inner = self.parse_unary()?;
+                Ok(match inner {
+                    Expr::Literal(Literal::Int(i)) => Expr::Literal(Literal::Int(-i)),
+                    Expr::Literal(Literal::Float(f)) => Expr::Literal(Literal::Float(-f)),
+                    other => Expr::Unary {
+                        op: UnaryOp::Neg,
+                        expr: Box::new(other),
+                    },
+                })
+            }
+            Token::Plus => {
+                self.advance();
+                self.parse_unary()
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> ParseResult<Expr> {
+        match self.peek().clone() {
+            Token::Number(text) => {
+                self.advance();
+                Ok(Expr::Literal(parse_number(&text).ok_or_else(|| {
+                    ParseError::syntax(format!("invalid number literal {text}"), self.peek_span())
+                })?))
+            }
+            Token::String(s) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::String(s)))
+            }
+            Token::Variable(v) => {
+                self.advance();
+                Ok(Expr::Variable(v))
+            }
+            Token::Keyword(Keyword::Null) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            Token::Keyword(Keyword::True) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            Token::Keyword(Keyword::False) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            Token::Keyword(Keyword::Exists) => {
+                self.advance();
+                self.expect(&Token::LParen)?;
+                let subquery = Box::new(self.parse_select()?);
+                self.expect(&Token::RParen)?;
+                Ok(Expr::Exists {
+                    negated: false,
+                    subquery,
+                })
+            }
+            Token::Keyword(
+                kw @ (Keyword::Count | Keyword::Sum | Keyword::Avg | Keyword::Min | Keyword::Max),
+            ) => {
+                // Aggregate call if followed by `(`; otherwise an identifier
+                // (e.g. a column named `count`).
+                if self.peek_ahead(1) == &Token::LParen {
+                    self.advance();
+                    self.advance(); // (
+                    let func = match kw {
+                        Keyword::Count => AggFunc::Count,
+                        Keyword::Sum => AggFunc::Sum,
+                        Keyword::Avg => AggFunc::Avg,
+                        Keyword::Min => AggFunc::Min,
+                        Keyword::Max => AggFunc::Max,
+                        _ => unreachable!(),
+                    };
+                    let distinct = self.eat_keyword(Keyword::Distinct);
+                    let arg = if self.eat(&Token::Star) {
+                        None
+                    } else {
+                        Some(Box::new(self.parse_expr()?))
+                    };
+                    self.expect(&Token::RParen)?;
+                    Ok(Expr::Aggregate {
+                        func,
+                        arg,
+                        distinct,
+                    })
+                } else {
+                    self.advance();
+                    Ok(Expr::Column(ColumnRef::bare(
+                        kw.as_str().to_ascii_lowercase(),
+                    )))
+                }
+            }
+            Token::Keyword(Keyword::Case) => self.parse_case(),
+            Token::Keyword(Keyword::Cast) => {
+                self.advance();
+                self.expect(&Token::LParen)?;
+                let expr = self.parse_expr()?;
+                self.expect_keyword(Keyword::As)?;
+                let mut data_type = self.expect_ident()?;
+                // `CAST(x AS numeric(10, 2))` — swallow the type arguments.
+                if self.eat(&Token::LParen) {
+                    data_type.push('(');
+                    loop {
+                        match self.advance() {
+                            Token::RParen => break,
+                            Token::Eof => {
+                                return Err(ParseError::syntax(
+                                    "unterminated CAST type",
+                                    self.peek_span(),
+                                ))
+                            }
+                            tok => data_type.push_str(&tok.to_string()),
+                        }
+                    }
+                    data_type.push(')');
+                }
+                self.expect(&Token::RParen)?;
+                Ok(Expr::Cast {
+                    expr: Box::new(expr),
+                    data_type,
+                })
+            }
+            Token::LParen => {
+                self.advance();
+                if self.peek().keyword() == Some(Keyword::Select) {
+                    let subquery = Box::new(self.parse_select()?);
+                    self.expect(&Token::RParen)?;
+                    return Ok(Expr::ScalarSubquery(subquery));
+                }
+                let inner = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            Token::Ident { .. } => self.parse_ident_expr(),
+            other => Err(ParseError::syntax(
+                format!("expected expression, found {other}"),
+                self.peek_span(),
+            )),
+        }
+    }
+
+    /// Parses an identifier chain: a column reference or a function call.
+    fn parse_ident_expr(&mut self) -> ParseResult<Expr> {
+        let mut parts = vec![self.expect_ident()?];
+        while self.peek() == &Token::Dot {
+            // Stop before `T.*` — handled by the projection parser.
+            if self.peek_ahead(1) == &Token::Star {
+                break;
+            }
+            self.advance();
+            parts.push(self.expect_ident()?);
+        }
+        if self.peek() == &Token::LParen {
+            self.advance();
+            let mut args = Vec::new();
+            if self.peek() != &Token::RParen {
+                loop {
+                    args.push(self.parse_expr()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::Function {
+                name: parts.join("."),
+                args,
+            });
+        }
+        let column = parts.pop().expect("at least one part");
+        let qualifier = match parts.len() {
+            0 => None,
+            // `db.schema.table.column`: only the table segment matters.
+            _ => Some(parts.pop().expect("non-empty")),
+        };
+        Ok(Expr::Column(ColumnRef { qualifier, column }))
+    }
+
+    fn parse_case(&mut self) -> ParseResult<Expr> {
+        self.expect_keyword(Keyword::Case)?;
+        let operand = if self.peek().keyword() != Some(Keyword::When) {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        let mut branches = Vec::new();
+        while self.eat_keyword(Keyword::When) {
+            let when = self.parse_expr()?;
+            self.expect_keyword(Keyword::Then)?;
+            let then = self.parse_expr()?;
+            branches.push((when, then));
+        }
+        if branches.is_empty() {
+            return Err(ParseError::syntax(
+                "CASE requires at least one WHEN branch",
+                self.peek_span(),
+            ));
+        }
+        let else_result = if self.eat_keyword(Keyword::Else) {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_keyword(Keyword::End)?;
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_result,
+        })
+    }
+}
+
+/// Parses a numeric literal into an [`Literal::Int`] when it fits i64 and has
+/// no fractional part, otherwise [`Literal::Float`].
+fn parse_number(text: &str) -> Option<Literal> {
+    if !text.contains('.') && !text.contains(['e', 'E']) {
+        if let Ok(i) = text.parse::<i64>() {
+            return Some(Literal::Int(i));
+        }
+        // Larger than i64 (objid arithmetic overflow in user queries):
+        // degrade to float rather than failing the whole query.
+    }
+    text.parse::<f64>().ok().map(Literal::Float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::Parser;
+
+    fn expr(sql: &str) -> Expr {
+        let full = format!("SELECT * FROM T WHERE {sql}");
+        Parser::parse_statement(&full)
+            .unwrap_or_else(|e| panic!("{sql}: {e}"))
+            .selection
+            .unwrap()
+    }
+
+    #[test]
+    fn precedence_or_and() {
+        // a OR b AND c  ==  a OR (b AND c)
+        let e = expr("u = 1 OR v = 2 AND w = 3");
+        match e {
+            Expr::Binary {
+                op: BinaryOp::Or,
+                right,
+                ..
+            } => match *right {
+                Expr::Binary {
+                    op: BinaryOp::And, ..
+                } => {}
+                other => panic!("expected AND on the right, got {other:?}"),
+            },
+            other => panic!("expected OR at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let e = expr("(u = 1 OR v = 2) AND w = 3");
+        match e {
+            Expr::Binary {
+                op: BinaryOp::And,
+                left,
+                ..
+            } => match *left {
+                Expr::Binary {
+                    op: BinaryOp::Or, ..
+                } => {}
+                other => panic!("expected OR inside, got {other:?}"),
+            },
+            other => panic!("expected AND at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        // 1 + 2 * 3 parses as 1 + (2 * 3)
+        let e = expr("u = 1 + 2 * 3");
+        match e {
+            Expr::Binary { right, .. } => match *right {
+                Expr::Binary {
+                    op: BinaryOp::Plus,
+                    right: mul,
+                    ..
+                } => match *mul {
+                    Expr::Binary {
+                        op: BinaryOp::Mul, ..
+                    } => {}
+                    other => panic!("expected Mul, got {other:?}"),
+                },
+                other => panic!("expected Plus, got {other:?}"),
+            },
+            other => panic!("expected Eq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_and_not_between() {
+        let e = expr("u BETWEEN 1 AND 8");
+        assert!(matches!(e, Expr::Between { negated: false, .. }));
+        let e = expr("u NOT BETWEEN 1 AND 8");
+        assert!(matches!(e, Expr::Between { negated: true, .. }));
+    }
+
+    #[test]
+    fn between_binds_tighter_than_and() {
+        let e = expr("u BETWEEN 1 AND 8 AND v = 2");
+        match e {
+            Expr::Binary {
+                op: BinaryOp::And,
+                left,
+                ..
+            } => assert!(matches!(*left, Expr::Between { .. })),
+            other => panic!("expected AND at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_list_and_subquery() {
+        let e = expr("class IN ('star', 'galaxy')");
+        assert!(matches!(e, Expr::InList { ref list, .. } if list.len() == 2));
+        let e = expr("u IN (SELECT u FROM S)");
+        assert!(matches!(e, Expr::InSubquery { negated: false, .. }));
+        let e = expr("u NOT IN (SELECT u FROM S)");
+        assert!(matches!(e, Expr::InSubquery { negated: true, .. }));
+    }
+
+    #[test]
+    fn exists_and_not_exists() {
+        let e = expr("EXISTS (SELECT * FROM S WHERE S.u = T.u)");
+        assert!(matches!(e, Expr::Exists { negated: false, .. }));
+        let e = expr("NOT EXISTS (SELECT * FROM S)");
+        // NOT wraps the Exists node at the unary level.
+        match e {
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => assert!(matches!(*expr, Expr::Exists { .. })),
+            other => panic!("expected NOT(EXISTS), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantified_comparisons() {
+        let e = expr("u > ANY (SELECT u FROM S)");
+        assert!(matches!(
+            e,
+            Expr::Quantified {
+                quantifier: Quantifier::Any,
+                op: BinaryOp::Gt,
+                ..
+            }
+        ));
+        let e = expr("u <= ALL (SELECT u FROM S)");
+        assert!(matches!(
+            e,
+            Expr::Quantified {
+                quantifier: Quantifier::All,
+                ..
+            }
+        ));
+        let e = expr("u = SOME (SELECT u FROM S)");
+        assert!(matches!(
+            e,
+            Expr::Quantified {
+                quantifier: Quantifier::Any,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn scalar_subquery() {
+        let e = expr("u = (SELECT s FROM S WHERE S.v = 12)");
+        match e {
+            Expr::Binary { right, .. } => {
+                assert!(matches!(*right, Expr::ScalarSubquery(_)))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let e = expr("dec >= -90");
+        match e {
+            Expr::Binary { right, .. } => {
+                assert_eq!(*right, Expr::Literal(Literal::Int(-90)))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let e = expr("z > -0.98");
+        match e {
+            Expr::Binary { right, .. } => {
+                assert_eq!(*right, Expr::Literal(Literal::Float(-0.98)))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn huge_integers_degrade_to_float() {
+        // specobjid values exceed i64 in some user queries.
+        let e = expr("specobjid <= 99999999999999999999");
+        match e {
+            Expr::Binary { right, .. } => {
+                assert!(matches!(*right, Expr::Literal(Literal::Float(_))))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates_parse() {
+        let q = Parser::parse_statement(
+            "SELECT u, COUNT(*), SUM(v), AVG(DISTINCT w) FROM T GROUP BY u",
+        )
+        .unwrap();
+        let agg_count = q
+            .projection
+            .iter()
+            .filter(|item| {
+                matches!(
+                    item,
+                    SelectItem::Expr {
+                        expr: Expr::Aggregate { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(agg_count, 3);
+    }
+
+    #[test]
+    fn udf_calls_parse_as_functions() {
+        let e = expr("dbo.fGetNearbyObjEq(185.0, -0.5, 1.0) = 1");
+        match e {
+            Expr::Binary { left, .. } => match *left {
+                Expr::Function { ref name, ref args } => {
+                    assert_eq!(name, "dbo.fGetNearbyObjEq");
+                    assert_eq!(args.len(), 3);
+                }
+                ref other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_expression() {
+        let e = expr("u = CASE WHEN v > 0 THEN 1 ELSE 0 END");
+        match e {
+            Expr::Binary { right, .. } => match *right {
+                Expr::Case {
+                    ref branches,
+                    ref else_result,
+                    ..
+                } => {
+                    assert_eq!(branches.len(), 1);
+                    assert!(else_result.is_some());
+                }
+                ref other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cast_with_type_arguments() {
+        let e = expr("CAST(z AS numeric(10,3)) > 0.5");
+        match e {
+            Expr::Binary { left, .. } => match *left {
+                Expr::Cast { ref data_type, .. } => {
+                    assert!(data_type.starts_with("numeric("));
+                }
+                ref other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn is_null_predicates() {
+        assert!(matches!(
+            expr("z IS NULL"),
+            Expr::IsNull { negated: false, .. }
+        ));
+        assert!(matches!(
+            expr("z IS NOT NULL"),
+            Expr::IsNull { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn like_predicates() {
+        assert!(matches!(
+            expr("name LIKE 'NGC%'"),
+            Expr::Like { negated: false, .. }
+        ));
+        assert!(matches!(
+            expr("name NOT LIKE 'NGC%'"),
+            Expr::Like { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn double_not_parses() {
+        let e = expr("NOT NOT u = 1");
+        match e {
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => assert!(matches!(*expr, Expr::Unary { .. })),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deeply_nested_subqueries_hit_depth_cap() {
+        let mut sql = String::from("SELECT * FROM T WHERE u IN ");
+        for _ in 0..40 {
+            sql.push_str("(SELECT u FROM S WHERE u IN ");
+        }
+        sql.push_str("(SELECT u FROM R)");
+        for _ in 0..40 {
+            sql.push(')');
+        }
+        let err = Parser::parse_statement(&sql).unwrap_err();
+        assert!(err.message.contains("nesting too deep"));
+    }
+}

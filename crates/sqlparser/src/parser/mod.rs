@@ -1,0 +1,658 @@
+//! Recursive-descent parser for the supported SQL subset.
+//!
+//! Entry points are [`Parser::parse_statement`] (classifies non-`SELECT`
+//! statements per Section 6.1 of the paper) and [`Parser::parse_select`].
+
+mod expr;
+
+use crate::ast::*;
+use crate::error::{ParseError, ParseResult};
+use crate::lexer::Lexer;
+use crate::token::{Keyword, Span, SpannedToken, Token};
+
+/// Maximum subquery nesting depth accepted before bailing out. The deepest
+/// query in the SkyServer log nests three levels; the cap guards against
+/// pathological inputs in the error-query portion of the log.
+const MAX_DEPTH: usize = 32;
+
+/// Token-cursor based parser.
+pub struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser {
+    /// Lexes and wraps `sql` in a parser.
+    pub fn new(sql: &str) -> ParseResult<Self> {
+        Ok(Parser {
+            tokens: Lexer::tokenize(sql)?,
+            pos: 0,
+            depth: 0,
+        })
+    }
+
+    /// Parses a full statement: a single `SELECT`, with non-SELECT statement
+    /// kinds reported as [`ParseErrorKind::NotSelect`](crate::error::ParseErrorKind).
+    pub fn parse_statement(sql: &str) -> ParseResult<Select> {
+        let mut p = Parser::new(sql)?;
+        if let Some(kw) = p.peek().keyword() {
+            match kw {
+                Keyword::Create
+                | Keyword::Declare
+                | Keyword::Insert
+                | Keyword::Update
+                | Keyword::Delete
+                | Keyword::Drop
+                | Keyword::Set => {
+                    return Err(ParseError::not_select(
+                        format!("statement starts with {}", kw.as_str()),
+                        p.peek_span(),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        let select = p.parse_select()?;
+        // Set operations are recognised but unsupported by the pipeline.
+        if let Some(kw) = p.peek().keyword() {
+            if matches!(kw, Keyword::Union | Keyword::Except | Keyword::Intersect) {
+                return Err(ParseError::unsupported(
+                    format!("set operation {}", kw.as_str()),
+                    p.peek_span(),
+                ));
+            }
+        }
+        p.eat(&Token::Semicolon);
+        p.expect_eof()?;
+        Ok(select)
+    }
+
+    // ---- cursor primitives -------------------------------------------------
+
+    pub(crate) fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].token
+    }
+
+    pub(crate) fn peek_ahead(&self, n: usize) -> &Token {
+        let idx = (self.pos + n).min(self.tokens.len() - 1);
+        &self.tokens[idx].token
+    }
+
+    pub(crate) fn peek_span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    pub(crate) fn advance(&mut self) -> Token {
+        let tok = self.tokens[self.pos.min(self.tokens.len() - 1)].token.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    /// Consumes the next token if it equals `tok`.
+    pub(crate) fn eat(&mut self, tok: &Token) -> bool {
+        if self.peek() == tok {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the next token if it is keyword `kw`.
+    pub(crate) fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        if self.peek().keyword() == Some(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect(&mut self, tok: &Token) -> ParseResult<()> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(ParseError::syntax(
+                format!("expected {tok}, found {}", self.peek()),
+                self.peek_span(),
+            ))
+        }
+    }
+
+    pub(crate) fn expect_keyword(&mut self, kw: Keyword) -> ParseResult<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::syntax(
+                format!("expected {}, found {}", kw.as_str(), self.peek()),
+                self.peek_span(),
+            ))
+        }
+    }
+
+    fn expect_eof(&mut self) -> ParseResult<()> {
+        if self.peek() == &Token::Eof {
+            Ok(())
+        } else {
+            Err(ParseError::syntax(
+                format!("unexpected trailing input: {}", self.peek()),
+                self.peek_span(),
+            ))
+        }
+    }
+
+    /// Consumes an identifier (or a keyword allowed in identifier position).
+    pub(crate) fn expect_ident(&mut self) -> ParseResult<String> {
+        match self.peek().clone() {
+            Token::Ident { value, .. } => {
+                self.advance();
+                Ok(value)
+            }
+            // A handful of our keywords are legal T-SQL identifiers and do
+            // appear as column/table names in logs.
+            Token::Keyword(
+                kw @ (Keyword::Values | Keyword::Percent | Keyword::Count | Keyword::Min
+                | Keyword::Max | Keyword::Sum | Keyword::Avg),
+            ) => {
+                self.advance();
+                Ok(kw.as_str().to_ascii_lowercase())
+            }
+            other => Err(ParseError::syntax(
+                format!("expected identifier, found {other}"),
+                self.peek_span(),
+            )),
+        }
+    }
+
+    // ---- SELECT ------------------------------------------------------------
+
+    /// Parses a `SELECT` statement (without trailing set operations).
+    pub fn parse_select(&mut self) -> ParseResult<Select> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(ParseError::syntax(
+                "query nesting too deep",
+                self.peek_span(),
+            ));
+        }
+        let result = self.parse_select_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_select_inner(&mut self) -> ParseResult<Select> {
+        self.expect_keyword(Keyword::Select)?;
+
+        let distinct = if self.eat_keyword(Keyword::Distinct) {
+            true
+        } else {
+            // `SELECT ALL` is the explicit default.
+            self.eat_keyword(Keyword::All);
+            false
+        };
+
+        let mut limit = None;
+        if self.eat_keyword(Keyword::Top) {
+            let rows = self.parse_u64("TOP")?;
+            let percent = self.eat_keyword(Keyword::Percent);
+            limit = Some(RowLimit {
+                rows,
+                percent,
+                syntax: LimitSyntax::Top,
+            });
+        }
+
+        let projection = self.parse_projection()?;
+
+        let into = if self.eat_keyword(Keyword::Into) {
+            Some(self.parse_object_name()?)
+        } else {
+            None
+        };
+
+        let from = if self.eat_keyword(Keyword::From) {
+            self.parse_from()?
+        } else {
+            Vec::new()
+        };
+
+        let selection = if self.eat_keyword(Keyword::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_keyword(Keyword::Group) {
+            self.expect_keyword(Keyword::By)?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let having = if self.eat_keyword(Keyword::Having) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        let mut order_by = Vec::new();
+        if self.eat_keyword(Keyword::Order) {
+            self.expect_keyword(Keyword::By)?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_keyword(Keyword::Desc) {
+                    true
+                } else {
+                    self.eat_keyword(Keyword::Asc);
+                    false
+                };
+                order_by.push(OrderByItem { expr, desc });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        if self.eat_keyword(Keyword::Limit) {
+            let rows = self.parse_u64("LIMIT")?;
+            if self.eat_keyword(Keyword::Offset) {
+                self.parse_u64("OFFSET")?; // parsed, irrelevant downstream
+            } else if self.eat(&Token::Comma) {
+                // MySQL `LIMIT offset, rows`.
+                self.parse_u64("LIMIT")?;
+            }
+            if limit.is_some() {
+                return Err(ParseError::syntax(
+                    "both TOP and LIMIT specified",
+                    self.peek_span(),
+                ));
+            }
+            limit = Some(RowLimit {
+                rows,
+                percent: false,
+                syntax: LimitSyntax::Limit,
+            });
+        }
+
+        Ok(Select {
+            distinct,
+            projection,
+            from,
+            selection,
+            group_by,
+            having,
+            order_by,
+            limit,
+            into,
+        })
+    }
+
+    fn parse_u64(&mut self, clause: &str) -> ParseResult<u64> {
+        // T-SQL allows `TOP (n)` with parentheses.
+        let parenthesised = self.eat(&Token::LParen);
+        let value = match self.peek().clone() {
+            Token::Number(n) => {
+                self.advance();
+                n.parse::<u64>().map_err(|_| {
+                    ParseError::syntax(
+                        format!("{clause} expects a non-negative integer, got {n}"),
+                        self.peek_span(),
+                    )
+                })
+            }
+            other => Err(ParseError::syntax(
+                format!("{clause} expects a number, found {other}"),
+                self.peek_span(),
+            )),
+        }?;
+        if parenthesised {
+            self.expect(&Token::RParen)?;
+        }
+        Ok(value)
+    }
+
+    fn parse_projection(&mut self) -> ParseResult<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            items.push(self.parse_select_item()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_select_item(&mut self) -> ParseResult<SelectItem> {
+        if self.eat(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `T.*`
+        if let Token::Ident { value, .. } = self.peek().clone() {
+            if self.peek_ahead(1) == &Token::Dot && self.peek_ahead(2) == &Token::Star {
+                self.advance();
+                self.advance();
+                self.advance();
+                return Ok(SelectItem::QualifiedWildcard(value));
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = self.parse_optional_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_optional_alias(&mut self) -> ParseResult<Option<String>> {
+        if self.eat_keyword(Keyword::As) {
+            return Ok(Some(self.expect_ident()?));
+        }
+        // Bare alias: an identifier not starting a new clause.
+        if let Token::Ident { value, .. } = self.peek().clone() {
+            self.advance();
+            return Ok(Some(value));
+        }
+        Ok(None)
+    }
+
+    // ---- FROM --------------------------------------------------------------
+
+    fn parse_from(&mut self) -> ParseResult<Vec<TableWithJoins>> {
+        let mut out = Vec::new();
+        loop {
+            out.push(self.parse_table_with_joins()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse_table_with_joins(&mut self) -> ParseResult<TableWithJoins> {
+        let base = self.parse_table_factor()?;
+        let mut joins = Vec::new();
+        loop {
+            let natural = self.eat_keyword(Keyword::Natural);
+            let op = if self.eat_keyword(Keyword::Join) {
+                JoinOperator::Inner
+            } else if self.eat_keyword(Keyword::Inner) {
+                self.expect_keyword(Keyword::Join)?;
+                JoinOperator::Inner
+            } else if self.eat_keyword(Keyword::Left) {
+                self.eat_keyword(Keyword::Outer);
+                self.expect_keyword(Keyword::Join)?;
+                JoinOperator::LeftOuter
+            } else if self.eat_keyword(Keyword::Right) {
+                self.eat_keyword(Keyword::Outer);
+                self.expect_keyword(Keyword::Join)?;
+                JoinOperator::RightOuter
+            } else if self.eat_keyword(Keyword::Full) {
+                self.eat_keyword(Keyword::Outer);
+                self.expect_keyword(Keyword::Join)?;
+                JoinOperator::FullOuter
+            } else if self.eat_keyword(Keyword::Cross) {
+                self.expect_keyword(Keyword::Join)?;
+                JoinOperator::Cross
+            } else {
+                if natural {
+                    return Err(ParseError::syntax(
+                        "NATURAL must be followed by a join",
+                        self.peek_span(),
+                    ));
+                }
+                break;
+            };
+            if natural && !matches!(op, JoinOperator::Inner) {
+                return Err(ParseError::unsupported(
+                    "NATURAL is only supported with INNER JOIN",
+                    self.peek_span(),
+                ));
+            }
+            let factor = self.parse_table_factor()?;
+            let constraint = if natural {
+                JoinConstraint::Natural
+            } else if self.eat_keyword(Keyword::On) {
+                JoinConstraint::On(self.parse_expr()?)
+            } else if matches!(op, JoinOperator::Cross) {
+                JoinConstraint::None
+            } else {
+                return Err(ParseError::syntax(
+                    "expected ON condition for join",
+                    self.peek_span(),
+                ));
+            };
+            joins.push(Join {
+                op,
+                factor,
+                constraint,
+            });
+        }
+        Ok(TableWithJoins { base, joins })
+    }
+
+    fn parse_table_factor(&mut self) -> ParseResult<TableFactor> {
+        if self.peek() == &Token::LParen {
+            // Either a derived table or a parenthesised factor.
+            if self.peek_ahead(1).keyword() == Some(Keyword::Select) {
+                self.advance(); // (
+                let subquery = Box::new(self.parse_select()?);
+                self.expect(&Token::RParen)?;
+                self.eat_keyword(Keyword::As);
+                let alias = match self.peek() {
+                    Token::Ident { .. } => Some(self.expect_ident()?),
+                    _ => None,
+                };
+                return Ok(TableFactor::Derived { subquery, alias });
+            }
+            self.advance(); // (
+            let inner = self.parse_table_factor()?;
+            self.expect(&Token::RParen)?;
+            return Ok(inner);
+        }
+        let name = self.parse_object_name()?;
+        // Table-valued functions (SkyServer UDFs like `dbo.fGetNearbyObjEq`)
+        // are recognised but not supported — the paper's parser rejects
+        // them too, and the coverage experiment counts them separately.
+        if self.peek() == &Token::LParen {
+            return Err(ParseError::unsupported(
+                format!("table-valued function {name}"),
+                self.peek_span(),
+            ));
+        }
+        let alias = if self.eat_keyword(Keyword::As) {
+            Some(self.expect_ident()?)
+        } else if let Token::Ident { value, .. } = self.peek().clone() {
+            self.advance();
+            Some(value)
+        } else {
+            None
+        };
+        Ok(TableFactor::Table { name, alias })
+    }
+
+    pub(crate) fn parse_object_name(&mut self) -> ParseResult<ObjectName> {
+        let mut parts = vec![self.expect_ident()?];
+        while self.peek() == &Token::Dot {
+            self.advance();
+            // `BESTDR9..PhotoObjAll` has an empty schema part.
+            if self.peek() == &Token::Dot {
+                self.advance();
+                parts.push(String::new());
+            }
+            parts.push(self.expect_ident()?);
+        }
+        Ok(ObjectName { parts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ParseErrorKind;
+
+    fn sel(sql: &str) -> Select {
+        Parser::parse_statement(sql).unwrap_or_else(|e| panic!("{sql}: {e}"))
+    }
+
+    #[test]
+    fn parses_minimal_select() {
+        let q = sel("SELECT * FROM T");
+        assert_eq!(q.projection, vec![SelectItem::Wildcard]);
+        assert_eq!(q.from.len(), 1);
+        assert!(q.selection.is_none());
+    }
+
+    #[test]
+    fn parses_projection_aliases() {
+        let q = sel("SELECT u AS x, v y, T.* FROM T");
+        assert_eq!(q.projection.len(), 3);
+        match &q.projection[2] {
+            SelectItem::QualifiedWildcard(t) => assert_eq!(t, "T"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_top_and_limit() {
+        let q = sel("SELECT TOP 10 * FROM T");
+        assert_eq!(
+            q.limit,
+            Some(RowLimit {
+                rows: 10,
+                percent: false,
+                syntax: LimitSyntax::Top
+            })
+        );
+        let q = sel("SELECT objid FROM Galaxies LIMIT 10");
+        assert!(q.uses_mysql_dialect());
+        let q = sel("SELECT TOP 5 PERCENT * FROM T");
+        assert!(q.limit.unwrap().percent);
+    }
+
+    #[test]
+    fn rejects_top_and_limit_together() {
+        let err = Parser::parse_statement("SELECT TOP 5 * FROM T LIMIT 3").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::Syntax);
+    }
+
+    #[test]
+    fn parses_where_group_having_order() {
+        let q = sel(
+            "SELECT u, SUM(v) FROM T WHERE v < 3 GROUP BY u HAVING SUM(v) > 5 ORDER BY u DESC",
+        );
+        assert!(q.selection.is_some());
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.having.is_some());
+        assert!(q.order_by[0].desc);
+    }
+
+    #[test]
+    fn parses_all_join_flavours() {
+        for (sql, op) in [
+            ("SELECT * FROM T JOIN S ON T.u = S.u", JoinOperator::Inner),
+            (
+                "SELECT * FROM T INNER JOIN S ON T.u = S.u",
+                JoinOperator::Inner,
+            ),
+            (
+                "SELECT * FROM T LEFT JOIN S ON T.u = S.u",
+                JoinOperator::LeftOuter,
+            ),
+            (
+                "SELECT * FROM T LEFT OUTER JOIN S ON T.u = S.u",
+                JoinOperator::LeftOuter,
+            ),
+            (
+                "SELECT * FROM T RIGHT OUTER JOIN S ON T.u = S.u",
+                JoinOperator::RightOuter,
+            ),
+            (
+                "SELECT * FROM T FULL OUTER JOIN S ON (T.u = S.u)",
+                JoinOperator::FullOuter,
+            ),
+            ("SELECT * FROM T CROSS JOIN S", JoinOperator::Cross),
+        ] {
+            let q = sel(sql);
+            assert_eq!(q.from[0].joins[0].op, op, "{sql}");
+        }
+        let q = sel("SELECT * FROM T NATURAL JOIN S");
+        assert_eq!(q.from[0].joins[0].constraint, JoinConstraint::Natural);
+    }
+
+    #[test]
+    fn parses_comma_joins_and_aliases() {
+        let q = sel("SELECT * FROM T a, S AS b");
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.from[0].base.scope_name(), Some("a"));
+        assert_eq!(q.from[1].base.scope_name(), Some("b"));
+    }
+
+    #[test]
+    fn parses_derived_table() {
+        let q = sel("SELECT * FROM (SELECT u FROM T WHERE u > 1) AS sub");
+        match &q.from[0].base {
+            TableFactor::Derived { alias, .. } => assert_eq!(alias.as_deref(), Some("sub")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_compound_object_names() {
+        let q = sel("SELECT * FROM BESTDR9..PhotoObjAll");
+        match &q.from[0].base {
+            TableFactor::Table { name, .. } => {
+                assert_eq!(name.parts, vec!["BESTDR9", "", "PhotoObjAll"]);
+                assert_eq!(name.base_name(), "PhotoObjAll");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classifies_non_select_statements() {
+        for sql in [
+            "CREATE TABLE t (x int)",
+            "DECLARE @x int",
+            "INSERT INTO t VALUES (1)",
+            "DROP TABLE t",
+        ] {
+            let err = Parser::parse_statement(sql).unwrap_err();
+            assert_eq!(err.kind, ParseErrorKind::NotSelect, "{sql}");
+        }
+    }
+
+    #[test]
+    fn classifies_union_as_unsupported() {
+        let err = Parser::parse_statement("SELECT u FROM T UNION SELECT u FROM S").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::Unsupported);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = Parser::parse_statement("SELECT * FROM T garbage garbage").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::Syntax);
+    }
+
+    #[test]
+    fn parses_select_into() {
+        let q = sel("SELECT * INTO #mytmp FROM T WHERE u > 2");
+        assert_eq!(q.into.unwrap().base_name(), "#mytmp");
+    }
+
+    #[test]
+    fn accepts_trailing_semicolon() {
+        sel("SELECT * FROM T;");
+    }
+
+    #[test]
+    fn parses_parenthesised_top() {
+        let q = sel("SELECT TOP (25) * FROM T");
+        assert_eq!(q.limit.unwrap().rows, 25);
+        let err = Parser::parse_statement("SELECT TOP (25 * FROM T").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::Syntax);
+    }
+}

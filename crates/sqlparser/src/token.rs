@@ -1,0 +1,396 @@
+//! Token definitions produced by the [`lexer`](crate::lexer).
+//!
+//! The token set covers the SQL dialect family observed in the SkyServer
+//! query log: Transact-SQL (the dialect SkyServer actually accepts) plus the
+//! MySQL-flavoured statements the paper reports users submit anyway (e.g.
+//! `SELECT ... LIMIT 10`).
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the original SQL text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// A token together with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    pub token: Token,
+    pub span: Span,
+}
+
+/// SQL keywords recognised by the lexer.
+///
+/// Keyword recognition is case-insensitive; identifiers that match a keyword
+/// are lexed as `Token::Keyword`. The parser decides contextually whether a
+/// keyword may still act as an identifier (SkyServer logs contain column
+/// names such as `class` and `type` that are not reserved in T-SQL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    Order,
+    Asc,
+    Desc,
+    And,
+    Or,
+    Not,
+    In,
+    Exists,
+    Between,
+    Like,
+    Is,
+    Null,
+    Any,
+    Some,
+    All,
+    As,
+    Distinct,
+    Top,
+    Limit,
+    Offset,
+    Percent,
+    Join,
+    Inner,
+    Left,
+    Right,
+    Full,
+    Outer,
+    Cross,
+    Natural,
+    On,
+    Union,
+    Except,
+    Intersect,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+    Cast,
+    Into,
+    True,
+    False,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Create,
+    Table,
+    Declare,
+    Insert,
+    Update,
+    Delete,
+    Drop,
+    Set,
+    Values,
+}
+
+impl Keyword {
+    /// Looks up a keyword from an identifier-like word, case-insensitively.
+    pub fn from_word(word: &str) -> Option<Keyword> {
+        // The list is small enough that a match on the uppercased word is
+        // both simple and fast; queries are parsed once per log entry.
+        let upper = word.to_ascii_uppercase();
+        Some(match upper.as_str() {
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "GROUP" => Keyword::Group,
+            "BY" => Keyword::By,
+            "HAVING" => Keyword::Having,
+            "ORDER" => Keyword::Order,
+            "ASC" => Keyword::Asc,
+            "DESC" => Keyword::Desc,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "NOT" => Keyword::Not,
+            "IN" => Keyword::In,
+            "EXISTS" => Keyword::Exists,
+            "BETWEEN" => Keyword::Between,
+            "LIKE" => Keyword::Like,
+            "IS" => Keyword::Is,
+            "NULL" => Keyword::Null,
+            "ANY" => Keyword::Any,
+            "SOME" => Keyword::Some,
+            "ALL" => Keyword::All,
+            "AS" => Keyword::As,
+            "DISTINCT" => Keyword::Distinct,
+            "TOP" => Keyword::Top,
+            "LIMIT" => Keyword::Limit,
+            "OFFSET" => Keyword::Offset,
+            "PERCENT" => Keyword::Percent,
+            "JOIN" => Keyword::Join,
+            "INNER" => Keyword::Inner,
+            "LEFT" => Keyword::Left,
+            "RIGHT" => Keyword::Right,
+            "FULL" => Keyword::Full,
+            "OUTER" => Keyword::Outer,
+            "CROSS" => Keyword::Cross,
+            "NATURAL" => Keyword::Natural,
+            "ON" => Keyword::On,
+            "UNION" => Keyword::Union,
+            "EXCEPT" => Keyword::Except,
+            "INTERSECT" => Keyword::Intersect,
+            "CASE" => Keyword::Case,
+            "WHEN" => Keyword::When,
+            "THEN" => Keyword::Then,
+            "ELSE" => Keyword::Else,
+            "END" => Keyword::End,
+            "CAST" => Keyword::Cast,
+            "INTO" => Keyword::Into,
+            "TRUE" => Keyword::True,
+            "FALSE" => Keyword::False,
+            "COUNT" => Keyword::Count,
+            "SUM" => Keyword::Sum,
+            "AVG" => Keyword::Avg,
+            "MIN" => Keyword::Min,
+            "MAX" => Keyword::Max,
+            "CREATE" => Keyword::Create,
+            "TABLE" => Keyword::Table,
+            "DECLARE" => Keyword::Declare,
+            "INSERT" => Keyword::Insert,
+            "UPDATE" => Keyword::Update,
+            "DELETE" => Keyword::Delete,
+            "DROP" => Keyword::Drop,
+            "SET" => Keyword::Set,
+            "VALUES" => Keyword::Values,
+            _ => return None,
+        })
+    }
+
+    /// Canonical upper-case spelling, used by the AST pretty-printer.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Keyword::Select => "SELECT",
+            Keyword::From => "FROM",
+            Keyword::Where => "WHERE",
+            Keyword::Group => "GROUP",
+            Keyword::By => "BY",
+            Keyword::Having => "HAVING",
+            Keyword::Order => "ORDER",
+            Keyword::Asc => "ASC",
+            Keyword::Desc => "DESC",
+            Keyword::And => "AND",
+            Keyword::Or => "OR",
+            Keyword::Not => "NOT",
+            Keyword::In => "IN",
+            Keyword::Exists => "EXISTS",
+            Keyword::Between => "BETWEEN",
+            Keyword::Like => "LIKE",
+            Keyword::Is => "IS",
+            Keyword::Null => "NULL",
+            Keyword::Any => "ANY",
+            Keyword::Some => "SOME",
+            Keyword::All => "ALL",
+            Keyword::As => "AS",
+            Keyword::Distinct => "DISTINCT",
+            Keyword::Top => "TOP",
+            Keyword::Limit => "LIMIT",
+            Keyword::Offset => "OFFSET",
+            Keyword::Percent => "PERCENT",
+            Keyword::Join => "JOIN",
+            Keyword::Inner => "INNER",
+            Keyword::Left => "LEFT",
+            Keyword::Right => "RIGHT",
+            Keyword::Full => "FULL",
+            Keyword::Outer => "OUTER",
+            Keyword::Cross => "CROSS",
+            Keyword::Natural => "NATURAL",
+            Keyword::On => "ON",
+            Keyword::Union => "UNION",
+            Keyword::Except => "EXCEPT",
+            Keyword::Intersect => "INTERSECT",
+            Keyword::Case => "CASE",
+            Keyword::When => "WHEN",
+            Keyword::Then => "THEN",
+            Keyword::Else => "ELSE",
+            Keyword::End => "END",
+            Keyword::Cast => "CAST",
+            Keyword::Into => "INTO",
+            Keyword::True => "TRUE",
+            Keyword::False => "FALSE",
+            Keyword::Count => "COUNT",
+            Keyword::Sum => "SUM",
+            Keyword::Avg => "AVG",
+            Keyword::Min => "MIN",
+            Keyword::Max => "MAX",
+            Keyword::Create => "CREATE",
+            Keyword::Table => "TABLE",
+            Keyword::Declare => "DECLARE",
+            Keyword::Insert => "INSERT",
+            Keyword::Update => "UPDATE",
+            Keyword::Delete => "DELETE",
+            Keyword::Drop => "DROP",
+            Keyword::Set => "SET",
+            Keyword::Values => "VALUES",
+        }
+    }
+}
+
+/// Lexical tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A recognised SQL keyword (case-insensitive).
+    Keyword(Keyword),
+    /// An identifier. Bracketed (`[Name]`) and double-quoted (`"Name"`)
+    /// identifiers are unwrapped; the `quoted` flag records that fact so
+    /// keyword-named columns survive a display round-trip.
+    Ident { value: String, quoted: bool },
+    /// A numeric literal kept verbatim (sign handled by the parser).
+    Number(String),
+    /// A single-quoted string literal with `''` escapes resolved.
+    String(String),
+    /// A T-SQL local variable such as `@x` (appears in admin statements).
+    Variable(String),
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semicolon,
+    Eof,
+}
+
+impl Token {
+    /// Returns the keyword if this token is one.
+    pub fn keyword(&self) -> Option<Keyword> {
+        match self {
+            Token::Keyword(k) => Some(*k),
+            _ => None,
+        }
+    }
+
+    /// True for tokens that may start a primary expression.
+    pub fn starts_expression(&self) -> bool {
+        matches!(
+            self,
+            Token::Ident { .. }
+                | Token::Number(_)
+                | Token::String(_)
+                | Token::Variable(_)
+                | Token::LParen
+                | Token::Plus
+                | Token::Minus
+                | Token::Star
+                | Token::Keyword(
+                    Keyword::Not
+                        | Keyword::Exists
+                        | Keyword::Case
+                        | Keyword::Cast
+                        | Keyword::Null
+                        | Keyword::True
+                        | Keyword::False
+                        | Keyword::Count
+                        | Keyword::Sum
+                        | Keyword::Avg
+                        | Keyword::Min
+                        | Keyword::Max
+                )
+        )
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{}", k.as_str()),
+            Token::Ident { value, quoted } => {
+                if *quoted {
+                    write!(f, "[{value}]")
+                } else {
+                    write!(f, "{value}")
+                }
+            }
+            Token::Number(n) => write!(f, "{n}"),
+            Token::String(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Token::Variable(v) => write!(f, "@{v}"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Eq => write!(f, "="),
+            Token::Neq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+            Token::Semicolon => write!(f, ";"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_case_insensitive() {
+        assert_eq!(Keyword::from_word("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_word("SeLeCt"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_word("HAVING"), Some(Keyword::Having));
+        assert_eq!(Keyword::from_word("objid"), None);
+    }
+
+    #[test]
+    fn keyword_round_trips_through_canonical_spelling() {
+        for word in ["SELECT", "BETWEEN", "NATURAL", "LIMIT", "DECLARE"] {
+            let kw = Keyword::from_word(word).unwrap();
+            assert_eq!(kw.as_str(), word);
+            assert_eq!(Keyword::from_word(kw.as_str()), Some(kw));
+        }
+    }
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn display_escapes_string_quotes() {
+        let t = Token::String("it's".into());
+        assert_eq!(t.to_string(), "'it''s'");
+    }
+}

@@ -1,0 +1,159 @@
+//! Baseline comparisons at test scale: the three findings of Sections
+//! 6.4–6.6 must hold qualitatively on every run.
+
+use aa_baselines::{cluster_olapclus, naive_areas, requery_log, RequeryConfig, RequeryFailure};
+use aa_bench::{cluster_areas, prepare, ExperimentConfig};
+use aa_core::{AccessArea, AccessRanges, Extractor};
+use aa_dbscan::DbscanParams;
+use aa_engine::ExecOptions;
+use aa_skyserver::{cluster_query, evaluate, GroundTruth, LogConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Section 6.4: OLAPClus shatters Cluster-1-style workloads while our
+/// distance aggregates them.
+#[test]
+fn olapclus_explodes_on_point_lookups() {
+    let provider = aa_core::NoSchema;
+    let extractor = Extractor::new(&provider);
+    let mut rng = StdRng::seed_from_u64(41);
+    let areas: Vec<AccessArea> = (0..300)
+        .map(|_| extractor.extract_sql(&cluster_query(1, &mut rng)).unwrap())
+        .collect();
+    let mut ranges = AccessRanges::new();
+    ranges.observe_all(areas.iter());
+    let params = DbscanParams {
+        eps: 0.06,
+        min_pts: 1,
+    };
+
+    let ours = aa_bench::cluster_areas(
+        &areas,
+        &ranges,
+        &params,
+        aa_core::DistanceMode::Dissimilarity,
+        2,
+    );
+    let olap = cluster_olapclus(&areas, &params);
+    assert_eq!(ours.cluster_count, 1, "our method aggregates");
+    assert!(
+        olap.cluster_count >= 295,
+        "OLAPClus should shatter ({} clusters)",
+        olap.cluster_count
+    );
+}
+
+/// Section 6.5: naive (as-is) extraction breaks exactly the
+/// aggregate-bearing clusters while faithful extraction keeps them.
+#[test]
+fn naive_extraction_breaks_breakable_clusters() {
+    let cfg = ExperimentConfig {
+        log: LogConfig::small(2_500, 31),
+        catalog_scale: 0.02,
+        ..ExperimentConfig::default()
+    };
+    let data = prepare(&cfg);
+
+    let faithful_areas: Vec<AccessArea> =
+        data.extracted.iter().map(|q| q.area.clone()).collect();
+    let faithful = cluster_areas(
+        &faithful_areas,
+        &data.ranges,
+        &cfg.dbscan,
+        cfg.distance_mode,
+        2,
+    );
+    let f_report = evaluate(&data.truths, &faithful.labels, faithful.cluster_count);
+
+    let naive_opt = naive_areas(data.log.iter().map(|e| e.sql.as_str()), &data.catalog);
+    let mut n_areas = Vec::new();
+    let mut n_truths = Vec::new();
+    for (i, area) in naive_opt.into_iter().enumerate() {
+        if let Some(a) = area {
+            n_areas.push(a);
+            n_truths.push(data.log[i].truth);
+        }
+    }
+    let mut n_ranges = AccessRanges::new();
+    n_ranges.observe_all(n_areas.iter());
+    let naive = cluster_areas(&n_areas, &n_ranges, &cfg.dbscan, cfg.distance_mode, 2);
+    let n_report = evaluate(&n_truths, &naive.labels, naive.cluster_count);
+
+    // Faithful keeps all 24; naive loses recall on breakable clusters.
+    assert_eq!(f_report.recovered_count(), 24);
+    let mut degraded = 0;
+    for spec in aa_skyserver::TABLE1.iter().filter(|s| s.breakable) {
+        let f = f_report
+            .per_cluster
+            .iter()
+            .find(|c| c.planted == spec.id)
+            .unwrap();
+        let n = n_report
+            .per_cluster
+            .iter()
+            .find(|c| c.planted == spec.id)
+            .unwrap();
+        if n.recall < f.recall - 0.05 || !n.is_recovered() {
+            degraded += 1;
+        }
+    }
+    assert!(
+        degraded >= 6,
+        "expected most of the 10 breakable clusters to degrade, got {degraded}"
+    );
+}
+
+/// Section 6.6: re-querying is blind to empty-area queries and fails on
+/// rate limits; extraction handles both.
+#[test]
+fn requerying_misses_what_extraction_finds() {
+    let cfg = ExperimentConfig {
+        log: LogConfig::small(1_200, 51),
+        catalog_scale: 0.02,
+        ..ExperimentConfig::default()
+    };
+    let data = prepare(&cfg);
+
+    let (outcomes, stats) = requery_log(
+        &data.catalog,
+        data.log.iter().map(|e| e.sql.as_str()),
+        &RequeryConfig {
+            arrival_per_minute: 600.0, // a batch replay, as the paper did
+            server_per_minute: 60,
+            exec: ExecOptions::default(),
+        },
+    );
+
+    // Empty-area clusters: extraction produced areas, re-querying did not.
+    let mut extraction_found = 0;
+    let mut requery_found = 0;
+    for (i, entry) in data.log.iter().enumerate() {
+        let is_empty_cluster = matches!(
+            entry.truth,
+            GroundTruth::Cluster(18..=24)
+        );
+        if !is_empty_cluster {
+            continue;
+        }
+        if data.extracted.iter().any(|q| q.log_index == i) {
+            extraction_found += 1;
+        }
+        if outcomes[i].is_ok() {
+            requery_found += 1;
+        }
+    }
+    assert!(extraction_found > 100, "{extraction_found}");
+    assert_eq!(requery_found, 0, "re-querying cannot see empty areas");
+
+    // Rate limiting bites on replay; extraction is unaffected.
+    assert!(stats.rate_limited > 0);
+    let rate_limited_but_extracted = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(i, o)| {
+            matches!(o, Err(RequeryFailure::RateLimited))
+                && data.extracted.iter().any(|q| q.log_index == *i)
+        })
+        .count();
+    assert!(rate_limited_but_extracted > 0);
+}

@@ -1,0 +1,234 @@
+//! E12 — property tests for the influence semantics (Definitions 3 & 4).
+//!
+//! For the query classes the paper proves exact (simple conjunctive/
+//! disjunctive queries, inner joins, Lemma-4 EXISTS), a universal-relation
+//! tuple lies in the extracted access area **iff** the query returns rows
+//! in the witness state containing exactly that tuple (the (⇐) state of
+//! the lemma proofs). We generate random queries and random tuples and
+//! check the extractor against the executor.
+
+use aa_core::extract::{Extractor, NoSchema};
+use aa_core::{Constant, QualifiedColumn};
+use aa_engine::{Catalog, ColumnDef, DataType, Table, TableSchema, Value};
+use proptest::prelude::*;
+
+/// A random atomic predicate `col op const` rendered as SQL.
+fn atom_strategy() -> impl Strategy<Value = String> {
+    (
+        prop_oneof![Just("u"), Just("v")],
+        prop_oneof![
+            Just("="),
+            Just("<>"),
+            Just("<"),
+            Just("<="),
+            Just(">"),
+            Just(">=")
+        ],
+        -5i64..25,
+    )
+        .prop_map(|(col, op, c)| format!("T.{col} {op} {c}"))
+}
+
+/// A random boolean WHERE clause of bounded depth.
+fn where_strategy() -> impl Strategy<Value = String> {
+    let leaf = atom_strategy();
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} AND {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} OR {b})")),
+            inner.prop_map(|a| format!("NOT ({a})")),
+        ]
+    })
+}
+
+fn t_schema() -> TableSchema {
+    TableSchema::new(
+        "T",
+        vec![
+            ColumnDef::new("u", DataType::Int),
+            ColumnDef::new("v", DataType::Int),
+        ],
+    )
+}
+
+fn s_schema() -> TableSchema {
+    TableSchema::new(
+        "S",
+        vec![
+            ColumnDef::new("u", DataType::Int),
+            ColumnDef::new("w", DataType::Int),
+        ],
+    )
+}
+
+/// Executes `sql` on the singleton state {t} and reports non-emptiness.
+fn returns_rows_in_singleton(sql: &str, u: i64, v: i64) -> bool {
+    let mut catalog = Catalog::new();
+    let mut t = Table::new(t_schema());
+    t.insert(vec![Value::Int(u), Value::Int(v)]).unwrap();
+    catalog.add_table(t);
+    let result = aa_engine::Executor::new(&catalog)
+        .execute_sql(sql)
+        .unwrap_or_else(|e| panic!("{sql}: {e}"));
+    !result.is_empty()
+}
+
+/// Looks up the tuple's value for area membership checks.
+fn tuple_lookup(u: i64, v: i64) -> impl Fn(&QualifiedColumn) -> Option<Constant> {
+    move |col: &QualifiedColumn| {
+        if !col.table.eq_ignore_ascii_case("t") {
+            return None;
+        }
+        match col.column.to_lowercase().as_str() {
+            "u" => Some(Constant::Num(u as f64)),
+            "v" => Some(Constant::Num(v as f64)),
+            _ => None,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Simple queries: membership in the extracted area ⟺ the singleton
+    /// state {t} yields a non-empty result.
+    #[test]
+    fn simple_query_area_matches_influence(
+        where_clause in where_strategy(),
+        u in -10i64..30,
+        v in -10i64..30,
+    ) {
+        let sql = format!("SELECT * FROM T WHERE {where_clause}");
+        let area = Extractor::new(&NoSchema).extract_sql(&sql).unwrap();
+        let in_area = area.contains(&tuple_lookup(u, v));
+        let influences = returns_rows_in_singleton(&sql, u, v);
+        // CNF conversion of arbitrary NOT/OR trees is exact for these
+        // shapes, so the area must be decidable for a fully known tuple.
+        prop_assert_eq!(in_area, Some(influences),
+            "query {} on tuple ({}, {})", sql, u, v);
+    }
+
+    /// BETWEEN queries match their expansion.
+    #[test]
+    fn between_query_area_matches_influence(
+        lo in -5i64..15,
+        span in 0i64..10,
+        u in -10i64..30,
+    ) {
+        let hi = lo + span;
+        let sql = format!("SELECT * FROM T WHERE u BETWEEN {lo} AND {hi}");
+        let area = Extractor::new(&NoSchema).extract_sql(&sql).unwrap();
+        let in_area = area.contains(&tuple_lookup(u, 0));
+        let influences = returns_rows_in_singleton(&sql, u, 0);
+        prop_assert_eq!(in_area, Some(influences));
+    }
+
+    /// Lemma 4 shape: EXISTS over a second relation. The witness state is
+    /// {t} in T and {s} in S; the pair is in the area iff the query
+    /// returns rows there.
+    #[test]
+    fn lemma4_exists_area_matches_influence(
+        alpha in -5i64..15,
+        beta in -5i64..15,
+        tu in -5i64..20,
+        su in -5i64..20,
+        sv in -5i64..20,
+    ) {
+        let sql = format!(
+            "SELECT * FROM T WHERE T.u > {alpha} AND EXISTS \
+             (SELECT * FROM S WHERE S.u = T.u AND S.w < {beta})"
+        );
+        let area = Extractor::new(&NoSchema).extract_sql(&sql).unwrap();
+        let lookup = |col: &QualifiedColumn| -> Option<Constant> {
+            match (col.table.to_lowercase().as_str(), col.column.to_lowercase().as_str()) {
+                ("t", "u") => Some(Constant::Num(tu as f64)),
+                ("s", "u") => Some(Constant::Num(su as f64)),
+                ("s", "w") => Some(Constant::Num(sv as f64)),
+                _ => None,
+            }
+        };
+        let in_area = area.contains(&lookup);
+
+        let mut catalog = Catalog::new();
+        let mut t = Table::new(t_schema());
+        t.insert(vec![Value::Int(tu), Value::Int(0)]).unwrap();
+        catalog.add_table(t);
+        let mut s = Table::new(s_schema());
+        s.insert(vec![Value::Int(su), Value::Int(sv)]).unwrap();
+        catalog.add_table(s);
+        let influences = !aa_engine::Executor::new(&catalog)
+            .execute_sql(&sql)
+            .unwrap()
+            .is_empty();
+        prop_assert_eq!(in_area, Some(influences),
+            "tuple (T.u={}, S.u={}, S.w={})", tu, su, sv);
+    }
+
+    /// Inner joins: the pair (t, s) influences iff it is in the area.
+    #[test]
+    fn inner_join_area_matches_influence(
+        tu in -3i64..10,
+        tv in -3i64..10,
+        su in -3i64..10,
+        sw in -3i64..10,
+        bound in -3i64..10,
+    ) {
+        let sql = format!(
+            "SELECT * FROM T INNER JOIN S ON T.u = S.u WHERE T.v <= {bound}"
+        );
+        let area = Extractor::new(&NoSchema).extract_sql(&sql).unwrap();
+        let lookup = |col: &QualifiedColumn| -> Option<Constant> {
+            match (col.table.to_lowercase().as_str(), col.column.to_lowercase().as_str()) {
+                ("t", "u") => Some(Constant::Num(tu as f64)),
+                ("t", "v") => Some(Constant::Num(tv as f64)),
+                ("s", "u") => Some(Constant::Num(su as f64)),
+                ("s", "w") => Some(Constant::Num(sw as f64)),
+                _ => None,
+            }
+        };
+        let in_area = area.contains(&lookup);
+
+        let mut catalog = Catalog::new();
+        let mut t = Table::new(t_schema());
+        t.insert(vec![Value::Int(tu), Value::Int(tv)]).unwrap();
+        catalog.add_table(t);
+        let mut s = Table::new(s_schema());
+        s.insert(vec![Value::Int(su), Value::Int(sw)]).unwrap();
+        catalog.add_table(s);
+        let influences = !aa_engine::Executor::new(&catalog)
+            .execute_sql(&sql)
+            .unwrap()
+            .is_empty();
+        prop_assert_eq!(in_area, Some(influences));
+    }
+
+    /// Definition 3 directly: on random multi-row states, any tuple the
+    /// executor proves influential (removal changes the result) must lie
+    /// in the extracted access area (the area may be larger: it quantifies
+    /// over *all* states).
+    #[test]
+    fn influential_tuples_are_inside_the_area(
+        where_clause in where_strategy(),
+        rows in proptest::collection::vec((-10i64..30, -10i64..30), 1..6),
+        victim in 0usize..6,
+    ) {
+        let victim = victim % rows.len();
+        let sql = format!("SELECT * FROM T WHERE {where_clause}");
+        let area = Extractor::new(&NoSchema).extract_sql(&sql).unwrap();
+
+        let mut catalog = Catalog::new();
+        let mut t = Table::new(t_schema());
+        for (u, v) in &rows {
+            t.insert(vec![Value::Int(*u), Value::Int(*v)]).unwrap();
+        }
+        catalog.add_table(t);
+        let influences =
+            aa_engine::influence::influences_in_state(&catalog, "T", victim, &aa_sql::parse_select(&sql).unwrap())
+                .unwrap();
+        if influences {
+            let (u, v) = rows[victim];
+            prop_assert_eq!(area.contains(&tuple_lookup(u, v)), Some(true),
+                "influential tuple ({}, {}) outside area of {}", u, v, sql);
+        }
+    }
+}

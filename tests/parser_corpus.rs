@@ -1,0 +1,132 @@
+//! Parser corpus: SkyServer-style statements that must parse and
+//! round-trip (`parse(display(ast)) == ast`), plus property tests over
+//! generated predicate grammars.
+
+use aa_sql::{parse_select, ParseErrorKind};
+use proptest::prelude::*;
+
+/// Queries modelled on real SkyServer log idioms.
+const CORPUS: &[&str] = &[
+    "SELECT TOP 10 * FROM PhotoObjAll",
+    "SELECT objID, ra, dec FROM PhotoObjAll WHERE ra BETWEEN 179.5 AND 182.3 AND dec BETWEEN -1.0 AND 1.8",
+    "select top 100 p.objid, p.ra, p.dec, p.u, p.g, p.r, p.i, p.z from photoobjall p where p.u - p.g < 0.4 and p.g - p.r < 0.7",
+    "SELECT s.specobjid, s.plate, s.mjd FROM SpecObjAll s WHERE s.class = 'QSO' AND s.z BETWEEN 0.3 AND 0.4",
+    "SELECT * FROM SpecObjAll WHERE plate=751 AND mjd=52251",
+    "SELECT COUNT(*) FROM PhotoObjAll WHERE type = 6",
+    "SELECT class, COUNT(*) AS n FROM SpecObjAll GROUP BY class HAVING COUNT(*) > 1000 ORDER BY n DESC",
+    "SELECT p.ra, p.dec FROM PhotoObjAll AS p INNER JOIN SpecObjAll AS s ON s.specobjid = p.objid WHERE s.class = 'galaxy'",
+    "SELECT * FROM T FULL OUTER JOIN S ON (T.u = S.u)",
+    "SELECT * FROM zooSpec WHERE dec >= -100 AND dec <= -15",
+    "SELECT objid FROM Galaxies LIMIT 10",
+    "SELECT g.objid FROM Galaxies g WHERE g.ra > 100 LIMIT 25",
+    "SELECT DISTINCT class FROM SpecObjAll WHERE z IS NOT NULL",
+    "SELECT * FROM T WHERE u IN (1, 2, 3) AND v NOT IN (4, 5)",
+    "SELECT * FROM T WHERE u IN (SELECT u FROM S WHERE w > 2)",
+    "SELECT * FROM T WHERE EXISTS (SELECT * FROM S WHERE S.u = T.u) AND NOT EXISTS (SELECT * FROM R WHERE R.u = T.u)",
+    "SELECT * FROM T WHERE u > ANY (SELECT u FROM S) OR u <= ALL (SELECT w FROM S)",
+    "SELECT name FROM [DBObjects] WHERE [access] = 'U'",
+    "SELECT * FROM BESTDR9..PhotoObjAll WHERE ra < 10",
+    "SELECT CASE WHEN z < 0.1 THEN 'near' WHEN z < 1 THEN 'mid' ELSE 'far' END AS bucket, COUNT(*) FROM Photoz GROUP BY CASE WHEN z < 0.1 THEN 'near' WHEN z < 1 THEN 'mid' ELSE 'far' END",
+    "SELECT CAST(z AS numeric(6,3)) FROM Photoz WHERE z > 0",
+    "SELECT TOP 50 PERCENT * FROM sppLines ORDER BY specobjid",
+    "SELECT * FROM (SELECT plate, mjd FROM SpecObjAll WHERE class = 'star') AS stars WHERE stars.plate > 300",
+    "SELECT * FROM T WHERE NOT (u > 5 AND v <= 10)",
+    "SELECT 1 + 2 * 3",
+    "SELECT * FROM sppLines spp, sppParams par WHERE spp.specobjid = par.specobjid AND par.fehadop BETWEEN -0.3 AND 0.5",
+    "-- leading comment\nSELECT * FROM T /* block */ WHERE u = 1",
+    "SELECT * INTO #mytable FROM SpecObjAll WHERE z > 2",
+];
+
+#[test]
+fn corpus_parses_and_round_trips() {
+    for sql in CORPUS {
+        let ast = parse_select(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let printed = ast.to_string();
+        let reparsed = parse_select(&printed)
+            .unwrap_or_else(|e| panic!("printed `{printed}` does not reparse: {e}"));
+        assert_eq!(ast, reparsed, "round trip changed `{sql}` -> `{printed}`");
+    }
+}
+
+#[test]
+fn rejection_corpus_is_classified() {
+    for (sql, kind) in [
+        ("CREATE TABLE x (y int)", ParseErrorKind::NotSelect),
+        ("DECLARE @x int", ParseErrorKind::NotSelect),
+        ("INSERT INTO t VALUES (1)", ParseErrorKind::NotSelect),
+        ("SELEC * FORM T", ParseErrorKind::Syntax),
+        ("SELECT * FROM", ParseErrorKind::Syntax),
+        ("SELECT * FROM T WHERE", ParseErrorKind::Syntax),
+        ("SELECT * FROM T WHERE u >> 1", ParseErrorKind::Syntax),
+        ("SELECT u FROM T UNION SELECT u FROM S", ParseErrorKind::Unsupported),
+        (
+            "SELECT * FROM dbo.fGetNearbyObjEq(180.0, 0.0, 1.0)",
+            ParseErrorKind::Unsupported,
+        ),
+    ] {
+        let err = parse_select(sql).unwrap_err();
+        assert_eq!(err.kind, kind, "{sql}: {err}");
+    }
+}
+
+// ---- property tests -------------------------------------------------------
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        aa_sql::token::Keyword::from_word(s).is_none()
+    })
+}
+
+fn literal() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(|i| i.to_string()),
+        (-100.0..100.0f64).prop_map(|f| format!("{f:.3}")),
+        "[a-z]{1,6}".prop_map(|s| format!("'{s}'")),
+    ]
+}
+
+fn predicate() -> impl Strategy<Value = String> {
+    (
+        ident(),
+        prop_oneof![Just("="), Just("<>"), Just("<"), Just("<="), Just(">"), Just(">=")],
+        literal(),
+    )
+        .prop_map(|(c, op, l)| format!("{c} {op} {l}"))
+}
+
+fn bool_expr() -> impl Strategy<Value = String> {
+    predicate().prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} AND {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} OR {b})")),
+            inner.prop_map(|a| format!("NOT ({a})")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn generated_where_clauses_round_trip(table in ident(), clause in bool_expr()) {
+        let sql = format!("SELECT * FROM {table} WHERE {clause}");
+        let ast = parse_select(&sql).unwrap();
+        let printed = ast.to_string();
+        let reparsed = parse_select(&printed).unwrap();
+        prop_assert_eq!(ast, reparsed);
+    }
+
+    #[test]
+    fn lexer_never_panics_on_arbitrary_input(input in "\\PC{0,120}") {
+        // Errors are fine; panics are not.
+        let _ = parse_select(&input);
+    }
+
+    #[test]
+    fn projection_lists_round_trip(cols in proptest::collection::vec(ident(), 1..6)) {
+        let sql = format!("SELECT {} FROM T", cols.join(", "));
+        let ast = parse_select(&sql).unwrap();
+        let reparsed = parse_select(&ast.to_string()).unwrap();
+        prop_assert_eq!(ast, reparsed);
+    }
+}
