@@ -5,7 +5,7 @@
 use aa_baselines::olapclus_distance;
 use aa_core::extract::{Extractor, NoSchema};
 use aa_core::{AccessArea, AccessRanges, DistanceMode, QueryDistance};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use aa_bench::micro::{black_box, Criterion};
 
 fn bench_modes(c: &mut Criterion) {
     let ex = Extractor::new(&NoSchema);
@@ -39,5 +39,7 @@ fn bench_modes(c: &mut Criterion) {
     let _unused: Vec<AccessArea> = vec![];
 }
 
-criterion_group!(benches, bench_modes);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_modes(&mut c);
+}

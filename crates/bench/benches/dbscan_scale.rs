@@ -7,7 +7,7 @@ use aa_bench::cluster_areas;
 use aa_core::{AccessArea, AccessRanges, DistanceMode, Pipeline, QueryDistance};
 use aa_dbscan::{dbscan, DbscanParams};
 use aa_skyserver::{generate_log, Dr9Schema, LogConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use aa_bench::micro::{BenchmarkId, Criterion};
 
 fn sample(n: usize) -> (Vec<AccessArea>, AccessRanges) {
     let provider = Dr9Schema::new();
@@ -49,5 +49,7 @@ fn bench_dbscan(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_dbscan);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_dbscan(&mut c);
+}

@@ -3,7 +3,7 @@
 
 use aa_core::extract::{Extractor, NoSchema};
 use aa_core::{AccessArea, AccessRanges, DistanceMode, QueryDistance};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use aa_bench::micro::{black_box, Criterion};
 
 fn areas(sqls: &[&str]) -> Vec<AccessArea> {
     let ex = Extractor::new(&NoSchema);
@@ -52,5 +52,7 @@ fn bench_distance(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_distance);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_distance(&mut c);
+}

@@ -2,7 +2,7 @@
 //! parse / lower / CNF / consolidate, per query category.
 
 use aa_core::extract::{Extractor, NoSchema};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use aa_bench::micro::{black_box, Criterion};
 
 const SIMPLE: &str = "SELECT u FROM T WHERE u >= 1 AND u <= 8 AND s > 5";
 const JOIN: &str =
@@ -84,5 +84,9 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_parse, bench_stages, bench_end_to_end);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_parse(&mut c);
+    bench_stages(&mut c);
+    bench_end_to_end(&mut c);
+}

@@ -5,7 +5,7 @@ use aa_baselines::{requery_log, RequeryConfig};
 use aa_core::Pipeline;
 use aa_engine::ExecOptions;
 use aa_skyserver::{build_catalog, generate_log, LogConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use aa_bench::micro::Criterion;
 
 fn bench_extract_vs_requery(c: &mut Criterion) {
     let catalog = build_catalog(0.05, 3);
@@ -35,5 +35,7 @@ fn bench_extract_vs_requery(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_extract_vs_requery);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_extract_vs_requery(&mut c);
+}

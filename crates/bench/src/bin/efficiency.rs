@@ -9,8 +9,7 @@
 use aa_bench::{banner, ExperimentConfig, TextTable};
 use aa_core::{ExtractConfig, Pipeline};
 use aa_skyserver::{generate_log, Dr9Schema, LogConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use aa_util::SeededRng;
 use std::time::Duration;
 
 fn main() {
@@ -79,7 +78,7 @@ fn main() {
     // distribution. With the paper's 35-atom cap the conversion stays
     // bounded; uncapped it blows past the clause guard.
     banner("CNF blowup pathology (the paper's 471 >35-predicate queries)");
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = SeededRng::seed_from_u64(9);
     let adversarial: Vec<String> = (0..20).map(|_| adversarial_query(&mut rng)).collect();
 
     for (name, cfg) in [
@@ -111,7 +110,7 @@ fn main() {
 
 /// An OR-of-ANDs WHERE clause with ~48 predicates: CNF has 2^24 clauses
 /// uncapped.
-fn adversarial_query(rng: &mut StdRng) -> String {
+fn adversarial_query(rng: &mut SeededRng) -> String {
     let mut ors = Vec::new();
     for i in 0..24 {
         let a = rng.gen_range(0..1000);

@@ -11,8 +11,7 @@ use aa_bench::{banner, cluster_areas, ExperimentConfig, TextTable};
 use aa_core::{AccessArea, AccessRanges, Extractor};
 use aa_dbscan::DbscanParams;
 use aa_skyserver::cluster_query;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use aa_util::SeededRng;
 
 fn main() {
     let config = ExperimentConfig::from_env();
@@ -23,7 +22,7 @@ fn main() {
     // Schema-free extraction suffices: the templates fully qualify columns.
     let provider = aa_core::NoSchema;
     let extractor = Extractor::new(&provider);
-    let mut rng = StdRng::seed_from_u64(config.log.seed);
+    let mut rng = SeededRng::seed_from_u64(config.log.seed);
 
     let mut table = TextTable::new(&[
         "Planted cluster",

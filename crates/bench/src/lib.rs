@@ -22,6 +22,7 @@ pub mod aggregate;
 pub mod coverage;
 pub mod density;
 pub mod harness;
+pub mod micro;
 pub mod report;
 
 pub use aggregate::{aggregate_cluster, AggregatedArea};

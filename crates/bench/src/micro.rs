@@ -1,0 +1,260 @@
+//! In-tree micro-benchmark harness.
+//!
+//! Keeps the shape of the criterion API the bench files were written
+//! against (`Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box`) so the bench sources
+//! stay nearly diff-free, while depending on nothing outside `std`.
+//!
+//! Methodology per benchmark: a wall-clock warmup, then `sample_size`
+//! timed samples where each sample runs a batch of iterations calibrated
+//! from the warmup so one batch is long enough for the clock to resolve.
+//! Reported statistics are the per-iteration median and p95 across
+//! samples.
+//!
+//! Environment knobs (useful for smoke-running benches in CI):
+//! - `AA_BENCH_SAMPLE_SIZE` — samples per benchmark (default 60)
+//! - `AA_BENCH_WARMUP_MS` — warmup duration in milliseconds (default 120)
+//! - `AA_BENCH_FAST=1` — shorthand for 5 samples / 5 ms warmup
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Top-level driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let fast = std::env::var("AA_BENCH_FAST").is_ok_and(|v| v == "1");
+        let sample_size = std::env::var("AA_BENCH_SAMPLE_SIZE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if fast { 5 } else { 60 });
+        let warmup_ms = std::env::var("AA_BENCH_WARMUP_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if fast { 5 } else { 120 });
+        Criterion {
+            sample_size: sample_size.max(2),
+            warmup: Duration::from_millis(warmup_ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group; results print as `group/benchmark`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n{name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            warmup: self.warmup,
+            _criterion: self,
+        }
+    }
+
+    /// An ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_one(&id.into(), self.sample_size, self.warmup, f);
+    }
+}
+
+/// A parameterised benchmark id, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warmup: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group (expensive benches
+    /// lower it, exactly as with criterion).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.sample_size, self.warmup, f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.warmup, |b| f(b, input));
+    }
+
+    /// No-op, kept for API compatibility (results print as they complete).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one(label: &str, sample_size: usize, warmup: Duration, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        sample_size,
+        warmup,
+        stats: None,
+    };
+    f(&mut bencher);
+    match bencher.stats {
+        Some(stats) => eprintln!(
+            "  {label:<44} median {:>10}  p95 {:>10}  ({} samples x {} iters)",
+            format_duration(stats.median),
+            format_duration(stats.p95),
+            stats.samples,
+            stats.iters_per_sample,
+        ),
+        None => eprintln!("  {label:<44} (no measurement: bencher.iter never called)"),
+    }
+}
+
+/// Per-benchmark measurement state, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    sample_size: usize,
+    warmup: Duration,
+    stats: Option<Stats>,
+}
+
+#[derive(Clone, Copy)]
+struct Stats {
+    median: f64,
+    p95: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`: warmup, batch-size calibration, then
+    /// `sample_size` samples of `iters_per_sample` iterations each.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup, counting iterations to calibrate the batch size.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.warmup || warmup_iters == 0 {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        // One batch should take ~2ms so Instant resolution is negligible,
+        // but never fewer than 1 iteration.
+        let iters_per_sample = ((2e-3 / per_iter).round() as u64).clamp(1, 1_000_000);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = percentile(&samples, 0.5);
+        let p95 = percentile(&samples, 0.95);
+        self.stats = Some(Stats {
+            median,
+            p95,
+            samples: samples.len(),
+            iters_per_sample,
+        });
+    }
+}
+
+/// Nearest-rank percentile over sorted samples.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Criterion {
+        Criterion {
+            sample_size: 3,
+            warmup: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn measures_a_trivial_routine() {
+        let mut c = tiny();
+        let mut g = c.benchmark_group("test");
+        let mut ran = 0u64;
+        g.bench_function("count", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut c = tiny();
+        let mut g = c.benchmark_group("test");
+        let mut seen = 0usize;
+        g.bench_with_input(BenchmarkId::new("sized", 42usize), &42usize, |b, &n| {
+            b.iter(|| seen = n)
+        });
+        assert_eq!(seen, 42);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("brute_force", 500).to_string(), "brute_force/500");
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let s = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&s, 0.5), 3.0);
+        assert_eq!(percentile(&s, 0.95), 5.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(5e-9), "5.0 ns");
+        assert_eq!(format_duration(2.5e-6), "2.50 us");
+        assert_eq!(format_duration(3.25e-3), "3.25 ms");
+        assert_eq!(format_duration(1.5), "1.500 s");
+    }
+}

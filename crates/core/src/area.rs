@@ -4,12 +4,11 @@
 
 use crate::cnf::Cnf;
 use crate::predicate::{Constant, QualifiedColumn};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// An extracted access area.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AccessArea {
     /// Relations of the universal relation, keyed by lower-cased name
     /// (alphabetical, as the paper's cleanup step orders them), mapped to a

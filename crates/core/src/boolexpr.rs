@@ -10,7 +10,6 @@
 
 use crate::cnf::{Cnf, Disjunction};
 use crate::predicate::{AtomicPredicate, Constant, QualifiedColumn};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The paper's predicate cap for CNF conversion (Section 6.6: only 471 of
@@ -21,7 +20,7 @@ pub const DEFAULT_ATOM_CAP: usize = 35;
 pub const DEFAULT_CLAUSE_CAP: usize = 4096;
 
 /// A boolean combination of atomic predicates.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum BoolExpr {
     /// Always true (no constraint).
     True,

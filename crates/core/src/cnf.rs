@@ -6,12 +6,11 @@
 //! constraint); a CNF containing an empty disjunction is unsatisfiable.
 
 use crate::predicate::{AtomicPredicate, Constant, QualifiedColumn};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// One disjunction (OR) of atomic predicates.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Disjunction {
     pub atoms: Vec<AtomicPredicate>,
 }
@@ -93,7 +92,7 @@ impl fmt::Display for Disjunction {
 }
 
 /// A conjunction of disjunctions.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Cnf {
     pub clauses: Vec<Disjunction>,
 }

@@ -7,10 +7,9 @@
 //! `a < 3 AND a > 3` is recognised as a contradiction while
 //! `a <= 3 AND a >= 3` collapses to the point `{3}`.
 
-use serde::{Deserialize, Serialize};
 
 /// A (possibly unbounded, possibly empty) numeric interval.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interval {
     pub lo: f64,
     pub hi: f64,

@@ -1,0 +1,191 @@
+//! JSON views of the core types (the former `serde` derives, now explicit
+//! and zero-dependency via [`aa_util::json`]).
+//!
+//! Writers exist for every type an experiment artifact may want to dump
+//! (areas, constraints, intervals); [`Interval`] additionally reads back,
+//! since range snapshots are the one thing experiments re-load.
+
+use crate::area::AccessArea;
+use crate::cnf::{Cnf, Disjunction};
+use crate::interval::Interval;
+use crate::predicate::{AtomicPredicate, CmpOp, Constant, QualifiedColumn};
+use aa_util::{FromJson, Json, JsonError, ToJson};
+
+impl ToJson for Interval {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("lo".to_string(), Json::Num(self.lo)),
+            ("hi".to_string(), Json::Num(self.hi)),
+            ("lo_open".to_string(), Json::Bool(self.lo_open)),
+            ("hi_open".to_string(), Json::Bool(self.hi_open)),
+        ])
+    }
+}
+
+impl FromJson for Interval {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let field = |k: &str| {
+            json.get(k)
+                .ok_or_else(|| JsonError(format!("interval: missing '{k}'")))
+        };
+        // Infinite bounds serialise as null (JSON has no Inf); map back.
+        let num = |k: &str, inf: f64| -> Result<f64, JsonError> {
+            match field(k)? {
+                Json::Null => Ok(inf),
+                v => f64::from_json(v),
+            }
+        };
+        Ok(Interval {
+            lo: num("lo", f64::NEG_INFINITY)?,
+            hi: num("hi", f64::INFINITY)?,
+            lo_open: bool::from_json(field("lo_open")?)?,
+            hi_open: bool::from_json(field("hi_open")?)?,
+        })
+    }
+}
+
+impl ToJson for QualifiedColumn {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("table".to_string(), Json::Str(self.table.clone())),
+            ("column".to_string(), Json::Str(self.column.clone())),
+        ])
+    }
+}
+
+impl ToJson for CmpOp {
+    fn to_json(&self) -> Json {
+        Json::Str(self.symbol().to_string())
+    }
+}
+
+impl ToJson for Constant {
+    fn to_json(&self) -> Json {
+        match self {
+            Constant::Num(x) => Json::Num(*x),
+            Constant::Str(s) => Json::Str(s.clone()),
+        }
+    }
+}
+
+impl ToJson for AtomicPredicate {
+    fn to_json(&self) -> Json {
+        match self {
+            AtomicPredicate::ColumnConstant { column, op, value } => Json::obj([
+                ("kind".to_string(), Json::Str("column_constant".into())),
+                ("column".to_string(), column.to_json()),
+                ("op".to_string(), op.to_json()),
+                ("value".to_string(), value.to_json()),
+            ]),
+            AtomicPredicate::ColumnColumn { left, op, right } => Json::obj([
+                ("kind".to_string(), Json::Str("column_column".into())),
+                ("left".to_string(), left.to_json()),
+                ("op".to_string(), op.to_json()),
+                ("right".to_string(), right.to_json()),
+            ]),
+        }
+    }
+}
+
+impl ToJson for Disjunction {
+    fn to_json(&self) -> Json {
+        Json::arr(self.atoms.iter())
+    }
+}
+
+impl ToJson for Cnf {
+    fn to_json(&self) -> Json {
+        Json::arr(self.clauses.iter())
+    }
+}
+
+impl ToJson for AccessArea {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "tables".to_string(),
+                Json::Arr(
+                    self.table_names()
+                        .map(|t| Json::Str(t.to_string()))
+                        .collect(),
+                ),
+            ),
+            ("constraint".to_string(), self.constraint.to_json()),
+            ("exact".to_string(), Json::Bool(self.exact)),
+            (
+                "provably_empty".to_string(),
+                Json::Bool(self.provably_empty),
+            ),
+            (
+                "intermediate_sql".to_string(),
+                Json::Str(self.to_intermediate_sql()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{Extractor, NoSchema};
+
+    #[test]
+    fn interval_json_round_trip() {
+        for iv in [
+            Interval::closed(-2.5, 7.0),
+            Interval::point(3.0),
+            Interval::below(4.0, true),
+            Interval::all(),
+        ] {
+            let text = iv.to_json().to_string_compact();
+            let back = Interval::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, iv, "{text}");
+        }
+    }
+
+    #[test]
+    fn area_json_carries_tables_and_constraint() {
+        let area = Extractor::new(&NoSchema)
+            .extract_sql("SELECT * FROM T, S WHERE T.u <= 5 AND S.cls = 'star'")
+            .unwrap();
+        let json = area.to_json();
+        let tables: Vec<&str> = json
+            .get("tables")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        assert_eq!(tables, vec!["S", "T"]);
+        assert_eq!(
+            json.get("constraint").unwrap().as_arr().unwrap().len(),
+            area.constraint.len()
+        );
+        assert_eq!(json.get("exact").unwrap().as_bool(), Some(true));
+        // The document is valid JSON and re-parses.
+        let reparsed = Json::parse(&json.to_string_pretty()).unwrap();
+        assert_eq!(reparsed, json);
+    }
+
+    #[test]
+    fn predicate_json_shapes() {
+        let cc = AtomicPredicate::cc(
+            QualifiedColumn::new("T", "u"),
+            CmpOp::LtEq,
+            Constant::Num(5.0),
+        );
+        let json = cc.to_json();
+        assert_eq!(json.get("kind").unwrap().as_str(), Some("column_constant"));
+        assert_eq!(json.get("op").unwrap().as_str(), Some("<="));
+        let join = AtomicPredicate::join(
+            QualifiedColumn::new("T", "u"),
+            CmpOp::Eq,
+            QualifiedColumn::new("S", "u"),
+        );
+        assert_eq!(
+            join.to_json().get("kind").unwrap().as_str(),
+            Some("column_column")
+        );
+    }
+}

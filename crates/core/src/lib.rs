@@ -43,6 +43,7 @@ pub mod distance;
 pub mod error;
 pub mod extract;
 pub mod interval;
+pub mod jsonio;
 pub mod pipeline;
 pub mod predicate;
 pub mod ranges;

@@ -6,12 +6,11 @@
 //! `< ≤ = > ≥ <>`.
 
 use crate::interval::Interval;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A fully resolved column: real (unaliased) table name plus column name.
 /// Equality and hashing are case-insensitive, matching SQL Server.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QualifiedColumn {
     pub table: String,
     pub column: String,
@@ -73,7 +72,7 @@ impl fmt::Display for QualifiedColumn {
 }
 
 /// Comparison operators `θ` of atomic predicates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CmpOp {
     Eq,
     Neq,
@@ -141,7 +140,7 @@ impl fmt::Display for CmpOp {
 }
 
 /// A constant appearing in a column-constant predicate.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Constant {
     Num(f64),
     Str(String),
@@ -208,7 +207,7 @@ impl fmt::Display for Constant {
 }
 
 /// An atomic predicate.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum AtomicPredicate {
     /// `a θ c`.
     ColumnConstant {

@@ -1,0 +1,202 @@
+//! Golden-value tests for the Section 5 distance function.
+//!
+//! Every expected value here is hand-computed from the definitions (not
+//! captured from the implementation), so these tests pin the arithmetic
+//! itself: interval clipping against `access(a)`, hull/overlap widths,
+//! the clause-matching sums of `d_conj`/`d_disj`, and the Jaccard table
+//! distance. Tolerances are 1e-12 — the computations are exact in f64.
+
+use aa_core::distance::{DistanceMode, QueryDistance};
+use aa_core::extract::{Extractor, NoSchema};
+use aa_core::ranges::AccessRanges;
+use aa_core::{AccessArea, AtomicPredicate, QualifiedColumn};
+
+fn area(sql: &str) -> AccessArea {
+    Extractor::new(&NoSchema).extract_sql(sql).unwrap()
+}
+
+/// Single-atom WHERE clause -> its atomic predicate.
+fn pred(sql_where: &str) -> AtomicPredicate {
+    let a = area(&format!("SELECT * FROM T WHERE {sql_where}"));
+    assert_eq!(a.constraint.len(), 1, "{sql_where}");
+    a.constraint.clauses[0].atoms[0].clone()
+}
+
+/// access(T.a) = [0,10], access(T.b) = [0,10], access(S.x) = [0,10],
+/// access(T.class) = {star, galaxy, qso}.
+fn ranges() -> AccessRanges {
+    let mut r = AccessRanges::new();
+    r.set_numeric(&QualifiedColumn::new("T", "a"), 0.0, 10.0);
+    r.set_numeric(&QualifiedColumn::new("T", "b"), 0.0, 10.0);
+    r.set_numeric(&QualifiedColumn::new("S", "x"), 0.0, 10.0);
+    r.set_categorical(
+        &QualifiedColumn::new("T", "class"),
+        ["star".to_string(), "galaxy".to_string(), "qso".to_string()],
+    );
+    r
+}
+
+fn assert_close(got: f64, want: f64, what: &str) {
+    assert!(
+        (got - want).abs() < 1e-12,
+        "{what}: got {got}, hand-computed {want}"
+    );
+}
+
+#[test]
+fn d_pred_same_direction_inequalities() {
+    // a < 4: clipped to [0,4), width 4.   a < 6: clipped to [0,6), width 6.
+    // overlap = 4, hull = [0,6) width 6, |access| = 10.
+    let r = ranges();
+    let p1 = pred("a < 4");
+    let p2 = pred("a < 6");
+    // Dissimilarity: (hull - overlap) / |access| = (6 - 4) / 10.
+    let d = QueryDistance::new(&r);
+    assert_close(d.d_pred(&p1, &p2), 0.2, "dissimilarity a<4 vs a<6");
+    // Paper-literal: overlap / |access| = 4 / 10.
+    let lit = QueryDistance::with_mode(&r, DistanceMode::PaperLiteral);
+    assert_close(lit.d_pred(&p1, &p2), 0.4, "literal a<4 vs a<6");
+}
+
+#[test]
+fn d_pred_opposing_inequalities() {
+    // a >= 2: [2,10] width 8.   a <= 8: [0,8] width 8.
+    // overlap = [2,8] width 6, hull = [0,10] width 10, |access| = 10.
+    let r = ranges();
+    let p1 = pred("a >= 2");
+    let p2 = pred("a <= 8");
+    let d = QueryDistance::new(&r);
+    assert_close(d.d_pred(&p1, &p2), 0.4, "dissimilarity a>=2 vs a<=8");
+    let lit = QueryDistance::with_mode(&r, DistanceMode::PaperLiteral);
+    assert_close(lit.d_pred(&p1, &p2), 0.6, "literal a>=2 vs a<=8");
+}
+
+#[test]
+fn d_pred_point_predicates() {
+    // a = 3 vs a = 7 on [0,10]: overlap 0, hull [3,7] width 4 -> 0.4.
+    let r = ranges();
+    let d = QueryDistance::new(&r);
+    assert_close(d.d_pred(&pred("a = 3"), &pred("a = 7")), 0.4, "a=3 vs a=7");
+    // Identical points: hull width 0 -> 0.
+    assert_close(d.d_pred(&pred("a = 3"), &pred("a = 3")), 0.0, "a=3 vs a=3");
+}
+
+#[test]
+fn d_pred_widens_access_to_cover_out_of_range_constants() {
+    // a = 15 lies outside access [0,10]: access widens to [0,15].
+    // a = 5 vs a = 15: overlap 0, hull [5,15] width 10, |access| = 15.
+    let r = ranges();
+    let d = QueryDistance::new(&r);
+    assert_close(
+        d.d_pred(&pred("a = 5"), &pred("a = 15")),
+        10.0 / 15.0,
+        "a=5 vs a=15 with widened access",
+    );
+}
+
+#[test]
+fn d_pred_categorical_jaccard() {
+    let r = ranges();
+    let d = QueryDistance::new(&r);
+    // {star} vs {galaxy, qso}: disjoint -> 1.
+    assert_close(
+        d.d_pred(&pred("class = 'star'"), &pred("class <> 'star'")),
+        1.0,
+        "star vs NOT star",
+    );
+    // {galaxy, qso} vs {star, qso}: common {qso}, union 3 -> 1 - 1/3.
+    assert_close(
+        d.d_pred(&pred("class <> 'star'"), &pred("class <> 'galaxy'")),
+        2.0 / 3.0,
+        "NOT star vs NOT galaxy",
+    );
+    // Paper-literal normalizes the overlap by |access| = 3: 1/3.
+    let lit = QueryDistance::with_mode(&r, DistanceMode::PaperLiteral);
+    assert_close(
+        lit.d_pred(&pred("class <> 'star'"), &pred("class <> 'galaxy'")),
+        1.0 / 3.0,
+        "literal NOT star vs NOT galaxy",
+    );
+}
+
+#[test]
+fn d_disj_clause_matching_sum() {
+    // o1 = (a < 4 OR b > 2), o2 = (a < 6).
+    // d(a<4, a<6) = 0.2 (above); d(b>2, a<6) = 1 (cross-column).
+    // sum1 = 0.2 + 1 = 1.2; sum2 = min(0.2, 1) = 0.2.
+    // d_disj = (1.2 + 0.2) / (2 + 1) = 1.4/3.
+    let r = ranges();
+    let d = QueryDistance::new(&r);
+    let a1 = area("SELECT * FROM T WHERE a < 4 OR b > 2");
+    let a2 = area("SELECT * FROM T WHERE a < 6");
+    assert_eq!(a1.constraint.len(), 1);
+    let got = d.d_disj(&a1.constraint.clauses[0], &a2.constraint.clauses[0]);
+    assert_close(got, 1.4 / 3.0, "d_disj two-atom vs one-atom");
+}
+
+#[test]
+fn d_conj_clause_matching_sum() {
+    // b1 = {a < 4} ∧ {b > 2}, b2 = {a < 6}.
+    // Clause distances: d({a<4},{a<6}) = 0.2; d({b>2},{a<6}) = 1.
+    // sum1 = 0.2 + 1 = 1.2; sum2 = min = 0.2.
+    // d_conj = (1.2 + 0.2) / (2 + 1) = 1.4/3.
+    let r = ranges();
+    let d = QueryDistance::new(&r);
+    let a1 = area("SELECT * FROM T WHERE a < 4 AND b > 2");
+    let a2 = area("SELECT * FROM T WHERE a < 6");
+    assert_close(
+        d.d_conj(&a1.constraint, &a2.constraint),
+        1.4 / 3.0,
+        "d_conj 2 clauses vs 1",
+    );
+}
+
+#[test]
+fn d_tables_jaccard_goldens() {
+    let r = ranges();
+    let d = QueryDistance::new(&r);
+    let t = area("SELECT * FROM T");
+    let ts = area("SELECT * FROM T, S");
+    let sr = area("SELECT * FROM S, R");
+    let tsr = area("SELECT * FROM T, S, R");
+    // {T} vs {T,S}: 1 - 1/2.
+    assert_close(d.d_tables(&t, &ts), 0.5, "{T} vs {T,S}");
+    // {T,S} vs {S,R}: 1 - 1/3.
+    assert_close(d.d_tables(&ts, &sr), 2.0 / 3.0, "{T,S} vs {S,R}");
+    // {T,S,R} vs {T,S}: 1 - 2/3.
+    assert_close(d.d_tables(&tsr, &ts), 1.0 / 3.0, "{T,S,R} vs {T,S}");
+}
+
+#[test]
+fn full_distance_equation_1() {
+    // q1 = SELECT ... FROM T WHERE a < 4
+    // q2 = SELECT ... FROM S, T WHERE T.a < 6 AND S.x = 1
+    // d_tables({T}, {S,T}) = 1 - 1/2 = 0.5.
+    // d_conj({a<4} ; {T.a<6}, {S.x=1}):
+    //   sum1 = min(0.2, 1) = 0.2; sum2 = 0.2 + 1 = 1.2 -> 1.4/3.
+    // d = 0.5 + 1.4/3.
+    let r = ranges();
+    let d = QueryDistance::new(&r);
+    let q1 = area("SELECT * FROM T WHERE a < 4");
+    let q2 = area("SELECT * FROM S, T WHERE T.a < 6 AND S.x = 1");
+    assert_close(d.distance(&q1, &q2), 0.5 + 1.4 / 3.0, "full distance");
+    // Symmetry of the whole equation on this pair.
+    assert_close(
+        d.distance(&q2, &q1),
+        d.distance(&q1, &q2),
+        "distance symmetry",
+    );
+}
+
+#[test]
+fn paper_worked_example_both_modes() {
+    // The paper's own numbers, on its own access range [0,5]:
+    // p1 = a < 3, p2 = a > 2 -> literal 1/5 = 0.2;
+    // dissimilarity = (5 - 1)/5 = 0.8 = 1 - 0.2 (intervals span access).
+    let mut r = AccessRanges::new();
+    r.set_numeric(&QualifiedColumn::new("T", "a"), 0.0, 5.0);
+    let lit = QueryDistance::with_mode(&r, DistanceMode::PaperLiteral);
+    assert_close(lit.d_pred(&pred("a < 3"), &pred("a > 2")), 0.2, "paper 5.2");
+    let d = QueryDistance::new(&r);
+    assert_close(d.d_pred(&pred("a < 3"), &pred("a > 2")), 0.8, "1 - paper");
+}

@@ -9,7 +9,16 @@
 use aa_core::boolexpr::BoolExpr;
 use aa_core::consolidate::consolidate;
 use aa_core::{AtomicPredicate, CmpOp, Constant, Interval, QualifiedColumn};
-use proptest::prelude::*;
+use aa_prop::{check, Config, Source};
+
+const CMP_OPS: &[CmpOp] = &[
+    CmpOp::Eq,
+    CmpOp::Neq,
+    CmpOp::Lt,
+    CmpOp::LtEq,
+    CmpOp::Gt,
+    CmpOp::GtEq,
+];
 
 // ---- random boolean expressions over independent atoms --------------------
 
@@ -24,19 +33,23 @@ fn atom(i: usize) -> BoolExpr {
     ))
 }
 
-fn expr_strategy(num_atoms: usize) -> impl Strategy<Value = BoolExpr> {
-    let leaf = prop_oneof![
-        (0..num_atoms).prop_map(atom),
-        Just(BoolExpr::True),
-        Just(BoolExpr::False),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 2..4).prop_map(BoolExpr::and),
-            proptest::collection::vec(inner.clone(), 2..4).prop_map(BoolExpr::or),
-            inner.prop_map(BoolExpr::not),
-        ]
-    })
+fn leaf_expr(src: &mut Source, num_atoms: usize) -> BoolExpr {
+    match src.usize_in(0, num_atoms + 2) {
+        0 => BoolExpr::True,
+        1 => BoolExpr::False,
+        n => atom(n - 2),
+    }
+}
+
+fn gen_expr(src: &mut Source, num_atoms: usize, depth: u32) -> BoolExpr {
+    if depth == 0 || !src.bool(0.65) {
+        return leaf_expr(src, num_atoms);
+    }
+    match src.usize_in(0, 3) {
+        0 => BoolExpr::and(src.vec_of(2, 4, |s| gen_expr(s, num_atoms, depth - 1))),
+        1 => BoolExpr::or(src.vec_of(2, 4, |s| gen_expr(s, num_atoms, depth - 1))),
+        _ => BoolExpr::not(gen_expr(src, num_atoms, depth - 1)),
+    }
 }
 
 /// Evaluates an expression or CNF under a bitmask assignment.
@@ -51,26 +64,31 @@ fn lookup_for(mask: u32) -> impl Fn(&QualifiedColumn) -> Option<Constant> {
 
 const NUM_ATOMS: usize = 6;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// CNF conversion (uncapped) is logically equivalent to the input.
-    #[test]
-    fn cnf_preserves_equivalence(expr in expr_strategy(NUM_ATOMS)) {
+/// CNF conversion (uncapped) is logically equivalent to the input.
+#[test]
+fn cnf_preserves_equivalence() {
+    check(Config::cases(256), |src| {
+        let expr = gen_expr(src, NUM_ATOMS, 4);
         let conv = expr.to_cnf_capped(usize::MAX, usize::MAX);
-        prop_assert!(conv.exact);
+        assert!(conv.exact);
         for mask in 0..(1u32 << NUM_ATOMS) {
             let lookup = lookup_for(mask);
             let original = expr.evaluate(&lookup);
             let converted = conv.cnf.evaluate(&lookup);
-            prop_assert_eq!(original, converted,
-                "mask {:06b}: {} vs CNF {}", mask, expr, conv.cnf);
+            assert_eq!(
+                original, converted,
+                "mask {mask:06b}: {expr} vs CNF {}",
+                conv.cnf
+            );
         }
-    }
+    });
+}
 
-    /// NNF conversion is logically equivalent and free of Not nodes.
-    #[test]
-    fn nnf_preserves_equivalence(expr in expr_strategy(NUM_ATOMS)) {
+/// NNF conversion is logically equivalent and free of Not nodes.
+#[test]
+fn nnf_preserves_equivalence() {
+    check(Config::cases(256), |src| {
+        let expr = gen_expr(src, NUM_ATOMS, 4);
         let nnf = expr.to_nnf();
         fn has_not(e: &BoolExpr) -> bool {
             match e {
@@ -79,30 +97,27 @@ proptest! {
                 _ => false,
             }
         }
-        prop_assert!(!has_not(&nnf), "NNF still contains NOT: {}", nnf);
+        assert!(!has_not(&nnf), "NNF still contains NOT: {nnf}");
         for mask in 0..(1u32 << NUM_ATOMS) {
             let lookup = lookup_for(mask);
-            prop_assert_eq!(expr.evaluate(&lookup), nnf.evaluate(&lookup));
+            assert_eq!(expr.evaluate(&lookup), nnf.evaluate(&lookup));
         }
-    }
+    });
+}
 
-    /// Consolidation never changes the satisfying set of a CNF (checked on
-    /// numeric single-column constraints over a small grid).
-    #[test]
-    fn consolidation_preserves_satisfying_set(
-        constraints in proptest::collection::vec(
-            (
-                0usize..2, // column u or v
-                prop_oneof![
-                    Just(CmpOp::Eq), Just(CmpOp::Neq), Just(CmpOp::Lt),
-                    Just(CmpOp::LtEq), Just(CmpOp::Gt), Just(CmpOp::GtEq)
-                ],
-                -3i64..8,
-            ),
-            1..6,
-        )
-    ) {
+/// Consolidation never changes the satisfying set of a CNF (checked on
+/// numeric single-column constraints over a small grid).
+#[test]
+fn consolidation_preserves_satisfying_set() {
+    check(Config::cases(256), |src| {
         use aa_core::{Cnf, Disjunction};
+        let constraints = src.vec_of(1, 6, |s| {
+            (
+                s.usize_in(0, 2), // column u or v
+                *s.choice(CMP_OPS),
+                s.int_in(-3, 8),
+            )
+        });
         let cols = ["u", "v"];
         let clauses: Vec<Disjunction> = constraints
             .iter()
@@ -130,8 +145,7 @@ proptest! {
                 };
                 let before = original.evaluate(&lookup);
                 let after = consolidated.evaluate(&lookup);
-                prop_assert_eq!(before, after,
-                    "({}, {}): {} vs {}", u, v, original, consolidated);
+                assert_eq!(before, after, "({u}, {v}): {original} vs {consolidated}");
                 if before == Some(true) {
                     any_sat = true;
                 }
@@ -141,66 +155,66 @@ proptest! {
         // the constraint (the converse need not hold: satisfying points
         // may lie off-grid, and detection is best-effort anyway).
         if outcome.contradiction {
-            prop_assert!(!any_sat, "contradiction claimed but {} satisfiable", original);
+            assert!(!any_sat, "contradiction claimed but {original} satisfiable");
         }
-    }
+    });
+}
 
-    // ---- interval algebra laws ---------------------------------------------
+// ---- interval algebra laws -------------------------------------------------
 
-    #[test]
-    fn interval_intersection_laws(
-        (a_lo, a_w) in (-50.0..50.0f64, 0.0..40.0f64),
-        (b_lo, b_w) in (-50.0..50.0f64, 0.0..40.0f64),
-        probe in -100.0..100.0f64,
-    ) {
+#[test]
+fn interval_intersection_laws() {
+    check(Config::cases(256), |src| {
+        let (a_lo, a_w) = (src.f64_in(-50.0, 50.0), src.f64_in(0.0, 40.0));
+        let (b_lo, b_w) = (src.f64_in(-50.0, 50.0), src.f64_in(0.0, 40.0));
+        let probe = src.f64_in(-100.0, 100.0);
         let a = Interval::closed(a_lo, a_lo + a_w);
         let b = Interval::closed(b_lo, b_lo + b_w);
         let i = a.intersect(&b);
         // Commutativity.
-        prop_assert_eq!(i, b.intersect(&a));
+        assert_eq!(i, b.intersect(&a));
         // Membership: x in a∩b iff x in a and x in b.
-        prop_assert_eq!(i.contains(probe), a.contains(probe) && b.contains(probe));
+        assert_eq!(i.contains(probe), a.contains(probe) && b.contains(probe));
         // Idempotence and identity.
-        prop_assert_eq!(a.intersect(&a), a);
-        prop_assert_eq!(a.intersect(&Interval::all()), a);
+        assert_eq!(a.intersect(&a), a);
+        assert_eq!(a.intersect(&Interval::all()), a);
         // Intersection is a subset of both.
-        prop_assert!(i.subset_of(&a));
-        prop_assert!(i.subset_of(&b));
-    }
+        assert!(i.subset_of(&a));
+        assert!(i.subset_of(&b));
+    });
+}
 
-    #[test]
-    fn interval_hull_laws(
-        (a_lo, a_w) in (-50.0..50.0f64, 0.0..40.0f64),
-        (b_lo, b_w) in (-50.0..50.0f64, 0.0..40.0f64),
-        probe in -100.0..100.0f64,
-    ) {
+#[test]
+fn interval_hull_laws() {
+    check(Config::cases(256), |src| {
+        let (a_lo, a_w) = (src.f64_in(-50.0, 50.0), src.f64_in(0.0, 40.0));
+        let (b_lo, b_w) = (src.f64_in(-50.0, 50.0), src.f64_in(0.0, 40.0));
+        let probe = src.f64_in(-100.0, 100.0);
         let a = Interval::closed(a_lo, a_lo + a_w);
         let b = Interval::closed(b_lo, b_lo + b_w);
         let h = a.hull(&b);
-        prop_assert_eq!(h, b.hull(&a));
-        prop_assert!(a.subset_of(&h));
-        prop_assert!(b.subset_of(&h));
+        assert_eq!(h, b.hull(&a));
+        assert!(a.subset_of(&h));
+        assert!(b.subset_of(&h));
         // Hull width >= overlap width, and their difference is what the
         // dissimilarity d_pred normalises.
-        prop_assert!(h.width() + 1e-12 >= a.overlap_width(&b));
+        assert!(h.width() + 1e-12 >= a.overlap_width(&b));
         if a.contains(probe) || b.contains(probe) {
-            prop_assert!(h.contains(probe));
+            assert!(h.contains(probe));
         }
         // Union agrees with hull exactly when defined.
         if let Some(u) = a.union(&b) {
-            prop_assert_eq!(u, h);
+            assert_eq!(u, h);
         }
-    }
+    });
+}
 
-    #[test]
-    fn predicate_negation_flips_satisfaction(
-        op in prop_oneof![
-            Just(CmpOp::Eq), Just(CmpOp::Neq), Just(CmpOp::Lt),
-            Just(CmpOp::LtEq), Just(CmpOp::Gt), Just(CmpOp::GtEq)
-        ],
-        c in -10i64..10,
-        x in -15i64..15,
-    ) {
+#[test]
+fn predicate_negation_flips_satisfaction() {
+    check(Config::cases(256), |src| {
+        let op = *src.choice(CMP_OPS);
+        let c = src.int_in(-10, 10);
+        let x = src.int_in(-15, 15);
         let p = AtomicPredicate::cc(
             QualifiedColumn::new("T", "u"),
             op,
@@ -209,28 +223,46 @@ proptest! {
         let lookup = |_: &QualifiedColumn| Some(Constant::Num(x as f64));
         let sat = p.evaluate(&lookup).unwrap();
         let neg_sat = p.negate().evaluate(&lookup).unwrap();
-        prop_assert_ne!(sat, neg_sat);
-    }
+        assert_ne!(sat, neg_sat);
+    });
 }
 
 // ---- extractor robustness over generated SQL -------------------------------
 
 /// Random valid-looking SELECT statements covering the grammar: joins,
 /// aggregates, nesting, NOT, BETWEEN, IN-lists.
-fn sql_strategy() -> impl Strategy<Value = String> {
-    let table = prop_oneof![Just("T"), Just("S"), Just("R")];
-    let column = prop_oneof![Just("u"), Just("v"), Just("w")];
-    let op = prop_oneof![Just("="), Just("<>"), Just("<"), Just("<="), Just(">"), Just(">=")];
-    let pred = (table.clone(), column.clone(), op, -100i64..100)
-        .prop_map(|(t, c, o, k)| format!("{t}.{c} {o} {k}"));
-    let clause = pred.clone().prop_recursive(3, 12, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} AND {b})")),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} OR {b})")),
-            inner.prop_map(|a| format!("NOT ({a})")),
-        ]
-    });
-    (clause, 0u8..6, -50i64..50).prop_map(|(where_clause, shape, k)| match shape {
+fn pred_sql(src: &mut Source) -> String {
+    let t = *src.choice(&["T", "S", "R"]);
+    let c = *src.choice(&["u", "v", "w"]);
+    let o = *src.choice(&["=", "<>", "<", "<=", ">", ">="]);
+    let k = src.int_in(-100, 100);
+    format!("{t}.{c} {o} {k}")
+}
+
+fn clause_sql(src: &mut Source, depth: u32) -> String {
+    if depth == 0 || !src.bool(0.6) {
+        return pred_sql(src);
+    }
+    match src.usize_in(0, 3) {
+        0 => format!(
+            "({} AND {})",
+            clause_sql(src, depth - 1),
+            clause_sql(src, depth - 1)
+        ),
+        1 => format!(
+            "({} OR {})",
+            clause_sql(src, depth - 1),
+            clause_sql(src, depth - 1)
+        ),
+        _ => format!("NOT ({})", clause_sql(src, depth - 1)),
+    }
+}
+
+fn sql_statement(src: &mut Source) -> String {
+    let where_clause = clause_sql(src, 3);
+    let shape = src.usize_in(0, 6) as u8;
+    let k = src.int_in(-50, 50);
+    match shape {
         0 => format!("SELECT * FROM T, S, R WHERE {where_clause}"),
         1 => format!("SELECT * FROM T INNER JOIN S ON T.u = S.u WHERE {where_clause}"),
         2 => format!("SELECT * FROM T FULL OUTER JOIN S ON T.u = S.u WHERE {where_clause}"),
@@ -242,33 +274,28 @@ fn sql_strategy() -> impl Strategy<Value = String> {
             "SELECT * FROM T WHERE T.u > {k} AND EXISTS \
              (SELECT * FROM S WHERE S.u = T.u AND ({where_clause}))"
         ),
-        _ => format!(
-            "SELECT * FROM T WHERE T.v IN (SELECT S.v FROM S WHERE {where_clause})"
-        ),
-    })
+        _ => format!("SELECT * FROM T WHERE T.v IN (SELECT S.v FROM S WHERE {where_clause})"),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The extractor never panics on grammar-valid queries, and the
-    /// universal relation always contains every FROM-clause table.
-    #[test]
-    fn extractor_is_total_over_generated_sql(sql in sql_strategy()) {
+/// The extractor never panics on grammar-valid queries, and the
+/// universal relation always contains every FROM-clause table.
+#[test]
+fn extractor_is_total_over_generated_sql() {
+    check(Config::cases(256), |src| {
         use aa_core::extract::{Extractor, NoSchema};
+        let sql = sql_statement(src);
         let parsed = aa_sql::parse_select(&sql).expect("generator emits valid SQL");
         let area = Extractor::new(&NoSchema)
             .extract(&parsed)
             .unwrap_or_else(|e| panic!("{sql}: {e}"));
-        prop_assert!(area.has_table("T"), "{}", sql);
+        assert!(area.has_table("T"), "{sql}");
         // Consolidated constraints never mention unknown tables.
         for atom in area.constraint.atoms() {
             for col in atom.columns() {
-                prop_assert!(
+                assert!(
                     area.has_table(&col.table),
-                    "atom {} references table outside U in {}",
-                    atom,
-                    sql
+                    "atom {atom} references table outside U in {sql}"
                 );
             }
         }
@@ -276,33 +303,33 @@ proptest! {
         let rendered = area.to_intermediate_sql();
         aa_sql::parse_select(&rendered)
             .unwrap_or_else(|e| panic!("rendered `{rendered}` unparseable: {e}"));
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// On queries without aggregates, outer joins, or subqueries, the
-    /// naive (Section 6.5) extractor and the faithful one must agree —
-    /// the transformations only differ on the Section 4.2-4.4 shapes.
-    #[test]
-    fn naive_equals_faithful_on_simple_queries(
-        preds in proptest::collection::vec(
-            (
-                prop_oneof![Just("u"), Just("v")],
-                prop_oneof![Just("="), Just("<>"), Just("<"), Just("<="), Just(">"), Just(">=")],
-                -50i64..50,
-            ),
-            1..5,
-        ),
-        connector_mask in 0u8..16,
-    ) {
+/// On queries without aggregates, outer joins, or subqueries, the
+/// naive (Section 6.5) extractor and the faithful one must agree —
+/// the transformations only differ on the Section 4.2-4.4 shapes.
+#[test]
+fn naive_equals_faithful_on_simple_queries() {
+    check(Config::cases(128), |src| {
         use aa_core::extract::naive::naive_extractor;
         use aa_core::extract::{Extractor, NoSchema};
+        let preds = src.vec_of(1, 5, |s| {
+            (
+                *s.choice(&["u", "v"]),
+                *s.choice(&["=", "<>", "<", "<=", ">", ">="]),
+                s.int_in(-50, 50),
+            )
+        });
+        let connector_mask = src.int_in(0, 16) as u8;
         let mut clause = String::new();
         for (i, (c, o, k)) in preds.iter().enumerate() {
             if i > 0 {
-                clause.push_str(if connector_mask & (1 << i) != 0 { " AND " } else { " OR " });
+                clause.push_str(if connector_mask & (1 << i) != 0 {
+                    " AND "
+                } else {
+                    " OR "
+                });
             }
             clause.push_str(&format!("T.{c} {o} {k}"));
         }
@@ -310,10 +337,10 @@ proptest! {
         let provider = NoSchema;
         let faithful = Extractor::new(&provider).extract_sql(&sql).unwrap();
         let naive = naive_extractor(&provider).extract_sql(&sql).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             faithful.to_intermediate_sql(),
             naive.to_intermediate_sql(),
-            "{}", sql
+            "{sql}"
         );
-    }
+    });
 }

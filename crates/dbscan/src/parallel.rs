@@ -2,7 +2,7 @@
 //!
 //! For large inputs the dominant cost of DBSCAN is the O(n²) distance
 //! evaluation. This module precomputes every point's `eps`-neighbourhood
-//! across threads (crossbeam scoped threads, chunked by point index) and
+//! across threads (`std::thread::scope`, chunked by point index) and
 //! exposes the result as a [`NeighborIndex`] whose queries are O(1).
 
 use crate::index::NeighborIndex;
@@ -33,7 +33,7 @@ impl PrecomputedNeighbors {
         let mut lists: Vec<Vec<usize>> = vec![Vec::new(); n];
 
         let chunk = n.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut remaining: &mut [Vec<usize>] = &mut lists;
             let mut start = 0usize;
             let mut handles = Vec::new();
@@ -43,7 +43,7 @@ impl PrecomputedNeighbors {
                 remaining = tail;
                 let lo = start;
                 start += take;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     for (off, list) in head.iter_mut().enumerate() {
                         let i = lo + off;
                         let q = &items[i];
@@ -69,8 +69,7 @@ impl PrecomputedNeighbors {
             for h in handles {
                 h.join().expect("worker panicked");
             }
-        })
-        .expect("scope failed");
+        });
 
         PrecomputedNeighbors { lists }
     }

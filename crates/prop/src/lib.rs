@@ -1,0 +1,400 @@
+//! A small property-testing harness (the in-tree `proptest` replacement).
+//!
+//! Design: Hypothesis-style *choice streams*. A property is a closure over
+//! a [`Source`]; every random decision a generator makes draws one `u64`
+//! from the source, which records the stream. When a case fails, the
+//! harness *shrinks the recorded stream* — deleting, zeroing, and
+//! decrementing blocks — and replays the property on each mutation. Any
+//! generator written against [`Source`] therefore shrinks for free, with
+//! values moving toward the low end of their ranges and collections
+//! toward empty.
+//!
+//! Properties signal failure by panicking (plain `assert!`/`assert_eq!`
+//! work); the harness catches the panic, shrinks, and re-raises with the
+//! failing seed so the case can be replayed via `AA_PROP_SEED`.
+//!
+//! ```
+//! use aa_prop::{check, Config, Source};
+//!
+//! check(Config::cases(64), |s: &mut Source| {
+//!     let xs = s.vec_of(0, 10, |s| s.int_in(-50, 50));
+//!     let mut sorted = xs.clone();
+//!     sorted.sort_unstable();
+//!     assert_eq!(sorted.len(), xs.len());
+//! });
+//! ```
+
+use aa_util::SeededRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases (scaled by `AA_PROP_CASES` if set).
+    pub cases: u32,
+    /// Base seed; per-case seeds derive from it. `AA_PROP_SEED` overrides,
+    /// which makes case 0 replay a reported failure exactly.
+    pub seed: u64,
+    /// Budget for shrink attempts after the first failure.
+    pub max_shrink_iters: u32,
+}
+
+impl Config {
+    /// `Config` with the given case count and defaults elsewhere.
+    pub fn cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            seed: 0x5EED_AA00_2015_EDB7,
+            max_shrink_iters: 2_000,
+        }
+    }
+}
+
+enum Mode {
+    Generate(SeededRng),
+    Replay,
+}
+
+/// The stream of random choices a property draws from.
+pub struct Source {
+    data: Vec<u64>,
+    pos: usize,
+    mode: Mode,
+}
+
+impl Source {
+    fn generating(seed: u64) -> Self {
+        Source {
+            data: Vec::new(),
+            pos: 0,
+            mode: Mode::Generate(SeededRng::seed_from_u64(seed)),
+        }
+    }
+
+    fn replaying(data: Vec<u64>) -> Self {
+        Source {
+            data,
+            pos: 0,
+            mode: Mode::Replay,
+        }
+    }
+
+    fn next_raw(&mut self) -> u64 {
+        let value = match &mut self.mode {
+            Mode::Generate(rng) => {
+                let v = rng.next_u64();
+                self.data.push(v);
+                v
+            }
+            // Replays past the end of a mutated stream read as zero: the
+            // minimal choice, so truncation shrinks structure.
+            Mode::Replay => self.data.get(self.pos).copied().unwrap_or(0),
+        };
+        self.pos += 1;
+        value
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)` — shrinks toward `lo`.
+    pub fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "int_in: empty range");
+        let span = (hi as i128 - lo as i128) as u128;
+        let off = (self.next_raw() as u128 * span) >> 64;
+        (lo as i128 + off as i128) as i64
+    }
+
+    /// Uniform `usize` in `[lo, hi)` — shrinks toward `lo`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.int_in(lo as i64, hi as i64) as usize
+    }
+
+    /// Uniform `f64` in `[lo, hi)` — shrinks toward `lo`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "f64_in: empty range");
+        lo + self.unit() * (hi - lo)
+    }
+
+    /// Bernoulli draw — shrinks toward `false`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.unit() > 1.0 - p
+    }
+
+    /// Uniform element of a slice — shrinks toward the first element.
+    pub fn choice<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "choice: empty slice");
+        &xs[self.usize_in(0, xs.len())]
+    }
+
+    /// Length in `[lo, hi)`, then that many draws — shrinks toward
+    /// shorter vectors of smaller elements.
+    pub fn vec_of<T>(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        mut f: impl FnMut(&mut Source) -> T,
+    ) -> Vec<T> {
+        let n = self.usize_in(lo, hi);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// ASCII identifier `[a-z][a-z0-9_]{0, max_extra}` — handy for SQL
+    /// generators; shrinks toward `"a"`.
+    pub fn ident(&mut self, max_extra: usize) -> String {
+        const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+        const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+        let mut s = String::new();
+        s.push(*self.choice(FIRST) as char);
+        let extra = self.usize_in(0, max_extra + 1);
+        for _ in 0..extra {
+            s.push(*self.choice(REST) as char);
+        }
+        s
+    }
+}
+
+/// Outcome of one property invocation.
+fn run_once(prop: &impl Fn(&mut Source), source: &mut Source) -> Result<(), String> {
+    let result = catch_unwind(AssertUnwindSafe(|| prop(source)));
+    match result {
+        Ok(()) => Ok(()),
+        Err(payload) => Err(payload_message(&*payload)),
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Serialises panic-hook swaps across concurrently running property tests.
+static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    let guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = f();
+    std::panic::set_hook(prev);
+    drop(guard);
+    result
+}
+
+/// Shrinks a failing choice stream; returns the minimised stream, its
+/// failure message, and the number of successful shrink steps.
+fn shrink(
+    prop: &impl Fn(&mut Source),
+    mut data: Vec<u64>,
+    mut message: String,
+    budget: u32,
+) -> (Vec<u64>, String, u32) {
+    let mut iters = 0u32;
+    let mut steps = 0u32;
+    let mut improved = true;
+    while improved && iters < budget {
+        improved = false;
+        let mut candidates: Vec<Vec<u64>> = Vec::new();
+        // Remove aligned blocks, largest first (shrinks structure).
+        let n = data.len();
+        let mut block = n.max(1) / 2;
+        while block >= 1 {
+            let mut start = 0;
+            while start + block <= n {
+                let mut c = data.clone();
+                c.drain(start..start + block);
+                candidates.push(c);
+                start += block;
+            }
+            if block == 1 {
+                break;
+            }
+            block /= 2;
+        }
+        // Zero, halve, decrement individual choices (shrinks values).
+        for i in 0..n {
+            if data[i] != 0 {
+                let mut c = data.clone();
+                c[i] = 0;
+                candidates.push(c);
+                let mut c = data.clone();
+                c[i] /= 2;
+                candidates.push(c);
+                let mut c = data.clone();
+                c[i] -= 1;
+                candidates.push(c);
+            }
+        }
+        for c in candidates {
+            if iters >= budget {
+                break;
+            }
+            iters += 1;
+            if c == data {
+                continue;
+            }
+            let mut source = Source::replaying(c.clone());
+            if let Err(msg) = run_once(prop, &mut source) {
+                data = c;
+                message = msg;
+                steps += 1;
+                improved = true;
+                break;
+            }
+        }
+    }
+    (data, message, steps)
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok().and_then(|v| {
+        v.strip_prefix("0x")
+            .map(|h| u64::from_str_radix(h, 16).ok())
+            .unwrap_or_else(|| v.parse().ok())
+    })
+}
+
+/// Runs `prop` on `config.cases` generated inputs; on failure, shrinks
+/// and panics with the failing seed and the minimised case's message.
+pub fn check(config: Config, prop: impl Fn(&mut Source)) {
+    let seed = env_u64("AA_PROP_SEED").unwrap_or(config.seed);
+    let cases = env_u64("AA_PROP_CASES")
+        .map(|n| n as u32)
+        .unwrap_or(config.cases);
+    for case in 0..cases {
+        // Golden-ratio stride decorrelates consecutive case seeds.
+        let case_seed = seed.wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut source = Source::generating(case_seed);
+        if let Err(first_message) = run_once(&prop, &mut source) {
+            let data = std::mem::take(&mut source.data);
+            let (min_data, message, steps) = with_quiet_panics(|| {
+                shrink(&prop, data, first_message, config.max_shrink_iters)
+            });
+            panic!(
+                "property failed on case {case} (seed {case_seed:#018x}); \
+                 shrunk in {steps} steps to a {}-choice stream:\n  {message}\n\
+                 replay with: AA_PROP_SEED={case_seed}",
+                min_data.len(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::sync::atomic::AtomicU32::new(0);
+        check(Config::cases(50), |s| {
+            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let x = s.int_in(0, 10);
+            assert!((0..10).contains(&x));
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(Config::cases(200), |s| {
+                let xs = s.vec_of(0, 20, |s| s.int_in(0, 1_000));
+                // Fails whenever any element exceeds 500.
+                assert!(xs.iter().all(|x| *x <= 500), "saw {xs:?}");
+            });
+        }));
+        let message = payload_message(&*result.unwrap_err());
+        assert!(message.contains("AA_PROP_SEED="), "{message}");
+        assert!(message.contains("property failed"), "{message}");
+        // The shrunk counterexample should be a single offending element
+        // (vector length 1), not the original multi-element vector.
+        assert!(message.contains("saw ["), "{message}");
+        let inner = message.split("saw [").nth(1).unwrap();
+        let list = inner.split(']').next().unwrap();
+        assert!(
+            !list.contains(','),
+            "expected single-element counterexample, got [{list}]"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        fn collect(seed: u64) -> Vec<i64> {
+            let mut out = Vec::new();
+            let mut source = Source::generating(seed);
+            for _ in 0..16 {
+                out.push(source.int_in(-100, 100));
+            }
+            out
+        }
+        assert_eq!(collect(9), collect(9));
+        assert_ne!(collect(9), collect(10));
+    }
+
+    #[test]
+    fn replay_reproduces_generated_values() {
+        let mut generated = Source::generating(77);
+        let a = generated.f64_in(-2.0, 2.0);
+        let b = generated.int_in(5, 50);
+        let c = generated.bool(0.5);
+        let mut replayed = Source::replaying(generated.data.clone());
+        assert_eq!(replayed.f64_in(-2.0, 2.0), a);
+        assert_eq!(replayed.int_in(5, 50), b);
+        assert_eq!(replayed.bool(0.5), c);
+        // Exhausted replay reads the minimal choice.
+        assert_eq!(replayed.int_in(3, 10), 3);
+    }
+
+    #[test]
+    fn shrinking_minimises_a_scalar() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(Config::cases(100), |s| {
+                let x = s.int_in(0, 1_000_000);
+                assert!(x < 1_000, "x = {x}");
+            });
+        }));
+        let message = payload_message(&*result.unwrap_err());
+        // Greedy stream shrinking should land near the threshold, well
+        // below the range maximum.
+        let x: i64 = message
+            .split("x = ")
+            .nth(1)
+            .unwrap()
+            .split('\n')
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!((1_000..100_000).contains(&x), "shrunk to {x}");
+    }
+
+    #[test]
+    fn ident_generates_legal_identifiers() {
+        check(Config::cases(100), |s| {
+            let id = s.ident(8);
+            assert!(id.chars().next().unwrap().is_ascii_lowercase());
+            assert!(id.len() <= 9);
+            assert!(id
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        });
+    }
+}

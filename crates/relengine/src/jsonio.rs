@@ -1,0 +1,139 @@
+//! JSON views of engine types (the former `serde` derives, now explicit
+//! and zero-dependency via [`aa_util::json`]).
+//!
+//! [`Value`] round-trips (the engine's rows are the one thing worth
+//! re-loading); schema types are write-only snapshots for experiment
+//! artifacts.
+
+use crate::schema::{ColumnDef, DataType, Domain, TableSchema};
+use crate::value::Value;
+use aa_util::{FromJson, Json, JsonError, ToJson};
+
+impl ToJson for Value {
+    fn to_json(&self) -> Json {
+        match self {
+            Value::Null => Json::Null,
+            Value::Int(i) => Json::Num(*i as f64),
+            Value::Float(f) => Json::Num(*f),
+            Value::Str(s) => Json::Str(s.clone()),
+            Value::Bool(b) => Json::Bool(*b),
+        }
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(match json {
+            Json::Null => Value::Null,
+            Json::Bool(b) => Value::Bool(*b),
+            // Integral numbers come back as Int — matches what the engine
+            // would have produced for an INT column.
+            Json::Num(x) if x.fract() == 0.0 && x.abs() < 9e15 => Value::Int(*x as i64),
+            Json::Num(x) => Value::Float(*x),
+            Json::Str(s) => Value::Str(s.clone()),
+            other => {
+                return Err(JsonError(format!(
+                    "cannot read a Value from {}",
+                    other.to_string_compact()
+                )))
+            }
+        })
+    }
+}
+
+impl ToJson for DataType {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                DataType::Int => "int",
+                DataType::Float => "float",
+                DataType::Text => "text",
+                DataType::Bool => "bool",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl ToJson for Domain {
+    fn to_json(&self) -> Json {
+        match self {
+            Domain::Unbounded => Json::Str("unbounded".to_string()),
+            Domain::Numeric { lo, hi } => Json::obj([
+                ("lo".to_string(), Json::Num(*lo)),
+                ("hi".to_string(), Json::Num(*hi)),
+            ]),
+            Domain::Categorical(values) => {
+                Json::Arr(values.iter().map(|v| Json::Str(v.clone())).collect())
+            }
+        }
+    }
+}
+
+impl ToJson for ColumnDef {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("type".to_string(), self.data_type.to_json()),
+            ("domain".to_string(), self.domain.to_json()),
+        ])
+    }
+}
+
+impl ToJson for TableSchema {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("columns".to_string(), Json::arr(self.columns.iter())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip() {
+        let values = [
+            Value::Null,
+            Value::Int(-42),
+            Value::Float(3.25),
+            Value::Str("star".to_string()),
+            Value::Bool(true),
+        ];
+        for v in &values {
+            let text = v.to_json().to_string_compact();
+            let back = Value::from_json(&Json::parse(&text).unwrap()).unwrap();
+            match (v, &back) {
+                (Value::Null, Value::Null) => {}
+                (Value::Int(a), Value::Int(b)) => assert_eq!(a, b),
+                (Value::Float(a), Value::Float(b)) => assert_eq!(a, b),
+                (Value::Str(a), Value::Str(b)) => assert_eq!(a, b),
+                (Value::Bool(a), Value::Bool(b)) => assert_eq!(a, b),
+                _ => panic!("{v:?} came back as {back:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn schema_snapshot_is_valid_json() {
+        let schema = TableSchema::new(
+            "SpecObjAll",
+            vec![
+                ColumnDef::numeric("z", DataType::Float, 0.0, 7.0),
+                ColumnDef::categorical("class", ["star", "galaxy", "qso"]),
+            ],
+        );
+        let json = schema.to_json();
+        assert_eq!(json.get("name").unwrap().as_str(), Some("SpecObjAll"));
+        let cols = json.get("columns").unwrap().as_arr().unwrap();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(
+            cols[0].get("domain").unwrap().get("hi").unwrap().as_f64(),
+            Some(7.0)
+        );
+        let reparsed = Json::parse(&json.to_string_pretty()).unwrap();
+        assert_eq!(reparsed, json);
+    }
+}

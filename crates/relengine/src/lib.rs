@@ -48,6 +48,7 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod influence;
+pub mod jsonio;
 pub mod ratelimit;
 pub mod schema;
 pub mod stats;

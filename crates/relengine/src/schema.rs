@@ -5,10 +5,9 @@
 //! schema carries explicit domain bounds that the extractor can query.
 
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 
 /// Column data types supported by the engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     Int,
     Float,
@@ -26,7 +25,7 @@ impl DataType {
 /// The domain of a column — the set of values the schema admits, which
 /// spans the *data space* of the paper (Section 2.1) together with the
 /// other columns. Not to be confused with the current *content*.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Domain {
     /// Numeric interval `[lo, hi]` (use infinities for open-ended).
     Numeric { lo: f64, hi: f64 },
@@ -64,7 +63,7 @@ impl Domain {
 }
 
 /// A column definition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnDef {
     pub name: String,
     pub data_type: DataType,
@@ -102,7 +101,7 @@ impl ColumnDef {
 }
 
 /// A table schema: an ordered list of columns.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableSchema {
     pub name: String,
     pub columns: Vec<ColumnDef>,

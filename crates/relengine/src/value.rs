@@ -4,12 +4,11 @@
 //! `NULL` is [`Truth::Unknown`], and `WHERE` keeps only rows whose predicate
 //! is [`Truth::True`].
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// A runtime value.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// SQL NULL.
     Null,

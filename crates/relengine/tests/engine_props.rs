@@ -4,8 +4,8 @@
 use aa_engine::{
     compare, Catalog, ColumnDef, DataType, Executor, Table, TableSchema, Truth, Value,
 };
+use aa_prop::{check, Config, Source};
 use aa_sql::{parse_select, BinaryOp};
-use proptest::prelude::*;
 
 fn t_catalog(rows: &[(i64, i64)]) -> Catalog {
     let mut catalog = Catalog::new();
@@ -77,39 +77,49 @@ fn oracle(expr: &aa_sql::Expr, u: i64, v: i64) -> Truth {
     }
 }
 
-fn atom_sql() -> impl Strategy<Value = String> {
-    (
-        prop_oneof![Just("u"), Just("v")],
-        prop_oneof![Just("="), Just("<>"), Just("<"), Just("<="), Just(">"), Just(">=")],
-        -8i64..16,
-    )
-        .prop_map(|(c, op, k)| format!("{c} {op} {k}"))
+fn atom_sql(src: &mut Source) -> String {
+    let c = *src.choice(&["u", "v"]);
+    let op = *src.choice(&["=", "<>", "<", "<=", ">", ">="]);
+    let k = src.int_in(-8, 16);
+    format!("{c} {op} {k}")
 }
 
-fn where_sql() -> impl Strategy<Value = String> {
-    let leaf = prop_oneof![
-        atom_sql(),
-        (prop_oneof![Just("u"), Just("v")], -8i64..8, 0i64..8)
-            .prop_map(|(c, lo, w)| format!("{c} BETWEEN {lo} AND {}", lo + w)),
-    ];
-    leaf.prop_recursive(3, 10, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} AND {b})")),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} OR {b})")),
-            inner.prop_map(|a| format!("NOT ({a})")),
-        ]
-    })
+fn leaf_sql(src: &mut Source) -> String {
+    if src.bool(0.3) {
+        let c = *src.choice(&["u", "v"]);
+        let lo = src.int_in(-8, 8);
+        let w = src.int_in(0, 8);
+        format!("{c} BETWEEN {lo} AND {}", lo + w)
+    } else {
+        atom_sql(src)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+fn where_sql(src: &mut Source, depth: u32) -> String {
+    if depth == 0 || !src.bool(0.6) {
+        return leaf_sql(src);
+    }
+    match src.usize_in(0, 3) {
+        0 => format!(
+            "({} AND {})",
+            where_sql(src, depth - 1),
+            where_sql(src, depth - 1)
+        ),
+        1 => format!(
+            "({} OR {})",
+            where_sql(src, depth - 1),
+            where_sql(src, depth - 1)
+        ),
+        _ => format!("NOT ({})", where_sql(src, depth - 1)),
+    }
+}
 
-    /// The executor returns exactly the rows the oracle accepts.
-    #[test]
-    fn where_filtering_matches_oracle(
-        clause in where_sql(),
-        rows in proptest::collection::vec((-10i64..20, -10i64..20), 0..12),
-    ) {
+/// The executor returns exactly the rows the oracle accepts.
+#[test]
+fn where_filtering_matches_oracle() {
+    check(Config::cases(192), |src| {
+        let clause = where_sql(src, 3);
+        let rows = src.vec_of(0, 12, |s| (s.int_in(-10, 20), s.int_in(-10, 20)));
         let sql = format!("SELECT u, v FROM T WHERE {clause}");
         let parsed = parse_select(&sql).unwrap();
         let pred = parsed.selection.as_ref().unwrap();
@@ -129,12 +139,15 @@ proptest! {
                 other => panic!("{other:?}"),
             })
             .collect();
-        prop_assert_eq!(got, expected, "{}", sql);
-    }
+        assert_eq!(got, expected, "{sql}");
+    });
+}
 
-    /// SUM/COUNT/AVG/MIN/MAX identities over random data.
-    #[test]
-    fn aggregate_identities(rows in proptest::collection::vec((-20i64..20, -20i64..20), 1..15)) {
+/// SUM/COUNT/AVG/MIN/MAX identities over random data.
+#[test]
+fn aggregate_identities() {
+    check(Config::cases(192), |src| {
+        let rows = src.vec_of(1, 15, |s| (s.int_in(-20, 20), s.int_in(-20, 20)));
         let catalog = t_catalog(&rows);
         let exec = Executor::new(&catalog);
         let r = exec
@@ -142,29 +155,31 @@ proptest! {
             .unwrap();
         let row = &r.rows[0];
         let us: Vec<i64> = rows.iter().map(|(u, _)| *u).collect();
-        prop_assert_eq!(&row[0], &Value::Int(us.len() as i64));
-        prop_assert_eq!(&row[1], &Value::Int(us.iter().sum::<i64>()));
-        prop_assert_eq!(&row[2], &Value::Int(*us.iter().min().unwrap()));
-        prop_assert_eq!(&row[3], &Value::Int(*us.iter().max().unwrap()));
+        assert_eq!(&row[0], &Value::Int(us.len() as i64));
+        assert_eq!(&row[1], &Value::Int(us.iter().sum::<i64>()));
+        assert_eq!(&row[2], &Value::Int(*us.iter().min().unwrap()));
+        assert_eq!(&row[3], &Value::Int(*us.iter().max().unwrap()));
         let avg = us.iter().sum::<i64>() as f64 / us.len() as f64;
         match &row[4] {
-            Value::Float(a) => prop_assert!((a - avg).abs() < 1e-9),
-            other => prop_assert!(false, "avg: {other:?}"),
+            Value::Float(a) => assert!((a - avg).abs() < 1e-9),
+            other => panic!("avg: {other:?}"),
         }
-    }
+    });
+}
 
-    /// GROUP BY partitions: group counts sum to the table size, and
-    /// HAVING keeps a subset of the groups.
-    #[test]
-    fn group_by_partitions(rows in proptest::collection::vec((0i64..5, -20i64..20), 1..20)) {
+/// GROUP BY partitions: group counts sum to the table size, and
+/// HAVING keeps a subset of the groups.
+#[test]
+fn group_by_partitions() {
+    check(Config::cases(192), |src| {
+        let rows = src.vec_of(1, 20, |s| (s.int_in(0, 5), s.int_in(-20, 20)));
         let catalog = t_catalog(&rows);
         let exec = Executor::new(&catalog);
         let grouped = exec
             .execute_sql("SELECT u, COUNT(*) FROM T GROUP BY u")
             .unwrap();
-        let distinct: std::collections::BTreeSet<i64> =
-            rows.iter().map(|(u, _)| *u).collect();
-        prop_assert_eq!(grouped.len(), distinct.len());
+        let distinct: std::collections::BTreeSet<i64> = rows.iter().map(|(u, _)| *u).collect();
+        assert_eq!(grouped.len(), distinct.len());
         let total: i64 = grouped
             .rows
             .iter()
@@ -173,21 +188,22 @@ proptest! {
                 other => panic!("{other:?}"),
             })
             .sum();
-        prop_assert_eq!(total, rows.len() as i64);
+        assert_eq!(total, rows.len() as i64);
 
         let filtered = exec
             .execute_sql("SELECT u, COUNT(*) FROM T GROUP BY u HAVING COUNT(*) >= 2")
             .unwrap();
-        prop_assert!(filtered.len() <= grouped.len());
-    }
+        assert!(filtered.len() <= grouped.len());
+    });
+}
 
-    /// INNER JOIN cardinality equals the pair count under the predicate,
-    /// and LEFT JOIN row count >= left table size.
-    #[test]
-    fn join_cardinalities(
-        t_rows in proptest::collection::vec((0i64..6, -5i64..5), 0..8),
-        s_keys in proptest::collection::vec(0i64..6, 0..8),
-    ) {
+/// INNER JOIN cardinality equals the pair count under the predicate,
+/// and LEFT JOIN row count >= left table size.
+#[test]
+fn join_cardinalities() {
+    check(Config::cases(192), |src| {
+        let t_rows = src.vec_of(0, 8, |s| (s.int_in(0, 6), s.int_in(-5, 5)));
+        let s_keys = src.vec_of(0, 8, |s| s.int_in(0, 6));
         let mut catalog = t_catalog(&t_rows);
         let mut s = Table::new(TableSchema::new(
             "S",
@@ -206,35 +222,38 @@ proptest! {
             .iter()
             .map(|(u, _)| s_keys.iter().filter(|k| *k == u).count())
             .sum();
-        prop_assert_eq!(inner.len(), expected);
+        assert_eq!(inner.len(), expected);
 
         let left = exec
             .execute_sql("SELECT * FROM T LEFT OUTER JOIN S ON T.u = S.k")
             .unwrap();
-        prop_assert!(left.len() >= t_rows.len());
+        assert!(left.len() >= t_rows.len());
         // Full outer covers both unmatched sides.
         let full = exec
             .execute_sql("SELECT * FROM T FULL OUTER JOIN S ON T.u = S.k")
             .unwrap();
-        prop_assert!(full.len() >= left.len());
-        prop_assert!(full.len() >= s_keys.len());
-    }
+        assert!(full.len() >= left.len());
+        assert!(full.len() >= s_keys.len());
+    });
+}
 
-    /// DISTINCT never increases cardinality and ORDER BY sorts.
-    #[test]
-    fn distinct_and_order_by(rows in proptest::collection::vec((-10i64..10, 0i64..3), 0..15)) {
+/// DISTINCT never increases cardinality and ORDER BY sorts.
+#[test]
+fn distinct_and_order_by() {
+    check(Config::cases(192), |src| {
+        let rows = src.vec_of(0, 15, |s| (s.int_in(-10, 10), s.int_in(0, 3)));
         let catalog = t_catalog(&rows);
         let exec = Executor::new(&catalog);
         let all = exec.execute_sql("SELECT v FROM T").unwrap();
         let distinct = exec.execute_sql("SELECT DISTINCT v FROM T").unwrap();
-        prop_assert!(distinct.len() <= all.len());
+        assert!(distinct.len() <= all.len());
 
         let ordered = exec.execute_sql("SELECT u FROM T ORDER BY u DESC").unwrap();
         let mut prev = i64::MAX;
         for r in &ordered.rows {
             let Value::Int(x) = r[0] else { panic!() };
-            prop_assert!(x <= prev);
+            assert!(x <= prev);
             prev = x;
         }
-    }
+    });
 }

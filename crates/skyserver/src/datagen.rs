@@ -2,15 +2,14 @@
 
 use crate::schema::{dr9_tables, Dist, TableSpec};
 use aa_engine::{Catalog, Table, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use aa_util::SeededRng;
 
 /// Builds the full synthetic catalog. `scale` multiplies every table's
 /// base row count (0.1 → 10% of rows); generation is deterministic in
 /// `seed`.
 pub fn build_catalog(scale: f64, seed: u64) -> Catalog {
     let mut catalog = Catalog::new();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeededRng::seed_from_u64(seed);
     for spec in dr9_tables() {
         catalog.add_table(generate_table(&spec, scale, &mut rng));
     }
@@ -18,7 +17,7 @@ pub fn build_catalog(scale: f64, seed: u64) -> Catalog {
 }
 
 /// Generates one table.
-pub fn generate_table(spec: &TableSpec, scale: f64, rng: &mut StdRng) -> Table {
+pub fn generate_table(spec: &TableSpec, scale: f64, rng: &mut SeededRng) -> Table {
     let rows = ((spec.base_rows as f64 * scale).round() as usize).max(1);
     let mut table = Table::new(spec.to_schema());
     for _ in 0..rows {
@@ -30,7 +29,7 @@ pub fn generate_table(spec: &TableSpec, scale: f64, rng: &mut StdRng) -> Table {
     table
 }
 
-fn generate_row(spec: &TableSpec, rng: &mut StdRng) -> Vec<Value> {
+fn generate_row(spec: &TableSpec, rng: &mut SeededRng) -> Vec<Value> {
     let mut row: Vec<Value> = Vec::with_capacity(spec.columns.len());
     for (idx, col) in spec.columns.iter().enumerate() {
         let value = match &col.dist {
@@ -160,7 +159,7 @@ mod tests {
 
     #[test]
     fn plate_tracks_mjd() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SeededRng::seed_from_u64(3);
         let spec = table_spec("SpecObjAll").unwrap();
         let table = generate_table(&spec, 0.05, &mut rng);
         let schema = &table.schema;

@@ -11,9 +11,7 @@ use crate::templates::{
     background_query, cluster_query, mysql_dialect_query, pathological_query, ClusterSpec,
     PathologicalKind, TABLE1,
 };
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use aa_util::SeededRng;
 
 /// What generated a log entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -99,12 +97,11 @@ pub fn planned_cluster_counts(config: &LogConfig) -> Vec<(&'static ClusterSpec, 
 
 /// Generates the log (shuffled, deterministic in the seed).
 pub fn generate_log(config: &LogConfig) -> Vec<LogEntry> {
-    use rand::Rng;
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SeededRng::seed_from_u64(config.seed);
     let mut entries: Vec<LogEntry> = Vec::with_capacity(config.total);
     let mut next_user: u32 = 0;
     // ~90% of queries come from a fresh user; 10% are repeat visitors.
-    let mut draw_user = |rng: &mut StdRng| -> u32 {
+    let mut draw_user = |rng: &mut SeededRng| -> u32 {
         if next_user > 0 && rng.gen_bool(0.1) {
             rng.gen_range(0..next_user)
         } else {
@@ -159,7 +156,7 @@ pub fn generate_log(config: &LogConfig) -> Vec<LogEntry> {
         });
     }
 
-    entries.shuffle(&mut rng);
+    rng.shuffle(&mut entries);
     entries
 }
 

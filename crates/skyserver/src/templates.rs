@@ -13,8 +13,7 @@
 //! injects a spurious `x > c` predicate that pushes the query out of the
 //! cluster.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use aa_util::SeededRng;
 
 /// Paper-reported numbers for one Table 1 cluster (the targets the
 /// reproduction is compared against in EXPERIMENTS.md).
@@ -69,20 +68,20 @@ pub const AGGREGATE_VARIANT_SHARE: f64 = 0.25;
 
 /// Draws a range `[lo', hi']` jittered inward from `[lo, hi]` so that the
 /// union over many draws reconstructs `[lo, hi]` as the aggregated MBR.
-fn jitter_range(rng: &mut StdRng, lo: f64, hi: f64) -> (f64, f64) {
+fn jitter_range(rng: &mut SeededRng, lo: f64, hi: f64) -> (f64, f64) {
     let span = hi - lo;
     let l = lo + rng.gen_range(0.0..=span * 0.08);
     let h = hi - rng.gen_range(0.0..=span * 0.08);
     (l, h.max(l))
 }
 
-fn jitter_range_i(rng: &mut StdRng, lo: i64, hi: i64) -> (i64, i64) {
+fn jitter_range_i(rng: &mut SeededRng, lo: i64, hi: i64) -> (i64, i64) {
     let (l, h) = jitter_range(rng, lo as f64, hi as f64);
     (l.round() as i64, h.round() as i64)
 }
 
 /// Emits a range predicate in one of the syntactic variants users write.
-fn range_pred(rng: &mut StdRng, col: &str, lo: &str, hi: &str) -> String {
+fn range_pred(rng: &mut SeededRng, col: &str, lo: &str, hi: &str) -> String {
     match rng.gen_range(0..3) {
         0 => format!("{col} BETWEEN {lo} AND {hi}"),
         1 => format!("{col} >= {lo} AND {col} <= {hi}"),
@@ -92,7 +91,7 @@ fn range_pred(rng: &mut StdRng, col: &str, lo: &str, hi: &str) -> String {
 
 /// Optionally wraps a plain query into the breakable aggregate form.
 fn maybe_aggregate(
-    rng: &mut StdRng,
+    rng: &mut SeededRng,
     breakable: bool,
     table: &str,
     group_col: &str,
@@ -113,7 +112,7 @@ fn maybe_aggregate(
 }
 
 /// Generates one query belonging to Table 1 cluster `id` (1–24).
-pub fn cluster_query(id: u8, rng: &mut StdRng) -> String {
+pub fn cluster_query(id: u8, rng: &mut SeededRng) -> String {
     match id {
         // Point lookups on Photoz.objid.
         1 => {
@@ -324,7 +323,7 @@ pub fn cluster_query(id: u8, rng: &mut StdRng) -> String {
 
 /// Background queries: exploratory one-offs spread across the data space,
 /// which DBSCAN should largely label as noise.
-pub fn background_query(rng: &mut StdRng) -> String {
+pub fn background_query(rng: &mut SeededRng) -> String {
     const CHOICES: &[(&str, &str, f64, f64)] = &[
         ("PhotoObjAll", "r", 10.0, 30.0),
         ("PhotoObjAll", "ra", 0.0, 360.0),
@@ -362,7 +361,7 @@ pub enum PathologicalKind {
 }
 
 /// Generates a pathological entry of the given kind.
-pub fn pathological_query(kind: PathologicalKind, rng: &mut StdRng) -> String {
+pub fn pathological_query(kind: PathologicalKind, rng: &mut SeededRng) -> String {
     match kind {
         PathologicalKind::SyntaxError => {
             const BROKEN: &[&str] = &[
@@ -400,7 +399,7 @@ pub fn pathological_query(kind: PathologicalKind, rng: &mut StdRng) -> String {
 
 /// MySQL-dialect queries users paste into the MS-SQL-only interface
 /// (Section 6.6's `SELECT Galaxies.objid FROM Galaxies LIMIT 10`).
-pub fn mysql_dialect_query(rng: &mut StdRng) -> String {
+pub fn mysql_dialect_query(rng: &mut SeededRng) -> String {
     let n = rng.gen_range(5..500);
     match rng.gen_range(0..2) {
         0 => format!("SELECT Galaxies.objid FROM Galaxies LIMIT {n}"),
@@ -414,7 +413,6 @@ pub fn mysql_dialect_query(rng: &mut StdRng) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn table1_matches_paper_shape() {
@@ -430,7 +428,7 @@ mod tests {
 
     #[test]
     fn every_cluster_query_parses() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SeededRng::seed_from_u64(1);
         for spec in TABLE1 {
             for _ in 0..20 {
                 let sql = cluster_query(spec.id, &mut rng);
@@ -443,7 +441,7 @@ mod tests {
     #[test]
     fn cluster_queries_extract_into_reported_bounds() {
         use aa_core::extract::{Extractor, NoSchema};
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SeededRng::seed_from_u64(2);
         let ex = Extractor::new(&NoSchema);
         // Cluster 1: every extracted area constrains Photoz.objid within
         // the reported range.
@@ -461,7 +459,7 @@ mod tests {
     #[test]
     fn aggregate_variants_extract_to_same_table_and_range() {
         use aa_core::extract::{Extractor, NoSchema};
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SeededRng::seed_from_u64(3);
         let ex = Extractor::new(&NoSchema);
         let mut saw_aggregate = false;
         for _ in 0..100 {
@@ -485,7 +483,7 @@ mod tests {
 
     #[test]
     fn pathological_queries_fail_as_expected() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = SeededRng::seed_from_u64(4);
         for _ in 0..10 {
             let sql = pathological_query(PathologicalKind::SyntaxError, &mut rng);
             assert!(aa_sql::parse_select(&sql).is_err(), "{sql}");
@@ -496,7 +494,7 @@ mod tests {
 
     #[test]
     fn mysql_queries_parse_but_flag_dialect() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SeededRng::seed_from_u64(5);
         for _ in 0..10 {
             let sql = mysql_dialect_query(&mut rng);
             let q = aa_sql::parse_select(&sql).unwrap();
@@ -506,7 +504,7 @@ mod tests {
 
     #[test]
     fn background_queries_parse() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = SeededRng::seed_from_u64(6);
         for _ in 0..100 {
             let sql = background_query(&mut rng);
             aa_sql::parse_select(&sql).unwrap_or_else(|e| panic!("{sql}: {e}"));

@@ -7,11 +7,10 @@
 //! parsed (they occur constantly in the log) but are irrelevant to access
 //! areas and are ignored downstream.
 
-use serde::{Deserialize, Serialize};
 
 /// A possibly multi-part object name such as `PhotoObjAll` or
 /// `BESTDR9..PhotoObjAll`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ObjectName {
     pub parts: Vec<String>,
 }
@@ -32,7 +31,7 @@ impl ObjectName {
 }
 
 /// A column reference, optionally qualified by a table name or alias.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ColumnRef {
     pub qualifier: Option<String>,
     pub column: String,
@@ -55,7 +54,7 @@ impl ColumnRef {
 }
 
 /// Literal values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Literal {
     Int(i64),
     Float(f64),
@@ -65,7 +64,7 @@ pub enum Literal {
 }
 
 /// Binary operators, including the boolean connectives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinaryOp {
     And,
     Or,
@@ -104,7 +103,7 @@ impl BinaryOp {
 }
 
 /// Unary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnaryOp {
     Not,
     Neg,
@@ -112,7 +111,7 @@ pub enum UnaryOp {
 }
 
 /// The five aggregate functions covered by the paper (Section 4.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggFunc {
     Count,
     Sum,
@@ -134,14 +133,14 @@ impl AggFunc {
 }
 
 /// `ANY`/`SOME` vs `ALL` quantifier for quantified comparisons.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Quantifier {
     Any,
     All,
 }
 
 /// Expressions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     Column(ColumnRef),
     Literal(Literal),
@@ -389,7 +388,7 @@ impl Expr {
 }
 
 /// One item of the projection list.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SelectItem {
     /// `*`
     Wildcard,
@@ -400,7 +399,7 @@ pub enum SelectItem {
 }
 
 /// A table or derived table in the `FROM` clause.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TableFactor {
     Table {
         name: ObjectName,
@@ -425,7 +424,7 @@ impl TableFactor {
 }
 
 /// Join flavours (Section 4.2 of the paper handles each differently).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JoinOperator {
     Inner,
     LeftOuter,
@@ -435,7 +434,7 @@ pub enum JoinOperator {
 }
 
 /// The join condition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum JoinConstraint {
     On(Expr),
     /// `NATURAL JOIN` — equality over the common columns, resolved during
@@ -446,7 +445,7 @@ pub enum JoinConstraint {
 }
 
 /// A single join step applied to the preceding factor chain.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Join {
     pub op: JoinOperator,
     pub factor: TableFactor,
@@ -454,14 +453,14 @@ pub struct Join {
 }
 
 /// A `FROM`-clause element: a base factor plus zero or more joins.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableWithJoins {
     pub base: TableFactor,
     pub joins: Vec<Join>,
 }
 
 /// `ORDER BY` item.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OrderByItem {
     pub expr: Expr,
     pub desc: bool,
@@ -472,7 +471,7 @@ pub struct OrderByItem {
 /// T-SQL uses `SELECT TOP n ...`; MySQL (which SkyServer does *not* accept,
 /// but users submit anyway — Section 6.6) uses `... LIMIT n`. Recording the
 /// syntax lets the coverage experiment count dialect-mismatch queries.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RowLimit {
     pub rows: u64,
     pub percent: bool,
@@ -480,14 +479,14 @@ pub struct RowLimit {
 }
 
 /// Which spelling produced the [`RowLimit`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LimitSyntax {
     Top,
     Limit,
 }
 
 /// A `SELECT` statement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Select {
     pub distinct: bool,
     pub projection: Vec<SelectItem>,

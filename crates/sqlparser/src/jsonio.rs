@@ -1,0 +1,327 @@
+//! JSON views of the AST (the former `serde` derives, now explicit and
+//! zero-dependency via [`aa_util::json`]).
+//!
+//! Expressions serialise as kind-tagged objects so downstream tooling can
+//! walk the tree; statements additionally carry their rendered SQL, which
+//! is the form the experiment artifacts actually consume.
+
+use crate::ast::{
+    AggFunc, BinaryOp, ColumnRef, Expr, Literal, ObjectName, Quantifier, Select, UnaryOp,
+};
+use aa_util::{Json, ToJson};
+
+fn tagged(kind: &str, fields: Vec<(String, Json)>) -> Json {
+    let mut all = vec![("kind".to_string(), Json::Str(kind.to_string()))];
+    all.extend(fields);
+    Json::obj(all)
+}
+
+impl ToJson for ObjectName {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.parts.iter().map(|p| Json::Str(p.clone())).collect())
+    }
+}
+
+impl ToJson for ColumnRef {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "qualifier".to_string(),
+                match &self.qualifier {
+                    Some(q) => Json::Str(q.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("column".to_string(), Json::Str(self.column.clone())),
+        ])
+    }
+}
+
+impl ToJson for Literal {
+    fn to_json(&self) -> Json {
+        match self {
+            Literal::Int(i) => Json::Num(*i as f64),
+            Literal::Float(f) => Json::Num(*f),
+            Literal::String(s) => Json::Str(s.clone()),
+            Literal::Bool(b) => Json::Bool(*b),
+            Literal::Null => Json::Null,
+        }
+    }
+}
+
+impl ToJson for BinaryOp {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for UnaryOp {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                UnaryOp::Not => "NOT",
+                UnaryOp::Neg => "-",
+                UnaryOp::Plus => "+",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl ToJson for AggFunc {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().to_string())
+    }
+}
+
+impl ToJson for Quantifier {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Quantifier::Any => "ANY",
+                Quantifier::All => "ALL",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl ToJson for Expr {
+    fn to_json(&self) -> Json {
+        let f = |k: &str, v: Json| (k.to_string(), v);
+        match self {
+            Expr::Column(c) => tagged("column", vec![f("ref", c.to_json())]),
+            Expr::Literal(l) => tagged("literal", vec![f("value", l.to_json())]),
+            Expr::Variable(name) => {
+                tagged("variable", vec![f("name", Json::Str(name.clone()))])
+            }
+            Expr::Unary { op, expr } => tagged(
+                "unary",
+                vec![f("op", op.to_json()), f("expr", expr.to_json())],
+            ),
+            Expr::Binary { left, op, right } => tagged(
+                "binary",
+                vec![
+                    f("op", op.to_json()),
+                    f("left", left.to_json()),
+                    f("right", right.to_json()),
+                ],
+            ),
+            Expr::Between {
+                expr,
+                negated,
+                low,
+                high,
+            } => tagged(
+                "between",
+                vec![
+                    f("negated", Json::Bool(*negated)),
+                    f("expr", expr.to_json()),
+                    f("low", low.to_json()),
+                    f("high", high.to_json()),
+                ],
+            ),
+            Expr::InList {
+                expr,
+                negated,
+                list,
+            } => tagged(
+                "in_list",
+                vec![
+                    f("negated", Json::Bool(*negated)),
+                    f("expr", expr.to_json()),
+                    f("list", Json::arr(list.iter())),
+                ],
+            ),
+            Expr::InSubquery {
+                expr,
+                negated,
+                subquery,
+            } => tagged(
+                "in_subquery",
+                vec![
+                    f("negated", Json::Bool(*negated)),
+                    f("expr", expr.to_json()),
+                    f("subquery", subquery.to_json()),
+                ],
+            ),
+            Expr::Exists { negated, subquery } => tagged(
+                "exists",
+                vec![
+                    f("negated", Json::Bool(*negated)),
+                    f("subquery", subquery.to_json()),
+                ],
+            ),
+            Expr::Quantified {
+                left,
+                op,
+                quantifier,
+                subquery,
+            } => tagged(
+                "quantified",
+                vec![
+                    f("left", left.to_json()),
+                    f("op", op.to_json()),
+                    f("quantifier", quantifier.to_json()),
+                    f("subquery", subquery.to_json()),
+                ],
+            ),
+            Expr::ScalarSubquery(subquery) => {
+                tagged("scalar_subquery", vec![f("subquery", subquery.to_json())])
+            }
+            Expr::IsNull { expr, negated } => tagged(
+                "is_null",
+                vec![
+                    f("negated", Json::Bool(*negated)),
+                    f("expr", expr.to_json()),
+                ],
+            ),
+            Expr::Like {
+                expr,
+                negated,
+                pattern,
+            } => tagged(
+                "like",
+                vec![
+                    f("negated", Json::Bool(*negated)),
+                    f("expr", expr.to_json()),
+                    f("pattern", pattern.to_json()),
+                ],
+            ),
+            Expr::Aggregate {
+                func,
+                arg,
+                distinct,
+            } => tagged(
+                "aggregate",
+                vec![
+                    f("func", func.to_json()),
+                    f(
+                        "arg",
+                        match arg {
+                            Some(a) => a.to_json(),
+                            None => Json::Null,
+                        },
+                    ),
+                    f("distinct", Json::Bool(*distinct)),
+                ],
+            ),
+            Expr::Function { name, args } => tagged(
+                "function",
+                vec![
+                    f("name", Json::Str(name.clone())),
+                    f("args", Json::arr(args.iter())),
+                ],
+            ),
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => tagged(
+                "case",
+                vec![
+                    f(
+                        "operand",
+                        match operand {
+                            Some(o) => o.to_json(),
+                            None => Json::Null,
+                        },
+                    ),
+                    f(
+                        "branches",
+                        Json::Arr(
+                            branches
+                                .iter()
+                                .map(|(w, t)| {
+                                    Json::obj([
+                                        ("when".to_string(), w.to_json()),
+                                        ("then".to_string(), t.to_json()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    f(
+                        "else",
+                        match else_result {
+                            Some(e) => e.to_json(),
+                            None => Json::Null,
+                        },
+                    ),
+                ],
+            ),
+            Expr::Cast { expr, data_type } => tagged(
+                "cast",
+                vec![
+                    f("expr", expr.to_json()),
+                    f("type", Json::Str(data_type.clone())),
+                ],
+            ),
+        }
+    }
+}
+
+impl ToJson for Select {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("sql".to_string(), Json::Str(self.to_string())),
+            ("distinct".to_string(), Json::Bool(self.distinct)),
+            (
+                "from".to_string(),
+                Json::Arr(
+                    self.from
+                        .iter()
+                        .map(|t| Json::Str(t.to_string()))
+                        .collect(),
+                ),
+            ),
+            (
+                "where".to_string(),
+                match &self.selection {
+                    Some(e) => e.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "having".to_string(),
+                match &self.having {
+                    Some(e) => e.to_json(),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_select;
+
+    #[test]
+    fn parsed_query_serialises_with_kind_tags() {
+        let select =
+            parse_select("SELECT TOP 10 * FROM SpecObjAll WHERE z > 0.3 AND class = 'QSO'")
+                .unwrap();
+        let json = select.to_json();
+        assert!(json.get("sql").unwrap().as_str().unwrap().contains("WHERE"));
+        let where_clause = json.get("where").unwrap();
+        assert_eq!(where_clause.get("kind").unwrap().as_str(), Some("binary"));
+        assert_eq!(where_clause.get("op").unwrap().as_str(), Some("AND"));
+        // The document is well-formed and re-parses.
+        let reparsed = Json::parse(&json.to_string_pretty()).unwrap();
+        assert_eq!(reparsed, json);
+    }
+
+    #[test]
+    fn subquery_nesting_is_preserved() {
+        let select = parse_select(
+            "SELECT * FROM T WHERE EXISTS (SELECT 1 FROM S WHERE S.id = T.id)",
+        )
+        .unwrap();
+        let json = select.to_json();
+        let exists = json.get("where").unwrap();
+        assert_eq!(exists.get("kind").unwrap().as_str(), Some("exists"));
+        assert!(exists.get("subquery").unwrap().get("sql").is_some());
+    }
+}

@@ -32,6 +32,7 @@
 pub mod ast;
 pub mod display;
 pub mod error;
+pub mod jsonio;
 pub mod lexer;
 pub mod parser;
 pub mod token;

@@ -1,0 +1,20 @@
+//! Zero-dependency substrates shared across the workspace.
+//!
+//! The build environment has no network access to crates.io, so every
+//! external crate the reproduction once leaned on is replaced by a small
+//! in-tree equivalent (the same substitution rule that replaced
+//! JSqlParser with `aa-sql`). This crate hosts the two cross-cutting
+//! pieces:
+//!
+//! * [`rng`] — a seeded xoshiro256++ PRNG with the uniform/range/shuffle/
+//!   normal helpers the data and log generators need. Its output stream
+//!   is pinned by tests: experiment seeds stay reproducible across
+//!   refactors.
+//! * [`json`] — a minimal JSON value model with a writer and a reader,
+//!   plus the [`ToJson`] trait the former `serde` derives devolved to.
+
+pub mod json;
+pub mod rng;
+
+pub use json::{FromJson, Json, JsonError, ToJson};
+pub use rng::SeededRng;

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Hermetic CI: the workspace must build and test with no network and no
+# pre-fetched registry (every dependency is an in-tree path dependency).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test --offline"
+cargo test --workspace -q --offline
+
+# Clippy is best-effort: it gates nothing if the toolchain lacks it.
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy -- -D warnings"
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "==> clippy unavailable; skipping lint"
+fi
+
+echo "==> ci OK"

@@ -7,8 +7,7 @@ use aa_core::{AccessArea, AccessRanges, Extractor};
 use aa_dbscan::DbscanParams;
 use aa_engine::ExecOptions;
 use aa_skyserver::{cluster_query, evaluate, GroundTruth, LogConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use aa_util::SeededRng;
 
 /// Section 6.4: OLAPClus shatters Cluster-1-style workloads while our
 /// distance aggregates them.
@@ -16,7 +15,7 @@ use rand::SeedableRng;
 fn olapclus_explodes_on_point_lookups() {
     let provider = aa_core::NoSchema;
     let extractor = Extractor::new(&provider);
-    let mut rng = StdRng::seed_from_u64(41);
+    let mut rng = SeededRng::seed_from_u64(41);
     let areas: Vec<AccessArea> = (0..300)
         .map(|_| extractor.extract_sql(&cluster_query(1, &mut rng)).unwrap())
         .collect();

@@ -7,14 +7,13 @@
 use aa_core::{Constant, Extractor, QualifiedColumn};
 use aa_engine::{Executor, Value};
 use aa_skyserver::{build_catalog, cluster_query, Dr9Schema};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use aa_util::SeededRng;
 
 #[test]
 fn all_cluster_template_queries_execute() {
     let catalog = build_catalog(0.02, 77);
     let executor = Executor::new(&catalog);
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = SeededRng::seed_from_u64(5);
     for id in 1..=24u8 {
         for _ in 0..5 {
             let sql = cluster_query(id, &mut rng);
@@ -31,7 +30,7 @@ fn empty_area_cluster_queries_return_no_rows() {
     // come back empty — that is what makes them invisible to re-querying.
     let catalog = build_catalog(0.02, 78);
     let executor = Executor::new(&catalog);
-    let mut rng = StdRng::seed_from_u64(6);
+    let mut rng = SeededRng::seed_from_u64(6);
     for id in [18u8, 19, 20, 21, 22, 23, 24] {
         for _ in 0..5 {
             let sql = cluster_query(id, &mut rng);
@@ -49,7 +48,7 @@ fn populated_cluster_queries_return_rows() {
     // Clusters over content (1, 5, 7) should actually hit data.
     let catalog = build_catalog(0.1, 79);
     let executor = Executor::new(&catalog);
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = SeededRng::seed_from_u64(7);
     let mut hits = 0;
     let mut total = 0;
     for id in [5u8, 7] {

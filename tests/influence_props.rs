@@ -10,35 +10,36 @@
 use aa_core::extract::{Extractor, NoSchema};
 use aa_core::{Constant, QualifiedColumn};
 use aa_engine::{Catalog, ColumnDef, DataType, Table, TableSchema, Value};
-use proptest::prelude::*;
+use aa_prop::{check, Config, Source};
+
+const OPS: &[&str] = &["=", "<>", "<", "<=", ">", ">="];
 
 /// A random atomic predicate `col op const` rendered as SQL.
-fn atom_strategy() -> impl Strategy<Value = String> {
-    (
-        prop_oneof![Just("u"), Just("v")],
-        prop_oneof![
-            Just("="),
-            Just("<>"),
-            Just("<"),
-            Just("<="),
-            Just(">"),
-            Just(">=")
-        ],
-        -5i64..25,
-    )
-        .prop_map(|(col, op, c)| format!("T.{col} {op} {c}"))
+fn atom_sql(src: &mut Source) -> String {
+    let col = *src.choice(&["u", "v"]);
+    let op = *src.choice(OPS);
+    let c = src.int_in(-5, 25);
+    format!("T.{col} {op} {c}")
 }
 
 /// A random boolean WHERE clause of bounded depth.
-fn where_strategy() -> impl Strategy<Value = String> {
-    let leaf = atom_strategy();
-    leaf.prop_recursive(3, 12, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} AND {b})")),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} OR {b})")),
-            inner.prop_map(|a| format!("NOT ({a})")),
-        ]
-    })
+fn where_sql(src: &mut Source, depth: u32) -> String {
+    if depth == 0 || !src.bool(0.6) {
+        return atom_sql(src);
+    }
+    match src.usize_in(0, 3) {
+        0 => format!(
+            "({} AND {})",
+            where_sql(src, depth - 1),
+            where_sql(src, depth - 1)
+        ),
+        1 => format!(
+            "({} OR {})",
+            where_sql(src, depth - 1),
+            where_sql(src, depth - 1)
+        ),
+        _ => format!("NOT ({})", where_sql(src, depth - 1)),
+    }
 }
 
 fn t_schema() -> TableSchema {
@@ -87,60 +88,65 @@ fn tuple_lookup(u: i64, v: i64) -> impl Fn(&QualifiedColumn) -> Option<Constant>
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Simple queries: membership in the extracted area ⟺ the singleton
-    /// state {t} yields a non-empty result.
-    #[test]
-    fn simple_query_area_matches_influence(
-        where_clause in where_strategy(),
-        u in -10i64..30,
-        v in -10i64..30,
-    ) {
+/// Simple queries: membership in the extracted area ⟺ the singleton
+/// state {t} yields a non-empty result.
+#[test]
+fn simple_query_area_matches_influence() {
+    check(Config::cases(256), |src| {
+        let where_clause = where_sql(src, 3);
+        let u = src.int_in(-10, 30);
+        let v = src.int_in(-10, 30);
         let sql = format!("SELECT * FROM T WHERE {where_clause}");
         let area = Extractor::new(&NoSchema).extract_sql(&sql).unwrap();
         let in_area = area.contains(&tuple_lookup(u, v));
         let influences = returns_rows_in_singleton(&sql, u, v);
         // CNF conversion of arbitrary NOT/OR trees is exact for these
         // shapes, so the area must be decidable for a fully known tuple.
-        prop_assert_eq!(in_area, Some(influences),
-            "query {} on tuple ({}, {})", sql, u, v);
-    }
+        assert_eq!(
+            in_area,
+            Some(influences),
+            "query {sql} on tuple ({u}, {v})"
+        );
+    });
+}
 
-    /// BETWEEN queries match their expansion.
-    #[test]
-    fn between_query_area_matches_influence(
-        lo in -5i64..15,
-        span in 0i64..10,
-        u in -10i64..30,
-    ) {
+/// BETWEEN queries match their expansion.
+#[test]
+fn between_query_area_matches_influence() {
+    check(Config::cases(256), |src| {
+        let lo = src.int_in(-5, 15);
+        let span = src.int_in(0, 10);
+        let u = src.int_in(-10, 30);
         let hi = lo + span;
         let sql = format!("SELECT * FROM T WHERE u BETWEEN {lo} AND {hi}");
         let area = Extractor::new(&NoSchema).extract_sql(&sql).unwrap();
         let in_area = area.contains(&tuple_lookup(u, 0));
         let influences = returns_rows_in_singleton(&sql, u, 0);
-        prop_assert_eq!(in_area, Some(influences));
-    }
+        assert_eq!(in_area, Some(influences));
+    });
+}
 
-    /// Lemma 4 shape: EXISTS over a second relation. The witness state is
-    /// {t} in T and {s} in S; the pair is in the area iff the query
-    /// returns rows there.
-    #[test]
-    fn lemma4_exists_area_matches_influence(
-        alpha in -5i64..15,
-        beta in -5i64..15,
-        tu in -5i64..20,
-        su in -5i64..20,
-        sv in -5i64..20,
-    ) {
+/// Lemma 4 shape: EXISTS over a second relation. The witness state is
+/// {t} in T and {s} in S; the pair is in the area iff the query
+/// returns rows there.
+#[test]
+fn lemma4_exists_area_matches_influence() {
+    check(Config::cases(256), |src| {
+        let alpha = src.int_in(-5, 15);
+        let beta = src.int_in(-5, 15);
+        let tu = src.int_in(-5, 20);
+        let su = src.int_in(-5, 20);
+        let sv = src.int_in(-5, 20);
         let sql = format!(
             "SELECT * FROM T WHERE T.u > {alpha} AND EXISTS \
              (SELECT * FROM S WHERE S.u = T.u AND S.w < {beta})"
         );
         let area = Extractor::new(&NoSchema).extract_sql(&sql).unwrap();
         let lookup = |col: &QualifiedColumn| -> Option<Constant> {
-            match (col.table.to_lowercase().as_str(), col.column.to_lowercase().as_str()) {
+            match (
+                col.table.to_lowercase().as_str(),
+                col.column.to_lowercase().as_str(),
+            ) {
                 ("t", "u") => Some(Constant::Num(tu as f64)),
                 ("s", "u") => Some(Constant::Num(su as f64)),
                 ("s", "w") => Some(Constant::Num(sv as f64)),
@@ -160,25 +166,30 @@ proptest! {
             .execute_sql(&sql)
             .unwrap()
             .is_empty();
-        prop_assert_eq!(in_area, Some(influences),
-            "tuple (T.u={}, S.u={}, S.w={})", tu, su, sv);
-    }
-
-    /// Inner joins: the pair (t, s) influences iff it is in the area.
-    #[test]
-    fn inner_join_area_matches_influence(
-        tu in -3i64..10,
-        tv in -3i64..10,
-        su in -3i64..10,
-        sw in -3i64..10,
-        bound in -3i64..10,
-    ) {
-        let sql = format!(
-            "SELECT * FROM T INNER JOIN S ON T.u = S.u WHERE T.v <= {bound}"
+        assert_eq!(
+            in_area,
+            Some(influences),
+            "tuple (T.u={tu}, S.u={su}, S.w={sv})"
         );
+    });
+}
+
+/// Inner joins: the pair (t, s) influences iff it is in the area.
+#[test]
+fn inner_join_area_matches_influence() {
+    check(Config::cases(256), |src| {
+        let tu = src.int_in(-3, 10);
+        let tv = src.int_in(-3, 10);
+        let su = src.int_in(-3, 10);
+        let sw = src.int_in(-3, 10);
+        let bound = src.int_in(-3, 10);
+        let sql = format!("SELECT * FROM T INNER JOIN S ON T.u = S.u WHERE T.v <= {bound}");
         let area = Extractor::new(&NoSchema).extract_sql(&sql).unwrap();
         let lookup = |col: &QualifiedColumn| -> Option<Constant> {
-            match (col.table.to_lowercase().as_str(), col.column.to_lowercase().as_str()) {
+            match (
+                col.table.to_lowercase().as_str(),
+                col.column.to_lowercase().as_str(),
+            ) {
                 ("t", "u") => Some(Constant::Num(tu as f64)),
                 ("t", "v") => Some(Constant::Num(tv as f64)),
                 ("s", "u") => Some(Constant::Num(su as f64)),
@@ -199,20 +210,20 @@ proptest! {
             .execute_sql(&sql)
             .unwrap()
             .is_empty();
-        prop_assert_eq!(in_area, Some(influences));
-    }
+        assert_eq!(in_area, Some(influences));
+    });
+}
 
-    /// Definition 3 directly: on random multi-row states, any tuple the
-    /// executor proves influential (removal changes the result) must lie
-    /// in the extracted access area (the area may be larger: it quantifies
-    /// over *all* states).
-    #[test]
-    fn influential_tuples_are_inside_the_area(
-        where_clause in where_strategy(),
-        rows in proptest::collection::vec((-10i64..30, -10i64..30), 1..6),
-        victim in 0usize..6,
-    ) {
-        let victim = victim % rows.len();
+/// Definition 3 directly: on random multi-row states, any tuple the
+/// executor proves influential (removal changes the result) must lie
+/// in the extracted access area (the area may be larger: it quantifies
+/// over *all* states).
+#[test]
+fn influential_tuples_are_inside_the_area() {
+    check(Config::cases(256), |src| {
+        let where_clause = where_sql(src, 3);
+        let rows = src.vec_of(1, 6, |s| (s.int_in(-10, 30), s.int_in(-10, 30)));
+        let victim = src.usize_in(0, 6) % rows.len();
         let sql = format!("SELECT * FROM T WHERE {where_clause}");
         let area = Extractor::new(&NoSchema).extract_sql(&sql).unwrap();
 
@@ -222,13 +233,20 @@ proptest! {
             t.insert(vec![Value::Int(*u), Value::Int(*v)]).unwrap();
         }
         catalog.add_table(t);
-        let influences =
-            aa_engine::influence::influences_in_state(&catalog, "T", victim, &aa_sql::parse_select(&sql).unwrap())
-                .unwrap();
+        let influences = aa_engine::influence::influences_in_state(
+            &catalog,
+            "T",
+            victim,
+            &aa_sql::parse_select(&sql).unwrap(),
+        )
+        .unwrap();
         if influences {
             let (u, v) = rows[victim];
-            prop_assert_eq!(area.contains(&tuple_lookup(u, v)), Some(true),
-                "influential tuple ({}, {}) outside area of {}", u, v, sql);
+            assert_eq!(
+                area.contains(&tuple_lookup(u, v)),
+                Some(true),
+                "influential tuple ({u}, {v}) outside area of {sql}"
+            );
         }
-    }
+    });
 }

@@ -1,9 +1,11 @@
 //! Parser corpus: SkyServer-style statements that must parse and
-//! round-trip (`parse(display(ast)) == ast`), plus property tests over
-//! generated predicate grammars.
+//! round-trip (`parse(display(ast)) == ast`), an extraction corpus that
+//! pins the exact access-area predicate set per query, plus property
+//! tests over generated predicate grammars.
 
+use aa_core::extract::{Extractor, NoSchema};
+use aa_prop::{check, Config, Source};
 use aa_sql::{parse_select, ParseErrorKind};
-use proptest::prelude::*;
 
 /// Queries modelled on real SkyServer log idioms.
 const CORPUS: &[&str] = &[
@@ -69,64 +71,284 @@ fn rejection_corpus_is_classified() {
     }
 }
 
+// ---- extraction corpus ------------------------------------------------------
+//
+// Each entry pins the exact predicate set of the extracted access area
+// (atom Display strings, sorted) and the universal-relation tables, for
+// SkyServer dialect features: TOP (with PERCENT), bracketed identifiers,
+// nested EXISTS / IN subqueries, IN lists, and MySQL-style LIMIT.
+
+struct ExtractionCase {
+    sql: &'static str,
+    tables: &'static [&'static str],
+    atoms: &'static [&'static str],
+}
+
+const EXTRACTION_CORPUS: &[ExtractionCase] = &[
+    // TOP n with BETWEEN expansion.
+    ExtractionCase {
+        sql: "SELECT TOP 500 objID FROM PhotoObjAll WHERE ra BETWEEN 150 AND 200 AND dec > -5",
+        tables: &["PhotoObjAll"],
+        atoms: &[
+            "PhotoObjAll.dec > -5",
+            "PhotoObjAll.ra <= 200",
+            "PhotoObjAll.ra >= 150",
+        ],
+    },
+    // TOP n PERCENT.
+    ExtractionCase {
+        sql: "SELECT TOP 10 PERCENT plate FROM SpecObjAll WHERE class = 'GALAXY' AND z < 0.05",
+        tables: &["SpecObjAll"],
+        atoms: &["SpecObjAll.class = 'GALAXY'", "SpecObjAll.z < 0.05"],
+    },
+    // Bracketed identifiers everywhere (Cluster 9's columns).
+    ExtractionCase {
+        sql: "SELECT [plate], [mjd] FROM [SpecObjAll] WHERE [plate] <= 3200 AND [mjd] >= 51578",
+        tables: &["SpecObjAll"],
+        atoms: &["SpecObjAll.mjd >= 51578", "SpecObjAll.plate <= 3200"],
+    },
+    // Cluster 10's shape: brackets around reserved-looking names plus OR.
+    ExtractionCase {
+        sql: "SELECT name FROM [DBObjects] WHERE [access] = 'U' AND ([type] = 'V' OR [type] = 'U')",
+        tables: &["DBObjects"],
+        atoms: &[
+            "DBObjects.access = 'U'",
+            "DBObjects.type = 'U'",
+            "DBObjects.type = 'V'",
+        ],
+    },
+    // TOP + brackets combined.
+    ExtractionCase {
+        sql: "SELECT TOP 5 [name] FROM [DBViewCols] WHERE [viewname] = 'SpecObj'",
+        tables: &["DBViewCols"],
+        atoms: &["DBViewCols.viewname = 'SpecObj'"],
+    },
+    // EXISTS with alias resolution into real table names.
+    ExtractionCase {
+        sql: "SELECT s.plate FROM SpecObjAll s WHERE s.z > 2 AND EXISTS \
+              (SELECT * FROM Photoz p WHERE p.objid = s.bestobjid AND p.z < 1)",
+        tables: &["Photoz", "SpecObjAll"],
+        atoms: &[
+            "Photoz.objid = SpecObjAll.bestobjid",
+            "Photoz.z < 1",
+            "SpecObjAll.z > 2",
+        ],
+    },
+    // Doubly-nested EXISTS (Lemma 4 applied twice).
+    ExtractionCase {
+        sql: "SELECT * FROM T WHERE T.u > 7 AND EXISTS \
+              (SELECT * FROM S WHERE S.u = T.u AND EXISTS \
+               (SELECT * FROM R WHERE R.v = S.v AND R.x < 9))",
+        tables: &["R", "S", "T"],
+        atoms: &["R.v = S.v", "R.x < 9", "S.u = T.u", "T.u > 7"],
+    },
+    // IN <subquery> becomes a join atom plus the inner constraint. The
+    // i64 constant rounds through f64 — pinned as the extractor prints it.
+    ExtractionCase {
+        sql: "SELECT * FROM galSpecInfo WHERE specobjid IN \
+              (SELECT specobjid FROM galSpecLine WHERE specobjid >= 1345591721622267904)",
+        tables: &["galSpecInfo", "galSpecLine"],
+        atoms: &[
+            "galSpecInfo.specobjid = galSpecLine.specobjid",
+            "galSpecLine.specobjid >= 1345591721622268000",
+        ],
+    },
+    // IN list over strings expands to an equality disjunction.
+    ExtractionCase {
+        sql: "SELECT * FROM SpecObjAll WHERE class IN ('star', 'qso')",
+        tables: &["SpecObjAll"],
+        atoms: &["SpecObjAll.class = 'qso'", "SpecObjAll.class = 'star'"],
+    },
+    // IN list over numbers.
+    ExtractionCase {
+        sql: "SELECT * FROM SpecObjAll WHERE plate IN (751, 752, 753)",
+        tables: &["SpecObjAll"],
+        atoms: &[
+            "SpecObjAll.plate = 751",
+            "SpecObjAll.plate = 752",
+            "SpecObjAll.plate = 753",
+        ],
+    },
+    // NOT IN pushes the negation through to <> conjuncts.
+    ExtractionCase {
+        sql: "SELECT * FROM SpecObjAll WHERE plate NOT IN (751, 752)",
+        tables: &["SpecObjAll"],
+        atoms: &["SpecObjAll.plate <> 751", "SpecObjAll.plate <> 752"],
+    },
+    // MySQL LIMIT does not perturb the constraint.
+    ExtractionCase {
+        sql: "SELECT objid FROM Galaxies WHERE ra > 185.5 LIMIT 30",
+        tables: &["Galaxies"],
+        atoms: &["Galaxies.ra > 185.5"],
+    },
+    // LIMIT with no WHERE: unconstrained area.
+    ExtractionCase {
+        sql: "SELECT objid FROM Galaxies LIMIT 100",
+        tables: &["Galaxies"],
+        atoms: &[],
+    },
+    // TOP over an aliased INNER JOIN: ON becomes a join atom.
+    ExtractionCase {
+        sql: "SELECT TOP 50 p.ra FROM PhotoObjAll p INNER JOIN SpecObjAll s \
+              ON s.bestobjid = p.objid WHERE s.class = 'qso'",
+        tables: &["PhotoObjAll", "SpecObjAll"],
+        atoms: &[
+            "SpecObjAll.bestobjid = PhotoObjAll.objid",
+            "SpecObjAll.class = 'qso'",
+        ],
+    },
+    // TOP + BETWEEN (Cluster 15's box).
+    ExtractionCase {
+        sql: "SELECT TOP 1000 * FROM Photoz WHERE z BETWEEN 0 AND 0.1",
+        tables: &["Photoz"],
+        atoms: &["Photoz.z <= 0.1", "Photoz.z >= 0"],
+    },
+    // IN subquery with BETWEEN inside plus an outer conjunct (Cluster 17).
+    ExtractionCase {
+        sql: "SELECT * FROM sppLines WHERE specobjid IN \
+              (SELECT specobjid FROM sppParams WHERE fehadop BETWEEN -0.3 AND 0.5) \
+              AND gwholemask = 0",
+        tables: &["sppLines", "sppParams"],
+        atoms: &[
+            "sppLines.gwholemask = 0",
+            "sppLines.specobjid = sppParams.specobjid",
+            "sppParams.fehadop <= 0.5",
+            "sppParams.fehadop >= -0.3",
+        ],
+    },
+    // Database-qualified bracketed table: only the base name survives.
+    ExtractionCase {
+        sql: "SELECT TOP 20 * FROM [BESTDR9]..[PhotoObjAll] WHERE [ra] < 10 AND [dec] >= -1.5",
+        tables: &["PhotoObjAll"],
+        atoms: &["PhotoObjAll.dec >= -1.5", "PhotoObjAll.ra < 10"],
+    },
+];
+
+#[test]
+fn extraction_corpus_pins_predicate_sets() {
+    for case in EXTRACTION_CORPUS {
+        let area = Extractor::new(&NoSchema)
+            .extract_sql(case.sql)
+            .unwrap_or_else(|e| panic!("{}: {e}", case.sql));
+        let tables: Vec<&str> = area.table_names().collect();
+        assert_eq!(tables, case.tables, "tables of {}", case.sql);
+        let mut atoms: Vec<String> =
+            area.constraint.atoms().map(|a| a.to_string()).collect();
+        atoms.sort();
+        assert_eq!(atoms, case.atoms, "atoms of {}", case.sql);
+        assert!(area.exact, "{} should extract exactly", case.sql);
+    }
+}
+
+#[test]
+fn extraction_corpus_round_trips_through_parser() {
+    // The intermediate form of every extraction-corpus query is itself
+    // parseable SQL (the paper's q̄ is a well-formed SELECT).
+    for case in EXTRACTION_CORPUS {
+        let area = Extractor::new(&NoSchema).extract_sql(case.sql).unwrap();
+        let rendered = area.to_intermediate_sql();
+        parse_select(&rendered)
+            .unwrap_or_else(|e| panic!("`{rendered}` unparseable: {e}"));
+    }
+}
+
 // ---- property tests -------------------------------------------------------
 
-fn ident() -> impl Strategy<Value = String> {
-    "[a-zA-Z][a-zA-Z0-9_]{0,8}".prop_filter("not a keyword", |s| {
-        aa_sql::token::Keyword::from_word(s).is_none()
-    })
+/// `[a-z][a-z0-9_]{0,8}`, never a keyword.
+fn ident(src: &mut Source) -> String {
+    loop {
+        let s = src.ident(8);
+        if aa_sql::token::Keyword::from_word(&s).is_none() {
+            return s;
+        }
+    }
 }
 
-fn literal() -> impl Strategy<Value = String> {
-    prop_oneof![
-        (-1000i64..1000).prop_map(|i| i.to_string()),
-        (-100.0..100.0f64).prop_map(|f| format!("{f:.3}")),
-        "[a-z]{1,6}".prop_map(|s| format!("'{s}'")),
-    ]
+fn literal(src: &mut Source) -> String {
+    match src.usize_in(0, 3) {
+        0 => src.int_in(-1000, 1000).to_string(),
+        1 => format!("{:.3}", src.f64_in(-100.0, 100.0)),
+        _ => {
+            let n = src.usize_in(1, 7);
+            let s: String = (0..n)
+                .map(|_| (b'a' + src.usize_in(0, 26) as u8) as char)
+                .collect();
+            format!("'{s}'")
+        }
+    }
 }
 
-fn predicate() -> impl Strategy<Value = String> {
-    (
-        ident(),
-        prop_oneof![Just("="), Just("<>"), Just("<"), Just("<="), Just(">"), Just(">=")],
-        literal(),
-    )
-        .prop_map(|(c, op, l)| format!("{c} {op} {l}"))
+fn predicate(src: &mut Source) -> String {
+    let c = ident(src);
+    let op = *src.choice(&["=", "<>", "<", "<=", ">", ">="]);
+    let l = literal(src);
+    format!("{c} {op} {l}")
 }
 
-fn bool_expr() -> impl Strategy<Value = String> {
-    predicate().prop_recursive(4, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} AND {b})")),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} OR {b})")),
-            inner.prop_map(|a| format!("NOT ({a})")),
-        ]
-    })
+fn bool_expr(src: &mut Source, depth: u32) -> String {
+    if depth == 0 || !src.bool(0.6) {
+        return predicate(src);
+    }
+    match src.usize_in(0, 3) {
+        0 => format!(
+            "({} AND {})",
+            bool_expr(src, depth - 1),
+            bool_expr(src, depth - 1)
+        ),
+        1 => format!(
+            "({} OR {})",
+            bool_expr(src, depth - 1),
+            bool_expr(src, depth - 1)
+        ),
+        _ => format!("NOT ({})", bool_expr(src, depth - 1)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    #[test]
-    fn generated_where_clauses_round_trip(table in ident(), clause in bool_expr()) {
+#[test]
+fn generated_where_clauses_round_trip() {
+    check(Config::cases(192), |src| {
+        let table = ident(src);
+        let clause = bool_expr(src, 4);
         let sql = format!("SELECT * FROM {table} WHERE {clause}");
         let ast = parse_select(&sql).unwrap();
         let printed = ast.to_string();
         let reparsed = parse_select(&printed).unwrap();
-        prop_assert_eq!(ast, reparsed);
-    }
+        assert_eq!(ast, reparsed);
+    });
+}
 
-    #[test]
-    fn lexer_never_panics_on_arbitrary_input(input in "\\PC{0,120}") {
+#[test]
+fn lexer_never_panics_on_arbitrary_input() {
+    check(Config::cases(192), |src| {
+        // Arbitrary printable (non-control) unicode, up to 120 chars.
+        let n = src.usize_in(0, 121);
+        let input: String = (0..n)
+            .map(|_| loop {
+                // Bias toward ASCII so SQL-adjacent shapes appear often.
+                let cp = if src.bool(0.7) {
+                    src.int_in(0x20, 0x7F) as u32
+                } else {
+                    src.int_in(0x20, 0x11_0000) as u32
+                };
+                if let Some(c) = char::from_u32(cp) {
+                    if !c.is_control() {
+                        break c;
+                    }
+                }
+            })
+            .collect();
         // Errors are fine; panics are not.
         let _ = parse_select(&input);
-    }
+    });
+}
 
-    #[test]
-    fn projection_lists_round_trip(cols in proptest::collection::vec(ident(), 1..6)) {
+#[test]
+fn projection_lists_round_trip() {
+    check(Config::cases(192), |src| {
+        let cols = src.vec_of(1, 6, ident);
         let sql = format!("SELECT {} FROM T", cols.join(", "));
         let ast = parse_select(&sql).unwrap();
         let reparsed = parse_select(&ast.to_string()).unwrap();
-        prop_assert_eq!(ast, reparsed);
-    }
+        assert_eq!(ast, reparsed);
+    });
 }
