@@ -1,0 +1,77 @@
+//! The diagnostic code registry.
+//!
+//! Codes are stable identifiers: histograms, pinned tests, and DESIGN.md
+//! refer to them, so a code is never renumbered or reused — new findings
+//! get new codes. `E0xx` codes are `Error` severity (the query is
+//! semantically broken and `AnalyzeMode::Strict` rejects it); `W0xx` codes
+//! are `Warning` severity (suspect but extractable).
+
+/// `E001` — unknown table in closed-world mode. The open-world default
+/// reports [`UNKNOWN_TABLE`] (a warning) instead.
+pub const UNKNOWN_TABLE_STRICT: &str = "E001";
+
+/// `E002` — column not present on the (known) table it was resolved
+/// against, or not present on any table in scope.
+pub const UNKNOWN_COLUMN: &str = "E002";
+
+/// `E003` — unqualified column defined by more than one table in scope.
+pub const AMBIGUOUS_COLUMN: &str = "E003";
+
+/// `E004` — type-incoherent predicate: string compared with a numeric
+/// operand, arithmetic on a text column, `LIKE` on a numeric column.
+pub const TYPE_MISMATCH: &str = "E004";
+
+/// `E005` — aggregate argument error: `SUM(*)` / `AVG(*)` / `MIN(*)` /
+/// `MAX(*)`, or `SUM`/`AVG` over a text column.
+pub const AGGREGATE_MISUSE: &str = "E005";
+
+/// `E006` — non-boolean expression in a condition position (`WHERE`,
+/// `HAVING`, `ON`, or an `AND`/`OR` operand).
+pub const NON_BOOLEAN_CONDITION: &str = "E006";
+
+/// `W001` — table unknown to the schema provider (open world): binding
+/// and type checks involving it are suppressed.
+pub const UNKNOWN_TABLE: &str = "W001";
+
+/// `W002` — cartesian join: no join predicate connects a FROM table to
+/// the rest of the query's universal relation.
+pub const CARTESIAN_JOIN: &str = "W002";
+
+/// `W003` — statically contradictory conjunction; the access area is
+/// provably empty (the paper keeps such queries — empty areas are a
+/// finding — but flags them).
+pub const CONTRADICTION: &str = "W003";
+
+/// `W004` — tautological clause: one column's constraints in a
+/// disjunction cover every value, so the clause restricts nothing.
+pub const TAUTOLOGY: &str = "W004";
+
+/// `W005` — the constraint exceeds the extraction atom cap (the paper's
+/// 35-predicate limit); CNF conversion will truncate it.
+pub const ATOM_CAP_EXCEEDED: &str = "W005";
+
+/// `W006` — the query contains constructs the extractor maps only
+/// approximately (wildcard `LIKE`, `IS NULL`, opaque expressions, ...).
+pub const APPROXIMATE_ONLY: &str = "W006";
+
+/// Every registered code with its one-line description, in registry
+/// order — the source of truth for reports and DESIGN.md.
+pub const REGISTRY: &[(&str, &str)] = &[
+    (UNKNOWN_TABLE_STRICT, "unknown table (closed world)"),
+    (UNKNOWN_COLUMN, "unknown column"),
+    (AMBIGUOUS_COLUMN, "ambiguous unqualified column"),
+    (TYPE_MISMATCH, "type-incoherent predicate"),
+    (AGGREGATE_MISUSE, "aggregate argument error"),
+    (NON_BOOLEAN_CONDITION, "non-boolean condition"),
+    (UNKNOWN_TABLE, "unknown table (open world)"),
+    (CARTESIAN_JOIN, "cartesian join"),
+    (CONTRADICTION, "contradictory constraints"),
+    (TAUTOLOGY, "tautological clause"),
+    (ATOM_CAP_EXCEEDED, "predicate cap exceeded"),
+    (APPROXIMATE_ONLY, "approximate extraction"),
+];
+
+/// Short description of a code, if registered.
+pub fn describe(code: &str) -> Option<&'static str> {
+    REGISTRY.iter().find(|(c, _)| *c == code).map(|(_, d)| *d)
+}

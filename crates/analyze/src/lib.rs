@@ -1,0 +1,310 @@
+//! # aa-analyze — static semantic analysis of log queries
+//!
+//! A span-anchored semantic analyzer that runs on the parsed AST *before*
+//! access-area extraction. The paper's Section 6.1 reports that a
+//! substantial share of the 12.4M-query SkyServer log fails or degrades
+//! extraction; this pass says *why* a parsed query is unusable — before it
+//! pollutes access areas and downstream clusters — as three sub-passes:
+//!
+//! 1. **Binder** ([`sema`]): resolves table aliases and column references
+//!    against a [`SchemaProvider`], reporting unknown tables, unknown
+//!    columns on known tables, and ambiguous unqualified columns.
+//! 2. **Type checker** ([`sema`], same walk): infers predicate operand
+//!    types from the schema and flags incoherent comparisons (string vs
+//!    numeric), aggregate argument errors (`SUM(*)`, `AVG` of text), and
+//!    non-boolean `WHERE`/`HAVING`/`ON` subexpressions.
+//! 3. **Query linter** ([`lint`]): runs over the lowered constraint and
+//!    its CNF, reporting cartesian joins, statically contradictory or
+//!    tautological conjunctions (reusing the consolidation interval
+//!    machinery), constraints beyond the 35-predicate cap, and constructs
+//!    the extractor only approximates.
+//!
+//! Diagnostics are [`aa_core::analysis::Diagnostic`] values with a stable
+//! registry code ([`codes`]), a severity, and a lexer span into the
+//! original SQL, renderable with line/column and a caret snippet. The
+//! pipeline consumes the pass through
+//! [`aa_core::analysis::QueryAnalyzer`] under
+//! `AnalyzeMode::{Off, Warn, Strict}`.
+//!
+//! ## Binding model
+//!
+//! The binder is **open-world by default**: a table the provider does not
+//! know yields warning [`codes::UNKNOWN_TABLE`] and suppresses all checks
+//! that would need its schema — real SkyServer logs reference views and
+//! scratch tables outside our 16-relation synthetic schema, and those
+//! queries are not *wrong*. [`Analyzer::closed_world`] upgrades unknown
+//! tables to error [`codes::UNKNOWN_TABLE_STRICT`] for curated-schema
+//! runs.
+
+#![forbid(unsafe_code)]
+
+pub mod codes;
+mod lint;
+mod sema;
+
+use aa_core::analysis::{Diagnostic, QueryAnalyzer};
+use aa_core::extract::{ExtractConfig, SchemaProvider};
+use aa_sql::Select;
+
+/// The analyzer: binder + type checker + linter over one [`Select`].
+pub struct Analyzer<'a> {
+    provider: &'a dyn SchemaProvider,
+    closed_world: bool,
+    config: ExtractConfig,
+}
+
+impl<'a> Analyzer<'a> {
+    /// Open-world analyzer with the default extraction configuration.
+    pub fn new(provider: &'a dyn SchemaProvider) -> Self {
+        Analyzer {
+            provider,
+            closed_world: false,
+            config: ExtractConfig::default(),
+        }
+    }
+
+    /// Treat unknown tables as errors instead of warnings.
+    pub fn closed_world(mut self) -> Self {
+        self.closed_world = true;
+        self
+    }
+
+    /// Use a non-default extraction configuration (atom cap etc.) for the
+    /// lint sub-pass.
+    pub fn with_config(mut self, config: ExtractConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs all three sub-passes over a parsed query. Diagnostics come
+    /// back ordered by source position (unanchored ones last), which makes
+    /// reports and histograms deterministic.
+    pub fn check(&self, query: &Select) -> Vec<Diagnostic> {
+        let mut diags = sema::check(self.provider, self.closed_world, query);
+        diags.extend(lint::check(self.provider, &self.config, query));
+        diags.sort_by_key(|d| d.span.map_or((usize::MAX, usize::MAX), |s| (s.start, s.end)));
+        diags
+    }
+
+    /// Parses and checks in one step.
+    pub fn check_sql(&self, sql: &str) -> Result<Vec<Diagnostic>, aa_sql::ParseError> {
+        Ok(self.check(&aa_sql::parse_select(sql)?))
+    }
+}
+
+impl QueryAnalyzer for Analyzer<'_> {
+    fn analyze(&self, _sql: &str, query: &Select) -> Vec<Diagnostic> {
+        self.check(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_core::analysis::Severity;
+    use aa_core::NoSchema;
+    use aa_skyserver::Dr9Schema;
+
+    fn codes_of(sql: &str) -> Vec<&'static str> {
+        let schema = Dr9Schema::new();
+        Analyzer::new(&schema)
+            .check_sql(sql)
+            .unwrap_or_else(|e| panic!("{sql}: {e}"))
+            .into_iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn clean_query_has_no_diagnostics() {
+        assert!(codes_of("SELECT ra, dec FROM PhotoObjAll WHERE ra BETWEEN 100 AND 200").is_empty());
+    }
+
+    #[test]
+    fn binder_reports_unknown_column_with_span() {
+        let schema = Dr9Schema::new();
+        let sql = "SELECT colr FROM PhotoObjAll WHERE colr > 0.3";
+        let diags: Vec<_> = Analyzer::new(&schema)
+            .check_sql(sql)
+            .unwrap()
+            .into_iter()
+            .filter(|d| d.code == codes::UNKNOWN_COLUMN)
+            .collect();
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        for d in &diags {
+            assert_eq!(d.severity, Severity::Error);
+            let span = d.span.expect("anchored");
+            assert_eq!(&sql[span.start..span.end], "colr");
+        }
+    }
+
+    #[test]
+    fn binder_reports_unknown_qualified_column() {
+        assert_eq!(
+            codes_of("SELECT p.magnitude FROM PhotoObjAll p"),
+            vec![codes::UNKNOWN_COLUMN]
+        );
+    }
+
+    #[test]
+    fn binder_reports_ambiguous_unqualified_column() {
+        // `objid` exists in both PhotoObjAll and Galaxies.
+        assert_eq!(
+            codes_of("SELECT objid FROM PhotoObjAll, Galaxies WHERE PhotoObjAll.objid = Galaxies.objid"),
+            vec![codes::AMBIGUOUS_COLUMN]
+        );
+    }
+
+    #[test]
+    fn unknown_table_is_warning_by_default_error_closed_world() {
+        let schema = Dr9Schema::new();
+        let open = Analyzer::new(&schema)
+            .check_sql("SELECT * FROM ScratchDB WHERE x > 1")
+            .unwrap();
+        assert_eq!(open.len(), 1);
+        assert_eq!(open[0].code, codes::UNKNOWN_TABLE);
+        assert_eq!(open[0].severity, Severity::Warning);
+
+        let closed = Analyzer::new(&schema)
+            .closed_world()
+            .check_sql("SELECT * FROM ScratchDB WHERE x > 1")
+            .unwrap();
+        assert_eq!(closed[0].code, codes::UNKNOWN_TABLE_STRICT);
+        assert_eq!(closed[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn unknown_table_suppresses_column_checks() {
+        // Open world: nothing is known about T's columns.
+        assert_eq!(codes_of("SELECT u FROM T WHERE v > 2"), vec![codes::UNKNOWN_TABLE]);
+    }
+
+    #[test]
+    fn type_checker_flags_incoherent_comparisons() {
+        assert_eq!(
+            codes_of("SELECT * FROM SpecObjAll WHERE z > 'high'"),
+            vec![codes::TYPE_MISMATCH]
+        );
+        assert_eq!(
+            codes_of("SELECT * FROM SpecObjAll WHERE class = 7"),
+            vec![codes::TYPE_MISMATCH]
+        );
+        // Coherent comparisons stay silent.
+        assert!(codes_of("SELECT * FROM SpecObjAll WHERE class = 'star' AND z > 2").is_empty());
+    }
+
+    #[test]
+    fn type_checker_flags_text_arithmetic_and_numeric_like() {
+        assert_eq!(
+            codes_of("SELECT * FROM SpecObjAll WHERE class + 1 = 2"),
+            vec![codes::TYPE_MISMATCH]
+        );
+        // A wildcard LIKE is also approximated by the extractor, so the
+        // type error arrives alongside the lint.
+        assert!(codes_of("SELECT * FROM SpecObjAll WHERE plate LIKE 'x%'")
+            .contains(&codes::TYPE_MISMATCH));
+    }
+
+    #[test]
+    fn type_checker_flags_aggregate_misuse() {
+        assert_eq!(codes_of("SELECT SUM(*) FROM PhotoObjAll"), vec![codes::AGGREGATE_MISUSE]);
+        assert_eq!(
+            codes_of("SELECT AVG(class) FROM SpecObjAll"),
+            vec![codes::AGGREGATE_MISUSE]
+        );
+        // COUNT(*) and MIN/MAX of text are legal.
+        assert!(codes_of("SELECT COUNT(*), MIN(class) FROM SpecObjAll").is_empty());
+    }
+
+    #[test]
+    fn type_checker_flags_non_boolean_conditions() {
+        // The extractor approximates these to TRUE, so the lint rides along.
+        assert!(codes_of("SELECT * FROM PhotoObjAll WHERE ra")
+            .contains(&codes::NON_BOOLEAN_CONDITION));
+        assert!(codes_of("SELECT * FROM PhotoObjAll WHERE ra > 1 AND 'yes'")
+            .contains(&codes::NON_BOOLEAN_CONDITION));
+    }
+
+    #[test]
+    fn linter_flags_cartesian_joins_at_table_span() {
+        let schema = Dr9Schema::new();
+        let sql = "SELECT p.objid FROM PhotoObjAll p, SpecObjAll s WHERE p.ra > 180 AND s.z > 2";
+        let diags = Analyzer::new(&schema).check_sql(sql).unwrap();
+        let cart: Vec<_> = diags.iter().filter(|d| d.code == codes::CARTESIAN_JOIN).collect();
+        assert_eq!(cart.len(), 1, "{diags:?}");
+        let span = cart[0].span.expect("anchored at a FROM table");
+        assert_eq!(&sql[span.start..span.end], "SpecObjAll");
+    }
+
+    #[test]
+    fn linter_flags_contradiction_and_tautology() {
+        assert_eq!(
+            codes_of("SELECT * FROM Photoz WHERE z BETWEEN 0.5 AND 0.1"),
+            vec![codes::CONTRADICTION]
+        );
+        assert_eq!(
+            codes_of("SELECT * FROM Photoz WHERE z < 1 OR z >= 0.2"),
+            vec![codes::TAUTOLOGY]
+        );
+    }
+
+    #[test]
+    fn linter_flags_atom_cap_and_approximation() {
+        let preds: Vec<String> = (0..40).map(|i| format!("ra <> {i}")).collect();
+        let sql = format!("SELECT * FROM PhotoObjAll WHERE {}", preds.join(" AND "));
+        assert!(codes_of(&sql).contains(&codes::ATOM_CAP_EXCEEDED));
+
+        // A wildcard LIKE is type-correct on a text column but only
+        // approximately extracted.
+        assert_eq!(
+            codes_of("SELECT * FROM SpecObjAll WHERE z > 2 AND class LIKE 'star%'"),
+            vec![codes::APPROXIMATE_ONLY]
+        );
+    }
+
+    #[test]
+    fn correlated_subqueries_bind_through_the_scope_chain() {
+        assert!(codes_of(
+            "SELECT s.plate FROM SpecObjAll s WHERE EXISTS \
+             (SELECT * FROM Photoz p WHERE p.objid = s.bestobjid AND p.z < 1)"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn derived_tables_expose_their_projection() {
+        assert!(codes_of(
+            "SELECT stars.plate FROM \
+             (SELECT plate, mjd FROM SpecObjAll WHERE class = 'star') AS stars \
+             WHERE stars.plate > 300"
+        )
+        .is_empty());
+        assert!(codes_of(
+            "SELECT stars.nope FROM \
+             (SELECT plate FROM SpecObjAll) AS stars WHERE stars.plate > 1"
+        )
+        .contains(&codes::UNKNOWN_COLUMN));
+    }
+
+    #[test]
+    fn order_by_may_reference_projection_aliases() {
+        assert!(codes_of(
+            "SELECT class, COUNT(*) AS n FROM SpecObjAll GROUP BY class \
+             HAVING COUNT(*) > 1000 ORDER BY n DESC"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn no_schema_analyzer_stays_quiet_on_binding() {
+        // With no schema knowledge everything is open world: only lints
+        // can fire.
+        let diags = Analyzer::new(&NoSchema)
+            .check_sql("SELECT whatever FROM Mystery WHERE x = 'y' AND z > 1")
+            .unwrap();
+        assert!(
+            diags.iter().all(|d| d.code == codes::UNKNOWN_TABLE),
+            "{diags:?}"
+        );
+    }
+}

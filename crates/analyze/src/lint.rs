@@ -1,0 +1,234 @@
+//! Query linter: structural findings over the *lowered* query.
+//!
+//! Unlike the binder/type checker, the linter reasons about the query the
+//! way the extraction pipeline does — it runs the real lowering + CNF
+//! stages and inspects their output, so its findings (cartesian joins,
+//! contradictions, tautologies, cap overflows, approximations) are
+//! statements about what extraction will actually produce.
+
+use std::collections::HashMap;
+
+use crate::codes;
+use aa_core::analysis::Diagnostic;
+use aa_core::consolidate::consolidate;
+use aa_core::extract::{ExtractConfig, Extractor, SchemaProvider};
+use aa_core::interval::Interval;
+use aa_core::predicate::{AtomicPredicate, CmpOp};
+use aa_sql::ast::{Expr, Select, TableFactor};
+use aa_sql::Span;
+
+pub(crate) fn check(
+    provider: &dyn SchemaProvider,
+    config: &ExtractConfig,
+    query: &Select,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let extractor = Extractor::with_config(provider, config.clone());
+    let Ok(lowered) = extractor.lower(query) else {
+        // Unextractable queries are the pipeline's problem, not the
+        // linter's; the binder has already said what it can.
+        return diags;
+    };
+
+    // W005 — the paper's predicate cap: CNF conversion will truncate.
+    let atoms = lowered.constraint.atom_count();
+    if atoms > config.atom_cap {
+        diags.push(Diagnostic::warning(
+            codes::ATOM_CAP_EXCEEDED,
+            format!(
+                "constraint has {atoms} atomic predicates, exceeding the cap of {} \
+                 (CNF conversion truncates the overflow)",
+                config.atom_cap
+            ),
+            None,
+        ));
+    }
+
+    // W006 — lowering took an approximation somewhere.
+    if !lowered.is_exact() {
+        diags.push(Diagnostic::warning(
+            codes::APPROXIMATE_ONLY,
+            "query contains constructs the extractor only approximates; \
+             the access area is an over-approximation"
+                .to_string(),
+            None,
+        ));
+    }
+
+    let (converted, _) = extractor.convert(lowered);
+
+    check_cartesian(&converted, query, &mut diags);
+    check_tautologies(&converted, &mut diags);
+
+    // W003 — contradiction: consolidate a throwaway clone and see whether
+    // it proves the area empty (reuses the interval logic wholesale).
+    let mut cnf = converted.cnf.clone();
+    let outcome = consolidate(&mut cnf);
+    if outcome.contradiction || converted.is_provably_empty() {
+        diags.push(Diagnostic::warning(
+            codes::CONTRADICTION,
+            "constraints are contradictory: the access area is provably empty".to_string(),
+            None,
+        ));
+    }
+
+    diags
+}
+
+/// W002 — connectivity of the universal relation: every table should be
+/// linked to the rest by at least one column–column predicate. Union-find
+/// over table names, united by join atoms.
+fn check_cartesian(
+    converted: &aa_core::extract::ConvertedQuery,
+    query: &Select,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let tables: Vec<String> = converted
+        .table_names()
+        .map(|t| t.to_lowercase())
+        .collect();
+    if tables.len() < 2 {
+        return;
+    }
+    let index: HashMap<&str, usize> = tables
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.as_str(), i))
+        .collect();
+
+    let mut parent: Vec<usize> = (0..tables.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for clause in &converted.cnf.clauses {
+        for atom in &clause.atoms {
+            if let AtomicPredicate::ColumnColumn { .. } = atom {
+                let ts = atom.tables();
+                if ts.len() == 2 {
+                    if let (Some(&a), Some(&b)) =
+                        (index.get(ts[0].as_str()), index.get(ts[1].as_str()))
+                    {
+                        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                        parent[ra] = rb;
+                    }
+                }
+            }
+        }
+    }
+
+    let root0 = find(&mut parent, 0);
+    let spans = from_spans(query);
+    for (i, table) in tables.iter().enumerate().skip(1) {
+        if find(&mut parent, i) != root0 {
+            diags.push(Diagnostic::warning(
+                codes::CARTESIAN_JOIN,
+                format!("no join predicate connects table `{table}` to the rest of the query"),
+                spans.get(table.as_str()).copied(),
+            ));
+        }
+    }
+}
+
+/// W004 — a disjunction whose constraints on one column cover the whole
+/// line restricts nothing. Mirrors consolidation's interval-union logic
+/// (including its exclusion of `<>`, whose satisfying interval is the
+/// whole line by construction) but runs on the *pre*-consolidation CNF so
+/// the clause is still visible.
+fn check_tautologies(converted: &aa_core::extract::ConvertedQuery, diags: &mut Vec<Diagnostic>) {
+    for clause in &converted.cnf.clauses {
+        if clause.atoms.len() < 2 {
+            continue;
+        }
+        let mut by_column: HashMap<String, Vec<Interval>> = HashMap::new();
+        for atom in &clause.atoms {
+            if let AtomicPredicate::ColumnConstant { op: CmpOp::Neq, .. } = atom {
+                continue;
+            }
+            if let Some((column, iv)) = atom.satisfying_interval() {
+                by_column.entry(column.to_string()).or_default().push(iv);
+            }
+        }
+        for (column, mut ivs) in by_column {
+            if ivs.len() < 2 {
+                continue;
+            }
+            ivs.sort_by(|a, b| a.lo.total_cmp(&b.lo));
+            let mut merged = ivs[0];
+            for iv in &ivs[1..] {
+                match merged.union(iv) {
+                    Some(u) => merged = u,
+                    None => break,
+                }
+            }
+            if merged.is_all() {
+                diags.push(Diagnostic::warning(
+                    codes::TAUTOLOGY,
+                    format!(
+                        "clause is a tautology: its constraints on `{column}` \
+                         jointly cover every value"
+                    ),
+                    None,
+                ));
+                break; // one finding per clause is enough
+            }
+        }
+    }
+}
+
+/// Maps lower-cased base table names to the span of their first mention
+/// in a FROM clause, walking subqueries too (the universal relation
+/// includes their tables).
+fn from_spans(query: &Select) -> HashMap<String, Span> {
+    let mut spans = HashMap::new();
+    collect_from_spans(query, &mut spans);
+    spans
+}
+
+fn collect_from_spans(query: &Select, spans: &mut HashMap<String, Span>) {
+    let mut factor = |f: &TableFactor| match f {
+        TableFactor::Table { name, .. } => {
+            spans
+                .entry(name.base_name().to_lowercase())
+                .or_insert(name.span);
+        }
+        TableFactor::Derived { subquery, .. } => collect_from_spans(subquery, spans),
+    };
+    for twj in &query.from {
+        factor(&twj.base);
+        for join in &twj.joins {
+            factor(&join.factor);
+        }
+    }
+    if let Some(selection) = &query.selection {
+        collect_expr_spans(selection, spans);
+    }
+    if let Some(having) = &query.having {
+        collect_expr_spans(having, spans);
+    }
+}
+
+fn collect_expr_spans(expr: &Expr, spans: &mut HashMap<String, Span>) {
+    match expr {
+        Expr::InSubquery { subquery, .. }
+        | Expr::Exists { subquery, .. }
+        | Expr::Quantified { subquery, .. }
+        | Expr::ScalarSubquery(subquery) => collect_from_spans(subquery, spans),
+        Expr::Binary { left, right, .. } => {
+            collect_expr_spans(left, spans);
+            collect_expr_spans(right, spans);
+        }
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => collect_expr_spans(expr, spans),
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_expr_spans(expr, spans);
+            collect_expr_spans(low, spans);
+            collect_expr_spans(high, spans);
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,562 @@
+//! Binder + type checker: one recursive walk over the query.
+//!
+//! The two sub-passes share a traversal because they share the scope
+//! chain: every column reference is resolved exactly once, and the
+//! resolution result feeds type inference directly. Subqueries are
+//! visited with the enclosing scope as parent (correlated references bind
+//! through the chain); derived tables are visited with *no* parent, as in
+//! SQL, and expose their projection as a synthetic column list.
+
+use crate::codes;
+use aa_core::analysis::Diagnostic;
+use aa_core::extract::{ColumnType, SchemaProvider};
+use aa_sql::ast::{
+    AggFunc, ColumnRef, Expr, JoinConstraint, Select, SelectItem, TableFactor, UnaryOp,
+};
+
+/// Runs the binder + type checker over `query`, returning diagnostics in
+/// traversal order.
+pub(crate) fn check(
+    provider: &dyn SchemaProvider,
+    closed_world: bool,
+    query: &Select,
+) -> Vec<Diagnostic> {
+    let mut sema = Sema {
+        provider,
+        closed_world,
+        diags: Vec::new(),
+    };
+    sema.check_select(query, None);
+    sema.diags
+}
+
+/// What the FROM clause makes visible under one name.
+struct ScopeEntry {
+    /// Lower-cased visible name (alias, or the base table name).
+    visible: String,
+    /// Provider-facing table name; `None` for derived tables.
+    real: Option<String>,
+    /// Lower-cased column names; `None` when unknown (unknown base table,
+    /// or a derived table with a wildcard projection).
+    columns: Option<Vec<String>>,
+}
+
+impl ScopeEntry {
+    fn has_column(&self, column_lc: &str) -> Option<bool> {
+        self.columns
+            .as_ref()
+            .map(|cols| cols.iter().any(|c| c == column_lc))
+    }
+}
+
+struct Scope<'p> {
+    entries: Vec<ScopeEntry>,
+    parent: Option<&'p Scope<'p>>,
+}
+
+/// Expression position: a condition slot (`WHERE`, `HAVING`, `ON`,
+/// `AND`/`OR` operands) or an ordinary value slot.
+#[derive(Clone, Copy, PartialEq)]
+enum Pos {
+    Cond,
+    Value,
+}
+
+struct Sema<'a> {
+    provider: &'a dyn SchemaProvider,
+    closed_world: bool,
+    diags: Vec<Diagnostic>,
+}
+
+impl Sema<'_> {
+    fn check_select(&mut self, query: &Select, parent: Option<&Scope<'_>>) {
+        // ---- bind the FROM clause into a scope --------------------------
+        let mut entries = Vec::new();
+        for twj in &query.from {
+            self.add_factor(&twj.base, &mut entries);
+            for join in &twj.joins {
+                self.add_factor(&join.factor, &mut entries);
+            }
+        }
+        let scope = Scope { entries, parent };
+
+        // ---- projection -------------------------------------------------
+        for item in &query.projection {
+            match item {
+                SelectItem::Wildcard => {}
+                SelectItem::QualifiedWildcard(q) => {
+                    if self.lookup_entry(&scope, q).is_none() {
+                        self.unknown_table(q, None);
+                    }
+                }
+                SelectItem::Expr { expr, .. } => {
+                    self.check_expr(expr, &scope, Pos::Value);
+                }
+            }
+        }
+
+        // ---- join conditions, WHERE, GROUP BY, HAVING -------------------
+        for twj in &query.from {
+            for join in &twj.joins {
+                if let JoinConstraint::On(on) = &join.constraint {
+                    self.check_expr(on, &scope, Pos::Cond);
+                }
+            }
+        }
+        if let Some(selection) = &query.selection {
+            self.check_expr(selection, &scope, Pos::Cond);
+        }
+        for expr in &query.group_by {
+            self.check_expr(expr, &scope, Pos::Value);
+        }
+        if let Some(having) = &query.having {
+            self.check_expr(having, &scope, Pos::Cond);
+        }
+
+        // ---- ORDER BY (may reference projection aliases) ----------------
+        let aliases: Vec<String> = query
+            .projection
+            .iter()
+            .filter_map(|item| match item {
+                SelectItem::Expr {
+                    alias: Some(a), ..
+                } => Some(a.to_lowercase()),
+                _ => None,
+            })
+            .collect();
+        for item in &query.order_by {
+            if let Expr::Column(c) = &item.expr {
+                if c.qualifier.is_none() && aliases.contains(&c.column.to_lowercase()) {
+                    continue;
+                }
+            }
+            self.check_expr(&item.expr, &scope, Pos::Value);
+        }
+    }
+
+    fn add_factor(&mut self, factor: &TableFactor, entries: &mut Vec<ScopeEntry>) {
+        match factor {
+            TableFactor::Table { name, alias } => {
+                let base = name.base_name();
+                let columns = self.provider.table_columns(base);
+                if columns.is_none() {
+                    self.unknown_table(base, Some(name.span));
+                }
+                entries.push(ScopeEntry {
+                    visible: alias.as_deref().unwrap_or(base).to_lowercase(),
+                    real: Some(base.to_string()),
+                    columns,
+                });
+            }
+            TableFactor::Derived { subquery, alias } => {
+                // Derived tables cannot see the enclosing scope.
+                self.check_select(subquery, None);
+                let mut columns = Some(Vec::new());
+                for item in &subquery.projection {
+                    match item {
+                        SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
+                            columns = None;
+                            break;
+                        }
+                        SelectItem::Expr { expr, alias } => {
+                            let name = alias.clone().or_else(|| match expr {
+                                Expr::Column(c) => Some(c.column.clone()),
+                                _ => None,
+                            });
+                            match (name, columns.as_mut()) {
+                                (Some(n), Some(cols)) => cols.push(n.to_lowercase()),
+                                // An unnamed expression column: the list
+                                // is incomplete, treat it as unknown.
+                                (None, _) => {
+                                    columns = None;
+                                    break;
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                entries.push(ScopeEntry {
+                    visible: alias.as_deref().unwrap_or_default().to_lowercase(),
+                    real: None,
+                    columns,
+                });
+            }
+        }
+    }
+
+    fn unknown_table(&mut self, name: &str, span: Option<aa_sql::Span>) {
+        let message = format!("unknown table or alias `{name}`");
+        self.diags.push(if self.closed_world {
+            Diagnostic::error(codes::UNKNOWN_TABLE_STRICT, message, span)
+        } else {
+            Diagnostic::warning(codes::UNKNOWN_TABLE, message, span)
+        });
+    }
+
+    fn lookup_entry<'s>(&self, scope: &'s Scope<'_>, visible: &str) -> Option<&'s ScopeEntry> {
+        let lc = visible.to_lowercase();
+        let mut cur = Some(scope);
+        while let Some(s) = cur {
+            if let Some(e) = s.entries.iter().find(|e| e.visible == lc) {
+                return Some(e);
+            }
+            cur = s.parent;
+        }
+        None
+    }
+
+    /// Resolves one column reference through the scope chain, reporting
+    /// binder errors; returns the column's type when the schema knows it.
+    fn resolve_column(&mut self, c: &ColumnRef, scope: &Scope<'_>) -> Option<ColumnType> {
+        let col_lc = c.column.to_lowercase();
+        if let Some(q) = &c.qualifier {
+            return match self.lookup_entry(scope, q) {
+                Some(entry) => match entry.has_column(&col_lc) {
+                    Some(false) => {
+                        let table = entry.real.as_deref().unwrap_or(q);
+                        self.diags.push(Diagnostic::error(
+                            codes::UNKNOWN_COLUMN,
+                            format!("unknown column `{}` on table `{table}`", c.column),
+                            Some(c.span),
+                        ));
+                        None
+                    }
+                    Some(true) => entry
+                        .real
+                        .as_deref()
+                        .and_then(|t| self.provider.column_type(t, &col_lc)),
+                    None => None,
+                },
+                None => {
+                    self.unknown_table(q, Some(c.span));
+                    None
+                }
+            };
+        }
+
+        // Unqualified: search each scope level; only fall through to the
+        // parent when the level is fully known and has no candidate.
+        let mut cur = Some(scope);
+        while let Some(s) = cur {
+            let candidates: Vec<&ScopeEntry> = s
+                .entries
+                .iter()
+                .filter(|e| e.has_column(&col_lc) == Some(true))
+                .collect();
+            match candidates.len() {
+                1 => {
+                    return candidates[0]
+                        .real
+                        .as_deref()
+                        .and_then(|t| self.provider.column_type(t, &col_lc));
+                }
+                0 => {
+                    if s.entries.iter().any(|e| e.columns.is_none()) {
+                        // An unknown table could define it — open world.
+                        return None;
+                    }
+                    cur = s.parent;
+                }
+                _ => {
+                    let tables: Vec<&str> = candidates
+                        .iter()
+                        .map(|e| e.real.as_deref().unwrap_or(e.visible.as_str()))
+                        .collect();
+                    self.diags.push(Diagnostic::error(
+                        codes::AMBIGUOUS_COLUMN,
+                        format!(
+                            "ambiguous unqualified column `{}` (defined by {})",
+                            c.column,
+                            tables.join(" and ")
+                        ),
+                        Some(c.span),
+                    ));
+                    return None;
+                }
+            }
+        }
+        self.diags.push(Diagnostic::error(
+            codes::UNKNOWN_COLUMN,
+            format!("unknown column `{}` (no table in scope defines it)", c.column),
+            Some(c.span),
+        ));
+        None
+    }
+
+    /// Type-checks one expression; `pos` says whether it sits in a
+    /// condition slot. Returns the inferred type when derivable.
+    fn check_expr(&mut self, expr: &Expr, scope: &Scope<'_>, pos: Pos) -> Option<ColumnType> {
+        if pos == Pos::Cond {
+            self.check_condition_shape(expr, scope);
+        }
+        match expr {
+            Expr::Column(c) => self.resolve_column(c, scope),
+            Expr::Literal(lit) => literal_type(lit),
+            Expr::Variable(_) => None,
+            Expr::Unary { op: UnaryOp::Not, expr } => {
+                self.check_expr(expr, scope, Pos::Cond);
+                Some(ColumnType::Bool)
+            }
+            Expr::Unary { expr, .. } => {
+                let t = self.check_expr(expr, scope, Pos::Value);
+                if t == Some(ColumnType::Text) {
+                    self.type_mismatch("arithmetic on a text operand", expr.span());
+                }
+                Some(ColumnType::Numeric)
+            }
+            Expr::Binary { left, op, right } if op.is_logical() => {
+                self.check_expr(left, scope, Pos::Cond);
+                self.check_expr(right, scope, Pos::Cond);
+                Some(ColumnType::Bool)
+            }
+            Expr::Binary { left, op, right } if op.is_comparison() => {
+                let lt = self.check_expr(left, scope, Pos::Value);
+                let rt = self.check_expr(right, scope, Pos::Value);
+                if let (Some(a), Some(b)) = (lt, rt) {
+                    if a != b {
+                        self.type_mismatch(
+                            format!("comparing {a} with {b}"),
+                            expr.span(),
+                        );
+                    }
+                }
+                Some(ColumnType::Bool)
+            }
+            Expr::Binary { left, right, .. } => {
+                // Arithmetic.
+                for side in [left, right] {
+                    if self.check_expr(side, scope, Pos::Value) == Some(ColumnType::Text) {
+                        self.type_mismatch("arithmetic on a text operand", side.span());
+                    }
+                }
+                Some(ColumnType::Numeric)
+            }
+            Expr::Between {
+                expr: e, low, high, ..
+            } => {
+                let t = self.check_expr(e, scope, Pos::Value);
+                for bound in [low, high] {
+                    let bt = self.check_expr(bound, scope, Pos::Value);
+                    if let (Some(a), Some(b)) = (t, bt) {
+                        if a != b {
+                            self.type_mismatch(
+                                format!("BETWEEN bound of type {b} on a {a} operand"),
+                                bound.span().or_else(|| e.span()),
+                            );
+                        }
+                    }
+                }
+                Some(ColumnType::Bool)
+            }
+            Expr::InList { expr: e, list, .. } => {
+                let t = self.check_expr(e, scope, Pos::Value);
+                for item in list {
+                    let it = self.check_expr(item, scope, Pos::Value);
+                    if let (Some(a), Some(b)) = (t, it) {
+                        if a != b {
+                            self.type_mismatch(
+                                format!("IN list item of type {b} on a {a} operand"),
+                                e.span(),
+                            );
+                        }
+                    }
+                }
+                Some(ColumnType::Bool)
+            }
+            Expr::InSubquery {
+                expr: e, subquery, ..
+            } => {
+                self.check_expr(e, scope, Pos::Value);
+                self.check_select(subquery, Some(scope));
+                Some(ColumnType::Bool)
+            }
+            Expr::Exists { subquery, .. } => {
+                self.check_select(subquery, Some(scope));
+                Some(ColumnType::Bool)
+            }
+            Expr::Quantified { left, subquery, .. } => {
+                self.check_expr(left, scope, Pos::Value);
+                self.check_select(subquery, Some(scope));
+                Some(ColumnType::Bool)
+            }
+            Expr::ScalarSubquery(subquery) => {
+                self.check_select(subquery, Some(scope));
+                None
+            }
+            Expr::IsNull { expr: e, .. } => {
+                self.check_expr(e, scope, Pos::Value);
+                Some(ColumnType::Bool)
+            }
+            Expr::Like {
+                expr: e, pattern, ..
+            } => {
+                let t = self.check_expr(e, scope, Pos::Value);
+                if t == Some(ColumnType::Numeric) {
+                    self.type_mismatch("LIKE on a numeric operand", e.span());
+                }
+                self.check_expr(pattern, scope, Pos::Value);
+                Some(ColumnType::Bool)
+            }
+            Expr::Aggregate { func, arg, .. } => match arg {
+                None if *func != AggFunc::Count => {
+                    self.diags.push(Diagnostic::error(
+                        codes::AGGREGATE_MISUSE,
+                        format!("{}(*) requires a column argument", func.name()),
+                        None,
+                    ));
+                    Some(ColumnType::Numeric)
+                }
+                None => Some(ColumnType::Numeric),
+                Some(a) => {
+                    let t = self.check_expr(a, scope, Pos::Value);
+                    if matches!(func, AggFunc::Sum | AggFunc::Avg)
+                        && t == Some(ColumnType::Text)
+                    {
+                        self.diags.push(Diagnostic::error(
+                            codes::AGGREGATE_MISUSE,
+                            format!("{} of a text operand", func.name()),
+                            a.span(),
+                        ));
+                    }
+                    match func {
+                        AggFunc::Count | AggFunc::Sum | AggFunc::Avg => Some(ColumnType::Numeric),
+                        AggFunc::Min | AggFunc::Max => t,
+                    }
+                }
+            },
+            Expr::Function { args, .. } => {
+                // UDF: opaque result; still bind/check the arguments.
+                for a in args {
+                    self.check_expr(a, scope, Pos::Value);
+                }
+                None
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
+                let when_pos = if operand.is_some() { Pos::Value } else { Pos::Cond };
+                if let Some(o) = operand {
+                    self.check_expr(o, scope, Pos::Value);
+                }
+                let mut result = None;
+                for (when, then) in branches {
+                    self.check_expr(when, scope, when_pos);
+                    result = result.or(self.check_expr(then, scope, Pos::Value));
+                }
+                if let Some(e) = else_result {
+                    result = result.or(self.check_expr(e, scope, Pos::Value));
+                }
+                result
+            }
+            Expr::Cast { expr: e, data_type } => {
+                self.check_expr(e, scope, Pos::Value);
+                cast_type(data_type)
+            }
+        }
+    }
+
+    /// In a condition slot, reports expressions that cannot be a boolean:
+    /// non-boolean literals, arithmetic, aggregates, and columns of a
+    /// known non-boolean type. Structurally boolean or unknown-typed
+    /// expressions pass.
+    fn check_condition_shape(&mut self, expr: &Expr, scope: &Scope<'_>) {
+        let complaint = match expr {
+            Expr::Literal(lit) => match literal_type(lit) {
+                Some(ColumnType::Bool) | None => None,
+                Some(t) => Some((format!("{t} literal used as a condition"), None)),
+            },
+            Expr::Binary { op, .. } if !op.is_comparison() && !op.is_logical() => Some((
+                "arithmetic expression used as a condition".to_string(),
+                expr.span(),
+            )),
+            Expr::Aggregate { func, .. } => Some((
+                format!("bare {} call used as a condition", func.name()),
+                expr.span(),
+            )),
+            Expr::Column(c) => {
+                // Peek the type without re-resolving (resolution happens —
+                // with diagnostics — in check_expr right after).
+                let t = self.peek_column_type(c, scope);
+                match t {
+                    Some(ColumnType::Bool) | None => None,
+                    Some(t) => Some((
+                        format!("column `{}` of type {t} used as a condition", c.column),
+                        Some(c.span),
+                    )),
+                }
+            }
+            _ => None,
+        };
+        if let Some((message, span)) = complaint {
+            self.diags
+                .push(Diagnostic::error(codes::NON_BOOLEAN_CONDITION, message, span));
+        }
+    }
+
+    /// Silent variant of [`resolve_column`] used by the condition-shape
+    /// check, so a single bad reference is not reported twice.
+    fn peek_column_type(&self, c: &ColumnRef, scope: &Scope<'_>) -> Option<ColumnType> {
+        let col_lc = c.column.to_lowercase();
+        if let Some(q) = &c.qualifier {
+            let entry = self.lookup_entry(scope, q)?;
+            return entry
+                .real
+                .as_deref()
+                .and_then(|t| self.provider.column_type(t, &col_lc));
+        }
+        let mut cur = Some(scope);
+        while let Some(s) = cur {
+            let mut candidates = s
+                .entries
+                .iter()
+                .filter(|e| e.has_column(&col_lc) == Some(true));
+            if let Some(entry) = candidates.next() {
+                if candidates.next().is_some() {
+                    return None;
+                }
+                return entry
+                    .real
+                    .as_deref()
+                    .and_then(|t| self.provider.column_type(t, &col_lc));
+            }
+            if s.entries.iter().any(|e| e.columns.is_none()) {
+                return None;
+            }
+            cur = s.parent;
+        }
+        None
+    }
+
+    fn type_mismatch(&mut self, message: impl Into<String>, span: Option<aa_sql::Span>) {
+        self.diags.push(Diagnostic::error(
+            codes::TYPE_MISMATCH,
+            format!("type-incoherent predicate: {}", message.into()),
+            span,
+        ));
+    }
+}
+
+fn literal_type(lit: &aa_sql::Literal) -> Option<ColumnType> {
+    use aa_sql::Literal;
+    match lit {
+        Literal::Int(_) | Literal::Float(_) => Some(ColumnType::Numeric),
+        Literal::String(_) => Some(ColumnType::Text),
+        Literal::Bool(_) => Some(ColumnType::Bool),
+        Literal::Null => None,
+    }
+}
+
+fn cast_type(data_type: &str) -> Option<ColumnType> {
+    let dt = data_type.to_lowercase();
+    let base = dt.split('(').next().unwrap_or("").trim();
+    match base {
+        "int" | "integer" | "bigint" | "smallint" | "tinyint" | "float" | "real" | "numeric"
+        | "decimal" | "money" => Some(ColumnType::Numeric),
+        "char" | "varchar" | "nchar" | "nvarchar" | "text" => Some(ColumnType::Text),
+        "bit" => Some(ColumnType::Bool),
+        _ => None,
+    }
+}

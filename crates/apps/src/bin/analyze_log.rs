@@ -5,22 +5,39 @@
 //!
 //! ```text
 //! cargo run --release -p aa-apps --bin analyze_log -- LOG_FILE \
-//!     [--eps 0.06] [--min-pts 8] [--optics] [--mode literal|dissim]
+//!     [--eps 0.06] [--min-pts 8] [--optics] [--mode literal|dissim] \
+//!     [--analyze off|warn|strict | --strict]
+//! cargo run --release -p aa-apps --bin analyze_log -- --gen 5000 [--seed 42] ...
 //! ```
+//!
+//! `--gen N` analyzes the deterministic synthetic DR9 log (`aa-skyserver`'s
+//! generator) instead of a file — same seed, same log, same report.
+//!
+//! With `--analyze warn` (or `strict`) the semantic analyzer runs between
+//! parsing and extraction against the DR9 schema: the report gains a
+//! per-diagnostic-code histogram, and failures are anchored to the
+//! offending source position. `--strict` additionally rejects queries with
+//! error-severity findings before extraction.
 //!
 //! Without a database to sample, `access(a)` ranges are bootstrapped from
 //! the log itself (the paper's Section 5.3 fallback (2)).
 
-use aa_core::{AccessArea, AccessRanges, DistanceMode, Pipeline, QueryDistance};
+use aa_analyze::{codes, Analyzer};
+use aa_core::analysis::line_col;
+use aa_core::{AccessArea, AccessRanges, AnalyzeMode, DistanceMode, Pipeline, QueryDistance};
 use aa_dbscan::{DbscanParams, Label};
+use aa_skyserver::{generate_log, Dr9Schema, LogConfig};
 use std::process::ExitCode;
 
 struct Args {
-    path: String,
+    path: Option<String>,
+    gen: Option<usize>,
+    seed: u64,
     eps: f64,
     min_pts: usize,
     use_optics: bool,
     mode: DistanceMode,
+    analyze: AnalyzeMode,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +47,9 @@ fn parse_args() -> Result<Args, String> {
     let mut min_pts = 8;
     let mut use_optics = false;
     let mut mode = DistanceMode::Dissimilarity;
+    let mut analyze = AnalyzeMode::Off;
+    let mut gen = None;
+    let mut seed = 42;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--eps" => {
@@ -52,19 +72,49 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("--mode expects literal|dissim, got {other:?}")),
                 };
             }
+            "--analyze" => {
+                analyze = match args.next().as_deref() {
+                    Some("off") => AnalyzeMode::Off,
+                    Some("warn") => AnalyzeMode::Warn,
+                    Some("strict") => AnalyzeMode::Strict,
+                    other => {
+                        return Err(format!("--analyze expects off|warn|strict, got {other:?}"))
+                    }
+                };
+            }
+            "--strict" => analyze = AnalyzeMode::Strict,
+            "--gen" => {
+                gen = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--gen expects an entry count")?,
+                );
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed expects an integer")?;
+            }
             "--help" | "-h" => {
-                return Err("usage: analyze_log LOG_FILE [--eps F] [--min-pts N] [--optics] [--mode literal|dissim]".into());
+                return Err("usage: analyze_log (LOG_FILE | --gen N [--seed S]) [--eps F] [--min-pts N] [--optics] [--mode literal|dissim] [--analyze off|warn|strict | --strict]".into());
             }
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
             other => return Err(format!("unknown argument {other}")),
         }
     }
+    if path.is_none() && gen.is_none() {
+        return Err("missing LOG_FILE or --gen N (use --help)".into());
+    }
     Ok(Args {
-        path: path.ok_or("missing LOG_FILE (use --help)")?,
+        path,
+        gen,
+        seed,
         eps,
         min_pts,
         use_optics,
         mode,
+        analyze,
     })
 }
 
@@ -76,27 +126,47 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let raw = match std::fs::read_to_string(&args.path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot read {}: {e}", args.path);
-            return ExitCode::FAILURE;
+    let queries: Vec<String> = match (&args.path, args.gen) {
+        (Some(path), _) => {
+            let raw = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            raw.lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#') && !l.starts_with("--"))
+                .map(String::from)
+                .collect()
         }
+        (None, Some(total)) => {
+            println!("synthetic DR9 log: {total} entries, seed {}", args.seed);
+            generate_log(&LogConfig {
+                total,
+                seed: args.seed,
+                ..LogConfig::default()
+            })
+            .into_iter()
+            .map(|e| e.sql)
+            .collect()
+        }
+        (None, None) => unreachable!("parse_args requires a source"),
     };
-    let queries: Vec<&str> = raw
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#') && !l.starts_with("--"))
-        .collect();
     if queries.is_empty() {
-        eprintln!("no queries in {}", args.path);
+        eprintln!("no queries to analyze");
         return ExitCode::FAILURE;
     }
 
-    // 1. Extraction.
+    // 1. Extraction, with the semantic analyzer gating when requested.
+    // Extraction itself stays schema-agnostic (NoSchema): the analyzer —
+    // not the extractor — is what knows the DR9 catalog.
     let provider = aa_core::NoSchema;
-    let pipeline = Pipeline::new(&provider);
-    let (extracted, failed, stats) = pipeline.process_log(queries.iter().copied());
+    let schema = Dr9Schema::new();
+    let analyzer = Analyzer::new(&schema);
+    let pipeline = Pipeline::new(&provider).with_analyzer(&analyzer, args.analyze);
+    let (extracted, failed, stats) = pipeline.process_log(queries.iter().map(String::as_str));
     println!(
         "extracted {}/{} queries ({:.2}%) in {:.2?}",
         stats.extracted,
@@ -106,9 +176,28 @@ fn main() -> ExitCode {
     );
     if !failed.is_empty() {
         println!(
-            "failures: {} syntax, {} UDF, {} non-SELECT, {} unsupported",
-            stats.syntax_errors, stats.udf, stats.not_select, stats.unsupported
+            "failures: {} syntax, {} UDF, {} non-SELECT, {} unsupported, {} semantic",
+            stats.syntax_errors,
+            stats.udf,
+            stats.not_select,
+            stats.unsupported,
+            stats.semantic_errors
         );
+        print_failures(&failed, &queries);
+    }
+
+    // 1b. Analyzer report: deterministic per-code histogram (BTreeMap
+    // iteration order) over the whole log.
+    if args.analyze != AnalyzeMode::Off {
+        if stats.diagnostic_counts.is_empty() {
+            println!("analyzer diagnostics: none");
+        } else {
+            println!("analyzer diagnostics:");
+            for (code, count) in &stats.diagnostic_counts {
+                let what = codes::describe(code).unwrap_or("unregistered code");
+                println!("  {code}  {what:<32} {count:>6}");
+            }
+        }
     }
 
     // 2. access(a) from the log (Section 5.3 fallback).
@@ -173,6 +262,29 @@ fn main() -> ExitCode {
         .filter(|q| matches!(result.labels.get(q.log_index), Some(Label::Noise)))
         .count();
     ExitCode::SUCCESS
+}
+
+/// Per-failure detail, anchored to line:column within the query when the
+/// parser or analyzer produced a span (capped so a noisy log stays
+/// readable).
+fn print_failures(failed: &[aa_core::FailedQuery], queries: &[String]) {
+    const MAX_SHOWN: usize = 10;
+    for f in failed.iter().take(MAX_SHOWN) {
+        let sql = queries.get(f.log_index).map(String::as_str).unwrap_or("");
+        match f.span {
+            Some(span) => {
+                let (line, col) = line_col(sql, span.start);
+                println!("  query {}: {} at {line}:{col}", f.log_index + 1, f.message);
+                if let Some(snippet) = aa_core::analysis::snippet(sql, span) {
+                    println!("{snippet}");
+                }
+            }
+            None => println!("  query {}: {}", f.log_index + 1, f.message),
+        }
+    }
+    if failed.len() > MAX_SHOWN {
+        println!("  ... and {} more failures", failed.len() - MAX_SHOWN);
+    }
 }
 
 /// ASCII reachability plot: the OPTICS signature chart — valleys are

@@ -8,3 +8,5 @@
 //!
 //! There is no library API here; depend on `aa-core` (and friends)
 //! directly instead.
+
+#![forbid(unsafe_code)]

@@ -14,6 +14,8 @@
 //!
 //! Plus [`indexing`], the shared table-set blocking index.
 
+#![forbid(unsafe_code)]
+
 pub mod indexing;
 pub mod olapclus;
 pub mod olapclus_raw;

@@ -18,6 +18,8 @@
 //! blocked clustering), [`aggregate`] (cluster → MBR with the 3σ rule),
 //! [`coverage`](mod@crate::coverage) (area/object coverage), and [`report`] (text tables).
 
+#![forbid(unsafe_code)]
+
 pub mod aggregate;
 pub mod coverage;
 pub mod density;

@@ -1,0 +1,164 @@
+//! The semantic-analysis gate: shared diagnostic types and the analyzer
+//! trait the pipeline calls between parsing and extraction.
+//!
+//! The concrete analyzer (binder + type checker + query linter) lives in
+//! the `aa-analyze` crate; only the interface lives here so that `aa-core`
+//! does not depend on it. Diagnostics are span-anchored into the original
+//! SQL text and carry a stable code from the registry documented in
+//! DESIGN.md (`E0xx` = semantic errors, `W0xx` = lints).
+
+use aa_sql::{Select, Span};
+use std::fmt;
+
+/// How the pipeline treats analyzer diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalyzeMode {
+    /// Analyzer not invoked (seed behaviour).
+    #[default]
+    Off,
+    /// Diagnostics are collected onto the extracted query but never block
+    /// extraction.
+    Warn,
+    /// Queries with any `Error`-severity diagnostic are rejected before
+    /// extraction ([`FailureKind::SemanticError`](crate::FailureKind)).
+    Strict,
+}
+
+/// Diagnostic severity. `Error` means the query is semantically broken
+/// (unknown column, incoherent types); `Warning` flags suspect-but-legal
+/// constructs (cartesian joins, contradictory ranges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One analyzer finding, anchored to the source text where possible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable registry code, e.g. `"E002"` or `"W003"`.
+    pub code: &'static str,
+    pub severity: Severity,
+    pub message: String,
+    /// Byte span into the original SQL, when the finding has a precise
+    /// anchor; `None` for whole-query findings (e.g. the atom-cap lint).
+    pub span: Option<Span>,
+}
+
+impl Diagnostic {
+    pub fn error(code: &'static str, message: impl Into<String>, span: Option<Span>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+        }
+    }
+
+    pub fn warning(code: &'static str, message: impl Into<String>, span: Option<Span>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the diagnostic against its source text: one header line
+    /// with code, severity, message and line:column, plus a caret snippet
+    /// when the diagnostic carries a usable span.
+    pub fn render(&self, source: &str) -> String {
+        let mut out = format!("{} [{}] {}", self.code, self.severity, self.message);
+        if let Some(span) = self.span {
+            let (line, col) = line_col(source, span.start);
+            out.push_str(&format!(" at {line}:{col}"));
+            if let Some(snippet) = snippet(source, span) {
+                out.push('\n');
+                out.push_str(&snippet);
+            }
+        }
+        out
+    }
+}
+
+/// 1-based (line, column) of byte `offset` in `source`.
+pub fn line_col(source: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(source.len());
+    let mut line = 1;
+    let mut col = 1;
+    for ch in source[..offset].chars() {
+        if ch == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+/// Renders the source line containing `span.start` with a caret underline
+/// covering the (line-clipped) span. Returns `None` for degenerate spans.
+pub fn snippet(source: &str, span: Span) -> Option<String> {
+    if span.end <= span.start || span.start >= source.len() {
+        return None;
+    }
+    let line_start = source[..span.start].rfind('\n').map_or(0, |i| i + 1);
+    let line_end = source[span.start..]
+        .find('\n')
+        .map_or(source.len(), |i| span.start + i);
+    let line = &source[line_start..line_end];
+    let lead = source[line_start..span.start].chars().count();
+    let width = source[span.start..span.end.min(line_end)].chars().count().max(1);
+    Some(format!(
+        "   |  {line}\n   |  {}{}",
+        " ".repeat(lead),
+        "^".repeat(width)
+    ))
+}
+
+/// The interface the pipeline gates on. Implemented by `aa-analyze`'s
+/// `Analyzer`; `sql` is the original text (for spans crossing future
+/// rewrite stages) and `query` the parsed statement.
+pub trait QueryAnalyzer {
+    fn analyze(&self, sql: &str, query: &Select) -> Vec<Diagnostic>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_is_one_based_and_newline_aware() {
+        let src = "SELECT *\nFROM T\nWHERE u > 1";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 9), (2, 1));
+        assert_eq!(line_col(src, 22), (3, 7));
+        // Past-the-end offsets clamp instead of panicking.
+        assert_eq!(line_col(src, 10_000), (3, 12));
+    }
+
+    #[test]
+    fn render_includes_caret_snippet() {
+        let src = "SELECT colr FROM PhotoObjAll";
+        let d = Diagnostic::error("E002", "unknown column `colr`", Some(Span::new(7, 11)));
+        let rendered = d.render(src);
+        assert!(rendered.starts_with("E002 [error] unknown column `colr` at 1:8"));
+        assert!(rendered.contains("^^^^"), "{rendered}");
+    }
+
+    #[test]
+    fn render_without_span_is_single_line() {
+        let d = Diagnostic::warning("W005", "too many predicates", None);
+        assert_eq!(d.render("SELECT 1"), "W005 [warning] too many predicates");
+    }
+}

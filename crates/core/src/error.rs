@@ -12,14 +12,41 @@ pub enum ExtractError {
     Parse(ParseError),
     /// Parsed, but contains a construct the extractor cannot map to an
     /// access area even approximately.
-    Unsupported(String),
+    Unsupported(UnsupportedConstruct),
+}
+
+/// The machine-countable taxonomy of constructs the extractor rejects
+/// outright (as opposed to ones it merely approximates). Section 6.1's
+/// failure histogram buckets on these variants rather than string-matching
+/// error messages.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum UnsupportedConstruct {
+    /// A user-defined function call (SkyServer UDFs such as
+    /// `fGetNearbyObjEq`) in a position the extractor must understand.
+    UserDefinedFunction(String),
+    /// A binary operator that is neither a comparison nor arithmetic the
+    /// affine rewrite handles, in predicate operand position.
+    NonComparisonOperator(String),
+}
+
+impl fmt::Display for UnsupportedConstruct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnsupportedConstruct::UserDefinedFunction(name) => {
+                write!(f, "user-defined function {name}")
+            }
+            UnsupportedConstruct::NonComparisonOperator(op) => {
+                write!(f, "non-comparison operator {op} in predicate")
+            }
+        }
+    }
 }
 
 impl fmt::Display for ExtractError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExtractError::Parse(e) => write!(f, "parse: {e}"),
-            ExtractError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            ExtractError::Unsupported(kind) => write!(f, "unsupported: {kind}"),
         }
     }
 }
@@ -29,6 +56,12 @@ impl std::error::Error for ExtractError {}
 impl From<ParseError> for ExtractError {
     fn from(e: ParseError) -> Self {
         ExtractError::Parse(e)
+    }
+}
+
+impl From<UnsupportedConstruct> for ExtractError {
+    fn from(kind: UnsupportedConstruct) -> Self {
+        ExtractError::Unsupported(kind)
     }
 }
 

@@ -160,9 +160,9 @@ impl<'a> Extractor<'a> {
             Expr::Literal(Literal::Int(i)) => {
                 Ok(if *i != 0 { BoolExpr::True } else { BoolExpr::False })
             }
-            Expr::Function { name, .. } => Err(ExtractError::Unsupported(format!(
-                "user-defined function {name}"
-            ))),
+            Expr::Function { name, .. } => Err(ExtractError::Unsupported(
+                UnsupportedConstruct::UserDefinedFunction(name.clone()),
+            )),
             Expr::Aggregate { .. } => {
                 // Aggregates outside HAVING carry no selection constraint.
                 state.approximate();
@@ -324,7 +324,7 @@ impl<'a> Extractor<'a> {
         state: &mut State,
     ) -> ExtractResult<BoolExpr> {
         let cmp = to_cmp(op).ok_or_else(|| {
-            ExtractError::Unsupported(format!("non-comparison operator {op} in predicate"))
+            ExtractError::Unsupported(UnsupportedConstruct::NonComparisonOperator(op.to_string()))
         })?;
         Ok(match (left, right) {
             (Operand::Const(a), Operand::Const(b)) => {
@@ -357,10 +357,10 @@ impl<'a> Extractor<'a> {
             (Operand::Subquery(sub), other) | (other, Operand::Subquery(sub)) => {
                 // Scalar subquery on one side: nested handling.
                 let outer_expr = match other {
-                    Operand::Col(c) => Some(Expr::Column(aa_sql::ColumnRef {
-                        qualifier: Some(c.table.clone()),
-                        column: c.column.clone(),
-                    })),
+                    Operand::Col(c) => Some(Expr::Column(aa_sql::ColumnRef::qualified(
+                        c.table.clone(),
+                        c.column.clone(),
+                    ))),
                     Operand::Const(Constant::Num(x)) => Some(Expr::Literal(Literal::Float(x))),
                     Operand::Const(Constant::Str(s)) => Some(Expr::Literal(Literal::String(s))),
                     _ => None,
@@ -432,9 +432,9 @@ impl<'a> Extractor<'a> {
             Expr::ScalarSubquery(sub) => Operand::Subquery(sub.clone()),
             Expr::Cast { expr: inner, .. } => self.resolve_operand(inner, ctx, state)?,
             Expr::Function { name, .. } => {
-                return Err(ExtractError::Unsupported(format!(
-                    "user-defined function {name}"
-                )))
+                return Err(ExtractError::Unsupported(
+                    UnsupportedConstruct::UserDefinedFunction(name.clone()),
+                ))
             }
             _ => Operand::Opaque,
         })

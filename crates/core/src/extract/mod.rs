@@ -26,7 +26,7 @@ pub mod naive;
 use crate::area::AccessArea;
 use crate::boolexpr::{BoolExpr, DEFAULT_ATOM_CAP, DEFAULT_CLAUSE_CAP};
 use crate::consolidate;
-use crate::error::{ExtractError, ExtractResult};
+use crate::error::{ExtractError, ExtractResult, UnsupportedConstruct};
 use crate::interval::Interval;
 use crate::predicate::{AtomicPredicate, CmpOp, Constant, QualifiedColumn};
 use aa_sql::{
@@ -34,6 +34,26 @@ use aa_sql::{
     SelectItem, TableFactor, TableWithJoins, UnaryOp,
 };
 use std::collections::BTreeMap;
+
+/// Coarse column type classes, as much as the analyzer's type checker
+/// needs: SQL Server's numeric family collapses to `Numeric` because the
+/// paper's predicates only ever compare within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    Numeric,
+    Text,
+    Bool,
+}
+
+impl std::fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ColumnType::Numeric => "numeric",
+            ColumnType::Text => "text",
+            ColumnType::Bool => "bool",
+        })
+    }
+}
 
 /// Schema knowledge the extractor may consult: which columns a table has
 /// (for resolving unqualified columns and `NATURAL JOIN`) and column
@@ -45,6 +65,13 @@ pub trait SchemaProvider {
     /// Domain of a numeric column; `None` when unknown (the lemmas then
     /// assume `(-inf, +inf)`, as the paper does for Lemmas 2 and 3).
     fn column_domain(&self, table: &str, column: &str) -> Option<Interval>;
+
+    /// Coarse type of a column, or `None` when unknown. The default keeps
+    /// existing providers source-compatible; the semantic analyzer skips
+    /// type checks wherever this answers `None`.
+    fn column_type(&self, _table: &str, _column: &str) -> Option<ColumnType> {
+        None
+    }
 }
 
 /// A provider with no schema knowledge. Unqualified columns can then only
@@ -79,6 +106,16 @@ impl SchemaProvider for aa_engine::Catalog {
             aa_engine::Domain::Numeric { lo, hi } => Some(Interval::closed(*lo, *hi)),
             _ => None,
         }
+    }
+
+    fn column_type(&self, table: &str, column: &str) -> Option<ColumnType> {
+        let t = self.table(table).ok()?;
+        let col = t.schema.column(column)?;
+        Some(match col.data_type {
+            aa_engine::DataType::Int | aa_engine::DataType::Float => ColumnType::Numeric,
+            aa_engine::DataType::Text => ColumnType::Text,
+            aa_engine::DataType::Bool => ColumnType::Bool,
+        })
     }
 }
 
@@ -167,6 +204,18 @@ pub struct LoweredQuery {
     provably_empty: bool,
 }
 
+impl LoweredQuery {
+    /// Display names of the universal-relation tables.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.values().map(String::as_str)
+    }
+
+    /// False when any approximation was taken during lowering.
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+}
+
 /// Output of extraction stage 2 (CNF conversion).
 #[derive(Debug, Clone)]
 pub struct ConvertedQuery {
@@ -175,6 +224,18 @@ pub struct ConvertedQuery {
     pub cnf: crate::cnf::Cnf,
     exact: bool,
     provably_empty: bool,
+}
+
+impl ConvertedQuery {
+    /// Display names of the universal-relation tables.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.values().map(String::as_str)
+    }
+
+    /// True when lowering already proved the area empty.
+    pub fn is_provably_empty(&self) -> bool {
+        self.provably_empty
+    }
 }
 
 /// The access-area extractor.
@@ -588,9 +649,9 @@ impl<'a> Extractor<'a> {
     /// parse them, and the coverage experiment counts them as failures.
     fn check_no_functions(&self, expr: &Expr) -> ExtractResult<()> {
         match expr {
-            Expr::Function { name, .. } => Err(ExtractError::Unsupported(format!(
-                "user-defined function {name}"
-            ))),
+            Expr::Function { name, .. } => Err(ExtractError::Unsupported(
+                UnsupportedConstruct::UserDefinedFunction(name.clone()),
+            )),
             Expr::Unary { expr, .. } => self.check_no_functions(expr),
             Expr::Binary { left, right, .. } => {
                 self.check_no_functions(left)?;

@@ -33,8 +33,11 @@
 //! );
 //! ```
 
+#![forbid(unsafe_code)]
 
 
+
+pub mod analysis;
 pub mod area;
 pub mod boolexpr;
 pub mod cnf;
@@ -48,12 +51,13 @@ pub mod pipeline;
 pub mod predicate;
 pub mod ranges;
 
+pub use analysis::{AnalyzeMode, Diagnostic, QueryAnalyzer, Severity};
 pub use area::AccessArea;
 pub use boolexpr::{BoolExpr, CnfConversion};
 pub use cnf::{Cnf, Disjunction};
 pub use distance::{DistanceMode, QueryDistance};
-pub use error::{ExtractError, ExtractResult};
-pub use extract::{ExtractConfig, Extractor, NoSchema, SchemaProvider};
+pub use error::{ExtractError, ExtractResult, UnsupportedConstruct};
+pub use extract::{ColumnType, ExtractConfig, Extractor, NoSchema, SchemaProvider};
 pub use interval::Interval;
 pub use pipeline::{
     ExtractedQuery, FailedQuery, FailureKind, Pipeline, PipelineStats, StepTimings,

@@ -1,11 +1,13 @@
 //! The end-to-end log-processing pipeline (Section 4.5): parse →
-//! transform/extract → CNF → consolidate, with per-step timing and the
-//! failure taxonomy of Section 6.1.
+//! analyze (optional gate) → transform/extract → CNF → consolidate, with
+//! per-step timing and the failure taxonomy of Section 6.1.
 
+use crate::analysis::{AnalyzeMode, Diagnostic, QueryAnalyzer, Severity};
 use crate::area::AccessArea;
-use crate::error::ExtractError;
+use crate::error::{ExtractError, UnsupportedConstruct};
 use crate::extract::{ExtractConfig, Extractor, SchemaProvider};
-use aa_sql::ParseErrorKind;
+use aa_sql::{ParseErrorKind, Span};
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// Why a log entry yielded no access area, mirroring Section 6.1:
@@ -21,6 +23,9 @@ pub enum FailureKind {
     UserDefinedFunction,
     /// Other recognised-but-unsupported constructs (e.g. `UNION`).
     Unsupported,
+    /// Parsed, but rejected by the semantic analyzer in
+    /// [`AnalyzeMode::Strict`] (unknown column, incoherent types, ...).
+    SemanticError,
 }
 
 /// Timings of the four pipeline steps, as reported in Section 6.6.
@@ -50,6 +55,9 @@ pub struct ExtractedQuery {
     /// real SkyServer rejects but the extractor still handles
     /// (Section 6.6's quality discussion).
     pub mysql_dialect: bool,
+    /// Analyzer findings (empty when the gate is [`AnalyzeMode::Off`] or
+    /// no analyzer is attached).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 /// A failed log entry.
@@ -58,6 +66,12 @@ pub struct FailedQuery {
     pub log_index: usize,
     pub kind: FailureKind,
     pub message: String,
+    /// Source span of the failure when the parser or analyzer anchored it.
+    pub span: Option<Span>,
+    /// Full analyzer findings for queries rejected by the strict gate
+    /// (empty for parse/extract failures), so the per-code histogram
+    /// covers the whole log regardless of gating outcome.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 /// Aggregate statistics over a processed log.
@@ -69,11 +83,17 @@ pub struct PipelineStats {
     pub not_select: usize,
     pub udf: usize,
     pub unsupported: usize,
+    /// Queries rejected by the strict analyzer gate.
+    pub semantic_errors: usize,
     pub mysql_dialect: usize,
     /// Areas whose extraction was approximate.
     pub approximate: usize,
     /// Areas proven empty (contradictions, impossible HAVING).
     pub provably_empty: usize,
+    /// Histogram of analyzer diagnostics over the whole log, keyed by
+    /// registry code (`E0xx`/`W0xx`). BTreeMap keeps the report order
+    /// deterministic.
+    pub diagnostic_counts: BTreeMap<&'static str, usize>,
     /// Per-step (min, max) over all extracted queries.
     pub parse_range: Option<(Duration, Duration)>,
     pub extract_range: Option<(Duration, Duration)>,
@@ -100,6 +120,13 @@ impl PipelineStats {
             FailureKind::NotSelect => self.not_select += 1,
             FailureKind::UserDefinedFunction => self.udf += 1,
             FailureKind::Unsupported => self.unsupported += 1,
+            FailureKind::SemanticError => self.semantic_errors += 1,
+        }
+    }
+
+    fn record_diagnostics(&mut self, diagnostics: &[Diagnostic]) {
+        for d in diagnostics {
+            *self.diagnostic_counts.entry(d.code).or_insert(0) += 1;
         }
     }
 
@@ -120,25 +147,41 @@ impl PipelineStats {
 /// The processing pipeline.
 pub struct Pipeline<'a> {
     extractor: Extractor<'a>,
+    analyzer: Option<&'a dyn QueryAnalyzer>,
+    analyze_mode: AnalyzeMode,
 }
 
 impl<'a> Pipeline<'a> {
     pub fn new(provider: &'a dyn SchemaProvider) -> Self {
         Pipeline {
             extractor: Extractor::new(provider),
+            analyzer: None,
+            analyze_mode: AnalyzeMode::Off,
         }
     }
 
     pub fn with_config(provider: &'a dyn SchemaProvider, config: ExtractConfig) -> Self {
         Pipeline {
             extractor: Extractor::with_config(provider, config),
+            analyzer: None,
+            analyze_mode: AnalyzeMode::Off,
         }
+    }
+
+    /// Attaches a semantic analyzer as a gate between parsing and
+    /// extraction. With [`AnalyzeMode::Off`] the analyzer is never called;
+    /// `Warn` records diagnostics, `Strict` additionally rejects queries
+    /// with `Error`-severity findings.
+    pub fn with_analyzer(mut self, analyzer: &'a dyn QueryAnalyzer, mode: AnalyzeMode) -> Self {
+        self.analyzer = Some(analyzer);
+        self.analyze_mode = mode;
+        self
     }
 
     /// Processes one log entry with per-step timing.
     pub fn process(&self, log_index: usize, sql: &str) -> Result<ExtractedQuery, FailedQuery> {
         let classify = |e: ExtractError| -> FailedQuery {
-            let (kind, message) = match &e {
+            let (kind, message, span) = match &e {
                 ExtractError::Parse(p) => (
                     match p.kind {
                         ParseErrorKind::Syntax => FailureKind::SyntaxError,
@@ -151,26 +194,52 @@ impl<'a> Pipeline<'a> {
                         ParseErrorKind::Unsupported => FailureKind::Unsupported,
                     },
                     p.to_string(),
+                    Some(p.span),
                 ),
-                ExtractError::Unsupported(msg) => (
-                    if msg.contains("function") {
-                        FailureKind::UserDefinedFunction
-                    } else {
-                        FailureKind::Unsupported
+                ExtractError::Unsupported(kind) => (
+                    match kind {
+                        UnsupportedConstruct::UserDefinedFunction(_) => {
+                            FailureKind::UserDefinedFunction
+                        }
+                        UnsupportedConstruct::NonComparisonOperator(_) => FailureKind::Unsupported,
                     },
-                    msg.clone(),
+                    kind.to_string(),
+                    None,
                 ),
             };
             FailedQuery {
                 log_index,
                 kind,
                 message,
+                span,
+                diagnostics: Vec::new(),
             }
         };
 
         let t0 = Instant::now();
         let select = aa_sql::parse_select(sql).map_err(|e| classify(e.into()))?;
         let parse = t0.elapsed();
+
+        let diagnostics = match (self.analyzer, self.analyze_mode) {
+            (Some(analyzer), AnalyzeMode::Warn | AnalyzeMode::Strict) => {
+                analyzer.analyze(sql, &select)
+            }
+            _ => Vec::new(),
+        };
+        if self.analyze_mode == AnalyzeMode::Strict {
+            if let Some(first) = diagnostics
+                .iter()
+                .find(|d| d.severity == Severity::Error)
+            {
+                return Err(FailedQuery {
+                    log_index,
+                    kind: FailureKind::SemanticError,
+                    message: format!("{}: {}", first.code, first.message),
+                    span: first.span,
+                    diagnostics,
+                });
+            }
+        }
 
         let t1 = Instant::now();
         let lowered = self.extractor.lower(&select).map_err(classify)?;
@@ -194,6 +263,7 @@ impl<'a> Pipeline<'a> {
                 consolidate,
             },
             mysql_dialect: select.uses_mysql_dialect(),
+            diagnostics,
         })
     }
 
@@ -221,11 +291,13 @@ impl<'a> Pipeline<'a> {
                     if q.area.provably_empty {
                         stats.provably_empty += 1;
                     }
+                    stats.record_diagnostics(&q.diagnostics);
                     stats.record_timing(&q.timings);
                     extracted.push(q);
                 }
                 Err(f) => {
                     stats.record_failure(f.kind);
+                    stats.record_diagnostics(&f.diagnostics);
                     failed.push(f);
                 }
             }
@@ -260,9 +332,19 @@ mod tests {
         assert_eq!(stats.not_select, 1);
         assert_eq!(stats.udf, 1);
         assert_eq!(stats.unsupported, 1);
+        assert_eq!(stats.semantic_errors, 0);
         assert_eq!(stats.mysql_dialect, 1);
         assert_eq!(failed.len(), 4);
         assert!((stats.extraction_rate() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_failures_carry_spans() {
+        let provider = NoSchema;
+        let pipeline = Pipeline::new(&provider);
+        let err = pipeline.process(0, "SELECT * FROM").unwrap_err();
+        assert_eq!(err.kind, FailureKind::SyntaxError);
+        assert!(err.span.is_some());
     }
 
     #[test]
@@ -287,5 +369,52 @@ mod tests {
             pipeline.process_log(["garbage(", "SELECT * FROM T WHERE u > 1"]);
         assert_eq!(extracted.len(), 1);
         assert_eq!(extracted[0].log_index, 1);
+    }
+
+    struct StubAnalyzer;
+
+    impl QueryAnalyzer for StubAnalyzer {
+        fn analyze(&self, _sql: &str, query: &aa_sql::Select) -> Vec<Diagnostic> {
+            // Flag any query touching a table called `bad`.
+            let hits = query
+                .from
+                .iter()
+                .filter_map(|twj| match &twj.base {
+                    aa_sql::TableFactor::Table { name, .. }
+                        if name.base_name().eq_ignore_ascii_case("bad") =>
+                    {
+                        Some(name.span)
+                    }
+                    _ => None,
+                })
+                .collect::<Vec<_>>();
+            hits.into_iter()
+                .map(|span| Diagnostic::error("E999", "table is bad", Some(span)))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn strict_gate_rejects_and_warn_gate_records() {
+        let provider = NoSchema;
+        let analyzer = StubAnalyzer;
+        let strict =
+            Pipeline::new(&provider).with_analyzer(&analyzer, AnalyzeMode::Strict);
+        let err = strict.process(0, "SELECT * FROM bad WHERE u > 1").unwrap_err();
+        assert_eq!(err.kind, FailureKind::SemanticError);
+        assert!(err.message.starts_with("E999"));
+        assert!(err.span.is_some());
+        assert!(strict.process(0, "SELECT * FROM good WHERE u > 1").is_ok());
+
+        let warn = Pipeline::new(&provider).with_analyzer(&analyzer, AnalyzeMode::Warn);
+        let q = warn.process(0, "SELECT * FROM bad WHERE u > 1").unwrap();
+        assert_eq!(q.diagnostics.len(), 1);
+        let (_, _, stats) = warn.process_log(["SELECT * FROM bad", "SELECT * FROM good"]);
+        assert_eq!(stats.diagnostic_counts.get("E999"), Some(&1));
+        assert_eq!(stats.semantic_errors, 0);
+
+        let off = Pipeline::new(&provider).with_analyzer(&analyzer, AnalyzeMode::Off);
+        let q = off.process(0, "SELECT * FROM bad").unwrap();
+        assert!(q.diagnostics.is_empty());
     }
 }

@@ -23,6 +23,8 @@
 //! assert_eq!(result.labels[5], Label::Noise);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod index;
 pub mod optics;
 pub mod parallel;

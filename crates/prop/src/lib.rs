@@ -24,6 +24,8 @@
 //! });
 //! ```
 
+#![forbid(unsafe_code)]
+
 use aa_util::SeededRng;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;

@@ -41,6 +41,8 @@
 //! assert_eq!(result.rows, vec![vec![Value::Int(4)]]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 
 
 pub mod catalog;

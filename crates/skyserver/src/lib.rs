@@ -14,6 +14,8 @@
 //! * [`loggen`]: a deterministic log generator with ground-truth labels;
 //! * [`ground_truth`]: recovery scoring of clustering output.
 
+#![forbid(unsafe_code)]
+
 pub mod datagen;
 pub mod ground_truth;
 pub mod loggen;
@@ -29,8 +31,16 @@ pub use templates::{
     PathologicalKind, AGGREGATE_VARIANT_SHARE, TABLE1,
 };
 
-use aa_core::extract::SchemaProvider;
+use aa_core::extract::{ColumnType, SchemaProvider};
 use aa_core::Interval;
+use aa_engine::DataType;
+
+/// Real DR9 columns the evaluation queries reference but the synthetic
+/// generator does not materialise (adding them to [`schema`] would shift
+/// the shared data-generation RNG and every calibrated content box).
+/// They exist only for name/type resolution: `(table, column, type)`.
+const SCHEMA_ONLY_COLUMNS: &[(&str, &str, DataType)] =
+    &[("SpecObjAll", "bestobjid", DataType::Int)];
 
 /// A [`SchemaProvider`] backed by the static DR9 schema — lets the
 /// extractor resolve unqualified columns and consult domains without
@@ -46,6 +56,18 @@ impl Dr9Schema {
             tables: dr9_tables(),
         }
     }
+
+    /// Table names in the schema, in declaration order.
+    pub fn table_names(&self) -> Vec<&'static str> {
+        self.tables.iter().map(|t| t.name).collect()
+    }
+
+    fn schema_only(table: &str, column: &str) -> Option<DataType> {
+        SCHEMA_ONLY_COLUMNS
+            .iter()
+            .find(|(t, c, _)| t.eq_ignore_ascii_case(table) && c.eq_ignore_ascii_case(column))
+            .map(|(_, _, dt)| *dt)
+    }
 }
 
 impl Default for Dr9Schema {
@@ -59,7 +81,17 @@ impl SchemaProvider for Dr9Schema {
         self.tables
             .iter()
             .find(|t| t.name.eq_ignore_ascii_case(table))
-            .map(|t| t.columns.iter().map(|c| c.name.to_lowercase()).collect())
+            .map(|t| {
+                let mut cols: Vec<String> =
+                    t.columns.iter().map(|c| c.name.to_lowercase()).collect();
+                cols.extend(
+                    SCHEMA_ONLY_COLUMNS
+                        .iter()
+                        .filter(|(st, _, _)| st.eq_ignore_ascii_case(table))
+                        .map(|(_, c, _)| c.to_lowercase()),
+                );
+                cols
+            })
     }
 
     fn column_domain(&self, table: &str, column: &str) -> Option<Interval> {
@@ -76,6 +108,25 @@ impl SchemaProvider for Dr9Schema {
             _ => None,
         }
     }
+
+    fn column_type(&self, table: &str, column: &str) -> Option<ColumnType> {
+        let dtype = self
+            .tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(table))
+            .and_then(|t| {
+                t.columns
+                    .iter()
+                    .find(|c| c.name.eq_ignore_ascii_case(column))
+                    .map(|c| c.dtype)
+            })
+            .or_else(|| Self::schema_only(table, column))?;
+        Some(match dtype {
+            DataType::Int | DataType::Float => ColumnType::Numeric,
+            DataType::Text => ColumnType::Text,
+            DataType::Bool => ColumnType::Bool,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -91,6 +142,25 @@ mod tests {
         let dom = p.column_domain("zooSpec", "dec").unwrap();
         assert_eq!((dom.lo, dom.hi), (-90.0, 90.0));
         assert!(p.table_columns("nope").is_none());
+    }
+
+    #[test]
+    fn provider_types_columns_including_schema_only_extras() {
+        use aa_core::extract::ColumnType;
+        let p = Dr9Schema::new();
+        assert_eq!(p.column_type("PhotoObjAll", "ra"), Some(ColumnType::Numeric));
+        assert_eq!(p.column_type("SpecObjAll", "class"), Some(ColumnType::Text));
+        // `bestobjid` is real DR9 but not generated; it still resolves.
+        assert_eq!(
+            p.column_type("specobjall", "BESTOBJID"),
+            Some(ColumnType::Numeric)
+        );
+        assert!(p
+            .table_columns("SpecObjAll")
+            .unwrap()
+            .contains(&"bestobjid".to_string()));
+        assert_eq!(p.column_type("SpecObjAll", "nope"), None);
+        assert_eq!(p.column_type("nope", "ra"), None);
     }
 
     #[test]

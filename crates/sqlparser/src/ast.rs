@@ -8,18 +8,45 @@
 //! areas and are ignored downstream.
 
 
+use crate::token::Span;
+
 /// A possibly multi-part object name such as `PhotoObjAll` or
 /// `BESTDR9..PhotoObjAll`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Carries the source [`Span`] it was parsed from so semantic diagnostics
+/// can point at it; the span is ignored by equality and hashing so that
+/// structural AST comparisons (round-trip tests, predicate dedup) are
+/// unaffected by where a name happened to sit in the source text.
+#[derive(Debug, Clone, Eq)]
 pub struct ObjectName {
     pub parts: Vec<String>,
+    pub span: Span,
+}
+
+impl PartialEq for ObjectName {
+    fn eq(&self, other: &Self) -> bool {
+        self.parts == other.parts
+    }
+}
+
+impl std::hash::Hash for ObjectName {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.parts.hash(state);
+    }
 }
 
 impl ObjectName {
     pub fn simple(name: impl Into<String>) -> Self {
         ObjectName {
             parts: vec![name.into()],
+            span: Span::default(),
         }
+    }
+
+    /// Attaches a source span (builder style).
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = span;
+        self
     }
 
     /// The unqualified relation name (last path segment). SkyServer queries
@@ -31,10 +58,27 @@ impl ObjectName {
 }
 
 /// A column reference, optionally qualified by a table name or alias.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Like [`ObjectName`], carries a [`Span`] that equality and hashing
+/// ignore.
+#[derive(Debug, Clone, Eq)]
 pub struct ColumnRef {
     pub qualifier: Option<String>,
     pub column: String,
+    pub span: Span,
+}
+
+impl PartialEq for ColumnRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.qualifier == other.qualifier && self.column == other.column
+    }
+}
+
+impl std::hash::Hash for ColumnRef {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.qualifier.hash(state);
+        self.column.hash(state);
+    }
 }
 
 impl ColumnRef {
@@ -42,6 +86,7 @@ impl ColumnRef {
         ColumnRef {
             qualifier: None,
             column: column.into(),
+            span: Span::default(),
         }
     }
 
@@ -49,7 +94,14 @@ impl ColumnRef {
         ColumnRef {
             qualifier: Some(qualifier.into()),
             column: column.into(),
+            span: Span::default(),
         }
+    }
+
+    /// Attaches a source span (builder style).
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = span;
+        self
     }
 }
 
@@ -385,6 +437,18 @@ impl Expr {
             | Expr::Variable(_) => {}
         }
     }
+
+    /// The smallest source span covering every column reference in the
+    /// expression (subquery scopes excluded), or `None` when the expression
+    /// mentions no spanned column — e.g. a pure literal comparison.
+    pub fn span(&self) -> Option<Span> {
+        let mut cols = Vec::new();
+        self.collect_columns(&mut cols);
+        cols.iter()
+            .map(|c| c.span)
+            .filter(|s| s.end > s.start)
+            .reduce(Span::merge)
+    }
 }
 
 /// One item of the projection list.
@@ -540,6 +604,7 @@ mod tests {
     fn object_name_base() {
         let n = ObjectName {
             parts: vec!["BESTDR9".into(), "dbo".into(), "PhotoObjAll".into()],
+            span: Span::default(),
         };
         assert_eq!(n.base_name(), "PhotoObjAll");
         assert_eq!(ObjectName::simple("T").base_name(), "T");

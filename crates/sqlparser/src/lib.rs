@@ -27,6 +27,8 @@
 //! assert!(q.selection.is_some());
 //! ```
 
+#![forbid(unsafe_code)]
+
 
 
 pub mod ast;
@@ -44,6 +46,7 @@ pub use ast::{
 };
 pub use error::{ParseError, ParseErrorKind, ParseResult};
 pub use parser::Parser;
+pub use token::Span;
 
 /// Parses a single SQL statement into a [`Select`], classifying failures.
 ///

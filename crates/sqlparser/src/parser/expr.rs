@@ -278,10 +278,11 @@ impl Parser {
                         distinct,
                     })
                 } else {
+                    let span = self.peek_span();
                     self.advance();
-                    Ok(Expr::Column(ColumnRef::bare(
-                        kw.as_str().to_ascii_lowercase(),
-                    )))
+                    Ok(Expr::Column(
+                        ColumnRef::bare(kw.as_str().to_ascii_lowercase()).with_span(span),
+                    ))
                 }
             }
             Token::Keyword(Keyword::Case) => self.parse_case(),
@@ -335,14 +336,17 @@ impl Parser {
 
     /// Parses an identifier chain: a column reference or a function call.
     fn parse_ident_expr(&mut self) -> ParseResult<Expr> {
-        let mut parts = vec![self.expect_ident()?];
+        let (first, mut span) = self.expect_ident_spanned()?;
+        let mut parts = vec![first];
         while self.peek() == &Token::Dot {
             // Stop before `T.*` — handled by the projection parser.
             if self.peek_ahead(1) == &Token::Star {
                 break;
             }
             self.advance();
-            parts.push(self.expect_ident()?);
+            let (part, part_span) = self.expect_ident_spanned()?;
+            parts.push(part);
+            span = span.merge(part_span);
         }
         if self.peek() == &Token::LParen {
             self.advance();
@@ -367,7 +371,11 @@ impl Parser {
             // `db.schema.table.column`: only the table segment matters.
             _ => Some(parts.pop().expect("non-empty")),
         };
-        Ok(Expr::Column(ColumnRef { qualifier, column }))
+        Ok(Expr::Column(ColumnRef {
+            qualifier,
+            column,
+            span,
+        }))
     }
 
     fn parse_case(&mut self) -> ParseResult<Expr> {

@@ -146,10 +146,17 @@ impl Parser {
 
     /// Consumes an identifier (or a keyword allowed in identifier position).
     pub(crate) fn expect_ident(&mut self) -> ParseResult<String> {
+        self.expect_ident_spanned().map(|(value, _)| value)
+    }
+
+    /// Like [`expect_ident`](Self::expect_ident), but also returns the
+    /// source span of the consumed token so AST nodes can be anchored.
+    pub(crate) fn expect_ident_spanned(&mut self) -> ParseResult<(String, Span)> {
+        let span = self.peek_span();
         match self.peek().clone() {
             Token::Ident { value, .. } => {
                 self.advance();
-                Ok(value)
+                Ok((value, span))
             }
             // A handful of our keywords are legal T-SQL identifiers and do
             // appear as column/table names in logs.
@@ -158,11 +165,11 @@ impl Parser {
                 | Keyword::Max | Keyword::Sum | Keyword::Avg),
             ) => {
                 self.advance();
-                Ok(kw.as_str().to_ascii_lowercase())
+                Ok((kw.as_str().to_ascii_lowercase(), span))
             }
             other => Err(ParseError::syntax(
                 format!("expected identifier, found {other}"),
-                self.peek_span(),
+                span,
             )),
         }
     }
@@ -475,7 +482,8 @@ impl Parser {
     }
 
     pub(crate) fn parse_object_name(&mut self) -> ParseResult<ObjectName> {
-        let mut parts = vec![self.expect_ident()?];
+        let (first, mut span) = self.expect_ident_spanned()?;
+        let mut parts = vec![first];
         while self.peek() == &Token::Dot {
             self.advance();
             // `BESTDR9..PhotoObjAll` has an empty schema part.
@@ -483,9 +491,11 @@ impl Parser {
                 self.advance();
                 parts.push(String::new());
             }
-            parts.push(self.expect_ident()?);
+            let (part, part_span) = self.expect_ident_spanned()?;
+            parts.push(part);
+            span = span.merge(part_span);
         }
-        Ok(ObjectName { parts })
+        Ok(ObjectName { parts, span })
     }
 }
 

@@ -13,6 +13,8 @@
 //! * [`json`] — a minimal JSON value model with a writer and a reader,
 //!   plus the [`ToJson`] trait the former `serde` derives devolved to.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 pub mod rng;
 

@@ -252,6 +252,108 @@ fn extraction_corpus_round_trips_through_parser() {
     }
 }
 
+// ---- semantically broken corpus -------------------------------------------
+//
+// Queries that parse — and mostly even extract — but are wrong against the
+// DR9 schema. Each entry pins the exact Error-severity diagnostic codes the
+// analyzer must produce (warnings may ride along; only errors gate Strict).
+
+struct BrokenCase {
+    sql: &'static str,
+    /// Expected `Error`-severity codes, sorted.
+    errors: &'static [&'static str],
+}
+
+const BROKEN_CORPUS: &[BrokenCase] = &[
+    // Unknown column, in projection and predicate.
+    BrokenCase {
+        sql: "SELECT colr FROM PhotoObjAll WHERE colr > 0.3",
+        errors: &["E002", "E002"],
+    },
+    // Unknown column behind a resolved alias.
+    BrokenCase {
+        sql: "SELECT p.magnitude FROM PhotoObjAll p WHERE p.ra > 100",
+        errors: &["E002"],
+    },
+    // `objid` exists on both sides of the join.
+    BrokenCase {
+        sql: "SELECT objid FROM PhotoObjAll p, Galaxies g WHERE p.objid = g.objid",
+        errors: &["E003"],
+    },
+    // Redshift compared with a string.
+    BrokenCase {
+        sql: "SELECT z FROM SpecObjAll WHERE z > 'high'",
+        errors: &["E004"],
+    },
+    // `DBObjects.type` is text; 7 is not.
+    BrokenCase {
+        sql: "SELECT name FROM DBObjects WHERE type = 7",
+        errors: &["E004"],
+    },
+    // `LIKE` over a numeric column.
+    BrokenCase {
+        sql: "SELECT plate FROM SpecObjAll WHERE plate LIKE '29%'",
+        errors: &["E004"],
+    },
+    // `SUM(*)` is not SQL.
+    BrokenCase {
+        sql: "SELECT SUM(*) FROM SpecObjAll WHERE plate = 296",
+        errors: &["E005"],
+    },
+    // Averaging a classification string.
+    BrokenCase {
+        sql: "SELECT AVG(class) FROM SpecObjAll WHERE z > 2",
+        errors: &["E005"],
+    },
+    // A numeric column is not a condition.
+    BrokenCase {
+        sql: "SELECT ra FROM PhotoObjAll WHERE ra",
+        errors: &["E006"],
+    },
+    // ... nor is a string literal conjunct.
+    BrokenCase {
+        sql: "SELECT ra FROM PhotoObjAll WHERE ra > 1 AND 'yes'",
+        errors: &["E006"],
+    },
+];
+
+#[test]
+fn broken_corpus_pins_error_codes() {
+    let schema = aa_skyserver::Dr9Schema::new();
+    let analyzer = aa_analyze::Analyzer::new(&schema);
+    for case in BROKEN_CORPUS {
+        let diags = analyzer
+            .check_sql(case.sql)
+            .unwrap_or_else(|e| panic!("{}: {e}", case.sql));
+        let mut errors: Vec<&str> = diags
+            .iter()
+            .filter(|d| d.severity == aa_core::Severity::Error)
+            .map(|d| d.code)
+            .collect();
+        errors.sort_unstable();
+        assert_eq!(errors, case.errors, "error codes of {}", case.sql);
+    }
+}
+
+#[test]
+fn strict_gate_rejects_broken_and_accepts_extraction_corpus() {
+    let schema = aa_skyserver::Dr9Schema::new();
+    let analyzer = aa_analyze::Analyzer::new(&schema);
+    let pipeline = aa_core::Pipeline::new(&NoSchema)
+        .with_analyzer(&analyzer, aa_core::AnalyzeMode::Strict);
+    for case in BROKEN_CORPUS {
+        let err = pipeline
+            .process(0, case.sql)
+            .expect_err(&format!("strict should reject {}", case.sql));
+        assert_eq!(err.kind, aa_core::FailureKind::SemanticError, "{}", case.sql);
+    }
+    for case in EXTRACTION_CORPUS {
+        pipeline
+            .process(0, case.sql)
+            .unwrap_or_else(|e| panic!("strict rejected {}: {}", case.sql, e.message));
+    }
+}
+
 // ---- property tests -------------------------------------------------------
 
 /// `[a-z][a-z0-9_]{0,8}`, never a keyword.
@@ -314,6 +416,44 @@ fn generated_where_clauses_round_trip() {
         let printed = ast.to_string();
         let reparsed = parse_select(&printed).unwrap();
         assert_eq!(ast, reparsed);
+    });
+}
+
+#[test]
+fn extractable_queries_have_no_semantic_errors_open_world() {
+    // Open-world soundness of the analyzer: a generated query over tables
+    // the DR9 catalog does not know can warn (W001) but must never produce
+    // an Error-severity diagnostic — the binder has nothing to contradict,
+    // so anything the extractor accepts must pass the strict gate too.
+    let schema = aa_skyserver::Dr9Schema::new();
+    let analyzer = aa_analyze::Analyzer::new(&schema);
+    let extractor = Extractor::new(&NoSchema);
+    let dr9: Vec<String> = schema
+        .table_names()
+        .iter()
+        .map(|t| t.to_lowercase())
+        .collect();
+    check(Config::cases(192), |src| {
+        // A table name the catalog has never heard of.
+        let table = loop {
+            let t = ident(src);
+            if !dr9.contains(&t) {
+                break t;
+            }
+        };
+        let clause = bool_expr(src, 3);
+        let sql = format!("SELECT * FROM {table} WHERE {clause}");
+        let select = parse_select(&sql).unwrap();
+        if extractor.extract(&select).is_err() {
+            return;
+        }
+        let diags = analyzer.check(&select);
+        assert!(
+            diags
+                .iter()
+                .all(|d| d.severity != aa_core::Severity::Error),
+            "{sql} produced semantic errors: {diags:?}"
+        );
     });
 }
 
