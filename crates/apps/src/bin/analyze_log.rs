@@ -6,12 +6,24 @@
 //! ```text
 //! cargo run --release -p aa-apps --bin analyze_log -- LOG_FILE \
 //!     [--eps 0.06] [--min-pts 8] [--optics] [--mode literal|dissim] \
-//!     [--analyze off|warn|strict | --strict]
+//!     [--analyze off|warn|strict | --strict] \
+//!     [--budget FUEL] [--deadline-ms MS] [--chunk N] \
+//!     [--checkpoint PATH [--resume]] [--quarantine PATH] \
+//!     [--inject-faults SEED]
 //! cargo run --release -p aa-apps --bin analyze_log -- --gen 5000 [--seed 42] ...
 //! ```
 //!
 //! `--gen N` analyzes the deterministic synthetic DR9 log (`aa-skyserver`'s
 //! generator) instead of a file — same seed, same log, same report.
+//!
+//! Every run goes through the hardened [`LogRunner`]: per-query panic
+//! isolation is always on, so one poison query is recorded as an
+//! `internal` failure instead of crashing the run. `--budget` adds a
+//! deterministic per-query fuel cap, `--deadline-ms` a wall-clock
+//! deadline, `--quarantine` writes failed entries to a replayable JSONL
+//! sidecar, `--checkpoint`/`--resume` persist progress chunk by chunk,
+//! and `--inject-faults SEED` runs the deterministic chaos schedule
+//! (5% fault rate) used by the CI resilience gate.
 //!
 //! With `--analyze warn` (or `strict`) the semantic analyzer runs between
 //! parsing and extraction against the DR9 schema: the report gains a
@@ -24,10 +36,15 @@
 
 use aa_analyze::{codes, Analyzer};
 use aa_core::analysis::line_col;
-use aa_core::{AccessArea, AccessRanges, AnalyzeMode, DistanceMode, Pipeline, QueryDistance};
+use aa_core::{
+    AccessArea, AccessRanges, AnalyzeMode, DistanceMode, FaultPlan, LogRunner, Pipeline,
+    QueryDistance, RunnerConfig,
+};
 use aa_dbscan::{DbscanParams, Label};
 use aa_skyserver::{generate_log, Dr9Schema, LogConfig};
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     path: Option<String>,
@@ -38,6 +55,13 @@ struct Args {
     use_optics: bool,
     mode: DistanceMode,
     analyze: AnalyzeMode,
+    budget: Option<u64>,
+    deadline_ms: Option<u64>,
+    chunk: Option<usize>,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    quarantine: Option<PathBuf>,
+    inject_faults: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +74,13 @@ fn parse_args() -> Result<Args, String> {
     let mut analyze = AnalyzeMode::Off;
     let mut gen = None;
     let mut seed = 42;
+    let mut budget = None;
+    let mut deadline_ms = None;
+    let mut chunk = None;
+    let mut checkpoint = None;
+    let mut resume = false;
+    let mut quarantine = None;
+    let mut inject_faults = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--eps" => {
@@ -96,8 +127,48 @@ fn parse_args() -> Result<Args, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--seed expects an integer")?;
             }
+            "--budget" => {
+                budget = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--budget expects a fuel amount")?,
+                );
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--deadline-ms expects milliseconds")?,
+                );
+            }
+            "--chunk" => {
+                chunk = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&c: &usize| c > 0)
+                        .ok_or("--chunk expects a positive entry count")?,
+                );
+            }
+            "--checkpoint" => {
+                checkpoint = Some(PathBuf::from(
+                    args.next().ok_or("--checkpoint expects a path")?,
+                ));
+            }
+            "--resume" => resume = true,
+            "--quarantine" => {
+                quarantine = Some(PathBuf::from(
+                    args.next().ok_or("--quarantine expects a path")?,
+                ));
+            }
+            "--inject-faults" => {
+                inject_faults = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--inject-faults expects a seed")?,
+                );
+            }
             "--help" | "-h" => {
-                return Err("usage: analyze_log (LOG_FILE | --gen N [--seed S]) [--eps F] [--min-pts N] [--optics] [--mode literal|dissim] [--analyze off|warn|strict | --strict]".into());
+                return Err("usage: analyze_log (LOG_FILE | --gen N [--seed S]) [--eps F] [--min-pts N] [--optics] [--mode literal|dissim] [--analyze off|warn|strict | --strict] [--budget FUEL] [--deadline-ms MS] [--chunk N] [--checkpoint PATH [--resume]] [--quarantine PATH] [--inject-faults SEED]".into());
             }
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
             other => return Err(format!("unknown argument {other}")),
@@ -105,6 +176,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if path.is_none() && gen.is_none() {
         return Err("missing LOG_FILE or --gen N (use --help)".into());
+    }
+    if resume && checkpoint.is_none() {
+        return Err("--resume requires --checkpoint PATH".into());
     }
     Ok(Args {
         path,
@@ -115,6 +189,13 @@ fn parse_args() -> Result<Args, String> {
         use_optics,
         mode,
         analyze,
+        budget,
+        deadline_ms,
+        chunk,
+        checkpoint,
+        resume,
+        quarantine,
+        inject_faults,
     })
 }
 
@@ -159,14 +240,42 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    // 1. Extraction, with the semantic analyzer gating when requested.
-    // Extraction itself stays schema-agnostic (NoSchema): the analyzer —
-    // not the extractor — is what knows the DR9 catalog.
+    // 1. Extraction through the hardened runner, with the semantic
+    // analyzer gating when requested. Extraction itself stays
+    // schema-agnostic (NoSchema): the analyzer — not the extractor — is
+    // what knows the DR9 catalog. The runner adds panic isolation,
+    // per-query budgets, quarantine, checkpoint/resume, and (when
+    // `--inject-faults` is given) the deterministic chaos schedule.
     let provider = aa_core::NoSchema;
     let schema = Dr9Schema::new();
     let analyzer = Analyzer::new(&schema);
     let pipeline = Pipeline::new(&provider).with_analyzer(&analyzer, args.analyze);
-    let (extracted, failed, stats) = pipeline.process_log(queries.iter().map(String::as_str));
+    let mut config = RunnerConfig::new();
+    config.fuel = args.budget;
+    config.deadline = args.deadline_ms.map(Duration::from_millis);
+    if let Some(chunk) = args.chunk {
+        config.chunk_size = chunk;
+    }
+    config.checkpoint = args.checkpoint.clone();
+    config.resume = args.resume;
+    config.quarantine = args.quarantine.clone();
+    if let Some(fault_seed) = args.inject_faults {
+        config.fault_plan = Some(FaultPlan::seeded(fault_seed, queries.len(), 0.05));
+        println!(
+            "fault injection: seed {fault_seed}, {} faults planned over {} queries",
+            config.fault_plan.as_ref().map_or(0, FaultPlan::len),
+            queries.len()
+        );
+    }
+    let runner = LogRunner::new(&pipeline, config);
+    let report = match runner.run(&queries) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (extracted, failed, stats) = (report.extracted, report.failed, report.stats);
     println!(
         "extracted {}/{} queries ({:.2}%) in {:.2?}",
         stats.extracted,
@@ -174,16 +283,41 @@ fn main() -> ExitCode {
         100.0 * stats.extraction_rate(),
         stats.wall
     );
-    if !failed.is_empty() {
+    if report.start_offset > 0 {
         println!(
-            "failures: {} syntax, {} UDF, {} non-SELECT, {} unsupported, {} semantic",
+            "resumed from checkpoint at offset {} (processed {}..{})",
+            report.start_offset, report.start_offset, report.end_offset
+        );
+    }
+    if args.inject_faults.is_some() {
+        println!("fault injection: {} faults fired", report.faults_fired);
+    }
+    if stats.failure_total() > 0 {
+        println!(
+            "failures: {} syntax, {} UDF, {} non-SELECT, {} unsupported, {} semantic, {} internal, {} budget",
             stats.syntax_errors,
             stats.udf,
             stats.not_select,
             stats.unsupported,
-            stats.semantic_errors
+            stats.semantic_errors,
+            stats.internal_errors,
+            stats.budget_exceeded
         );
         print_failures(&failed, &queries);
+    }
+    if let Some(qpath) = &args.quarantine {
+        println!(
+            "quarantine sidecar: {} ({} records this run)",
+            qpath.display(),
+            failed.len()
+        );
+    }
+    if let Some(ckpt) = &args.checkpoint {
+        println!(
+            "checkpoint: {} (offset {})",
+            ckpt.display(),
+            report.end_offset
+        );
     }
 
     // 1b. Analyzer report: deterministic per-code histogram (BTreeMap

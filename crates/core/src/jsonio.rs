@@ -8,6 +8,7 @@
 use crate::area::AccessArea;
 use crate::cnf::{Cnf, Disjunction};
 use crate::interval::Interval;
+use crate::pipeline::PipelineStats;
 use crate::predicate::{AtomicPredicate, CmpOp, Constant, QualifiedColumn};
 use aa_util::{FromJson, Json, JsonError, ToJson};
 
@@ -124,6 +125,75 @@ impl ToJson for AccessArea {
     }
 }
 
+/// Deterministic fields only: counts and the diagnostic histogram.
+/// Timings (`wall`, per-step ranges) are excluded on purpose — they vary
+/// run to run, and this view is what checkpoints persist and what the
+/// resume-equality tests compare.
+impl ToJson for PipelineStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("total".to_string(), self.total.to_json()),
+            ("extracted".to_string(), self.extracted.to_json()),
+            ("syntax_errors".to_string(), self.syntax_errors.to_json()),
+            ("not_select".to_string(), self.not_select.to_json()),
+            ("udf".to_string(), self.udf.to_json()),
+            ("unsupported".to_string(), self.unsupported.to_json()),
+            ("semantic_errors".to_string(), self.semantic_errors.to_json()),
+            ("internal_errors".to_string(), self.internal_errors.to_json()),
+            ("budget_exceeded".to_string(), self.budget_exceeded.to_json()),
+            ("mysql_dialect".to_string(), self.mysql_dialect.to_json()),
+            ("approximate".to_string(), self.approximate.to_json()),
+            ("provably_empty".to_string(), self.provably_empty.to_json()),
+            (
+                "diagnostic_counts".to_string(),
+                Json::obj(
+                    self.diagnostic_counts
+                        .iter()
+                        .map(|(code, n)| (code.clone(), n.to_json())),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for PipelineStats {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let count = |k: &str| -> Result<usize, JsonError> {
+            json.get(k)
+                .ok_or_else(|| JsonError(format!("stats: missing '{k}'")))
+                .and_then(f64::from_json)
+                .map(|x| x as usize)
+        };
+        let mut stats = PipelineStats {
+            total: count("total")?,
+            extracted: count("extracted")?,
+            syntax_errors: count("syntax_errors")?,
+            not_select: count("not_select")?,
+            udf: count("udf")?,
+            unsupported: count("unsupported")?,
+            semantic_errors: count("semantic_errors")?,
+            internal_errors: count("internal_errors")?,
+            budget_exceeded: count("budget_exceeded")?,
+            mysql_dialect: count("mysql_dialect")?,
+            approximate: count("approximate")?,
+            provably_empty: count("provably_empty")?,
+            ..PipelineStats::default()
+        };
+        match json.get("diagnostic_counts") {
+            Some(Json::Obj(fields)) => {
+                for (code, n) in fields {
+                    stats
+                        .diagnostic_counts
+                        .insert(code.clone(), f64::from_json(n)? as usize);
+                }
+            }
+            Some(_) => return Err(JsonError("diagnostic_counts must be an object".into())),
+            None => return Err(JsonError("stats: missing 'diagnostic_counts'".into())),
+        }
+        Ok(stats)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +236,28 @@ mod tests {
         // The document is valid JSON and re-parses.
         let reparsed = Json::parse(&json.to_string_pretty()).unwrap();
         assert_eq!(reparsed, json);
+    }
+
+    #[test]
+    fn pipeline_stats_round_trip_is_deterministic() {
+        let provider = NoSchema;
+        let pipeline = crate::Pipeline::new(&provider);
+        let (_, _, stats) = pipeline.process_log([
+            "SELECT * FROM T WHERE u > 1",
+            "SELEC * FORM T",
+            "SELECT objid FROM Galaxies LIMIT 10",
+        ]);
+        let json = stats.to_json();
+        // Nondeterministic timing fields never leak into the view.
+        assert!(json.get("wall").is_none());
+        assert!(json.get("parse_range").is_none());
+        let back = PipelineStats::from_json(&Json::parse(&json.to_string_compact()).unwrap())
+            .unwrap();
+        assert_eq!(back.to_json(), json);
+        assert_eq!(back.total, 3);
+        assert_eq!(back.extracted, 2);
+        assert_eq!(back.syntax_errors, 1);
+        assert_eq!(back.mysql_dialect, 1);
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod jsonio;
 pub mod pipeline;
 pub mod predicate;
 pub mod ranges;
+pub mod runner;
 
 pub use analysis::{AnalyzeMode, Diagnostic, QueryAnalyzer, Severity};
 pub use area::AccessArea;
@@ -60,7 +61,12 @@ pub use error::{ExtractError, ExtractResult, UnsupportedConstruct};
 pub use extract::{ColumnType, ExtractConfig, Extractor, NoSchema, SchemaProvider};
 pub use interval::Interval;
 pub use pipeline::{
-    ExtractedQuery, FailedQuery, FailureKind, Pipeline, PipelineStats, StepTimings,
+    ExtractedQuery, FailedQuery, FailureKind, NoHooks, Pipeline, PipelineStats, Stage,
+    StageFault, StageHooks, StepTimings,
 };
 pub use predicate::{AtomicPredicate, CmpOp, Constant, QualifiedColumn};
 pub use ranges::{AccessRanges, ColumnAccess};
+pub use runner::{
+    areas_sidecar, failure_histogram, read_quarantine, FaultKind, FaultPlan, LogRunner,
+    QuarantineRecord, RunReport, RunnerConfig, RunnerError,
+};

@@ -12,8 +12,9 @@ use std::time::{Duration, Instant};
 
 /// Why a log entry yielded no access area, mirroring Section 6.1:
 /// "(a) contain errors, (b) use user-defined SkyServer-specific functions,
-/// or (c) are not SELECT queries".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// or (c) are not SELECT queries" — extended with the two operational
+/// failure domains of the hardened runner (panics, resource budgets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FailureKind {
     /// Syntax errors.
     SyntaxError,
@@ -26,7 +27,123 @@ pub enum FailureKind {
     /// Parsed, but rejected by the semantic analyzer in
     /// [`AnalyzeMode::Strict`] (unknown column, incoherent types, ...).
     SemanticError,
+    /// A panic (or injected synthetic error) inside the pipeline itself,
+    /// caught and recorded by the hardened runner instead of crashing
+    /// the whole run.
+    Internal,
+    /// The query exceeded its per-query fuel budget or wall-clock
+    /// deadline (see [`crate::runner::RunnerConfig`]).
+    BudgetExceeded,
 }
+
+impl FailureKind {
+    /// Every kind, in a fixed report order.
+    pub const ALL: [FailureKind; 7] = [
+        FailureKind::SyntaxError,
+        FailureKind::NotSelect,
+        FailureKind::UserDefinedFunction,
+        FailureKind::Unsupported,
+        FailureKind::SemanticError,
+        FailureKind::Internal,
+        FailureKind::BudgetExceeded,
+    ];
+
+    /// Stable string tag used by the quarantine sidecar.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FailureKind::SyntaxError => "syntax-error",
+            FailureKind::NotSelect => "not-select",
+            FailureKind::UserDefinedFunction => "udf",
+            FailureKind::Unsupported => "unsupported",
+            FailureKind::SemanticError => "semantic-error",
+            FailureKind::Internal => "internal",
+            FailureKind::BudgetExceeded => "budget-exceeded",
+        }
+    }
+
+    /// Inverse of [`FailureKind::as_str`].
+    pub fn parse(tag: &str) -> Option<FailureKind> {
+        FailureKind::ALL.into_iter().find(|k| k.as_str() == tag)
+    }
+}
+
+/// The four pipeline stages, in execution order. Each is a fault domain
+/// for the hardened runner: budgets are charged and faults injected at
+/// stage granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    Parse,
+    Lower,
+    Cnf,
+    Consolidate,
+}
+
+impl Stage {
+    /// All stages, in execution order.
+    pub const ALL: [Stage; 4] = [Stage::Parse, Stage::Lower, Stage::Cnf, Stage::Consolidate];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Lower => "lower",
+            Stage::Cnf => "cnf",
+            Stage::Consolidate => "consolidate",
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a [`StageHooks`] implementation aborts the in-flight query.
+#[derive(Debug, Clone)]
+pub enum StageFault {
+    /// Abort with [`FailureKind::Internal`] (synthetic errors).
+    Error(String),
+    /// Abort with [`FailureKind::BudgetExceeded`] (fuel or deadline).
+    Budget(String),
+}
+
+impl StageFault {
+    pub fn kind(&self) -> FailureKind {
+        match self {
+            StageFault::Error(_) => FailureKind::Internal,
+            StageFault::Budget(_) => FailureKind::BudgetExceeded,
+        }
+    }
+
+    pub fn message(&self) -> &str {
+        match self {
+            StageFault::Error(m) | StageFault::Budget(m) => m,
+        }
+    }
+}
+
+/// Per-stage observation points threaded through
+/// [`Pipeline::process_hooked`]. The hardened runner uses these to charge
+/// deterministic fuel costs, enforce deadlines, and inject faults; the
+/// default implementations do nothing.
+pub trait StageHooks {
+    /// Called before a stage runs. `Err` aborts the query; a panic here
+    /// unwinds like a stage panic (the runner's `catch_unwind` catches it).
+    fn before_stage(&mut self, _stage: Stage) -> Result<(), StageFault> {
+        Ok(())
+    }
+
+    /// Called after a stage completes with its deterministic cost in fuel
+    /// units (input bytes for parse, atom counts for the later stages).
+    fn after_stage(&mut self, _stage: Stage, _cost: u64) -> Result<(), StageFault> {
+        Ok(())
+    }
+}
+
+/// The no-op hooks used by [`Pipeline::process`].
+pub struct NoHooks;
+
+impl StageHooks for NoHooks {}
 
 /// Timings of the four pipeline steps, as reported in Section 6.6.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -85,6 +202,10 @@ pub struct PipelineStats {
     pub unsupported: usize,
     /// Queries rejected by the strict analyzer gate.
     pub semantic_errors: usize,
+    /// Panics or injected synthetic errors caught by the hardened runner.
+    pub internal_errors: usize,
+    /// Queries that ran out of fuel budget or deadline.
+    pub budget_exceeded: usize,
     pub mysql_dialect: usize,
     /// Areas whose extraction was approximate.
     pub approximate: usize,
@@ -92,8 +213,8 @@ pub struct PipelineStats {
     pub provably_empty: usize,
     /// Histogram of analyzer diagnostics over the whole log, keyed by
     /// registry code (`E0xx`/`W0xx`). BTreeMap keeps the report order
-    /// deterministic.
-    pub diagnostic_counts: BTreeMap<&'static str, usize>,
+    /// deterministic. Owned `String` keys so checkpoints round-trip.
+    pub diagnostic_counts: BTreeMap<String, usize>,
     /// Per-step (min, max) over all extracted queries.
     pub parse_range: Option<(Duration, Duration)>,
     pub extract_range: Option<(Duration, Duration)>,
@@ -121,12 +242,60 @@ impl PipelineStats {
             FailureKind::UserDefinedFunction => self.udf += 1,
             FailureKind::Unsupported => self.unsupported += 1,
             FailureKind::SemanticError => self.semantic_errors += 1,
+            FailureKind::Internal => self.internal_errors += 1,
+            FailureKind::BudgetExceeded => self.budget_exceeded += 1,
         }
+    }
+
+    /// Count of failures recorded under `kind`.
+    pub fn failure_count(&self, kind: FailureKind) -> usize {
+        match kind {
+            FailureKind::SyntaxError => self.syntax_errors,
+            FailureKind::NotSelect => self.not_select,
+            FailureKind::UserDefinedFunction => self.udf,
+            FailureKind::Unsupported => self.unsupported,
+            FailureKind::SemanticError => self.semantic_errors,
+            FailureKind::Internal => self.internal_errors,
+            FailureKind::BudgetExceeded => self.budget_exceeded,
+        }
+    }
+
+    /// Total failures of any kind; `total == extracted + failure_total()`
+    /// always holds for a fully-accounted run.
+    pub fn failure_total(&self) -> usize {
+        FailureKind::ALL.iter().map(|k| self.failure_count(*k)).sum()
     }
 
     fn record_diagnostics(&mut self, diagnostics: &[Diagnostic]) {
         for d in diagnostics {
-            *self.diagnostic_counts.entry(d.code).or_insert(0) += 1;
+            *self.diagnostic_counts.entry(d.code.to_string()).or_insert(0) += 1;
+        }
+    }
+
+    /// Folds one processed entry into the aggregate — the single
+    /// accounting path shared by [`Pipeline::process_log`] and the
+    /// hardened runner, so both report identical statistics.
+    pub(crate) fn absorb(&mut self, outcome: &Result<ExtractedQuery, FailedQuery>) {
+        self.total += 1;
+        match outcome {
+            Ok(q) => {
+                self.extracted += 1;
+                if q.mysql_dialect {
+                    self.mysql_dialect += 1;
+                }
+                if !q.area.exact {
+                    self.approximate += 1;
+                }
+                if q.area.provably_empty {
+                    self.provably_empty += 1;
+                }
+                self.record_diagnostics(&q.diagnostics);
+                self.record_timing(&q.timings);
+            }
+            Err(f) => {
+                self.record_failure(f.kind);
+                self.record_diagnostics(&f.diagnostics);
+            }
         }
     }
 
@@ -180,6 +349,18 @@ impl<'a> Pipeline<'a> {
 
     /// Processes one log entry with per-step timing.
     pub fn process(&self, log_index: usize, sql: &str) -> Result<ExtractedQuery, FailedQuery> {
+        self.process_hooked(log_index, sql, &mut NoHooks)
+    }
+
+    /// Processes one log entry, calling `hooks` around each stage. This is
+    /// the entry point of the hardened runner: hooks charge deterministic
+    /// fuel costs, enforce deadlines, and inject faults per stage.
+    pub fn process_hooked(
+        &self,
+        log_index: usize,
+        sql: &str,
+        hooks: &mut dyn StageHooks,
+    ) -> Result<ExtractedQuery, FailedQuery> {
         let classify = |e: ExtractError| -> FailedQuery {
             let (kind, message, span) = match &e {
                 ExtractError::Parse(p) => (
@@ -216,9 +397,23 @@ impl<'a> Pipeline<'a> {
             }
         };
 
+        let faulted = |fault: StageFault| -> FailedQuery {
+            FailedQuery {
+                log_index,
+                kind: fault.kind(),
+                message: fault.message().to_string(),
+                span: None,
+                diagnostics: Vec::new(),
+            }
+        };
+
+        hooks.before_stage(Stage::Parse).map_err(&faulted)?;
         let t0 = Instant::now();
         let select = aa_sql::parse_select(sql).map_err(|e| classify(e.into()))?;
         let parse = t0.elapsed();
+        hooks
+            .after_stage(Stage::Parse, 1 + sql.len() as u64)
+            .map_err(&faulted)?;
 
         let diagnostics = match (self.analyzer, self.analyze_mode) {
             (Some(analyzer), AnalyzeMode::Warn | AnalyzeMode::Strict) => {
@@ -241,17 +436,29 @@ impl<'a> Pipeline<'a> {
             }
         }
 
+        hooks.before_stage(Stage::Lower).map_err(&faulted)?;
         let t1 = Instant::now();
         let lowered = self.extractor.lower(&select).map_err(classify)?;
         let extract = t1.elapsed();
+        hooks
+            .after_stage(Stage::Lower, 1 + lowered.constraint.atom_count() as u64)
+            .map_err(&faulted)?;
 
+        hooks.before_stage(Stage::Cnf).map_err(&faulted)?;
         let t2 = Instant::now();
         let (converted, _) = self.extractor.convert(lowered);
         let cnf = t2.elapsed();
+        hooks
+            .after_stage(Stage::Cnf, 1 + converted.cnf.atoms().count() as u64)
+            .map_err(&faulted)?;
 
+        hooks.before_stage(Stage::Consolidate).map_err(&faulted)?;
         let t3 = Instant::now();
         let area = self.extractor.consolidate(converted);
         let consolidate = t3.elapsed();
+        hooks
+            .after_stage(Stage::Consolidate, 1 + area.constraint.len() as u64)
+            .map_err(&faulted)?;
 
         Ok(ExtractedQuery {
             log_index,
@@ -278,28 +485,11 @@ impl<'a> Pipeline<'a> {
         let mut failed = Vec::new();
         let mut stats = PipelineStats::default();
         for (i, sql) in log.into_iter().enumerate() {
-            stats.total += 1;
-            match self.process(i, sql.as_ref()) {
-                Ok(q) => {
-                    stats.extracted += 1;
-                    if q.mysql_dialect {
-                        stats.mysql_dialect += 1;
-                    }
-                    if !q.area.exact {
-                        stats.approximate += 1;
-                    }
-                    if q.area.provably_empty {
-                        stats.provably_empty += 1;
-                    }
-                    stats.record_diagnostics(&q.diagnostics);
-                    stats.record_timing(&q.timings);
-                    extracted.push(q);
-                }
-                Err(f) => {
-                    stats.record_failure(f.kind);
-                    stats.record_diagnostics(&f.diagnostics);
-                    failed.push(f);
-                }
+            let outcome = self.process(i, sql.as_ref());
+            stats.absorb(&outcome);
+            match outcome {
+                Ok(q) => extracted.push(q),
+                Err(f) => failed.push(f),
             }
         }
         stats.wall = start.elapsed();

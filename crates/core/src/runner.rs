@@ -1,0 +1,906 @@
+//! The hardened log runner: per-query fault domains over [`Pipeline`].
+//!
+//! `Pipeline::process_log` is all-or-nothing — one panic in the parser or
+//! extractor kills the whole run. Real SkyServer traffic is adversarial
+//! (the traffic reports document malformed and runaway queries as a
+//! constant fraction of load), so at production scale the runner itself
+//! must contain faults per *query*, not per *log*. [`LogRunner`] layers
+//! four mechanisms over the pipeline:
+//!
+//! * **panic isolation** — every `process` call runs under
+//!   `catch_unwind`; a poison query becomes a recorded
+//!   [`FailureKind::Internal`] failure instead of a crashed run;
+//! * **per-query budgets** — a deterministic fuel budget charged at stage
+//!   granularity (bytes parsed, atoms lowered/converted/consolidated)
+//!   plus an optional wall-clock deadline, both surfacing as
+//!   [`FailureKind::BudgetExceeded`];
+//! * **quarantine** — failed entries are appended to a replayable JSONL
+//!   sidecar ([`QuarantineRecord`]) carrying kind, span, message, and the
+//!   original SQL;
+//! * **checkpoint/resume** — the log is processed in chunks; after each
+//!   chunk the runner atomically persists `{offset, running stats}` plus
+//!   an extracted-areas sidecar, so a killed run resumes from the last
+//!   checkpoint and provably produces the same areas and stats as a
+//!   one-shot run.
+//!
+//! A seeded [`FaultPlan`] (xoshiro256++, [`aa_util::SeededRng`]) injects
+//! panics, synthetic errors, and budget exhaustion at chosen stages; the
+//! chaos suite uses it to prove the runner survives every injected fault
+//! while leaving non-faulted queries byte-identical to a clean run.
+
+use crate::pipeline::{
+    ExtractedQuery, FailedQuery, FailureKind, Pipeline, PipelineStats, Stage, StageFault,
+    StageHooks,
+};
+use aa_sql::Span;
+use aa_util::{FromJson, Json, SeededRng, ToJson};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Once;
+use std::time::{Duration, Instant};
+
+// ---- fault injection -------------------------------------------------------
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic when the given stage is entered.
+    Panic(Stage),
+    /// Return a synthetic internal error when the given stage is entered.
+    SyntheticError(Stage),
+    /// Exhaust the query's budget before the first stage.
+    BudgetExhaust,
+}
+
+impl FaultKind {
+    /// The [`FailureKind`] this fault must surface as when it fires.
+    pub fn expected_failure(&self) -> FailureKind {
+        match self {
+            FaultKind::Panic(_) | FaultKind::SyntheticError(_) => FailureKind::Internal,
+            FaultKind::BudgetExhaust => FailureKind::BudgetExceeded,
+        }
+    }
+}
+
+/// A deterministic schedule of faults keyed by log index. Two plans built
+/// from the same seed over the same index set are identical, so a chaos
+/// run is exactly reproducible.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: BTreeMap<usize, FaultKind>,
+}
+
+impl FaultPlan {
+    /// Samples a plan over log indices `0..total`: each index draws a
+    /// fault with probability `rate`, choosing uniformly among panic /
+    /// synthetic error / budget exhaustion and (where applicable) a
+    /// uniform stage.
+    pub fn seeded(seed: u64, total: usize, rate: f64) -> FaultPlan {
+        FaultPlan::seeded_over(seed, 0..total, rate)
+    }
+
+    /// Like [`FaultPlan::seeded`], but over an explicit index set (e.g.
+    /// only queries known to extract cleanly, so that stage-targeted
+    /// faults are guaranteed to fire).
+    pub fn seeded_over(
+        seed: u64,
+        indices: impl IntoIterator<Item = usize>,
+        rate: f64,
+    ) -> FaultPlan {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        let mut faults = BTreeMap::new();
+        for i in indices {
+            if !rng.gen_bool(rate) {
+                continue;
+            }
+            let stage = Stage::ALL[rng.gen_range(0..Stage::ALL.len())];
+            let kind = match rng.gen_range(0..3u32) {
+                0 => FaultKind::Panic(stage),
+                1 => FaultKind::SyntheticError(stage),
+                _ => FaultKind::BudgetExhaust,
+            };
+            faults.insert(i, kind);
+        }
+        FaultPlan { faults }
+    }
+
+    /// Adds (or overrides) one fault.
+    pub fn insert(&mut self, log_index: usize, kind: FaultKind) {
+        self.faults.insert(log_index, kind);
+    }
+
+    pub fn get(&self, log_index: usize) -> Option<FaultKind> {
+        self.faults.get(&log_index).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Planned faults in log order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, FaultKind)> + '_ {
+        self.faults.iter().map(|(i, k)| (*i, *k))
+    }
+}
+
+// ---- runner configuration --------------------------------------------------
+
+/// Knobs for the hardened runner. The default configuration behaves like
+/// `Pipeline::process_log` plus panic isolation: no budgets, no files.
+#[derive(Debug, Clone, Default)]
+pub struct RunnerConfig {
+    /// Per-query fuel budget in deterministic units (1 + input bytes for
+    /// parse; 1 + atom counts for lower/CNF/consolidate). `None` = no cap.
+    pub fuel: Option<u64>,
+    /// Optional per-query wall-clock deadline, checked at stage
+    /// boundaries. Nondeterministic by nature — off by default and
+    /// excluded from the determinism guarantees.
+    pub deadline: Option<Duration>,
+    /// Entries processed between checkpoints.
+    pub chunk_size: usize,
+    /// Catch panics per query (recorded as [`FailureKind::Internal`]).
+    pub isolate_panics: bool,
+    /// Checkpoint file; the extracted-areas sidecar lives alongside at
+    /// `<path>.areas.jsonl`.
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from the checkpoint file if it exists (fresh run otherwise).
+    pub resume: bool,
+    /// Quarantine sidecar (JSONL, one [`QuarantineRecord`] per line).
+    pub quarantine: Option<PathBuf>,
+    /// Deterministic fault injection schedule.
+    pub fault_plan: Option<FaultPlan>,
+    /// Stop after this many chunks (checkpoint persists) — simulates a
+    /// killed run for the resume tests and for operational drills.
+    pub max_chunks: Option<usize>,
+}
+
+impl RunnerConfig {
+    pub fn new() -> RunnerConfig {
+        RunnerConfig {
+            fuel: None,
+            deadline: None,
+            chunk_size: 256,
+            isolate_panics: true,
+            checkpoint: None,
+            resume: false,
+            quarantine: None,
+            fault_plan: None,
+            max_chunks: None,
+        }
+    }
+}
+
+/// Runner-level failure (I/O, corrupt checkpoint). Query-level failures
+/// never surface here — they are data, recorded in the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunnerError(pub String);
+
+impl fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runner error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+fn io_err(context: &str, e: impl fmt::Display) -> RunnerError {
+    RunnerError(format!("{context}: {e}"))
+}
+
+/// Outcome of a [`LogRunner::run`].
+#[derive(Debug)]
+pub struct RunReport {
+    /// Entries extracted by *this* invocation (a resumed run only holds
+    /// the tail; the areas sidecar holds the full set).
+    pub extracted: Vec<ExtractedQuery>,
+    /// Entries that failed in this invocation.
+    pub failed: Vec<FailedQuery>,
+    /// Cumulative statistics, including any checkpoint-restored prefix.
+    pub stats: PipelineStats,
+    /// Log offset this invocation started from (0 for fresh runs).
+    pub start_offset: usize,
+    /// Log offset reached (== log length unless `max_chunks` stopped us).
+    pub end_offset: usize,
+    /// Number of faults that fired from the fault plan.
+    pub faults_fired: usize,
+}
+
+// ---- quarantine ------------------------------------------------------------
+
+/// One quarantined log entry, serialized to the JSONL sidecar. Carries
+/// everything needed to replay the query later: the failure taxonomy
+/// entry, the anchored span, the message, and the original SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineRecord {
+    pub log_index: usize,
+    pub kind: FailureKind,
+    pub message: String,
+    pub span: Option<(usize, usize)>,
+    pub sql: String,
+}
+
+impl QuarantineRecord {
+    fn from_failure(f: &FailedQuery, sql: &str) -> QuarantineRecord {
+        QuarantineRecord {
+            log_index: f.log_index,
+            kind: f.kind,
+            message: f.message.clone(),
+            span: f.span.map(|s: Span| (s.start, s.end)),
+            sql: sql.to_string(),
+        }
+    }
+}
+
+impl ToJson for QuarantineRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("log_index".to_string(), self.log_index.to_json()),
+            ("kind".to_string(), Json::Str(self.kind.as_str().into())),
+            ("message".to_string(), Json::Str(self.message.clone())),
+            (
+                "span".to_string(),
+                match self.span {
+                    Some((s, e)) => Json::Arr(vec![s.to_json(), e.to_json()]),
+                    None => Json::Null,
+                },
+            ),
+            ("sql".to_string(), Json::Str(self.sql.clone())),
+        ])
+    }
+}
+
+impl FromJson for QuarantineRecord {
+    fn from_json(json: &Json) -> Result<Self, aa_util::JsonError> {
+        let field = |k: &str| {
+            json.get(k)
+                .ok_or_else(|| aa_util::JsonError(format!("quarantine record: missing '{k}'")))
+        };
+        let kind_tag = String::from_json(field("kind")?)?;
+        let kind = FailureKind::parse(&kind_tag)
+            .ok_or_else(|| aa_util::JsonError(format!("unknown failure kind '{kind_tag}'")))?;
+        let span = match field("span")? {
+            Json::Null => None,
+            Json::Arr(xs) if xs.len() == 2 => Some((
+                f64::from_json(&xs[0])? as usize,
+                f64::from_json(&xs[1])? as usize,
+            )),
+            _ => return Err(aa_util::JsonError("span must be null or [start, end]".into())),
+        };
+        Ok(QuarantineRecord {
+            log_index: f64::from_json(field("log_index")?)? as usize,
+            kind,
+            message: String::from_json(field("message")?)?,
+            span,
+            sql: String::from_json(field("sql")?)?,
+        })
+    }
+}
+
+/// Reads a quarantine sidecar back into records (blank lines ignored).
+pub fn read_quarantine(path: &Path) -> Result<Vec<QuarantineRecord>, RunnerError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| io_err(&format!("read quarantine {}", path.display()), e))?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|line| {
+            let json = Json::parse(line).map_err(|e| io_err("parse quarantine line", e))?;
+            QuarantineRecord::from_json(&json).map_err(|e| io_err("decode quarantine line", e))
+        })
+        .collect()
+}
+
+/// Histogram of quarantine records by failure kind, in [`FailureKind::ALL`]
+/// order (deterministic).
+pub fn failure_histogram(records: &[QuarantineRecord]) -> BTreeMap<FailureKind, usize> {
+    let mut hist = BTreeMap::new();
+    for r in records {
+        *hist.entry(r.kind).or_insert(0) += 1;
+    }
+    hist
+}
+
+// ---- checkpoint ------------------------------------------------------------
+
+/// Checkpoint layout (version 1): log offset reached, sidecar line counts
+/// (for truncation on resume), and the running deterministic stats.
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    offset: usize,
+    areas_written: usize,
+    quarantined: usize,
+    stats: PipelineStats,
+}
+
+impl ToJson for Checkpoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("version".to_string(), 1u32.to_json()),
+            ("offset".to_string(), self.offset.to_json()),
+            ("areas_written".to_string(), self.areas_written.to_json()),
+            ("quarantined".to_string(), self.quarantined.to_json()),
+            ("stats".to_string(), self.stats.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Checkpoint {
+    fn from_json(json: &Json) -> Result<Self, aa_util::JsonError> {
+        let field = |k: &str| {
+            json.get(k)
+                .ok_or_else(|| aa_util::JsonError(format!("checkpoint: missing '{k}'")))
+        };
+        let version = f64::from_json(field("version")?)? as u32;
+        if version != 1 {
+            return Err(aa_util::JsonError(format!(
+                "unsupported checkpoint version {version}"
+            )));
+        }
+        Ok(Checkpoint {
+            offset: f64::from_json(field("offset")?)? as usize,
+            areas_written: f64::from_json(field("areas_written")?)? as usize,
+            quarantined: f64::from_json(field("quarantined")?)? as usize,
+            stats: PipelineStats::from_json(field("stats")?)?,
+        })
+    }
+}
+
+/// Path of the extracted-areas sidecar belonging to a checkpoint file.
+pub fn areas_sidecar(checkpoint: &Path) -> PathBuf {
+    let mut os = checkpoint.as_os_str().to_owned();
+    os.push(".areas.jsonl");
+    PathBuf::from(os)
+}
+
+fn write_atomic(path: &Path, content: &str) -> Result<(), RunnerError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, content)
+        .map_err(|e| io_err(&format!("write {}", tmp.display()), e))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| io_err(&format!("rename {} -> {}", tmp.display(), path.display()), e))
+}
+
+/// Appends lines to a sidecar file (created if absent).
+fn append_lines(path: &Path, lines: &[String]) -> Result<(), RunnerError> {
+    if lines.is_empty() {
+        return Ok(());
+    }
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| io_err(&format!("open {}", path.display()), e))?;
+    let mut buf = String::new();
+    for line in lines {
+        buf.push_str(line);
+        buf.push('\n');
+    }
+    f.write_all(buf.as_bytes())
+        .map_err(|e| io_err(&format!("append {}", path.display()), e))
+}
+
+/// Truncates a JSONL sidecar to its first `keep` lines (missing file with
+/// `keep == 0` is fine). Used on resume to drop lines written after the
+/// last durable checkpoint.
+fn truncate_lines(path: &Path, keep: usize) -> Result<(), RunnerError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound && keep == 0 => return Ok(()),
+        Err(e) => return Err(io_err(&format!("read {}", path.display()), e)),
+    };
+    let kept: Vec<&str> = text.lines().take(keep).collect();
+    if kept.len() < keep {
+        return Err(RunnerError(format!(
+            "{} has {} lines, checkpoint expects at least {keep}",
+            path.display(),
+            kept.len()
+        )));
+    }
+    let mut out = kept.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    write_atomic(path, &out)
+}
+
+// ---- per-query guard (budget + deadline + fault injection) -----------------
+
+struct QueryGuard {
+    fuel_left: Option<u64>,
+    started: Instant,
+    deadline: Option<Duration>,
+    fault: Option<FaultKind>,
+    fired: bool,
+}
+
+impl QueryGuard {
+    fn new(config: &RunnerConfig, fault: Option<FaultKind>) -> QueryGuard {
+        QueryGuard {
+            fuel_left: config.fuel,
+            started: Instant::now(),
+            deadline: config.deadline,
+            fault,
+            fired: false,
+        }
+    }
+}
+
+impl StageHooks for QueryGuard {
+    fn before_stage(&mut self, stage: Stage) -> Result<(), StageFault> {
+        match self.fault {
+            Some(FaultKind::BudgetExhaust) if stage == Stage::Parse => {
+                self.fired = true;
+                Err(StageFault::Budget(
+                    "injected fault: budget exhausted".to_string(),
+                ))
+            }
+            Some(FaultKind::Panic(s)) if s == stage => {
+                self.fired = true;
+                panic!("injected fault: panic at {stage} stage");
+            }
+            Some(FaultKind::SyntheticError(s)) if s == stage => {
+                self.fired = true;
+                Err(StageFault::Error(format!(
+                    "injected fault: synthetic error at {stage} stage"
+                )))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn after_stage(&mut self, stage: Stage, cost: u64) -> Result<(), StageFault> {
+        if let Some(fuel) = &mut self.fuel_left {
+            if *fuel < cost {
+                *fuel = 0;
+                return Err(StageFault::Budget(format!(
+                    "fuel budget exhausted after {stage} stage (cost {cost})"
+                )));
+            }
+            *fuel -= cost;
+        }
+        if let Some(deadline) = self.deadline {
+            if self.started.elapsed() > deadline {
+                return Err(StageFault::Budget(format!(
+                    "deadline of {deadline:?} exceeded after {stage} stage"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---- panic quieting --------------------------------------------------------
+
+thread_local! {
+    static SUPPRESS_PANIC_OUTPUT: Cell<bool> = const { Cell::new(false) };
+}
+
+static QUIET_HOOK: Once = Once::new();
+
+/// Installs (once, process-wide) a panic hook that stays silent while the
+/// current thread is inside the runner's `catch_unwind` region, and
+/// delegates to the previous hook everywhere else. Without this, a chaos
+/// run over thousands of injected panics floods stderr with backtraces
+/// for failures that are fully contained.
+fn install_quiet_panic_hook() {
+    QUIET_HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+struct QuietGuard;
+
+impl QuietGuard {
+    fn new() -> QuietGuard {
+        SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
+        QuietGuard
+    }
+}
+
+impl Drop for QuietGuard {
+    fn drop(&mut self) {
+        SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+// ---- the runner ------------------------------------------------------------
+
+/// The fault-tolerant log runner. See the module docs for the contract.
+pub struct LogRunner<'a> {
+    pipeline: &'a Pipeline<'a>,
+    config: RunnerConfig,
+}
+
+impl<'a> LogRunner<'a> {
+    pub fn new(pipeline: &'a Pipeline<'a>, config: RunnerConfig) -> LogRunner<'a> {
+        LogRunner { pipeline, config }
+    }
+
+    /// Config accessor (e.g. for reporting the effective chunk size).
+    pub fn config(&self) -> &RunnerConfig {
+        &self.config
+    }
+
+    /// Processes `log`, chunk by chunk, with every configured hardening
+    /// layer. Only infrastructure problems (I/O, corrupt checkpoint)
+    /// return `Err`; query failures of any kind are data in the report.
+    pub fn run<S: AsRef<str>>(&self, log: &[S]) -> Result<RunReport, RunnerError> {
+        let chunk_size = self.config.chunk_size.max(1);
+        let mut stats = PipelineStats::default();
+        let mut offset = 0usize;
+        let mut areas_written = 0usize;
+        let mut quarantined = 0usize;
+
+        // Resume or start fresh, reconciling sidecars with the checkpoint.
+        if let Some(ckpt_path) = &self.config.checkpoint {
+            let areas_path = areas_sidecar(ckpt_path);
+            let existing = self.config.resume && ckpt_path.exists();
+            if existing {
+                let text = std::fs::read_to_string(ckpt_path)
+                    .map_err(|e| io_err(&format!("read checkpoint {}", ckpt_path.display()), e))?;
+                let json = Json::parse(&text).map_err(|e| io_err("parse checkpoint", e))?;
+                let ckpt =
+                    Checkpoint::from_json(&json).map_err(|e| io_err("decode checkpoint", e))?;
+                offset = ckpt.offset;
+                areas_written = ckpt.areas_written;
+                quarantined = ckpt.quarantined;
+                stats = ckpt.stats;
+                if offset > log.len() {
+                    return Err(RunnerError(format!(
+                        "checkpoint offset {offset} beyond log length {}",
+                        log.len()
+                    )));
+                }
+                // Drop sidecar lines written after the durable checkpoint.
+                truncate_lines(&areas_path, areas_written)?;
+                if let Some(qpath) = &self.config.quarantine {
+                    truncate_lines(qpath, quarantined)?;
+                }
+            } else {
+                // Fresh run: clean slate for the sidecars.
+                truncate_lines(&areas_path, 0)?;
+                if let Some(qpath) = &self.config.quarantine {
+                    truncate_lines(qpath, 0)?;
+                }
+            }
+        } else if let Some(qpath) = &self.config.quarantine {
+            if !self.config.resume {
+                truncate_lines(qpath, 0)?;
+            }
+        }
+
+        if self.config.isolate_panics {
+            install_quiet_panic_hook();
+        }
+
+        let start_offset = offset;
+        let wall_start = Instant::now();
+        let mut extracted = Vec::new();
+        let mut failed = Vec::new();
+        let mut faults_fired = 0usize;
+        let mut chunks_done = 0usize;
+
+        while offset < log.len() {
+            if let Some(max) = self.config.max_chunks {
+                if chunks_done >= max {
+                    break;
+                }
+            }
+            let end = (offset + chunk_size).min(log.len());
+            let mut area_lines: Vec<String> = Vec::new();
+            let mut quarantine_lines: Vec<String> = Vec::new();
+
+            for (i, entry) in log.iter().enumerate().take(end).skip(offset) {
+                let sql = entry.as_ref();
+                let (outcome, fired) = self.process_one(i, sql);
+                faults_fired += fired as usize;
+                stats.absorb(&outcome);
+                match outcome {
+                    Ok(q) => {
+                        if self.config.checkpoint.is_some() {
+                            area_lines.push(area_line(&q));
+                        }
+                        extracted.push(q);
+                    }
+                    Err(f) => {
+                        if self.config.quarantine.is_some() {
+                            quarantine_lines.push(
+                                QuarantineRecord::from_failure(&f, sql)
+                                    .to_json()
+                                    .to_string_compact(),
+                            );
+                        }
+                        failed.push(f);
+                    }
+                }
+            }
+
+            // Durability order: sidecars first, checkpoint last. A crash
+            // between the two leaves extra sidecar lines that the next
+            // resume truncates away — never a checkpoint pointing at
+            // missing data.
+            if let Some(ckpt_path) = &self.config.checkpoint {
+                append_lines(&areas_sidecar(ckpt_path), &area_lines)?;
+                areas_written += area_lines.len();
+            }
+            if let Some(qpath) = &self.config.quarantine {
+                append_lines(qpath, &quarantine_lines)?;
+                quarantined += quarantine_lines.len();
+            }
+            offset = end;
+            stats.wall += wall_start.elapsed().saturating_sub(stats.wall);
+            if let Some(ckpt_path) = &self.config.checkpoint {
+                let ckpt = Checkpoint {
+                    offset,
+                    areas_written,
+                    quarantined,
+                    stats: stats.clone(),
+                };
+                write_atomic(ckpt_path, &ckpt.to_json().to_string_pretty())?;
+            }
+            chunks_done += 1;
+        }
+
+        stats.wall = wall_start.elapsed();
+        Ok(RunReport {
+            extracted,
+            failed,
+            stats,
+            start_offset,
+            end_offset: offset,
+            faults_fired,
+        })
+    }
+
+    /// Processes one entry under the guard; returns the outcome and
+    /// whether an injected fault fired.
+    fn process_one(&self, i: usize, sql: &str) -> (Result<ExtractedQuery, FailedQuery>, bool) {
+        let fault = self.config.fault_plan.as_ref().and_then(|p| p.get(i));
+        let mut guard = QueryGuard::new(&self.config, fault);
+        if self.config.isolate_panics {
+            let quiet = QuietGuard::new();
+            let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+                self.pipeline.process_hooked(i, sql, &mut guard)
+            }));
+            drop(quiet);
+            let outcome = match caught {
+                Ok(result) => result,
+                Err(payload) => Err(FailedQuery {
+                    log_index: i,
+                    kind: FailureKind::Internal,
+                    message: format!("panic: {}", panic_message(payload)),
+                    span: None,
+                    diagnostics: Vec::new(),
+                }),
+            };
+            (outcome, guard.fired)
+        } else {
+            let outcome = self.pipeline.process_hooked(i, sql, &mut guard);
+            (outcome, guard.fired)
+        }
+    }
+}
+
+/// One line of the extracted-areas sidecar: a deterministic JSON record
+/// of everything the downstream analysis consumes (log position, the
+/// area, and the dialect flag). Timings are deliberately excluded — they
+/// differ run to run and would break resume-equality.
+fn area_line(q: &ExtractedQuery) -> String {
+    Json::obj([
+        ("log_index".to_string(), q.log_index.to_json()),
+        ("mysql_dialect".to_string(), q.mysql_dialect.to_json()),
+        ("area".to_string(), q.area.to_json()),
+    ])
+    .to_string_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::NoSchema;
+
+    fn pipeline_fixture(provider: &NoSchema) -> Pipeline<'_> {
+        Pipeline::new(provider)
+    }
+
+    const LOG: [&str; 5] = [
+        "SELECT * FROM SpecObjAll WHERE plate BETWEEN 296 AND 3200",
+        "SELEC * FORM T",
+        "SELECT * FROM PhotoObjAll WHERE ra > 180 AND ra < 200 AND dec > 0",
+        "SELECT objid FROM Galaxies LIMIT 10",
+        "SELECT * FROM T WHERE u >= 1 AND u <= 8 OR s > 5",
+    ];
+
+    #[test]
+    fn default_runner_matches_process_log() {
+        let provider = NoSchema;
+        let pipeline = pipeline_fixture(&provider);
+        let (pe, pf, ps) = pipeline.process_log(LOG);
+        let runner = LogRunner::new(&pipeline, RunnerConfig::new());
+        let report = runner.run(&LOG).unwrap();
+        assert_eq!(report.extracted.len(), pe.len());
+        assert_eq!(report.failed.len(), pf.len());
+        assert_eq!(report.stats.to_json(), ps.to_json());
+        assert_eq!(report.end_offset, LOG.len());
+        assert_eq!(report.faults_fired, 0);
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_recorded() {
+        let provider = NoSchema;
+        let pipeline = pipeline_fixture(&provider);
+        let mut plan = FaultPlan::default();
+        plan.insert(0, FaultKind::Panic(Stage::Cnf));
+        let config = RunnerConfig {
+            fault_plan: Some(plan),
+            ..RunnerConfig::new()
+        };
+        let report = LogRunner::new(&pipeline, config).run(&LOG).unwrap();
+        assert_eq!(report.stats.internal_errors, 1);
+        assert_eq!(report.faults_fired, 1);
+        let f = report.failed.iter().find(|f| f.log_index == 0).unwrap();
+        assert_eq!(f.kind, FailureKind::Internal);
+        assert!(f.message.contains("injected fault: panic at cnf"), "{}", f.message);
+        // The rest of the log still processed.
+        assert_eq!(report.stats.total, LOG.len());
+    }
+
+    #[test]
+    fn synthetic_error_and_budget_exhaust_fire_with_correct_kinds() {
+        let provider = NoSchema;
+        let pipeline = pipeline_fixture(&provider);
+        let mut plan = FaultPlan::default();
+        plan.insert(2, FaultKind::SyntheticError(Stage::Lower));
+        plan.insert(4, FaultKind::BudgetExhaust);
+        let config = RunnerConfig {
+            fault_plan: Some(plan),
+            ..RunnerConfig::new()
+        };
+        let report = LogRunner::new(&pipeline, config).run(&LOG).unwrap();
+        assert_eq!(report.stats.internal_errors, 1);
+        assert_eq!(report.stats.budget_exceeded, 1);
+        assert_eq!(report.faults_fired, 2);
+        assert_eq!(
+            report.failed.iter().find(|f| f.log_index == 2).unwrap().kind,
+            FailureKind::Internal
+        );
+        assert_eq!(
+            report.failed.iter().find(|f| f.log_index == 4).unwrap().kind,
+            FailureKind::BudgetExceeded
+        );
+    }
+
+    #[test]
+    fn tiny_fuel_budget_rejects_everything_deterministically() {
+        let provider = NoSchema;
+        let pipeline = pipeline_fixture(&provider);
+        let config = RunnerConfig {
+            fuel: Some(3), // parse alone costs 1 + sql.len()
+            ..RunnerConfig::new()
+        };
+        let a = LogRunner::new(&pipeline, config.clone()).run(&LOG).unwrap();
+        let b = LogRunner::new(&pipeline, config).run(&LOG).unwrap();
+        // The syntax-error entry fails at parse *before* the budget check;
+        // everything else runs out of fuel. Either way, fully accounted.
+        assert_eq!(a.stats.extracted, 0);
+        assert_eq!(a.stats.total, a.stats.failure_total());
+        assert_eq!(a.stats.to_json(), b.stats.to_json());
+        assert!(a.stats.budget_exceeded >= 4, "{}", a.stats.budget_exceeded);
+    }
+
+    #[test]
+    fn generous_fuel_budget_changes_nothing() {
+        let provider = NoSchema;
+        let pipeline = pipeline_fixture(&provider);
+        let clean = LogRunner::new(&pipeline, RunnerConfig::new()).run(&LOG).unwrap();
+        let config = RunnerConfig {
+            fuel: Some(1_000_000),
+            ..RunnerConfig::new()
+        };
+        let budgeted = LogRunner::new(&pipeline, config).run(&LOG).unwrap();
+        assert_eq!(clean.stats.to_json(), budgeted.stats.to_json());
+        for (a, b) in clean.extracted.iter().zip(&budgeted.extracted) {
+            assert_eq!(area_line(a), area_line(b));
+        }
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_in_its_seed() {
+        let a = FaultPlan::seeded(7, 10_000, 0.03);
+        let b = FaultPlan::seeded(7, 10_000, 0.03);
+        let c = FaultPlan::seeded(8, 10_000, 0.03);
+        assert!(!a.is_empty());
+        assert_eq!(
+            a.iter().collect::<Vec<_>>(),
+            b.iter().collect::<Vec<_>>()
+        );
+        assert_ne!(
+            a.iter().collect::<Vec<_>>(),
+            c.iter().collect::<Vec<_>>()
+        );
+        // Rate is roughly honoured.
+        assert!(a.len() > 150 && a.len() < 450, "{}", a.len());
+    }
+
+    #[test]
+    fn quarantine_records_round_trip_through_json() {
+        for record in [
+            QuarantineRecord {
+                log_index: 7,
+                kind: FailureKind::Internal,
+                message: "panic: injected".to_string(),
+                span: None,
+                sql: "SELECT * FROM T".to_string(),
+            },
+            QuarantineRecord {
+                log_index: 0,
+                kind: FailureKind::SyntaxError,
+                message: "syntax error: bad \"quote\"".to_string(),
+                span: Some((3, 9)),
+                sql: "SELEC * FORM T".to_string(),
+            },
+        ] {
+            let line = record.to_json().to_string_compact();
+            let back = QuarantineRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
+            assert_eq!(back, record, "{line}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_sidecar_path_is_stable() {
+        let mut stats = PipelineStats {
+            total: 10,
+            extracted: 8,
+            syntax_errors: 1,
+            internal_errors: 1,
+            ..PipelineStats::default()
+        };
+        stats.diagnostic_counts.insert("W002".to_string(), 3);
+        let ckpt = Checkpoint {
+            offset: 10,
+            areas_written: 8,
+            quarantined: 2,
+            stats,
+        };
+        let text = ckpt.to_json().to_string_pretty();
+        let back = Checkpoint::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.offset, 10);
+        assert_eq!(back.stats.to_json(), ckpt.stats.to_json());
+        assert_eq!(
+            areas_sidecar(Path::new("/tmp/run.ckpt.json")),
+            PathBuf::from("/tmp/run.ckpt.json.areas.jsonl")
+        );
+    }
+
+    #[test]
+    fn failure_kind_tags_round_trip() {
+        for kind in FailureKind::ALL {
+            assert_eq!(FailureKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(FailureKind::parse("nonsense"), None);
+    }
+}

@@ -66,8 +66,20 @@ impl PrecomputedNeighbors {
                     }
                 }));
             }
+            // Join every worker before reacting to failures, then
+            // propagate the first panic by resuming its original payload.
+            // A bare `expect` here would (a) abort the join loop early and
+            // (b) replace the payload with a generic message, losing the
+            // panicking worker's actual error for callers that isolate
+            // faults with `catch_unwind` (e.g. aa-core's hardened runner).
+            let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
             for h in handles {
-                h.join().expect("worker panicked");
+                if let Err(payload) = h.join() {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+            if let Some(payload) = first_panic {
+                std::panic::resume_unwind(payload);
             }
         });
 
@@ -156,6 +168,30 @@ mod tests {
             &pre,
         );
         assert_eq!(r.noise_count(), 4);
+    }
+
+    #[test]
+    fn worker_panic_payload_is_preserved() {
+        let pts: Vec<f64> = (0..64).map(f64::from).collect();
+        let poisoned = |a: &f64, b: &f64| -> f64 {
+            if *a == 7.0 || *b == 7.0 {
+                panic!("poison distance at point 7");
+            }
+            (a - b).abs()
+        };
+        let caught = match std::panic::catch_unwind(|| {
+            PrecomputedNeighbors::compute(&pts, 0.5, &poisoned, 4, None)
+        }) {
+            Err(payload) => payload,
+            Ok(_) => panic!("worker panic must propagate"),
+        };
+        // The original payload survives the join (no generic
+        // "worker panicked" replacement).
+        let message = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("payload should be the original &str");
+        assert_eq!(message, "poison distance at point 7");
     }
 
     #[test]

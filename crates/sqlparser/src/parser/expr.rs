@@ -7,12 +7,22 @@ use crate::ast::*;
 use crate::error::{ParseError, ParseResult};
 use crate::token::{Keyword, Token};
 
-use super::Parser;
+use super::{Parser, MAX_EXPR_DEPTH};
 
 impl Parser {
     /// Parses a full boolean/value expression.
     pub fn parse_expr(&mut self) -> ParseResult<Expr> {
-        self.parse_or()
+        self.expr_depth += 1;
+        if self.expr_depth > MAX_EXPR_DEPTH {
+            self.expr_depth -= 1;
+            return Err(ParseError::unsupported(
+                format!("expression nesting too deep (limit {MAX_EXPR_DEPTH})"),
+                self.peek_span(),
+            ));
+        }
+        let result = self.parse_or();
+        self.expr_depth -= 1;
+        result
     }
 
     fn parse_or(&mut self) -> ParseResult<Expr> {
@@ -717,6 +727,30 @@ mod tests {
             } => assert!(matches!(*expr, Expr::Unary { .. })),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn expression_nesting_depth_is_capped() {
+        use crate::error::ParseErrorKind;
+        use crate::parser::MAX_EXPR_DEPTH;
+        // N parentheses around an atom cost N + 1 expression levels (the
+        // WHERE clause itself is level one), so the deepest accepted
+        // nesting is exactly MAX_EXPR_DEPTH - 1 parentheses.
+        let nested = |parens: usize| {
+            format!(
+                "SELECT * FROM T WHERE {}u = 1{}",
+                "(".repeat(parens),
+                ")".repeat(parens)
+            )
+        };
+        Parser::parse_statement(&nested(MAX_EXPR_DEPTH - 1))
+            .expect("nesting at the limit must parse");
+        let err = Parser::parse_statement(&nested(MAX_EXPR_DEPTH)).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::Unsupported);
+        assert!(err.message.contains("nesting too deep"), "{}", err.message);
+        // Far past the limit: still a clean error, never a stack overflow.
+        let err = Parser::parse_statement(&nested(20_000)).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::Unsupported);
     }
 
     #[test]

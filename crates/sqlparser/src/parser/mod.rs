@@ -15,11 +15,25 @@ use crate::token::{Keyword, Span, SpannedToken, Token};
 /// pathological inputs in the error-query portion of the log.
 const MAX_DEPTH: usize = 32;
 
+/// Maximum *expression* recursion depth (each nested parenthesis, CASE,
+/// or operand recursion counts one level). The recursive-descent
+/// expression grammar otherwise consumes a stack frame chain per
+/// parenthesis, so a machine-generated `((((…))))` in the error portion
+/// of the log could overflow the stack instead of failing cleanly. Depth
+/// overruns are reported as [`ParseErrorKind::Unsupported`]
+/// (`crate::error::ParseErrorKind`), matching the pipeline's taxonomy for
+/// recognised-but-rejected constructs. The limit is sized so the full
+/// recursion fits comfortably inside a 2 MiB test-thread stack even in
+/// debug builds (~9 frames per level); real log queries nest well under
+/// ten levels. Pinned by `expression_nesting_depth_is_capped`.
+pub const MAX_EXPR_DEPTH: usize = 64;
+
 /// Token-cursor based parser.
 pub struct Parser {
     tokens: Vec<SpannedToken>,
     pos: usize,
     depth: usize,
+    expr_depth: usize,
 }
 
 impl Parser {
@@ -29,6 +43,7 @@ impl Parser {
             tokens: Lexer::tokenize(sql)?,
             pos: 0,
             depth: 0,
+            expr_depth: 0,
         })
     }
 

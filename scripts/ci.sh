@@ -10,6 +10,20 @@ cargo build --workspace --release --offline
 echo "==> cargo test --offline"
 cargo test --workspace -q --offline
 
+# Resilience gate: a fixed-seed chaos run — fault injection over the
+# deterministic synthetic DR9 log, with budgets, quarantine, and a
+# checkpoint — must complete and exit 0. Offline and hermetic: the log is
+# generated in-process and all sidecars live in a throwaway directory.
+echo "==> chaos run (fixed seed, fault injection)"
+chaos_dir="$(mktemp -d)"
+trap 'rm -rf "$chaos_dir"' EXIT
+cargo run --release -p aa-apps --bin analyze_log --offline -- \
+    --gen 1500 --seed 7 --inject-faults 99 --budget 100000 \
+    --quarantine "$chaos_dir/quarantine.jsonl" \
+    --checkpoint "$chaos_dir/ckpt.json" \
+    > "$chaos_dir/chaos.out"
+grep -q "faults fired" "$chaos_dir/chaos.out"
+
 # Lint gate: clippy when the toolchain has it; otherwise rustc warnings
 # are promoted to errors over every target so the build still gates.
 if cargo clippy --version >/dev/null 2>&1; then

@@ -1,0 +1,266 @@
+//! Chaos and resilience suite for the hardened log runner.
+//!
+//! Three contracts from the robustness milestone, proven end to end over
+//! the synthetic DR9 log:
+//!
+//! 1. **Chaos acceptance** — a fault-injected run over ≥1,000 queries
+//!    completes without crashing, every injected fault is recorded under
+//!    the [`FailureKind`] its [`FaultKind`] maps to, and the non-faulted
+//!    queries produce byte-identical areas to a clean run.
+//! 2. **Checkpoint/resume determinism** — a run killed mid-log (via
+//!    `max_chunks`) and then resumed produces exactly the same areas
+//!    sidecar and deterministic stats (including the analyzer's
+//!    diagnostic histogram) as a one-shot run.
+//! 3. **Quarantine round-trip** — the quarantine sidecar re-reads into
+//!    the same records, and replaying each quarantined query under the
+//!    same budget config reproduces the same failure-kind histogram.
+
+use aa_analyze::Analyzer;
+use aa_core::{
+    areas_sidecar, failure_histogram, read_quarantine, AnalyzeMode, ExtractedQuery, FailureKind,
+    FaultKind, FaultPlan, LogRunner, NoSchema, Pipeline, RunnerConfig,
+};
+use aa_skyserver::{generate_log, Dr9Schema, LogConfig};
+use aa_util::ToJson;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+fn synthetic_log(total: usize, seed: u64) -> Vec<String> {
+    generate_log(&LogConfig {
+        total,
+        seed,
+        ..LogConfig::default()
+    })
+    .into_iter()
+    .map(|e| e.sql)
+    .collect()
+}
+
+/// Per-process unique temp path so parallel test binaries never collide.
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("aa_runner_chaos_{}_{name}", std::process::id()));
+    p
+}
+
+/// The byte-comparable identity of an extracted query: everything the
+/// downstream analysis consumes, rendered deterministically (timings are
+/// excluded by design — they vary run to run).
+fn area_key(q: &ExtractedQuery) -> String {
+    format!(
+        "{}|{}|{}",
+        q.log_index,
+        q.mysql_dialect,
+        q.area.to_json().to_string_compact()
+    )
+}
+
+#[test]
+fn chaos_run_survives_and_accounts_for_every_fault() {
+    let log = synthetic_log(1_200, 7);
+    assert!(log.len() >= 1_000);
+    let provider = NoSchema;
+    let pipeline = Pipeline::new(&provider);
+
+    // Clean baseline.
+    let clean = LogRunner::new(&pipeline, RunnerConfig::new())
+        .run(&log)
+        .unwrap();
+    assert_eq!(clean.stats.total, log.len());
+    let clean_by_index: BTreeMap<usize, String> = clean
+        .extracted
+        .iter()
+        .map(|q| (q.log_index, area_key(q)))
+        .collect();
+
+    // Restrict the plan to cleanly-extracting indices: those queries
+    // reach every stage, so each planned fault is *guaranteed* to fire
+    // and the "every fault accounted for" assertion is exact.
+    let plan = FaultPlan::seeded_over(99, clean_by_index.keys().copied(), 0.08);
+    let planned: Vec<(usize, FaultKind)> = plan.iter().collect();
+    assert!(planned.len() >= 40, "want a meaningful plan, got {}", planned.len());
+
+    let config = RunnerConfig {
+        fault_plan: Some(plan),
+        ..RunnerConfig::new()
+    };
+    let chaos = LogRunner::new(&pipeline, config).run(&log).unwrap();
+
+    // The run survived and nothing was dropped.
+    assert_eq!(chaos.stats.total, log.len());
+    assert_eq!(chaos.extracted.len() + chaos.failed.len(), log.len());
+    assert_eq!(chaos.faults_fired, planned.len());
+    assert_eq!(
+        chaos.extracted.len(),
+        clean.extracted.len() - planned.len()
+    );
+
+    // Every injected fault surfaced under its taxonomy entry.
+    for (idx, kind) in &planned {
+        let f = chaos
+            .failed
+            .iter()
+            .find(|f| f.log_index == *idx)
+            .unwrap_or_else(|| panic!("fault at index {idx} not recorded"));
+        assert_eq!(
+            f.kind,
+            kind.expected_failure(),
+            "index {idx}, fault {kind:?}, message {:?}",
+            f.message
+        );
+    }
+    let injected_internal = planned
+        .iter()
+        .filter(|(_, k)| k.expected_failure() == FailureKind::Internal)
+        .count();
+    let injected_budget = planned.len() - injected_internal;
+    assert_eq!(chaos.stats.internal_errors, injected_internal);
+    assert_eq!(chaos.stats.budget_exceeded, injected_budget);
+
+    // Non-faulted queries are byte-identical to the clean run.
+    let faulted: BTreeSet<usize> = planned.iter().map(|(i, _)| *i).collect();
+    for q in &chaos.extracted {
+        assert!(!faulted.contains(&q.log_index));
+        assert_eq!(area_key(q), clean_by_index[&q.log_index]);
+    }
+}
+
+#[test]
+fn killed_and_resumed_run_equals_one_shot() {
+    let mut log = synthetic_log(600, 11);
+    // Cartesian joins make the analyzer's diagnostic histogram (W002)
+    // non-empty, so its checkpoint round-trip is exercised too.
+    for i in 0..5 {
+        log.push(format!(
+            "SELECT * FROM PhotoObjAll, SpecObjAll WHERE PhotoObjAll.ra > {i}"
+        ));
+    }
+    let provider = NoSchema;
+    let schema = Dr9Schema::new();
+    let analyzer = Analyzer::new(&schema);
+    let pipeline = Pipeline::new(&provider).with_analyzer(&analyzer, AnalyzeMode::Warn);
+
+    let ckpt_one = temp_path("oneshot.ckpt.json");
+    let ckpt_two = temp_path("resumed.ckpt.json");
+
+    let one = LogRunner::new(
+        &pipeline,
+        RunnerConfig {
+            checkpoint: Some(ckpt_one.clone()),
+            chunk_size: 128,
+            ..RunnerConfig::new()
+        },
+    )
+    .run(&log)
+    .unwrap();
+    assert_eq!(one.end_offset, log.len());
+    assert!(
+        !one.stats.diagnostic_counts.is_empty(),
+        "test needs a non-empty diagnostic histogram to be meaningful"
+    );
+
+    // "Kill" the second run after two chunks (the checkpoint survives),
+    // then resume it to completion.
+    let killed = LogRunner::new(
+        &pipeline,
+        RunnerConfig {
+            checkpoint: Some(ckpt_two.clone()),
+            chunk_size: 128,
+            max_chunks: Some(2),
+            ..RunnerConfig::new()
+        },
+    )
+    .run(&log)
+    .unwrap();
+    assert_eq!(killed.end_offset, 256);
+
+    let resumed = LogRunner::new(
+        &pipeline,
+        RunnerConfig {
+            checkpoint: Some(ckpt_two.clone()),
+            chunk_size: 128,
+            resume: true,
+            ..RunnerConfig::new()
+        },
+    )
+    .run(&log)
+    .unwrap();
+    assert_eq!(resumed.start_offset, 256);
+    assert_eq!(resumed.end_offset, log.len());
+
+    // Deterministic stats — totals, the full failure taxonomy, and the
+    // per-code diagnostic histogram — identical to the one-shot run.
+    assert_eq!(resumed.stats.to_json(), one.stats.to_json());
+
+    // The areas sidecar (the run's actual output) is byte-identical.
+    let a = std::fs::read(areas_sidecar(&ckpt_one)).unwrap();
+    let b = std::fs::read(areas_sidecar(&ckpt_two)).unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b);
+
+    for p in [&ckpt_one, &ckpt_two] {
+        let _ = std::fs::remove_file(areas_sidecar(p));
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn quarantine_sidecar_replays_to_the_same_histogram() {
+    // A hostile mix: syntax errors, non-SELECT, UDF calls, plus a fuel
+    // budget tight enough to reject the longer (still valid) queries.
+    let log: Vec<String> = vec![
+        "SELECT * FROM T WHERE u > 1".to_string(),
+        "SELEC * FORM T".to_string(),
+        "DROP TABLE Students".to_string(),
+        "SELECT dbo.fGetNearbyObjEq(185.0, 0.0, 2.0) FROM PhotoObjAll".to_string(),
+        "SELECT * FROM SpecObjAll WHERE plate BETWEEN 296 AND 3200 AND fiberid < 400".to_string(),
+        "SELECT * FROM PhotoObjAll WHERE ra > 180 AND ra < 200 AND dec > 0 AND dec < 10".to_string(),
+        "SELECT objid FROM Galaxies".to_string(),
+        "INSERT INTO T VALUES (1)".to_string(),
+        "SELECT * FROM T WHERE".to_string(),
+    ];
+    let provider = NoSchema;
+    let pipeline = Pipeline::new(&provider);
+    let qpath = temp_path("quarantine.jsonl");
+    let config = RunnerConfig {
+        fuel: Some(60),
+        quarantine: Some(qpath.clone()),
+        ..RunnerConfig::new()
+    };
+    let report = LogRunner::new(&pipeline, config).run(&log).unwrap();
+    assert!(report.failed.len() >= 5, "{}", report.failed.len());
+
+    // Round-trip: the sidecar re-reads into exactly the failures we saw.
+    let records = read_quarantine(&qpath).unwrap();
+    assert_eq!(records.len(), report.failed.len());
+    for (r, f) in records.iter().zip(&report.failed) {
+        assert_eq!(r.log_index, f.log_index);
+        assert_eq!(r.kind, f.kind);
+        assert_eq!(r.message, f.message);
+        assert_eq!(r.sql, log[f.log_index]);
+    }
+    let hist = failure_histogram(&records);
+    assert!(
+        hist.len() >= 3,
+        "want several distinct failure kinds, got {hist:?}"
+    );
+    assert!(hist.contains_key(&FailureKind::BudgetExceeded), "{hist:?}");
+
+    // Replay every quarantined query under the same budget config: each
+    // fails again, and the histogram is reproduced exactly.
+    let replay_cfg = RunnerConfig {
+        fuel: Some(60),
+        ..RunnerConfig::new()
+    };
+    let mut replay_hist: BTreeMap<FailureKind, usize> = BTreeMap::new();
+    for r in &records {
+        let rep = LogRunner::new(&pipeline, replay_cfg.clone())
+            .run(&[r.sql.as_str()])
+            .unwrap();
+        assert_eq!(rep.failed.len(), 1, "replay of {:?} must fail", r.sql);
+        *replay_hist.entry(rep.failed[0].kind).or_insert(0) += 1;
+    }
+    assert_eq!(replay_hist, hist);
+
+    let _ = std::fs::remove_file(&qpath);
+}
