@@ -1,0 +1,13 @@
+#[test]
+fn not_chain() {
+    let sql = format!("SELECT * FROM T WHERE {}u = 1", "NOT ".repeat(200_000));
+    let r = aa_sql::Parser::parse_statement(&sql);
+    eprintln!("not chain errored: {:?}", r.is_err());
+}
+
+#[test]
+fn unary_minus_chain() {
+    let sql = format!("SELECT * FROM T WHERE u = {}1", "- ".repeat(200_000));
+    let r = aa_sql::Parser::parse_statement(&sql);
+    eprintln!("minus chain errored: {:?}", r.is_err());
+}
