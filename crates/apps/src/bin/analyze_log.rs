@@ -97,11 +97,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--optics" => use_optics = true,
             "--mode" => {
-                mode = match args.next().as_deref() {
-                    Some("literal") => DistanceMode::PaperLiteral,
-                    Some("dissim") | Some("dissimilarity") => DistanceMode::Dissimilarity,
-                    other => return Err(format!("--mode expects literal|dissim, got {other:?}")),
-                };
+                let value = args.next();
+                mode = value
+                    .as_deref()
+                    .and_then(DistanceMode::parse)
+                    .ok_or_else(|| format!("--mode expects literal|dissim, got {value:?}"))?;
             }
             "--analyze" => {
                 analyze = match args.next().as_deref() {

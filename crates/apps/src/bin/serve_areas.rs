@@ -1,0 +1,305 @@
+//! `serve_areas` — the online serving front end: load (or build) a
+//! clustered model and answer classify/neighbors/stats requests over
+//! line-delimited JSON on TCP.
+//!
+//! Server mode:
+//!
+//! ```text
+//! cargo run --release -p aa-apps --bin serve_areas -- \
+//!     (--model FILE | --gen N [--seed S] [--eps F] [--min-pts N] [--mode literal|dissim]) \
+//!     [--port P] [--workers N] [--cache N] [--fuel N] [--rate N] \
+//!     [--save-model FILE] [--stats-out FILE]
+//! ```
+//!
+//! Prints `listening on 127.0.0.1:PORT` once ready (with `--port 0`,
+//! the kernel-assigned port — scripts parse this line), then serves
+//! until a client sends `{"op":"shutdown"}`, drains, and prints the
+//! final stats snapshot.
+//!
+//! Client mode:
+//!
+//! ```text
+//! cargo run --release -p aa-apps --bin serve_areas -- --connect HOST:PORT
+//! ```
+//!
+//! reads requests from stdin — raw JSON lines, or the shorthands
+//! `classify SQL…`, `neighbors K SQL…`, `stats`, `shutdown` — and
+//! prints one response line each.
+
+use aa_core::DistanceMode;
+use aa_serve::{build_model, ServeEngine, ServerConfig};
+use aa_util::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    connect: Option<String>,
+    model: Option<PathBuf>,
+    gen: Option<usize>,
+    seed: u64,
+    eps: f64,
+    min_pts: usize,
+    mode: DistanceMode,
+    port: u16,
+    workers: usize,
+    cache: usize,
+    fuel: Option<u64>,
+    rate: u32,
+    save_model: Option<PathBuf>,
+    stats_out: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: serve_areas (--model FILE | --gen N [--seed S] [--eps F] [--min-pts N] [--mode literal|dissim]) [--port P] [--workers N] [--cache N] [--fuel N] [--rate N] [--save-model FILE] [--stats-out FILE]\n       serve_areas --connect HOST:PORT";
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        connect: None,
+        model: None,
+        gen: None,
+        seed: 42,
+        eps: 0.06,
+        min_pts: 8,
+        mode: DistanceMode::Dissimilarity,
+        port: 0,
+        workers: 4,
+        cache: 1024,
+        fuel: Some(10_000_000),
+        rate: 60,
+        save_model: None,
+        stats_out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let next = |args: &mut dyn Iterator<Item = String>, what: &str| {
+        args.next().ok_or_else(|| format!("{what} expects a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => out.connect = Some(next(&mut args, "--connect")?),
+            "--model" => out.model = Some(PathBuf::from(next(&mut args, "--model")?)),
+            "--gen" => {
+                out.gen = Some(
+                    next(&mut args, "--gen")?
+                        .parse()
+                        .map_err(|_| "--gen expects an entry count")?,
+                )
+            }
+            "--seed" => {
+                out.seed = next(&mut args, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer")?
+            }
+            "--eps" => {
+                out.eps = next(&mut args, "--eps")?
+                    .parse()
+                    .map_err(|_| "--eps expects a number")?
+            }
+            "--min-pts" => {
+                out.min_pts = next(&mut args, "--min-pts")?
+                    .parse()
+                    .map_err(|_| "--min-pts expects an integer")?
+            }
+            "--mode" => {
+                let value = next(&mut args, "--mode")?;
+                out.mode = DistanceMode::parse(&value)
+                    .ok_or_else(|| format!("--mode expects literal|dissim, got '{value}'"))?;
+            }
+            "--port" => {
+                out.port = next(&mut args, "--port")?
+                    .parse()
+                    .map_err(|_| "--port expects a port number")?
+            }
+            "--workers" => {
+                out.workers = next(&mut args, "--workers")?
+                    .parse()
+                    .map_err(|_| "--workers expects an integer")?
+            }
+            "--cache" => {
+                out.cache = next(&mut args, "--cache")?
+                    .parse()
+                    .map_err(|_| "--cache expects an entry count")?
+            }
+            "--fuel" => {
+                out.fuel = Some(
+                    next(&mut args, "--fuel")?
+                        .parse()
+                        .map_err(|_| "--fuel expects a fuel amount")?,
+                )
+            }
+            "--rate" => {
+                out.rate = next(&mut args, "--rate")?
+                    .parse()
+                    .map_err(|_| "--rate expects requests per minute")?
+            }
+            "--save-model" => {
+                out.save_model = Some(PathBuf::from(next(&mut args, "--save-model")?))
+            }
+            "--stats-out" => out.stats_out = Some(PathBuf::from(next(&mut args, "--stats-out")?)),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    if out.connect.is_none() && out.model.is_none() && out.gen.is_none() {
+        return Err(format!("missing --connect, --model, or --gen\n{USAGE}"));
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(addr) = &args.connect {
+        return client_mode(addr);
+    }
+    server_mode(&args)
+}
+
+fn server_mode(args: &Args) -> ExitCode {
+    let model = match (&args.model, args.gen) {
+        (Some(path), _) => match aa_core::ClusteredModel::load(path) {
+            Ok(m) => {
+                eprintln!(
+                    "loaded model {}: {} areas, {} clusters",
+                    path.display(),
+                    m.areas.len(),
+                    m.cluster_count
+                );
+                m
+            }
+            Err(e) => {
+                eprintln!("cannot load {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, Some(total)) => {
+            eprintln!(
+                "building model from synthetic DR9 log: {total} entries, seed {}",
+                args.seed
+            );
+            let m = build_model(total, args.seed, args.eps, args.min_pts, args.mode);
+            eprintln!(
+                "model ready: {} areas, {} clusters, {} noise",
+                m.areas.len(),
+                m.cluster_count,
+                m.noise_count()
+            );
+            m
+        }
+        (None, None) => unreachable!("parse_args requires a model source"),
+    };
+    if let Some(path) = &args.save_model {
+        if let Err(e) = model.save(path) {
+            eprintln!("cannot save model to {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("model saved to {}", path.display());
+    }
+    let engine = ServeEngine::new(model, args.cache, args.fuel);
+    let config = ServerConfig {
+        addr: format!("127.0.0.1:{}", args.port),
+        workers: args.workers,
+        cache_capacity: args.cache,
+        fuel: args.fuel,
+        per_minute: args.rate,
+        stats_path: args.stats_out.clone(),
+    };
+    let handle = match aa_serve::spawn(engine, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Scripts parse this exact line for the ephemeral port.
+    println!("listening on {}", handle.local_addr());
+    let snapshot = handle.wait();
+    println!("{}", snapshot.to_string_pretty());
+    ExitCode::SUCCESS
+}
+
+/// Turns a shorthand stdin line into a protocol request line.
+fn to_request_line(line: &str) -> Option<String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    if line.starts_with('{') {
+        return Some(line.to_string());
+    }
+    let json = match line.split_once(' ') {
+        None if line == "stats" || line == "shutdown" => {
+            Json::obj([("op".to_string(), Json::Str(line.to_string()))])
+        }
+        Some(("classify", sql)) => Json::obj([
+            ("op".to_string(), Json::Str("classify".to_string())),
+            ("sql".to_string(), Json::Str(sql.trim().to_string())),
+        ]),
+        Some(("neighbors", rest)) => {
+            let (k, sql) = match rest.trim().split_once(' ') {
+                Some((k, sql)) if k.parse::<usize>().is_ok() => {
+                    (k.parse::<usize>().unwrap(), sql.trim())
+                }
+                _ => (5, rest.trim()),
+            };
+            Json::obj([
+                ("op".to_string(), Json::Str("neighbors".to_string())),
+                ("sql".to_string(), Json::Str(sql.to_string())),
+                ("k".to_string(), Json::Num(k as f64)),
+            ])
+        }
+        _ => {
+            eprintln!("unrecognized shorthand (use: classify SQL | neighbors [K] SQL | stats | shutdown): {line}");
+            return None;
+        }
+    };
+    Some(json.to_string_compact())
+}
+
+fn client_mode(addr: &str) -> ExitCode {
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot clone stream: {e}");
+            return ExitCode::FAILURE;
+        }
+    });
+    let mut writer = stream;
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let Some(request) = to_request_line(&line) else {
+            continue;
+        };
+        if writer
+            .write_all(request.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            eprintln!("connection closed by server");
+            return ExitCode::FAILURE;
+        }
+        let mut response = String::new();
+        match reader.read_line(&mut response) {
+            Ok(0) | Err(_) => {
+                eprintln!("connection closed by server");
+                return ExitCode::FAILURE;
+            }
+            Ok(_) => print!("{response}"),
+        }
+    }
+    ExitCode::SUCCESS
+}

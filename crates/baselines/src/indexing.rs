@@ -6,7 +6,7 @@
 //! exact lower bound for pruning whole buckets.
 
 use aa_core::AccessArea;
-use aa_dbscan::{GroupedIndex, KeyedBuckets};
+use aa_dbscan::GroupedIndex;
 use std::collections::BTreeSet;
 
 /// Jaccard distance between two table sets.
@@ -19,16 +19,23 @@ pub fn jaccard_tables(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
     1.0 - inter / union
 }
 
-/// Builds the table-set blocking index over a slice of access areas.
+/// The table set of an access area, as used for blocking keys.
+pub fn area_table_set(a: &AccessArea) -> BTreeSet<String> {
+    a.table_keys().map(str::to_string).collect()
+}
+
+/// Builds the table-set blocking index over a slice of access areas. The
+/// index also answers external queries (areas outside the build set) via
+/// [`aa_dbscan::NeighborIndex::neighbors_of`].
+#[allow(clippy::type_complexity)] // two `impl Fn` params defy a type alias
 pub fn table_set_index(
     areas: &[AccessArea],
-) -> GroupedIndex<impl Fn(usize, usize) -> f64> {
-    let (buckets, keys) = KeyedBuckets::build(areas, |a: &AccessArea| {
-        a.table_keys().map(str::to_string).collect::<BTreeSet<String>>()
-    });
-    GroupedIndex::new(buckets, move |ka: usize, kb: usize| {
-        jaccard_tables(&keys[ka], &keys[kb])
-    })
+) -> GroupedIndex<
+    BTreeSet<String>,
+    impl Fn(&AccessArea) -> BTreeSet<String>,
+    impl Fn(&BTreeSet<String>, &BTreeSet<String>) -> f64,
+> {
+    GroupedIndex::build(areas, area_table_set, jaccard_tables)
 }
 
 #[cfg(test)]
@@ -55,6 +62,29 @@ mod tests {
         let zero = |_: &AccessArea, _: &AccessArea| 0.0;
         let neigh = index.neighbors(&areas, 0, 0.5, &zero);
         assert_eq!(neigh, vec![0, 1]);
+    }
+
+    #[test]
+    fn external_queries_match_brute_force() {
+        use aa_dbscan::BruteForceIndex;
+        let ex = Extractor::new(&NoSchema);
+        let areas: Vec<AccessArea> = [
+            "SELECT * FROM A WHERE x > 1",
+            "SELECT * FROM A WHERE x > 2",
+            "SELECT * FROM B WHERE y > 1",
+        ]
+        .iter()
+        .map(|s| ex.extract_sql(s).unwrap())
+        .collect();
+        let index = table_set_index(&areas);
+        let query = ex.extract_sql("SELECT * FROM A WHERE x > 3").unwrap();
+        let d = |a: &AccessArea, b: &AccessArea| {
+            jaccard_tables(&area_table_set(a), &area_table_set(b))
+        };
+        let got = index.neighbors_of(&areas, &query, 0.5, &d);
+        let brute = BruteForceIndex.neighbors_of(&areas, &query, 0.5, &d);
+        assert_eq!(got, brute);
+        assert_eq!(got, vec![0, 1]);
     }
 
     #[test]

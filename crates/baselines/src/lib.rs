@@ -21,7 +21,7 @@ pub mod olapclus;
 pub mod olapclus_raw;
 pub mod requery;
 
-pub use indexing::{jaccard_tables, table_set_index};
+pub use indexing::{area_table_set, jaccard_tables, table_set_index};
 pub use olapclus::{cluster_olapclus, olapclus_distance};
 pub use olapclus_raw::{cluster_raw, naive_areas};
 pub use requery::{

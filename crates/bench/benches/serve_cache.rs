@@ -1,0 +1,79 @@
+//! Serving-layer microbenchmark: classify latency with a cold versus a
+//! warm extraction cache.
+//!
+//! Cold = the fingerprint misses and the request pays the full pipeline
+//! (lex → parse → extract → CNF → consolidate) before the index lookup.
+//! Warm = the fingerprint hits and the request pays only the cache probe
+//! and the pruned nearest-neighbour search. The gap between the two is
+//! exactly what the cache buys per repeated statement, which real logs
+//! are full of (template re-submissions).
+
+use aa_bench::micro::{black_box, Criterion};
+use aa_core::DistanceMode;
+use aa_serve::{build_model, ServeEngine};
+use std::time::Instant;
+
+/// A long conjunctive statement (the shape tools like CasJobs emit:
+/// template ranges repeated and tightened). Hundreds of atoms to lex,
+/// parse, and consolidate — but the access area collapses to two
+/// intervals, so the post-cache work is small.
+fn wide_conjunction(atoms: usize) -> String {
+    let mut sql = String::from("SELECT * FROM PhotoObjAll WHERE ra >= 100 AND ra <= 200");
+    for i in 0..atoms {
+        let slack = (i % 37) as f64 * 0.1;
+        sql.push_str(&format!(
+            " AND ra >= {:.1} AND ra <= {:.1} AND dec >= {:.1}",
+            99.0 - slack,
+            201.0 + slack,
+            -5.0 - slack
+        ));
+    }
+    sql
+}
+
+fn bench_serve_cache(c: &mut Criterion) {
+    let model = build_model(400, 42, 0.06, 8, DistanceMode::Dissimilarity);
+    let sql = wide_conjunction(150);
+    let engine = ServeEngine::new(model, 1024, None);
+
+    let mut g = c.benchmark_group("serve_classify");
+    g.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            engine.clear_cache();
+            black_box(engine.classify(black_box(&sql)))
+        })
+    });
+    engine.classify(&sql); // prime
+    g.bench_function("warm_cache", |b| {
+        b.iter(|| black_box(engine.classify(black_box(&sql))))
+    });
+    g.finish();
+
+    // A one-number summary for the CI log: measured speedup of the warm
+    // path over the cold path on this machine.
+    let reps = 200;
+    engine.clear_cache();
+    let cold_start = Instant::now();
+    for _ in 0..reps {
+        engine.clear_cache();
+        black_box(engine.classify(&sql));
+    }
+    let cold = cold_start.elapsed();
+    engine.classify(&sql);
+    let warm_start = Instant::now();
+    for _ in 0..reps {
+        black_box(engine.classify(&sql));
+    }
+    let warm = warm_start.elapsed();
+    println!(
+        "serve_classify summary: cold {:?}/req, warm {:?}/req, speedup {:.1}x",
+        cold / reps,
+        warm / reps,
+        cold.as_secs_f64() / warm.as_secs_f64().max(f64::EPSILON)
+    );
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_serve_cache(&mut c);
+}

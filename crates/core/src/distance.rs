@@ -45,6 +45,25 @@ pub enum DistanceMode {
     Dissimilarity,
 }
 
+impl DistanceMode {
+    /// Stable spelling used by CLIs and serialised models.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DistanceMode::PaperLiteral => "literal",
+            DistanceMode::Dissimilarity => "dissim",
+        }
+    }
+
+    /// Parses the spellings accepted by `as_str` and the CLIs.
+    pub fn parse(s: &str) -> Option<DistanceMode> {
+        match s {
+            "literal" => Some(DistanceMode::PaperLiteral),
+            "dissim" | "dissimilarity" => Some(DistanceMode::Dissimilarity),
+            _ => None,
+        }
+    }
+}
+
 /// The distance function, bound to the `access(a)` tracker it normalises
 /// against.
 pub struct QueryDistance<'a> {

@@ -10,7 +10,13 @@ use crate::cnf::{Cnf, Disjunction};
 use crate::interval::Interval;
 use crate::pipeline::PipelineStats;
 use crate::predicate::{AtomicPredicate, CmpOp, Constant, QualifiedColumn};
+use crate::ranges::{AccessRanges, ColumnAccess};
 use aa_util::{FromJson, Json, JsonError, ToJson};
+
+fn field<'a>(json: &'a Json, ty: &str, k: &str) -> Result<&'a Json, JsonError> {
+    json.get(k)
+        .ok_or_else(|| JsonError(format!("{ty}: missing '{k}'")))
+}
 
 impl ToJson for Interval {
     fn to_json(&self) -> Json {
@@ -122,6 +128,151 @@ impl ToJson for AccessArea {
                 Json::Str(self.to_intermediate_sql()),
             ),
         ])
+    }
+}
+
+impl FromJson for QualifiedColumn {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(QualifiedColumn::new(
+            String::from_json(field(json, "column", "table")?)?,
+            String::from_json(field(json, "column", "column")?)?,
+        ))
+    }
+}
+
+impl FromJson for CmpOp {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.as_str() {
+            Some("=") => Ok(CmpOp::Eq),
+            Some("<>") => Ok(CmpOp::Neq),
+            Some("<") => Ok(CmpOp::Lt),
+            Some("<=") => Ok(CmpOp::LtEq),
+            Some(">") => Ok(CmpOp::Gt),
+            Some(">=") => Ok(CmpOp::GtEq),
+            other => Err(JsonError(format!("op: unknown symbol {other:?}"))),
+        }
+    }
+}
+
+impl FromJson for Constant {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Num(x) => Ok(Constant::Num(*x)),
+            Json::Str(s) => Ok(Constant::Str(s.clone())),
+            other => Err(JsonError(format!(
+                "constant: expected number or string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl FromJson for AtomicPredicate {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match field(json, "atom", "kind")?.as_str() {
+            Some("column_constant") => Ok(AtomicPredicate::ColumnConstant {
+                column: QualifiedColumn::from_json(field(json, "atom", "column")?)?,
+                op: CmpOp::from_json(field(json, "atom", "op")?)?,
+                value: Constant::from_json(field(json, "atom", "value")?)?,
+            }),
+            Some("column_column") => Ok(AtomicPredicate::ColumnColumn {
+                left: QualifiedColumn::from_json(field(json, "atom", "left")?)?,
+                op: CmpOp::from_json(field(json, "atom", "op")?)?,
+                right: QualifiedColumn::from_json(field(json, "atom", "right")?)?,
+            }),
+            other => Err(JsonError(format!("atom: unknown kind {other:?}"))),
+        }
+    }
+}
+
+impl FromJson for Disjunction {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Disjunction {
+            atoms: Vec::<AtomicPredicate>::from_json(json)?,
+        })
+    }
+}
+
+impl FromJson for Cnf {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Cnf::new(Vec::<Disjunction>::from_json(json)?))
+    }
+}
+
+impl FromJson for AccessArea {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let tables = Vec::<String>::from_json(field(json, "area", "tables")?)?;
+        let mut area = AccessArea::new(tables);
+        area.constraint = Cnf::from_json(field(json, "area", "constraint")?)?;
+        area.exact = bool::from_json(field(json, "area", "exact")?)?;
+        area.provably_empty = bool::from_json(field(json, "area", "provably_empty")?)?;
+        // `intermediate_sql` is a derived view; it is re-rendered on demand.
+        Ok(area)
+    }
+}
+
+impl ToJson for ColumnAccess {
+    fn to_json(&self) -> Json {
+        match self {
+            ColumnAccess::Numeric(iv) => Json::obj([
+                ("kind".to_string(), Json::Str("numeric".into())),
+                ("interval".to_string(), iv.to_json()),
+            ]),
+            ColumnAccess::Categorical(values) => Json::obj([
+                ("kind".to_string(), Json::Str("categorical".into())),
+                (
+                    "values".to_string(),
+                    Json::Arr(values.iter().map(|v| Json::Str(v.clone())).collect()),
+                ),
+            ]),
+        }
+    }
+}
+
+impl FromJson for ColumnAccess {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match field(json, "access", "kind")?.as_str() {
+            Some("numeric") => Ok(ColumnAccess::Numeric(Interval::from_json(field(
+                json, "access", "interval",
+            )?)?)),
+            Some("categorical") => Ok(ColumnAccess::Categorical(
+                Vec::<String>::from_json(field(json, "access", "values")?)?
+                    .into_iter()
+                    .collect(),
+            )),
+            other => Err(JsonError(format!("access: unknown kind {other:?}"))),
+        }
+    }
+}
+
+/// Deterministic view: entries sorted by `(table, column)` key.
+impl ToJson for AccessRanges {
+    fn to_json(&self) -> Json {
+        Json::Arr(
+            self.iter()
+                .map(|(col, access)| {
+                    Json::obj([
+                        ("column".to_string(), col.to_json()),
+                        ("access".to_string(), access.to_json()),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+impl FromJson for AccessRanges {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let entries = json
+            .as_arr()
+            .ok_or_else(|| JsonError("ranges: expected an array".into()))?;
+        let mut ranges = AccessRanges::new();
+        for entry in entries {
+            ranges.insert(
+                QualifiedColumn::from_json(field(entry, "ranges", "column")?)?,
+                ColumnAccess::from_json(field(entry, "ranges", "access")?)?,
+            );
+        }
+        Ok(ranges)
     }
 }
 

@@ -47,6 +47,7 @@ pub mod error;
 pub mod extract;
 pub mod interval;
 pub mod jsonio;
+pub mod model;
 pub mod pipeline;
 pub mod predicate;
 pub mod ranges;
@@ -60,6 +61,7 @@ pub use distance::{DistanceMode, QueryDistance};
 pub use error::{ExtractError, ExtractResult, UnsupportedConstruct};
 pub use extract::{ColumnType, ExtractConfig, Extractor, NoSchema, SchemaProvider};
 pub use interval::Interval;
+pub use model::{ClusteredModel, ModelError};
 pub use pipeline::{
     ExtractedQuery, FailedQuery, FailureKind, NoHooks, Pipeline, PipelineStats, Stage,
     StageFault, StageHooks, StepTimings,

@@ -1,0 +1,278 @@
+//! Persisted clustered models: the artifact an offline clustering run
+//! produces and the online serving layer loads.
+//!
+//! A [`ClusteredModel`] bundles everything a server needs to answer
+//! classify/neighbors queries under the paper's distance: the extracted
+//! access areas, their DBSCAN labels, the `access(a)` ranges the distance
+//! normalises against, and the clustering parameters that produced the
+//! labels. The JSON encoding is deterministic (sorted ranges, insertion
+//! -ordered fields) so identical runs produce byte-identical model files.
+
+use crate::area::AccessArea;
+use crate::distance::DistanceMode;
+use crate::ranges::AccessRanges;
+use aa_util::{FromJson, Json, JsonError, ToJson};
+use std::fmt;
+use std::path::Path;
+
+/// A clustering artifact: areas, labels, ranges, and parameters.
+#[derive(Debug, Clone)]
+pub struct ClusteredModel {
+    /// Extracted access areas, in log order.
+    pub areas: Vec<AccessArea>,
+    /// Cluster label per area (parallel to `areas`); `None` = noise.
+    pub labels: Vec<Option<usize>>,
+    /// Number of clusters (labels range over `0..cluster_count`).
+    pub cluster_count: usize,
+    /// The `access(a)` tracker the distance normalises against.
+    pub ranges: AccessRanges,
+    /// DBSCAN radius used to produce the labels.
+    pub eps: f64,
+    /// DBSCAN density threshold used to produce the labels.
+    pub min_pts: usize,
+    /// Distance-formula reading the labels were computed under.
+    pub mode: DistanceMode,
+}
+
+/// Why a model failed to load or validate.
+#[derive(Debug)]
+pub enum ModelError {
+    Io(std::io::Error),
+    Json(JsonError),
+    Invalid(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Io(e) => write!(f, "model io error: {e}"),
+            ModelError::Json(e) => write!(f, "model json error: {e}"),
+            ModelError::Invalid(msg) => write!(f, "invalid model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<std::io::Error> for ModelError {
+    fn from(e: std::io::Error) -> Self {
+        ModelError::Io(e)
+    }
+}
+
+impl From<JsonError> for ModelError {
+    fn from(e: JsonError) -> Self {
+        ModelError::Json(e)
+    }
+}
+
+impl ClusteredModel {
+    /// Structural invariants every loaded or constructed model must hold.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.labels.len() != self.areas.len() {
+            return Err(ModelError::Invalid(format!(
+                "{} labels for {} areas",
+                self.labels.len(),
+                self.areas.len()
+            )));
+        }
+        if let Some(bad) = self
+            .labels
+            .iter()
+            .flatten()
+            .find(|&&c| c >= self.cluster_count)
+        {
+            return Err(ModelError::Invalid(format!(
+                "label {bad} out of range (cluster_count {})",
+                self.cluster_count
+            )));
+        }
+        if !self.eps.is_finite() || self.eps < 0.0 {
+            return Err(ModelError::Invalid(format!("eps {} not usable", self.eps)));
+        }
+        Ok(())
+    }
+
+    /// Number of areas carrying a cluster label.
+    pub fn clustered_count(&self) -> usize {
+        self.labels.iter().flatten().count()
+    }
+
+    /// Number of noise areas.
+    pub fn noise_count(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_none()).count()
+    }
+
+    /// Parses a model from JSON text and validates it.
+    pub fn from_json_text(text: &str) -> Result<Self, ModelError> {
+        let model = ClusteredModel::from_json(&Json::parse(text)?)?;
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// Loads and validates a model file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ModelError> {
+        let text = std::fs::read_to_string(path)?;
+        ClusteredModel::from_json_text(&text)
+    }
+
+    /// Writes the model as pretty JSON (deterministic byte-for-byte).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ModelError> {
+        let mut text = self.to_json().to_string_pretty();
+        text.push('\n');
+        std::fs::write(path, text)?;
+        Ok(())
+    }
+}
+
+impl ToJson for ClusteredModel {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("areas".to_string(), Json::arr(self.areas.iter())),
+            (
+                // -1 encodes noise; JSON has no native Option.
+                "labels".to_string(),
+                Json::Arr(
+                    self.labels
+                        .iter()
+                        .map(|l| Json::Num(l.map_or(-1.0, |c| c as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "cluster_count".to_string(),
+                Json::Num(self.cluster_count as f64),
+            ),
+            ("ranges".to_string(), self.ranges.to_json()),
+            ("eps".to_string(), Json::Num(self.eps)),
+            ("min_pts".to_string(), Json::Num(self.min_pts as f64)),
+            ("mode".to_string(), Json::Str(self.mode.as_str().to_string())),
+        ])
+    }
+}
+
+impl FromJson for ClusteredModel {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let field = |k: &str| {
+            json.get(k)
+                .ok_or_else(|| JsonError(format!("model: missing '{k}'")))
+        };
+        let labels = field("labels")?
+            .as_arr()
+            .ok_or_else(|| JsonError("model: labels must be an array".into()))?
+            .iter()
+            .map(|l| {
+                let x = f64::from_json(l)?;
+                Ok(if x < 0.0 { None } else { Some(x as usize) })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let mode_str = String::from_json(field("mode")?)?;
+        let mode = DistanceMode::parse(&mode_str)
+            .ok_or_else(|| JsonError(format!("model: unknown mode '{mode_str}'")))?;
+        Ok(ClusteredModel {
+            areas: Vec::<AccessArea>::from_json(field("areas")?)?,
+            labels,
+            cluster_count: f64::from_json(field("cluster_count")?)? as usize,
+            ranges: AccessRanges::from_json(field("ranges")?)?,
+            eps: f64::from_json(field("eps")?)?,
+            min_pts: f64::from_json(field("min_pts")?)? as usize,
+            mode,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{Extractor, NoSchema};
+    use crate::predicate::QualifiedColumn;
+
+    fn sample_model() -> ClusteredModel {
+        let ex = Extractor::new(&NoSchema);
+        let areas: Vec<AccessArea> = [
+            "SELECT * FROM PhotoObjAll WHERE ra BETWEEN 150 AND 200 AND dec > -5",
+            "SELECT * FROM PhotoObjAll WHERE ra BETWEEN 151 AND 199",
+            "SELECT * FROM SpecObjAll WHERE class = 'qso' AND z > 2",
+            "SELECT * FROM T WHERE T.u = 1 OR T.u = 2",
+        ]
+        .iter()
+        .map(|s| ex.extract_sql(s).unwrap())
+        .collect();
+        let mut ranges = AccessRanges::new();
+        ranges.observe_all(areas.iter());
+        ranges.apply_doubling();
+        ranges.set_categorical(
+            &QualifiedColumn::new("SpecObjAll", "class"),
+            ["star".to_string(), "qso".to_string()],
+        );
+        ClusteredModel {
+            labels: vec![Some(0), Some(0), Some(1), None],
+            cluster_count: 2,
+            areas,
+            ranges,
+            eps: 0.25,
+            min_pts: 2,
+            mode: DistanceMode::Dissimilarity,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let model = sample_model();
+        let text = model.to_json().to_string_pretty();
+        let back = ClusteredModel::from_json_text(&text).unwrap();
+        assert_eq!(back.labels, model.labels);
+        assert_eq!(back.cluster_count, 2);
+        assert_eq!(back.eps, 0.25);
+        assert_eq!(back.min_pts, 2);
+        assert_eq!(back.mode, model.mode);
+        assert_eq!(back.areas, model.areas);
+        assert_eq!(back.ranges.len(), model.ranges.len());
+        for (col, access) in model.ranges.iter() {
+            match access {
+                crate::ranges::ColumnAccess::Numeric(iv) => {
+                    assert_eq!(back.ranges.numeric(col), Some(*iv), "{col}");
+                }
+                crate::ranges::ColumnAccess::Categorical(set) => {
+                    assert_eq!(back.ranges.categorical(col), Some(set), "{col}");
+                }
+            }
+        }
+        // Serialisation is deterministic: a round trip re-emits the bytes.
+        assert_eq!(back.to_json().to_string_pretty(), text);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("aa-model-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let model = sample_model();
+        model.save(&path).unwrap();
+        let back = ClusteredModel::load(&path).unwrap();
+        assert_eq!(back.areas, model.areas);
+        assert_eq!(back.labels, model.labels);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validation_rejects_malformed_models() {
+        let mut model = sample_model();
+        model.labels.pop();
+        assert!(matches!(model.validate(), Err(ModelError::Invalid(_))));
+        let mut model = sample_model();
+        model.labels[0] = Some(7);
+        assert!(matches!(model.validate(), Err(ModelError::Invalid(_))));
+        let mut model = sample_model();
+        model.eps = f64::NAN;
+        assert!(matches!(model.validate(), Err(ModelError::Invalid(_))));
+    }
+
+    #[test]
+    fn distance_mode_spellings_round_trip() {
+        for mode in [DistanceMode::PaperLiteral, DistanceMode::Dissimilarity] {
+            assert_eq!(DistanceMode::parse(mode.as_str()), Some(mode));
+        }
+        assert_eq!(DistanceMode::parse("nope"), None);
+    }
+}

@@ -171,6 +171,19 @@ impl AccessRanges {
         }
     }
 
+    /// Seeds a column with an already-built access record (model loading).
+    pub fn insert(&mut self, col: QualifiedColumn, access: ColumnAccess) {
+        self.map.insert(col, access);
+    }
+
+    /// All tracked columns in deterministic (sorted) order — the iteration
+    /// order serialisations rely on.
+    pub fn iter(&self) -> impl Iterator<Item = (&QualifiedColumn, &ColumnAccess)> {
+        let mut entries: Vec<_> = self.map.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        entries.into_iter()
+    }
+
     /// Number of tracked columns.
     pub fn len(&self) -> usize {
         self.map.len()

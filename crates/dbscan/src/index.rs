@@ -1,11 +1,30 @@
-//! Neighbour-search indexes for DBSCAN.
+//! Neighbour-search indexes for DBSCAN and for external (online) queries.
 
-/// Produces the `eps`-neighbourhood of item `i` (including `i` itself).
+/// Produces `eps`-neighbourhoods, both for items inside the build set and
+/// for external query points that were never indexed.
 pub trait NeighborIndex<T> {
-    /// Indices of all items within `eps` of `items[i]` under `distance`.
+    /// Indices of all items within `eps` of `items[i]` under `distance`
+    /// (including `i` itself).
     fn neighbors<D>(&self, items: &[T], i: usize, eps: f64, distance: &D) -> Vec<usize>
     where
         D: Fn(&T, &T) -> f64;
+
+    /// Indices of all items within `eps` of an external `query` point.
+    ///
+    /// The default implementation is an exact O(n) scan, so every index
+    /// answers external queries correctly; structure-aware indexes override
+    /// it with a pruned search.
+    fn neighbors_of<D>(&self, items: &[T], query: &T, eps: f64, distance: &D) -> Vec<usize>
+    where
+        D: Fn(&T, &T) -> f64,
+    {
+        items
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| distance(query, x) <= eps)
+            .map(|(j, _)| j)
+            .collect()
+    }
 }
 
 /// O(n) scan per query.
@@ -16,19 +35,13 @@ impl<T> NeighborIndex<T> for BruteForceIndex {
     where
         D: Fn(&T, &T) -> f64,
     {
-        let q = &items[i];
-        items
-            .iter()
-            .enumerate()
-            .filter(|(_, x)| distance(q, x) <= eps)
-            .map(|(j, _)| j)
-            .collect()
+        self.neighbors_of(items, &items[i], eps, distance)
     }
 }
 
 /// Interned item keys and their buckets — phase 1 of building a
-/// [`GroupedIndex`]. Split out so the lower-bound closure of phase 2 can
-/// close over the interned key list this phase returns.
+/// [`GroupedIndex`]. Split out so callers that only need the blocking
+/// structure (e.g. the bench harness) can use it directly.
 #[derive(Debug, Clone)]
 pub struct KeyedBuckets {
     /// Key id per item.
@@ -79,41 +92,40 @@ impl KeyedBuckets {
 }
 
 /// A blocking index: items are bucketed by a discrete key, and a cheap
-/// *lower bound* on the distance between two keys prunes whole buckets.
+/// *lower bound* on the distance between two key values prunes whole
+/// buckets — for in-set neighbourhoods and for external query points alike.
 ///
 /// For the paper's distance `d = d_tables + d_conj`, the key is the table
 /// set and the lower bound is the Jaccard distance `d_tables` itself:
 /// whenever `d_tables(A, B) > eps`, no pair across those buckets can be
 /// within `eps`, so `d_conj` (the expensive part) is never evaluated.
-pub struct GroupedIndex<KD> {
+pub struct GroupedIndex<K, KF, KB> {
     buckets: KeyedBuckets,
-    /// Lower bound on the full distance given two key ids.
-    key_lower_bound: KD,
+    /// Distinct key values, indexed by key id.
+    keys: Vec<K>,
+    /// Extracts the key of an arbitrary (possibly external) item.
+    key_of: KF,
+    /// Lower bound on the full distance given two key values.
+    key_bound: KB,
 }
 
-impl<KD> GroupedIndex<KD>
-where
-    KD: Fn(usize, usize) -> f64,
-{
-    /// Combines pre-built buckets with a key-distance lower bound.
-    pub fn new(buckets: KeyedBuckets, key_lower_bound: KD) -> Self {
-        GroupedIndex {
-            buckets,
-            key_lower_bound,
-        }
-    }
-
-    /// One-shot build when the lower bound doesn't need the key list.
-    pub fn build<T, K, KF>(items: &[T], key_of: KF, key_lower_bound: KD) -> (Self, Vec<K>)
+impl<K, KF, KB> GroupedIndex<K, KF, KB> {
+    /// Buckets `items` by `key_of` and keeps both closures for queries.
+    pub fn build<T>(items: &[T], key_of: KF, key_bound: KB) -> Self
     where
         K: std::hash::Hash + Eq + Clone,
         KF: Fn(&T) -> K,
     {
-        let (buckets, distinct) = KeyedBuckets::build(items, key_of);
-        (GroupedIndex::new(buckets, key_lower_bound), distinct)
+        let (buckets, keys) = KeyedBuckets::build(items, &key_of);
+        GroupedIndex {
+            buckets,
+            keys,
+            key_of,
+            key_bound,
+        }
     }
 
-    /// Key id of an item.
+    /// Key id of an in-set item.
     pub fn key_of_item(&self, i: usize) -> usize {
         self.buckets.key_of_item(i)
     }
@@ -122,30 +134,246 @@ where
     pub fn bucket_count(&self) -> usize {
         self.buckets.bucket_count()
     }
-}
 
-impl<T, KD> NeighborIndex<T> for GroupedIndex<KD>
-where
-    KD: Fn(usize, usize) -> f64,
-{
-    fn neighbors<D>(&self, items: &[T], i: usize, eps: f64, distance: &D) -> Vec<usize>
+    /// Distinct key values, indexed by key id.
+    pub fn keys(&self) -> &[K] {
+        &self.keys
+    }
+
+    fn scan<T, D>(&self, items: &[T], query: &T, qkey: &K, eps: f64, distance: &D) -> Vec<usize>
     where
+        KB: Fn(&K, &K) -> f64,
         D: Fn(&T, &T) -> f64,
     {
-        let q = &items[i];
-        let qk = self.buckets.key_of_item(i);
         let mut out = Vec::new();
         for bk in 0..self.buckets.bucket_count() {
-            if (self.key_lower_bound)(qk, bk) > eps {
+            if (self.key_bound)(qkey, &self.keys[bk]) > eps {
                 continue;
             }
             for &j in self.buckets.bucket(bk) {
-                if distance(q, &items[j]) <= eps {
+                if distance(query, &items[j]) <= eps {
                     out.push(j);
                 }
             }
         }
         out
+    }
+}
+
+impl<T, K, KF, KB> NeighborIndex<T> for GroupedIndex<K, KF, KB>
+where
+    KF: Fn(&T) -> K,
+    KB: Fn(&K, &K) -> f64,
+{
+    fn neighbors<D>(&self, items: &[T], i: usize, eps: f64, distance: &D) -> Vec<usize>
+    where
+        D: Fn(&T, &T) -> f64,
+    {
+        let qkey = &self.keys[self.buckets.key_of_item(i)];
+        self.scan(items, &items[i], qkey, eps, distance)
+    }
+
+    fn neighbors_of<D>(&self, items: &[T], query: &T, eps: f64, distance: &D) -> Vec<usize>
+    where
+        D: Fn(&T, &T) -> f64,
+    {
+        let qkey = (self.key_of)(query);
+        self.scan(items, query, &qkey, eps, distance)
+    }
+}
+
+/// A vantage-point (pivot) table for metric-lower-bound pruning.
+///
+/// The index stores, for a handful of deterministically chosen pivot items,
+/// the *pruning-metric* distance from each pivot to every item. A query then
+/// measures its metric distance to each pivot and derives, per item, the
+/// triangle lower bound `max_p |m(q, p) − m(p, i)| ≤ m(q, i)`; items whose
+/// bound exceeds the search radius are discarded without ever evaluating the
+/// (expensive) search distance.
+///
+/// # Safety of pruning
+///
+/// Two conditions make the pruning provably exact:
+///
+/// 1. the pruning metric `m` satisfies the triangle inequality, and
+/// 2. `m` lower-bounds the search distance: `m(x, y) ≤ d(x, y)`.
+///
+/// Then `|m(q,p) − m(p,i)| ≤ m(q,i) ≤ d(q,i)`, so a bound above `eps` (or
+/// above the current k-NN radius) proves `d(q,i) > eps` and the item can be
+/// skipped. The paper's composite distance `d = d_tables + d_conj` is *not*
+/// provably a metric (`d_conj` is a normalised clause matching), so the
+/// triangle inequality may not hold for `d` itself — which is why the index
+/// never prunes on `d` and instead falls back to the Jaccard table distance
+/// `d_tables`: a true metric with `d_tables ≤ d`.
+///
+/// Pivots are chosen by farthest-point traversal under `m` (ties broken
+/// toward the smallest index), so with `m = d_tables` the pivot set covers
+/// one representative per distinct table set and the bound degenerates to
+/// the exact per-bucket Jaccard distance: `m(p,i) = 0` for a same-bucket
+/// pivot gives `|m(q,p) − 0| = m(q,i)` exactly.
+#[derive(Debug, Clone)]
+pub struct PivotIndex {
+    /// Item indices serving as pivots.
+    pivots: Vec<usize>,
+    /// `table[p][i]` = metric distance from pivot `p` to item `i`.
+    table: Vec<Vec<f64>>,
+    /// Number of indexed items.
+    n: usize,
+}
+
+impl PivotIndex {
+    /// Builds the pivot table with at most `max_pivots` pivots.
+    ///
+    /// Selection is deterministic: the first pivot is item 0; each further
+    /// pivot is the item farthest (under `metric`) from all chosen pivots,
+    /// ties broken toward the smallest index. Selection stops early once
+    /// every item is at metric distance 0 from some pivot — additional
+    /// pivots could never tighten the bound.
+    pub fn build<T, M>(items: &[T], max_pivots: usize, metric: &M) -> Self
+    where
+        M: Fn(&T, &T) -> f64,
+    {
+        let n = items.len();
+        let mut index = PivotIndex {
+            pivots: Vec::new(),
+            table: Vec::new(),
+            n,
+        };
+        if n == 0 || max_pivots == 0 {
+            return index;
+        }
+        let mut min_d = vec![f64::INFINITY; n];
+        let mut next = 0usize;
+        loop {
+            index.pivots.push(next);
+            let row: Vec<f64> = (0..n).map(|i| metric(&items[next], &items[i])).collect();
+            for (i, &d) in row.iter().enumerate() {
+                if d < min_d[i] {
+                    min_d[i] = d;
+                }
+            }
+            index.table.push(row);
+            if index.pivots.len() >= max_pivots.min(n) {
+                break;
+            }
+            let (mut best_i, mut best_d) = (0usize, -1.0f64);
+            for (i, &d) in min_d.iter().enumerate() {
+                if d > best_d {
+                    best_d = d;
+                    best_i = i;
+                }
+            }
+            if best_d <= 0.0 {
+                break;
+            }
+            next = best_i;
+        }
+        index
+    }
+
+    /// Item indices chosen as pivots.
+    pub fn pivots(&self) -> &[usize] {
+        &self.pivots
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when no items are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Metric distances from the query to every pivot, via `metric_to(i)` =
+    /// metric distance from the query to item `i` (called once per pivot).
+    fn query_row(&self, metric_to: &impl Fn(usize) -> f64) -> Vec<f64> {
+        self.pivots.iter().map(|&p| metric_to(p)).collect()
+    }
+
+    /// Triangle lower bound on the metric distance from the query to item
+    /// `i`, given the query's pivot distances.
+    fn lower_bound(&self, q_row: &[f64], i: usize) -> f64 {
+        let mut lb: f64 = 0.0;
+        for (p, &qp) in q_row.iter().enumerate() {
+            let b = (qp - self.table[p][i]).abs();
+            if b > lb {
+                lb = b;
+            }
+        }
+        lb
+    }
+
+    /// All items with search distance ≤ `eps` from the query, in ascending
+    /// index order, plus the number of `dist_to` evaluations performed.
+    ///
+    /// `metric_to(i)` must return the *pruning metric* distance from the
+    /// query to item `i`; `dist_to(i)` the full search distance. Exact as
+    /// long as the metric lower-bounds the search distance (see type docs).
+    pub fn range(
+        &self,
+        eps: f64,
+        metric_to: impl Fn(usize) -> f64,
+        dist_to: impl Fn(usize) -> f64,
+    ) -> (Vec<usize>, usize) {
+        let q_row = self.query_row(&metric_to);
+        let mut out = Vec::new();
+        let mut evaluated = 0usize;
+        for i in 0..self.n {
+            if !self.table.is_empty() && self.lower_bound(&q_row, i) > eps {
+                continue;
+            }
+            evaluated += 1;
+            if dist_to(i) <= eps {
+                out.push(i);
+            }
+        }
+        (out, evaluated)
+    }
+
+    /// The `k` items nearest to the query under the search distance, sorted
+    /// by `(distance, index)`, plus the number of `dist_to` evaluations.
+    ///
+    /// Ties are deterministic: among equal distances the smaller item index
+    /// wins, exactly as in a brute-force sort by `(distance, index)`.
+    pub fn knn(
+        &self,
+        k: usize,
+        metric_to: impl Fn(usize) -> f64,
+        dist_to: impl Fn(usize) -> f64,
+    ) -> (Vec<(usize, f64)>, usize) {
+        if k == 0 || self.n == 0 {
+            return (Vec::new(), 0);
+        }
+        let q_row = self.query_row(&metric_to);
+        // Visit items in ascending lower-bound order so the k-NN radius
+        // tightens as fast as possible; once the bound of the next candidate
+        // exceeds the current radius, no later candidate can qualify.
+        let mut order: Vec<(f64, usize)> = (0..self.n)
+            .map(|i| (self.lower_bound(&q_row, i), i))
+            .collect();
+        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut best: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        let mut evaluated = 0usize;
+        for &(lb, i) in &order {
+            if best.len() == k && lb > best[k - 1].0 {
+                break;
+            }
+            let d = dist_to(i);
+            evaluated += 1;
+            if best.len() == k {
+                let worst = best[k - 1];
+                if d.total_cmp(&worst.0).then(i.cmp(&worst.1)).is_ge() {
+                    continue;
+                }
+                best.pop();
+            }
+            let pos = best
+                .partition_point(|&(bd, bi)| bd.total_cmp(&d).then(bi.cmp(&i)).is_lt());
+            best.insert(pos, (d, i));
+        }
+        (best.into_iter().map(|(d, i)| (i, d)).collect(), evaluated)
     }
 }
 
@@ -166,6 +394,15 @@ mod tests {
         table_part + (a.x - b.x).abs()
     }
 
+    /// The metric part of `dist`: a true metric with `key_metric <= dist`.
+    fn key_metric(a: &P, b: &P) -> f64 {
+        if a.key == b.key {
+            0.0
+        } else {
+            1.0
+        }
+    }
+
     fn dataset() -> Vec<P> {
         let mut pts = Vec::new();
         for k in 0..3 {
@@ -179,6 +416,14 @@ mod tests {
         pts
     }
 
+    fn grouped(items: &[P]) -> GroupedIndex<usize, impl Fn(&P) -> usize, impl Fn(&usize, &usize) -> f64> {
+        GroupedIndex::build(
+            items,
+            |p: &P| p.key,
+            |a: &usize, b: &usize| if a == b { 0.0 } else { 1.0 },
+        )
+    }
+
     #[test]
     fn grouped_index_matches_brute_force() {
         let items = dataset();
@@ -187,11 +432,7 @@ mod tests {
             min_pts: 3,
         };
         let brute = dbscan(&items, &params, dist);
-        let (index, _keys) = GroupedIndex::build(
-            &items,
-            |p: &P| p.key,
-            |a, b| if a == b { 0.0 } else { 1.0 },
-        );
+        let index = grouped(&items);
         let fast = dbscan_with_index(&items, &params, &dist, &index);
         assert_eq!(brute, fast);
         assert_eq!(fast.cluster_count, 3);
@@ -206,11 +447,7 @@ mod tests {
             calls.fetch_add(1, Ordering::Relaxed);
             dist(a, b)
         };
-        let (index, _) = GroupedIndex::build(
-            &items,
-            |p: &P| p.key,
-            |a, b| if a == b { 0.0 } else { 1.0 },
-        );
+        let index = grouped(&items);
         let params = DbscanParams {
             eps: 0.2,
             min_pts: 3,
@@ -228,14 +465,121 @@ mod tests {
     #[test]
     fn build_reports_distinct_keys() {
         let items = dataset();
-        let (index, keys) = GroupedIndex::build(
-            &items,
-            |p: &P| p.key,
-            |_, _| 0.0,
-        );
+        let index = grouped(&items);
         assert_eq!(index.bucket_count(), 3);
-        assert_eq!(keys, vec![0, 1, 2]);
+        assert_eq!(index.keys(), &[0, 1, 2]);
         assert_eq!(index.key_of_item(0), 0);
         assert_eq!(index.key_of_item(29), 2);
+    }
+
+    #[test]
+    fn neighbors_of_answers_external_queries() {
+        let items = dataset();
+        let index = grouped(&items);
+        // A query point that was never indexed, sitting inside key 1.
+        let q = P { key: 1, x: 0.12 };
+        let got = index.neighbors_of(&items, &q, 0.1, &dist);
+        let brute = BruteForceIndex.neighbors_of(&items, &q, 0.1, &dist);
+        assert_eq!(got, brute);
+        assert!(!got.is_empty());
+        // All hits share the query's key: the cross-key floor is 1.
+        assert!(got.iter().all(|&i| items[i].key == 1));
+    }
+
+    #[test]
+    fn neighbors_of_prunes_foreign_buckets() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items = dataset();
+        let index = grouped(&items);
+        let calls = AtomicUsize::new(0);
+        let counting_dist = |a: &P, b: &P| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            dist(a, b)
+        };
+        let q = P { key: 2, x: 0.0 };
+        index.neighbors_of(&items, &q, 0.5, &counting_dist);
+        // Only key-2 items (10 of 30) are ever evaluated.
+        assert_eq!(calls.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn pivot_selection_is_deterministic_and_covers_keys() {
+        let items = dataset();
+        let index = PivotIndex::build(&items, 8, &key_metric);
+        // Farthest-point under the key metric stops once every key has a
+        // pivot: one per distinct key, smallest indexes first.
+        assert_eq!(index.pivots(), &[0, 10, 20]);
+        let again = PivotIndex::build(&items, 8, &key_metric);
+        assert_eq!(index.pivots(), again.pivots());
+    }
+
+    #[test]
+    fn pivot_range_matches_brute_force_and_prunes() {
+        let items = dataset();
+        let index = PivotIndex::build(&items, 8, &key_metric);
+        let q = P { key: 1, x: 0.21 };
+        let (got, evaluated) = index.range(
+            0.15,
+            |i| key_metric(&q, &items[i]),
+            |i| dist(&q, &items[i]),
+        );
+        let brute = BruteForceIndex.neighbors_of(&items, &q, 0.15, &dist);
+        assert_eq!(got, brute);
+        // Foreign-key items (20 of 30) are pruned without evaluation.
+        assert_eq!(evaluated, 10);
+    }
+
+    #[test]
+    fn pivot_knn_matches_brute_force_with_deterministic_ties() {
+        let items = dataset();
+        let index = PivotIndex::build(&items, 8, &key_metric);
+        // Equidistant from items at x=0.10 and x=0.20 — plus exact ties on
+        // x inside every key bucket make (distance, index) ordering matter.
+        let q = P { key: 0, x: 0.15 };
+        for k in [1, 3, 10, 30, 31] {
+            let (got, _) = index.knn(
+                k,
+                |i| key_metric(&q, &items[i]),
+                |i| dist(&q, &items[i]),
+            );
+            let mut brute: Vec<(usize, f64)> = items
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, dist(&q, p)))
+                .collect();
+            brute.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            brute.truncate(k);
+            assert_eq!(got, brute, "k={k}");
+        }
+    }
+
+    #[test]
+    fn pivot_knn_prunes_when_radius_tightens() {
+        let items = dataset();
+        let index = PivotIndex::build(&items, 8, &key_metric);
+        let q = P { key: 0, x: 0.0 };
+        let (_, evaluated) = index.knn(
+            3,
+            |i| key_metric(&q, &items[i]),
+            |i| dist(&q, &items[i]),
+        );
+        // The three nearest all live in key 0 at distance <= 0.45 < 1, so
+        // both foreign buckets are pruned wholesale.
+        assert_eq!(evaluated, 10);
+    }
+
+    #[test]
+    fn pivot_empty_and_zero_k() {
+        let empty: Vec<P> = Vec::new();
+        let index = PivotIndex::build(&empty, 4, &key_metric);
+        assert!(index.is_empty());
+        let (hits, eval) = index.range(1.0, |_| 0.0, |_| 0.0);
+        assert!(hits.is_empty());
+        assert_eq!(eval, 0);
+        let items = dataset();
+        let index = PivotIndex::build(&items, 4, &key_metric);
+        let (hits, eval) = index.knn(0, |i| key_metric(&items[0], &items[i]), |_| 0.0);
+        assert!(hits.is_empty());
+        assert_eq!(eval, 0);
     }
 }

@@ -29,7 +29,7 @@ pub mod index;
 pub mod optics;
 pub mod parallel;
 
-pub use index::{BruteForceIndex, GroupedIndex, KeyedBuckets, NeighborIndex};
+pub use index::{BruteForceIndex, GroupedIndex, KeyedBuckets, NeighborIndex, PivotIndex};
 pub use optics::{optics, optics_with_index, OpticsResult};
 
 /// DBSCAN parameters.

@@ -1,0 +1,320 @@
+//! Coalescing LRU extraction cache.
+//!
+//! Extraction (parse → access area) is the expensive step of every
+//! classify/neighbors request, and real logs repeat statements heavily
+//! (the paper's DR9 log averages ~28 queries per user, many of them
+//! template re-submissions). The cache is keyed by the *fingerprint* of
+//! the statement ([`aa_sql::fingerprint`]): two statements that differ
+//! only in whitespace, comments, or keyword case share one entry.
+//!
+//! Two properties matter under concurrency:
+//!
+//! * **Single flight.** When several connections miss on the same key at
+//!   once, exactly one computes; the rest block on a condvar and reuse
+//!   the result. Waiters count as *hits* — the work was shared — so the
+//!   invariant `misses == distinct keys` holds no matter the
+//!   interleaving (as long as nothing was evicted), which the soak test
+//!   checks exactly.
+//! * **Negative caching.** Failed extractions are cached too: a client
+//!   hammering an unparseable statement costs one pipeline run, not one
+//!   per request.
+//!
+//! Eviction is least-recently-used over *completed* entries only; an
+//! in-flight (pending) entry is never evicted, so a waiter can never be
+//! orphaned. If the computing thread panics, the unwind guard removes
+//! the pending entry and wakes all waiters, which then recompute.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a cache entry holds: the extraction result, success or failure.
+///
+/// `Err` carries `(failure_kind, message)` using the pipeline's
+/// Section 6.1 failure-taxonomy names (`"syntax"`, `"unsupported"`, ...).
+pub type CachedExtraction = Result<aa_core::AccessArea, (String, String)>;
+
+enum Slot {
+    /// Some thread is computing this entry; sleep on the condvar.
+    Pending,
+    /// Finished (the result may be a cached failure).
+    Ready(Arc<CachedExtraction>),
+}
+
+struct Entry {
+    slot: Slot,
+    /// LRU stamp; `None` while pending (pending entries are unevictable).
+    stamp: Option<u64>,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<String, Entry>,
+    /// stamp → key, ascending = least recently used first.
+    order: BTreeMap<u64, String>,
+    next_stamp: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A bounded, thread-safe, coalescing LRU map from fingerprint to
+/// extraction result.
+pub struct ExtractionCache {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+/// A point-in-time view of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// Completed entries currently resident.
+    pub entries: usize,
+}
+
+impl ExtractionCache {
+    /// Creates a cache holding at most `capacity` completed entries
+    /// (clamped to at least 1 — a zero-capacity cache could not coalesce).
+    pub fn new(capacity: usize) -> Self {
+        ExtractionCache {
+            inner: Mutex::new(Inner::default()),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up `key`, computing it with `compute` on a miss. Returns the
+    /// entry and whether this call was a hit (shared work counts as hit).
+    ///
+    /// `compute` runs *outside* the cache lock: concurrent requests for
+    /// different keys extract in parallel; concurrent requests for the
+    /// same key coalesce onto one computation.
+    pub fn get_or_compute(
+        &self,
+        key: &str,
+        compute: impl FnOnce() -> CachedExtraction,
+    ) -> (Arc<CachedExtraction>, bool) {
+        {
+            let mut inner = self.inner.lock().unwrap();
+            loop {
+                match inner.map.get(key) {
+                    Some(Entry {
+                        slot: Slot::Ready(value),
+                        ..
+                    }) => {
+                        let value = Arc::clone(value);
+                        inner.hits += 1;
+                        touch(&mut inner, key);
+                        return (value, true);
+                    }
+                    Some(Entry {
+                        slot: Slot::Pending,
+                        ..
+                    }) => {
+                        // Coalesce: another thread is extracting this key.
+                        inner = self.ready.wait(inner).unwrap();
+                    }
+                    None => {
+                        inner.map.insert(
+                            key.to_string(),
+                            Entry {
+                                slot: Slot::Pending,
+                                stamp: None,
+                            },
+                        );
+                        inner.misses += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        // We own the pending slot; compute unlocked. The guard removes
+        // the slot and wakes waiters if `compute` unwinds.
+        let guard = PendingGuard { cache: self, key };
+        let value = Arc::new(compute());
+        guard.fulfill(Arc::clone(&value));
+        (value, false)
+    }
+
+    /// Drops every completed entry (counters are kept). Pending entries
+    /// survive — their computing threads still hold them.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.order.clear();
+        inner
+            .map
+            .retain(|_, e| matches!(e.slot, Slot::Pending));
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.order.len(),
+        }
+    }
+}
+
+/// Moves `key` to the most-recently-used position.
+fn touch(inner: &mut Inner, key: &str) {
+    let stamp = inner.next_stamp;
+    inner.next_stamp += 1;
+    if let Some(entry) = inner.map.get_mut(key) {
+        if let Some(old) = entry.stamp.replace(stamp) {
+            inner.order.remove(&old);
+        }
+        inner.order.insert(stamp, key.to_string());
+    }
+}
+
+/// Evicts least-recently-used completed entries down to `capacity`.
+fn evict_over(inner: &mut Inner, capacity: usize) {
+    while inner.order.len() > capacity {
+        let (&stamp, _) = inner.order.iter().next().expect("non-empty");
+        let key = inner.order.remove(&stamp).expect("present");
+        inner.map.remove(&key);
+        inner.evictions += 1;
+    }
+}
+
+struct PendingGuard<'a> {
+    cache: &'a ExtractionCache,
+    key: &'a str,
+}
+
+impl PendingGuard<'_> {
+    fn fulfill(self, value: Arc<CachedExtraction>) {
+        let mut inner = self.cache.inner.lock().unwrap();
+        if let Some(entry) = inner.map.get_mut(self.key) {
+            entry.slot = Slot::Ready(value);
+        }
+        touch(&mut inner, self.key);
+        evict_over(&mut inner, self.cache.capacity);
+        drop(inner);
+        self.cache.ready.notify_all();
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        // Unwind path: the computation panicked. Remove the pending slot
+        // so waiters retry instead of sleeping forever.
+        let mut inner = self.cache.inner.lock().unwrap();
+        inner.map.remove(self.key);
+        drop(inner);
+        self.cache.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_core::AccessArea;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn area(name: &str) -> CachedExtraction {
+        Ok(AccessArea::new([name.to_string()]))
+    }
+
+    #[test]
+    fn hit_after_miss_and_negative_caching() {
+        let cache = ExtractionCache::new(8);
+        let calls = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let (v, _) = cache.get_or_compute("k1", || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                area("T")
+            });
+            assert!(v.is_ok());
+        }
+        let (v, hit) = cache.get_or_compute("bad", || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(("syntax".into(), "nope".into()))
+        });
+        assert!(!hit && v.is_err());
+        let (_, hit) = cache.get_or_compute("bad", || unreachable!("cached failure"));
+        assert!(hit, "failures are cached too");
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (3, 2, 2));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ExtractionCache::new(2);
+        cache.get_or_compute("a", || area("A"));
+        cache.get_or_compute("b", || area("B"));
+        cache.get_or_compute("a", || unreachable!("hit")); // a is now MRU
+        cache.get_or_compute("c", || area("C")); // evicts b
+        let (_, hit) = cache.get_or_compute("a", || unreachable!("still resident"));
+        assert!(hit);
+        let (_, hit) = cache.get_or_compute("b", || area("B"));
+        assert!(!hit, "b was the LRU entry and must have been evicted");
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let cache = ExtractionCache::new(4);
+        cache.get_or_compute("a", || area("A"));
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        let (_, hit) = cache.get_or_compute("a", || area("A"));
+        assert!(!hit);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn concurrent_same_key_coalesces_to_one_computation() {
+        let cache = Arc::new(ExtractionCache::new(8));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let calls = Arc::clone(&calls);
+                std::thread::spawn(move || {
+                    let (v, _) = cache.get_or_compute("hot", || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window so waiters actually wait.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        area("T")
+                    });
+                    assert!(v.is_ok());
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "single flight");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn panicking_computation_unblocks_waiters() {
+        let cache = Arc::new(ExtractionCache::new(8));
+        let cache2 = Arc::clone(&cache);
+        let panicker = std::thread::spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                cache2.get_or_compute("doomed", || {
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    panic!("extraction exploded");
+                });
+            }));
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        // This call coalesces onto the doomed computation, then retries.
+        let (v, _) = cache.get_or_compute("doomed", || area("T"));
+        assert!(v.is_ok());
+        panicker.join().unwrap();
+    }
+}

@@ -1,0 +1,541 @@
+//! The query-answering core: a loaded [`ClusteredModel`] plus the metric
+//! index, the extraction cache, and the counters — everything except the
+//! sockets.
+//!
+//! # Classify semantics
+//!
+//! `classify(sql)` extracts the statement's access area and finds the
+//! nearest logged area under the paper's distance `d = d_tables +
+//! d_conj`. The request is assigned to the nearest neighbour's cluster
+//! when that neighbour is within the model's DBSCAN radius `eps` and is
+//! itself clustered; otherwise the answer is *noise* (`cluster: null`) —
+//! the same rule DBSCAN itself uses to absorb border points.
+//!
+//! # Why the pruning is exact
+//!
+//! The composite distance is not provably a metric (`d_conj` is a
+//! normalised clause-matching score), so the [`PivotIndex`] never prunes
+//! on `d` itself. It prunes on `d_tables` — the Jaccard distance over
+//! table sets, a true metric — which lower-bounds `d` because `d_conj ≥
+//! 0`. Candidates whose triangle lower bound on `d_tables` already
+//! exceeds the current `k`-th best composite distance cannot win; every
+//! survivor is evaluated with the full distance. The `index_props` suite
+//! checks equality against brute force, ties included.
+
+use crate::cache::{CacheStats, CachedExtraction, ExtractionCache};
+use crate::protocol::{error_response, ok_response};
+use aa_core::{
+    AccessArea, AccessRanges, ClusteredModel, DistanceMode, LogRunner, NoSchema, Pipeline,
+    QueryDistance, RunnerConfig,
+};
+use aa_dbscan::{dbscan, DbscanParams, Label, PivotIndex};
+use aa_util::Json;
+use std::sync::Mutex;
+
+/// Upper bound on pivot count: one pivot per distinct table set saturates
+/// the bound (a same-bucket pivot makes it exact), and real logs have
+/// few distinct table sets relative to entries.
+const MAX_PIVOTS: usize = 64;
+
+/// Mutable request counters, under one mutex (stats requests are rare
+/// and every field updates together).
+#[derive(Debug, Default, Clone)]
+pub struct ServeStats {
+    /// Requests answered successfully, per op.
+    pub classify_ok: u64,
+    pub neighbors_ok: u64,
+    pub stats_ok: u64,
+    /// Requests rejected by per-connection admission control.
+    pub rejected: u64,
+    /// Requests whose line could not be parsed as a request.
+    pub bad_requests: u64,
+    /// Admitted requests whose SQL the pipeline rejected, by failure
+    /// taxonomy kind (sorted at snapshot time for determinism).
+    pub extract_failed: std::collections::BTreeMap<String, u64>,
+    /// Classify outcomes per cluster id; index `cluster_count` = noise.
+    pub classified: Vec<u64>,
+    /// Full-distance evaluations the index performed / avoided.
+    pub distance_evaluated: u64,
+    pub distance_pruned: u64,
+}
+
+impl ServeStats {
+    /// Total requests that produced any response.
+    pub fn answered(&self) -> u64 {
+        self.classify_ok
+            + self.neighbors_ok
+            + self.stats_ok
+            + self.rejected
+            + self.bad_requests
+            + self.extract_failures()
+    }
+
+    /// Total admitted-but-unextractable requests.
+    pub fn extract_failures(&self) -> u64 {
+        self.extract_failed.values().sum()
+    }
+}
+
+/// The model-serving core shared by all worker threads.
+pub struct ServeEngine {
+    model: ClusteredModel,
+    index: PivotIndex,
+    cache: ExtractionCache,
+    /// Per-request extraction fuel (`None` = unmetered).
+    fuel: Option<u64>,
+    stats: Mutex<ServeStats>,
+}
+
+impl ServeEngine {
+    /// Builds the serving core for a validated model.
+    pub fn new(model: ClusteredModel, cache_capacity: usize, fuel: Option<u64>) -> Self {
+        let ranges = model.ranges.clone();
+        let qd = QueryDistance::with_mode(&ranges, model.mode);
+        let index = PivotIndex::build(&model.areas, MAX_PIVOTS, &|a: &AccessArea, b| {
+            qd.d_tables(a, b)
+        });
+        let stats = ServeStats {
+            classified: vec![0; model.cluster_count + 1],
+            ..ServeStats::default()
+        };
+        ServeEngine {
+            model,
+            index,
+            cache: ExtractionCache::new(cache_capacity),
+            fuel,
+            stats: Mutex::new(stats),
+        }
+    }
+
+    /// The served model.
+    pub fn model(&self) -> &ClusteredModel {
+        &self.model
+    }
+
+    /// Extraction-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops all cached extractions (benchmarks use this to measure the
+    /// cold path).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServeStats {
+        self.stats.lock().unwrap().clone()
+    }
+
+    /// Extracts one statement through the hardened runner: panic
+    /// isolation is always on and `fuel` bounds per-request work, so a
+    /// poison statement costs one error response, not a worker thread.
+    fn extract(&self, sql: &str) -> CachedExtraction {
+        let provider = NoSchema;
+        let pipeline = Pipeline::new(&provider);
+        let mut config = RunnerConfig::new();
+        config.fuel = self.fuel;
+        config.isolate_panics = true;
+        let runner = LogRunner::new(&pipeline, config);
+        let report = match runner.run(&[sql]) {
+            Ok(r) => r,
+            Err(e) => return Err(("internal".to_string(), e.to_string())),
+        };
+        if let Some(q) = report.extracted.into_iter().next() {
+            return Ok(q.area);
+        }
+        match report.failed.into_iter().next() {
+            Some(f) => Err((failure_kind_name(&f.kind).to_string(), f.message)),
+            None => Err(("internal".to_string(), "no extraction result".to_string())),
+        }
+    }
+
+    /// Cached extraction keyed by the statement's fingerprint. Returns
+    /// the result and whether the cache already had it (coalesced waits
+    /// count as hits).
+    fn extract_cached(&self, sql: &str) -> (std::sync::Arc<CachedExtraction>, bool) {
+        let key = aa_sql::fingerprint(sql);
+        self.cache.get_or_compute(&key, || self.extract(sql))
+    }
+
+    /// `k` nearest logged areas to `query` by `(distance, index)`.
+    fn knn(&self, query: &AccessArea, k: usize) -> (Vec<(usize, f64)>, usize) {
+        let qd = QueryDistance::with_mode(&self.model.ranges, self.model.mode);
+        let areas = &self.model.areas;
+        self.index.knn(
+            k,
+            |i| qd.d_tables(query, &areas[i]),
+            |i| qd.distance(query, &areas[i]),
+        )
+    }
+
+    fn record_evaluations(&self, evaluated: usize) {
+        let mut stats = self.stats.lock().unwrap();
+        stats.distance_evaluated += evaluated as u64;
+        stats.distance_pruned += (self.model.areas.len() - evaluated) as u64;
+    }
+
+    fn record_extract_failure(&self, kind: &str) {
+        let mut stats = self.stats.lock().unwrap();
+        *stats.extract_failed.entry(kind.to_string()).or_insert(0) += 1;
+    }
+
+    /// Answers a classify request.
+    pub fn classify(&self, sql: &str) -> Json {
+        let (extraction, hit) = self.extract_cached(sql);
+        let area = match extraction.as_ref() {
+            Ok(area) => area,
+            Err((kind, message)) => {
+                self.record_extract_failure(kind);
+                return extract_failed_response(kind, message);
+            }
+        };
+        let (nearest, evaluated) = self.knn(area, 1);
+        self.record_evaluations(evaluated);
+        let mut fields = vec![("cache".to_string(), cache_field(hit))];
+        let cluster = match nearest.first() {
+            Some(&(idx, d)) => {
+                fields.push(("nearest".to_string(), Json::Num(idx as f64)));
+                fields.push(("distance".to_string(), Json::Num(d)));
+                if d <= self.model.eps {
+                    self.model.labels[idx]
+                } else {
+                    None
+                }
+            }
+            None => None, // empty model: everything is noise
+        };
+        fields.push((
+            "cluster".to_string(),
+            cluster.map_or(Json::Null, |c| Json::Num(c as f64)),
+        ));
+        let mut stats = self.stats.lock().unwrap();
+        stats.classify_ok += 1;
+        let slot = cluster.unwrap_or(self.model.cluster_count);
+        if let Some(count) = stats.classified.get_mut(slot) {
+            *count += 1;
+        }
+        drop(stats);
+        ok_response("classify", fields)
+    }
+
+    /// Answers a neighbors request.
+    pub fn neighbors(&self, sql: &str, k: usize) -> Json {
+        let (extraction, hit) = self.extract_cached(sql);
+        let area = match extraction.as_ref() {
+            Ok(area) => area,
+            Err((kind, message)) => {
+                self.record_extract_failure(kind);
+                return extract_failed_response(kind, message);
+            }
+        };
+        let (nearest, evaluated) = self.knn(area, k);
+        self.record_evaluations(evaluated);
+        let neighbors: Vec<Json> = nearest
+            .iter()
+            .map(|&(idx, d)| {
+                Json::obj([
+                    ("index".to_string(), Json::Num(idx as f64)),
+                    ("distance".to_string(), Json::Num(d)),
+                    (
+                        "cluster".to_string(),
+                        self.model.labels[idx].map_or(Json::Null, |c| Json::Num(c as f64)),
+                    ),
+                ])
+            })
+            .collect();
+        self.stats.lock().unwrap().neighbors_ok += 1;
+        ok_response(
+            "neighbors",
+            [
+                ("cache".to_string(), cache_field(hit)),
+                ("neighbors".to_string(), Json::Arr(neighbors)),
+            ],
+        )
+    }
+
+    /// Answers a stats request. Every field is a deterministic function
+    /// of the request history (no wall-clock, no addresses), so replaying
+    /// the same request sequence yields byte-identical snapshots — the
+    /// CI smoke gate diffs two runs.
+    pub fn stats_response(&self) -> Json {
+        {
+            let mut stats = self.stats.lock().unwrap();
+            stats.stats_ok += 1;
+        }
+        ok_response("stats", [("stats".to_string(), self.stats_json())])
+    }
+
+    /// The stats object itself (also the shutdown snapshot).
+    pub fn stats_json(&self) -> Json {
+        let stats = self.stats.lock().unwrap().clone();
+        let cache = self.cache.stats();
+        Json::obj([
+            (
+                "requests".to_string(),
+                Json::obj([
+                    ("classify".to_string(), Json::Num(stats.classify_ok as f64)),
+                    (
+                        "neighbors".to_string(),
+                        Json::Num(stats.neighbors_ok as f64),
+                    ),
+                    ("stats".to_string(), Json::Num(stats.stats_ok as f64)),
+                ]),
+            ),
+            ("rejected".to_string(), Json::Num(stats.rejected as f64)),
+            (
+                "bad_requests".to_string(),
+                Json::Num(stats.bad_requests as f64),
+            ),
+            (
+                "extract_failed".to_string(),
+                Json::Obj(
+                    stats
+                        .extract_failed
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::Num(v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "classified".to_string(),
+                Json::Arr(stats.classified.iter().map(|&c| Json::Num(c as f64)).collect()),
+            ),
+            (
+                "cache".to_string(),
+                Json::obj([
+                    ("hits".to_string(), Json::Num(cache.hits as f64)),
+                    ("misses".to_string(), Json::Num(cache.misses as f64)),
+                    ("evictions".to_string(), Json::Num(cache.evictions as f64)),
+                    ("entries".to_string(), Json::Num(cache.entries as f64)),
+                ]),
+            ),
+            (
+                "index".to_string(),
+                Json::obj([
+                    ("areas".to_string(), Json::Num(self.model.areas.len() as f64)),
+                    (
+                        "pivots".to_string(),
+                        Json::Num(self.index.pivots().len() as f64),
+                    ),
+                    (
+                        "evaluated".to_string(),
+                        Json::Num(stats.distance_evaluated as f64),
+                    ),
+                    (
+                        "pruned".to_string(),
+                        Json::Num(stats.distance_pruned as f64),
+                    ),
+                ]),
+            ),
+            (
+                "model".to_string(),
+                Json::obj([
+                    (
+                        "clusters".to_string(),
+                        Json::Num(self.model.cluster_count as f64),
+                    ),
+                    ("eps".to_string(), Json::Num(self.model.eps)),
+                    (
+                        "mode".to_string(),
+                        Json::Str(self.model.mode.as_str().to_string()),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Records an admission-control rejection (the server calls this).
+    pub fn record_rejection(&self) {
+        self.stats.lock().unwrap().rejected += 1;
+    }
+
+    /// Records an unparseable request line (the server calls this).
+    pub fn record_bad_request(&self) {
+        self.stats.lock().unwrap().bad_requests += 1;
+    }
+}
+
+fn cache_field(hit: bool) -> Json {
+    Json::Str(if hit { "hit" } else { "miss" }.to_string())
+}
+
+fn extract_failed_response(kind: &str, message: &str) -> Json {
+    let mut response = error_response("extract_failed", message);
+    if let Json::Obj(fields) = &mut response {
+        fields.push(("failure".to_string(), Json::Str(kind.to_string())));
+    }
+    response
+}
+
+/// Wire names for the Section 6.1 failure taxonomy.
+fn failure_kind_name(kind: &aa_core::FailureKind) -> &'static str {
+    use aa_core::FailureKind;
+    match kind {
+        FailureKind::SyntaxError => "syntax",
+        FailureKind::NotSelect => "not_select",
+        FailureKind::UserDefinedFunction => "udf",
+        FailureKind::Unsupported => "unsupported",
+        FailureKind::SemanticError => "semantic",
+        FailureKind::Internal => "internal",
+        FailureKind::BudgetExceeded => "budget",
+    }
+}
+
+/// Builds a [`ClusteredModel`] by running the full offline pipeline over
+/// the deterministic synthetic DR9 log: generate → extract → bootstrap
+/// `access(a)` (Section 5.3 fallback, with the doubling rule) → DBSCAN.
+///
+/// Same parameters, same model — byte-for-byte, which the CI smoke gate
+/// relies on.
+pub fn build_model(
+    total: usize,
+    seed: u64,
+    eps: f64,
+    min_pts: usize,
+    mode: DistanceMode,
+) -> ClusteredModel {
+    let log: Vec<String> = aa_skyserver::generate_log(&aa_skyserver::LogConfig {
+        total,
+        seed,
+        ..aa_skyserver::LogConfig::default()
+    })
+    .into_iter()
+    .map(|e| e.sql)
+    .collect();
+    let provider = NoSchema;
+    let pipeline = Pipeline::new(&provider);
+    let runner = LogRunner::new(&pipeline, RunnerConfig::new());
+    let report = runner.run(&log).expect("in-memory run cannot fail");
+    let areas: Vec<AccessArea> = report.extracted.into_iter().map(|q| q.area).collect();
+    let mut ranges = AccessRanges::new();
+    ranges.observe_all(areas.iter());
+    ranges.apply_doubling();
+    let qd = QueryDistance::with_mode(&ranges, mode);
+    let result = dbscan(&areas, &DbscanParams { eps, min_pts }, |a, b| {
+        qd.distance(a, b)
+    });
+    let labels: Vec<Option<usize>> = result.labels.iter().map(Label::cluster).collect();
+    let model = ClusteredModel {
+        areas,
+        labels,
+        cluster_count: result.cluster_count,
+        ranges,
+        eps,
+        min_pts,
+        mode,
+    };
+    model.validate().expect("constructed model is valid");
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_engine() -> ServeEngine {
+        let model = build_model(200, 7, 0.06, 4, DistanceMode::Dissimilarity);
+        assert!(model.cluster_count > 0, "synthetic log must cluster");
+        ServeEngine::new(model, 64, Some(1_000_000))
+    }
+
+    #[test]
+    fn classify_assigns_template_queries_to_clusters() {
+        let engine = small_engine();
+        // A statement generated from the model's own log is (distance 0)
+        // on top of a logged area, so it lands in that area's cluster.
+        let probe = engine
+            .model()
+            .labels
+            .iter()
+            .position(|l| l.is_some())
+            .expect("some clustered area");
+        let sql = engine.model().areas[probe].to_intermediate_sql();
+        let response = engine.classify(&sql);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(
+            response.get("cluster").and_then(Json::as_f64),
+            engine.model().labels[probe].map(|c| c as f64),
+            "re-submitted logged query must classify into its own cluster"
+        );
+        assert_eq!(response.get("cache").and_then(Json::as_str), Some("miss"));
+        // Second submission hits the cache.
+        let again = engine.classify(&sql);
+        assert_eq!(again.get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(
+            again.get("cluster").and_then(Json::as_f64),
+            response.get("cluster").and_then(Json::as_f64)
+        );
+    }
+
+    #[test]
+    fn unparseable_sql_is_an_extract_failure_not_a_crash() {
+        let engine = small_engine();
+        let response = engine.classify("SELEKT broken FROM");
+        assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            response.get("kind").and_then(Json::as_str),
+            Some("extract_failed")
+        );
+        assert_eq!(
+            response.get("failure").and_then(Json::as_str),
+            Some("syntax")
+        );
+        assert_eq!(engine.stats().extract_failures(), 1);
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_within_k() {
+        let engine = small_engine();
+        let sql = engine.model().areas[0].to_intermediate_sql();
+        let response = engine.neighbors(&sql, 5);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        let list = response.get("neighbors").and_then(Json::as_arr).unwrap();
+        assert_eq!(list.len(), 5.min(engine.model().areas.len()));
+        let dists: Vec<f64> = list
+            .iter()
+            .map(|n| n.get("distance").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]), "sorted ascending");
+        assert_eq!(dists[0], 0.0, "area 0 itself is its nearest neighbour");
+    }
+
+    #[test]
+    fn stats_snapshot_counts_everything() {
+        let engine = small_engine();
+        let sql = engine.model().areas[0].to_intermediate_sql();
+        engine.classify(&sql);
+        engine.classify(&sql);
+        engine.classify("NOT SQL AT ALL");
+        let response = engine.stats_response();
+        let stats = response.get("stats").unwrap();
+        let requests = stats.get("requests").unwrap();
+        assert_eq!(requests.get("classify").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(requests.get("stats").and_then(Json::as_f64), Some(1.0));
+        let cache = stats.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(cache.get("misses").and_then(Json::as_f64), Some(2.0));
+        let index = stats.get("index").unwrap();
+        let evaluated = index.get("evaluated").and_then(Json::as_f64).unwrap();
+        let pruned = index.get("pruned").and_then(Json::as_f64).unwrap();
+        assert_eq!(
+            evaluated + pruned,
+            (2 * engine.model().areas.len()) as f64,
+            "every classify accounts for every area, evaluated or pruned"
+        );
+        assert!(pruned > 0.0, "the table-set index must prune something");
+    }
+
+    #[test]
+    fn fuel_budget_bounds_each_request() {
+        let model = build_model(120, 11, 0.06, 4, DistanceMode::Dissimilarity);
+        let engine = ServeEngine::new(model, 16, Some(1));
+        let response = engine.classify("SELECT * FROM PhotoObjAll WHERE ra > 100 AND dec < 2");
+        assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            response.get("failure").and_then(Json::as_str),
+            Some("budget")
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! # aa-serve — the online access-area query service
+//!
+//! The paper's pipeline is offline: log in, clusters out. This crate is
+//! the *online* half the paper motivates ("identify what the user is
+//! interested in" as queries arrive): a long-running TCP service that
+//! loads a clustered model ([`aa_core::ClusteredModel`]) and answers,
+//! over line-delimited JSON,
+//!
+//! * **classify** — which discovered interest cluster a new SQL
+//!   statement falls into (nearest logged access area under
+//!   `d = d_tables + d_conj`, noise if beyond the model's `eps`),
+//! * **neighbors** — the `k` logged queries most similar to a
+//!   statement, and
+//! * **stats** — deterministic request/cache/index counters.
+//!
+//! Three mechanisms keep a request cheap and the server unkillable:
+//!
+//! 1. a **pivot metric index** ([`aa_dbscan::PivotIndex`]) that prunes
+//!    candidate areas with a triangle lower bound on `d_tables` (the
+//!    Jaccard table-set distance — a true metric that lower-bounds the
+//!    composite distance, so pruning is provably exact),
+//! 2. a **coalescing LRU extraction cache** ([`cache::ExtractionCache`])
+//!    keyed by the statement's normalized fingerprint
+//!    ([`aa_sql::fingerprint`]), and
+//! 3. **admission control + budgets**: a per-connection sliding-window
+//!    rate limiter (SkyServer's own "60 queries per minute" cap,
+//!    [`aa_engine::ratelimit::SimRateLimiter`]) and per-request
+//!    extraction fuel via the hardened [`aa_core::LogRunner`], so a
+//!    hostile statement costs one bounded error response.
+//!
+//! See DESIGN.md §8 for the protocol grammar and the shutdown ordering.
+//!
+//! ```no_run
+//! use aa_serve::{build_model, ServeEngine, ServerConfig};
+//!
+//! let model = build_model(2_000, 42, 0.06, 8, aa_core::DistanceMode::Dissimilarity);
+//! let engine = ServeEngine::new(model, 1024, Some(1_000_000));
+//! let handle = aa_serve::spawn(engine, ServerConfig::default()).unwrap();
+//! println!("listening on {}", handle.local_addr());
+//! let final_stats = handle.wait(); // until a client sends {"op":"shutdown"}
+//! println!("{}", final_stats.to_string_pretty());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheStats, CachedExtraction, ExtractionCache};
+pub use engine::{build_model, ServeEngine, ServeStats};
+pub use protocol::{BadRequest, Request};
+pub use server::{spawn, ServerConfig, ServerHandle};

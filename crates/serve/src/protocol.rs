@@ -1,0 +1,165 @@
+//! Line-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request, in order. Four
+//! operations:
+//!
+//! ```text
+//! {"op": "classify",  "sql": "SELECT ..."}
+//! {"op": "neighbors", "sql": "SELECT ...", "k": 5}
+//! {"op": "stats"}
+//! {"op": "shutdown"}
+//! ```
+//!
+//! Every response carries `"ok": true|false` plus the echoed `"op"`.
+//! Failures distinguish `kind`s the client can dispatch on:
+//! `bad_request` (malformed JSON / unknown op), `rate_limited`
+//! (admission control), and `extract_failed` (the SQL was admitted but
+//! the extraction pipeline rejected it — the failure taxonomy kind is in
+//! `"failure"`).
+
+use aa_util::Json;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Nearest-cluster lookup for one SQL statement.
+    Classify { sql: String },
+    /// The `k` logged queries most similar to one SQL statement.
+    Neighbors { sql: String, k: usize },
+    /// Server counters snapshot.
+    Stats,
+    /// Begin graceful shutdown (the current connection is still served
+    /// to EOF).
+    Shutdown,
+}
+
+/// Why a request line could not be turned into a [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BadRequest(pub String);
+
+impl Request {
+    /// Parses one request line.
+    pub fn parse_line(line: &str) -> Result<Request, BadRequest> {
+        let json = Json::parse(line).map_err(|e| BadRequest(format!("malformed JSON: {e}")))?;
+        let op = json
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| BadRequest("missing 'op'".into()))?;
+        let sql_field = |json: &Json| -> Result<String, BadRequest> {
+            json.get("sql")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| BadRequest(format!("op '{op}' requires string 'sql'")))
+        };
+        match op {
+            "classify" => Ok(Request::Classify {
+                sql: sql_field(&json)?,
+            }),
+            "neighbors" => {
+                let k = match json.get("k") {
+                    None => 5,
+                    Some(v) => match v.as_f64() {
+                        Some(k) if k >= 1.0 && k.fract() == 0.0 && k <= 10_000.0 => k as usize,
+                        _ => {
+                            return Err(BadRequest(
+                                "'k' must be an integer in 1..=10000".into(),
+                            ))
+                        }
+                    },
+                };
+                Ok(Request::Neighbors {
+                    sql: sql_field(&json)?,
+                    k,
+                })
+            }
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(BadRequest(format!("unknown op '{other}'"))),
+        }
+    }
+
+    /// The wire name of the operation (echoed in responses).
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Classify { .. } => "classify",
+            Request::Neighbors { .. } => "neighbors",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// `{"ok": true, "op": op, ...fields}`.
+pub fn ok_response(op: &str, fields: impl IntoIterator<Item = (String, Json)>) -> Json {
+    let mut obj = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("op".to_string(), Json::Str(op.to_string())),
+    ];
+    obj.extend(fields);
+    Json::Obj(obj)
+}
+
+/// `{"ok": false, "kind": kind, "error": message}`.
+pub fn error_response(kind: &str, message: &str) -> Json {
+    Json::obj([
+        ("ok".to_string(), Json::Bool(false)),
+        ("kind".to_string(), Json::Str(kind.to_string())),
+        ("error".to_string(), Json::Str(message.to_string())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_ops() {
+        assert_eq!(
+            Request::parse_line(r#"{"op":"classify","sql":"SELECT * FROM T"}"#),
+            Ok(Request::Classify {
+                sql: "SELECT * FROM T".into()
+            })
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"op":"neighbors","sql":"SELECT 1","k":3}"#),
+            Ok(Request::Neighbors {
+                sql: "SELECT 1".into(),
+                k: 3
+            })
+        );
+        // k defaults to 5.
+        assert_eq!(
+            Request::parse_line(r#"{"op":"neighbors","sql":"SELECT 1"}"#),
+            Ok(Request::Neighbors {
+                sql: "SELECT 1".into(),
+                k: 5
+            })
+        );
+        assert_eq!(Request::parse_line(r#"{"op":"stats"}"#), Ok(Request::Stats));
+        assert_eq!(
+            Request::parse_line(r#"{"op":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(Request::parse_line("not json").is_err());
+        assert!(Request::parse_line(r#"{"sql":"SELECT 1"}"#).is_err());
+        assert!(Request::parse_line(r#"{"op":"explode"}"#).is_err());
+        assert!(Request::parse_line(r#"{"op":"classify"}"#).is_err());
+        assert!(Request::parse_line(r#"{"op":"neighbors","sql":"x","k":0}"#).is_err());
+        assert!(Request::parse_line(r#"{"op":"neighbors","sql":"x","k":1.5}"#).is_err());
+    }
+
+    #[test]
+    fn response_shapes() {
+        let ok = ok_response("stats", [("served".to_string(), Json::Num(3.0))]);
+        assert_eq!(ok.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(ok.get("op").and_then(Json::as_str), Some("stats"));
+        assert_eq!(ok.get("served").and_then(Json::as_f64), Some(3.0));
+        let err = error_response("bad_request", "nope");
+        assert_eq!(err.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(err.get("kind").and_then(Json::as_str), Some("bad_request"));
+    }
+}

@@ -1,0 +1,370 @@
+//! The TCP front end: accept loop, fixed worker pool, per-connection
+//! admission control, graceful drain.
+//!
+//! # Threading model
+//!
+//! One non-blocking accept thread pushes accepted connections onto an
+//! mpsc channel; `workers` blocking worker threads pull connections off
+//! it and serve each to EOF (one connection at a time per worker — the
+//! protocol is strictly request/response, so per-connection pipelining
+//! buys nothing a second connection would not).
+//!
+//! # Admission control
+//!
+//! Each connection gets its own [`SimRateLimiter`] — the same sliding
+//! 60-second window the re-querying experiment models after SkyServer's
+//! public "60 queries per minute" cap — fed with the connection's
+//! elapsed monotonic clock. Over-limit requests receive a
+//! `rate_limited` error response (the connection stays open; the
+//! client may back off and continue), and the rejection is counted.
+//!
+//! # Graceful shutdown
+//!
+//! [`ServerHandle::shutdown`] (or a client `{"op":"shutdown"}`) flips
+//! one flag. The accept thread stops accepting and drops its channel
+//! sender; workers drain every already-accepted connection to EOF
+//! before exiting, so no accepted request is ever dropped — the soak
+//! test counts exactly. Once all workers are joined, a final stats
+//! snapshot is taken and returned (and optionally written to disk).
+
+use crate::engine::ServeEngine;
+use crate::protocol::{error_response, Request};
+use aa_engine::ratelimit::SimRateLimiter;
+use aa_util::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Extraction-cache capacity (completed entries).
+    pub cache_capacity: usize,
+    /// Per-request extraction fuel (`None` = unmetered).
+    pub fuel: Option<u64>,
+    /// Per-connection admission limit (requests per sliding minute).
+    pub per_minute: u32,
+    /// Where to write the final stats snapshot on shutdown.
+    pub stats_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            cache_capacity: 1024,
+            fuel: None,
+            per_minute: 60,
+            stats_path: None,
+        }
+    }
+}
+
+/// A running server; dropping it without calling [`shutdown`] leaves
+/// the threads running (they hold `Arc`s to everything they need).
+///
+/// [`shutdown`]: ServerHandle::shutdown
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    engine: Arc<ServeEngine>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    stats_path: Option<PathBuf>,
+}
+
+/// Binds, spawns the pool, returns immediately.
+pub fn spawn(engine: ServeEngine, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let engine = Arc::new(engine);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_thread = std::thread::spawn(move || {
+        // `tx` is moved in here; dropping it on exit is what tells the
+        // workers the queue is complete.
+        while !accept_shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Workers use blocking reads.
+                    if stream.set_nonblocking(false).is_ok() && tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+    });
+
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let engine = Arc::clone(&engine);
+            let shutdown = Arc::clone(&shutdown);
+            let per_minute = config.per_minute;
+            std::thread::spawn(move || loop {
+                // Holding the lock only while receiving: `recv` returns
+                // Err exactly when the accept thread exited AND the
+                // queue is fully drained — the no-drop guarantee.
+                let next = rx.lock().unwrap().recv();
+                match next {
+                    Ok(stream) => serve_connection(stream, &engine, &shutdown, per_minute),
+                    Err(_) => break,
+                }
+            })
+        })
+        .collect();
+
+    Ok(ServerHandle {
+        local_addr,
+        engine,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        workers,
+        stats_path: config.stats_path,
+    })
+}
+
+/// Serves one connection to EOF: line in, response line out.
+fn serve_connection(
+    stream: TcpStream,
+    engine: &ServeEngine,
+    shutdown: &AtomicBool,
+    per_minute: u32,
+) {
+    let started = Instant::now();
+    let mut limiter = SimRateLimiter::new(per_minute);
+    let reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(
+            &line,
+            engine,
+            shutdown,
+            &mut limiter,
+            per_minute,
+            started.elapsed(),
+        );
+        let mut bytes = response.to_string_compact().into_bytes();
+        bytes.push(b'\n');
+        if writer.write_all(&bytes).and_then(|()| writer.flush()).is_err() {
+            break;
+        }
+    }
+}
+
+/// Admission, parsing, dispatch for one request line.
+fn handle_line(
+    line: &str,
+    engine: &ServeEngine,
+    shutdown: &AtomicBool,
+    limiter: &mut SimRateLimiter,
+    per_minute: u32,
+    elapsed: Duration,
+) -> Json {
+    if limiter.try_acquire(elapsed.as_secs_f64()).is_err() {
+        engine.record_rejection();
+        return error_response(
+            "rate_limited",
+            &format!("per-connection limit of {per_minute} requests/minute exceeded"),
+        );
+    }
+    match Request::parse_line(line) {
+        Err(bad) => {
+            engine.record_bad_request();
+            error_response("bad_request", &bad.0)
+        }
+        Ok(Request::Classify { sql }) => engine.classify(&sql),
+        Ok(Request::Neighbors { sql, k }) => engine.neighbors(&sql, k),
+        Ok(Request::Stats) => engine.stats_response(),
+        Ok(Request::Shutdown) => {
+            shutdown.store(true, Ordering::SeqCst);
+            crate::protocol::ok_response("shutdown", [])
+        }
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (read the port here when binding to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared engine (tests inspect counters through this).
+    pub fn engine(&self) -> &ServeEngine {
+        &self.engine
+    }
+
+    /// True once shutdown has been requested (by [`shutdown`] or a
+    /// client's `{"op":"shutdown"}`).
+    ///
+    /// [`shutdown`]: ServerHandle::shutdown
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and drains: stops accepting, serves every
+    /// already-accepted connection to EOF, joins all threads, writes the
+    /// final stats snapshot if configured, and returns it.
+    pub fn shutdown(mut self) -> Json {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let snapshot = self.engine.stats_json();
+        if let Some(path) = &self.stats_path {
+            let mut text = snapshot.to_string_pretty();
+            text.push('\n');
+            let _ = std::fs::write(path, text);
+        }
+        snapshot
+    }
+
+    /// Blocks until some client requests shutdown, then drains exactly
+    /// like [`shutdown`]. The `serve_areas` binary's main loop.
+    ///
+    /// [`shutdown`]: ServerHandle::shutdown
+    pub fn wait(self) -> Json {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::build_model;
+    use aa_core::DistanceMode;
+    use std::io::BufRead;
+
+    fn test_server(per_minute: u32) -> ServerHandle {
+        let model = build_model(150, 5, 0.06, 4, DistanceMode::Dissimilarity);
+        let engine = ServeEngine::new(model, 64, Some(10_000_000));
+        spawn(
+            engine,
+            ServerConfig {
+                workers: 2,
+                per_minute,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind ephemeral port")
+    }
+
+    fn request(stream: &mut TcpStream, line: &str) -> Json {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        Json::parse(&response).expect("valid response JSON")
+    }
+
+    #[test]
+    fn classify_roundtrip_over_tcp() {
+        let handle = test_server(10_000);
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let sql = handle.engine().model().areas[0].to_intermediate_sql();
+        let req = Json::obj([
+            ("op".to_string(), Json::Str("classify".to_string())),
+            ("sql".to_string(), Json::Str(sql)),
+        ]);
+        let response = request(&mut stream, &req.to_string_compact());
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        assert!(response.get("distance").and_then(Json::as_f64).is_some());
+        drop(stream);
+        let stats = handle.shutdown();
+        assert_eq!(
+            stats
+                .get("requests")
+                .and_then(|r| r.get("classify"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn over_limit_requests_are_rejected_not_dropped() {
+        let handle = test_server(3);
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut served = 0;
+        let mut rejected = 0;
+        for _ in 0..10 {
+            let response = request(&mut stream, r#"{"op":"stats"}"#);
+            if response.get("ok") == Some(&Json::Bool(true)) {
+                served += 1;
+            } else {
+                assert_eq!(
+                    response.get("kind").and_then(Json::as_str),
+                    Some("rate_limited")
+                );
+                rejected += 1;
+            }
+        }
+        // The sliding window cannot expire within a fast test run, so
+        // the split is exact.
+        assert_eq!((served, rejected), (3, 7));
+        drop(stream);
+        let stats = handle.shutdown();
+        assert_eq!(stats.get("rejected").and_then(Json::as_f64), Some(7.0));
+    }
+
+    #[test]
+    fn client_shutdown_op_stops_the_server_but_serves_the_connection() {
+        let handle = test_server(10_000);
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let response = request(&mut stream, r#"{"op":"shutdown"}"#);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        assert!(handle.shutdown_requested());
+        // Drain semantics: the connection that requested shutdown is
+        // still served.
+        let response = request(&mut stream, r#"{"op":"stats"}"#);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        drop(stream);
+        handle.wait();
+    }
+
+    #[test]
+    fn bad_lines_get_bad_request_responses() {
+        let handle = test_server(10_000);
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let response = request(&mut stream, "this is not json");
+        assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            response.get("kind").and_then(Json::as_str),
+            Some("bad_request")
+        );
+        drop(stream);
+        let stats = handle.shutdown();
+        assert_eq!(stats.get("bad_requests").and_then(Json::as_f64), Some(1.0));
+    }
+}

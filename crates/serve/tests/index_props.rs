@@ -1,0 +1,185 @@
+//! Property tests: the pivot-pruned index answers *exactly* like brute
+//! force — same neighbours, same distances, same tie-breaking — on
+//! models built from the seeded synthetic DR9 log.
+//!
+//! This is the safety argument for the serving layer's only
+//! approximation-shaped component: the pruning bound (`d_tables` Jaccard
+//! under the triangle inequality) must never cut a true neighbour. The
+//! composite distance is not a metric, so any pruning bug would show up
+//! here as a missing or reordered neighbour.
+
+use aa_core::{AccessArea, DistanceMode, QueryDistance};
+use aa_dbscan::PivotIndex;
+use aa_prop::{check, Config, Source};
+use aa_serve::{build_model, ServeEngine};
+use aa_util::Json;
+use std::sync::OnceLock;
+
+/// One shared model per distance mode: extraction dominates test time
+/// and the properties only need *some* realistic clustered model.
+fn model(mode: DistanceMode) -> &'static aa_core::ClusteredModel {
+    static LITERAL: OnceLock<aa_core::ClusteredModel> = OnceLock::new();
+    static DISSIM: OnceLock<aa_core::ClusteredModel> = OnceLock::new();
+    let cell = match mode {
+        DistanceMode::PaperLiteral => &LITERAL,
+        DistanceMode::Dissimilarity => &DISSIM,
+    };
+    cell.get_or_init(|| build_model(160, 1234, 0.06, 4, mode))
+}
+
+/// Brute force k-NN: sort every `(distance, index)` pair and truncate.
+fn brute_knn(
+    qd: &QueryDistance<'_>,
+    areas: &[AccessArea],
+    query: &AccessArea,
+    k: usize,
+) -> Vec<(usize, f64)> {
+    let mut all: Vec<(usize, f64)> = areas
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (i, qd.distance(query, a)))
+        .collect();
+    all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+/// Picks a random query area: usually one of the model's own areas
+/// (guaranteeing exact-distance ties between template twins — the
+/// hardest tie-breaking case), sometimes a fresh perturbed statement.
+fn random_query(src: &mut Source, areas: &[AccessArea]) -> AccessArea {
+    if src.bool(0.7) {
+        areas[src.usize_in(0, areas.len())].clone()
+    } else {
+        let lo = src.int_in(-50, 300);
+        let hi = lo + src.int_in(1, 40);
+        let table = *src.choice(&["PhotoObjAll", "SpecObjAll", "PhotoTag"]);
+        let col = *src.choice(&["ra", "dec", "z"]);
+        aa_core::extract::Extractor::new(&aa_core::NoSchema)
+            .extract_sql(&format!(
+                "SELECT * FROM {table} WHERE {col} >= {lo} AND {col} <= {hi}"
+            ))
+            .expect("generated SQL extracts")
+    }
+}
+
+#[test]
+fn pruned_knn_matches_brute_force_exactly() {
+    for mode in [DistanceMode::Dissimilarity, DistanceMode::PaperLiteral] {
+        let model = model(mode);
+        let qd = QueryDistance::with_mode(&model.ranges, mode);
+        let index = PivotIndex::build(&model.areas, 64, &|a: &AccessArea, b| qd.d_tables(a, b));
+        check(Config::cases(48), |src| {
+            let query = random_query(src, &model.areas);
+            let k = src.usize_in(1, 12);
+            let (pruned, evaluated) = index.knn(
+                k,
+                |i| qd.d_tables(&query, &model.areas[i]),
+                |i| qd.distance(&query, &model.areas[i]),
+            );
+            let brute = brute_knn(&qd, &model.areas, &query, k);
+            assert_eq!(
+                pruned, brute,
+                "pruned k-NN diverged from brute force (mode {mode:?}, k {k})"
+            );
+            assert!(evaluated <= model.areas.len());
+        });
+    }
+}
+
+#[test]
+fn pruned_range_matches_brute_force_exactly() {
+    let mode = DistanceMode::Dissimilarity;
+    let model = model(mode);
+    let qd = QueryDistance::with_mode(&model.ranges, mode);
+    let index = PivotIndex::build(&model.areas, 64, &|a: &AccessArea, b| qd.d_tables(a, b));
+    check(Config::cases(48), |src| {
+        let query = random_query(src, &model.areas);
+        let eps = src.f64_in(0.0, 0.5);
+        let (pruned, _) = index.range(
+            eps,
+            |i| qd.d_tables(&query, &model.areas[i]),
+            |i| qd.distance(&query, &model.areas[i]),
+        );
+        let brute: Vec<usize> = model
+            .areas
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| qd.distance(&query, a) <= eps)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(pruned, brute, "range query diverged (eps {eps})");
+    });
+}
+
+#[test]
+fn engine_classify_agrees_with_brute_force_nearest_neighbour() {
+    let mode = DistanceMode::Dissimilarity;
+    let model = model(mode);
+    let engine = ServeEngine::new(model.clone(), 256, None);
+    let qd = QueryDistance::with_mode(&model.ranges, mode);
+    check(Config::cases(24), |src| {
+        let idx = src.usize_in(0, model.areas.len());
+        let sql = model.areas[idx].to_intermediate_sql();
+        let response = engine.classify(&sql);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{sql}");
+        // Recompute the expected answer by brute force. The re-parsed
+        // intermediate SQL may not round-trip to an identical area, so
+        // extract it exactly as the engine does.
+        let area = aa_core::extract::Extractor::new(&aa_core::NoSchema)
+            .extract_sql(&sql)
+            .expect("intermediate SQL re-extracts");
+        let (nearest, d) = brute_knn(&qd, &model.areas, &area, 1)[0];
+        assert_eq!(
+            response.get("nearest").and_then(Json::as_f64),
+            Some(nearest as f64),
+            "nearest neighbour mismatch for {sql}"
+        );
+        let got_d = response.get("distance").and_then(Json::as_f64).unwrap();
+        assert_eq!(got_d, d, "distance mismatch for {sql}");
+        let expected_cluster = if d <= model.eps {
+            model.labels[nearest]
+        } else {
+            None
+        };
+        assert_eq!(
+            response.get("cluster").and_then(Json::as_f64),
+            expected_cluster.map(|c| c as f64),
+            "cluster mismatch for {sql}"
+        );
+    });
+}
+
+/// Tie-breaking is deterministic end to end: identical areas (template
+/// twins are common in the synthetic log) must always surface in
+/// ascending index order.
+#[test]
+fn equal_distance_ties_surface_in_index_order() {
+    let mode = DistanceMode::Dissimilarity;
+    let model = model(mode);
+    let qd = QueryDistance::with_mode(&model.ranges, mode);
+    let index = PivotIndex::build(&model.areas, 64, &|a: &AccessArea, b| qd.d_tables(a, b));
+    // Find an area with at least one exact twin.
+    let mut twin_query = None;
+    'outer: for (i, a) in model.areas.iter().enumerate() {
+        for b in model.areas.iter().skip(i + 1) {
+            if a == b {
+                twin_query = Some(a.clone());
+                break 'outer;
+            }
+        }
+    }
+    let query = twin_query.expect("synthetic log contains duplicate template areas");
+    let (nearest, _) = index.knn(
+        8,
+        |i| qd.d_tables(&query, &model.areas[i]),
+        |i| qd.distance(&query, &model.areas[i]),
+    );
+    for pair in nearest.windows(2) {
+        assert!(
+            pair[0].1 < pair[1].1 || (pair[0].1 == pair[1].1 && pair[0].0 < pair[1].0),
+            "ties must be ordered by index: {nearest:?}"
+        );
+    }
+    assert_eq!(nearest, brute_knn(&qd, &model.areas, &query, 8));
+}

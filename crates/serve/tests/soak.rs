@@ -1,0 +1,295 @@
+//! Concurrency soak: many client threads hammer one server, and every
+//! counter must come out *exact* — not approximately right under load.
+//!
+//! * **Conservation**: every request line sent gets exactly one
+//!   response, and `classify_ok + extract_failed + bad_requests +
+//!   rejected` equals the number of lines sent.
+//! * **Cache determinism**: the coalescing cache guarantees exactly one
+//!   miss per distinct fingerprint regardless of interleaving, so the
+//!   hit/miss split under 8-way concurrency equals a single-threaded
+//!   replay of the same multiset of requests.
+//! * **Graceful shutdown**: requests in flight — and connections already
+//!   accepted but still queued for a worker — are all served after the
+//!   shutdown flag flips.
+
+use aa_core::DistanceMode;
+use aa_serve::{build_model, ServeEngine, ServerConfig, ServerHandle};
+use aa_util::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier, OnceLock};
+
+fn model() -> &'static aa_core::ClusteredModel {
+    static MODEL: OnceLock<aa_core::ClusteredModel> = OnceLock::new();
+    MODEL.get_or_init(|| build_model(150, 99, 0.06, 4, DistanceMode::Dissimilarity))
+}
+
+fn server(workers: usize, per_minute: u32) -> ServerHandle {
+    let engine = ServeEngine::new(model().clone(), 4096, Some(50_000_000));
+    aa_serve::spawn(
+        engine,
+        ServerConfig {
+            workers,
+            per_minute,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+fn classify_line(sql: &str) -> String {
+    Json::obj([
+        ("op".to_string(), Json::Str("classify".to_string())),
+        ("sql".to_string(), Json::Str(sql.to_string())),
+    ])
+    .to_string_compact()
+}
+
+fn send_line(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Json {
+    writer.write_all(line.as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    writer.flush().unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    assert!(!response.is_empty(), "server closed mid-request");
+    Json::parse(&response).expect("response is valid JSON")
+}
+
+fn connect(handle: &ServerHandle) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(handle.local_addr()).unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+/// A pool of statements with pairwise-distinct fingerprints.
+fn distinct_pool(max: usize) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    let mut pool = Vec::new();
+    for area in &model().areas {
+        let sql = area.to_intermediate_sql();
+        if seen.insert(aa_sql::fingerprint(&sql)) {
+            pool.push(sql);
+            if pool.len() == max {
+                break;
+            }
+        }
+    }
+    assert!(
+        pool.len() >= max.min(4),
+        "synthetic model too uniform for the soak"
+    );
+    pool
+}
+
+#[test]
+fn concurrent_totals_are_exact_and_cache_matches_replay() {
+    const THREADS: usize = 8;
+    const REQUESTS: usize = 25;
+    let pool = distinct_pool(12);
+    let handle = server(4, 1_000_000);
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let clients: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let pool = pool.clone();
+            let barrier = Arc::clone(&barrier);
+            let addr = handle.local_addr();
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                barrier.wait(); // maximise interleaving
+                let mut ok = 0u64;
+                for j in 0..REQUESTS {
+                    let sql = &pool[(t * 7 + j) % pool.len()];
+                    let response = send_line(&mut writer, &mut reader, &classify_line(sql));
+                    assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{sql}");
+                    ok += 1;
+                }
+                ok
+            })
+        })
+        .collect();
+    let served: u64 = clients.into_iter().map(|c| c.join().unwrap()).sum();
+    assert_eq!(served, (THREADS * REQUESTS) as u64);
+
+    let stats = handle.shutdown();
+    let classify = stats
+        .get("requests")
+        .and_then(|r| r.get("classify"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(classify, served as f64, "no request lost or double-counted");
+    assert_eq!(stats.get("rejected").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(stats.get("bad_requests").and_then(Json::as_f64), Some(0.0));
+    // The classify-outcome histogram conserves mass too.
+    let histogram: f64 = stats
+        .get("classified")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|c| c.as_f64().unwrap())
+        .sum();
+    assert_eq!(histogram, served as f64);
+
+    // Single flight makes the cache split deterministic: exactly one
+    // miss per distinct fingerprint, everything else hits.
+    let cache = stats.get("cache").unwrap();
+    let misses = cache.get("misses").and_then(Json::as_f64).unwrap();
+    let hits = cache.get("hits").and_then(Json::as_f64).unwrap();
+    let pool_len = pool.len();
+    let distinct_used: std::collections::HashSet<usize> = (0..THREADS)
+        .flat_map(|t| (0..REQUESTS).map(move |j| (t * 7 + j) % pool_len))
+        .collect();
+    assert_eq!(misses, distinct_used.len() as f64);
+    assert_eq!(hits, served as f64 - misses);
+
+    // ... and therefore equals a single-threaded replay of the same
+    // multiset of requests against a fresh engine.
+    let replay = ServeEngine::new(model().clone(), 4096, Some(50_000_000));
+    for t in 0..THREADS {
+        for j in 0..REQUESTS {
+            replay.classify(&pool[(t * 7 + j) % pool.len()]);
+        }
+    }
+    let replay_cache = replay.cache_stats();
+    assert_eq!(replay_cache.misses as f64, misses);
+    assert_eq!(replay_cache.hits as f64, hits);
+}
+
+#[test]
+fn served_rejected_quarantined_totals_are_exact() {
+    // Single connection, 10-per-minute cap, 25 requests inside one
+    // window: the first 10 are admitted (wherever they land in the
+    // taxonomy), the remaining 15 rejected. Nothing is dropped.
+    let handle = server(2, 10);
+    let (mut writer, mut reader) = connect(&handle);
+    let good = distinct_pool(4);
+    let mut served = 0u64;
+    let mut quarantined = 0u64;
+    let mut bad = 0u64;
+    let mut rejected = 0u64;
+    for i in 0..25 {
+        let line = match i % 5 {
+            0..=2 => classify_line(&good[i % good.len()]),
+            3 => classify_line("SELEKT definitely not sql"),
+            _ => "{broken json".to_string(),
+        };
+        let response = send_line(&mut writer, &mut reader, &line);
+        if response.get("ok") == Some(&Json::Bool(true)) {
+            served += 1;
+        } else {
+            match response.get("kind").and_then(Json::as_str).unwrap() {
+                "extract_failed" => quarantined += 1,
+                "bad_request" => bad += 1,
+                "rate_limited" => rejected += 1,
+                other => panic!("unexpected failure kind {other}"),
+            }
+        }
+    }
+    assert_eq!(served + quarantined + bad + rejected, 25);
+    assert_eq!(rejected, 15, "sliding window cannot expire mid-test");
+    drop((writer, reader));
+
+    let stats = handle.shutdown();
+    let classify = stats
+        .get("requests")
+        .and_then(|r| r.get("classify"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    let extract_failed: f64 = match stats.get("extract_failed").unwrap() {
+        Json::Obj(fields) => fields.iter().map(|(_, v)| v.as_f64().unwrap()).sum(),
+        other => panic!("extract_failed must be an object, got {other:?}"),
+    };
+    assert_eq!(classify, served as f64);
+    assert_eq!(extract_failed, quarantined as f64);
+    assert_eq!(stats.get("bad_requests").and_then(Json::as_f64), Some(bad as f64));
+    assert_eq!(stats.get("rejected").and_then(Json::as_f64), Some(rejected as f64));
+}
+
+#[test]
+fn graceful_shutdown_serves_every_in_flight_connection() {
+    const CLIENTS: usize = 4;
+    let handle = server(CLIENTS, 1_000_000);
+    let sql = distinct_pool(4);
+    // Every client gets its first response, then holds the connection
+    // open across the shutdown signal and sends a second request.
+    let first_done = Arc::new(Barrier::new(CLIENTS + 1));
+    let resume = Arc::new(Barrier::new(CLIENTS + 1));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let addr = handle.local_addr();
+            let sql = sql[t % sql.len()].clone();
+            let first_done = Arc::clone(&first_done);
+            let resume = Arc::clone(&resume);
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                let r1 = send_line(&mut writer, &mut reader, &classify_line(&sql));
+                assert_eq!(r1.get("ok"), Some(&Json::Bool(true)));
+                first_done.wait();
+                resume.wait(); // main has initiated shutdown by now
+                let r2 = send_line(&mut writer, &mut reader, &classify_line(&sql));
+                assert_eq!(
+                    r2.get("ok"),
+                    Some(&Json::Bool(true)),
+                    "request sent after the shutdown signal on an open connection must be served"
+                );
+            })
+        })
+        .collect();
+    first_done.wait();
+    // Initiate shutdown concurrently; it blocks draining connections.
+    let closer = std::thread::spawn(move || handle.shutdown());
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    resume.wait();
+    for c in clients {
+        c.join().unwrap();
+    }
+    let stats = closer.join().unwrap();
+    let classify = stats
+        .get("requests")
+        .and_then(|r| r.get("classify"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(
+        classify,
+        (2 * CLIENTS) as f64,
+        "every request across the shutdown boundary is served"
+    );
+}
+
+#[test]
+fn queued_connections_drain_after_shutdown() {
+    // One worker, three connections: two sit in the accept queue while
+    // the first is being served. Shutdown must drain the queue, not
+    // abandon it.
+    let handle = server(1, 1_000_000);
+    let sql = distinct_pool(1)[0].clone();
+    let clients: Vec<_> = (0..3)
+        .map(|_| {
+            let addr = handle.local_addr();
+            let sql = sql.clone();
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                let response = send_line(&mut writer, &mut reader, &classify_line(&sql));
+                assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+            })
+        })
+        .collect();
+    // Give the accept thread time to move all three connections into
+    // the worker queue (it polls every 2 ms), then shut down.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let stats = handle.shutdown();
+    for c in clients {
+        c.join().unwrap();
+    }
+    let classify = stats
+        .get("requests")
+        .and_then(|r| r.get("classify"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(classify, 3.0, "queued connections were dropped");
+}

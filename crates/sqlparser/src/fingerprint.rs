@@ -1,0 +1,139 @@
+//! Normalized SQL fingerprints.
+//!
+//! A fingerprint is a canonical rendering of the token stream: comments and
+//! whitespace vanish (the lexer treats them as trivia), keywords case-fold to
+//! their canonical upper-case spelling, and identifiers and literals are kept
+//! verbatim. Two statements with equal fingerprints therefore lex to the same
+//! token stream, parse to the same AST, and extract the same access area —
+//! which is what makes the fingerprint a sound cache key for the serving
+//! layer: a cached extraction may be reused for any statement with the same
+//! fingerprint.
+//!
+//! ```
+//! use aa_sql::fingerprint;
+//!
+//! assert_eq!(
+//!     fingerprint("select *  from T -- trailing comment\n where u=1"),
+//!     fingerprint("SELECT * FROM T WHERE u = 1"),
+//! );
+//! ```
+
+use crate::lexer::Lexer;
+use crate::token::Token;
+use std::fmt::Write as _;
+
+/// Returns the normalized fingerprint of `sql`.
+///
+/// Statements that fail to lex (unterminated strings, stray characters) still
+/// get a deterministic fingerprint — the raw text with whitespace runs
+/// collapsed, marked with a `!lex:` prefix so it can never collide with a
+/// token-stream fingerprint. Such statements fail extraction identically, so
+/// caching their failure under the fallback key stays sound.
+pub fn fingerprint(sql: &str) -> String {
+    let tokens = match Lexer::tokenize(sql) {
+        Ok(tokens) => tokens,
+        Err(_) => {
+            let mut out = String::with_capacity(sql.len() + 5);
+            out.push_str("!lex:");
+            let mut in_gap = true;
+            for ch in sql.chars() {
+                if ch.is_whitespace() {
+                    if !in_gap {
+                        out.push(' ');
+                        in_gap = true;
+                    }
+                } else {
+                    out.push(ch);
+                    in_gap = false;
+                }
+            }
+            return out.trim_end().to_string();
+        }
+    };
+
+    let mut out = String::with_capacity(sql.len());
+    let mut tokens = tokens
+        .iter()
+        .map(|st| &st.token)
+        .filter(|t| !matches!(t, Token::Eof));
+    if let Some(first) = tokens.next() {
+        let _ = write!(out, "{first}");
+    }
+    for token in tokens {
+        out.push(' ');
+        let _ = write!(out, "{token}");
+    }
+    // A trailing statement terminator does not change meaning.
+    while let Some(stripped) = out.strip_suffix(" ;") {
+        out.truncate(stripped.len());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_whitespace_are_invisible() {
+        let a = fingerprint(
+            "SELECT /* block\ncomment */ ra, dec\n  FROM PhotoObjAll -- tail\nWHERE ra < 180",
+        );
+        let b = fingerprint("SELECT ra, dec FROM PhotoObjAll WHERE ra < 180");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn keywords_case_fold_identifiers_do_not() {
+        assert_eq!(
+            fingerprint("select ra from T"),
+            fingerprint("SELECT ra FROM T"),
+        );
+        // Identifier spelling is meaningful to the rendered atoms, so it is
+        // preserved.
+        assert_ne!(fingerprint("SELECT RA FROM T"), fingerprint("SELECT ra FROM T"));
+    }
+
+    #[test]
+    fn literals_are_kept() {
+        assert_ne!(
+            fingerprint("SELECT * FROM T WHERE u = 1"),
+            fingerprint("SELECT * FROM T WHERE u = 2"),
+        );
+        assert_ne!(
+            fingerprint("SELECT * FROM T WHERE c = 'star'"),
+            fingerprint("SELECT * FROM T WHERE c = 'galaxy'"),
+        );
+    }
+
+    #[test]
+    fn trailing_semicolons_ignored() {
+        assert_eq!(
+            fingerprint("SELECT * FROM T;"),
+            fingerprint("SELECT * FROM T"),
+        );
+        assert_eq!(
+            fingerprint("SELECT * FROM T ; ;"),
+            fingerprint("SELECT * FROM T"),
+        );
+    }
+
+    #[test]
+    fn lex_failures_get_stable_fallback() {
+        let a = fingerprint("SELECT 'unterminated");
+        let b = fingerprint("SELECT   'unterminated");
+        assert_eq!(a, b);
+        assert!(a.starts_with("!lex:"));
+        // The fallback prefix cannot collide with a real token stream: no
+        // token renders with a leading `!`.
+        assert_ne!(fingerprint("SELECT 1"), fingerprint("!lex:SELECT 1"));
+    }
+
+    #[test]
+    fn quoted_identifiers_stay_distinct_from_keywords() {
+        assert_ne!(
+            fingerprint("SELECT [select] FROM T"),
+            fingerprint("SELECT select FROM T"),
+        );
+    }
+}

@@ -34,10 +34,13 @@
 pub mod ast;
 pub mod display;
 pub mod error;
+pub mod fingerprint;
 pub mod jsonio;
 pub mod lexer;
 pub mod parser;
 pub mod token;
+
+pub use fingerprint::fingerprint;
 
 pub use ast::{
     AggFunc, BinaryOp, ColumnRef, Expr, Join, JoinConstraint, JoinOperator, LimitSyntax, Literal,

@@ -44,11 +44,26 @@ impl Parser {
     }
 
     fn parse_not(&mut self) -> ParseResult<Expr> {
-        if self.eat_keyword(Keyword::Not) {
-            let inner = self.parse_not()?;
-            return Ok(Expr::not(inner));
+        // Consume the whole prefix chain iteratively: `NOT` does not route
+        // through `parse_expr`, so a recursive formulation would bypass the
+        // depth guard and a hostile `NOT NOT NOT ...` chain could overflow
+        // the stack. The chain length shares the expression nesting cap.
+        let mut nots = 0usize;
+        while self.peek().keyword() == Some(Keyword::Not) {
+            if nots >= MAX_EXPR_DEPTH {
+                return Err(ParseError::unsupported(
+                    format!("expression nesting too deep (limit {MAX_EXPR_DEPTH})"),
+                    self.peek_span(),
+                ));
+            }
+            self.advance();
+            nots += 1;
         }
-        self.parse_comparison()
+        let mut expr = self.parse_comparison()?;
+        for _ in 0..nots {
+            expr = Expr::not(expr);
+        }
+        Ok(expr)
     }
 
     fn parse_comparison(&mut self) -> ParseResult<Expr> {
@@ -197,28 +212,51 @@ impl Parser {
     }
 
     fn parse_unary(&mut self) -> ParseResult<Expr> {
-        match self.peek() {
-            Token::Minus => {
-                self.advance();
-                // Fold the sign into numeric literals so that `-5` is a
-                // constant (the paper's atomic predicates compare against
-                // constants; keeping `-5` as Neg(5) would obscure that).
-                let inner = self.parse_unary()?;
-                Ok(match inner {
-                    Expr::Literal(Literal::Int(i)) => Expr::Literal(Literal::Int(-i)),
-                    Expr::Literal(Literal::Float(f)) => Expr::Literal(Literal::Float(-f)),
-                    other => Expr::Unary {
-                        op: UnaryOp::Neg,
-                        expr: Box::new(other),
-                    },
-                })
+        // Like `parse_not`, prefix signs are consumed iteratively so a
+        // `- - - ...` chain cannot recurse past the depth guard; the chain
+        // length shares the expression nesting cap.
+        let mut signs = 0usize;
+        let mut minuses = 0usize;
+        loop {
+            match self.peek() {
+                Token::Minus => {
+                    self.advance();
+                    minuses += 1;
+                }
+                Token::Plus => {
+                    self.advance();
+                }
+                _ => break,
             }
-            Token::Plus => {
-                self.advance();
-                self.parse_unary()
+            signs += 1;
+            if signs > MAX_EXPR_DEPTH {
+                return Err(ParseError::unsupported(
+                    format!("expression nesting too deep (limit {MAX_EXPR_DEPTH})"),
+                    self.peek_span(),
+                ));
             }
-            _ => self.parse_primary(),
         }
+        let mut expr = self.parse_primary()?;
+        // Fold signs into numeric literals so that `-5` is a constant (the
+        // paper's atomic predicates compare against constants; keeping `-5`
+        // as Neg(5) would obscure that). `--5` folds back to `5`.
+        match expr {
+            Expr::Literal(Literal::Int(i)) if minuses % 2 == 1 => {
+                return Ok(Expr::Literal(Literal::Int(-i)));
+            }
+            Expr::Literal(Literal::Float(f)) if minuses % 2 == 1 => {
+                return Ok(Expr::Literal(Literal::Float(-f)));
+            }
+            Expr::Literal(Literal::Int(_) | Literal::Float(_)) => return Ok(expr),
+            _ => {}
+        }
+        for _ in 0..minuses {
+            expr = Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(expr),
+            };
+        }
+        Ok(expr)
     }
 
     fn parse_primary(&mut self) -> ParseResult<Expr> {

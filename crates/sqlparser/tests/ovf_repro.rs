@@ -1,13 +1,43 @@
+//! Regression tests: hostile prefix-operator chains must produce a clean
+//! `Unsupported` error, never a stack overflow. `NOT` and unary sign chains
+//! do not route through `parse_expr`, so they need their own iterative cap.
+
+use aa_sql::ParseErrorKind;
+
 #[test]
 fn not_chain() {
     let sql = format!("SELECT * FROM T WHERE {}u = 1", "NOT ".repeat(200_000));
-    let r = aa_sql::Parser::parse_statement(&sql);
-    eprintln!("not chain errored: {:?}", r.is_err());
+    let err = aa_sql::Parser::parse_statement(&sql).unwrap_err();
+    assert_eq!(err.kind, ParseErrorKind::Unsupported);
+    assert!(err.message.contains("nesting too deep"), "{}", err.message);
 }
 
 #[test]
 fn unary_minus_chain() {
     let sql = format!("SELECT * FROM T WHERE u = {}1", "- ".repeat(200_000));
-    let r = aa_sql::Parser::parse_statement(&sql);
-    eprintln!("minus chain errored: {:?}", r.is_err());
+    let err = aa_sql::Parser::parse_statement(&sql).unwrap_err();
+    assert_eq!(err.kind, ParseErrorKind::Unsupported);
+    assert!(err.message.contains("nesting too deep"), "{}", err.message);
+}
+
+#[test]
+fn short_chains_still_parse() {
+    use aa_sql::{Expr, Literal, UnaryOp};
+    let q = aa_sql::Parser::parse_statement("SELECT * FROM T WHERE u = - - - 5").unwrap();
+    match q.selection.unwrap() {
+        Expr::Binary { right, .. } => assert_eq!(*right, Expr::Literal(Literal::Int(-5))),
+        other => panic!("unexpected {other:?}"),
+    }
+    let q = aa_sql::Parser::parse_statement("SELECT * FROM T WHERE NOT NOT NOT u = 1").unwrap();
+    let mut depth = 0;
+    let mut e = q.selection.unwrap();
+    while let Expr::Unary {
+        op: UnaryOp::Not,
+        expr,
+    } = e
+    {
+        depth += 1;
+        e = *expr;
+    }
+    assert_eq!(depth, 3);
 }

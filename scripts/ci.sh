@@ -24,6 +24,57 @@ cargo run --release -p aa-apps --bin analyze_log --offline -- \
     > "$chaos_dir/chaos.out"
 grep -q "faults fired" "$chaos_dir/chaos.out"
 
+# Serve smoke gate: boot the online service on an ephemeral port against
+# a seeded model, drive one scripted session through the client, and
+# require (a) a clean graceful shutdown and (b) deterministic responses —
+# two fresh identically-seeded server runs must answer the same session
+# byte-for-byte (the stats snapshot is a pure function of the request
+# history, so it diffs too).
+echo "==> serve smoke (ephemeral port, seeded model, deterministic replay)"
+serve_session() {
+    local out_dir="$1"
+    cargo run --release -p aa-apps --bin serve_areas --offline -- \
+        --gen 300 --seed 11 --eps 0.06 --min-pts 4 --workers 2 \
+        --stats-out "$out_dir/stats.json" \
+        > "$out_dir/server.out" 2> "$out_dir/server.err" &
+    local server_pid=$!
+    local port=""
+    for _ in $(seq 1 200); do
+        port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$out_dir/server.out")"
+        [ -n "$port" ] && break
+        sleep 0.1
+    done
+    if [ -z "$port" ]; then
+        echo "serve smoke: server did not report a port" >&2
+        kill "$server_pid" 2>/dev/null || true
+        return 1
+    fi
+    cargo run --release -p aa-apps --bin serve_areas --offline -- \
+        --connect "127.0.0.1:$port" > "$out_dir/session.out" <<'EOF'
+classify SELECT * FROM PhotoObjAll WHERE ra BETWEEN 150 AND 200 AND dec > -5
+classify SELECT * FROM PhotoObjAll WHERE ra BETWEEN 150 AND 200 AND dec > -5
+neighbors 3 SELECT * FROM SpecObjAll WHERE class = 'qso' AND z > 2
+classify SELEKT not sql at all
+stats
+shutdown
+EOF
+    wait "$server_pid"
+}
+smoke_a="$chaos_dir/serve_a"; smoke_b="$chaos_dir/serve_b"
+mkdir -p "$smoke_a" "$smoke_b"
+serve_session "$smoke_a"
+serve_session "$smoke_b"
+grep -q '"cache":"miss"' "$smoke_a/session.out"
+grep -q '"cache":"hit"' "$smoke_a/session.out"
+grep -q '"kind":"extract_failed"' "$smoke_a/session.out"
+diff "$smoke_a/session.out" "$smoke_b/session.out"
+diff "$smoke_a/stats.json" "$smoke_b/stats.json"
+
+# Serving-layer microbench: the cold/warm classify split must run (fast
+# sampling mode) — it prints the measured cache speedup into the CI log.
+echo "==> serve cache microbench (AA_BENCH_FAST)"
+AA_BENCH_FAST=1 cargo bench --offline -p aa-bench --bench serve_cache
+
 # Lint gate: clippy when the toolchain has it; otherwise rustc warnings
 # are promoted to errors over every target so the build still gates.
 if cargo clippy --version >/dev/null 2>&1; then

@@ -252,6 +252,84 @@ fn extraction_corpus_round_trips_through_parser() {
     }
 }
 
+// ---- fingerprint round-trip -----------------------------------------------
+//
+// The serving layer caches extractions under `aa_sql::fingerprint`, so the
+// soundness property it relies on is pinned here: equal fingerprints imply
+// equal predicate sets. Each extraction-corpus query is re-rendered with
+// randomized keyword casing, whitespace, and injected comments; the mangled
+// text must fingerprint identically and extract the identical area.
+
+/// Re-renders `sql` token by token with mangled trivia and keyword casing.
+fn mangle_sql(sql: &str, src: &mut Source) -> String {
+    let tokens = aa_sql::lexer::Lexer::tokenize(sql).expect("corpus lexes");
+    let mut out = String::new();
+    for st in &tokens {
+        if st.token == aa_sql::token::Token::Eof {
+            break;
+        }
+        if !out.is_empty() {
+            match src.usize_in(0, 6) {
+                0 => out.push_str("  "),
+                1 => out.push('\n'),
+                2 => out.push('\t'),
+                3 => out.push_str(" /* noise */ "),
+                4 => out.push_str(" -- tail noise\n"),
+                _ => out.push(' '),
+            }
+        }
+        match &st.token {
+            aa_sql::token::Token::Keyword(kw) => {
+                for ch in kw.as_str().chars() {
+                    if src.bool(0.5) {
+                        out.extend(ch.to_lowercase());
+                    } else {
+                        out.push(ch);
+                    }
+                }
+            }
+            tok => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "{tok}");
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn equal_fingerprints_imply_equal_predicate_sets() {
+    use aa_sql::fingerprint;
+    check(Config::cases(96), |src| {
+        let case = &EXTRACTION_CORPUS[src.usize_in(0, EXTRACTION_CORPUS.len())];
+        let mangled = mangle_sql(case.sql, src);
+        assert_eq!(
+            fingerprint(case.sql),
+            fingerprint(&mangled),
+            "mangling changed the fingerprint of {}",
+            case.sql
+        );
+        let area = Extractor::new(&NoSchema).extract_sql(&mangled).unwrap();
+        let tables: Vec<&str> = area.table_names().collect();
+        assert_eq!(tables, case.tables, "tables of mangled {}", case.sql);
+        let mut atoms: Vec<String> = area.constraint.atoms().map(|a| a.to_string()).collect();
+        atoms.sort();
+        assert_eq!(atoms, case.atoms, "atoms of mangled {}", case.sql);
+    });
+}
+
+#[test]
+fn corpus_fingerprints_are_pairwise_distinct() {
+    use aa_sql::fingerprint;
+    use std::collections::HashMap;
+    let mut seen: HashMap<String, &str> = HashMap::new();
+    for case in EXTRACTION_CORPUS {
+        if let Some(prev) = seen.insert(fingerprint(case.sql), case.sql) {
+            panic!("fingerprint collision: {} vs {}", prev, case.sql);
+        }
+    }
+}
+
 // ---- semantically broken corpus -------------------------------------------
 //
 // Queries that parse — and mostly even extract — but are wrong against the
