@@ -1,15 +1,38 @@
 //! `serve_areas` — the online serving front end: load (or build) a
-//! clustered model and answer classify/neighbors/stats requests over
-//! line-delimited JSON on TCP.
+//! clustered model and answer classify/neighbors/stats/reload requests
+//! over line-delimited JSON on TCP.
 //!
 //! Server mode:
 //!
 //! ```text
 //! cargo run --release -p aa-apps --bin serve_areas -- \
-//!     (--model FILE | --gen N [--seed S] [--eps F] [--min-pts N] [--mode literal|dissim]) \
+//!     (--model FILE | --gen N [--seed S] [--eps F] [--min-pts N] [--mode literal|dissim] \
+//!      | --store DIR) \
 //!     [--port P] [--workers N] [--cache N] [--fuel N] [--rate N] \
+//!     [--deadline-ms N] [--read-timeout-ms N] [--write-timeout-ms N] \
+//!     [--max-line-bytes N] [--max-queue N] [--watch-store-ms N] \
+//!     [--chaos-seed S [--chaos-requests N] [--chaos-rate F]] \
 //!     [--save-model FILE] [--stats-out FILE]
 //! ```
+//!
+//! With `--store DIR` alone the server recovers the newest *verified*
+//! generation from the crash-safe model store; combined with `--gen`
+//! or `--model` the fresh model is first *published* to the store (a
+//! new checksummed generation) and then served. `--watch-store-ms N`
+//! polls the store and hot-swaps newer verified generations without a
+//! restart (the SIGHUP-style trigger); remote clients can force the
+//! same with `{"op":"reload"}`.
+//!
+//! Publish mode (no serving):
+//!
+//! ```text
+//! serve_areas --store DIR (--gen N … | --model FILE) --publish-only \
+//!     [--crash-save torn-header|torn-payload|before-rename|after-rename|torn-direct]
+//! ```
+//!
+//! publishes one generation and exits; `--crash-save` simulates a
+//! `kill -9` at the named point of the save protocol (the chaos gate in
+//! `scripts/ci.sh` proves recovery never loads the torn file).
 //!
 //! Prints `listening on 127.0.0.1:PORT` once ready (with `--port 0`,
 //! the kernel-assigned port — scripts parse this line), then serves
@@ -19,20 +42,25 @@
 //! Client mode:
 //!
 //! ```text
-//! cargo run --release -p aa-apps --bin serve_areas -- --connect HOST:PORT
+//! serve_areas --connect HOST:PORT [--retries N] [--retry-base-ms MS] [--retry-seed S]
 //! ```
 //!
 //! reads requests from stdin — raw JSON lines, or the shorthands
-//! `classify SQL…`, `neighbors K SQL…`, `stats`, `shutdown` — and
-//! prints one response line each.
+//! `classify SQL…`, `neighbors K SQL…`, `stats`, `reload`, `shutdown` —
+//! and prints one response line each. With `--retries N` the client
+//! retries typed `overloaded` responses, connect failures, and dropped
+//! connections with bounded seeded exponential backoff (honouring the
+//! server's `retry_after_ms` floor), so chaos-injected drops surface as
+//! retried requests, not client crashes.
 
 use aa_core::DistanceMode;
-use aa_serve::{build_model, ServeEngine, ServerConfig};
-use aa_util::Json;
+use aa_serve::{build_model, ModelStore, SaveFault, ServeEngine, ServeFaultPlan, ServerConfig};
+use aa_util::{Json, SeededRng};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     connect: Option<String>,
@@ -49,9 +77,24 @@ struct Args {
     rate: u32,
     save_model: Option<PathBuf>,
     stats_out: Option<PathBuf>,
+    store: Option<PathBuf>,
+    publish_only: bool,
+    crash_save: Option<SaveFault>,
+    watch_store_ms: Option<u64>,
+    deadline_ms: Option<u64>,
+    read_timeout_ms: Option<u64>,
+    write_timeout_ms: Option<u64>,
+    max_line_bytes: Option<usize>,
+    max_queue: Option<usize>,
+    chaos_seed: Option<u64>,
+    chaos_requests: u64,
+    chaos_rate: f64,
+    retries: u32,
+    retry_base_ms: u64,
+    retry_seed: u64,
 }
 
-const USAGE: &str = "usage: serve_areas (--model FILE | --gen N [--seed S] [--eps F] [--min-pts N] [--mode literal|dissim]) [--port P] [--workers N] [--cache N] [--fuel N] [--rate N] [--save-model FILE] [--stats-out FILE]\n       serve_areas --connect HOST:PORT";
+const USAGE: &str = "usage: serve_areas (--model FILE | --gen N [--seed S] [--eps F] [--min-pts N] [--mode literal|dissim] | --store DIR) [--publish-only [--crash-save FAULT]] [--port P] [--workers N] [--cache N] [--fuel N] [--rate N] [--deadline-ms N] [--read-timeout-ms N] [--write-timeout-ms N] [--max-line-bytes N] [--max-queue N] [--watch-store-ms N] [--chaos-seed S [--chaos-requests N] [--chaos-rate F]] [--save-model FILE] [--stats-out FILE]\n       serve_areas --connect HOST:PORT [--retries N] [--retry-base-ms MS] [--retry-seed S]";
 
 fn parse_args() -> Result<Args, String> {
     let mut out = Args {
@@ -69,79 +112,99 @@ fn parse_args() -> Result<Args, String> {
         rate: 60,
         save_model: None,
         stats_out: None,
+        store: None,
+        publish_only: false,
+        crash_save: None,
+        watch_store_ms: None,
+        deadline_ms: None,
+        read_timeout_ms: None,
+        write_timeout_ms: None,
+        max_line_bytes: None,
+        max_queue: None,
+        chaos_seed: None,
+        chaos_requests: 1_000,
+        chaos_rate: 0.1,
+        retries: 0,
+        retry_base_ms: 50,
+        retry_seed: 42,
     };
     let mut args = std::env::args().skip(1);
     let next = |args: &mut dyn Iterator<Item = String>, what: &str| {
         args.next().ok_or_else(|| format!("{what} expects a value"))
     };
+    macro_rules! parse_next {
+        ($what:literal, $desc:literal) => {
+            next(&mut args, $what)?
+                .parse()
+                .map_err(|_| concat!($what, " expects ", $desc))?
+        };
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--connect" => out.connect = Some(next(&mut args, "--connect")?),
             "--model" => out.model = Some(PathBuf::from(next(&mut args, "--model")?)),
-            "--gen" => {
-                out.gen = Some(
-                    next(&mut args, "--gen")?
-                        .parse()
-                        .map_err(|_| "--gen expects an entry count")?,
-                )
-            }
-            "--seed" => {
-                out.seed = next(&mut args, "--seed")?
-                    .parse()
-                    .map_err(|_| "--seed expects an integer")?
-            }
-            "--eps" => {
-                out.eps = next(&mut args, "--eps")?
-                    .parse()
-                    .map_err(|_| "--eps expects a number")?
-            }
-            "--min-pts" => {
-                out.min_pts = next(&mut args, "--min-pts")?
-                    .parse()
-                    .map_err(|_| "--min-pts expects an integer")?
-            }
+            "--gen" => out.gen = Some(parse_next!("--gen", "an entry count")),
+            "--seed" => out.seed = parse_next!("--seed", "an integer"),
+            "--eps" => out.eps = parse_next!("--eps", "a number"),
+            "--min-pts" => out.min_pts = parse_next!("--min-pts", "an integer"),
             "--mode" => {
                 let value = next(&mut args, "--mode")?;
                 out.mode = DistanceMode::parse(&value)
                     .ok_or_else(|| format!("--mode expects literal|dissim, got '{value}'"))?;
             }
-            "--port" => {
-                out.port = next(&mut args, "--port")?
-                    .parse()
-                    .map_err(|_| "--port expects a port number")?
-            }
-            "--workers" => {
-                out.workers = next(&mut args, "--workers")?
-                    .parse()
-                    .map_err(|_| "--workers expects an integer")?
-            }
-            "--cache" => {
-                out.cache = next(&mut args, "--cache")?
-                    .parse()
-                    .map_err(|_| "--cache expects an entry count")?
-            }
-            "--fuel" => {
-                out.fuel = Some(
-                    next(&mut args, "--fuel")?
-                        .parse()
-                        .map_err(|_| "--fuel expects a fuel amount")?,
-                )
-            }
-            "--rate" => {
-                out.rate = next(&mut args, "--rate")?
-                    .parse()
-                    .map_err(|_| "--rate expects requests per minute")?
-            }
+            "--port" => out.port = parse_next!("--port", "a port number"),
+            "--workers" => out.workers = parse_next!("--workers", "an integer"),
+            "--cache" => out.cache = parse_next!("--cache", "an entry count"),
+            "--fuel" => out.fuel = Some(parse_next!("--fuel", "a fuel amount")),
+            "--rate" => out.rate = parse_next!("--rate", "requests per minute"),
             "--save-model" => {
                 out.save_model = Some(PathBuf::from(next(&mut args, "--save-model")?))
             }
             "--stats-out" => out.stats_out = Some(PathBuf::from(next(&mut args, "--stats-out")?)),
+            "--store" => out.store = Some(PathBuf::from(next(&mut args, "--store")?)),
+            "--publish-only" => out.publish_only = true,
+            "--crash-save" => {
+                let value = next(&mut args, "--crash-save")?;
+                out.crash_save = Some(SaveFault::parse(&value).ok_or_else(|| {
+                    format!(
+                        "--crash-save expects torn-header|torn-payload|before-rename|after-rename|torn-direct, got '{value}'"
+                    )
+                })?);
+            }
+            "--watch-store-ms" => {
+                out.watch_store_ms = Some(parse_next!("--watch-store-ms", "milliseconds"))
+            }
+            "--deadline-ms" => out.deadline_ms = Some(parse_next!("--deadline-ms", "milliseconds")),
+            "--read-timeout-ms" => {
+                out.read_timeout_ms = Some(parse_next!("--read-timeout-ms", "milliseconds"))
+            }
+            "--write-timeout-ms" => {
+                out.write_timeout_ms = Some(parse_next!("--write-timeout-ms", "milliseconds"))
+            }
+            "--max-line-bytes" => {
+                out.max_line_bytes = Some(parse_next!("--max-line-bytes", "a byte count"))
+            }
+            "--max-queue" => out.max_queue = Some(parse_next!("--max-queue", "a connection count")),
+            "--chaos-seed" => out.chaos_seed = Some(parse_next!("--chaos-seed", "an integer")),
+            "--chaos-requests" => {
+                out.chaos_requests = parse_next!("--chaos-requests", "a request count")
+            }
+            "--chaos-rate" => out.chaos_rate = parse_next!("--chaos-rate", "a rate in 0..1"),
+            "--retries" => out.retries = parse_next!("--retries", "a retry count"),
+            "--retry-base-ms" => out.retry_base_ms = parse_next!("--retry-base-ms", "milliseconds"),
+            "--retry-seed" => out.retry_seed = parse_next!("--retry-seed", "an integer"),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other}\n{USAGE}")),
         }
     }
-    if out.connect.is_none() && out.model.is_none() && out.gen.is_none() {
-        return Err(format!("missing --connect, --model, or --gen\n{USAGE}"));
+    if out.connect.is_none() && out.model.is_none() && out.gen.is_none() && out.store.is_none() {
+        return Err(format!("missing --connect, --model, --gen, or --store\n{USAGE}"));
+    }
+    if out.publish_only && out.store.is_none() {
+        return Err(format!("--publish-only requires --store\n{USAGE}"));
+    }
+    if out.crash_save.is_some() && out.store.is_none() {
+        return Err(format!("--crash-save requires --store\n{USAGE}"));
     }
     Ok(out)
 }
@@ -155,13 +218,14 @@ fn main() -> ExitCode {
         }
     };
     if let Some(addr) = &args.connect {
-        return client_mode(addr);
+        return client_mode(addr, args.retries, args.retry_base_ms, args.retry_seed);
     }
     server_mode(&args)
 }
 
-fn server_mode(args: &Args) -> ExitCode {
-    let model = match (&args.model, args.gen) {
+/// Builds or loads the model named by `--model`/`--gen`, if any.
+fn fresh_model(args: &Args) -> Result<Option<aa_core::ClusteredModel>, ExitCode> {
+    match (&args.model, args.gen) {
         (Some(path), _) => match aa_core::ClusteredModel::load(path) {
             Ok(m) => {
                 eprintln!(
@@ -170,11 +234,11 @@ fn server_mode(args: &Args) -> ExitCode {
                     m.areas.len(),
                     m.cluster_count
                 );
-                m
+                Ok(Some(m))
             }
             Err(e) => {
                 eprintln!("cannot load {}: {e}", path.display());
-                return ExitCode::FAILURE;
+                Err(ExitCode::FAILURE)
             }
         },
         (None, Some(total)) => {
@@ -189,9 +253,102 @@ fn server_mode(args: &Args) -> ExitCode {
                 m.cluster_count,
                 m.noise_count()
             );
-            m
+            Ok(Some(m))
         }
-        (None, None) => unreachable!("parse_args requires a model source"),
+        (None, None) => Ok(None),
+    }
+}
+
+fn server_mode(args: &Args) -> ExitCode {
+    let fresh = match fresh_model(args) {
+        Ok(m) => m,
+        Err(code) => return code,
+    };
+    // Resolve the model through the store when one is configured:
+    // publish the fresh model as a new generation (the crash-safe save
+    // protocol), or recover the newest verified generation.
+    let mut store_state: Option<(ModelStore, u64)> = None;
+    let model = match &args.store {
+        Some(dir) => {
+            let store = match ModelStore::open(dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot open model store: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let (generation, model) = match fresh {
+                Some(model) => {
+                    match store.publish_faulted(&model, args.crash_save) {
+                        Ok(aa_serve::PublishOutcome::Committed(g)) => {
+                            eprintln!("published generation {g} to {}", dir.display());
+                            (g, model)
+                        }
+                        Ok(aa_serve::PublishOutcome::Crashed {
+                            generation,
+                            fault,
+                            durable,
+                        }) => {
+                            // The simulated kill -9: report and stop dead,
+                            // exactly like the real thing would.
+                            eprintln!(
+                                "simulated crash during save of generation {generation} at {} (durable: {durable})",
+                                fault.as_str()
+                            );
+                            return ExitCode::from(9);
+                        }
+                        Err(e) => {
+                            eprintln!("cannot publish model: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => match store.recover() {
+                    Ok(recovery) => {
+                        for r in &recovery.rejected {
+                            eprintln!(
+                                "store recovery: rejected generation {} ({}): {}",
+                                r.generation,
+                                r.path.display(),
+                                r.reason
+                            );
+                        }
+                        match recovery.loaded {
+                            Some((g, m)) => {
+                                eprintln!(
+                                    "recovered generation {g} from {}: {} areas, {} clusters",
+                                    dir.display(),
+                                    m.areas.len(),
+                                    m.cluster_count
+                                );
+                                (g, m)
+                            }
+                            None => {
+                                eprintln!(
+                                    "model store {} has no verified generation",
+                                    dir.display()
+                                );
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("cannot recover from model store: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+            if args.publish_only {
+                println!("published generation {generation}");
+                return ExitCode::SUCCESS;
+            }
+            store_state = Some((store, generation));
+            model
+        }
+        None => match fresh {
+            Some(m) => m,
+            None => unreachable!("parse_args requires a model source"),
+        },
     };
     if let Some(path) = &args.save_model {
         if let Err(e) = model.save(path) {
@@ -200,7 +357,26 @@ fn server_mode(args: &Args) -> ExitCode {
         }
         eprintln!("model saved to {}", path.display());
     }
-    let engine = ServeEngine::new(model, args.cache, args.fuel);
+    let mut engine = ServeEngine::new(model, args.cache, args.fuel)
+        .with_deadline(args.deadline_ms.map(Duration::from_millis));
+    if let Some((store, generation)) = store_state {
+        engine = engine.with_store(store, generation);
+    }
+    if let Some(seed) = args.chaos_seed {
+        let plan = ServeFaultPlan::seeded(seed, args.chaos_requests, args.chaos_rate, 0, 0.0);
+        eprintln!(
+            "chaos armed: seed {seed}, {} request faults over the first {} requests",
+            plan.request_fault_count(),
+            args.chaos_requests
+        );
+        engine = engine.with_chaos(plan);
+    }
+    let defaults = ServerConfig::default();
+    let timeout = |ms: Option<u64>, default: Option<Duration>| match ms {
+        Some(0) => None, // explicit 0 disables the timeout
+        Some(ms) => Some(Duration::from_millis(ms)),
+        None => default,
+    };
     let config = ServerConfig {
         addr: format!("127.0.0.1:{}", args.port),
         workers: args.workers,
@@ -208,6 +384,11 @@ fn server_mode(args: &Args) -> ExitCode {
         fuel: args.fuel,
         per_minute: args.rate,
         stats_path: args.stats_out.clone(),
+        read_timeout: timeout(args.read_timeout_ms, defaults.read_timeout),
+        write_timeout: timeout(args.write_timeout_ms, defaults.write_timeout),
+        max_line_bytes: args.max_line_bytes.unwrap_or(defaults.max_line_bytes),
+        max_queue: args.max_queue.unwrap_or(defaults.max_queue),
+        watch_store: args.watch_store_ms.map(Duration::from_millis),
     };
     let handle = match aa_serve::spawn(engine, config) {
         Ok(h) => h,
@@ -233,7 +414,7 @@ fn to_request_line(line: &str) -> Option<String> {
         return Some(line.to_string());
     }
     let json = match line.split_once(' ') {
-        None if line == "stats" || line == "shutdown" => {
+        None if line == "stats" || line == "shutdown" || line == "reload" => {
             Json::obj([("op".to_string(), Json::Str(line.to_string()))])
         }
         Some(("classify", sql)) => Json::obj([
@@ -254,52 +435,156 @@ fn to_request_line(line: &str) -> Option<String> {
             ])
         }
         _ => {
-            eprintln!("unrecognized shorthand (use: classify SQL | neighbors [K] SQL | stats | shutdown): {line}");
+            eprintln!("unrecognized shorthand (use: classify SQL | neighbors [K] SQL | stats | reload | shutdown): {line}");
             return None;
         }
     };
     Some(json.to_string_compact())
 }
 
-fn client_mode(addr: &str) -> ExitCode {
-    let stream = match TcpStream::connect(addr) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot connect to {addr}: {e}");
-            return ExitCode::FAILURE;
-        }
+/// Bounded exponential backoff with deterministic jitter. `floor_ms` is
+/// the server-advertised `retry_after_ms`, if any.
+fn backoff_ms(rng: &mut SeededRng, base_ms: u64, attempt: u32, floor_ms: u64) -> u64 {
+    let exp = base_ms.saturating_mul(1u64 << attempt.min(6)).min(5_000);
+    let jitter = if base_ms == 0 {
+        0
+    } else {
+        rng.gen_range(0..base_ms)
     };
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot clone stream: {e}");
-            return ExitCode::FAILURE;
+    (exp + jitter).max(floor_ms)
+}
+
+/// A client connection that knows how to (re)connect with backoff.
+struct RetryingClient {
+    addr: String,
+    retries: u32,
+    base_ms: u64,
+    rng: SeededRng,
+    conn: Option<(BufReader<TcpStream>, TcpStream)>,
+    /// Retries spent, reported on exit so harnesses can assert on it.
+    retried: u64,
+}
+
+impl RetryingClient {
+    fn connect(&mut self) -> Result<(), String> {
+        if self.conn.is_some() {
+            return Ok(());
         }
-    });
-    let mut writer = stream;
+        let mut attempt = 0;
+        loop {
+            match TcpStream::connect(&self.addr) {
+                Ok(stream) => {
+                    let reader = BufReader::new(
+                        stream.try_clone().map_err(|e| format!("clone stream: {e}"))?,
+                    );
+                    self.conn = Some((reader, stream));
+                    return Ok(());
+                }
+                Err(e) if attempt < self.retries => {
+                    let wait = backoff_ms(&mut self.rng, self.base_ms, attempt, 0);
+                    eprintln!("connect to {} failed ({e}); retrying in {wait}ms", self.addr);
+                    std::thread::sleep(Duration::from_millis(wait));
+                    attempt += 1;
+                    self.retried += 1;
+                }
+                Err(e) => return Err(format!("cannot connect to {}: {e}", self.addr)),
+            }
+        }
+    }
+
+    /// Sends one request line and reads its response line; `None` means
+    /// the connection died mid-exchange (caller may retry).
+    fn exchange(&mut self, request: &str) -> Result<Option<String>, String> {
+        self.connect()?;
+        let (reader, writer) = self.conn.as_mut().expect("connected above");
+        let sent = writer
+            .write_all(request.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        if sent.is_err() {
+            self.conn = None;
+            return Ok(None);
+        }
+        let mut response = String::new();
+        match reader.read_line(&mut response) {
+            Ok(0) | Err(_) => {
+                self.conn = None;
+                Ok(None)
+            }
+            Ok(_) => Ok(Some(response)),
+        }
+    }
+
+    /// One request through the retry policy: dropped connections are
+    /// re-established and the request re-sent; typed `overloaded`
+    /// responses are retried after the advertised floor. Anything else
+    /// (including other errors) is final — retrying a `bad_request`
+    /// will never help.
+    fn request(&mut self, request: &str) -> Result<String, String> {
+        let mut attempt = 0;
+        loop {
+            match self.exchange(request)? {
+                None => {
+                    if attempt >= self.retries {
+                        return Err("connection closed by server".to_string());
+                    }
+                    let wait = backoff_ms(&mut self.rng, self.base_ms, attempt, 0);
+                    eprintln!("connection dropped; retrying in {wait}ms");
+                    std::thread::sleep(Duration::from_millis(wait));
+                }
+                Some(response) => {
+                    let overloaded = Json::parse(response.trim())
+                        .ok()
+                        .filter(|j| j.get("kind").and_then(Json::as_str) == Some("overloaded"));
+                    match overloaded {
+                        Some(j) if attempt < self.retries => {
+                            let floor = j
+                                .get("retry_after_ms")
+                                .and_then(Json::as_f64)
+                                .unwrap_or(0.0) as u64;
+                            let wait = backoff_ms(&mut self.rng, self.base_ms, attempt, floor);
+                            eprintln!("server overloaded; retrying in {wait}ms");
+                            std::thread::sleep(Duration::from_millis(wait));
+                        }
+                        _ => return Ok(response),
+                    }
+                }
+            }
+            attempt += 1;
+            self.retried += 1;
+        }
+    }
+}
+
+fn client_mode(addr: &str, retries: u32, retry_base_ms: u64, retry_seed: u64) -> ExitCode {
+    let mut client = RetryingClient {
+        addr: addr.to_string(),
+        retries,
+        base_ms: retry_base_ms,
+        rng: SeededRng::seed_from_u64(retry_seed),
+        conn: None,
+        retried: 0,
+    };
+    if let Err(msg) = client.connect() {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
+    }
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         let Ok(line) = line else { break };
         let Some(request) = to_request_line(&line) else {
             continue;
         };
-        if writer
-            .write_all(request.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            eprintln!("connection closed by server");
-            return ExitCode::FAILURE;
-        }
-        let mut response = String::new();
-        match reader.read_line(&mut response) {
-            Ok(0) | Err(_) => {
-                eprintln!("connection closed by server");
+        match client.request(&request) {
+            Ok(response) => print!("{response}"),
+            Err(msg) => {
+                eprintln!("{msg}");
                 return ExitCode::FAILURE;
             }
-            Ok(_) => print!("{response}"),
         }
+    }
+    if client.retried > 0 {
+        eprintln!("client retried {} time(s)", client.retried);
     }
     ExitCode::SUCCESS
 }

@@ -69,6 +69,6 @@ pub use pipeline::{
 pub use predicate::{AtomicPredicate, CmpOp, Constant, QualifiedColumn};
 pub use ranges::{AccessRanges, ColumnAccess};
 pub use runner::{
-    areas_sidecar, failure_histogram, read_quarantine, FaultKind, FaultPlan, LogRunner,
-    QuarantineRecord, RunReport, RunnerConfig, RunnerError,
+    areas_sidecar, catch_quietly, failure_histogram, read_quarantine, read_quarantine_tolerant,
+    FaultKind, FaultPlan, LogRunner, QuarantineRecord, RunReport, RunnerConfig, RunnerError,
 };

@@ -116,11 +116,40 @@ impl ClusteredModel {
         ClusteredModel::from_json_text(&text)
     }
 
-    /// Writes the model as pretty JSON (deterministic byte-for-byte).
-    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ModelError> {
+    /// The canonical serialized bytes of the model: deterministic pretty
+    /// JSON plus a trailing newline. [`save`] writes exactly these bytes
+    /// and [`content_hash`] hashes exactly these bytes.
+    ///
+    /// [`save`]: ClusteredModel::save
+    /// [`content_hash`]: ClusteredModel::content_hash
+    pub fn to_canonical_text(&self) -> String {
         let mut text = self.to_json().to_string_pretty();
         text.push('\n');
-        std::fs::write(path, text)?;
+        text
+    }
+
+    /// FNV-1a checksum of the canonical serialization. Two models with
+    /// equal hashes serialized by the same build are byte-identical; the
+    /// model store records this next to every generation so a torn write
+    /// is detected on load.
+    pub fn content_hash(&self) -> u64 {
+        aa_util::fnv1a_64(self.to_canonical_text().as_bytes())
+    }
+
+    /// Writes the model as pretty JSON (deterministic byte-for-byte).
+    ///
+    /// The write is crash-consistent: bytes go to a `<path>.tmp` sibling
+    /// first and are renamed into place, so a reader never observes a
+    /// half-written model at `path` — it sees either the old file or the
+    /// new one. (The rename is atomic on POSIX filesystems; a crash can
+    /// at worst leave a stale `.tmp` sibling behind.)
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ModelError> {
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_canonical_text())?;
+        std::fs::rename(&tmp, path)?;
         Ok(())
     }
 }

@@ -284,16 +284,60 @@ impl FromJson for QuarantineRecord {
 }
 
 /// Reads a quarantine sidecar back into records (blank lines ignored).
+///
+/// Crash tolerance: a process killed mid-append leaves a *torn trailing
+/// line* — a partial JSON record with no terminating newline, possibly
+/// cut inside a multi-byte character. Every complete line before it is
+/// durable (appends are sequential), so the torn tail is logged-and-
+/// skipped instead of failing the whole read. Corruption anywhere *else*
+/// in the file is not a crash artifact and still errors.
 pub fn read_quarantine(path: &Path) -> Result<Vec<QuarantineRecord>, RunnerError> {
-    let text = std::fs::read_to_string(path)
+    let (records, torn) = read_quarantine_tolerant(path)?;
+    if let Some(tail) = torn {
+        eprintln!(
+            "warning: {}: skipping torn trailing line ({} bytes) left by an interrupted append",
+            path.display(),
+            tail.len()
+        );
+    }
+    Ok(records)
+}
+
+/// Like [`read_quarantine`], but hands back the torn trailing line (if
+/// any) instead of printing a warning, for callers that surface it in
+/// their own reporting.
+pub fn read_quarantine_tolerant(
+    path: &Path,
+) -> Result<(Vec<QuarantineRecord>, Option<String>), RunnerError> {
+    // Bytes, not read_to_string: a write torn inside a multi-byte
+    // character must not poison the readable prefix.
+    let bytes = std::fs::read(path)
         .map_err(|e| io_err(&format!("read quarantine {}", path.display()), e))?;
-    text.lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(|line| {
-            let json = Json::parse(line).map_err(|e| io_err("parse quarantine line", e))?;
-            QuarantineRecord::from_json(&json).map_err(|e| io_err("decode quarantine line", e))
-        })
-        .collect()
+    let text = String::from_utf8_lossy(&bytes);
+    let lines: Vec<&str> = text.lines().collect();
+    let mut records = Vec::new();
+    let mut torn = None;
+    let last = lines.len().saturating_sub(1);
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = Json::parse(line)
+            .map_err(|e| io_err("parse quarantine line", e))
+            .and_then(|json| {
+                QuarantineRecord::from_json(&json).map_err(|e| io_err("decode quarantine line", e))
+            });
+        match parsed {
+            Ok(record) => records.push(record),
+            // Only the final line can be a crash-torn tail; anything
+            // earlier is real corruption and must surface.
+            Err(_) if i == last && !text.ends_with('\n') => {
+                torn = Some((*line).to_string());
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((records, torn))
 }
 
 /// Histogram of quarantine records by failure kind, in [`FailureKind::ALL`]
@@ -390,10 +434,13 @@ fn append_lines(path: &Path, lines: &[String]) -> Result<(), RunnerError> {
 
 /// Truncates a JSONL sidecar to its first `keep` lines (missing file with
 /// `keep == 0` is fine). Used on resume to drop lines written after the
-/// last durable checkpoint.
+/// last durable checkpoint — including a torn trailing line left by a
+/// crash mid-append, which may be cut inside a multi-byte character (the
+/// bytes are read lossily; only lines *before* the checkpointed count are
+/// kept, and those were durable and complete when the checkpoint landed).
 fn truncate_lines(path: &Path, keep: usize) -> Result<(), RunnerError> {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
+    let text = match std::fs::read(path) {
+        Ok(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound && keep == 0 => return Ok(()),
         Err(e) => return Err(io_err(&format!("read {}", path.display()), e)),
     };
@@ -525,6 +572,24 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     } else {
         "panic with non-string payload".to_string()
     }
+}
+
+/// Runs `f` under `catch_unwind` with panic output suppressed, returning
+/// the panic message on unwind. This is the runner's own containment
+/// primitive, exported so other fault domains (the serving layer's
+/// request boundary) share one panic-quieting hook instead of stacking
+/// competing ones.
+///
+/// The closure is wrapped in `AssertUnwindSafe`: callers are asserting
+/// that whatever `f` touches is either owned by `f` or safe to observe
+/// after an abandoned mutation (the serving layer guards shared state
+/// with mutexes whose poisoning is handled at the lock site).
+pub fn catch_quietly<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    install_quiet_panic_hook();
+    let quiet = QuietGuard::new();
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    drop(quiet);
+    result.map_err(panic_message)
 }
 
 // ---- the runner ------------------------------------------------------------
@@ -682,17 +747,13 @@ impl<'a> LogRunner<'a> {
         let fault = self.config.fault_plan.as_ref().and_then(|p| p.get(i));
         let mut guard = QueryGuard::new(&self.config, fault);
         if self.config.isolate_panics {
-            let quiet = QuietGuard::new();
-            let caught = panic::catch_unwind(AssertUnwindSafe(|| {
-                self.pipeline.process_hooked(i, sql, &mut guard)
-            }));
-            drop(quiet);
+            let caught = catch_quietly(|| self.pipeline.process_hooked(i, sql, &mut guard));
             let outcome = match caught {
                 Ok(result) => result,
-                Err(payload) => Err(FailedQuery {
+                Err(message) => Err(FailedQuery {
                     log_index: i,
                     kind: FailureKind::Internal,
-                    message: format!("panic: {}", panic_message(payload)),
+                    message: format!("panic: {message}"),
                     span: None,
                     diagnostics: Vec::new(),
                 }),

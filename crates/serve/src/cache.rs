@@ -23,6 +23,19 @@
 //! in-flight (pending) entry is never evicted, so a waiter can never be
 //! orphaned. If the computing thread panics, the unwind guard removes
 //! the pending entry and wakes all waiters, which then recompute.
+//!
+//! # Generations (hot reload)
+//!
+//! Every completed entry is stamped with the cache *generation* current
+//! at the moment it was fulfilled. [`ExtractionCache::bump_generation`]
+//! (called when the server hot-swaps a model) invalidates all existing
+//! entries lazily: a lookup that finds a stale-generation entry discards
+//! it, counts an `invalidation`, and recomputes as a miss. Extraction
+//! itself is model-independent today, but a reload is the moment the
+//! pipeline configuration may change under the server (schema provider,
+//! fuel policy), and negative entries — cached *failures* — must not
+//! outlive the regime that produced them. Lazy invalidation keeps the
+//! swap O(1) on the request path: no lock-the-world sweep.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Condvar, Mutex};
@@ -44,6 +57,9 @@ struct Entry {
     slot: Slot,
     /// LRU stamp; `None` while pending (pending entries are unevictable).
     stamp: Option<u64>,
+    /// Cache generation at fulfillment time; entries from older
+    /// generations are discarded on lookup.
+    generation: u64,
 }
 
 #[derive(Default)]
@@ -52,9 +68,12 @@ struct Inner {
     /// stamp → key, ascending = least recently used first.
     order: BTreeMap<u64, String>,
     next_stamp: u64,
+    /// Bumped on model hot-swap; stale entries are lazily discarded.
+    generation: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
+    invalidations: u64,
 }
 
 /// A bounded, thread-safe, coalescing LRU map from fingerprint to
@@ -71,6 +90,10 @@ pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
     pub evictions: u64,
+    /// Stale-generation entries discarded on lookup after a hot reload.
+    pub invalidations: u64,
+    /// Current cache generation (bumped once per model swap).
+    pub generation: u64,
     /// Completed entries currently resident.
     pub entries: usize,
 }
@@ -103,8 +126,20 @@ impl ExtractionCache {
                 match inner.map.get(key) {
                     Some(Entry {
                         slot: Slot::Ready(value),
-                        ..
+                        generation,
+                        stamp,
                     }) => {
+                        if *generation != inner.generation {
+                            // Hot reload happened since this entry was
+                            // computed: discard and recompute as a miss.
+                            let stale_stamp = *stamp;
+                            inner.map.remove(key);
+                            if let Some(s) = stale_stamp {
+                                inner.order.remove(&s);
+                            }
+                            inner.invalidations += 1;
+                            continue;
+                        }
                         let value = Arc::clone(value);
                         inner.hits += 1;
                         touch(&mut inner, key);
@@ -118,11 +153,13 @@ impl ExtractionCache {
                         inner = self.ready.wait(inner).unwrap();
                     }
                     None => {
+                        let generation = inner.generation;
                         inner.map.insert(
                             key.to_string(),
                             Entry {
                                 slot: Slot::Pending,
                                 stamp: None,
+                                generation,
                             },
                         );
                         inner.misses += 1;
@@ -156,8 +193,20 @@ impl ExtractionCache {
             hits: inner.hits,
             misses: inner.misses,
             evictions: inner.evictions,
+            invalidations: inner.invalidations,
+            generation: inner.generation,
             entries: inner.order.len(),
         }
+    }
+
+    /// Starts a new cache generation (called on model hot-swap). Existing
+    /// entries are invalidated lazily at their next lookup; in-flight
+    /// computations complete and are immediately stale. Returns the new
+    /// generation number.
+    pub fn bump_generation(&self) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        inner.generation += 1;
+        inner.generation
     }
 }
 
@@ -191,8 +240,13 @@ struct PendingGuard<'a> {
 impl PendingGuard<'_> {
     fn fulfill(self, value: Arc<CachedExtraction>) {
         let mut inner = self.cache.inner.lock().unwrap();
+        let generation = inner.generation;
         if let Some(entry) = inner.map.get_mut(self.key) {
             entry.slot = Slot::Ready(value);
+            // Stamp with the generation current *now*: if a reload raced
+            // this computation, the entry is born stale and dies at its
+            // next lookup.
+            entry.generation = generation;
         }
         touch(&mut inner, self.key);
         evict_over(&mut inner, self.cache.capacity);
@@ -297,6 +351,26 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn bump_generation_invalidates_lazily() {
+        let cache = ExtractionCache::new(8);
+        cache.get_or_compute("a", || area("A"));
+        cache.get_or_compute("bad", || Err(("budget".into(), "out of fuel".into())));
+        let (_, hit) = cache.get_or_compute("a", || unreachable!("fresh entry"));
+        assert!(hit);
+        assert_eq!(cache.bump_generation(), 1);
+        // Stale entries stay resident until looked up; the next lookup
+        // discards them and recomputes.
+        let (_, hit) = cache.get_or_compute("a", || area("A2"));
+        assert!(!hit, "stale entry must be recomputed after a reload");
+        let (v, hit) = cache.get_or_compute("bad", || area("now fine"));
+        assert!(!hit && v.is_ok(), "negative entries do not outlive a reload");
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 2);
+        assert_eq!(stats.generation, 1);
+        assert_eq!((stats.hits, stats.misses), (1, 4));
     }
 
     #[test]

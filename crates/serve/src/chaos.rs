@@ -1,0 +1,184 @@
+//! Deterministic service-level fault injection.
+//!
+//! PR 3's [`aa_core::FaultPlan`] injects faults into *batch* pipeline
+//! stages keyed by log index. The serving layer has its own failure
+//! surface — crashes during model saves, worker panics mid-request, slow
+//! I/O, dropped connections — so [`ServeFaultPlan`] extends the same
+//! discipline to it: a seeded xoshiro256++ draw ([`aa_util::SeededRng`])
+//! produces a fixed schedule of faults keyed by *request index* (for the
+//! request path) and *save attempt index* (for the model store), so a
+//! fixed seed reproduces a full crash/restart/recover scenario
+//! byte-for-byte.
+//!
+//! Request faults are consumed by the server loop:
+//!
+//! * [`RequestFault::Panic`] — the worker panics mid-request; the
+//!   request-boundary `catch_unwind` turns it into a typed `internal`
+//!   error response and the worker survives (conservation holds).
+//! * [`RequestFault::SlowIo`] — the handler stalls for the given number
+//!   of milliseconds, exercising deadline and timeout paths.
+//! * [`RequestFault::Drop`] — the connection is closed without a
+//!   response, exactly like a peer reset; the drop is counted.
+//!
+//! Save faults are consumed by [`crate::store::ModelStore::publish_faulted`]
+//! — see [`crate::store::SaveFault`] for the crash-point taxonomy.
+
+use crate::store::SaveFault;
+use aa_util::SeededRng;
+use std::collections::BTreeMap;
+
+/// One injected fault on the request path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestFault {
+    /// Panic inside the worker while handling the request.
+    Panic,
+    /// Sleep this many milliseconds before handling the request.
+    SlowIo(u64),
+    /// Close the connection without responding.
+    Drop,
+}
+
+/// A deterministic schedule of serving-layer faults. Two plans built from
+/// the same seed are identical, so a chaos session replays exactly.
+#[derive(Debug, Clone, Default)]
+pub struct ServeFaultPlan {
+    request_faults: BTreeMap<u64, RequestFault>,
+    save_faults: BTreeMap<u64, SaveFault>,
+}
+
+impl ServeFaultPlan {
+    /// Samples a plan: each of the first `requests` admitted requests
+    /// draws a fault with probability `request_rate` (uniform over panic /
+    /// slow-I/O / drop, slow-I/O stalls 10–50 ms), and each of the first
+    /// `saves` publish attempts draws a crash point with probability
+    /// `save_rate` (uniform over [`SaveFault::ALL`]).
+    pub fn seeded(
+        seed: u64,
+        requests: u64,
+        request_rate: f64,
+        saves: u64,
+        save_rate: f64,
+    ) -> ServeFaultPlan {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        let mut plan = ServeFaultPlan::default();
+        for i in 0..requests {
+            if !rng.gen_bool(request_rate) {
+                continue;
+            }
+            let fault = match rng.gen_range(0..3u32) {
+                0 => RequestFault::Panic,
+                1 => RequestFault::SlowIo(rng.gen_range(10..=50u64)),
+                _ => RequestFault::Drop,
+            };
+            plan.request_faults.insert(i, fault);
+        }
+        for i in 0..saves {
+            if !rng.gen_bool(save_rate) {
+                continue;
+            }
+            let fault = SaveFault::ALL[rng.gen_range(0..SaveFault::ALL.len())];
+            plan.save_faults.insert(i, fault);
+        }
+        plan
+    }
+
+    /// Adds (or overrides) one request fault.
+    pub fn insert_request_fault(&mut self, request_index: u64, fault: RequestFault) {
+        self.request_faults.insert(request_index, fault);
+    }
+
+    /// Adds (or overrides) one save fault.
+    pub fn insert_save_fault(&mut self, attempt_index: u64, fault: SaveFault) {
+        self.save_faults.insert(attempt_index, fault);
+    }
+
+    /// The fault (if any) scheduled for the `i`-th admitted request.
+    pub fn request_fault(&self, i: u64) -> Option<RequestFault> {
+        self.request_faults.get(&i).copied()
+    }
+
+    /// The crash point (if any) scheduled for the `i`-th publish attempt.
+    pub fn save_fault(&self, attempt: u64) -> Option<SaveFault> {
+        self.save_faults.get(&attempt).copied()
+    }
+
+    /// Number of scheduled request faults.
+    pub fn request_fault_count(&self) -> usize {
+        self.request_faults.len()
+    }
+
+    /// Number of scheduled save faults.
+    pub fn save_fault_count(&self) -> usize {
+        self.save_faults.len()
+    }
+
+    /// Scheduled request faults in request order.
+    pub fn request_faults(&self) -> impl Iterator<Item = (u64, RequestFault)> + '_ {
+        self.request_faults.iter().map(|(i, f)| (*i, *f))
+    }
+
+    /// Scheduled save faults in attempt order.
+    pub fn save_faults(&self) -> impl Iterator<Item = (u64, SaveFault)> + '_ {
+        self.save_faults.iter().map(|(i, f)| (*i, *f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = ServeFaultPlan::seeded(42, 1000, 0.1, 50, 0.5);
+        let b = ServeFaultPlan::seeded(42, 1000, 0.1, 50, 0.5);
+        assert_eq!(
+            a.request_faults().collect::<Vec<_>>(),
+            b.request_faults().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            a.save_faults().collect::<Vec<_>>(),
+            b.save_faults().collect::<Vec<_>>()
+        );
+        assert!(a.request_fault_count() > 50, "{}", a.request_fault_count());
+        assert!(a.save_fault_count() > 10, "{}", a.save_fault_count());
+    }
+
+    #[test]
+    fn different_seed_different_plan() {
+        let a = ServeFaultPlan::seeded(1, 1000, 0.1, 50, 0.5);
+        let b = ServeFaultPlan::seeded(2, 1000, 0.1, 50, 0.5);
+        assert_ne!(
+            a.request_faults().collect::<Vec<_>>(),
+            b.request_faults().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn all_fault_kinds_are_sampled() {
+        let plan = ServeFaultPlan::seeded(7, 10_000, 0.2, 1000, 0.8);
+        let mut kinds = std::collections::BTreeSet::new();
+        for (_, f) in plan.request_faults() {
+            kinds.insert(match f {
+                RequestFault::Panic => 0,
+                RequestFault::SlowIo(_) => 1,
+                RequestFault::Drop => 2,
+            });
+        }
+        assert_eq!(kinds.len(), 3, "panic, slow-io, and drop all drawn");
+        let mut saves = std::collections::BTreeSet::new();
+        for (_, f) in plan.save_faults() {
+            saves.insert(f.as_str());
+        }
+        assert_eq!(saves.len(), SaveFault::ALL.len(), "every crash point drawn");
+    }
+
+    #[test]
+    fn manual_inserts_override_sampling() {
+        let mut plan = ServeFaultPlan::default();
+        plan.insert_request_fault(3, RequestFault::Panic);
+        plan.insert_save_fault(0, SaveFault::TornDirect);
+        assert_eq!(plan.request_fault(3), Some(RequestFault::Panic));
+        assert_eq!(plan.request_fault(4), None);
+        assert_eq!(plan.save_fault(0), Some(SaveFault::TornDirect));
+    }
+}

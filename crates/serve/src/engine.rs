@@ -1,6 +1,6 @@
-//! The query-answering core: a loaded [`ClusteredModel`] plus the metric
-//! index, the extraction cache, and the counters — everything except the
-//! sockets.
+//! The query-answering core: a hot-swappable [`ClusteredModel`] plus the
+//! metric index, the extraction cache, per-verb circuit breakers, and the
+//! counters — everything except the sockets.
 //!
 //! # Classify semantics
 //!
@@ -21,21 +21,184 @@
 //! exceeds the current `k`-th best composite distance cannot win; every
 //! survivor is evaluated with the full distance. The `index_props` suite
 //! checks equality against brute force, ties included.
+//!
+//! # Hot reload
+//!
+//! The model and its index live behind one `RwLock<Arc<ModelState>>`.
+//! Request handlers clone the `Arc` under a momentary read lock and keep
+//! answering from that snapshot; [`ServeEngine::reload`] builds and
+//! validates the *new* state off the request path (only the worker
+//! serving the reload pays), then swaps the `Arc` under the write lock
+//! and bumps the extraction-cache generation. In-flight requests finish
+//! against the model they started with; no request is dropped, no lock
+//! is held across a distance computation.
+//!
+//! # Shed / degrade ladder
+//!
+//! Each expensive verb has a deterministic circuit breaker driven by the
+//! request *sequence* (not wall-clock, so a replayed session trips and
+//! recovers identically). Consecutive pressure failures — budget
+//! exhaustion or contained panics — open the breaker; while open,
+//!
+//! * **classify degrades**: instead of the exact PivotIndex + composite
+//!   distance answer, it brute-forces the cheap `d_tables` metric only
+//!   and reports `"degraded": true` (the cluster assignment is
+//!   optimistic, since `d_tables ≤ d`);
+//! * **neighbors sheds**: a typed `overloaded` error with
+//!   `retry_after_ms`, instead of queueing unboundedly.
+//!
+//! After `cooldown` shed requests the breaker half-opens: one probe gets
+//! the full path; success closes the breaker, another pressure failure
+//! re-opens it.
 
 use crate::cache::{CacheStats, CachedExtraction, ExtractionCache};
-use crate::protocol::{error_response, ok_response};
+use crate::chaos::{RequestFault, ServeFaultPlan};
+use crate::protocol::{error_response, ok_response, overloaded_response};
+use crate::store::ModelStore;
 use aa_core::{
     AccessArea, AccessRanges, ClusteredModel, DistanceMode, LogRunner, NoSchema, Pipeline,
     QueryDistance, RunnerConfig,
 };
 use aa_dbscan::{dbscan, DbscanParams, Label, PivotIndex};
 use aa_util::Json;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
 
 /// Upper bound on pivot count: one pivot per distinct table set saturates
 /// the bound (a same-bucket pivot makes it exact), and real logs have
 /// few distinct table sets relative to entries.
 const MAX_PIVOTS: usize = 64;
+
+/// Breaker slot indices (the two expensive verbs).
+const CLASSIFY: usize = 0;
+const NEIGHBORS: usize = 1;
+
+/// One immutable serving snapshot: the model, its pivot index, and the
+/// store generation it came from. Swapped atomically on reload.
+pub struct ModelState {
+    pub model: ClusteredModel,
+    pub index: PivotIndex,
+    pub generation: u64,
+}
+
+impl ModelState {
+    /// Builds the index for a validated model. This is the expensive part
+    /// of a reload and runs off the request path.
+    pub fn build(model: ClusteredModel, generation: u64) -> ModelState {
+        let ranges = model.ranges.clone();
+        let qd = QueryDistance::with_mode(&ranges, model.mode);
+        let index = PivotIndex::build(&model.areas, MAX_PIVOTS, &|a: &AccessArea, b| {
+            qd.d_tables(a, b)
+        });
+        ModelState {
+            model,
+            index,
+            generation,
+        }
+    }
+}
+
+/// Deterministic per-verb circuit breaker configuration.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive pressure failures (budget / internal) that open the
+    /// breaker.
+    pub failure_threshold: u32,
+    /// Requests shed/degraded while open before a half-open probe.
+    pub cooldown: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open { shed_left: u32 },
+    HalfOpen,
+}
+
+#[derive(Debug, Clone)]
+struct Breaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened: u64,
+}
+
+impl Default for Breaker {
+    fn default() -> Self {
+        Breaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened: 0,
+        }
+    }
+}
+
+/// What the breaker decided for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admission {
+    /// Serve the full path.
+    Full,
+    /// Serve the full path as the half-open probe.
+    Probe,
+    /// Degrade or shed.
+    Shed,
+}
+
+impl Breaker {
+    fn admit(&mut self) -> Admission {
+        match self.state {
+            BreakerState::Closed => Admission::Full,
+            BreakerState::Open { shed_left: 0 } => {
+                self.state = BreakerState::HalfOpen;
+                Admission::Probe
+            }
+            BreakerState::Open { shed_left } => {
+                self.state = BreakerState::Open {
+                    shed_left: shed_left - 1,
+                };
+                Admission::Shed
+            }
+            // A probe is already in flight; keep shedding until it lands.
+            BreakerState::HalfOpen => Admission::Shed,
+        }
+    }
+
+    /// Records the outcome of a Full/Probe admission. Shed requests never
+    /// reach here — they carry no signal about the full path.
+    fn record(&mut self, config: &BreakerConfig, pressure_failure: bool) {
+        if !pressure_failure {
+            self.consecutive_failures = 0;
+            self.state = BreakerState::Closed;
+            return;
+        }
+        self.consecutive_failures += 1;
+        if self.state == BreakerState::HalfOpen
+            || self.consecutive_failures >= config.failure_threshold
+        {
+            self.state = BreakerState::Open {
+                shed_left: config.cooldown,
+            };
+            self.opened += 1;
+        }
+    }
+
+    fn state_name(&self) -> &'static str {
+        match self.state {
+            BreakerState::Closed => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
 
 /// Mutable request counters, under one mutex (stats requests are rare
 /// and every field updates together).
@@ -45,10 +208,29 @@ pub struct ServeStats {
     pub classify_ok: u64,
     pub neighbors_ok: u64,
     pub stats_ok: u64,
+    /// Successful `reload` responses (including no-op reloads).
+    pub reload_ok: u64,
+    /// Model hot-swaps actually performed.
+    pub model_swaps: u64,
+    /// Classify requests answered by the degraded `d_tables`-only path
+    /// (subset of `classify_ok`).
+    pub classify_degraded: u64,
+    /// Neighbors requests shed with a typed `overloaded` error.
+    pub neighbors_shed: u64,
     /// Requests rejected by per-connection admission control.
     pub rejected: u64,
     /// Requests whose line could not be parsed as a request.
     pub bad_requests: u64,
+    /// Request lines over the byte cap (answered, then disconnected).
+    pub oversized_lines: u64,
+    /// Worker panics contained at the request boundary.
+    pub internal_errors: u64,
+    /// Connections closed by a read/write timeout (stalled peer).
+    pub io_timeouts: u64,
+    /// Connections shed at the accept queue (typed `overloaded` reply).
+    pub queue_shed: u64,
+    /// Connections dropped by injected chaos.
+    pub chaos_drops: u64,
     /// Admitted requests whose SQL the pipeline rejected, by failure
     /// taxonomy kind (sorted at snapshot time for determinism).
     pub extract_failed: std::collections::BTreeMap<String, u64>,
@@ -65,8 +247,12 @@ impl ServeStats {
         self.classify_ok
             + self.neighbors_ok
             + self.stats_ok
+            + self.reload_ok
+            + self.neighbors_shed
             + self.rejected
             + self.bad_requests
+            + self.oversized_lines
+            + self.internal_errors
             + self.extract_failures()
     }
 
@@ -78,38 +264,94 @@ impl ServeStats {
 
 /// The model-serving core shared by all worker threads.
 pub struct ServeEngine {
-    model: ClusteredModel,
-    index: PivotIndex,
+    state: RwLock<Arc<ModelState>>,
     cache: ExtractionCache,
     /// Per-request extraction fuel (`None` = unmetered).
     fuel: Option<u64>,
+    /// Per-request wall-clock deadline threaded into the runner.
+    deadline: Option<Duration>,
+    /// Where `reload` looks for new generations.
+    store: Option<ModelStore>,
+    /// Injected service-level faults (chaos harness).
+    chaos: Option<ServeFaultPlan>,
+    /// Admitted-request ordinal, drives the chaos plan.
+    request_counter: AtomicU64,
+    breaker_config: BreakerConfig,
+    breakers: Mutex<[Breaker; 2]>,
+    /// Backoff floor advertised in `overloaded` responses.
+    retry_after_ms: u64,
     stats: Mutex<ServeStats>,
 }
 
 impl ServeEngine {
-    /// Builds the serving core for a validated model.
+    /// Builds the serving core for a validated model (generation 0, no
+    /// store, no chaos, default breaker). The builder methods below
+    /// layer the resilience knobs on.
     pub fn new(model: ClusteredModel, cache_capacity: usize, fuel: Option<u64>) -> Self {
-        let ranges = model.ranges.clone();
-        let qd = QueryDistance::with_mode(&ranges, model.mode);
-        let index = PivotIndex::build(&model.areas, MAX_PIVOTS, &|a: &AccessArea, b| {
-            qd.d_tables(a, b)
-        });
+        let state = ModelState::build(model, 0);
         let stats = ServeStats {
-            classified: vec![0; model.cluster_count + 1],
+            classified: vec![0; state.model.cluster_count + 1],
             ..ServeStats::default()
         };
         ServeEngine {
-            model,
-            index,
+            state: RwLock::new(Arc::new(state)),
             cache: ExtractionCache::new(cache_capacity),
             fuel,
+            deadline: None,
+            store: None,
+            chaos: None,
+            request_counter: AtomicU64::new(0),
+            breaker_config: BreakerConfig::default(),
+            breakers: Mutex::new([Breaker::default(), Breaker::default()]),
+            retry_after_ms: 100,
             stats: Mutex::new(stats),
         }
     }
 
-    /// The served model.
-    pub fn model(&self) -> &ClusteredModel {
-        &self.model
+    /// Attaches the model store `reload` re-scans, and records the
+    /// generation the initial model came from.
+    pub fn with_store(mut self, store: ModelStore, generation: u64) -> Self {
+        self.store = Some(store);
+        let state = self.state.get_mut().unwrap();
+        let current = Arc::get_mut(state).expect("builder runs before sharing");
+        current.generation = generation;
+        self
+    }
+
+    /// Sets the per-request wall-clock deadline (checked at pipeline
+    /// stage boundaries by the hardened runner).
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Overrides the circuit-breaker thresholds.
+    pub fn with_breaker(mut self, config: BreakerConfig) -> Self {
+        self.breaker_config = config;
+        self
+    }
+
+    /// Overrides the `retry_after_ms` advertised when shedding.
+    pub fn with_retry_after_ms(mut self, ms: u64) -> Self {
+        self.retry_after_ms = ms;
+        self
+    }
+
+    /// Arms the service-level chaos plan.
+    pub fn with_chaos(mut self, plan: ServeFaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// The current serving snapshot (requests answer from one of these
+    /// end to end; reload swaps the pointer, never the contents).
+    pub fn current(&self) -> Arc<ModelState> {
+        Arc::clone(&self.state.read().unwrap())
+    }
+
+    /// The served model (snapshot — a concurrent reload may supersede it).
+    pub fn model(&self) -> Arc<ModelState> {
+        self.current()
     }
 
     /// Extraction-cache counters.
@@ -128,14 +370,24 @@ impl ServeEngine {
         self.stats.lock().unwrap().clone()
     }
 
+    /// The chaos fault (if any) scheduled for this admitted request.
+    /// Consumes one ordinal from the deterministic request counter.
+    pub fn next_request_fault(&self) -> Option<RequestFault> {
+        let plan = self.chaos.as_ref()?;
+        let i = self.request_counter.fetch_add(1, Ordering::SeqCst);
+        plan.request_fault(i)
+    }
+
     /// Extracts one statement through the hardened runner: panic
-    /// isolation is always on and `fuel` bounds per-request work, so a
-    /// poison statement costs one error response, not a worker thread.
+    /// isolation is always on, `fuel` bounds per-request work, and the
+    /// configured deadline bounds per-request wall time, so a poison
+    /// statement costs one error response, not a worker thread.
     fn extract(&self, sql: &str) -> CachedExtraction {
         let provider = NoSchema;
         let pipeline = Pipeline::new(&provider);
         let mut config = RunnerConfig::new();
         config.fuel = self.fuel;
+        config.deadline = self.deadline;
         config.isolate_panics = true;
         let runner = LogRunner::new(&pipeline, config);
         let report = match runner.run(&[sql]) {
@@ -160,20 +412,20 @@ impl ServeEngine {
     }
 
     /// `k` nearest logged areas to `query` by `(distance, index)`.
-    fn knn(&self, query: &AccessArea, k: usize) -> (Vec<(usize, f64)>, usize) {
-        let qd = QueryDistance::with_mode(&self.model.ranges, self.model.mode);
-        let areas = &self.model.areas;
-        self.index.knn(
+    fn knn(&self, state: &ModelState, query: &AccessArea, k: usize) -> (Vec<(usize, f64)>, usize) {
+        let qd = QueryDistance::with_mode(&state.model.ranges, state.model.mode);
+        let areas = &state.model.areas;
+        state.index.knn(
             k,
             |i| qd.d_tables(query, &areas[i]),
             |i| qd.distance(query, &areas[i]),
         )
     }
 
-    fn record_evaluations(&self, evaluated: usize) {
+    fn record_evaluations(&self, state: &ModelState, evaluated: usize) {
         let mut stats = self.stats.lock().unwrap();
         stats.distance_evaluated += evaluated as u64;
-        stats.distance_pruned += (self.model.areas.len() - evaluated) as u64;
+        stats.distance_pruned += (state.model.areas.len() - evaluated) as u64;
     }
 
     fn record_extract_failure(&self, kind: &str) {
@@ -181,25 +433,52 @@ impl ServeEngine {
         *stats.extract_failed.entry(kind.to_string()).or_insert(0) += 1;
     }
 
+    fn admit(&self, verb: usize) -> Admission {
+        self.breakers.lock().unwrap()[verb].admit()
+    }
+
+    fn record_outcome(&self, verb: usize, pressure_failure: bool) {
+        self.breakers.lock().unwrap()[verb].record(&self.breaker_config, pressure_failure);
+    }
+
+    /// Whether an extraction-failure kind counts as *service pressure*
+    /// (trips the breaker) rather than a bad statement (the client's
+    /// problem, served at full quality forever).
+    fn is_pressure(kind: &str) -> bool {
+        kind == "budget" || kind == "internal"
+    }
+
     /// Answers a classify request.
     pub fn classify(&self, sql: &str) -> Json {
+        match self.admit(CLASSIFY) {
+            Admission::Shed => self.classify_degraded(sql),
+            Admission::Full | Admission::Probe => self.classify_full(sql),
+        }
+    }
+
+    fn classify_full(&self, sql: &str) -> Json {
+        let state = self.current();
         let (extraction, hit) = self.extract_cached(sql);
         let area = match extraction.as_ref() {
-            Ok(area) => area,
+            Ok(area) => {
+                self.record_outcome(CLASSIFY, false);
+                area
+            }
             Err((kind, message)) => {
+                self.record_outcome(CLASSIFY, Self::is_pressure(kind));
                 self.record_extract_failure(kind);
                 return extract_failed_response(kind, message);
             }
         };
-        let (nearest, evaluated) = self.knn(area, 1);
-        self.record_evaluations(evaluated);
+        let (nearest, evaluated) = self.knn(&state, area, 1);
+        self.record_evaluations(&state, evaluated);
         let mut fields = vec![("cache".to_string(), cache_field(hit))];
         let cluster = match nearest.first() {
             Some(&(idx, d)) => {
                 fields.push(("nearest".to_string(), Json::Num(idx as f64)));
                 fields.push(("distance".to_string(), Json::Num(d)));
-                if d <= self.model.eps {
-                    self.model.labels[idx]
+                if d <= state.model.eps {
+                    state.model.labels[idx]
                 } else {
                     None
                 }
@@ -210,28 +489,103 @@ impl ServeEngine {
             "cluster".to_string(),
             cluster.map_or(Json::Null, |c| Json::Num(c as f64)),
         ));
-        let mut stats = self.stats.lock().unwrap();
-        stats.classify_ok += 1;
-        let slot = cluster.unwrap_or(self.model.cluster_count);
-        if let Some(count) = stats.classified.get_mut(slot) {
-            *count += 1;
-        }
-        drop(stats);
+        self.count_classify(&state, cluster, false);
         ok_response("classify", fields)
     }
 
-    /// Answers a neighbors request.
-    pub fn neighbors(&self, sql: &str, k: usize) -> Json {
+    /// The degraded ladder rung: no PivotIndex, no composite distance —
+    /// one brute-force pass over the cheap `d_tables` Jaccard metric.
+    /// Because `d_tables ≤ d`, the nearest-by-`d_tables` area and the
+    /// `≤ eps` membership test are *optimistic*: the answer names a
+    /// plausible cluster fast instead of the provably nearest one. The
+    /// response is marked `"degraded": true` so clients can retry later
+    /// for an exact answer.
+    fn classify_degraded(&self, sql: &str) -> Json {
+        let state = self.current();
         let (extraction, hit) = self.extract_cached(sql);
         let area = match extraction.as_ref() {
             Ok(area) => area,
             Err((kind, message)) => {
+                // Shed path: no breaker signal, but the failure is still
+                // counted and answered.
                 self.record_extract_failure(kind);
                 return extract_failed_response(kind, message);
             }
         };
-        let (nearest, evaluated) = self.knn(area, k);
-        self.record_evaluations(evaluated);
+        let qd = QueryDistance::with_mode(&state.model.ranges, state.model.mode);
+        let mut best: Option<(f64, usize)> = None;
+        for (i, candidate) in state.model.areas.iter().enumerate() {
+            let d = qd.d_tables(area, candidate);
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, i));
+            }
+        }
+        let mut fields = vec![
+            ("cache".to_string(), cache_field(hit)),
+            ("degraded".to_string(), Json::Bool(true)),
+        ];
+        let cluster = match best {
+            Some((d, idx)) => {
+                fields.push(("nearest".to_string(), Json::Num(idx as f64)));
+                fields.push(("distance".to_string(), Json::Num(d)));
+                if d <= state.model.eps {
+                    state.model.labels[idx]
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+        fields.push((
+            "cluster".to_string(),
+            cluster.map_or(Json::Null, |c| Json::Num(c as f64)),
+        ));
+        self.count_classify(&state, cluster, true);
+        ok_response("classify", fields)
+    }
+
+    fn count_classify(&self, state: &ModelState, cluster: Option<usize>, degraded: bool) {
+        let mut stats = self.stats.lock().unwrap();
+        stats.classify_ok += 1;
+        if degraded {
+            stats.classify_degraded += 1;
+        }
+        let slot = cluster.unwrap_or(state.model.cluster_count);
+        if let Some(count) = stats.classified.get_mut(slot) {
+            *count += 1;
+        }
+    }
+
+    /// Answers a neighbors request.
+    pub fn neighbors(&self, sql: &str, k: usize) -> Json {
+        match self.admit(NEIGHBORS) {
+            Admission::Shed => {
+                self.stats.lock().unwrap().neighbors_shed += 1;
+                overloaded_response(
+                    "neighbors shed: circuit breaker open under pressure",
+                    self.retry_after_ms,
+                )
+            }
+            Admission::Full | Admission::Probe => self.neighbors_full(sql, k),
+        }
+    }
+
+    fn neighbors_full(&self, sql: &str, k: usize) -> Json {
+        let state = self.current();
+        let (extraction, hit) = self.extract_cached(sql);
+        let area = match extraction.as_ref() {
+            Ok(area) => {
+                self.record_outcome(NEIGHBORS, false);
+                area
+            }
+            Err((kind, message)) => {
+                self.record_outcome(NEIGHBORS, Self::is_pressure(kind));
+                self.record_extract_failure(kind);
+                return extract_failed_response(kind, message);
+            }
+        };
+        let (nearest, evaluated) = self.knn(&state, area, k);
+        self.record_evaluations(&state, evaluated);
         let neighbors: Vec<Json> = nearest
             .iter()
             .map(|&(idx, d)| {
@@ -240,7 +594,7 @@ impl ServeEngine {
                     ("distance".to_string(), Json::Num(d)),
                     (
                         "cluster".to_string(),
-                        self.model.labels[idx].map_or(Json::Null, |c| Json::Num(c as f64)),
+                        state.model.labels[idx].map_or(Json::Null, |c| Json::Num(c as f64)),
                     ),
                 ])
             })
@@ -255,10 +609,111 @@ impl ServeEngine {
         )
     }
 
+    /// Answers a reload request: re-scan the store, hot-swap to the
+    /// newest verified generation. The expensive build runs here, on the
+    /// worker serving the reload — other workers keep answering from the
+    /// old snapshot until the O(1) pointer swap.
+    pub fn reload(&self) -> Json {
+        let Some(store) = &self.store else {
+            return error_response("reload_failed", "no model store configured");
+        };
+        let recovery = match store.recover() {
+            Ok(r) => r,
+            Err(e) => return error_response("reload_failed", &e.to_string()),
+        };
+        let Some((generation, model)) = recovery.loaded else {
+            return error_response(
+                "reload_failed",
+                "model store has no verified generation (all files torn or absent)",
+            );
+        };
+        let rejected = recovery.rejected.len() as f64;
+        let previous = self.current().generation;
+        if generation == previous {
+            self.stats.lock().unwrap().reload_ok += 1;
+            return ok_response(
+                "reload",
+                [
+                    ("generation".to_string(), Json::Num(generation as f64)),
+                    ("changed".to_string(), Json::Bool(false)),
+                    ("rejected".to_string(), Json::Num(rejected)),
+                ],
+            );
+        }
+        let swapped = self.swap_model(model, generation);
+        let state = self.current();
+        let mut stats = self.stats.lock().unwrap();
+        stats.reload_ok += 1;
+        drop(stats);
+        ok_response(
+            "reload",
+            [
+                ("previous".to_string(), Json::Num(previous as f64)),
+                ("generation".to_string(), Json::Num(generation as f64)),
+                ("changed".to_string(), Json::Bool(swapped)),
+                ("rejected".to_string(), Json::Num(rejected)),
+                (
+                    "areas".to_string(),
+                    Json::Num(state.model.areas.len() as f64),
+                ),
+                (
+                    "clusters".to_string(),
+                    Json::Num(state.model.cluster_count as f64),
+                ),
+            ],
+        )
+    }
+
+    /// Builds and installs a new serving snapshot, invalidating the
+    /// extraction-cache generation. Returns false if a concurrent reload
+    /// already installed this or a newer generation. Public so tests and
+    /// the store watcher can swap without going through the wire verb.
+    pub fn swap_model(&self, model: ClusteredModel, generation: u64) -> bool {
+        let state = Arc::new(ModelState::build(model, generation));
+        {
+            let mut slot = self.state.write().unwrap();
+            if slot.generation >= generation {
+                return false;
+            }
+            // Histogram slots only grow: a bigger model gets fresh zeroed
+            // slots; a smaller one keeps the old width (its noise slot is
+            // `cluster_count`, inside the existing range).
+            let mut stats = self.stats.lock().unwrap();
+            let want = state.model.cluster_count + 1;
+            if stats.classified.len() < want {
+                stats.classified.resize(want, 0);
+            }
+            stats.model_swaps += 1;
+            drop(stats);
+            *slot = Arc::clone(&state);
+        }
+        self.cache.bump_generation();
+        true
+    }
+
+    /// The store watcher's poll step: if the store has a verified
+    /// generation newer than the one being served, load and hot-swap it.
+    /// Returns the installed generation when a swap happened. Quiet on
+    /// every failure path — a torn file mid-publish just means "nothing
+    /// new yet".
+    pub fn poll_store(&self) -> Option<u64> {
+        let store = self.store.as_ref()?;
+        let latest = store.latest_verified_generation().ok()??;
+        if latest <= self.current().generation {
+            return None;
+        }
+        let model = store.load_generation(latest).ok()?;
+        if self.swap_model(model, latest) {
+            Some(latest)
+        } else {
+            None
+        }
+    }
+
     /// Answers a stats request. Every field is a deterministic function
     /// of the request history (no wall-clock, no addresses), so replaying
     /// the same request sequence yields byte-identical snapshots — the
-    /// CI smoke gate diffs two runs.
+    /// CI smoke and chaos gates diff two runs.
     pub fn stats_response(&self) -> Json {
         {
             let mut stats = self.stats.lock().unwrap();
@@ -269,8 +724,10 @@ impl ServeEngine {
 
     /// The stats object itself (also the shutdown snapshot).
     pub fn stats_json(&self) -> Json {
+        let state = self.current();
         let stats = self.stats.lock().unwrap().clone();
         let cache = self.cache.stats();
+        let breakers = self.breakers.lock().unwrap();
         Json::obj([
             (
                 "requests".to_string(),
@@ -281,12 +738,58 @@ impl ServeEngine {
                         Json::Num(stats.neighbors_ok as f64),
                     ),
                     ("stats".to_string(), Json::Num(stats.stats_ok as f64)),
+                    ("reload".to_string(), Json::Num(stats.reload_ok as f64)),
                 ]),
             ),
             ("rejected".to_string(), Json::Num(stats.rejected as f64)),
             (
                 "bad_requests".to_string(),
                 Json::Num(stats.bad_requests as f64),
+            ),
+            (
+                "resilience".to_string(),
+                Json::obj([
+                    (
+                        "classify_degraded".to_string(),
+                        Json::Num(stats.classify_degraded as f64),
+                    ),
+                    (
+                        "neighbors_shed".to_string(),
+                        Json::Num(stats.neighbors_shed as f64),
+                    ),
+                    (
+                        "oversized_lines".to_string(),
+                        Json::Num(stats.oversized_lines as f64),
+                    ),
+                    (
+                        "internal_errors".to_string(),
+                        Json::Num(stats.internal_errors as f64),
+                    ),
+                    ("io_timeouts".to_string(), Json::Num(stats.io_timeouts as f64)),
+                    ("queue_shed".to_string(), Json::Num(stats.queue_shed as f64)),
+                    ("chaos_drops".to_string(), Json::Num(stats.chaos_drops as f64)),
+                    ("model_swaps".to_string(), Json::Num(stats.model_swaps as f64)),
+                    (
+                        "breaker".to_string(),
+                        Json::obj([
+                            (
+                                "classify".to_string(),
+                                Json::Str(breakers[CLASSIFY].state_name().to_string()),
+                            ),
+                            (
+                                "neighbors".to_string(),
+                                Json::Str(breakers[NEIGHBORS].state_name().to_string()),
+                            ),
+                            (
+                                "opened".to_string(),
+                                Json::Num(
+                                    (breakers[CLASSIFY].opened + breakers[NEIGHBORS].opened)
+                                        as f64,
+                                ),
+                            ),
+                        ]),
+                    ),
+                ]),
             ),
             (
                 "extract_failed".to_string(),
@@ -308,16 +811,24 @@ impl ServeEngine {
                     ("hits".to_string(), Json::Num(cache.hits as f64)),
                     ("misses".to_string(), Json::Num(cache.misses as f64)),
                     ("evictions".to_string(), Json::Num(cache.evictions as f64)),
+                    (
+                        "invalidations".to_string(),
+                        Json::Num(cache.invalidations as f64),
+                    ),
+                    ("generation".to_string(), Json::Num(cache.generation as f64)),
                     ("entries".to_string(), Json::Num(cache.entries as f64)),
                 ]),
             ),
             (
                 "index".to_string(),
                 Json::obj([
-                    ("areas".to_string(), Json::Num(self.model.areas.len() as f64)),
+                    (
+                        "areas".to_string(),
+                        Json::Num(state.model.areas.len() as f64),
+                    ),
                     (
                         "pivots".to_string(),
-                        Json::Num(self.index.pivots().len() as f64),
+                        Json::Num(state.index.pivots().len() as f64),
                     ),
                     (
                         "evaluated".to_string(),
@@ -332,14 +843,15 @@ impl ServeEngine {
             (
                 "model".to_string(),
                 Json::obj([
+                    ("generation".to_string(), Json::Num(state.generation as f64)),
                     (
                         "clusters".to_string(),
-                        Json::Num(self.model.cluster_count as f64),
+                        Json::Num(state.model.cluster_count as f64),
                     ),
-                    ("eps".to_string(), Json::Num(self.model.eps)),
+                    ("eps".to_string(), Json::Num(state.model.eps)),
                     (
                         "mode".to_string(),
-                        Json::Str(self.model.mode.as_str().to_string()),
+                        Json::Str(state.model.mode.as_str().to_string()),
                     ),
                 ]),
             ),
@@ -354,6 +866,31 @@ impl ServeEngine {
     /// Records an unparseable request line (the server calls this).
     pub fn record_bad_request(&self) {
         self.stats.lock().unwrap().bad_requests += 1;
+    }
+
+    /// Records a request line over the byte cap (the server calls this).
+    pub fn record_oversized_line(&self) {
+        self.stats.lock().unwrap().oversized_lines += 1;
+    }
+
+    /// Records a worker panic contained at the request boundary.
+    pub fn record_internal_error(&self) {
+        self.stats.lock().unwrap().internal_errors += 1;
+    }
+
+    /// Records a connection closed by a read/write timeout.
+    pub fn record_io_timeout(&self) {
+        self.stats.lock().unwrap().io_timeouts += 1;
+    }
+
+    /// Records a connection shed at the accept queue.
+    pub fn record_queue_shed(&self) {
+        self.stats.lock().unwrap().queue_shed += 1;
+    }
+
+    /// Records an injected connection drop.
+    pub fn record_chaos_drop(&self) {
+        self.stats.lock().unwrap().chaos_drops += 1;
     }
 }
 
@@ -445,18 +982,19 @@ mod tests {
         let engine = small_engine();
         // A statement generated from the model's own log is (distance 0)
         // on top of a logged area, so it lands in that area's cluster.
-        let probe = engine
-            .model()
+        let state = engine.current();
+        let probe = state
+            .model
             .labels
             .iter()
             .position(|l| l.is_some())
             .expect("some clustered area");
-        let sql = engine.model().areas[probe].to_intermediate_sql();
+        let sql = state.model.areas[probe].to_intermediate_sql();
         let response = engine.classify(&sql);
         assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
         assert_eq!(
             response.get("cluster").and_then(Json::as_f64),
-            engine.model().labels[probe].map(|c| c as f64),
+            state.model.labels[probe].map(|c| c as f64),
             "re-submitted logged query must classify into its own cluster"
         );
         assert_eq!(response.get("cache").and_then(Json::as_str), Some("miss"));
@@ -488,11 +1026,12 @@ mod tests {
     #[test]
     fn neighbors_are_sorted_and_within_k() {
         let engine = small_engine();
-        let sql = engine.model().areas[0].to_intermediate_sql();
+        let state = engine.current();
+        let sql = state.model.areas[0].to_intermediate_sql();
         let response = engine.neighbors(&sql, 5);
         assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
         let list = response.get("neighbors").and_then(Json::as_arr).unwrap();
-        assert_eq!(list.len(), 5.min(engine.model().areas.len()));
+        assert_eq!(list.len(), 5.min(state.model.areas.len()));
         let dists: Vec<f64> = list
             .iter()
             .map(|n| n.get("distance").and_then(Json::as_f64).unwrap())
@@ -504,7 +1043,8 @@ mod tests {
     #[test]
     fn stats_snapshot_counts_everything() {
         let engine = small_engine();
-        let sql = engine.model().areas[0].to_intermediate_sql();
+        let state = engine.current();
+        let sql = state.model.areas[0].to_intermediate_sql();
         engine.classify(&sql);
         engine.classify(&sql);
         engine.classify("NOT SQL AT ALL");
@@ -521,7 +1061,7 @@ mod tests {
         let pruned = index.get("pruned").and_then(Json::as_f64).unwrap();
         assert_eq!(
             evaluated + pruned,
-            (2 * engine.model().areas.len()) as f64,
+            (2 * state.model.areas.len()) as f64,
             "every classify accounts for every area, evaluated or pruned"
         );
         assert!(pruned > 0.0, "the table-set index must prune something");
@@ -537,5 +1077,131 @@ mod tests {
             response.get("failure").and_then(Json::as_str),
             Some("budget")
         );
+    }
+
+    /// Fuel units are 1 + input bytes per pipeline stage, so with a
+    /// mid-sized budget a short statement completes and a long (still
+    /// syntactically valid) one exhausts fuel — a deterministic way to
+    /// mix pressure failures and successes through one engine.
+    const BREAKER_FUEL: u64 = 240;
+    const GOOD_SQL: &str = "SELECT * FROM PhotoObjAll";
+
+    fn poison_sql(i: u64) -> String {
+        let clauses: Vec<String> = (0..60).map(|j| format!("c{j} > {j}")).collect();
+        format!("SELECT * FROM T{i} WHERE {}", clauses.join(" AND "))
+    }
+
+    #[test]
+    fn breaker_opens_degrades_probes_and_recovers() {
+        let model = build_model(150, 5, 0.06, 4, DistanceMode::Dissimilarity);
+        let engine = ServeEngine::new(model, 64, Some(BREAKER_FUEL)).with_breaker(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: 2,
+        });
+        // Sanity: the short statement fits the budget.
+        let r = engine.classify(GOOD_SQL);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+        assert_eq!(r.get("degraded"), None, "closed breaker serves full path");
+        // Three consecutive budget failures open the classify breaker.
+        for i in 0..3 {
+            let r = engine.classify(&poison_sql(i));
+            assert_eq!(r.get("failure").and_then(Json::as_str), Some("budget"));
+        }
+        // Open: the next `cooldown` classifies run the degraded path.
+        for _ in 0..2 {
+            let r = engine.classify(GOOD_SQL);
+            assert_eq!(
+                r.get("degraded"),
+                Some(&Json::Bool(true)),
+                "open breaker must degrade classify"
+            );
+            assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        }
+        assert_eq!(engine.stats().classify_degraded, 2);
+        // Half-open probe: still failing → re-open, degrade again.
+        let r = engine.classify(&poison_sql(99));
+        assert_eq!(r.get("failure").and_then(Json::as_str), Some("budget"));
+        for _ in 0..2 {
+            let r = engine.classify(GOOD_SQL);
+            assert_eq!(r.get("degraded"), Some(&Json::Bool(true)));
+        }
+        // Half-open probe succeeds: breaker closes, full path resumes.
+        let r = engine.classify(GOOD_SQL);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(r.get("degraded"), None, "successful probe closes breaker");
+        let r = engine.classify(GOOD_SQL);
+        assert_eq!(r.get("degraded"), None);
+        assert_eq!(engine.stats().classify_degraded, 4);
+    }
+
+    #[test]
+    fn successes_never_open_the_breaker() {
+        let model = build_model(150, 5, 0.06, 4, DistanceMode::Dissimilarity);
+        let good_sql = model.areas[0].to_intermediate_sql();
+        let engine = ServeEngine::new(model, 64, Some(50_000_000)).with_breaker(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: 1,
+        });
+        for _ in 0..20 {
+            let r = engine.neighbors(&good_sql, 3);
+            assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        }
+        assert_eq!(engine.stats().neighbors_shed, 0);
+    }
+
+    #[test]
+    fn neighbors_sheds_with_typed_overloaded_while_open() {
+        let model = build_model(150, 5, 0.06, 4, DistanceMode::Dissimilarity);
+        let engine = ServeEngine::new(model, 64, Some(BREAKER_FUEL))
+            .with_breaker(BreakerConfig {
+                failure_threshold: 2,
+                cooldown: 3,
+            })
+            .with_retry_after_ms(250);
+        for i in 0..2 {
+            let r = engine.neighbors(&poison_sql(i), 3);
+            assert_eq!(r.get("failure").and_then(Json::as_str), Some("budget"));
+        }
+        for _ in 0..3 {
+            let r = engine.neighbors(GOOD_SQL, 3);
+            assert_eq!(r.get("kind").and_then(Json::as_str), Some("overloaded"));
+            assert_eq!(r.get("retry_after_ms").and_then(Json::as_f64), Some(250.0));
+        }
+        assert_eq!(engine.stats().neighbors_shed, 3);
+        // Probe with a statement that extracts fine: breaker closes.
+        let r = engine.neighbors(GOOD_SQL, 3);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+        let r = engine.neighbors(GOOD_SQL, 3);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(engine.stats().neighbors_shed, 3, "closed again: no shed");
+    }
+
+    #[test]
+    fn reload_without_store_is_a_typed_error() {
+        let engine = small_engine();
+        let r = engine.reload();
+        assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(r.get("kind").and_then(Json::as_str), Some("reload_failed"));
+    }
+
+    #[test]
+    fn swap_model_invalidates_cache_and_serves_new_generation() {
+        let engine = small_engine();
+        let sql = engine.current().model.areas[0].to_intermediate_sql();
+        engine.classify(&sql);
+        engine.classify(&sql);
+        assert_eq!(engine.cache_stats().hits, 1);
+        // Swap in a model built from a different log.
+        let next = build_model(150, 99, 0.06, 4, DistanceMode::Dissimilarity);
+        assert!(engine.swap_model(next, 7));
+        assert_eq!(engine.current().generation, 7);
+        // Same statement recomputes (generation invalidation)...
+        let r = engine.classify(&sql);
+        assert_eq!(r.get("cache").and_then(Json::as_str), Some("miss"));
+        assert!(engine.cache_stats().invalidations >= 1);
+        // ...and stale-generation swaps are refused.
+        let older = build_model(150, 99, 0.06, 4, DistanceMode::Dissimilarity);
+        assert!(!engine.swap_model(older, 7));
+        assert_eq!(engine.stats().model_swaps, 1);
     }
 }

@@ -28,7 +28,28 @@
 //!    extraction fuel via the hardened [`aa_core::LogRunner`], so a
 //!    hostile statement costs one bounded error response.
 //!
-//! See DESIGN.md §8 for the protocol grammar and the shutdown ordering.
+//! On top of that sits the crash-safe, overload-tolerant layer:
+//!
+//! * a **durable model store** ([`store::ModelStore`]) — checksummed,
+//!   generation-versioned model files published by write-temp + atomic
+//!   rename, with recovery that loads the newest *verified* generation
+//!   and never a torn one;
+//! * **hot reload** — the `reload` verb (or the store watcher / an
+//!   embedder calling [`ServerHandle::reload`]) swaps in a newer
+//!   generation without dropping in-flight requests;
+//! * **deadlines and socket timeouts** — per-request wall-clock budgets
+//!   plus read/write timeouts and a request-line byte cap, so neither a
+//!   poison statement nor a stalled client pins a worker;
+//! * a deterministic per-verb **circuit breaker** — under sustained
+//!   pressure `classify` degrades to a cheap `d_tables`-only answer and
+//!   `neighbors` sheds with a typed `overloaded` + `retry_after_ms`;
+//! * a seeded **service-level chaos harness** ([`chaos::ServeFaultPlan`])
+//!   injecting torn model writes, mid-request worker panics, slow I/O,
+//!   and connection drops, which the crash-recovery and soak suites
+//!   drive.
+//!
+//! See DESIGN.md §8 for the protocol grammar and the shutdown ordering,
+//! and §9 for the crash-safety and overload design.
 //!
 //! ```no_run
 //! use aa_serve::{build_model, ServeEngine, ServerConfig};
@@ -44,11 +65,15 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod chaos;
 pub mod engine;
 pub mod protocol;
 pub mod server;
+pub mod store;
 
 pub use cache::{CacheStats, CachedExtraction, ExtractionCache};
-pub use engine::{build_model, ServeEngine, ServeStats};
+pub use chaos::{RequestFault, ServeFaultPlan};
+pub use engine::{build_model, BreakerConfig, ModelState, ServeEngine, ServeStats};
 pub use protocol::{BadRequest, Request};
 pub use server::{spawn, ServerConfig, ServerHandle};
+pub use store::{ModelStore, PublishOutcome, Recovery, RejectedGeneration, SaveFault, StoreError};

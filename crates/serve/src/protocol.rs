@@ -1,21 +1,27 @@
 //! Line-delimited JSON wire protocol.
 //!
-//! One request per line, one response line per request, in order. Four
+//! One request per line, one response line per request, in order. Five
 //! operations:
 //!
 //! ```text
 //! {"op": "classify",  "sql": "SELECT ..."}
 //! {"op": "neighbors", "sql": "SELECT ...", "k": 5}
 //! {"op": "stats"}
+//! {"op": "reload"}
 //! {"op": "shutdown"}
 //! ```
 //!
 //! Every response carries `"ok": true|false` plus the echoed `"op"`.
 //! Failures distinguish `kind`s the client can dispatch on:
-//! `bad_request` (malformed JSON / unknown op), `rate_limited`
-//! (admission control), and `extract_failed` (the SQL was admitted but
-//! the extraction pipeline rejected it — the failure taxonomy kind is in
-//! `"failure"`).
+//! `bad_request` (malformed JSON / unknown op / request line not UTF-8),
+//! `line_too_long` (request line exceeded the server's byte cap; the
+//! connection is closed after the response), `rate_limited` (admission
+//! control), `overloaded` (circuit breaker / queue shed — carries
+//! `retry_after_ms`, the client should back off), `internal` (the worker
+//! panicked mid-request; the fault was contained), `reload_failed` (no
+//! store, or no verified generation), and `extract_failed` (the SQL was
+//! admitted but the extraction pipeline rejected it — the failure
+//! taxonomy kind is in `"failure"`).
 
 use aa_util::Json;
 
@@ -28,6 +34,9 @@ pub enum Request {
     Neighbors { sql: String, k: usize },
     /// Server counters snapshot.
     Stats,
+    /// Re-scan the model store and hot-swap to the newest verified
+    /// generation without dropping in-flight requests.
+    Reload,
     /// Begin graceful shutdown (the current connection is still served
     /// to EOF).
     Shutdown,
@@ -73,6 +82,7 @@ impl Request {
                 })
             }
             "stats" => Ok(Request::Stats),
+            "reload" => Ok(Request::Reload),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(BadRequest(format!("unknown op '{other}'"))),
         }
@@ -84,6 +94,7 @@ impl Request {
             Request::Classify { .. } => "classify",
             Request::Neighbors { .. } => "neighbors",
             Request::Stats => "stats",
+            Request::Reload => "reload",
             Request::Shutdown => "shutdown",
         }
     }
@@ -106,6 +117,20 @@ pub fn error_response(kind: &str, message: &str) -> Json {
         ("kind".to_string(), Json::Str(kind.to_string())),
         ("error".to_string(), Json::Str(message.to_string())),
     ])
+}
+
+/// The typed shed response: `{"ok": false, "kind": "overloaded",
+/// "error": message, "retry_after_ms": n}`. Clients treat
+/// `retry_after_ms` as the backoff floor before resubmitting.
+pub fn overloaded_response(message: &str, retry_after_ms: u64) -> Json {
+    let mut response = error_response("overloaded", message);
+    if let Json::Obj(fields) = &mut response {
+        fields.push((
+            "retry_after_ms".to_string(),
+            Json::Num(retry_after_ms as f64),
+        ));
+    }
+    response
 }
 
 #[cfg(test)]
@@ -137,9 +162,21 @@ mod tests {
         );
         assert_eq!(Request::parse_line(r#"{"op":"stats"}"#), Ok(Request::Stats));
         assert_eq!(
+            Request::parse_line(r#"{"op":"reload"}"#),
+            Ok(Request::Reload)
+        );
+        assert_eq!(
             Request::parse_line(r#"{"op":"shutdown"}"#),
             Ok(Request::Shutdown)
         );
+    }
+
+    #[test]
+    fn overloaded_response_carries_retry_after() {
+        let shed = overloaded_response("neighbors shed by circuit breaker", 150);
+        assert_eq!(shed.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(shed.get("kind").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(shed.get("retry_after_ms").and_then(Json::as_f64), Some(150.0));
     }
 
     #[test]

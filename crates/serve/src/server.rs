@@ -1,5 +1,5 @@
 //! The TCP front end: accept loop, fixed worker pool, per-connection
-//! admission control, graceful drain.
+//! admission control, overload shedding, graceful drain.
 //!
 //! # Threading model
 //!
@@ -18,6 +18,26 @@
 //! `rate_limited` error response (the connection stays open; the
 //! client may back off and continue), and the rejection is counted.
 //!
+//! # Not pinnable by slow clients
+//!
+//! Every accepted socket gets read and write timeouts, so a client that
+//! connects and then stalls (or stops draining responses) costs a worker
+//! at most one timeout interval, not forever. Request lines are read
+//! through a byte cap ([`ServerConfig::max_line_bytes`]): an oversized
+//! line gets a typed `line_too_long` error and the connection is closed
+//! (the framing past the cap is untrusted). When more connections are
+//! queued than [`ServerConfig::max_queue`], new arrivals get one typed
+//! `overloaded` line and are dropped at the door instead of growing the
+//! queue unboundedly.
+//!
+//! # Containment
+//!
+//! Each request is handled inside [`aa_core::catch_quietly`]: a panic
+//! anywhere in dispatch costs that request one typed `internal` error
+//! response, never the worker thread. The service-level chaos harness
+//! ([`crate::chaos`]) injects exactly such panics — plus slow I/O and
+//! connection drops — to prove it.
+//!
 //! # Graceful shutdown
 //!
 //! [`ServerHandle::shutdown`] (or a client `{"op":"shutdown"}`) flips
@@ -27,14 +47,15 @@
 //! test counts exactly. Once all workers are joined, a final stats
 //! snapshot is taken and returned (and optionally written to disk).
 
+use crate::chaos::RequestFault;
 use crate::engine::ServeEngine;
-use crate::protocol::{error_response, Request};
+use crate::protocol::{error_response, overloaded_response, Request};
 use aa_engine::ratelimit::SimRateLimiter;
 use aa_util::Json;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -55,6 +76,22 @@ pub struct ServerConfig {
     pub per_minute: u32,
     /// Where to write the final stats snapshot on shutdown.
     pub stats_path: Option<PathBuf>,
+    /// Socket read timeout: how long a worker waits for the next request
+    /// line before giving up on the connection (`None` = wait forever).
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout: how long a worker blocks on a client that
+    /// stopped draining responses.
+    pub write_timeout: Option<Duration>,
+    /// Request-line byte cap; longer lines get `line_too_long` and the
+    /// connection is closed.
+    pub max_line_bytes: usize,
+    /// Accepted-but-unserved connection cap; beyond it new arrivals are
+    /// shed with one typed `overloaded` line.
+    pub max_queue: usize,
+    /// Poll the model store at this interval and hot-swap when a newer
+    /// verified generation appears (the SIGHUP-style trigger; `None`
+    /// disables the watcher). Requires an engine built `with_store`.
+    pub watch_store: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +103,11 @@ impl Default for ServerConfig {
             fuel: None,
             per_minute: 60,
             stats_path: None,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_line_bytes: 1 << 20,
+            max_queue: 1024,
+            watch_store: None,
         }
     }
 }
@@ -79,6 +121,7 @@ pub struct ServerHandle {
     engine: Arc<ServeEngine>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    watch_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     stats_path: Option<PathBuf>,
 }
@@ -92,8 +135,14 @@ pub fn spawn(engine: ServeEngine, config: ServerConfig) -> std::io::Result<Serve
     let shutdown = Arc::new(AtomicBool::new(false));
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
+    // Accepted connections waiting for a worker; the shed threshold.
+    let queued = Arc::new(AtomicUsize::new(0));
 
     let accept_shutdown = Arc::clone(&shutdown);
+    let accept_engine = Arc::clone(&engine);
+    let accept_queued = Arc::clone(&queued);
+    let max_queue = config.max_queue.max(1);
+    let write_timeout = config.write_timeout;
     let accept_thread = std::thread::spawn(move || {
         // `tx` is moved in here; dropping it on exit is what tells the
         // workers the queue is complete.
@@ -101,11 +150,19 @@ pub fn spawn(engine: ServeEngine, config: ServerConfig) -> std::io::Result<Serve
             match listener.accept() {
                 Ok((stream, _)) => {
                     // Workers use blocking reads.
-                    if stream.set_nonblocking(false).is_ok() && tx.send(stream).is_err() {
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    if accept_queued.load(Ordering::SeqCst) >= max_queue {
+                        shed_connection(stream, &accept_engine, write_timeout);
+                        continue;
+                    }
+                    accept_queued.fetch_add(1, Ordering::SeqCst);
+                    if tx.send(stream).is_err() {
                         break;
                     }
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(2));
                 }
                 Err(_) => std::thread::sleep(Duration::from_millis(2)),
@@ -118,28 +175,126 @@ pub fn spawn(engine: ServeEngine, config: ServerConfig) -> std::io::Result<Serve
             let rx = Arc::clone(&rx);
             let engine = Arc::clone(&engine);
             let shutdown = Arc::clone(&shutdown);
-            let per_minute = config.per_minute;
+            let queued = Arc::clone(&queued);
+            let config = config.clone();
             std::thread::spawn(move || loop {
                 // Holding the lock only while receiving: `recv` returns
                 // Err exactly when the accept thread exited AND the
                 // queue is fully drained — the no-drop guarantee.
                 let next = rx.lock().unwrap().recv();
                 match next {
-                    Ok(stream) => serve_connection(stream, &engine, &shutdown, per_minute),
+                    Ok(stream) => {
+                        queued.fetch_sub(1, Ordering::SeqCst);
+                        serve_connection(stream, &engine, &shutdown, &config);
+                    }
                     Err(_) => break,
                 }
             })
         })
         .collect();
 
+    let watch_thread = config.watch_store.map(|interval| {
+        let engine = Arc::clone(&engine);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                if let Some(generation) = engine.poll_store() {
+                    eprintln!("serve: store watcher hot-swapped to generation {generation}");
+                }
+                std::thread::sleep(interval);
+            }
+        })
+    });
+
     Ok(ServerHandle {
         local_addr,
         engine,
         shutdown,
         accept_thread: Some(accept_thread),
+        watch_thread,
         workers,
         stats_path: config.stats_path,
     })
+}
+
+/// Sheds a connection at the door: one typed `overloaded` line, then
+/// close. Runs on the accept thread, so the write is bounded by the
+/// write timeout.
+fn shed_connection(mut stream: TcpStream, engine: &ServeEngine, write_timeout: Option<Duration>) {
+    engine.record_queue_shed();
+    let _ = stream.set_write_timeout(write_timeout);
+    let response = overloaded_response("connection queue full", 100);
+    let mut bytes = response.to_string_compact().into_bytes();
+    bytes.push(b'\n');
+    let _ = stream.write_all(&bytes);
+}
+
+/// One capped, timeout-aware line read.
+enum LineRead {
+    /// A complete request line (without the newline).
+    Line(String),
+    /// Clean end of stream.
+    Eof,
+    /// The line exceeded the byte cap (prefix already consumed).
+    TooLong,
+    /// The line was not valid UTF-8 (consumed through its newline).
+    NotUtf8,
+    /// The read timeout elapsed with the line still incomplete.
+    TimedOut,
+    /// Any other I/O error; the connection is unusable.
+    Closed,
+}
+
+/// Reads one `\n`-terminated line through `reader`, refusing to buffer
+/// more than `max` bytes of it. Uses `fill_buf`/`consume` directly so an
+/// attacker streaming an endless line cannot make the server allocate
+/// past the cap.
+fn read_line_capped(reader: &mut BufReader<TcpStream>, max: usize) -> LineRead {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return LineRead::TimedOut
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return LineRead::Closed,
+        };
+        if chunk.is_empty() {
+            // EOF. A trailing unterminated line still gets served.
+            return if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                finish_line(buf)
+            };
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                let over = buf.len() + pos > max;
+                buf.extend_from_slice(&chunk[..pos]);
+                reader.consume(pos + 1);
+                if over {
+                    return LineRead::TooLong;
+                }
+                return finish_line(buf);
+            }
+            None => {
+                let len = chunk.len();
+                buf.extend_from_slice(chunk);
+                reader.consume(len);
+                if buf.len() > max {
+                    return LineRead::TooLong;
+                }
+            }
+        }
+    }
+}
+
+fn finish_line(buf: Vec<u8>) -> LineRead {
+    match String::from_utf8(buf) {
+        Ok(s) => LineRead::Line(s),
+        Err(_) => LineRead::NotUtf8,
+    }
 }
 
 /// Serves one connection to EOF: line in, response line out.
@@ -147,32 +302,98 @@ fn serve_connection(
     stream: TcpStream,
     engine: &ServeEngine,
     shutdown: &AtomicBool,
-    per_minute: u32,
+    config: &ServerConfig,
 ) {
     let started = Instant::now();
-    let mut limiter = SimRateLimiter::new(per_minute);
-    let reader = BufReader::new(match stream.try_clone() {
+    let mut limiter = SimRateLimiter::new(config.per_minute);
+    let _ = stream.set_read_timeout(config.read_timeout);
+    let _ = stream.set_write_timeout(config.write_timeout);
+    let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
     let mut writer = stream;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let respond = |writer: &mut TcpStream, response: &Json| -> bool {
+        let mut bytes = response.to_string_compact().into_bytes();
+        bytes.push(b'\n');
+        writer.write_all(&bytes).and_then(|()| writer.flush()).is_ok()
+    };
+    loop {
+        let line = match read_line_capped(&mut reader, config.max_line_bytes) {
+            LineRead::Line(line) => line,
+            LineRead::Eof | LineRead::Closed => return,
+            LineRead::TimedOut => {
+                // The peer stalled mid-line (or sent nothing for a whole
+                // interval): free the worker. Best-effort courtesy line —
+                // the peer may be gone entirely.
+                engine.record_io_timeout();
+                let response = error_response(
+                    "timeout",
+                    "no complete request line within the read timeout",
+                );
+                let _ = respond(&mut writer, &response);
+                return;
+            }
+            LineRead::TooLong => {
+                engine.record_oversized_line();
+                let response = error_response(
+                    "line_too_long",
+                    &format!(
+                        "request line exceeds {} bytes; closing connection",
+                        config.max_line_bytes
+                    ),
+                );
+                let _ = respond(&mut writer, &response);
+                return;
+            }
+            LineRead::NotUtf8 => {
+                engine.record_bad_request();
+                let response = error_response("bad_request", "request line is not valid UTF-8");
+                if !respond(&mut writer, &response) {
+                    return;
+                }
+                continue;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
-        let response = handle_line(
-            &line,
-            engine,
-            shutdown,
-            &mut limiter,
-            per_minute,
-            started.elapsed(),
-        );
-        let mut bytes = response.to_string_compact().into_bytes();
-        bytes.push(b'\n');
-        if writer.write_all(&bytes).and_then(|()| writer.flush()).is_err() {
-            break;
+        // Chaos: this request's injected fault, if the plan has one.
+        let fault = engine.next_request_fault();
+        if let Some(RequestFault::Drop) = fault {
+            engine.record_chaos_drop();
+            return; // connection torn down with no response
+        }
+        if let Some(RequestFault::SlowIo(ms)) = fault {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        // The request boundary: a panic below costs this request one
+        // typed `internal` response, never the worker.
+        let outcome = aa_core::catch_quietly(|| {
+            if let Some(RequestFault::Panic) = fault {
+                panic!("chaos: injected worker panic mid-request");
+            }
+            handle_line(
+                &line,
+                engine,
+                shutdown,
+                &mut limiter,
+                config.per_minute,
+                started.elapsed(),
+            )
+        });
+        let response = match outcome {
+            Ok(json) => json,
+            Err(message) => {
+                engine.record_internal_error();
+                error_response(
+                    "internal",
+                    &format!("worker panic contained at request boundary: {message}"),
+                )
+            }
+        };
+        if !respond(&mut writer, &response) {
+            return;
         }
     }
 }
@@ -201,6 +422,7 @@ fn handle_line(
         Ok(Request::Classify { sql }) => engine.classify(&sql),
         Ok(Request::Neighbors { sql, k }) => engine.neighbors(&sql, k),
         Ok(Request::Stats) => engine.stats_response(),
+        Ok(Request::Reload) => engine.reload(),
         Ok(Request::Shutdown) => {
             shutdown.store(true, Ordering::SeqCst);
             crate::protocol::ok_response("shutdown", [])
@@ -219,6 +441,13 @@ impl ServerHandle {
         &self.engine
     }
 
+    /// Triggers a reload in-process (the SIGHUP-style path for embedders;
+    /// remote clients use the `reload` verb). Returns the same response
+    /// object the wire verb would.
+    pub fn reload(&self) -> Json {
+        self.engine.reload()
+    }
+
     /// True once shutdown has been requested (by [`shutdown`] or a
     /// client's `{"op":"shutdown"}`).
     ///
@@ -233,6 +462,9 @@ impl ServerHandle {
     pub fn shutdown(mut self) -> Json {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.watch_thread.take() {
             let _ = t.join();
         }
         for worker in self.workers.drain(..) {
@@ -262,6 +494,7 @@ impl ServerHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::ServeFaultPlan;
     use crate::engine::build_model;
     use aa_core::DistanceMode;
     use std::io::BufRead;
@@ -283,6 +516,10 @@ mod tests {
     fn request(stream: &mut TcpStream, line: &str) -> Json {
         stream.write_all(line.as_bytes()).unwrap();
         stream.write_all(b"\n").unwrap();
+        read_response(stream)
+    }
+
+    fn read_response(stream: &mut TcpStream) -> Json {
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         let mut response = String::new();
         reader.read_line(&mut response).unwrap();
@@ -293,7 +530,7 @@ mod tests {
     fn classify_roundtrip_over_tcp() {
         let handle = test_server(10_000);
         let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
-        let sql = handle.engine().model().areas[0].to_intermediate_sql();
+        let sql = handle.engine().model().model.areas[0].to_intermediate_sql();
         let req = Json::obj([
             ("op".to_string(), Json::Str("classify".to_string())),
             ("sql".to_string(), Json::Str(sql)),
@@ -363,8 +600,154 @@ mod tests {
             response.get("kind").and_then(Json::as_str),
             Some("bad_request")
         );
+        // Non-UTF-8 lines get a typed error too, and the connection
+        // stays usable.
+        stream.write_all(&[0xff, 0xfe, 0xfd, b'\n']).unwrap();
+        let response = read_response(&mut stream);
+        assert_eq!(
+            response.get("kind").and_then(Json::as_str),
+            Some("bad_request")
+        );
+        let response = request(&mut stream, r#"{"op":"stats"}"#);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
         drop(stream);
         let stats = handle.shutdown();
-        assert_eq!(stats.get("bad_requests").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(stats.get("bad_requests").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn oversized_line_gets_typed_error_then_close() {
+        let model = build_model(150, 5, 0.06, 4, DistanceMode::Dissimilarity);
+        let engine = ServeEngine::new(model, 64, Some(10_000_000));
+        let handle = spawn(
+            engine,
+            ServerConfig {
+                workers: 1,
+                per_minute: 10_000,
+                max_line_bytes: 256,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let huge = format!(r#"{{"op":"classify","sql":"{}"}}"#, "x".repeat(4096));
+        let response = request(&mut stream, &huge);
+        assert_eq!(
+            response.get("kind").and_then(Json::as_str),
+            Some("line_too_long")
+        );
+        // The connection is closed after the response.
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut rest = String::new();
+        assert_eq!(reader.read_line(&mut rest).unwrap(), 0, "EOF after error");
+        let stats = handle.shutdown();
+        assert_eq!(
+            stats
+                .get("resilience")
+                .and_then(|r| r.get("oversized_lines"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn stalled_client_times_out_without_pinning_the_worker() {
+        let model = build_model(150, 5, 0.06, 4, DistanceMode::Dissimilarity);
+        let engine = ServeEngine::new(model, 64, Some(10_000_000));
+        let handle = spawn(
+            engine,
+            ServerConfig {
+                workers: 1, // one worker: a pinned worker would starve everyone
+                per_minute: 10_000,
+                read_timeout: Some(Duration::from_millis(150)),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        // Staller connects and sends half a line, never finishing it.
+        let mut staller = TcpStream::connect(handle.local_addr()).unwrap();
+        staller.write_all(br#"{"op":"st"#).unwrap();
+        // A well-behaved client connects after; with one worker it can
+        // only be served once the staller is timed out.
+        let mut client = TcpStream::connect(handle.local_addr()).unwrap();
+        let response = request(&mut client, r#"{"op":"stats"}"#);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        drop(client);
+        drop(staller);
+        let stats = handle.shutdown();
+        assert_eq!(
+            stats
+                .get("resilience")
+                .and_then(|r| r.get("io_timeouts"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn injected_panic_is_contained_to_one_request() {
+        let model = build_model(150, 5, 0.06, 4, DistanceMode::Dissimilarity);
+        let mut plan = ServeFaultPlan::default();
+        plan.insert_request_fault(0, RequestFault::Panic);
+        let engine = ServeEngine::new(model, 64, Some(10_000_000)).with_chaos(plan);
+        let handle = spawn(
+            engine,
+            ServerConfig {
+                workers: 1,
+                per_minute: 10_000,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let response = request(&mut stream, r#"{"op":"stats"}"#);
+        assert_eq!(response.get("kind").and_then(Json::as_str), Some("internal"));
+        // Same worker, same connection: still alive.
+        let response = request(&mut stream, r#"{"op":"stats"}"#);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        drop(stream);
+        let stats = handle.shutdown();
+        assert_eq!(
+            stats
+                .get("resilience")
+                .and_then(|r| r.get("internal_errors"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn injected_drop_kills_the_connection_but_not_the_server() {
+        let model = build_model(150, 5, 0.06, 4, DistanceMode::Dissimilarity);
+        let mut plan = ServeFaultPlan::default();
+        plan.insert_request_fault(0, RequestFault::Drop);
+        let engine = ServeEngine::new(model, 64, Some(10_000_000)).with_chaos(plan);
+        let handle = spawn(
+            engine,
+            ServerConfig {
+                workers: 1,
+                per_minute: 10_000,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        stream.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "dropped: EOF");
+        // A fresh connection is served normally.
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let response = request(&mut stream, r#"{"op":"stats"}"#);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        drop(stream);
+        let stats = handle.shutdown();
+        assert_eq!(
+            stats
+                .get("resilience")
+                .and_then(|r| r.get("chaos_drops"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
     }
 }

@@ -1,0 +1,560 @@
+//! Crash-consistent, generation-versioned model store.
+//!
+//! The motivating failure is simple: `kill -9` during a naive
+//! `fs::write(model.json)` leaves a *torn* file — valid-looking JSON
+//! prefix, missing tail — and a server that trusts the filesystem will
+//! happily load whatever parses. The store closes that hole with three
+//! mechanisms, none of which require fsync ordering guarantees beyond
+//! POSIX rename atomicity:
+//!
+//! 1. **Versioned generations.** Every publish writes a *new* file
+//!    `model-<generation>.aamodel`; nothing is ever updated in place, so
+//!    the previous generation stays loadable no matter when the writer
+//!    dies.
+//! 2. **Write-temp + atomic rename.** Bytes go to a `.tmp` sibling and
+//!    are renamed into place. A crash mid-write leaves a `.tmp` orphan
+//!    that recovery ignores (and [`ModelStore::sweep_tmp`] deletes).
+//! 3. **Self-verifying format.** Each file starts with a one-line JSON
+//!    header recording the payload length and its FNV-1a checksum
+//!    ([`aa_util::fnv1a_64_hex`]). Loading verifies length and checksum
+//!    before parsing, so even a file torn *at its final name* (a legacy
+//!    writer, a copy interrupted mid-flight) is detected and rejected.
+//!
+//! [`ModelStore::recover`] scans the directory, sorts generations
+//! newest-first, and loads the first file that verifies — reporting every
+//! rejected generation with its reason. The chaos suite drives a publish
+//! through every simulated crash point ([`SaveFault`]) and asserts the
+//! invariant: *recovery never yields a torn model, and always yields the
+//! newest generation whose rename committed.*
+
+use aa_core::ClusteredModel;
+use aa_util::{fnv1a_64_hex, Json};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// On-disk format version (bumped on incompatible header changes).
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// Filename suffix for committed generations.
+const MODEL_SUFFIX: &str = ".aamodel";
+/// Filename suffix for in-flight temp files.
+const TMP_SUFFIX: &str = ".aamodel.tmp";
+
+/// A simulated `kill -9` at one point inside a publish. The variants
+/// enumerate every distinct filesystem state a crash can leave behind;
+/// the chaos harness drives each one and asserts recovery survives it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaveFault {
+    /// Die after writing only half the header line to the temp file.
+    TornHeader,
+    /// Die after the header and half the payload reached the temp file.
+    TornPayload,
+    /// Die with the temp file complete but the rename not yet issued.
+    CrashBeforeRename,
+    /// Die immediately after the rename: the generation *is* durable and
+    /// recovery must load it.
+    CrashAfterRename,
+    /// A legacy writer dies mid-`fs::write` directly at the final name —
+    /// the exact `--save-model` hazard this store exists to fix. Leaves a
+    /// torn file *at the committed filename*; only the checksum catches it.
+    TornDirect,
+}
+
+impl SaveFault {
+    /// Every crash point, for exhaustive chaos sweeps.
+    pub const ALL: [SaveFault; 5] = [
+        SaveFault::TornHeader,
+        SaveFault::TornPayload,
+        SaveFault::CrashBeforeRename,
+        SaveFault::CrashAfterRename,
+        SaveFault::TornDirect,
+    ];
+
+    /// Stable CLI / wire spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SaveFault::TornHeader => "torn-header",
+            SaveFault::TornPayload => "torn-payload",
+            SaveFault::CrashBeforeRename => "before-rename",
+            SaveFault::CrashAfterRename => "after-rename",
+            SaveFault::TornDirect => "torn-direct",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<SaveFault> {
+        SaveFault::ALL.into_iter().find(|f| f.as_str() == s)
+    }
+
+    /// Whether the generation survives the crash (rename committed).
+    pub fn commits(&self) -> bool {
+        matches!(self, SaveFault::CrashAfterRename)
+    }
+}
+
+/// Store-level failure (I/O or an empty/unusable store). Torn files are
+/// *not* errors — they are data, reported via [`Recovery::rejected`].
+#[derive(Debug)]
+pub struct StoreError(pub String);
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model store error: {}", self.0)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+fn io_err(context: &str, e: impl fmt::Display) -> StoreError {
+    StoreError(format!("{context}: {e}"))
+}
+
+/// What one publish attempt did to the filesystem.
+#[derive(Debug)]
+pub enum PublishOutcome {
+    /// The rename committed; the generation is durable and verified.
+    Committed(u64),
+    /// A simulated crash fired. `durable` is true only for
+    /// [`SaveFault::CrashAfterRename`], where the generation committed
+    /// before the writer died.
+    Crashed {
+        generation: u64,
+        fault: SaveFault,
+        durable: bool,
+    },
+}
+
+/// One generation recovery refused to load, and why.
+#[derive(Debug)]
+pub struct RejectedGeneration {
+    pub generation: u64,
+    pub path: PathBuf,
+    pub reason: String,
+}
+
+/// The result of scanning the store: the newest verified model (if any)
+/// and every newer-or-torn generation that failed verification.
+#[derive(Debug)]
+pub struct Recovery {
+    /// `(generation, model)` of the newest file that verified.
+    pub loaded: Option<(u64, ClusteredModel)>,
+    /// Generations rejected during the scan, newest first.
+    pub rejected: Vec<RejectedGeneration>,
+}
+
+/// A directory of versioned, checksummed model files.
+#[derive(Debug, Clone)]
+pub struct ModelStore {
+    dir: PathBuf,
+}
+
+impl ModelStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ModelStore, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| io_err(&format!("create store dir {}", dir.display()), e))?;
+        Ok(ModelStore { dir })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Committed filename for a generation.
+    pub fn path_for(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("model-{generation:08}{MODEL_SUFFIX}"))
+    }
+
+    fn tmp_path_for(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("model-{generation:08}{TMP_SUFFIX}"))
+    }
+
+    /// Every generation number present in the directory (committed files
+    /// only, torn or not), ascending. Temp orphans are excluded.
+    pub fn generations(&self) -> Result<Vec<u64>, StoreError> {
+        let mut gens = Vec::new();
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| io_err(&format!("read store dir {}", self.dir.display()), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("read store dir entry", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(g) = parse_generation(name, MODEL_SUFFIX) {
+                gens.push(g);
+            }
+        }
+        gens.sort_unstable();
+        Ok(gens)
+    }
+
+    /// The next unused generation number: one past the highest name in
+    /// the directory, counting temp orphans so an interrupted publish
+    /// never collides with the retry that follows it.
+    fn next_generation(&self) -> Result<u64, StoreError> {
+        let mut max = 0u64;
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| io_err(&format!("read store dir {}", self.dir.display()), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("read store dir entry", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let g = parse_generation(name, MODEL_SUFFIX)
+                .or_else(|| parse_generation(name, TMP_SUFFIX));
+            if let Some(g) = g {
+                max = max.max(g);
+            }
+        }
+        Ok(max + 1)
+    }
+
+    /// Publishes a model as the next generation. Returns the generation
+    /// number once the rename has committed.
+    pub fn publish(&self, model: &ClusteredModel) -> Result<u64, StoreError> {
+        match self.publish_faulted(model, None)? {
+            PublishOutcome::Committed(g) => Ok(g),
+            PublishOutcome::Crashed { .. } => unreachable!("no fault requested"),
+        }
+    }
+
+    /// Publishes with an optional simulated crash. When `fault` is
+    /// `Some`, the function stops at the corresponding point and returns
+    /// [`PublishOutcome::Crashed`], leaving the filesystem exactly as a
+    /// `kill -9` at that instant would — torn temp, orphaned temp, torn
+    /// final file, or a committed rename, depending on the variant.
+    pub fn publish_faulted(
+        &self,
+        model: &ClusteredModel,
+        fault: Option<SaveFault>,
+    ) -> Result<PublishOutcome, StoreError> {
+        let generation = self.next_generation()?;
+        let payload = model.to_canonical_text();
+        let header = header_line(generation, payload.as_bytes());
+        let mut bytes = header.into_bytes();
+        bytes.push(b'\n');
+        let header_len = bytes.len();
+        bytes.extend_from_slice(payload.as_bytes());
+
+        let final_path = self.path_for(generation);
+        let tmp_path = self.tmp_path_for(generation);
+        let crashed = |durable| {
+            Ok(PublishOutcome::Crashed {
+                generation,
+                fault: fault.expect("crash outcomes only occur under a fault"),
+                durable,
+            })
+        };
+
+        match fault {
+            Some(SaveFault::TornHeader) => {
+                write_bytes(&tmp_path, &bytes[..header_len / 2])?;
+                return crashed(false);
+            }
+            Some(SaveFault::TornPayload) => {
+                let cut = header_len + (bytes.len() - header_len) / 2;
+                write_bytes(&tmp_path, &bytes[..cut])?;
+                return crashed(false);
+            }
+            Some(SaveFault::TornDirect) => {
+                // The legacy hazard: a direct write to the final name,
+                // interrupted midway. No temp file, no rename.
+                let cut = header_len + (bytes.len() - header_len) / 2;
+                write_bytes(&final_path, &bytes[..cut])?;
+                return crashed(false);
+            }
+            _ => {}
+        }
+
+        write_bytes(&tmp_path, &bytes)?;
+        if fault == Some(SaveFault::CrashBeforeRename) {
+            return crashed(false);
+        }
+        std::fs::rename(&tmp_path, &final_path).map_err(|e| {
+            io_err(
+                &format!("rename {} -> {}", tmp_path.display(), final_path.display()),
+                e,
+            )
+        })?;
+        if fault == Some(SaveFault::CrashAfterRename) {
+            return crashed(true);
+        }
+        Ok(PublishOutcome::Committed(generation))
+    }
+
+    /// Loads and fully verifies one committed generation.
+    pub fn load_generation(&self, generation: u64) -> Result<ClusteredModel, StoreError> {
+        let path = self.path_for(generation);
+        verify_file(&path, generation).map_err(|reason| {
+            StoreError(format!("generation {generation} ({}): {reason}", path.display()))
+        })
+    }
+
+    /// Scans the directory and loads the newest generation that verifies,
+    /// reporting every newer generation that had to be rejected. An empty
+    /// or fully-corrupt store yields `loaded: None`, not an error.
+    pub fn recover(&self) -> Result<Recovery, StoreError> {
+        let mut gens = self.generations()?;
+        gens.reverse(); // newest first
+        let mut rejected = Vec::new();
+        for g in gens {
+            let path = self.path_for(g);
+            match verify_file(&path, g) {
+                Ok(model) => {
+                    return Ok(Recovery {
+                        loaded: Some((g, model)),
+                        rejected,
+                    })
+                }
+                Err(reason) => rejected.push(RejectedGeneration {
+                    generation: g,
+                    path,
+                    reason,
+                }),
+            }
+        }
+        Ok(Recovery {
+            loaded: None,
+            rejected,
+        })
+    }
+
+    /// The newest generation that verifies, without keeping the model
+    /// (the store watcher polls this).
+    pub fn latest_verified_generation(&self) -> Result<Option<u64>, StoreError> {
+        Ok(self.recover()?.loaded.map(|(g, _)| g))
+    }
+
+    /// Deletes orphaned `.tmp` files left by crashed publishes. Returns
+    /// how many were removed.
+    pub fn sweep_tmp(&self) -> Result<usize, StoreError> {
+        let mut removed = 0;
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| io_err(&format!("read store dir {}", self.dir.display()), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("read store dir entry", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if parse_generation(name, TMP_SUFFIX).is_some() {
+                std::fs::remove_file(entry.path())
+                    .map_err(|e| io_err(&format!("remove {}", entry.path().display()), e))?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// `model-<8 digits><suffix>` → generation number.
+fn parse_generation(name: &str, suffix: &str) -> Option<u64> {
+    let rest = name.strip_prefix("model-")?.strip_suffix(suffix)?;
+    if rest.len() != 8 || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+/// The one-line self-describing header preceding the payload.
+fn header_line(generation: u64, payload: &[u8]) -> String {
+    Json::obj([
+        (
+            "aa_model_store".to_string(),
+            Json::Num(STORE_FORMAT_VERSION as f64),
+        ),
+        ("generation".to_string(), Json::Num(generation as f64)),
+        (
+            "payload_bytes".to_string(),
+            Json::Num(payload.len() as f64),
+        ),
+        ("fnv1a64".to_string(), Json::Str(fnv1a_64_hex(payload))),
+    ])
+    .to_string_compact()
+}
+
+fn write_bytes(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    std::fs::write(path, bytes).map_err(|e| io_err(&format!("write {}", path.display()), e))
+}
+
+/// Full verification ladder for one file: readable → UTF-8 → header parses
+/// → version/generation match → payload length matches → checksum matches
+/// → model parses and validates. The first failing rung is the reason.
+fn verify_file(path: &Path, expected_generation: u64) -> Result<ClusteredModel, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("unreadable: {e}"))?;
+    let text = std::str::from_utf8(&bytes).map_err(|_| "not valid UTF-8 (torn write?)")?;
+    let Some((header, payload)) = text.split_once('\n') else {
+        return Err("missing header line (torn write?)".to_string());
+    };
+    let header = Json::parse(header).map_err(|e| format!("header not JSON: {e}"))?;
+    let version = header.get("aa_model_store").and_then(Json::as_f64);
+    if version != Some(STORE_FORMAT_VERSION as f64) {
+        return Err(format!(
+            "unsupported store format {version:?} (want {STORE_FORMAT_VERSION})"
+        ));
+    }
+    let recorded_gen = header.get("generation").and_then(Json::as_f64);
+    if recorded_gen != Some(expected_generation as f64) {
+        return Err(format!(
+            "header generation {recorded_gen:?} does not match filename generation {expected_generation}"
+        ));
+    }
+    let recorded_len = header
+        .get("payload_bytes")
+        .and_then(Json::as_f64)
+        .ok_or("header missing payload_bytes")?;
+    if recorded_len != payload.len() as f64 {
+        return Err(format!(
+            "payload is {} bytes, header records {recorded_len} (torn write)",
+            payload.len()
+        ));
+    }
+    let recorded_hash = header
+        .get("fnv1a64")
+        .and_then(Json::as_str)
+        .ok_or("header missing fnv1a64")?;
+    let actual_hash = fnv1a_64_hex(payload.as_bytes());
+    if recorded_hash != actual_hash {
+        return Err(format!(
+            "checksum mismatch: payload hashes to {actual_hash}, header records {recorded_hash}"
+        ));
+    }
+    ClusteredModel::from_json_text(payload).map_err(|e| format!("payload invalid: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::build_model;
+    use aa_core::DistanceMode;
+    use std::sync::OnceLock;
+
+    fn model() -> &'static ClusteredModel {
+        static MODEL: OnceLock<ClusteredModel> = OnceLock::new();
+        MODEL.get_or_init(|| build_model(120, 5, 0.06, 4, DistanceMode::Dissimilarity))
+    }
+
+    fn tmp_store(tag: &str) -> ModelStore {
+        let dir = std::env::temp_dir().join(format!(
+            "aa-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        ModelStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn publish_then_recover_round_trips() {
+        let store = tmp_store("roundtrip");
+        let g1 = store.publish(model()).unwrap();
+        assert_eq!(g1, 1);
+        let g2 = store.publish(model()).unwrap();
+        assert_eq!(g2, 2);
+        let recovery = store.recover().unwrap();
+        let (g, loaded) = recovery.loaded.expect("store has verified generations");
+        assert_eq!(g, 2);
+        assert!(recovery.rejected.is_empty());
+        assert_eq!(loaded.content_hash(), model().content_hash());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn every_crash_point_leaves_a_recoverable_store() {
+        for fault in SaveFault::ALL {
+            let store = tmp_store(fault.as_str());
+            let g1 = store.publish(model()).unwrap();
+            let outcome = store.publish_faulted(model(), Some(fault)).unwrap();
+            let PublishOutcome::Crashed {
+                generation,
+                durable,
+                ..
+            } = outcome
+            else {
+                panic!("fault {fault:?} must crash the publish");
+            };
+            assert_eq!(durable, fault.commits());
+            let recovery = store.recover().unwrap();
+            let (g, loaded) = recovery.loaded.expect("previous generation survives");
+            let expected = if fault.commits() { generation } else { g1 };
+            assert_eq!(g, expected, "fault {fault:?}");
+            assert_eq!(
+                loaded.content_hash(),
+                model().content_hash(),
+                "recovered model is byte-faithful after {fault:?}"
+            );
+            // Only a torn *final* file shows up as a rejected generation;
+            // torn temps are invisible to the committed-file scan.
+            match fault {
+                SaveFault::TornDirect => {
+                    assert_eq!(recovery.rejected.len(), 1);
+                    assert_eq!(recovery.rejected[0].generation, generation);
+                    assert!(
+                        recovery.rejected[0].reason.contains("torn write")
+                            || recovery.rejected[0].reason.contains("checksum"),
+                        "{}",
+                        recovery.rejected[0].reason
+                    );
+                }
+                _ => assert!(recovery.rejected.is_empty(), "fault {fault:?}"),
+            }
+            let _ = std::fs::remove_dir_all(store.dir());
+        }
+    }
+
+    #[test]
+    fn interrupted_publish_never_collides_with_the_retry() {
+        let store = tmp_store("collide");
+        store.publish(model()).unwrap();
+        store
+            .publish_faulted(model(), Some(SaveFault::CrashBeforeRename))
+            .unwrap();
+        // The retry must skip generation 2 (its temp orphan is on disk).
+        let g = store.publish(model()).unwrap();
+        assert_eq!(g, 3);
+        assert_eq!(store.sweep_tmp().unwrap(), 1);
+        assert_eq!(store.generations().unwrap(), vec![1, 3]);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn bit_flip_in_payload_is_rejected() {
+        let store = tmp_store("bitflip");
+        let g = store.publish(model()).unwrap();
+        let path = store.path_for(g);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20; // flip case of one payload byte
+        std::fs::write(&path, bytes).unwrap();
+        let recovery = store.recover().unwrap();
+        assert!(recovery.loaded.is_none());
+        assert_eq!(recovery.rejected.len(), 1);
+        assert!(
+            recovery.rejected[0].reason.contains("checksum")
+                || recovery.rejected[0].reason.contains("invalid"),
+            "{}",
+            recovery.rejected[0].reason
+        );
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn header_generation_mismatch_is_rejected() {
+        let store = tmp_store("mismatch");
+        let g = store.publish(model()).unwrap();
+        // Rename generation 1 to claim it is generation 7.
+        std::fs::rename(store.path_for(g), store.path_for(7)).unwrap();
+        let recovery = store.recover().unwrap();
+        assert!(recovery.loaded.is_none());
+        assert!(recovery.rejected[0]
+            .reason
+            .contains("does not match filename generation"));
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn save_fault_spellings_round_trip() {
+        for fault in SaveFault::ALL {
+            assert_eq!(SaveFault::parse(fault.as_str()), Some(fault));
+        }
+        assert_eq!(SaveFault::parse("nonsense"), None);
+    }
+}

@@ -1,0 +1,256 @@
+//! Crash-recovery suite: a simulated `kill -9` at *every* fault point of
+//! the model-store save protocol, plus seeded multi-publish chaos — and
+//! after every crash the service must come back serving a verified
+//! model, with stats byte-identical to a run that never crashed.
+//!
+//! The invariants, matching the store's design:
+//!
+//! 1. **Never serve a torn model.** Whatever the crash point, recovery
+//!    loads the newest generation whose checksum verifies — never the
+//!    partial file.
+//! 2. **Atomic visibility.** A crash *before* the rename leaves the old
+//!    generation current; a crash *after* the rename means the new
+//!    generation is durable and recovery finds it.
+//! 3. **Determinism.** Stats are a pure function of the request history,
+//!    so a recovered server answering the same request sequence produces
+//!    a byte-identical stats snapshot to an uninterrupted one.
+
+use aa_core::{ClusteredModel, DistanceMode};
+use aa_serve::{build_model, ModelStore, PublishOutcome, SaveFault, ServeEngine, ServeFaultPlan};
+use aa_util::Json;
+use std::sync::OnceLock;
+
+fn model_v1() -> &'static ClusteredModel {
+    static MODEL: OnceLock<ClusteredModel> = OnceLock::new();
+    MODEL.get_or_init(|| build_model(120, 7, 0.06, 4, DistanceMode::Dissimilarity))
+}
+
+fn model_v2() -> &'static ClusteredModel {
+    static MODEL: OnceLock<ClusteredModel> = OnceLock::new();
+    MODEL.get_or_init(|| build_model(140, 8, 0.06, 4, DistanceMode::Dissimilarity))
+}
+
+fn temp_store(tag: &str) -> (ModelStore, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "aa-crash-recovery-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ModelStore::open(&dir).expect("open temp store");
+    (store, dir)
+}
+
+#[test]
+fn every_save_fault_point_recovers_without_loading_a_torn_model() {
+    for &fault in &SaveFault::ALL {
+        let (store, dir) = temp_store(&format!("fault-{}", fault.as_str()));
+        // Generation 1 committed cleanly; generation 2 dies at `fault`.
+        let gen1 = store.publish(model_v1()).expect("publish gen 1");
+        assert_eq!(gen1, 1);
+        let outcome = store
+            .publish_faulted(model_v2(), Some(fault))
+            .expect("faulted publish returns an outcome, not an error");
+        let crashed_gen = match outcome {
+            PublishOutcome::Crashed {
+                generation,
+                fault: f,
+                durable,
+            } => {
+                assert_eq!(f, fault);
+                assert_eq!(durable, fault.commits(), "durability matches the protocol");
+                generation
+            }
+            PublishOutcome::Committed(_) => panic!("fault {fault:?} must simulate a crash"),
+        };
+        // Restart: recovery scans the store fresh.
+        let store = ModelStore::open(&dir).expect("reopen store");
+        let recovery = store.recover().expect("recovery never errors on torn files");
+        let (loaded_gen, loaded) = recovery.loaded.expect("a verified generation exists");
+        if fault.commits() {
+            assert_eq!(
+                loaded_gen, crashed_gen,
+                "{fault:?}: crash after rename means the new generation is durable"
+            );
+            assert_eq!(loaded.content_hash(), model_v2().content_hash());
+        } else {
+            assert_eq!(
+                loaded_gen, gen1,
+                "{fault:?}: crash before commit leaves generation 1 current"
+            );
+            assert_eq!(loaded.content_hash(), model_v1().content_hash());
+        }
+        // The torn file — if one reached the committed name — is
+        // reported as rejected, never loaded.
+        for r in &recovery.rejected {
+            assert_ne!(r.generation, loaded_gen, "rejected generation was served");
+        }
+        if fault == SaveFault::TornDirect {
+            assert_eq!(
+                recovery.rejected.len(),
+                1,
+                "the legacy direct-write hazard leaves a torn committed file"
+            );
+        }
+        // The recovered model actually serves.
+        let engine =
+            ServeEngine::new(loaded.clone(), 64, Some(10_000_000)).with_store(store, loaded_gen);
+        let sql = loaded.areas[0].to_intermediate_sql();
+        let response = engine.classify(&sql);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{fault:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn seeded_publish_chaos_always_recovers_the_newest_committed_generation() {
+    // A publisher loop under a seeded fault plan: each attempt may be
+    // killed at a plan-chosen point. Whatever the interleaving, recovery
+    // must land on the newest generation that actually committed.
+    for seed in [3u64, 17, 92] {
+        let plan = ServeFaultPlan::seeded(seed, 0, 0.0, 12, 0.5);
+        let (store, dir) = temp_store(&format!("chaos-{seed}"));
+        let mut last_committed: Option<u64> = None;
+        let mut attempts_faulted = 0;
+        for attempt in 0..12u64 {
+            let fault = plan.save_fault(attempt);
+            if fault.is_some() {
+                attempts_faulted += 1;
+            }
+            match store
+                .publish_faulted(model_v1(), fault)
+                .expect("publish outcome")
+            {
+                PublishOutcome::Committed(g) => last_committed = Some(g),
+                PublishOutcome::Crashed {
+                    generation,
+                    durable,
+                    ..
+                } => {
+                    if durable {
+                        last_committed = Some(generation);
+                    }
+                    // The process "died": reopen the store like a fresh
+                    // boot before the next attempt.
+                }
+            }
+        }
+        assert!(attempts_faulted > 0, "seed {seed} sampled no faults");
+        let recovery = ModelStore::open(&dir)
+            .expect("reopen")
+            .recover()
+            .expect("recover");
+        match last_committed {
+            Some(expected) => {
+                let (got, loaded) = recovery.loaded.expect("committed generation recoverable");
+                assert_eq!(got, expected, "seed {seed}");
+                assert_eq!(loaded.content_hash(), model_v1().content_hash());
+            }
+            None => assert!(recovery.loaded.is_none(), "seed {seed}: nothing committed"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Drives one fixed request sequence and returns the pretty stats text.
+fn run_session(engine: &ServeEngine) -> String {
+    let state = engine.model();
+    let statements: Vec<String> = state
+        .model
+        .areas
+        .iter()
+        .take(6)
+        .map(|a| a.to_intermediate_sql())
+        .collect();
+    for (i, sql) in statements.iter().enumerate() {
+        engine.classify(sql);
+        if i % 2 == 0 {
+            engine.neighbors(sql, 3);
+        }
+    }
+    engine.classify(statements[0].as_str()); // one guaranteed cache hit
+    engine.classify("SELEKT torn FROM nowhere"); // one taxonomy failure
+    engine.stats_json().to_string_pretty()
+}
+
+#[test]
+fn post_recovery_stats_are_byte_identical_to_an_uninterrupted_run() {
+    // Run A: publish generation 1, serve the session, never crash.
+    let (store_a, dir_a) = temp_store("baseline");
+    let gen_a = store_a.publish(model_v1()).expect("publish");
+    let engine_a =
+        ServeEngine::new(model_v1().clone(), 64, Some(10_000_000)).with_store(store_a, gen_a);
+    let stats_a = run_session(&engine_a);
+
+    // Run B: publish generation 1, then a publish of generation 2 is
+    // killed mid-write through the legacy direct-write hazard (a torn
+    // file AT the committed name — the worst case). Restart, recover,
+    // serve the same session.
+    let (store_b, dir_b) = temp_store("crashed");
+    store_b.publish(model_v1()).expect("publish");
+    match store_b
+        .publish_faulted(model_v2(), Some(SaveFault::TornDirect))
+        .expect("outcome")
+    {
+        PublishOutcome::Crashed { .. } => {}
+        PublishOutcome::Committed(_) => panic!("torn-direct must crash"),
+    }
+    let store_b = ModelStore::open(&dir_b).expect("reopen after crash");
+    let recovery = store_b.recover().expect("recover");
+    let (gen_b, recovered) = recovery.loaded.expect("generation 1 still verified");
+    assert_eq!(gen_b, gen_a, "the torn generation 2 must not be loaded");
+    assert_eq!(recovery.rejected.len(), 1, "generation 2 rejected as torn");
+    let engine_b = ServeEngine::new(recovered, 64, Some(10_000_000)).with_store(store_b, gen_b);
+    let stats_b = run_session(&engine_b);
+
+    assert_eq!(
+        stats_a, stats_b,
+        "recovered server must be byte-indistinguishable from one that never crashed"
+    );
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn reload_verb_picks_up_a_newly_published_generation() {
+    let (store, dir) = temp_store("reload");
+    let gen1 = store.publish(model_v1()).expect("publish gen 1");
+    // The engine owns one handle; the publisher side opens its own.
+    let publisher = ModelStore::open(&dir).expect("second handle");
+    let engine =
+        ServeEngine::new(model_v1().clone(), 64, Some(10_000_000)).with_store(store, gen1);
+    let sql = model_v1().areas[0].to_intermediate_sql();
+    engine.classify(&sql);
+    assert_eq!(engine.cache_stats().entries, 1);
+
+    // No new generation yet: reload is a no-op.
+    let r = engine.reload();
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(r.get("changed"), Some(&Json::Bool(false)));
+
+    // A publisher ships generation 2 (and a later torn generation 3,
+    // which must be ignored).
+    let gen2 = publisher.publish(model_v2()).expect("publish gen 2");
+    match publisher
+        .publish_faulted(model_v1(), Some(SaveFault::TornDirect))
+        .expect("outcome")
+    {
+        PublishOutcome::Crashed { .. } => {}
+        PublishOutcome::Committed(_) => panic!("torn-direct must crash"),
+    }
+    let r = engine.reload();
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+    assert_eq!(r.get("changed"), Some(&Json::Bool(true)));
+    assert_eq!(r.get("generation").and_then(Json::as_f64), Some(gen2 as f64));
+    assert_eq!(
+        r.get("rejected").and_then(Json::as_f64),
+        Some(1.0),
+        "the torn generation 3 is reported, not served"
+    );
+    assert_eq!(engine.model().generation, gen2);
+    // The extraction cache rolled its generation: the old entry is
+    // discarded on next lookup instead of answering for the new model.
+    let response = engine.classify(&sql);
+    assert_eq!(response.get("cache").and_then(Json::as_str), Some("miss"));
+    assert!(engine.cache_stats().invalidations >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -13,7 +13,7 @@
 //!   shutdown flag flips.
 
 use aa_core::DistanceMode;
-use aa_serve::{build_model, ServeEngine, ServerConfig, ServerHandle};
+use aa_serve::{build_model, RequestFault, ServeEngine, ServeFaultPlan, ServerConfig, ServerHandle};
 use aa_util::Json;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -256,6 +256,153 @@ fn graceful_shutdown_serves_every_in_flight_connection() {
         classify,
         (2 * CLIENTS) as f64,
         "every request across the shutdown boundary is served"
+    );
+}
+
+#[test]
+fn stalled_client_is_timed_out_and_every_other_request_is_served() {
+    // Two workers, and one of them gets a client that sends half a
+    // request line and stalls forever. The read timeout must free that
+    // worker; meanwhile every well-behaved request is served and the
+    // counters conserve exactly.
+    const THREADS: usize = 4;
+    const REQUESTS: usize = 10;
+    let engine = ServeEngine::new(model().clone(), 4096, Some(50_000_000));
+    let handle = aa_serve::spawn(
+        engine,
+        ServerConfig {
+            workers: 2,
+            per_minute: 1_000_000,
+            read_timeout: Some(std::time::Duration::from_millis(200)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    // The staller: half a line, then silence.
+    let mut staller = TcpStream::connect(handle.local_addr()).unwrap();
+    staller.write_all(br#"{"op":"class"#).unwrap();
+    staller.flush().unwrap();
+    let pool = distinct_pool(6);
+    let clients: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let pool = pool.clone();
+            let addr = handle.local_addr();
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                for j in 0..REQUESTS {
+                    let sql = &pool[(t * 5 + j) % pool.len()];
+                    let response = send_line(&mut writer, &mut reader, &classify_line(sql));
+                    assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{sql}");
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+    drop(staller);
+    let stats = handle.shutdown();
+    let classify = stats
+        .get("requests")
+        .and_then(|r| r.get("classify"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(
+        classify,
+        (THREADS * REQUESTS) as f64,
+        "the stalled client must not cost anyone else a request"
+    );
+    assert_eq!(
+        stats
+            .get("resilience")
+            .and_then(|r| r.get("io_timeouts"))
+            .and_then(Json::as_f64),
+        Some(1.0),
+        "exactly the one stalled connection timed out"
+    );
+}
+
+#[test]
+fn mid_request_panics_conserve_response_counts() {
+    // Chaos injects worker panics on a fixed set of admitted-request
+    // ordinals. Every panic must cost exactly one typed `internal`
+    // response — never a worker, never a lost request. Conservation:
+    // ok + internal == requests sent, and internal == injected panics.
+    const THREADS: usize = 4;
+    const REQUESTS: usize = 10;
+    const TOTAL: u64 = (THREADS * REQUESTS) as u64;
+    let mut plan = ServeFaultPlan::default();
+    let mut injected = 0u64;
+    let mut i = 0;
+    while i < TOTAL {
+        plan.insert_request_fault(i, RequestFault::Panic);
+        injected += 1;
+        i += 5;
+    }
+    let engine = ServeEngine::new(model().clone(), 4096, Some(50_000_000)).with_chaos(plan);
+    let handle = aa_serve::spawn(
+        engine,
+        ServerConfig {
+            workers: 3,
+            per_minute: 1_000_000,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let pool = distinct_pool(6);
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let clients: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let pool = pool.clone();
+            let barrier = Arc::clone(&barrier);
+            let addr = handle.local_addr();
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                barrier.wait();
+                let (mut ok, mut internal) = (0u64, 0u64);
+                for j in 0..REQUESTS {
+                    let sql = &pool[(t * 5 + j) % pool.len()];
+                    let response = send_line(&mut writer, &mut reader, &classify_line(sql));
+                    if response.get("ok") == Some(&Json::Bool(true)) {
+                        ok += 1;
+                    } else {
+                        assert_eq!(
+                            response.get("kind").and_then(Json::as_str),
+                            Some("internal"),
+                            "only injected panics may fail here: {response:?}"
+                        );
+                        internal += 1;
+                    }
+                }
+                (ok, internal)
+            })
+        })
+        .collect();
+    let (mut ok, mut internal) = (0u64, 0u64);
+    for c in clients {
+        let (o, i) = c.join().unwrap();
+        ok += o;
+        internal += i;
+    }
+    assert_eq!(ok + internal, TOTAL, "every request got exactly one response");
+    assert_eq!(internal, injected, "every injected panic cost exactly one request");
+    let stats = handle.shutdown();
+    let classify = stats
+        .get("requests")
+        .and_then(|r| r.get("classify"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(classify, ok as f64);
+    assert_eq!(
+        stats
+            .get("resilience")
+            .and_then(|r| r.get("internal_errors"))
+            .and_then(Json::as_f64),
+        Some(injected as f64)
     );
 }
 

@@ -1,0 +1,63 @@
+//! Content hashing for durable artifacts: FNV-1a (64-bit).
+//!
+//! The model store (`aa-serve::store`) needs a checksum that detects a
+//! torn or bit-flipped file after a crash. FNV-1a is not cryptographic —
+//! it guards against *accidents*, not adversaries — but it is tiny,
+//! dependency-free, byte-order independent, and strong enough that a
+//! truncated or interleaved write is detected with probability
+//! 1 − 2⁻⁶⁴ per corrupted file. The output for a given byte string is
+//! pinned by the tests below: checksum files written by one build must
+//! verify under every later build.
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a hash of `bytes`.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The canonical textual spelling of a checksum: 16 lowercase hex digits.
+pub fn fnv1a_64_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a_64(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vectors from the FNV specification (Noll's test suite).
+    #[test]
+    fn pinned_reference_vectors() {
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_spelling_is_fixed_width_lowercase() {
+        assert_eq!(fnv1a_64_hex(b""), "cbf29ce484222325");
+        assert_eq!(fnv1a_64_hex(b"foobar").len(), 16);
+    }
+
+    #[test]
+    fn detects_truncation_and_single_bit_flips() {
+        let payload = b"{\"areas\": [1, 2, 3], \"eps\": 0.06}\n".to_vec();
+        let full = fnv1a_64(&payload);
+        for cut in 0..payload.len() {
+            assert_ne!(fnv1a_64(&payload[..cut]), full, "truncation at {cut}");
+        }
+        for i in 0..payload.len() {
+            let mut flipped = payload.clone();
+            flipped[i] ^= 1;
+            assert_ne!(fnv1a_64(&flipped), full, "bit flip at {i}");
+        }
+    }
+}

@@ -12,11 +12,15 @@
 //!   refactors.
 //! * [`json`] — a minimal JSON value model with a writer and a reader,
 //!   plus the [`ToJson`] trait the former `serde` derives devolved to.
+//! * [`hash`] — FNV-1a content hashing for crash-consistency checksums
+//!   (the durable model store verifies files against these).
 
 #![forbid(unsafe_code)]
 
+pub mod hash;
 pub mod json;
 pub mod rng;
 
+pub use hash::{fnv1a_64, fnv1a_64_hex};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use rng::SeededRng;

@@ -55,6 +55,7 @@ classify SELECT * FROM PhotoObjAll WHERE ra BETWEEN 150 AND 200 AND dec > -5
 classify SELECT * FROM PhotoObjAll WHERE ra BETWEEN 150 AND 200 AND dec > -5
 neighbors 3 SELECT * FROM SpecObjAll WHERE class = 'qso' AND z > 2
 classify SELEKT not sql at all
+reload
 stats
 shutdown
 EOF
@@ -67,8 +68,73 @@ serve_session "$smoke_b"
 grep -q '"cache":"miss"' "$smoke_a/session.out"
 grep -q '"cache":"hit"' "$smoke_a/session.out"
 grep -q '"kind":"extract_failed"' "$smoke_a/session.out"
+grep -q '"kind":"reload_failed"' "$smoke_a/session.out"
 diff "$smoke_a/session.out" "$smoke_b/session.out"
 diff "$smoke_a/stats.json" "$smoke_b/stats.json"
+
+# Serve chaos gate: crash-safe model store + recovery determinism. Two
+# stores each get generation 1; in store B a second publish is then
+# killed mid-write through the torn-direct hazard, leaving a corrupt
+# file at the committed filename. A server booted from store B must
+# reject the torn generation 2, recover generation 1, and answer the
+# same scripted session — final stats snapshot included — byte-for-byte
+# identically to the server over store A that never crashed.
+echo "==> serve chaos (torn publish, crash recovery, byte-identical replay)"
+serve_store_session() {
+    local out_dir="$1"
+    local store_dir="$2"
+    cargo run --release -p aa-apps --bin serve_areas --offline -- \
+        --store "$store_dir" --workers 2 \
+        --stats-out "$out_dir/stats.json" \
+        > "$out_dir/server.out" 2> "$out_dir/server.err" &
+    local server_pid=$!
+    local port=""
+    for _ in $(seq 1 200); do
+        port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$out_dir/server.out")"
+        [ -n "$port" ] && break
+        sleep 0.1
+    done
+    if [ -z "$port" ]; then
+        echo "serve chaos: server did not report a port" >&2
+        kill "$server_pid" 2>/dev/null || true
+        return 1
+    fi
+    cargo run --release -p aa-apps --bin serve_areas --offline -- \
+        --connect "127.0.0.1:$port" --retries 2 > "$out_dir/session.out" <<'EOF'
+classify SELECT * FROM PhotoObjAll WHERE ra BETWEEN 150 AND 200 AND dec > -5
+classify SELECT * FROM PhotoObjAll WHERE ra BETWEEN 150 AND 200 AND dec > -5
+neighbors 3 SELECT * FROM SpecObjAll WHERE class = 'qso' AND z > 2
+classify SELEKT not sql at all
+stats
+shutdown
+EOF
+    wait "$server_pid"
+}
+store_a="$chaos_dir/store_run_a"; store_b="$chaos_dir/store_run_b"
+mkdir -p "$store_a" "$store_b"
+cargo run --release -p aa-apps --bin serve_areas --offline -- \
+    --store "$store_a/store" --gen 300 --seed 11 --eps 0.06 --min-pts 4 --publish-only
+cargo run --release -p aa-apps --bin serve_areas --offline -- \
+    --store "$store_b/store" --gen 300 --seed 11 --eps 0.06 --min-pts 4 --publish-only
+set +e
+cargo run --release -p aa-apps --bin serve_areas --offline -- \
+    --store "$store_b/store" --gen 400 --seed 23 --eps 0.06 --min-pts 4 \
+    --publish-only --crash-save torn-direct 2> "$store_b/crash.err"
+crash_status=$?
+set -e
+if [ "$crash_status" -ne 9 ]; then
+    echo "serve chaos: expected simulated-crash exit 9, got $crash_status" >&2
+    cat "$store_b/crash.err" >&2
+    exit 1
+fi
+grep -q "simulated crash during save of generation 2" "$store_b/crash.err"
+serve_store_session "$store_a" "$store_a/store"
+serve_store_session "$store_b" "$store_b/store"
+grep -q "recovered generation 1" "$store_a/server.err"
+grep -q "rejected generation 2" "$store_b/server.err"
+grep -q "recovered generation 1" "$store_b/server.err"
+diff "$store_a/session.out" "$store_b/session.out"
+diff "$store_a/stats.json" "$store_b/stats.json"
 
 # Serving-layer microbench: the cold/warm classify split must run (fast
 # sampling mode) — it prints the measured cache speedup into the CI log.
