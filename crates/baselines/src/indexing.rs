@@ -9,19 +9,16 @@ use aa_core::AccessArea;
 use aa_dbscan::GroupedIndex;
 use std::collections::BTreeSet;
 
-/// Jaccard distance between two table sets.
+/// Jaccard distance between two table sets. Delegates to the kernel's
+/// formula (`aa_core::kernel`) so baselines and core cannot diverge on
+/// the metric.
 pub fn jaccard_tables(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
-    if a.is_empty() && b.is_empty() {
-        return 0.0;
-    }
-    let inter = a.intersection(b).count() as f64;
-    let union = a.union(b).count() as f64;
-    1.0 - inter / union
+    aa_core::jaccard_str_sets(a, b)
 }
 
 /// The table set of an access area, as used for blocking keys.
 pub fn area_table_set(a: &AccessArea) -> BTreeSet<String> {
-    a.table_keys().map(str::to_string).collect()
+    aa_core::area_table_set(a)
 }
 
 /// Builds the table-set blocking index over a slice of access areas. The

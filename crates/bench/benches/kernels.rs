@@ -1,0 +1,25 @@
+//! Emits `BENCH_kernels.json`: bitset kernel vs scalar reference on
+//! seed-pinned synthetic workloads (8/64/128 distinct tables), plus a
+//! small kernel-backed DBSCAN macro record.
+//!
+//! Honors `AA_BENCH_FAST=1`, `AA_BENCH_SAMPLE_SIZE`, `AA_BENCH_WARMUP_MS`
+//! (sampling only — the work counters are measured on fixed sweeps and do
+//! not depend on sampling). Output lands in `AA_BENCH_OUT_DIR` (default:
+//! current directory).
+
+use aa_bench::perf::{clustering_counters, kernels_report, Sampling};
+use std::path::PathBuf;
+
+fn main() {
+    let sampling = Sampling::from_env();
+    let seed = 42;
+    let mut report = kernels_report(seed, &sampling);
+    report.records.push(clustering_counters(seed, 1_200));
+    let out_dir = std::env::var("AA_BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = PathBuf::from(out_dir).join("BENCH_kernels.json");
+    report.save(&path).expect("write BENCH_kernels.json");
+    eprintln!("wrote {} ({} records)", path.display(), report.records.len());
+    for r in &report.records {
+        eprintln!("  {:<24} median {:>12.1} ns", r.name, r.median_ns);
+    }
+}

@@ -1,0 +1,22 @@
+//! Emits `BENCH_serve.json`: serve-side kernel build time, warm/cold
+//! classify and warm neighbors latency, and the work counters of one
+//! fixed request session.
+//!
+//! Honors `AA_BENCH_FAST=1`, `AA_BENCH_SAMPLE_SIZE`, `AA_BENCH_WARMUP_MS`
+//! (sampling only). Output lands in `AA_BENCH_OUT_DIR` (default: current
+//! directory).
+
+use aa_bench::perf::{serve_report, Sampling};
+use std::path::PathBuf;
+
+fn main() {
+    let sampling = Sampling::from_env();
+    let report = serve_report(42, 400, &sampling);
+    let out_dir = std::env::var("AA_BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = PathBuf::from(out_dir).join("BENCH_serve.json");
+    report.save(&path).expect("write BENCH_serve.json");
+    eprintln!("wrote {} ({} records)", path.display(), report.records.len());
+    for r in &report.records {
+        eprintln!("  {:<24} median {:>12.1} ns", r.name, r.median_ns);
+    }
+}

@@ -1,0 +1,55 @@
+//! CI bench gate: compares freshly measured `BENCH_*.json` reports
+//! against the checked-in baselines.
+//!
+//! ```text
+//! bench_gate <fresh_dir> <baseline_dir>
+//! ```
+//!
+//! Fails (exit 1) on any counter drift, on a `d_tables/64` kernel speedup
+//! below the 4x floor, or on a >25% regression of any kernel-vs-scalar or
+//! cold-vs-warm time ratio. See `aa_bench::perf::gate_reports` for the
+//! exact rules.
+
+use aa_bench::perf::{gate_reports, BenchReport};
+use std::path::Path;
+
+const REPORTS: [&str; 2] = ["BENCH_kernels.json", "BENCH_serve.json"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: bench_gate <fresh_dir> <baseline_dir>");
+        std::process::exit(2);
+    }
+    let fresh_dir = Path::new(&args[1]);
+    let baseline_dir = Path::new(&args[2]);
+    let mut failures: Vec<String> = Vec::new();
+    for name in REPORTS {
+        let fresh = match BenchReport::load(&fresh_dir.join(name)) {
+            Ok(r) => r,
+            Err(e) => {
+                failures.push(format!("{name}: cannot load fresh report: {e}"));
+                continue;
+            }
+        };
+        let baseline = match BenchReport::load(&baseline_dir.join(name)) {
+            Ok(r) => r,
+            Err(e) => {
+                failures.push(format!("{name}: cannot load baseline: {e}"));
+                continue;
+            }
+        };
+        for f in gate_reports(&fresh, &baseline) {
+            failures.push(format!("{name}: {f}"));
+        }
+        eprintln!("bench gate: {name} checked ({} baseline records)", baseline.records.len());
+    }
+    if failures.is_empty() {
+        eprintln!("bench gate: OK");
+    } else {
+        for f in &failures {
+            eprintln!("bench gate FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -2,7 +2,7 @@
 //! track ranges, cluster with the blocking index.
 
 use aa_core::{
-    AccessArea, AccessRanges, DistanceMode, ExtractedQuery, FailedQuery, Pipeline,
+    AccessArea, AccessRanges, DistanceKernel, DistanceMode, ExtractedQuery, FailedQuery, Pipeline,
     PipelineStats, QueryDistance,
 };
 use aa_dbscan::parallel::PrecomputedNeighbors;
@@ -123,8 +123,42 @@ pub fn prepare(config: &ExperimentConfig) -> ExperimentData {
 }
 
 /// Clusters areas under the paper's distance with table-set blocking and
-/// parallel neighbour precomputation.
+/// parallel neighbour precomputation, riding the bitset kernel
+/// ([`aa_core::DistanceKernel`]). Bit-exact with [`cluster_areas_scalar`]
+/// (the differential suite asserts identical labels).
 pub fn cluster_areas(
+    areas: &[AccessArea],
+    ranges: &AccessRanges,
+    params: &DbscanParams,
+    mode: DistanceMode,
+    threads: usize,
+) -> DbscanResult {
+    let kernel = DistanceKernel::build(areas, ranges, mode);
+    cluster_areas_with_kernel(&kernel, areas, params, threads)
+}
+
+/// [`cluster_areas`] against a caller-built kernel (so benches can read
+/// the kernel's work counters after the run).
+pub fn cluster_areas_with_kernel(
+    kernel: &DistanceKernel,
+    areas: &[AccessArea],
+    params: &DbscanParams,
+    threads: usize,
+) -> DbscanResult {
+    assert_eq!(kernel.len(), areas.len(), "kernel built over these areas");
+    let positions: Vec<usize> = (0..areas.len()).collect();
+    let distance = |a: &usize, b: &usize| kernel.distance(*a, *b);
+    let (buckets, keys) = blocking_buckets(areas);
+    let allowed = allowed_by_bucket(&buckets, &keys, params.eps);
+    let candidates = |i: usize| allowed[buckets.key_of_item(i)].clone();
+    let pre =
+        PrecomputedNeighbors::compute(&positions, params.eps, &distance, threads, Some(&candidates));
+    dbscan_with_index(&positions, params, &distance, &pre)
+}
+
+/// The pre-kernel scalar path, kept as the reference oracle for the
+/// differential suite.
+pub fn cluster_areas_scalar(
     areas: &[AccessArea],
     ranges: &AccessRanges,
     params: &DbscanParams,
@@ -133,26 +167,38 @@ pub fn cluster_areas(
 ) -> DbscanResult {
     let metric = QueryDistance::with_mode(ranges, mode);
     let distance = |a: &AccessArea, b: &AccessArea| metric.distance(a, b);
-
-    // Blocking: bucket by table set; only buckets within eps Jaccard are
-    // candidate neighbours (d >= d_tables).
-    let (buckets, keys) = KeyedBuckets::build(areas, |a: &AccessArea| {
-        a.table_keys().map(str::to_string).collect::<BTreeSet<String>>()
-    });
-    let k = buckets.bucket_count();
-    // Precompute per-key candidate lists.
-    let mut allowed: Vec<Vec<usize>> = vec![Vec::new(); k];
-    for (ka, av) in allowed.iter_mut().enumerate() {
-        for kb in 0..k {
-            if aa_baselines::jaccard_tables(&keys[ka], &keys[kb]) <= params.eps {
-                av.extend_from_slice(buckets.bucket(kb));
-            }
-        }
-    }
+    let (buckets, keys) = blocking_buckets(areas);
+    let allowed = allowed_by_bucket(&buckets, &keys, params.eps);
     let candidates = |i: usize| allowed[buckets.key_of_item(i)].clone();
     let pre =
         PrecomputedNeighbors::compute(areas, params.eps, &distance, threads, Some(&candidates));
     dbscan_with_index(areas, params, &distance, &pre)
+}
+
+/// Blocking: bucket by table set; only buckets within eps Jaccard are
+/// candidate neighbours (d >= d_tables).
+fn blocking_buckets(areas: &[AccessArea]) -> (KeyedBuckets, Vec<BTreeSet<String>>) {
+    KeyedBuckets::build(areas, |a: &AccessArea| {
+        a.table_keys().map(str::to_string).collect::<BTreeSet<String>>()
+    })
+}
+
+/// Per-key candidate lists: all items of every bucket within eps.
+fn allowed_by_bucket(
+    buckets: &KeyedBuckets,
+    keys: &[BTreeSet<String>],
+    eps: f64,
+) -> Vec<Vec<usize>> {
+    let k = buckets.bucket_count();
+    let mut allowed: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (ka, av) in allowed.iter_mut().enumerate() {
+        for kb in 0..k {
+            if aa_baselines::jaccard_tables(&keys[ka], &keys[kb]) <= eps {
+                av.extend_from_slice(buckets.bucket(kb));
+            }
+        }
+    }
+    allowed
 }
 
 #[cfg(test)]

@@ -25,10 +25,18 @@ pub mod coverage;
 pub mod density;
 pub mod harness;
 pub mod micro;
+pub mod perf;
 pub mod report;
 
 pub use aggregate::{aggregate_cluster, AggregatedArea};
 pub use coverage::{area_coverage, coverage, object_coverage, Coverage};
 pub use density::{density_contrast, DensityContrast};
-pub use harness::{cluster_areas, prepare, ExperimentConfig, ExperimentData};
+pub use harness::{
+    cluster_areas, cluster_areas_scalar, cluster_areas_with_kernel, prepare, ExperimentConfig,
+    ExperimentData,
+};
+pub use perf::{
+    gate_reports, kernels_report, measure_ns, serve_report, BenchRecord, BenchReport, Sampling,
+    KERNELS_SCHEMA, SERVE_SCHEMA,
+};
 pub use report::{banner, fmt_coverage, TextTable};

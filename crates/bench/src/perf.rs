@@ -1,0 +1,590 @@
+//! `BENCH_*.json` emission and the CI bench gate.
+//!
+//! Two seed-pinned perf reports anchor the repo's perf trajectory:
+//!
+//! * `BENCH_kernels.json` ([`KERNELS_SCHEMA`]) — the bitset kernel vs the
+//!   scalar reference on synthetic area sets at 8/64/128 distinct tables
+//!   (128 exercises the wide-mask overflow path).
+//! * `BENCH_serve.json` ([`SERVE_SCHEMA`]) — serve-side kernel build and
+//!   warm classify/neighbors latency plus the work counters of one fixed
+//!   request session.
+//!
+//! Every record carries wall time (median/p95 ns) *and* work counters
+//! (pairs evaluated, atoms scanned, bitset fast-path hits, …). Counters
+//! are measured on a separate single pass with the counters reset, never
+//! inside the timing loop, so they are exactly reproducible for a fixed
+//! seed while timings float with the machine. The CI gate
+//! ([`gate_reports`]) exploits that split: counters must match the
+//! checked-in baseline bit-for-bit, while time is compared through
+//! machine-portable *ratios* (kernel vs scalar speedup, cold vs warm) with
+//! a 25% regression band and a hard ≥4x floor for `d_tables` at 64
+//! tables.
+//!
+//! ## File format (stable)
+//!
+//! ```json
+//! {
+//!   "schema": "aa-bench/kernels/v1",
+//!   "seed": 42,
+//!   "records": [
+//!     {
+//!       "name": "d_tables/64/kernel",
+//!       "median_ns": 12.5,
+//!       "p95_ns": 14.0,
+//!       "counters": { "bitset_fast_path": 4096 }
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `schema` is bumped on any shape change; `records[].counters` is an
+//! ordered object of deterministic work counts (may be empty).
+
+use crate::harness;
+use aa_core::{
+    AccessArea, AccessRanges, DistanceKernel, DistanceMode, Extractor, NoSchema, QueryDistance,
+};
+use aa_dbscan::DbscanParams;
+use aa_util::{Json, JsonError, SeededRng};
+use std::time::{Duration, Instant};
+
+/// Schema tag of `BENCH_kernels.json`.
+pub const KERNELS_SCHEMA: &str = "aa-bench/kernels/v1";
+/// Schema tag of `BENCH_serve.json`.
+pub const SERVE_SCHEMA: &str = "aa-bench/serve/v1";
+
+/// Hard floor the gate enforces for the `d_tables/64` kernel-vs-scalar
+/// speedup (ISSUE 6 acceptance criterion).
+pub const D_TABLES_64_SPEEDUP_FLOOR: f64 = 4.0;
+/// Allowed relative regression of any gated time ratio vs the baseline.
+pub const RATIO_REGRESSION_BAND: f64 = 1.25;
+
+/// Sampling parameters for [`measure_ns`], mirroring the `micro` harness
+/// env knobs (`AA_BENCH_SAMPLE_SIZE`, `AA_BENCH_WARMUP_MS`,
+/// `AA_BENCH_FAST=1`).
+#[derive(Debug, Clone, Copy)]
+pub struct Sampling {
+    pub sample_size: usize,
+    pub warmup: Duration,
+}
+
+impl Sampling {
+    /// Reads the environment knobs (same defaults as `micro::Criterion`).
+    pub fn from_env() -> Sampling {
+        let fast = std::env::var("AA_BENCH_FAST").is_ok_and(|v| v == "1");
+        let sample_size = std::env::var("AA_BENCH_SAMPLE_SIZE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if fast { 5 } else { 60 });
+        let warmup_ms = std::env::var("AA_BENCH_WARMUP_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if fast { 5 } else { 120 });
+        Sampling {
+            sample_size: sample_size.max(2),
+            warmup: Duration::from_millis(warmup_ms),
+        }
+    }
+
+    /// The `AA_BENCH_FAST=1` settings, without touching the environment
+    /// (tests use this to stay hermetic).
+    pub fn fast() -> Sampling {
+        Sampling {
+            sample_size: 5,
+            warmup: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Times `routine` with the `micro` methodology (warmup, calibrated
+/// batches, median/p95 over samples) and returns `(median_ns, p95_ns)`
+/// per routine call.
+pub fn measure_ns(sampling: &Sampling, mut routine: impl FnMut()) -> (f64, f64) {
+    let warmup_start = Instant::now();
+    let mut warmup_iters: u64 = 0;
+    while warmup_start.elapsed() < sampling.warmup || warmup_iters == 0 {
+        routine();
+        warmup_iters += 1;
+    }
+    let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+    let iters_per_sample = ((2e-3 / per_iter).round() as u64).clamp(1, 1_000_000);
+    let mut samples: Vec<f64> = Vec::with_capacity(sampling.sample_size);
+    for _ in 0..sampling.sample_size {
+        let start = Instant::now();
+        for _ in 0..iters_per_sample {
+            routine();
+        }
+        samples.push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let idx = |q: f64| ((samples.len() as f64 - 1.0) * q).round() as usize;
+    (samples[idx(0.5)] * 1e9, samples[idx(0.95)] * 1e9)
+}
+
+/// One benchmark record: a name, wall time, and deterministic work
+/// counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    pub name: String,
+    pub median_ns: f64,
+    pub p95_ns: f64,
+    /// Ordered `(counter name, count)` pairs; empty for time-only records.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl BenchRecord {
+    /// A time-only record.
+    pub fn time(name: impl Into<String>, (median_ns, p95_ns): (f64, f64)) -> BenchRecord {
+        BenchRecord {
+            name: name.into(),
+            median_ns,
+            p95_ns,
+            counters: Vec::new(),
+        }
+    }
+
+    /// Attaches a counter (builder style).
+    pub fn counter(mut self, name: impl Into<String>, value: u64) -> BenchRecord {
+        self.counters.push((name.into(), value));
+        self
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("median_ns".to_string(), Json::Num(self.median_ns)),
+            ("p95_ns".to_string(), Json::Num(self.p95_ns)),
+            (
+                "counters".to_string(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<BenchRecord, JsonError> {
+        let field = |k: &str| v.get(k).ok_or_else(|| JsonError(format!("missing {k}")));
+        let name = field("name")?
+            .as_str()
+            .ok_or_else(|| JsonError("name not a string".into()))?
+            .to_string();
+        let median_ns = field("median_ns")?
+            .as_f64()
+            .ok_or_else(|| JsonError("median_ns not a number".into()))?;
+        let p95_ns = field("p95_ns")?
+            .as_f64()
+            .ok_or_else(|| JsonError("p95_ns not a number".into()))?;
+        let Json::Obj(fields) = field("counters")? else {
+            return Err(JsonError("counters not an object".into()));
+        };
+        let mut counters = Vec::with_capacity(fields.len());
+        for (k, c) in fields {
+            let n = c
+                .as_f64()
+                .ok_or_else(|| JsonError(format!("counter {k} not a number")))?;
+            counters.push((k.clone(), n as u64));
+        }
+        Ok(BenchRecord {
+            name,
+            median_ns,
+            p95_ns,
+            counters,
+        })
+    }
+}
+
+/// A whole `BENCH_*.json` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    pub schema: String,
+    pub seed: u64,
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    pub fn new(schema: &str, seed: u64) -> BenchReport {
+        BenchReport {
+            schema: schema.to_string(),
+            seed,
+            records: Vec::new(),
+        }
+    }
+
+    /// Looks a record up by name.
+    pub fn record(&self, name: &str) -> Option<&BenchRecord> {
+        self.records.iter().find(|r| r.name == name)
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema".to_string(), Json::Str(self.schema.clone())),
+            ("seed".to_string(), Json::Num(self.seed as f64)),
+            (
+                "records".to_string(),
+                Json::Arr(self.records.iter().map(BenchRecord::to_json).collect()),
+            ),
+        ])
+    }
+
+    pub fn from_json(v: &Json) -> Result<BenchReport, JsonError> {
+        let field = |k: &str| v.get(k).ok_or_else(|| JsonError(format!("missing {k}")));
+        let schema = field("schema")?
+            .as_str()
+            .ok_or_else(|| JsonError("schema not a string".into()))?
+            .to_string();
+        let seed = field("seed")?
+            .as_f64()
+            .ok_or_else(|| JsonError("seed not a number".into()))? as u64;
+        let records = field("records")?
+            .as_arr()
+            .ok_or_else(|| JsonError("records not an array".into()))?
+            .iter()
+            .map(BenchRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchReport {
+            schema,
+            seed,
+            records,
+        })
+    }
+
+    /// Writes the report as pretty JSON (trailing newline included).
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut text = self.to_json().to_string_pretty();
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+
+    /// Loads and parses a report file.
+    pub fn load(path: &std::path::Path) -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        BenchReport::from_json(&json).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Table universes the kernels workload sweeps: one comfortably inside a
+/// word, the word boundary itself (the ≥4x acceptance point), and one
+/// forcing the wide-mask overflow path.
+pub const KERNEL_TABLE_COUNTS: [usize; 3] = [8, 64, 128];
+
+/// Synthetic workload for one table-universe size: seeded areas over
+/// exactly `tables` distinct tables with small numeric CNFs, plus the
+/// observed ranges.
+pub struct KernelWorkload {
+    pub areas: Vec<AccessArea>,
+    pub ranges: AccessRanges,
+    /// Index pairs every sweep walks (fixed, seed-derived).
+    pub pairs: Vec<(usize, usize)>,
+}
+
+/// Builds the seed-pinned workload for `tables` distinct tables.
+pub fn kernel_workload(tables: usize, seed: u64) -> KernelWorkload {
+    let mut rng = SeededRng::seed_from_u64(seed ^ (tables as u64).wrapping_mul(0x9E37_79B9));
+    let extractor = Extractor::new(&NoSchema);
+    let n_areas = 192;
+    let mut areas = Vec::with_capacity(n_areas);
+    for _ in 0..n_areas {
+        let k = rng.gen_range(1..=4usize);
+        let mut names: Vec<usize> = Vec::with_capacity(k);
+        for _ in 0..k {
+            names.push(rng.gen_range(0..tables));
+        }
+        names.sort_unstable();
+        names.dedup();
+        let from: Vec<String> = names.iter().map(|i| format!("Tab{i}")).collect();
+        let t0 = &from[0];
+        let lo = rng.gen_range(0..900u32);
+        let hi = lo + rng.gen_range(1..100u32);
+        let sql = format!(
+            "SELECT * FROM {} WHERE {t0}.val >= {lo} AND {t0}.val <= {hi}",
+            from.join(", ")
+        );
+        areas.push(extractor.extract_sql(&sql).expect("synthetic sql extracts"));
+    }
+    let mut ranges = AccessRanges::new();
+    ranges.observe_all(areas.iter());
+    ranges.apply_doubling();
+    // A fixed pair list: every pair of the first 64 areas (2016 pairs).
+    let mut pairs = Vec::new();
+    for i in 0..64usize.min(n_areas) {
+        for j in (i + 1)..64usize.min(n_areas) {
+            pairs.push((i, j));
+        }
+    }
+    KernelWorkload {
+        areas,
+        ranges,
+        pairs,
+    }
+}
+
+/// Builds `BENCH_kernels.json`: kernel vs scalar `d_tables` at each table
+/// count, full `distance` at 64 tables, with counters from one counted
+/// sweep per kernel record.
+pub fn kernels_report(seed: u64, sampling: &Sampling) -> BenchReport {
+    let mut report = BenchReport::new(KERNELS_SCHEMA, seed);
+    for &tables in &KERNEL_TABLE_COUNTS {
+        let w = kernel_workload(tables, seed);
+        let kernel = DistanceKernel::build(&w.areas, &w.ranges, DistanceMode::Dissimilarity);
+        let scalar = QueryDistance::with_mode(&w.ranges, DistanceMode::Dissimilarity);
+        let pairs = &w.pairs;
+        let np = pairs.len() as f64;
+
+        let (m, p) = measure_ns(sampling, || {
+            let mut acc = 0.0;
+            for &(i, j) in pairs {
+                acc += scalar.d_tables(&w.areas[i], &w.areas[j]);
+            }
+            std::hint::black_box(acc);
+        });
+        report
+            .records
+            .push(BenchRecord::time(format!("d_tables/{tables}/scalar"), (m / np, p / np)));
+
+        let (m, p) = measure_ns(sampling, || {
+            let mut acc = 0.0;
+            for &(i, j) in pairs {
+                acc += kernel.d_tables(i, j);
+            }
+            std::hint::black_box(acc);
+        });
+        // Counter sweep: one fixed pass, outside the timing loop.
+        kernel.reset_counters();
+        for &(i, j) in pairs {
+            std::hint::black_box(kernel.d_tables(i, j));
+        }
+        let counters = kernel.counters();
+        report.records.push(
+            BenchRecord::time(format!("d_tables/{tables}/kernel"), (m / np, p / np))
+                .counter("bitset_fast_path", counters.bitset_fast_path),
+        );
+
+        if tables == 64 {
+            let (m, p) = measure_ns(sampling, || {
+                let mut acc = 0.0;
+                for &(i, j) in pairs {
+                    acc += scalar.distance(&w.areas[i], &w.areas[j]);
+                }
+                std::hint::black_box(acc);
+            });
+            report
+                .records
+                .push(BenchRecord::time("distance/64/scalar", (m / np, p / np)));
+
+            let (m, p) = measure_ns(sampling, || {
+                let mut acc = 0.0;
+                for &(i, j) in pairs {
+                    acc += kernel.distance(i, j);
+                }
+                std::hint::black_box(acc);
+            });
+            kernel.reset_counters();
+            for &(i, j) in pairs {
+                std::hint::black_box(kernel.distance(i, j));
+            }
+            let counters = kernel.counters();
+            report.records.push(
+                BenchRecord::time("distance/64/kernel", (m / np, p / np))
+                    .counter("pairs", counters.pairs)
+                    .counter("atoms_scanned", counters.atoms_scanned)
+                    .counter("bitset_fast_path", counters.bitset_fast_path),
+            );
+        }
+    }
+    report
+}
+
+/// Builds `BENCH_serve.json`: serve-side kernel/index build time, warm
+/// classify/neighbors latency, and the deterministic work counters of one
+/// fixed request session against a seed-pinned model of `total` log
+/// queries.
+pub fn serve_report(seed: u64, total: usize, sampling: &Sampling) -> BenchReport {
+    let mut report = BenchReport::new(SERVE_SCHEMA, seed);
+    let model = aa_serve::build_model(total, seed, 0.06, 8, DistanceMode::Dissimilarity);
+
+    let (m, p) = measure_ns(sampling, || {
+        std::hint::black_box(DistanceKernel::build(
+            &model.areas,
+            &model.ranges,
+            model.mode,
+        ));
+    });
+    report.records.push(BenchRecord::time("kernel_build", (m, p)));
+
+    // Fixed session statements, drawn from the same generator family.
+    let session: Vec<String> = aa_skyserver::generate_log(&aa_skyserver::LogConfig {
+        total: 40,
+        seed: seed.wrapping_add(1),
+        ..aa_skyserver::LogConfig::default()
+    })
+    .into_iter()
+    .map(|e| e.sql)
+    .collect();
+
+    // Counter session: fresh engine, one fixed pass, counters from stats.
+    let engine = aa_serve::ServeEngine::new(model.clone(), 1024, None);
+    for sql in &session {
+        std::hint::black_box(engine.classify(sql));
+    }
+    for sql in session.iter().take(10) {
+        std::hint::black_box(engine.neighbors(sql, 5));
+    }
+    let stats = engine.stats_json();
+    let counter_at = |path: [&str; 2]| -> u64 {
+        stats
+            .get(path[0])
+            .and_then(|o| o.get(path[1]))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0) as u64
+    };
+    report.records.push(
+        BenchRecord::time("session/fixed", (0.0, 0.0))
+            .counter("classify", counter_at(["requests", "classify"]))
+            .counter("neighbors", counter_at(["requests", "neighbors"]))
+            .counter("cache_hits", counter_at(["cache", "hits"]))
+            .counter("cache_misses", counter_at(["cache", "misses"]))
+            .counter("distance_evaluated", counter_at(["index", "evaluated"]))
+            .counter("distance_pruned", counter_at(["index", "pruned"]))
+            .counter("kernel_pairs", counter_at(["kernel", "pairs"]))
+            .counter("kernel_atoms_scanned", counter_at(["kernel", "atoms_scanned"]))
+            .counter(
+                "kernel_bitset_fast_path",
+                counter_at(["kernel", "bitset_fast_path"]),
+            ),
+    );
+
+    // Warm-path latencies on the primed engine.
+    let warm_sql = &session[0];
+    std::hint::black_box(engine.classify(warm_sql));
+    let (m, p) = measure_ns(sampling, || {
+        std::hint::black_box(engine.classify(warm_sql));
+    });
+    report.records.push(BenchRecord::time("classify/warm", (m, p)));
+    let (m, p) = measure_ns(sampling, || {
+        std::hint::black_box(engine.neighbors(warm_sql, 5));
+    });
+    report.records.push(BenchRecord::time("neighbors/warm", (m, p)));
+
+    // Cold classify: cache cleared each iteration (pays full extraction).
+    let (m, p) = measure_ns(sampling, || {
+        engine.clear_cache();
+        std::hint::black_box(engine.classify(warm_sql));
+    });
+    report.records.push(BenchRecord::time("classify/cold", (m, p)));
+    report
+}
+
+/// A DBSCAN-shaped macro record for the kernels report trajectory:
+/// clusters a small seeded log with the kernel and records the work done.
+pub fn clustering_counters(seed: u64, total: usize) -> BenchRecord {
+    let config = harness::ExperimentConfig {
+        log: aa_skyserver::LogConfig::small(total, seed),
+        catalog_scale: 0.02,
+        ..harness::ExperimentConfig::default()
+    };
+    let data = harness::prepare(&config);
+    let areas: Vec<AccessArea> = data.extracted.iter().map(|q| q.area.clone()).collect();
+    let kernel = DistanceKernel::build(&areas, &data.ranges, DistanceMode::Dissimilarity);
+    let params = DbscanParams {
+        eps: 0.06,
+        min_pts: 8,
+    };
+    let start = Instant::now();
+    let result = harness::cluster_areas_with_kernel(&kernel, &areas, &params, 1);
+    let elapsed = start.elapsed().as_secs_f64() * 1e9;
+    let counters = kernel.counters();
+    BenchRecord::time("dbscan/kernel", (elapsed, elapsed))
+        .counter("areas", areas.len() as u64)
+        .counter("clusters", result.cluster_count as u64)
+        .counter("pairs", counters.pairs)
+        .counter("atoms_scanned", counters.atoms_scanned)
+        .counter("bitset_fast_path", counters.bitset_fast_path)
+}
+
+/// Compares a freshly measured report against the checked-in baseline.
+/// Returns human-readable failures (empty = gate passes).
+///
+/// Rules:
+/// * schema strings must match;
+/// * every baseline record must exist in the fresh report, and its
+///   counters must match exactly (any drift in work done is a change in
+///   behaviour, not noise);
+/// * for every `<name>/kernel` + `<name>/scalar` sibling pair, the fresh
+///   speedup (scalar median / kernel median) must be at least the
+///   baseline speedup divided by [`RATIO_REGRESSION_BAND`] — a
+///   machine-portable "no >25% relative time regression";
+/// * `d_tables/64` additionally enforces the absolute
+///   [`D_TABLES_64_SPEEDUP_FLOOR`];
+/// * `classify/cold` vs `classify/warm` gets the same ratio treatment
+///   (the cache must keep buying its speedup).
+pub fn gate_reports(fresh: &BenchReport, baseline: &BenchReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    if fresh.schema != baseline.schema {
+        failures.push(format!(
+            "schema mismatch: fresh {:?} vs baseline {:?}",
+            fresh.schema, baseline.schema
+        ));
+        return failures;
+    }
+    for base in &baseline.records {
+        let Some(new) = fresh.record(&base.name) else {
+            failures.push(format!("record {:?} missing from fresh report", base.name));
+            continue;
+        };
+        if new.counters != base.counters {
+            failures.push(format!(
+                "counter change in {:?}: fresh {:?} vs baseline {:?}",
+                base.name, new.counters, base.counters
+            ));
+        }
+    }
+    let ratio = |report: &BenchReport, num: &str, den: &str| -> Option<f64> {
+        let n = report.record(num)?.median_ns;
+        let d = report.record(den)?.median_ns;
+        if d > 0.0 {
+            Some(n / d)
+        } else {
+            None
+        }
+    };
+    // Kernel-vs-scalar sibling pairs, discovered from the baseline.
+    for base in &baseline.records {
+        let Some(prefix) = base.name.strip_suffix("/kernel") else {
+            continue;
+        };
+        let scalar_name = format!("{prefix}/scalar");
+        let (Some(fresh_speedup), Some(base_speedup)) = (
+            ratio(fresh, &scalar_name, &base.name),
+            ratio(baseline, &scalar_name, &base.name),
+        ) else {
+            continue;
+        };
+        if prefix == "d_tables/64" && fresh_speedup < D_TABLES_64_SPEEDUP_FLOOR {
+            failures.push(format!(
+                "{prefix}: kernel speedup {fresh_speedup:.2}x below the {D_TABLES_64_SPEEDUP_FLOOR}x floor"
+            ));
+        }
+        if fresh_speedup < base_speedup / RATIO_REGRESSION_BAND {
+            failures.push(format!(
+                "{prefix}: kernel speedup regressed >25%: {fresh_speedup:.2}x vs baseline {base_speedup:.2}x"
+            ));
+        }
+    }
+    // Cold-vs-warm cache ratio (serve report).
+    if let (Some(fresh_ratio), Some(base_ratio)) = (
+        ratio(fresh, "classify/cold", "classify/warm"),
+        ratio(baseline, "classify/cold", "classify/warm"),
+    ) {
+        if fresh_ratio < base_ratio / RATIO_REGRESSION_BAND {
+            failures.push(format!(
+                "classify cold/warm ratio regressed >25%: {fresh_ratio:.2}x vs baseline {base_ratio:.2}x"
+            ));
+        }
+    }
+    failures
+}

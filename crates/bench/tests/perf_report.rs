@@ -1,0 +1,145 @@
+//! Satellite tests for the `BENCH_*.json` emission layer (`perf`):
+//! round-trip through aa-util JSON, schema stability, counter
+//! determinism, and the `AA_BENCH_FAST` env contract.
+
+use aa_bench::perf::{
+    gate_reports, kernels_report, BenchRecord, BenchReport, Sampling, KERNELS_SCHEMA, SERVE_SCHEMA,
+};
+use aa_util::Json;
+
+fn sample_report() -> BenchReport {
+    let mut r = BenchReport::new(KERNELS_SCHEMA, 42);
+    r.records.push(
+        BenchRecord::time("d_tables/64/kernel", (12.5, 14.0))
+            .counter("bitset_fast_path", 4096)
+            .counter("pairs", 2016),
+    );
+    r.records
+        .push(BenchRecord::time("d_tables/64/scalar", (80.0, 91.25)));
+    r
+}
+
+#[test]
+fn report_round_trips_through_json() {
+    let report = sample_report();
+    let text = report.to_json().to_string_pretty();
+    let back = BenchReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(back, report);
+    // Compact form round-trips too.
+    let compact = report.to_json().to_string_compact();
+    let back = BenchReport::from_json(&Json::parse(&compact).unwrap()).unwrap();
+    assert_eq!(back, report);
+}
+
+#[test]
+fn report_save_load_round_trips() {
+    let dir = std::env::temp_dir().join(format!("aa_perf_report_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_test.json");
+    let report = sample_report();
+    report.save(&path).unwrap();
+    let back = BenchReport::load(&path).unwrap();
+    assert_eq!(back, report);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn schema_tags_are_stable() {
+    // The gate and any external tooling key on these exact strings; a
+    // change is a format break and must bump the version suffix.
+    assert_eq!(KERNELS_SCHEMA, "aa-bench/kernels/v1");
+    assert_eq!(SERVE_SCHEMA, "aa-bench/serve/v1");
+    // Top-level and per-record field names are part of the contract.
+    let json = sample_report().to_json();
+    let Json::Obj(fields) = &json else { panic!("report is an object") };
+    let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(keys, ["schema", "seed", "records"]);
+    let Some(Json::Arr(records)) = json.get("records") else { panic!("records array") };
+    let Json::Obj(rec) = &records[0] else { panic!("record is an object") };
+    let keys: Vec<&str> = rec.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(keys, ["name", "median_ns", "p95_ns", "counters"]);
+}
+
+#[test]
+fn kernel_counters_deterministic_for_fixed_seed() {
+    // Two fully independent runs: timings may differ, work counters must
+    // not (they come from fixed sweeps outside the timing loops).
+    let a = kernels_report(7, &Sampling::fast());
+    let b = kernels_report(7, &Sampling::fast());
+    assert_eq!(a.records.len(), b.records.len());
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(ra.name, rb.name);
+        assert_eq!(ra.counters, rb.counters, "{}", ra.name);
+    }
+    // And the counted sweeps are non-trivial.
+    let kernel64 = a.record("d_tables/64/kernel").unwrap();
+    assert!(kernel64.counters.iter().any(|&(_, v)| v > 0), "{kernel64:?}");
+}
+
+#[test]
+fn gate_passes_on_identity_and_catches_counter_drift() {
+    let base = sample_report();
+    assert!(gate_reports(&base, &base).is_empty(), "identity must pass");
+
+    let mut drifted = base.clone();
+    drifted.records[0].counters[0].1 += 1;
+    let failures = gate_reports(&drifted, &base);
+    assert!(
+        failures.iter().any(|f| f.contains("counter change")),
+        "{failures:?}"
+    );
+
+    // A kernel slowdown past the band trips the ratio rule.
+    let mut slow = base.clone();
+    slow.records[0].median_ns *= 2.0;
+    let failures = gate_reports(&slow, &base);
+    assert!(
+        failures.iter().any(|f| f.contains("regressed")),
+        "{failures:?}"
+    );
+
+    // Speedup below the absolute floor trips even with a matching baseline.
+    let mut floor_base = sample_report();
+    floor_base.records[0].median_ns = 40.0; // speedup 2x in both reports
+    let failures = gate_reports(&floor_base, &floor_base);
+    assert!(
+        failures.iter().any(|f| f.contains("below the 4x floor")),
+        "{failures:?}"
+    );
+
+    let missing = BenchReport::new(KERNELS_SCHEMA, 42);
+    let failures = gate_reports(&missing, &base);
+    assert!(failures.iter().any(|f| f.contains("missing")), "{failures:?}");
+
+    let other = BenchReport::new(SERVE_SCHEMA, 42);
+    let failures = gate_reports(&other, &base);
+    assert!(failures.iter().any(|f| f.contains("schema mismatch")), "{failures:?}");
+}
+
+#[test]
+fn sampling_honors_bench_fast_env() {
+    // `Sampling::fast()` is the pinned AA_BENCH_FAST=1 shape.
+    let fast = Sampling::fast();
+    assert_eq!(fast.sample_size, 5);
+    assert_eq!(fast.warmup.as_millis(), 5);
+
+    // From the environment: only this test touches these variables (the
+    // other tests use explicit Sampling values), so the mutation is safe.
+    std::env::set_var("AA_BENCH_FAST", "1");
+    let s = Sampling::from_env();
+    assert_eq!(s.sample_size, 5);
+    assert_eq!(s.warmup.as_millis(), 5);
+
+    std::env::set_var("AA_BENCH_SAMPLE_SIZE", "9");
+    std::env::set_var("AA_BENCH_WARMUP_MS", "17");
+    let s = Sampling::from_env();
+    assert_eq!(s.sample_size, 9);
+    assert_eq!(s.warmup.as_millis(), 17);
+
+    std::env::remove_var("AA_BENCH_FAST");
+    std::env::remove_var("AA_BENCH_SAMPLE_SIZE");
+    std::env::remove_var("AA_BENCH_WARMUP_MS");
+    let s = Sampling::from_env();
+    assert_eq!(s.sample_size, 60);
+    assert_eq!(s.warmup.as_millis(), 120);
+}

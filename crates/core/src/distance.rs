@@ -109,26 +109,25 @@ impl<'a> QueryDistance<'a> {
             (true, false) | (false, true) => return 1.0,
             _ => {}
         }
-        let sum1: f64 = b1
-            .clauses
-            .iter()
-            .map(|o1| {
-                b2.clauses
-                    .iter()
-                    .map(|o2| self.d_disj(o1, o2))
-                    .fold(f64::INFINITY, f64::min)
-            })
-            .sum();
-        let sum2: f64 = b2
-            .clauses
-            .iter()
-            .map(|o2| {
-                b1.clauses
-                    .iter()
-                    .map(|o1| self.d_disj(o1, o2))
-                    .fold(f64::INFINITY, f64::min)
-            })
-            .sum();
+        // Each pairwise clause distance is computed once; `sum1` takes row
+        // minima as rows stream, `sum2` comes from the running column
+        // minima. The accumulation order matches the former double scan
+        // exactly, so the result is bit-identical.
+        let mut col_min = vec![f64::INFINITY; b2.len()];
+        let mut sum1 = 0.0;
+        for o1 in &b1.clauses {
+            let mut row_min = f64::INFINITY;
+            for (j, o2) in b2.clauses.iter().enumerate() {
+                let d = self.d_disj(o1, o2);
+                row_min = row_min.min(d);
+                col_min[j] = col_min[j].min(d);
+            }
+            sum1 += row_min;
+        }
+        let mut sum2 = 0.0;
+        for m in &col_min {
+            sum2 += *m;
+        }
         (sum1 + sum2) / (b1.len() + b2.len()) as f64
     }
 

@@ -1,0 +1,786 @@
+//! Bitset distance kernels (ROADMAP item 3).
+//!
+//! [`QueryDistance`](crate::distance::QueryDistance) is the reference
+//! implementation of the Section 5 metric: it rebuilds `BTreeSet<&str>`
+//! table sets and walks boxed CNF clauses on every call, which is the
+//! per-pair cost that dominates DBSCAN expansion and serve-side
+//! classification. [`DistanceKernel`] is the production path: table names
+//! are interned once into `u64` popcount bitmasks (with a multi-word
+//! overflow representation past 64 distinct tables) so `d_tables` is
+//! branch-free, and CNF atoms are flattened into one contiguous arena with
+//! every per-atom quantity the predicate distance needs (satisfying
+//! interval, access range, categorical value set, cross-column occupancy
+//! fraction) precomputed, so `d_conj`/`d_disj` are cache-linear scans.
+//!
+//! ## Contract
+//!
+//! The kernel is *bit-exact* against the scalar reference: for any pair of
+//! areas, `DistanceKernel::distance` and `QueryDistance::distance` return
+//! f64 values with identical bit patterns. This holds because the kernel
+//! replays the exact same floating-point operation sequence (same
+//! hull/intersect/clip order, same `f64::min` fold order, same
+//! normalisation expression) over precomputed inputs. The differential
+//! suite in `tests/kernel_differential.rs` enforces the contract on seeded
+//! random areas, the extraction corpus, and whole DBSCAN/pivot-index runs.
+//!
+//! ## Interner / overflow contract
+//!
+//! * Ids are assigned over the *sorted* set of names, so they depend only
+//!   on the set of tables (columns) in the build set, never on area order.
+//! * A universe of ≤ 64 tables yields single-word [`TableMask::Small`]
+//!   masks (the popcount fast path); larger universes fall back to
+//!   multi-word [`TableMask::Wide`] masks with identical semantics.
+//! * External queries ([`DistanceKernel::flatten`]) may mention tables or
+//!   columns outside the build universe. Those get *local* ids past the
+//!   kernel universe: they never collide with known names, so an unknown
+//!   table contributes to the Jaccard union but never the intersection —
+//!   exactly the scalar behaviour for a name no indexed area mentions.
+//!
+//! The kernel snapshots `access(a)` at build time: it owns a clone of the
+//! [`AccessRanges`] and precomputes every range lookup, so later mutation
+//! of the caller's ranges does not leak into kernel distances.
+
+use crate::area::AccessArea;
+use crate::distance::DistanceMode;
+use crate::interval::Interval;
+use crate::predicate::{AtomicPredicate, CmpOp, Constant, QualifiedColumn};
+use crate::ranges::AccessRanges;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Jaccard distance from intersection/union cardinalities — the single
+/// formula point shared by the bitset kernel, the string-set helper below,
+/// and the `aa-baselines` blocking index.
+pub fn jaccard_from_counts(inter: usize, union: usize) -> f64 {
+    if union == 0 {
+        // Both sets empty: the paper's constants-only corner case.
+        return 0.0;
+    }
+    1.0 - inter as f64 / union as f64
+}
+
+/// Jaccard distance between two (lower-cased) table-name sets.
+pub fn jaccard_str_sets(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
+    let inter = a.intersection(b).count();
+    let union = a.union(b).count();
+    jaccard_from_counts(inter, union)
+}
+
+/// The table set of an access area (lower-cased keys), as used by the
+/// blocking indexes.
+pub fn area_table_set(a: &AccessArea) -> BTreeSet<String> {
+    a.table_keys().map(str::to_string).collect()
+}
+
+/// Interns lower-cased table names to dense ids. Ids are assigned in
+/// sorted name order, so two interners built over the same *set* of names
+/// agree regardless of the order areas were presented in.
+#[derive(Debug, Clone, Default)]
+pub struct TableInterner {
+    ids: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl TableInterner {
+    /// Builds the interner over every table mentioned by `areas`.
+    pub fn build<'a>(areas: impl IntoIterator<Item = &'a AccessArea>) -> TableInterner {
+        let mut all: BTreeSet<&str> = BTreeSet::new();
+        for area in areas {
+            all.extend(area.table_keys());
+        }
+        let mut interner = TableInterner::default();
+        for name in all {
+            let id = interner.names.len() as u32;
+            interner.ids.insert(name.to_string(), id);
+            interner.names.push(name.to_string());
+        }
+        interner
+    }
+
+    /// The id of a lower-cased table name, if it is in the universe.
+    pub fn id(&self, lower: &str) -> Option<u32> {
+        self.ids.get(lower).copied()
+    }
+
+    /// The name behind an id.
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned tables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no tables are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A table set as a bitmask over interned ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableMask {
+    /// All bits fit one word: the branch-free popcount fast path.
+    Small(u64),
+    /// Overflow path for bit indices ≥ 64 (large table universes).
+    Wide(Vec<u64>),
+}
+
+impl TableMask {
+    /// Builds a mask from bit indices (interned table ids).
+    pub fn from_bits(bits: &[u32]) -> TableMask {
+        match bits.iter().copied().max() {
+            None => TableMask::Small(0),
+            Some(m) if m < 64 => {
+                let mut word = 0u64;
+                for &b in bits {
+                    word |= 1u64 << b;
+                }
+                TableMask::Small(word)
+            }
+            Some(m) => {
+                let mut words = vec![0u64; m as usize / 64 + 1];
+                for &b in bits {
+                    words[b as usize / 64] |= 1u64 << (b % 64);
+                }
+                TableMask::Wide(words)
+            }
+        }
+    }
+
+    /// True for the single-word representation.
+    pub fn is_small(&self) -> bool {
+        matches!(self, TableMask::Small(_))
+    }
+
+    /// Number of tables in the set.
+    pub fn popcount(&self) -> u32 {
+        match self {
+            TableMask::Small(w) => w.count_ones(),
+            TableMask::Wide(v) => v.iter().map(|w| w.count_ones()).sum(),
+        }
+    }
+
+    fn words(&self) -> &[u64] {
+        match self {
+            TableMask::Small(w) => std::slice::from_ref(w),
+            TableMask::Wide(v) => v,
+        }
+    }
+
+    /// `(|a ∩ b|, |a ∪ b|)` cardinalities.
+    pub fn inter_union(&self, other: &TableMask) -> (u32, u32) {
+        match (self, other) {
+            (TableMask::Small(a), TableMask::Small(b)) => {
+                ((a & b).count_ones(), (a | b).count_ones())
+            }
+            _ => {
+                let (a, b) = (self.words(), other.words());
+                let mut inter = 0u32;
+                let mut union = 0u32;
+                for i in 0..a.len().max(b.len()) {
+                    let wa = a.get(i).copied().unwrap_or(0);
+                    let wb = b.get(i).copied().unwrap_or(0);
+                    inter += (wa & wb).count_ones();
+                    union += (wa | wb).count_ones();
+                }
+                (inter, union)
+            }
+        }
+    }
+}
+
+/// Work counters threaded through every kernel distance call. Snapshot of
+/// the kernel's internal atomics; deterministic for a fixed call sequence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistanceCounters {
+    /// Full `distance` evaluations (area pairs).
+    pub pairs: u64,
+    /// Atom pairs fed to the predicate distance.
+    pub atoms_scanned: u64,
+    /// `d_tables` calls answered on the single-word popcount fast path.
+    pub bitset_fast_path: u64,
+}
+
+#[derive(Debug, Default)]
+struct CounterCells {
+    pairs: AtomicU64,
+    atoms_scanned: AtomicU64,
+    bitset_fast_path: AtomicU64,
+}
+
+/// One flattened atomic predicate: every range lookup and per-atom derived
+/// quantity the predicate distance needs, precomputed at flatten time.
+#[derive(Debug, Clone)]
+enum FlatAtom {
+    /// Numeric column-constant predicate `col op c`.
+    Num {
+        col: u32,
+        op: CmpOp,
+        c: f64,
+        /// Satisfying interval of `col op c`.
+        iv: Interval,
+        /// `access(a)` of the column (`[0,0]` when untracked), before the
+        /// per-pair widening by the two constants.
+        access: Interval,
+        /// Literal-mode cross-column occupancy fraction.
+        frac: f64,
+    },
+    /// Categorical column-constant predicate.
+    Cat {
+        col: u32,
+        /// The predicate's value set under the categorical access set.
+        set: BTreeSet<String>,
+        /// `|access(a)|` of the column (literal-mode denominator).
+        access_len: usize,
+        /// Literal-mode cross-column occupancy fraction.
+        frac: f64,
+    },
+    /// Join predicate `left op right`.
+    Join { left: u32, op: CmpOp, right: u32 },
+}
+
+impl FlatAtom {
+    fn col(&self) -> Option<u32> {
+        match self {
+            FlatAtom::Num { col, .. } | FlatAtom::Cat { col, .. } => Some(*col),
+            FlatAtom::Join { .. } => None,
+        }
+    }
+
+    fn frac(&self) -> f64 {
+        match self {
+            FlatAtom::Num { frac, .. } | FlatAtom::Cat { frac, .. } => *frac,
+            FlatAtom::Join { .. } => 1.0,
+        }
+    }
+}
+
+/// An external access area flattened against a kernel: table bitmask plus
+/// arena-flattened CNF clauses. Unknown tables/columns carry local ids
+/// past the kernel universe (see the module docs).
+#[derive(Debug, Clone)]
+pub struct FlatQuery {
+    mask: TableMask,
+    /// Clause spans into `atoms`.
+    clauses: Vec<(u32, u32)>,
+    atoms: Vec<FlatAtom>,
+}
+
+impl FlatQuery {
+    /// The query's table bitmask.
+    pub fn mask(&self) -> &TableMask {
+        &self.mask
+    }
+}
+
+/// Scratch sizes for the stack-allocated column-minima buffers; spills to
+/// a heap vector for wider CNFs.
+const DISJ_SCRATCH: usize = 16;
+const CONJ_SCRATCH: usize = 32;
+
+/// The bitset distance kernel over a fixed set of access areas.
+///
+/// Indexed areas are addressed by position in the build slice. External
+/// queries go through [`DistanceKernel::flatten`] once and are then
+/// comparable against any indexed area via the `*_to` methods.
+pub struct DistanceKernel {
+    mode: DistanceMode,
+    ranges: AccessRanges,
+    tables: TableInterner,
+    columns: HashMap<QualifiedColumn, u32>,
+    column_count: u32,
+    masks: Vec<TableMask>,
+    /// Per area: span into `clause_spans`.
+    area_clauses: Vec<(u32, u32)>,
+    /// Per clause: span into `atoms`.
+    clause_spans: Vec<(u32, u32)>,
+    atoms: Vec<FlatAtom>,
+    counters: CounterCells,
+}
+
+impl DistanceKernel {
+    /// Flattens `areas` into the kernel representation. `ranges` is
+    /// snapshotted (cloned); `mode` selects the Section 5.2 reading, as in
+    /// [`QueryDistance::with_mode`](crate::distance::QueryDistance::with_mode).
+    pub fn build(areas: &[AccessArea], ranges: &AccessRanges, mode: DistanceMode) -> DistanceKernel {
+        let tables = TableInterner::build(areas);
+        let mut cols: BTreeSet<&QualifiedColumn> = BTreeSet::new();
+        for area in areas {
+            for atom in area.constraint.atoms() {
+                cols.extend(atom.columns());
+            }
+        }
+        let mut columns = HashMap::with_capacity(cols.len());
+        for (i, col) in cols.into_iter().enumerate() {
+            columns.insert(col.clone(), i as u32);
+        }
+        let column_count = columns.len() as u32;
+        let mut kernel = DistanceKernel {
+            mode,
+            ranges: ranges.clone(),
+            tables,
+            columns,
+            column_count,
+            masks: Vec::with_capacity(areas.len()),
+            area_clauses: Vec::with_capacity(areas.len()),
+            clause_spans: Vec::new(),
+            atoms: Vec::new(),
+            counters: CounterCells::default(),
+        };
+        for area in areas {
+            let flat = kernel.flatten(area);
+            let atom_base = kernel.atoms.len() as u32;
+            let clause_base = kernel.clause_spans.len() as u32;
+            for (s, e) in flat.clauses {
+                kernel.clause_spans.push((s + atom_base, e + atom_base));
+            }
+            kernel.atoms.extend(flat.atoms);
+            kernel
+                .area_clauses
+                .push((clause_base, kernel.clause_spans.len() as u32));
+            kernel.masks.push(flat.mask);
+        }
+        kernel
+    }
+
+    /// Number of indexed areas.
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// True when no areas are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// The distance mode the kernel was built with.
+    pub fn mode(&self) -> DistanceMode {
+        self.mode
+    }
+
+    /// The table interner (ids over the build universe).
+    pub fn tables(&self) -> &TableInterner {
+        &self.tables
+    }
+
+    /// The table bitmask of indexed area `i`.
+    pub fn mask_of(&self, i: usize) -> &TableMask {
+        &self.masks[i]
+    }
+
+    /// Snapshot of the work counters.
+    pub fn counters(&self) -> DistanceCounters {
+        DistanceCounters {
+            pairs: self.counters.pairs.load(Ordering::Relaxed),
+            atoms_scanned: self.counters.atoms_scanned.load(Ordering::Relaxed),
+            bitset_fast_path: self.counters.bitset_fast_path.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the work counters to zero (bench harness hook: counter
+    /// sweeps are measured separately from timing loops).
+    pub fn reset_counters(&self) {
+        self.counters.pairs.store(0, Ordering::Relaxed);
+        self.counters.atoms_scanned.store(0, Ordering::Relaxed);
+        self.counters.bitset_fast_path.store(0, Ordering::Relaxed);
+    }
+
+    /// Flattens an external area against this kernel's universe.
+    pub fn flatten(&self, area: &AccessArea) -> FlatQuery {
+        let table_base = self.tables.len() as u32;
+        let mut unknown_tables: HashMap<String, u32> = HashMap::new();
+        let mut bits: Vec<u32> = Vec::new();
+        for t in area.table_keys() {
+            let id = match self.tables.id(t) {
+                Some(id) => id,
+                None => {
+                    let next = table_base + unknown_tables.len() as u32;
+                    *unknown_tables.entry(t.to_string()).or_insert(next)
+                }
+            };
+            bits.push(id);
+        }
+        let mask = TableMask::from_bits(&bits);
+
+        let column_base = self.column_count;
+        let mut unknown_columns: HashMap<QualifiedColumn, u32> = HashMap::new();
+        let mut col_id = |col: &QualifiedColumn| -> u32 {
+            if let Some(&id) = self.columns.get(col) {
+                return id;
+            }
+            let next = column_base + unknown_columns.len() as u32;
+            *unknown_columns.entry(col.clone()).or_insert(next)
+        };
+
+        let mut atoms = Vec::new();
+        let mut clauses = Vec::with_capacity(area.constraint.clauses.len());
+        for clause in &area.constraint.clauses {
+            let start = atoms.len() as u32;
+            for atom in &clause.atoms {
+                atoms.push(self.flatten_atom(atom, &mut col_id));
+            }
+            clauses.push((start, atoms.len() as u32));
+        }
+        FlatQuery {
+            mask,
+            clauses,
+            atoms,
+        }
+    }
+
+    fn flatten_atom(
+        &self,
+        atom: &AtomicPredicate,
+        col_id: &mut dyn FnMut(&QualifiedColumn) -> u32,
+    ) -> FlatAtom {
+        match atom {
+            AtomicPredicate::ColumnColumn { left, op, right } => FlatAtom::Join {
+                left: col_id(left),
+                op: *op,
+                right: col_id(right),
+            },
+            AtomicPredicate::ColumnConstant { column, op, value } => match value {
+                Constant::Num(c) => {
+                    let iv = atom.interval().expect("numeric cc has an interval");
+                    let access = self
+                        .ranges
+                        .numeric(column)
+                        .unwrap_or_else(|| Interval::closed(0.0, 0.0));
+                    // Literal-mode cross-column fraction, replicating the
+                    // scalar op sequence exactly.
+                    let facc = access.hull(&Interval::point(*c));
+                    let w = facc.width();
+                    let frac = if w == 0.0 {
+                        1.0
+                    } else {
+                        (iv.intersect(&facc).width() / w).clamp(0.0, 1.0)
+                    };
+                    FlatAtom::Num {
+                        col: col_id(column),
+                        op: *op,
+                        c: *c,
+                        iv,
+                        access,
+                        frac,
+                    }
+                }
+                Constant::Str(s) => {
+                    let access = self
+                        .ranges
+                        .categorical(column)
+                        .cloned()
+                        .unwrap_or_default();
+                    let lower = s.to_lowercase();
+                    let set: BTreeSet<String> = match op {
+                        CmpOp::Eq => std::iter::once(lower).collect(),
+                        CmpOp::Neq => access.iter().filter(|x| **x != lower).cloned().collect(),
+                        _ => std::iter::once(lower).collect(),
+                    };
+                    let denom = access.len().max(1) as f64;
+                    let frac = (1.0 / denom).clamp(0.0, 1.0);
+                    FlatAtom::Cat {
+                        col: col_id(column),
+                        set,
+                        access_len: access.len(),
+                        frac,
+                    }
+                }
+            },
+        }
+    }
+
+    /// Jaccard distance between the table sets of indexed areas `i`/`j`.
+    pub fn d_tables(&self, i: usize, j: usize) -> f64 {
+        self.d_tables_mask(&self.masks[i], &self.masks[j])
+    }
+
+    /// Jaccard distance between a flattened query and indexed area `j`.
+    pub fn d_tables_to(&self, q: &FlatQuery, j: usize) -> f64 {
+        self.d_tables_mask(&q.mask, &self.masks[j])
+    }
+
+    /// Full distance `d = d_tables + d_conj` between indexed areas.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        self.counters.pairs.fetch_add(1, Ordering::Relaxed);
+        let (ci, ai) = self.area_view(i);
+        let (cj, aj) = self.area_view(j);
+        self.d_tables_mask(&self.masks[i], &self.masks[j]) + self.d_conj_flat(ci, ai, cj, aj)
+    }
+
+    /// Full distance between a flattened query and indexed area `j`.
+    pub fn distance_to(&self, q: &FlatQuery, j: usize) -> f64 {
+        self.counters.pairs.fetch_add(1, Ordering::Relaxed);
+        let (cj, aj) = self.area_view(j);
+        self.d_tables_mask(&q.mask, &self.masks[j])
+            + self.d_conj_flat(&q.clauses, &q.atoms, cj, aj)
+    }
+
+    fn area_view(&self, i: usize) -> (&[(u32, u32)], &[FlatAtom]) {
+        let (s, e) = self.area_clauses[i];
+        (&self.clause_spans[s as usize..e as usize], &self.atoms)
+    }
+
+    fn d_tables_mask(&self, a: &TableMask, b: &TableMask) -> f64 {
+        if a.is_small() && b.is_small() {
+            self.counters.bitset_fast_path.fetch_add(1, Ordering::Relaxed);
+        }
+        let (inter, union) = a.inter_union(b);
+        jaccard_from_counts(inter as usize, union as usize)
+    }
+
+    /// `d_conj` over flattened clause spans. Computes each pairwise
+    /// clause distance once; row minima accumulate directly and column
+    /// minima live in a scratch buffer, preserving the scalar fold order.
+    fn d_conj_flat(
+        &self,
+        ac: &[(u32, u32)],
+        aa: &[FlatAtom],
+        bc: &[(u32, u32)],
+        ba: &[FlatAtom],
+    ) -> f64 {
+        match (ac.is_empty(), bc.is_empty()) {
+            (true, true) => return 0.0,
+            (true, false) | (false, true) => return 1.0,
+            _ => {}
+        }
+        let n2 = bc.len();
+        let mut small = [f64::INFINITY; CONJ_SCRATCH];
+        let mut heap: Vec<f64>;
+        let col_min: &mut [f64] = if n2 <= CONJ_SCRATCH {
+            &mut small[..n2]
+        } else {
+            heap = vec![f64::INFINITY; n2];
+            &mut heap
+        };
+        let mut sum1 = 0.0;
+        for &(s1, e1) in ac {
+            let o1 = &aa[s1 as usize..e1 as usize];
+            let mut row_min = f64::INFINITY;
+            for (j, &(s2, e2)) in bc.iter().enumerate() {
+                let d = self.d_disj_flat(o1, &ba[s2 as usize..e2 as usize]);
+                row_min = row_min.min(d);
+                col_min[j] = col_min[j].min(d);
+            }
+            sum1 += row_min;
+        }
+        let mut sum2 = 0.0;
+        for m in col_min.iter() {
+            sum2 += *m;
+        }
+        (sum1 + sum2) / (ac.len() + bc.len()) as f64
+    }
+
+    fn d_disj_flat(&self, o1: &[FlatAtom], o2: &[FlatAtom]) -> f64 {
+        match (o1.is_empty(), o2.is_empty()) {
+            (true, true) => return 0.0,
+            (true, false) | (false, true) => return 1.0,
+            _ => {}
+        }
+        self.counters
+            .atoms_scanned
+            .fetch_add((o1.len() * o2.len()) as u64, Ordering::Relaxed);
+        let n2 = o2.len();
+        let mut small = [f64::INFINITY; DISJ_SCRATCH];
+        let mut heap: Vec<f64>;
+        let col_min: &mut [f64] = if n2 <= DISJ_SCRATCH {
+            &mut small[..n2]
+        } else {
+            heap = vec![f64::INFINITY; n2];
+            &mut heap
+        };
+        let mut sum1 = 0.0;
+        for p1 in o1 {
+            let mut row_min = f64::INFINITY;
+            for (j, p2) in o2.iter().enumerate() {
+                let d = self.d_pred_flat(p1, p2);
+                row_min = row_min.min(d);
+                col_min[j] = col_min[j].min(d);
+            }
+            sum1 += row_min;
+        }
+        let mut sum2 = 0.0;
+        for m in col_min.iter() {
+            sum2 += *m;
+        }
+        (sum1 + sum2) / (o1.len() + o2.len()) as f64
+    }
+
+    fn d_pred_flat(&self, p1: &FlatAtom, p2: &FlatAtom) -> f64 {
+        use FlatAtom::*;
+        match (p1, p2) {
+            (
+                Join {
+                    left: l1,
+                    op: op1,
+                    right: r1,
+                },
+                Join {
+                    left: l2,
+                    op: op2,
+                    right: r2,
+                },
+            ) => {
+                let same = (l1 == l2 && r1 == r2 && op1 == op2)
+                    || (l1 == r2 && r1 == l2 && *op1 == op2.flip());
+                match self.mode {
+                    DistanceMode::Dissimilarity => {
+                        if same {
+                            0.0
+                        } else {
+                            1.0
+                        }
+                    }
+                    DistanceMode::PaperLiteral => {
+                        if same {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                }
+            }
+            (
+                Num {
+                    col: c1,
+                    op: op1,
+                    c: v1,
+                    iv: i1,
+                    access,
+                    ..
+                },
+                Num {
+                    col: c2,
+                    op: op2,
+                    c: v2,
+                    iv: i2,
+                    ..
+                },
+            ) if c1 == c2 => {
+                // Same access base for both atoms (same column); widen by
+                // the two constants in the scalar's order.
+                let mut acc = *access;
+                acc = acc.hull(&Interval::point(*v1));
+                acc = acc.hull(&Interval::point(*v2));
+                let a1 = i1.intersect(&acc);
+                let a2 = i2.intersect(&acc);
+                let width = acc.width();
+                if width == 0.0 {
+                    let eq = op1 == op2 && (v1 == v2 || (v1.is_nan() && v2.is_nan()));
+                    return match self.mode {
+                        DistanceMode::Dissimilarity => {
+                            if eq {
+                                0.0
+                            } else {
+                                1.0
+                            }
+                        }
+                        DistanceMode::PaperLiteral => {
+                            if eq {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        }
+                    };
+                }
+                let overlap = a1.overlap_width(&a2);
+                match self.mode {
+                    DistanceMode::PaperLiteral => overlap / width,
+                    DistanceMode::Dissimilarity => {
+                        let hull = a1.hull(&a2).width();
+                        ((hull - overlap) / width).clamp(0.0, 1.0)
+                    }
+                }
+            }
+            (
+                Cat {
+                    col: c1,
+                    set: s1,
+                    access_len,
+                    ..
+                },
+                Cat {
+                    col: c2, set: s2, ..
+                },
+            ) if c1 == c2 => {
+                let common = s1.intersection(s2).count() as f64;
+                match self.mode {
+                    DistanceMode::PaperLiteral => {
+                        let denom = (*access_len).max(1);
+                        common / denom as f64
+                    }
+                    DistanceMode::Dissimilarity => {
+                        let union = s1.union(s2).count() as f64;
+                        if union == 0.0 {
+                            0.0
+                        } else {
+                            1.0 - common / union
+                        }
+                    }
+                }
+            }
+            // Column-constant vs column-constant on the same column with
+            // mixed numeric/categorical kinds: disjoint.
+            (Num { .. } | Cat { .. }, Num { .. } | Cat { .. }) if p1.col() == p2.col() => {
+                match self.mode {
+                    DistanceMode::Dissimilarity => 1.0,
+                    DistanceMode::PaperLiteral => 0.0,
+                }
+            }
+            // Cross-column column-constant pair.
+            (Num { .. } | Cat { .. }, Num { .. } | Cat { .. }) => match self.mode {
+                DistanceMode::Dissimilarity => 1.0,
+                DistanceMode::PaperLiteral => p1.frac() * p2.frac(),
+            },
+            // Join vs column-constant: no meaningful overlap.
+            _ => match self.mode {
+                DistanceMode::Dissimilarity => 1.0,
+                DistanceMode::PaperLiteral => 0.0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_small_and_wide_agree() {
+        let small = TableMask::from_bits(&[0, 3, 63]);
+        assert!(small.is_small());
+        assert_eq!(small.popcount(), 3);
+        let wide = TableMask::from_bits(&[0, 3, 63, 64, 130]);
+        assert!(!wide.is_small());
+        assert_eq!(wide.popcount(), 5);
+        let (inter, union) = small.inter_union(&wide);
+        assert_eq!((inter, union), (3, 5));
+        // Symmetric across representations.
+        assert_eq!(wide.inter_union(&small), (3, 5));
+    }
+
+    #[test]
+    fn jaccard_counts_corner_cases() {
+        assert_eq!(jaccard_from_counts(0, 0), 0.0);
+        assert_eq!(jaccard_from_counts(0, 2), 1.0);
+        assert_eq!(jaccard_from_counts(2, 2), 0.0);
+        assert!((jaccard_from_counts(1, 2) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn interner_ids_are_sorted_order() {
+        let a = AccessArea::new(["Zeta".to_string(), "alpha".to_string()]);
+        let b = AccessArea::new(["Mid".to_string()]);
+        let fwd = TableInterner::build([&a, &b]);
+        let rev = TableInterner::build([&b, &a]);
+        for name in ["alpha", "mid", "zeta"] {
+            assert_eq!(fwd.id(name), rev.id(name), "{name}");
+        }
+        assert_eq!(fwd.id("alpha"), Some(0));
+        assert_eq!(fwd.id("mid"), Some(1));
+        assert_eq!(fwd.id("zeta"), Some(2));
+        assert_eq!(fwd.name(2), Some("zeta"));
+    }
+}

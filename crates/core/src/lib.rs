@@ -47,6 +47,7 @@ pub mod error;
 pub mod extract;
 pub mod interval;
 pub mod jsonio;
+pub mod kernel;
 pub mod model;
 pub mod pipeline;
 pub mod predicate;
@@ -61,6 +62,10 @@ pub use distance::{DistanceMode, QueryDistance};
 pub use error::{ExtractError, ExtractResult, UnsupportedConstruct};
 pub use extract::{ColumnType, ExtractConfig, Extractor, NoSchema, SchemaProvider};
 pub use interval::Interval;
+pub use kernel::{
+    area_table_set, jaccard_from_counts, jaccard_str_sets, DistanceCounters, DistanceKernel,
+    FlatQuery, TableInterner, TableMask,
+};
 pub use model::{ClusteredModel, ModelError};
 pub use pipeline::{
     ExtractedQuery, FailedQuery, FailureKind, NoHooks, Pipeline, PipelineStats, Stage,

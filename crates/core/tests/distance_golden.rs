@@ -9,7 +9,7 @@
 use aa_core::distance::{DistanceMode, QueryDistance};
 use aa_core::extract::{Extractor, NoSchema};
 use aa_core::ranges::AccessRanges;
-use aa_core::{AccessArea, AtomicPredicate, QualifiedColumn};
+use aa_core::{AccessArea, AtomicPredicate, DistanceKernel, QualifiedColumn, TableInterner};
 
 fn area(sql: &str) -> AccessArea {
     Extractor::new(&NoSchema).extract_sql(sql).unwrap()
@@ -199,4 +199,102 @@ fn paper_worked_example_both_modes() {
     assert_close(lit.d_pred(&pred("a < 3"), &pred("a > 2")), 0.2, "paper 5.2");
     let d = QueryDistance::new(&r);
     assert_close(d.d_pred(&pred("a < 3"), &pred("a > 2")), 0.8, "1 - paper");
+}
+
+// --------------------------------------------------------------------
+// Kernel edge cases: the bitset/arena layer against the same goldens.
+// --------------------------------------------------------------------
+
+#[test]
+fn kernel_empty_table_sets() {
+    // Two table-less areas: d_tables = 0 (both empty), and the whole
+    // distance is 0 because there is nothing to mismatch on.
+    let r = ranges();
+    let areas = vec![AccessArea::new([]), AccessArea::new([]), area("SELECT * FROM T")];
+    let kernel = DistanceKernel::build(&areas, &r, DistanceMode::Dissimilarity);
+    let scalar = QueryDistance::new(&r);
+    assert_close(kernel.d_tables(0, 1), 0.0, "empty vs empty");
+    assert_close(kernel.distance(0, 1), 0.0, "empty vs empty full distance");
+    // Empty vs {T}: Jaccard 1 (nothing shared, union nonempty).
+    assert_close(kernel.d_tables(0, 2), 1.0, "empty vs {T}");
+    for i in 0..areas.len() {
+        for j in 0..areas.len() {
+            assert_eq!(
+                kernel.distance(i, j).to_bits(),
+                scalar.distance(&areas[i], &areas[j]).to_bits(),
+                "kernel vs scalar ({i},{j})"
+            );
+        }
+    }
+}
+
+#[test]
+fn kernel_wide_masks_past_64_tables() {
+    // A 70-table universe forces the Vec<u64> overflow masks; Jaccard
+    // must keep matching the scalar set computation exactly.
+    let r = AccessRanges::new();
+    let mut areas: Vec<AccessArea> = (0..70)
+        .map(|i| area(&format!("SELECT * FROM Tab{i}")))
+        .collect();
+    areas.push(area(&format!(
+        "SELECT * FROM {}",
+        (0..70).map(|i| format!("Tab{i}")).collect::<Vec<_>>().join(", ")
+    )));
+    let kernel = DistanceKernel::build(&areas, &r, DistanceMode::Dissimilarity);
+    let scalar = QueryDistance::new(&r);
+    assert!(kernel.tables().len() == 70, "universe spans 70 tables");
+    assert!(
+        !kernel.mask_of(70).is_small(),
+        "the all-tables area must take the wide-mask path"
+    );
+    for i in [0usize, 35, 69, 70] {
+        for j in [0usize, 35, 69, 70] {
+            assert_eq!(
+                kernel.d_tables(i, j).to_bits(),
+                scalar.d_tables(&areas[i], &areas[j]).to_bits(),
+                "wide d_tables ({i},{j})"
+            );
+        }
+    }
+    // Singleton 0 vs all-70: share one table -> 1 - 1/70.
+    assert_close(kernel.d_tables(0, 70), 1.0 - 1.0 / 70.0, "singleton vs all");
+}
+
+#[test]
+fn interner_ids_deterministic_across_insertion_orders() {
+    // Table ids come from the sorted name universe, so any area order
+    // produces the same interner (and therefore the same masks).
+    let a = area("SELECT * FROM Zeta, Alpha");
+    let b = area("SELECT * FROM Mid");
+    let c = area("SELECT * FROM Alpha, Mid");
+    let forward = TableInterner::build([&a, &b, &c]);
+    let backward = TableInterner::build([&c, &b, &a]);
+    assert_eq!(forward.len(), backward.len());
+    for name in ["alpha", "mid", "zeta"] {
+        assert_eq!(forward.id(name), backward.id(name), "{name}");
+        assert!(forward.id(name).is_some(), "{name} interned");
+    }
+    // Sorted universe: alpha < mid < zeta.
+    assert_eq!(forward.id("alpha"), Some(0));
+    assert_eq!(forward.id("mid"), Some(1));
+    assert_eq!(forward.id("zeta"), Some(2));
+    assert_eq!(forward.id("unknown"), None);
+}
+
+#[test]
+fn kernel_mode_parity_matches_scalar_goldens() {
+    // The kernel must reproduce the same PaperLiteral / Dissimilarity
+    // split the goldens above pin for the scalar path.
+    let r = ranges();
+    let areas = vec![
+        area("SELECT * FROM T WHERE a < 4"),
+        area("SELECT * FROM T WHERE a < 6"),
+    ];
+    let lit = DistanceKernel::build(&areas, &r, DistanceMode::PaperLiteral);
+    let dis = DistanceKernel::build(&areas, &r, DistanceMode::Dissimilarity);
+    // d_conj over single-atom constraints: (d + d) / 2 = d_pred.
+    assert_close(dis.distance(0, 1), 0.2, "kernel dissimilarity a<4 vs a<6");
+    assert_close(lit.distance(0, 1), 0.4, "kernel literal a<4 vs a<6");
+    assert_eq!(lit.mode(), DistanceMode::PaperLiteral);
+    assert_eq!(dis.mode(), DistanceMode::Dissimilarity);
 }

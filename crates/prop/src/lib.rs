@@ -91,6 +91,13 @@ impl Source {
         }
     }
 
+    /// A standalone generating source for the given seed. Lets tests
+    /// reuse choice-stream generators outside [`check`] (seed-pinned
+    /// fixtures, differential corpora) without the shrinking harness.
+    pub fn from_seed(seed: u64) -> Self {
+        Source::generating(seed)
+    }
+
     fn next_raw(&mut self) -> u64 {
         let value = match &mut self.mode {
             Mode::Generate(rng) => {

@@ -56,8 +56,8 @@ use crate::chaos::{RequestFault, ServeFaultPlan};
 use crate::protocol::{error_response, ok_response, overloaded_response};
 use crate::store::ModelStore;
 use aa_core::{
-    AccessArea, AccessRanges, ClusteredModel, DistanceMode, LogRunner, NoSchema, Pipeline,
-    QueryDistance, RunnerConfig,
+    AccessArea, AccessRanges, ClusteredModel, DistanceKernel, DistanceMode, LogRunner, NoSchema,
+    Pipeline, RunnerConfig,
 };
 use aa_dbscan::{dbscan, DbscanParams, Label, PivotIndex};
 use aa_util::Json;
@@ -74,25 +74,30 @@ const MAX_PIVOTS: usize = 64;
 const CLASSIFY: usize = 0;
 const NEIGHBORS: usize = 1;
 
-/// One immutable serving snapshot: the model, its pivot index, and the
-/// store generation it came from. Swapped atomically on reload.
+/// One immutable serving snapshot: the model, its distance kernel, its
+/// pivot index, and the store generation it came from. Swapped atomically
+/// on reload.
 pub struct ModelState {
     pub model: ClusteredModel,
+    /// Bitset distance kernel over the model's areas; bit-exact with the
+    /// scalar `QueryDistance` (enforced by the differential suite).
+    pub kernel: DistanceKernel,
     pub index: PivotIndex,
     pub generation: u64,
 }
 
 impl ModelState {
-    /// Builds the index for a validated model. This is the expensive part
-    /// of a reload and runs off the request path.
+    /// Builds the kernel and index for a validated model. This is the
+    /// expensive part of a reload and runs off the request path.
     pub fn build(model: ClusteredModel, generation: u64) -> ModelState {
-        let ranges = model.ranges.clone();
-        let qd = QueryDistance::with_mode(&ranges, model.mode);
-        let index = PivotIndex::build(&model.areas, MAX_PIVOTS, &|a: &AccessArea, b| {
-            qd.d_tables(a, b)
+        let kernel = DistanceKernel::build(&model.areas, &model.ranges, model.mode);
+        let positions: Vec<usize> = (0..model.areas.len()).collect();
+        let index = PivotIndex::build(&positions, MAX_PIVOTS, &|a: &usize, b: &usize| {
+            kernel.d_tables(*a, *b)
         });
         ModelState {
             model,
+            kernel,
             index,
             generation,
         }
@@ -411,14 +416,15 @@ impl ServeEngine {
         self.cache.get_or_compute(&key, || self.extract(sql))
     }
 
-    /// `k` nearest logged areas to `query` by `(distance, index)`.
+    /// `k` nearest logged areas to `query` by `(distance, index)`. The
+    /// query is flattened against the kernel once; every pivot bound and
+    /// candidate evaluation then rides the bitset path.
     fn knn(&self, state: &ModelState, query: &AccessArea, k: usize) -> (Vec<(usize, f64)>, usize) {
-        let qd = QueryDistance::with_mode(&state.model.ranges, state.model.mode);
-        let areas = &state.model.areas;
+        let flat = state.kernel.flatten(query);
         state.index.knn(
             k,
-            |i| qd.d_tables(query, &areas[i]),
-            |i| qd.distance(query, &areas[i]),
+            |i| state.kernel.d_tables_to(&flat, i),
+            |i| state.kernel.distance_to(&flat, i),
         )
     }
 
@@ -512,10 +518,10 @@ impl ServeEngine {
                 return extract_failed_response(kind, message);
             }
         };
-        let qd = QueryDistance::with_mode(&state.model.ranges, state.model.mode);
+        let flat = state.kernel.flatten(area);
         let mut best: Option<(f64, usize)> = None;
-        for (i, candidate) in state.model.areas.iter().enumerate() {
-            let d = qd.d_tables(area, candidate);
+        for i in 0..state.model.areas.len() {
+            let d = state.kernel.d_tables_to(&flat, i);
             if best.is_none_or(|(bd, _)| d < bd) {
                 best = Some((d, i));
             }
@@ -841,6 +847,23 @@ impl ServeEngine {
                 ]),
             ),
             (
+                "kernel".to_string(),
+                {
+                    let counters = state.kernel.counters();
+                    Json::obj([
+                        ("pairs".to_string(), Json::Num(counters.pairs as f64)),
+                        (
+                            "atoms_scanned".to_string(),
+                            Json::Num(counters.atoms_scanned as f64),
+                        ),
+                        (
+                            "bitset_fast_path".to_string(),
+                            Json::Num(counters.bitset_fast_path as f64),
+                        ),
+                    ])
+                },
+            ),
+            (
                 "model".to_string(),
                 Json::obj([
                     ("generation".to_string(), Json::Num(state.generation as f64)),
@@ -949,9 +972,10 @@ pub fn build_model(
     let mut ranges = AccessRanges::new();
     ranges.observe_all(areas.iter());
     ranges.apply_doubling();
-    let qd = QueryDistance::with_mode(&ranges, mode);
-    let result = dbscan(&areas, &DbscanParams { eps, min_pts }, |a, b| {
-        qd.distance(a, b)
+    let kernel = DistanceKernel::build(&areas, &ranges, mode);
+    let positions: Vec<usize> = (0..areas.len()).collect();
+    let result = dbscan(&positions, &DbscanParams { eps, min_pts }, |a, b| {
+        kernel.distance(*a, *b)
     });
     let labels: Vec<Option<usize>> = result.labels.iter().map(Label::cluster).collect();
     let model = ClusteredModel {

@@ -141,6 +141,21 @@ diff "$store_a/stats.json" "$store_b/stats.json"
 echo "==> serve cache microbench (AA_BENCH_FAST)"
 AA_BENCH_FAST=1 cargo bench --offline -p aa-bench --bench serve_cache
 
+# Perf-trajectory gate: re-measure the kernel and serve reports in fast
+# sampling mode and compare against the checked-in BENCH_*.json
+# baselines. Work counters must match exactly (any drift is a behaviour
+# change, not noise); time is gated through machine-portable ratios —
+# kernel-vs-scalar speedups within 25% of baseline and d_tables/64 at
+# >= 4x — so the gate holds on slow CI machines too.
+echo "==> bench gate (BENCH_kernels.json / BENCH_serve.json)"
+bench_fresh="$chaos_dir/bench_fresh"
+mkdir -p "$bench_fresh"
+AA_BENCH_FAST=1 AA_BENCH_OUT_DIR="$bench_fresh" \
+    cargo bench --offline -p aa-bench --bench kernels
+AA_BENCH_FAST=1 AA_BENCH_OUT_DIR="$bench_fresh" \
+    cargo bench --offline -p aa-bench --bench serve_perf
+cargo run --release -p aa-bench --bin bench_gate --offline -- "$bench_fresh" .
+
 # Lint gate: clippy when the toolchain has it; otherwise rustc warnings
 # are promoted to errors over every target so the build still gates.
 if cargo clippy --version >/dev/null 2>&1; then
