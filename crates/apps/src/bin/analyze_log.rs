@@ -34,6 +34,8 @@
 //! Without a database to sample, `access(a)` ranges are bootstrapped from
 //! the log itself (the paper's Section 5.3 fallback (2)).
 
+#![forbid(unsafe_code)]
+
 use aa_analyze::{codes, Analyzer};
 use aa_core::analysis::line_col;
 use aa_core::{

@@ -53,6 +53,8 @@
 //! server's `retry_after_ms` floor), so chaos-injected drops surface as
 //! retried requests, not client crashes.
 
+#![forbid(unsafe_code)]
+
 use aa_core::DistanceMode;
 use aa_serve::{build_model, ModelStore, SaveFault, ServeEngine, ServeFaultPlan, ServerConfig};
 use aa_util::{Json, SeededRng};

@@ -1,0 +1,191 @@
+//! The baseline ratchet: `audit_baseline.json`.
+//!
+//! Legacy findings are frozen at adoption time and burned down over
+//! later PRs; *new* findings fail CI immediately. Entries are keyed by
+//! `(file, code, trimmed line text)` with a count — line numbers are
+//! deliberately absent so edits elsewhere in a file do not unfreeze its
+//! legacy findings, while any *new* occurrence (same code on a line of
+//! different text, or one more occurrence of identical text) is caught
+//! by the multiset comparison.
+
+use crate::passes::Finding;
+use aa_util::Json;
+use std::collections::BTreeMap;
+
+/// Baselined finding multiset.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `(file, code, line_text) -> count`, ordered for stable output.
+    entries: BTreeMap<(String, String, String), usize>,
+}
+
+/// The result of comparing a run against the baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BaselineDiff {
+    /// Findings not covered by the baseline — these fail the audit.
+    pub fresh: Vec<Finding>,
+    /// Baselined entries the run no longer produces (burn-down), as
+    /// `(file, code, line_text, missing_count)`.
+    pub fixed: Vec<(String, String, String, usize)>,
+    /// How many findings the baseline absorbed.
+    pub baselined: usize,
+}
+
+fn key(f: &Finding) -> (String, String, String) {
+    (f.path.clone(), f.code.to_string(), f.line_text.clone())
+}
+
+impl Baseline {
+    /// Freezes the given findings as the new baseline.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for f in findings {
+            *entries.entry(key(f)).or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Splits `findings` into baselined and fresh, and reports burn-down.
+    pub fn diff(&self, findings: &[Finding]) -> BaselineDiff {
+        let mut remaining = self.entries.clone();
+        let mut diff = BaselineDiff::default();
+        for f in findings {
+            match remaining.get_mut(&key(f)) {
+                Some(count) if *count > 0 => {
+                    *count -= 1;
+                    diff.baselined += 1;
+                }
+                _ => diff.fresh.push(f.clone()),
+            }
+        }
+        for ((file, code, text), count) in remaining {
+            if count > 0 {
+                diff.fixed.push((file, code, text, count));
+            }
+        }
+        diff
+    }
+
+    /// Renders as the checked-in JSON artifact (aa-util writer, ordered,
+    /// byte-stable).
+    pub fn to_json_string(&self) -> String {
+        let entries: Vec<Json> = self
+            .entries
+            .iter()
+            .map(|((file, code, text), count)| {
+                Json::obj([
+                    ("file".to_string(), Json::Str(file.clone())),
+                    ("code".to_string(), Json::Str(code.clone())),
+                    ("line_text".to_string(), Json::Str(text.clone())),
+                    ("count".to_string(), Json::Num(*count as f64)),
+                ])
+            })
+            .collect();
+        let doc = Json::obj([
+            ("version".to_string(), Json::Num(1.0)),
+            ("entries".to_string(), Json::Arr(entries)),
+        ]);
+        let mut out = doc.to_string_pretty();
+        out.push('\n');
+        out
+    }
+
+    /// Parses the checked-in artifact.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let version = doc.get("version").and_then(Json::as_f64);
+        if version != Some(1.0) {
+            return Err("unsupported baseline version (expected 1)".to_string());
+        }
+        let Some(items) = doc.get("entries").and_then(Json::as_arr) else {
+            return Err("baseline is missing the `entries` array".to_string());
+        };
+        let mut entries = BTreeMap::new();
+        for (i, item) in items.iter().enumerate() {
+            let field = |name: &str| {
+                item.get(name)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("entry {i}: missing string field `{name}`"))
+            };
+            let count = item
+                .get("count")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("entry {i}: missing numeric field `count`"))?;
+            entries.insert((field("file")?, field("code")?, field("line_text")?), count as usize);
+        }
+        Ok(Baseline { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(path: &str, code: &'static str, text: &str) -> Finding {
+        Finding {
+            code,
+            path: path.to_string(),
+            message: String::new(),
+            start: 0,
+            end: 1,
+            line: 1,
+            col: 1,
+            line_text: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_diff_semantics() {
+        let old = vec![
+            finding("a.rs", "A001", "x.unwrap()"),
+            finding("a.rs", "A001", "x.unwrap()"),
+            finding("b.rs", "A003", "Instant::now()"),
+        ];
+        let baseline = Baseline::from_findings(&old);
+        let text = baseline.to_json_string();
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed, baseline);
+        assert_eq!(parsed.len(), 3);
+
+        // Same findings at different line numbers still match (the key is
+        // line text, not position).
+        let mut moved = old.clone();
+        moved[0].line = 40;
+        let diff = parsed.diff(&moved);
+        assert!(diff.fresh.is_empty());
+        assert_eq!(diff.baselined, 3);
+        assert!(diff.fixed.is_empty());
+
+        // One fixed, one new: the count drops and the newcomer fails.
+        let current = vec![
+            finding("a.rs", "A001", "x.unwrap()"),
+            finding("b.rs", "A003", "Instant::now()"),
+            finding("c.rs", "A004", "x == 0.0"),
+        ];
+        let diff = parsed.diff(&current);
+        assert_eq!(diff.fresh.len(), 1);
+        assert_eq!(diff.fresh[0].path, "c.rs");
+        assert_eq!(diff.baselined, 2);
+        assert_eq!(
+            diff.fixed,
+            vec![("a.rs".to_string(), "A001".to_string(), "x.unwrap()".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("{\"version\": 2, \"entries\": []}").is_err());
+        assert!(Baseline::parse("{\"version\": 1}").is_err());
+        assert!(Baseline::parse("not json").is_err());
+    }
+}

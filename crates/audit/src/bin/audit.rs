@@ -1,0 +1,132 @@
+#![forbid(unsafe_code)]
+//! `audit` — run the workspace invariant checker.
+//!
+//! ```text
+//! audit [--root DIR] [--config FILE] [--baseline FILE]
+//!       [--write-baseline] [--locks]
+//! ```
+//!
+//! Exit codes: `0` clean (all findings baselined), `1` new findings,
+//! `2` usage or configuration error.
+
+use aa_audit::{baseline::Baseline, codes, config::AuditConfig, run_audit};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    config: PathBuf,
+    baseline: PathBuf,
+    write_baseline: bool,
+    locks: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = PathBuf::from(".");
+    let mut config: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut locks = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut path_value = |name: &str| {
+            it.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--root" => root = path_value("--root")?,
+            "--config" => config = Some(path_value("--config")?),
+            "--baseline" => baseline = Some(path_value("--baseline")?),
+            "--write-baseline" => write_baseline = true,
+            "--locks" => locks = true,
+            "--help" | "-h" => {
+                return Err("usage: audit [--root DIR] [--config FILE] [--baseline FILE] [--write-baseline] [--locks]".to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(Args {
+        config: config.unwrap_or_else(|| root.join("audit.toml")),
+        baseline: baseline.unwrap_or_else(|| root.join("audit_baseline.json")),
+        root,
+        write_baseline,
+        locks,
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("audit: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let config_text = std::fs::read_to_string(&args.config)
+        .map_err(|e| format!("cannot read policy {}: {e}", args.config.display()))?;
+    let config = AuditConfig::parse(&config_text).map_err(|e| e.to_string())?;
+    let outcome = run_audit(&args.root, &config)?;
+
+    if args.locks {
+        println!("lock acquisition sites ({}):", outcome.lock_sites.len());
+        for site in &outcome.lock_sites {
+            let rank = match site.rank {
+                Some(r) => format!("rank {r}"),
+                None => "UNDECLARED".to_string(),
+            };
+            println!(
+                "  {}:{}:{}  {}.{}()  [{rank}]",
+                site.path, site.line, site.col, site.lock, site.method
+            );
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if args.write_baseline {
+        let frozen = Baseline::from_findings(&outcome.findings);
+        std::fs::write(&args.baseline, frozen.to_json_string())
+            .map_err(|e| format!("cannot write {}: {e}", args.baseline.display()))?;
+        println!(
+            "audit: froze {} finding(s) into {}",
+            frozen.len(),
+            args.baseline.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline = match std::fs::read_to_string(&args.baseline) {
+        Ok(text) => Baseline::parse(&text)
+            .map_err(|e| format!("{}: {e}", args.baseline.display()))?,
+        Err(_) => Baseline::default(),
+    };
+    let diff = baseline.diff(&outcome.findings);
+
+    for f in &diff.fresh {
+        println!("{}", outcome.render(f));
+        if let Some(desc) = codes::describe(f.code) {
+            println!("  = {}: {desc}", f.code);
+        }
+        println!();
+    }
+    for (file, code, text, count) in &diff.fixed {
+        println!("fixed (remove from baseline): {file} {code} x{count}  `{text}`");
+    }
+    println!(
+        "audit: {} file(s), {} finding(s): {} baselined, {} new, {} fixed",
+        outcome.files_scanned,
+        outcome.findings.len(),
+        diff.baselined,
+        diff.fresh.len(),
+        diff.fixed.len()
+    );
+    if diff.fresh.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(1))
+    }
+}

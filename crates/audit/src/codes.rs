@@ -1,0 +1,74 @@
+//! The `A0xx` invariant-code registry.
+//!
+//! Same contract as the `E0xx`/`W0xx` registry in `aa-analyze`: codes are
+//! stable identifiers referenced by the baseline, pinned corpus tests,
+//! and DESIGN.md §11, so a code is never renumbered or reused — retired
+//! passes keep their number, new passes get new codes.
+//!
+//! Every `A0xx` finding is `Error` severity: each one is a statically
+//! detectable breach of an invariant the repo otherwise only checks
+//! dynamically (byte-identical replay, bit-exact kernels, hermetic
+//! builds). Legacy findings live in `audit_baseline.json`; new ones fail
+//! CI.
+
+/// `A001` — `unwrap()`/`expect()` in non-test library code without an
+/// `// audit: allow(A001, reason)` annotation. A stray unwrap on a worker
+/// thread turns a recoverable condition into a panic the chaos suites
+/// only find when a seed happens to hit it.
+pub const UNWRAP_IN_LIB: &str = "A001";
+
+/// `A002` — iteration over a `HashMap`/`HashSet` in a module that also
+/// renders JSON or canonical text. Hash iteration order is randomised
+/// per-process; one such loop feeding a serialised artifact breaks the
+/// byte-identical replay contract. Use `BTreeMap`/`BTreeSet` or sort.
+pub const HASH_ITERATION: &str = "A002";
+
+/// `A003` — `Instant::now`/`SystemTime::now` outside the allowlisted
+/// clock modules declared in `audit.toml`. Wall-clock reads in a
+/// deterministic path make replays diverge.
+pub const WALL_CLOCK: &str = "A003";
+
+/// `A004` — `==`/`!=` against a float literal outside `to_bits` idioms.
+/// The PR 6 kernel contract is *bit*-exactness; semantic float equality
+/// in shipping code hides `-0.0`/`NaN` divergence.
+pub const FLOAT_EQ: &str = "A004";
+
+/// `A005` — crate root (lib, bin, bench, or example) missing
+/// `#![forbid(unsafe_code)]`. The hermetic-build policy promises a fully
+/// safe workspace; `forbid` makes that a compile error, not a convention.
+pub const MISSING_FORBID_UNSAFE: &str = "A005";
+
+/// `A006` — a `Cargo.toml` dependency that is not an in-tree path /
+/// workspace dependency (version, git, or registry requirement). The
+/// build environment has no crates.io access; such a dependency breaks
+/// `cargo build --offline` from a cold cache.
+pub const NON_HERMETIC_DEPENDENCY: &str = "A006";
+
+/// `A007` — lock-discipline breach: a `Mutex`/`RwLock` acquisition that
+/// inverts the partial order declared in `audit.toml`, re-acquires a held
+/// lock, acquires an undeclared lock, or holds a guard across a blocking
+/// channel call.
+pub const LOCK_DISCIPLINE: &str = "A007";
+
+/// Every registered code with its one-line description, in registry
+/// order — the source of truth for reports and DESIGN.md.
+pub const REGISTRY: &[(&str, &str)] = &[
+    (UNWRAP_IN_LIB, "unwrap/expect in non-test code"),
+    (HASH_ITERATION, "hash-order iteration in a serialising module"),
+    (WALL_CLOCK, "wall-clock read outside allowlisted clock modules"),
+    (FLOAT_EQ, "semantic float equality outside to_bits idioms"),
+    (MISSING_FORBID_UNSAFE, "crate root missing #![forbid(unsafe_code)]"),
+    (NON_HERMETIC_DEPENDENCY, "non-workspace dependency"),
+    (LOCK_DISCIPLINE, "lock-order / guard-discipline breach"),
+];
+
+/// Short description of a code, if registered.
+pub fn describe(code: &str) -> Option<&'static str> {
+    REGISTRY.iter().find(|(c, _)| *c == code).map(|(_, d)| *d)
+}
+
+/// The registered `&'static str` for a code spelled at runtime (allow
+/// annotations and baselines carry codes as text).
+pub fn intern(code: &str) -> Option<&'static str> {
+    REGISTRY.iter().find(|(c, _)| *c == code).map(|(c, _)| *c)
+}

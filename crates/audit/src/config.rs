@@ -1,0 +1,191 @@
+//! `audit.toml`: the checked-in policy the passes consult.
+//!
+//! The parser handles the TOML subset the policy file actually needs —
+//! `[section]` headers, `key = "string"`, `key = true/false`, and
+//! (possibly multi-line) `key = ["a", "b"]` string arrays, with `#`
+//! comments — in the same spirit as the in-tree JSON module: no external
+//! dependency, deterministic errors with line numbers.
+
+use std::fmt;
+
+/// Parse failure with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "audit.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The audit policy.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditConfig {
+    /// Directories (repo-relative) whose `.rs` files are scanned.
+    pub scan_roots: Vec<String>,
+    /// Path prefixes excluded from scanning (the self-test corpus of
+    /// intentionally broken snippets lives here).
+    pub scan_exclude: Vec<String>,
+    /// Path prefixes allowed to read wall clocks (A003): bench harnesses,
+    /// deadline enforcement, socket timeouts.
+    pub clock_allow: Vec<String>,
+    /// Declared lock acquisition order (A007): when two locks nest, the
+    /// one earlier in this list must be acquired first. Also the universe
+    /// of declared locks — acquiring a lock-shaped receiver not listed
+    /// here is itself a finding.
+    pub lock_order: Vec<String>,
+    /// Method names treated as blocking while a guard is held (A007).
+    pub lock_blocking: Vec<String>,
+}
+
+impl AuditConfig {
+    /// The rank of a lock in the declared order.
+    pub fn lock_rank(&self, name: &str) -> Option<usize> {
+        self.lock_order.iter().position(|l| l == name)
+    }
+
+    /// Whether `path` (repo-relative, `/`-separated) may read wall clocks.
+    pub fn clock_allowed(&self, path: &str) -> bool {
+        self.clock_allow.iter().any(|p| path.starts_with(p.as_str()))
+    }
+
+    /// Whether `path` is excluded from scanning.
+    pub fn excluded(&self, path: &str) -> bool {
+        self.scan_exclude.iter().any(|p| path.starts_with(p.as_str()))
+    }
+
+    /// Parses the policy file.
+    pub fn parse(text: &str) -> Result<AuditConfig, ConfigError> {
+        let mut config = AuditConfig::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((i, raw)) = lines.next() {
+            let line_no = i + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: line_no,
+                    message: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let key = key.trim();
+            let mut value = value.trim().to_string();
+            // A multi-line array keeps consuming lines until the `]`.
+            if value.starts_with('[') && !value.ends_with(']') {
+                for (_, cont) in lines.by_ref() {
+                    value.push(' ');
+                    value.push_str(strip_comment(cont).trim());
+                    if value.ends_with(']') {
+                        break;
+                    }
+                }
+            }
+            let target = match (section.as_str(), key) {
+                ("scan", "roots") => &mut config.scan_roots,
+                ("scan", "exclude") => &mut config.scan_exclude,
+                ("clock", "allow") => &mut config.clock_allow,
+                ("locks", "order") => &mut config.lock_order,
+                ("locks", "blocking") => &mut config.lock_blocking,
+                _ => {
+                    return Err(ConfigError {
+                        line: line_no,
+                        message: format!("unknown key `[{section}] {key}`"),
+                    })
+                }
+            };
+            *target = parse_string_array(&value).map_err(|message| ConfigError {
+                line: line_no,
+                message,
+            })?;
+        }
+        Ok(config)
+    }
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("expected a string array, got `{value}`"))?;
+    let mut items = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        let item = part
+            .strip_prefix('"')
+            .and_then(|p| p.strip_suffix('"'))
+            .ok_or_else(|| format!("expected a quoted string, got `{part}`"))?;
+        items.push(item.to_string());
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_policy_shape() {
+        let text = r#"
+# policy
+[scan]
+roots = ["crates", "examples"]
+exclude = ["crates/audit/tests/corpus/"]
+
+[clock]
+allow = [
+    "crates/bench/",   # harness timing
+    "crates/core/src/runner.rs",
+]
+
+[locks]
+order = ["state", "stats"]
+blocking = ["send", "recv"]
+"#;
+        let config = AuditConfig::parse(text).unwrap();
+        assert_eq!(config.scan_roots, vec!["crates", "examples"]);
+        assert_eq!(config.lock_rank("state"), Some(0));
+        assert_eq!(config.lock_rank("stats"), Some(1));
+        assert_eq!(config.lock_rank("inner"), None);
+        assert!(config.clock_allowed("crates/bench/src/perf.rs"));
+        assert!(config.clock_allowed("crates/core/src/runner.rs"));
+        assert!(!config.clock_allowed("crates/core/src/pipeline.rs"));
+        assert!(config.excluded("crates/audit/tests/corpus/bad.rs"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = AuditConfig::parse("[scan]\nroots = oops").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = AuditConfig::parse("[nope]\nkey = [\"x\"]").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown key"));
+    }
+}

@@ -1,0 +1,413 @@
+//! A string/char/comment/raw-string-aware Rust token scanner.
+//!
+//! The auditor never needs a real parse tree: every invariant pass works
+//! on the token stream, and the one thing that *must* be exact is the
+//! boundary between code and non-code — a `.unwrap()` inside a string
+//! literal or a doc comment is not a panic site. So this lexer's contract
+//! is deliberately narrow:
+//!
+//! * every byte of the input belongs to exactly one token or to
+//!   inter-token whitespace (tokens tile the file; checked by the
+//!   aa-prop round-trip suite);
+//! * string literals (`"…"`, `b"…"`, `r"…"`, `r#"…"#`, `br##"…"##`),
+//!   char literals (`'a'`, `'\u{1F4A9}'`), lifetimes (`'static`), line
+//!   comments, and nested block comments are each one token, so no pass
+//!   can fire inside their content;
+//! * everything else is an identifier, a number, or a single punctuation
+//!   byte — compound operators like `==` are recognised by the passes
+//!   from adjacency, which keeps the lexer trivially total.
+//!
+//! Totality matters more than precision: the lexer never fails. Malformed
+//! input (an unterminated string at EOF) closes the open token at the end
+//! of the file, and the passes run on whatever tokens exist.
+
+/// Token classes the passes distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    /// `'a` in `&'a str` (distinguished from [`TokKind::Char`] so a
+    /// lifetime is never mistaken for an unterminated char literal).
+    Lifetime,
+    /// Any numeric literal; [`Tok::is_float_literal`] refines it.
+    Num,
+    /// Any string-like literal: `"…"`, `b"…"`, and all raw forms.
+    Str,
+    Char,
+    LineComment,
+    BlockComment,
+    /// One punctuation byte.
+    Punct,
+}
+
+/// One token: a class plus the byte range it covers in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Tok {
+    /// The token's text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether a [`TokKind::Num`] token is a float (not integer) literal:
+    /// it contains a decimal point, a decimal exponent, or an `f32`/`f64`
+    /// suffix. Hex/octal/binary literals are never floats.
+    pub fn is_float_literal(&self, src: &str) -> bool {
+        if self.kind != TokKind::Num {
+            return false;
+        }
+        let text = self.text(src);
+        if text.starts_with("0x") || text.starts_with("0X") || text.starts_with("0b")
+            || text.starts_with("0o")
+        {
+            return false;
+        }
+        text.contains('.')
+            || text.ends_with("f32")
+            || text.ends_with("f64")
+            || text.bytes().any(|b| b == b'e' || b == b'E')
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`. Never fails; see the module docs for the contract.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok> {
+        let mut toks = Vec::new();
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let b = self.bytes[self.pos];
+            let kind = match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' => match self.raw_or_byte_prefix() {
+                    Some(kind) => kind,
+                    None => self.ident(),
+                },
+                _ if is_ident_start(b) => self.ident(),
+                b'0'..=b'9' => self.number(),
+                _ => {
+                    self.pos += 1;
+                    TokKind::Punct
+                }
+            };
+            toks.push(Tok {
+                kind,
+                start,
+                end: self.pos,
+            });
+        }
+        toks
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn line_comment(&mut self) -> TokKind {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        TokKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokKind {
+        self.pos += 2; // consume `/*`
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        TokKind::BlockComment
+    }
+
+    /// A `"…"` string with `\` escapes, starting at the opening quote.
+    fn string(&mut self) -> TokKind {
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos = (self.pos + 2).min(self.bytes.len()),
+                b'"' => {
+                    self.pos += 1;
+                    return TokKind::Str;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        TokKind::Str // unterminated at EOF
+    }
+
+    /// Disambiguates `'a'` / `'\n'` (char) from `'a` / `'static`
+    /// (lifetime), starting at the `'`.
+    fn char_or_lifetime(&mut self) -> TokKind {
+        self.pos += 1;
+        match self.bytes.get(self.pos) {
+            Some(b'\\') => {
+                // Escaped char literal: scan to the closing quote, with
+                // the backslash consuming its escaped character (so the
+                // quote in `'\''` cannot close the literal early).
+                while self.pos < self.bytes.len() {
+                    match self.bytes[self.pos] {
+                        b'\\' => self.pos = (self.pos + 2).min(self.bytes.len()),
+                        b'\'' => {
+                            self.pos += 1;
+                            return TokKind::Char;
+                        }
+                        _ => self.pos += 1,
+                    }
+                }
+                TokKind::Char
+            }
+            Some(&b) if is_ident_start(b) => {
+                // `'x…`: a char literal iff a quote immediately closes a
+                // single scalar; otherwise a lifetime.
+                let mut end = self.pos;
+                while end < self.bytes.len() && is_ident_continue(self.bytes[end]) {
+                    end += 1;
+                }
+                if end == self.pos + utf8_len(b) && self.bytes.get(end) == Some(&b'\'') {
+                    self.pos = end + 1;
+                    TokKind::Char
+                } else {
+                    self.pos = end;
+                    TokKind::Lifetime
+                }
+            }
+            Some(_) => {
+                // `'('` and friends: a one-byte char literal if closed.
+                if self.peek(1) == Some(b'\'') {
+                    self.pos += 2;
+                } else {
+                    self.pos += 1;
+                }
+                TokKind::Char
+            }
+            None => TokKind::Char,
+        }
+    }
+
+    /// Handles the `r` / `b` prefixes: raw strings (`r"`, `r#"`), byte
+    /// strings (`b"`, `br"`, `br#"`), byte chars (`b'`). Returns `None`
+    /// when the prefix is just the start of an identifier (including raw
+    /// identifiers `r#ident`).
+    fn raw_or_byte_prefix(&mut self) -> Option<TokKind> {
+        let b0 = self.bytes[self.pos];
+        let mut at = self.pos + 1;
+        if b0 == b'b' {
+            match self.bytes.get(at) {
+                Some(b'\'') => {
+                    self.pos += 1;
+                    return Some(self.char_or_lifetime());
+                }
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Some(self.string());
+                }
+                Some(b'r') => at += 1,
+                _ => return None,
+            }
+        }
+        // At a potential raw-string opener: count hashes, require `"`.
+        let mut hashes = 0usize;
+        while self.bytes.get(at + hashes) == Some(&b'#') {
+            hashes += 1;
+        }
+        if self.bytes.get(at + hashes) != Some(&b'"') {
+            // `r#ident` raw identifier, or plain ident starting with r/b.
+            return None;
+        }
+        self.pos = at + hashes + 1;
+        // Scan to `"` followed by `hashes` hash bytes.
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                let close = &self.bytes[self.pos + 1..];
+                if close.len() >= hashes && close[..hashes].iter().all(|&h| h == b'#') {
+                    self.pos += 1 + hashes;
+                    return Some(TokKind::Str);
+                }
+            }
+            self.pos += 1;
+        }
+        Some(TokKind::Str) // unterminated at EOF
+    }
+
+    fn ident(&mut self) -> TokKind {
+        // Raw identifier prefix `r#` (reached when not a raw string).
+        if self.bytes[self.pos] == b'r' && self.peek(1) == Some(b'#') {
+            self.pos += 2;
+        }
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        TokKind::Ident
+    }
+
+    fn number(&mut self) -> TokKind {
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else if b == b'.' {
+                // Consume the dot only for a fractional part, never for a
+                // method call (`1.max(2)`) or a range (`0..n`).
+                match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() => self.pos += 1,
+                    _ => break,
+                }
+            } else if (b == b'+' || b == b'-')
+                && matches!(self.bytes[self.pos - 1], b'e' | b'E')
+            {
+                self.pos += 1; // exponent sign in `1e-3`
+            } else {
+                break;
+            }
+        }
+        TokKind::Num
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn strings_comments_and_chars_are_single_tokens() {
+        let src = r##"let s = "a // not a comment"; // real
+let c = '\''; let lt: &'static str = r#"raw "x" here"#; /* block /* nested */ done */"##;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("not a comment")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::LineComment && t.contains("real")));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == r"'\''"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'static"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("raw \"x\" here")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::BlockComment && t.contains("nested")));
+    }
+
+    #[test]
+    fn byte_and_hashed_raw_strings() {
+        let src = r###"let a = b"bytes"; let b = br##"raw ## inside"##; let c = b'x';"###;
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Str && t == "b\"bytes\""));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("raw ## inside")));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "b'x'"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn float_detection() {
+        let src = "1.5 2 0x1f 1e-3 7f64 1_000 0.0";
+        let toks = lex(src);
+        let floats: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.is_float_literal(src))
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(floats, vec!["1.5", "1e-3", "7f64", "0.0"]);
+    }
+
+    #[test]
+    fn method_calls_on_int_literals_keep_the_dot_out() {
+        let src = "1.max(2); 0..n; 3.5.floor()";
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "1"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "3.5"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "floor"));
+    }
+
+    #[test]
+    fn tokens_tile_the_input() {
+        let src = "fn f() { let x = \"s\"; // c\n x.unwrap() }";
+        let toks = lex(src);
+        let mut prev_end = 0;
+        for t in &toks {
+            assert!(t.start >= prev_end, "overlap at {}", t.start);
+            assert!(
+                src[prev_end..t.start].bytes().all(|b| b.is_ascii_whitespace()),
+                "gap {}..{} not whitespace",
+                prev_end,
+                t.start
+            );
+            prev_end = t.end;
+        }
+        assert!(src[prev_end..].bytes().all(|b| b.is_ascii_whitespace()));
+    }
+
+    #[test]
+    fn unterminated_tokens_close_at_eof() {
+        for src in ["\"never closed", "/* open", "r#\"raw open", "'"] {
+            let toks = lex(src);
+            assert_eq!(toks.last().map(|t| t.end), Some(src.len()), "{src:?}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+#![forbid(unsafe_code)]
+//! `aa-audit` — the workspace-wide static invariant checker.
+//!
+//! The repo's invariants — byte-identical replay, bit-exact kernels,
+//! hermetic offline builds, panic-free serving, a declared lock order —
+//! are enforced dynamically by the chaos and differential suites, which
+//! only catch a breach when a seed happens to hit it. This crate checks
+//! the *statically decidable* shadow of each invariant on every source
+//! file, every CI run:
+//!
+//! * [`lexer`] — a string/comment/raw-string-aware token scanner (no
+//!   parse tree; passes work on token adjacency);
+//! * [`codes`] — the frozen `A0xx` registry, mirroring aa-analyze's
+//!   `E0xx`/`W0xx` discipline;
+//! * [`passes`] — per-file passes `A001`–`A005`;
+//! * [`locks`] — the `A007` intraprocedural lock-discipline checker;
+//! * [`manifest`] — the `A006` hermetic-dependency check on `Cargo.toml`;
+//! * [`config`] — the checked-in `audit.toml` policy;
+//! * [`baseline`] — the `audit_baseline.json` ratchet: legacy findings
+//!   frozen, new findings fail.
+//!
+//! Diagnostics reuse `aa-core::analysis` rendering, so audit findings
+//! carry the same `CODE [severity] message` + caret snippet shape as
+//! query-analysis diagnostics. See DESIGN.md §11.
+
+pub mod baseline;
+pub mod codes;
+pub mod config;
+pub mod lexer;
+pub mod locks;
+pub mod manifest;
+pub mod passes;
+
+pub use baseline::{Baseline, BaselineDiff};
+pub use config::{AuditConfig, ConfigError};
+pub use locks::LockSite;
+pub use passes::{FileCx, Finding};
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Everything one audit run produced.
+#[derive(Debug, Default)]
+pub struct AuditOutcome {
+    /// All findings, sorted by `(path, line, col, code)`.
+    pub findings: Vec<Finding>,
+    /// Every lock acquisition site seen (`audit --locks`), sorted.
+    pub lock_sites: Vec<LockSite>,
+    /// Source text per scanned file, for caret rendering.
+    pub sources: BTreeMap<String, String>,
+    /// How many files were scanned (`.rs` plus manifests).
+    pub files_scanned: usize,
+}
+
+impl AuditOutcome {
+    /// Renders one finding with its caret snippet.
+    pub fn render(&self, f: &Finding) -> String {
+        match self.sources.get(&f.path) {
+            Some(src) => f.render(src),
+            None => format!("{}:{}:{}: {} [error] {}", f.path, f.line, f.col, f.code, f.message),
+        }
+    }
+}
+
+/// Runs the full audit over `root` under `config`. Deterministic: files
+/// are visited in sorted path order and findings are sorted.
+pub fn run_audit(root: &Path, config: &AuditConfig) -> Result<AuditOutcome, String> {
+    let mut outcome = AuditOutcome::default();
+    let mut rs_files: Vec<PathBuf> = Vec::new();
+    let mut manifests: Vec<PathBuf> = vec![root.join("Cargo.toml")];
+    for scan_root in &config.scan_roots {
+        walk(&root.join(scan_root), &mut rs_files, &mut manifests)?;
+    }
+    rs_files.sort();
+    rs_files.dedup();
+    manifests.sort();
+    manifests.dedup();
+
+    for file in &rs_files {
+        let rel = rel_path(root, file);
+        if config.excluded(&rel) {
+            continue;
+        }
+        let src = read(file)?;
+        let cx = FileCx::new(&rel, &src);
+        outcome.findings.extend(passes::run_file_passes(&cx, config));
+        locks::pass_locks(&cx, config, &mut outcome.lock_sites, &mut outcome.findings);
+        outcome.sources.insert(rel, src);
+        outcome.files_scanned += 1;
+    }
+    for file in &manifests {
+        let rel = rel_path(root, file);
+        if config.excluded(&rel) || !file.is_file() {
+            continue;
+        }
+        let src = read(file)?;
+        outcome.findings.extend(manifest::audit_manifest(&rel, &src));
+        outcome.sources.insert(rel, src);
+        outcome.files_scanned += 1;
+    }
+    outcome
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.code).cmp(&(&b.path, b.line, b.col, b.code)));
+    outcome.lock_sites.sort();
+    Ok(outcome)
+}
+
+/// Recursively collects `.rs` files and `Cargo.toml` manifests under
+/// `dir`, in sorted order. Hidden directories and `target/` are skipped.
+fn walk(dir: &Path, rs_files: &mut Vec<PathBuf>, manifests: &mut Vec<PathBuf>) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let iter = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut entries: Vec<PathBuf> = Vec::new();
+    for entry in iter {
+        entries.push(entry.map_err(|e| format!("{}: {e}", dir.display()))?.path());
+    }
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name.starts_with('.') || name == "target" {
+                continue;
+            }
+            walk(&path, rs_files, manifests)?;
+        } else if name.ends_with(".rs") {
+            rs_files.push(path);
+        } else if name == "Cargo.toml" {
+            manifests.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Repo-relative `/`-separated path (the form the policy, baseline, and
+/// reports all use).
+fn rel_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

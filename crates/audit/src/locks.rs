@@ -1,0 +1,413 @@
+//! `A007` — the conservative intraprocedural lock-discipline checker.
+//!
+//! An *acquisition site* is an identifier receiver followed by `.lock()`,
+//! `.read()`, or `.write()` with an **empty** argument list — the empty
+//! parens are what separate `Mutex::lock` / `RwLock::{read,write}` from
+//! `io::Read::read(buf)` / `io::Write::write(buf)`, and the identifier
+//! receiver is what skips `stdout().lock()`. Every site is recorded in
+//! the [`LockSite`] report (`audit --locks`, pinned for aa-serve by the
+//! `serve_locks` test) whether or not it produces a finding.
+//!
+//! The guard model is deliberately simple and errs toward *under*-
+//! approximating hold ranges (missing a finding) rather than inventing
+//! overlap that is not there:
+//!
+//! * `let g = x.lock().unwrap();` — a chain of only `unwrap`/`expect`
+//!   calls bound by a plain `let` is a **persistent** guard: held until
+//!   its enclosing brace scope closes or an explicit `drop(g)`.
+//! * any other acquisition (a longer chain like
+//!   `x.lock().unwrap().clone()`, an unbound expression, a pattern
+//!   binding) is a **statement temporary**: held until the next `;`.
+//!
+//! Findings, against the partial order declared in `audit.toml`
+//! (`[locks] order`, earlier = acquired first):
+//!
+//! * acquiring a lock ranked *earlier* than one already held (inversion);
+//! * re-acquiring a lock already held (self-deadlock with `Mutex`);
+//! * acquiring a lock whose name is not declared at all;
+//! * calling a `[locks] blocking` method (`.send(`, `.recv(`, `.join(`)
+//!   while any guard is held. `Condvar::wait` is deliberately *not* in
+//!   the default blocking list: it releases the guard while parked.
+//!
+//! All four respect `// audit: allow(A007, reason)` annotations.
+
+use crate::codes;
+use crate::config::AuditConfig;
+use crate::lexer::TokKind;
+use crate::passes::{FileCx, Finding};
+use aa_core::analysis::line_col;
+
+/// One lock acquisition site (reported by `audit --locks`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockSite {
+    /// Repo-relative `/`-separated path.
+    pub path: String,
+    /// Receiver identifier (`stats` in `self.stats.lock()`).
+    pub lock: String,
+    /// `lock`, `read`, or `write`.
+    pub method: String,
+    /// 1-based, at the receiver identifier.
+    pub line: usize,
+    pub col: usize,
+    /// Rank in the declared order, if declared.
+    pub rank: Option<usize>,
+}
+
+/// A guard currently modelled as held.
+struct Held {
+    lock: String,
+    rank: Option<usize>,
+    /// `let` binder for persistent guards (what `drop(...)` releases).
+    binder: Option<String>,
+    /// Brace depth the guard was created at (persistent guards die when
+    /// the enclosing scope closes).
+    depth: usize,
+    persistent: bool,
+    line: usize,
+}
+
+/// Runs the lock pass over one file, appending acquisition sites and
+/// findings.
+pub fn pass_locks(
+    cx: &FileCx<'_>,
+    config: &AuditConfig,
+    sites: &mut Vec<LockSite>,
+    findings: &mut Vec<Finding>,
+) {
+    if cx.test_context {
+        return;
+    }
+    let bytes = cx.src.as_bytes();
+    let mut depth = 0usize;
+    let mut held: Vec<Held> = Vec::new();
+    let mut i = 0;
+    while i < cx.code.len() {
+        let t = cx.code[i];
+        if t.kind == TokKind::Punct {
+            match bytes[t.start] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    held.retain(|h| h.depth <= depth);
+                }
+                b';' => held.retain(|h| h.persistent),
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind != TokKind::Ident || cx.in_test_region(t.start) {
+            i += 1;
+            continue;
+        }
+        let name = cx.txt(&t);
+        // `drop(binder)` releases a persistent guard early.
+        if name == "drop" && cx.punct_at(i + 1, b'(') && cx.punct_at(i + 3, b')') {
+            if let Some(arg) = cx.ident_at(i + 2) {
+                held.retain(|h| h.binder.as_deref() != Some(arg));
+            }
+            i += 1;
+            continue;
+        }
+        // A declared-blocking method call while any guard is held.
+        if config.lock_blocking.iter().any(|m| m == name)
+            && i > 0
+            && cx.punct_at(i - 1, b'.')
+            && cx.punct_at(i + 1, b'(')
+        {
+            if let Some(h) = held.last() {
+                if !cx.allowed(codes::LOCK_DISCIPLINE, t.start) {
+                    findings.push(cx.finding(
+                        codes::LOCK_DISCIPLINE,
+                        &t,
+                        format!(
+                            "blocking call `.{name}(…)` while holding lock `{}` (acquired on line {}); release the guard first or annotate `// audit: allow(A007, reason)`",
+                            h.lock, h.line
+                        ),
+                    ));
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // An acquisition: `recv_ident . (lock|read|write) ( )`.
+        let is_acq = matches!(name, "lock" | "read" | "write")
+            && i >= 2
+            && cx.punct_at(i - 1, b'.')
+            && cx.ident_at(i - 2).is_some()
+            && cx.punct_at(i + 1, b'(')
+            && cx.punct_at(i + 2, b')');
+        if !is_acq {
+            i += 1;
+            continue;
+        }
+        let recv = i - 2;
+        let Some(lock) = cx.ident_at(recv) else {
+            i += 1;
+            continue;
+        };
+        let recv_tok = cx.code[recv];
+        let (line, col) = line_col(cx.src, recv_tok.start);
+        let rank = config.lock_rank(lock);
+        sites.push(LockSite {
+            path: cx.path.to_string(),
+            lock: lock.to_string(),
+            method: name.to_string(),
+            line,
+            col,
+            rank,
+        });
+        let suppressed = cx.allowed(codes::LOCK_DISCIPLINE, recv_tok.start);
+        if !suppressed {
+            if rank.is_none() {
+                findings.push(cx.finding(
+                    codes::LOCK_DISCIPLINE,
+                    &recv_tok,
+                    format!(
+                        "acquisition of undeclared lock `{lock}`; add it to `[locks] order` in audit.toml or annotate"
+                    ),
+                ));
+            }
+            for h in &held {
+                if h.lock == lock {
+                    findings.push(cx.finding(
+                        codes::LOCK_DISCIPLINE,
+                        &recv_tok,
+                        format!(
+                            "re-acquisition of lock `{lock}` already held since line {}",
+                            h.line
+                        ),
+                    ));
+                } else if let (Some(held_rank), Some(new_rank)) = (h.rank, rank) {
+                    if new_rank < held_rank {
+                        findings.push(cx.finding(
+                            codes::LOCK_DISCIPLINE,
+                            &recv_tok,
+                            format!(
+                                "lock-order inversion: `{lock}` (rank {new_rank}) acquired while holding `{}` (rank {held_rank}); the declared order requires `{lock}` first",
+                                h.lock
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        // Classify the guard: persistent iff the call chain is only
+        // `unwrap`/`expect` ending at `;`, bound by `let [mut] name =`.
+        let (chain_end, plain_chain) = scan_chain(cx, i + 3);
+        let persistent = plain_chain && cx.punct_at(chain_end, b';');
+        let binder = if persistent { let_binder(cx, recv) } else { None };
+        held.push(Held {
+            lock: lock.to_string(),
+            rank,
+            persistent: persistent && binder.is_some(),
+            binder,
+            depth,
+            line,
+        });
+        i += 1;
+    }
+}
+
+/// Scans a trailing method-call chain starting at `j` (the token after
+/// the acquisition's `)`), returning the index of the first token past
+/// the chain and whether the chain contained only `unwrap`/`expect`.
+fn scan_chain(cx: &FileCx<'_>, mut j: usize) -> (usize, bool) {
+    let mut plain = true;
+    while cx.punct_at(j, b'.') {
+        let Some(method) = cx.ident_at(j + 1) else {
+            break;
+        };
+        if !cx.punct_at(j + 2, b'(') {
+            break;
+        }
+        if !matches!(method, "unwrap" | "expect") {
+            plain = false;
+        }
+        // Skip the balanced argument list.
+        let mut depth = 0usize;
+        let mut k = j + 2;
+        while k < cx.code.len() {
+            let t = cx.code[k];
+            if t.kind == TokKind::Punct {
+                match cx.src.as_bytes()[t.start] {
+                    b'(' => depth += 1,
+                    b')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        j = k + 1;
+    }
+    (j, plain)
+}
+
+/// The `let [mut] name =` binder behind an acquisition's receiver path
+/// (`slot` in `let mut slot = self.state.write()…`), if the statement
+/// has that exact shape.
+fn let_binder(cx: &FileCx<'_>, recv: usize) -> Option<String> {
+    // Walk `self . state` style paths back to their head.
+    let mut head = recv;
+    while head >= 2 && cx.punct_at(head - 1, b'.') && cx.ident_at(head - 2).is_some() {
+        head -= 2;
+    }
+    if head < 2 || !cx.punct_at(head - 1, b'=') {
+        return None;
+    }
+    let mut b = head - 2;
+    let name = cx.ident_at(b)?;
+    if name == "mut" {
+        return None;
+    }
+    if b >= 1 && cx.ident_at(b - 1) == Some("mut") {
+        b -= 1;
+    }
+    (b >= 1 && cx.ident_at(b - 1) == Some("let")).then(|| name.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> AuditConfig {
+        AuditConfig {
+            lock_order: vec!["alpha".into(), "beta".into()],
+            lock_blocking: vec!["send".into(), "recv".into(), "join".into()],
+            ..AuditConfig::default()
+        }
+    }
+
+    fn run(src: &str) -> (Vec<LockSite>, Vec<Finding>) {
+        let cx = FileCx::new("crates/d/src/lib.rs", src);
+        let (mut sites, mut findings) = (Vec::new(), Vec::new());
+        pass_locks(&cx, &config(), &mut sites, &mut findings);
+        (sites, findings)
+    }
+
+    #[test]
+    fn declared_nesting_in_order_is_clean() {
+        let src = r#"
+fn f(s: &S) {
+    let a = s.alpha.lock().unwrap();
+    let b = s.beta.lock().unwrap();
+    drop(b);
+    drop(a);
+}
+"#;
+        let (sites, findings) = run(src);
+        assert_eq!(sites.len(), 2);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn inversion_and_reentry_are_flagged() {
+        let inverted = r#"
+fn f(s: &S) {
+    let b = s.beta.lock().unwrap();
+    let a = s.alpha.lock().unwrap();
+    let _ = (a, b);
+}
+"#;
+        let (_, findings) = run(inverted);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("inversion"), "{findings:?}");
+        let reentrant = r#"
+fn f(s: &S) {
+    let a = s.alpha.lock().unwrap();
+    let a2 = s.alpha.lock().unwrap();
+    let _ = (a, a2);
+}
+"#;
+        let (_, findings) = run(reentrant);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("re-acquisition"), "{findings:?}");
+    }
+
+    #[test]
+    fn scope_close_and_drop_release_guards() {
+        let scoped = r#"
+fn f(s: &S) {
+    { let b = s.beta.lock().unwrap(); let _ = b; }
+    let a = s.alpha.lock().unwrap();
+    let _ = a;
+}
+"#;
+        let (_, findings) = run(scoped);
+        assert!(findings.is_empty(), "{findings:?}");
+        let dropped = r#"
+fn f(s: &S) {
+    let b = s.beta.lock().unwrap();
+    drop(b);
+    let a = s.alpha.lock().unwrap();
+    let _ = a;
+}
+"#;
+        let (_, findings) = run(dropped);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn statement_temporary_dies_at_the_semicolon() {
+        // `beta` is a temporary (chain goes past unwrap), so the later
+        // `alpha` acquisition does not overlap it.
+        let src = r#"
+fn f(s: &S) -> u32 {
+    let snapshot = s.beta.lock().unwrap().clone();
+    let a = s.alpha.lock().unwrap();
+    let _ = a;
+    snapshot
+}
+"#;
+        let (_, findings) = run(src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn blocking_call_while_held_is_flagged_and_allowable() {
+        let src = r#"
+fn f(s: &S) {
+    let next = s.alpha.lock().unwrap().recv();
+    let _ = next;
+}
+"#;
+        let (_, findings) = run(src);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("blocking"), "{findings:?}");
+        let allowed = r#"
+fn f(s: &S) {
+    // audit: allow(A007, single consumer; guard must span the recv)
+    let next = s.alpha.lock().unwrap().recv();
+    let _ = next;
+}
+"#;
+        let (_, findings) = run(allowed);
+        assert!(findings.is_empty(), "{findings:?}");
+        // The same blocking call with no guard held is clean.
+        let unheld = "fn f(tx: &Sender<u32>) { tx.send(1).unwrap(); }";
+        let (sites, findings) = run(unheld);
+        assert!(sites.is_empty() && findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn undeclared_lock_and_io_write_are_distinguished() {
+        let undeclared = "fn f(s: &S) { let g = s.gamma.lock().unwrap(); let _ = g; }";
+        let (sites, findings) = run(undeclared);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("undeclared"), "{findings:?}");
+        // io-style read/write take a buffer argument: not acquisitions.
+        let io = "fn f(mut f: File, buf: &mut [u8]) { f.read(buf).unwrap(); f.write(buf).unwrap(); }";
+        let (sites, findings) = run(io);
+        assert!(sites.is_empty() && findings.is_empty(), "{findings:?}");
+        // Non-identifier receivers are skipped.
+        let stdout = "fn f() { let g = stdout().lock(); let _ = g; }";
+        let (sites, _) = run(stdout);
+        assert!(sites.is_empty());
+    }
+}

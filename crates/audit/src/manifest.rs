@@ -1,0 +1,148 @@
+//! `A006` — hermetic-dependency audit over `Cargo.toml` manifests.
+//!
+//! The build environment has no registry access: `cargo build --offline`
+//! from a cold cache is the contract. So every dependency in every
+//! manifest must resolve in-tree — `{ workspace = true }` in crates,
+//! `{ path = "…" }` in the root `[workspace.dependencies]` table. A
+//! version-only, git, or registry requirement is a finding.
+//!
+//! Line-oriented on purpose: manifests are small, the repo uses inline
+//! dependency tables exclusively, and line granularity is exactly what
+//! the baseline keys on. Suppression uses the TOML comment form
+//! `# audit: allow(A006, reason)` trailing the dependency line.
+
+use crate::codes;
+use crate::passes::Finding;
+
+/// Audits one manifest. `path` is repo-relative and `/`-separated.
+pub fn audit_manifest(path: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut in_deps = false;
+    let mut offset = 0usize;
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_toml_comment(raw).trim_end();
+        let trimmed = line.trim_start();
+        if let Some(section) = trimmed
+            .strip_prefix('[')
+            .and_then(|l| l.strip_suffix(']'))
+        {
+            // `[dependencies]`, `[dev-dependencies]`, `[build-dependencies]`,
+            // `[workspace.dependencies]`, `[target.….dependencies]`.
+            in_deps = section.trim().trim_matches('[').ends_with("dependencies");
+        } else if in_deps {
+            if let Some((name, value)) = trimmed.split_once('=') {
+                let name = name.trim();
+                let value = value.trim();
+                let hermetic = value.contains("workspace = true") || value.contains("path =");
+                if !name.is_empty() && !hermetic && !allows_a006(raw) {
+                    let col = raw.len() - raw.trim_start().len() + 1;
+                    let start = offset + col - 1;
+                    findings.push(Finding {
+                        code: codes::NON_HERMETIC_DEPENDENCY,
+                        path: path.to_string(),
+                        message: format!(
+                            "dependency `{name}` is not an in-tree path/workspace dependency; the build must work with `cargo build --offline` from a cold cache"
+                        ),
+                        start,
+                        end: start + name.len(),
+                        line: line_no,
+                        col,
+                        line_text: trimmed.to_string(),
+                    });
+                }
+            }
+        }
+        offset += raw.len() + 1;
+    }
+    findings
+}
+
+/// A trailing `# audit: allow(A006, reason)` with a non-empty reason.
+fn allows_a006(raw: &str) -> bool {
+    let Some(at) = raw.find("audit: allow(") else {
+        return false;
+    };
+    let args = &raw[at + "audit: allow(".len()..];
+    let Some(close) = args.find(')') else {
+        return false;
+    };
+    match args[..close].split_once(',') {
+        Some((code, reason)) => {
+            code.trim() == codes::NON_HERMETIC_DEPENDENCY && !reason.trim().is_empty()
+        }
+        None => false,
+    }
+}
+
+/// Strips a `#` comment, respecting double-quoted strings — but keeps
+/// the comment visible to [`allows_a006`], which sees the raw line.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_and_path_deps_are_hermetic() {
+        let src = r#"
+[package]
+name = "demo"
+version = "0.1.0"
+
+[dependencies]
+aa-core = { workspace = true }
+aa-util = { path = "../util" }
+
+[workspace.dependencies]
+aa-core = { path = "crates/core" }
+"#;
+        assert!(audit_manifest("crates/demo/Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn version_git_and_registry_deps_are_flagged() {
+        let src = r#"
+[dependencies]
+serde = "1.0"
+rand = { version = "0.8", features = ["small_rng"] }
+left-pad = { git = "https://example.invalid/left-pad" }
+
+[dev-dependencies]
+proptest = "1"
+"#;
+        let findings = audit_manifest("crates/demo/Cargo.toml", src);
+        let names: Vec<&str> = findings
+            .iter()
+            .map(|f| f.line_text.split('=').next().unwrap().trim())
+            .collect();
+        assert_eq!(names, vec!["serde", "rand", "left-pad", "proptest"]);
+        assert!(findings.iter().all(|f| f.code == "A006"));
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored_and_allow_works() {
+        let src = r#"
+[package]
+version = "0.1.0"
+
+[dependencies]
+vendored = "1.0" # audit: allow(A006, vendored into /third_party before build)
+flagged = "1.0" # audit: allow(A006)
+"#;
+        let findings = audit_manifest("crates/demo/Cargo.toml", src);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].line_text.starts_with("flagged"));
+    }
+}

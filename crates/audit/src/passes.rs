@@ -1,0 +1,742 @@
+//! The per-file invariant passes (`A001`–`A005`) and the shared file
+//! context they run against: the token stream, `#[cfg(test)]` / `#[test]`
+//! regions, and `// audit: allow(...)` annotations.
+//!
+//! Passes are token-level and deliberately conservative: they
+//! under-approximate rather than guess through types. Every rule each
+//! pass applies is written next to its implementation; DESIGN.md §11 is
+//! the user-facing description.
+
+use crate::codes;
+use crate::config::AuditConfig;
+use crate::lexer::{lex, Tok, TokKind};
+use aa_core::analysis::{line_col, Diagnostic};
+use aa_sql::Span;
+use std::collections::BTreeSet;
+
+/// One audit finding, anchored to a byte span in its file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Registered code (`codes::REGISTRY`).
+    pub code: &'static str,
+    /// Repo-relative `/`-separated path.
+    pub path: String,
+    pub message: String,
+    /// Byte span in the file.
+    pub start: usize,
+    pub end: usize,
+    /// 1-based position (same convention as aa-analyze diagnostics).
+    pub line: usize,
+    pub col: usize,
+    /// Trimmed text of the finding's line — the line-number-independent
+    /// key the baseline matches on, so unrelated edits above a legacy
+    /// finding do not unfreeze it.
+    pub line_text: String,
+}
+
+impl Finding {
+    /// Renders as `path:line:col:` plus the aa-core caret diagnostic.
+    pub fn render(&self, src: &str) -> String {
+        let d = Diagnostic::error(
+            self.code,
+            self.message.clone(),
+            Some(Span::new(self.start, self.end)),
+        );
+        format!("{}:{}:{}: {}", self.path, self.line, self.col, d.render(src))
+    }
+}
+
+/// An `// audit: allow(A00x, reason)` annotation. The reason is
+/// mandatory: an allow without one does not suppress anything.
+#[derive(Debug, Clone)]
+struct Allow {
+    code: &'static str,
+    /// 1-based line the annotation ends on.
+    line: usize,
+    /// Whether the comment stands alone on its line — a standalone allow
+    /// covers the *next* line, a trailing one its own.
+    standalone: bool,
+}
+
+/// Everything the passes need about one source file.
+pub struct FileCx<'a> {
+    /// Repo-relative `/`-separated path.
+    pub path: &'a str,
+    pub src: &'a str,
+    /// All tokens, comments included.
+    pub toks: Vec<Tok>,
+    /// Code tokens only (comments stripped) — passes match adjacency here.
+    pub code: Vec<Tok>,
+    /// Byte ranges covered by `#[cfg(test)]` items and `#[test]` fns.
+    test_regions: Vec<(usize, usize)>,
+    allows: Vec<Allow>,
+    /// Whether the whole file is test-context (tests/, benches/,
+    /// examples/, src/bin/, main.rs): panic-safety and clock rules are
+    /// CLI/test policy there, not library policy.
+    pub test_context: bool,
+}
+
+impl<'a> FileCx<'a> {
+    pub fn new(path: &'a str, src: &'a str) -> Self {
+        let toks = lex(src);
+        let code: Vec<Tok> = toks
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .copied()
+            .collect();
+        let test_regions = find_test_regions(src, &code);
+        let allows = find_allows(src, &toks);
+        FileCx {
+            path,
+            src,
+            toks,
+            code,
+            test_regions,
+            allows,
+            test_context: is_test_context(path),
+        }
+    }
+
+    /// The text of a token.
+    pub fn txt(&self, tok: &Tok) -> &'a str {
+        &self.src[tok.start..tok.end]
+    }
+
+    pub(crate) fn ident_at(&self, i: usize) -> Option<&'a str> {
+        let t = self.code.get(i)?;
+        (t.kind == TokKind::Ident).then(|| self.txt(t))
+    }
+
+    pub(crate) fn punct_at(&self, i: usize, ch: u8) -> bool {
+        self.code
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Punct && self.src.as_bytes()[t.start] == ch)
+    }
+
+    /// Whether byte `offset` lies inside a `#[cfg(test)]` / `#[test]`
+    /// region.
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(start, end)| offset >= start && offset < end)
+    }
+
+    /// Whether a finding of `code` at `offset` is suppressed by an allow
+    /// annotation on the same line or standing alone on the line above.
+    pub fn allowed(&self, code: &str, offset: usize) -> bool {
+        let (line, _) = line_col(self.src, offset);
+        self.allows
+            .iter()
+            .any(|a| a.code == code && (a.line == line || (a.standalone && a.line + 1 == line)))
+    }
+
+    /// Builds a finding anchored at `tok`.
+    pub fn finding(&self, code: &'static str, tok: &Tok, message: String) -> Finding {
+        let (line, col) = line_col(self.src, tok.start);
+        let line_start = self.src[..tok.start].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = self.src[tok.start..]
+            .find('\n')
+            .map_or(self.src.len(), |i| tok.start + i);
+        Finding {
+            code,
+            path: self.path.to_string(),
+            message,
+            start: tok.start,
+            end: tok.end,
+            line,
+            col,
+            line_text: self.src[line_start..line_end].trim().to_string(),
+        }
+    }
+}
+
+/// Test-context paths: integration tests, benches, examples, binaries.
+pub fn is_test_context(path: &str) -> bool {
+    let in_dir = |dir: &str| {
+        path.starts_with(&format!("{dir}/")) || path.contains(&format!("/{dir}/"))
+    };
+    in_dir("tests")
+        || in_dir("benches")
+        || in_dir("examples")
+        || path.contains("/src/bin/")
+        || path.ends_with("/main.rs")
+}
+
+/// Runs the per-file token passes. `A007` (locks) lives in [`crate::locks`].
+pub fn run_file_passes(cx: &FileCx<'_>, config: &AuditConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    pass_unwrap(cx, &mut findings);
+    pass_hash_iteration(cx, &mut findings);
+    pass_wall_clock(cx, config, &mut findings);
+    pass_float_eq(cx, &mut findings);
+    pass_forbid_unsafe(cx, &mut findings);
+    findings
+}
+
+// ---- test-region and allow discovery ---------------------------------------
+
+/// Finds byte ranges of items under a test-shaped attribute: the brace
+/// block following `#[cfg(test)]`, `#[test]`, or `#[bench]` — any
+/// attribute whose tokens mention `test` or `bench` and not `not` (so
+/// `#[cfg(not(test))]` code stays audited). Conservative in the
+/// exempting direction: a matching attribute exempts the whole following
+/// item body.
+fn find_test_regions(src: &str, code: &[Tok]) -> Vec<(usize, usize)> {
+    let bytes = src.as_bytes();
+    let punct = |i: usize, ch: u8| {
+        code.get(i)
+            .is_some_and(|t: &Tok| t.kind == TokKind::Punct && bytes[t.start] == ch)
+    };
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !(punct(i, b'#') && punct(i + 1, b'[')) {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's tokens up to the matching `]`.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut is_test_attr = false;
+        while j < code.len() && depth > 0 {
+            let t = &code[j];
+            match t.kind {
+                TokKind::Punct => match bytes[t.start] {
+                    b'[' => depth += 1,
+                    b']' => depth -= 1,
+                    _ => {}
+                },
+                TokKind::Ident => match &src[t.start..t.end] {
+                    "test" | "bench" => is_test_attr = true,
+                    "not" => {
+                        is_test_attr = false;
+                        // Skip the rest of the attribute: a `not` makes
+                        // it a non-exempting cfg regardless of `test`.
+                        while j < code.len() && depth > 0 {
+                            let t = &code[j];
+                            if t.kind == TokKind::Punct {
+                                match bytes[t.start] {
+                                    b'[' => depth += 1,
+                                    b']' => depth -= 1,
+                                    _ => {}
+                                }
+                            }
+                            j += 1;
+                        }
+                        break;
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_test_attr {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes, then find the item's brace block.
+        let mut k = j;
+        while punct(k, b'#') && punct(k + 1, b'[') {
+            let mut depth = 1usize;
+            k += 2;
+            while k < code.len() && depth > 0 {
+                if code[k].kind == TokKind::Punct {
+                    match bytes[code[k].start] {
+                        b'[' => depth += 1,
+                        b']' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+        }
+        while k < code.len() && !(code[k].kind == TokKind::Punct && bytes[code[k].start] == b'{') {
+            // A `;`-terminated item (e.g. `#[cfg(test)] use …;`) has no
+            // body to exempt.
+            if code[k].kind == TokKind::Punct && bytes[code[k].start] == b';' {
+                break;
+            }
+            k += 1;
+        }
+        if k < code.len() && code[k].kind == TokKind::Punct && bytes[code[k].start] == b'{' {
+            let open = k;
+            let mut depth = 0usize;
+            while k < code.len() {
+                if code[k].kind == TokKind::Punct {
+                    match bytes[code[k].start] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+            let end = code.get(k).map_or(src.len(), |t| t.end);
+            regions.push((code[open].start, end));
+        }
+        i = k.max(j);
+    }
+    regions
+}
+
+/// Parses `audit: allow(A00x, reason)` out of comment tokens. Malformed
+/// annotations (unknown code, missing reason) are ignored — they do not
+/// suppress, which the corpus pins.
+fn find_allows(src: &str, toks: &[Tok]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for t in toks {
+        if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        let text = &src[t.start..t.end];
+        let Some(at) = text.find("audit: allow(") else {
+            continue;
+        };
+        let args = &text[at + "audit: allow(".len()..];
+        let Some(close) = args.find(')') else {
+            continue;
+        };
+        let Some((code, reason)) = args[..close].split_once(',') else {
+            continue; // no reason — does not suppress
+        };
+        if reason.trim().is_empty() {
+            continue;
+        }
+        let Some(code) = codes::intern(code.trim()) else {
+            continue;
+        };
+        let (line, _) = line_col(src, t.end.saturating_sub(1));
+        let line_start = src[..t.start].rfind('\n').map_or(0, |i| i + 1);
+        let standalone = src[line_start..t.start].trim().is_empty();
+        allows.push(Allow {
+            code,
+            line,
+            standalone,
+        });
+    }
+    allows
+}
+
+// ---- A001: unwrap/expect outside test code ---------------------------------
+
+/// Rule: an identifier `unwrap` or `expect` preceded by `.` and followed
+/// by `(` in non-test library code. Exempt: test-context files, test
+/// regions, annotated lines.
+fn pass_unwrap(cx: &FileCx<'_>, findings: &mut Vec<Finding>) {
+    if cx.test_context {
+        return;
+    }
+    for i in 0..cx.code.len() {
+        let Some(name @ ("unwrap" | "expect")) = cx.ident_at(i) else {
+            continue;
+        };
+        if !(cx.punct_at(i.wrapping_sub(1), b'.') && cx.punct_at(i + 1, b'(')) {
+            continue;
+        }
+        let tok = cx.code[i];
+        if cx.in_test_region(tok.start) || cx.allowed(codes::UNWRAP_IN_LIB, tok.start) {
+            continue;
+        }
+        findings.push(cx.finding(
+            codes::UNWRAP_IN_LIB,
+            &tok,
+            format!("`{name}()` in non-test code is a panic path; return the error or annotate `// audit: allow(A001, reason)`"),
+        ));
+    }
+}
+
+// ---- A002: hash-order iteration in a serialising module --------------------
+
+/// Markers that a module renders JSON or canonical text.
+const SERIALISE_MARKERS: &[&str] = &[
+    "to_json",
+    "ToJson",
+    "to_canonical_text",
+    "to_string_compact",
+    "to_string_pretty",
+    "write_json",
+];
+
+/// Order-sensitive iteration methods on hash collections.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+];
+
+/// Rule: in a module that also serialises (any [`SERIALISE_MARKERS`]
+/// identifier appears), iterating an identifier bound to a
+/// `HashMap`/`HashSet` — via `.iter()`-family calls or a `for … in`
+/// loop — is flagged. Bindings are recognised from `name: HashMap<…>`
+/// (fields, params) and `let name = HashMap::new()`-style initialisers
+/// in the same file; membership-only use (`get`/`insert`/`contains`)
+/// stays clean, which is why `aa-core`'s CNF dedup sets pass.
+fn pass_hash_iteration(cx: &FileCx<'_>, findings: &mut Vec<Finding>) {
+    let serialises = cx
+        .code
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && SERIALISE_MARKERS.contains(&cx.txt(t)));
+    if !serialises {
+        return;
+    }
+    // Collect identifiers bound to hash collections.
+    let mut bound: BTreeSet<&str> = BTreeSet::new();
+    for i in 0..cx.code.len() {
+        let Some("HashMap" | "HashSet") = cx.ident_at(i) else {
+            continue;
+        };
+        // Walk back over path and reference syntax (`: &'a std ::
+        // collections ::`) to the binder: `name :` (field, param, typed
+        // let) or `=` (initialiser).
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let t = &cx.code[j];
+            match t.kind {
+                TokKind::Ident => match cx.txt(t) {
+                    "std" | "collections" | "mut" => continue,
+                    _ => break,
+                },
+                TokKind::Lifetime => continue,
+                TokKind::Punct => match cx.src.as_bytes()[t.start] {
+                    b':' | b'&' => continue,
+                    _ => break,
+                },
+                _ => break,
+            }
+        }
+        if let Some(name) = cx.ident_at(j) {
+            // `name : … HashMap` — a field, param, or typed let. Keywords
+            // reached through `use`/`for`/`impl` items are not binders.
+            if !matches!(
+                name,
+                "let" | "use" | "pub" | "for" | "in" | "fn" | "impl" | "where" | "as" | "return"
+            ) {
+                bound.insert(name);
+            }
+        } else if cx.punct_at(j, b'=') {
+            // `let [mut] name = HashMap::new()` / `= HashMap::from(…)`.
+            let mut k = j;
+            while k > 0 {
+                k -= 1;
+                if let Some(name) = cx.ident_at(k) {
+                    if name != "mut" {
+                        bound.insert(name);
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    if bound.is_empty() {
+        return;
+    }
+    for i in 0..cx.code.len() {
+        let Some(name) = cx.ident_at(i) else { continue };
+        if !bound.contains(name) {
+            continue;
+        }
+        let tok = cx.code[i];
+        // `name.iter()` family.
+        let method_call = cx.punct_at(i + 1, b'.')
+            && cx
+                .ident_at(i + 2)
+                .is_some_and(|m| HASH_ITER_METHODS.contains(&m))
+            && cx.punct_at(i + 3, b'(');
+        // `for x in [&][mut] name {` — the loop desugars to iteration.
+        let for_loop = (cx.punct_at(i + 1, b'{'))
+            && (0..=3).any(|back| {
+                let j = i.wrapping_sub(back + 1);
+                cx.ident_at(j) == Some("in")
+            });
+        if !(method_call || for_loop) {
+            continue;
+        }
+        if cx.allowed(codes::HASH_ITERATION, tok.start) {
+            continue;
+        }
+        findings.push(cx.finding(
+            codes::HASH_ITERATION,
+            &tok,
+            format!("iteration over hash collection `{name}` in a serialising module has nondeterministic order; use BTreeMap/BTreeSet or sort first"),
+        ));
+    }
+}
+
+// ---- A003: wall-clock reads outside allowlisted clock modules --------------
+
+/// Rule: `Instant::now` / `SystemTime::now` in non-test library code
+/// whose path is not under `[clock] allow` in audit.toml.
+fn pass_wall_clock(cx: &FileCx<'_>, config: &AuditConfig, findings: &mut Vec<Finding>) {
+    if cx.test_context || config.clock_allowed(cx.path) {
+        return;
+    }
+    for i in 0..cx.code.len() {
+        let Some(clock @ ("Instant" | "SystemTime")) = cx.ident_at(i) else {
+            continue;
+        };
+        if !(cx.punct_at(i + 1, b':') && cx.punct_at(i + 2, b':') && cx.ident_at(i + 3) == Some("now"))
+        {
+            continue;
+        }
+        let tok = cx.code[i];
+        if cx.in_test_region(tok.start) || cx.allowed(codes::WALL_CLOCK, tok.start) {
+            continue;
+        }
+        findings.push(cx.finding(
+            codes::WALL_CLOCK,
+            &tok,
+            format!("`{clock}::now` outside the allowlisted clock modules breaks replay determinism; route through an allowlisted module or annotate"),
+        ));
+    }
+}
+
+// ---- A004: semantic float equality -----------------------------------------
+
+/// Rule: `==` / `!=` with a float-literal operand in non-test library
+/// code. The kernel contract (PR 6) is `to_bits` equality; semantic
+/// float comparison hides `-0.0`/`NaN` divergence. Zero-width guards
+/// (`width == 0.0`) are legitimate but must say so with an annotation —
+/// legacy ones live in the baseline.
+fn pass_float_eq(cx: &FileCx<'_>, findings: &mut Vec<Finding>) {
+    if cx.test_context {
+        return;
+    }
+    for i in 0..cx.code.len() {
+        // Recognise `==` / `!=` from adjacent single-byte puncts.
+        let (first, second) = (cx.code[i], cx.code.get(i + 1).copied());
+        let Some(second) = second else { continue };
+        if first.kind != TokKind::Punct || second.kind != TokKind::Punct {
+            continue;
+        }
+        let b0 = cx.src.as_bytes()[first.start];
+        let b1 = cx.src.as_bytes()[second.start];
+        if !((b0 == b'=' || b0 == b'!') && b1 == b'=' && first.end == second.start) {
+            continue;
+        }
+        // Not `<=`, `>=`, `==` tails: previous punct glued to `=` means a
+        // different operator.
+        if i > 0 {
+            let prev = cx.code[i - 1];
+            if prev.kind == TokKind::Punct
+                && prev.end == first.start
+                && matches!(cx.src.as_bytes()[prev.start], b'=' | b'!' | b'<' | b'>')
+            {
+                continue;
+            }
+        }
+        // Operands: token before the operator, token after (skipping a
+        // unary minus).
+        let lhs_float = i > 0 && cx.code[i - 1].is_float_literal(cx.src);
+        let mut rhs = i + 2;
+        if cx.punct_at(rhs, b'-') {
+            rhs += 1;
+        }
+        let rhs_float = cx.code.get(rhs).is_some_and(|t| t.is_float_literal(cx.src));
+        if !(lhs_float || rhs_float) {
+            continue;
+        }
+        if cx.in_test_region(first.start) || cx.allowed(codes::FLOAT_EQ, first.start) {
+            continue;
+        }
+        let op = if b0 == b'!' { "!=" } else { "==" };
+        findings.push(cx.finding(
+            codes::FLOAT_EQ,
+            &first,
+            format!("float `{op}` against a literal; the workspace contract is bit-exactness (`to_bits`) — compare bits, restructure, or annotate"),
+        ));
+    }
+}
+
+// ---- A005: crate roots must forbid unsafe code -----------------------------
+
+/// Paths that are crate roots: `src/lib.rs`, `src/main.rs`, `src/bin/*.rs`,
+/// `benches/*.rs`, and workspace `examples/*.rs`.
+pub fn is_crate_root(path: &str) -> bool {
+    path.ends_with("/src/lib.rs")
+        || path.ends_with("/src/main.rs")
+        || (path.contains("/src/bin/") && path.ends_with(".rs"))
+        || (path.contains("/benches/") && path.ends_with(".rs"))
+        || (path.starts_with("examples/") && path.ends_with(".rs"))
+}
+
+/// Rule: a crate root must carry the inner attribute
+/// `#![forbid(unsafe_code)]`.
+fn pass_forbid_unsafe(cx: &FileCx<'_>, findings: &mut Vec<Finding>) {
+    if !is_crate_root(cx.path) {
+        return;
+    }
+    for i in 0..cx.code.len() {
+        if cx.punct_at(i, b'#')
+            && cx.punct_at(i + 1, b'!')
+            && cx.punct_at(i + 2, b'[')
+            && cx.ident_at(i + 3) == Some("forbid")
+            && cx.punct_at(i + 4, b'(')
+            && cx.ident_at(i + 5) == Some("unsafe_code")
+        {
+            return;
+        }
+    }
+    let anchor = Tok {
+        kind: TokKind::Punct,
+        start: 0,
+        end: 1.min(cx.src.len()),
+    };
+    findings.push(cx.finding(
+        codes::MISSING_FORBID_UNSAFE,
+        &anchor,
+        "crate root is missing `#![forbid(unsafe_code)]` (hermetic-build policy: the workspace is fully safe)".to_string(),
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let cx = FileCx::new(path, src);
+        run_file_passes(&cx, &AuditConfig::default())
+    }
+
+    #[test]
+    fn unwrap_flagged_in_lib_not_in_tests_or_strings() {
+        let src = r#"
+fn f(x: Option<u32>) -> u32 { x.unwrap() }
+fn g() { let s = "x.unwrap()"; let _ = s; } // inside a string: clean
+#[cfg(test)]
+mod tests {
+    fn h(x: Option<u32>) -> u32 { x.unwrap() }
+}
+"#;
+        let findings = run("crates/demo/src/lib.rs", src);
+        let unwraps: Vec<_> = findings.iter().filter(|f| f.code == "A001").collect();
+        assert_eq!(unwraps.len(), 1, "{findings:?}");
+        assert_eq!((unwraps[0].line, unwraps[0].col), (2, 33));
+        // Same file under tests/ is exempt wholesale.
+        assert!(run("crates/demo/tests/t.rs", src).iter().all(|f| f.code != "A001"));
+    }
+
+    #[test]
+    fn allow_annotation_requires_reason_and_known_code() {
+        let base = "fn f(x: Option<u32>) -> u32 {\n";
+        let with = |line: &str| format!("{base}    {line}\n}}\n");
+        // Trailing allow with reason suppresses.
+        let ok = with("x.unwrap() // audit: allow(A001, poisoned lock is unrecoverable)");
+        assert!(run("crates/d/src/inner.rs", &ok).is_empty());
+        // Standalone allow above the line suppresses.
+        let above = format!(
+            "{base}    // audit: allow(A001, startup-only path)\n    x.unwrap()\n}}\n"
+        );
+        assert!(run("crates/d/src/inner.rs", &above).is_empty());
+        // Missing reason does not.
+        let bad = with("x.unwrap() // audit: allow(A001)");
+        assert_eq!(run("crates/d/src/inner.rs", &bad).len(), 1);
+        // Unknown code does not.
+        let bad = with("x.unwrap() // audit: allow(A999, whatever)");
+        assert_eq!(run("crates/d/src/inner.rs", &bad).len(), 1);
+    }
+
+    #[test]
+    fn hash_iteration_only_fires_in_serialising_modules() {
+        let iterating = r#"
+use std::collections::HashMap;
+struct S { map: HashMap<String, u32> }
+impl S {
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in self.map.iter() { out.push_str(k); let _ = v; }
+        out
+    }
+}
+"#;
+        let findings = run("crates/d/src/inner.rs", iterating);
+        assert_eq!(findings.iter().filter(|f| f.code == "A002").count(), 1);
+        // Without a serialise marker the same iteration is clean.
+        let plain = iterating.replace("to_json", "render");
+        assert!(run("crates/d/src/inner.rs", &plain).is_empty());
+        // Membership-only use is clean even in a serialising module.
+        let membership = r#"
+use std::collections::HashSet;
+fn to_json(seen: &HashSet<u32>) -> bool { seen.contains(&1) }
+"#;
+        assert!(run("crates/d/src/inner.rs", membership).is_empty());
+    }
+
+    #[test]
+    fn for_loop_over_hash_map_fires() {
+        let src = r#"
+use std::collections::HashMap;
+fn to_json(map: &HashMap<String, u32>) -> u32 {
+    let mut sum = 0;
+    for (_k, v) in map { sum += v; }
+    sum
+}
+"#;
+        let findings = run("crates/d/src/inner.rs", src);
+        assert_eq!(findings.iter().filter(|f| f.code == "A002").count(), 1);
+    }
+
+    #[test]
+    fn wall_clock_respects_allowlist_and_test_regions() {
+        let src = "fn f() -> std::time::Instant { std::time::Instant::now() }";
+        let mut config = AuditConfig::default();
+        let cx = FileCx::new("crates/d/src/inner.rs", src);
+        let findings = run_file_passes(&cx, &config);
+        assert_eq!(findings.iter().filter(|f| f.code == "A003").count(), 1);
+        config.clock_allow = vec!["crates/d/".to_string()];
+        assert!(run_file_passes(&cx, &config).is_empty());
+    }
+
+    #[test]
+    fn float_eq_flags_literal_comparisons_only() {
+        let flagged = "fn f(x: f64) -> bool { x == 0.0 }";
+        assert_eq!(run("crates/d/src/inner.rs", flagged).len(), 1);
+        let neq = "fn f(x: f64) -> bool { x != 1.5 }";
+        assert_eq!(run("crates/d/src/inner.rs", neq).len(), 1);
+        let negative = "fn f(x: f64) -> bool { x == -2.5 }";
+        assert_eq!(run("crates/d/src/inner.rs", negative).len(), 1);
+        // Ordering comparisons and int literals are clean.
+        for clean in [
+            "fn f(x: f64) -> bool { x <= 0.5 }",
+            "fn f(x: f64) -> bool { x >= 0.5 }",
+            "fn f(x: u32) -> bool { x == 0 }",
+            "fn f(a: f64, b: f64) -> bool { a.to_bits() == b.to_bits() }",
+        ] {
+            assert!(run("crates/d/src/inner.rs", clean).is_empty(), "{clean}");
+        }
+    }
+
+    #[test]
+    fn forbid_unsafe_checked_on_crate_roots_only() {
+        let bare = "//! docs\nfn main() {}\n";
+        let findings = run("crates/d/src/bin/tool.rs", bare);
+        assert_eq!(findings.iter().filter(|f| f.code == "A005").count(), 1);
+        assert_eq!(findings[0].line, 1);
+        let good = "//! docs\n#![forbid(unsafe_code)]\nfn main() {}\n";
+        assert!(run("crates/d/src/bin/tool.rs", good).is_empty());
+        // Non-root modules are not checked.
+        assert!(run("crates/d/src/util.rs", bare).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = r#"
+#[cfg(not(test))]
+fn f(x: Option<u32>) -> u32 { x.unwrap() }
+"#;
+        let findings = run("crates/d/src/inner.rs", src);
+        assert_eq!(findings.iter().filter(|f| f.code == "A001").count(), 1);
+    }
+}

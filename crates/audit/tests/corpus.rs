@@ -1,0 +1,131 @@
+//! The self-test corpus: every `A0xx` pass pinned bit-exactly.
+//!
+//! Each file under `tests/corpus/` carries directives in comments:
+//!
+//! * `//~PATH: <virtual path>` (or `#~PATH:` in TOML) — the repo-relative
+//!   path the file pretends to live at, because pass behaviour depends on
+//!   it (test-context exemptions, crate-root checks, clock allowlists);
+//! * `//~EXPECT: <code> <line> <col>` — one expected finding. The full
+//!   multiset of findings must match the directives exactly: a missing
+//!   finding, an extra finding, or a shifted position all fail.
+//!
+//! The corpus directory is excluded from the workspace audit scan
+//! (`[scan] exclude` in audit.toml) precisely because these files violate
+//! invariants on purpose.
+
+use aa_audit::config::AuditConfig;
+use aa_audit::locks;
+use aa_audit::manifest;
+use aa_audit::passes::{self, FileCx};
+use std::path::Path;
+
+/// The fixed policy corpus files are audited under (documented in each
+/// file's header where it matters): clock reads are allowed under
+/// `crates/clockok/`, the declared lock order is `alpha` before `beta`,
+/// and `send`/`recv`/`join` block.
+fn corpus_config() -> AuditConfig {
+    AuditConfig::parse(
+        r#"
+[scan]
+roots = []
+
+[clock]
+allow = ["crates/clockok/"]
+
+[locks]
+order = ["alpha", "beta"]
+blocking = ["send", "recv", "join"]
+"#,
+    )
+    .expect("corpus policy parses")
+}
+
+/// Parses `~PATH` / `~EXPECT` directives out of a corpus file.
+fn directives(text: &str, file: &Path) -> (String, Vec<(String, usize, usize)>) {
+    let mut virtual_path = None;
+    let mut expects = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        let body = trimmed
+            .strip_prefix("//~")
+            .or_else(|| trimmed.strip_prefix("#~"));
+        let Some(body) = body else { continue };
+        if let Some(p) = body.strip_prefix("PATH:") {
+            virtual_path = Some(p.trim().to_string());
+        } else if let Some(e) = body.strip_prefix("EXPECT:") {
+            let parts: Vec<&str> = e.split_whitespace().collect();
+            assert_eq!(parts.len(), 3, "{}: bad EXPECT `{e}`", file.display());
+            expects.push((
+                parts[0].to_string(),
+                parts[1].parse().expect("line"),
+                parts[2].parse().expect("col"),
+            ));
+        }
+    }
+    let virtual_path =
+        virtual_path.unwrap_or_else(|| panic!("{}: missing ~PATH directive", file.display()));
+    (virtual_path, expects)
+}
+
+#[test]
+fn corpus_findings_are_pinned_exactly() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let config = corpus_config();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus dir exists")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    entries.sort();
+    assert!(entries.len() >= 10, "corpus unexpectedly small: {entries:?}");
+
+    for file in entries {
+        let text = std::fs::read_to_string(&file).expect("corpus file reads");
+        let (virtual_path, mut expects) = directives(&text, &file);
+        let mut got: Vec<(String, usize, usize)> = Vec::new();
+        if file.extension().is_some_and(|e| e == "toml") {
+            for f in manifest::audit_manifest(&virtual_path, &text) {
+                got.push((f.code.to_string(), f.line, f.col));
+            }
+        } else {
+            let cx = FileCx::new(&virtual_path, &text);
+            let mut findings = passes::run_file_passes(&cx, &config);
+            let mut sites = Vec::new();
+            locks::pass_locks(&cx, &config, &mut sites, &mut findings);
+            for f in findings {
+                got.push((f.code.to_string(), f.line, f.col));
+            }
+        }
+        got.sort();
+        expects.sort();
+        assert_eq!(
+            got,
+            expects,
+            "{} (as {virtual_path}): findings diverged from ~EXPECT directives",
+            file.display()
+        );
+    }
+}
+
+/// The allow-annotation grammar round-trips through real pass output:
+/// taking a corpus finding, planting the annotation the finding's own
+/// message suggests, and re-running must suppress exactly that finding.
+#[test]
+fn allow_roundtrip_suppresses_exactly_the_annotated_finding() {
+    let config = corpus_config();
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n\
+               pub fn g(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let cx = FileCx::new("crates/demo/src/inner.rs", src);
+    let before = passes::run_file_passes(&cx, &config);
+    assert_eq!(before.len(), 2);
+
+    // Annotate the first finding's line, leave the second alone.
+    let annotated = src.replacen(
+        "    x.unwrap()\n",
+        "    x.unwrap() // audit: allow(A001, roundtrip test)\n",
+        1,
+    );
+    let cx = FileCx::new("crates/demo/src/inner.rs", &annotated);
+    let after = passes::run_file_passes(&cx, &config);
+    assert_eq!(after.len(), 1, "{after:?}");
+    assert_eq!(after[0].line, 5);
+}

@@ -1,0 +1,39 @@
+//~PATH: crates/demo/src/inner.rs
+//! A001 corpus: unwrap/expect outside test code.
+
+pub fn lib_code(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn lib_expect(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn in_string() -> &'static str {
+    "x.unwrap() is just text"
+}
+
+pub fn allowed(x: Option<u32>) -> u32 {
+    // audit: allow(A001, corpus: reason provided)
+    x.unwrap()
+}
+
+pub fn allowed_trailing(x: Option<u32>) -> u32 {
+    x.unwrap() // audit: allow(A001, trailing form)
+}
+
+pub fn reasonless(x: Option<u32>) -> u32 {
+    x.unwrap() // audit: allow(A001)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}
+
+//~EXPECT: A001 5 7
+//~EXPECT: A001 9 7
+//~EXPECT: A001 26 7

@@ -1,0 +1,33 @@
+//~PATH: crates/demo/src/inner.rs
+//! A002 corpus: hash iteration in a serialising module.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Catalog {
+    columns: HashMap<String, u32>,
+}
+
+impl Catalog {
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        for (name, width) in self.columns.iter() {
+            out.push_str(name);
+            let _ = width;
+        }
+        out
+    }
+}
+
+pub fn to_canonical_text(seen: &HashSet<u32>, rows: &HashMap<u32, u32>) -> usize {
+    let mut n = 0;
+    if seen.contains(&7) {
+        n += 1;
+    }
+    for value in rows.values() {
+        n += *value as usize;
+    }
+    n
+}
+
+//~EXPECT: A002 13 35
+//~EXPECT: A002 26 18

@@ -1,0 +1,21 @@
+//~PATH: crates/demo/src/inner.rs
+//! A003 corpus: wall-clock reads outside allowlisted modules.
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn naive_timing() -> Duration {
+    let start = Instant::now();
+    start.elapsed()
+}
+
+pub fn naive_stamp() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn allowed_probe() -> Instant {
+    // audit: allow(A003, corpus: deliberate probe)
+    Instant::now()
+}
+
+//~EXPECT: A003 7 17
+//~EXPECT: A003 12 5

@@ -1,0 +1,9 @@
+//~PATH: crates/clockok/src/inner.rs
+//! A003 corpus: the same clock reads under an allowlisted path are clean.
+
+use std::time::{Duration, Instant};
+
+pub fn sanctioned_timing() -> Duration {
+    let start = Instant::now();
+    start.elapsed()
+}

@@ -1,0 +1,34 @@
+//~PATH: crates/demo/src/inner.rs
+//! A004 corpus: semantic float equality against literals.
+
+pub fn zero_guard(width: f64) -> bool {
+    width == 0.0
+}
+
+pub fn not_one(x: f32) -> bool {
+    x != 1.5
+}
+
+pub fn negative(x: f64) -> bool {
+    x == -2.5
+}
+
+pub fn bitwise(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+pub fn ordered(x: f64) -> bool {
+    x <= 0.5
+}
+
+pub fn integral(x: u32) -> bool {
+    x == 0
+}
+
+pub fn annotated(width: f64) -> bool {
+    width == 0.0 // audit: allow(A004, corpus: zero-width guard)
+}
+
+//~EXPECT: A004 5 11
+//~EXPECT: A004 9 7
+//~EXPECT: A004 13 7

@@ -1,0 +1,6 @@
+//~PATH: crates/demo/src/lib.rs
+//! A005 corpus: crate root with the attribute is clean.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

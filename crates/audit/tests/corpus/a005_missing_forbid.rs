@@ -1,0 +1,6 @@
+//~PATH: crates/demo/src/lib.rs
+//! A005 corpus: crate root without the forbid attribute.
+
+pub fn noop() {}
+
+//~EXPECT: A005 1 1

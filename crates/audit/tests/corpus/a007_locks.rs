@@ -1,0 +1,50 @@
+//~PATH: crates/demo/src/inner.rs
+//! A007 corpus: lock-order inversions, re-entry, undeclared locks, and
+//! blocking calls under a guard. Corpus declared order: alpha, beta.
+
+pub fn inversion(s: &S) {
+    let b = s.beta.lock();
+    let a = s.alpha.lock();
+    let _ = (a, b);
+}
+
+pub fn reentry(s: &S) {
+    let first = s.alpha.lock();
+    let second = s.alpha.lock();
+    let _ = (first, second);
+}
+
+pub fn undeclared(s: &S) {
+    let g = s.gamma.lock();
+    let _ = g;
+}
+
+pub fn blocking(s: &S) {
+    let item = s.alpha.lock().recv();
+    let _ = item;
+}
+
+pub fn allowed(s: &S) {
+    // audit: allow(A007, corpus: guard must span the recv)
+    let item = s.alpha.lock().recv();
+    let _ = item;
+}
+
+pub fn clean_nesting(s: &S) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    drop(b);
+    drop(a);
+}
+
+pub fn temporary_does_not_overlap(s: &S) -> u32 {
+    let snapshot = s.beta.lock().clone();
+    let a = s.alpha.lock();
+    let _ = a;
+    snapshot
+}
+
+//~EXPECT: A007 7 15
+//~EXPECT: A007 13 20
+//~EXPECT: A007 18 15
+//~EXPECT: A007 23 31

@@ -1,0 +1,35 @@
+//~PATH: crates/demo/src/inner.rs
+//! Clean corpus file: realistic library code, zero findings expected.
+
+use std::collections::BTreeMap;
+
+pub fn to_json(counts: &BTreeMap<String, u64>) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{key}\":{value}"));
+    }
+    out.push('}');
+    out
+}
+
+pub fn widest(samples: &[f64]) -> Option<f64> {
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    match (sorted.first(), sorted.last()) {
+        (Some(lo), Some(hi)) => Some(hi - lo),
+        _ => None,
+    }
+}
+
+pub fn bits_equal(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+pub fn tricky_text() -> &'static str {
+    // The pass must not fire inside literals: "x.unwrap()" below is text,
+    // and so is the raw Instant::now() in the raw string.
+    concat!("x.unwrap()", r#"Instant::now() == 0.0"#)
+}

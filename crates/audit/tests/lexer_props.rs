@@ -1,0 +1,136 @@
+//! aa-prop properties of the audit tokenizer and passes.
+//!
+//! The lexer's contract (see `aa_audit::lexer`) is boundary exactness:
+//! tokens tile the input, and string/char/comment content is opaque to
+//! every pass. Both properties are checked on randomly assembled
+//! programs built from self-contained fragments — each fragment lexes to
+//! a known token sequence on its own, so the assembled program's token
+//! stream must be exactly the concatenation of the fragments' streams.
+
+use aa_audit::config::AuditConfig;
+use aa_audit::lexer::{lex, TokKind};
+use aa_audit::locks;
+use aa_audit::passes::{self, FileCx};
+use aa_prop::{check, Config, Source};
+
+/// Self-contained fragments: every entry lexes to complete tokens in
+/// isolation. The hostile ones hide pass-trigger text (`.unwrap()`,
+/// `Instant::now()`, `== 0.0`, `.lock()`) inside literals and comments
+/// where no pass may see it.
+const FRAGMENTS: &[&str] = &[
+    "fn",
+    "let",
+    "widget",
+    "x",
+    "1.5",
+    "42",
+    "0x1f",
+    "1e-3",
+    "7f64",
+    "'a'",
+    r"'\''",
+    "'static",
+    "b'x'",
+    "r#type",
+    "{",
+    "}",
+    "(",
+    ")",
+    ";",
+    ",",
+    "+",
+    "\"plain string\"",
+    "\"x.unwrap() inside a string\"",
+    "\"Instant::now() == 0.0\"",
+    r#"r"raw .expect( text""#,
+    r##"r#"hash raw "quoted" .lock().recv()"#"##,
+    "b\"SystemTime::now() bytes\"",
+    "// line comment with x.unwrap() and y.lock().recv()\n",
+    "/* block comment: Instant::now() == 0.0 */",
+    "/* nested /* x.expect( */ still comment */",
+];
+
+fn assemble(s: &mut Source) -> String {
+    let parts = s.vec_of(1, 40, |s| *s.choice(FRAGMENTS));
+    let mut program = String::new();
+    for part in parts {
+        program.push_str(part);
+        // Line comments already end in a newline; everything else gets a
+        // random whitespace separator so fragments can never merge.
+        if !part.ends_with('\n') {
+            program.push(*s.choice(&[' ', '\n', '\t']));
+        }
+    }
+    program
+}
+
+#[test]
+fn assembled_programs_tokenize_as_the_concatenation_of_their_fragments() {
+    check(Config::cases(512), |s| {
+        let parts = s.vec_of(1, 40, |s| *s.choice(FRAGMENTS));
+        let mut program = String::new();
+        let mut expected: Vec<(TokKind, String)> = Vec::new();
+        for part in parts {
+            for t in lex(part) {
+                expected.push((t.kind, t.text(part).to_string()));
+            }
+            program.push_str(part);
+            if !part.ends_with('\n') {
+                program.push(*s.choice(&[' ', '\n', '\t']));
+            }
+        }
+        let got: Vec<(TokKind, String)> = lex(&program)
+            .iter()
+            .map(|t| (t.kind, t.text(&program).to_string()))
+            .collect();
+        assert_eq!(got, expected, "program: {program:?}");
+    });
+}
+
+#[test]
+fn tokens_always_tile_the_input() {
+    check(Config::cases(512), |s| {
+        let program = assemble(s);
+        let toks = lex(&program);
+        let mut prev_end = 0;
+        for t in &toks {
+            assert!(t.start >= prev_end, "overlap at {} in {program:?}", t.start);
+            assert!(t.end > t.start, "empty token at {} in {program:?}", t.start);
+            assert!(
+                program[prev_end..t.start]
+                    .bytes()
+                    .all(|b| b.is_ascii_whitespace()),
+                "gap {}..{} not whitespace in {program:?}",
+                prev_end,
+                t.start
+            );
+            prev_end = t.end;
+        }
+        assert!(
+            program[prev_end..].bytes().all(|b| b.is_ascii_whitespace()),
+            "trailing garbage in {program:?}"
+        );
+    });
+}
+
+#[test]
+fn no_pass_fires_inside_strings_or_comments() {
+    let config = AuditConfig {
+        lock_order: vec!["alpha".to_string()],
+        lock_blocking: vec!["send".to_string(), "recv".to_string()],
+        ..AuditConfig::default()
+    };
+    check(Config::cases(512), |s| {
+        let program = assemble(s);
+        let cx = FileCx::new("crates/fuzzed/src/inner.rs", &program);
+        let mut findings = passes::run_file_passes(&cx, &config);
+        let mut sites = Vec::new();
+        locks::pass_locks(&cx, &config, &mut sites, &mut findings);
+        // Every trigger spelling lives inside a literal or comment, so no
+        // pass may produce a finding and no lock site may be extracted.
+        assert!(
+            findings.is_empty() && sites.is_empty(),
+            "pass fired inside literal/comment content: {findings:?} {sites:?}\nprogram: {program:?}"
+        );
+    });
+}

@@ -1,0 +1,69 @@
+//! Pins aa-serve's lock architecture against the declared order.
+//!
+//! The A007 pass extracts every `Mutex`/`RwLock` acquisition site in the
+//! workspace; this test freezes the aa-serve inventory — which locks
+//! exist, by which method, how often per file — so a new acquisition
+//! site (or a renamed lock) shows up as an explicit diff here *and* must
+//! be ranked in audit.toml before the audit gate passes. Line numbers
+//! are deliberately not pinned; the shape of the lock graph is.
+
+use aa_audit::{config::AuditConfig, run_audit};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn aa_serve_lock_sites_match_the_declared_order() {
+    let root = repo_root();
+    let policy = std::fs::read_to_string(root.join("audit.toml")).expect("audit.toml exists");
+    let config = AuditConfig::parse(&policy).expect("audit.toml parses");
+    let outcome = run_audit(&root, &config).expect("audit runs");
+
+    // Every acquisition site in the workspace resolves to a declared rank.
+    let undeclared: Vec<_> = outcome
+        .lock_sites
+        .iter()
+        .filter(|s| s.rank.is_none())
+        .collect();
+    assert!(undeclared.is_empty(), "undeclared locks: {undeclared:?}");
+
+    // The aa-serve inventory, as (file, lock, method) -> site count.
+    let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+    for site in outcome
+        .lock_sites
+        .iter()
+        .filter(|s| s.path.starts_with("crates/serve/"))
+    {
+        *counts
+            .entry((site.path.clone(), site.lock.clone(), site.method.clone()))
+            .or_insert(0) += 1;
+    }
+    let expected: BTreeMap<(String, String, String), usize> = [
+        (("crates/serve/src/cache.rs", "inner", "lock"), 6),
+        (("crates/serve/src/engine.rs", "breakers", "lock"), 3),
+        (("crates/serve/src/engine.rs", "state", "read"), 1),
+        (("crates/serve/src/engine.rs", "state", "write"), 1),
+        (("crates/serve/src/engine.rs", "stats", "lock"), 18),
+        (("crates/serve/src/server.rs", "rx", "lock"), 1),
+    ]
+    .into_iter()
+    .map(|((p, l, m), n)| ((p.to_string(), l.to_string(), m.to_string()), n))
+    .collect();
+    assert_eq!(counts, expected, "aa-serve lock inventory changed: update this pin AND rank any new lock in audit.toml");
+
+    // The declared order is total over every lock the workspace uses, and
+    // the one deliberate guard-across-recv site (server.rs worker pull)
+    // is annotated, so the pass reports no A007 findings at all.
+    assert!(
+        outcome.findings.iter().all(|f| f.code != "A007"),
+        "unexpected A007 findings: {:?}",
+        outcome
+            .findings
+            .iter()
+            .filter(|f| f.code == "A007")
+            .collect::<Vec<_>>()
+    );
+}

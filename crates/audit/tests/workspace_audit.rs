@@ -1,0 +1,38 @@
+//! The workspace audit gate, as a test: `cargo test` fails on any new
+//! finding, not just `scripts/ci.sh`.
+//!
+//! Runs the full audit over the repo with the checked-in policy and
+//! baseline. Fresh findings (not frozen in `audit_baseline.json`) fail
+//! with their rendered diagnostics; stale baseline entries (violations
+//! that were fixed but not removed from the baseline) also fail, so the
+//! ratchet only ever tightens.
+
+use aa_audit::{baseline::Baseline, config::AuditConfig, run_audit};
+use std::path::PathBuf;
+
+#[test]
+fn workspace_has_no_findings_beyond_the_baseline() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let policy = std::fs::read_to_string(root.join("audit.toml")).expect("audit.toml exists");
+    let config = AuditConfig::parse(&policy).expect("audit.toml parses");
+    let outcome = run_audit(&root, &config).expect("audit runs");
+    let baseline_text = std::fs::read_to_string(root.join("audit_baseline.json"))
+        .expect("audit_baseline.json exists");
+    let baseline = Baseline::parse(&baseline_text).expect("baseline parses");
+
+    let diff = baseline.diff(&outcome.findings);
+    if !diff.fresh.is_empty() {
+        let rendered: Vec<String> = diff.fresh.iter().map(|f| outcome.render(f)).collect();
+        panic!(
+            "{} new audit finding(s):\n{}",
+            diff.fresh.len(),
+            rendered.join("\n")
+        );
+    }
+    assert!(
+        diff.fixed.is_empty(),
+        "baseline is stale — these entries no longer occur, regenerate with \
+         `cargo run -p aa-audit --bin audit -- --root . --write-baseline`: {:?}",
+        diff.fixed
+    );
+}

@@ -2,6 +2,8 @@
 //! exact-matching distance on identical inputs. The *quality* half of the
 //! ablation is the `ablation` binary.
 
+#![forbid(unsafe_code)]
+
 use aa_baselines::olapclus_distance;
 use aa_core::extract::{Extractor, NoSchema};
 use aa_core::{AccessArea, AccessRanges, DistanceMode, QueryDistance};

@@ -3,6 +3,8 @@
 //! multi-threaded. The paper reports "severe performance problems" with
 //! its off-the-shelf DBSCAN; the blocking index is our answer.
 
+#![forbid(unsafe_code)]
+
 use aa_bench::cluster_areas;
 use aa_core::{AccessArea, AccessRanges, DistanceMode, Pipeline, QueryDistance};
 use aa_dbscan::{dbscan, DbscanParams};

@@ -1,6 +1,8 @@
 //! Microbenchmarks for the query distance (Section 5): per-pair cost for
 //! the predicate shapes that dominate the SkyServer log.
 
+#![forbid(unsafe_code)]
+
 use aa_core::extract::{Extractor, NoSchema};
 use aa_core::{AccessArea, AccessRanges, DistanceMode, QueryDistance};
 use aa_bench::micro::{black_box, Criterion};

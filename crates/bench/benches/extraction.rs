@@ -1,6 +1,8 @@
 //! Microbenchmarks for the extraction pipeline stages (supports E8):
 //! parse / lower / CNF / consolidate, per query category.
 
+#![forbid(unsafe_code)]
+
 use aa_core::extract::{Extractor, NoSchema};
 use aa_bench::micro::{black_box, Criterion};
 

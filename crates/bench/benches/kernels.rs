@@ -7,6 +7,8 @@
 //! not depend on sampling). Output lands in `AA_BENCH_OUT_DIR` (default:
 //! current directory).
 
+#![forbid(unsafe_code)]
+
 use aa_bench::perf::{clustering_counters, kernels_report, Sampling};
 use std::path::PathBuf;
 

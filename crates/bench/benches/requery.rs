@@ -1,6 +1,8 @@
 //! E9 (efficiency half): per-query cost of log-only extraction vs
 //! re-issuing the query against the database.
 
+#![forbid(unsafe_code)]
+
 use aa_baselines::{requery_log, RequeryConfig};
 use aa_core::Pipeline;
 use aa_engine::ExecOptions;

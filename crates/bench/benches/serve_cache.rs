@@ -8,6 +8,8 @@
 //! exactly what the cache buys per repeated statement, which real logs
 //! are full of (template re-submissions).
 
+#![forbid(unsafe_code)]
+
 use aa_bench::micro::{black_box, Criterion};
 use aa_core::DistanceMode;
 use aa_serve::{build_model, ServeEngine};

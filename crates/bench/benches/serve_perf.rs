@@ -6,6 +6,8 @@
 //! (sampling only). Output lands in `AA_BENCH_OUT_DIR` (default: current
 //! directory).
 
+#![forbid(unsafe_code)]
+
 use aa_bench::perf::{serve_report, Sampling};
 use std::path::PathBuf;
 

@@ -5,6 +5,8 @@
 //! the full Table 1 pipeline under both readings and scores cluster
 //! recovery, demonstrating why the default is the dissimilarity reading.
 
+#![forbid(unsafe_code)]
+
 use aa_bench::{banner, cluster_areas, prepare, ExperimentConfig, TextTable};
 use aa_core::{AccessArea, DistanceMode};
 use aa_skyserver::evaluate;

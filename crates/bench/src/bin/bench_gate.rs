@@ -10,6 +10,8 @@
 //! cold-vs-warm time ratio. See `aa_bench::perf::gate_reports` for the
 //! exact rules.
 
+#![forbid(unsafe_code)]
+
 use aa_bench::perf::{gate_reports, BenchReport};
 use std::path::Path;
 

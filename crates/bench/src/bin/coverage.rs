@@ -4,6 +4,8 @@
 //! the 67,563 failures "(a) contain errors, (b) use user-defined
 //! SkyServer-specific functions, or (c) are not SELECT queries".
 
+#![forbid(unsafe_code)]
+
 use aa_bench::{banner, prepare, ExperimentConfig, TextTable};
 use aa_skyserver::{GroundTruth, PathologicalKind};
 

@@ -6,6 +6,8 @@
 //! <1–1333 ms, CNF <1 ms–hours (unbounded without the cap), Consolidation
 //! <1–95 ms; "only 471 queries with more than 35 predicates".
 
+#![forbid(unsafe_code)]
+
 use aa_bench::{banner, ExperimentConfig, TextTable};
 use aa_core::{ExtractConfig, Pipeline};
 use aa_skyserver::{generate_log, Dr9Schema, LogConfig};

@@ -11,6 +11,8 @@
 //! Prints the numeric boxes (the figure's data) and an ASCII rendering.
 //! Pass `a`, `b`, or `c` to select one panel; default renders all three.
 
+#![forbid(unsafe_code)]
+
 use aa_bench::{aggregate_cluster, banner, cluster_areas, prepare, ExperimentConfig};
 use aa_core::{AccessArea, Interval, QualifiedColumn};
 use aa_engine::{exact_column_content, ColumnContent};

@@ -7,6 +7,8 @@
 //! query is `Photoz.objid = c` with a distinct constant, and exact
 //! matching puts every distinct constant in its own cluster.
 
+#![forbid(unsafe_code)]
+
 use aa_bench::{banner, cluster_areas, ExperimentConfig, TextTable};
 use aa_core::{AccessArea, AccessRanges, Extractor};
 use aa_dbscan::DbscanParams;

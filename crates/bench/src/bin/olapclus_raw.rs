@@ -5,6 +5,8 @@
 //! Here "raw" means the naive extractor: outer-join conditions kept,
 //! `HAVING AGG(a) θ c` mapped to `a θ c`, EXISTS subqueries ungrouped.
 
+#![forbid(unsafe_code)]
+
 use aa_bench::{banner, cluster_areas, prepare, ExperimentConfig, TextTable};
 use aa_core::AccessArea;
 use aa_skyserver::{evaluate, TABLE1};

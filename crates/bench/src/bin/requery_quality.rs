@@ -8,6 +8,8 @@
 //! 3. extraction handles queries that *error* on the server (rate limit,
 //!    row cap — 1,220,358 in the paper's log) and MySQL-dialect queries.
 
+#![forbid(unsafe_code)]
+
 use aa_baselines::{requery_log, RequeryConfig, RequeryFailure};
 use aa_bench::{banner, prepare, ExperimentConfig, TextTable};
 use aa_core::Pipeline;

@@ -7,6 +7,8 @@
 //! Environment knobs: `AA_LOG_TOTAL` (default 20000), `AA_SEED`,
 //! `AA_SCALE`, `AA_EPS`, `AA_MINPTS`.
 
+#![forbid(unsafe_code)]
+
 use aa_bench::{
     aggregate_cluster, banner, cluster_areas, coverage, density_contrast, fmt_coverage,
     prepare, ExperimentConfig, TextTable,

@@ -175,7 +175,7 @@ impl Bencher {
             }
             samples.push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        samples.sort_by(f64::total_cmp);
         let median = percentile(&samples, 0.5);
         let p95 = percentile(&samples, 0.95);
         self.stats = Some(Stats {

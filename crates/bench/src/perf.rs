@@ -116,7 +116,7 @@ pub fn measure_ns(sampling: &Sampling, mut routine: impl FnMut()) -> (f64, f64) 
         }
         samples.push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples.sort_by(f64::total_cmp);
     let idx = |q: f64| ((samples.len() as f64 - 1.0) * q).round() as usize;
     (samples[idx(0.5)] * 1e9, samples[idx(0.95)] * 1e9)
 }

@@ -9,11 +9,13 @@
 use crate::area::AccessArea;
 use crate::interval::Interval;
 use crate::predicate::{AtomicPredicate, Constant, QualifiedColumn};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
-/// Map key type: [`QualifiedColumn`] hashes and compares
-/// case-insensitively without allocating, which matters because the
-/// distance function consults the ranges once per predicate pair.
+/// Map key type: [`QualifiedColumn`] compares case-insensitively without
+/// allocating, which matters because the distance function consults the
+/// ranges once per predicate pair. A `BTreeMap` keeps the map in sorted
+/// order at all times, so iteration — which serialisations rely on — is
+/// deterministic by construction rather than by a sort at every call.
 type Key = QualifiedColumn;
 
 /// Tracked access range of one column.
@@ -29,7 +31,7 @@ pub enum ColumnAccess {
 /// Per-column `access(a)` estimates for a whole database.
 #[derive(Debug, Clone, Default)]
 pub struct AccessRanges {
-    map: HashMap<Key, ColumnAccess>,
+    map: BTreeMap<Key, ColumnAccess>,
 }
 
 impl AccessRanges {
@@ -179,9 +181,7 @@ impl AccessRanges {
     /// All tracked columns in deterministic (sorted) order — the iteration
     /// order serialisations rely on.
     pub fn iter(&self) -> impl Iterator<Item = (&QualifiedColumn, &ColumnAccess)> {
-        let mut entries: Vec<_> = self.map.iter().collect();
-        entries.sort_by(|a, b| a.0.cmp(b.0));
-        entries.into_iter()
+        self.map.iter()
     }
 
     /// Number of tracked columns.

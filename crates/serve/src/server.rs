@@ -181,6 +181,7 @@ pub fn spawn(engine: ServeEngine, config: ServerConfig) -> std::io::Result<Serve
                 // Holding the lock only while receiving: `recv` returns
                 // Err exactly when the accept thread exited AND the
                 // queue is fully drained — the no-drop guarantee.
+                // audit: allow(A007, shared-receiver idiom: the guard must span the recv so exactly one worker takes each connection)
                 let next = rx.lock().unwrap().recv();
                 match next {
                     Ok(stream) => {

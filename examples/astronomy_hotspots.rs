@@ -11,6 +11,8 @@
 //! cargo run --release -p aa-apps --example astronomy_hotspots
 //! ```
 
+#![forbid(unsafe_code)]
+
 use aa_core::{AccessArea, AccessRanges, Pipeline, QueryDistance};
 use aa_dbscan::{dbscan, DbscanParams};
 use aa_skyserver::{build_catalog, generate_log, LogConfig};

@@ -13,6 +13,8 @@
 //! cargo run --release -p aa-apps --example empty_area_discovery
 //! ```
 
+#![forbid(unsafe_code)]
+
 use aa_baselines::{requery_log, RequeryConfig};
 use aa_core::{AccessArea, Interval, Pipeline, QualifiedColumn};
 use aa_engine::{exact_column_content, ColumnContent, ExecOptions};

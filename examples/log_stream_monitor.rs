@@ -14,6 +14,8 @@
 //! cargo run -p aa-apps --example log_stream_monitor
 //! ```
 
+#![forbid(unsafe_code)]
+
 use aa_core::{AccessRanges, Constant, FailureKind, Pipeline};
 use aa_skyserver::{generate_log, Dr9Schema, LogConfig};
 use std::collections::BTreeSet;

@@ -4,6 +4,8 @@
 //! cargo run -p aa-apps --example quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+
 use aa_core::extract::{Extractor, NoSchema};
 use aa_core::{AccessArea, AccessRanges, QueryDistance};
 use aa_dbscan::{dbscan, DbscanParams};

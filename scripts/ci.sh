@@ -10,6 +10,13 @@ cargo build --workspace --release --offline
 echo "==> cargo test --offline"
 cargo test --workspace -q --offline
 
+# Static invariant gate: the workspace audit (determinism, panic-safety,
+# hermeticity, lock discipline — DESIGN.md §11) must report zero findings
+# beyond the checked-in audit_baseline.json. Exit 1 = new findings,
+# exit 2 = policy/usage error; both fail CI.
+echo "==> audit (A0xx invariant passes vs audit_baseline.json)"
+cargo run --release -p aa-audit --bin audit --offline -- --root .
+
 # Resilience gate: a fixed-seed chaos run — fault injection over the
 # deterministic synthetic DR9 log, with budgets, quarantine, and a
 # checkpoint — must complete and exit 0. Offline and hermetic: the log is
