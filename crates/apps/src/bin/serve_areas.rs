@@ -39,6 +39,27 @@
 //! until a client sends `{"op":"shutdown"}`, drains, and prints the
 //! final stats snapshot.
 //!
+//! Fleet modes:
+//!
+//! ```text
+//! serve_areas --gen N --shard-of S/N …           # one shard server
+//! serve_areas --router ADDR,ADDR,… [--port P] \
+//!     [--router-retries N] [--retry-base-ms MS] [--retry-seed S] \
+//!     [--backend-timeout-ms N] [--down-after N] [--probe-after N] \
+//!     [--ping-interval-ms N] [--tenant-burst F] [--tenant-refill F] \
+//!     [--tenant-retry-ms N] [--stats-out FILE]   # the fleet router
+//! serve_areas --gen N --fleet N [--port P] …     # N shards + router, one process
+//! ```
+//!
+//! `--shard-of S/N` serves only the areas whose table-signature hash
+//! lands on shard `S` of `N` (global indices on the wire, so merged
+//! answers match the unsharded server bit for bit). `--router` fans
+//! classify/neighbors out to the listed shard backends with
+//! health-checked failover, per-tenant bot-storm shedding, and
+//! `"partial":true` degradation when shards are down — see
+//! `DESIGN.md` §12. `--fleet N` spawns the whole topology in one
+//! process for local experiments.
+//!
 //! Client mode:
 //!
 //! ```text
@@ -46,9 +67,10 @@
 //! ```
 //!
 //! reads requests from stdin — raw JSON lines, or the shorthands
-//! `classify SQL…`, `neighbors K SQL…`, `stats`, `reload`, `shutdown` —
-//! and prints one response line each. With `--retries N` the client
-//! retries typed `overloaded` responses, connect failures, and dropped
+//! `classify SQL…`, `neighbors K SQL…`, `stats`, `reload`, `shutdown`,
+//! `ping` — and prints one response line each. With `--retries N` the
+//! client retries typed `overloaded` responses, connect failures
+//! (including refused reconnects during a failover), and dropped
 //! connections with bounded seeded exponential backoff (honouring the
 //! server's `retry_after_ms` floor), so chaos-injected drops surface as
 //! retried requests, not client crashes.
@@ -56,10 +78,12 @@
 #![forbid(unsafe_code)]
 
 use aa_core::DistanceMode;
-use aa_serve::{build_model, ModelStore, SaveFault, ServeEngine, ServeFaultPlan, ServerConfig};
-use aa_util::{Json, SeededRng};
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use aa_serve::{
+    build_model, spawn_router, HealthConfig, ModelStore, RetryingClient, RouterConfig, SaveFault,
+    ServeEngine, ServeFaultPlan, ServerConfig, ShardSpec, TenantPolicy,
+};
+use aa_util::Json;
+use std::io::BufRead;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -94,9 +118,20 @@ struct Args {
     retries: u32,
     retry_base_ms: u64,
     retry_seed: u64,
+    shard_of: Option<ShardSpec>,
+    router: Option<Vec<String>>,
+    fleet: Option<usize>,
+    router_retries: u32,
+    backend_timeout_ms: u64,
+    down_after: u32,
+    probe_after: u32,
+    ping_interval_ms: Option<u64>,
+    tenant_burst: f64,
+    tenant_refill: f64,
+    tenant_retry_ms: u64,
 }
 
-const USAGE: &str = "usage: serve_areas (--model FILE | --gen N [--seed S] [--eps F] [--min-pts N] [--mode literal|dissim] | --store DIR) [--publish-only [--crash-save FAULT]] [--port P] [--workers N] [--cache N] [--fuel N] [--rate N] [--deadline-ms N] [--read-timeout-ms N] [--write-timeout-ms N] [--max-line-bytes N] [--max-queue N] [--watch-store-ms N] [--chaos-seed S [--chaos-requests N] [--chaos-rate F]] [--save-model FILE] [--stats-out FILE]\n       serve_areas --connect HOST:PORT [--retries N] [--retry-base-ms MS] [--retry-seed S]";
+const USAGE: &str = "usage: serve_areas (--model FILE | --gen N [--seed S] [--eps F] [--min-pts N] [--mode literal|dissim] | --store DIR) [--shard-of S/N] [--fleet N] [--publish-only [--crash-save FAULT]] [--port P] [--workers N] [--cache N] [--fuel N] [--rate N] [--deadline-ms N] [--read-timeout-ms N] [--write-timeout-ms N] [--max-line-bytes N] [--max-queue N] [--watch-store-ms N] [--chaos-seed S [--chaos-requests N] [--chaos-rate F]] [--save-model FILE] [--stats-out FILE]\n       serve_areas --router ADDR,ADDR,... [--port P] [--router-retries N] [--retry-base-ms MS] [--retry-seed S] [--backend-timeout-ms N] [--down-after N] [--probe-after N] [--ping-interval-ms N] [--tenant-burst F] [--tenant-refill F] [--tenant-retry-ms N] [--stats-out FILE]\n       serve_areas --connect HOST:PORT [--retries N] [--retry-base-ms MS] [--retry-seed S]";
 
 fn parse_args() -> Result<Args, String> {
     let mut out = Args {
@@ -129,6 +164,17 @@ fn parse_args() -> Result<Args, String> {
         retries: 0,
         retry_base_ms: 50,
         retry_seed: 42,
+        shard_of: None,
+        router: None,
+        fleet: None,
+        router_retries: 1,
+        backend_timeout_ms: 10_000,
+        down_after: 2,
+        probe_after: 4,
+        ping_interval_ms: None,
+        tenant_burst: 32.0,
+        tenant_refill: 0.1,
+        tenant_retry_ms: 250,
     };
     let mut args = std::env::args().skip(1);
     let next = |args: &mut dyn Iterator<Item = String>, what: &str| {
@@ -195,18 +241,72 @@ fn parse_args() -> Result<Args, String> {
             "--retries" => out.retries = parse_next!("--retries", "a retry count"),
             "--retry-base-ms" => out.retry_base_ms = parse_next!("--retry-base-ms", "milliseconds"),
             "--retry-seed" => out.retry_seed = parse_next!("--retry-seed", "an integer"),
+            "--shard-of" => {
+                let value = next(&mut args, "--shard-of")?;
+                out.shard_of = Some(
+                    ShardSpec::parse(&value).map_err(|e| format!("--shard-of: {e}"))?,
+                );
+            }
+            "--router" => {
+                let value = next(&mut args, "--router")?;
+                let backends: Vec<String> = value
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if backends.is_empty() {
+                    return Err("--router expects a comma-separated backend list".to_string());
+                }
+                out.router = Some(backends);
+            }
+            "--fleet" => out.fleet = Some(parse_next!("--fleet", "a shard count")),
+            "--router-retries" => {
+                out.router_retries = parse_next!("--router-retries", "a retry count")
+            }
+            "--backend-timeout-ms" => {
+                out.backend_timeout_ms = parse_next!("--backend-timeout-ms", "milliseconds")
+            }
+            "--down-after" => out.down_after = parse_next!("--down-after", "a failure count"),
+            "--probe-after" => out.probe_after = parse_next!("--probe-after", "a skip count"),
+            "--ping-interval-ms" => {
+                out.ping_interval_ms = Some(parse_next!("--ping-interval-ms", "milliseconds"))
+            }
+            "--tenant-burst" => out.tenant_burst = parse_next!("--tenant-burst", "a token count"),
+            "--tenant-refill" => {
+                out.tenant_refill = parse_next!("--tenant-refill", "tokens per request")
+            }
+            "--tenant-retry-ms" => {
+                out.tenant_retry_ms = parse_next!("--tenant-retry-ms", "milliseconds")
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other}\n{USAGE}")),
         }
     }
-    if out.connect.is_none() && out.model.is_none() && out.gen.is_none() && out.store.is_none() {
-        return Err(format!("missing --connect, --model, --gen, or --store\n{USAGE}"));
+    if out.connect.is_none()
+        && out.router.is_none()
+        && out.model.is_none()
+        && out.gen.is_none()
+        && out.store.is_none()
+    {
+        return Err(format!(
+            "missing --connect, --router, --model, --gen, or --store\n{USAGE}"
+        ));
     }
     if out.publish_only && out.store.is_none() {
         return Err(format!("--publish-only requires --store\n{USAGE}"));
     }
     if out.crash_save.is_some() && out.store.is_none() {
         return Err(format!("--crash-save requires --store\n{USAGE}"));
+    }
+    if out.router.is_some() && (out.fleet.is_some() || out.shard_of.is_some()) {
+        return Err(format!("--router takes its shards from the backend list\n{USAGE}"));
+    }
+    if out.fleet.is_some() && out.shard_of.is_some() {
+        return Err(format!("--fleet and --shard-of are mutually exclusive\n{USAGE}"));
+    }
+    if out.fleet == Some(0) {
+        return Err(format!("--fleet expects at least one shard\n{USAGE}"));
     }
     Ok(out)
 }
@@ -222,7 +322,117 @@ fn main() -> ExitCode {
     if let Some(addr) = &args.connect {
         return client_mode(addr, args.retries, args.retry_base_ms, args.retry_seed);
     }
+    if let Some(backends) = args.router.clone() {
+        return router_mode(&args, backends);
+    }
+    if args.fleet.is_some() {
+        return fleet_mode(&args);
+    }
     server_mode(&args)
+}
+
+/// Builds the router configuration shared by `--router` and `--fleet`.
+fn router_config(args: &Args, backends: Vec<String>) -> RouterConfig {
+    RouterConfig {
+        addr: format!("127.0.0.1:{}", args.port),
+        backends,
+        retries: args.router_retries,
+        retry_base_ms: args.retry_base_ms,
+        retry_seed: args.retry_seed,
+        backend_timeout: match args.backend_timeout_ms {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        },
+        health: HealthConfig {
+            down_after: args.down_after,
+            probe_after: args.probe_after,
+        },
+        tenant: Some(TenantPolicy {
+            burst: args.tenant_burst,
+            refill_per_request: args.tenant_refill,
+            retry_after_ms: args.tenant_retry_ms,
+        }),
+        ping_interval: args.ping_interval_ms.map(Duration::from_millis),
+        stats_path: args.stats_out.clone(),
+        ..RouterConfig::default()
+    }
+}
+
+/// `--router`: front a fleet of already-running shard servers.
+fn router_mode(args: &Args, backends: Vec<String>) -> ExitCode {
+    eprintln!(
+        "routing to {} shard backend(s): {}",
+        backends.len(),
+        backends.join(", ")
+    );
+    let handle = match spawn_router(router_config(args, backends)) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot bind router: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Scripts parse this exact line for the ephemeral port.
+    println!("listening on {}", handle.local_addr());
+    let snapshot = handle.wait();
+    println!("{}", snapshot.to_string_pretty());
+    ExitCode::SUCCESS
+}
+
+/// `--fleet N`: the whole topology in one process — N shard servers on
+/// ephemeral ports, each owning its slice of the model, fronted by a
+/// router on `--port`. Shard rate limits are disabled (the router's
+/// tenant admission is the fleet's front door).
+fn fleet_mode(args: &Args) -> ExitCode {
+    let shards = args.fleet.unwrap_or(1);
+    let model = match fresh_model(args) {
+        Ok(Some(m)) => m,
+        Ok(None) => {
+            eprintln!("--fleet needs --gen or --model (stores stay single-shard for now)");
+            return ExitCode::FAILURE;
+        }
+        Err(code) => return code,
+    };
+    let mut handles = Vec::new();
+    let mut backends = Vec::new();
+    for shard in 0..shards {
+        let spec = ShardSpec { shard, of: shards };
+        let engine = ServeEngine::new_sharded(model.clone(), args.cache, args.fuel, Some(spec))
+            .with_deadline(args.deadline_ms.map(Duration::from_millis));
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: args.workers,
+            cache_capacity: args.cache,
+            fuel: args.fuel,
+            per_minute: 1_000_000,
+            ..ServerConfig::default()
+        };
+        let handle = match aa_serve::spawn(engine, config) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("cannot bind shard {spec}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!("shard {spec} listening on {}", handle.local_addr());
+        backends.push(handle.local_addr().to_string());
+        handles.push(handle);
+    }
+    let router = match spawn_router(router_config(args, backends)) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot bind router: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", router.local_addr());
+    let snapshot = router.wait();
+    // The router forwarded shutdown to the shards; drain them too.
+    for handle in handles {
+        handle.wait();
+    }
+    println!("{}", snapshot.to_string_pretty());
+    ExitCode::SUCCESS
 }
 
 /// Builds or loads the model named by `--model`/`--gen`, if any.
@@ -359,7 +569,10 @@ fn server_mode(args: &Args) -> ExitCode {
         }
         eprintln!("model saved to {}", path.display());
     }
-    let mut engine = ServeEngine::new(model, args.cache, args.fuel)
+    if let Some(spec) = args.shard_of {
+        eprintln!("serving shard {spec} of the model's table-signature space");
+    }
+    let mut engine = ServeEngine::new_sharded(model, args.cache, args.fuel, args.shard_of)
         .with_deadline(args.deadline_ms.map(Duration::from_millis));
     if let Some((store, generation)) = store_state {
         engine = engine.with_store(store, generation);
@@ -416,7 +629,7 @@ fn to_request_line(line: &str) -> Option<String> {
         return Some(line.to_string());
     }
     let json = match line.split_once(' ') {
-        None if line == "stats" || line == "shutdown" || line == "reload" => {
+        None if line == "stats" || line == "shutdown" || line == "reload" || line == "ping" => {
             Json::obj([("op".to_string(), Json::Str(line.to_string()))])
         }
         Some(("classify", sql)) => Json::obj([
@@ -437,136 +650,15 @@ fn to_request_line(line: &str) -> Option<String> {
             ])
         }
         _ => {
-            eprintln!("unrecognized shorthand (use: classify SQL | neighbors [K] SQL | stats | reload | shutdown): {line}");
+            eprintln!("unrecognized shorthand (use: classify SQL | neighbors [K] SQL | stats | reload | shutdown | ping): {line}");
             return None;
         }
     };
     Some(json.to_string_compact())
 }
 
-/// Bounded exponential backoff with deterministic jitter. `floor_ms` is
-/// the server-advertised `retry_after_ms`, if any.
-fn backoff_ms(rng: &mut SeededRng, base_ms: u64, attempt: u32, floor_ms: u64) -> u64 {
-    let exp = base_ms.saturating_mul(1u64 << attempt.min(6)).min(5_000);
-    let jitter = if base_ms == 0 {
-        0
-    } else {
-        rng.gen_range(0..base_ms)
-    };
-    (exp + jitter).max(floor_ms)
-}
-
-/// A client connection that knows how to (re)connect with backoff.
-struct RetryingClient {
-    addr: String,
-    retries: u32,
-    base_ms: u64,
-    rng: SeededRng,
-    conn: Option<(BufReader<TcpStream>, TcpStream)>,
-    /// Retries spent, reported on exit so harnesses can assert on it.
-    retried: u64,
-}
-
-impl RetryingClient {
-    fn connect(&mut self) -> Result<(), String> {
-        if self.conn.is_some() {
-            return Ok(());
-        }
-        let mut attempt = 0;
-        loop {
-            match TcpStream::connect(&self.addr) {
-                Ok(stream) => {
-                    let reader = BufReader::new(
-                        stream.try_clone().map_err(|e| format!("clone stream: {e}"))?,
-                    );
-                    self.conn = Some((reader, stream));
-                    return Ok(());
-                }
-                Err(e) if attempt < self.retries => {
-                    let wait = backoff_ms(&mut self.rng, self.base_ms, attempt, 0);
-                    eprintln!("connect to {} failed ({e}); retrying in {wait}ms", self.addr);
-                    std::thread::sleep(Duration::from_millis(wait));
-                    attempt += 1;
-                    self.retried += 1;
-                }
-                Err(e) => return Err(format!("cannot connect to {}: {e}", self.addr)),
-            }
-        }
-    }
-
-    /// Sends one request line and reads its response line; `None` means
-    /// the connection died mid-exchange (caller may retry).
-    fn exchange(&mut self, request: &str) -> Result<Option<String>, String> {
-        self.connect()?;
-        let (reader, writer) = self.conn.as_mut().expect("connected above");
-        let sent = writer
-            .write_all(request.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush());
-        if sent.is_err() {
-            self.conn = None;
-            return Ok(None);
-        }
-        let mut response = String::new();
-        match reader.read_line(&mut response) {
-            Ok(0) | Err(_) => {
-                self.conn = None;
-                Ok(None)
-            }
-            Ok(_) => Ok(Some(response)),
-        }
-    }
-
-    /// One request through the retry policy: dropped connections are
-    /// re-established and the request re-sent; typed `overloaded`
-    /// responses are retried after the advertised floor. Anything else
-    /// (including other errors) is final — retrying a `bad_request`
-    /// will never help.
-    fn request(&mut self, request: &str) -> Result<String, String> {
-        let mut attempt = 0;
-        loop {
-            match self.exchange(request)? {
-                None => {
-                    if attempt >= self.retries {
-                        return Err("connection closed by server".to_string());
-                    }
-                    let wait = backoff_ms(&mut self.rng, self.base_ms, attempt, 0);
-                    eprintln!("connection dropped; retrying in {wait}ms");
-                    std::thread::sleep(Duration::from_millis(wait));
-                }
-                Some(response) => {
-                    let overloaded = Json::parse(response.trim())
-                        .ok()
-                        .filter(|j| j.get("kind").and_then(Json::as_str) == Some("overloaded"));
-                    match overloaded {
-                        Some(j) if attempt < self.retries => {
-                            let floor = j
-                                .get("retry_after_ms")
-                                .and_then(Json::as_f64)
-                                .unwrap_or(0.0) as u64;
-                            let wait = backoff_ms(&mut self.rng, self.base_ms, attempt, floor);
-                            eprintln!("server overloaded; retrying in {wait}ms");
-                            std::thread::sleep(Duration::from_millis(wait));
-                        }
-                        _ => return Ok(response),
-                    }
-                }
-            }
-            attempt += 1;
-            self.retried += 1;
-        }
-    }
-}
-
 fn client_mode(addr: &str, retries: u32, retry_base_ms: u64, retry_seed: u64) -> ExitCode {
-    let mut client = RetryingClient {
-        addr: addr.to_string(),
-        retries,
-        base_ms: retry_base_ms,
-        rng: SeededRng::seed_from_u64(retry_seed),
-        conn: None,
-        retried: 0,
-    };
+    let mut client = RetryingClient::new(addr, retries, retry_base_ms, retry_seed);
     if let Err(msg) = client.connect() {
         eprintln!("{msg}");
         return ExitCode::FAILURE;
@@ -585,8 +677,8 @@ fn client_mode(addr: &str, retries: u32, retry_base_ms: u64, retry_seed: u64) ->
             }
         }
     }
-    if client.retried > 0 {
-        eprintln!("client retried {} time(s)", client.retried);
+    if client.retried() > 0 {
+        eprintln!("client retried {} time(s)", client.retried());
     }
     ExitCode::SUCCESS
 }

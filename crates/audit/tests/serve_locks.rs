@@ -47,7 +47,11 @@ fn aa_serve_lock_sites_match_the_declared_order() {
         (("crates/serve/src/engine.rs", "state", "read"), 1),
         (("crates/serve/src/engine.rs", "state", "write"), 1),
         (("crates/serve/src/engine.rs", "stats", "lock"), 18),
+        (("crates/serve/src/router.rs", "fleet", "lock"), 8),
+        (("crates/serve/src/router.rs", "health", "lock"), 6),
+        (("crates/serve/src/router.rs", "link", "lock"), 2),
         (("crates/serve/src/server.rs", "rx", "lock"), 1),
+        (("crates/serve/src/tenant.rs", "ledger", "lock"), 3),
     ]
     .into_iter()
     .map(|((p, l, m), n)| ((p.to_string(), l.to_string(), m.to_string()), n))

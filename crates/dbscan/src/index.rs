@@ -233,7 +233,25 @@ impl PivotIndex {
     where
         M: Fn(&T, &T) -> f64,
     {
-        let n = items.len();
+        let all: Vec<usize> = (0..items.len()).collect();
+        Self::build_subset(items, &all, max_pivots, metric)
+    }
+
+    /// Builds the pivot table over a restricted subset of `items`.
+    ///
+    /// The index sees only `items[subset[j]]` for `j` in `0..subset.len()`,
+    /// and every index it hands back (pivots, `range`, `knn`) is a
+    /// *subset-local* position `j` — callers translate back through
+    /// `subset[j]`. Pivot selection runs the same deterministic
+    /// farthest-point traversal as [`PivotIndex::build`], restricted to the
+    /// subset, so a sharded deployment that partitions one item set into
+    /// disjoint subsets answers exact per-shard queries: the triangle
+    /// pruning argument only needs the metric, never the full item set.
+    pub fn build_subset<T, M>(items: &[T], subset: &[usize], max_pivots: usize, metric: &M) -> Self
+    where
+        M: Fn(&T, &T) -> f64,
+    {
+        let n = subset.len();
         let mut index = PivotIndex {
             pivots: Vec::new(),
             table: Vec::new(),
@@ -246,7 +264,8 @@ impl PivotIndex {
         let mut next = 0usize;
         loop {
             index.pivots.push(next);
-            let row: Vec<f64> = (0..n).map(|i| metric(&items[next], &items[i])).collect();
+            let pivot_item = &items[subset[next]];
+            let row: Vec<f64> = subset.iter().map(|&g| metric(pivot_item, &items[g])).collect();
             for (i, &d) in row.iter().enumerate() {
                 if d < min_d[i] {
                     min_d[i] = d;
@@ -566,6 +585,52 @@ mod tests {
         // The three nearest all live in key 0 at distance <= 0.45 < 1, so
         // both foreign buckets are pruned wholesale.
         assert_eq!(evaluated, 10);
+    }
+
+    #[test]
+    fn pivot_subset_matches_brute_force_over_the_slice() {
+        let items = dataset();
+        // A deliberately scattered subset crossing all three key buckets.
+        let subset: Vec<usize> = (0..items.len()).filter(|i| i % 3 != 1).collect();
+        let index = PivotIndex::build_subset(&items, &subset, 8, &key_metric);
+        assert_eq!(index.len(), subset.len());
+        let q = P { key: 1, x: 0.13 };
+        for k in [1, 4, subset.len(), subset.len() + 2] {
+            let (got, _) = index.knn(
+                k,
+                |j| key_metric(&q, &items[subset[j]]),
+                |j| dist(&q, &items[subset[j]]),
+            );
+            // Brute force over the same slice, tie-broken by subset-local
+            // position — the contract sharded callers rely on.
+            let mut brute: Vec<(usize, f64)> = subset
+                .iter()
+                .enumerate()
+                .map(|(j, &g)| (j, dist(&q, &items[g])))
+                .collect();
+            brute.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            brute.truncate(k);
+            assert_eq!(got, brute, "k={k}");
+        }
+        let (hits, _) = index.range(
+            0.2,
+            |j| key_metric(&q, &items[subset[j]]),
+            |j| dist(&q, &items[subset[j]]),
+        );
+        let brute: Vec<usize> = (0..subset.len())
+            .filter(|&j| dist(&q, &items[subset[j]]) <= 0.2)
+            .collect();
+        assert_eq!(hits, brute);
+    }
+
+    #[test]
+    fn pivot_build_is_build_subset_over_the_identity() {
+        let items = dataset();
+        let all: Vec<usize> = (0..items.len()).collect();
+        let a = PivotIndex::build(&items, 8, &key_metric);
+        let b = PivotIndex::build_subset(&items, &all, 8, &key_metric);
+        assert_eq!(a.pivots(), b.pivots());
+        assert_eq!(a.len(), b.len());
     }
 
     #[test]

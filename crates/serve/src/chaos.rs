@@ -123,6 +123,118 @@ impl ServeFaultPlan {
     }
 }
 
+/// A deterministic schedule of **fleet-level** faults: shard kills and
+/// restarts keyed by global request ordinal, plus an independent
+/// [`ServeFaultPlan`] per shard. The harness (the fleet soak test and
+/// the CI gate) consults the plan before each request it sends and
+/// enacts the scheduled kill/restart itself — in-process via
+/// `ServerHandle::shutdown`, in CI via `kill -9` — so the router sees
+/// real connection failures, not simulated ones. Two plans from the same
+/// seed are identical, which is what makes a chaos run replayable.
+#[derive(Debug, Clone, Default)]
+pub struct FleetFaultPlan {
+    /// global request ordinal → shard to kill before sending it.
+    kills: BTreeMap<u64, usize>,
+    /// global request ordinal → shard to restart before sending it.
+    restarts: BTreeMap<u64, usize>,
+    /// Per-shard request-path fault schedules.
+    shard_plans: Vec<ServeFaultPlan>,
+}
+
+impl FleetFaultPlan {
+    /// Samples a plan over `shards` shards and `requests` ordinals: each
+    /// ordinal draws a kill with probability `kill_rate` (uniform shard),
+    /// and each kill schedules the matching restart a seeded 3–12
+    /// ordinals later (clamped into range; later kills of the same shard
+    /// supersede). Each shard also gets its own seeded [`ServeFaultPlan`]
+    /// with per-request fault rate `fault_rate` (no save faults — fleet
+    /// chaos exercises the wire, not the store).
+    pub fn seeded(
+        seed: u64,
+        shards: usize,
+        requests: u64,
+        kill_rate: f64,
+        fault_rate: f64,
+    ) -> FleetFaultPlan {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        let mut plan = FleetFaultPlan {
+            shard_plans: (0..shards)
+                .map(|s| {
+                    ServeFaultPlan::seeded(
+                        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .wrapping_add(s as u64),
+                        requests,
+                        fault_rate,
+                        0,
+                        0.0,
+                    )
+                })
+                .collect(),
+            ..FleetFaultPlan::default()
+        };
+        if shards == 0 {
+            return plan;
+        }
+        // A shard can only be killed while alive and restarted while
+        // dead, so sample kills first and derive restarts.
+        let mut dead_until: Vec<u64> = vec![0; shards];
+        for i in 0..requests {
+            if !rng.gen_bool(kill_rate) {
+                continue;
+            }
+            let shard = rng.gen_range(0..shards as u64) as usize;
+            if i < dead_until[shard] {
+                continue; // still down from the previous kill
+            }
+            plan.kills.insert(i, shard);
+            let mut back = i + rng.gen_range(3..=12u64);
+            while plan.restarts.contains_key(&back) {
+                back += 1; // one restart per ordinal; slide to a free slot
+            }
+            plan.restarts.insert(back, shard);
+            dead_until[shard] = back + 1;
+        }
+        plan
+    }
+
+    /// The shard (if any) to kill before sending request ordinal `i`.
+    pub fn kill_before(&self, i: u64) -> Option<usize> {
+        self.kills.get(&i).copied()
+    }
+
+    /// The shard (if any) to restart before sending request ordinal `i`.
+    /// Restarts scheduled past the end of the run are reachable via
+    /// [`restarts`](FleetFaultPlan::restarts).
+    pub fn restart_before(&self, i: u64) -> Option<usize> {
+        self.restarts.get(&i).copied()
+    }
+
+    /// The per-shard request fault schedule.
+    pub fn shard_plan(&self, shard: usize) -> Option<&ServeFaultPlan> {
+        self.shard_plans.get(shard)
+    }
+
+    /// All scheduled kills in ordinal order.
+    pub fn kills(&self) -> impl Iterator<Item = (u64, usize)> + '_ {
+        self.kills.iter().map(|(i, s)| (*i, *s))
+    }
+
+    /// All scheduled restarts in ordinal order.
+    pub fn restarts(&self) -> impl Iterator<Item = (u64, usize)> + '_ {
+        self.restarts.iter().map(|(i, s)| (*i, *s))
+    }
+
+    /// Adds (or overrides) a kill at ordinal `i`.
+    pub fn insert_kill(&mut self, i: u64, shard: usize) {
+        self.kills.insert(i, shard);
+    }
+
+    /// Adds (or overrides) a restart at ordinal `i`.
+    pub fn insert_restart(&mut self, i: u64, shard: usize) {
+        self.restarts.insert(i, shard);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +282,39 @@ mod tests {
             saves.insert(f.as_str());
         }
         assert_eq!(saves.len(), SaveFault::ALL.len(), "every crash point drawn");
+    }
+
+    #[test]
+    fn fleet_plan_is_seeded_and_never_kills_a_dead_shard() {
+        let a = FleetFaultPlan::seeded(11, 3, 200, 0.08, 0.05);
+        let b = FleetFaultPlan::seeded(11, 3, 200, 0.08, 0.05);
+        assert_eq!(a.kills().collect::<Vec<_>>(), b.kills().collect::<Vec<_>>());
+        assert_eq!(
+            a.restarts().collect::<Vec<_>>(),
+            b.restarts().collect::<Vec<_>>()
+        );
+        assert!(a.kills().count() > 0, "kill rate 8% over 200 ordinals draws");
+        assert_eq!(a.kills().count(), a.restarts().count(), "every kill restarts");
+        // Replay the schedule: a kill may only target a live shard, a
+        // restart only a dead one.
+        let mut alive = [true; 3];
+        let last = a.restarts().map(|(i, _)| i).max().unwrap_or(0);
+        for i in 0..=last {
+            if let Some(s) = a.restart_before(i) {
+                assert!(!alive[s], "restart of live shard {s} at ordinal {i}");
+                alive[s] = true;
+            }
+            if let Some(s) = a.kill_before(i) {
+                assert!(alive[s], "kill of dead shard {s} at ordinal {i}");
+                alive[s] = false;
+            }
+        }
+        for s in 0..3 {
+            assert!(a.shard_plan(s).is_some());
+        }
+        assert!(a.shard_plan(3).is_none());
+        let c = FleetFaultPlan::seeded(12, 3, 200, 0.08, 0.05);
+        assert_ne!(a.kills().collect::<Vec<_>>(), c.kills().collect::<Vec<_>>());
     }
 
     #[test]

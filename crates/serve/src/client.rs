@@ -1,0 +1,301 @@
+//! The reconnecting line-JSON client shared by the CLI and the router.
+//!
+//! PR 5 grew a retrying client inside the `serve_areas` binary; the fleet
+//! router needs the same machinery for its backend links, so it lives
+//! here now. One behavioural fix rides along (the failover bug): the old
+//! client only retried connections that dropped *after* a successful
+//! connect — a connection **refused** mid-session (the exact signature of
+//! a shard restarting or a router failing over) was fatal. [`exchange`]
+//! now reports any connection-level failure, including a refused
+//! reconnect, as a retryable outcome, and [`request`] drives it through
+//! the same bounded seeded backoff.
+//!
+//! A server that idle-times-out a connection writes one `timeout` error
+//! line and closes; a request racing that close would read the stale
+//! line as its response. [`request`] treats a `timeout`-kind response as
+//! a dead connection and resends on a fresh one (bounded by the same
+//! retry budget), so the race heals instead of corrupting the session.
+//!
+//! [`exchange`]: RetryingClient::exchange
+//! [`request`]: RetryingClient::request
+
+use aa_util::{Json, SeededRng};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Bounded exponential backoff with deterministic jitter. `floor_ms` is
+/// the server-advertised `retry_after_ms`, if any.
+pub fn backoff_ms(rng: &mut SeededRng, base_ms: u64, attempt: u32, floor_ms: u64) -> u64 {
+    let exp = base_ms.saturating_mul(1u64 << attempt.min(6)).min(5_000);
+    let jitter = if base_ms == 0 {
+        0
+    } else {
+        rng.gen_range(0..base_ms)
+    };
+    (exp + jitter).max(floor_ms)
+}
+
+/// A client connection that knows how to (re)connect with backoff.
+#[derive(Debug)]
+pub struct RetryingClient {
+    addr: String,
+    retries: u32,
+    base_ms: u64,
+    rng: SeededRng,
+    conn: Option<(BufReader<TcpStream>, TcpStream)>,
+    /// Retries spent, reported on exit so harnesses can assert on it.
+    retried: u64,
+    /// Read/write deadline applied to every stream (router links set
+    /// this so a stalled shard frees the router within one deadline).
+    timeout: Option<Duration>,
+    /// Whether `request` retries typed `overloaded` responses. The CLI
+    /// wants that; the router wants them surfaced so the merge can
+    /// count the shard as shedding.
+    retry_overloaded: bool,
+    /// Suppress per-retry stderr chatter (router links).
+    quiet: bool,
+}
+
+impl RetryingClient {
+    pub fn new(addr: impl Into<String>, retries: u32, base_ms: u64, seed: u64) -> Self {
+        RetryingClient {
+            addr: addr.into(),
+            retries,
+            base_ms,
+            rng: SeededRng::seed_from_u64(seed),
+            conn: None,
+            retried: 0,
+            timeout: None,
+            retry_overloaded: true,
+            quiet: false,
+        }
+    }
+
+    /// Applies a read+write deadline to every connection.
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Enables or disables retrying typed `overloaded` responses.
+    pub fn with_retry_overloaded(mut self, retry: bool) -> Self {
+        self.retry_overloaded = retry;
+        self
+    }
+
+    /// Silences per-retry progress messages on stderr.
+    pub fn with_quiet(mut self, quiet: bool) -> Self {
+        self.quiet = quiet;
+        self
+    }
+
+    /// The address this client dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Total retries spent so far (reconnects and overload waits).
+    pub fn retried(&self) -> u64 {
+        self.retried
+    }
+
+    fn note(&self, msg: &str) {
+        if !self.quiet {
+            eprintln!("{msg}");
+        }
+    }
+
+    /// One connection attempt, applying the configured deadlines.
+    fn connect_once(&mut self) -> std::io::Result<()> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(self.timeout)?;
+        stream.set_write_timeout(self.timeout)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        self.conn = Some((reader, stream));
+        Ok(())
+    }
+
+    /// Eagerly connects, retrying refused connects with backoff — the
+    /// CLI's startup handshake. `request` does not need this first; it
+    /// dials lazily.
+    pub fn connect(&mut self) -> Result<(), String> {
+        let mut attempt = 0;
+        loop {
+            match self.connect_once() {
+                Ok(()) => return Ok(()),
+                Err(e) if attempt < self.retries => {
+                    let wait = backoff_ms(&mut self.rng, self.base_ms, attempt, 0);
+                    self.note(&format!(
+                        "connect to {} failed ({e}); retrying in {wait}ms",
+                        self.addr
+                    ));
+                    std::thread::sleep(Duration::from_millis(wait));
+                    attempt += 1;
+                    self.retried += 1;
+                }
+                Err(e) => return Err(format!("cannot connect to {}: {e}", self.addr)),
+            }
+        }
+    }
+
+    /// Drops the current connection (next request dials fresh).
+    pub fn disconnect(&mut self) {
+        self.conn = None;
+    }
+
+    /// Sends one request line and reads its response line; `None` means
+    /// the connection failed — refused connect, dropped mid-exchange, or
+    /// deadline expiry — and the caller may retry.
+    fn exchange(&mut self, request: &str) -> Option<String> {
+        if self.connect_once().is_err() {
+            return None;
+        }
+        let (reader, writer) = self.conn.as_mut()?;
+        let sent = writer
+            .write_all(request.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        if sent.is_err() {
+            self.conn = None;
+            return None;
+        }
+        let mut response = String::new();
+        match reader.read_line(&mut response) {
+            Ok(0) | Err(_) => {
+                self.conn = None;
+                None
+            }
+            Ok(_) => Some(response),
+        }
+    }
+
+    /// One request through the retry policy: connection failures
+    /// (refused, dropped, or timed out) are retried on a fresh
+    /// connection, stale `timeout` responses are treated as dropped
+    /// connections, and typed `overloaded` responses are retried after
+    /// the advertised floor (when enabled). Anything else is final —
+    /// retrying a `bad_request` will never help.
+    pub fn request(&mut self, request: &str) -> Result<String, String> {
+        let mut attempt = 0;
+        loop {
+            match self.exchange(request) {
+                None => {
+                    if attempt >= self.retries {
+                        return Err(format!(
+                            "connection to {} failed after {} attempt(s)",
+                            self.addr,
+                            attempt + 1
+                        ));
+                    }
+                    let wait = backoff_ms(&mut self.rng, self.base_ms, attempt, 0);
+                    self.note(&format!("connection failed; retrying in {wait}ms"));
+                    std::thread::sleep(Duration::from_millis(wait));
+                }
+                Some(response) => {
+                    let parsed = Json::parse(response.trim()).ok();
+                    let kind = parsed
+                        .as_ref()
+                        .and_then(|j| j.get("kind"))
+                        .and_then(Json::as_str);
+                    match kind {
+                        // The server idle-timed this connection out and
+                        // closed it; the line we read answered nothing.
+                        // Resend on a fresh connection.
+                        Some("timeout") if attempt < self.retries => {
+                            self.conn = None;
+                            let wait = backoff_ms(&mut self.rng, self.base_ms, attempt, 0);
+                            self.note(&format!(
+                                "stale timeout response; reconnecting in {wait}ms"
+                            ));
+                            std::thread::sleep(Duration::from_millis(wait));
+                        }
+                        Some("overloaded")
+                            if self.retry_overloaded && attempt < self.retries =>
+                        {
+                            let floor = parsed
+                                .as_ref()
+                                .and_then(|j| j.get("retry_after_ms"))
+                                .and_then(Json::as_f64)
+                                .unwrap_or(0.0) as u64;
+                            let wait =
+                                backoff_ms(&mut self.rng, self.base_ms, attempt, floor);
+                            self.note(&format!("server overloaded; retrying in {wait}ms"));
+                            std::thread::sleep(Duration::from_millis(wait));
+                        }
+                        _ => return Ok(response),
+                    }
+                }
+            }
+            attempt += 1;
+            self.retried += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded_and_honours_the_floor() {
+        let mut rng = SeededRng::seed_from_u64(7);
+        for attempt in 0..40 {
+            let wait = backoff_ms(&mut rng, 50, attempt, 0);
+            assert!(wait <= 5_000 + 50, "attempt {attempt}: {wait}");
+        }
+        let mut rng = SeededRng::seed_from_u64(7);
+        assert!(backoff_ms(&mut rng, 10, 0, 9_999) == 9_999);
+        let mut rng = SeededRng::seed_from_u64(7);
+        assert_eq!(backoff_ms(&mut rng, 0, 3, 0), 0);
+    }
+
+    #[test]
+    fn connection_refused_mid_session_is_retryable() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpListener;
+
+        // Reserve a port, then leave it refusing connections.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        drop(listener);
+
+        // The "failed-over" server comes back on the same address only
+        // after the client has already eaten a few refused connects.
+        let server_addr = addr.clone();
+        let server = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            let listener = TcpListener::bind(&server_addr).expect("rebind");
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read");
+            assert!(line.contains("ping"));
+            let mut stream = stream;
+            stream
+                .write_all(b"{\"ok\":true,\"op\":\"ping\"}\n")
+                .expect("write");
+        });
+
+        let mut client = RetryingClient::new(&addr, 8, 25, 42).with_quiet(true);
+        let response = client
+            .request("{\"op\":\"ping\"}")
+            .expect("refused connects must be retried until the server returns");
+        assert!(response.contains("\"ok\":true"));
+        assert!(client.retried() > 0, "at least one refused connect was retried");
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_an_error() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        drop(listener);
+        let mut client = RetryingClient::new(&addr, 1, 1, 3).with_quiet(true);
+        let err = client.request("{\"op\":\"ping\"}").expect_err("port is dead");
+        assert!(err.contains("failed after 2 attempt(s)"), "{err}");
+    }
+}

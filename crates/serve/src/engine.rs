@@ -54,6 +54,7 @@
 use crate::cache::{CacheStats, CachedExtraction, ExtractionCache};
 use crate::chaos::{RequestFault, ServeFaultPlan};
 use crate::protocol::{error_response, ok_response, overloaded_response};
+use crate::shard::{owned_positions, ShardSpec};
 use crate::store::ModelStore;
 use aa_core::{
     AccessArea, AccessRanges, ClusteredModel, DistanceKernel, DistanceMode, LogRunner, NoSchema,
@@ -84,15 +85,39 @@ pub struct ModelState {
     pub kernel: DistanceKernel,
     pub index: PivotIndex,
     pub generation: u64,
+    /// Global area positions this state's index answers for. In a fleet
+    /// shard this is the table-signature slice (`shard::owned_positions`);
+    /// single-process serving owns everything (the identity). The index's
+    /// item `i` is always `model.areas[owned[i]]`.
+    pub owned: Vec<usize>,
+    /// Which fleet slice this state serves, if any.
+    pub shard: Option<ShardSpec>,
 }
 
 impl ModelState {
     /// Builds the kernel and index for a validated model. This is the
     /// expensive part of a reload and runs off the request path.
     pub fn build(model: ClusteredModel, generation: u64) -> ModelState {
+        Self::build_for_shard(model, generation, None)
+    }
+
+    /// Builds a serving snapshot restricted to one fleet slice: the
+    /// kernel (and labels, eps, cluster ids) stay global — so responses
+    /// speak global indices — but the pivot index covers only the owned
+    /// positions, built shard-locally via `PivotIndex::build_subset`.
+    pub fn build_for_shard(
+        model: ClusteredModel,
+        generation: u64,
+        shard: Option<ShardSpec>,
+    ) -> ModelState {
         let kernel = DistanceKernel::build(&model.areas, &model.ranges, model.mode);
         let positions: Vec<usize> = (0..model.areas.len()).collect();
-        let index = PivotIndex::build(&positions, MAX_PIVOTS, &|a: &usize, b: &usize| {
+        let owned = match &shard {
+            Some(spec) => owned_positions(&model, spec),
+            None => positions.clone(),
+        };
+        let index = PivotIndex::build_subset(&positions, &owned, MAX_PIVOTS, &|a: &usize,
+                                                                               b: &usize| {
             kernel.d_tables(*a, *b)
         });
         ModelState {
@@ -100,6 +125,8 @@ impl ModelState {
             kernel,
             index,
             generation,
+            owned,
+            shard,
         }
     }
 }
@@ -285,6 +312,9 @@ pub struct ServeEngine {
     breakers: Mutex<[Breaker; 2]>,
     /// Backoff floor advertised in `overloaded` responses.
     retry_after_ms: u64,
+    /// Fleet slice this engine serves; reloads rebuild with the same
+    /// restriction so a shard never silently widens.
+    shard: Option<ShardSpec>,
     stats: Mutex<ServeStats>,
 }
 
@@ -293,12 +323,26 @@ impl ServeEngine {
     /// store, no chaos, default breaker). The builder methods below
     /// layer the resilience knobs on.
     pub fn new(model: ClusteredModel, cache_capacity: usize, fuel: Option<u64>) -> Self {
-        let state = ModelState::build(model, 0);
+        Self::new_sharded(model, cache_capacity, fuel, None)
+    }
+
+    /// Builds a shard-restricted serving core: same engine, but the index
+    /// (and every classify/neighbors answer) covers only the areas the
+    /// shard owns by table-signature hash. Responses still use global
+    /// area indices, so a router can merge shard answers exactly.
+    pub fn new_sharded(
+        model: ClusteredModel,
+        cache_capacity: usize,
+        fuel: Option<u64>,
+        shard: Option<ShardSpec>,
+    ) -> Self {
+        let state = ModelState::build_for_shard(model, 0, shard);
         let stats = ServeStats {
             classified: vec![0; state.model.cluster_count + 1],
             ..ServeStats::default()
         };
         ServeEngine {
+            shard: state.shard,
             state: RwLock::new(Arc::new(state)),
             cache: ExtractionCache::new(cache_capacity),
             fuel,
@@ -416,22 +460,31 @@ impl ServeEngine {
         self.cache.get_or_compute(&key, || self.extract(sql))
     }
 
-    /// `k` nearest logged areas to `query` by `(distance, index)`. The
-    /// query is flattened against the kernel once; every pivot bound and
-    /// candidate evaluation then rides the bitset path.
+    /// `k` nearest logged areas to `query` by `(distance, index)`, as
+    /// *global* area positions. The query is flattened against the
+    /// kernel once; every pivot bound and candidate evaluation then
+    /// rides the bitset path. The index speaks owned-local positions;
+    /// this translates both the distance callbacks and the results, so
+    /// a shard's answer is exactly the global brute force restricted to
+    /// its slice — ascending `owned` keeps the tie order global too.
     fn knn(&self, state: &ModelState, query: &AccessArea, k: usize) -> (Vec<(usize, f64)>, usize) {
         let flat = state.kernel.flatten(query);
-        state.index.knn(
+        let (local, evaluated) = state.index.knn(
             k,
-            |i| state.kernel.d_tables_to(&flat, i),
-            |i| state.kernel.distance_to(&flat, i),
-        )
+            |i| state.kernel.d_tables_to(&flat, state.owned[i]),
+            |i| state.kernel.distance_to(&flat, state.owned[i]),
+        );
+        let global = local
+            .into_iter()
+            .map(|(i, d)| (state.owned[i], d))
+            .collect();
+        (global, evaluated)
     }
 
     fn record_evaluations(&self, state: &ModelState, evaluated: usize) {
         let mut stats = self.stats.lock().unwrap();
         stats.distance_evaluated += evaluated as u64;
-        stats.distance_pruned += (state.model.areas.len() - evaluated) as u64;
+        stats.distance_pruned += (state.owned.len() - evaluated) as u64;
     }
 
     fn record_extract_failure(&self, kind: &str) {
@@ -520,10 +573,10 @@ impl ServeEngine {
         };
         let flat = state.kernel.flatten(area);
         let mut best: Option<(f64, usize)> = None;
-        for i in 0..state.model.areas.len() {
-            let d = state.kernel.d_tables_to(&flat, i);
+        for &g in &state.owned {
+            let d = state.kernel.d_tables_to(&flat, g);
             if best.is_none_or(|(bd, _)| d < bd) {
-                best = Some((d, i));
+                best = Some((d, g));
             }
         }
         let mut fields = vec![
@@ -675,7 +728,7 @@ impl ServeEngine {
     /// already installed this or a newer generation. Public so tests and
     /// the store watcher can swap without going through the wire verb.
     pub fn swap_model(&self, model: ClusteredModel, generation: u64) -> bool {
-        let state = Arc::new(ModelState::build(model, generation));
+        let state = Arc::new(ModelState::build_for_shard(model, generation, self.shard));
         {
             let mut slot = self.state.write().unwrap();
             if slot.generation >= generation {
@@ -878,7 +931,35 @@ impl ServeEngine {
                     ),
                 ]),
             ),
+            (
+                "shard".to_string(),
+                match &state.shard {
+                    None => Json::Null,
+                    Some(spec) => Json::obj([
+                        ("shard".to_string(), Json::Num(spec.shard as f64)),
+                        ("of".to_string(), Json::Num(spec.of as f64)),
+                        ("owned".to_string(), Json::Num(state.owned.len() as f64)),
+                    ]),
+                },
+            ),
         ])
+    }
+
+    /// Answers a ping (the router's health-probe verb): trivially cheap,
+    /// but proves the whole request path — accept, parse, dispatch,
+    /// respond — and names the serving generation and shard identity so
+    /// a probe also detects a backend serving the wrong slice.
+    pub fn ping_response(&self) -> Json {
+        let state = self.current();
+        let mut fields = vec![(
+            "generation".to_string(),
+            Json::Num(state.generation as f64),
+        )];
+        if let Some(spec) = &state.shard {
+            fields.push(("shard".to_string(), Json::Num(spec.shard as f64)));
+            fields.push(("of".to_string(), Json::Num(spec.of as f64)));
+        }
+        ok_response("ping", fields)
     }
 
     /// Records an admission-control rejection (the server calls this).

@@ -62,18 +62,38 @@
 //! println!("{}", final_stats.to_string_pretty());
 //! ```
 
+//! The **fleet layer** scales this horizontally (DESIGN.md §12): the
+//! model is partitioned by table-signature hash ([`shard`]) so each
+//! shard server owns a deterministic slice of areas; a thin [`router`]
+//! fans classify/neighbors out to the shards over the same line-JSON
+//! protocol, merges exact per-shard answers by `(distance, index)`,
+//! tracks per-backend health (up → suspect → down → half-open probe),
+//! degrades to `"partial": true` responses when shards are lost, and
+//! sheds flooding tenants through per-tenant token buckets ([`tenant`]).
+//! [`client::RetryingClient`] is the shared reconnecting client both the
+//! CLI and the router's backend links use; [`chaos::FleetFaultPlan`]
+//! drives seeded whole-fleet fault schedules for the soak suites.
+
 #![forbid(unsafe_code)]
 
 pub mod cache;
 pub mod chaos;
+pub mod client;
 pub mod engine;
 pub mod protocol;
+pub mod router;
 pub mod server;
+pub mod shard;
 pub mod store;
+pub mod tenant;
 
 pub use cache::{CacheStats, CachedExtraction, ExtractionCache};
-pub use chaos::{RequestFault, ServeFaultPlan};
+pub use chaos::{FleetFaultPlan, RequestFault, ServeFaultPlan};
+pub use client::{backoff_ms, RetryingClient};
 pub use engine::{build_model, BreakerConfig, ModelState, ServeEngine, ServeStats};
 pub use protocol::{BadRequest, Request};
+pub use router::{spawn_router, HealthConfig, HealthState, RouterConfig, RouterEngine, RouterHandle};
 pub use server::{spawn, ServerConfig, ServerHandle};
+pub use shard::{shard_of, table_signature, ShardSpec};
 pub use store::{ModelStore, PublishOutcome, Recovery, RejectedGeneration, SaveFault, StoreError};
+pub use tenant::{TenantDecision, TenantPolicy, TenantTable};

@@ -1,6 +1,6 @@
 //! Line-delimited JSON wire protocol.
 //!
-//! One request per line, one response line per request, in order. Five
+//! One request per line, one response line per request, in order. Six
 //! operations:
 //!
 //! ```text
@@ -8,8 +8,17 @@
 //! {"op": "neighbors", "sql": "SELECT ...", "k": 5}
 //! {"op": "stats"}
 //! {"op": "reload"}
+//! {"op": "ping"}
 //! {"op": "shutdown"}
 //! ```
+//!
+//! Requests may additionally carry a `"tenant"` string. Single-process
+//! servers and shard backends ignore it; the fleet router keys per-tenant
+//! token-bucket admission on it (absent → the shared `"anon"` bucket), so
+//! a flooding tenant is shed without touching other tenants' budgets.
+//! `ping` is the health-probe verb: a trivial request the router uses to
+//! detect shard death and half-open recovery without paying for a
+//! classification.
 //!
 //! Every response carries `"ok": true|false` plus the echoed `"op"`.
 //! Failures distinguish `kind`s the client can dispatch on:
@@ -37,6 +46,9 @@ pub enum Request {
     /// Re-scan the model store and hot-swap to the newest verified
     /// generation without dropping in-flight requests.
     Reload,
+    /// Liveness/health probe; answers with the serving generation (and
+    /// shard identity when sharded) without touching the model.
+    Ping,
     /// Begin graceful shutdown (the current connection is still served
     /// to EOF).
     Shutdown,
@@ -83,6 +95,7 @@ impl Request {
             }
             "stats" => Ok(Request::Stats),
             "reload" => Ok(Request::Reload),
+            "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(BadRequest(format!("unknown op '{other}'"))),
         }
@@ -95,9 +108,17 @@ impl Request {
             Request::Neighbors { .. } => "neighbors",
             Request::Stats => "stats",
             Request::Reload => "reload",
+            Request::Ping => "ping",
             Request::Shutdown => "shutdown",
         }
     }
+}
+
+/// The `"tenant"` field of a request line, or `"anon"` when absent or not
+/// a string. Lives on the raw JSON (not [`Request`]) because only the
+/// router looks at it; backends receive the line verbatim and ignore it.
+pub fn tenant_of(json: &Json) -> &str {
+    json.get("tenant").and_then(Json::as_str).unwrap_or("anon")
 }
 
 /// `{"ok": true, "op": op, ...fields}`.
@@ -169,6 +190,24 @@ mod tests {
             Request::parse_line(r#"{"op":"shutdown"}"#),
             Ok(Request::Shutdown)
         );
+        assert_eq!(Request::parse_line(r#"{"op":"ping"}"#), Ok(Request::Ping));
+        // A tenant field rides along without changing the parsed request.
+        assert_eq!(
+            Request::parse_line(r#"{"op":"classify","sql":"SELECT 1","tenant":"bot-7"}"#),
+            Ok(Request::Classify {
+                sql: "SELECT 1".into()
+            })
+        );
+    }
+
+    #[test]
+    fn tenant_defaults_to_anon() {
+        let with = Json::parse(r#"{"op":"classify","sql":"x","tenant":"alice"}"#).unwrap();
+        assert_eq!(tenant_of(&with), "alice");
+        let without = Json::parse(r#"{"op":"classify","sql":"x"}"#).unwrap();
+        assert_eq!(tenant_of(&without), "anon");
+        let non_string = Json::parse(r#"{"op":"stats","tenant":3}"#).unwrap();
+        assert_eq!(tenant_of(&non_string), "anon");
     }
 
     #[test]

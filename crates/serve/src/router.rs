@@ -1,0 +1,1003 @@
+//! The fleet router: fan classify/neighbors out to shard backends, merge
+//! exact per-shard answers, degrade deterministically when shards die.
+//!
+//! # Topology
+//!
+//! Each shard server runs the ordinary [`crate::server`] over a
+//! shard-restricted engine (`ServeEngine::new_sharded`): it owns the
+//! areas whose table-signature hash lands on its slice and answers
+//! classify/neighbors for them with **global** area indices. The router
+//! is a thin front end speaking the same line-JSON protocol on both
+//! sides: one reused connection per backend (guarded by a per-backend
+//! `link` mutex, so backend traffic is serialised per shard), requests
+//! forwarded verbatim, responses merged by `(distance, index)` — which
+//! reproduces the single-process brute-force tie-breaking bit for bit,
+//! because the shards partition the model exactly and each answers an
+//! exact k-NN on its slice.
+//!
+//! # Health state machine
+//!
+//! Per backend: `Up → Suspect → Down → HalfOpen → Up`, driven by request
+//! outcomes (deterministic and replayable) plus an optional wall-clock
+//! `ping` prober for idle fleets. Consecutive connection-level failures
+//! move Up→Suspect and, at `down_after`, Suspect→Down (the ejection).
+//! While Down the shard is skipped outright — requests get fast partial
+//! answers instead of waiting out connect timeouts — until `probe_after`
+//! skips have accumulated; the next request is then sent as the
+//! half-open probe: success rejoins the shard (Up), failure re-ejects
+//! it. Any successful response in any state heals straight to Up.
+//!
+//! # Partial results
+//!
+//! A merged response missing any shard carries `"partial": true` and
+//! `"missing_shards": [ids]` instead of failing the request — the
+//! `d ≥ d_tables` pruning argument holds per shard, so the merged answer
+//! is still the exact optimum over every *surviving* slice. When no
+//! shard is reachable the request gets a typed `unavailable` error with
+//! `retry_after_ms`. Nothing is silently dropped: the fleet soak test
+//! proves `full + partial + shed + quarantined + unavailable +
+//! bad_requests` equals the lines sent.
+//!
+//! # Tenancy
+//!
+//! Classify/neighbors pass per-tenant token-bucket admission
+//! ([`crate::tenant`]) before any fan-out; shed tenants get a typed
+//! `overloaded` + `retry_after_ms` + `"tenant"` echo. The buckets run on
+//! the admission sequence, not wall time, so a replayed bot storm sheds
+//! byte-identically.
+
+use crate::client::RetryingClient;
+use crate::protocol::{error_response, ok_response, tenant_of, Request};
+use crate::server::{read_line_capped, LineRead};
+use crate::tenant::{TenantPolicy, TenantTable};
+use aa_util::Json;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Health-state-machine thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthConfig {
+    /// Consecutive connection-level failures that eject a backend
+    /// (Up → Suspect after the first, → Down at this count).
+    pub down_after: u32,
+    /// Requests skipped while Down before the next one probes.
+    pub probe_after: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            down_after: 2,
+            probe_after: 4,
+        }
+    }
+}
+
+/// Router knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Shard backend addresses, in shard order (index = shard id).
+    pub backends: Vec<String>,
+    /// Per-backend reconnect retries per request.
+    pub retries: u32,
+    /// Base backoff for backend retries (milliseconds).
+    pub retry_base_ms: u64,
+    /// Seed for the per-backend retry jitter streams.
+    pub retry_seed: u64,
+    /// Read/write deadline on backend links (a stalled shard frees the
+    /// router within one deadline and counts as a failure).
+    pub backend_timeout: Option<Duration>,
+    pub health: HealthConfig,
+    /// Per-tenant admission; `None` disables tenant shedding.
+    pub tenant: Option<TenantPolicy>,
+    /// Wall-clock ping prober interval (`None` = request-driven health
+    /// only, the deterministic mode the replay gates use).
+    pub ping_interval: Option<Duration>,
+    /// Backoff floor advertised on `unavailable` responses.
+    pub retry_after_ms: u64,
+    /// Client-side socket timeouts and line cap (same meaning as
+    /// [`crate::ServerConfig`]).
+    pub read_timeout: Option<Duration>,
+    pub write_timeout: Option<Duration>,
+    pub max_line_bytes: usize,
+    /// Where to write the final fleet stats snapshot on shutdown.
+    pub stats_path: Option<PathBuf>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            backends: Vec::new(),
+            retries: 1,
+            retry_base_ms: 25,
+            retry_seed: 42,
+            backend_timeout: Some(Duration::from_secs(10)),
+            health: HealthConfig::default(),
+            tenant: Some(TenantPolicy::default()),
+            ping_interval: None,
+            retry_after_ms: 250,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_line_bytes: 1 << 20,
+            stats_path: None,
+        }
+    }
+}
+
+/// One backend's health, as the state machine sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    Up,
+    /// Failing but not yet ejected; still fanned out to.
+    Suspect,
+    /// Ejected: skipped without an attempt.
+    Down,
+    /// A probe is in flight; other requests keep skipping.
+    HalfOpen,
+}
+
+impl HealthState {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            HealthState::Up => "up",
+            HealthState::Suspect => "suspect",
+            HealthState::Down => "down",
+            HealthState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// What the health machine decided for one backend on one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Attempt {
+    /// Fan out normally.
+    Try,
+    /// Fan out as the half-open probe.
+    Probe,
+    /// Skip; the shard is down.
+    Skip,
+}
+
+#[derive(Debug, Clone)]
+struct BackendHealth {
+    state: HealthState,
+    consecutive_failures: u32,
+    /// Requests skipped since the backend went Down.
+    skipped_since_down: u32,
+    /// Counters for the stats fleet block.
+    requests: u64,
+    failures: u64,
+    ejections: u64,
+    probes: u64,
+    skipped: u64,
+}
+
+impl BackendHealth {
+    fn new() -> Self {
+        BackendHealth {
+            state: HealthState::Up,
+            consecutive_failures: 0,
+            skipped_since_down: 0,
+            requests: 0,
+            failures: 0,
+            ejections: 0,
+            probes: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Decides whether this request attempts the backend.
+    fn plan(&mut self, config: &HealthConfig) -> Attempt {
+        match self.state {
+            HealthState::Up | HealthState::Suspect => {
+                self.requests += 1;
+                Attempt::Try
+            }
+            HealthState::Down => {
+                self.skipped_since_down += 1;
+                if self.skipped_since_down >= config.probe_after.max(1) {
+                    self.state = HealthState::HalfOpen;
+                    self.requests += 1;
+                    self.probes += 1;
+                    Attempt::Probe
+                } else {
+                    self.skipped += 1;
+                    Attempt::Skip
+                }
+            }
+            HealthState::HalfOpen => {
+                self.skipped += 1;
+                Attempt::Skip
+            }
+        }
+    }
+
+    /// Records a parsed response (the backend is alive, whatever it said).
+    fn on_success(&mut self) {
+        self.state = HealthState::Up;
+        self.consecutive_failures = 0;
+        self.skipped_since_down = 0;
+    }
+
+    /// Records a connection-level failure (refused, dropped, timed out).
+    fn on_failure(&mut self, config: &HealthConfig) {
+        self.failures += 1;
+        if self.state == HealthState::Down {
+            return; // an off-path (ping) failure while already ejected
+        }
+        self.consecutive_failures += 1;
+        if self.state == HealthState::HalfOpen
+            || self.consecutive_failures >= config.down_after.max(1)
+        {
+            if self.state != HealthState::Down {
+                self.ejections += 1;
+            }
+            self.state = HealthState::Down;
+            self.skipped_since_down = 0;
+        } else {
+            self.state = HealthState::Suspect;
+        }
+    }
+}
+
+/// Router-level counters (the `fleet.router` stats block). Every request
+/// line lands in exactly one of these — the conservation the soak test
+/// asserts.
+#[derive(Debug, Default, Clone)]
+struct FleetCounters {
+    /// Merged responses with every shard present.
+    served_full: u64,
+    /// Merged responses missing at least one shard (`"partial": true`).
+    served_partial: u64,
+    /// Requests shed by per-tenant admission.
+    tenant_shed: u64,
+    /// Typed backend errors forwarded verbatim (extract_failed etc.).
+    quarantined: u64,
+    /// Requests with no reachable shard at all.
+    unavailable: u64,
+    /// Unparseable request lines.
+    bad_requests: u64,
+    /// Locally served ops.
+    stats_ok: u64,
+    ping_ok: u64,
+    reload_ok: u64,
+    /// Wall-clock prober pings sent (0 in deterministic mode).
+    pings_sent: u64,
+}
+
+struct Backend {
+    link: Mutex<RetryingClient>,
+}
+
+/// The routing core shared by every connection thread; [`spawn_router`]
+/// wraps it in the TCP front end.
+pub struct RouterEngine {
+    backends: Vec<Backend>,
+    health: Mutex<Vec<BackendHealth>>,
+    fleet: Mutex<FleetCounters>,
+    tenants: Option<TenantTable>,
+    config: RouterConfig,
+}
+
+impl RouterEngine {
+    pub fn new(config: RouterConfig) -> RouterEngine {
+        let backends = config
+            .backends
+            .iter()
+            .enumerate()
+            .map(|(shard, addr)| Backend {
+                link: Mutex::new(
+                    RetryingClient::new(
+                        addr.clone(),
+                        config.retries,
+                        config.retry_base_ms,
+                        config.retry_seed.wrapping_add(shard as u64),
+                    )
+                    .with_timeout(config.backend_timeout)
+                    .with_retry_overloaded(false)
+                    .with_quiet(true),
+                ),
+            })
+            .collect::<Vec<_>>();
+        let health = (0..backends.len()).map(|_| BackendHealth::new()).collect();
+        RouterEngine {
+            backends,
+            health: Mutex::new(health),
+            fleet: Mutex::new(FleetCounters::default()),
+            tenants: config.tenant.map(TenantTable::new),
+            config,
+        }
+    }
+
+    /// Number of shard backends.
+    pub fn shard_count(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// The health state of one backend (tests inspect this).
+    pub fn health_state(&self, shard: usize) -> Option<HealthState> {
+        let health = self.health.lock().unwrap_or_else(PoisonError::into_inner);
+        health.get(shard).map(|h| h.state)
+    }
+
+    /// One request to one backend through its link, with the health
+    /// decision already made. Returns the parsed response, or `None` on
+    /// a connection-level failure (after the link's bounded retries).
+    fn backend_request(&self, shard: usize, line: &str) -> Option<Json> {
+        let response = {
+            let mut link = self.backends[shard]
+                .link
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            link.request(line).ok()?
+        };
+        Json::parse(response.trim()).ok()
+    }
+
+    /// Fans one already-admitted classify/neighbors line out to the
+    /// fleet. Returns per-shard parsed responses (shard order) and the
+    /// ids of shards that produced none.
+    fn fan_out(&self, line: &str) -> (Vec<(usize, Json)>, Vec<usize>) {
+        let mut responses = Vec::new();
+        let mut missing = Vec::new();
+        for shard in 0..self.backends.len() {
+            let attempt = {
+                let mut health = self.health.lock().unwrap_or_else(PoisonError::into_inner);
+                health[shard].plan(&self.config.health)
+            };
+            if attempt == Attempt::Skip {
+                missing.push(shard);
+                continue;
+            }
+            match self.backend_request(shard, line) {
+                Some(json) => {
+                    let mut health =
+                        self.health.lock().unwrap_or_else(PoisonError::into_inner);
+                    health[shard].on_success();
+                    responses.push((shard, json));
+                }
+                None => {
+                    let mut health =
+                        self.health.lock().unwrap_or_else(PoisonError::into_inner);
+                    health[shard].on_failure(&self.config.health);
+                    missing.push(shard);
+                }
+            }
+        }
+        (responses, missing)
+    }
+
+    /// One wall-clock prober round: ping every backend, feeding the
+    /// health machine. Down backends get probed too — that is how an
+    /// idle fleet notices a shard came back.
+    pub fn ping_round(&self) {
+        for shard in 0..self.backends.len() {
+            {
+                let mut fleet = self.fleet.lock().unwrap_or_else(PoisonError::into_inner);
+                fleet.pings_sent += 1;
+            }
+            let outcome = self.backend_request(shard, "{\"op\":\"ping\"}");
+            let mut health = self.health.lock().unwrap_or_else(PoisonError::into_inner);
+            match outcome {
+                Some(_) => health[shard].on_success(),
+                None => health[shard].on_failure(&self.config.health),
+            }
+        }
+    }
+
+    /// Handles one request line end to end (the connection thread calls
+    /// this). Returns the response and whether shutdown was requested.
+    pub fn handle_line(&self, line: &str) -> (Json, bool) {
+        let parsed = match Request::parse_line(line) {
+            Ok(request) => request,
+            Err(bad) => {
+                let mut fleet = self.fleet.lock().unwrap_or_else(PoisonError::into_inner);
+                fleet.bad_requests += 1;
+                return (error_response("bad_request", &bad.0), false);
+            }
+        };
+        match parsed {
+            Request::Ping => {
+                let mut fleet = self.fleet.lock().unwrap_or_else(PoisonError::into_inner);
+                fleet.ping_ok += 1;
+                drop(fleet);
+                (
+                    ok_response(
+                        "ping",
+                        [
+                            ("role".to_string(), Json::Str("router".to_string())),
+                            (
+                                "shards".to_string(),
+                                Json::Num(self.backends.len() as f64),
+                            ),
+                        ],
+                    ),
+                    false,
+                )
+            }
+            Request::Stats => {
+                let mut fleet = self.fleet.lock().unwrap_or_else(PoisonError::into_inner);
+                fleet.stats_ok += 1;
+                drop(fleet);
+                (ok_response("stats", [("stats".to_string(), self.stats_json())]), false)
+            }
+            Request::Reload => (self.forward_reload(), false),
+            Request::Shutdown => {
+                self.shutdown_backends();
+                (ok_response("shutdown", []), true)
+            }
+            Request::Classify { .. } | Request::Neighbors { .. } => {
+                // Tenant admission first: a shed request must cost the
+                // fleet nothing.
+                if let Some(tenants) = &self.tenants {
+                    let tenant = Json::parse(line)
+                        .map(|j| tenant_of(&j).to_string())
+                        .unwrap_or_else(|_| "anon".to_string());
+                    if let crate::tenant::TenantDecision::Shed { retry_after_ms } =
+                        tenants.admit(&tenant)
+                    {
+                        let mut fleet =
+                            self.fleet.lock().unwrap_or_else(PoisonError::into_inner);
+                        fleet.tenant_shed += 1;
+                        drop(fleet);
+                        let mut response = crate::protocol::overloaded_response(
+                            "tenant budget exhausted: bot-storm shed",
+                            retry_after_ms,
+                        );
+                        if let Json::Obj(fields) = &mut response {
+                            fields.push(("tenant".to_string(), Json::Str(tenant)));
+                        }
+                        return (response, false);
+                    }
+                }
+                (self.merge_fan_out(&parsed, line), false)
+            }
+        }
+    }
+
+    /// Fans out and merges one classify/neighbors request.
+    fn merge_fan_out(&self, request: &Request, line: &str) -> Json {
+        let (responses, missing) = self.fan_out(line);
+        let mut fleet = self.fleet.lock().unwrap_or_else(PoisonError::into_inner);
+        if responses.is_empty() {
+            if missing.len() == self.backends.len() {
+                fleet.unavailable += 1;
+                drop(fleet);
+                let mut response =
+                    error_response("unavailable", "no shard backend reachable");
+                if let Json::Obj(fields) = &mut response {
+                    fields.push((
+                        "retry_after_ms".to_string(),
+                        Json::Num(self.config.retry_after_ms as f64),
+                    ));
+                }
+                return response;
+            }
+            // No backends at all (empty fleet): treat as unavailable too.
+            fleet.unavailable += 1;
+            drop(fleet);
+            let mut response = error_response("unavailable", "fleet has no backends");
+            if let Json::Obj(fields) = &mut response {
+                fields.push((
+                    "retry_after_ms".to_string(),
+                    Json::Num(self.config.retry_after_ms as f64),
+                ));
+            }
+            return response;
+        }
+        // Live shards that answered with a typed error: the same SQL
+        // fails identically everywhere (same pipeline, same fuel), so if
+        // *every* live response is an error, forward the first verbatim.
+        // A mixed bag (a shard's breaker shedding, say) degrades the
+        // erroring shards to missing instead — partial, not failed.
+        let ok_responses: Vec<&(usize, Json)> = responses
+            .iter()
+            .filter(|(_, j)| j.get("ok") == Some(&Json::Bool(true)))
+            .collect();
+        if ok_responses.is_empty() {
+            fleet.quarantined += 1;
+            drop(fleet);
+            return responses.into_iter().next().map(|(_, j)| j).unwrap_or_else(|| {
+                error_response("internal", "fan-out lost every response")
+            });
+        }
+        let mut missing: Vec<usize> = missing;
+        for (shard, json) in &responses {
+            if json.get("ok") != Some(&Json::Bool(true)) {
+                missing.push(*shard);
+            }
+        }
+        missing.sort_unstable();
+        if missing.is_empty() {
+            fleet.served_full += 1;
+        } else {
+            fleet.served_partial += 1;
+        }
+        drop(fleet);
+        let mut fields = match request {
+            Request::Classify { .. } => {
+                let candidates: Vec<(usize, f64, Json)> = ok_responses
+                    .iter()
+                    .filter_map(|(_, j)| {
+                        let nearest = j.get("nearest").and_then(Json::as_f64)? as usize;
+                        let distance = j.get("distance").and_then(Json::as_f64)?;
+                        let cluster = j.get("cluster").cloned().unwrap_or(Json::Null);
+                        Some((nearest, distance, cluster))
+                    })
+                    .collect();
+                classify_fields(&candidates)
+            }
+            Request::Neighbors { k, .. } => {
+                let lists: Vec<Vec<Json>> = ok_responses
+                    .iter()
+                    .filter_map(|(_, j)| {
+                        j.get("neighbors").and_then(Json::as_arr).map(<[Json]>::to_vec)
+                    })
+                    .collect();
+                neighbors_fields(lists, *k)
+            }
+            _ => Vec::new(),
+        };
+        if !missing.is_empty() {
+            fields.push(("partial".to_string(), Json::Bool(true)));
+            fields.push((
+                "missing_shards".to_string(),
+                Json::Arr(missing.iter().map(|&s| Json::Num(s as f64)).collect()),
+            ));
+        }
+        ok_response(request.op(), fields)
+    }
+
+    /// Forwards `reload` to every backend the health machine would fan
+    /// out to, reporting per-fleet counts.
+    fn forward_reload(&self) -> Json {
+        let (responses, missing) = self.fan_out("{\"op\":\"reload\"}");
+        let reloaded = responses
+            .iter()
+            .filter(|(_, j)| j.get("ok") == Some(&Json::Bool(true)))
+            .count();
+        let failed = responses.len() - reloaded;
+        let mut fleet = self.fleet.lock().unwrap_or_else(PoisonError::into_inner);
+        fleet.reload_ok += 1;
+        drop(fleet);
+        ok_response(
+            "reload",
+            [
+                ("shards_reloaded".to_string(), Json::Num(reloaded as f64)),
+                ("shards_failed".to_string(), Json::Num(failed as f64)),
+                (
+                    "shards_missing".to_string(),
+                    Json::Arr(missing.iter().map(|&s| Json::Num(s as f64)).collect()),
+                ),
+            ],
+        )
+    }
+
+    /// Forwards shutdown to every backend (best effort, no retries) and
+    /// closes the links so shard drains see EOF promptly.
+    pub fn shutdown_backends(&self) {
+        for backend in &self.backends {
+            let mut link = backend.link.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ = link.request("{\"op\":\"shutdown\"}");
+            link.disconnect();
+        }
+    }
+
+    /// The fleet stats object: per-shard health, per-tenant counters,
+    /// partial/shed/unavailable counts — every key in deterministic
+    /// order, no addresses, no clocks, so a replayed session snapshots
+    /// byte-identically.
+    pub fn stats_json(&self) -> Json {
+        let fleet = self
+            .fleet
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let health = self
+            .health
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let shards: Vec<Json> = health
+            .iter()
+            .enumerate()
+            .map(|(shard, h)| {
+                Json::obj([
+                    ("shard".to_string(), Json::Num(shard as f64)),
+                    ("state".to_string(), Json::Str(h.state.as_str().to_string())),
+                    ("requests".to_string(), Json::Num(h.requests as f64)),
+                    ("failures".to_string(), Json::Num(h.failures as f64)),
+                    ("ejections".to_string(), Json::Num(h.ejections as f64)),
+                    ("probes".to_string(), Json::Num(h.probes as f64)),
+                    ("skipped".to_string(), Json::Num(h.skipped as f64)),
+                ])
+            })
+            .collect();
+        let tenants: Vec<Json> = self
+            .tenants
+            .as_ref()
+            .map(|t| {
+                t.counts()
+                    .into_iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("tenant".to_string(), Json::Str(c.tenant)),
+                            ("served".to_string(), Json::Num(c.served as f64)),
+                            ("shed".to_string(), Json::Num(c.shed as f64)),
+                        ])
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        Json::obj([(
+            "fleet".to_string(),
+            Json::obj([
+                (
+                    "router".to_string(),
+                    Json::obj([
+                        (
+                            "served_full".to_string(),
+                            Json::Num(fleet.served_full as f64),
+                        ),
+                        (
+                            "served_partial".to_string(),
+                            Json::Num(fleet.served_partial as f64),
+                        ),
+                        ("tenant_shed".to_string(), Json::Num(fleet.tenant_shed as f64)),
+                        ("quarantined".to_string(), Json::Num(fleet.quarantined as f64)),
+                        ("unavailable".to_string(), Json::Num(fleet.unavailable as f64)),
+                        (
+                            "bad_requests".to_string(),
+                            Json::Num(fleet.bad_requests as f64),
+                        ),
+                        ("stats".to_string(), Json::Num(fleet.stats_ok as f64)),
+                        ("ping".to_string(), Json::Num(fleet.ping_ok as f64)),
+                        ("reload".to_string(), Json::Num(fleet.reload_ok as f64)),
+                        ("pings_sent".to_string(), Json::Num(fleet.pings_sent as f64)),
+                    ]),
+                ),
+                ("shards".to_string(), Json::Arr(shards)),
+                ("tenants".to_string(), Json::Arr(tenants)),
+            ]),
+        )])
+    }
+}
+
+/// Merged classify fields from per-shard `(nearest, distance, cluster)`
+/// candidates: the winner is the minimum by `(distance, global index)` —
+/// exactly the brute-force tie-break — and its cluster rides along.
+/// Public (crate-internal callers aside) so the equivalence property
+/// suite can drive the merge without sockets.
+pub fn classify_fields(candidates: &[(usize, f64, Json)]) -> Vec<(String, Json)> {
+    let mut best: Option<&(usize, f64, Json)> = None;
+    for c in candidates {
+        let better = match best {
+            None => true,
+            Some(b) => c.1.total_cmp(&b.1).then(c.0.cmp(&b.0)).is_lt(),
+        };
+        if better {
+            best = Some(c);
+        }
+    }
+    match best {
+        Some((nearest, distance, cluster)) => vec![
+            ("nearest".to_string(), Json::Num(*nearest as f64)),
+            ("distance".to_string(), Json::Num(*distance)),
+            ("cluster".to_string(), cluster.clone()),
+        ],
+        // Every live shard owned zero areas: noise, like an empty model.
+        None => vec![("cluster".to_string(), Json::Null)],
+    }
+}
+
+/// Merged neighbors fields: k-way merge of per-shard (already sorted)
+/// neighbor lists by `(distance, index)`, truncated to `k`.
+pub fn neighbors_fields(lists: Vec<Vec<Json>>, k: usize) -> Vec<(String, Json)> {
+    let mut all: Vec<(f64, usize, Json)> = lists
+        .into_iter()
+        .flatten()
+        .filter_map(|entry| {
+            let index = entry.get("index").and_then(Json::as_f64)? as usize;
+            let distance = entry.get("distance").and_then(Json::as_f64)?;
+            Some((distance, index, entry))
+        })
+        .collect();
+    all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    all.truncate(k);
+    vec![(
+        "neighbors".to_string(),
+        Json::Arr(all.into_iter().map(|(_, _, entry)| entry).collect()),
+    )]
+}
+
+/// A running router; mirror of [`crate::ServerHandle`] for the fleet
+/// front end.
+pub struct RouterHandle {
+    local_addr: SocketAddr,
+    engine: Arc<RouterEngine>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    ping_thread: Option<JoinHandle<()>>,
+    stats_path: Option<PathBuf>,
+}
+
+/// Binds the router front end and returns immediately. Connection
+/// handling is thread-per-connection: the fan-out is sequential per
+/// request anyway, and the router holds no per-connection state beyond
+/// the socket.
+pub fn spawn_router(config: RouterConfig) -> std::io::Result<RouterHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let stats_path = config.stats_path.clone();
+    let read_timeout = config.read_timeout;
+    let write_timeout = config.write_timeout;
+    let max_line_bytes = config.max_line_bytes;
+    let ping_interval = config.ping_interval;
+    let engine = Arc::new(RouterEngine::new(config));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_engine = Arc::clone(&engine);
+    let accept_active = Arc::clone(&active);
+    let accept_thread = std::thread::spawn(move || {
+        while !accept_shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    let engine = Arc::clone(&accept_engine);
+                    let shutdown = Arc::clone(&accept_shutdown);
+                    let active = Arc::clone(&accept_active);
+                    active.fetch_add(1, Ordering::SeqCst);
+                    std::thread::spawn(move || {
+                        serve_router_connection(
+                            stream,
+                            &engine,
+                            &shutdown,
+                            read_timeout,
+                            write_timeout,
+                            max_line_bytes,
+                        );
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+        // Drain: every accepted connection is served to EOF before the
+        // router reports itself down.
+        while accept_active.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    });
+
+    let ping_thread = ping_interval.map(|interval| {
+        let engine = Arc::clone(&engine);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                std::thread::sleep(interval);
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                engine.ping_round();
+            }
+        })
+    });
+
+    Ok(RouterHandle {
+        local_addr,
+        engine,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        ping_thread,
+        stats_path,
+    })
+}
+
+/// Serves one client connection to EOF: line in, merged response out.
+fn serve_router_connection(
+    stream: TcpStream,
+    engine: &RouterEngine,
+    shutdown: &AtomicBool,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    max_line_bytes: usize,
+) {
+    if stream.set_read_timeout(read_timeout).is_err()
+        || stream.set_write_timeout(write_timeout).is_err()
+    {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = write_half;
+    let respond = |writer: &mut TcpStream, response: &Json| -> bool {
+        let mut bytes = response.to_string_compact().into_bytes();
+        bytes.push(b'\n');
+        writer.write_all(&bytes).is_ok()
+    };
+    loop {
+        let line = match read_line_capped(&mut reader, max_line_bytes) {
+            LineRead::Line(line) => line,
+            LineRead::Eof | LineRead::Closed => return,
+            LineRead::TooLong => {
+                let response =
+                    error_response("line_too_long", "request line exceeds the byte cap");
+                let _ = respond(&mut writer, &response);
+                return;
+            }
+            LineRead::NotUtf8 => {
+                let response = error_response("bad_request", "request line is not UTF-8");
+                if !respond(&mut writer, &response) {
+                    return;
+                }
+                continue;
+            }
+            LineRead::TimedOut => {
+                let response =
+                    error_response("timeout", "no complete request line within the read timeout");
+                let _ = respond(&mut writer, &response);
+                return;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown_requested) = engine.handle_line(line.trim());
+        if shutdown_requested {
+            shutdown.store(true, Ordering::SeqCst);
+        }
+        if !respond(&mut writer, &response) {
+            return;
+        }
+        if shutdown_requested {
+            return;
+        }
+    }
+}
+
+impl RouterHandle {
+    /// The bound address (read the port here when binding to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The routing core (tests inspect health and counters through this).
+    pub fn engine(&self) -> &RouterEngine {
+        &self.engine
+    }
+
+    /// True once shutdown has been requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and drains: stops accepting, serves every
+    /// accepted connection to EOF, joins the threads, writes the final
+    /// fleet stats snapshot if configured, and returns it. Does NOT
+    /// forward shutdown to backends — that happens when a client sends
+    /// the verb (so a router restart never kills healthy shards).
+    pub fn shutdown(mut self) -> Json {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.ping_thread.take() {
+            let _ = t.join();
+        }
+        let snapshot = self.engine.stats_json();
+        if let Some(path) = &self.stats_path {
+            let mut text = snapshot.to_string_pretty();
+            text.push('\n');
+            let _ = std::fs::write(path, text);
+        }
+        snapshot
+    }
+
+    /// Blocks until some client requests shutdown, then drains exactly
+    /// like [`shutdown`]. The `serve_areas --router` main loop.
+    ///
+    /// [`shutdown`]: RouterHandle::shutdown
+    pub fn wait(self) -> Json {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_machine_walks_the_ladder() {
+        let config = HealthConfig {
+            down_after: 2,
+            probe_after: 3,
+        };
+        let mut h = BackendHealth::new();
+        assert_eq!(h.plan(&config), Attempt::Try);
+        h.on_failure(&config);
+        assert_eq!(h.state, HealthState::Suspect);
+        assert_eq!(h.plan(&config), Attempt::Try);
+        h.on_failure(&config);
+        assert_eq!(h.state, HealthState::Down);
+        assert_eq!(h.ejections, 1);
+        // Three skips, then the fourth request probes.
+        assert_eq!(h.plan(&config), Attempt::Skip);
+        assert_eq!(h.plan(&config), Attempt::Skip);
+        assert_eq!(h.plan(&config), Attempt::Probe);
+        assert_eq!(h.state, HealthState::HalfOpen);
+        // Probe succeeds: back to Up, counters reset.
+        h.on_success();
+        assert_eq!(h.state, HealthState::Up);
+        assert_eq!(h.plan(&config), Attempt::Try);
+        // Probe failure would have re-ejected without a second ejection
+        // increment only if already Down; from HalfOpen it counts.
+        h.on_failure(&config);
+        h.on_failure(&config);
+        assert_eq!(h.state, HealthState::Down);
+        assert_eq!(h.ejections, 2);
+        assert_eq!(h.plan(&config), Attempt::Skip);
+        assert_eq!(h.plan(&config), Attempt::Skip);
+        assert_eq!(h.plan(&config), Attempt::Probe);
+        h.on_failure(&config);
+        assert_eq!(h.state, HealthState::Down, "failed probe re-ejects");
+    }
+
+    #[test]
+    fn classify_merge_breaks_ties_by_global_index() {
+        let candidates = vec![
+            (7usize, 0.25f64, Json::Num(1.0)),
+            (3usize, 0.25f64, Json::Num(2.0)),
+            (12usize, 0.5f64, Json::Null),
+        ];
+        let fields = classify_fields(&candidates);
+        assert_eq!(fields[0], ("nearest".to_string(), Json::Num(3.0)));
+        assert_eq!(fields[1], ("distance".to_string(), Json::Num(0.25)));
+        assert_eq!(fields[2], ("cluster".to_string(), Json::Num(2.0)));
+        assert_eq!(classify_fields(&[]), vec![("cluster".to_string(), Json::Null)]);
+    }
+
+    #[test]
+    fn neighbors_merge_is_a_global_sort() {
+        let entry = |i: usize, d: f64| {
+            Json::obj([
+                ("index".to_string(), Json::Num(i as f64)),
+                ("distance".to_string(), Json::Num(d)),
+                ("cluster".to_string(), Json::Null),
+            ])
+        };
+        let lists = vec![
+            vec![entry(4, 0.1), entry(9, 0.3)],
+            vec![entry(2, 0.1), entry(5, 0.2)],
+        ];
+        let fields = neighbors_fields(lists, 3);
+        let Json::Arr(merged) = &fields[0].1 else {
+            panic!("neighbors is an array")
+        };
+        let order: Vec<usize> = merged
+            .iter()
+            .map(|e| e.get("index").and_then(Json::as_f64).expect("index") as usize)
+            .collect();
+        assert_eq!(order, vec![2, 4, 5], "(distance, index) order, truncated to k");
+    }
+}

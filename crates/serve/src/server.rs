@@ -231,7 +231,7 @@ fn shed_connection(mut stream: TcpStream, engine: &ServeEngine, write_timeout: O
 }
 
 /// One capped, timeout-aware line read.
-enum LineRead {
+pub(crate) enum LineRead {
     /// A complete request line (without the newline).
     Line(String),
     /// Clean end of stream.
@@ -250,7 +250,7 @@ enum LineRead {
 /// more than `max` bytes of it. Uses `fill_buf`/`consume` directly so an
 /// attacker streaming an endless line cannot make the server allocate
 /// past the cap.
-fn read_line_capped(reader: &mut BufReader<TcpStream>, max: usize) -> LineRead {
+pub(crate) fn read_line_capped(reader: &mut BufReader<TcpStream>, max: usize) -> LineRead {
     let mut buf: Vec<u8> = Vec::new();
     loop {
         let chunk = match reader.fill_buf() {
@@ -424,6 +424,7 @@ fn handle_line(
         Ok(Request::Neighbors { sql, k }) => engine.neighbors(&sql, k),
         Ok(Request::Stats) => engine.stats_response(),
         Ok(Request::Reload) => engine.reload(),
+        Ok(Request::Ping) => engine.ping_response(),
         Ok(Request::Shutdown) => {
             shutdown.store(true, Ordering::SeqCst);
             crate::protocol::ok_response("shutdown", [])

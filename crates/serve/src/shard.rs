@@ -1,0 +1,154 @@
+//! Deterministic partition of a clustered model across shard servers.
+//!
+//! The fleet partitions areas by *table signature*: the lowercased,
+//! alphabetically sorted table-name list that [`aa_core::area::AccessArea`]
+//! already canonicalises in its `tables` map. `shard_of` hashes that
+//! signature with FNV-1a and reduces it modulo the shard count, so
+//!
+//! * every area lives in **exactly one** shard (the partition is complete
+//!   and disjoint), and
+//! * all areas sharing a table set — the ones at `d_tables = 0` from each
+//!   other — land on the same shard, which keeps each shard's pivot table
+//!   dense for exactly the bucket structure `d_tables` pruning exploits.
+//!
+//! Exactness of the merged answer does not depend on that locality, only on
+//! the partition: each shard answers an exact per-slice k-NN (the
+//! `d_tables ≤ d` lower bound holds on any subset — see
+//! `PivotIndex::build_subset`), and merging per-shard results by
+//! `(distance, global index)` reproduces the single-process brute-force
+//! tie-breaking bit for bit.
+
+use aa_core::area::AccessArea;
+use aa_core::model::ClusteredModel;
+use aa_util::hash::fnv1a_64;
+use std::fmt;
+
+/// Which slice of the fleet a shard server owns: shard `shard` of `of`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's id, in `0..of`.
+    pub shard: usize,
+    /// Total number of shards in the fleet.
+    pub of: usize,
+}
+
+impl ShardSpec {
+    /// Parses the `--shard-of` flag form `S/N` (shard `S` of `N`).
+    pub fn parse(text: &str) -> Result<ShardSpec, String> {
+        let (s, n) = text
+            .split_once('/')
+            .ok_or_else(|| format!("expected S/N, got {text:?}"))?;
+        let shard: usize = s.trim().parse().map_err(|_| format!("bad shard id {s:?}"))?;
+        let of: usize = n.trim().parse().map_err(|_| format!("bad shard count {n:?}"))?;
+        if of == 0 {
+            return Err("shard count must be >= 1".to_string());
+        }
+        if shard >= of {
+            return Err(format!("shard id {shard} out of range 0..{of}"));
+        }
+        Ok(ShardSpec { shard, of })
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.shard, self.of)
+    }
+}
+
+/// The canonical table signature an area is sharded by: lowercased table
+/// keys (already sorted by the `BTreeMap` backing the area) joined with
+/// commas. An area with no tables has the empty signature.
+pub fn table_signature(area: &AccessArea) -> String {
+    let mut sig = String::new();
+    for key in area.table_keys() {
+        if !sig.is_empty() {
+            sig.push(',');
+        }
+        sig.push_str(key);
+    }
+    sig
+}
+
+/// The shard (in `0..of`) that owns `signature`.
+pub fn shard_of_signature(signature: &str, of: usize) -> usize {
+    debug_assert!(of > 0);
+    (fnv1a_64(signature.as_bytes()) % of as u64) as usize
+}
+
+/// The shard (in `0..of`) that owns `area`.
+pub fn shard_of(area: &AccessArea, of: usize) -> usize {
+    shard_of_signature(&table_signature(area), of)
+}
+
+/// Global positions (into `model.areas`) owned by `spec`, ascending.
+pub fn owned_positions(model: &ClusteredModel, spec: &ShardSpec) -> Vec<usize> {
+    model
+        .areas
+        .iter()
+        .enumerate()
+        .filter(|(_, area)| shard_of(area, spec.of) == spec.shard)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn area(tables: &[&str]) -> AccessArea {
+        AccessArea::new(tables.iter().map(|t| t.to_string()))
+    }
+
+    #[test]
+    fn spec_parses_and_rejects() {
+        assert_eq!(ShardSpec::parse("0/3").unwrap(), ShardSpec { shard: 0, of: 3 });
+        assert_eq!(ShardSpec::parse("2/3").unwrap(), ShardSpec { shard: 2, of: 3 });
+        assert!(ShardSpec::parse("3/3").is_err());
+        assert!(ShardSpec::parse("1/0").is_err());
+        assert!(ShardSpec::parse("nope").is_err());
+        assert_eq!(ShardSpec { shard: 1, of: 4 }.to_string(), "1/4");
+    }
+
+    #[test]
+    fn signature_is_case_insensitive_and_sorted() {
+        let a = area(&["PhotoObjAll", "SpecObjAll"]);
+        let b = area(&["specobjall", "PHOTOOBJALL"]);
+        assert_eq!(table_signature(&a), "photoobjall,specobjall");
+        assert_eq!(table_signature(&a), table_signature(&b));
+        for of in 1..8 {
+            assert_eq!(shard_of(&a, of), shard_of(&b, of));
+        }
+    }
+
+    #[test]
+    fn partition_is_complete_and_disjoint() {
+        let areas: Vec<AccessArea> = (0..40)
+            .map(|i| match i % 5 {
+                0 => area(&["PhotoObjAll"]),
+                1 => area(&["SpecObjAll"]),
+                2 => area(&["PhotoObjAll", "SpecObjAll"]),
+                3 => area(&["Galaxy"]),
+                _ => area(&[]),
+            })
+            .collect();
+        let model = ClusteredModel {
+            labels: vec![None; areas.len()],
+            cluster_count: 0,
+            ranges: Default::default(),
+            eps: 0.1,
+            min_pts: 2,
+            mode: aa_core::distance::DistanceMode::Dissimilarity,
+            areas,
+        };
+        let of = 3;
+        let mut seen = vec![0usize; model.areas.len()];
+        for shard in 0..of {
+            for g in owned_positions(&model, &ShardSpec { shard, of }) {
+                seen[g] += 1;
+                assert_eq!(shard_of(&model.areas[g], of), shard);
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "partition must be exact: {seen:?}");
+    }
+}

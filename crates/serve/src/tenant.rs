@@ -1,0 +1,234 @@
+//! Per-tenant token-bucket admission for the fleet router.
+//!
+//! PR 5's per-connection rate limiter cannot tell a bot storm from a
+//! burst of distinct humans: a spider that reconnects per request gets a
+//! fresh window every time, and every client funnelled through one proxy
+//! shares one window. The router therefore keys admission on the
+//! `tenant` field of the request itself (absent → the shared `"anon"`
+//! bucket), one token bucket per tenant.
+//!
+//! The bucket runs on a **logical clock** — the global count of
+//! admission decisions — instead of wall time: every decision advances
+//! the clock by one, and a bucket refills `refill_per_request` tokens per
+//! tick elapsed since it was last touched (capped at `burst`). That
+//! makes the shed schedule a pure function of the request *sequence*, so
+//! a chaos run and its replay shed exactly the same requests, and the
+//! soak suite can assert exact conservation.
+//!
+//! The bot-storm property falls out of the arithmetic: a tenant sending
+//! a 1-in-`n` fraction of the traffic spends at most one token per `n`
+//! ticks, so any tenant whose rate stays below `refill_per_request × n`
+//! never runs dry — the flooding tenant drains only its *own* bucket and
+//! is shed with a typed `overloaded` + `retry_after_ms` while the
+//! human-profile tenant is served without a single rejection.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::sync::PoisonError;
+
+/// Admission policy shared by every tenant bucket.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantPolicy {
+    /// Bucket capacity: how many back-to-back requests a quiet tenant
+    /// may burst before its rate is measured.
+    pub burst: f64,
+    /// Tokens refilled per logical tick (one tick = one admission
+    /// decision fleet-wide). A tenant issuing less than this fraction
+    /// of total traffic is never shed.
+    pub refill_per_request: f64,
+    /// Backoff floor handed to shed tenants via `retry_after_ms`.
+    pub retry_after_ms: u64,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        TenantPolicy {
+            burst: 32.0,
+            refill_per_request: 0.1,
+            retry_after_ms: 250,
+        }
+    }
+}
+
+/// One admission decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantDecision {
+    /// The request proceeds; one token was spent.
+    Admit,
+    /// The tenant's bucket is dry; respond `overloaded` with this
+    /// backoff floor.
+    Shed { retry_after_ms: u64 },
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    tokens: f64,
+    last_tick: u64,
+    served: u64,
+    shed: u64,
+}
+
+#[derive(Debug, Default)]
+struct Ledger {
+    tick: u64,
+    buckets: BTreeMap<String, Bucket>,
+}
+
+/// Deterministic per-tenant admission table (see module docs).
+#[derive(Debug)]
+pub struct TenantTable {
+    policy: TenantPolicy,
+    ledger: Mutex<Ledger>,
+}
+
+/// Per-tenant counters for the `stats` fleet block, in tenant order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantCounts {
+    pub tenant: String,
+    pub served: u64,
+    pub shed: u64,
+}
+
+impl TenantTable {
+    pub fn new(policy: TenantPolicy) -> Self {
+        TenantTable {
+            policy,
+            ledger: Mutex::new(Ledger::default()),
+        }
+    }
+
+    pub fn policy(&self) -> TenantPolicy {
+        self.policy
+    }
+
+    /// Decides admission for one request from `tenant`, advancing the
+    /// logical clock by one tick either way.
+    pub fn admit(&self, tenant: &str) -> TenantDecision {
+        let mut ledger = self.ledger.lock().unwrap_or_else(PoisonError::into_inner);
+        ledger.tick += 1;
+        let now = ledger.tick;
+        let policy = self.policy;
+        let bucket = ledger
+            .buckets
+            .entry(tenant.to_string())
+            .or_insert_with(|| Bucket {
+                tokens: policy.burst,
+                last_tick: now,
+                served: 0,
+                shed: 0,
+            });
+        let elapsed = now.saturating_sub(bucket.last_tick);
+        bucket.last_tick = now;
+        bucket.tokens = (bucket.tokens + elapsed as f64 * policy.refill_per_request)
+            .min(policy.burst);
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            bucket.served += 1;
+            TenantDecision::Admit
+        } else {
+            bucket.shed += 1;
+            TenantDecision::Shed {
+                retry_after_ms: policy.retry_after_ms,
+            }
+        }
+    }
+
+    /// Served/shed counters per tenant, ascending by tenant name — the
+    /// deterministic order the `stats` fleet block serialises.
+    pub fn counts(&self) -> Vec<TenantCounts> {
+        let ledger = self.ledger.lock().unwrap_or_else(PoisonError::into_inner);
+        ledger
+            .buckets
+            .iter()
+            .map(|(tenant, b)| TenantCounts {
+                tenant: tenant.clone(),
+                served: b.served,
+                shed: b.shed,
+            })
+            .collect()
+    }
+
+    /// Total requests shed across every tenant.
+    pub fn total_shed(&self) -> u64 {
+        let ledger = self.ledger.lock().unwrap_or_else(PoisonError::into_inner);
+        ledger.buckets.values().map(|b| b.shed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(burst: f64, refill: f64) -> TenantTable {
+        TenantTable::new(TenantPolicy {
+            burst,
+            refill_per_request: refill,
+            retry_after_ms: 100,
+        })
+    }
+
+    #[test]
+    fn burst_then_shed_then_refill() {
+        // No refill: the burst is exactly the bucket capacity, and a dry
+        // tenant stays dry while other tenants are unaffected.
+        let t = table(3.0, 0.0);
+        for _ in 0..3 {
+            assert_eq!(t.admit("bot"), TenantDecision::Admit);
+        }
+        assert_eq!(t.admit("bot"), TenantDecision::Shed { retry_after_ms: 100 });
+        assert_eq!(t.admit("bot"), TenantDecision::Shed { retry_after_ms: 100 });
+        assert_eq!(t.admit("other"), TenantDecision::Admit);
+
+        // With refill, a drained flooder is throttled to the refill
+        // rate: burst 1.0 / refill 0.5 admits every second request.
+        let t = table(1.0, 0.5);
+        assert_eq!(t.admit("bot"), TenantDecision::Admit);
+        assert_eq!(t.admit("bot"), TenantDecision::Shed { retry_after_ms: 100 });
+        assert_eq!(t.admit("bot"), TenantDecision::Admit);
+        assert_eq!(t.admit("bot"), TenantDecision::Shed { retry_after_ms: 100 });
+        assert_eq!(t.admit("bot"), TenantDecision::Admit);
+    }
+
+    #[test]
+    fn flooding_tenant_never_starves_a_slow_one() {
+        let t = table(8.0, 0.2);
+        let mut human_shed = 0u64;
+        let mut bot_served = 0u64;
+        // 9 bot requests per human request: the human's spend rate (1 per
+        // 10 ticks) is far below the refill rate (2 per 10 ticks).
+        for round in 0..400 {
+            for _ in 0..9 {
+                if t.admit("bot") == TenantDecision::Admit {
+                    bot_served += 1;
+                }
+            }
+            if t.admit("human") != TenantDecision::Admit {
+                human_shed += 1;
+            }
+            let _ = round;
+        }
+        assert_eq!(human_shed, 0, "human tenant must never be shed");
+        // The bot is held near the refill rate: 0.2 tokens/tick over
+        // 4000 ticks plus the initial burst.
+        assert!(bot_served as f64 <= 8.0 + 0.2 * 4000.0 + 1.0, "bot_served={bot_served}");
+        let counts = t.counts();
+        assert_eq!(counts.len(), 2);
+        assert_eq!(counts[0].tenant, "bot");
+        assert_eq!(counts[0].served + counts[0].shed, 3600);
+        assert_eq!(counts[1].tenant, "human");
+        assert_eq!(counts[1].served, 400);
+        assert_eq!(t.total_shed(), counts[0].shed);
+    }
+
+    #[test]
+    fn decisions_are_a_pure_function_of_the_sequence() {
+        let script: Vec<&str> = (0..200)
+            .map(|i| if i % 7 == 0 { "alice" } else if i % 3 == 0 { "bob" } else { "spider" })
+            .collect();
+        let run = |seq: &[&str]| -> Vec<TenantDecision> {
+            let t = table(4.0, 0.25);
+            seq.iter().map(|tenant| t.admit(tenant)).collect()
+        };
+        assert_eq!(run(&script), run(&script));
+    }
+}

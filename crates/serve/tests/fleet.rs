@@ -1,0 +1,424 @@
+//! Fleet soak: a router fronting three shard servers must degrade
+//! gracefully — never silently drop a request — and replay a chaos run
+//! byte for byte.
+//!
+//! * **Merge exactness**: routed classify/neighbors answers equal the
+//!   single-process engine's, bit for bit, including tie-breaking.
+//! * **Bot-storm shedding**: a flooding tenant is shed with typed
+//!   `overloaded` responses while a concurrent human-profile tenant's
+//!   requests all succeed.
+//! * **Chaos conservation + replay**: under a seeded [`FleetFaultPlan`]
+//!   (shard kills, restarts, per-shard request faults) every request
+//!   lands in exactly one outcome bucket — full, partial, shed,
+//!   quarantined, unavailable, or bad-request — the buckets match the
+//!   router's own counters, and a second run of the identical scenario
+//!   produces a byte-identical transcript and stats snapshot.
+
+use aa_core::DistanceMode;
+use aa_serve::{
+    build_model, spawn_router, FleetFaultPlan, HealthConfig, RouterConfig, RouterHandle,
+    ServeEngine, ServerConfig, ServerHandle, ShardSpec, TenantPolicy,
+};
+use aa_util::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+const SHARDS: usize = 3;
+
+fn model() -> &'static aa_core::ClusteredModel {
+    static MODEL: OnceLock<aa_core::ClusteredModel> = OnceLock::new();
+    MODEL.get_or_init(|| build_model(150, 99, 0.06, 4, DistanceMode::Dissimilarity))
+}
+
+/// Spawns one shard server. `port` 0 binds ephemeral; a restart passes
+/// the killed shard's old port (SO_REUSEADDR makes the rebind
+/// immediate). The short read timeout is what lets an in-process kill
+/// drain quickly: the router's idle link is timed out instead of
+/// blocking the shutdown.
+fn spawn_shard(spec: ShardSpec, port: u16, plan: Option<&FleetFaultPlan>) -> ServerHandle {
+    let mut engine = ServeEngine::new_sharded(model().clone(), 4096, Some(50_000_000), Some(spec));
+    if let Some(plan) = plan {
+        if let Some(shard_plan) = plan.shard_plan(spec.shard) {
+            engine = engine.with_chaos(shard_plan.clone());
+        }
+    }
+    aa_serve::spawn(
+        engine,
+        ServerConfig {
+            addr: format!("127.0.0.1:{port}"),
+            workers: 2,
+            per_minute: 1_000_000,
+            read_timeout: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind shard")
+}
+
+fn spawn_fleet_router(backends: Vec<String>, tenant: Option<TenantPolicy>) -> RouterHandle {
+    spawn_router(RouterConfig {
+        backends,
+        retries: 1,
+        retry_base_ms: 5,
+        retry_seed: 7,
+        backend_timeout: Some(Duration::from_secs(2)),
+        health: HealthConfig {
+            down_after: 2,
+            probe_after: 3,
+        },
+        tenant,
+        ..RouterConfig::default()
+    })
+    .expect("bind router")
+}
+
+fn connect(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+/// Sends one line and returns the raw response line (trailing newline
+/// trimmed) — raw so the replay comparison is byte-level.
+fn send_raw(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    writer.write_all(line.as_bytes()).expect("write");
+    writer.write_all(b"\n").expect("write");
+    writer.flush().expect("flush");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read");
+    assert!(!response.is_empty(), "router closed mid-request");
+    response.trim_end().to_string()
+}
+
+fn classify_line(sql: &str, tenant: Option<&str>) -> String {
+    let mut fields = vec![
+        ("op".to_string(), Json::Str("classify".to_string())),
+        ("sql".to_string(), Json::Str(sql.to_string())),
+    ];
+    if let Some(t) = tenant {
+        fields.push(("tenant".to_string(), Json::Str(t.to_string())));
+    }
+    Json::obj(fields).to_string_compact()
+}
+
+fn neighbors_line(sql: &str, k: usize, tenant: Option<&str>) -> String {
+    let mut fields = vec![
+        ("op".to_string(), Json::Str("neighbors".to_string())),
+        ("sql".to_string(), Json::Str(sql.to_string())),
+        ("k".to_string(), Json::Num(k as f64)),
+    ];
+    if let Some(t) = tenant {
+        fields.push(("tenant".to_string(), Json::Str(t.to_string())));
+    }
+    Json::obj(fields).to_string_compact()
+}
+
+/// A pool of statements with pairwise-distinct fingerprints.
+fn distinct_pool(max: usize) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    let mut pool = Vec::new();
+    for area in &model().areas {
+        let sql = area.to_intermediate_sql();
+        if seen.insert(aa_sql::fingerprint(&sql)) {
+            pool.push(sql);
+            if pool.len() == max {
+                break;
+            }
+        }
+    }
+    pool
+}
+
+#[test]
+fn routed_answers_match_the_single_process_engine_bit_for_bit() {
+    let shards: Vec<ServerHandle> = (0..SHARDS)
+        .map(|s| spawn_shard(ShardSpec { shard: s, of: SHARDS }, 0, None))
+        .collect();
+    let backends = shards.iter().map(|h| h.local_addr().to_string()).collect();
+    let router = spawn_fleet_router(backends, None);
+    let single = ServeEngine::new(model().clone(), 4096, Some(50_000_000));
+    let (mut writer, mut reader) = connect(router.local_addr());
+    for sql in distinct_pool(24) {
+        let routed = Json::parse(&send_raw(&mut writer, &mut reader, &classify_line(&sql, None)))
+            .expect("classify response parses");
+        let local = single.classify(&sql);
+        assert_eq!(routed.get("ok"), Some(&Json::Bool(true)), "{sql}");
+        assert!(routed.get("partial").is_none(), "healthy fleet is never partial");
+        for key in ["nearest", "cluster"] {
+            assert_eq!(routed.get(key), local.get(key), "{key} mismatch for {sql}");
+        }
+        // Bit-exact distance: JSON numbers round-trip f64 exactly.
+        assert_eq!(
+            routed.get("distance").and_then(Json::as_f64).map(f64::to_bits),
+            local.get("distance").and_then(Json::as_f64).map(f64::to_bits),
+            "distance not bit-identical for {sql}"
+        );
+        let routed_n =
+            Json::parse(&send_raw(&mut writer, &mut reader, &neighbors_line(&sql, 7, None)))
+                .expect("neighbors response parses");
+        let local_n = single.neighbors(&sql, 7);
+        assert_eq!(
+            routed_n.get("neighbors"),
+            local_n.get("neighbors"),
+            "neighbor list mismatch for {sql}"
+        );
+    }
+    drop((writer, reader));
+    router.shutdown();
+    for shard in shards {
+        shard.shutdown();
+    }
+}
+
+#[test]
+fn bot_storm_is_shed_while_the_human_tenant_is_fully_served() {
+    let shards: Vec<ServerHandle> = (0..SHARDS)
+        .map(|s| spawn_shard(ShardSpec { shard: s, of: SHARDS }, 0, None))
+        .collect();
+    let backends = shards.iter().map(|h| h.local_addr().to_string()).collect();
+    // Burst 32 with the human sending only 30 requests total: no
+    // interleaving of the two threads can ever shed the human, while the
+    // bot's 300 requests are bounded by burst + refill over every tick.
+    let router = spawn_fleet_router(
+        backends,
+        Some(TenantPolicy {
+            burst: 32.0,
+            refill_per_request: 0.1,
+            retry_after_ms: 120,
+        }),
+    );
+    let addr = router.local_addr();
+    let sql = distinct_pool(4);
+    let human = {
+        let sql = sql.clone();
+        std::thread::spawn(move || {
+            let (mut writer, mut reader) = connect(addr);
+            let mut served = 0u64;
+            for i in 0..30 {
+                let response = Json::parse(&send_raw(
+                    &mut writer,
+                    &mut reader,
+                    &classify_line(&sql[i % sql.len()], Some("human")),
+                ))
+                .expect("parses");
+                assert_eq!(
+                    response.get("ok"),
+                    Some(&Json::Bool(true)),
+                    "human request {i} must never be shed: {response:?}"
+                );
+                served += 1;
+                // A human-profile cadence: small pauses between requests.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            served
+        })
+    };
+    let bot = {
+        let sql = sql.clone();
+        std::thread::spawn(move || {
+            let (mut writer, mut reader) = connect(addr);
+            let (mut served, mut shed) = (0u64, 0u64);
+            for i in 0..300 {
+                let response = Json::parse(&send_raw(
+                    &mut writer,
+                    &mut reader,
+                    &classify_line(&sql[i % sql.len()], Some("bot")),
+                ))
+                .expect("parses");
+                if response.get("ok") == Some(&Json::Bool(true)) {
+                    served += 1;
+                } else {
+                    assert_eq!(
+                        response.get("kind").and_then(Json::as_str),
+                        Some("overloaded"),
+                        "bots are shed with a typed overloaded: {response:?}"
+                    );
+                    assert_eq!(
+                        response.get("retry_after_ms").and_then(Json::as_f64),
+                        Some(120.0)
+                    );
+                    assert_eq!(
+                        response.get("tenant").and_then(Json::as_str),
+                        Some("bot"),
+                        "the shed response names the tenant"
+                    );
+                    shed += 1;
+                }
+            }
+            (served, shed)
+        })
+    };
+    let human_served = human.join().expect("human thread");
+    let (bot_served, bot_shed) = bot.join().expect("bot thread");
+    assert_eq!(human_served, 30);
+    assert!(bot_shed > 0, "the flood must trip the bucket");
+    assert_eq!(bot_served + bot_shed, 300);
+    // Total ticks = 330, so the bot can never beat burst + refill Σ.
+    assert!(
+        (bot_served as f64) <= 32.0 + 0.1 * 330.0 + 1.0,
+        "bot_served={bot_served}"
+    );
+    let stats = router.shutdown();
+    let tenants = stats
+        .get("fleet")
+        .and_then(|f| f.get("tenants"))
+        .and_then(Json::as_arr)
+        .expect("tenant counters");
+    let find = |name: &str| {
+        tenants
+            .iter()
+            .find(|t| t.get("tenant").and_then(Json::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("tenant {name} in stats"))
+    };
+    assert_eq!(find("human").get("shed").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(
+        find("bot").get("shed").and_then(Json::as_f64),
+        Some(bot_shed as f64)
+    );
+    for shard in shards {
+        shard.shutdown();
+    }
+}
+
+/// One full chaos scenario: returns the client-visible transcript and
+/// the router's final stats snapshot (pretty-printed), asserting
+/// conservation along the way.
+fn run_chaos_scenario(seed: u64, ordinals: u64) -> (Vec<String>, String) {
+    let plan = FleetFaultPlan::seeded(seed, SHARDS, ordinals, 0.05, 0.04);
+    let mut handles: Vec<Option<ServerHandle>> = (0..SHARDS)
+        .map(|s| Some(spawn_shard(ShardSpec { shard: s, of: SHARDS }, 0, Some(&plan))))
+        .collect();
+    let ports: Vec<u16> = handles
+        .iter()
+        .map(|h| h.as_ref().expect("live").local_addr().port())
+        .collect();
+    let backends = handles
+        .iter()
+        .map(|h| h.as_ref().expect("live").local_addr().to_string())
+        .collect();
+    let router = spawn_fleet_router(
+        backends,
+        Some(TenantPolicy {
+            burst: 8.0,
+            refill_per_request: 0.4,
+            retry_after_ms: 100,
+        }),
+    );
+    let (mut writer, mut reader) = connect(router.local_addr());
+    let pool = distinct_pool(10);
+    let mut transcript = Vec::new();
+    let (mut full, mut partial, mut shed, mut quarantined, mut unavailable, mut bad) =
+        (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    for i in 0..ordinals {
+        if let Some(s) = plan.restart_before(i) {
+            assert!(handles[s].is_none(), "restart of a live shard");
+            handles[s] = Some(spawn_shard(
+                ShardSpec { shard: s, of: SHARDS },
+                ports[s],
+                Some(&plan),
+            ));
+        }
+        if let Some(s) = plan.kill_before(i) {
+            let handle = handles[s].take().expect("kill of a dead shard");
+            handle.shutdown();
+        }
+        // The request mix: mostly classify (bot-heavy tenants), some
+        // neighbors, an occasional garbage line and unextractable SQL.
+        let line = match i % 17 {
+            13 => "{not json at all".to_string(),
+            7 => classify_line("SELEKT definitely not sql", Some("human")),
+            n if n % 5 == 4 => neighbors_line(
+                &pool[(i as usize) % pool.len()],
+                4 + (i as usize % 3),
+                Some("human"),
+            ),
+            n => classify_line(
+                &pool[(i as usize * 3 + n as usize) % pool.len()],
+                Some(if i % 3 == 0 { "human" } else { "bot" }),
+            ),
+        };
+        let raw = send_raw(&mut writer, &mut reader, &line);
+        let response = Json::parse(&raw).expect("every response parses");
+        if response.get("ok") == Some(&Json::Bool(true)) {
+            if response.get("partial") == Some(&Json::Bool(true)) {
+                let missing = response
+                    .get("missing_shards")
+                    .and_then(Json::as_arr)
+                    .expect("partial responses name the missing shards");
+                assert!(!missing.is_empty());
+                partial += 1;
+            } else {
+                full += 1;
+            }
+        } else {
+            match response.get("kind").and_then(Json::as_str).expect("typed error") {
+                "overloaded" => shed += 1,
+                "unavailable" => unavailable += 1,
+                "bad_request" => bad += 1,
+                _ => quarantined += 1,
+            }
+        }
+        transcript.push(raw);
+    }
+    drop((writer, reader));
+    // Conservation, client side: every request fell in exactly one
+    // bucket.
+    assert_eq!(
+        full + partial + shed + quarantined + unavailable + bad,
+        ordinals,
+        "no request may vanish"
+    );
+    let stats = router.shutdown();
+    let counters = stats
+        .get("fleet")
+        .and_then(|f| f.get("router"))
+        .expect("router counters");
+    let count = |key: &str| counters.get(key).and_then(Json::as_f64).expect(key) as u64;
+    assert_eq!(count("served_full"), full);
+    assert_eq!(count("served_partial"), partial);
+    assert_eq!(count("tenant_shed"), shed);
+    assert_eq!(count("quarantined"), quarantined);
+    assert_eq!(count("unavailable"), unavailable);
+    assert_eq!(count("bad_requests"), bad);
+    for handle in handles.into_iter().flatten() {
+        handle.shutdown();
+    }
+    (transcript, stats.to_string_pretty())
+}
+
+#[test]
+fn chaos_soak_conserves_every_request_and_replays_byte_identically() {
+    let (transcript_a, stats_a) = run_chaos_scenario(1101, 120);
+    // The scenario actually exercised the fleet machinery.
+    let stats = Json::parse(&stats_a).expect("stats parse");
+    let router = stats
+        .get("fleet")
+        .and_then(|f| f.get("router"))
+        .expect("router block");
+    assert!(
+        router.get("served_partial").and_then(Json::as_f64).unwrap_or(0.0) > 0.0,
+        "chaos must produce partial responses: {stats_a}"
+    );
+    let shards = stats
+        .get("fleet")
+        .and_then(|f| f.get("shards"))
+        .and_then(Json::as_arr)
+        .expect("shard health");
+    let ejections: f64 = shards
+        .iter()
+        .map(|s| s.get("ejections").and_then(Json::as_f64).unwrap_or(0.0))
+        .sum();
+    let probes: f64 = shards
+        .iter()
+        .map(|s| s.get("probes").and_then(Json::as_f64).unwrap_or(0.0))
+        .sum();
+    assert!(ejections >= 1.0, "kills must eject shards: {stats_a}");
+    assert!(probes >= 1.0, "downed shards must be probed back: {stats_a}");
+
+    // Byte-identical replay: fresh fleet, same seed, same schedule.
+    let (transcript_b, stats_b) = run_chaos_scenario(1101, 120);
+    assert_eq!(transcript_a, transcript_b, "transcripts must replay byte for byte");
+    assert_eq!(stats_a, stats_b, "stats snapshots must replay byte for byte");
+}

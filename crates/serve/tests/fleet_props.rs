@@ -1,0 +1,191 @@
+//! Fleet-equivalence properties: merging per-shard answers through the
+//! router's merge functions is *exactly* the single-process answer —
+//! same nearest neighbour, bit-identical distance, same cluster, same
+//! tie-breaking — on a model built from a seeded 5 000-query synthetic
+//! DR9 log.
+//!
+//! This is the safety argument for sharding: the table-signature
+//! partition is complete and disjoint, each shard answers an exact k-NN
+//! over its slice (the `d ≥ d_tables` pruning bound holds per shard),
+//! and the `(distance, global index)` merge reproduces the brute-force
+//! tie order. The properties drive the same pure merge code the live
+//! router runs ([`aa_serve::router::classify_fields`] /
+//! [`neighbors_fields`]), so a pass here certifies the wire-level merge
+//! too — distances survive the JSON round-trip bit-exactly.
+//!
+//! [`neighbors_fields`]: aa_serve::router::neighbors_fields
+
+use aa_core::DistanceMode;
+use aa_prop::{check, Config, Source};
+use aa_serve::router::{classify_fields, neighbors_fields};
+use aa_serve::{build_model, ServeEngine, ShardSpec};
+use aa_util::Json;
+use std::sync::OnceLock;
+
+const SHARDS: usize = 3;
+
+struct Fleet {
+    single: ServeEngine,
+    shards: Vec<ServeEngine>,
+}
+
+/// One shared 5k-log model and its engines: extraction and clustering
+/// dominate, and every property only needs *some* realistic fleet.
+fn fleet() -> &'static Fleet {
+    static FLEET: OnceLock<Fleet> = OnceLock::new();
+    FLEET.get_or_init(|| {
+        let model = build_model(5_000, 5, 0.06, 8, DistanceMode::Dissimilarity);
+        Fleet {
+            single: ServeEngine::new(model.clone(), 4096, None),
+            shards: (0..SHARDS)
+                .map(|s| {
+                    ServeEngine::new_sharded(
+                        model.clone(),
+                        4096,
+                        None,
+                        Some(ShardSpec { shard: s, of: SHARDS }),
+                    )
+                })
+                .collect(),
+        }
+    })
+}
+
+fn model() -> &'static aa_core::ClusteredModel {
+    static MODEL: OnceLock<aa_core::ClusteredModel> = OnceLock::new();
+    MODEL.get_or_init(|| fleet().single.model().model.clone())
+}
+
+/// A random query statement: usually one of the log's own areas
+/// (guaranteeing exact-distance ties between template twins — the
+/// hardest merge case), sometimes a fresh statement.
+fn random_sql(src: &mut Source) -> String {
+    let areas = &model().areas;
+    if src.bool(0.7) {
+        areas[src.usize_in(0, areas.len())].to_intermediate_sql()
+    } else {
+        let lo = src.int_in(-50, 300);
+        let hi = lo + src.int_in(1, 40);
+        let table = *src.choice(&["PhotoObjAll", "SpecObjAll", "PhotoTag"]);
+        let col = *src.choice(&["ra", "dec", "z"]);
+        format!("SELECT * FROM {table} WHERE {col} >= {lo} AND {col} <= {hi}")
+    }
+}
+
+fn field<'j>(json: &'j Json, key: &str) -> Option<&'j Json> {
+    json.get(key)
+}
+
+#[test]
+fn merged_classify_is_bit_identical_to_single_process() {
+    let fleet = fleet();
+    check(Config::cases(120), |src| {
+        let sql = random_sql(src);
+        let local = fleet.single.classify(&sql);
+        // Per-shard answers, exactly as the router would collect them.
+        let candidates: Vec<(usize, f64, Json)> = fleet
+            .shards
+            .iter()
+            .filter_map(|engine| {
+                let response = engine.classify(&sql);
+                assert_eq!(
+                    response.get("ok"),
+                    local.get("ok"),
+                    "shards and single process agree on success for {sql}"
+                );
+                let nearest = response.get("nearest").and_then(Json::as_f64)? as usize;
+                let distance = response.get("distance").and_then(Json::as_f64)?;
+                let cluster = response.get("cluster").cloned().unwrap_or(Json::Null);
+                Some((nearest, distance, cluster))
+            })
+            .collect();
+        if local.get("ok") != Some(&Json::Bool(true)) {
+            return; // unextractable statement: every engine agreed above
+        }
+        let merged = Json::obj(classify_fields(&candidates));
+        assert_eq!(
+            field(&merged, "nearest"),
+            field(&local, "nearest"),
+            "nearest mismatch for {sql}"
+        );
+        assert_eq!(
+            field(&merged, "distance")
+                .and_then(Json::as_f64)
+                .map(f64::to_bits),
+            field(&local, "distance")
+                .and_then(Json::as_f64)
+                .map(f64::to_bits),
+            "distance not bit-identical for {sql}"
+        );
+        assert_eq!(
+            field(&merged, "cluster"),
+            field(&local, "cluster"),
+            "cluster mismatch for {sql}"
+        );
+    });
+}
+
+#[test]
+fn merged_neighbors_reproduce_single_process_order_and_ties() {
+    let fleet = fleet();
+    check(Config::cases(80), |src| {
+        let sql = random_sql(src);
+        let k = src.usize_in(1, 16);
+        let local = fleet.single.neighbors(&sql, k);
+        if local.get("ok") != Some(&Json::Bool(true)) {
+            return;
+        }
+        let lists: Vec<Vec<Json>> = fleet
+            .shards
+            .iter()
+            .filter_map(|engine| {
+                engine
+                    .neighbors(&sql, k)
+                    .get("neighbors")
+                    .and_then(Json::as_arr)
+                    .map(<[Json]>::to_vec)
+            })
+            .collect();
+        let merged = Json::obj(neighbors_fields(lists, k));
+        assert_eq!(
+            field(&merged, "neighbors"),
+            field(&local, "neighbors"),
+            "merged neighbor list diverged for {sql} (k={k})"
+        );
+    });
+}
+
+/// The partition really is a partition: each global index appears on
+/// exactly one shard, so merged results can never double-count.
+#[test]
+fn shard_neighbor_sets_are_disjoint_and_cover_the_single_process_answer() {
+    let fleet = fleet();
+    check(Config::cases(40), |src| {
+        let sql = random_sql(src);
+        let k = model().areas.len(); // everything: full coverage check
+        let local = fleet.single.neighbors(&sql, k);
+        if local.get("ok") != Some(&Json::Bool(true)) {
+            return;
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        let mut total = 0usize;
+        for engine in &fleet.shards {
+            let response = engine.neighbors(&sql, k);
+            let list = response
+                .get("neighbors")
+                .and_then(Json::as_arr)
+                .expect("shard neighbors");
+            for entry in list {
+                let index = entry.get("index").and_then(Json::as_f64).expect("index") as usize;
+                assert!(seen.insert(index), "index {index} served by two shards ({sql})");
+                total += 1;
+            }
+        }
+        let expected = local
+            .get("neighbors")
+            .and_then(Json::as_arr)
+            .expect("single-process neighbors")
+            .len();
+        assert_eq!(total, expected, "shards together cover the whole model ({sql})");
+    });
+}

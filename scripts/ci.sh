@@ -143,6 +143,128 @@ grep -q "recovered generation 1" "$store_b/server.err"
 diff "$store_a/session.out" "$store_b/session.out"
 diff "$store_a/stats.json" "$store_b/stats.json"
 
+# Fleet chaos gate: router + 3 shard servers on ephemeral ports. One
+# shard is kill -9'd mid-soak; the next requests fail over to partial
+# responses ("partial":true with the missing shard named), the health
+# machine ejects the shard, and after a same-port restart the half-open
+# probe rejoins it so the final requests are full again. The entire
+# scenario runs twice and must byte-diff — sessions and final router
+# stats — proving degradation and recovery are deterministic.
+echo "==> fleet chaos (shard kill -9, partial degradation, half-open rejoin, replay)"
+fleet_scenario() {
+    local out_dir="$1"
+    local shard_pids=() shard_ports=()
+    for s in 0 1 2; do
+        cargo run --release -p aa-apps --bin serve_areas --offline -- \
+            --gen 300 --seed 11 --eps 0.06 --min-pts 4 --workers 2 \
+            --shard-of "$s/3" --rate 1000000 \
+            > "$out_dir/shard$s.out" 2> "$out_dir/shard$s.err" &
+        shard_pids[$s]=$!
+    done
+    for s in 0 1 2; do
+        local port=""
+        for _ in $(seq 1 200); do
+            port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$out_dir/shard$s.out")"
+            [ -n "$port" ] && break
+            sleep 0.1
+        done
+        if [ -z "$port" ]; then
+            echo "fleet chaos: shard $s did not report a port" >&2
+            return 1
+        fi
+        shard_ports[$s]=$port
+    done
+    cargo run --release -p aa-apps --bin serve_areas --offline -- \
+        --router "127.0.0.1:${shard_ports[0]},127.0.0.1:${shard_ports[1]},127.0.0.1:${shard_ports[2]}" \
+        --router-retries 1 --retry-base-ms 5 --backend-timeout-ms 2000 \
+        --down-after 2 --probe-after 3 \
+        --stats-out "$out_dir/router_stats.json" \
+        > "$out_dir/router.out" 2> "$out_dir/router.err" &
+    local router_pid=$!
+    local router_port=""
+    for _ in $(seq 1 200); do
+        router_port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$out_dir/router.out")"
+        [ -n "$router_port" ] && break
+        sleep 0.1
+    done
+    if [ -z "$router_port" ]; then
+        echo "fleet chaos: router did not report a port" >&2
+        return 1
+    fi
+    # Session A: healthy fleet — merged answers, no partial flags.
+    cargo run --release -p aa-apps --bin serve_areas --offline -- \
+        --connect "127.0.0.1:$router_port" >> "$out_dir/session.out" <<'EOF'
+ping
+classify SELECT * FROM PhotoObjAll WHERE ra BETWEEN 150 AND 200 AND dec > -5
+neighbors 3 SELECT * FROM SpecObjAll WHERE class = 'qso' AND z > 2
+EOF
+    # Kill shard 1 the hard way, mid-soak.
+    kill -9 "${shard_pids[1]}" 2>/dev/null
+    wait "${shard_pids[1]}" 2>/dev/null || true
+    # Session B: two failed fan-outs eject the shard (down-after 2), two
+    # skips, then the half-open probe fails against the dead port — five
+    # partial responses, every one naming missing shard 1.
+    cargo run --release -p aa-apps --bin serve_areas --offline -- \
+        --connect "127.0.0.1:$router_port" >> "$out_dir/session.out" <<'EOF'
+classify SELECT * FROM PhotoObjAll WHERE ra BETWEEN 150 AND 200 AND dec > -5
+classify SELECT * FROM PhotoObjAll WHERE ra BETWEEN 150 AND 200 AND dec > -5
+classify SELECT * FROM PhotoObjAll WHERE ra BETWEEN 150 AND 200 AND dec > -5
+classify SELECT * FROM PhotoObjAll WHERE ra BETWEEN 150 AND 200 AND dec > -5
+classify SELECT * FROM PhotoObjAll WHERE ra BETWEEN 150 AND 200 AND dec > -5
+EOF
+    # Restart shard 1 on its old port (SO_REUSEADDR makes this instant).
+    cargo run --release -p aa-apps --bin serve_areas --offline -- \
+        --gen 300 --seed 11 --eps 0.06 --min-pts 4 --workers 2 \
+        --shard-of "1/3" --rate 1000000 --port "${shard_ports[1]}" \
+        > "$out_dir/shard1b.out" 2> "$out_dir/shard1b.err" &
+    shard_pids[1]=$!
+    local up=""
+    for _ in $(seq 1 200); do
+        up="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$out_dir/shard1b.out")"
+        [ -n "$up" ] && break
+        sleep 0.1
+    done
+    if [ -z "$up" ]; then
+        echo "fleet chaos: shard 1 did not restart" >&2
+        return 1
+    fi
+    # Session C: two more skips, then the probe succeeds and the shard
+    # rejoins — the third classify is full again.
+    cargo run --release -p aa-apps --bin serve_areas --offline -- \
+        --connect "127.0.0.1:$router_port" >> "$out_dir/session.out" <<'EOF'
+classify SELECT * FROM PhotoObjAll WHERE ra BETWEEN 150 AND 200 AND dec > -5
+classify SELECT * FROM PhotoObjAll WHERE ra BETWEEN 150 AND 200 AND dec > -5
+classify SELECT * FROM PhotoObjAll WHERE ra BETWEEN 150 AND 200 AND dec > -5
+classify SELECT * FROM PhotoObjAll WHERE ra BETWEEN 150 AND 200 AND dec > -5
+stats
+shutdown
+EOF
+    wait "$router_pid"
+    for s in 0 1 2; do
+        wait "${shard_pids[$s]}" 2>/dev/null || true
+    done
+}
+fleet_a="$chaos_dir/fleet_a"; fleet_b="$chaos_dir/fleet_b"
+mkdir -p "$fleet_a" "$fleet_b"
+fleet_scenario "$fleet_a"
+fleet_scenario "$fleet_b"
+# The degradation trace: exactly 7 partial responses (5 while down, 2
+# while rejoining), all naming shard 1; the probe rejoin makes the tail
+# of session C full; the health machine ejected twice (failure ladder +
+# failed probe) and probed twice (failed + successful rejoin).
+[ "$(grep -c '"partial":true' "$fleet_a/session.out")" -eq 7 ]
+[ "$(grep -c '"missing_shards":\[1\]' "$fleet_a/session.out")" -eq 7 ]
+grep -q '"role":"router"' "$fleet_a/session.out"
+# The last classify (3rd-from-last line, before stats and shutdown) is
+# full again: the half-open probe rejoined the restarted shard.
+tail -n 3 "$fleet_a/session.out" | head -n 1 | grep -vq '"partial":true'
+grep -q '"ejections": 2' "$fleet_a/router_stats.json"
+grep -q '"probes": 2' "$fleet_a/router_stats.json"
+grep -q '"state": "up"' "$fleet_a/router_stats.json"
+! grep -q '"state": "down"' "$fleet_a/router_stats.json"
+diff "$fleet_a/session.out" "$fleet_b/session.out"
+diff "$fleet_a/router_stats.json" "$fleet_b/router_stats.json"
+
 # Serving-layer microbench: the cold/warm classify split must run (fast
 # sampling mode) — it prints the measured cache speedup into the CI log.
 echo "==> serve cache microbench (AA_BENCH_FAST)"
