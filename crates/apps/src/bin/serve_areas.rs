@@ -11,9 +11,18 @@
 //!     [--port P] [--workers N] [--cache N] [--fuel N] [--rate N] \
 //!     [--deadline-ms N] [--read-timeout-ms N] [--write-timeout-ms N] \
 //!     [--max-line-bytes N] [--max-queue N] [--watch-store-ms N] \
+//!     [--window N [--compact-every N] [--decay-half-life F]] \
 //!     [--chaos-seed S [--chaos-requests N] [--chaos-rate F]] \
 //!     [--save-model FILE] [--stats-out FILE]
 //! ```
+//!
+//! `--window N` enables the evolving model: `{"op":"ingest"}` requests
+//! absorb statements into an incremental-DBSCAN window of the last `N`
+//! areas, and every `--compact-every` absorptions the window is
+//! re-clustered and published to `--store` as a new generation (picked
+//! up by `--watch-store-ms` or an explicit reload) — the serve → model
+//! loop. `--decay-half-life F` sets the half-life (in ingest ticks) of
+//! the time-decayed window mass reported under `stats.evolve`.
 //!
 //! With `--store DIR` alone the server recovers the newest *verified*
 //! generation from the crash-safe model store; combined with `--gen`
@@ -67,8 +76,8 @@
 //! ```
 //!
 //! reads requests from stdin — raw JSON lines, or the shorthands
-//! `classify SQL…`, `neighbors K SQL…`, `stats`, `reload`, `shutdown`,
-//! `ping` — and prints one response line each. With `--retries N` the
+//! `classify SQL…`, `neighbors K SQL…`, `ingest SQL…`, `stats`,
+//! `reload`, `shutdown`, `ping` — and prints one response line each. With `--retries N` the
 //! client retries typed `overloaded` responses, connect failures
 //! (including refused reconnects during a failover), and dropped
 //! connections with bounded seeded exponential backoff (honouring the
@@ -79,8 +88,8 @@
 
 use aa_core::DistanceMode;
 use aa_serve::{
-    build_model, spawn_router, HealthConfig, ModelStore, RetryingClient, RouterConfig, SaveFault,
-    ServeEngine, ServeFaultPlan, ServerConfig, ShardSpec, TenantPolicy,
+    build_model, spawn_router, EvolveConfig, HealthConfig, ModelStore, RetryingClient,
+    RouterConfig, SaveFault, ServeEngine, ServeFaultPlan, ServerConfig, ShardSpec, TenantPolicy,
 };
 use aa_util::Json;
 use std::io::BufRead;
@@ -129,9 +138,12 @@ struct Args {
     tenant_burst: f64,
     tenant_refill: f64,
     tenant_retry_ms: u64,
+    window: Option<usize>,
+    compact_every: usize,
+    decay_half_life: f64,
 }
 
-const USAGE: &str = "usage: serve_areas (--model FILE | --gen N [--seed S] [--eps F] [--min-pts N] [--mode literal|dissim] | --store DIR) [--shard-of S/N] [--fleet N] [--publish-only [--crash-save FAULT]] [--port P] [--workers N] [--cache N] [--fuel N] [--rate N] [--deadline-ms N] [--read-timeout-ms N] [--write-timeout-ms N] [--max-line-bytes N] [--max-queue N] [--watch-store-ms N] [--chaos-seed S [--chaos-requests N] [--chaos-rate F]] [--save-model FILE] [--stats-out FILE]\n       serve_areas --router ADDR,ADDR,... [--port P] [--router-retries N] [--retry-base-ms MS] [--retry-seed S] [--backend-timeout-ms N] [--down-after N] [--probe-after N] [--ping-interval-ms N] [--tenant-burst F] [--tenant-refill F] [--tenant-retry-ms N] [--stats-out FILE]\n       serve_areas --connect HOST:PORT [--retries N] [--retry-base-ms MS] [--retry-seed S]";
+const USAGE: &str = "usage: serve_areas (--model FILE | --gen N [--seed S] [--eps F] [--min-pts N] [--mode literal|dissim] | --store DIR) [--shard-of S/N] [--fleet N] [--publish-only [--crash-save FAULT]] [--port P] [--workers N] [--cache N] [--fuel N] [--rate N] [--deadline-ms N] [--read-timeout-ms N] [--write-timeout-ms N] [--max-line-bytes N] [--max-queue N] [--watch-store-ms N] [--window N [--compact-every N] [--decay-half-life F]] [--chaos-seed S [--chaos-requests N] [--chaos-rate F]] [--save-model FILE] [--stats-out FILE]\n       serve_areas --router ADDR,ADDR,... [--port P] [--router-retries N] [--retry-base-ms MS] [--retry-seed S] [--backend-timeout-ms N] [--down-after N] [--probe-after N] [--ping-interval-ms N] [--tenant-burst F] [--tenant-refill F] [--tenant-retry-ms N] [--stats-out FILE]\n       serve_areas --connect HOST:PORT [--retries N] [--retry-base-ms MS] [--retry-seed S]";
 
 fn parse_args() -> Result<Args, String> {
     let mut out = Args {
@@ -175,6 +187,9 @@ fn parse_args() -> Result<Args, String> {
         tenant_burst: 32.0,
         tenant_refill: 0.1,
         tenant_retry_ms: 250,
+        window: None,
+        compact_every: 0,
+        decay_half_life: 0.0,
     };
     let mut args = std::env::args().skip(1);
     let next = |args: &mut dyn Iterator<Item = String>, what: &str| {
@@ -279,6 +294,13 @@ fn parse_args() -> Result<Args, String> {
             "--tenant-retry-ms" => {
                 out.tenant_retry_ms = parse_next!("--tenant-retry-ms", "milliseconds")
             }
+            "--window" => out.window = Some(parse_next!("--window", "a point count")),
+            "--compact-every" => {
+                out.compact_every = parse_next!("--compact-every", "an ingest count")
+            }
+            "--decay-half-life" => {
+                out.decay_half_life = parse_next!("--decay-half-life", "a tick count")
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other}\n{USAGE}")),
         }
@@ -307,6 +329,14 @@ fn parse_args() -> Result<Args, String> {
     }
     if out.fleet == Some(0) {
         return Err(format!("--fleet expects at least one shard\n{USAGE}"));
+    }
+    if out.window.is_none() && (out.compact_every != 0 || out.decay_half_life != 0.0) {
+        return Err(format!(
+            "--compact-every and --decay-half-life require --window\n{USAGE}"
+        ));
+    }
+    if out.window == Some(0) {
+        return Err(format!("--window expects at least one point\n{USAGE}"));
     }
     Ok(out)
 }
@@ -397,8 +427,11 @@ fn fleet_mode(args: &Args) -> ExitCode {
     let mut backends = Vec::new();
     for shard in 0..shards {
         let spec = ShardSpec { shard, of: shards };
-        let engine = ServeEngine::new_sharded(model.clone(), args.cache, args.fuel, Some(spec))
+        let mut engine = ServeEngine::new_sharded(model.clone(), args.cache, args.fuel, Some(spec))
             .with_deadline(args.deadline_ms.map(Duration::from_millis));
+        if let Some(window) = args.window {
+            engine = engine.with_evolve(evolve_config(args, window));
+        }
         let config = ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: args.workers,
@@ -433,6 +466,17 @@ fn fleet_mode(args: &Args) -> ExitCode {
     }
     println!("{}", snapshot.to_string_pretty());
     ExitCode::SUCCESS
+}
+
+/// The evolving-model configuration shared by `--window` servers and
+/// fleet shards (each shard maintains its own slice of the window).
+fn evolve_config(args: &Args, window: usize) -> EvolveConfig {
+    EvolveConfig {
+        window,
+        compact_every: args.compact_every,
+        decay_half_life: args.decay_half_life,
+        ..EvolveConfig::default()
+    }
 }
 
 /// Builds or loads the model named by `--model`/`--gen`, if any.
@@ -489,6 +533,13 @@ fn server_mode(args: &Args) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            // Startup is the one moment no publish is in flight, so
+            // leftover tmp files are guaranteed stale (crashed saves).
+            match store.sweep_tmp() {
+                Ok(0) => {}
+                Ok(n) => eprintln!("swept {n} stale tmp file(s) from the model store"),
+                Err(e) => eprintln!("cannot sweep model store tmp files: {e}"),
+            }
             let (generation, model) = match fresh {
                 Some(model) => {
                     match store.publish_faulted(&model, args.crash_save) {
@@ -577,6 +628,13 @@ fn server_mode(args: &Args) -> ExitCode {
     if let Some((store, generation)) = store_state {
         engine = engine.with_store(store, generation);
     }
+    if let Some(window) = args.window {
+        eprintln!(
+            "evolving model enabled: window {window}, compact every {}, decay half-life {}",
+            args.compact_every, args.decay_half_life
+        );
+        engine = engine.with_evolve(evolve_config(args, window));
+    }
     if let Some(seed) = args.chaos_seed {
         let plan = ServeFaultPlan::seeded(seed, args.chaos_requests, args.chaos_rate, 0, 0.0);
         eprintln!(
@@ -636,6 +694,10 @@ fn to_request_line(line: &str) -> Option<String> {
             ("op".to_string(), Json::Str("classify".to_string())),
             ("sql".to_string(), Json::Str(sql.trim().to_string())),
         ]),
+        Some(("ingest", sql)) => Json::obj([
+            ("op".to_string(), Json::Str("ingest".to_string())),
+            ("sql".to_string(), Json::Str(sql.trim().to_string())),
+        ]),
         Some(("neighbors", rest)) => {
             let (k, sql) = match rest.trim().split_once(' ') {
                 Some((k, sql)) if k.parse::<usize>().is_ok() => {
@@ -650,7 +712,7 @@ fn to_request_line(line: &str) -> Option<String> {
             ])
         }
         _ => {
-            eprintln!("unrecognized shorthand (use: classify SQL | neighbors [K] SQL | stats | reload | shutdown | ping): {line}");
+            eprintln!("unrecognized shorthand (use: classify SQL | neighbors [K] SQL | ingest SQL | stats | reload | shutdown | ping): {line}");
             return None;
         }
     };

@@ -44,10 +44,11 @@ fn aa_serve_lock_sites_match_the_declared_order() {
     let expected: BTreeMap<(String, String, String), usize> = [
         (("crates/serve/src/cache.rs", "inner", "lock"), 6),
         (("crates/serve/src/engine.rs", "breakers", "lock"), 3),
+        (("crates/serve/src/engine.rs", "evolve", "lock"), 2),
         (("crates/serve/src/engine.rs", "state", "read"), 1),
         (("crates/serve/src/engine.rs", "state", "write"), 1),
-        (("crates/serve/src/engine.rs", "stats", "lock"), 18),
-        (("crates/serve/src/router.rs", "fleet", "lock"), 8),
+        (("crates/serve/src/engine.rs", "stats", "lock"), 20),
+        (("crates/serve/src/router.rs", "fleet", "lock"), 9),
         (("crates/serve/src/router.rs", "health", "lock"), 6),
         (("crates/serve/src/router.rs", "link", "lock"), 2),
         (("crates/serve/src/server.rs", "rx", "lock"), 1),

@@ -1,0 +1,24 @@
+//! Emits `BENCH_evolve.json`: evolving-model seeding cost, amortized
+//! steady-state ingest latency (scheduled compactions included), and the
+//! deterministic drift/work counters of one fixed ingest stream.
+//!
+//! Honors `AA_BENCH_FAST=1`, `AA_BENCH_SAMPLE_SIZE`, `AA_BENCH_WARMUP_MS`
+//! (sampling only). Output lands in `AA_BENCH_OUT_DIR` (default: current
+//! directory).
+
+#![forbid(unsafe_code)]
+
+use aa_bench::perf::{evolve_report, Sampling};
+use std::path::PathBuf;
+
+fn main() {
+    let sampling = Sampling::from_env();
+    let report = evolve_report(42, 400, &sampling);
+    let out_dir = std::env::var("AA_BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = PathBuf::from(out_dir).join("BENCH_evolve.json");
+    report.save(&path).expect("write BENCH_evolve.json");
+    eprintln!("wrote {} ({} records)", path.display(), report.records.len());
+    for r in &report.records {
+        eprintln!("  {:<24} median {:>12.1} ns", r.name, r.median_ns);
+    }
+}

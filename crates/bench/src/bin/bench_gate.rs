@@ -15,7 +15,11 @@
 use aa_bench::perf::{gate_reports, BenchReport};
 use std::path::Path;
 
-const REPORTS: [&str; 2] = ["BENCH_kernels.json", "BENCH_serve.json"];
+const REPORTS: [&str; 3] = [
+    "BENCH_kernels.json",
+    "BENCH_serve.json",
+    "BENCH_evolve.json",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -1,6 +1,6 @@
 //! `BENCH_*.json` emission and the CI bench gate.
 //!
-//! Two seed-pinned perf reports anchor the repo's perf trajectory:
+//! Three seed-pinned perf reports anchor the repo's perf trajectory:
 //!
 //! * `BENCH_kernels.json` ([`KERNELS_SCHEMA`]) — the bitset kernel vs the
 //!   scalar reference on synthetic area sets at 8/64/128 distinct tables
@@ -8,6 +8,9 @@
 //! * `BENCH_serve.json` ([`SERVE_SCHEMA`]) — serve-side kernel build and
 //!   warm classify/neighbors latency plus the work counters of one fixed
 //!   request session.
+//! * `BENCH_evolve.json` ([`EVOLVE_SCHEMA`]) — evolving-model seeding
+//!   cost, amortized steady-state ingest latency, and the drift/work
+//!   counters of one fixed ingest stream.
 //!
 //! Every record carries wall time (median/p95 ns) *and* work counters
 //! (pairs evaluated, atoms scanned, bitset fast-path hits, …). Counters
@@ -52,6 +55,8 @@ use std::time::{Duration, Instant};
 pub const KERNELS_SCHEMA: &str = "aa-bench/kernels/v1";
 /// Schema tag of `BENCH_serve.json`.
 pub const SERVE_SCHEMA: &str = "aa-bench/serve/v1";
+/// Schema tag of `BENCH_evolve.json`.
+pub const EVOLVE_SCHEMA: &str = "aa-bench/evolve/v1";
 
 /// Hard floor the gate enforces for the `d_tables/64` kernel-vs-scalar
 /// speedup (ISSUE 6 acceptance criterion).
@@ -476,6 +481,92 @@ pub fn serve_report(seed: u64, total: usize, sampling: &Sampling) -> BenchReport
         std::hint::black_box(engine.classify(warm_sql));
     });
     report.records.push(BenchRecord::time("classify/cold", (m, p)));
+    report
+}
+
+/// Builds `BENCH_evolve.json`: seeding cost, amortized steady-state
+/// ingest latency (compactions included, so the window stays bounded),
+/// and the deterministic drift/work counters of one fixed 512-statement
+/// ingest stream. The counters pin the incremental-DBSCAN work profile —
+/// any change in neighbourhood queries, pruning, rebuild cadence, or
+/// cluster churn for the fixed seed fails the gate as a behaviour
+/// change, not noise.
+pub fn evolve_report(seed: u64, total: usize, sampling: &Sampling) -> BenchReport {
+    use aa_evolve::{EvolveConfig, IncrementalDbscan};
+    let mut report = BenchReport::new(EVOLVE_SCHEMA, seed);
+    let model = aa_serve::build_model(total, seed, 0.06, 8, DistanceMode::Dissimilarity);
+    let config = EvolveConfig {
+        window: 256,
+        compact_every: 128,
+        decay_half_life: 32.0,
+        ..EvolveConfig::default()
+    };
+
+    let (m, p) = measure_ns(sampling, || {
+        std::hint::black_box(IncrementalDbscan::new(&model, config.clone()));
+    });
+    report.records.push(BenchRecord::time("seed/build", (m, p)));
+
+    // A fixed ingest stream from the same generator family.
+    let stream: Vec<AccessArea> = {
+        let log: Vec<String> = aa_skyserver::generate_log(&aa_skyserver::LogConfig {
+            total: 512,
+            seed: seed.wrapping_add(2),
+            ..aa_skyserver::LogConfig::default()
+        })
+        .into_iter()
+        .map(|e| e.sql)
+        .collect();
+        let extractor = Extractor::new(&NoSchema);
+        log.iter()
+            .filter_map(|sql| extractor.extract_sql(sql).ok())
+            .collect()
+    };
+
+    // Steady state: cycle the stream through one long-lived maintainer;
+    // scheduled compactions stay inside the measured loop (they are part
+    // of the amortized per-ingest cost) and keep the window bounded.
+    let mut maintainer = IncrementalDbscan::new(&model, config.clone());
+    let mut next = 0usize;
+    let (m, p) = measure_ns(sampling, || {
+        maintainer.ingest(stream[next % stream.len()].clone());
+        next += 1;
+        if maintainer.due_for_compaction() {
+            maintainer.compact();
+        }
+    });
+    report.records.push(BenchRecord::time("ingest/steady", (m, p)));
+
+    // Counter pass: fresh maintainer, the fixed stream once, counters
+    // from the drift stats — exactly reproducible for the seed.
+    let mut counted = IncrementalDbscan::new(&model, config);
+    let mut compacted_clusters = 0u64;
+    for area in &stream {
+        counted.ingest(area.clone());
+        if counted.due_for_compaction() {
+            compacted_clusters = counted.compact().clusters_after as u64;
+        }
+    }
+    let drift = counted.stats();
+    let (core, border, noise) = counted.status_counts();
+    report.records.push(
+        BenchRecord::time("stream/fixed", (0.0, 0.0))
+            .counter("ingested", drift.ingested)
+            .counter("births", drift.births)
+            .counter("deaths", drift.deaths)
+            .counter("merges", drift.merges)
+            .counter("turnover", drift.turnover)
+            .counter("compactions", drift.compactions)
+            .counter("index_rebuilds", drift.index_rebuilds)
+            .counter("neighborhood_queries", drift.neighborhood_queries)
+            .counter("distance_evaluated", drift.distance_evaluated)
+            .counter("window", counted.len() as u64)
+            .counter("clusters", counted.live_clusters() as u64)
+            .counter("last_compaction_clusters", compacted_clusters)
+            .counter("core", core as u64)
+            .counter("border", border as u64)
+            .counter("noise", noise as u64),
+    );
     report
 }
 

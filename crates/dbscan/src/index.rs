@@ -219,6 +219,65 @@ pub struct PivotIndex {
     table: Vec<Vec<f64>>,
     /// Number of indexed items.
     n: usize,
+    /// Number of items present when the pivots were last selected;
+    /// items past this were appended by [`PivotIndex::insert`].
+    n_at_build: usize,
+}
+
+/// Insertions tolerated before [`PivotIndex::should_rebuild`] trips, as a
+/// fraction of the size at build time: a rebuild is due once more than
+/// half the build-time population has been appended.
+const REBUILD_GROWTH_DENOMINATOR: usize = 2;
+/// Absolute insertion floor below which a rebuild is never suggested —
+/// tiny indexes would otherwise thrash on every append.
+const REBUILD_MIN_INSERTS: usize = 16;
+
+/// The shared farthest-point pivot selection: at most `max_pivots` pivots
+/// over `n` items, `metric(p, i)` measuring two local positions. The first
+/// pivot is position 0; each further pivot is the position farthest (under
+/// the metric) from all chosen pivots, ties broken toward the smallest
+/// position; selection stops early once every position sits at metric
+/// distance 0 from some pivot. Returns the pivot positions and the filled
+/// `table[p][i]` rows. [`PivotIndex::build`], [`PivotIndex::build_subset`]
+/// and insert-triggered rebuilds all funnel through here so the traversal
+/// can never drift between entry points.
+fn select_pivots(
+    n: usize,
+    max_pivots: usize,
+    metric: impl Fn(usize, usize) -> f64,
+) -> (Vec<usize>, Vec<Vec<f64>>) {
+    let mut pivots: Vec<usize> = Vec::new();
+    let mut table: Vec<Vec<f64>> = Vec::new();
+    if n == 0 || max_pivots == 0 {
+        return (pivots, table);
+    }
+    let mut min_d = vec![f64::INFINITY; n];
+    let mut next = 0usize;
+    loop {
+        pivots.push(next);
+        let row: Vec<f64> = (0..n).map(|i| metric(next, i)).collect();
+        for (i, &d) in row.iter().enumerate() {
+            if d < min_d[i] {
+                min_d[i] = d;
+            }
+        }
+        table.push(row);
+        if pivots.len() >= max_pivots.min(n) {
+            break;
+        }
+        let (mut best_i, mut best_d) = (0usize, -1.0f64);
+        for (i, &d) in min_d.iter().enumerate() {
+            if d > best_d {
+                best_d = d;
+                best_i = i;
+            }
+        }
+        if best_d <= 0.0 {
+            break;
+        }
+        next = best_i;
+    }
+    (pivots, table)
 }
 
 impl PivotIndex {
@@ -256,37 +315,16 @@ impl PivotIndex {
             pivots: Vec::new(),
             table: Vec::new(),
             n,
+            n_at_build: n,
         };
         if n == 0 || max_pivots == 0 {
             return index;
         }
-        let mut min_d = vec![f64::INFINITY; n];
-        let mut next = 0usize;
-        loop {
-            index.pivots.push(next);
-            let pivot_item = &items[subset[next]];
-            let row: Vec<f64> = subset.iter().map(|&g| metric(pivot_item, &items[g])).collect();
-            for (i, &d) in row.iter().enumerate() {
-                if d < min_d[i] {
-                    min_d[i] = d;
-                }
-            }
-            index.table.push(row);
-            if index.pivots.len() >= max_pivots.min(n) {
-                break;
-            }
-            let (mut best_i, mut best_d) = (0usize, -1.0f64);
-            for (i, &d) in min_d.iter().enumerate() {
-                if d > best_d {
-                    best_d = d;
-                    best_i = i;
-                }
-            }
-            if best_d <= 0.0 {
-                break;
-            }
-            next = best_i;
-        }
+        let (pivots, table) = select_pivots(n, max_pivots, |p, i| {
+            metric(&items[subset[p]], &items[subset[i]])
+        });
+        index.pivots = pivots;
+        index.table = table;
         index
     }
 
@@ -303,6 +341,49 @@ impl PivotIndex {
     /// True when no items are indexed.
     pub fn is_empty(&self) -> bool {
         self.n == 0
+    }
+
+    /// Absorbs one new item at the next local position without re-selecting
+    /// pivots: `metric_to(i)` must return the pruning-metric distance from
+    /// the new item to the already-indexed item at local position `i` (it
+    /// is called once per pivot). Returns the new item's local position.
+    ///
+    /// Pruning stays provably exact: [`lower_bound`] only requires that
+    /// every `table[p][new]` entry is the true metric distance from pivot
+    /// `p` to the new item — pivot *optimality* affects how tight the
+    /// bound is, never whether it is a bound. Appends therefore degrade
+    /// pruning quality gradually (the new item was not a farthest-point
+    /// candidate); [`should_rebuild`] says when a fresh
+    /// [`build`]/[`build_subset`] is due.
+    ///
+    /// [`lower_bound`]: PivotIndex::range
+    /// [`should_rebuild`]: PivotIndex::should_rebuild
+    /// [`build`]: PivotIndex::build
+    /// [`build_subset`]: PivotIndex::build_subset
+    pub fn insert(&mut self, metric_to: impl Fn(usize) -> f64) -> usize {
+        for (p, &pivot) in self.pivots.iter().enumerate() {
+            let d = metric_to(pivot);
+            self.table[p].push(d);
+        }
+        let local = self.n;
+        self.n += 1;
+        local
+    }
+
+    /// Number of items appended by [`PivotIndex::insert`] since the pivots
+    /// were last selected.
+    pub fn inserted_since_build(&self) -> usize {
+        self.n - self.n_at_build
+    }
+
+    /// Deterministic rebuild predicate: true once more than half the
+    /// build-time population (and at least [`REBUILD_MIN_INSERTS`] items)
+    /// has been appended. Purely a function of the insert count, so every
+    /// replay of the same ingest sequence rebuilds at the same ordinal.
+    pub fn should_rebuild(&self) -> bool {
+        let inserted = self.inserted_since_build();
+        inserted >= REBUILD_MIN_INSERTS
+            && inserted * REBUILD_GROWTH_DENOMINATOR > self.n_at_build
     }
 
     /// Metric distances from the query to every pivot, via `metric_to(i)` =
@@ -631,6 +712,113 @@ mod tests {
         let b = PivotIndex::build_subset(&items, &all, 8, &key_metric);
         assert_eq!(a.pivots(), b.pivots());
         assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn inserted_point_is_searched_exactly_like_a_fresh_build() {
+        let mut items = dataset();
+        let late = P { key: 1, x: 0.47 };
+        let mut index = PivotIndex::build(&items, 8, &key_metric);
+        let local = index.insert(|i| key_metric(&late, &items[i]));
+        assert_eq!(local, items.len());
+        items.push(late);
+        assert_eq!(index.len(), items.len());
+        assert_eq!(index.inserted_since_build(), 1);
+        let fresh = PivotIndex::build(&items, 8, &key_metric);
+        let q = P { key: 1, x: 0.44 };
+        let (got, _) = index.range(
+            0.1,
+            |i| key_metric(&q, &items[i]),
+            |i| dist(&q, &items[i]),
+        );
+        let (want, _) = fresh.range(
+            0.1,
+            |i| key_metric(&q, &items[i]),
+            |i| dist(&q, &items[i]),
+        );
+        assert_eq!(got, want);
+        assert!(got.contains(&local), "the inserted point is in range");
+        for k in [1, 5, items.len()] {
+            let (got, _) = index.knn(
+                k,
+                |i| key_metric(&q, &items[i]),
+                |i| dist(&q, &items[i]),
+            );
+            let (want, _) = fresh.knn(
+                k,
+                |i| key_metric(&q, &items[i]),
+                |i| dist(&q, &items[i]),
+            );
+            assert_eq!(got, want, "k={k}");
+        }
+    }
+
+    #[test]
+    fn insert_into_pivotless_index_still_answers_exactly() {
+        let empty: Vec<P> = Vec::new();
+        let mut index = PivotIndex::build(&empty, 4, &key_metric);
+        let mut items = Vec::new();
+        for i in 0..5 {
+            let p = P {
+                key: i % 2,
+                x: i as f64 * 0.1,
+            };
+            let local = index.insert(|j| key_metric(&p, &items[j]));
+            assert_eq!(local, i);
+            items.push(p);
+        }
+        let q = P { key: 0, x: 0.05 };
+        let (hits, evaluated) = index.range(
+            0.2,
+            |i| key_metric(&q, &items[i]),
+            |i| dist(&q, &items[i]),
+        );
+        let brute = BruteForceIndex.neighbors_of(&items, &q, 0.2, &dist);
+        assert_eq!(hits, brute);
+        // No pivots were ever selected, so nothing can be pruned.
+        assert_eq!(evaluated, items.len());
+    }
+
+    #[test]
+    fn rebuild_threshold_is_deterministic_in_the_insert_count() {
+        let items = dataset();
+        let mut index = PivotIndex::build(&items, 8, &key_metric);
+        assert!(!index.should_rebuild());
+        let mut grown = items.clone();
+        let mut tripped_at = None;
+        for step in 0..40 {
+            let p = P {
+                key: 3,
+                x: step as f64 * 0.01,
+            };
+            index.insert(|i| key_metric(&p, &grown[i]));
+            grown.push(p);
+            if index.should_rebuild() {
+                tripped_at = Some(index.inserted_since_build());
+                break;
+            }
+        }
+        // 30 items at build: the predicate trips at exactly 16 inserts
+        // (>= the floor and 16 * 2 > 30), independent of anything else.
+        assert_eq!(tripped_at, Some(16));
+        // A replay over the same sequence trips at the same ordinal.
+        let mut again = PivotIndex::build(&items, 8, &key_metric);
+        let mut grown = items.clone();
+        for step in 0..16 {
+            let p = P {
+                key: 3,
+                x: step as f64 * 0.01,
+            };
+            assert!(!again.should_rebuild());
+            again.insert(|i| key_metric(&p, &grown[i]));
+            grown.push(p);
+        }
+        assert!(again.should_rebuild());
+        // Rebuilding resets the counter and restores pivot coverage.
+        let rebuilt = PivotIndex::build(&grown, 8, &key_metric);
+        assert_eq!(rebuilt.inserted_since_build(), 0);
+        assert!(!rebuilt.should_rebuild());
+        assert!(rebuilt.pivots().contains(&30), "new key gets a pivot");
     }
 
     #[test]

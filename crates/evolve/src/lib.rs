@@ -1,0 +1,902 @@
+//! Incremental clustering maintenance over a windowed query log.
+//!
+//! The paper clusters a *static* log; this crate closes the serve → model
+//! loop. An [`IncrementalDbscan`] maintainer is seeded from a published
+//! [`ClusteredModel`] and absorbs served queries one at a time: each
+//! ingested access area gets an ε-neighbourhood query against the
+//! kernel-backed distance path, every affected point's core/border/noise
+//! status is updated online (DBSCAN statuses are order-independent under
+//! insertion, so they always equal a from-scratch run over the live
+//! window), and new core points bridge clusters through a deterministic
+//! union-find. Periodic [`compaction`] truncates the window to the most
+//! recent points, re-clusters it with *exactly* the offline pipeline
+//! (fresh ranges → kernel → `dbscan`), and hands back a model whose
+//! canonical bytes are identical to clustering the same window from
+//! scratch — ready for `ModelStore::publish` and the serve hot-reload
+//! path.
+//!
+//! ## The frozen distance basis
+//!
+//! The paper's distance normalises against [`AccessRanges`] derived from
+//! the clustered corpus. A distance whose parameters move under every
+//! insert cannot support incremental maintenance — yesterday's
+//! neighbourhoods would silently change meaning. The maintainer therefore
+//! *freezes* the basis (ranges + kernel) at each compaction: online
+//! statuses between compactions are DBSCAN over the live window under the
+//! frozen basis, and every compaction re-derives a fresh basis from the
+//! surviving window exactly as the offline pipeline would. Between
+//! compactions, distances touching a base point use the
+//! [`DistanceKernel`]; pairs of post-freeze ingests use the scalar
+//! [`QueryDistance`] over the same frozen ranges (the kernel is
+//! differentially pinned to the scalar path, and the Jaccard table
+//! distance lower-bounds both, so pivot pruning stays exact).
+//!
+//! ## Determinism
+//!
+//! Nothing here reads a clock or random source. Time is the ingest
+//! ordinal: decay weights are `0.5^(age_ticks / half_life)`, compaction
+//! fires every `compact_every` ingests, and the pivot-index rebuild
+//! threshold is a pure function of the insert count — so replaying the
+//! same ingest sequence reproduces every status, stat, and published byte.
+//!
+//! [`compaction`]: IncrementalDbscan::compact
+
+#![forbid(unsafe_code)]
+
+use aa_core::{
+    AccessArea, AccessRanges, ClusteredModel, DistanceKernel, DistanceMode, FlatQuery,
+    QueryDistance,
+};
+use aa_dbscan::{dbscan, DbscanParams, Label, PivotIndex};
+
+/// Maintainer knobs. Clustering parameters (`eps`, `min_pts`, `mode`) come
+/// from the seeding model, never from here.
+#[derive(Debug, Clone)]
+pub struct EvolveConfig {
+    /// Maximum points retained at each compaction (tumbling truncation:
+    /// the most recent `window` live points survive).
+    pub window: usize,
+    /// Compact after every this many ingested points; 0 disables
+    /// automatic compaction (the window grows until compacted manually).
+    pub compact_every: usize,
+    /// Half-life of the decayed-mass statistic, in ingest ticks;
+    /// 0 disables decay (every live point weighs 1).
+    pub decay_half_life: f64,
+    /// Pivot budget for the evolve-side neighbour index.
+    pub max_pivots: usize,
+}
+
+impl Default for EvolveConfig {
+    fn default() -> EvolveConfig {
+        EvolveConfig {
+            window: 4096,
+            compact_every: 0,
+            decay_half_life: 0.0,
+            max_pivots: 64,
+        }
+    }
+}
+
+/// Online DBSCAN status of one live point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointStatus {
+    /// ε-neighbourhood (including self) has at least `min_pts` points.
+    Core,
+    /// Not core, but within ε of at least one core point.
+    Border,
+    /// Neither.
+    Noise,
+}
+
+impl PointStatus {
+    /// Stable lower-case spelling used in protocol responses.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PointStatus::Core => "core",
+            PointStatus::Border => "border",
+            PointStatus::Noise => "noise",
+        }
+    }
+}
+
+/// Cumulative drift / work counters. All are pure functions of the ingest
+/// sequence, so two replays of the same stream agree exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriftStats {
+    /// Points absorbed since construction.
+    pub ingested: u64,
+    /// Clusters created online (a new core point with no core neighbour).
+    pub births: u64,
+    /// Cluster count shrinkage across compactions
+    /// (`live clusters before` − `clusters after`, floored at 0, summed).
+    pub deaths: u64,
+    /// Online unions of two previously distinct clusters.
+    pub merges: u64,
+    /// Status changes applied to *pre-existing* points (noise→border,
+    /// anything→core) — the membership-churn half of drift.
+    pub turnover: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Pivot-index rebuilds triggered by the insert threshold.
+    pub index_rebuilds: u64,
+    /// ε-neighbourhood queries issued (ingests + promotions + reseeds).
+    pub neighborhood_queries: u64,
+    /// Full distance evaluations the pivot index could not prune.
+    pub distance_evaluated: u64,
+}
+
+/// What one [`IncrementalDbscan::ingest`] did.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestOutcome {
+    /// Ingest ordinal of the absorbed point (0-based since construction).
+    pub tick: u64,
+    /// Online status of the new point.
+    pub status: PointStatus,
+    /// Cluster root (smallest-ordinal core of the cluster, as a live
+    /// window position) the point joined, if any. Border points join
+    /// their smallest-position core neighbour's cluster.
+    pub cluster: Option<usize>,
+    /// Pre-existing points promoted to core by this insert.
+    pub promoted: usize,
+    /// Distinct pre-existing clusters merged by this insert.
+    pub merged: usize,
+    /// True when the new point founded a fresh cluster.
+    pub born: bool,
+}
+
+/// What one [`IncrementalDbscan::compact`] produced.
+#[derive(Debug)]
+pub struct CompactReport {
+    /// The freshly re-clustered window — canonical bytes identical to
+    /// running the offline pipeline over the same areas.
+    pub model: ClusteredModel,
+    /// Live points after truncation.
+    pub window_len: usize,
+    /// Live clusters before compaction (online view).
+    pub clusters_before: usize,
+    /// Clusters in the fresh model.
+    pub clusters_after: usize,
+    /// Points evicted by the tumbling truncation.
+    pub evicted: usize,
+}
+
+/// Insertion-only incremental DBSCAN over a live window of access areas.
+///
+/// Point counts only grow between compactions, so statuses never demote:
+/// a core point stays core, and every status is exactly what a
+/// from-scratch DBSCAN over the current window (under the frozen basis)
+/// would assign — see `tests/incremental_differential.rs`.
+pub struct IncrementalDbscan {
+    config: EvolveConfig,
+    eps: f64,
+    min_pts: usize,
+    mode: DistanceMode,
+    /// Frozen distance basis (re-derived at each compaction).
+    ranges: AccessRanges,
+    /// Kernel over the first `base_len` live points, under `ranges`.
+    kernel: DistanceKernel,
+    base_len: usize,
+    /// Live points, ingest order. `0..base_len` are kernel-indexed.
+    areas: Vec<AccessArea>,
+    /// Flattened (against the frozen kernel) post-freeze ingests:
+    /// `flats[i - base_len]` belongs to live position `i`.
+    flats: Vec<FlatQuery>,
+    /// Ingest tick of each live point (base points keep theirs).
+    ticks: Vec<u64>,
+    /// Pivot index over all live positions.
+    index: PivotIndex,
+    /// |ε-neighbourhood| including self, per live position.
+    count: Vec<usize>,
+    /// Number of core points within ε (excluding self), per position.
+    core_neighbors: Vec<usize>,
+    is_core: Vec<bool>,
+    /// Union-find parent (meaningful for core points; root = smallest
+    /// position in the cluster's core graph).
+    parent: Vec<usize>,
+    /// Ingest ordinal: number of points absorbed since construction.
+    now: u64,
+    ingested_since_compaction: u64,
+    stats: DriftStats,
+}
+
+impl IncrementalDbscan {
+    /// Seeds the maintainer from a published model: the model's areas
+    /// become the live window, its ranges the frozen basis, and statuses
+    /// are derived by a full neighbourhood pass (the model stores labels,
+    /// not core flags).
+    pub fn new(model: &ClusteredModel, config: EvolveConfig) -> IncrementalDbscan {
+        let areas = model.areas.clone();
+        let ranges = model.ranges.clone();
+        let kernel = DistanceKernel::build(&areas, &ranges, model.mode);
+        let n = areas.len();
+        let mut m = IncrementalDbscan {
+            config,
+            eps: model.eps,
+            min_pts: model.min_pts,
+            mode: model.mode,
+            ranges,
+            kernel,
+            base_len: n,
+            areas,
+            flats: Vec::new(),
+            ticks: vec![0; n],
+            index: PivotIndex::build::<usize, _>(&[], 0, &|_, _| 0.0),
+            count: Vec::new(),
+            core_neighbors: Vec::new(),
+            is_core: Vec::new(),
+            parent: Vec::new(),
+            now: 0,
+            ingested_since_compaction: 0,
+            stats: DriftStats::default(),
+        };
+        m.reseed_from_basis();
+        m
+    }
+
+    /// The maintainer's configuration.
+    pub fn config(&self) -> &EvolveConfig {
+        &self.config
+    }
+
+    /// Number of live points.
+    pub fn len(&self) -> usize {
+        self.areas.len()
+    }
+
+    /// True when the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.areas.is_empty()
+    }
+
+    /// Current ingest ordinal.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Cumulative drift / work counters.
+    pub fn stats(&self) -> DriftStats {
+        self.stats
+    }
+
+    /// The live window, ingest order.
+    pub fn window_areas(&self) -> &[AccessArea] {
+        &self.areas
+    }
+
+    /// True once `compact_every` is set and that many points have been
+    /// absorbed since the last compaction.
+    pub fn due_for_compaction(&self) -> bool {
+        self.config.compact_every > 0
+            && self.ingested_since_compaction >= self.config.compact_every as u64
+    }
+
+    /// The full frozen-basis distance between two live positions — the
+    /// exact function online statuses are maintained under (and the one
+    /// a differential oracle must hand to `dbscan`).
+    pub fn frozen_distance(&self, a: usize, b: usize) -> f64 {
+        self.distance_pos(a, b)
+    }
+
+    /// Online status per live position.
+    pub fn statuses(&self) -> Vec<PointStatus> {
+        (0..self.areas.len()).map(|i| self.status_of(i)).collect()
+    }
+
+    /// Status of one live position.
+    pub fn status_of(&self, i: usize) -> PointStatus {
+        if self.is_core[i] {
+            PointStatus::Core
+        } else if self.core_neighbors[i] > 0 {
+            PointStatus::Border
+        } else {
+            PointStatus::Noise
+        }
+    }
+
+    /// (core, border, noise) counts over the live window.
+    pub fn status_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for i in 0..self.areas.len() {
+            match self.status_of(i) {
+                PointStatus::Core => c.0 += 1,
+                PointStatus::Border => c.1 += 1,
+                PointStatus::Noise => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Cluster root (smallest core position) per live position: cores map
+    /// to their component root, everything else to `None`. The *partition*
+    /// of core points is exactly from-scratch DBSCAN's — root identities
+    /// are this maintainer's deterministic choice of representative.
+    pub fn core_partition(&self) -> Vec<Option<usize>> {
+        (0..self.areas.len())
+            .map(|i| self.is_core[i].then(|| self.root_of(i)))
+            .collect()
+    }
+
+    /// Number of live clusters (distinct core roots).
+    pub fn live_clusters(&self) -> usize {
+        let mut roots: Vec<usize> = (0..self.areas.len())
+            .filter(|&i| self.is_core[i])
+            .map(|i| self.root_of(i))
+            .collect();
+        roots.sort_unstable();
+        roots.dedup();
+        roots.len()
+    }
+
+    /// Time-decayed mass of the live window: each point weighs
+    /// `0.5^((now − tick) / half_life)` (1 when decay is disabled). Age is
+    /// measured in ingest ticks, never wall time, so replays agree.
+    pub fn decayed_mass(&self) -> f64 {
+        let h = self.config.decay_half_life;
+        if h <= 0.0 {
+            return self.areas.len() as f64;
+        }
+        self.ticks
+            .iter()
+            .map(|&t| 0.5f64.powf((self.now - t) as f64 / h))
+            .sum()
+    }
+
+    /// Absorbs one access area: ε-neighbourhood query, neighbour-count
+    /// updates, core promotions, cluster unions, and (if the insert
+    /// threshold trips) a deterministic pivot-index rebuild.
+    pub fn ingest(&mut self, area: AccessArea) -> IngestOutcome {
+        let flat = self.kernel.flatten(&area);
+        let (neighbors, evaluated) = {
+            let me = &*self;
+            me.index.range(
+                me.eps,
+                |j| me.d_tables_new(&flat, &area, j),
+                |j| me.distance_new(&flat, &area, j),
+            )
+        };
+        self.stats.neighborhood_queries += 1;
+        self.stats.distance_evaluated += evaluated as u64;
+
+        // Append the point to the pivot index. The pivot set is small
+        // (≤ max_pivots), so an eager lookup table sidesteps borrowing
+        // the maintainer inside the index's metric closure.
+        let pivot_d: Vec<(usize, f64)> = {
+            let me = &*self;
+            me.index
+                .pivots()
+                .iter()
+                .map(|&p| (p, me.d_tables_new(&flat, &area, p)))
+                .collect()
+        };
+        let pos = self.index.insert(|i| {
+            pivot_d
+                .iter()
+                .find(|&&(p, _)| p == i)
+                .map(|&(_, d)| d)
+                .unwrap_or(0.0)
+        });
+
+        let tick = self.now;
+        self.areas.push(area);
+        self.flats.push(flat);
+        self.ticks.push(tick);
+        self.count.push(neighbors.len() + 1);
+        self.core_neighbors
+            .push(neighbors.iter().filter(|&&p| self.is_core[p]).count());
+        self.is_core.push(false);
+        self.parent.push(pos);
+        for &p in &neighbors {
+            self.count[p] += 1;
+        }
+
+        // Promotions: pre-existing neighbours that just reached min_pts.
+        // The new point first (smallest cluster roots win deterministically
+        // regardless, but the order fixes the birth/merge attribution),
+        // then promoted points in ascending position.
+        let promotions: Vec<usize> = neighbors
+            .iter()
+            .copied()
+            .filter(|&p| !self.is_core[p] && self.count[p] == self.min_pts)
+            .collect();
+        let mut newly: Vec<(usize, Option<Vec<usize>>)> = Vec::new();
+        if self.count[pos] >= self.min_pts {
+            newly.push((pos, Some(neighbors.clone())));
+        }
+        for &p in &promotions {
+            newly.push((p, None));
+            self.stats.turnover += 1;
+        }
+        let mut merged = 0usize;
+        let mut born = false;
+        for (c, hood) in newly {
+            let hood = match hood {
+                Some(h) => h,
+                None => self.neighborhood_of(c),
+            };
+            self.is_core[c] = true;
+            for &x in &hood {
+                if x != pos
+                    && !self.is_core[x]
+                    && self.core_neighbors[x] == 0
+                    && self.count[x] < self.min_pts
+                {
+                    // A pre-existing noise point just became border.
+                    self.stats.turnover += 1;
+                }
+                self.core_neighbors[x] += 1;
+            }
+            let mut roots: Vec<usize> = hood
+                .iter()
+                .filter(|&&x| x != c && self.is_core[x])
+                .map(|&x| self.root_of(x))
+                .collect();
+            roots.sort_unstable();
+            roots.dedup();
+            if roots.is_empty() {
+                self.stats.births += 1;
+                if c == pos {
+                    born = true;
+                }
+            } else {
+                let m = roots.len() - 1;
+                merged += m;
+                self.stats.merges += m as u64;
+                for &r in &roots {
+                    self.union(c, r);
+                }
+            }
+        }
+
+        if self.index.should_rebuild() {
+            self.rebuild_index();
+            self.stats.index_rebuilds += 1;
+        }
+
+        self.now += 1;
+        self.ingested_since_compaction += 1;
+        self.stats.ingested += 1;
+
+        let status = self.status_of(pos);
+        let cluster = match status {
+            PointStatus::Core => Some(self.root_of(pos)),
+            PointStatus::Border => neighbors
+                .iter()
+                .copied()
+                .find(|&p| self.is_core[p])
+                .map(|p| self.root_of(p)),
+            PointStatus::Noise => None,
+        };
+        IngestOutcome {
+            tick,
+            status,
+            cluster,
+            promoted: promotions.len(),
+            merged,
+            born,
+        }
+    }
+
+    /// Truncates the window to the most recent `window` points,
+    /// re-clusters it with exactly the offline pipeline (fresh ranges →
+    /// kernel → `dbscan` over positions), installs the fresh basis, and
+    /// returns the model to publish. Canonical model bytes are identical
+    /// to clustering the same areas from scratch because this *is* the
+    /// from-scratch pipeline.
+    pub fn compact(&mut self) -> CompactReport {
+        let clusters_before = self.live_clusters();
+        let evicted = self.areas.len().saturating_sub(self.config.window.max(1));
+        let areas: Vec<AccessArea> = self.areas.split_off(evicted);
+        let ticks: Vec<u64> = self.ticks.split_off(evicted);
+
+        let mut ranges = AccessRanges::new();
+        ranges.observe_all(areas.iter());
+        ranges.apply_doubling();
+        let kernel = DistanceKernel::build(&areas, &ranges, self.mode);
+        let positions: Vec<usize> = (0..areas.len()).collect();
+        let params = DbscanParams {
+            eps: self.eps,
+            min_pts: self.min_pts,
+        };
+        let result = dbscan(&positions, &params, |a, b| kernel.distance(*a, *b));
+        let labels: Vec<Option<usize>> = result.labels.iter().map(Label::cluster).collect();
+        let model = ClusteredModel {
+            areas: areas.clone(),
+            labels,
+            cluster_count: result.cluster_count,
+            ranges: ranges.clone(),
+            eps: self.eps,
+            min_pts: self.min_pts,
+            mode: self.mode,
+        };
+
+        self.base_len = areas.len();
+        self.areas = areas;
+        self.ticks = ticks;
+        self.ranges = ranges;
+        self.kernel = kernel;
+        self.flats.clear();
+        self.reseed_from_basis();
+
+        self.stats.compactions += 1;
+        self.stats.deaths += clusters_before.saturating_sub(result.cluster_count) as u64;
+        self.ingested_since_compaction = 0;
+        CompactReport {
+            window_len: self.areas.len(),
+            clusters_before,
+            clusters_after: model.cluster_count,
+            evicted,
+            model,
+        }
+    }
+
+    /// Scalar distance over the frozen ranges — the reference path for
+    /// pairs the kernel never indexed.
+    fn scalar(&self) -> QueryDistance<'_> {
+        QueryDistance::with_mode(&self.ranges, self.mode)
+    }
+
+    /// Jaccard table distance (the pruning metric) between live positions.
+    fn d_tables_pos(&self, a: usize, b: usize) -> f64 {
+        match (a < self.base_len, b < self.base_len) {
+            (true, true) => self.kernel.d_tables(a, b),
+            (false, true) => self.kernel.d_tables_to(&self.flats[a - self.base_len], b),
+            (true, false) => self.kernel.d_tables_to(&self.flats[b - self.base_len], a),
+            (false, false) => self.scalar().d_tables(&self.areas[a], &self.areas[b]),
+        }
+    }
+
+    /// Full frozen-basis distance between live positions.
+    fn distance_pos(&self, a: usize, b: usize) -> f64 {
+        match (a < self.base_len, b < self.base_len) {
+            (true, true) => self.kernel.distance(a, b),
+            (false, true) => self.kernel.distance_to(&self.flats[a - self.base_len], b),
+            (true, false) => self.kernel.distance_to(&self.flats[b - self.base_len], a),
+            (false, false) => self.scalar().distance(&self.areas[a], &self.areas[b]),
+        }
+    }
+
+    /// Pruning metric from a not-yet-absorbed area to live position `j`.
+    fn d_tables_new(&self, flat: &FlatQuery, area: &AccessArea, j: usize) -> f64 {
+        if j < self.base_len {
+            self.kernel.d_tables_to(flat, j)
+        } else {
+            self.scalar().d_tables(area, &self.areas[j])
+        }
+    }
+
+    /// Full distance from a not-yet-absorbed area to live position `j`.
+    fn distance_new(&self, flat: &FlatQuery, area: &AccessArea, j: usize) -> f64 {
+        if j < self.base_len {
+            self.kernel.distance_to(flat, j)
+        } else {
+            self.scalar().distance(area, &self.areas[j])
+        }
+    }
+
+    /// ε-neighbourhood of a live position, excluding itself.
+    fn neighborhood_of(&mut self, i: usize) -> Vec<usize> {
+        let (hits, evaluated) = {
+            let me = &*self;
+            me.index.range(
+                me.eps,
+                |j| me.d_tables_pos(i, j),
+                |j| me.distance_pos(i, j),
+            )
+        };
+        self.stats.neighborhood_queries += 1;
+        self.stats.distance_evaluated += evaluated as u64;
+        hits.into_iter().filter(|&j| j != i).collect()
+    }
+
+    /// Read-only union-find root.
+    fn root_of(&self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            i = self.parent[i];
+        }
+        i
+    }
+
+    /// Union by smallest position, with path compression on the way up.
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        let (lo, hi) = (ra.min(rb), ra.max(rb));
+        self.parent[hi] = lo;
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        let root = self.root_of(i);
+        while self.parent[i] != root {
+            let next = self.parent[i];
+            self.parent[i] = root;
+            i = next;
+        }
+        root
+    }
+
+    /// Rebuilds the pivot index over every live position (fresh
+    /// farthest-point pivots).
+    fn rebuild_index(&mut self) {
+        let positions: Vec<usize> = (0..self.areas.len()).collect();
+        let idx = {
+            let me = &*self;
+            PivotIndex::build(&positions, me.config.max_pivots, &|a: &usize, b: &usize| {
+                me.d_tables_pos(*a, *b)
+            })
+        };
+        self.index = idx;
+    }
+
+    /// Recomputes the full incremental state (index, neighbour counts,
+    /// statuses, union-find) from the current basis. Used at construction
+    /// and after every compaction; `flats` must be empty (all live points
+    /// are kernel-indexed).
+    fn reseed_from_basis(&mut self) {
+        debug_assert!(self.flats.is_empty());
+        debug_assert_eq!(self.base_len, self.areas.len());
+        self.rebuild_index();
+        let n = self.areas.len();
+        let mut hoods: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut evaluated_total = 0usize;
+        {
+            let me = &*self;
+            for i in 0..n {
+                let (hits, evaluated) = me.index.range(
+                    me.eps,
+                    |j| me.d_tables_pos(i, j),
+                    |j| me.distance_pos(i, j),
+                );
+                evaluated_total += evaluated;
+                hoods.push(hits);
+            }
+        }
+        self.stats.neighborhood_queries += n as u64;
+        self.stats.distance_evaluated += evaluated_total as u64;
+        // `range` for an indexed item includes the item itself (distance
+        // 0), matching dbscan's self-inclusive neighbourhood counts.
+        self.count = hoods.iter().map(Vec::len).collect();
+        self.is_core = self.count.iter().map(|&c| c >= self.min_pts).collect();
+        self.core_neighbors = (0..n)
+            .map(|i| {
+                hoods[i]
+                    .iter()
+                    .filter(|&&j| j != i && self.is_core[j])
+                    .count()
+            })
+            .collect();
+        self.parent = (0..n).collect();
+        for (i, hood) in hoods.iter().enumerate() {
+            if !self.is_core[i] {
+                continue;
+            }
+            for &j in hood {
+                if j != i && self.is_core[j] {
+                    self.union(i, j);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_core::{NoSchema, Pipeline};
+
+    fn extract_areas(sqls: &[&str]) -> Vec<AccessArea> {
+        let ex = aa_core::Extractor::new(&NoSchema);
+        sqls.iter().map(|s| ex.extract_sql(s).unwrap()).collect()
+    }
+
+    /// A tiny seeded model: three dense table groups.
+    fn seed_model(min_pts: usize) -> ClusteredModel {
+        let sqls: Vec<String> = (0..12)
+            .map(|i| {
+                let t = ["PhotoObjAll", "SpecObjAll", "Frame"][i % 3];
+                format!("SELECT * FROM {t} WHERE ra BETWEEN {} AND {}", i, i + 10)
+            })
+            .collect();
+        let refs: Vec<&str> = sqls.iter().map(String::as_str).collect();
+        let areas = extract_areas(&refs);
+        let mut ranges = AccessRanges::new();
+        ranges.observe_all(areas.iter());
+        ranges.apply_doubling();
+        let kernel = DistanceKernel::build(&areas, &ranges, DistanceMode::Dissimilarity);
+        let positions: Vec<usize> = (0..areas.len()).collect();
+        let params = DbscanParams { eps: 0.3, min_pts };
+        let result = dbscan(&positions, &params, |a, b| kernel.distance(*a, *b));
+        ClusteredModel {
+            labels: result.labels.iter().map(Label::cluster).collect(),
+            cluster_count: result.cluster_count,
+            areas,
+            ranges,
+            eps: 0.3,
+            min_pts,
+            mode: DistanceMode::Dissimilarity,
+        }
+    }
+
+    fn oracle_statuses(m: &IncrementalDbscan) -> Vec<PointStatus> {
+        // From-scratch statuses over the live window under the frozen
+        // basis: core = self-inclusive neighbourhood >= min_pts, border =
+        // non-core with a core neighbour.
+        let n = m.len();
+        let counts: Vec<usize> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| m.frozen_distance(i, j) <= 0.3)
+                    .count()
+            })
+            .collect();
+        (0..n)
+            .map(|i| {
+                if counts[i] >= 4 {
+                    PointStatus::Core
+                } else if (0..n).any(|j| j != i && counts[j] >= 4 && m.frozen_distance(i, j) <= 0.3)
+                {
+                    PointStatus::Border
+                } else {
+                    PointStatus::Noise
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn seeding_matches_a_from_scratch_status_pass() {
+        let model = seed_model(4);
+        let m = IncrementalDbscan::new(&model, EvolveConfig::default());
+        assert_eq!(m.len(), model.areas.len());
+        assert_eq!(m.statuses(), oracle_statuses(&m));
+        // Model noise labels agree with online noise-or-border-less view:
+        // every labelled point is core or border, every core is labelled.
+        for (i, label) in model.labels.iter().enumerate() {
+            if label.is_some() {
+                assert_ne!(m.status_of(i), PointStatus::Noise, "point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_updates_statuses_like_a_full_rerun() {
+        let model = seed_model(4);
+        let mut m = IncrementalDbscan::new(&model, EvolveConfig::default());
+        let extra: Vec<String> = (0..10)
+            .map(|i| {
+                let t = ["PhotoObjAll", "Galaxy"][i % 2];
+                format!("SELECT * FROM {t} WHERE ra BETWEEN {} AND {}", i, i + 12)
+            })
+            .collect();
+        for (k, sql) in extra.iter().enumerate() {
+            let refs = [sql.as_str()];
+            let area = extract_areas(&refs).remove(0);
+            let out = m.ingest(area);
+            assert_eq!(out.tick, k as u64);
+            assert_eq!(m.statuses(), oracle_statuses(&m), "after ingest {k}");
+        }
+        assert_eq!(m.stats().ingested, 10);
+        assert_eq!(m.len(), model.areas.len() + 10);
+    }
+
+    #[test]
+    fn compaction_is_the_offline_pipeline_bit_for_bit() {
+        let model = seed_model(4);
+        let config = EvolveConfig {
+            window: 16,
+            compact_every: 6,
+            ..EvolveConfig::default()
+        };
+        let mut m = IncrementalDbscan::new(&model, config);
+        for i in 0..6 {
+            let sql = format!("SELECT * FROM Frame WHERE ra BETWEEN {} AND {}", i, i + 9);
+            let refs = [sql.as_str()];
+            m.ingest(extract_areas(&refs).remove(0));
+        }
+        assert!(m.due_for_compaction());
+        let window: Vec<AccessArea> = {
+            let all = m.window_areas();
+            let evict = all.len().saturating_sub(16);
+            all[evict..].to_vec()
+        };
+        let report = m.compact();
+        assert_eq!(report.window_len, 16);
+        assert_eq!(report.evicted, 2);
+        assert!(!m.due_for_compaction());
+        // Independent from-scratch pipeline over the same window.
+        let mut ranges = AccessRanges::new();
+        ranges.observe_all(window.iter());
+        ranges.apply_doubling();
+        let kernel = DistanceKernel::build(&window, &ranges, DistanceMode::Dissimilarity);
+        let positions: Vec<usize> = (0..window.len()).collect();
+        let result = dbscan(
+            &positions,
+            &DbscanParams {
+                eps: 0.3,
+                min_pts: 4,
+            },
+            |a, b| kernel.distance(*a, *b),
+        );
+        let fresh = ClusteredModel {
+            labels: result.labels.iter().map(Label::cluster).collect(),
+            cluster_count: result.cluster_count,
+            areas: window,
+            ranges,
+            eps: 0.3,
+            min_pts: 4,
+            mode: DistanceMode::Dissimilarity,
+        };
+        assert_eq!(report.model.to_canonical_text(), fresh.to_canonical_text());
+        assert!(report.model.validate().is_ok());
+    }
+
+    #[test]
+    fn decayed_mass_uses_ingest_ticks_only() {
+        let model = seed_model(4);
+        let config = EvolveConfig {
+            decay_half_life: 2.0,
+            ..EvolveConfig::default()
+        };
+        let mut m = IncrementalDbscan::new(&model, config);
+        let base = m.len() as f64;
+        // Seed points all carry tick 0 at now = 0: weight 1 each.
+        assert!((m.decayed_mass() - base).abs() < 1e-12);
+        let refs = ["SELECT * FROM Star WHERE ra BETWEEN 1 AND 2"];
+        m.ingest(extract_areas(&refs).remove(0));
+        // now = 1: seed points aged one half-life step (2 ticks = half),
+        // the new point aged one tick.
+        let expect = base * 0.5f64.powf(0.5) + 0.5f64.powf(0.5);
+        assert!((m.decayed_mass() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replays_are_bit_identical() {
+        let model = seed_model(4);
+        let config = EvolveConfig {
+            window: 20,
+            compact_every: 5,
+            decay_half_life: 8.0,
+            ..EvolveConfig::default()
+        };
+        let run = |cfg: EvolveConfig| {
+            let mut m = IncrementalDbscan::new(&model, cfg);
+            let mut texts = Vec::new();
+            for i in 0..15 {
+                let t = ["PhotoObjAll", "SpecObjAll", "Star"][i % 3];
+                let sql = format!("SELECT * FROM {t} WHERE dec BETWEEN {} AND {}", i, i + 4);
+                let refs = [sql.as_str()];
+                m.ingest(extract_areas(&refs).remove(0));
+                if m.due_for_compaction() {
+                    texts.push(m.compact().model.to_canonical_text());
+                }
+            }
+            (texts, m.stats(), m.decayed_mass())
+        };
+        let a = run(config.clone());
+        let b = run(config);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+        assert_eq!(a.1.compactions, 3);
+    }
+
+    #[test]
+    fn pipeline_extraction_feeds_ingest() {
+        // The maintainer composes with the extraction pipeline the serve
+        // layer uses (smoke check that areas from Pipeline are absorbable).
+        let model = seed_model(4);
+        let mut m = IncrementalDbscan::new(&model, EvolveConfig::default());
+        let provider = NoSchema;
+        let pipeline = Pipeline::new(&provider);
+        let runner = aa_core::LogRunner::new(&pipeline, aa_core::RunnerConfig::new());
+        let report = runner
+            .run(&["SELECT * FROM PhotoObjAll WHERE ra BETWEEN 3 AND 9"])
+            .unwrap();
+        for q in report.extracted {
+            m.ingest(q.area);
+        }
+        assert_eq!(m.stats().ingested, 1);
+    }
+}

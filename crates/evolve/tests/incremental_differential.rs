@@ -1,0 +1,271 @@
+//! Differential suite: the incremental maintainer is indistinguishable
+//! from batch DBSCAN on a realistic workload.
+//!
+//! Over a seeded 5k-statement synthetic SkyServer log:
+//!
+//! * online statuses and the core partition equal a from-scratch
+//!   `dbscan()` over the live window under the frozen distance basis, at
+//!   every checkpoint;
+//! * at every compaction boundary the republished [`ClusteredModel`] is
+//!   **byte-identical** to running the offline pipeline (range observe →
+//!   doubling → kernel → DBSCAN) over the same window;
+//! * with a [`FaultPlan`] injecting panics / synthetic errors / budget
+//!   exhaustion into extraction, the faults are contained and two
+//!   replays produce byte-identical compaction texts and drift stats.
+
+use aa_core::{
+    AccessArea, AccessRanges, ClusteredModel, DistanceKernel, DistanceMode, FaultPlan, LogRunner,
+    NoSchema, Pipeline, RunnerConfig,
+};
+use aa_dbscan::{dbscan, DbscanParams, Label};
+use aa_evolve::{DriftStats, EvolveConfig, IncrementalDbscan, PointStatus};
+use std::collections::BTreeMap;
+
+const EPS: f64 = 0.06;
+const MIN_PTS: usize = 4;
+const MODE: DistanceMode = DistanceMode::Dissimilarity;
+/// Points the maintainer is seeded with; the rest of the log is ingested.
+const SEED_POINTS: usize = 192;
+
+fn seeded_sqls(total: usize, seed: u64) -> Vec<String> {
+    aa_skyserver::generate_log(&aa_skyserver::LogConfig {
+        total,
+        seed,
+        ..aa_skyserver::LogConfig::default()
+    })
+    .into_iter()
+    .map(|e| e.sql)
+    .collect()
+}
+
+/// Extracts the log through the hardened runner (panic isolation on, the
+/// optional fault plan armed). Returns the surviving areas in log order
+/// plus the failure count.
+fn extract(log: &[String], fault_plan: Option<FaultPlan>) -> (Vec<AccessArea>, usize) {
+    let provider = NoSchema;
+    let pipeline = Pipeline::new(&provider);
+    let mut config = RunnerConfig::new();
+    config.isolate_panics = true;
+    config.fault_plan = fault_plan;
+    let runner = LogRunner::new(&pipeline, config);
+    let report = runner.run(log).expect("in-memory run cannot fail");
+    let failed = report.failed.len();
+    (
+        report.extracted.into_iter().map(|q| q.area).collect(),
+        failed,
+    )
+}
+
+/// The offline pipeline, verbatim: what `build_model` / compaction must
+/// both compute.
+fn offline_model(areas: &[AccessArea]) -> ClusteredModel {
+    let areas = areas.to_vec();
+    let mut ranges = AccessRanges::new();
+    ranges.observe_all(areas.iter());
+    ranges.apply_doubling();
+    let kernel = DistanceKernel::build(&areas, &ranges, MODE);
+    let positions: Vec<usize> = (0..areas.len()).collect();
+    let result = dbscan(
+        &positions,
+        &DbscanParams {
+            eps: EPS,
+            min_pts: MIN_PTS,
+        },
+        |a, b| kernel.distance(*a, *b),
+    );
+    let model = ClusteredModel {
+        labels: result.labels.iter().map(Label::cluster).collect(),
+        cluster_count: result.cluster_count,
+        areas,
+        ranges,
+        eps: EPS,
+        min_pts: MIN_PTS,
+        mode: MODE,
+    };
+    model.validate().expect("offline model is valid");
+    model
+}
+
+/// Asserts the maintainer's online view equals batch DBSCAN over the
+/// live window under the frozen basis: noise sets agree exactly, and on
+/// core points the incremental union-find partition is the same
+/// partition as DBSCAN's clusters (a bijection between roots and ids).
+fn assert_matches_batch_dbscan(m: &IncrementalDbscan) {
+    let n = m.len();
+    let positions: Vec<usize> = (0..n).collect();
+    let result = dbscan(
+        &positions,
+        &DbscanParams {
+            eps: EPS,
+            min_pts: MIN_PTS,
+        },
+        |a, b| m.frozen_distance(*a, *b),
+    );
+    let statuses = m.statuses();
+    let partition = m.core_partition();
+    let mut root_to_id: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut id_to_root: BTreeMap<usize, usize> = BTreeMap::new();
+    for i in 0..n {
+        let batch = result.labels[i].cluster();
+        match statuses[i] {
+            PointStatus::Noise => {
+                assert_eq!(batch, None, "point {i}: online noise, batch clustered")
+            }
+            PointStatus::Border => {
+                assert!(batch.is_some(), "point {i}: online border, batch noise")
+            }
+            PointStatus::Core => {
+                let root = partition[i].expect("core points have a root");
+                let id = batch.expect("batch DBSCAN clusters every core point");
+                assert_eq!(
+                    *root_to_id.entry(root).or_insert(id),
+                    id,
+                    "point {i}: one online cluster spans two batch clusters"
+                );
+                assert_eq!(
+                    *id_to_root.entry(id).or_insert(root),
+                    root,
+                    "point {i}: one batch cluster split across online clusters"
+                );
+            }
+        }
+    }
+    assert_eq!(
+        root_to_id.len(),
+        result.cluster_count,
+        "online and batch cluster counts diverged"
+    );
+    assert_eq!(m.live_clusters(), result.cluster_count);
+}
+
+/// Ingests everything past the seed prefix, compacting on schedule.
+/// Returns the canonical text published at every compaction boundary
+/// and the final drift stats.
+fn drive(
+    areas: &[AccessArea],
+    config: EvolveConfig,
+    check_boundaries: bool,
+) -> (Vec<String>, DriftStats) {
+    let seed_n = SEED_POINTS.min(areas.len());
+    let model = offline_model(&areas[..seed_n]);
+    let mut m = IncrementalDbscan::new(&model, config);
+    let mut texts = Vec::new();
+    for area in &areas[seed_n..] {
+        m.ingest(area.clone());
+        if m.due_for_compaction() {
+            let report = m.compact();
+            let text = report.model.to_canonical_text();
+            if check_boundaries {
+                let expected = offline_model(m.window_areas());
+                assert_eq!(
+                    text,
+                    expected.to_canonical_text(),
+                    "compaction {} republished bytes diverge from the offline pipeline",
+                    texts.len()
+                );
+            }
+            texts.push(text);
+        }
+    }
+    (texts, m.stats())
+}
+
+#[test]
+fn five_k_log_compactions_are_byte_identical_to_batch() {
+    let log = seeded_sqls(5_000, 4242);
+    let (areas, _) = extract(&log, None);
+    assert!(areas.len() > 4_000, "synthetic log mostly extracts");
+    let config = EvolveConfig {
+        window: 256,
+        compact_every: 96,
+        decay_half_life: 32.0,
+        ..EvolveConfig::default()
+    };
+    let (texts, stats) = drive(&areas, config, true);
+    assert!(
+        texts.len() >= 10,
+        "expected many compaction boundaries, got {}",
+        texts.len()
+    );
+    assert_eq!(stats.compactions, texts.len() as u64);
+    assert_eq!(stats.ingested as usize, areas.len() - SEED_POINTS);
+}
+
+#[test]
+fn online_statuses_match_batch_dbscan_at_checkpoints() {
+    let log = seeded_sqls(5_000, 4242);
+    let (areas, _) = extract(&log, None);
+    let config = EvolveConfig {
+        window: 256,
+        compact_every: 96,
+        decay_half_life: 32.0,
+        ..EvolveConfig::default()
+    };
+    let model = offline_model(&areas[..SEED_POINTS]);
+    let mut m = IncrementalDbscan::new(&model, config);
+    assert_matches_batch_dbscan(&m);
+    for (i, area) in areas[SEED_POINTS..].iter().enumerate() {
+        m.ingest(area.clone());
+        if m.due_for_compaction() {
+            m.compact();
+            // The reseeded state after the basis swap must still be the
+            // batch view (checked sparsely; each check is O(window²)).
+            if i % 1_000 < 96 {
+                assert_matches_batch_dbscan(&m);
+            }
+        } else if i % 613 == 0 {
+            assert_matches_batch_dbscan(&m);
+        }
+    }
+    assert_matches_batch_dbscan(&m);
+}
+
+#[test]
+fn faulted_ingest_is_contained_and_replays_byte_identically() {
+    let log = seeded_sqls(5_000, 77);
+    // ~2% of statements draw a panic / synthetic error / budget fault
+    // inside the extraction pipeline.
+    let plan = FaultPlan::seeded(9, log.len(), 0.02);
+    assert!(!plan.is_empty());
+    let (areas, failed) = extract(&log, Some(plan.clone()));
+    assert!(failed > 0, "fault plan never fired");
+    let (clean_areas, clean_failed) = extract(&log, None);
+    assert!(
+        areas.len() < clean_areas.len(),
+        "faults must shrink the survivor set ({failed} fired, {clean_failed} baseline failures)"
+    );
+    let config = EvolveConfig {
+        window: 192,
+        compact_every: 64,
+        decay_half_life: 16.0,
+        ..EvolveConfig::default()
+    };
+    let (texts_a, stats_a) = drive(&areas, config.clone(), false);
+    // Replay: same log, same plan, fresh everything.
+    let (areas_b, _) = extract(&log, Some(plan));
+    let (texts_b, stats_b) = drive(&areas_b, config, false);
+    assert!(texts_a.len() >= 5, "expected several compaction boundaries");
+    assert_eq!(texts_a, texts_b, "replayed compaction bytes diverged");
+    assert_eq!(stats_a, stats_b, "replayed drift stats diverged");
+    // Spot-check one boundary against the offline pipeline even under
+    // faults: the survivors are just a shorter stream.
+    let seed_n = SEED_POINTS.min(areas.len());
+    let model = offline_model(&areas[..seed_n]);
+    let mut m = IncrementalDbscan::new(&model, EvolveConfig {
+        window: 192,
+        compact_every: 64,
+        decay_half_life: 16.0,
+        ..EvolveConfig::default()
+    });
+    for area in &areas[seed_n..] {
+        m.ingest(area.clone());
+        if m.due_for_compaction() {
+            let report = m.compact();
+            assert_eq!(
+                report.model.to_canonical_text(),
+                offline_model(m.window_areas()).to_canonical_text()
+            );
+            break;
+        }
+    }
+}

@@ -54,8 +54,9 @@
 use crate::cache::{CacheStats, CachedExtraction, ExtractionCache};
 use crate::chaos::{RequestFault, ServeFaultPlan};
 use crate::protocol::{error_response, ok_response, overloaded_response};
-use crate::shard::{owned_positions, ShardSpec};
+use crate::shard::{owned_positions, shard_of, ShardSpec};
 use crate::store::ModelStore;
+use aa_evolve::{EvolveConfig, IncrementalDbscan};
 use aa_core::{
     AccessArea, AccessRanges, ClusteredModel, DistanceKernel, DistanceMode, LogRunner, NoSchema,
     Pipeline, RunnerConfig,
@@ -63,7 +64,7 @@ use aa_core::{
 use aa_dbscan::{dbscan, DbscanParams, Label, PivotIndex};
 use aa_util::Json;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::Duration;
 
 /// Upper bound on pivot count: one pivot per distinct table set saturates
@@ -240,6 +241,12 @@ pub struct ServeStats {
     pub classify_ok: u64,
     pub neighbors_ok: u64,
     pub stats_ok: u64,
+    /// Successful `ingest` responses (absorbed or explicitly not owned).
+    pub ingest_ok: u64,
+    /// Ingested statements absorbed into this engine's live window.
+    pub ingest_absorbed: u64,
+    /// Ingested statements declined because another shard owns the area.
+    pub ingest_not_owned: u64,
     /// Successful `reload` responses (including no-op reloads).
     pub reload_ok: u64,
     /// Model hot-swaps actually performed.
@@ -279,6 +286,7 @@ impl ServeStats {
         self.classify_ok
             + self.neighbors_ok
             + self.stats_ok
+            + self.ingest_ok
             + self.reload_ok
             + self.neighbors_shed
             + self.rejected
@@ -292,6 +300,18 @@ impl ServeStats {
     pub fn extract_failures(&self) -> u64 {
         self.extract_failed.values().sum()
     }
+}
+
+/// The evolving-model maintainer plus its publish bookkeeping, behind
+/// one mutex: ingest is a write-heavy verb and the maintainer's updates
+/// (counts, union-find, window) must be atomic per point.
+struct EvolveRuntime {
+    maintainer: IncrementalDbscan,
+    /// Generation of the last compaction successfully published.
+    last_published: Option<u64>,
+    /// Compactions whose publish failed (store error); the maintainer
+    /// state still advanced — the next compaction republishes.
+    publish_failed: u64,
 }
 
 /// The model-serving core shared by all worker threads.
@@ -315,6 +335,9 @@ pub struct ServeEngine {
     /// Fleet slice this engine serves; reloads rebuild with the same
     /// restriction so a shard never silently widens.
     shard: Option<ShardSpec>,
+    /// The evolving-model maintainer (`--window`); `None` means the
+    /// `ingest` verb answers `unsupported`.
+    evolve: Option<Mutex<EvolveRuntime>>,
     stats: Mutex<ServeStats>,
 }
 
@@ -353,6 +376,7 @@ impl ServeEngine {
             breaker_config: BreakerConfig::default(),
             breakers: Mutex::new([Breaker::default(), Breaker::default()]),
             retry_after_ms: 100,
+            evolve: None,
             stats: Mutex::new(stats),
         }
     }
@@ -389,6 +413,24 @@ impl ServeEngine {
     /// Arms the service-level chaos plan.
     pub fn with_chaos(mut self, plan: ServeFaultPlan) -> Self {
         self.chaos = Some(plan);
+        self
+    }
+
+    /// Enables the `ingest` verb: seeds an evolving-model maintainer from
+    /// the currently served model. Ingested statements are absorbed into
+    /// its live window and, every `compact_every` absorptions, the window
+    /// is re-clustered and published to the model store (when one is
+    /// attached) — closing the serve → model loop.
+    pub fn with_evolve(mut self, config: EvolveConfig) -> Self {
+        let maintainer = {
+            let state = self.state.get_mut().unwrap_or_else(PoisonError::into_inner);
+            IncrementalDbscan::new(&state.model, config)
+        };
+        self.evolve = Some(Mutex::new(EvolveRuntime {
+            maintainer,
+            last_published: None,
+            publish_failed: 0,
+        }));
         self
     }
 
@@ -668,6 +710,99 @@ impl ServeEngine {
         )
     }
 
+    /// Answers an ingest request: extract the statement's access area and
+    /// absorb it into the evolving-model window. Sharded engines absorb
+    /// only areas they own by table-signature hash (`"owned": false`
+    /// otherwise, so a router fanning the line to every backend gets
+    /// exactly one absorption). On a compaction boundary the re-clustered
+    /// window is published to the model store; pickup stays off this path
+    /// (the watcher or an explicit reload hot-swaps it).
+    pub fn ingest(&self, sql: &str) -> Json {
+        let Some(evolve) = &self.evolve else {
+            return error_response(
+                "unsupported",
+                "ingest requires an evolving-model window (start with --window)",
+            );
+        };
+        let (extraction, hit) = self.extract_cached(sql);
+        let area = match extraction.as_ref() {
+            Ok(area) => area,
+            Err((kind, message)) => {
+                self.record_extract_failure(kind);
+                return extract_failed_response(kind, message);
+            }
+        };
+        if let Some(spec) = &self.shard {
+            if shard_of(area, spec.of) != spec.shard {
+                let mut stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+                stats.ingest_ok += 1;
+                stats.ingest_not_owned += 1;
+                drop(stats);
+                return ok_response(
+                    "ingest",
+                    [
+                        ("cache".to_string(), cache_field(hit)),
+                        ("owned".to_string(), Json::Bool(false)),
+                        ("absorbed".to_string(), Json::Bool(false)),
+                    ],
+                );
+            }
+        }
+        let mut fields = vec![
+            ("cache".to_string(), cache_field(hit)),
+            ("owned".to_string(), Json::Bool(true)),
+            ("absorbed".to_string(), Json::Bool(true)),
+        ];
+        {
+            let mut rt = evolve.lock().unwrap_or_else(PoisonError::into_inner);
+            let outcome = rt.maintainer.ingest(area.clone());
+            fields.push(("tick".to_string(), Json::Num(outcome.tick as f64)));
+            fields.push((
+                "status".to_string(),
+                Json::Str(outcome.status.as_str().to_string()),
+            ));
+            fields.push((
+                "cluster".to_string(),
+                outcome.cluster.map_or(Json::Null, |c| Json::Num(c as f64)),
+            ));
+            if rt.maintainer.due_for_compaction() {
+                let report = rt.maintainer.compact();
+                let generation = match &self.store {
+                    Some(store) => match store.publish(&report.model) {
+                        Ok(generation) => {
+                            rt.last_published = Some(generation);
+                            Some(generation)
+                        }
+                        Err(_) => {
+                            rt.publish_failed += 1;
+                            None
+                        }
+                    },
+                    None => None,
+                };
+                fields.push(("compacted".to_string(), Json::Bool(true)));
+                fields.push((
+                    "clusters".to_string(),
+                    Json::Num(report.clusters_after as f64),
+                ));
+                fields.push(("evicted".to_string(), Json::Num(report.evicted as f64)));
+                fields.push((
+                    "generation".to_string(),
+                    generation.map_or(Json::Null, |g| Json::Num(g as f64)),
+                ));
+            }
+            fields.push((
+                "window".to_string(),
+                Json::Num(rt.maintainer.len() as f64),
+            ));
+        }
+        let mut stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+        stats.ingest_ok += 1;
+        stats.ingest_absorbed += 1;
+        drop(stats);
+        ok_response("ingest", fields)
+    }
+
     /// Answers a reload request: re-scan the store, hot-swap to the
     /// newest verified generation. The expensive build runs here, on the
     /// worker serving the reload — other workers keep answering from the
@@ -786,6 +921,61 @@ impl ServeEngine {
         let state = self.current();
         let stats = self.stats.lock().unwrap().clone();
         let cache = self.cache.stats();
+        let evolve = match &self.evolve {
+            None => Json::Null,
+            Some(evolve) => {
+                let rt = evolve.lock().unwrap_or_else(PoisonError::into_inner);
+                let drift = rt.maintainer.stats();
+                let (core, border, noise) = rt.maintainer.status_counts();
+                Json::obj([
+                    (
+                        "window".to_string(),
+                        Json::Num(rt.maintainer.len() as f64),
+                    ),
+                    ("ingested".to_string(), Json::Num(drift.ingested as f64)),
+                    (
+                        "absorbed".to_string(),
+                        Json::Num(stats.ingest_absorbed as f64),
+                    ),
+                    (
+                        "not_owned".to_string(),
+                        Json::Num(stats.ingest_not_owned as f64),
+                    ),
+                    ("core".to_string(), Json::Num(core as f64)),
+                    ("border".to_string(), Json::Num(border as f64)),
+                    ("noise".to_string(), Json::Num(noise as f64)),
+                    (
+                        "clusters".to_string(),
+                        Json::Num(rt.maintainer.live_clusters() as f64),
+                    ),
+                    ("births".to_string(), Json::Num(drift.births as f64)),
+                    ("deaths".to_string(), Json::Num(drift.deaths as f64)),
+                    ("merges".to_string(), Json::Num(drift.merges as f64)),
+                    ("turnover".to_string(), Json::Num(drift.turnover as f64)),
+                    (
+                        "compactions".to_string(),
+                        Json::Num(drift.compactions as f64),
+                    ),
+                    (
+                        "index_rebuilds".to_string(),
+                        Json::Num(drift.index_rebuilds as f64),
+                    ),
+                    (
+                        "decayed_mass".to_string(),
+                        Json::Num(rt.maintainer.decayed_mass()),
+                    ),
+                    (
+                        "published".to_string(),
+                        rt.last_published
+                            .map_or(Json::Null, |g| Json::Num(g as f64)),
+                    ),
+                    (
+                        "publish_failed".to_string(),
+                        Json::Num(rt.publish_failed as f64),
+                    ),
+                ])
+            }
+        };
         let breakers = self.breakers.lock().unwrap();
         Json::obj([
             (
@@ -796,6 +986,7 @@ impl ServeEngine {
                         "neighbors".to_string(),
                         Json::Num(stats.neighbors_ok as f64),
                     ),
+                    ("ingest".to_string(), Json::Num(stats.ingest_ok as f64)),
                     ("stats".to_string(), Json::Num(stats.stats_ok as f64)),
                     ("reload".to_string(), Json::Num(stats.reload_ok as f64)),
                 ]),
@@ -942,6 +1133,7 @@ impl ServeEngine {
                     ]),
                 },
             ),
+            ("evolve".to_string(), evolve),
         ])
     }
 

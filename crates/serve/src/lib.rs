@@ -90,6 +90,7 @@ pub mod tenant;
 pub use cache::{CacheStats, CachedExtraction, ExtractionCache};
 pub use chaos::{FleetFaultPlan, RequestFault, ServeFaultPlan};
 pub use client::{backoff_ms, RetryingClient};
+pub use aa_evolve::EvolveConfig;
 pub use engine::{build_model, BreakerConfig, ModelState, ServeEngine, ServeStats};
 pub use protocol::{BadRequest, Request};
 pub use router::{spawn_router, HealthConfig, HealthState, RouterConfig, RouterEngine, RouterHandle};

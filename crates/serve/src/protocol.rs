@@ -1,16 +1,22 @@
 //! Line-delimited JSON wire protocol.
 //!
-//! One request per line, one response line per request, in order. Six
+//! One request per line, one response line per request, in order. Seven
 //! operations:
 //!
 //! ```text
 //! {"op": "classify",  "sql": "SELECT ..."}
 //! {"op": "neighbors", "sql": "SELECT ...", "k": 5}
+//! {"op": "ingest",    "sql": "SELECT ..."}
 //! {"op": "stats"}
 //! {"op": "reload"}
 //! {"op": "ping"}
 //! {"op": "shutdown"}
 //! ```
+//!
+//! `ingest` feeds one statement into the evolving-model maintainer: the
+//! extracted access area is absorbed into the live window (on the owning
+//! shard when sharded) and gets an online core/border/noise status. It is
+//! answered with `kind: "unsupported"` on servers without `--window`.
 //!
 //! Requests may additionally carry a `"tenant"` string. Single-process
 //! servers and shard backends ignore it; the fleet router keys per-tenant
@@ -41,6 +47,8 @@ pub enum Request {
     Classify { sql: String },
     /// The `k` logged queries most similar to one SQL statement.
     Neighbors { sql: String, k: usize },
+    /// Absorb one SQL statement into the evolving-model window.
+    Ingest { sql: String },
     /// Server counters snapshot.
     Stats,
     /// Re-scan the model store and hot-swap to the newest verified
@@ -93,6 +101,9 @@ impl Request {
                     k,
                 })
             }
+            "ingest" => Ok(Request::Ingest {
+                sql: sql_field(&json)?,
+            }),
             "stats" => Ok(Request::Stats),
             "reload" => Ok(Request::Reload),
             "ping" => Ok(Request::Ping),
@@ -106,6 +117,7 @@ impl Request {
         match self {
             Request::Classify { .. } => "classify",
             Request::Neighbors { .. } => "neighbors",
+            Request::Ingest { .. } => "ingest",
             Request::Stats => "stats",
             Request::Reload => "reload",
             Request::Ping => "ping",
@@ -181,6 +193,12 @@ mod tests {
                 k: 5
             })
         );
+        assert_eq!(
+            Request::parse_line(r#"{"op":"ingest","sql":"SELECT * FROM T"}"#),
+            Ok(Request::Ingest {
+                sql: "SELECT * FROM T".into()
+            })
+        );
         assert_eq!(Request::parse_line(r#"{"op":"stats"}"#), Ok(Request::Stats));
         assert_eq!(
             Request::parse_line(r#"{"op":"reload"}"#),
@@ -224,6 +242,7 @@ mod tests {
         assert!(Request::parse_line(r#"{"sql":"SELECT 1"}"#).is_err());
         assert!(Request::parse_line(r#"{"op":"explode"}"#).is_err());
         assert!(Request::parse_line(r#"{"op":"classify"}"#).is_err());
+        assert!(Request::parse_line(r#"{"op":"ingest"}"#).is_err());
         assert!(Request::parse_line(r#"{"op":"neighbors","sql":"x","k":0}"#).is_err());
         assert!(Request::parse_line(r#"{"op":"neighbors","sql":"x","k":1.5}"#).is_err());
     }

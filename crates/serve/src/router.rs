@@ -269,6 +269,8 @@ struct FleetCounters {
     stats_ok: u64,
     ping_ok: u64,
     reload_ok: u64,
+    /// Ingest fan-outs merged (exactly one shard absorbs each).
+    ingest_ok: u64,
     /// Wall-clock prober pings sent (0 in deterministic mode).
     pings_sent: u64,
 }
@@ -430,6 +432,10 @@ impl RouterEngine {
                 (ok_response("stats", [("stats".to_string(), self.stats_json())]), false)
             }
             Request::Reload => (self.forward_reload(), false),
+            // Ingest is an operator/feedback verb, not a tenant query:
+            // fan the line to every shard — table-signature sharding
+            // means exactly one owns (and absorbs) the area.
+            Request::Ingest { .. } => (self.forward_ingest(line), false),
             Request::Shutdown => {
                 self.shutdown_backends();
                 (ok_response("shutdown", []), true)
@@ -556,6 +562,78 @@ impl RouterEngine {
         ok_response(request.op(), fields)
     }
 
+    /// Fans one ingest line to every backend and forwards the owning
+    /// shard's response. Table-signature sharding means exactly one live
+    /// shard answers `"owned": true` (and absorbs the area); the rest
+    /// decline cheaply. If the owner is down the response is a no-op
+    /// marked partial — the statement is dropped, not misfiled onto a
+    /// shard that doesn't own it.
+    fn forward_ingest(&self, line: &str) -> Json {
+        let (responses, missing) = self.fan_out(line);
+        let mut fleet = self.fleet.lock().unwrap_or_else(PoisonError::into_inner);
+        if responses.is_empty() {
+            fleet.unavailable += 1;
+            drop(fleet);
+            let mut response = error_response("unavailable", "no shard backend reachable");
+            if let Json::Obj(fields) = &mut response {
+                fields.push((
+                    "retry_after_ms".to_string(),
+                    Json::Num(self.config.retry_after_ms as f64),
+                ));
+            }
+            return response;
+        }
+        let ok_responses: Vec<&(usize, Json)> = responses
+            .iter()
+            .filter(|(_, j)| j.get("ok") == Some(&Json::Bool(true)))
+            .collect();
+        if ok_responses.is_empty() {
+            // Same statement, same pipeline everywhere (an unsupported
+            // verb or a typed extraction failure): forward one verbatim.
+            fleet.quarantined += 1;
+            drop(fleet);
+            return responses
+                .into_iter()
+                .next()
+                .map(|(_, j)| j)
+                .unwrap_or_else(|| error_response("internal", "fan-out lost every response"));
+        }
+        fleet.ingest_ok += 1;
+        drop(fleet);
+        let owner = ok_responses
+            .iter()
+            .find(|(_, j)| j.get("owned") == Some(&Json::Bool(true)));
+        let mut response = match owner {
+            Some((shard, json)) => {
+                let mut forwarded = (*json).clone();
+                if let Json::Obj(fields) = &mut forwarded {
+                    fields.push(("shard".to_string(), Json::Num(*shard as f64)));
+                }
+                forwarded
+            }
+            // Every live shard declined: the owner is down. Answer
+            // honestly that nothing was absorbed.
+            None => ok_response(
+                "ingest",
+                [
+                    ("owned".to_string(), Json::Bool(false)),
+                    ("absorbed".to_string(), Json::Bool(false)),
+                ],
+            ),
+        };
+        let dropped = owner.is_none();
+        if !missing.is_empty() || dropped {
+            if let Json::Obj(fields) = &mut response {
+                fields.push(("partial".to_string(), Json::Bool(true)));
+                fields.push((
+                    "missing_shards".to_string(),
+                    Json::Arr(missing.iter().map(|&s| Json::Num(s as f64)).collect()),
+                ));
+            }
+        }
+        response
+    }
+
     /// Forwards `reload` to every backend the health machine would fan
     /// out to, reporting per-fleet counts.
     fn forward_reload(&self) -> Json {
@@ -661,6 +739,7 @@ impl RouterEngine {
                         ("stats".to_string(), Json::Num(fleet.stats_ok as f64)),
                         ("ping".to_string(), Json::Num(fleet.ping_ok as f64)),
                         ("reload".to_string(), Json::Num(fleet.reload_ok as f64)),
+                        ("ingest".to_string(), Json::Num(fleet.ingest_ok as f64)),
                         ("pings_sent".to_string(), Json::Num(fleet.pings_sent as f64)),
                     ]),
                 ),

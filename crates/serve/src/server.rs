@@ -422,6 +422,7 @@ fn handle_line(
         }
         Ok(Request::Classify { sql }) => engine.classify(&sql),
         Ok(Request::Neighbors { sql, k }) => engine.neighbors(&sql, k),
+        Ok(Request::Ingest { sql }) => engine.ingest(&sql),
         Ok(Request::Stats) => engine.stats_response(),
         Ok(Request::Reload) => engine.reload(),
         Ok(Request::Ping) => engine.ping_response(),

@@ -112,6 +112,48 @@ fn pruned_range_matches_brute_force_exactly() {
     });
 }
 
+/// The evolving window's path into the index: points inserted after the
+/// build must be found by range and k-NN exactly as if the index had
+/// been built fresh over the full set — same neighbours, same order,
+/// same distances. (Pivot choice affects only pruning tightness, never
+/// answers; this pins that down on realistic areas.)
+#[test]
+fn inserted_points_answer_exactly_like_a_fresh_build() {
+    let mode = DistanceMode::Dissimilarity;
+    let model = model(mode);
+    let qd = QueryDistance::with_mode(&model.ranges, mode);
+    let n = model.areas.len();
+    check(Config::cases(24), |src| {
+        let split = src.usize_in(n / 2, n);
+        let mut grown =
+            PivotIndex::build(&model.areas[..split], 64, &|a: &AccessArea, b| {
+                qd.d_tables(a, b)
+            });
+        for (i, area) in model.areas.iter().enumerate().skip(split) {
+            let appended = grown.insert(|p| qd.d_tables(area, &model.areas[p]));
+            assert_eq!(appended, i);
+        }
+        let fresh = PivotIndex::build(&model.areas, 64, &|a: &AccessArea, b| qd.d_tables(a, b));
+        let query = random_query(src, &model.areas);
+        let lower = |i: usize| qd.d_tables(&query, &model.areas[i]);
+        let full = |i: usize| qd.distance(&query, &model.areas[i]);
+        let k = src.usize_in(1, 12);
+        assert_eq!(
+            grown.knn(k, lower, full).0,
+            fresh.knn(k, lower, full).0,
+            "k-NN diverged after {} insertions (k {k})",
+            n - split
+        );
+        let eps = src.f64_in(0.0, 0.5);
+        assert_eq!(
+            grown.range(eps, lower, full).0,
+            fresh.range(eps, lower, full).0,
+            "range diverged after {} insertions (eps {eps})",
+            n - split
+        );
+    });
+}
+
 #[test]
 fn engine_classify_agrees_with_brute_force_nearest_neighbour() {
     let mode = DistanceMode::Dissimilarity;

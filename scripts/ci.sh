@@ -265,6 +265,109 @@ grep -q '"state": "up"' "$fleet_a/router_stats.json"
 diff "$fleet_a/session.out" "$fleet_b/session.out"
 diff "$fleet_a/router_stats.json" "$fleet_b/router_stats.json"
 
+# Evolve gate: the serve → model loop. A server with a windowed
+# evolving model ingests a scripted statement stream; the compaction
+# boundary republishes the re-clustered window to the store as
+# generation 2, and an explicit reload hot-swaps to it. The whole
+# session runs twice and must byte-diff — ingest responses (tick /
+# status / compaction fields), the evolve stats block, and the final
+# snapshot are all pure functions of the request history.
+echo "==> evolve gate (windowed ingest, compaction republish, hot reload, replay)"
+evolve_session() {
+    local out_dir="$1"
+    cargo run --release -p aa-apps --bin serve_areas --offline -- \
+        --store "$out_dir/store" --gen 200 --seed 11 --eps 0.06 --min-pts 4 --workers 2 \
+        --window 64 --compact-every 8 --decay-half-life 16 \
+        --stats-out "$out_dir/stats.json" \
+        > "$out_dir/server.out" 2> "$out_dir/server.err" &
+    local server_pid=$!
+    local port=""
+    for _ in $(seq 1 200); do
+        port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$out_dir/server.out")"
+        [ -n "$port" ] && break
+        sleep 0.1
+    done
+    if [ -z "$port" ]; then
+        echo "evolve gate: server did not report a port" >&2
+        kill "$server_pid" 2>/dev/null || true
+        return 1
+    fi
+    cargo run --release -p aa-apps --bin serve_areas --offline -- \
+        --connect "127.0.0.1:$port" > "$out_dir/session.out" <<'EOF'
+ingest SELECT * FROM PhotoObjAll WHERE ra BETWEEN 150 AND 160 AND dec > -5
+ingest SELECT * FROM PhotoObjAll WHERE ra BETWEEN 151 AND 161 AND dec > -5
+ingest SELECT * FROM PhotoObjAll WHERE ra BETWEEN 152 AND 162 AND dec > -5
+ingest SELECT * FROM PhotoObjAll WHERE ra BETWEEN 153 AND 163 AND dec > -5
+ingest SELECT * FROM SpecObjAll WHERE class = 'qso' AND z > 2
+ingest SELECT * FROM SpecObjAll WHERE class = 'qso' AND z > 2.1
+ingest SELECT * FROM SpecObjAll WHERE class = 'qso' AND z > 2.2
+ingest SELECT * FROM PhotoObjAll WHERE ra BETWEEN 154 AND 164 AND dec > -5
+ingest SELECT * FROM PhotoObjAll WHERE ra BETWEEN 155 AND 165 AND dec > -5
+reload
+classify SELECT * FROM PhotoObjAll WHERE ra BETWEEN 150 AND 160 AND dec > -5
+stats
+shutdown
+EOF
+    wait "$server_pid"
+}
+evolve_a="$chaos_dir/evolve_a"; evolve_b="$chaos_dir/evolve_b"
+mkdir -p "$evolve_a" "$evolve_b"
+evolve_session "$evolve_a"
+evolve_session "$evolve_b"
+# The 8th ingest crossed the compaction boundary and published gen 2...
+grep -q '"compacted":true' "$evolve_a/session.out"
+grep -q '"generation":2' "$evolve_a/session.out"
+# ...which the explicit reload then hot-swapped in.
+grep -q '"op":"reload"' "$evolve_a/session.out"
+grep -q '"changed":true' "$evolve_a/session.out"
+# The evolve stats block reports the drift counters.
+grep -q '"compactions": 1' "$evolve_a/stats.json"
+grep -q '"ingested": 9' "$evolve_a/stats.json"
+diff "$evolve_a/session.out" "$evolve_b/session.out"
+diff "$evolve_a/stats.json" "$evolve_b/stats.json"
+
+# Fleet evolve gate: the same ingest verb through a 3-shard fleet — the
+# router fans each statement to every shard, exactly one owns (and
+# absorbs) it by table-signature hash. Two runs must byte-diff.
+echo "==> fleet evolve (sharded ingest absorption, deterministic replay)"
+fleet_evolve_session() {
+    local out_dir="$1"
+    cargo run --release -p aa-apps --bin serve_areas --offline -- \
+        --gen 200 --seed 11 --eps 0.06 --min-pts 4 --workers 2 \
+        --fleet 3 --window 64 \
+        > "$out_dir/server.out" 2> "$out_dir/server.err" &
+    local server_pid=$!
+    local port=""
+    for _ in $(seq 1 200); do
+        port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$out_dir/server.out")"
+        [ -n "$port" ] && break
+        sleep 0.1
+    done
+    if [ -z "$port" ]; then
+        echo "fleet evolve: router did not report a port" >&2
+        kill "$server_pid" 2>/dev/null || true
+        return 1
+    fi
+    cargo run --release -p aa-apps --bin serve_areas --offline -- \
+        --connect "127.0.0.1:$port" > "$out_dir/session.out" <<'EOF'
+ingest SELECT * FROM PhotoObjAll WHERE ra BETWEEN 150 AND 160 AND dec > -5
+ingest SELECT * FROM SpecObjAll WHERE class = 'qso' AND z > 2
+ingest SELECT * FROM Frame WHERE run = 752
+ingest SELECT * FROM PhotoObjAll WHERE ra BETWEEN 151 AND 161 AND dec > -5
+stats
+shutdown
+EOF
+    wait "$server_pid"
+}
+fe_a="$chaos_dir/fleet_evolve_a"; fe_b="$chaos_dir/fleet_evolve_b"
+mkdir -p "$fe_a" "$fe_b"
+fleet_evolve_session "$fe_a"
+fleet_evolve_session "$fe_b"
+# Every ingest was absorbed by exactly one owning shard.
+[ "$(grep -c '"owned":true' "$fe_a/session.out")" -eq 4 ]
+[ "$(grep -c '"absorbed":true' "$fe_a/session.out")" -eq 4 ]
+diff "$fe_a/session.out" "$fe_b/session.out"
+
 # Serving-layer microbench: the cold/warm classify split must run (fast
 # sampling mode) — it prints the measured cache speedup into the CI log.
 echo "==> serve cache microbench (AA_BENCH_FAST)"
@@ -276,13 +379,15 @@ AA_BENCH_FAST=1 cargo bench --offline -p aa-bench --bench serve_cache
 # change, not noise); time is gated through machine-portable ratios —
 # kernel-vs-scalar speedups within 25% of baseline and d_tables/64 at
 # >= 4x — so the gate holds on slow CI machines too.
-echo "==> bench gate (BENCH_kernels.json / BENCH_serve.json)"
+echo "==> bench gate (BENCH_kernels.json / BENCH_serve.json / BENCH_evolve.json)"
 bench_fresh="$chaos_dir/bench_fresh"
 mkdir -p "$bench_fresh"
 AA_BENCH_FAST=1 AA_BENCH_OUT_DIR="$bench_fresh" \
     cargo bench --offline -p aa-bench --bench kernels
 AA_BENCH_FAST=1 AA_BENCH_OUT_DIR="$bench_fresh" \
     cargo bench --offline -p aa-bench --bench serve_perf
+AA_BENCH_FAST=1 AA_BENCH_OUT_DIR="$bench_fresh" \
+    cargo bench --offline -p aa-bench --bench evolve
 cargo run --release -p aa-bench --bin bench_gate --offline -- "$bench_fresh" .
 
 # Lint gate: clippy when the toolchain has it; otherwise rustc warnings
