@@ -24,6 +24,16 @@
 //! loop. `--decay-half-life F` sets the half-life (in ingest ticks) of
 //! the time-decayed window mass reported under `stats.evolve`.
 //!
+//! `--wal-dir DIR` makes ingest *durable*: every absorbed statement is
+//! appended to a checksummed write-ahead log before it is acknowledged,
+//! and on startup surviving records are replayed through the maintainer
+//! so a `kill -9` mid-stream loses at most the unacknowledged tail
+//! (which clients re-send under the same `"key"` — the engine dedupes
+//! retried ingests against a `--dedup-window N` bounded window).
+//! `--crash-wal FAULT [--crash-wal-at N]` simulates the kill at the
+//! named WAL boundary of append `N` (exit code 9), the hook the
+//! wal-chaos gate in `scripts/ci.sh` drives.
+//!
 //! With `--store DIR` alone the server recovers the newest *verified*
 //! generation from the crash-safe model store; combined with `--gen`
 //! or `--model` the fresh model is first *published* to the store (a
@@ -90,6 +100,7 @@ use aa_core::DistanceMode;
 use aa_serve::{
     build_model, spawn_router, EvolveConfig, HealthConfig, ModelStore, RetryingClient,
     RouterConfig, SaveFault, ServeEngine, ServeFaultPlan, ServerConfig, ShardSpec, TenantPolicy,
+    WalAttachReport, WalFault,
 };
 use aa_util::Json;
 use std::io::BufRead;
@@ -141,9 +152,15 @@ struct Args {
     window: Option<usize>,
     compact_every: usize,
     decay_half_life: f64,
+    wal_dir: Option<PathBuf>,
+    dedup_window: usize,
+    crash_wal: Option<WalFault>,
+    crash_wal_at: u64,
+    handoff_cap: usize,
+    handoff_dir: Option<PathBuf>,
 }
 
-const USAGE: &str = "usage: serve_areas (--model FILE | --gen N [--seed S] [--eps F] [--min-pts N] [--mode literal|dissim] | --store DIR) [--shard-of S/N] [--fleet N] [--publish-only [--crash-save FAULT]] [--port P] [--workers N] [--cache N] [--fuel N] [--rate N] [--deadline-ms N] [--read-timeout-ms N] [--write-timeout-ms N] [--max-line-bytes N] [--max-queue N] [--watch-store-ms N] [--window N [--compact-every N] [--decay-half-life F]] [--chaos-seed S [--chaos-requests N] [--chaos-rate F]] [--save-model FILE] [--stats-out FILE]\n       serve_areas --router ADDR,ADDR,... [--port P] [--router-retries N] [--retry-base-ms MS] [--retry-seed S] [--backend-timeout-ms N] [--down-after N] [--probe-after N] [--ping-interval-ms N] [--tenant-burst F] [--tenant-refill F] [--tenant-retry-ms N] [--stats-out FILE]\n       serve_areas --connect HOST:PORT [--retries N] [--retry-base-ms MS] [--retry-seed S]";
+const USAGE: &str = "usage: serve_areas (--model FILE | --gen N [--seed S] [--eps F] [--min-pts N] [--mode literal|dissim] | --store DIR) [--shard-of S/N] [--fleet N] [--publish-only [--crash-save FAULT]] [--port P] [--workers N] [--cache N] [--fuel N] [--rate N] [--deadline-ms N] [--read-timeout-ms N] [--write-timeout-ms N] [--max-line-bytes N] [--max-queue N] [--watch-store-ms N] [--window N [--compact-every N] [--decay-half-life F] [--wal-dir DIR [--dedup-window N] [--crash-wal FAULT [--crash-wal-at N]]]] [--chaos-seed S [--chaos-requests N] [--chaos-rate F]] [--save-model FILE] [--stats-out FILE]\n       serve_areas --router ADDR,ADDR,... [--port P] [--router-retries N] [--retry-base-ms MS] [--retry-seed S] [--backend-timeout-ms N] [--down-after N] [--probe-after N] [--ping-interval-ms N] [--tenant-burst F] [--tenant-refill F] [--tenant-retry-ms N] [--handoff-cap N] [--handoff-dir DIR] [--stats-out FILE]\n       serve_areas --connect HOST:PORT [--retries N] [--retry-base-ms MS] [--retry-seed S]";
 
 fn parse_args() -> Result<Args, String> {
     let mut out = Args {
@@ -190,6 +207,12 @@ fn parse_args() -> Result<Args, String> {
         window: None,
         compact_every: 0,
         decay_half_life: 0.0,
+        wal_dir: None,
+        dedup_window: 1024,
+        crash_wal: None,
+        crash_wal_at: 0,
+        handoff_cap: 64,
+        handoff_dir: None,
     };
     let mut args = std::env::args().skip(1);
     let next = |args: &mut dyn Iterator<Item = String>, what: &str| {
@@ -301,6 +324,23 @@ fn parse_args() -> Result<Args, String> {
             "--decay-half-life" => {
                 out.decay_half_life = parse_next!("--decay-half-life", "a tick count")
             }
+            "--wal-dir" => out.wal_dir = Some(PathBuf::from(next(&mut args, "--wal-dir")?)),
+            "--dedup-window" => out.dedup_window = parse_next!("--dedup-window", "an entry count"),
+            "--crash-wal" => {
+                let value = next(&mut args, "--crash-wal")?;
+                out.crash_wal = Some(WalFault::parse(&value).ok_or_else(|| {
+                    format!(
+                        "--crash-wal expects torn-append|after-append|torn-rotate|before-gc|torn-gc, got '{value}'"
+                    )
+                })?);
+            }
+            "--crash-wal-at" => {
+                out.crash_wal_at = parse_next!("--crash-wal-at", "an append ordinal")
+            }
+            "--handoff-cap" => out.handoff_cap = parse_next!("--handoff-cap", "a queue depth"),
+            "--handoff-dir" => {
+                out.handoff_dir = Some(PathBuf::from(next(&mut args, "--handoff-dir")?))
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other}\n{USAGE}")),
         }
@@ -337,6 +377,15 @@ fn parse_args() -> Result<Args, String> {
     }
     if out.window == Some(0) {
         return Err(format!("--window expects at least one point\n{USAGE}"));
+    }
+    if out.wal_dir.is_some() && out.window.is_none() {
+        return Err(format!("--wal-dir requires --window\n{USAGE}"));
+    }
+    if out.crash_wal.is_some() && out.wal_dir.is_none() {
+        return Err(format!("--crash-wal requires --wal-dir\n{USAGE}"));
+    }
+    if out.handoff_dir.is_some() && out.router.is_none() {
+        return Err(format!("--handoff-dir requires --router\n{USAGE}"));
     }
     Ok(out)
 }
@@ -384,6 +433,8 @@ fn router_config(args: &Args, backends: Vec<String>) -> RouterConfig {
         }),
         ping_interval: args.ping_interval_ms.map(Duration::from_millis),
         stats_path: args.stats_out.clone(),
+        handoff_cap: args.handoff_cap,
+        handoff_dir: args.handoff_dir.clone(),
         ..RouterConfig::default()
     }
 }
@@ -431,6 +482,19 @@ fn fleet_mode(args: &Args) -> ExitCode {
             .with_deadline(args.deadline_ms.map(Duration::from_millis));
         if let Some(window) = args.window {
             engine = engine.with_evolve(evolve_config(args, window));
+        }
+        if let Some(dir) = &args.wal_dir {
+            // Per-shard WAL: each shard journals the slice it owns.
+            match engine.attach_wal(dir.join(format!("shard-{shard}")), args.dedup_window) {
+                Ok((recovered, report)) => {
+                    report_wal_recovery(&report);
+                    engine = recovered;
+                }
+                Err(e) => {
+                    eprintln!("cannot attach wal for shard {spec}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
         let config = ServerConfig {
             addr: "127.0.0.1:0".to_string(),
@@ -635,14 +699,43 @@ fn server_mode(args: &Args) -> ExitCode {
         );
         engine = engine.with_evolve(evolve_config(args, window));
     }
+    let mut plan: Option<ServeFaultPlan> = None;
     if let Some(seed) = args.chaos_seed {
-        let plan = ServeFaultPlan::seeded(seed, args.chaos_requests, args.chaos_rate, 0, 0.0);
+        let seeded = ServeFaultPlan::seeded(seed, args.chaos_requests, args.chaos_rate, 0, 0.0);
         eprintln!(
             "chaos armed: seed {seed}, {} request faults over the first {} requests",
-            plan.request_fault_count(),
+            seeded.request_fault_count(),
             args.chaos_requests
         );
+        plan = Some(seeded);
+    }
+    if let Some(fault) = args.crash_wal {
+        let mut armed = plan.take().unwrap_or_default();
+        armed.insert_wal_fault(args.crash_wal_at, fault);
+        eprintln!(
+            "wal crash armed: {} at append {}",
+            fault.as_str(),
+            args.crash_wal_at
+        );
+        plan = Some(armed);
+    }
+    if let Some(plan) = plan {
         engine = engine.with_chaos(plan);
+    }
+    if let Some(dir) = &args.wal_dir {
+        // Attach after the store + evolve window are in place: recovery
+        // replays surviving records through the maintainer before the
+        // first request is accepted.
+        match engine.attach_wal(dir, args.dedup_window) {
+            Ok((recovered, report)) => {
+                report_wal_recovery(&report);
+                engine = recovered;
+            }
+            Err(e) => {
+                eprintln!("cannot attach wal at {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
     let defaults = ServerConfig::default();
     let timeout = |ms: Option<u64>, default: Option<Duration>| match ms {
@@ -662,6 +755,7 @@ fn server_mode(args: &Args) -> ExitCode {
         max_line_bytes: args.max_line_bytes.unwrap_or(defaults.max_line_bytes),
         max_queue: args.max_queue.unwrap_or(defaults.max_queue),
         watch_store: args.watch_store_ms.map(Duration::from_millis),
+        exit_on_wal_crash: args.crash_wal.is_some(),
     };
     let handle = match aa_serve::spawn(engine, config) {
         Ok(h) => h,
@@ -675,6 +769,29 @@ fn server_mode(args: &Args) -> ExitCode {
     let snapshot = handle.wait();
     println!("{}", snapshot.to_string_pretty());
     ExitCode::SUCCESS
+}
+
+/// Prints the WAL recovery report the way the store recovery does:
+/// every anomaly on its own stderr line, silence when clean.
+fn report_wal_recovery(report: &WalAttachReport) {
+    if report.swept_tmp > 0 {
+        eprintln!("swept {} stale wal tmp file(s)", report.swept_tmp);
+    }
+    for (segment, reason) in &report.rejected {
+        eprintln!("wal recovery: rejected segment {segment}: {reason}");
+    }
+    if let Some(reason) = &report.truncated {
+        eprintln!(
+            "wal recovery: truncated torn tail of segment {}: {reason}",
+            report.segment
+        );
+    }
+    if report.replayed > 0 {
+        eprintln!(
+            "wal recovery: replayed {} record(s) from segment {}",
+            report.replayed, report.segment
+        );
+    }
 }
 
 /// Turns a shorthand stdin line into a protocol request line.

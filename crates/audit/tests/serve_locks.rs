@@ -47,8 +47,9 @@ fn aa_serve_lock_sites_match_the_declared_order() {
         (("crates/serve/src/engine.rs", "evolve", "lock"), 2),
         (("crates/serve/src/engine.rs", "state", "read"), 1),
         (("crates/serve/src/engine.rs", "state", "write"), 1),
-        (("crates/serve/src/engine.rs", "stats", "lock"), 20),
+        (("crates/serve/src/engine.rs", "stats", "lock"), 21),
         (("crates/serve/src/router.rs", "fleet", "lock"), 9),
+        (("crates/serve/src/router.rs", "handoff", "lock"), 8),
         (("crates/serve/src/router.rs", "health", "lock"), 6),
         (("crates/serve/src/router.rs", "link", "lock"), 2),
         (("crates/serve/src/server.rs", "rx", "lock"), 1),

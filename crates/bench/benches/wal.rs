@@ -1,0 +1,25 @@
+//! Emits `BENCH_wal.json`: durable-ingest log costs — amortized
+//! append-before-ack latency (rotation + GC included), recovery-scan
+//! time — and the deterministic shape counters of one fixed journaled
+//! stream with a torn tail.
+//!
+//! Honors `AA_BENCH_FAST=1`, `AA_BENCH_SAMPLE_SIZE`, `AA_BENCH_WARMUP_MS`
+//! (sampling only). Output lands in `AA_BENCH_OUT_DIR` (default: current
+//! directory).
+
+#![forbid(unsafe_code)]
+
+use aa_bench::perf::{wal_report, Sampling};
+use std::path::PathBuf;
+
+fn main() {
+    let sampling = Sampling::from_env();
+    let report = wal_report(42, 384, &sampling);
+    let out_dir = std::env::var("AA_BENCH_OUT_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = PathBuf::from(out_dir).join("BENCH_wal.json");
+    report.save(&path).expect("write BENCH_wal.json");
+    eprintln!("wrote {} ({} records)", path.display(), report.records.len());
+    for r in &report.records {
+        eprintln!("  {:<24} median {:>12.1} ns", r.name, r.median_ns);
+    }
+}

@@ -15,10 +15,11 @@
 use aa_bench::perf::{gate_reports, BenchReport};
 use std::path::Path;
 
-const REPORTS: [&str; 3] = [
+const REPORTS: [&str; 4] = [
     "BENCH_kernels.json",
     "BENCH_serve.json",
     "BENCH_evolve.json",
+    "BENCH_wal.json",
 ];
 
 fn main() {

@@ -1,6 +1,6 @@
 //! `BENCH_*.json` emission and the CI bench gate.
 //!
-//! Three seed-pinned perf reports anchor the repo's perf trajectory:
+//! Four seed-pinned perf reports anchor the repo's perf trajectory:
 //!
 //! * `BENCH_kernels.json` ([`KERNELS_SCHEMA`]) — the bitset kernel vs the
 //!   scalar reference on synthetic area sets at 8/64/128 distinct tables
@@ -11,6 +11,10 @@
 //! * `BENCH_evolve.json` ([`EVOLVE_SCHEMA`]) — evolving-model seeding
 //!   cost, amortized steady-state ingest latency, and the drift/work
 //!   counters of one fixed ingest stream.
+//! * `BENCH_wal.json` ([`WAL_SCHEMA`]) — durable-ingest log costs:
+//!   amortized append-before-ack latency (rotation + GC included),
+//!   recovery-scan time, and the shape counters of one fixed journaled
+//!   stream with a torn tail.
 //!
 //! Every record carries wall time (median/p95 ns) *and* work counters
 //! (pairs evaluated, atoms scanned, bitset fast-path hits, …). Counters
@@ -48,7 +52,7 @@ use aa_core::{
     AccessArea, AccessRanges, DistanceKernel, DistanceMode, Extractor, NoSchema, QueryDistance,
 };
 use aa_dbscan::DbscanParams;
-use aa_util::{Json, JsonError, SeededRng};
+use aa_util::{Json, JsonError, SeededRng, ToJson};
 use std::time::{Duration, Instant};
 
 /// Schema tag of `BENCH_kernels.json`.
@@ -57,6 +61,8 @@ pub const KERNELS_SCHEMA: &str = "aa-bench/kernels/v1";
 pub const SERVE_SCHEMA: &str = "aa-bench/serve/v1";
 /// Schema tag of `BENCH_evolve.json`.
 pub const EVOLVE_SCHEMA: &str = "aa-bench/evolve/v1";
+/// Schema tag of `BENCH_wal.json`.
+pub const WAL_SCHEMA: &str = "aa-bench/wal/v1";
 
 /// Hard floor the gate enforces for the `d_tables/64` kernel-vs-scalar
 /// speedup (ISSUE 6 acceptance criterion).
@@ -567,6 +573,130 @@ pub fn evolve_report(seed: u64, total: usize, sampling: &Sampling) -> BenchRepor
             .counter("border", border as u64)
             .counter("noise", noise as u64),
     );
+    report
+}
+
+/// Builds `BENCH_wal.json`: the durable-ingest log's cost profile.
+///
+/// * `append/steady` — amortized append-before-ack latency on one
+///   long-lived log, with a rotation + GC cycle every 128 appends
+///   (mirroring the engine's compaction cadence), so scheduled segment
+///   maintenance is priced into the per-record figure;
+/// * `rotate/cycle` — one rotation + collect on its own;
+/// * `recover/segment` — a full open + recovery scan (checksum
+///   verification and record parse) of a segment holding the fixed
+///   stream;
+/// * `log/fixed` — deterministic shape counters of journaling the fixed
+///   canonical-area stream once, crashing with a torn final record, and
+///   recovering: bytes journaled, records recovered, the truncation.
+///
+/// Timing-loop I/O errors are swallowed (`let _ =`) so a transient
+/// hiccup skews a sample instead of killing the run; the counter pass
+/// runs in `Result` land and fails the gate loudly on real breakage.
+pub fn wal_report(seed: u64, total: usize, sampling: &Sampling) -> BenchReport {
+    use aa_serve::SegmentWal;
+    let mut report = BenchReport::new(WAL_SCHEMA, seed);
+    // Canonical-area payloads from the generator family — the same bytes
+    // the serve engine journals before acknowledging an ingest.
+    let payloads: Vec<String> = {
+        let log: Vec<String> = aa_skyserver::generate_log(&aa_skyserver::LogConfig {
+            total,
+            seed: seed.wrapping_add(3),
+            ..aa_skyserver::LogConfig::default()
+        })
+        .into_iter()
+        .map(|e| e.sql)
+        .collect();
+        let extractor = Extractor::new(&NoSchema);
+        log.iter()
+            .filter_map(|sql| extractor.extract_sql(sql).ok())
+            .map(|area| area.to_json().to_string_compact())
+            .collect()
+    };
+    let base = std::env::temp_dir().join(format!("aa-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Steady state: one long-lived log, rotating every 128 appends.
+    let steady = (|| -> Result<(), aa_serve::WalError> {
+        let mut wal = SegmentWal::open(base.join("steady"))?;
+        wal.rotate(&Json::Null)?;
+        let mut next = 0usize;
+        let (m, p) = measure_ns(sampling, || {
+            let _ = wal.append("bench", "", &payloads[next % payloads.len()]);
+            next += 1;
+            if next.is_multiple_of(128) {
+                let _ = wal.rotate(&Json::Null).and_then(|_| wal.collect());
+            }
+        });
+        report.records.push(BenchRecord::time("append/steady", (m, p)));
+        let (m, p) = measure_ns(sampling, || {
+            let _ = wal.rotate(&Json::Null).and_then(|_| wal.collect());
+        });
+        report.records.push(BenchRecord::time("rotate/cycle", (m, p)));
+        Ok(())
+    })();
+    // audit: allow(A001, bench harness: a broken temp-dir log must abort the bench run loudly)
+    steady.expect("steady-state wal bench");
+
+    // Recovery scan of a committed segment holding the fixed stream.
+    let scan = (|| -> Result<(), aa_serve::WalError> {
+        let dir = base.join("recover");
+        let mut wal = SegmentWal::open(&dir)?;
+        wal.rotate(&Json::Null)?;
+        for payload in &payloads {
+            wal.append("bench", "", payload)?;
+        }
+        drop(wal);
+        let (m, p) = measure_ns(sampling, || {
+            let mut wal = match SegmentWal::open(&dir) {
+                Ok(wal) => wal,
+                Err(_) => return,
+            };
+            let _ = std::hint::black_box(wal.recover());
+        });
+        report.records.push(BenchRecord::time("recover/segment", (m, p)));
+        Ok(())
+    })();
+    // audit: allow(A001, bench harness: a broken temp-dir log must abort the bench run loudly)
+    scan.expect("recovery-scan wal bench");
+
+    // Counter pass: journal the fixed stream once with a rotation cycle
+    // every 64 records, tear the final append, recover — every count is
+    // exactly reproducible for the seed.
+    let counters = (|| -> Result<BenchRecord, aa_serve::WalError> {
+        let dir = base.join("fixed");
+        let mut wal = SegmentWal::open(&dir)?;
+        wal.rotate(&Json::Null)?;
+        let mut payload_bytes = 0u64;
+        let mut collected = 0u64;
+        for payload in &payloads {
+            wal.append("bench", "", payload)?;
+            payload_bytes += payload.len() as u64;
+            if wal.next_seq().is_multiple_of(64) {
+                wal.rotate(&Json::Null)?;
+                collected += wal.collect()? as u64;
+            }
+        }
+        let appended = wal.next_seq();
+        wal.append_torn("bench", "", "{\"torn\":true}")?;
+        drop(wal);
+        let mut wal = SegmentWal::open(&dir)?;
+        let recovery = wal.recover()?;
+        let seg = recovery
+            .loaded
+            .ok_or_else(|| aa_serve::WalError("no recovered segment".into()))?;
+        Ok(BenchRecord::time("log/fixed", (0.0, 0.0))
+            .counter("records", appended)
+            .counter("payload_bytes", payload_bytes)
+            .counter("segments_collected", collected)
+            .counter("active_segment", seg.segment)
+            .counter("recovered_records", seg.records.len() as u64)
+            .counter("truncated_tails", u64::from(seg.truncated.is_some()))
+            .counter("rejected_segments", recovery.rejected.len() as u64))
+    })();
+    // audit: allow(A001, bench harness: a broken temp-dir log must abort the bench run loudly)
+    report.records.push(counters.expect("fixed-stream wal counters"));
+    let _ = std::fs::remove_dir_all(&base);
     report
 }
 

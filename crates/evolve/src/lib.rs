@@ -144,6 +144,27 @@ pub struct IngestOutcome {
     pub born: bool,
 }
 
+/// The replay state a WAL checkpoint must carry to resume a maintainer
+/// from a published model as if the process had never restarted.
+///
+/// [`IncrementalDbscan::new`] derives everything it can from the model,
+/// but three pieces of state are *not* derivable: the ingest clock
+/// (`now`), the per-point ingest ticks (which `decayed_mass` weights
+/// by), and the cumulative [`DriftStats`]. A checkpoint captures them at
+/// a basis boundary — construction or right after a compaction, when
+/// every live point is kernel-indexed — and [`IncrementalDbscan::resume`]
+/// overlays them on a freshly seeded maintainer, making the resumed
+/// state byte-identical to the uninterrupted one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvolveCheckpoint {
+    /// Ingest ordinal at the checkpoint.
+    pub now: u64,
+    /// Ingest tick of each live point, window order (`len()` entries).
+    pub ticks: Vec<u64>,
+    /// Cumulative drift counters at the checkpoint.
+    pub stats: DriftStats,
+}
+
 /// What one [`IncrementalDbscan::compact`] produced.
 #[derive(Debug)]
 pub struct CompactReport {
@@ -231,6 +252,53 @@ impl IncrementalDbscan {
         };
         m.reseed_from_basis();
         m
+    }
+
+    /// Captures the replay state for a WAL checkpoint. Only valid at a
+    /// basis boundary (construction or immediately after [`compact`]):
+    /// the checkpoint pairs with the model the basis was seeded from,
+    /// and every live point must be kernel-indexed so `resume`'s reseed
+    /// reproduces the identical neighbourhood state.
+    ///
+    /// [`compact`]: IncrementalDbscan::compact
+    pub fn checkpoint(&self) -> EvolveCheckpoint {
+        debug_assert!(
+            self.flats.is_empty(),
+            "checkpoint is only meaningful at a basis boundary"
+        );
+        EvolveCheckpoint {
+            now: self.now,
+            ticks: self.ticks.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Resumes a maintainer from a published model plus the checkpoint
+    /// taken when that model became the basis. Equivalent to the state
+    /// an uninterrupted maintainer had right after the corresponding
+    /// [`compact`] (or construction): the basis reseed is re-run, then
+    /// the non-derivable state — clock, ticks, cumulative stats — is
+    /// overlaid from the checkpoint.
+    ///
+    /// [`compact`]: IncrementalDbscan::compact
+    pub fn resume(
+        model: &ClusteredModel,
+        config: EvolveConfig,
+        checkpoint: &EvolveCheckpoint,
+    ) -> Result<IncrementalDbscan, String> {
+        if checkpoint.ticks.len() != model.areas.len() {
+            return Err(format!(
+                "checkpoint carries {} tick(s) but the model has {} area(s)",
+                checkpoint.ticks.len(),
+                model.areas.len()
+            ));
+        }
+        let mut m = IncrementalDbscan::new(model, config);
+        m.ticks = checkpoint.ticks.clone();
+        m.now = checkpoint.now;
+        m.stats = checkpoint.stats;
+        m.ingested_since_compaction = 0;
+        Ok(m)
     }
 
     /// The maintainer's configuration.
@@ -880,6 +948,62 @@ mod tests {
         assert_eq!(a.1, b.1);
         assert_eq!(a.2, b.2);
         assert_eq!(a.1.compactions, 3);
+    }
+
+    #[test]
+    fn resume_from_checkpoint_matches_the_uninterrupted_run() {
+        let model = seed_model(4);
+        let config = EvolveConfig {
+            window: 20,
+            compact_every: 5,
+            decay_half_life: 8.0,
+            ..EvolveConfig::default()
+        };
+        let area_at = |i: usize| {
+            let t = ["PhotoObjAll", "SpecObjAll", "Star"][i % 3];
+            let sql = format!("SELECT * FROM {t} WHERE dec BETWEEN {} AND {}", i, i + 4);
+            let refs = [sql.as_str()];
+            extract_areas(&refs).remove(0)
+        };
+        // Uninterrupted run: drive to the first compaction, snapshot the
+        // published model + checkpoint there, keep going.
+        let mut live = IncrementalDbscan::new(&model, config.clone());
+        let mut snapshot = None;
+        for i in 0..12 {
+            live.ingest(area_at(i));
+            if live.due_for_compaction() {
+                let report = live.compact();
+                if snapshot.is_none() {
+                    snapshot = Some((report.model, live.checkpoint(), i + 1));
+                }
+            }
+        }
+        let (published, checkpoint, resume_at) = snapshot.expect("one compaction fired");
+        // "Restarted" run: resume from the published model + checkpoint
+        // and replay the rest of the stream.
+        let mut resumed =
+            IncrementalDbscan::resume(&published, config, &checkpoint).expect("resume");
+        for i in resume_at..12 {
+            resumed.ingest(area_at(i));
+            if resumed.due_for_compaction() {
+                resumed.compact();
+            }
+        }
+        assert_eq!(resumed.stats(), live.stats());
+        assert_eq!(resumed.now(), live.now());
+        assert_eq!(resumed.statuses(), live.statuses());
+        assert_eq!(
+            resumed.decayed_mass().to_bits(),
+            live.decayed_mass().to_bits(),
+            "tick-weighted mass must survive the restart bit for bit"
+        );
+        // A mismatched checkpoint is refused, not misapplied.
+        let short = EvolveCheckpoint {
+            now: 3,
+            ticks: vec![0; 2],
+            stats: DriftStats::default(),
+        };
+        assert!(IncrementalDbscan::resume(&published, EvolveConfig::default(), &short).is_err());
     }
 
     #[test]

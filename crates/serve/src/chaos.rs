@@ -21,9 +21,13 @@
 //!   response, exactly like a peer reset; the drop is counted.
 //!
 //! Save faults are consumed by [`crate::store::ModelStore::publish_faulted`]
-//! — see [`crate::store::SaveFault`] for the crash-point taxonomy.
+//! — see [`crate::store::SaveFault`] for the crash-point taxonomy. WAL
+//! faults extend the same discipline to the durable-ingest log: keyed by
+//! *WAL append attempt index*, consumed by the engine's ingest path —
+//! see [`crate::wal::WalFault`] for the append/rotate/GC crash points.
 
 use crate::store::SaveFault;
+use crate::wal::WalFault;
 use aa_util::SeededRng;
 use std::collections::BTreeMap;
 
@@ -44,6 +48,7 @@ pub enum RequestFault {
 pub struct ServeFaultPlan {
     request_faults: BTreeMap<u64, RequestFault>,
     save_faults: BTreeMap<u64, SaveFault>,
+    wal_faults: BTreeMap<u64, WalFault>,
 }
 
 impl ServeFaultPlan {
@@ -82,9 +87,31 @@ impl ServeFaultPlan {
         plan
     }
 
+    /// Samples WAL crash points into an existing plan: each of the first
+    /// `appends` WAL append attempts draws a kill point with probability
+    /// `wal_rate` (uniform over [`WalFault::ALL`]). Separate from
+    /// [`seeded`](ServeFaultPlan::seeded) so existing chaos scenarios
+    /// keep their byte-identical schedules.
+    pub fn with_wal_faults(mut self, seed: u64, appends: u64, wal_rate: f64) -> ServeFaultPlan {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        for i in 0..appends {
+            if !rng.gen_bool(wal_rate) {
+                continue;
+            }
+            let fault = WalFault::ALL[rng.gen_range(0..WalFault::ALL.len())];
+            self.wal_faults.insert(i, fault);
+        }
+        self
+    }
+
     /// Adds (or overrides) one request fault.
     pub fn insert_request_fault(&mut self, request_index: u64, fault: RequestFault) {
         self.request_faults.insert(request_index, fault);
+    }
+
+    /// Adds (or overrides) one WAL fault.
+    pub fn insert_wal_fault(&mut self, append_index: u64, fault: WalFault) {
+        self.wal_faults.insert(append_index, fault);
     }
 
     /// Adds (or overrides) one save fault.
@@ -102,6 +129,12 @@ impl ServeFaultPlan {
         self.save_faults.get(&attempt).copied()
     }
 
+    /// The crash point (if any) scheduled for the `i`-th WAL append
+    /// attempt.
+    pub fn wal_fault(&self, attempt: u64) -> Option<WalFault> {
+        self.wal_faults.get(&attempt).copied()
+    }
+
     /// Number of scheduled request faults.
     pub fn request_fault_count(&self) -> usize {
         self.request_faults.len()
@@ -112,6 +145,11 @@ impl ServeFaultPlan {
         self.save_faults.len()
     }
 
+    /// Number of scheduled WAL faults.
+    pub fn wal_fault_count(&self) -> usize {
+        self.wal_faults.len()
+    }
+
     /// Scheduled request faults in request order.
     pub fn request_faults(&self) -> impl Iterator<Item = (u64, RequestFault)> + '_ {
         self.request_faults.iter().map(|(i, f)| (*i, *f))
@@ -120,6 +158,11 @@ impl ServeFaultPlan {
     /// Scheduled save faults in attempt order.
     pub fn save_faults(&self) -> impl Iterator<Item = (u64, SaveFault)> + '_ {
         self.save_faults.iter().map(|(i, f)| (*i, *f))
+    }
+
+    /// Scheduled WAL faults in attempt order.
+    pub fn wal_faults(&self) -> impl Iterator<Item = (u64, WalFault)> + '_ {
+        self.wal_faults.iter().map(|(i, f)| (*i, *f))
     }
 }
 
@@ -282,6 +325,29 @@ mod tests {
             saves.insert(f.as_str());
         }
         assert_eq!(saves.len(), SaveFault::ALL.len(), "every crash point drawn");
+    }
+
+    #[test]
+    fn wal_faults_are_seeded_and_do_not_disturb_existing_schedules() {
+        let base = ServeFaultPlan::seeded(42, 1000, 0.1, 50, 0.5);
+        let a = ServeFaultPlan::seeded(42, 1000, 0.1, 50, 0.5).with_wal_faults(9, 2000, 0.3);
+        let b = ServeFaultPlan::seeded(42, 1000, 0.1, 50, 0.5).with_wal_faults(9, 2000, 0.3);
+        assert_eq!(a.wal_faults().collect::<Vec<_>>(), b.wal_faults().collect::<Vec<_>>());
+        assert_eq!(
+            base.request_faults().collect::<Vec<_>>(),
+            a.request_faults().collect::<Vec<_>>(),
+            "wal sampling must not perturb the request schedule"
+        );
+        let mut kinds = std::collections::BTreeSet::new();
+        for (_, f) in a.wal_faults() {
+            kinds.insert(f.as_str());
+        }
+        assert_eq!(kinds.len(), WalFault::ALL.len(), "every wal crash point drawn");
+        let mut manual = ServeFaultPlan::default();
+        manual.insert_wal_fault(4, WalFault::TornAppend);
+        assert_eq!(manual.wal_fault(4), Some(WalFault::TornAppend));
+        assert_eq!(manual.wal_fault(5), None);
+        assert_eq!(manual.wal_fault_count(), 1);
     }
 
     #[test]

@@ -16,6 +16,15 @@
 //! a dead connection and resends on a fresh one (bounded by the same
 //! retry budget), so the race heals instead of corrupting the session.
 //!
+//! Retrying an `ingest` is safe end to end when the request carries an
+//! idempotency `key`: the engine journals the absorption to its WAL
+//! before acknowledging and dedupes resends by (tenant, key) against a
+//! bounded window, answering `"duplicate":true` with the original
+//! tick/status instead of absorbing twice. A dropped ack therefore
+//! costs one retry, never a double count (DESIGN.md §14.4; pinned by
+//! `retrying_client_ingest_is_exactly_once_over_the_wire` in
+//! `tests/wal_recovery.rs`).
+//!
 //! [`exchange`]: RetryingClient::exchange
 //! [`request`]: RetryingClient::request
 

@@ -56,13 +56,15 @@ use crate::chaos::{RequestFault, ServeFaultPlan};
 use crate::protocol::{error_response, ok_response, overloaded_response};
 use crate::shard::{owned_positions, shard_of, ShardSpec};
 use crate::store::ModelStore;
-use aa_evolve::{EvolveConfig, IncrementalDbscan};
+use crate::wal::{SegmentWal, WalFault};
+use aa_evolve::{DriftStats, EvolveCheckpoint, EvolveConfig, IncrementalDbscan};
 use aa_core::{
     AccessArea, AccessRanges, ClusteredModel, DistanceKernel, DistanceMode, LogRunner, NoSchema,
     Pipeline, RunnerConfig,
 };
 use aa_dbscan::{dbscan, DbscanParams, Label, PivotIndex};
-use aa_util::Json;
+use aa_util::{FromJson, Json, ToJson};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::Duration;
@@ -247,6 +249,9 @@ pub struct ServeStats {
     pub ingest_absorbed: u64,
     /// Ingested statements declined because another shard owns the area.
     pub ingest_not_owned: u64,
+    /// Ingest retries answered from the idempotency-dedup window (the
+    /// stored acknowledgement is replayed; nothing absorbs twice).
+    pub ingest_deduped: u64,
     /// Successful `reload` responses (including no-op reloads).
     pub reload_ok: u64,
     /// Model hot-swaps actually performed.
@@ -302,9 +307,60 @@ impl ServeStats {
     }
 }
 
+/// One remembered ingest acknowledgement, replayed verbatim to retries
+/// that carry the same (tenant, idempotency key).
+#[derive(Debug, Clone)]
+struct StoredAck {
+    tick: u64,
+    status: &'static str,
+    cluster: Option<usize>,
+}
+
+/// Bounded (tenant, idempotency key) → acknowledgement map with FIFO
+/// eviction: old enough retries fall out of the window and would absorb
+/// again, which is why the bound is a config knob, not a constant.
+struct DedupWindow {
+    capacity: usize,
+    order: VecDeque<(String, String)>,
+    acks: BTreeMap<(String, String), StoredAck>,
+}
+
+impl DedupWindow {
+    fn new(capacity: usize) -> DedupWindow {
+        DedupWindow {
+            capacity,
+            order: VecDeque::new(),
+            acks: BTreeMap::new(),
+        }
+    }
+
+    fn get(&self, tenant: &str, key: &str) -> Option<&StoredAck> {
+        self.acks.get(&(tenant.to_string(), key.to_string()))
+    }
+
+    fn store(&mut self, tenant: &str, key: &str, ack: StoredAck) {
+        if self.capacity == 0 || key.is_empty() {
+            return;
+        }
+        let entry = (tenant.to_string(), key.to_string());
+        if self.acks.insert(entry.clone(), ack).is_none() {
+            self.order.push_back(entry);
+            if self.order.len() > self.capacity {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.acks.remove(&evicted);
+                }
+            }
+        }
+    }
+}
+
 /// The evolving-model maintainer plus its publish bookkeeping, behind
 /// one mutex: ingest is a write-heavy verb and the maintainer's updates
-/// (counts, union-find, window) must be atomic per point.
+/// (counts, union-find, window) must be atomic per point. The WAL and
+/// the dedup window live under the same mutex because an append must be
+/// atomic with the absorption it makes durable — a second lock would
+/// let a concurrent ingest interleave between them and misalign the
+/// log's sequence numbers with the maintainer's ticks.
 struct EvolveRuntime {
     maintainer: IncrementalDbscan,
     /// Generation of the last compaction successfully published.
@@ -312,6 +368,12 @@ struct EvolveRuntime {
     /// Compactions whose publish failed (store error); the maintainer
     /// state still advanced — the next compaction republishes.
     publish_failed: u64,
+    /// Durable ingest log; `None` = the pre-WAL volatile window.
+    wal: Option<SegmentWal>,
+    /// Bounded idempotency window retried ingests are answered from.
+    dedup: DedupWindow,
+    /// WAL append-attempt ordinal; drives the chaos [`WalFault`] plan.
+    wal_appends: u64,
 }
 
 /// The model-serving core shared by all worker threads.
@@ -430,8 +492,50 @@ impl ServeEngine {
             maintainer,
             last_published: None,
             publish_failed: 0,
+            wal: None,
+            dedup: DedupWindow::new(0),
+            wal_appends: 0,
         }));
         self
+    }
+
+    /// Attaches the durable ingest WAL (builder; requires `with_evolve`
+    /// first). Opens the log at `dir`, sweeps temp orphans, and runs
+    /// recovery: the newest verified segment's checkpoint resumes the
+    /// maintainer at its basis, the surviving records replay through it
+    /// (priming the dedup window, sized `dedup_window` entries), and the
+    /// engine's evolve counters are restored — so post-restart
+    /// `stats.evolve` and the next published model are byte-identical to
+    /// an uninterrupted run. An empty or fully-torn log starts fresh.
+    pub fn attach_wal(
+        mut self,
+        dir: impl Into<std::path::PathBuf>,
+        dedup_window: usize,
+    ) -> Result<(Self, WalAttachReport), String> {
+        // The store handle is needed while the evolve runtime is borrowed
+        // mutably; take it out of self for the duration.
+        let store = self.store.take();
+        let current = Arc::clone(self.state.get_mut().unwrap_or_else(PoisonError::into_inner));
+        let result = attach_wal_inner(
+            self.evolve.as_mut(),
+            store.as_ref(),
+            &current,
+            dir.into(),
+            dedup_window,
+        );
+        self.store = store;
+        let (report, absorbed, not_owned, deduped) = result?;
+        // Restore whenever the recovered checkpoint (or replay) carries
+        // history — a segment whose only record is a torn tail replays
+        // nothing, yet its checkpoint still names pre-crash counters.
+        if absorbed + not_owned + deduped > 0 {
+            let stats = self.stats.get_mut().unwrap_or_else(PoisonError::into_inner);
+            stats.ingest_absorbed = absorbed;
+            stats.ingest_not_owned = not_owned;
+            stats.ingest_deduped = deduped;
+            stats.ingest_ok = absorbed + not_owned + deduped;
+        }
+        Ok((self, report))
     }
 
     /// The current serving snapshot (requests answer from one of these
@@ -717,7 +821,14 @@ impl ServeEngine {
     /// exactly one absorption). On a compaction boundary the re-clustered
     /// window is published to the model store; pickup stays off this path
     /// (the watcher or an explicit reload hot-swaps it).
-    pub fn ingest(&self, sql: &str) -> Json {
+    ///
+    /// With a WAL attached ([`attach_wal`](ServeEngine::attach_wal)) the
+    /// area is appended — durably, checksummed — *before* the maintainer
+    /// mutates and before any acknowledgement, and a retry carrying the
+    /// same (tenant, `key`) inside the dedup window is answered from the
+    /// stored acknowledgement (`"duplicate": true`) without absorbing
+    /// again — which is what makes client-side ingest retries safe.
+    pub fn ingest(&self, sql: &str, tenant: &str, key: &str) -> Json {
         let Some(evolve) = &self.evolve else {
             return error_response(
                 "unsupported",
@@ -748,58 +859,188 @@ impl ServeEngine {
                 );
             }
         }
+        let mut rt = evolve.lock().unwrap_or_else(PoisonError::into_inner);
+        // Idempotent retry: a key we have already absorbed replays its
+        // stored acknowledgement — no append, no second absorption.
+        if !key.is_empty() {
+            if let Some(ack) = rt.dedup.get(tenant, key) {
+                let ack = ack.clone();
+                drop(rt);
+                let mut stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+                stats.ingest_ok += 1;
+                stats.ingest_deduped += 1;
+                drop(stats);
+                return ok_response(
+                    "ingest",
+                    [
+                        ("cache".to_string(), cache_field(hit)),
+                        ("owned".to_string(), Json::Bool(true)),
+                        ("absorbed".to_string(), Json::Bool(false)),
+                        ("duplicate".to_string(), Json::Bool(true)),
+                        ("tick".to_string(), Json::Num(ack.tick as f64)),
+                        ("status".to_string(), Json::Str(ack.status.to_string())),
+                        (
+                            "cluster".to_string(),
+                            ack.cluster.map_or(Json::Null, |c| Json::Num(c as f64)),
+                        ),
+                    ],
+                );
+            }
+        }
+        // Durability: the canonical area reaches the log before the
+        // maintainer mutates and before the client sees an answer. A
+        // scheduled WalFault enacts its crash point and answers
+        // `wal_crashed` — past that response this engine is what a
+        // `kill -9` would have left and must be rebuilt from disk.
+        let mut rotate_fault: Option<WalFault> = None;
+        if rt.wal.is_some() {
+            let attempt = rt.wal_appends;
+            rt.wal_appends += 1;
+            let fault = self.chaos.as_ref().and_then(|p| p.wal_fault(attempt));
+            let payload = area.to_json().to_string_compact();
+            if let Some(wal) = rt.wal.as_mut() {
+                if fault == Some(WalFault::TornAppend) {
+                    return match wal.append_torn(tenant, key, &payload) {
+                        Ok(()) => wal_crashed_response("append", WalFault::TornAppend),
+                        Err(e) => error_response("internal", &e.to_string()),
+                    };
+                }
+                if let Err(e) = wal.append(tenant, key, &payload) {
+                    return error_response("internal", &e.to_string());
+                }
+                if fault == Some(WalFault::CrashAfterAppend) {
+                    return wal_crashed_response("append", WalFault::CrashAfterAppend);
+                }
+                rotate_fault = fault; // TornRotate / CrashBeforeGc / TornGc
+            }
+        }
+        let outcome = rt.maintainer.ingest(area.clone());
+        rt.dedup.store(
+            tenant,
+            key,
+            StoredAck {
+                tick: outcome.tick,
+                status: outcome.status.as_str(),
+                cluster: outcome.cluster,
+            },
+        );
+        // Count this ingest now (evolve → stats nests in declared order)
+        // so a compaction checkpoint below reads post-ingest baselines.
+        let (absorbed, not_owned, deduped) = {
+            let mut stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+            stats.ingest_ok += 1;
+            stats.ingest_absorbed += 1;
+            (
+                stats.ingest_absorbed,
+                stats.ingest_not_owned,
+                stats.ingest_deduped,
+            )
+        };
         let mut fields = vec![
             ("cache".to_string(), cache_field(hit)),
             ("owned".to_string(), Json::Bool(true)),
             ("absorbed".to_string(), Json::Bool(true)),
-        ];
-        {
-            let mut rt = evolve.lock().unwrap_or_else(PoisonError::into_inner);
-            let outcome = rt.maintainer.ingest(area.clone());
-            fields.push(("tick".to_string(), Json::Num(outcome.tick as f64)));
-            fields.push((
+            ("tick".to_string(), Json::Num(outcome.tick as f64)),
+            (
                 "status".to_string(),
                 Json::Str(outcome.status.as_str().to_string()),
-            ));
-            fields.push((
+            ),
+            (
                 "cluster".to_string(),
                 outcome.cluster.map_or(Json::Null, |c| Json::Num(c as f64)),
-            ));
-            if rt.maintainer.due_for_compaction() {
-                let report = rt.maintainer.compact();
-                let generation = match &self.store {
-                    Some(store) => match store.publish(&report.model) {
-                        Ok(generation) => {
-                            rt.last_published = Some(generation);
-                            Some(generation)
+            ),
+        ];
+        let mut compacted = false;
+        if rt.maintainer.due_for_compaction() {
+            compacted = true;
+            let report = rt.maintainer.compact();
+            let generation = match &self.store {
+                Some(store) => match store.publish(&report.model) {
+                    Ok(generation) => {
+                        rt.last_published = Some(generation);
+                        Some(generation)
+                    }
+                    Err(_) => {
+                        rt.publish_failed += 1;
+                        None
+                    }
+                },
+                None => None,
+            };
+            // Segment rotation rides a successful publish: the new
+            // segment's checkpoint names a generation recovery can
+            // always reload. A failed (or absent) publish keeps the old
+            // segment growing — replay just re-fires the compaction.
+            if rt.wal.is_some() {
+                if let Some(g) = generation {
+                    let ecp = rt.maintainer.checkpoint();
+                    let cp = checkpoint_json(
+                        g,
+                        rt.last_published,
+                        rt.publish_failed,
+                        absorbed,
+                        not_owned,
+                        deduped,
+                        &ecp,
+                    );
+                    if let Some(wal) = rt.wal.as_mut() {
+                        match rotate_fault {
+                            Some(f @ WalFault::TornRotate) => {
+                                return match wal.rotate_torn(&cp) {
+                                    Ok(()) => wal_crashed_response("rotation", f),
+                                    Err(e) => error_response("internal", &e.to_string()),
+                                };
+                            }
+                            Some(f @ WalFault::CrashBeforeGc) => {
+                                if let Err(e) = wal.rotate(&cp) {
+                                    return error_response("internal", &e.to_string());
+                                }
+                                return wal_crashed_response("gc", f);
+                            }
+                            Some(f @ WalFault::TornGc) => {
+                                if let Err(e) =
+                                    wal.rotate(&cp).and_then(|_| wal.collect_torn())
+                                {
+                                    return error_response("internal", &e.to_string());
+                                }
+                                return wal_crashed_response("gc", f);
+                            }
+                            _ => {
+                                if let Err(e) = wal.rotate(&cp).and_then(|_| wal.collect()) {
+                                    return error_response("internal", &e.to_string());
+                                }
+                            }
                         }
-                        Err(_) => {
-                            rt.publish_failed += 1;
-                            None
-                        }
-                    },
-                    None => None,
-                };
-                fields.push(("compacted".to_string(), Json::Bool(true)));
-                fields.push((
-                    "clusters".to_string(),
-                    Json::Num(report.clusters_after as f64),
-                ));
-                fields.push(("evicted".to_string(), Json::Num(report.evicted as f64)));
-                fields.push((
-                    "generation".to_string(),
-                    generation.map_or(Json::Null, |g| Json::Num(g as f64)),
-                ));
+                    }
+                } else if let Some(f) = rotate_fault {
+                    // Nothing published → nothing rotates; the scheduled
+                    // rotate/GC kill degenerates to dying post-append.
+                    return wal_crashed_response("append", f);
+                }
             }
+            fields.push(("compacted".to_string(), Json::Bool(true)));
             fields.push((
-                "window".to_string(),
-                Json::Num(rt.maintainer.len() as f64),
+                "clusters".to_string(),
+                Json::Num(report.clusters_after as f64),
+            ));
+            fields.push(("evicted".to_string(), Json::Num(report.evicted as f64)));
+            fields.push((
+                "generation".to_string(),
+                generation.map_or(Json::Null, |g| Json::Num(g as f64)),
             ));
         }
-        let mut stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
-        stats.ingest_ok += 1;
-        stats.ingest_absorbed += 1;
-        drop(stats);
+        if !compacted {
+            if let Some(f) = rotate_fault {
+                // No compaction this ingest: the rotate/GC kill point
+                // degenerates to a crash right after the append.
+                return wal_crashed_response("append", f);
+            }
+        }
+        fields.push((
+            "window".to_string(),
+            Json::Num(rt.maintainer.len() as f64),
+        ));
+        drop(rt);
         ok_response("ingest", fields)
     }
 
@@ -921,13 +1162,23 @@ impl ServeEngine {
         let state = self.current();
         let stats = self.stats.lock().unwrap().clone();
         let cache = self.cache.stats();
-        let evolve = match &self.evolve {
-            None => Json::Null,
+        let (evolve, wal) = match &self.evolve {
+            None => (Json::Null, Json::Null),
             Some(evolve) => {
                 let rt = evolve.lock().unwrap_or_else(PoisonError::into_inner);
                 let drift = rt.maintainer.stats();
                 let (core, border, noise) = rt.maintainer.status_counts();
-                Json::obj([
+                let wal = match &rt.wal {
+                    None => Json::Null,
+                    Some(w) => Json::obj([
+                        (
+                            "segment".to_string(),
+                            Json::Num(w.active_segment().unwrap_or(0) as f64),
+                        ),
+                        ("next_seq".to_string(), Json::Num(w.next_seq() as f64)),
+                    ]),
+                };
+                let evolve = Json::obj([
                     (
                         "window".to_string(),
                         Json::Num(rt.maintainer.len() as f64),
@@ -940,6 +1191,10 @@ impl ServeEngine {
                     (
                         "not_owned".to_string(),
                         Json::Num(stats.ingest_not_owned as f64),
+                    ),
+                    (
+                        "deduped".to_string(),
+                        Json::Num(stats.ingest_deduped as f64),
                     ),
                     ("core".to_string(), Json::Num(core as f64)),
                     ("border".to_string(), Json::Num(border as f64)),
@@ -973,7 +1228,8 @@ impl ServeEngine {
                         "publish_failed".to_string(),
                         Json::Num(rt.publish_failed as f64),
                     ),
-                ])
+                ]);
+                (evolve, wal)
             }
         };
         let breakers = self.breakers.lock().unwrap();
@@ -1134,6 +1390,7 @@ impl ServeEngine {
                 },
             ),
             ("evolve".to_string(), evolve),
+            ("wal".to_string(), wal),
         ])
     }
 
@@ -1188,6 +1445,348 @@ impl ServeEngine {
     pub fn record_chaos_drop(&self) {
         self.stats.lock().unwrap().chaos_drops += 1;
     }
+}
+
+/// What [`ServeEngine::attach_wal`] found and did.
+#[derive(Debug)]
+pub struct WalAttachReport {
+    /// The active segment after attach (recovered or freshly rotated).
+    pub segment: u64,
+    /// Records replayed through the maintainer.
+    pub replayed: usize,
+    /// Torn-tail truncation reason, when the recovered segment had one.
+    pub truncated: Option<String>,
+    /// Segments whose header failed verification: (segment, reason).
+    pub rejected: Vec<(u64, String)>,
+    /// Orphaned `.tmp` files swept at open.
+    pub swept_tmp: usize,
+}
+
+/// The checkpoint a WAL segment header carries: everything the replay
+/// needs that is not derivable from the basis model — which generation
+/// the basis is, the publish bookkeeping, the engine's ingest counters,
+/// and the maintainer's [`EvolveCheckpoint`] (clock, ticks, drift).
+struct ParsedCheckpoint {
+    generation: u64,
+    published: Option<u64>,
+    publish_failed: u64,
+    absorbed: u64,
+    not_owned: u64,
+    deduped: u64,
+    evolve: EvolveCheckpoint,
+}
+
+fn checkpoint_json(
+    generation: u64,
+    published: Option<u64>,
+    publish_failed: u64,
+    absorbed: u64,
+    not_owned: u64,
+    deduped: u64,
+    ecp: &EvolveCheckpoint,
+) -> Json {
+    Json::obj([
+        ("generation".to_string(), Json::Num(generation as f64)),
+        (
+            "published".to_string(),
+            published.map_or(Json::Null, |g| Json::Num(g as f64)),
+        ),
+        (
+            "publish_failed".to_string(),
+            Json::Num(publish_failed as f64),
+        ),
+        ("absorbed".to_string(), Json::Num(absorbed as f64)),
+        ("not_owned".to_string(), Json::Num(not_owned as f64)),
+        ("deduped".to_string(), Json::Num(deduped as f64)),
+        ("now".to_string(), Json::Num(ecp.now as f64)),
+        (
+            "stats".to_string(),
+            Json::obj([
+                ("ingested".to_string(), Json::Num(ecp.stats.ingested as f64)),
+                ("births".to_string(), Json::Num(ecp.stats.births as f64)),
+                ("deaths".to_string(), Json::Num(ecp.stats.deaths as f64)),
+                ("merges".to_string(), Json::Num(ecp.stats.merges as f64)),
+                ("turnover".to_string(), Json::Num(ecp.stats.turnover as f64)),
+                (
+                    "compactions".to_string(),
+                    Json::Num(ecp.stats.compactions as f64),
+                ),
+                (
+                    "index_rebuilds".to_string(),
+                    Json::Num(ecp.stats.index_rebuilds as f64),
+                ),
+                (
+                    "neighborhood_queries".to_string(),
+                    Json::Num(ecp.stats.neighborhood_queries as f64),
+                ),
+                (
+                    "distance_evaluated".to_string(),
+                    Json::Num(ecp.stats.distance_evaluated as f64),
+                ),
+            ]),
+        ),
+        (
+            "ticks".to_string(),
+            Json::Arr(ecp.ticks.iter().map(|&t| Json::Num(t as f64)).collect()),
+        ),
+    ])
+}
+
+fn parse_checkpoint(json: &Json) -> Result<ParsedCheckpoint, String> {
+    let num = |k: &str| -> Result<u64, String> {
+        json.get(k)
+            .and_then(Json::as_f64)
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("wal checkpoint missing numeric '{k}'"))
+    };
+    let published = match json.get("published") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_f64()
+                .ok_or("wal checkpoint 'published' not numeric")? as u64,
+        ),
+    };
+    let stats_json = json
+        .get("stats")
+        .ok_or("wal checkpoint missing 'stats'")?;
+    let snum = |k: &str| -> Result<u64, String> {
+        stats_json
+            .get(k)
+            .and_then(Json::as_f64)
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("wal checkpoint stats missing '{k}'"))
+    };
+    let ticks = json
+        .get("ticks")
+        .and_then(Json::as_arr)
+        .ok_or("wal checkpoint missing 'ticks'")?
+        .iter()
+        .map(|t| {
+            t.as_f64()
+                .map(|v| v as u64)
+                .ok_or_else(|| "wal checkpoint tick not numeric".to_string())
+        })
+        .collect::<Result<Vec<u64>, String>>()?;
+    Ok(ParsedCheckpoint {
+        generation: num("generation")?,
+        published,
+        publish_failed: num("publish_failed")?,
+        absorbed: num("absorbed")?,
+        not_owned: num("not_owned")?,
+        deduped: num("deduped")?,
+        evolve: EvolveCheckpoint {
+            now: num("now")?,
+            ticks,
+            stats: DriftStats {
+                ingested: snum("ingested")?,
+                births: snum("births")?,
+                deaths: snum("deaths")?,
+                merges: snum("merges")?,
+                turnover: snum("turnover")?,
+                compactions: snum("compactions")?,
+                index_rebuilds: snum("index_rebuilds")?,
+                neighborhood_queries: snum("neighborhood_queries")?,
+                distance_evaluated: snum("distance_evaluated")?,
+            },
+        },
+    })
+}
+
+/// The typed response an armed [`WalFault`] produces: the engine's state
+/// past this answer is what a `kill -9` at the fault point would leave,
+/// so the caller must treat the engine as dead and rebuild from disk
+/// (the CLI turns this into an actual `exit(9)`).
+fn wal_crashed_response(stage: &str, fault: WalFault) -> Json {
+    error_response(
+        "wal_crashed",
+        &format!(
+            "simulated crash during wal {stage} ({}, durable: {})",
+            fault.as_str(),
+            fault.durable()
+        ),
+    )
+}
+
+/// The attach/recovery body. Returns the report plus the restored
+/// (absorbed, not_owned, deduped) engine counters.
+fn attach_wal_inner(
+    evolve: Option<&mut Mutex<EvolveRuntime>>,
+    store: Option<&ModelStore>,
+    current: &ModelState,
+    dir: std::path::PathBuf,
+    dedup_window: usize,
+) -> Result<(WalAttachReport, u64, u64, u64), String> {
+    let rt = evolve
+        .ok_or("attach_wal requires an evolving-model window (with_evolve first)")?
+        .get_mut()
+        .unwrap_or_else(PoisonError::into_inner);
+    let mut wal = SegmentWal::open(dir).map_err(|e| e.to_string())?;
+    let swept_tmp = wal.sweep_tmp().map_err(|e| e.to_string())?;
+    let recovery = wal.recover().map_err(|e| e.to_string())?;
+    let rejected: Vec<(u64, String)> = recovery
+        .rejected
+        .iter()
+        .map(|r| (r.segment, r.reason.clone()))
+        .collect();
+    rt.dedup = DedupWindow::new(dedup_window);
+    let Some(seg) = recovery.loaded else {
+        // Empty (or fully torn) log: commit the first segment, carrying
+        // the engine's current basis as its checkpoint.
+        let ecp = rt.maintainer.checkpoint();
+        let cp = checkpoint_json(
+            current.generation,
+            rt.last_published,
+            rt.publish_failed,
+            0,
+            0,
+            0,
+            &ecp,
+        );
+        let segment = wal.rotate(&cp).map_err(|e| e.to_string())?;
+        rt.wal = Some(wal);
+        return Ok((
+            WalAttachReport {
+                segment,
+                replayed: 0,
+                truncated: None,
+                rejected,
+                swept_tmp,
+            },
+            0,
+            0,
+            0,
+        ));
+    };
+    let cp = parse_checkpoint(&seg.checkpoint)
+        .map_err(|e| format!("wal segment {}: {e}", seg.segment))?;
+    // Resolve the checkpoint's basis model: the engine's own snapshot
+    // when generations match (covers generation 0 and store-recovered
+    // starts), the store otherwise.
+    let basis = if current.generation == cp.generation {
+        current.model.clone()
+    } else if let Some(store) = store {
+        store.load_generation(cp.generation).map_err(|e| {
+            format!(
+                "wal segment {} checkpoints generation {} which the store cannot load: {e}",
+                seg.segment, cp.generation
+            )
+        })?
+    } else {
+        return Err(format!(
+            "wal segment {} checkpoints generation {} but the engine serves generation {} and has no store",
+            seg.segment, cp.generation, current.generation
+        ));
+    };
+    let config = rt.maintainer.config().clone();
+    let mut maintainer = IncrementalDbscan::resume(&basis, config, &cp.evolve)
+        .map_err(|e| format!("wal segment {}: {e}", seg.segment))?;
+    let mut last_published = cp.published;
+    let mut publish_failed = cp.publish_failed;
+    let mut absorbed = cp.absorbed;
+    // A rotation owed from a replayed compaction: the fresh checkpoint
+    // plus the index of the first record that belongs *after* it.
+    let mut pending_rotation: Option<(Json, usize)> = None;
+    for (i, record) in seg.records.iter().enumerate() {
+        let area_json = Json::parse(&record.payload)
+            .map_err(|e| format!("wal record seq {}: payload not JSON: {e}", record.seq))?;
+        let area = AccessArea::from_json(&area_json)
+            .map_err(|e| format!("wal record seq {}: {e}", record.seq))?;
+        let outcome = maintainer.ingest(area);
+        absorbed += 1;
+        rt.dedup.store(
+            &record.tenant,
+            &record.key,
+            StoredAck {
+                tick: outcome.tick,
+                status: outcome.status.as_str(),
+                cluster: outcome.cluster,
+            },
+        );
+        if !maintainer.due_for_compaction() {
+            continue;
+        }
+        let report = maintainer.compact();
+        let Some(store) = store else {
+            continue; // degraded: no store, no publish, no rotation — full replay forever
+        };
+        // Publish-or-adopt: when the pre-crash run already published
+        // this exact basis (crash after publish, before/during
+        // rotation), adopt its generation instead of burning a new one
+        // — that is what makes the post-recovery generation number
+        // byte-identical to the uninterrupted run's.
+        let adopted = store
+            .latest_verified_generation()
+            .ok()
+            .flatten()
+            .and_then(|g| store.load_generation(g).ok().map(|m| (g, m)))
+            .filter(|(_, m)| m.content_hash() == report.model.content_hash())
+            .map(|(g, _)| g);
+        let generation = match adopted {
+            Some(g) => g,
+            None => match store.publish(&report.model) {
+                Ok(g) => g,
+                Err(_) => {
+                    publish_failed += 1;
+                    continue; // no durable basis to rotate onto
+                }
+            },
+        };
+        last_published = Some(generation);
+        let ecp = maintainer.checkpoint();
+        pending_rotation = Some((
+            checkpoint_json(
+                generation,
+                last_published,
+                publish_failed,
+                absorbed,
+                cp.not_owned,
+                cp.deduped,
+                &ecp,
+            ),
+            i + 1,
+        ));
+    }
+    let segment = match pending_rotation {
+        Some((cp_json, tail_start)) => {
+            // Rotate onto the replayed basis; records past the boundary
+            // carry over verbatim (their original sequence numbers) so a
+            // second crash replays them too.
+            let next_seq = seg
+                .records
+                .get(tail_start)
+                .map_or(seg.next_seq, |r| r.seq);
+            let segment = wal
+                .rotate_at(&cp_json, next_seq)
+                .map_err(|e| e.to_string())?;
+            for record in &seg.records[tail_start..] {
+                wal.append_record(record).map_err(|e| e.to_string())?;
+            }
+            wal.collect().map_err(|e| e.to_string())?;
+            segment
+        }
+        None => {
+            // Keep appending to the recovered segment; finish any GC a
+            // crash interrupted (stale segments below the active one).
+            wal.collect().map_err(|e| e.to_string())?;
+            seg.segment
+        }
+    };
+    rt.maintainer = maintainer;
+    rt.last_published = last_published;
+    rt.publish_failed = publish_failed;
+    rt.wal = Some(wal);
+    Ok((
+        WalAttachReport {
+            segment,
+            replayed: seg.records.len(),
+            truncated: seg.truncated,
+            rejected,
+            swept_tmp,
+        },
+        absorbed,
+        cp.not_owned,
+        cp.deduped,
+    ))
 }
 
 fn cache_field(hit: bool) -> Json {

@@ -86,15 +86,19 @@ pub mod server;
 pub mod shard;
 pub mod store;
 pub mod tenant;
+pub mod wal;
 
 pub use cache::{CacheStats, CachedExtraction, ExtractionCache};
 pub use chaos::{FleetFaultPlan, RequestFault, ServeFaultPlan};
 pub use client::{backoff_ms, RetryingClient};
 pub use aa_evolve::EvolveConfig;
-pub use engine::{build_model, BreakerConfig, ModelState, ServeEngine, ServeStats};
+pub use engine::{build_model, BreakerConfig, ModelState, ServeEngine, ServeStats, WalAttachReport};
 pub use protocol::{BadRequest, Request};
 pub use router::{spawn_router, HealthConfig, HealthState, RouterConfig, RouterEngine, RouterHandle};
 pub use server::{spawn, ServerConfig, ServerHandle};
 pub use shard::{shard_of, table_signature, ShardSpec};
 pub use store::{ModelStore, PublishOutcome, Recovery, RejectedGeneration, SaveFault, StoreError};
 pub use tenant::{TenantDecision, TenantPolicy, TenantTable};
+pub use wal::{
+    RejectedSegment, SegmentRecovery, SegmentWal, WalError, WalFault, WalRecord, WalRecovery,
+};

@@ -6,7 +6,7 @@
 //! ```text
 //! {"op": "classify",  "sql": "SELECT ..."}
 //! {"op": "neighbors", "sql": "SELECT ...", "k": 5}
-//! {"op": "ingest",    "sql": "SELECT ..."}
+//! {"op": "ingest",    "sql": "SELECT ...", "key": "client-7:42"}
 //! {"op": "stats"}
 //! {"op": "reload"}
 //! {"op": "ping"}
@@ -17,6 +17,10 @@
 //! extracted access area is absorbed into the live window (on the owning
 //! shard when sharded) and gets an online core/border/noise status. It is
 //! answered with `kind: "unsupported"` on servers without `--window`.
+//! The optional `"key"` string is a client idempotency key: the engine
+//! dedupes retried ingests by (tenant, key) against a bounded window, so
+//! a retry after a lost acknowledgement absorbs exactly once (the replay
+//! answer carries `"duplicate": true`). Absent or empty → no dedup.
 //!
 //! Requests may additionally carry a `"tenant"` string. Single-process
 //! servers and shard backends ignore it; the fleet router keys per-tenant
@@ -47,8 +51,9 @@ pub enum Request {
     Classify { sql: String },
     /// The `k` logged queries most similar to one SQL statement.
     Neighbors { sql: String, k: usize },
-    /// Absorb one SQL statement into the evolving-model window.
-    Ingest { sql: String },
+    /// Absorb one SQL statement into the evolving-model window. `key` is
+    /// the client idempotency key (empty = none supplied, no dedup).
+    Ingest { sql: String, key: String },
     /// Server counters snapshot.
     Stats,
     /// Re-scan the model store and hot-swap to the newest verified
@@ -101,9 +106,19 @@ impl Request {
                     k,
                 })
             }
-            "ingest" => Ok(Request::Ingest {
-                sql: sql_field(&json)?,
-            }),
+            "ingest" => {
+                let key = match json.get("key") {
+                    None => String::new(),
+                    Some(v) => match v.as_str() {
+                        Some(k) => k.to_string(),
+                        None => return Err(BadRequest("'key' must be a string".into())),
+                    },
+                };
+                Ok(Request::Ingest {
+                    sql: sql_field(&json)?,
+                    key,
+                })
+            }
             "stats" => Ok(Request::Stats),
             "reload" => Ok(Request::Reload),
             "ping" => Ok(Request::Ping),
@@ -196,7 +211,15 @@ mod tests {
         assert_eq!(
             Request::parse_line(r#"{"op":"ingest","sql":"SELECT * FROM T"}"#),
             Ok(Request::Ingest {
-                sql: "SELECT * FROM T".into()
+                sql: "SELECT * FROM T".into(),
+                key: String::new()
+            })
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"op":"ingest","sql":"SELECT 1","key":"c1:9"}"#),
+            Ok(Request::Ingest {
+                sql: "SELECT 1".into(),
+                key: "c1:9".into()
             })
         );
         assert_eq!(Request::parse_line(r#"{"op":"stats"}"#), Ok(Request::Stats));
@@ -243,6 +266,7 @@ mod tests {
         assert!(Request::parse_line(r#"{"op":"explode"}"#).is_err());
         assert!(Request::parse_line(r#"{"op":"classify"}"#).is_err());
         assert!(Request::parse_line(r#"{"op":"ingest"}"#).is_err());
+        assert!(Request::parse_line(r#"{"op":"ingest","sql":"x","key":7}"#).is_err());
         assert!(Request::parse_line(r#"{"op":"neighbors","sql":"x","k":0}"#).is_err());
         assert!(Request::parse_line(r#"{"op":"neighbors","sql":"x","k":1.5}"#).is_err());
     }

@@ -45,15 +45,31 @@
 //! `overloaded` + `retry_after_ms` + `"tenant"` echo. The buckets run on
 //! the admission sequence, not wall time, so a replayed bot storm sheds
 //! byte-identically.
+//!
+//! # Hinted handoff
+//!
+//! An ingest whose *owner* shard is Down is not dropped: it is parked in
+//! a bounded arrival-order queue (journaled to the router's own WAL
+//! segment when `handoff_dir` is set, so a router restart recovers the
+//! backlog) and the client gets `"parked": true`. The moment the health
+//! machine sees the owner return — a successful response or ping from a
+//! Down/HalfOpen backend — the queue is replayed in order; a line whose
+//! owner is still down goes back to the front and stops the round.
+//! Beyond `handoff_cap` parked lines, further owner-down ingests are
+//! shed with a typed `overloaded`. Replay (and restart recovery) can
+//! re-deliver a line the owner already absorbed; the engine's
+//! idempotency-key dedup makes that exactly-once for keyed ingests.
 
 use crate::client::RetryingClient;
 use crate::protocol::{error_response, ok_response, tenant_of, Request};
 use crate::server::{read_line_capped, LineRead};
 use crate::tenant::{TenantPolicy, TenantTable};
+use crate::wal::{SegmentWal, WalError};
 use aa_util::Json;
+use std::collections::VecDeque;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -109,6 +125,13 @@ pub struct RouterConfig {
     pub max_line_bytes: usize,
     /// Where to write the final fleet stats snapshot on shutdown.
     pub stats_path: Option<PathBuf>,
+    /// Hinted-handoff queue capacity: ingests whose owner shard is Down
+    /// are parked until the shard returns; beyond this depth they are
+    /// shed with a typed `overloaded`. `0` disables parking entirely.
+    pub handoff_cap: usize,
+    /// Directory for the router's own handoff WAL segments (`None` =
+    /// memory-only parking; a router restart loses the backlog).
+    pub handoff_dir: Option<PathBuf>,
 }
 
 impl Default for RouterConfig {
@@ -128,6 +151,8 @@ impl Default for RouterConfig {
             write_timeout: Some(Duration::from_secs(30)),
             max_line_bytes: 1 << 20,
             stats_path: None,
+            handoff_cap: 64,
+            handoff_dir: None,
         }
     }
 }
@@ -279,12 +304,73 @@ struct Backend {
     link: Mutex<RetryingClient>,
 }
 
+/// The hinted-handoff queue: ingest lines whose owner shard was Down,
+/// parked in arrival order (and journaled to the router's own WAL
+/// segment when configured) until the health machine sees the owner
+/// return. The `handoff` lock is never held across a fan-out — replay
+/// pops a line, releases, forwards, and re-acquires to record the
+/// outcome — so it nests with nothing.
+struct HandoffRuntime {
+    queue: VecDeque<String>,
+    wal: Option<SegmentWal>,
+    /// Total lines ever parked (recovered backlog included).
+    parked: u64,
+    /// Parked lines successfully delivered to a returned owner.
+    replayed: u64,
+    /// Owner-down ingests refused because the queue was at capacity.
+    shed: u64,
+}
+
+/// Opens (and recovers) the router's handoff WAL: leftover tmp files are
+/// swept, the newest verified segment's records become the initial
+/// backlog, and an empty log gets its first segment.
+fn open_handoff_wal(dir: &Path) -> Result<(SegmentWal, Vec<String>), WalError> {
+    let mut wal = SegmentWal::open(dir)?;
+    let swept = wal.sweep_tmp()?;
+    if swept > 0 {
+        eprintln!("router: swept {swept} stale handoff wal tmp file(s)");
+    }
+    let recovery = wal.recover()?;
+    for r in &recovery.rejected {
+        eprintln!(
+            "router: handoff wal rejected segment {}: {}",
+            r.segment, r.reason
+        );
+    }
+    let mut backlog = Vec::new();
+    match recovery.loaded {
+        Some(loaded) => {
+            if let Some(reason) = &loaded.truncated {
+                eprintln!(
+                    "router: handoff wal truncated torn tail of segment {}: {reason}",
+                    loaded.segment
+                );
+            }
+            backlog = loaded.records.into_iter().map(|r| r.payload).collect();
+            if !backlog.is_empty() {
+                eprintln!(
+                    "router: recovered {} parked ingest line(s) from the handoff wal",
+                    backlog.len()
+                );
+            }
+        }
+        None => {
+            wal.rotate(&Json::Null)?;
+        }
+    }
+    Ok((wal, backlog))
+}
+
 /// The routing core shared by every connection thread; [`spawn_router`]
 /// wraps it in the TCP front end.
 pub struct RouterEngine {
     backends: Vec<Backend>,
     health: Mutex<Vec<BackendHealth>>,
     fleet: Mutex<FleetCounters>,
+    handoff: Mutex<HandoffRuntime>,
+    /// Re-entrancy guard: fan-outs made *while replaying* must not start
+    /// a nested replay round.
+    replaying: AtomicBool,
     tenants: Option<TenantTable>,
     config: RouterConfig,
 }
@@ -310,13 +396,40 @@ impl RouterEngine {
             })
             .collect::<Vec<_>>();
         let health = (0..backends.len()).map(|_| BackendHealth::new()).collect();
+        let mut handoff = HandoffRuntime {
+            queue: VecDeque::new(),
+            wal: None,
+            parked: 0,
+            replayed: 0,
+            shed: 0,
+        };
+        if let Some(dir) = &config.handoff_dir {
+            match open_handoff_wal(dir) {
+                Ok((wal, backlog)) => {
+                    handoff.parked = backlog.len() as u64;
+                    handoff.queue = backlog.into();
+                    handoff.wal = Some(wal);
+                }
+                Err(e) => eprintln!(
+                    "router: handoff wal unavailable ({e}); parking in memory only"
+                ),
+            }
+        }
         RouterEngine {
             backends,
             health: Mutex::new(health),
             fleet: Mutex::new(FleetCounters::default()),
+            handoff: Mutex::new(handoff),
+            replaying: AtomicBool::new(false),
             tenants: config.tenant.map(TenantTable::new),
             config,
         }
+    }
+
+    /// Lines currently parked for hinted handoff (tests inspect this).
+    pub fn handoff_depth(&self) -> usize {
+        let handoff = self.handoff.lock().unwrap_or_else(PoisonError::into_inner);
+        handoff.queue.len()
     }
 
     /// Number of shard backends.
@@ -350,6 +463,7 @@ impl RouterEngine {
     fn fan_out(&self, line: &str) -> (Vec<(usize, Json)>, Vec<usize>) {
         let mut responses = Vec::new();
         let mut missing = Vec::new();
+        let mut revived = false;
         for shard in 0..self.backends.len() {
             let attempt = {
                 let mut health = self.health.lock().unwrap_or_else(PoisonError::into_inner);
@@ -363,7 +477,9 @@ impl RouterEngine {
                 Some(json) => {
                     let mut health =
                         self.health.lock().unwrap_or_else(PoisonError::into_inner);
+                    let prior = health[shard].state;
                     health[shard].on_success();
+                    revived |= matches!(prior, HealthState::Down | HealthState::HalfOpen);
                     responses.push((shard, json));
                 }
                 None => {
@@ -374,6 +490,9 @@ impl RouterEngine {
                 }
             }
         }
+        if revived {
+            self.replay_handoff();
+        }
         (responses, missing)
     }
 
@@ -381,6 +500,7 @@ impl RouterEngine {
     /// health machine. Down backends get probed too — that is how an
     /// idle fleet notices a shard came back.
     pub fn ping_round(&self) {
+        let mut revived = false;
         for shard in 0..self.backends.len() {
             {
                 let mut fleet = self.fleet.lock().unwrap_or_else(PoisonError::into_inner);
@@ -389,9 +509,16 @@ impl RouterEngine {
             let outcome = self.backend_request(shard, "{\"op\":\"ping\"}");
             let mut health = self.health.lock().unwrap_or_else(PoisonError::into_inner);
             match outcome {
-                Some(_) => health[shard].on_success(),
+                Some(_) => {
+                    let prior = health[shard].state;
+                    health[shard].on_success();
+                    revived |= matches!(prior, HealthState::Down | HealthState::HalfOpen);
+                }
                 None => health[shard].on_failure(&self.config.health),
             }
+        }
+        if revived {
+            self.replay_handoff();
         }
     }
 
@@ -565,9 +692,9 @@ impl RouterEngine {
     /// Fans one ingest line to every backend and forwards the owning
     /// shard's response. Table-signature sharding means exactly one live
     /// shard answers `"owned": true` (and absorbs the area); the rest
-    /// decline cheaply. If the owner is down the response is a no-op
-    /// marked partial — the statement is dropped, not misfiled onto a
-    /// shard that doesn't own it.
+    /// decline cheaply. If the owner is down the line is *parked* for
+    /// hinted handoff (never misfiled onto a shard that doesn't own it)
+    /// and replayed in order when the owner returns.
     fn forward_ingest(&self, line: &str) -> Json {
         let (responses, missing) = self.fan_out(line);
         let mut fleet = self.fleet.lock().unwrap_or_else(PoisonError::into_inner);
@@ -598,40 +725,132 @@ impl RouterEngine {
                 .map(|(_, j)| j)
                 .unwrap_or_else(|| error_response("internal", "fan-out lost every response"));
         }
-        fleet.ingest_ok += 1;
-        drop(fleet);
         let owner = ok_responses
             .iter()
             .find(|(_, j)| j.get("owned") == Some(&Json::Bool(true)));
-        let mut response = match owner {
+        match owner {
             Some((shard, json)) => {
-                let mut forwarded = (*json).clone();
-                if let Json::Obj(fields) = &mut forwarded {
+                fleet.ingest_ok += 1;
+                drop(fleet);
+                let mut response = (*json).clone();
+                if let Json::Obj(fields) = &mut response {
                     fields.push(("shard".to_string(), Json::Num(*shard as f64)));
+                    if !missing.is_empty() {
+                        fields.push(("partial".to_string(), Json::Bool(true)));
+                        fields.push((
+                            "missing_shards".to_string(),
+                            Json::Arr(missing.iter().map(|&s| Json::Num(s as f64)).collect()),
+                        ));
+                    }
                 }
-                forwarded
+                response
             }
-            // Every live shard declined: the owner is down. Answer
-            // honestly that nothing was absorbed.
-            None => ok_response(
-                "ingest",
-                [
-                    ("owned".to_string(), Json::Bool(false)),
-                    ("absorbed".to_string(), Json::Bool(false)),
-                ],
-            ),
-        };
-        let dropped = owner.is_none();
-        if !missing.is_empty() || dropped {
-            if let Json::Obj(fields) = &mut response {
-                fields.push(("partial".to_string(), Json::Bool(true)));
-                fields.push((
-                    "missing_shards".to_string(),
-                    Json::Arr(missing.iter().map(|&s| Json::Num(s as f64)).collect()),
-                ));
+            // Every live shard declined: the owner is down. Park the
+            // line for hinted handoff instead of dropping it.
+            None => {
+                drop(fleet);
+                self.park_ingest(line)
             }
         }
-        response
+    }
+
+    /// Parks one owner-down ingest line (the hinted handoff), or sheds
+    /// it when the queue is at capacity.
+    fn park_ingest(&self, line: &str) -> Json {
+        let mut handoff = self.handoff.lock().unwrap_or_else(PoisonError::into_inner);
+        if handoff.queue.len() >= self.config.handoff_cap {
+            handoff.shed += 1;
+            drop(handoff);
+            let mut response = crate::protocol::overloaded_response(
+                "handoff queue full: owner shard down",
+                self.config.retry_after_ms,
+            );
+            if let Json::Obj(fields) = &mut response {
+                fields.push(("parked".to_string(), Json::Bool(false)));
+            }
+            return response;
+        }
+        if let Some(wal) = &mut handoff.wal {
+            // Journal before acknowledging the park, mirroring the
+            // engine's append-before-ack discipline. A failed append
+            // degrades this line to memory-only parking, loudly.
+            if let Err(e) = wal.append("router", "", line) {
+                eprintln!("router: handoff wal append failed: {e}");
+            }
+        }
+        handoff.queue.push_back(line.to_string());
+        handoff.parked += 1;
+        let depth = handoff.queue.len();
+        drop(handoff);
+        ok_response(
+            "ingest",
+            [
+                ("owned".to_string(), Json::Bool(false)),
+                ("absorbed".to_string(), Json::Bool(false)),
+                ("parked".to_string(), Json::Bool(true)),
+                ("depth".to_string(), Json::Num(depth as f64)),
+            ],
+        )
+    }
+
+    /// Drains the hinted-handoff queue after a shard came back: parked
+    /// lines replay in arrival order, at most one pass over the backlog
+    /// that existed when the round started. A line whose owner is still
+    /// down goes back to the front and stops the round, preserving
+    /// order. Replay can re-deliver a line the owner absorbed before a
+    /// restart; the engine's idempotency-key dedup absorbs it once.
+    fn replay_handoff(&self) {
+        if self.replaying.swap(true, Ordering::SeqCst) {
+            return; // a nested fan-out during replay; the outer loop drains
+        }
+        let budget = {
+            let handoff = self.handoff.lock().unwrap_or_else(PoisonError::into_inner);
+            handoff.queue.len()
+        };
+        let mut delivered = 0u64;
+        for _ in 0..budget {
+            let line = {
+                let mut handoff =
+                    self.handoff.lock().unwrap_or_else(PoisonError::into_inner);
+                match handoff.queue.pop_front() {
+                    Some(line) => line,
+                    None => break,
+                }
+            };
+            if self.replay_one(&line) {
+                delivered += 1;
+                let mut handoff =
+                    self.handoff.lock().unwrap_or_else(PoisonError::into_inner);
+                handoff.replayed += 1;
+            } else {
+                let mut handoff =
+                    self.handoff.lock().unwrap_or_else(PoisonError::into_inner);
+                handoff.queue.push_front(line);
+                break;
+            }
+        }
+        let mut handoff = self.handoff.lock().unwrap_or_else(PoisonError::into_inner);
+        if delivered > 0 && handoff.queue.is_empty() {
+            // The backlog drained: the journaled segment is obsolete —
+            // start a fresh one and collect the old atomically.
+            if let Some(wal) = &mut handoff.wal {
+                if let Err(e) = wal.rotate(&Json::Null).and_then(|_| wal.collect()) {
+                    eprintln!("router: handoff wal rotation failed: {e}");
+                }
+            }
+        }
+        drop(handoff);
+        self.replaying.store(false, Ordering::SeqCst);
+    }
+
+    /// One replay attempt: true iff some live shard claimed ownership
+    /// (absorbed or deduped the line).
+    fn replay_one(&self, line: &str) -> bool {
+        let (responses, _missing) = self.fan_out(line);
+        responses.iter().any(|(_, j)| {
+            j.get("ok") == Some(&Json::Bool(true))
+                && j.get("owned") == Some(&Json::Bool(true))
+        })
     }
 
     /// Forwards `reload` to every backend the health machine would fan
@@ -699,6 +918,19 @@ impl RouterEngine {
                 ])
             })
             .collect();
+        let handoff = {
+            let h = self.handoff.lock().unwrap_or_else(PoisonError::into_inner);
+            Json::obj([
+                (
+                    "capacity".to_string(),
+                    Json::Num(self.config.handoff_cap as f64),
+                ),
+                ("depth".to_string(), Json::Num(h.queue.len() as f64)),
+                ("parked".to_string(), Json::Num(h.parked as f64)),
+                ("replayed".to_string(), Json::Num(h.replayed as f64)),
+                ("shed".to_string(), Json::Num(h.shed as f64)),
+            ])
+        };
         let tenants: Vec<Json> = self
             .tenants
             .as_ref()
@@ -743,6 +975,7 @@ impl RouterEngine {
                         ("pings_sent".to_string(), Json::Num(fleet.pings_sent as f64)),
                     ]),
                 ),
+                ("handoff".to_string(), handoff),
                 ("shards".to_string(), Json::Arr(shards)),
                 ("tenants".to_string(), Json::Arr(tenants)),
             ]),

@@ -92,6 +92,13 @@ pub struct ServerConfig {
     /// verified generation appears (the SIGHUP-style trigger; `None`
     /// disables the watcher). Requires an engine built `with_store`.
     pub watch_store: Option<Duration>,
+    /// When a response comes back `kind: "wal_crashed"` (the chaos
+    /// harness's simulated crash at a WAL boundary), exit the whole
+    /// process with code 9 after writing the response — the `serve_areas`
+    /// binary arms this so crash-recovery gates see a real dead process.
+    /// Defaults to false: in-process test servers must never kill the
+    /// test runner.
+    pub exit_on_wal_crash: bool,
 }
 
 impl Default for ServerConfig {
@@ -108,6 +115,7 @@ impl Default for ServerConfig {
             max_line_bytes: 1 << 20,
             max_queue: 1024,
             watch_store: None,
+            exit_on_wal_crash: false,
         }
     }
 }
@@ -393,7 +401,15 @@ fn serve_connection(
                 )
             }
         };
-        if !respond(&mut writer, &response) {
+        let sent = respond(&mut writer, &response);
+        if config.exit_on_wal_crash
+            && response.get("kind").and_then(Json::as_str) == Some("wal_crashed")
+        {
+            let detail = response.get("error").and_then(Json::as_str).unwrap_or("");
+            eprintln!("serve: wal crash point reached: {detail}");
+            std::process::exit(9);
+        }
+        if !sent {
             return;
         }
     }
@@ -422,7 +438,14 @@ fn handle_line(
         }
         Ok(Request::Classify { sql }) => engine.classify(&sql),
         Ok(Request::Neighbors { sql, k }) => engine.neighbors(&sql, k),
-        Ok(Request::Ingest { sql }) => engine.ingest(&sql),
+        Ok(Request::Ingest { sql, key }) => {
+            // The tenant rides on the raw line (see `protocol::tenant_of`);
+            // the parse cannot fail here because `parse_line` succeeded.
+            let tenant = Json::parse(line)
+                .map(|json| crate::protocol::tenant_of(&json).to_string())
+                .unwrap_or_else(|_| "anon".to_string());
+            engine.ingest(&sql, &tenant, &key)
+        }
         Ok(Request::Stats) => engine.stats_response(),
         Ok(Request::Reload) => engine.reload(),
         Ok(Request::Ping) => engine.ping_response(),

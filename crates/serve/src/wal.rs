@@ -1,0 +1,866 @@
+//! Checksummed, segmented write-ahead log for durable ingest.
+//!
+//! The model store (PR 5) makes the *published* model crash-consistent,
+//! but every area absorbed since the last compaction lives only in the
+//! maintainer's memory: a `kill -9` silently rewinds the workload model
+//! to the previous generation. This WAL closes that hole with the same
+//! three mechanisms the store uses, adapted to an append-only log:
+//!
+//! 1. **Segments keyed to the evolve window.** Each segment starts with
+//!    an atomically-committed (write-temp + rename) header carrying the
+//!    owner's *checkpoint* — for the engine, the published generation
+//!    plus the [`aa_evolve::EvolveCheckpoint`] replay state — and every
+//!    record appended after it belongs to that basis. Rotation happens
+//!    at the compaction boundary, once the new generation's rename has
+//!    committed, so a segment never outlives the model it replays onto.
+//! 2. **Self-verifying, length-prefixed records.** Every append writes a
+//!    one-line JSON record header — monotone sequence number, tenant,
+//!    client idempotency key, payload byte length, FNV-1a checksum
+//!    ([`aa_util::fnv1a_64_hex`]) — followed by the payload line. A torn
+//!    tail, a checksum mismatch, or a sequence gap truncates the scan at
+//!    the last verified record (truncate-and-report, never an error):
+//!    torn records are data about the crash, not corruption to choke on.
+//! 3. **Atomic garbage collection.** Segments older than the active one
+//!    are removed by rename-to-`.tmp` *then* delete, so a crash mid-GC
+//!    leaves only a `.tmp` orphan that startup sweeps — a stale segment
+//!    either is in the recovery set or is invisible, never half-removed.
+//!    [`SegmentWal::collect`] structurally refuses to touch the active
+//!    segment, so no GC/append interleaving can drop live records.
+//!
+//! Recovery ([`SegmentWal::recover`]) scans segments newest-first, loads
+//! the first whose header verifies, reads its records through the
+//! tolerant scanner, physically truncates any torn tail, and resumes
+//! appending where the verified prefix ends — sequence numbers continue
+//! across the restart, which is what lets a restarted run's stats
+//! converge byte-for-byte with an uninterrupted one.
+//!
+//! The log is payload-agnostic: the engine appends canonical area JSON,
+//! the router's hinted-handoff queue appends raw parked request lines.
+//! [`WalFault`] enumerates the simulated `kill -9` points the chaos
+//! suite drives (the `SaveFault` discipline, extended to the append /
+//! rotate / GC boundaries of this log).
+
+use aa_util::{fnv1a_64_hex, Json};
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// On-disk format version (bumped on incompatible header changes).
+pub const WAL_FORMAT_VERSION: u32 = 1;
+
+/// Filename suffix for committed segments.
+const SEGMENT_SUFFIX: &str = ".aawal";
+/// Filename suffix for in-flight temp files (rotation and GC both stage
+/// through it).
+const TMP_SUFFIX: &str = ".aawal.tmp";
+
+/// A simulated `kill -9` at one point of the WAL protocol. The variants
+/// enumerate every distinct filesystem state a crash can leave behind
+/// around an ingest: mid-append, post-append, and — when the ingest
+/// crossed a compaction boundary — mid-rotation and mid-GC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalFault {
+    /// Die after writing only half the record bytes: a torn tail at the
+    /// end of the active segment. The ingest is *not* durable.
+    TornAppend,
+    /// Die right after the record reached the segment, before the client
+    /// saw the acknowledgement. The ingest is durable; the client's
+    /// retry must dedupe, not double-absorb.
+    CrashAfterAppend,
+    /// Die after writing only half the new segment's header to its temp
+    /// file: rotation did not commit, the old segment stays active.
+    /// (Fires at the compaction boundary; degenerates to
+    /// [`CrashAfterAppend`] when the ingest did not compact.)
+    ///
+    /// [`CrashAfterAppend`]: WalFault::CrashAfterAppend
+    TornRotate,
+    /// Die with the new segment committed but stale segments not yet
+    /// collected; recovery loads the new segment and GC finishes later.
+    CrashBeforeGc,
+    /// Die mid-collection: a stale segment renamed to `.tmp` but not
+    /// deleted — the startup sweep finishes the job.
+    TornGc,
+}
+
+impl WalFault {
+    /// Every crash point, for exhaustive chaos sweeps.
+    pub const ALL: [WalFault; 5] = [
+        WalFault::TornAppend,
+        WalFault::CrashAfterAppend,
+        WalFault::TornRotate,
+        WalFault::CrashBeforeGc,
+        WalFault::TornGc,
+    ];
+
+    /// Stable CLI / wire spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WalFault::TornAppend => "torn-append",
+            WalFault::CrashAfterAppend => "after-append",
+            WalFault::TornRotate => "torn-rotate",
+            WalFault::CrashBeforeGc => "before-gc",
+            WalFault::TornGc => "torn-gc",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<WalFault> {
+        WalFault::ALL.into_iter().find(|f| f.as_str() == s)
+    }
+
+    /// Whether the record of the interrupted ingest survives the crash
+    /// (everything but a torn append): a durable-but-unacknowledged
+    /// ingest is what the idempotency-key dedup exists for.
+    pub fn durable(&self) -> bool {
+        !matches!(self, WalFault::TornAppend)
+    }
+}
+
+/// WAL-level failure (I/O or misuse). Torn tails are *not* errors — they
+/// are reported via [`SegmentRecovery::truncated`].
+#[derive(Debug)]
+pub struct WalError(pub String);
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wal error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WalError {}
+
+fn io_err(context: &str, e: impl fmt::Display) -> WalError {
+    WalError(format!("{context}: {e}"))
+}
+
+/// One verified record read back from a segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Monotone sequence number (continues across segments and restarts).
+    pub seq: u64,
+    /// Tenant the ingest arrived under.
+    pub tenant: String,
+    /// Client idempotency key (empty = none supplied).
+    pub key: String,
+    /// The durable payload: canonical area JSON for the engine's log,
+    /// the raw parked request line for the router's handoff log.
+    pub payload: String,
+}
+
+/// One segment recovery refused to load, and why.
+#[derive(Debug)]
+pub struct RejectedSegment {
+    pub segment: u64,
+    pub path: PathBuf,
+    pub reason: String,
+}
+
+/// The newest segment that verified: its checkpoint, its surviving
+/// records, and whether a torn tail had to be cut.
+#[derive(Debug)]
+pub struct SegmentRecovery {
+    pub segment: u64,
+    /// The owner's checkpoint, exactly as passed to [`SegmentWal::rotate`].
+    pub checkpoint: Json,
+    /// Records that survived verification, in sequence order.
+    pub records: Vec<WalRecord>,
+    /// First sequence number a post-recovery append will use.
+    pub next_seq: u64,
+    /// Why the tail was truncated, when it was (torn write, checksum
+    /// mismatch, sequence gap). `None` = the segment was clean.
+    pub truncated: Option<String>,
+}
+
+/// The result of scanning the log directory.
+#[derive(Debug)]
+pub struct WalRecovery {
+    /// The newest segment whose header verified (its torn tail, if any,
+    /// already truncated on disk). `None` = empty or fully-corrupt log.
+    pub loaded: Option<SegmentRecovery>,
+    /// Segments whose *header* failed verification, newest first. A torn
+    /// record region is tolerated; a torn header means the rotation never
+    /// committed and the whole segment is unusable.
+    pub rejected: Vec<RejectedSegment>,
+}
+
+struct ActiveSegment {
+    segment: u64,
+    path: PathBuf,
+    file: std::fs::File,
+    next_seq: u64,
+}
+
+/// A directory of checksummed, sequence-numbered log segments with one
+/// active tail.
+pub struct SegmentWal {
+    dir: PathBuf,
+    active: Option<ActiveSegment>,
+}
+
+impl SegmentWal {
+    /// Opens (creating if needed) a log rooted at `dir`. No segment is
+    /// active until [`recover`] resumes one or [`rotate`] starts one.
+    ///
+    /// [`recover`]: SegmentWal::recover
+    /// [`rotate`]: SegmentWal::rotate
+    pub fn open(dir: impl Into<PathBuf>) -> Result<SegmentWal, WalError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| io_err(&format!("create wal dir {}", dir.display()), e))?;
+        Ok(SegmentWal { dir, active: None })
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Committed filename for a segment.
+    pub fn path_for(&self, segment: u64) -> PathBuf {
+        self.dir.join(format!("wal-{segment:08}{SEGMENT_SUFFIX}"))
+    }
+
+    fn tmp_path_for(&self, segment: u64) -> PathBuf {
+        self.dir.join(format!("wal-{segment:08}{TMP_SUFFIX}"))
+    }
+
+    /// The active segment's number, if one is open for appends.
+    pub fn active_segment(&self) -> Option<u64> {
+        self.active.as_ref().map(|a| a.segment)
+    }
+
+    /// The sequence number the next append will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.active.as_ref().map_or(0, |a| a.next_seq)
+    }
+
+    /// Every committed segment number in the directory, ascending. Temp
+    /// orphans (torn rotations, interrupted GC) are excluded.
+    pub fn segments(&self) -> Result<Vec<u64>, WalError> {
+        let mut segments = Vec::new();
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| io_err(&format!("read wal dir {}", self.dir.display()), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("read wal dir entry", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(s) = parse_segment(name, SEGMENT_SUFFIX) {
+                segments.push(s);
+            }
+        }
+        segments.sort_unstable();
+        Ok(segments)
+    }
+
+    /// Deletes orphaned `.tmp` files (torn rotations, interrupted GC).
+    /// Startup is the one moment no rotation is in flight, so orphans are
+    /// guaranteed stale. Returns how many were removed.
+    pub fn sweep_tmp(&self) -> Result<usize, WalError> {
+        let mut removed = 0;
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| io_err(&format!("read wal dir {}", self.dir.display()), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("read wal dir entry", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if parse_segment(name, TMP_SUFFIX).is_some() {
+                std::fs::remove_file(entry.path())
+                    .map_err(|e| io_err(&format!("remove {}", entry.path().display()), e))?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Starts a new segment carrying `checkpoint` and makes it active.
+    /// The header (and checkpoint) are staged to a `.tmp` sibling and
+    /// renamed into place, so a crashed rotation leaves the previous
+    /// segment active and a sweepable orphan — never a half-written
+    /// committed segment. Sequence numbers continue from the previous
+    /// active segment. Returns the new segment number.
+    pub fn rotate(&mut self, checkpoint: &Json) -> Result<u64, WalError> {
+        let next_seq = self.next_seq();
+        self.rotate_at(checkpoint, next_seq)
+    }
+
+    /// [`rotate`](SegmentWal::rotate) with an explicit starting sequence
+    /// number. Recovery uses this when a replayed compaction rotates
+    /// mid-log: the records carried over into the new segment keep their
+    /// original sequence numbers, so the header must start below the
+    /// current append counter.
+    pub fn rotate_at(&mut self, checkpoint: &Json, next_seq: u64) -> Result<u64, WalError> {
+        let segment = self.next_segment_number()?;
+        let bytes = segment_header_bytes(segment, next_seq, checkpoint);
+        let tmp_path = self.tmp_path_for(segment);
+        let final_path = self.path_for(segment);
+        std::fs::write(&tmp_path, &bytes)
+            .map_err(|e| io_err(&format!("write {}", tmp_path.display()), e))?;
+        std::fs::rename(&tmp_path, &final_path).map_err(|e| {
+            io_err(
+                &format!("rename {} -> {}", tmp_path.display(), final_path.display()),
+                e,
+            )
+        })?;
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&final_path)
+            .map_err(|e| io_err(&format!("open {} for append", final_path.display()), e))?;
+        self.active = Some(ActiveSegment {
+            segment,
+            path: final_path,
+            file,
+            next_seq,
+        });
+        Ok(segment)
+    }
+
+    /// Simulates [`WalFault::TornRotate`]: half the new segment's header
+    /// reaches the temp file and the writer dies. The rotation is not
+    /// committed — the previous segment stays the newest on disk — and
+    /// the in-memory log is left untouched (a real crash loses it
+    /// anyway; tests rebuild from disk).
+    pub fn rotate_torn(&mut self, checkpoint: &Json) -> Result<(), WalError> {
+        let segment = self.next_segment_number()?;
+        let bytes = segment_header_bytes(segment, self.next_seq(), checkpoint);
+        let tmp_path = self.tmp_path_for(segment);
+        std::fs::write(&tmp_path, &bytes[..bytes.len() / 2])
+            .map_err(|e| io_err(&format!("write {}", tmp_path.display()), e))?;
+        Ok(())
+    }
+
+    /// Appends one record to the active segment and flushes it. Returns
+    /// the record's sequence number. Errors if no segment is active —
+    /// callers rotate (or recover) first, so every record provably lands
+    /// under a committed checkpoint header.
+    pub fn append(&mut self, tenant: &str, key: &str, payload: &str) -> Result<u64, WalError> {
+        let active = self
+            .active
+            .as_mut()
+            .ok_or_else(|| WalError("append with no active segment (rotate first)".into()))?;
+        let seq = active.next_seq;
+        let bytes = record_bytes(seq, tenant, key, payload);
+        active
+            .file
+            .write_all(&bytes)
+            .and_then(|()| active.file.flush())
+            .map_err(|e| io_err(&format!("append to {}", active.path.display()), e))?;
+        active.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Re-appends a recovered record verbatim, preserving its original
+    /// sequence number (recovery's rotation carries the post-compaction
+    /// tail into the new segment this way).
+    pub fn append_record(&mut self, record: &WalRecord) -> Result<u64, WalError> {
+        let active = self
+            .active
+            .as_mut()
+            .ok_or_else(|| WalError("append with no active segment (rotate first)".into()))?;
+        let bytes = record_bytes(record.seq, &record.tenant, &record.key, &record.payload);
+        active
+            .file
+            .write_all(&bytes)
+            .and_then(|()| active.file.flush())
+            .map_err(|e| io_err(&format!("append to {}", active.path.display()), e))?;
+        active.next_seq = record.seq + 1;
+        Ok(record.seq)
+    }
+
+    /// Simulates [`WalFault::TornAppend`]: half the record bytes reach
+    /// the active segment and the writer dies. The sequence number is
+    /// *not* consumed (the record never became durable).
+    pub fn append_torn(&mut self, tenant: &str, key: &str, payload: &str) -> Result<(), WalError> {
+        let active = self
+            .active
+            .as_mut()
+            .ok_or_else(|| WalError("append with no active segment (rotate first)".into()))?;
+        let bytes = record_bytes(active.next_seq, tenant, key, payload);
+        active
+            .file
+            .write_all(&bytes[..bytes.len() / 2])
+            .and_then(|()| active.file.flush())
+            .map_err(|e| io_err(&format!("append to {}", active.path.display()), e))?;
+        Ok(())
+    }
+
+    /// Garbage-collects committed segments older than the active one:
+    /// rename to `.tmp`, then delete, so a crash between the two leaves a
+    /// sweepable orphan instead of a half-removed segment. Structurally
+    /// refuses to touch the active segment (the GC/append race): with no
+    /// active segment nothing is collected at all. Returns how many
+    /// segments were removed.
+    pub fn collect(&mut self) -> Result<usize, WalError> {
+        let Some(active) = self.active.as_ref().map(|a| a.segment) else {
+            return Ok(0);
+        };
+        let mut removed = 0;
+        for stale in self.segments()?.into_iter().filter(|&s| s < active) {
+            let path = self.path_for(stale);
+            let tmp = self.tmp_path_for(stale);
+            std::fs::rename(&path, &tmp).map_err(|e| {
+                io_err(&format!("rename {} -> {}", path.display(), tmp.display()), e)
+            })?;
+            std::fs::remove_file(&tmp)
+                .map_err(|e| io_err(&format!("remove {}", tmp.display()), e))?;
+            removed += 1;
+        }
+        Ok(removed)
+    }
+
+    /// Simulates [`WalFault::TornGc`]: the oldest stale segment is
+    /// renamed aside but the writer dies before deleting it (and before
+    /// collecting the rest).
+    pub fn collect_torn(&mut self) -> Result<(), WalError> {
+        let Some(active) = self.active.as_ref().map(|a| a.segment) else {
+            return Ok(());
+        };
+        if let Some(stale) = self.segments()?.into_iter().find(|&s| s < active) {
+            let path = self.path_for(stale);
+            let tmp = self.tmp_path_for(stale);
+            std::fs::rename(&path, &tmp).map_err(|e| {
+                io_err(&format!("rename {} -> {}", path.display(), tmp.display()), e)
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Scans the directory newest-first, resumes the first segment whose
+    /// header verifies, and reports everything: surviving records, the
+    /// truncation reason when a torn tail was cut (the file is physically
+    /// truncated to its verified prefix so appends resume cleanly), and
+    /// every newer segment whose header had to be rejected. An empty or
+    /// fully-corrupt log yields `loaded: None` — the caller rotates a
+    /// fresh segment and starts over.
+    pub fn recover(&mut self) -> Result<WalRecovery, WalError> {
+        let mut segments = self.segments()?;
+        segments.reverse(); // newest first
+        let mut rejected = Vec::new();
+        for segment in segments {
+            let path = self.path_for(segment);
+            let bytes = std::fs::read(&path)
+                .map_err(|e| io_err(&format!("read {}", path.display()), e))?;
+            let (checkpoint, start_seq, body_offset) = match verify_segment_header(&bytes, segment)
+            {
+                Ok(parsed) => parsed,
+                Err(reason) => {
+                    rejected.push(RejectedSegment {
+                        segment,
+                        path,
+                        reason,
+                    });
+                    continue;
+                }
+            };
+            let (records, good_len, truncated) = scan_records(&bytes, body_offset, start_seq);
+            if truncated.is_some() {
+                let file = std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| io_err(&format!("open {} to truncate", path.display()), e))?;
+                file.set_len(good_len as u64)
+                    .map_err(|e| io_err(&format!("truncate {}", path.display()), e))?;
+            }
+            let next_seq = records.last().map_or(start_seq, |r| r.seq + 1);
+            let file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .map_err(|e| io_err(&format!("open {} for append", path.display()), e))?;
+            self.active = Some(ActiveSegment {
+                segment,
+                path,
+                file,
+                next_seq,
+            });
+            return Ok(WalRecovery {
+                loaded: Some(SegmentRecovery {
+                    segment,
+                    checkpoint,
+                    records,
+                    next_seq,
+                    truncated,
+                }),
+                rejected,
+            });
+        }
+        Ok(WalRecovery {
+            loaded: None,
+            rejected,
+        })
+    }
+
+    /// The number the next rotation commits: one past the active segment,
+    /// or one past the newest committed file when nothing is active yet.
+    /// Temp orphans are deliberately *not* counted (unlike the model
+    /// store's generation allocator): the WAL has a single writer and
+    /// sweeps orphans at startup, so a torn rotation's retry reuses the
+    /// same number — which is what keeps a crashed-and-recovered run's
+    /// segment numbering byte-identical to an uninterrupted one.
+    fn next_segment_number(&self) -> Result<u64, WalError> {
+        if let Some(active) = &self.active {
+            return Ok(active.segment + 1);
+        }
+        Ok(self.segments()?.last().map_or(1, |s| s + 1))
+    }
+}
+
+/// `wal-<8 digits><suffix>` → segment number.
+fn parse_segment(name: &str, suffix: &str) -> Option<u64> {
+    let rest = name.strip_prefix("wal-")?.strip_suffix(suffix)?;
+    if rest.len() != 8 || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+/// Header line + checkpoint line for a new segment.
+fn segment_header_bytes(segment: u64, next_seq: u64, checkpoint: &Json) -> Vec<u8> {
+    let payload = checkpoint.to_string_compact();
+    let header = Json::obj([
+        ("aa_wal".to_string(), Json::Num(WAL_FORMAT_VERSION as f64)),
+        ("segment".to_string(), Json::Num(segment as f64)),
+        ("next_seq".to_string(), Json::Num(next_seq as f64)),
+        (
+            "checkpoint_bytes".to_string(),
+            Json::Num(payload.len() as f64),
+        ),
+        (
+            "fnv1a64".to_string(),
+            Json::Str(fnv1a_64_hex(payload.as_bytes())),
+        ),
+    ])
+    .to_string_compact();
+    let mut bytes = header.into_bytes();
+    bytes.push(b'\n');
+    bytes.extend_from_slice(payload.as_bytes());
+    bytes.push(b'\n');
+    bytes
+}
+
+/// Record header line + payload line for one append.
+fn record_bytes(seq: u64, tenant: &str, key: &str, payload: &str) -> Vec<u8> {
+    let header = Json::obj([
+        ("seq".to_string(), Json::Num(seq as f64)),
+        ("tenant".to_string(), Json::Str(tenant.to_string())),
+        ("key".to_string(), Json::Str(key.to_string())),
+        (
+            "payload_bytes".to_string(),
+            Json::Num(payload.len() as f64),
+        ),
+        (
+            "fnv1a64".to_string(),
+            Json::Str(fnv1a_64_hex(payload.as_bytes())),
+        ),
+    ])
+    .to_string_compact();
+    let mut bytes = header.into_bytes();
+    bytes.push(b'\n');
+    bytes.extend_from_slice(payload.as_bytes());
+    bytes.push(b'\n');
+    bytes
+}
+
+/// Verifies the two-line segment header. Returns the checkpoint, the
+/// first record sequence number, and the byte offset of the record
+/// region. The header is committed atomically (temp + rename), so any
+/// failure here means the segment never finished rotating — reject it
+/// whole; record-region damage is the tolerant scanner's job.
+fn verify_segment_header(
+    bytes: &[u8],
+    expected_segment: u64,
+) -> Result<(Json, u64, usize), String> {
+    let header_end = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or("missing header line (torn rotation?)")?;
+    let header = std::str::from_utf8(&bytes[..header_end])
+        .map_err(|_| "header not valid UTF-8 (torn rotation?)")?;
+    let header = Json::parse(header).map_err(|e| format!("header not JSON: {e}"))?;
+    let version = header.get("aa_wal").and_then(Json::as_f64);
+    if version != Some(WAL_FORMAT_VERSION as f64) {
+        return Err(format!(
+            "unsupported wal format {version:?} (want {WAL_FORMAT_VERSION})"
+        ));
+    }
+    let recorded_segment = header.get("segment").and_then(Json::as_f64);
+    if recorded_segment != Some(expected_segment as f64) {
+        return Err(format!(
+            "header segment {recorded_segment:?} does not match filename segment {expected_segment}"
+        ));
+    }
+    let next_seq = header
+        .get("next_seq")
+        .and_then(Json::as_f64)
+        .ok_or("header missing next_seq")? as u64;
+    let checkpoint_len = header
+        .get("checkpoint_bytes")
+        .and_then(Json::as_f64)
+        .ok_or("header missing checkpoint_bytes")? as usize;
+    let checkpoint_start = header_end + 1;
+    let checkpoint_end = checkpoint_start.checked_add(checkpoint_len).ok_or("checkpoint length overflows")?;
+    if checkpoint_end >= bytes.len() || bytes[checkpoint_end] != b'\n' {
+        return Err("checkpoint region torn (rotation never committed?)".to_string());
+    }
+    let payload = &bytes[checkpoint_start..checkpoint_end];
+    let recorded_hash = header
+        .get("fnv1a64")
+        .and_then(Json::as_str)
+        .ok_or("header missing fnv1a64")?;
+    let actual_hash = fnv1a_64_hex(payload);
+    if recorded_hash != actual_hash {
+        return Err(format!(
+            "checkpoint checksum mismatch: hashes to {actual_hash}, header records {recorded_hash}"
+        ));
+    }
+    let text = std::str::from_utf8(payload).map_err(|_| "checkpoint not valid UTF-8")?;
+    let checkpoint = Json::parse(text).map_err(|e| format!("checkpoint not JSON: {e}"))?;
+    Ok((checkpoint, next_seq, checkpoint_end + 1))
+}
+
+/// The tolerant record scanner: verifies records in order from `offset`
+/// and stops at the first one that fails — torn header, torn payload,
+/// checksum mismatch, or a non-consecutive sequence number. Returns the
+/// surviving records, the byte length of the verified prefix, and the
+/// truncation reason when the tail was cut.
+fn scan_records(
+    bytes: &[u8],
+    offset: usize,
+    start_seq: u64,
+) -> (Vec<WalRecord>, usize, Option<String>) {
+    let mut records = Vec::new();
+    let mut good_len = offset;
+    let mut expected_seq = start_seq;
+    let mut cursor = offset;
+    let truncated = loop {
+        if cursor == bytes.len() {
+            break None; // clean tail
+        }
+        let Some(line_len) = bytes[cursor..].iter().position(|&b| b == b'\n') else {
+            break Some(format!(
+                "torn record header at byte {cursor} (no newline before end of segment)"
+            ));
+        };
+        let header = match std::str::from_utf8(&bytes[cursor..cursor + line_len]) {
+            Ok(h) => h,
+            Err(_) => break Some(format!("record header at byte {cursor} not valid UTF-8")),
+        };
+        let header = match Json::parse(header) {
+            Ok(h) => h,
+            Err(e) => break Some(format!("record header at byte {cursor} not JSON: {e}")),
+        };
+        let Some(seq) = header.get("seq").and_then(Json::as_f64).map(|s| s as u64) else {
+            break Some(format!("record header at byte {cursor} missing seq"));
+        };
+        if seq != expected_seq {
+            break Some(format!(
+                "sequence gap: record carries seq {seq}, expected {expected_seq}"
+            ));
+        }
+        let tenant = header.get("tenant").and_then(Json::as_str).unwrap_or("");
+        let key = header.get("key").and_then(Json::as_str).unwrap_or("");
+        let Some(payload_len) = header
+            .get("payload_bytes")
+            .and_then(Json::as_f64)
+            .map(|n| n as usize)
+        else {
+            break Some(format!("record header at byte {cursor} missing payload_bytes"));
+        };
+        let payload_start = cursor + line_len + 1;
+        let Some(payload_end) = payload_start.checked_add(payload_len) else {
+            break Some(format!("record at seq {seq} declares an absurd payload length"));
+        };
+        if payload_end >= bytes.len() || bytes[payload_end] != b'\n' {
+            break Some(format!("torn payload for seq {seq} (record cut mid-write)"));
+        }
+        let payload = &bytes[payload_start..payload_end];
+        let recorded_hash = header.get("fnv1a64").and_then(Json::as_str).unwrap_or("");
+        let actual_hash = fnv1a_64_hex(payload);
+        if recorded_hash != actual_hash {
+            break Some(format!(
+                "checksum mismatch for seq {seq}: payload hashes to {actual_hash}, header records {recorded_hash}"
+            ));
+        }
+        let payload = match std::str::from_utf8(payload) {
+            Ok(p) => p.to_string(),
+            Err(_) => break Some(format!("payload for seq {seq} not valid UTF-8")),
+        };
+        records.push(WalRecord {
+            seq,
+            tenant: tenant.to_string(),
+            key: key.to_string(),
+            payload,
+        });
+        expected_seq += 1;
+        cursor = payload_end + 1;
+        good_len = cursor;
+    };
+    (records, good_len, truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_wal(tag: &str) -> SegmentWal {
+        let dir = std::env::temp_dir().join(format!(
+            "aa-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        SegmentWal::open(dir).unwrap()
+    }
+
+    fn checkpoint(n: u64) -> Json {
+        Json::obj([("n".to_string(), Json::Num(n as f64))])
+    }
+
+    #[test]
+    fn append_then_recover_round_trips() {
+        let mut wal = tmp_wal("roundtrip");
+        assert_eq!(wal.rotate(&checkpoint(0)).unwrap(), 1);
+        assert_eq!(wal.append("anon", "k0", "payload zero").unwrap(), 0);
+        assert_eq!(wal.append("bot", "", "payload\nwith\nnewlines? no: one line").unwrap(), 1);
+        let mut fresh = SegmentWal::open(wal.dir()).unwrap();
+        let recovery = fresh.recover().unwrap();
+        let loaded = recovery.loaded.expect("segment verifies");
+        assert_eq!(loaded.segment, 1);
+        assert_eq!(loaded.checkpoint, checkpoint(0));
+        assert_eq!(loaded.truncated, None);
+        assert_eq!(loaded.records.len(), 2);
+        assert_eq!(loaded.records[0].seq, 0);
+        assert_eq!(loaded.records[0].tenant, "anon");
+        assert_eq!(loaded.records[0].key, "k0");
+        assert_eq!(loaded.records[0].payload, "payload zero");
+        assert_eq!(loaded.next_seq, 2);
+        // Appends resume exactly where the verified prefix ends.
+        assert_eq!(fresh.append("anon", "k2", "resumed").unwrap(), 2);
+        let _ = std::fs::remove_dir_all(wal.dir());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported_never_misparsed() {
+        let mut wal = tmp_wal("torn");
+        wal.rotate(&checkpoint(0)).unwrap();
+        wal.append("anon", "a", "first").unwrap();
+        wal.append_torn("anon", "b", "second-but-torn").unwrap();
+        let mut fresh = SegmentWal::open(wal.dir()).unwrap();
+        let recovery = fresh.recover().unwrap();
+        let loaded = recovery.loaded.expect("segment header still verifies");
+        assert_eq!(loaded.records.len(), 1, "only the complete record survives");
+        assert_eq!(loaded.records[0].key, "a");
+        assert!(loaded.truncated.is_some(), "the torn tail is reported");
+        assert_eq!(loaded.next_seq, 1);
+        // The file was physically truncated: the retry lands cleanly and a
+        // third recovery sees both records with no torn tail.
+        assert_eq!(fresh.append("anon", "b", "second-retried").unwrap(), 1);
+        let mut third = SegmentWal::open(wal.dir()).unwrap();
+        let loaded = third.recover().unwrap().loaded.unwrap();
+        assert_eq!(loaded.records.len(), 2);
+        assert_eq!(loaded.truncated, None);
+        let _ = std::fs::remove_dir_all(wal.dir());
+    }
+
+    #[test]
+    fn bit_flip_truncates_at_the_corrupt_record() {
+        let mut wal = tmp_wal("bitflip");
+        wal.rotate(&checkpoint(0)).unwrap();
+        wal.append("anon", "a", "first payload").unwrap();
+        let after_first = std::fs::metadata(wal.path_for(1)).unwrap().len();
+        wal.append("anon", "b", "second payload").unwrap();
+        let path = wal.path_for(1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = after_first as usize + (bytes.len() - after_first as usize) * 3 / 4;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, bytes).unwrap();
+        let mut fresh = SegmentWal::open(wal.dir()).unwrap();
+        let loaded = fresh.recover().unwrap().loaded.expect("header intact");
+        assert_eq!(loaded.records.len(), 1, "scan stops at the flipped record");
+        let reason = loaded.truncated.expect("corruption is reported");
+        assert!(
+            reason.contains("checksum") || reason.contains("JSON") || reason.contains("torn"),
+            "{reason}"
+        );
+        let _ = std::fs::remove_dir_all(wal.dir());
+    }
+
+    #[test]
+    fn rotation_continues_sequences_and_gc_refuses_the_active_segment() {
+        let mut wal = tmp_wal("rotate");
+        wal.rotate(&checkpoint(0)).unwrap();
+        wal.append("anon", "a", "one").unwrap();
+        wal.append("anon", "b", "two").unwrap();
+        // GC with only the active segment on disk: nothing to collect,
+        // and the active file survives untouched — the race the guard
+        // exists for.
+        assert_eq!(wal.collect().unwrap(), 0);
+        assert!(wal.path_for(1).exists());
+        assert_eq!(wal.rotate(&checkpoint(1)).unwrap(), 2);
+        assert_eq!(wal.next_seq(), 2, "sequences continue across segments");
+        assert_eq!(wal.append("anon", "c", "three").unwrap(), 2);
+        assert_eq!(wal.collect().unwrap(), 1, "only the stale segment goes");
+        assert_eq!(wal.segments().unwrap(), vec![2]);
+        let mut fresh = SegmentWal::open(wal.dir()).unwrap();
+        let loaded = fresh.recover().unwrap().loaded.unwrap();
+        assert_eq!(loaded.segment, 2);
+        assert_eq!(loaded.checkpoint, checkpoint(1));
+        assert_eq!(loaded.records.len(), 1);
+        assert_eq!(loaded.records[0].seq, 2);
+        let _ = std::fs::remove_dir_all(wal.dir());
+    }
+
+    #[test]
+    fn torn_rotation_is_invisible_and_the_retry_reuses_the_number() {
+        let mut wal = tmp_wal("tornrotate");
+        wal.rotate(&checkpoint(0)).unwrap();
+        wal.append("anon", "a", "one").unwrap();
+        wal.rotate_torn(&checkpoint(1)).unwrap();
+        // Restart: the torn tmp is swept, segment 1 is still the newest.
+        let mut fresh = SegmentWal::open(wal.dir()).unwrap();
+        assert_eq!(fresh.sweep_tmp().unwrap(), 1);
+        let loaded = fresh.recover().unwrap().loaded.unwrap();
+        assert_eq!(loaded.segment, 1);
+        assert_eq!(loaded.records.len(), 1);
+        // The re-run rotation commits the same number the torn one tried.
+        assert_eq!(fresh.rotate(&checkpoint(1)).unwrap(), 2);
+        let _ = std::fs::remove_dir_all(wal.dir());
+    }
+
+    #[test]
+    fn interrupted_gc_leaves_only_a_sweepable_orphan() {
+        let mut wal = tmp_wal("torngc");
+        wal.rotate(&checkpoint(0)).unwrap();
+        wal.append("anon", "a", "one").unwrap();
+        wal.rotate(&checkpoint(1)).unwrap();
+        wal.collect_torn().unwrap();
+        // The stale segment is neither committed nor deleted: it is
+        // renamed aside, out of the recovery set.
+        assert_eq!(wal.segments().unwrap(), vec![2]);
+        let mut fresh = SegmentWal::open(wal.dir()).unwrap();
+        assert_eq!(fresh.sweep_tmp().unwrap(), 1, "startup finishes the GC");
+        let loaded = fresh.recover().unwrap().loaded.unwrap();
+        assert_eq!(loaded.segment, 2);
+        let _ = std::fs::remove_dir_all(wal.dir());
+    }
+
+    #[test]
+    fn fully_torn_log_yields_none_with_reasons() {
+        let wal = tmp_wal("allcorrupt");
+        std::fs::write(wal.path_for(1), b"{\"aa_wal\":1,\"segme").unwrap();
+        let mut fresh = SegmentWal::open(wal.dir()).unwrap();
+        let recovery = fresh.recover().unwrap();
+        assert!(recovery.loaded.is_none());
+        assert_eq!(recovery.rejected.len(), 1);
+        assert_eq!(recovery.rejected[0].segment, 1);
+        let _ = std::fs::remove_dir_all(wal.dir());
+    }
+
+    #[test]
+    fn wal_fault_spellings_round_trip() {
+        for fault in WalFault::ALL {
+            assert_eq!(WalFault::parse(fault.as_str()), Some(fault));
+        }
+        assert_eq!(WalFault::parse("nonsense"), None);
+        assert!(!WalFault::TornAppend.durable());
+        assert!(WalFault::CrashAfterAppend.durable());
+    }
+}

@@ -422,3 +422,226 @@ fn chaos_soak_conserves_every_request_and_replays_byte_identically() {
     assert_eq!(transcript_a, transcript_b, "transcripts must replay byte for byte");
     assert_eq!(stats_a, stats_b, "stats snapshots must replay byte for byte");
 }
+
+/// Spawns one shard server with the evolving-model window enabled, so it
+/// answers `ingest` (compaction disabled: no store, no WAL — the durable
+/// leg under test here is the *router's* handoff journal).
+fn spawn_ingest_shard(spec: ShardSpec, port: u16) -> ServerHandle {
+    let engine = ServeEngine::new_sharded(model().clone(), 4096, Some(50_000_000), Some(spec))
+        .with_evolve(aa_serve::EvolveConfig {
+            window: 256,
+            compact_every: 0,
+            decay_half_life: 0.0,
+            max_pivots: 64,
+        });
+    aa_serve::spawn(
+        engine,
+        ServerConfig {
+            addr: format!("127.0.0.1:{port}"),
+            workers: 2,
+            per_minute: 1_000_000,
+            read_timeout: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ingest shard")
+}
+
+fn ingest_line(sql: &str, key: &str) -> String {
+    Json::obj([
+        ("op".to_string(), Json::Str("ingest".to_string())),
+        ("sql".to_string(), Json::Str(sql.to_string())),
+        ("key".to_string(), Json::Str(key.to_string())),
+    ])
+    .to_string_compact()
+}
+
+/// Statements whose access areas hash to the victim shard (0 of 3), with
+/// pairwise-distinct fingerprints — every one of these ingests has
+/// exactly one owner, and killing shard 0 orphans all of them.
+fn victim_owned_sqls(n: usize) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for area in &model().areas {
+        if aa_serve::shard_of(area, SHARDS) != 0 {
+            continue;
+        }
+        let sql = area.to_intermediate_sql();
+        if seen.insert(aa_sql::fingerprint(&sql)) {
+            out.push(sql);
+            if out.len() == n {
+                break;
+            }
+        }
+    }
+    assert_eq!(out.len(), n, "the seed model must own enough areas on shard 0");
+    out
+}
+
+/// The fleet.handoff block out of a wire-level stats response.
+fn handoff_block(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>) -> Json {
+    let response = Json::parse(&send_raw(writer, reader, "{\"op\":\"stats\"}"))
+        .expect("stats response parses");
+    response
+        .get("stats")
+        .and_then(|s| s.get("fleet"))
+        .and_then(|f| f.get("handoff"))
+        .cloned()
+        .expect("fleet.handoff block")
+}
+
+fn handoff_count(block: &Json, key: &str) -> u64 {
+    block.get(key).and_then(Json::as_f64).expect(key) as u64
+}
+
+/// One full hinted-handoff scenario: absorb on the owner, kill it, park
+/// until the bounded queue sheds, restart, and drain — asserting exact
+/// conservation (absorbed + parked + shed == sent) along the way.
+/// Returns the client-visible transcript and final router stats.
+fn run_handoff_scenario(tag: &str) -> (Vec<String>, String) {
+    let handoff_dir = std::env::temp_dir().join(format!(
+        "aa-fleet-handoff-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&handoff_dir);
+    let mut handles: Vec<Option<ServerHandle>> = (0..SHARDS)
+        .map(|s| Some(spawn_ingest_shard(ShardSpec { shard: s, of: SHARDS }, 0)))
+        .collect();
+    let victim_port = handles[0].as_ref().expect("live").local_addr().port();
+    let backends = handles
+        .iter()
+        .map(|h| h.as_ref().expect("live").local_addr().to_string())
+        .collect();
+    let router = spawn_router(RouterConfig {
+        backends,
+        retries: 1,
+        retry_base_ms: 5,
+        retry_seed: 7,
+        backend_timeout: Some(Duration::from_secs(2)),
+        health: HealthConfig {
+            down_after: 2,
+            probe_after: 3,
+        },
+        handoff_cap: 4,
+        handoff_dir: Some(handoff_dir.clone()),
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+    let (mut writer, mut reader) = connect(router.local_addr());
+    let sqls = victim_owned_sqls(10);
+    let mut transcript = Vec::new();
+    let mut send = |writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str| {
+        let raw = send_raw(writer, reader, line);
+        transcript.push(raw.clone());
+        Json::parse(&raw).expect("response parses")
+    };
+
+    // Phase 1: the owner is up — victim-owned ingests absorb on shard 0.
+    for (i, sql) in sqls[..3].iter().enumerate() {
+        let response = send(&mut writer, &mut reader, &ingest_line(sql, &format!("h{i}")));
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{response:?}");
+        assert_eq!(response.get("absorbed"), Some(&Json::Bool(true)));
+        assert_eq!(response.get("shard").and_then(Json::as_f64), Some(0.0));
+    }
+
+    // Phase 2: kill the owner. Six more victim-owned ingests arrive; the
+    // 4-deep handoff queue parks the first four and sheds the rest with
+    // a typed overloaded — no request is ever silently dropped.
+    handles[0].take().expect("live victim").shutdown();
+    for (i, sql) in sqls[3..9].iter().enumerate() {
+        let response = send(
+            &mut writer,
+            &mut reader,
+            &ingest_line(sql, &format!("h{}", 3 + i)),
+        );
+        if i < 4 {
+            assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{response:?}");
+            assert_eq!(response.get("parked"), Some(&Json::Bool(true)));
+            assert_eq!(response.get("absorbed"), Some(&Json::Bool(false)));
+            assert_eq!(
+                response.get("depth").and_then(Json::as_f64),
+                Some((i + 1) as f64),
+                "parked depth grows in arrival order"
+            );
+        } else {
+            assert_eq!(
+                response.get("kind").and_then(Json::as_str),
+                Some("overloaded"),
+                "over-capacity parks shed typed: {response:?}"
+            );
+            assert_eq!(response.get("parked"), Some(&Json::Bool(false)));
+        }
+    }
+
+    // Conservation at the trough: absorbed + parked + shed == sent.
+    let block = handoff_block(&mut writer, &mut reader);
+    assert_eq!(handoff_count(&block, "depth"), 4);
+    assert_eq!(handoff_count(&block, "parked"), 4);
+    assert_eq!(handoff_count(&block, "shed"), 2);
+    assert_eq!(handoff_count(&block, "replayed"), 0);
+    assert_eq!(3 + handoff_count(&block, "depth") + handoff_count(&block, "shed"), 9);
+
+    // The parked backlog is journaled durably in the router's own WAL.
+    let journaled = std::fs::read_dir(&handoff_dir)
+        .expect("handoff dir exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "aawal"))
+        .count();
+    assert_eq!(journaled, 1, "one active handoff segment holds the backlog");
+
+    // Phase 3: restart the owner on its old port. Health-machine
+    // ordinals (skip, probe, revive) are request-driven, so a fixed
+    // budget of classify traffic deterministically revives shard 0 and
+    // triggers the in-order handoff replay.
+    handles[0] = Some(spawn_ingest_shard(ShardSpec { shard: 0, of: SHARDS }, victim_port));
+    let pool = distinct_pool(6);
+    for sql in &pool {
+        let response = send(&mut writer, &mut reader, &classify_line(sql, None));
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{response:?}");
+    }
+
+    // Phase 4: the queue drained into the revived owner, and a fresh
+    // victim-owned ingest absorbs directly again.
+    let response = send(&mut writer, &mut reader, &ingest_line(&sqls[9], "h9"));
+    assert_eq!(response.get("absorbed"), Some(&Json::Bool(true)), "{response:?}");
+    assert_eq!(response.get("shard").and_then(Json::as_f64), Some(0.0));
+    let block = handoff_block(&mut writer, &mut reader);
+    assert_eq!(handoff_count(&block, "depth"), 0, "backlog fully drained");
+    assert_eq!(handoff_count(&block, "replayed"), 4, "every parked line landed");
+    assert_eq!(handoff_count(&block, "shed"), 2);
+
+    // Drain GC: the obsolete journal segment was rotated and collected.
+    let journaled = std::fs::read_dir(&handoff_dir)
+        .expect("handoff dir exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "aawal"))
+        .count();
+    assert_eq!(journaled, 1, "drained backlog leaves one fresh active segment");
+
+    drop((writer, reader));
+    let stats = router.shutdown();
+    // End-to-end conservation on the restarted owner: 4 replayed + 1
+    // direct ingest absorbed, exactly once each.
+    let victim_stats = handles[0].take().expect("live victim").shutdown();
+    assert_eq!(
+        victim_stats
+            .get("evolve")
+            .and_then(|e| e.get("absorbed"))
+            .and_then(Json::as_f64),
+        Some(5.0),
+        "restarted owner absorbed the 4 replayed parks plus 1 direct ingest"
+    );
+    for handle in handles.into_iter().flatten() {
+        handle.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&handoff_dir);
+    (transcript, stats.to_string_pretty())
+}
+
+#[test]
+fn hinted_handoff_conserves_every_ingest_and_replays_byte_identically() {
+    let (transcript_a, stats_a) = run_handoff_scenario("a");
+    let (transcript_b, stats_b) = run_handoff_scenario("b");
+    assert_eq!(transcript_a, transcript_b, "handoff transcripts must replay byte for byte");
+    assert_eq!(stats_a, stats_b, "handoff stats must replay byte for byte");
+}

@@ -1,0 +1,371 @@
+//! Durable-ingest crash-recovery suite: a simulated `kill -9` at every
+//! [`WalFault`] point of the write-ahead-log protocol, at three append
+//! positions (mid-window, on the compaction boundary, and on the first
+//! append of a fresh segment) — and after every crash the rebuilt engine
+//! must converge to a state **byte-identical** to a run that never
+//! crashed.
+//!
+//! The invariants, matching the WAL's design:
+//!
+//! 1. **Append before ack.** A record the client saw acknowledged is on
+//!    disk; recovery replays it and a retry of its idempotency key is
+//!    answered from the dedup window, never absorbed twice.
+//! 2. **Torn tails truncate, never misparse.** A half-written record (or
+//!    rotation header) is cut back to the verified prefix and reported;
+//!    recovery resumes appending cleanly after it.
+//! 3. **Publish-or-adopt.** A crash between a compaction's publish and
+//!    its rotation must not burn a generation on replay: recovery adopts
+//!    the already-published model when the content hash matches, so the
+//!    generation sequence is identical to the uninterrupted run's.
+//! 4. **Determinism.** `stats.evolve`, the WAL position, and the latest
+//!    published model bytes are pure functions of the absorbed history.
+
+use aa_core::{ClusteredModel, DistanceMode};
+use aa_serve::{
+    build_model, spawn, EvolveConfig, ModelStore, RequestFault, RetryingClient, ServeEngine,
+    ServeFaultPlan, ServerConfig, WalFault,
+};
+use aa_util::Json;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+fn seed_model() -> &'static ClusteredModel {
+    static MODEL: OnceLock<ClusteredModel> = OnceLock::new();
+    MODEL.get_or_init(|| build_model(200, 7, 0.06, 4, DistanceMode::Dissimilarity))
+}
+
+fn evolve_config() -> EvolveConfig {
+    EvolveConfig {
+        window: 32,
+        compact_every: 8,
+        decay_half_life: 0.0,
+        max_pivots: 64,
+    }
+}
+
+/// Fresh store + WAL directories under the OS temp root.
+fn temp_dirs(tag: &str) -> (PathBuf, PathBuf) {
+    let base = std::env::temp_dir().join(format!("aa-wal-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("create temp base");
+    (base.join("store"), base.join("wal"))
+}
+
+/// Builds (or rebuilds) the serving engine exactly the way the CLI does:
+/// recover the newest verified generation from the store, seed the
+/// maintainer from it, then attach the WAL (sweeping orphans, replaying
+/// survivors). First call on an empty store publishes the seed model.
+fn start_engine(
+    store_dir: &Path,
+    wal_dir: &Path,
+    chaos: Option<ServeFaultPlan>,
+) -> (ServeEngine, aa_serve::WalAttachReport) {
+    let store = ModelStore::open(store_dir).expect("open store");
+    if store
+        .latest_verified_generation()
+        .expect("scan store")
+        .is_none()
+    {
+        store.publish(seed_model()).expect("publish seed model");
+    }
+    let recovery = store.recover().expect("store recovery");
+    let (generation, model) = recovery.loaded.expect("a verified generation exists");
+    let mut engine = ServeEngine::new(model, 64, Some(1_000_000))
+        .with_store(store, generation)
+        .with_evolve(evolve_config());
+    if let Some(plan) = chaos {
+        engine = engine.with_chaos(plan);
+    }
+    engine.attach_wal(wal_dir, 64).expect("attach wal")
+}
+
+/// The keyed ingest stream both runs replay: one statement per logged
+/// area of the seed model, so extraction always succeeds and every
+/// ingest is absorbed (unsharded engines own everything).
+fn statements(n: usize) -> Vec<String> {
+    let model = seed_model();
+    (0..n)
+        .map(|i| model.areas[i % model.areas.len()].to_intermediate_sql())
+        .collect()
+}
+
+fn evolve_block(engine: &ServeEngine) -> String {
+    engine
+        .stats_json()
+        .get("evolve")
+        .expect("evolve block")
+        .to_string_compact()
+}
+
+fn wal_block(engine: &ServeEngine) -> String {
+    engine
+        .stats_json()
+        .get("wal")
+        .expect("wal block")
+        .to_string_compact()
+}
+
+/// Latest verified generation number plus its on-disk bytes.
+fn latest_model_bytes(store_dir: &Path) -> (u64, Vec<u8>) {
+    let store = ModelStore::open(store_dir).expect("open store");
+    let generation = store
+        .latest_verified_generation()
+        .expect("scan store")
+        .expect("a published generation");
+    let bytes = std::fs::read(store.path_for(generation)).expect("read model file");
+    (generation, bytes)
+}
+
+const N: usize = 20;
+
+#[test]
+fn every_wal_fault_point_recovers_byte_identical() {
+    let sqls = statements(N);
+
+    // The uninterrupted reference run: absorb all N keyed statements.
+    let (store_a, wal_a) = temp_dirs("uninterrupted");
+    let (engine_a, report_a) = start_engine(&store_a, &wal_a, None);
+    assert_eq!(report_a.replayed, 0, "fresh log replays nothing");
+    for (i, sql) in sqls.iter().enumerate() {
+        let response = engine_a.ingest(sql, "t", &format!("k{i}"));
+        assert_eq!(
+            response.get("ok"),
+            Some(&Json::Bool(true)),
+            "uninterrupted ingest {i}: {response:?}"
+        );
+        assert_eq!(response.get("absorbed"), Some(&Json::Bool(true)));
+    }
+    let want_evolve = evolve_block(&engine_a);
+    let want_wal = wal_block(&engine_a);
+    drop(engine_a);
+    let (want_generation, want_model) = latest_model_bytes(&store_a);
+    assert!(want_generation > 1, "compactions published new generations");
+
+    // Fault positions: 4 is mid-window (rotate/GC faults degenerate to a
+    // post-append crash), 7 is the compaction boundary (publish, rotate
+    // and GC actually run), 8 is the first append of the fresh segment
+    // (recovery must restore counters from a checkpoint with no records).
+    for &fault in &WalFault::ALL {
+        for &crash_at in &[4usize, 7, 8] {
+            let tag = format!("{}-{}", fault.as_str(), crash_at);
+            let (store_b, wal_b) = temp_dirs(&tag);
+
+            // Run until the armed fault kills the engine.
+            let mut plan = ServeFaultPlan::default();
+            plan.insert_wal_fault(crash_at as u64, fault);
+            let (engine_b, _) = start_engine(&store_b, &wal_b, Some(plan));
+            let mut crashed_at = None;
+            for (i, sql) in sqls.iter().enumerate() {
+                let response = engine_b.ingest(sql, "t", &format!("k{i}"));
+                if response.get("kind").and_then(Json::as_str) == Some("wal_crashed") {
+                    crashed_at = Some(i);
+                    break;
+                }
+                assert_eq!(
+                    response.get("ok"),
+                    Some(&Json::Bool(true)),
+                    "{tag}: pre-crash ingest {i}: {response:?}"
+                );
+            }
+            assert_eq!(crashed_at, Some(crash_at), "{tag}: fault fired on schedule");
+            // Past a wal_crashed answer the engine is what a `kill -9`
+            // left behind; drop it and rebuild from disk alone.
+            drop(engine_b);
+
+            let (engine_b, report) = start_engine(&store_b, &wal_b, None);
+            if fault == WalFault::TornAppend {
+                assert!(
+                    report.truncated.is_some(),
+                    "{tag}: torn tail must be truncated and reported"
+                );
+            }
+            if fault == WalFault::TornRotate && crash_at == 7 {
+                assert!(
+                    report.swept_tmp >= 1,
+                    "{tag}: the half-written rotation header is a swept orphan"
+                );
+            }
+
+            // The client resends everything past its last acknowledged
+            // key. A durable fault means record `crash_at` survived and
+            // was replayed — resending it would be answered from the
+            // dedup window — so the stream resumes one past it; a torn
+            // append lost the record, so it is resent.
+            let resume = crash_at + usize::from(fault.durable());
+            for (i, sql) in sqls.iter().enumerate().skip(resume) {
+                let response = engine_b.ingest(sql, "t", &format!("k{i}"));
+                assert_eq!(
+                    response.get("ok"),
+                    Some(&Json::Bool(true)),
+                    "{tag}: post-recovery ingest {i}: {response:?}"
+                );
+                assert_eq!(
+                    response.get("absorbed"),
+                    Some(&Json::Bool(true)),
+                    "{tag}: post-recovery ingest {i} must absorb, not dedup"
+                );
+            }
+
+            assert_eq!(
+                evolve_block(&engine_b),
+                want_evolve,
+                "{tag}: stats.evolve must be byte-identical to the uninterrupted run"
+            );
+            assert_eq!(
+                wal_block(&engine_b),
+                want_wal,
+                "{tag}: wal position must converge with the uninterrupted run"
+            );
+            drop(engine_b);
+            let (generation, model) = latest_model_bytes(&store_b);
+            assert_eq!(
+                generation, want_generation,
+                "{tag}: publish-or-adopt must not burn generations"
+            );
+            assert_eq!(
+                model, want_model,
+                "{tag}: latest published model bytes must be identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn retried_keyed_ingest_absorbs_exactly_once() {
+    let (store_dir, wal_dir) = temp_dirs("dedup");
+    let (engine, _) = start_engine(&store_dir, &wal_dir, None);
+    let sql = seed_model().areas[0].to_intermediate_sql();
+    // The maintainer window is seeded from the served model's live
+    // points; absorption counts are deltas on top of that.
+    let window0 = engine
+        .stats_json()
+        .get("evolve")
+        .and_then(|e| e.get("window"))
+        .and_then(Json::as_f64)
+        .expect("window size");
+
+    let first = engine.ingest(&sql, "tenant-a", "job-1");
+    assert_eq!(first.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(first.get("absorbed"), Some(&Json::Bool(true)));
+
+    // The retry replays the stored acknowledgement: same tick, same
+    // status, same cluster — and nothing reaches the maintainer.
+    let retry = engine.ingest(&sql, "tenant-a", "job-1");
+    assert_eq!(retry.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(retry.get("duplicate"), Some(&Json::Bool(true)));
+    assert_eq!(retry.get("absorbed"), Some(&Json::Bool(false)));
+    assert_eq!(retry.get("tick"), first.get("tick"));
+    assert_eq!(retry.get("status"), first.get("status"));
+    assert_eq!(retry.get("cluster"), first.get("cluster"));
+
+    // A different tenant reusing the same key is NOT a duplicate: the
+    // window is keyed by (tenant, key).
+    let other = engine.ingest(&sql, "tenant-b", "job-1");
+    assert_eq!(other.get("absorbed"), Some(&Json::Bool(true)));
+
+    // Keyless ingests never dedup.
+    let keyless = engine.ingest(&sql, "tenant-a", "");
+    assert_eq!(keyless.get("absorbed"), Some(&Json::Bool(true)));
+    let keyless_again = engine.ingest(&sql, "tenant-a", "");
+    assert_eq!(keyless_again.get("absorbed"), Some(&Json::Bool(true)));
+
+    let stats = engine.stats_json();
+    let evolve = stats.get("evolve").expect("evolve block");
+    assert_eq!(evolve.get("absorbed").and_then(Json::as_f64), Some(4.0));
+    assert_eq!(evolve.get("deduped").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(
+        evolve.get("window").and_then(Json::as_f64),
+        Some(window0 + 4.0),
+        "exactly four statements entered the live window"
+    );
+    assert_eq!(
+        stats
+            .get("requests")
+            .and_then(|r| r.get("ingest"))
+            .and_then(Json::as_f64),
+        Some(5.0),
+        "every request is counted; conservation holds"
+    );
+}
+
+#[test]
+fn dedup_window_is_bounded_oldest_keys_age_out() {
+    let (store_dir, wal_dir) = temp_dirs("dedup-bound");
+    // A 2-entry window: absorbing a third key evicts the first.
+    let store = ModelStore::open(&store_dir).expect("open store");
+    store.publish(seed_model()).expect("publish seed");
+    let recovery = store.recover().expect("recover");
+    let (generation, model) = recovery.loaded.expect("verified generation");
+    let engine = ServeEngine::new(model, 64, Some(1_000_000))
+        .with_store(store, generation)
+        .with_evolve(evolve_config());
+    let (engine, _) = engine.attach_wal(&wal_dir, 2).expect("attach wal");
+
+    let sql = seed_model().areas[0].to_intermediate_sql();
+    for key in ["a", "b", "c"] {
+        let response = engine.ingest(&sql, "t", key);
+        assert_eq!(response.get("absorbed"), Some(&Json::Bool(true)));
+    }
+    // "a" aged out: its retry is absorbed again (the window is a bounded
+    // best-effort guard, not an unbounded ledger) …
+    let a_again = engine.ingest(&sql, "t", "a");
+    assert_eq!(a_again.get("absorbed"), Some(&Json::Bool(true)));
+    // … while "c", still inside the window, replays its ack.
+    let c_again = engine.ingest(&sql, "t", "c");
+    assert_eq!(c_again.get("duplicate"), Some(&Json::Bool(true)));
+}
+
+#[test]
+fn retrying_client_ingest_is_exactly_once_over_the_wire() {
+    let (store_dir, wal_dir) = temp_dirs("client-retry");
+    // Drop the very first request without a response — the classic
+    // lost-ack window a retrying client exists for.
+    let mut plan = ServeFaultPlan::default();
+    plan.insert_request_fault(0, RequestFault::Drop);
+    let (engine, _) = start_engine(&store_dir, &wal_dir, Some(plan));
+    let handle = spawn(
+        engine,
+        ServerConfig {
+            workers: 2,
+            per_minute: 10_000,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+
+    let mut client = RetryingClient::new(handle.local_addr().to_string(), 3, 0, 42);
+    let sql = seed_model().areas[0].to_intermediate_sql();
+    let request = Json::obj([
+        ("op".to_string(), Json::Str("ingest".to_string())),
+        ("sql".to_string(), Json::Str(sql)),
+        ("key".to_string(), Json::Str("retry-1".to_string())),
+    ])
+    .to_string_compact();
+
+    // First send: the connection drops, the client retries on a fresh
+    // one, and the retry is absorbed — one logical ingest, one absorb.
+    let response = Json::parse(&client.request(&request).expect("retried request succeeds"))
+        .expect("response is JSON");
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(response.get("absorbed"), Some(&Json::Bool(true)));
+    assert!(client.retried() >= 1, "the drop forced at least one retry");
+
+    // A client resending after a lost *ack* (send succeeded, response
+    // lost) replays the same line; the engine answers from the dedup
+    // window instead of double-absorbing.
+    let replay = Json::parse(&client.request(&request).expect("replay succeeds"))
+        .expect("response is JSON");
+    assert_eq!(replay.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(replay.get("duplicate"), Some(&Json::Bool(true)));
+    assert_eq!(replay.get("absorbed"), Some(&Json::Bool(false)));
+
+    drop(client);
+    let stats = handle.shutdown();
+    let evolve = stats.get("evolve").expect("evolve block");
+    assert_eq!(
+        evolve.get("absorbed").and_then(Json::as_f64),
+        Some(1.0),
+        "exactly one absorption end to end"
+    );
+    assert_eq!(evolve.get("deduped").and_then(Json::as_f64), Some(1.0));
+}

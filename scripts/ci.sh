@@ -368,6 +368,101 @@ fleet_evolve_session "$fe_b"
 [ "$(grep -c '"absorbed":true' "$fe_a/session.out")" -eq 4 ]
 diff "$fe_a/session.out" "$fe_b/session.out"
 
+# WAL chaos gate: durable ingest end to end. A server with a windowed
+# evolving model journals every keyed ingest to a per-shard WAL before
+# acknowledging; an armed WalFault kills it (exit 9) with the 6th
+# append torn mid-record. A restart over the same store + WAL must
+# sweep the torn tail (truncate-and-report), replay the five surviving
+# records through the maintainer, and — after the client resends from
+# its last unacknowledged statement — finish with an evolve stats
+# block, WAL position, and published model bytes identical to a run
+# that never crashed.
+echo "==> wal chaos (kill -9 mid-append, torn-tail recovery, byte-identical replay)"
+wal_server() {
+    local out_dir="$1"; shift
+    # `--recover` restarts the way an operator would: from the store
+    # alone (newest verified generation + WAL replay). Passing --gen on
+    # a restart would re-publish the seed model and burn a generation.
+    local model_flags=(--gen 200 --seed 11 --eps 0.06 --min-pts 4)
+    if [ "${1:-}" = "--recover" ]; then
+        model_flags=()
+        shift
+    fi
+    cargo run --release -p aa-apps --bin serve_areas --offline -- \
+        --store "$out_dir/store" "${model_flags[@]}" \
+        --workers 2 --window 64 --compact-every 8 \
+        --wal-dir "$out_dir/wal" "$@" \
+        --stats-out "$out_dir/stats.json" \
+        > "$out_dir/server.out" 2>> "$out_dir/server.err" &
+    wal_server_pid=$!
+    wal_server_port=""
+    for _ in $(seq 1 200); do
+        wal_server_port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$out_dir/server.out")"
+        [ -n "$wal_server_port" ] && break
+        sleep 0.1
+    done
+    if [ -z "$wal_server_port" ]; then
+        echo "wal chaos: server did not report a port" >&2
+        kill "$wal_server_pid" 2>/dev/null || true
+        return 1
+    fi
+}
+# The keyed ingest stream: 12 statements, idempotency keys w0..w11
+# (raw request lines pass through the client verbatim).
+wal_lines() {
+    local from="$1" to="$2"
+    for i in $(seq "$from" "$to"); do
+        printf '{"op":"ingest","key":"w%s","sql":"SELECT * FROM PhotoObjAll WHERE ra BETWEEN %s AND %s AND dec > -5"}\n' \
+            "$i" "$((150 + i))" "$((160 + i))"
+    done
+}
+wal_a="$chaos_dir/wal_a"; wal_b="$chaos_dir/wal_b"
+mkdir -p "$wal_a" "$wal_b"
+# Run A: uninterrupted — all 12 ingests, then stats + shutdown.
+wal_server "$wal_a"
+{ wal_lines 0 11; printf 'stats\nshutdown\n'; } | \
+    cargo run --release -p aa-apps --bin serve_areas --offline -- \
+    --connect "127.0.0.1:$wal_server_port" > "$wal_a/session.out"
+wait "$wal_server_pid"
+# Run B: the 6th append (index 5) tears mid-record and the server dies
+# with the crash-save exit code.
+wal_server "$wal_b" --crash-wal torn-append --crash-wal-at 5
+grep -q "wal crash armed: torn-append at append 5" "$wal_b/server.err"
+wal_lines 0 5 | cargo run --release -p aa-apps --bin serve_areas --offline -- \
+    --connect "127.0.0.1:$wal_server_port" > "$wal_b/session1.out"
+set +e
+wait "$wal_server_pid"
+wal_crash_status=$?
+set -e
+if [ "$wal_crash_status" -ne 9 ]; then
+    echo "wal chaos: expected simulated-crash exit 9, got $wal_crash_status" >&2
+    cat "$wal_b/server.err" >&2
+    exit 1
+fi
+grep -q "serve: wal crash point reached" "$wal_b/server.err"
+grep -q '"kind":"wal_crashed"' "$wal_b/session1.out"
+# Restart over the same store + WAL: recovery truncates the torn tail,
+# reports it, and replays the five acknowledged records.
+wal_server "$wal_b" --recover
+grep -q "wal recovery: truncated torn tail of segment" "$wal_b/server.err"
+grep -q "wal recovery: replayed 5 record(s)" "$wal_b/server.err"
+# The torn record was never acknowledged, so the client resends from
+# statement 5 with the same idempotency keys.
+{ wal_lines 5 11; printf 'stats\nshutdown\n'; } | \
+    cargo run --release -p aa-apps --bin serve_areas --offline -- \
+    --connect "127.0.0.1:$wal_server_port" > "$wal_b/session2.out"
+wait "$wal_server_pid"
+# Byte-identical convergence: the evolve stats block, the WAL position,
+# and every published model generation match the uninterrupted run.
+sed -n '/"evolve": {/,/}/p' "$wal_a/stats.json" > "$wal_a/evolve.block"
+sed -n '/"evolve": {/,/}/p' "$wal_b/stats.json" > "$wal_b/evolve.block"
+grep -q '"absorbed": 12' "$wal_a/evolve.block"
+diff "$wal_a/evolve.block" "$wal_b/evolve.block"
+sed -n '/"wal": {/,/}/p' "$wal_a/stats.json" > "$wal_a/wal.block"
+sed -n '/"wal": {/,/}/p' "$wal_b/stats.json" > "$wal_b/wal.block"
+diff "$wal_a/wal.block" "$wal_b/wal.block"
+diff -r "$wal_a/store" "$wal_b/store"
+
 # Serving-layer microbench: the cold/warm classify split must run (fast
 # sampling mode) — it prints the measured cache speedup into the CI log.
 echo "==> serve cache microbench (AA_BENCH_FAST)"
@@ -379,7 +474,7 @@ AA_BENCH_FAST=1 cargo bench --offline -p aa-bench --bench serve_cache
 # change, not noise); time is gated through machine-portable ratios —
 # kernel-vs-scalar speedups within 25% of baseline and d_tables/64 at
 # >= 4x — so the gate holds on slow CI machines too.
-echo "==> bench gate (BENCH_kernels.json / BENCH_serve.json / BENCH_evolve.json)"
+echo "==> bench gate (BENCH_kernels.json / BENCH_serve.json / BENCH_evolve.json / BENCH_wal.json)"
 bench_fresh="$chaos_dir/bench_fresh"
 mkdir -p "$bench_fresh"
 AA_BENCH_FAST=1 AA_BENCH_OUT_DIR="$bench_fresh" \
@@ -388,6 +483,8 @@ AA_BENCH_FAST=1 AA_BENCH_OUT_DIR="$bench_fresh" \
     cargo bench --offline -p aa-bench --bench serve_perf
 AA_BENCH_FAST=1 AA_BENCH_OUT_DIR="$bench_fresh" \
     cargo bench --offline -p aa-bench --bench evolve
+AA_BENCH_FAST=1 AA_BENCH_OUT_DIR="$bench_fresh" \
+    cargo bench --offline -p aa-bench --bench wal
 cargo run --release -p aa-bench --bin bench_gate --offline -- "$bench_fresh" .
 
 # Lint gate: clippy when the toolchain has it; otherwise rustc warnings
